@@ -1,0 +1,180 @@
+// Experiment E14 (DESIGN.md): head-to-head comparison with prior work.
+//
+//   * Monotone streams: our trackers vs Cormode-Muthukrishnan-Yi
+//     (deterministic, O(k/eps log n)) and Huang-Yi-Zhang (randomized,
+//     O((k + sqrt(k)/eps) log n)) — the paper's algorithms should match
+//     these shapes, because v = O(log n) on monotone inputs.
+//   * Non-monotone streams: the monotone baselines are inapplicable;
+//     naive pays Theta(n) and stays exact, periodic sync pays n/T but
+//     loses the guarantee. Our trackers keep the guarantee at O(v)-scaled
+//     cost — the crossover the paper's framework creates.
+
+#include <iostream>
+
+#include "baseline/cmy_monotone_tracker.h"
+#include "baseline/cmy_threshold_detector.h"
+#include "baseline/hyz_monotone_tracker.h"
+#include "baseline/naive_tracker.h"
+#include "baseline/periodic_tracker.h"
+#include "bench_util.h"
+#include "core/deterministic_tracker.h"
+#include "core/randomized_tracker.h"
+#include "core/threshold_monitor.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  o.seed = 0xC0FFEE;
+  return o;
+}
+
+void AddRow(TablePrinter* table, const std::string& name,
+            const RunResult& r, double eps) {
+  table->AddRow({name, TablePrinter::Cell(r.messages),
+                 bench::Fmt(r.max_rel_error, 4),
+                 bench::Fmt(r.violation_rate, 4),
+                 r.violation_rate == 0 && r.max_rel_error <= eps + 1e-9
+                     ? "yes"
+                     : (r.violation_rate < 1.0 / 3 ? "w.p. 2/3" : "NO")});
+}
+
+void MonotoneShowdown(const bench::BenchScale& scale) {
+  PrintBanner(std::cout,
+              "E14a / monotone streams: ours vs CMY & HYZ (k=16, eps=0.05)");
+  const uint32_t k = 16;
+  const double eps = 0.05;
+  MonotoneGenerator gen;
+  UniformAssigner assigner(k, 3);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, scale.n * 2);
+
+  TablePrinter table(
+      {"tracker", "msgs", "max err", "violation rate", "guarantee held"});
+  {
+    NaiveTracker t(Opts(k, eps));
+    AddRow(&table, "naive (exact)", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  {
+    CmyMonotoneTracker t(Opts(k, eps));
+    AddRow(&table, "CMY monotone", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  {
+    HyzMonotoneTracker t(Opts(k, eps));
+    AddRow(&table, "HYZ monotone", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  {
+    DeterministicTracker t(Opts(k, eps));
+    AddRow(&table, "ours det (3.3)", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  {
+    RandomizedTracker t(Opts(k, eps));
+    AddRow(&table, "ours rand (3.4)", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: all four guarantee-holders beat naive by orders "
+               "of magnitude; ours are within a constant factor of the "
+               "monotone-only specialists (v = O(log n) here).\n";
+}
+
+void NonMonotoneShowdown(const bench::BenchScale& scale,
+                         const char* gen_name, uint64_t seed) {
+  PrintBanner(std::cout, std::string("E14b / non-monotone stream (") +
+                             gen_name + "): guarantees vs cost");
+  const uint32_t k = 16;
+  const double eps = 0.1;
+  auto gen = MakeGeneratorByName(gen_name, seed);
+  UniformAssigner assigner(k, seed + 1);
+  StreamTrace trace = StreamTrace::Record(gen.get(), &assigner, scale.n);
+
+  TablePrinter table(
+      {"tracker", "msgs", "max err", "violation rate", "guarantee held"});
+  {
+    NaiveTracker t(Opts(k, eps));
+    AddRow(&table, "naive (exact)", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  for (uint64_t period : {16ULL, 256ULL}) {
+    PeriodicTracker t(Opts(k, eps), period);
+    AddRow(&table, "periodic T=" + std::to_string(period),
+           RunCountOnTrace(trace, &t, eps), eps);
+  }
+  {
+    DeterministicTracker t(Opts(k, eps));
+    AddRow(&table, "ours det (3.3)", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  {
+    RandomizedTracker t(Opts(k, eps));
+    AddRow(&table, "ours rand (3.4)", RunCountOnTrace(trace, &t, eps), eps);
+  }
+  std::cout << "stream variability v(n) = " << trace.Variability()
+            << ", n = " << trace.size() << "\n";
+  table.Print(std::cout);
+  std::cout << "Expected: periodic sync is cheap but violates the "
+               "guarantee; ours hold it at cost scaling with v, between "
+               "periodic and naive (approaching naive only when v ~ n).\n";
+}
+
+void ThresholdShowdown(const bench::BenchScale& scale) {
+  PrintBanner(std::cout,
+              "E14c / threshold problem: one-shot CMY countdown vs the "
+              "continuous ThresholdMonitor");
+  const uint32_t k = 16;
+  const int64_t tau = static_cast<int64_t>(scale.n / 2);
+  TablePrinter table({"detector", "msgs", "fired at", "tau", "re-arms",
+                      "handles deletions"});
+  {
+    TrackerOptions opts = Opts(k, 0.1);
+    CmyThresholdDetector detector(opts, tau);
+    UniformAssigner assigner(k, 51);
+    for (uint64_t t = 0; t < scale.n; ++t) {
+      detector.PushInsert(assigner.NextSite());
+    }
+    table.AddRow({"CMY one-shot",
+                  TablePrinter::Cell(detector.cost().total_messages()),
+                  TablePrinter::Cell(detector.fired_at()),
+                  TablePrinter::Cell(tau), "no", "no"});
+  }
+  {
+    TrackerOptions opts = Opts(k, 0.1);
+    ThresholdMonitor monitor(opts, tau);
+    UniformAssigner assigner(k, 51);
+    uint64_t fired_at = 0;
+    monitor.set_state_change_callback(
+        [&](uint64_t t, ThresholdState s) {
+          if (fired_at == 0 && s == ThresholdState::kAbove) fired_at = t;
+        });
+    MonotoneGenerator gen;
+    for (uint64_t t = 0; t < scale.n; ++t) {
+      monitor.Push(assigner.NextSite(), gen.NextDelta());
+    }
+    table.AddRow({"ThresholdMonitor",
+                  TablePrinter::Cell(monitor.cost().total_messages()),
+                  TablePrinter::Cell(fired_at), TablePrinter::Cell(tau),
+                  "yes", "yes"});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: the specialized one-shot protocol detects with "
+               "O(k log(tau/k)) messages — orders of magnitude under the "
+               "continuous monitor — while the monitor fires within the "
+               "(1-eps)tau..tau window, re-arms after every crossing, and "
+               "survives deletions. Specialization vs generality, "
+               "quantified.\n";
+}
+
+}  // namespace
+}  // namespace varstream
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  varstream::bench::BenchScale scale(flags);
+  std::cout << "bench_baselines: comparisons with prior-work baselines\n";
+  varstream::MonotoneShowdown(scale);
+  varstream::NonMonotoneShowdown(scale, "biased-walk", 7);
+  varstream::NonMonotoneShowdown(scale, "random-walk", 11);
+  varstream::NonMonotoneShowdown(scale, "sawtooth", 13);
+  varstream::ThresholdShowdown(scale);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment E4 (DESIGN.md): the section 3.1 block partitioning invariants.
+//
+// The paper proves that the division into blocks B0, B1, ... satisfies
+//   (a) ceil(2^{r-1})*k <= |Bj| <= 2^r*k,
+//   (b) at most 5k messages per block are spent on partitioning,
+//   (c) the variability increases by at least a constant (>= 1/10 in our
+//       conservative accounting) per block.
+// This harness measures all three per generator and site count.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "core/block_partition.h"
+#include "net/network.h"
+#include "stream/variability.h"
+
+namespace varstream {
+namespace {
+
+struct BlockAudit {
+  uint64_t blocks = 0;
+  double worst_len_ratio_low = 1e18;   // len / (ceil(2^{r-1})k), want >= 1
+  double worst_len_ratio_high = 0;     // len / (2^r k), want <= 1
+  uint64_t max_partition_msgs = 0;     // want <= 5k
+  double min_dv = 1e18;                // want >= 0.1
+  double total_v = 0;
+  uint64_t partition_msgs = 0;
+};
+
+BlockAudit Audit(const std::string& gen_name, uint32_t k, uint64_t n,
+                 uint64_t seed) {
+  auto gen = MakeGeneratorByName(gen_name, seed);
+  SimNetwork net(k);
+  BlockPartitioner part(&net, gen->initial_value());
+  UniformAssigner assigner(k, seed ^ 0xA55);
+  VariabilityMeter meter(gen->initial_value());
+
+  BlockAudit audit;
+  uint64_t last_time = 0, last_msgs = 0;
+  double last_v = 0;
+  part.set_block_end_callback([&](const BlockInfo& closed,
+                                  const BlockInfo&) {
+    uint64_t len = part.time() - last_time;
+    uint64_t msgs = net.cost().total_messages() - last_msgs;
+    double dv = meter.value() - last_v;
+    double lo = static_cast<double>(len) /
+                static_cast<double>(CeilPow2Half(closed.r) * k);
+    double hi = static_cast<double>(len) /
+                static_cast<double>(Pow2(closed.r) * k);
+    audit.worst_len_ratio_low = std::min(audit.worst_len_ratio_low, lo);
+    audit.worst_len_ratio_high = std::max(audit.worst_len_ratio_high, hi);
+    audit.max_partition_msgs = std::max(audit.max_partition_msgs, msgs);
+    audit.min_dv = std::min(audit.min_dv, dv);
+    ++audit.blocks;
+    last_time = part.time();
+    last_msgs = net.cost().total_messages();
+    last_v = meter.value();
+  });
+  for (uint64_t t = 0; t < n; ++t) {
+    int64_t delta = gen->NextDelta();
+    meter.Push(delta);
+    part.OnArrival(assigner.NextSite(), delta);
+  }
+  audit.total_v = meter.value();
+  audit.partition_msgs = net.cost().total_messages();
+  return audit;
+}
+
+}  // namespace
+}  // namespace varstream
+
+int main(int argc, char** argv) {
+  using namespace varstream;
+  FlagParser flags(argc, argv);
+  bench::BenchScale scale(flags);
+  std::cout << "bench_blocks: section 3.1 time partitioning invariants\n";
+
+  PrintBanner(std::cout, "E4 / Section 3.1: per-block invariants");
+  TablePrinter table({"generator", "k", "blocks", "min len/lower", "max len/upper",
+                      "max msgs/blk", "5k", "min dv/blk", "msgs/(k*v)"});
+  for (const char* gen :
+       {"monotone", "random-walk", "biased-walk", "sawtooth",
+        "nearly-monotone", "zero-crossing"}) {
+    for (uint32_t k : {4u, 16u, 64u}) {
+      BlockAudit a = Audit(gen, k, scale.n, 77);
+      if (a.blocks == 0) continue;
+      table.AddRow(
+          {gen, TablePrinter::Cell(k), TablePrinter::Cell(a.blocks),
+           bench::Fmt(a.worst_len_ratio_low),
+           bench::Fmt(a.worst_len_ratio_high),
+           TablePrinter::Cell(a.max_partition_msgs),
+           TablePrinter::Cell(uint64_t{5} * k), bench::Fmt(a.min_dv, 3),
+           bench::Fmt(static_cast<double>(a.partition_msgs) /
+                          (static_cast<double>(k) * (a.total_v + 1.0)),
+                      2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: min len/lower >= 1, max len/upper <= 1, max "
+               "msgs/blk <= 5k, min dv/blk >= 0.1, msgs/(k*v) bounded by a "
+               "constant (~25 in the paper's accounting).\n";
+  return 0;
+}

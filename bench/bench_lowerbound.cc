@@ -1,0 +1,172 @@
+// Experiments E11, E12, E13 (DESIGN.md): the section 4 lower bounds.
+//
+//   * E11 / Theorem 4.1: the deterministic family — exact variability
+//     formula, entropy log2 C(n,r) >= r log2(n/r), and the trace of an
+//     actual eps-correct tracker is never smaller than the entropy.
+//   * E12 / Lemma 4.4: the randomized family — switch concentration,
+//     variability budget, empirical match probability vs the CLLM bound,
+//     mixing times (exact vs the paper's analytic bound).
+//   * E13 / Appendix F: the INDEX reduction executes end-to-end — Bob
+//     decodes Alice's string exactly from the shipped summary.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "lowerbound/det_family.h"
+#include "lowerbound/index_encoding.h"
+#include "lowerbound/markov.h"
+#include "lowerbound/rand_family.h"
+
+namespace varstream {
+namespace {
+
+void DetFamilyTable() {
+  PrintBanner(std::cout,
+              "E11 / Theorem 4.1: deterministic family & tracing space");
+  TablePrinter table({"m", "n", "r", "v (exact)", "log2|F| (entropy)",
+                      "r*log2(n/r)", "trace bits", "trace/entropy"});
+  struct P {
+    uint64_t m, n, r;
+  };
+  for (P p : {P{10, 100, 4}, P{10, 1000, 4}, P{10, 10000, 4},
+              P{10, 1000, 16}, P{50, 1000, 16}, P{10, 10000, 64}}) {
+    DetFamily family(p.m, p.n, p.r);
+    IndexReductionResult red = RunIndexReduction(p.m, p.n, p.r, 1);
+    table.AddRow(
+        {TablePrinter::Cell(p.m), TablePrinter::Cell(p.n),
+         TablePrinter::Cell(p.r), bench::Fmt(family.ExactVariability(), 3),
+         bench::Fmt(family.Log2Size(), 1),
+         bench::Fmt(static_cast<double>(p.r) *
+                        std::log2(static_cast<double>(p.n) /
+                                  static_cast<double>(p.r)),
+                    1),
+         TablePrinter::Cell(red.summary_bits),
+         bench::Fmt(static_cast<double>(red.summary_bits) /
+                        red.entropy_bits,
+                    2)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: v stays ~eps*r (tiny) while entropy grows as "
+               "r log n — space Omega((log n / eps) * v) even at small v; "
+               "trace/entropy >= 1 because the trace is decodable.\n";
+}
+
+void RandFamilyTable(const FlagParser& flags) {
+  PrintBanner(std::cout,
+              "E12 / Lemma 4.4: randomized family statistics");
+  int trials = flags.GetBool("full", false) ? 400 : 120;
+  TablePrinter table({"eps", "v target", "n", "p=v/6eps*n", "E[switch]",
+                      "mean v", "frac v>target", "match rate",
+                      "CLLM bound", "T exact", "T paper"});
+  struct P {
+    double eps, v;
+    uint64_t n;
+  };
+  for (P p : {P{0.1, 20, 4000}, P{0.1, 40, 8000}, P{0.25, 20, 4000},
+              P{0.125, 60, 20000}}) {
+    RandFamily family(p.eps, p.v, p.n);
+    Rng rng(0xFADE);
+    RunningStats v_stats;
+    int over_budget = 0;
+    int matches = 0;
+    double switches = 0;
+    for (int i = 0; i < trials; ++i) {
+      auto f = family.Sample(&rng);
+      auto g = family.Sample(&rng);
+      double vf = family.MeasuredVariability(f);
+      v_stats.Add(vf);
+      switches += static_cast<double>(family.SwitchCount(f));
+      if (vf > p.v) ++over_budget;
+      if (family.Matches(f, g)) ++matches;
+    }
+    OverlapChain chain = family.Chain();
+    table.AddRow(
+        {bench::Fmt(p.eps, 3), bench::Fmt(p.v, 0), TablePrinter::Cell(p.n),
+         bench::Fmt(family.SwitchProbability(), 5),
+         bench::Fmt(family.ExpectedSwitches(), 1),
+         bench::Fmt(v_stats.mean(), 2),
+         bench::Fmt(static_cast<double>(over_budget) / trials, 3),
+         bench::Fmt(static_cast<double>(matches) / trials, 4),
+         bench::Fmt(family.MatchProbabilityBound(), 4),
+         TablePrinter::Cell(chain.ExactMixingTime()),
+         bench::Fmt(chain.PaperMixingBound(), 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: mean v ~ v/2 and rarely exceeds the target; "
+               "match rate at or below the CLLM bound (with C = 1); exact "
+               "mixing time under the paper's analytic bound.\n";
+}
+
+void IndexReductionTable() {
+  PrintBanner(std::cout, "E13 / Appendix F: INDEX reduction round trip");
+  TablePrinter table({"m", "n", "r", "ranks tried", "decoded ok",
+                      "summary bits", "entropy bits", "msgs"});
+  struct P {
+    uint64_t m, n, r;
+  };
+  for (P p : {P{10, 50, 4}, P{10, 200, 8}, P{20, 500, 12},
+              P{10, 2000, 16}}) {
+    DetFamily family(p.m, p.n, p.r);
+    Rng rng(0xDEC0DE);
+    int tried = 0, ok = 0;
+    uint64_t bits = 0, msgs = 0;
+    double entropy = 0;
+    for (int i = 0; i < 25; ++i) {
+      uint64_t rank = rng.UniformBelow(family.Size());
+      IndexReductionResult r = RunIndexReduction(p.m, p.n, p.r, rank);
+      ++tried;
+      if (r.decoded_ok) ++ok;
+      bits = r.summary_bits;
+      msgs = r.messages;
+      entropy = r.entropy_bits;
+    }
+    table.AddRow({TablePrinter::Cell(p.m), TablePrinter::Cell(p.n),
+                  TablePrinter::Cell(p.r), TablePrinter::Cell(tried),
+                  TablePrinter::Cell(ok), TablePrinter::Cell(bits),
+                  bench::Fmt(entropy, 1), TablePrinter::Cell(msgs)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: decoded ok = ranks tried (the reduction is "
+               "lossless), summary bits >= entropy bits, messages = r.\n";
+}
+
+void GreedyFamilyTable(const FlagParser& flags) {
+  PrintBanner(std::cout,
+              "E12b / constructive check: greedy non-matching family");
+  uint64_t draws = flags.GetBool("full", false) ? 20000 : 4000;
+  TablePrinter table({"eps", "v", "n", "draws", "family size",
+                      "target log2|F|"});
+  struct P {
+    double eps, v;
+    uint64_t n;
+  };
+  for (P p : {P{0.125, 24, 3000}, P{0.1, 30, 5000}}) {
+    RandFamily family(p.eps, p.v, p.n);
+    Rng rng(0xFA111E);
+    auto members = family.BuildGreedyFamily(1u << 20, draws, &rng);
+    table.AddRow({bench::Fmt(p.eps, 3), bench::Fmt(p.v, 0),
+                  TablePrinter::Cell(p.n), TablePrinter::Cell(draws),
+                  TablePrinter::Cell(members.size()),
+                  bench::Fmt(family.Log2FamilySizeTarget(), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: the greedy family grows to ~1/match-rate members "
+               "before pairwise clashes stall it — far beyond the lemma's "
+               "nominal target at these parameters (negative log2 target "
+               "because of the 32400 constant), demonstrating the "
+               "construction is effective well before the asymptotics.\n";
+}
+
+}  // namespace
+}  // namespace varstream
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  std::cout << "bench_lowerbound: section 4 lower-bound constructions\n";
+  varstream::DetFamilyTable();
+  varstream::RandFamilyTable(flags);
+  varstream::IndexReductionTable();
+  varstream::GreedyFamilyTable(flags);
+  return 0;
+}

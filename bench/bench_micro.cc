@@ -1,0 +1,214 @@
+// Experiment E16 (DESIGN.md): google-benchmark throughput microbenchmarks.
+// Establishes that the reference implementation sustains millions of
+// updates per second — the "can you actually deploy this" sanity check.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baseline/naive_tracker.h"
+#include "core/deterministic_tracker.h"
+#include "core/frequency_tracker.h"
+#include "core/quantile_tracker.h"
+#include "core/randomized_tracker.h"
+#include "core/single_site_tracker.h"
+#include "core/threshold_monitor.h"
+#include "lowerbound/offline_opt.h"
+#include "sketch/count_min.h"
+#include "sketch/cr_precis.h"
+#include "stream/generator.h"
+#include "stream/variability.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  return o;
+}
+
+void BM_VariabilityMeter(benchmark::State& state) {
+  RandomWalkGenerator gen(1);
+  VariabilityMeter meter(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.Push(gen.NextDelta()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VariabilityMeter);
+
+void BM_GeneratorRandomWalk(benchmark::State& state) {
+  RandomWalkGenerator gen(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.NextDelta());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneratorRandomWalk);
+
+void BM_DeterministicTrackerPush(benchmark::State& state) {
+  auto k = static_cast<uint32_t>(state.range(0));
+  DeterministicTracker tracker(Opts(k, 0.1));
+  RandomWalkGenerator gen(3);
+  uint32_t site = 0;
+  for (auto _ : state) {
+    tracker.Push(site, gen.NextDelta());
+    site = (site + 1) % k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeterministicTrackerPush)->Arg(4)->Arg(64);
+
+void BM_RandomizedTrackerPush(benchmark::State& state) {
+  auto k = static_cast<uint32_t>(state.range(0));
+  RandomizedTracker tracker(Opts(k, 0.1));
+  RandomWalkGenerator gen(4);
+  uint32_t site = 0;
+  for (auto _ : state) {
+    tracker.Push(site, gen.NextDelta());
+    site = (site + 1) % k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomizedTrackerPush)->Arg(4)->Arg(64);
+
+void BM_SingleSiteUpdate(benchmark::State& state) {
+  SingleSiteTracker tracker(Opts(1, 0.1));
+  RandomWalkGenerator gen(5);
+  int64_t value = 0;
+  for (auto _ : state) {
+    value += gen.NextDelta();
+    tracker.Update(value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleSiteUpdate);
+
+void BM_NaiveTrackerPush(benchmark::State& state) {
+  NaiveTracker tracker(Opts(4, 0.1));
+  RandomWalkGenerator gen(6);
+  uint32_t site = 0;
+  for (auto _ : state) {
+    tracker.Push(site, gen.NextDelta());
+    site = (site + 1) % 4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveTrackerPush);
+
+void BM_FrequencyTrackerPush(benchmark::State& state) {
+  FrequencyTracker tracker(Opts(4, 0.1));
+  Rng rng(7);
+  // Insert-heavy churn over 1024 items.
+  for (auto _ : state) {
+    auto item = rng.UniformBelow(1024);
+    tracker.Push(static_cast<uint32_t>(item % 4), item, +1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrequencyTrackerPush);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  Rng rng(8);
+  CountMinSketch cm(static_cast<uint64_t>(state.range(0)), 272, &rng);
+  Rng data(9);
+  for (auto _ : state) {
+    cm.Update(data.UniformBelow(100000), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(1)->Arg(5);
+
+void BM_CountMinQuery(benchmark::State& state) {
+  Rng rng(10);
+  CountMinSketch cm(5, 272, &rng);
+  Rng data(11);
+  for (int i = 0; i < 100000; ++i) cm.Update(data.UniformBelow(100000), 1);
+  uint64_t item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.EstimateMin(item++ % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinQuery);
+
+void BM_CRPrecisUpdate(benchmark::State& state) {
+  CRPrecisSketch sk(12, 108);
+  Rng data(12);
+  for (auto _ : state) {
+    sk.Update(data.UniformBelow(100000), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CRPrecisUpdate);
+
+void BM_CRPrecisQuery(benchmark::State& state) {
+  CRPrecisSketch sk(12, 108);
+  Rng data(13);
+  for (int i = 0; i < 100000; ++i) sk.Update(data.UniformBelow(100000), 1);
+  uint64_t item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sk.EstimateAvg(item++ % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CRPrecisQuery);
+
+void BM_QuantileTrackerPush(benchmark::State& state) {
+  TrackerOptions opts = Opts(4, 0.2);
+  QuantileTracker tracker(opts, static_cast<uint32_t>(state.range(0)));
+  Rng rng(14);
+  uint64_t universe = tracker.universe();
+  for (auto _ : state) {
+    uint64_t item = rng.UniformBelow(universe);
+    tracker.Push(static_cast<uint32_t>(item % 4), item, +1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileTrackerPush)->Arg(8)->Arg(16);
+
+void BM_QuantileRankQuery(benchmark::State& state) {
+  TrackerOptions opts = Opts(4, 0.2);
+  QuantileTracker tracker(opts, 12);
+  Rng rng(15);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t item = rng.UniformBelow(1 << 12);
+    tracker.Push(static_cast<uint32_t>(item % 4), item, +1);
+  }
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.Rank(x));
+    x = (x + 37) % ((1 << 12) + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileRankQuery);
+
+void BM_ThresholdMonitorPush(benchmark::State& state) {
+  ThresholdMonitor monitor(Opts(8, 0.1), 1 << 20);
+  RandomWalkGenerator gen(16);
+  uint32_t site = 0;
+  for (auto _ : state) {
+    monitor.Push(site, gen.NextDelta());
+    site = (site + 1) % 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThresholdMonitorPush);
+
+void BM_OfflineOptimalSyncs(benchmark::State& state) {
+  RandomWalkGenerator gen(17);
+  auto f = MaterializeF(&gen, 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OfflineOptimalSyncs(f, 0.1, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.size());
+}
+BENCHMARK(BM_OfflineOptimalSyncs);
+
+}  // namespace
+}  // namespace varstream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harness binaries. Each binary
+// reproduces one or more rows of DESIGN.md's experiment index and prints
+// paper-style tables via TablePrinter.
+
+#ifndef VARSTREAM_BENCH_BENCH_UTIL_H_
+#define VARSTREAM_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/driver.h"
+#include "core/options.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+
+namespace varstream {
+namespace bench {
+
+/// Standard quick/full switch: experiments read --full=true for the larger
+/// sweeps; default is a fast pass suitable for CI.
+struct BenchScale {
+  uint64_t n;        // default stream length
+  int trials;        // default trial count
+  explicit BenchScale(const FlagParser& flags)
+      : n(flags.GetUint("n", flags.GetBool("full", false) ? 400000 : 100000)),
+        trials(static_cast<int>(
+            flags.GetUint("trials", flags.GetBool("full", false) ? 20 : 8))) {
+  }
+};
+
+/// Runs one (generator, assigner, tracker) configuration.
+inline RunResult RunConfig(const std::string& generator_name, uint64_t seed,
+                           uint32_t k, DistributedTracker* tracker,
+                           uint64_t n, double epsilon) {
+  auto gen = MakeGeneratorByName(generator_name, seed);
+  UniformAssigner assigner(k, seed ^ 0x5EED);
+  return RunCount(gen.get(), &assigner, tracker, n, epsilon);
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  return TablePrinter::Cell(v, precision);
+}
+
+}  // namespace bench
+}  // namespace varstream
+
+#endif  // VARSTREAM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,165 @@
+// Experiments E1, E2, E3, E15 (DESIGN.md): the variability of the paper's
+// input classes, against the bounds of Theorems 2.1, 2.2, 2.4 and C.1.
+//
+// The paper proves:
+//   * monotone:          v(n) = O(log f(n))                  [Thm 2.1, b=1]
+//   * nearly monotone:   v(n) = O(beta log(beta f(n)))       [Thm 2.1]
+//   * fair random walk:  E[v(n)] = O(sqrt(n) log n)          [Thm 2.2]
+//   * biased walk:       E[v(n)] = O(log(n) / mu)            [Thm 2.4]
+//   * unit expansion:    overhead factor <= 1 + H(|f'|)      [Thm C.1]
+// Each table reports measured v against the bound; a roughly constant (or
+// shrinking) ratio column reproduces the claimed shape.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "stream/expansion.h"
+#include "stream/variability.h"
+
+namespace varstream {
+namespace {
+
+void TheoremMonotone(const FlagParser& flags) {
+  PrintBanner(std::cout,
+              "E1 / Theorem 2.1 (monotone): v(n) vs log2 f(n)");
+  TablePrinter table({"n", "f(n)", "v(n)", "log2 f(n)", "v / log2 f"});
+  uint64_t max_n = flags.GetBool("full", false) ? 10000000 : 1000000;
+  for (uint64_t n = 1000; n <= max_n; n *= 10) {
+    MonotoneGenerator gen;
+    auto f = MaterializeF(&gen, n);
+    double v = ComputeVariability(f);
+    double logf = std::log2(static_cast<double>(f.back()));
+    table.AddRow({TablePrinter::Cell(n), TablePrinter::Cell(f.back()),
+                  bench::Fmt(v), bench::Fmt(logf), bench::Fmt(v / logf, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: v / log2 f stays bounded (v = O(log f)).\n";
+}
+
+void TheoremNearlyMonotone(const FlagParser& flags) {
+  PrintBanner(std::cout,
+              "E1 / Theorem 2.1 (nearly monotone): v vs beta*log(beta*f)");
+  TablePrinter table({"up/down", "beta", "n", "v(n)", "beta*log2(beta*f)",
+                      "ratio"});
+  uint64_t n = flags.GetBool("full", false) ? 4000000 : 400000;
+  struct Shape {
+    uint64_t up, down;
+  };
+  for (Shape s : {Shape{4, 1}, Shape{3, 1}, Shape{4, 2}, Shape{8, 6},
+                  Shape{16, 14}}) {
+    NearlyMonotoneGenerator gen(s.up, s.down);
+    double beta = gen.beta();
+    auto f = MaterializeF(&gen, n);
+    double v = ComputeVariability(f);
+    double bound =
+        beta * std::log2(std::max(2.0, beta * static_cast<double>(f.back())));
+    table.AddRow({std::to_string(s.up) + "/" + std::to_string(s.down),
+                  bench::Fmt(beta), TablePrinter::Cell(n), bench::Fmt(v),
+                  bench::Fmt(bound), bench::Fmt(v / bound, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: ratio bounded by a constant as beta grows.\n";
+}
+
+void TheoremRandomWalk(const FlagParser& flags) {
+  PrintBanner(std::cout,
+              "E2 / Theorem 2.2 (fair walk): E[v(n)] vs sqrt(n)*ln(n)");
+  bench::BenchScale scale(flags);
+  TablePrinter table({"n", "trials", "E[v]", "stddev", "sqrt(n)ln(n)",
+                      "E[v]/bound"});
+  uint64_t max_n = flags.GetBool("full", false) ? 3200000 : 800000;
+  for (uint64_t n = 12500; n <= max_n; n *= 4) {
+    RunningStats stats;
+    for (int trial = 0; trial < scale.trials; ++trial) {
+      RandomWalkGenerator gen(1000 + static_cast<uint64_t>(trial));
+      auto f = MaterializeF(&gen, n);
+      stats.Add(ComputeVariability(f));
+    }
+    double bound = std::sqrt(static_cast<double>(n)) *
+                   std::log(static_cast<double>(n));
+    table.AddRow({TablePrinter::Cell(n), TablePrinter::Cell(scale.trials),
+                  bench::Fmt(stats.mean()), bench::Fmt(stats.stddev()),
+                  bench::Fmt(bound), bench::Fmt(stats.mean() / bound, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: E[v]/bound roughly constant or shrinking "
+               "(E[v] = O(sqrt(n) log n)), clearly sublinear in n.\n";
+}
+
+void TheoremBiasedWalk(const FlagParser& flags) {
+  PrintBanner(std::cout,
+              "E3 / Theorem 2.4 (biased walk): E[v(n)] vs ln(n)/mu");
+  bench::BenchScale scale(flags);
+  TablePrinter table(
+      {"mu", "n", "E[v]", "stddev", "ln(n)/mu", "E[v]/bound"});
+  for (double mu : {0.5, 0.2, 0.1, 0.05, 0.02}) {
+    RunningStats stats;
+    for (int trial = 0; trial < scale.trials; ++trial) {
+      BiasedWalkGenerator gen(mu, 2000 + static_cast<uint64_t>(trial));
+      auto f = MaterializeF(&gen, scale.n);
+      stats.Add(ComputeVariability(f));
+    }
+    double bound = std::log(static_cast<double>(scale.n)) / mu;
+    table.AddRow({bench::Fmt(mu), TablePrinter::Cell(scale.n),
+                  bench::Fmt(stats.mean()), bench::Fmt(stats.stddev()),
+                  bench::Fmt(bound), bench::Fmt(stats.mean() / bound, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: E[v]/bound roughly constant across mu "
+               "(E[v] = O(log n / mu)).\n";
+}
+
+void TheoremExpansion(const FlagParser& /*flags*/) {
+  PrintBanner(std::cout,
+              "E15 / Theorem C.1: unit-expansion variability overhead");
+  TablePrinter table({"f_prev", "f'", "exact v of expansion",
+                      "bound (f'/f)(1+H(f'))", "overhead vs |f'/f|"});
+  for (int64_t f_prev : {10LL, 100LL, 10000LL}) {
+    for (int64_t delta : {4LL, 32LL, 256LL, 4096LL}) {
+      double exact = ExpansionVariabilityExact(f_prev, delta);
+      double bound = ExpansionVariabilityBoundPositive(f_prev, delta);
+      double unexpanded = static_cast<double>(delta) /
+                          static_cast<double>(f_prev + delta);
+      table.AddRow({TablePrinter::Cell(f_prev), TablePrinter::Cell(delta),
+                    bench::Fmt(exact, 4), bench::Fmt(bound, 4),
+                    bench::Fmt(exact / unexpanded, 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: overhead grows like 1 + H(f') = O(log f'), and "
+               "exact <= bound everywhere.\n";
+}
+
+void WorstCase(const FlagParser& /*flags*/) {
+  PrintBanner(std::cout,
+              "Context: the Omega(n) regime (zero-crossing stream)");
+  TablePrinter table({"n", "v(n)", "v/n"});
+  for (uint64_t n : {1000ULL, 10000ULL, 100000ULL}) {
+    ZeroCrossingGenerator gen;
+    auto f = MaterializeF(&gen, n);
+    double v = ComputeVariability(f);
+    table.AddRow({TablePrinter::Cell(n), bench::Fmt(v),
+                  bench::Fmt(v / static_cast<double>(n), 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "Expected: v = n exactly; low variability is a *stream* "
+               "property, not universal.\n";
+}
+
+}  // namespace
+}  // namespace varstream
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  std::cout << "bench_variability: variability of the paper's input "
+               "classes (Theorems 2.1, 2.2, 2.4, C.1)\n";
+  varstream::TheoremMonotone(flags);
+  varstream::TheoremNearlyMonotone(flags);
+  varstream::TheoremRandomWalk(flags);
+  varstream::TheoremBiasedWalk(flags);
+  varstream::TheoremExpansion(flags);
+  varstream::WorstCase(flags);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The lower-bound machinery as a feature: encode a message into a stream,
+// summarize the stream, decode the message back — Appendix F's INDEX
+// reduction run as a round-trip "stream steganography" demo, plus the
+// space accounting of Theorem 4.1.
+//
+//   $ ./history_audit [--message="PODS"]
+//
+// Alice picks a member of the Theorem 4.1 hard family indexed by her
+// message bits, streams it through an epsilon-correct tracker, and ships
+// only the tracker's communication trace. Bob replays the trace, rounds
+// each estimate to the nearer of {m, m+3}, and reads the message back.
+// The demo prints the entropy (the Omega(r log n) lower bound) against
+// the actual summary size.
+
+#include <cstdio>
+#include <string>
+
+#include "core/api.h"
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  std::string message = flags.GetString("message", "PODS");
+  if (message.size() > 6) message.resize(6);  // keep ranks in range
+
+  // Family parameters: m = 1/eps, n timesteps, r toggles.
+  const uint64_t m = 16, n = 4096, r = 16;
+  varstream::DetFamily family(m, n, r);
+  std::printf("hard family: m=%llu, n=%llu, r=%llu -> |F| ~ 2^%.1f "
+              "members, each of variability %.3f\n",
+              static_cast<unsigned long long>(m),
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(r), family.Log2Size(),
+              family.ExactVariability());
+
+  // Pack the message bytes into a rank.
+  uint64_t rank = 0;
+  for (char c : message) {
+    rank = rank * 256 + static_cast<unsigned char>(c);
+  }
+  rank %= family.Size();
+  std::printf("alice's message \"%s\" -> family rank %llu\n",
+              message.c_str(), static_cast<unsigned long long>(rank));
+
+  varstream::IndexReductionResult result =
+      varstream::RunIndexReduction(m, n, r, rank);
+
+  std::printf("tracker messages (= trace changepoints): %llu\n",
+              static_cast<unsigned long long>(result.messages));
+  std::printf("summary shipped to bob: %llu bits (entropy lower bound: "
+              "%.1f bits)\n",
+              static_cast<unsigned long long>(result.summary_bits),
+              result.entropy_bits);
+
+  if (!result.decoded_ok) {
+    std::printf("bob FAILED to decode — this should never happen.\n");
+    return 1;
+  }
+
+  // Unpack bob's rank back into bytes.
+  uint64_t bob = result.bob_rank;
+  std::string decoded;
+  while (bob > 0) {
+    decoded.insert(decoded.begin(), static_cast<char>(bob % 256));
+    bob /= 256;
+  }
+  std::printf("bob decoded rank %llu -> message \"%s\"\n",
+              static_cast<unsigned long long>(result.bob_rank),
+              decoded.c_str());
+  std::printf("\nmoral (Theorem 4.1): any summary answering historical "
+              "queries to relative error 1/m must be able to carry "
+              "log2 C(n,r) bits, even though the stream's variability is "
+              "only %.3f — space Omega((log n / eps) * v).\n",
+              result.family_variability);
+  return 0;
+}

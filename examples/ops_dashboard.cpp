@@ -1,0 +1,120 @@
+// Operations dashboard — composing the library's trackers over one
+// distributed event stream: total count, per-item frequencies, quantiles,
+// and a threshold alarm, all maintained simultaneously at the coordinator
+// with independent epsilon budgets.
+//
+//   $ ./ops_dashboard [--minutes=30] [--sites=8]
+//
+// Scenario: a storage cluster's request log. Each event is a request of
+// some latency bucket (the "item") issued to a shard (the "site");
+// completed requests retire (deletes). The dashboard shows: in-flight
+// requests (count tracker), p50/p99 latency of in-flight requests
+// (quantile tracker), hottest latency buckets (frequency tracker heavy
+// hitters), and an overload alarm (threshold monitor).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+
+#include "core/api.h"
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  const auto sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  const auto minutes = static_cast<int>(flags.GetUint("minutes", 30));
+  const uint64_t kEventsPerMinute = flags.GetUint("events-per-minute", 8000);
+
+  // Each view gets its own error budget: counts are cheap to track
+  // tightly; quantiles pay an (L+1)^2 factor, so they get a coarser
+  // epsilon and a coarser universe (64 buckets of 16 ms).
+  varstream::TrackerOptions opts;
+  opts.num_sites = sites;
+  opts.epsilon = 0.05;
+  opts.seed = 11;
+  varstream::DeterministicTracker inflight(opts);     // total in flight
+
+  varstream::TrackerOptions quantile_opts = opts;
+  quantile_opts.epsilon = 0.2;
+  const uint32_t kLogCoarse = 6;  // 64 buckets of 16 ms
+  varstream::QuantileTracker latency(quantile_opts, kLogCoarse);
+
+  varstream::TrackerOptions freq_opts = opts;
+  freq_opts.epsilon = 0.1;
+  varstream::FrequencyTracker buckets(freq_opts);
+
+  varstream::TrackerOptions alarm_opts = opts;
+  alarm_opts.epsilon = 0.1;
+  varstream::ThresholdMonitor overload(alarm_opts, 30000);
+
+  overload.set_state_change_callback(
+      [](uint64_t t, varstream::ThresholdState s) {
+        std::printf("      >> t=%llu %s\n",
+                    static_cast<unsigned long long>(t),
+                    s == varstream::ThresholdState::kAbove
+                        ? "OVERLOAD alarm"
+                        : "overload cleared");
+      });
+
+  varstream::Rng rng(3);
+  // In-flight requests: (latency bucket, site), retired FIFO-ish.
+  std::deque<std::pair<uint64_t, uint32_t>> live;
+
+  std::printf("min | in-flight (est) | p50 est | p99 est | hot bucket | "
+              "msgs total\n");
+  for (int minute = 0; minute < minutes; ++minute) {
+    // Load arc: build up, run hot for five minutes (crossing the overload
+    // threshold), then drain back down (clearing it).
+    bool hot = minute >= 10 && minute < 15;
+    double arrival_p = hot ? 0.70 : (minute < 10 ? 0.60 : 0.47);
+    for (uint64_t e = 0; e < kEventsPerMinute; ++e) {
+      bool arrive = live.empty() || rng.Bernoulli(arrival_p);
+      if (arrive) {
+        // Latency: lognormal-ish, higher when hot.
+        double g = rng.Gaussian();
+        auto lat = static_cast<uint64_t>(std::clamp(
+            std::exp((hot ? 5.0 : 4.0) + 0.7 * g), 1.0, 1023.0));
+        auto site = static_cast<uint32_t>(rng.UniformBelow(sites));
+        live.emplace_back(lat, site);
+        inflight.Push(site, +1);
+        latency.Push(site, lat / 16, +1);  // 16 ms quantile buckets
+        buckets.Push(site, lat / 64, +1);  // 64 ms frequency buckets
+        overload.Push(site, +1);
+      } else {
+        auto [lat, site] = live.front();
+        live.pop_front();
+        inflight.Push(site, -1);
+        latency.Push(site, lat / 16, -1);
+        buckets.Push(site, lat / 64, -1);
+        overload.Push(site, -1);
+      }
+    }
+    auto hh = buckets.HeavyHitters(0.25);
+    uint64_t hot_bucket = hh.empty() ? 0 : hh.front().first;
+    for (const auto& [b, c] : hh) {
+      if (c > buckets.EstimateItem(hot_bucket)) hot_bucket = b;
+    }
+    uint64_t total_msgs =
+        inflight.cost().total_messages() + latency.cost().total_messages() +
+        buckets.cost().total_messages() + overload.cost().total_messages();
+    std::printf("%3d | %15.0f | %7llu | %7llu | %10llu | %10llu\n", minute,
+                inflight.Estimate(),
+                static_cast<unsigned long long>(latency.Quantile(0.5) * 16),
+                static_cast<unsigned long long>(latency.Quantile(0.99) * 16),
+                static_cast<unsigned long long>(hot_bucket * 64),
+                static_cast<unsigned long long>(total_msgs));
+  }
+
+  uint64_t n = static_cast<uint64_t>(minutes) * kEventsPerMinute;
+  uint64_t total_msgs =
+      inflight.cost().total_messages() + latency.cost().total_messages() +
+      buckets.cost().total_messages() + overload.cost().total_messages();
+  std::printf("\nfour live views over %llu events cost %llu messages "
+              "(%.1f%% of the 4n=%llu a naive mirror would send)\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(total_msgs),
+              100.0 * static_cast<double>(total_msgs) /
+                  static_cast<double>(4 * n),
+              static_cast<unsigned long long>(4 * n));
+  return 0;
+}

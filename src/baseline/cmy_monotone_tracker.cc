@@ -1,0 +1,34 @@
+#include "baseline/cmy_monotone_tracker.h"
+
+#include <cassert>
+
+namespace varstream {
+
+CmyMonotoneTracker::CmyMonotoneTracker(const TrackerOptions& options)
+    : epsilon_(options.epsilon),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      site_count_(options.num_sites, 0),
+      site_reported_(options.num_sites, 0) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+}
+
+void CmyMonotoneTracker::Push(uint32_t site, int64_t delta) {
+  assert(delta == 1 && "CmyMonotoneTracker requires insertion-only streams");
+  assert(site < site_count_.size());
+  (void)delta;
+  net_->Tick();
+  ++time_;
+  uint64_t& c = site_count_[site];
+  uint64_t& reported = site_reported_[site];
+  ++c;
+  // First arrival always reports; afterwards report on (1+eps) growth.
+  if (reported == 0 ||
+      static_cast<double>(c) >=
+          (1.0 + epsilon_) * static_cast<double>(reported)) {
+    net_->SendToCoordinator(site, MessageKind::kSync);
+    estimate_ += static_cast<int64_t>(c - reported);
+    reported = c;
+  }
+}
+
+}  // namespace varstream

@@ -1,0 +1,48 @@
+// Baseline: the classic deterministic monotone counter in the style of
+// Cormode, Muthukrishnan & Yi [4][5]. Insertion-only streams: each site
+// reports its local count whenever it grows by a (1 + epsilon) factor, so
+//   f - f̂ = sum_i (c_i - ĉ_i) < epsilon * sum_i ĉ_i <= epsilon * f,
+// with O(k log(n) / epsilon) messages (each site reports O(log_{1+eps} c_i)
+// times). This is the O(k/eps * log n) comparison point of section 3; the
+// paper's deterministic tracker reduces to this shape on monotone inputs
+// because v(n) = O(log f(n)) there (Theorem 2.1).
+
+#ifndef VARSTREAM_BASELINE_CMY_MONOTONE_TRACKER_H_
+#define VARSTREAM_BASELINE_CMY_MONOTONE_TRACKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "core/tracker.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class CmyMonotoneTracker : public DistributedTracker {
+ public:
+  explicit CmyMonotoneTracker(const TrackerOptions& options);
+
+  /// Only delta = +1 is accepted (monotone model).
+  void Push(uint32_t site, int64_t delta) override;
+
+  double Estimate() const override {
+    return static_cast<double>(estimate_);
+  }
+  const CostMeter& cost() const override { return net_->cost(); }
+  uint64_t time() const override { return time_; }
+  uint32_t num_sites() const override { return net_->num_sites(); }
+  std::string name() const override { return "cmy-monotone"; }
+
+ private:
+  double epsilon_;
+  std::unique_ptr<SimNetwork> net_;
+  std::vector<uint64_t> site_count_;     // c_i
+  std::vector<uint64_t> site_reported_;  // ĉ_i
+  int64_t estimate_ = 0;                 // sum_i ĉ_i
+  uint64_t time_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_BASELINE_CMY_MONOTONE_TRACKER_H_

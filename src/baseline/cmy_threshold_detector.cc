@@ -1,0 +1,75 @@
+#include "baseline/cmy_threshold_detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace varstream {
+
+CmyThresholdDetector::CmyThresholdDetector(const TrackerOptions& options,
+                                           int64_t tau)
+    : tau_(tau),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      site_unsignaled_(options.num_sites, 0),
+      site_counts_(options.num_sites, 0) {
+  assert(tau >= 1);
+  StartRound();
+}
+
+void CmyThresholdDetector::StartRound() {
+  ++rounds_;
+  round_base_ = exact_f_;
+  int64_t gap = tau_ - round_base_;
+  auto k = static_cast<int64_t>(net_->num_sites());
+  exact_phase_ = gap < 2 * k;
+  quota_ = exact_phase_
+               ? 1
+               : static_cast<uint64_t>(std::max<int64_t>(1, gap / (2 * k)));
+  signals_ = 0;
+  std::fill(site_unsignaled_.begin(), site_unsignaled_.end(), 0);
+  net_->Broadcast(MessageKind::kBroadcast);
+}
+
+void CmyThresholdDetector::PushInsert(uint32_t site) {
+  assert(site < site_unsignaled_.size());
+  if (fired_) return;  // latched
+  net_->Tick();
+  ++time_;
+  ++exact_f_;
+  ++site_counts_[site];
+  if (++site_unsignaled_[site] < quota_) return;
+
+  site_unsignaled_[site] = 0;
+  net_->SendToCoordinator(site, MessageKind::kSync, /*words=*/0);
+  ++signals_;
+
+  if (exact_phase_) {
+    // Every arrival is signalled: the coordinator counts to tau exactly.
+    if (round_base_ + static_cast<int64_t>(signals_) >= tau_) {
+      fired_ = true;
+      fired_at_ = time_;
+    }
+    return;
+  }
+
+  if (signals_ >= net_->num_sites()) {
+    // Poll for exact counts; the unsignalled remainders are < quota per
+    // site, so the gap at the new round start is at most half the old gap
+    // plus k*quota <= old gap.
+    int64_t total = 0;
+    for (uint32_t i = 0; i < net_->num_sites(); ++i) {
+      net_->SendToSite(i, MessageKind::kPollRequest, /*words=*/0);
+      net_->SendToCoordinator(i, MessageKind::kPollReply);
+      total += static_cast<int64_t>(site_counts_[i]);
+    }
+    exact_f_ = total;
+    if (exact_f_ >= tau_) {
+      // Can only happen by a hair (remainders); fire now.
+      fired_ = true;
+      fired_at_ = time_;
+      return;
+    }
+    StartRound();
+  }
+}
+
+}  // namespace varstream

@@ -1,0 +1,71 @@
+// Baseline: the classic one-shot threshold countdown of Cormode,
+// Muthukrishnan & Yi for INSERT-ONLY streams — the original solution to
+// the (k, f, tau) problem that section 2 generalizes.
+//
+// Rounds: entering a round the coordinator knows the exact count f_j and
+// gives every site a slack quota q_j = max(1, floor((tau - f_j) / (2k))).
+// A site sends one signal bit per q_j arrivals; after the coordinator has
+// collected k signals (>= (tau - f_j)/2 arrivals accounted), it polls all
+// sites for exact counts and starts the next round with the gap at most
+// halved (plus per-site remainders). Once the gap is < 2k the final round
+// forwards every arrival, so detection fires exactly at f = tau.
+// Total: O(k log(tau / k)) messages — independent of the stream length,
+// but monotone-only and single-shot. The paper's ThresholdMonitor pays
+// O(k v / eps) instead and in exchange survives deletions and re-arms
+// after every crossing; bench_baselines prints the head-to-head.
+
+#ifndef VARSTREAM_BASELINE_CMY_THRESHOLD_DETECTOR_H_
+#define VARSTREAM_BASELINE_CMY_THRESHOLD_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class CmyThresholdDetector {
+ public:
+  /// Detects f reaching `tau` over insert-only streams. Requires tau >= 1.
+  CmyThresholdDetector(const TrackerOptions& options, int64_t tau);
+
+  /// Delivers one insertion (delta is implicitly +1) at `site`.
+  void PushInsert(uint32_t site);
+
+  /// True once f has reached tau; latches (one-shot).
+  bool fired() const { return fired_; }
+
+  /// The exact timestep at which the threshold was crossed (0 if not yet).
+  uint64_t fired_at() const { return fired_at_; }
+
+  const CostMeter& cost() const { return net_->cost(); }
+  uint64_t time() const { return time_; }
+  int64_t tau() const { return tau_; }
+  uint64_t rounds() const { return rounds_; }
+  std::string name() const { return "cmy-threshold"; }
+
+ private:
+  void StartRound();
+
+  int64_t tau_;
+  std::unique_ptr<SimNetwork> net_;
+  uint64_t time_ = 0;
+  int64_t exact_f_ = 0;  // ground truth (sum of site counts)
+  bool fired_ = false;
+  uint64_t fired_at_ = 0;
+  uint64_t rounds_ = 0;
+
+  int64_t round_base_ = 0;          // exact f at round start
+  uint64_t quota_ = 1;              // per-site arrivals per signal
+  bool exact_phase_ = false;        // final gap < 2k phase
+  uint32_t signals_ = 0;            // signals received this round
+  std::vector<uint64_t> site_unsignaled_;  // arrivals since last signal
+  std::vector<uint64_t> site_counts_;      // exact per-site counts
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_BASELINE_CMY_THRESHOLD_DETECTOR_H_

@@ -1,0 +1,72 @@
+#include "baseline/hyz_frequency_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace varstream {
+
+HyzFrequencyTracker::HyzFrequencyTracker(const TrackerOptions& options)
+    : options_(options),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      rng_(options.seed),
+      site_counts_(options.num_sites),
+      round_base_(options.num_sites),
+      coord_drift_(options.num_sites) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  StartRound();
+}
+
+void HyzFrequencyTracker::StartRound() {
+  scale_ = std::max<int64_t>(f1_, 1);
+  p_ = std::min(1.0, options_.sample_constant *
+                         std::sqrt(static_cast<double>(options_.num_sites)) /
+                         (options_.epsilon * static_cast<double>(scale_)));
+  // Resync: the coordinator learns every site's exact counts (2 messages
+  // per nonzero counter, charged as poll traffic) and drops in-round
+  // estimates.
+  coord_base_.clear();
+  coord_drift_sum_.clear();
+  for (uint32_t i = 0; i < options_.num_sites; ++i) {
+    coord_drift_[i].clear();
+    round_base_[i] = site_counts_[i];
+    net_->SendToSite(i, MessageKind::kPollRequest, /*words=*/0);
+    for (const auto& [item, count] : site_counts_[i]) {
+      net_->SendToCoordinator(i, MessageKind::kPollReply, /*words=*/2);
+      coord_base_[item] += static_cast<double>(count);
+    }
+  }
+  net_->Broadcast(MessageKind::kBroadcast);
+}
+
+void HyzFrequencyTracker::PushInsert(uint32_t site, uint64_t item) {
+  assert(site < options_.num_sites);
+  net_->Tick();
+  ++time_;
+  ++f1_;
+  int64_t& c = site_counts_[site][item];
+  ++c;
+
+  if (rng_.Bernoulli(p_)) {
+    net_->SendToCoordinator(site, MessageKind::kDrift, /*words=*/2);
+    // Estimate of the in-round drift d_il = c_il - base_il.
+    double drift = static_cast<double>(c - round_base_[site][item]);
+    double estimate = drift - 1.0 + 1.0 / p_;
+    double& slot = coord_drift_[site][item];
+    coord_drift_sum_[item] += estimate - slot;
+    slot = estimate;
+  }
+
+  if (f1_ >= 2 * scale_) StartRound();
+}
+
+double HyzFrequencyTracker::EstimateItem(uint64_t item) const {
+  double base = 0.0;
+  auto it = coord_base_.find(item);
+  if (it != coord_base_.end()) base = it->second;
+  auto drift = coord_drift_sum_.find(item);
+  if (drift != coord_drift_sum_.end()) base += drift->second;
+  return base;
+}
+
+}  // namespace varstream

@@ -1,0 +1,75 @@
+// Baseline: Huang-Yi-Zhang's randomized item-frequency tracker for
+// INSERT-ONLY streams (their extension of the sqrt(k)-counter to
+// frequencies, discussed in Appendix H.0.3). Each arrival of item l at
+// site i is forwarded with probability p (carrying the site's exact count
+// c_il); the coordinator keeps the unbiased estimate c_il - 1 + 1/p.
+// Rounds double when F1 doubles, exactly like the counting version.
+//
+// Appendix H.0.3's point, reproduced by bench_frequency: this achieves
+// O((k + sqrt(k)/eps) log n) messages but its variance argument needs F1
+// to grow monotonically — item deletions break it (the tracked variance
+// at time t < n must stay within a constant of the variance at n). The
+// paper's block-based tracker pays O(k/eps * v) instead but survives
+// arbitrary deletions; whether sqrt(k)/eps * v is possible is open.
+
+#ifndef VARSTREAM_BASELINE_HYZ_FREQUENCY_TRACKER_H_
+#define VARSTREAM_BASELINE_HYZ_FREQUENCY_TRACKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/options.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class HyzFrequencyTracker {
+ public:
+  explicit HyzFrequencyTracker(const TrackerOptions& options);
+
+  /// Inserts one copy of `item` at `site` (insert-only model: delta is
+  /// implicitly +1).
+  void PushInsert(uint32_t site, uint64_t item);
+
+  /// Coordinator's estimate of f_l(n); guaranteed within eps*F1(n) with
+  /// constant probability per query, for insert-only streams.
+  double EstimateItem(uint64_t item) const;
+
+  const CostMeter& cost() const { return net_->cost(); }
+  uint64_t time() const { return time_; }
+  uint32_t num_sites() const { return options_.num_sites; }
+  int64_t round_scale() const { return scale_; }
+  double sample_probability() const { return p_; }
+  std::string name() const { return "hyz-frequency"; }
+
+ private:
+  void StartRound();
+
+  TrackerOptions options_;
+  std::unique_ptr<SimNetwork> net_;
+  Rng rng_;
+  uint64_t time_ = 0;
+  int64_t f1_ = 0;  // exact dataset size (insert-only: = time_)
+
+  // Site state: exact per-item counts and their value at round start.
+  std::vector<std::unordered_map<uint64_t, int64_t>> site_counts_;
+  std::vector<std::unordered_map<uint64_t, int64_t>> round_base_;
+
+  // Coordinator: per (site, item) round-start exacts + in-round estimates,
+  // folded into one per-item aggregate for queries.
+  std::unordered_map<uint64_t, double> coord_base_;  // exact at round start
+  // In-round HYZ estimates per (site,item), keyed by site then item.
+  std::vector<std::unordered_map<uint64_t, double>> coord_drift_;
+  std::unordered_map<uint64_t, double> coord_drift_sum_;  // per item
+
+  int64_t scale_ = 1;
+  double p_ = 1.0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_BASELINE_HYZ_FREQUENCY_TRACKER_H_

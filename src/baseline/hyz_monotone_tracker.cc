@@ -1,0 +1,70 @@
+#include "baseline/hyz_monotone_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace varstream {
+
+HyzMonotoneTracker::HyzMonotoneTracker(const TrackerOptions& options)
+    : epsilon_(options.epsilon),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      rng_(options.seed),
+      site_count_(options.num_sites, 0),
+      round_base_(options.num_sites, 0),
+      coord_estimate_(options.num_sites, 0.0) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  StartRound(0);
+}
+
+void HyzMonotoneTracker::StartRound(int64_t exact_f) {
+  base_f_ = exact_f;
+  scale_ = std::max<int64_t>(exact_f, 1);
+  double denom =
+      epsilon_ * static_cast<double>(scale_);
+  p_ = std::min(1.0, 3.0 * std::sqrt(static_cast<double>(net_->num_sites())) /
+                         denom);
+  std::fill(coord_estimate_.begin(), coord_estimate_.end(), 0.0);
+  coord_sum_ = 0.0;
+  for (uint32_t i = 0; i < net_->num_sites(); ++i) {
+    round_base_[i] = site_count_[i];
+  }
+}
+
+void HyzMonotoneTracker::Push(uint32_t site, int64_t delta) {
+  assert(delta == 1 && "HyzMonotoneTracker requires insertion-only streams");
+  assert(site < site_count_.size());
+  (void)delta;
+  net_->Tick();
+  ++time_;
+  ++site_count_[site];
+
+  if (rng_.Bernoulli(p_)) {
+    net_->SendToCoordinator(site, MessageKind::kDrift);
+    // HYZ estimator on the in-round drift d_i = c_i - base_i.
+    double drift =
+        static_cast<double>(site_count_[site] - round_base_[site]);
+    double estimate = drift - 1.0 + 1.0 / p_;
+    coord_sum_ += estimate - coord_estimate_[site];
+    coord_estimate_[site] = estimate;
+  }
+
+  // Round advance: when the estimate doubles past the scale, resync all
+  // sites exactly (poll + reply) and broadcast the new probability.
+  if (Estimate() >= 2.0 * static_cast<double>(scale_)) {
+    int64_t exact = 0;
+    for (uint32_t i = 0; i < net_->num_sites(); ++i) {
+      net_->SendToSite(i, MessageKind::kPollRequest, /*words=*/0);
+      net_->SendToCoordinator(i, MessageKind::kPollReply);
+      exact += static_cast<int64_t>(site_count_[i]);
+    }
+    StartRound(exact);
+    net_->Broadcast(MessageKind::kBroadcast);
+  }
+}
+
+double HyzMonotoneTracker::Estimate() const {
+  return static_cast<double>(base_f_) + coord_sum_;
+}
+
+}  // namespace varstream

@@ -1,0 +1,65 @@
+// Baseline: the randomized monotone counter of Huang, Yi & Zhang [8]
+// (simplified round structure). Insertion-only streams; guarantees
+// P(|f - f̂| <= epsilon*f) >= 8/9 at all times with O((k + sqrt(k)/epsilon)
+// log n) expected messages.
+//
+// Rounds: within a round with scale S (a lower bound on f), every arrival
+// is forwarded with probability p = min{1, 3*sqrt(k) / (epsilon*S)},
+// carrying the site's exact count c_i; the coordinator keeps the unbiased
+// estimate ĉ_i = c_i - 1 + 1/p (Lemma 2.1 of HYZ: Var <= 1/p^2). When the
+// estimate reaches 2S the coordinator resyncs every site (2k messages +
+// k-message broadcast of the new p) and doubles S, so there are O(log f)
+// rounds of expected cost 3*sqrt(k)/epsilon + 3k each.
+//
+// This is the O((k + sqrt(k)/eps) log n) comparison point of section 3 and
+// the in-block estimator reused by the paper's randomized tracker.
+
+#ifndef VARSTREAM_BASELINE_HYZ_MONOTONE_TRACKER_H_
+#define VARSTREAM_BASELINE_HYZ_MONOTONE_TRACKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/options.h"
+#include "core/tracker.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class HyzMonotoneTracker : public DistributedTracker {
+ public:
+  explicit HyzMonotoneTracker(const TrackerOptions& options);
+
+  /// Only delta = +1 is accepted (monotone model).
+  void Push(uint32_t site, int64_t delta) override;
+
+  double Estimate() const override;
+  const CostMeter& cost() const override { return net_->cost(); }
+  uint64_t time() const override { return time_; }
+  uint32_t num_sites() const override { return net_->num_sites(); }
+  std::string name() const override { return "hyz-monotone"; }
+
+  /// Current round scale S and sampling probability p (for tests).
+  int64_t round_scale() const { return scale_; }
+  double sample_probability() const { return p_; }
+
+ private:
+  void StartRound(int64_t exact_f);
+
+  double epsilon_;
+  std::unique_ptr<SimNetwork> net_;
+  Rng rng_;
+  std::vector<uint64_t> site_count_;    // exact c_i at sites
+  std::vector<uint64_t> round_base_;    // c_i at round start (known exactly)
+  std::vector<double> coord_estimate_;  // ĉ_i - base_i for current round
+  double coord_sum_ = 0.0;              // sum of in-round estimates
+  int64_t base_f_ = 0;                  // exact f at round start
+  int64_t scale_ = 1;                   // S
+  double p_ = 1.0;
+  uint64_t time_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_BASELINE_HYZ_MONOTONE_TRACKER_H_

@@ -1,0 +1,19 @@
+#include "baseline/naive_tracker.h"
+
+#include <cassert>
+
+namespace varstream {
+
+NaiveTracker::NaiveTracker(const TrackerOptions& options)
+    : net_(std::make_unique<SimNetwork>(options.num_sites)),
+      value_(options.initial_value) {}
+
+void NaiveTracker::Push(uint32_t site, int64_t delta) {
+  assert(site < net_->num_sites());
+  net_->Tick();
+  ++time_;
+  net_->SendToCoordinator(site, MessageKind::kSync);
+  value_ += delta;
+}
+
+}  // namespace varstream

@@ -1,0 +1,35 @@
+// Baseline: forward every update to the coordinator. Exact (zero error)
+// with exactly n messages — the Theta(n) cost the variability framework is
+// designed to beat whenever v(n) = o(n).
+
+#ifndef VARSTREAM_BASELINE_NAIVE_TRACKER_H_
+#define VARSTREAM_BASELINE_NAIVE_TRACKER_H_
+
+#include <memory>
+
+#include "core/options.h"
+#include "core/tracker.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class NaiveTracker : public DistributedTracker {
+ public:
+  explicit NaiveTracker(const TrackerOptions& options);
+
+  void Push(uint32_t site, int64_t delta) override;
+  double Estimate() const override { return static_cast<double>(value_); }
+  const CostMeter& cost() const override { return net_->cost(); }
+  uint64_t time() const override { return time_; }
+  uint32_t num_sites() const override { return net_->num_sites(); }
+  std::string name() const override { return "naive"; }
+
+ private:
+  std::unique_ptr<SimNetwork> net_;
+  int64_t value_;
+  uint64_t time_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_BASELINE_NAIVE_TRACKER_H_

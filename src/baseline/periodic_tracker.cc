@@ -1,0 +1,34 @@
+#include "baseline/periodic_tracker.h"
+
+#include <cassert>
+
+namespace varstream {
+
+PeriodicTracker::PeriodicTracker(const TrackerOptions& options,
+                                 uint64_t period)
+    : net_(std::make_unique<SimNetwork>(options.num_sites)),
+      period_(period),
+      sites_(options.num_sites),
+      estimate_(options.initial_value) {
+  assert(period >= 1);
+}
+
+void PeriodicTracker::Push(uint32_t site, int64_t delta) {
+  assert(site < sites_.size());
+  net_->Tick();
+  ++time_;
+  SiteState& s = sites_[site];
+  s.pending += delta;
+  if (++s.arrivals >= period_) {
+    net_->SendToCoordinator(site, MessageKind::kSync);
+    estimate_ += s.pending;
+    s.pending = 0;
+    s.arrivals = 0;
+  }
+}
+
+std::string PeriodicTracker::name() const {
+  return "periodic(T=" + std::to_string(period_) + ")";
+}
+
+}  // namespace varstream

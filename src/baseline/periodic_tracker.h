@@ -1,0 +1,50 @@
+// Baseline: each site batches updates and forwards the net drift every
+// `period` local arrivals. Cheap (n/period messages) but offers *no*
+// relative-error guarantee — the error experiments show exactly where this
+// heuristic breaks on low-|f| and oscillating streams, which is the gap the
+// paper's algorithms close.
+
+#ifndef VARSTREAM_BASELINE_PERIODIC_TRACKER_H_
+#define VARSTREAM_BASELINE_PERIODIC_TRACKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "core/tracker.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class PeriodicTracker : public DistributedTracker {
+ public:
+  /// Requires period >= 1.
+  PeriodicTracker(const TrackerOptions& options, uint64_t period);
+
+  void Push(uint32_t site, int64_t delta) override;
+  double Estimate() const override {
+    return static_cast<double>(estimate_);
+  }
+  const CostMeter& cost() const override { return net_->cost(); }
+  uint64_t time() const override { return time_; }
+  uint32_t num_sites() const override { return net_->num_sites(); }
+  std::string name() const override;
+
+  uint64_t period() const { return period_; }
+
+ private:
+  struct SiteState {
+    uint64_t arrivals = 0;
+    int64_t pending = 0;
+  };
+
+  std::unique_ptr<SimNetwork> net_;
+  uint64_t period_;
+  std::vector<SiteState> sites_;
+  int64_t estimate_;
+  uint64_t time_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_BASELINE_PERIODIC_TRACKER_H_

@@ -1,0 +1,35 @@
+// Minimal --key=value flag parsing for example and benchmark binaries.
+// Keeps the executables dependency-free while letting users tweak stream
+// sizes, site counts and epsilons from the command line.
+
+#ifndef VARSTREAM_COMMON_CLI_H_
+#define VARSTREAM_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace varstream {
+
+/// Parses flags of the form --name=value (or bare --name for booleans).
+/// Unknown positional arguments are ignored. Typed getters fall back to the
+/// provided default when a flag is absent or unparsable.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  uint64_t GetUint(const std::string& name, uint64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_CLI_H_

@@ -1,0 +1,61 @@
+#include "common/hash.h"
+
+#include <cassert>
+
+namespace varstream {
+
+uint64_t MersenneModMulAdd(uint64_t a, uint64_t x, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * x + b;
+  // Fold twice: any 122-bit value y satisfies
+  //   y mod (2^61-1) = ((y >> 61) + (y & (2^61-1))) possibly minus p once.
+  uint64_t lo = static_cast<uint64_t>(prod) & kMersenne61;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t sum = lo + hi;
+  sum = (sum & kMersenne61) + (sum >> 61);
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  return sum;
+}
+
+PairwiseHash::PairwiseHash(uint64_t width, Rng* rng) : width_(width) {
+  assert(width >= 1);
+  a_ = 1 + rng->UniformBelow(kMersenne61 - 1);  // a in [1, p)
+  b_ = rng->UniformBelow(kMersenne61);          // b in [0, p)
+}
+
+PairwiseHash::PairwiseHash(uint64_t a, uint64_t b, uint64_t width)
+    : a_(a), b_(b), width_(width) {
+  assert(width >= 1);
+  assert(a >= 1 && a < kMersenne61);
+  assert(b < kMersenne61);
+}
+
+uint64_t PairwiseHash::operator()(uint64_t key) const {
+  if (key >= kMersenne61) key %= kMersenne61;
+  return MersenneModMulAdd(a_, key, b_) % width_;
+}
+
+HashBank::HashBank(uint64_t rows, uint64_t width, Rng* rng) : width_(width) {
+  funcs_.reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) funcs_.emplace_back(width, rng);
+}
+
+HashBank::HashBank(std::vector<PairwiseHash> funcs)
+    : funcs_(std::move(funcs)) {
+  assert(!funcs_.empty());
+  width_ = funcs_.front().width();
+  for (const PairwiseHash& h : funcs_) {
+    assert(h.width() == width_);
+    (void)h;
+  }
+}
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace varstream

@@ -1,0 +1,81 @@
+// Hash families used by the sketches of Appendix H.
+//
+// Count-Min (Cormode & Muthukrishnan) requires pairwise-independent hash
+// functions; PairwiseHash implements the classic (a*x + b mod p) mod w
+// construction over the Mersenne prime p = 2^61 - 1, which is exactly
+// pairwise independent over [0, p).
+
+#ifndef VARSTREAM_COMMON_HASH_H_
+#define VARSTREAM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace varstream {
+
+/// The Mersenne prime 2^61 - 1 used as the field size for pairwise hashing.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Fast (a*x + b) mod (2^61 - 1), using the Mersenne-prime folding trick.
+uint64_t MersenneModMulAdd(uint64_t a, uint64_t x, uint64_t b);
+
+/// A single pairwise-independent hash function h : [2^61-1] -> [width).
+///
+/// For any x != y and any targets (u, v), P(h(x)=u, h(y)=v) = 1/width^2
+/// over the random draw of (a, b) — the property Count-Min's analysis needs.
+class PairwiseHash {
+ public:
+  /// Draws a random function with the given output width (buckets).
+  /// Requires width >= 1.
+  PairwiseHash(uint64_t width, Rng* rng);
+
+  /// Constructs a fixed function (for tests / serialization).
+  PairwiseHash(uint64_t a, uint64_t b, uint64_t width);
+
+  /// Evaluates the hash. Keys >= 2^61-1 are first reduced mod 2^61-1;
+  /// the pairwise guarantee then applies to the reduced keys.
+  uint64_t operator()(uint64_t key) const;
+
+  uint64_t width() const { return width_; }
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+  uint64_t width_;
+};
+
+/// A bank of d independent pairwise hash functions sharing one width,
+/// as used by the rows of a Count-Min sketch or CR-precis structure.
+class HashBank {
+ public:
+  HashBank(uint64_t rows, uint64_t width, Rng* rng);
+
+  /// Builds from explicit functions (deserialization); all must share the
+  /// same width.
+  explicit HashBank(std::vector<PairwiseHash> funcs);
+
+  const PairwiseHash& function(uint64_t row) const { return funcs_[row]; }
+
+  uint64_t Hash(uint64_t row, uint64_t key) const {
+    return funcs_[row](key);
+  }
+
+  uint64_t rows() const { return funcs_.size(); }
+  uint64_t width() const { return width_; }
+
+ private:
+  std::vector<PairwiseHash> funcs_;
+  uint64_t width_;
+};
+
+/// 64-bit finalizer (splittable mix); not pairwise independent, used only
+/// for non-adversarial bucketing in tests and generators.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_HASH_H_

@@ -1,0 +1,83 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace varstream {
+
+LogHistogram::LogHistogram(double gamma)
+    : log_gamma_(std::log(gamma)), gamma_(gamma) {
+  assert(gamma > 1.0);
+}
+
+size_t LogHistogram::BucketFor(double value) const {
+  if (value < 1.0) return 0;
+  return 1 + static_cast<size_t>(std::log(value) / log_gamma_);
+}
+
+double LogHistogram::BucketMid(size_t bucket) const {
+  if (bucket == 0) return 0.5;
+  // Bucket b >= 1 covers [gamma^(b-1), gamma^b); return geometric midpoint.
+  return std::exp((static_cast<double>(bucket) - 0.5) * log_gamma_);
+}
+
+void LogHistogram::Record(double value) { Record(value, 1); }
+
+void LogHistogram::Record(double value, uint64_t repeat) {
+  if (repeat == 0) return;
+  value = std::max(value, 0.0);
+  size_t b = BucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b] += repeat;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += repeat;
+}
+
+double LogHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > target) return std::clamp(BucketMid(b), min_, max_);
+  }
+  return max_;
+}
+
+uint64_t LogHistogram::CountAtMost(double threshold) const {
+  if (threshold < 0) return 0;
+  size_t limit = BucketFor(threshold);
+  uint64_t total = 0;
+  for (size_t b = 0; b < buckets_.size() && b <= limit; ++b) {
+    total += buckets_[b];
+  }
+  return total;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  assert(std::abs(gamma_ - other.gamma_) < 1e-12);
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+}  // namespace varstream

@@ -1,0 +1,56 @@
+// Logarithmically-bucketed histogram for nonnegative values. Gives
+// percentile estimates with bounded relative error at O(1) record cost,
+// which is enough for the benchmark harness's latency / message-size
+// distributions.
+
+#ifndef VARSTREAM_COMMON_HISTOGRAM_H_
+#define VARSTREAM_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace varstream {
+
+/// Histogram over [0, +inf) with buckets growing geometrically by `gamma`.
+/// A recorded value v lands in bucket floor(log_gamma(max(v, 1))); the
+/// reported percentile is the geometric midpoint of its bucket, so the
+/// multiplicative error is at most sqrt(gamma).
+class LogHistogram {
+ public:
+  /// gamma > 1 controls resolution; default 1.1 gives ~5% error.
+  explicit LogHistogram(double gamma = 1.1);
+
+  void Record(double value);
+  void Record(double value, uint64_t repeat);
+
+  /// Value at quantile q in [0, 1]; 0 if empty.
+  double Percentile(double q) const;
+
+  /// Number of recorded values.
+  uint64_t count() const { return count_; }
+
+  /// Number of recorded values <= threshold (bucket-resolution accuracy).
+  uint64_t CountAtMost(double threshold) const;
+
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Merges another histogram with the same gamma.
+  void Merge(const LogHistogram& other);
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketMid(size_t bucket) const;
+
+  double log_gamma_;
+  double gamma_;
+  std::vector<uint64_t> buckets_;  // buckets_[0] holds values in [0, 1)
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#include "common/math_util.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace varstream {
+
+int FloorLog2(uint64_t x) {
+  assert(x >= 1);
+  return 63 - __builtin_clzll(x);
+}
+
+int CeilLog2(uint64_t x) {
+  assert(x >= 1);
+  int f = FloorLog2(x);
+  return ((x & (x - 1)) == 0) ? f : f + 1;
+}
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+double HarmonicNumber(uint64_t n) {
+  if (n == 0) return 0.0;
+  constexpr uint64_t kExactThreshold = 1 << 16;
+  if (n <= kExactThreshold) {
+    double h = 0.0;
+    // Sum smallest-first for accuracy.
+    for (uint64_t i = n; i >= 1; --i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  // Euler-Maclaurin: H(n) ~ ln n + gamma + 1/2n - 1/12n^2 + 1/120n^4.
+  constexpr double kGamma = 0.57721566490153286;
+  double dn = static_cast<double>(n);
+  return std::log(dn) + kGamma + 1.0 / (2 * dn) - 1.0 / (12 * dn * dn) +
+         1.0 / (120 * dn * dn * dn * dn);
+}
+
+double RelativeError(int64_t truth, double est) {
+  if (truth == 0) {
+    return est == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(est - static_cast<double>(truth)) /
+         std::abs(static_cast<double>(truth));
+}
+
+}  // namespace varstream

@@ -1,0 +1,47 @@
+// Small integer/float math helpers shared across the library.
+
+#ifndef VARSTREAM_COMMON_MATH_UTIL_H_
+#define VARSTREAM_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace varstream {
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (CeilLog2(1) == 0).
+int CeilLog2(uint64_t x);
+
+/// ceil(a / b) for b > 0.
+uint64_t CeilDiv(uint64_t a, uint64_t b);
+
+/// Sign of x: -1, 0, or +1.
+inline int Sgn(int64_t x) { return (x > 0) - (x < 0); }
+
+/// |x| as unsigned, safe for INT64_MIN.
+inline uint64_t AbsU64(int64_t x) {
+  return x < 0 ? ~static_cast<uint64_t>(x) + 1 : static_cast<uint64_t>(x);
+}
+
+/// The harmonic number H(n) = 1 + 1/2 + ... + 1/n; H(0) = 0.
+/// Exact summation below a threshold, asymptotic expansion above it.
+double HarmonicNumber(uint64_t n);
+
+/// ceil(2^(r-1)) as used by the block-partition thresholds of section 3.1:
+/// r = 0 gives 1 (= ceil(1/2)), r >= 1 gives 2^(r-1).
+inline uint64_t CeilPow2Half(int r) {
+  return r <= 0 ? 1 : (1ULL << (r - 1));
+}
+
+/// 2^r for r in [0, 62].
+inline uint64_t Pow2(int r) { return 1ULL << r; }
+
+/// Relative error |est - truth| / |truth|, with the convention of the paper
+/// that at truth == 0 the error is 0 iff est == 0 (else infinity).
+double RelativeError(int64_t truth, double est);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_MATH_UTIL_H_

@@ -1,0 +1,180 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace varstream {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::Jump() {
+  static constexpr uint64_t kJump[] = {0x180EC6D33CFD0ABAULL,
+                                       0xD5A61266F0C9392CULL,
+                                       0xA9582618E03FC9AAULL,
+                                       0x39ABDC4529B1661CULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng::Rng(uint64_t seed)
+    : engine_(seed), spare_gaussian_(0), has_spare_gaussian_(false) {}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the stream id into fresh engine state derived from this engine's
+  // current state, so forks are decorrelated from the parent and from each
+  // other without advancing the parent.
+  Xoshiro256 copy = engine_;
+  uint64_t base = copy.Next();
+  SplitMix64 sm(base ^ (stream * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL));
+  return Rng(Xoshiro256(sm.Next()));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformBelow(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return lo + static_cast<int64_t>(UniformBelow(span));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+int Rng::BiasedSign(double mu) {
+  assert(mu >= -1.0 && mu <= 1.0);
+  return Bernoulli((1.0 + mu) / 2.0) ? +1 : -1;
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+uint64_t Rng::Geometric(double p) {
+  assert(p > 0 && p <= 1);
+  if (p >= 1) return 0;
+  double u = NextDouble();
+  // Inverse CDF; 1 - u is in (0, 1] so the log is finite.
+  return static_cast<uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n,
+                                                    uint64_t count) {
+  assert(count <= n);
+  // Floyd's algorithm: O(count) expected insertions.
+  std::vector<uint64_t> result;
+  result.reserve(count);
+  for (uint64_t j = n - count; j < n; ++j) {
+    uint64_t t = UniformBelow(j + 1);
+    bool found = false;
+    for (uint64_t r : result) {
+      if (r == t) {
+        found = true;
+        break;
+      }
+    }
+    result.push_back(found ? j : t);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) {
+  assert(n >= 1);
+  assert(s >= 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace varstream

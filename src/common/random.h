@@ -1,0 +1,141 @@
+// Deterministic, seedable pseudo-random number generation for the whole
+// library. All randomness in varstream flows through Rng so that every
+// simulation, test, and benchmark is exactly reproducible from a seed.
+//
+// The engine is xoshiro256++ (Blackman & Vigna), seeded via SplitMix64 so
+// that small or correlated user seeds still produce well-mixed state.
+
+#ifndef VARSTREAM_COMMON_RANDOM_H_
+#define VARSTREAM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace varstream {
+
+/// SplitMix64: a tiny, fast generator used for seeding larger engines.
+/// Passes through every 64-bit value exactly once over its period.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit output and advances the state.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions when needed, though Rng provides the
+/// distributions the library actually uses.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  /// Returns the next 64-bit output.
+  uint64_t Next();
+
+  /// Equivalent to 2^128 calls to Next(); used to derive independent
+  /// sub-streams from one seed.
+  void Jump();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// High-level random source with the distributions the library needs.
+/// Not thread-safe; create one Rng per logical random stream.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with the same seed produce
+  /// identical sequences.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent child generator (different sub-stream).
+  /// Children with distinct `stream` values are statistically independent.
+  Rng Fork(uint64_t stream) const;
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() { return engine_.Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform value in [0, n). Requires n > 0. Uses Lemire's method.
+  uint64_t UniformBelow(uint64_t n);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fair coin: ±1 with probability 1/2 each.
+  int Sign() { return (NextU64() & 1) ? +1 : -1; }
+
+  /// Biased coin: +1 with probability (1 + mu) / 2, else -1.
+  /// Matches the increment distribution of Theorem 2.4. Requires |mu| <= 1.
+  int BiasedSign(double mu);
+
+  /// Standard normal via Box-Muller (spare value cached).
+  double Gaussian();
+
+  /// Geometric: number of Bernoulli(p) failures before the first success.
+  /// Requires 0 < p <= 1.
+  uint64_t Geometric(double p);
+
+  /// Fisher-Yates shuffle of [first, last).
+  template <typename It>
+  void Shuffle(It first, It last) {
+    auto n = static_cast<uint64_t>(last - first);
+    for (uint64_t i = n; i > 1; --i) {
+      uint64_t j = UniformBelow(i);
+      std::swap(first[i - 1], first[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [0, n) in increasing order
+  /// (Floyd's algorithm + sort). Requires count <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count);
+
+ private:
+  explicit Rng(const Xoshiro256& engine)
+      : engine_(engine), spare_gaussian_(0), has_spare_gaussian_(false) {}
+
+  Xoshiro256 engine_;
+  double spare_gaussian_;
+  bool has_spare_gaussian_;
+};
+
+/// Zipf(s) sampler over the universe {0, 1, ..., n-1} where item i has
+/// probability proportional to 1 / (i + 1)^s. Uses a precomputed inverse-CDF
+/// table (O(n) memory, O(log n) sampling) — fine for the universe sizes the
+/// experiments use (<= ~1e7).
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s >= 0. s = 0 degenerates to uniform.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one item in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t universe_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(item <= i)
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_RANDOM_H_

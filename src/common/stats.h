@@ -1,0 +1,50 @@
+// Streaming statistics (Welford's algorithm) and batch percentile helpers.
+// Used by the benchmark harness to summarize per-trial measurements and by
+// tests to check concentration claims.
+
+#ifndef VARSTREAM_COMMON_STATS_H_
+#define VARSTREAM_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace varstream {
+
+/// Single-pass mean/variance/min/max accumulator (Welford). Numerically
+/// stable; supports merging partial results (Chan et al.).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 when count < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a batch, q in [0, 1], by linear interpolation between
+/// order statistics. The input vector is copied; empty input returns 0.
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_STATS_H_

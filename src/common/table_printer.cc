@@ -1,0 +1,70 @@
+#include "common/table_printer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace varstream {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+std::string TablePrinter::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Cell(uint64_t value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::Cell(int64_t value) { return std::to_string(value); }
+
+std::string TablePrinter::Cell(uint32_t value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::Cell(int value) { return std::to_string(value); }
+
+std::string TablePrinter::Cell(const char* value) { return value; }
+
+std::string TablePrinter::Cell(const std::string& value) { return value; }
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << ' ';
+      // Right-align all cells.
+      for (size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << cells[c] << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace varstream

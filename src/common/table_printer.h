@@ -1,0 +1,53 @@
+// Aligned console tables for the benchmark harness. Every experiment binary
+// prints paper-style rows through this printer so output is uniform and
+// machine-greppable (a leading "| " marks data rows).
+
+#ifndef VARSTREAM_COMMON_TABLE_PRINTER_H_
+#define VARSTREAM_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace varstream {
+
+/// Collects rows of heterogeneous cells and prints them column-aligned.
+///
+/// Usage:
+///   TablePrinter t({"n", "E[v]", "sqrt(n)*log(n)", "ratio"});
+///   t.AddRow({Cell(n), Cell(v, 2), Cell(bound, 2), Cell(v / bound, 3)});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Cell(double value, int precision);
+  static std::string Cell(uint64_t value);
+  static std::string Cell(int64_t value);
+  static std::string Cell(uint32_t value);
+  static std::string Cell(int value);
+  static std::string Cell(const char* value);
+  static std::string Cell(const std::string& value);
+
+  /// Adds one data row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("=== title ===") used to delimit experiments in
+/// bench output.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,78 @@
+// Umbrella header: the full public API of varstream.
+//
+// varstream reproduces "Variability in Data Streams" (Felber & Ostrovsky,
+// PODS 2016): distributed tracking of a non-monotone integer function f(n)
+// to relative error epsilon with communication proportional to the stream's
+// variability v(n) = sum_t min{1, |f'(t)|/|f(t)|} instead of its length.
+//
+// Typical use:
+//
+//   varstream::TrackerOptions options;
+//   options.num_sites = 16;
+//   options.epsilon = 0.05;
+//   varstream::DeterministicTracker tracker(options);
+//   for (auto [site, delta] : my_stream) tracker.Push(site, delta);
+//   double estimate = tracker.Estimate();          // within eps*|f| always
+//   uint64_t msgs = tracker.cost().total_messages();  // O(k*v/eps)
+
+#ifndef VARSTREAM_CORE_API_H_
+#define VARSTREAM_CORE_API_H_
+
+// Substrates.
+#include "common/cli.h"            // IWYU pragma: export
+#include "common/hash.h"           // IWYU pragma: export
+#include "common/histogram.h"      // IWYU pragma: export
+#include "common/math_util.h"      // IWYU pragma: export
+#include "common/random.h"         // IWYU pragma: export
+#include "common/stats.h"          // IWYU pragma: export
+#include "common/table_printer.h"  // IWYU pragma: export
+
+// Stream model.
+#include "stream/expansion.h"        // IWYU pragma: export
+#include "stream/generator.h"        // IWYU pragma: export
+#include "stream/item_generators.h"  // IWYU pragma: export
+#include "stream/site_assigner.h"    // IWYU pragma: export
+#include "stream/trace.h"            // IWYU pragma: export
+#include "stream/update.h"           // IWYU pragma: export
+#include "stream/variability.h"      // IWYU pragma: export
+
+// Simulated network.
+#include "net/cost_meter.h"  // IWYU pragma: export
+#include "net/message.h"     // IWYU pragma: export
+#include "net/network.h"     // IWYU pragma: export
+
+// Sketches.
+#include "sketch/count_min.h"     // IWYU pragma: export
+#include "sketch/counter_bank.h"  // IWYU pragma: export
+#include "sketch/cr_precis.h"     // IWYU pragma: export
+
+// The paper's algorithms.
+#include "core/block_partition.h"           // IWYU pragma: export
+#include "core/deterministic_tracker.h"     // IWYU pragma: export
+#include "core/driver.h"                    // IWYU pragma: export
+#include "core/frequency_tracker.h"         // IWYU pragma: export
+#include "core/options.h"                   // IWYU pragma: export
+#include "core/quantile_tracker.h"          // IWYU pragma: export
+#include "core/randomized_tracker.h"        // IWYU pragma: export
+#include "core/single_site_tracker.h"       // IWYU pragma: export
+#include "core/sketch_frequency_tracker.h"  // IWYU pragma: export
+#include "core/threshold_monitor.h"         // IWYU pragma: export
+#include "core/tracing.h"                   // IWYU pragma: export
+#include "core/tracker.h"                   // IWYU pragma: export
+
+// Baselines.
+#include "baseline/cmy_monotone_tracker.h"    // IWYU pragma: export
+#include "baseline/cmy_threshold_detector.h"  // IWYU pragma: export
+#include "baseline/hyz_frequency_tracker.h"   // IWYU pragma: export
+#include "baseline/hyz_monotone_tracker.h"   // IWYU pragma: export
+#include "baseline/naive_tracker.h"          // IWYU pragma: export
+#include "baseline/periodic_tracker.h"       // IWYU pragma: export
+
+// Lower-bound constructions.
+#include "lowerbound/det_family.h"      // IWYU pragma: export
+#include "lowerbound/index_encoding.h"  // IWYU pragma: export
+#include "lowerbound/markov.h"          // IWYU pragma: export
+#include "lowerbound/offline_opt.h"     // IWYU pragma: export
+#include "lowerbound/rand_family.h"     // IWYU pragma: export
+
+#endif  // VARSTREAM_CORE_API_H_

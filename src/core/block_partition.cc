@@ -1,0 +1,82 @@
+#include "core/block_partition.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+BlockPartitioner::BlockPartitioner(SimNetwork* net, int64_t f0)
+    : net_(net), sites_(net->num_sites()) {
+  StartBlock(f0);
+}
+
+int BlockPartitioner::ScaleFor(uint64_t abs_f, uint32_t k) {
+  if (abs_f < 4ULL * k) return 0;
+  // The unique r >= 1 with 2^r*2k <= abs_f < 2^r*4k is floor(log2(f/2k)).
+  int r = FloorLog2(abs_f / (2ULL * k));
+  assert(r >= 1);
+  assert(Pow2(r) * 2 * k <= abs_f && abs_f < Pow2(r) * 4 * k);
+  return r;
+}
+
+void BlockPartitioner::StartBlock(int64_t f_exact) {
+  uint32_t k = net_->num_sites();
+  int r = ScaleFor(AbsU64(f_exact), k);
+  uint64_t h = CeilPow2Half(r);
+  block_ = BlockInfo{
+      .index = block_.index + (time_ > 0 ? 1 : 0),
+      .start_time = time_,
+      .f_start = f_exact,
+      .r = r,
+      .site_threshold = h,
+      .end_threshold = h * k,
+  };
+  t_hat_ = 0;
+}
+
+bool BlockPartitioner::OnArrival(uint32_t site, int64_t delta) {
+  assert(delta == 1 || delta == -1);
+  assert(site < sites_.size());
+  ++time_;
+  SiteState& s = sites_[site];
+  ++s.ci;
+  s.fi += delta;
+  if (s.ci >= block_.site_threshold) {
+    net_->SendToCoordinator(site, MessageKind::kCiReport);
+    t_hat_ += s.ci;
+    s.ci = 0;
+    if (t_hat_ >= block_.end_threshold) {
+      CloseBlock();
+      return true;
+    }
+  }
+  return false;
+}
+
+void BlockPartitioner::CloseBlock() {
+  // Poll every site: request + reply carrying (ci, fi).
+  int64_t drift = 0;
+  uint64_t residual = 0;
+  for (uint32_t i = 0; i < sites_.size(); ++i) {
+    net_->SendToSite(i, MessageKind::kPollRequest, /*words=*/0);
+    net_->SendToCoordinator(i, MessageKind::kPollReply, /*words=*/2);
+    residual += sites_[i].ci;
+    drift += sites_[i].fi;
+    sites_[i].ci = 0;
+    sites_[i].fi = 0;
+  }
+  // t_hat_ + residual is the exact number of updates in the closed block,
+  // and time_ already counted them one by one, so they agree by
+  // construction; the poll is what makes this knowledge *coordinator-side*.
+  (void)residual;
+  int64_t f_exact = block_.f_start + drift;
+  BlockInfo closed = block_;
+  ++blocks_completed_;
+  StartBlock(f_exact);
+  net_->Broadcast(MessageKind::kBroadcast);
+  if (block_end_callback_) block_end_callback_(closed, block_);
+}
+
+}  // namespace varstream

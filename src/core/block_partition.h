@@ -1,0 +1,104 @@
+// Section 3.1: partitioning time into blocks of constant variability.
+//
+// The coordinator divides time into blocks B0, B1, ... such that at each
+// block boundary nj it learns n and f(nj) *exactly*, and within a block the
+// scale of |f| is pinned to a dyadic range indexed by r:
+//
+//   * r = 0   iff |f(nj)| < 4k; then |f(n)| <= 5k throughout the block.
+//   * r >= 1  iff 2^r*2k <= |f(nj)| < 2^r*4k; then 2^r*k <= |f(n)| <= 2^r*5k
+//     throughout the block.
+//
+// The protocol (quoting the paper, with site threshold h = ceil(2^{r-1})):
+//   * every site counts arrivals ci since its last report and net drift fi
+//     since the last broadcast; when ci reaches h it reports ci and resets;
+//   * the coordinator accumulates reported counts in t̂; when t̂ >= h*k it
+//     polls every site for its residual (ci, fi), reconstructs n and f(n)
+//     exactly, recomputes r from |f(n)|, and broadcasts the new r.
+//
+// Consequences proved in the paper and asserted by our tests:
+//   * ceil(2^{r-1})*k <= |Bj| <= 2^r*k  (block length bounds),
+//   * at most 5k messages per block are spent on partitioning,
+//   * the variability increase over each block is at least 1/10.
+//
+// The in-block estimation algorithms (sections 3.3/3.4, Appendix H) plug in
+// via the block-end callback, which fires after the poll so the new block's
+// exact (n, f, r) are available.
+
+#ifndef VARSTREAM_CORE_BLOCK_PARTITION_H_
+#define VARSTREAM_CORE_BLOCK_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+
+namespace varstream {
+
+/// Coordinator-side description of one block.
+struct BlockInfo {
+  uint64_t index = 0;       ///< j: 0-based block number.
+  uint64_t start_time = 0;  ///< nj: timestep at which the block began.
+  int64_t f_start = 0;      ///< f(nj), known exactly at the coordinator.
+  int r = 0;                ///< dyadic scale exponent for this block.
+  uint64_t site_threshold = 1;  ///< h = ceil(2^{r-1}): per-site report size.
+  uint64_t end_threshold = 1;   ///< t_{j+1} = h*k: reported-count target.
+};
+
+class BlockPartitioner {
+ public:
+  /// Fired when an arrival closes block `closed` (the poll has completed;
+  /// `next` has exact start_time / f_start / r). In-block algorithms reset
+  /// their per-block state here.
+  using BlockEndCallback =
+      std::function<void(const BlockInfo& closed, const BlockInfo& next)>;
+
+  /// `net` must outlive the partitioner. f0 = f(0).
+  BlockPartitioner(SimNetwork* net, int64_t f0);
+
+  void set_block_end_callback(BlockEndCallback cb) {
+    block_end_callback_ = std::move(cb);
+  }
+
+  /// Processes the arrival of f'(n) = delta (must be +-1) at `site`.
+  /// Returns true iff this arrival closed the current block, in which case
+  /// the callback has already run and block() describes the new block.
+  bool OnArrival(uint32_t site, int64_t delta);
+
+  /// The current (open) block.
+  const BlockInfo& block() const { return block_; }
+
+  /// Exact f at the start of the current block (= block().f_start).
+  int64_t f_at_block_start() const { return block_.f_start; }
+
+  /// Number of completed blocks.
+  uint64_t blocks_completed() const { return blocks_completed_; }
+
+  /// Number of updates processed so far.
+  uint64_t time() const { return time_; }
+
+  /// Computes the scale exponent for a block starting with |f| = abs_f:
+  /// 0 if abs_f < 4k, else the unique r >= 1 with 2^r*2k <= abs_f < 2^r*4k.
+  static int ScaleFor(uint64_t abs_f, uint32_t k);
+
+ private:
+  void StartBlock(int64_t f_exact);
+  void CloseBlock();
+
+  struct SiteState {
+    uint64_t ci = 0;  // arrivals since last ci report
+    int64_t fi = 0;   // net drift since last broadcast
+  };
+
+  SimNetwork* net_;
+  std::vector<SiteState> sites_;
+  BlockInfo block_;
+  uint64_t t_hat_ = 0;  // coordinator's accumulated reported count
+  uint64_t time_ = 0;
+  uint64_t blocks_completed_ = 0;
+  BlockEndCallback block_end_callback_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_BLOCK_PARTITION_H_

@@ -1,0 +1,73 @@
+#include "core/deterministic_tracker.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+DeterministicTracker::DeterministicTracker(const TrackerOptions& options)
+    : options_(options),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      site_drift_(options.num_sites, 0),
+      site_unsent_(options.num_sites, 0),
+      coord_drift_(options.num_sites, 0) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  partitioner_ =
+      std::make_unique<BlockPartitioner>(net_.get(), options.initial_value);
+  partitioner_->set_block_end_callback(
+      [this](const BlockInfo& closed, const BlockInfo& next) {
+        OnBlockEnd(closed, next);
+      });
+}
+
+bool DeterministicTracker::SendCondition(uint64_t abs_delta_i, int r) const {
+  if (r == 0) return abs_delta_i >= 1;
+  return static_cast<double>(abs_delta_i) >=
+         options_.drift_threshold_factor * options_.epsilon *
+             static_cast<double>(Pow2(r));
+}
+
+void DeterministicTracker::Push(uint32_t site, int64_t delta) {
+  assert(delta == 1 || delta == -1);
+  assert(site < options_.num_sites);
+  net_->Tick();
+
+  // Site updates its in-block drift state first; if this arrival closes the
+  // block the poll already conveys the exact total, so the in-block message
+  // is skipped (OnBlockEnd resets the drift state).
+  site_drift_[site] += delta;
+  site_unsent_[site] += delta;
+
+  bool closed = partitioner_->OnArrival(site, delta);
+  if (closed) return;
+
+  int r = partitioner_->block().r;
+  if (SendCondition(AbsU64(site_unsent_[site]), r)) {
+    // Message: the new value of di. Coordinator: d̂i = di.
+    net_->SendToCoordinator(site, MessageKind::kDrift);
+    coord_drift_sum_ += site_drift_[site] - coord_drift_[site];
+    coord_drift_[site] = site_drift_[site];
+    site_unsent_[site] = 0;
+  }
+}
+
+void DeterministicTracker::OnBlockEnd(const BlockInfo& /*closed*/,
+                                      const BlockInfo& /*next*/) {
+  // The poll gave the coordinator the exact f(nj); all drift state resets.
+  std::fill(site_drift_.begin(), site_drift_.end(), 0);
+  std::fill(site_unsent_.begin(), site_unsent_.end(), 0);
+  std::fill(coord_drift_.begin(), coord_drift_.end(), 0);
+  coord_drift_sum_ = 0;
+}
+
+int64_t DeterministicTracker::EstimateInt() const {
+  return partitioner_->f_at_block_start() + coord_drift_sum_;
+}
+
+double DeterministicTracker::Estimate() const {
+  return static_cast<double>(EstimateInt());
+}
+
+}  // namespace varstream

@@ -1,0 +1,75 @@
+// Section 3.3: the deterministic distributed counting algorithm.
+//
+// Guarantee: |f(n) - f̂(n)| <= epsilon * |f(n)| at every timestep n.
+// Communication: O(k * v(n) / epsilon) messages of O(log n) bits, where
+// v(n) is the stream's variability — reducing to the Cormode et al. bound
+// O(k/eps * log n) when the stream is monotone (since then v = O(log f)).
+//
+// Inside each section-3.1 block with scale r, every site tracks its drift
+// di (sum of updates this block) and the change delta_i since its last
+// message; it reports di whenever
+//     (r = 0 and |delta_i| = 1)   or   |delta_i| >= epsilon * 2^r,
+// so the coordinator's total error |sum_i delta_i| stays below
+// epsilon*2^r*k <= epsilon*|f(n)| (using |f(n)| >= 2^r*k for r >= 1; for
+// r = 0 every update is forwarded and the estimate is exact — this is how
+// the algorithm meets the relative guarantee even at f(n) = 0).
+
+#ifndef VARSTREAM_CORE_DETERMINISTIC_TRACKER_H_
+#define VARSTREAM_CORE_DETERMINISTIC_TRACKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/block_partition.h"
+#include "core/options.h"
+#include "core/tracker.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class DeterministicTracker : public DistributedTracker {
+ public:
+  explicit DeterministicTracker(const TrackerOptions& options);
+
+  void Push(uint32_t site, int64_t delta) override;
+  double Estimate() const override;
+  const CostMeter& cost() const override { return net_->cost(); }
+  uint64_t time() const override { return partitioner_->time(); }
+  uint32_t num_sites() const override { return options_.num_sites; }
+  std::string name() const override { return "deterministic"; }
+
+  /// Exact integer estimate (the deterministic coordinator state is
+  /// integral).
+  int64_t EstimateInt() const;
+
+  /// Number of completed blocks (for the cost analysis per block).
+  uint64_t blocks_completed() const {
+    return partitioner_->blocks_completed();
+  }
+
+  /// The current block's scale exponent r.
+  int current_scale() const { return partitioner_->block().r; }
+
+ private:
+  void OnBlockEnd(const BlockInfo& closed, const BlockInfo& next);
+
+  /// True when site drift change `abs_delta_i` must be reported under the
+  /// current block scale r (the paper's "condition").
+  bool SendCondition(uint64_t abs_delta_i, int r) const;
+
+  TrackerOptions options_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<BlockPartitioner> partitioner_;
+
+  // Site state: di = in-block drift, delta_i = drift since last message.
+  std::vector<int64_t> site_drift_;
+  std::vector<int64_t> site_unsent_;
+
+  // Coordinator state: last reported drift per site and their sum.
+  std::vector<int64_t> coord_drift_;
+  int64_t coord_drift_sum_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_DETERMINISTIC_TRACKER_H_

@@ -1,0 +1,101 @@
+#include "core/driver.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "stream/variability.h"
+
+namespace varstream {
+
+namespace {
+
+/// Shared measurement loop over any update source.
+class Runner {
+ public:
+  Runner(DistributedTracker* tracker, double epsilon, HistoryTracer* tracer,
+         int64_t initial_value)
+      : tracker_(tracker),
+        epsilon_(epsilon),
+        tracer_(tracer),
+        meter_(initial_value) {}
+
+  void Step(uint32_t site, int64_t delta) {
+    meter_.Push(delta);
+    tracker_->Push(site, delta);
+    double est = tracker_->Estimate();
+    if (tracer_ != nullptr) tracer_->Observe(meter_.n(), est);
+    int64_t truth = meter_.f();
+    double rel = RelativeError(truth, est);
+    // At truth == 0 RelativeError is 0 or infinity; treat "exact at zero"
+    // as no error and anything else as a violation (matching the paper's
+    // relative guarantee at f(n) = 0).
+    if (std::isinf(rel)) {
+      ++violations_;
+      max_rel_ = std::max(
+          max_rel_, std::abs(est - static_cast<double>(truth)));
+    } else {
+      if (rel > epsilon_ * (1 + 1e-12)) ++violations_;
+      max_rel_ = std::max(max_rel_, rel);
+      sum_rel_ += rel;
+      ++finite_count_;
+    }
+  }
+
+  RunResult Finish() const {
+    RunResult result;
+    result.n = meter_.n();
+    result.variability = meter_.value();
+    const CostMeter& cost = tracker_->cost();
+    result.messages = cost.total_messages();
+    result.bits = cost.total_bits();
+    result.partition_messages = cost.partition_messages();
+    result.tracking_messages = cost.tracking_messages();
+    result.max_rel_error = max_rel_;
+    result.mean_rel_error =
+        finite_count_ ? sum_rel_ / static_cast<double>(finite_count_) : 0.0;
+    result.violation_rate =
+        result.n ? static_cast<double>(violations_) /
+                       static_cast<double>(result.n)
+                 : 0.0;
+    result.final_f = meter_.f();
+    result.final_estimate = tracker_->Estimate();
+    return result;
+  }
+
+ private:
+  DistributedTracker* tracker_;
+  double epsilon_;
+  HistoryTracer* tracer_;
+  VariabilityMeter meter_;
+  double max_rel_ = 0.0;
+  double sum_rel_ = 0.0;
+  uint64_t finite_count_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace
+
+RunResult RunCount(CountGenerator* gen, SiteAssigner* assigner,
+                   DistributedTracker* tracker, uint64_t n, double epsilon,
+                   HistoryTracer* tracer) {
+  assert(tracker->time() == 0);
+  Runner runner(tracker, epsilon, tracer, gen->initial_value());
+  for (uint64_t t = 0; t < n; ++t) {
+    runner.Step(assigner->NextSite(), gen->NextDelta());
+  }
+  return runner.Finish();
+}
+
+RunResult RunCountOnTrace(const StreamTrace& trace,
+                          DistributedTracker* tracker, double epsilon,
+                          HistoryTracer* tracer) {
+  assert(tracker->time() == 0);
+  Runner runner(tracker, epsilon, tracer, trace.initial_value());
+  for (const CountUpdate& u : trace.updates()) {
+    runner.Step(u.site, u.delta);
+  }
+  return runner.Finish();
+}
+
+}  // namespace varstream

@@ -1,0 +1,53 @@
+// Experiment driver: wires a stream (generator + site assigner, or a
+// recorded trace) into a tracker, checks the estimate against ground truth
+// after every update, and reports error/cost/variability measurements.
+// Every test and benchmark in the repository funnels through RunCount so
+// measurements are comparable.
+
+#ifndef VARSTREAM_CORE_DRIVER_H_
+#define VARSTREAM_CORE_DRIVER_H_
+
+#include <cstdint>
+
+#include "core/tracing.h"
+#include "core/tracker.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "stream/trace.h"
+
+namespace varstream {
+
+/// Measurements from one tracker run.
+struct RunResult {
+  uint64_t n = 0;              ///< updates processed
+  double variability = 0.0;    ///< v(n) of the stream actually consumed
+  uint64_t messages = 0;       ///< total messages
+  uint64_t bits = 0;           ///< total bits
+  uint64_t partition_messages = 0;  ///< section 3.1 traffic
+  uint64_t tracking_messages = 0;   ///< in-block + report traffic
+  double max_rel_error = 0.0;  ///< max over n of |f - f̂| / |f|
+  double mean_rel_error = 0.0;
+  /// Fraction of timesteps with |f - f̂| > epsilon*|f| (the randomized
+  /// guarantee allows up to 1/3 per timestep).
+  double violation_rate = 0.0;
+  int64_t final_f = 0;
+  double final_estimate = 0.0;
+};
+
+/// Runs `n` updates from (gen, assigner) through `tracker`, validating the
+/// estimate after each one against `epsilon`. If `tracer` is non-null, the
+/// estimate history is recorded for historical queries. The tracker must be
+/// fresh (time() == 0) and have the same initial value as the generator.
+RunResult RunCount(CountGenerator* gen, SiteAssigner* assigner,
+                   DistributedTracker* tracker, uint64_t n, double epsilon,
+                   HistoryTracer* tracer = nullptr);
+
+/// Same, replaying a recorded trace (byte-identical comparisons between
+/// trackers).
+RunResult RunCountOnTrace(const StreamTrace& trace,
+                          DistributedTracker* tracker, double epsilon,
+                          HistoryTracer* tracer = nullptr);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_DRIVER_H_

@@ -1,0 +1,91 @@
+#include "core/frequency_tracker.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+FrequencyTracker::FrequencyTracker(const TrackerOptions& options)
+    : options_(options),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      site_items_(options.num_sites) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  // F1 starts at 0: the dataset is initially empty.
+  partitioner_ = std::make_unique<BlockPartitioner>(net_.get(), 0);
+  partitioner_->set_block_end_callback(
+      [this](const BlockInfo& closed, const BlockInfo& next) {
+        OnBlockEnd(closed, next);
+      });
+}
+
+double FrequencyTracker::Threshold(int r) const {
+  return options_.epsilon * static_cast<double>(Pow2(r)) / 3.0;
+}
+
+void FrequencyTracker::Push(uint32_t site, uint64_t item, int32_t delta) {
+  assert(delta == 1 || delta == -1);
+  assert(site < options_.num_sites);
+  net_->Tick();
+
+  SiteItem& entry = site_items_[site][item];
+  entry.f += delta;
+  entry.unsent += delta;
+
+  bool closed = partitioner_->OnArrival(site, delta);
+  if (closed) return;  // OnBlockEnd already rebuilt coordinator state.
+
+  double theta = Threshold(partitioner_->block().r);
+  if (static_cast<double>(AbsU64(entry.unsent)) >= theta) {
+    // Message: delta_il. Coordinator: f̂_il += delta_il.
+    net_->SendToCoordinator(site, MessageKind::kDrift, /*words=*/2);
+    coord_estimate_[item] += entry.unsent;
+    entry.unsent = 0;
+  }
+}
+
+void FrequencyTracker::OnBlockEnd(const BlockInfo& /*closed*/,
+                                  const BlockInfo& next) {
+  // The coordinator rebuilds from end-of-block reports; everything it held
+  // is superseded (unreported counters round to zero, each below theta).
+  coord_estimate_.clear();
+  double theta = Threshold(next.r);
+  for (uint32_t s = 0; s < site_items_.size(); ++s) {
+    auto& items = site_items_[s];
+    for (auto it = items.begin(); it != items.end();) {
+      SiteItem& entry = it->second;
+      entry.unsent = 0;
+      if (entry.f == 0) {
+        it = items.erase(it);
+        continue;
+      }
+      if (static_cast<double>(AbsU64(entry.f)) >= theta) {
+        // Report (item, f_il): the coordinator now knows it exactly.
+        net_->SendToCoordinator(s, MessageKind::kEndOfBlockReport,
+                                /*words=*/2);
+        coord_estimate_[it->first] += entry.f;
+      }
+      ++it;
+    }
+  }
+}
+
+int64_t FrequencyTracker::EstimateItem(uint64_t item) const {
+  auto it = coord_estimate_.find(item);
+  return it == coord_estimate_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<uint64_t, int64_t>> FrequencyTracker::HeavyHitters(
+    double phi) const {
+  double threshold = phi * static_cast<double>(F1AtBlockStart());
+  std::vector<std::pair<uint64_t, int64_t>> result;
+  for (const auto& [item, est] : coord_estimate_) {
+    if (static_cast<double>(est) >= threshold && est > 0) {
+      result.emplace_back(item, est);
+    }
+  }
+  return result;
+}
+
+}  // namespace varstream

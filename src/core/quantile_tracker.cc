@@ -1,0 +1,139 @@
+#include "core/quantile_tracker.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+namespace {
+
+std::vector<uint64_t> DyadicWidths(uint32_t log_universe) {
+  std::vector<uint64_t> widths;
+  widths.reserve(log_universe + 1);
+  for (uint32_t j = 0; j <= log_universe; ++j) {
+    widths.push_back(1ULL << (log_universe - j));
+  }
+  return widths;
+}
+
+}  // namespace
+
+QuantileTracker::QuantileTracker(const TrackerOptions& options,
+                                 uint32_t log_universe)
+    : options_(options),
+      log_universe_(log_universe),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      aggregate_(DyadicWidths(log_universe)) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  assert(log_universe >= 1 && log_universe <= 30);
+  per_level_epsilon_ =
+      options.epsilon / static_cast<double>(log_universe_ + 1);
+  site_f_.assign(options.num_sites, CounterBank(DyadicWidths(log_universe)));
+  site_unsent_.assign(options.num_sites,
+                      CounterBank(DyadicWidths(log_universe)));
+  partitioner_ = std::make_unique<BlockPartitioner>(net_.get(), 0);
+  partitioner_->set_block_end_callback(
+      [this](const BlockInfo& closed, const BlockInfo& next) {
+        OnBlockEnd(closed, next);
+      });
+}
+
+double QuantileTracker::Threshold(int r) const {
+  return per_level_epsilon_ * static_cast<double>(Pow2(r)) / 3.0;
+}
+
+uint64_t QuantileTracker::CounterIndex(uint32_t level, uint64_t item) const {
+  return aggregate_.FlatIndex(level, item >> level);
+}
+
+void QuantileTracker::Push(uint32_t site, uint64_t item, int32_t delta) {
+  assert(delta == 1 || delta == -1);
+  assert(site < options_.num_sites);
+  assert(item < universe());
+  net_->Tick();
+
+  CounterBank& f_bank = site_f_[site];
+  CounterBank& u_bank = site_unsent_[site];
+  for (uint32_t level = 0; level <= log_universe_; ++level) {
+    uint64_t idx = CounterIndex(level, item);
+    f_bank.flat(idx) += delta;
+    u_bank.flat(idx) += delta;
+  }
+
+  bool closed = partitioner_->OnArrival(site, delta);
+  if (closed) return;
+
+  double theta = Threshold(partitioner_->block().r);
+  for (uint32_t level = 0; level <= log_universe_; ++level) {
+    uint64_t idx = CounterIndex(level, item);
+    int64_t unsent = u_bank.flat(idx);
+    if (static_cast<double>(AbsU64(unsent)) >= theta) {
+      net_->SendToCoordinator(site, MessageKind::kDrift, /*words=*/2);
+      aggregate_.flat(idx) += unsent;
+      u_bank.flat(idx) = 0;
+    }
+  }
+}
+
+void QuantileTracker::OnBlockEnd(const BlockInfo& /*closed*/,
+                                 const BlockInfo& next) {
+  aggregate_.Clear();
+  double theta = Threshold(next.r);
+  for (uint32_t s = 0; s < site_f_.size(); ++s) {
+    CounterBank& f_bank = site_f_[s];
+    site_unsent_[s].Clear();
+    for (uint64_t idx = 0; idx < f_bank.total_counters(); ++idx) {
+      int64_t value = f_bank.flat(idx);
+      if (value == 0) continue;
+      if (static_cast<double>(AbsU64(value)) >= theta) {
+        net_->SendToCoordinator(s, MessageKind::kEndOfBlockReport,
+                                /*words=*/2);
+        aggregate_.flat(idx) += value;
+      }
+    }
+  }
+}
+
+double QuantileTracker::Rank(uint64_t x) const {
+  assert(x <= universe());
+  // Decompose [0, x) into at most one dyadic interval per level: for each
+  // set bit j of x, the interval of length 2^j starting at the prefix of
+  // the higher bits.
+  double rank = 0;
+  uint64_t prefix = 0;
+  for (int j = static_cast<int>(log_universe_); j >= 0; --j) {
+    if (x & (1ULL << j)) {
+      rank += static_cast<double>(
+          aggregate_.at(static_cast<uint64_t>(j), prefix >> j));
+      prefix += 1ULL << j;
+    }
+  }
+  return rank;
+}
+
+double QuantileTracker::EstimatedF1() const {
+  return static_cast<double>(aggregate_.at(log_universe_, 0));
+}
+
+uint64_t QuantileTracker::Quantile(double phi) const {
+  assert(phi >= 0 && phi <= 1);
+  double target = phi * EstimatedF1();
+  // Binary search the smallest x with Rank(x) >= target. With exact
+  // counters Rank is monotone in x; tracked counters can invert it
+  // locally by at most the eps*F1 error, which the quantile guarantee
+  // absorbs (the returned cut's true rank is within ~2*eps*F1 of target).
+  uint64_t lo = 0, hi = universe();
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (Rank(mid + 1) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace varstream

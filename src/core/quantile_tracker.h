@@ -1,0 +1,93 @@
+// Distributed tracking of ranks and quantiles over an insert/delete item
+// stream — the order-statistics extension the paper points to in section
+// 5.1 (following Yi & Zhang [16][17], who extend Cormode et al. the same
+// way the paper extends its counting algorithm to frequencies).
+//
+// Construction. Items live in a universe [0, 2^log_universe). Every
+// dyadic interval [i*2^j, (i+1)*2^j) is a "virtual counter" counting the
+// live items it contains; an insert/delete of item x updates the L+1
+// counters containing x (one per level j = 0..L). Each counter is tracked
+// at the coordinator with the Appendix-H block/threshold protocol at
+// precision eps' = eps / (L+1), so that
+//
+//   rank(x) = #{ live items < x } = sum of <= L disjoint dyadic counters
+//
+// carries total error <= (L+1) * eps' * F1 <= eps * F1. Quantile queries
+// binary-search the rank function. Communication is a factor ~(L+1)^2
+// over frequency tracking (L+1 counters per update, each at precision
+// eps/(L+1)) — i.e. O(k * log^2(U) / eps * v(n)) messages, matching the
+// polylog(U) overhead of the monotone-case quantile trackers.
+
+#ifndef VARSTREAM_CORE_QUANTILE_TRACKER_H_
+#define VARSTREAM_CORE_QUANTILE_TRACKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/block_partition.h"
+#include "core/options.h"
+#include "net/network.h"
+#include "sketch/counter_bank.h"
+
+namespace varstream {
+
+class QuantileTracker {
+ public:
+  /// Universe is [0, 2^log_universe); requires 1 <= log_universe <= 30.
+  QuantileTracker(const TrackerOptions& options, uint32_t log_universe);
+
+  /// Delivers one item update (delta must be +-1) observed at `site`.
+  /// Requires item < 2^log_universe.
+  void Push(uint32_t site, uint64_t item, int32_t delta);
+
+  /// Estimate of rank(x) = #{ live items with value < x }, within
+  /// +-eps*F1(n). x may equal 2^log_universe (then this estimates F1).
+  double Rank(uint64_t x) const;
+
+  /// Smallest x whose estimated rank reaches phi * (estimated F1).
+  /// The returned cut position's true rank is within +-2*eps*F1 of the
+  /// target (one eps from the rank estimate, one from the F1 estimate).
+  uint64_t Quantile(double phi) const;
+
+  /// Estimated median, = Quantile(0.5).
+  uint64_t Median() const { return Quantile(0.5); }
+
+  /// Estimated live-item total (the level-L root counter).
+  double EstimatedF1() const;
+
+  int64_t F1AtBlockStart() const { return partitioner_->f_at_block_start(); }
+  const CostMeter& cost() const { return net_->cost(); }
+  uint64_t time() const { return partitioner_->time(); }
+  uint64_t blocks_completed() const {
+    return partitioner_->blocks_completed();
+  }
+  uint32_t num_sites() const { return options_.num_sites; }
+  uint32_t levels() const { return log_universe_ + 1; }
+  uint64_t universe() const { return 1ULL << log_universe_; }
+  std::string name() const { return "quantile-dyadic"; }
+
+  /// Per-counter report threshold theta for scale r (uses eps/(L+1)).
+  double Threshold(int r) const;
+
+ private:
+  void OnBlockEnd(const BlockInfo& closed, const BlockInfo& next);
+  uint64_t CounterIndex(uint32_t level, uint64_t item) const;
+
+  TrackerOptions options_;
+  uint32_t log_universe_;
+  double per_level_epsilon_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<BlockPartitioner> partitioner_;
+
+  // Per-site dyadic counter banks (level = row) and unsent drifts.
+  std::vector<CounterBank> site_f_;
+  std::vector<CounterBank> site_unsent_;
+  // Coordinator aggregate per dyadic counter.
+  CounterBank aggregate_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_QUANTILE_TRACKER_H_

@@ -1,0 +1,80 @@
+#include "core/randomized_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+RandomizedTracker::RandomizedTracker(const TrackerOptions& options)
+    : options_(options),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      rng_(options.seed),
+      site_plus_(options.num_sites, 0),
+      site_minus_(options.num_sites, 0),
+      coord_plus_(options.num_sites, 0.0),
+      coord_minus_(options.num_sites, 0.0) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  partitioner_ =
+      std::make_unique<BlockPartitioner>(net_.get(), options.initial_value);
+  partitioner_->set_block_end_callback(
+      [this](const BlockInfo& closed, const BlockInfo& next) {
+        OnBlockEnd(closed, next);
+      });
+  p_ = SampleProbability(partitioner_->block().r);
+}
+
+double RandomizedTracker::SampleProbability(int r) const {
+  double denom = options_.epsilon * static_cast<double>(Pow2(r)) *
+                 std::sqrt(static_cast<double>(options_.num_sites));
+  return std::min(1.0, options_.sample_constant / denom);
+}
+
+void RandomizedTracker::Push(uint32_t site, int64_t delta) {
+  assert(delta == 1 || delta == -1);
+  assert(site < options_.num_sites);
+  net_->Tick();
+
+  // Feed the arrival into the one-sided copy (A+ or A-) at this site.
+  bool plus = delta > 0;
+  int64_t& d = plus ? site_plus_[site] : site_minus_[site];
+  ++d;
+
+  // Decide whether this arrival triggers a message *before* the partition
+  // step so the sampling is independent of block closure; if the block
+  // closes, the exact poll supersedes the message and we skip it.
+  bool send = rng_.Bernoulli(p_);
+
+  bool closed = partitioner_->OnArrival(site, delta);
+  if (closed) return;
+
+  if (send) {
+    net_->SendToCoordinator(site, MessageKind::kDrift);
+    // HYZ update: d̂±i = d±i - 1 + 1/p.
+    double estimate = static_cast<double>(d) - 1.0 + 1.0 / p_;
+    double& slot = plus ? coord_plus_[site] : coord_minus_[site];
+    double& sum = plus ? coord_plus_sum_ : coord_minus_sum_;
+    sum += estimate - slot;
+    slot = estimate;
+  }
+}
+
+void RandomizedTracker::OnBlockEnd(const BlockInfo& /*closed*/,
+                                   const BlockInfo& next) {
+  std::fill(site_plus_.begin(), site_plus_.end(), 0);
+  std::fill(site_minus_.begin(), site_minus_.end(), 0);
+  std::fill(coord_plus_.begin(), coord_plus_.end(), 0.0);
+  std::fill(coord_minus_.begin(), coord_minus_.end(), 0.0);
+  coord_plus_sum_ = 0.0;
+  coord_minus_sum_ = 0.0;
+  p_ = SampleProbability(next.r);
+}
+
+double RandomizedTracker::Estimate() const {
+  return static_cast<double>(partitioner_->f_at_block_start()) +
+         (coord_plus_sum_ - coord_minus_sum_);
+}
+
+}  // namespace varstream

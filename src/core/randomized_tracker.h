@@ -1,0 +1,75 @@
+// Section 3.4: the randomized distributed counting algorithm.
+//
+// Guarantee: P(|f(n) - f̂(n)| <= epsilon*|f(n)|) >= 2/3 at every n, in the
+// regime k = O(1/epsilon^2) the paper's bound statement assumes (then r = 0
+// blocks are tracked exactly, see below).
+// Communication: O((k + sqrt(k)/epsilon) * v(n)) messages in expectation.
+//
+// Inside each block the +1 and -1 update substreams are tracked by two
+// independent copies A+ / A- of the Huang-Yi-Zhang monotone counter: on
+// each arrival the receiving site sends its exact one-sided drift d±i with
+// probability p = min{1, 3 / (epsilon * 2^r * sqrt(k))}; on receipt the
+// coordinator sets its estimate to d±i - 1 + 1/p. By HYZ's Lemma 2.1 this
+// estimator is unbiased with Var <= 1/p^2, so Chebyshev over the 2k
+// independent one-sided estimators gives error > epsilon*2^r*k with
+// probability < 2/9 < 1/3, and |f(n)| >= 2^r*k inside r >= 1 blocks turns
+// that into the relative guarantee. When k <= 9/epsilon^2 the r = 0
+// probability p = min{1, 3/(eps*sqrt(k))} = 1, so small-|f| blocks are
+// exact — exactly how the paper handles f(n) = 0.
+
+#ifndef VARSTREAM_CORE_RANDOMIZED_TRACKER_H_
+#define VARSTREAM_CORE_RANDOMIZED_TRACKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/block_partition.h"
+#include "core/options.h"
+#include "core/tracker.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class RandomizedTracker : public DistributedTracker {
+ public:
+  explicit RandomizedTracker(const TrackerOptions& options);
+
+  void Push(uint32_t site, int64_t delta) override;
+  double Estimate() const override;
+  const CostMeter& cost() const override { return net_->cost(); }
+  uint64_t time() const override { return partitioner_->time(); }
+  uint32_t num_sites() const override { return options_.num_sites; }
+  std::string name() const override { return "randomized"; }
+
+  uint64_t blocks_completed() const {
+    return partitioner_->blocks_completed();
+  }
+  int current_scale() const { return partitioner_->block().r; }
+
+  /// The sampling probability used in a block of scale r.
+  double SampleProbability(int r) const;
+
+ private:
+  void OnBlockEnd(const BlockInfo& closed, const BlockInfo& next);
+
+  TrackerOptions options_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<BlockPartitioner> partitioner_;
+  Rng rng_;
+
+  // Site state: one-sided in-block drifts (counts of +1 / -1 arrivals).
+  std::vector<int64_t> site_plus_;
+  std::vector<int64_t> site_minus_;
+
+  // Coordinator state: HYZ estimates of the one-sided drifts and sums.
+  std::vector<double> coord_plus_;
+  std::vector<double> coord_minus_;
+  double coord_plus_sum_ = 0.0;
+  double coord_minus_sum_ = 0.0;
+  double p_ = 1.0;  // sampling probability of the current block
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_RANDOMIZED_TRACKER_H_

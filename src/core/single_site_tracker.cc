@@ -1,0 +1,40 @@
+#include "core/single_site_tracker.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+SingleSiteTracker::SingleSiteTracker(const TrackerOptions& options)
+    : options_(options),
+      net_(std::make_unique<SimNetwork>(1)),
+      value_(options.initial_value),
+      estimate_(options.initial_value) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+}
+
+void SingleSiteTracker::Push(uint32_t site, int64_t delta) {
+  assert(site == 0);
+  (void)site;
+  Update(value_ + delta);
+}
+
+void SingleSiteTracker::Update(int64_t value) {
+  ++time_;
+  net_->Tick();
+  value_ = value;
+  // Send f whenever |f - f̂| > epsilon*|f|. Note that at f = 0 any nonzero
+  // estimate violates the condition, so the coordinator is resynced there.
+  double error = std::abs(static_cast<double>(value_ - estimate_));
+  double budget =
+      options_.epsilon * static_cast<double>(AbsU64(value_));
+  if (error > budget) {
+    net_->SendToCoordinator(0, MessageKind::kSync);
+    estimate_ = value_;
+  }
+}
+
+}  // namespace varstream

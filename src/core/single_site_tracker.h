@@ -1,0 +1,58 @@
+// Section 5.2 / Appendix I: tracking a general integer-valued aggregate f
+// with a single site (k = 1).
+//
+// The site always knows f(n) exactly; whenever |f - f̂| > epsilon*|f| it
+// sends f to the coordinator. The potential argument of Appendix I bounds
+// the number of messages by the total increase of Phi(n) = |f - f̂|/|f|,
+// which is at most (1 + epsilon) * v(n); hence O(v(n)/epsilon) messages.
+//
+// Because the condition compares against the *exact* f, this tracker works
+// for any integer aggregate (a count, a maximum, a quantile value, ...);
+// use Update(new_value) to track an arbitrary aggregate, or Push(delta) for
+// the streaming-count special case.
+
+#ifndef VARSTREAM_CORE_SINGLE_SITE_TRACKER_H_
+#define VARSTREAM_CORE_SINGLE_SITE_TRACKER_H_
+
+#include <memory>
+
+#include "core/options.h"
+#include "core/tracker.h"
+#include "net/network.h"
+
+namespace varstream {
+
+class SingleSiteTracker : public DistributedTracker {
+ public:
+  /// Only options.epsilon and options.initial_value are used; k is 1.
+  explicit SingleSiteTracker(const TrackerOptions& options);
+
+  /// Streaming-count interface (site argument must be 0).
+  void Push(uint32_t site, int64_t delta) override;
+
+  /// General-aggregate interface: the site's aggregate changed to `value`.
+  void Update(int64_t value);
+
+  double Estimate() const override {
+    return static_cast<double>(estimate_);
+  }
+  int64_t EstimateInt() const { return estimate_; }
+  const CostMeter& cost() const override { return net_->cost(); }
+  uint64_t time() const override { return time_; }
+  uint32_t num_sites() const override { return 1; }
+  std::string name() const override { return "single-site"; }
+
+  /// Exact current value held at the site.
+  int64_t exact_value() const { return value_; }
+
+ private:
+  TrackerOptions options_;
+  std::unique_ptr<SimNetwork> net_;
+  int64_t value_;
+  int64_t estimate_;
+  uint64_t time_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_SINGLE_SITE_TRACKER_H_

@@ -1,0 +1,116 @@
+#include "core/sketch_frequency_tracker.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+namespace {
+
+std::shared_ptr<SketchMapper> BuildMapper(const TrackerOptions& options,
+                                          SketchKind kind,
+                                          uint64_t universe) {
+  if (kind == SketchKind::kCountMinPartition) {
+    Rng rng(options.seed);
+    auto width =
+        static_cast<uint64_t>(std::ceil(27.0 / options.epsilon));
+    return std::make_shared<CountMinMapper>(1, width, &rng);
+  }
+  auto t = static_cast<uint64_t>(std::ceil(3.0 / options.epsilon));
+  double log_u = std::log2(static_cast<double>(std::max<uint64_t>(universe, 2)));
+  double log_inv_eps = std::max(std::log2(1.0 / options.epsilon), 1.0);
+  auto min_width = static_cast<uint64_t>(
+      std::ceil(6.0 * log_u / (options.epsilon * log_inv_eps)));
+  return std::make_shared<CRPrecisMapper>(t,
+                                          std::max<uint64_t>(min_width, 2));
+}
+
+}  // namespace
+
+SketchFrequencyTracker::SketchFrequencyTracker(const TrackerOptions& options,
+                                               SketchKind kind,
+                                               uint64_t universe)
+    : SketchFrequencyTracker(options, BuildMapper(options, kind, universe)) {}
+
+SketchFrequencyTracker::SketchFrequencyTracker(
+    const TrackerOptions& options, std::shared_ptr<SketchMapper> mapper)
+    : options_(options),
+      mapper_(std::move(mapper)),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
+      aggregate_(mapper_->RowWidths()) {
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  site_f_.assign(options.num_sites, CounterBank(mapper_->RowWidths()));
+  site_unsent_.assign(options.num_sites, CounterBank(mapper_->RowWidths()));
+  partitioner_ = std::make_unique<BlockPartitioner>(net_.get(), 0);
+  partitioner_->set_block_end_callback(
+      [this](const BlockInfo& closed, const BlockInfo& next) {
+        OnBlockEnd(closed, next);
+      });
+}
+
+double SketchFrequencyTracker::Threshold(int r) const {
+  return options_.epsilon * static_cast<double>(Pow2(r)) / 3.0;
+}
+
+void SketchFrequencyTracker::Push(uint32_t site, uint64_t item,
+                                  int32_t delta) {
+  assert(delta == 1 || delta == -1);
+  assert(site < options_.num_sites);
+  net_->Tick();
+
+  // Apply the update to this site's counters in every row.
+  CounterBank& f_bank = site_f_[site];
+  CounterBank& u_bank = site_unsent_[site];
+  for (uint64_t row = 0; row < mapper_->rows(); ++row) {
+    uint64_t idx = f_bank.FlatIndex(row, mapper_->Bucket(row, item));
+    f_bank.flat(idx) += delta;
+    u_bank.flat(idx) += delta;
+  }
+
+  bool closed = partitioner_->OnArrival(site, delta);
+  if (closed) return;
+
+  double theta = Threshold(partitioner_->block().r);
+  for (uint64_t row = 0; row < mapper_->rows(); ++row) {
+    uint64_t idx = f_bank.FlatIndex(row, mapper_->Bucket(row, item));
+    int64_t unsent = u_bank.flat(idx);
+    if (static_cast<double>(AbsU64(unsent)) >= theta) {
+      net_->SendToCoordinator(site, MessageKind::kDrift, /*words=*/2);
+      aggregate_.flat(idx) += unsent;
+      u_bank.flat(idx) = 0;
+    }
+  }
+}
+
+void SketchFrequencyTracker::OnBlockEnd(const BlockInfo& /*closed*/,
+                                        const BlockInfo& next) {
+  aggregate_.Clear();
+  double theta = Threshold(next.r);
+  for (uint32_t s = 0; s < site_f_.size(); ++s) {
+    CounterBank& f_bank = site_f_[s];
+    site_unsent_[s].Clear();
+    for (uint64_t idx = 0; idx < f_bank.total_counters(); ++idx) {
+      int64_t value = f_bank.flat(idx);
+      if (value == 0) continue;
+      if (static_cast<double>(AbsU64(value)) >= theta) {
+        net_->SendToCoordinator(s, MessageKind::kEndOfBlockReport,
+                                /*words=*/2);
+        aggregate_.flat(idx) += value;
+      }
+    }
+  }
+}
+
+double SketchFrequencyTracker::EstimateItem(uint64_t item) const {
+  std::vector<double> row_estimates;
+  row_estimates.reserve(mapper_->rows());
+  for (uint64_t row = 0; row < mapper_->rows(); ++row) {
+    row_estimates.push_back(static_cast<double>(
+        aggregate_.at(row, mapper_->Bucket(row, item))));
+  }
+  return mapper_->Combine(row_estimates);
+}
+
+}  // namespace varstream

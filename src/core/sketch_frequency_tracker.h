@@ -1,0 +1,98 @@
+// Appendix H.0.2: item frequencies in small space AND small communication.
+//
+// The exact tracker of H.0.1 keeps |U| counters per site. Following the
+// paper, we instead hash items into a small bank of counters — either a
+// Count-Min partition (randomized: rows = 1, width 27/epsilon gives
+// +-epsilon*F1/3 per query w.p. 8/9) or a CR-precis table (deterministic:
+// ~3/epsilon rows of primes sized ~6 log|U| / (epsilon log 1/epsilon)) —
+// and run the *same* block/threshold tracking protocol over the counters
+// ("virtual items"). The coordinator combines its tracked counter
+// estimates linearly (min for Count-Min, average for CR-precis) to answer
+// point queries, paying one extra epsilon*F1/3 of sketch collision error
+// on top of the 2*epsilon*F1/3 tracking error.
+//
+// Costs (bits of space + communication), as reported in the paper:
+//   * CR-precis variant:  O(k log|U| / (eps^2 log 1/eps) * v(n) * log n),
+//     with probability-1 guarantees;
+//   * Count-Min variant:  O(k log|U| + k/eps * v(n) * log n),
+//     with per-query success probability 8/9.
+
+#ifndef VARSTREAM_CORE_SKETCH_FREQUENCY_TRACKER_H_
+#define VARSTREAM_CORE_SKETCH_FREQUENCY_TRACKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/block_partition.h"
+#include "core/options.h"
+#include "net/network.h"
+#include "sketch/counter_bank.h"
+
+namespace varstream {
+
+/// Which sketch substrate reduces items to counters.
+enum class SketchKind {
+  kCountMinPartition,  // 1 x ceil(27/eps), randomized (Appendix H default)
+  kCRPrecis,           // deterministic prime table
+};
+
+class SketchFrequencyTracker {
+ public:
+  /// Builds the mapper per `kind` using options.epsilon and `universe`
+  /// (needed to size CR-precis).
+  SketchFrequencyTracker(const TrackerOptions& options, SketchKind kind,
+                         uint64_t universe);
+
+  /// Uses a caller-provided mapper (must outlive the tracker).
+  SketchFrequencyTracker(const TrackerOptions& options,
+                         std::shared_ptr<SketchMapper> mapper);
+
+  /// Delivers one item update (delta must be +-1) to `site`.
+  void Push(uint32_t site, uint64_t item, int32_t delta);
+
+  /// Point estimate of f_l(n): tracked counter estimates combined by the
+  /// sketch (min / average).
+  double EstimateItem(uint64_t item) const;
+
+  int64_t F1AtBlockStart() const { return partitioner_->f_at_block_start(); }
+
+  const CostMeter& cost() const { return net_->cost(); }
+  uint64_t time() const { return partitioner_->time(); }
+  uint64_t blocks_completed() const {
+    return partitioner_->blocks_completed();
+  }
+  int current_scale() const { return partitioner_->block().r; }
+  uint32_t num_sites() const { return options_.num_sites; }
+  std::string name() const { return "frequency-" + mapper_->name(); }
+
+  /// Space held at the coordinator for counter estimates, in bits.
+  uint64_t CoordinatorSpaceBits() const {
+    return aggregate_.SpaceBits();
+  }
+
+  const SketchMapper& mapper() const { return *mapper_; }
+
+  /// Per-counter report threshold theta for scale r.
+  double Threshold(int r) const;
+
+ private:
+  void OnBlockEnd(const BlockInfo& closed, const BlockInfo& next);
+
+  TrackerOptions options_;
+  std::shared_ptr<SketchMapper> mapper_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<BlockPartitioner> partitioner_;
+
+  // Per-site counter banks: all-time net counts and in-block unsent drift.
+  std::vector<CounterBank> site_f_;
+  std::vector<CounterBank> site_unsent_;
+
+  // Coordinator: aggregate estimate per counter (sum over sites).
+  CounterBank aggregate_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_SKETCH_FREQUENCY_TRACKER_H_

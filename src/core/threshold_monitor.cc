@@ -1,0 +1,29 @@
+#include "core/threshold_monitor.h"
+
+#include <cassert>
+
+namespace varstream {
+
+ThresholdMonitor::ThresholdMonitor(const TrackerOptions& options,
+                                   int64_t tau)
+    : tau_(tau), epsilon_(options.epsilon) {
+  assert(tau >= 1);
+  assert(options.epsilon > 0 && options.epsilon < 1);
+  TrackerOptions tracker_options = options;
+  tracker_options.epsilon = options.epsilon / 3.0;
+  tracker_ = std::make_unique<DeterministicTracker>(tracker_options);
+}
+
+void ThresholdMonitor::Push(uint32_t site, int64_t delta) {
+  tracker_->Push(site, delta);
+  double cut = (1.0 - epsilon_ / 2.0) * static_cast<double>(tau_);
+  ThresholdState next = tracker_->Estimate() >= cut ? ThresholdState::kAbove
+                                                    : ThresholdState::kBelow;
+  if (next != state_) {
+    state_ = next;
+    ++flips_;
+    if (on_change_) on_change_(tracker_->time(), state_);
+  }
+}
+
+}  // namespace varstream

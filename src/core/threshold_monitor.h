@@ -1,0 +1,75 @@
+// The thresholded monitoring problem (k, f, tau, epsilon) from section 2:
+// Cormode et al.'s original formulation. The coordinator must at all times
+// be able to answer whether f(D) >= tau or f(D) <= (1 - epsilon)*tau;
+// values in between may resolve either way.
+//
+// The paper's continuous tracker solves this directly: track f to relative
+// error epsilon/3 and compare the estimate against (1 - epsilon/2)*tau.
+// If f >= tau the estimate is >= tau*(1 - eps/3) > (1-eps/2)*tau -> ABOVE;
+// if f <= (1-eps)*tau the estimate is <= (1-eps)(1+eps/3)*tau <
+// (1-eps/2)*tau -> BELOW. ThresholdMonitor packages that reduction over
+// any DistributedTracker, with hysteresis-free state-change callbacks.
+
+#ifndef VARSTREAM_CORE_THRESHOLD_MONITOR_H_
+#define VARSTREAM_CORE_THRESHOLD_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/deterministic_tracker.h"
+#include "core/options.h"
+#include "core/tracker.h"
+
+namespace varstream {
+
+/// The coordinator's answer to "is f at the threshold?".
+enum class ThresholdState {
+  kBelow,  ///< certified f < tau (in fact f <= (1-eps)*tau may hold)
+  kAbove,  ///< certified f >= (1-eps)*tau (in fact f >= tau may hold)
+};
+
+class ThresholdMonitor {
+ public:
+  using StateChangeCallback =
+      std::function<void(uint64_t time, ThresholdState new_state)>;
+
+  /// Monitors f against `tau` with slack `options.epsilon`, building a
+  /// deterministic tracker at precision epsilon/3 internally.
+  /// Requires tau >= 1.
+  ThresholdMonitor(const TrackerOptions& options, int64_t tau);
+
+  /// Delivers update f'(n) = delta (+-1) at `site`.
+  void Push(uint32_t site, int64_t delta);
+
+  /// Current answer. Correct in the (k, f, tau, eps) sense: never kBelow
+  /// while f >= tau, never kAbove while f <= (1-eps)*tau.
+  ThresholdState state() const { return state_; }
+
+  /// Fired on every state flip (after the Push that caused it).
+  void set_state_change_callback(StateChangeCallback cb) {
+    on_change_ = std::move(cb);
+  }
+
+  /// Number of state flips so far.
+  uint64_t flips() const { return flips_; }
+
+  const CostMeter& cost() const { return tracker_->cost(); }
+  uint64_t time() const { return tracker_->time(); }
+  int64_t tau() const { return tau_; }
+  double Estimate() const { return tracker_->Estimate(); }
+  std::string name() const { return "threshold-monitor"; }
+
+ private:
+  int64_t tau_;
+  double epsilon_;
+  std::unique_ptr<DeterministicTracker> tracker_;
+  ThresholdState state_ = ThresholdState::kBelow;
+  uint64_t flips_ = 0;
+  StateChangeCallback on_change_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_THRESHOLD_MONITOR_H_

@@ -1,0 +1,36 @@
+#include "core/tracing.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace varstream {
+
+HistoryTracer::HistoryTracer(double initial_estimate)
+    : initial_estimate_(initial_estimate) {}
+
+void HistoryTracer::Observe(uint64_t t, double estimate) {
+  assert(times_.empty() || t >= times_.back());
+  double last = times_.empty() ? initial_estimate_ : estimates_.back();
+  if (estimate == last) return;
+  if (!times_.empty() && times_.back() == t) {
+    // Same timestep changed twice (message + block poll): keep the final.
+    estimates_.back() = estimate;
+    return;
+  }
+  times_.push_back(t);
+  estimates_.push_back(estimate);
+}
+
+double HistoryTracer::Query(uint64_t t) const {
+  // Find the last changepoint with time <= t.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return initial_estimate_;
+  return estimates_[static_cast<size_t>(it - times_.begin()) - 1];
+}
+
+uint64_t HistoryTracer::SummaryBits(uint64_t time_bits,
+                                    uint64_t value_bits) const {
+  return changepoints() * (time_bits + value_bits);
+}
+
+}  // namespace varstream

@@ -1,0 +1,51 @@
+// Section 4 / Appendix D: the tracing problem. A summary of the sequence f
+// must answer queries "what was f(t)?" for any past t with relative error
+// epsilon. Lemma D.1 shows a tracing lower bound implies a
+// space+communication lower bound for distributed tracking: simulate the
+// tracker, record all communication, and replay it up to time t.
+//
+// HistoryTracer is that reduction made concrete: it records the
+// coordinator's estimate changepoints (one per message received, which is
+// exactly "recording all communication") and answers historical queries by
+// binary search. Its summary size in bits is what experiments E11/E13
+// compare against the Omega(r log n) and Omega(v/epsilon) lower bounds.
+
+#ifndef VARSTREAM_CORE_TRACING_H_
+#define VARSTREAM_CORE_TRACING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace varstream {
+
+class HistoryTracer {
+ public:
+  /// `initial_estimate` is the coordinator's estimate at time 0.
+  explicit HistoryTracer(double initial_estimate = 0.0);
+
+  /// Records that at time t (monotone nondecreasing across calls) the
+  /// coordinator's estimate is `estimate`. Consecutive duplicates are
+  /// coalesced — only changepoints consume space.
+  void Observe(uint64_t t, double estimate);
+
+  /// The estimate in force at time t (the last changepoint <= t).
+  double Query(uint64_t t) const;
+
+  /// Number of stored changepoints (excluding the initial value).
+  uint64_t changepoints() const { return times_.size(); }
+
+  /// Summary size: changepoints * (time + value) bits, the storage cost of
+  /// replaying all communication as in Lemma D.1. `time_bits` defaults to
+  /// 64; pass ceil(log2(n)) to get the paper's O(log n)-bit messages.
+  uint64_t SummaryBits(uint64_t time_bits = 64,
+                       uint64_t value_bits = 64) const;
+
+ private:
+  double initial_estimate_;
+  std::vector<uint64_t> times_;
+  std::vector<double> estimates_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_TRACING_H_

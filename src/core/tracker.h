@@ -1,0 +1,42 @@
+// The public interface implemented by every distributed count tracker in
+// the library — the paper's algorithms (sections 3.3, 3.4) and the
+// baselines they are compared against.
+
+#ifndef VARSTREAM_CORE_TRACKER_H_
+#define VARSTREAM_CORE_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/cost_meter.h"
+
+namespace varstream {
+
+/// A coordinator + k sites tracking an integer f(n) defined by +-1 updates
+/// arriving at the sites. After each Push the coordinator's estimate is
+/// available via Estimate(); communication is accounted in cost().
+class DistributedTracker {
+ public:
+  virtual ~DistributedTracker() = default;
+
+  /// Delivers update f'(n) = delta (must be +1 or -1; expand larger updates
+  /// with UnitExpansionGenerator) to `site`. Advances time by one step.
+  virtual void Push(uint32_t site, int64_t delta) = 0;
+
+  /// The coordinator's current estimate of f(n). Double because randomized
+  /// estimators carry the fractional 1/p correction of Huang et al.
+  virtual double Estimate() const = 0;
+
+  /// Communication spent so far.
+  virtual const CostMeter& cost() const = 0;
+
+  /// Number of updates pushed so far (the current time n).
+  virtual uint64_t time() const = 0;
+
+  virtual uint32_t num_sites() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_TRACKER_H_

@@ -1,0 +1,118 @@
+#include "lowerbound/det_family.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace varstream {
+
+uint64_t BinomialSaturating(uint64_t n, uint64_t r) {
+  if (r > n) return 0;
+  r = std::min(r, n - r);
+  __uint128_t result = 1;
+  constexpr __uint128_t kMax = std::numeric_limits<uint64_t>::max();
+  for (uint64_t i = 1; i <= r; ++i) {
+    result = result * (n - r + i) / i;  // exact: product of i consecutive
+                                        // integers is divisible by i!
+    if (result > kMax) return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(result);
+}
+
+double Log2Binomial(uint64_t n, uint64_t r) {
+  if (r > n) return -std::numeric_limits<double>::infinity();
+  auto lg = [](uint64_t x) {
+    return std::lgamma(static_cast<double>(x) + 1.0);
+  };
+  return (lg(n) - lg(r) - lg(n - r)) / std::log(2.0);
+}
+
+DetFamily::DetFamily(uint64_t m, uint64_t n, uint64_t r)
+    : m_(m), n_(n), r_(r) {
+  assert(m >= 2);
+  assert(r % 2 == 0);
+  assert(r >= 2 && r <= n);
+}
+
+std::vector<int64_t> DetFamily::SequenceFor(
+    const std::vector<uint64_t>& toggles) const {
+  assert(toggles.size() == r_);
+  std::vector<int64_t> f(n_);
+  int64_t low = static_cast<int64_t>(m_);
+  int64_t high = low + 3;
+  int64_t value = low;
+  size_t next = 0;
+  for (uint64_t t = 1; t <= n_; ++t) {
+    if (next < toggles.size() && toggles[next] == t) {
+      value = (value == low) ? high : low;
+      ++next;
+    }
+    f[t - 1] = value;
+  }
+  assert(next == toggles.size());
+  return f;
+}
+
+std::vector<uint64_t> DetFamily::SubsetForRank(uint64_t rank) const {
+  assert(rank < Size());
+  // Lexicographic unranking over increasing r-subsets of {1..n}: pick the
+  // smallest feasible first element, then recurse.
+  std::vector<uint64_t> subset;
+  subset.reserve(r_);
+  uint64_t value = 1;
+  uint64_t remaining = r_;
+  while (remaining > 0) {
+    uint64_t block = BinomialSaturating(n_ - value, remaining - 1);
+    if (rank < block) {
+      subset.push_back(value);
+      --remaining;
+    } else {
+      rank -= block;
+    }
+    ++value;
+  }
+  return subset;
+}
+
+uint64_t DetFamily::RankOfSubset(const std::vector<uint64_t>& toggles) const {
+  assert(toggles.size() == r_);
+  uint64_t rank = 0;
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < r_; ++i) {
+    for (uint64_t skipped = prev + 1; skipped < toggles[i]; ++skipped) {
+      rank += BinomialSaturating(n_ - skipped, r_ - i - 1);
+    }
+    prev = toggles[i];
+  }
+  return rank;
+}
+
+double DetFamily::ExactVariability() const {
+  // r/2 switches m -> m+3 contribute 3/(m+3) each, r/2 switches back
+  // contribute 3/m each: total = r * (6m+9) / (2m(m+3))
+  //                             = (6m+9)/(2m+6) * (r/m).
+  double md = static_cast<double>(m_);
+  double rd = static_cast<double>(r_);
+  return rd * (6.0 * md + 9.0) / (2.0 * md * (md + 3.0));
+}
+
+std::vector<uint64_t> DetFamily::TogglesOf(
+    const std::vector<int64_t>& seq) const {
+  assert(seq.size() == n_);
+  std::vector<uint64_t> toggles;
+  int64_t prev = static_cast<int64_t>(m_);
+  for (uint64_t t = 1; t <= n_; ++t) {
+    if (seq[t - 1] != prev) toggles.push_back(t);
+    prev = seq[t - 1];
+  }
+  return toggles;
+}
+
+bool DetFamily::LevelsConfusable() const {
+  // x approximates m iff |x - m| <= eps*m = 1; x approximates m+3 iff
+  // |x - (m+3)| <= eps*(m+3) = 1 + 3/m. Intervals [m-1, m+1] and
+  // [m+2-3/m, m+4+3/m] intersect iff m+2-3/m <= m+1, i.e. m <= 3.
+  return m_ <= 3;
+}
+
+}  // namespace varstream

@@ -1,0 +1,71 @@
+// Theorem 4.1 / Appendix E: the deterministic hard family for the tracing
+// problem. Fix epsilon = 1/m; each member of the family is determined by a
+// set S of r timesteps in [1, n]: the sequence starts at f(0) = m and
+// toggles between m and m+3 exactly at the times in S. All C(n, r) members
+// are distinct, each has variability exactly (6m+9)/(2m+6) * epsilon * r,
+// and any summary accurate to +-epsilon*f(t) at every t distinguishes all
+// of them (the intervals around m and m+3 are disjoint for m >= 4), so it
+// needs Omega(r log n) bits.
+
+#ifndef VARSTREAM_LOWERBOUND_DET_FAMILY_H_
+#define VARSTREAM_LOWERBOUND_DET_FAMILY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace varstream {
+
+/// C(n, r) saturating at UINT64_MAX.
+uint64_t BinomialSaturating(uint64_t n, uint64_t r);
+
+/// log2(C(n, r)) computed stably via lgamma.
+double Log2Binomial(uint64_t n, uint64_t r);
+
+class DetFamily {
+ public:
+  /// epsilon = 1/m. Requires m >= 2, r even, 2 <= r <= n.
+  DetFamily(uint64_t m, uint64_t n, uint64_t r);
+
+  uint64_t m() const { return m_; }
+  uint64_t n() const { return n_; }
+  uint64_t r() const { return r_; }
+  double epsilon() const { return 1.0 / static_cast<double>(m_); }
+
+  /// Number of members, C(n, r), saturating; and its log2.
+  uint64_t Size() const { return BinomialSaturating(n_, r_); }
+  double Log2Size() const { return Log2Binomial(n_, r_); }
+
+  /// f(1..n) for the member with toggle set S (1-based, strictly
+  /// increasing times). f(0) = m.
+  std::vector<int64_t> SequenceFor(const std::vector<uint64_t>& toggles) const;
+
+  /// The rank-th r-subset of {1..n} in lexicographic order (combinatorial
+  /// number system). Requires rank < Size().
+  std::vector<uint64_t> SubsetForRank(uint64_t rank) const;
+
+  /// Inverse of SubsetForRank.
+  uint64_t RankOfSubset(const std::vector<uint64_t>& toggles) const;
+
+  /// The exact variability (6m+9)/(2m+6) * epsilon * r every member has.
+  double ExactVariability() const;
+
+  /// Recovers the toggle set from a sequence of values in {m, m+3}.
+  std::vector<uint64_t> TogglesOf(const std::vector<int64_t>& seq) const;
+
+  /// The information-theoretic space bound: log2(C(n, r)) >= r*log2(n/r).
+  double SpaceLowerBoundBits() const { return Log2Size(); }
+
+  /// True iff a single value x can be a valid epsilon-approximation of
+  /// both m and m+3 — false for all m >= 4, which is what makes the family
+  /// distinguishable.
+  bool LevelsConfusable() const;
+
+ private:
+  uint64_t m_;
+  uint64_t n_;
+  uint64_t r_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_LOWERBOUND_DET_FAMILY_H_

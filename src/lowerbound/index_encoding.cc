@@ -1,0 +1,60 @@
+#include "lowerbound/index_encoding.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "core/single_site_tracker.h"
+#include "core/tracing.h"
+
+namespace varstream {
+
+IndexReductionResult RunIndexReduction(uint64_t m, uint64_t n, uint64_t r,
+                                       uint64_t rank) {
+  assert(m >= 4 && "levels must not be confusable");
+  DetFamily family(m, n, r);
+  assert(rank < family.Size());
+
+  // --- Alice: pick her sequence and run the tracker over it. ---
+  std::vector<uint64_t> toggles = family.SubsetForRank(rank);
+  std::vector<int64_t> seq = family.SequenceFor(toggles);
+
+  TrackerOptions options;
+  options.epsilon = family.epsilon();
+  options.initial_value = static_cast<int64_t>(m);
+  SingleSiteTracker tracker(options);
+  HistoryTracer trace(static_cast<double>(m));
+  for (uint64_t t = 1; t <= n; ++t) {
+    tracker.Update(seq[t - 1]);
+    trace.Observe(t, tracker.Estimate());
+  }
+
+  // --- Bob: decode each f(t) by rounding the traced estimate. ---
+  int64_t low = static_cast<int64_t>(m);
+  int64_t high = low + 3;
+  std::vector<int64_t> decoded(n);
+  for (uint64_t t = 1; t <= n; ++t) {
+    double est = trace.Query(t);
+    double mid = static_cast<double>(low + high) / 2.0;
+    decoded[t - 1] = est < mid ? low : high;
+  }
+  std::vector<uint64_t> decoded_toggles = family.TogglesOf(decoded);
+
+  IndexReductionResult result;
+  result.alice_rank = rank;
+  result.decoded_ok = decoded_toggles.size() == r &&
+                      decoded_toggles == toggles;
+  result.bob_rank = result.decoded_ok
+                        ? family.RankOfSubset(decoded_toggles)
+                        : static_cast<uint64_t>(-1);
+  uint64_t time_bits = static_cast<uint64_t>(CeilLog2(n + 1));
+  uint64_t value_bits = static_cast<uint64_t>(CeilLog2(m + 4));
+  result.summary_bits = trace.SummaryBits(time_bits, value_bits);
+  result.entropy_bits = family.Log2Size();
+  result.messages = tracker.cost().total_messages();
+  result.family_variability = family.ExactVariability();
+  return result;
+}
+
+}  // namespace varstream

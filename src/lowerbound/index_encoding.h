@@ -1,0 +1,42 @@
+// Appendix F, made executable: the reduction from the one-way INDEX
+// problem to tracing. Alice holds an input of N = log2|F| bits, interpreted
+// as the rank of a member of a hard family F; she streams that member
+// through a tracker and ships the recorded communication (a HistoryTracer)
+// to Bob, who queries every timestep, decodes which member it was, and so
+// recovers every bit of Alice's input. Since INDEX needs Omega(N) one-way
+// bits, any faithful summary must be at least as large as the family's
+// entropy — which the experiment verifies against the actual trace size.
+//
+// We instantiate F with the deterministic family of Theorem 4.1 (exactly
+// decodable, C(n,r) members) so the round trip is checkable bit-for-bit.
+
+#ifndef VARSTREAM_LOWERBOUND_INDEX_ENCODING_H_
+#define VARSTREAM_LOWERBOUND_INDEX_ENCODING_H_
+
+#include <cstdint>
+
+#include "lowerbound/det_family.h"
+
+namespace varstream {
+
+/// Outcome of one Alice->Bob round trip.
+struct IndexReductionResult {
+  bool decoded_ok = false;       ///< Bob recovered Alice's rank exactly.
+  uint64_t alice_rank = 0;       ///< input (the INDEX string as an integer)
+  uint64_t bob_rank = 0;         ///< decoded output
+  uint64_t summary_bits = 0;     ///< size of the shipped trace
+  double entropy_bits = 0.0;     ///< log2 |F|: the INDEX lower bound
+  uint64_t messages = 0;         ///< tracker messages behind the trace
+  double family_variability = 0; ///< v(n) of the streamed member
+};
+
+/// Runs the reduction for family member `rank` of DetFamily(m, n, r),
+/// using the single-site tracker with epsilon = 1/m as the summarized
+/// algorithm (Appendix D turns any tracker's communication into a trace).
+/// Requires m >= 4 so the two levels are never confusable.
+IndexReductionResult RunIndexReduction(uint64_t m, uint64_t n, uint64_t r,
+                                       uint64_t rank);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_LOWERBOUND_INDEX_ENCODING_H_

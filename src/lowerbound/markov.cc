@@ -1,0 +1,128 @@
+#include "lowerbound/markov.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace varstream {
+
+MarkovChain::MarkovChain(std::vector<std::vector<double>> transition)
+    : transition_(std::move(transition)) {
+  for (const auto& row : transition_) {
+    assert(row.size() == transition_.size());
+    double sum = 0;
+    for (double x : row) {
+      assert(x >= -1e-12);
+      sum += x;
+    }
+    assert(std::abs(sum - 1.0) < 1e-9);
+    (void)sum;
+  }
+}
+
+std::vector<double> MarkovChain::Step(const std::vector<double>& dist) const {
+  assert(dist.size() == num_states());
+  std::vector<double> next(num_states(), 0.0);
+  for (size_t i = 0; i < num_states(); ++i) {
+    for (size_t j = 0; j < num_states(); ++j) {
+      next[j] += dist[i] * transition_[i][j];
+    }
+  }
+  return next;
+}
+
+std::vector<double> MarkovChain::Stationary(uint64_t iterations) const {
+  std::vector<double> dist(num_states(),
+                           1.0 / static_cast<double>(num_states()));
+  for (uint64_t it = 0; it < iterations; ++it) {
+    std::vector<double> next = Step(dist);
+    if (TotalVariation(next, dist) < 1e-14) return next;
+    dist = std::move(next);
+  }
+  return dist;
+}
+
+double MarkovChain::TotalVariation(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / 2.0;
+}
+
+uint64_t MarkovChain::MixingTime(double tv_target,
+                                 uint64_t max_steps) const {
+  std::vector<double> pi = Stationary();
+  // Evolve all deterministic starting distributions in lockstep.
+  std::vector<std::vector<double>> dists;
+  for (size_t s = 0; s < num_states(); ++s) {
+    std::vector<double> d(num_states(), 0.0);
+    d[s] = 1.0;
+    dists.push_back(std::move(d));
+  }
+  for (uint64_t t = 0; t <= max_steps; ++t) {
+    double worst = 0;
+    for (const auto& d : dists) {
+      worst = std::max(worst, TotalVariation(d, pi));
+    }
+    if (worst <= tv_target) return t;
+    for (auto& d : dists) d = Step(d);
+  }
+  return max_steps;
+}
+
+uint32_t MarkovChain::SampleState(const std::vector<double>& dist,
+                                  Rng* rng) const {
+  double u = rng->NextDouble();
+  double acc = 0;
+  for (size_t i = 0; i < dist.size(); ++i) {
+    acc += dist[i];
+    if (u < acc) return static_cast<uint32_t>(i);
+  }
+  return static_cast<uint32_t>(dist.size() - 1);
+}
+
+std::vector<uint32_t> MarkovChain::SamplePath(
+    const std::vector<double>& initial, uint64_t n, Rng* rng) const {
+  std::vector<uint32_t> path;
+  path.reserve(n);
+  uint32_t state = SampleState(initial, rng);
+  for (uint64_t t = 0; t < n; ++t) {
+    path.push_back(state);
+    state = SampleState(transition_[state], rng);
+  }
+  return path;
+}
+
+OverlapChain::OverlapChain(double switch_prob) : p_(switch_prob) {
+  assert(switch_prob > 0 && switch_prob < 1);
+  alpha_ = 1.0 - 2.0 * p_ * (1.0 - p_);
+}
+
+uint64_t OverlapChain::ExactMixingTime(double tv_target) const {
+  // TV after t steps from a deterministic start is |2*alpha - 1|^t * 1/2.
+  double rho = std::abs(2.0 * alpha_ - 1.0);
+  if (rho == 0.0) return 0;
+  double t = std::log(2.0 * tv_target) / std::log(rho);
+  return static_cast<uint64_t>(std::max(0.0, std::ceil(t)));
+}
+
+double OverlapChain::PaperMixingBound() const {
+  return 3.0 / (2.0 * p_ * (1.0 - p_));
+}
+
+MarkovChain OverlapChain::AsMarkovChain() const {
+  double stay = alpha_;
+  return MarkovChain({{stay, 1.0 - stay}, {1.0 - stay, stay}});
+}
+
+double CllmTailBound(double delta, double mu, uint64_t n, double T,
+                     double C) {
+  assert(delta > 0 && delta < 1);
+  assert(mu > 0 && mu <= 1);
+  assert(T > 0);
+  double exponent = -delta * delta * mu * static_cast<double>(n) / (72.0 * T);
+  return std::min(1.0, C * std::exp(exponent));
+}
+
+}  // namespace varstream

@@ -1,0 +1,89 @@
+// Markov-chain tooling for Lemma 4.4 / Appendix G. The overlap process
+// between two independently-switching sequences is a 2-state chain
+// ("same" / "different"); the proof bounds its mixing time and applies the
+// Chernoff-Hoeffding bound for Markov chains of Chung, Lam, Liu &
+// Mitzenmacher (Fact G.2). We provide a generic finite chain plus the
+// closed-form 2-state specialization and the CLLM tail bound evaluator.
+
+#ifndef VARSTREAM_LOWERBOUND_MARKOV_H_
+#define VARSTREAM_LOWERBOUND_MARKOV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace varstream {
+
+/// A finite, row-stochastic Markov chain.
+class MarkovChain {
+ public:
+  /// `transition[i][j]` = P(next = j | current = i). Rows must sum to 1.
+  explicit MarkovChain(std::vector<std::vector<double>> transition);
+
+  size_t num_states() const { return transition_.size(); }
+
+  /// One step of the distribution map: d -> d * P.
+  std::vector<double> Step(const std::vector<double>& dist) const;
+
+  /// Stationary distribution by power iteration (requires ergodicity).
+  std::vector<double> Stationary(uint64_t iterations = 10000) const;
+
+  /// Total variation distance between distributions.
+  static double TotalVariation(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+  /// Smallest t such that max over deterministic starts of
+  /// TV(P^t(start), pi) <= tv_target. Capped at `max_steps`.
+  uint64_t MixingTime(double tv_target = 0.125,
+                      uint64_t max_steps = 1 << 20) const;
+
+  /// Samples an n-step path; initial state drawn from `initial`.
+  std::vector<uint32_t> SamplePath(const std::vector<double>& initial,
+                                   uint64_t n, Rng* rng) const;
+
+ private:
+  uint32_t SampleState(const std::vector<double>& dist, Rng* rng) const;
+
+  std::vector<std::vector<double>> transition_;
+};
+
+/// The 2-state overlap chain of Appendix G: from either state, switch with
+/// probability 1 - alpha where alpha = 1 - 2p(1-p) and p is the sequence
+/// switch probability. State 0 = "same", state 1 = "different"; stationary
+/// distribution is (1/2, 1/2).
+class OverlapChain {
+ public:
+  /// `switch_prob` is p, the per-step sequence toggle probability.
+  explicit OverlapChain(double switch_prob);
+
+  /// alpha = 1 - 2p(1-p): probability the overlap state persists.
+  double alpha() const { return alpha_; }
+
+  /// Exact (1/8)-mixing time: smallest t with (2*alpha-1)^t * 1/2 <= 1/8.
+  uint64_t ExactMixingTime(double tv_target = 0.125) const;
+
+  /// The paper's analytic bound T <= 3/(2p(1-p)) <= 9*eps*n/v when
+  /// p = v/(6*eps*n).
+  double PaperMixingBound() const;
+
+  /// As a generic chain (for cross-checking the generic machinery).
+  MarkovChain AsMarkovChain() const;
+
+ private:
+  double p_;
+  double alpha_;
+};
+
+/// Fact G.2 (Chung-Lam-Liu-Mitzenmacher, Theorem 3.1 specialization):
+/// for an n-step stationary walk with (1/8)-mixing time T and weight
+/// function with stationary mean mu,
+///   P(Y >= (1 + delta) * mu * n) <= C * exp(-delta^2 * mu * n / (72 T)),
+/// 0 < delta < 1. Returns the bound's value (clamped to 1).
+double CllmTailBound(double delta, double mu, uint64_t n, double T,
+                     double C = 1.0);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_LOWERBOUND_MARKOV_H_

@@ -1,0 +1,51 @@
+#include "lowerbound/offline_opt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace varstream {
+
+namespace {
+
+struct Interval {
+  double lo;
+  double hi;
+};
+
+Interval FeasibleAt(int64_t f, double eps) {
+  double band = eps * std::abs(static_cast<double>(f));
+  return {static_cast<double>(f) - band, static_cast<double>(f) + band};
+}
+
+}  // namespace
+
+OfflineSchedule OfflineOptimalSyncs(const std::vector<int64_t>& f,
+                                    double eps, int64_t initial) {
+  assert(eps >= 0);
+  OfflineSchedule schedule;
+  // Current feasible window for the synced value. Before the first sync
+  // the "synced value" is the known f(0) = initial, a point.
+  double lo = static_cast<double>(initial);
+  double hi = static_cast<double>(initial);
+  for (uint64_t t = 1; t <= f.size(); ++t) {
+    Interval need = FeasibleAt(f[t - 1], eps);
+    double new_lo = std::max(lo, need.lo);
+    double new_hi = std::min(hi, need.hi);
+    if (new_lo <= new_hi) {
+      lo = new_lo;
+      hi = new_hi;
+      continue;
+    }
+    // Must sync at (or before) time t; start a fresh run whose only
+    // constraint so far is time t's interval.
+    ++schedule.min_syncs;
+    schedule.sync_times.push_back(t);
+    lo = need.lo;
+    hi = need.hi;
+  }
+  return schedule;
+}
+
+}  // namespace varstream

@@ -1,0 +1,40 @@
+// Per-instance offline optimum for single-site tracking: given the whole
+// sequence f(1..n) up front, the minimum number of coordinator syncs such
+// that at every t the last synced value g satisfies |f(t) - g| <= eps*|f(t)|.
+//
+// Computed by greedy interval stabbing: each time t constrains the synced
+// value to the interval [f(t) - eps|f(t)|, f(t) + eps|f(t)|]; a sync can
+// serve a maximal run of times whose intervals have a common point, and
+// taking runs greedily from the left is optimal (classic exchange
+// argument). This is the yardstick the online algorithm of Appendix I is
+// measured against: its message count is at most (1+eps)/eps * v(n), and
+// OPT itself is Omega(v(n) * eps / ...) on worst-case instances — the
+// experiments report the measured online/OPT competitive ratio.
+
+#ifndef VARSTREAM_LOWERBOUND_OFFLINE_OPT_H_
+#define VARSTREAM_LOWERBOUND_OFFLINE_OPT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace varstream {
+
+/// Result of the offline schedule computation.
+struct OfflineSchedule {
+  /// Minimal number of syncs (messages) any offline tracker needs.
+  uint64_t min_syncs = 0;
+  /// The 1-based times at which the greedy schedule syncs (first time of
+  /// each maximal stabbable run).
+  std::vector<uint64_t> sync_times;
+};
+
+/// Computes the offline optimum for the sequence f(1..n) (f[t-1] = f(t))
+/// under relative error eps. The initial synced value is `initial`
+/// (= f(0)); a time whose interval contains the current synced value
+/// consumes no sync. Requires eps >= 0.
+OfflineSchedule OfflineOptimalSyncs(const std::vector<int64_t>& f,
+                                    double eps, int64_t initial = 0);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_LOWERBOUND_OFFLINE_OPT_H_

@@ -1,0 +1,96 @@
+#include "lowerbound/rand_family.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stream/variability.h"
+
+namespace varstream {
+
+RandFamily::RandFamily(double epsilon, double v, uint64_t n)
+    : epsilon_(epsilon), v_(v), n_(n) {
+  assert(epsilon > 0 && epsilon <= 0.5);
+  assert(v > 0);
+  assert(static_cast<double>(n) > 3.0 * v / epsilon);
+  m_ = static_cast<int64_t>(std::llround(1.0 / epsilon));
+  assert(m_ >= 2);
+  p_ = v / (6.0 * epsilon * static_cast<double>(n));
+  assert(p_ > 0 && p_ < 1);
+}
+
+std::vector<int64_t> RandFamily::Sample(Rng* rng) const {
+  std::vector<int64_t> f(n_);
+  int64_t low = m_;
+  int64_t high = m_ + 3;
+  int64_t value = rng->Bernoulli(0.5) ? low : high;
+  for (uint64_t t = 0; t < n_; ++t) {
+    if (rng->Bernoulli(p_)) value = (value == low) ? high : low;
+    f[t] = value;
+  }
+  return f;
+}
+
+uint64_t RandFamily::Overlaps(const std::vector<int64_t>& f,
+                              const std::vector<int64_t>& g) const {
+  assert(f.size() == g.size());
+  uint64_t overlaps = 0;
+  for (size_t t = 0; t < f.size(); ++t) {
+    double bound = epsilon_ * static_cast<double>(std::max(f[t], g[t]));
+    if (std::abs(static_cast<double>(f[t] - g[t])) <= bound) ++overlaps;
+  }
+  return overlaps;
+}
+
+bool RandFamily::Matches(const std::vector<int64_t>& f,
+                         const std::vector<int64_t>& g) const {
+  return Overlaps(f, g) * 10 >= 6 * n_;
+}
+
+uint64_t RandFamily::SwitchCount(const std::vector<int64_t>& seq) const {
+  uint64_t switches = 0;
+  for (size_t t = 1; t < seq.size(); ++t) {
+    if (seq[t] != seq[t - 1]) ++switches;
+  }
+  return switches;
+}
+
+double RandFamily::MeasuredVariability(
+    const std::vector<int64_t>& seq) const {
+  // f(0) is the first level; the paper's family varies only by toggles.
+  return ComputeVariability(seq, seq.empty() ? m_ : seq.front());
+}
+
+double RandFamily::MatchProbabilityBound(double C) const {
+  // Overlap Y ~ sum of y(s_t) with stationary mean mu = 1/2; matching means
+  // Y >= (6/10) n = (1 + 1/5) * mu * n, so delta = 1/5. T <= 9*eps*n/v.
+  double T = 9.0 * epsilon_ * static_cast<double>(n_) / v_;
+  return CllmTailBound(0.2, 0.5, n_, T, C);
+}
+
+double RandFamily::Log2FamilySizeTarget() const {
+  // |F| = (1/10) exp(v / (2*32400*eps)) from the proof of Lemma 4.4.
+  double ln_size = v_ / (2.0 * 32400.0 * epsilon_) - std::log(10.0);
+  return ln_size / std::log(2.0);
+}
+
+std::vector<std::vector<int64_t>> RandFamily::BuildGreedyFamily(
+    uint64_t target_size, uint64_t max_draws, Rng* rng) const {
+  std::vector<std::vector<int64_t>> family;
+  for (uint64_t draw = 0; draw < max_draws && family.size() < target_size;
+       ++draw) {
+    std::vector<int64_t> candidate = Sample(rng);
+    if (MeasuredVariability(candidate) > v_) continue;
+    bool clashes = false;
+    for (const auto& member : family) {
+      if (Matches(candidate, member)) {
+        clashes = true;
+        break;
+      }
+    }
+    if (!clashes) family.push_back(std::move(candidate));
+  }
+  return family;
+}
+
+}  // namespace varstream

@@ -1,0 +1,87 @@
+// Lemma 4.4 / Appendix G: the randomized hard family. Sequences start at
+// m = 1/epsilon or m+3 (fair coin) and independently toggle between the two
+// levels with probability p = v/(6*epsilon*n) at every step. Two sequences
+// "match" when they overlap (values within epsilon of each other, in the
+// paper's relative sense) in at least 6n/10 positions. The lemma shows a
+// family of e^{Omega(v/eps)} pairwise non-matching, variability-<=-v
+// sequences exists; we expose the sampling process, overlap/match
+// statistics, switch counts, and measured variability so experiments can
+// verify each ingredient (match probability vs the CLLM bound, switch
+// concentration, variability budget).
+
+#ifndef VARSTREAM_LOWERBOUND_RAND_FAMILY_H_
+#define VARSTREAM_LOWERBOUND_RAND_FAMILY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "lowerbound/markov.h"
+
+namespace varstream {
+
+class RandFamily {
+ public:
+  /// Requires epsilon in (0, 1/2], v > 0, n > 3v/epsilon (the lemma's
+  /// premise n > 3v/eps keeps p < 1/2).
+  RandFamily(double epsilon, double v, uint64_t n);
+
+  double epsilon() const { return epsilon_; }
+  double v_target() const { return v_; }
+  uint64_t n() const { return n_; }
+  int64_t low_level() const { return m_; }
+  int64_t high_level() const { return m_ + 3; }
+
+  /// The per-step toggle probability p = v / (6 * epsilon * n).
+  double SwitchProbability() const { return p_; }
+
+  /// Draws one sequence f(1..n) from the construction.
+  std::vector<int64_t> Sample(Rng* rng) const;
+
+  /// Number of positions t with |f(t) - g(t)| <= epsilon*max(f(t), g(t)).
+  uint64_t Overlaps(const std::vector<int64_t>& f,
+                    const std::vector<int64_t>& g) const;
+
+  /// True iff the sequences overlap in >= 6n/10 positions.
+  bool Matches(const std::vector<int64_t>& f,
+               const std::vector<int64_t>& g) const;
+
+  /// Number of level toggles in a sampled sequence.
+  uint64_t SwitchCount(const std::vector<int64_t>& seq) const;
+
+  /// Exact variability of a sampled sequence.
+  double MeasuredVariability(const std::vector<int64_t>& seq) const;
+
+  /// The overlap process between two independent samples, as the 2-state
+  /// chain of Appendix G.
+  OverlapChain Chain() const { return OverlapChain(p_); }
+
+  /// The CLLM upper bound (Fact G.2) on P(two sequences match), using the
+  /// paper's mixing-time bound T <= 9*eps*n/v, delta = 1/5, mu = 1/2.
+  double MatchProbabilityBound(double C = 1.0) const;
+
+  /// Expected switches p*n = v/(6*epsilon); the Chernoff argument of the
+  /// lemma says exceeding twice this has probability <= exp(-v/18eps).
+  double ExpectedSwitches() const { return p_ * static_cast<double>(n_); }
+
+  /// The lemma's family size target: (1/10) * exp(v / (2*32400*epsilon)).
+  double Log2FamilySizeTarget() const;
+
+  /// Greedily builds an actual pairwise-non-matching family with
+  /// variability <= v_cap by rejection, drawing at most `max_draws`
+  /// candidates. Small-scale constructive check of the lemma.
+  std::vector<std::vector<int64_t>> BuildGreedyFamily(uint64_t target_size,
+                                                      uint64_t max_draws,
+                                                      Rng* rng) const;
+
+ private:
+  double epsilon_;
+  double v_;
+  uint64_t n_;
+  int64_t m_;
+  double p_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_LOWERBOUND_RAND_FAMILY_H_

@@ -1,0 +1,88 @@
+#include "net/cost_meter.h"
+
+#include <numeric>
+
+namespace varstream {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kCiReport:
+      return "ci";
+    case MessageKind::kPollRequest:
+      return "poll";
+    case MessageKind::kPollReply:
+      return "reply";
+    case MessageKind::kBroadcast:
+      return "bcast";
+    case MessageKind::kDrift:
+      return "drift";
+    case MessageKind::kEndOfBlockReport:
+      return "eob";
+    case MessageKind::kSync:
+      return "sync";
+    case MessageKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+void CostMeter::Count(MessageKind kind, uint64_t bits_each, uint64_t count) {
+  auto idx = static_cast<size_t>(kind);
+  messages_[idx] += count;
+  bits_[idx] += bits_each * count;
+}
+
+uint64_t CostMeter::total_messages() const {
+  return std::accumulate(messages_.begin(), messages_.end(), uint64_t{0});
+}
+
+uint64_t CostMeter::total_bits() const {
+  return std::accumulate(bits_.begin(), bits_.end(), uint64_t{0});
+}
+
+uint64_t CostMeter::messages(MessageKind kind) const {
+  return messages_[static_cast<size_t>(kind)];
+}
+
+uint64_t CostMeter::bits(MessageKind kind) const {
+  return bits_[static_cast<size_t>(kind)];
+}
+
+uint64_t CostMeter::partition_messages() const {
+  return messages(MessageKind::kCiReport) +
+         messages(MessageKind::kPollRequest) +
+         messages(MessageKind::kPollReply) +
+         messages(MessageKind::kBroadcast);
+}
+
+uint64_t CostMeter::tracking_messages() const {
+  return messages(MessageKind::kDrift) +
+         messages(MessageKind::kEndOfBlockReport) +
+         messages(MessageKind::kSync);
+}
+
+void CostMeter::Reset() {
+  messages_.fill(0);
+  bits_.fill(0);
+}
+
+void CostMeter::Merge(const CostMeter& other) {
+  for (size_t i = 0; i < kKinds; ++i) {
+    messages_[i] += other.messages_[i];
+    bits_[i] += other.bits_[i];
+  }
+}
+
+std::string CostMeter::Breakdown() const {
+  std::string out;
+  for (size_t i = 0; i < kKinds; ++i) {
+    if (messages_[i] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += MessageKindName(static_cast<MessageKind>(i));
+    out += '=';
+    out += std::to_string(messages_[i]);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace varstream

@@ -1,0 +1,59 @@
+// Communication accounting: counts messages and bits per MessageKind.
+// Every protocol in the library reports its cost exclusively through a
+// CostMeter, which is what the reproduction experiments compare against the
+// paper's bounds.
+
+#ifndef VARSTREAM_NET_COST_METER_H_
+#define VARSTREAM_NET_COST_METER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+
+namespace varstream {
+
+class CostMeter {
+ public:
+  CostMeter() = default;
+
+  /// Records `count` messages of the given kind, each of `bits_each` bits.
+  void Count(MessageKind kind, uint64_t bits_each, uint64_t count = 1);
+
+  /// Total messages across all kinds.
+  uint64_t total_messages() const;
+
+  /// Total bits across all kinds.
+  uint64_t total_bits() const;
+
+  uint64_t messages(MessageKind kind) const;
+  uint64_t bits(MessageKind kind) const;
+
+  /// Messages attributable to the section 3.1 block partitioning
+  /// (ci reports + polls + replies + broadcasts).
+  uint64_t partition_messages() const;
+
+  /// Messages attributable to in-block estimation (drift messages) and
+  /// end-of-block counter reports.
+  uint64_t tracking_messages() const;
+
+  /// Resets all counters to zero.
+  void Reset();
+
+  /// Adds another meter's counts into this one.
+  void Merge(const CostMeter& other);
+
+  /// One-line breakdown, e.g. "ci=12 poll=4 reply=4 bcast=4 drift=37".
+  std::string Breakdown() const;
+
+ private:
+  static constexpr size_t kKinds =
+      static_cast<size_t>(MessageKind::kNumKinds);
+  std::array<uint64_t, kKinds> messages_{};
+  std::array<uint64_t, kKinds> bits_{};
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_NET_COST_METER_H_

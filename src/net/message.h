@@ -1,0 +1,42 @@
+// Message taxonomy for the distributed monitoring simulation. The paper's
+// cost model counts messages of O(log n) bits between the k sites and the
+// coordinator; we tag every send with a kind so benchmarks can split the
+// block-partitioning traffic (section 3.1) from the in-block tracking
+// traffic (sections 3.3 / 3.4) and end-of-block reports (Appendix H).
+
+#ifndef VARSTREAM_NET_MESSAGE_H_
+#define VARSTREAM_NET_MESSAGE_H_
+
+#include <cstdint>
+
+namespace varstream {
+
+/// Classifies every message in the protocols.
+enum class MessageKind : uint8_t {
+  kCiReport = 0,        // site -> coordinator: block-partition count report
+  kPollRequest,         // coordinator -> site: end-of-block poll
+  kPollReply,           // site -> coordinator: exact (ci, fi) reply
+  kBroadcast,           // coordinator -> site: new scale r (one per site)
+  kDrift,               // site -> coordinator: in-block drift message
+  kEndOfBlockReport,    // site -> coordinator: heavy counter report (App. H)
+  kSync,                // baseline synchronization messages
+  kNumKinds,            // sentinel
+};
+
+/// Short label for tables.
+const char* MessageKindName(MessageKind kind);
+
+/// Payload sizing helpers. The theory charges O(log n) bits per message;
+/// we charge an explicit header plus a machine word so bit totals are an
+/// interpretable affine function of the message count.
+inline constexpr uint64_t kHeaderBits = 24;  // site id (16) + kind tag (8)
+inline constexpr uint64_t kWordBits = 64;    // one counter value
+
+/// Bits for a message carrying `words` counter values.
+inline constexpr uint64_t MessageBits(uint64_t words) {
+  return kHeaderBits + words * kWordBits;
+}
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_NET_MESSAGE_H_

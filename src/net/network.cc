@@ -1,0 +1,33 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace varstream {
+
+SimNetwork::SimNetwork(uint32_t num_sites) : num_sites_(num_sites) {
+  assert(num_sites >= 1);
+}
+
+void SimNetwork::SendToCoordinator(uint32_t site, MessageKind kind,
+                                   uint64_t words) {
+  assert(site < num_sites_);
+  cost_.Count(kind, MessageBits(words));
+  if (logging_) log_.push_back({now_, kind, site, /*to_coordinator=*/true});
+}
+
+void SimNetwork::SendToSite(uint32_t site, MessageKind kind, uint64_t words) {
+  assert(site < num_sites_);
+  cost_.Count(kind, MessageBits(words));
+  if (logging_) log_.push_back({now_, kind, site, /*to_coordinator=*/false});
+}
+
+void SimNetwork::Broadcast(MessageKind kind, uint64_t words) {
+  cost_.Count(kind, MessageBits(words), num_sites_);
+  if (logging_) {
+    for (uint32_t s = 0; s < num_sites_; ++s) {
+      log_.push_back({now_, kind, s, /*to_coordinator=*/false});
+    }
+  }
+}
+
+}  // namespace varstream

@@ -1,0 +1,65 @@
+// SimNetwork: the star topology of the distributed monitoring model — k
+// sites, one coordinator, synchronous reliable delivery. Delivery itself is
+// a function call inside the trackers; SimNetwork centralizes the cost
+// accounting and (optionally) an event log for debugging and tests.
+
+#ifndef VARSTREAM_NET_NETWORK_H_
+#define VARSTREAM_NET_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/cost_meter.h"
+#include "net/message.h"
+
+namespace varstream {
+
+/// One logged message event (only recorded when logging is enabled).
+struct MessageEvent {
+  uint64_t time = 0;  // timestep at which the message was sent
+  MessageKind kind = MessageKind::kDrift;
+  uint32_t site = 0;          // site endpoint (sender or receiver)
+  bool to_coordinator = true;  // direction
+};
+
+class SimNetwork {
+ public:
+  /// Requires num_sites >= 1.
+  explicit SimNetwork(uint32_t num_sites);
+
+  uint32_t num_sites() const { return num_sites_; }
+
+  /// Advances the simulation clock; trackers call this once per update so
+  /// logged events carry timestamps.
+  void Tick() { ++now_; }
+  uint64_t now() const { return now_; }
+
+  /// Site -> coordinator message carrying `words` counter values.
+  void SendToCoordinator(uint32_t site, MessageKind kind, uint64_t words = 1);
+
+  /// Coordinator -> one site.
+  void SendToSite(uint32_t site, MessageKind kind, uint64_t words = 1);
+
+  /// Coordinator -> all sites; counts num_sites() messages, as the paper's
+  /// model charges broadcasts per recipient.
+  void Broadcast(MessageKind kind, uint64_t words = 1);
+
+  const CostMeter& cost() const { return cost_; }
+  CostMeter* mutable_cost() { return &cost_; }
+
+  /// Enables the in-memory event log (off by default; tests only — the log
+  /// grows with every message).
+  void EnableLogging() { logging_ = true; }
+  const std::vector<MessageEvent>& log() const { return log_; }
+
+ private:
+  uint32_t num_sites_;
+  uint64_t now_ = 0;
+  CostMeter cost_;
+  bool logging_ = false;
+  std::vector<MessageEvent> log_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_NET_NETWORK_H_

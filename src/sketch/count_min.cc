@@ -1,0 +1,147 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace varstream {
+
+namespace {
+
+template <typename T>
+void AppendLE(std::vector<uint8_t>* buf, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf->push_back(static_cast<uint8_t>(
+        (static_cast<uint64_t>(value) >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+bool ReadLE(const std::vector<uint8_t>& buf, size_t* pos, T* out) {
+  if (*pos + sizeof(T) > buf.size()) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<uint64_t>(buf[*pos + i]) << (8 * i);
+  }
+  *pos += sizeof(T);
+  *out = static_cast<T>(v);
+  return true;
+}
+
+constexpr uint32_t kCountMinMagic = 0x434D534B;  // "CMSK"
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(uint64_t rows, uint64_t width, Rng* rng)
+    : mapper_(std::make_shared<CountMinMapper>(rows, width, rng)),
+      bank_(mapper_->RowWidths()) {}
+
+CountMinSketch::CountMinSketch(std::shared_ptr<CountMinMapper> mapper)
+    : mapper_(std::move(mapper)), bank_(mapper_->RowWidths()) {}
+
+CountMinSketch CountMinSketch::PartitionForEpsilon(double epsilon, Rng* rng) {
+  assert(epsilon > 0 && epsilon <= 1);
+  auto width = static_cast<uint64_t>(std::ceil(27.0 / epsilon));
+  return CountMinSketch(1, width, rng);
+}
+
+CountMinSketch CountMinSketch::ForErrorProbability(double epsilon,
+                                                   double delta, Rng* rng) {
+  assert(epsilon > 0 && epsilon <= 1);
+  assert(delta > 0 && delta < 1);
+  auto width =
+      static_cast<uint64_t>(std::ceil(std::exp(1.0) / epsilon));
+  auto rows = static_cast<uint64_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<uint64_t>(rows, 1), width, rng);
+}
+
+void CountMinSketch::Update(uint64_t item, int64_t delta) {
+  for (uint64_t r = 0; r < mapper_->rows(); ++r) {
+    bank_.at(r, mapper_->Bucket(r, item)) += delta;
+  }
+}
+
+int64_t CountMinSketch::EstimateMin(uint64_t item) const {
+  int64_t best = bank_.at(0, mapper_->Bucket(0, item));
+  for (uint64_t r = 1; r < mapper_->rows(); ++r) {
+    best = std::min(best, bank_.at(r, mapper_->Bucket(r, item)));
+  }
+  return best;
+}
+
+int64_t CountMinSketch::EstimateMedian(uint64_t item) const {
+  std::vector<int64_t> values;
+  values.reserve(mapper_->rows());
+  for (uint64_t r = 0; r < mapper_->rows(); ++r) {
+    values.push_back(bank_.at(r, mapper_->Bucket(r, item)));
+  }
+  auto mid = values.begin() + static_cast<int64_t>(values.size() / 2);
+  std::nth_element(values.begin(), mid, values.end());
+  return *mid;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  assert(mapper_ == other.mapper_ ||
+         (rows() == other.rows() && width() == other.width()));
+  bank_.Merge(other.bank_);
+}
+
+std::vector<uint8_t> CountMinSketch::Serialize() const {
+  std::vector<uint8_t> buf;
+  uint64_t rows = mapper_->rows();
+  uint64_t width = mapper_->width(0);
+  buf.reserve(24 + rows * 16 + rows * width * 8);
+  AppendLE<uint32_t>(&buf, kCountMinMagic);
+  AppendLE<uint64_t>(&buf, rows);
+  AppendLE<uint64_t>(&buf, width);
+  for (uint64_t r = 0; r < rows; ++r) {
+    AppendLE<uint64_t>(&buf, mapper_->function(r).a());
+    AppendLE<uint64_t>(&buf, mapper_->function(r).b());
+  }
+  for (uint64_t i = 0; i < bank_.total_counters(); ++i) {
+    AppendLE<int64_t>(&buf, bank_.flat(i));
+  }
+  return buf;
+}
+
+bool CountMinSketch::Deserialize(const std::vector<uint8_t>& buffer,
+                                 std::unique_ptr<CountMinSketch>* out) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  if (!ReadLE(buffer, &pos, &magic) || magic != kCountMinMagic) return false;
+  uint64_t rows = 0, width = 0;
+  if (!ReadLE(buffer, &pos, &rows)) return false;
+  if (!ReadLE(buffer, &pos, &width)) return false;
+  if (rows == 0 || width == 0) return false;
+  // Bound the shape by the remaining bytes: rows*(a,b) + rows*width
+  // counters must fit.
+  if ((buffer.size() - pos) / 16 < rows) return false;
+  std::vector<PairwiseHash> funcs;
+  funcs.reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    uint64_t a = 0, b = 0;
+    if (!ReadLE(buffer, &pos, &a)) return false;
+    if (!ReadLE(buffer, &pos, &b)) return false;
+    if (a == 0 || a >= kMersenne61 || b >= kMersenne61) return false;
+    funcs.emplace_back(a, b, width);
+  }
+  if ((buffer.size() - pos) / 8 < rows * width) return false;
+  auto sketch = std::unique_ptr<CountMinSketch>(new CountMinSketch(
+      std::make_shared<CountMinMapper>(std::move(funcs))));
+  for (uint64_t i = 0; i < rows * width; ++i) {
+    int64_t value = 0;
+    if (!ReadLE(buffer, &pos, &value)) return false;
+    sketch->bank_.flat(i) = value;
+  }
+  *out = std::move(sketch);
+  return true;
+}
+
+int64_t CountMinSketch::RowMass(uint64_t row) const {
+  int64_t mass = 0;
+  for (uint64_t c = 0; c < bank_.width(row); ++c) mass += bank_.at(row, c);
+  return mass;
+}
+
+}  // namespace varstream

@@ -1,0 +1,76 @@
+// The Count-Min sketch of Cormode & Muthukrishnan [3], the randomized
+// small-space substrate of Appendix H.0.2. For a nonnegative frequency
+// vector with mass F1, a sketch of `rows` pairwise-independent rows and
+// `width` buckets answers point queries with one-sided error:
+//   f_l <= EstimateMin(l) <= f_l + 2*F1/width   w.p. >= 1 - 2^-rows.
+// Appendix H uses the single-row partition variant with width 27/epsilon,
+// which gives error <= epsilon*F1/3 with probability >= 8/9 per query.
+
+#ifndef VARSTREAM_SKETCH_COUNT_MIN_H_
+#define VARSTREAM_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "sketch/counter_bank.h"
+
+namespace varstream {
+
+class CountMinSketch {
+ public:
+  /// General sketch: `rows` x `width` counters.
+  CountMinSketch(uint64_t rows, uint64_t width, Rng* rng);
+
+  /// Appendix H's single-row partition: width = ceil(27/epsilon), rows = 1.
+  /// Point error <= epsilon*F1/3 with probability >= 8/9.
+  static CountMinSketch PartitionForEpsilon(double epsilon, Rng* rng);
+
+  /// Classic parameterization: error <= (e/width_factor)*F1 w.p. 1-delta,
+  /// i.e. width = ceil(e/eps), rows = ceil(ln(1/delta)).
+  static CountMinSketch ForErrorProbability(double epsilon, double delta,
+                                            Rng* rng);
+
+  /// Adds `delta` (may be negative in turnstile streams) to item's cells.
+  void Update(uint64_t item, int64_t delta);
+
+  /// Point query for strict/nonnegative streams: min over rows. Upper
+  /// bounds the true frequency when all frequencies are nonnegative.
+  int64_t EstimateMin(uint64_t item) const;
+
+  /// Point query for general turnstile streams: median over rows.
+  int64_t EstimateMedian(uint64_t item) const;
+
+  /// Merges a sketch built with the same mapper (same seed/shape).
+  void Merge(const CountMinSketch& other);
+
+  /// Serializes shape, hash coefficients, and counters to a compact
+  /// buffer — a site can build a sketch locally and ship it.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a buffer from Serialize(). Returns false on malformed input.
+  /// The reconstructed sketch uses the identical hash functions, so
+  /// merged/compared estimates are exact across the wire.
+  static bool Deserialize(const std::vector<uint8_t>& buffer,
+                          std::unique_ptr<CountMinSketch>* out);
+
+  /// Total mass currently in one row (= F1 for insert-only streams).
+  int64_t RowMass(uint64_t row = 0) const;
+
+  uint64_t rows() const { return mapper_->rows(); }
+  uint64_t width() const { return mapper_->width(0); }
+  uint64_t SpaceBits() const { return bank_.SpaceBits(); }
+
+  const CountMinMapper& mapper() const { return *mapper_; }
+
+ private:
+  explicit CountMinSketch(std::shared_ptr<CountMinMapper> mapper);
+
+  std::shared_ptr<CountMinMapper> mapper_;  // shared so Merge can verify
+  CounterBank bank_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SKETCH_COUNT_MIN_H_

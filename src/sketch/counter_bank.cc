@@ -1,0 +1,92 @@
+#include "sketch/counter_bank.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace varstream {
+
+CounterBank::CounterBank(std::vector<uint64_t> row_widths) {
+  offsets_.reserve(row_widths.size() + 1);
+  offsets_.push_back(0);
+  for (uint64_t w : row_widths) {
+    assert(w >= 1);
+    offsets_.push_back(offsets_.back() + w);
+  }
+  counters_.assign(offsets_.back(), 0);
+}
+
+void CounterBank::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+void CounterBank::Merge(const CounterBank& other) {
+  assert(offsets_ == other.offsets_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+std::vector<uint64_t> SketchMapper::RowWidths() const {
+  std::vector<uint64_t> widths;
+  widths.reserve(rows());
+  for (uint64_t r = 0; r < rows(); ++r) widths.push_back(width(r));
+  return widths;
+}
+
+CountMinMapper::CountMinMapper(uint64_t rows, uint64_t width, Rng* rng)
+    : bank_(rows, width, rng) {
+  assert(rows >= 1);
+  assert(width >= 1);
+}
+
+CountMinMapper::CountMinMapper(std::vector<PairwiseHash> funcs)
+    : bank_(std::move(funcs)) {}
+
+double CountMinMapper::Combine(
+    const std::vector<double>& row_estimates) const {
+  assert(!row_estimates.empty());
+  return *std::min_element(row_estimates.begin(), row_estimates.end());
+}
+
+CRPrecisMapper::CRPrecisMapper(uint64_t t, uint64_t min_width)
+    : primes_(FirstPrimesAtLeast(std::max<uint64_t>(min_width, 2), t)) {
+  assert(t >= 1);
+}
+
+double CRPrecisMapper::Combine(
+    const std::vector<double>& row_estimates) const {
+  assert(!row_estimates.empty());
+  double sum = 0;
+  for (double e : row_estimates) sum += e;
+  return sum / static_cast<double>(row_estimates.size());
+}
+
+double CRPrecisMapper::GuaranteedErrorFraction(uint64_t universe) const {
+  assert(universe >= 2);
+  double c = std::floor(std::log(static_cast<double>(universe)) /
+                        std::log(static_cast<double>(primes_.front())));
+  return c / static_cast<double>(primes_.size());
+}
+
+std::vector<uint64_t> FirstPrimesAtLeast(uint64_t floor, uint64_t count) {
+  auto is_prime = [](uint64_t x) {
+    if (x < 2) return false;
+    if (x % 2 == 0) return x == 2;
+    for (uint64_t d = 3; d * d <= x; d += 2) {
+      if (x % d == 0) return false;
+    }
+    return true;
+  };
+  std::vector<uint64_t> primes;
+  primes.reserve(count);
+  uint64_t candidate = std::max<uint64_t>(floor, 2);
+  while (primes.size() < count) {
+    if (is_prime(candidate)) primes.push_back(candidate);
+    ++candidate;
+  }
+  return primes;
+}
+
+}  // namespace varstream

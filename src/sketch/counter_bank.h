@@ -1,0 +1,141 @@
+// Counter storage and item->bucket mappings shared by the sketches of
+// Appendix H.0.2 and by the distributed sketch-frequency tracker, which
+// runs the Appendix H tracking protocol over "virtual items" = sketch
+// counters instead of real items.
+
+#ifndef VARSTREAM_SKETCH_COUNTER_BANK_H_
+#define VARSTREAM_SKETCH_COUNTER_BANK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace varstream {
+
+/// Dense 2-D array of int64 counters with per-row widths (CR-precis rows
+/// are sized by distinct primes, so widths differ per row).
+class CounterBank {
+ public:
+  explicit CounterBank(std::vector<uint64_t> row_widths);
+
+  uint64_t rows() const { return offsets_.size() - 1; }
+  uint64_t width(uint64_t row) const {
+    return offsets_[row + 1] - offsets_[row];
+  }
+  uint64_t total_counters() const { return counters_.size(); }
+
+  int64_t& at(uint64_t row, uint64_t col) {
+    return counters_[offsets_[row] + col];
+  }
+  int64_t at(uint64_t row, uint64_t col) const {
+    return counters_[offsets_[row] + col];
+  }
+
+  /// Flat index of (row, col) in [0, total_counters()).
+  uint64_t FlatIndex(uint64_t row, uint64_t col) const {
+    return offsets_[row] + col;
+  }
+
+  int64_t& flat(uint64_t index) { return counters_[index]; }
+  int64_t flat(uint64_t index) const { return counters_[index]; }
+
+  /// Sets all counters to zero.
+  void Clear();
+
+  /// Adds another bank with identical shape.
+  void Merge(const CounterBank& other);
+
+  /// Storage cost in bits at `bits_per_counter` each.
+  uint64_t SpaceBits(uint64_t bits_per_counter = 64) const {
+    return total_counters() * bits_per_counter;
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // rows()+1 prefix offsets
+  std::vector<int64_t> counters_;
+};
+
+/// Maps items to one bucket per row and combines per-row estimates into a
+/// point estimate. Implementations: Count-Min (pairwise hashing, min) and
+/// CR-precis (mod distinct primes, average).
+class SketchMapper {
+ public:
+  virtual ~SketchMapper() = default;
+
+  virtual uint64_t rows() const = 0;
+  virtual uint64_t width(uint64_t row) const = 0;
+  virtual uint64_t Bucket(uint64_t row, uint64_t item) const = 0;
+
+  /// Combines the per-row counter estimates for an item.
+  virtual double Combine(const std::vector<double>& row_estimates) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Row widths in order (convenience for building a matching bank).
+  std::vector<uint64_t> RowWidths() const;
+};
+
+/// Count-Min mapping: `rows` pairwise-independent hash functions into
+/// `width` buckets; combine = min (valid upper bound for nonnegative
+/// streams). The Appendix H partition uses rows = 1, width = ceil(27/eps).
+class CountMinMapper : public SketchMapper {
+ public:
+  CountMinMapper(uint64_t rows, uint64_t width, Rng* rng);
+
+  /// Builds from explicit hash functions (deserialization).
+  explicit CountMinMapper(std::vector<PairwiseHash> funcs);
+
+  const PairwiseHash& function(uint64_t row) const {
+    return bank_.function(row);
+  }
+
+  uint64_t rows() const override { return bank_.rows(); }
+  uint64_t width(uint64_t) const override { return bank_.width(); }
+  uint64_t Bucket(uint64_t row, uint64_t item) const override {
+    return bank_.Hash(row, item);
+  }
+  double Combine(const std::vector<double>& row_estimates) const override;
+  std::string name() const override { return "count-min"; }
+
+ private:
+  HashBank bank_;
+};
+
+/// CR-precis mapping (Ganguly & Majumder): row r maps item to
+/// item mod p_r for distinct primes p_1 < ... < p_t, each >= min_width;
+/// combine = average (the linear-sketch variant noted in Appendix H).
+/// Deterministic: two distinct items of a universe of size U collide in at
+/// most log_{p_1}(U) rows, so the average estimate has error at most
+/// (log_{p_1}(U) / t) * F1.
+class CRPrecisMapper : public SketchMapper {
+ public:
+  /// Requires t >= 1, min_width >= 2.
+  CRPrecisMapper(uint64_t t, uint64_t min_width);
+
+  uint64_t rows() const override { return primes_.size(); }
+  uint64_t width(uint64_t row) const override { return primes_[row]; }
+  uint64_t Bucket(uint64_t row, uint64_t item) const override {
+    return item % primes_[row];
+  }
+  double Combine(const std::vector<double>& row_estimates) const override;
+  std::string name() const override { return "cr-precis"; }
+
+  const std::vector<uint64_t>& primes() const { return primes_; }
+
+  /// The deterministic error fraction c/t with c = floor(log(universe) /
+  /// log(smallest prime)): point-estimate error is at most this times F1.
+  double GuaranteedErrorFraction(uint64_t universe) const;
+
+ private:
+  std::vector<uint64_t> primes_;
+};
+
+/// The first `count` primes >= floor, in increasing order.
+std::vector<uint64_t> FirstPrimesAtLeast(uint64_t floor, uint64_t count);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SKETCH_COUNTER_BANK_H_

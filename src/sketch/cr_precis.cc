@@ -1,0 +1,119 @@
+#include "sketch/cr_precis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace varstream {
+
+namespace {
+
+template <typename T>
+void AppendLE(std::vector<uint8_t>* buf, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf->push_back(static_cast<uint8_t>(
+        (static_cast<uint64_t>(value) >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+bool ReadLE(const std::vector<uint8_t>& buf, size_t* pos, T* out) {
+  if (*pos + sizeof(T) > buf.size()) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<uint64_t>(buf[*pos + i]) << (8 * i);
+  }
+  *pos += sizeof(T);
+  *out = static_cast<T>(v);
+  return true;
+}
+
+constexpr uint32_t kCrPrecisMagic = 0x43525053;  // "CRPS"
+
+}  // namespace
+
+CRPrecisSketch::CRPrecisSketch(uint64_t t, uint64_t min_width)
+    : mapper_(std::make_shared<CRPrecisMapper>(t, min_width)),
+      bank_(mapper_->RowWidths()) {}
+
+CRPrecisSketch CRPrecisSketch::ForEpsilon(double epsilon, uint64_t universe) {
+  assert(epsilon > 0 && epsilon < 1);
+  assert(universe >= 2);
+  auto t = static_cast<uint64_t>(std::ceil(3.0 / epsilon));
+  double log_u = std::log2(static_cast<double>(universe));
+  double log_inv_eps = std::max(std::log2(1.0 / epsilon), 1.0);
+  auto min_width = static_cast<uint64_t>(
+      std::ceil(6.0 * log_u / (epsilon * log_inv_eps)));
+  return CRPrecisSketch(t, std::max<uint64_t>(min_width, 2));
+}
+
+void CRPrecisSketch::Update(uint64_t item, int64_t delta) {
+  for (uint64_t r = 0; r < mapper_->rows(); ++r) {
+    bank_.at(r, mapper_->Bucket(r, item)) += delta;
+  }
+}
+
+double CRPrecisSketch::EstimateAvg(uint64_t item) const {
+  double sum = 0;
+  for (uint64_t r = 0; r < mapper_->rows(); ++r) {
+    sum += static_cast<double>(bank_.at(r, mapper_->Bucket(r, item)));
+  }
+  return sum / static_cast<double>(mapper_->rows());
+}
+
+int64_t CRPrecisSketch::EstimateMin(uint64_t item) const {
+  int64_t best = bank_.at(0, mapper_->Bucket(0, item));
+  for (uint64_t r = 1; r < mapper_->rows(); ++r) {
+    best = std::min(best, bank_.at(r, mapper_->Bucket(r, item)));
+  }
+  return best;
+}
+
+void CRPrecisSketch::Merge(const CRPrecisSketch& other) {
+  assert(mapper_->primes() == other.mapper_->primes());
+  bank_.Merge(other.bank_);
+}
+
+std::vector<uint8_t> CRPrecisSketch::Serialize() const {
+  // The prime table is fully determined by (t, p0): FirstPrimesAtLeast
+  // regenerates it, so only the seed pair ships with the counters.
+  std::vector<uint8_t> buf;
+  buf.reserve(28 + bank_.total_counters() * 8);
+  AppendLE<uint32_t>(&buf, kCrPrecisMagic);
+  AppendLE<uint64_t>(&buf, mapper_->rows());
+  AppendLE<uint64_t>(&buf, mapper_->primes().front());
+  for (uint64_t i = 0; i < bank_.total_counters(); ++i) {
+    AppendLE<int64_t>(&buf, bank_.flat(i));
+  }
+  return buf;
+}
+
+bool CRPrecisSketch::Deserialize(const std::vector<uint8_t>& buffer,
+                                 std::unique_ptr<CRPrecisSketch>* out) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  if (!ReadLE(buffer, &pos, &magic) || magic != kCrPrecisMagic) {
+    return false;
+  }
+  uint64_t rows = 0, p0 = 0;
+  if (!ReadLE(buffer, &pos, &rows)) return false;
+  if (!ReadLE(buffer, &pos, &p0)) return false;
+  if (rows == 0 || p0 < 2) return false;
+  // Reject shapes that cannot fit before regenerating primes: each row
+  // has at least p0 counters of 8 bytes.
+  if ((buffer.size() - pos) / 8 < rows * p0) return false;
+  auto sketch = std::make_unique<CRPrecisSketch>(rows, p0);
+  if (sketch->mapper().primes().front() != p0) return false;  // p0 not prime
+  uint64_t total = sketch->total_counters();
+  if ((buffer.size() - pos) / 8 < total) return false;
+  for (uint64_t i = 0; i < total; ++i) {
+    int64_t value = 0;
+    if (!ReadLE(buffer, &pos, &value)) return false;
+    sketch->bank_.flat(i) = value;
+  }
+  *out = std::move(sketch);
+  return true;
+}
+
+}  // namespace varstream

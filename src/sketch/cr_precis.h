@@ -1,0 +1,66 @@
+// The CR-precis structure of Ganguly & Majumder [6][7]: a *deterministic*
+// counter sketch. Row r holds p_r counters (p_r distinct primes) and maps
+// item l to l mod p_r. Two distinct items of a universe of size U collide
+// in at most log_{p_1}(U) rows, so with t rows the average-over-rows
+// estimate errs by at most (log_{p_1}(U)/t) * F1 — no randomness involved.
+// Appendix H sizes it as 3/eps rows of 6*log(U)/(eps*log(1/eps)) counters
+// for error eps*F1/3; the average combiner keeps the sketch linear.
+
+#ifndef VARSTREAM_SKETCH_CR_PRECIS_H_
+#define VARSTREAM_SKETCH_CR_PRECIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sketch/counter_bank.h"
+
+namespace varstream {
+
+class CRPrecisSketch {
+ public:
+  /// `t` rows; the primes start at `min_width`.
+  CRPrecisSketch(uint64_t t, uint64_t min_width);
+
+  /// Appendix H sizing for a target epsilon and universe size:
+  /// t = ceil(3/eps) rows, primes >= ceil(6*log2(U) / (eps*log2(1/eps))).
+  static CRPrecisSketch ForEpsilon(double epsilon, uint64_t universe);
+
+  void Update(uint64_t item, int64_t delta);
+
+  /// Linear (average over rows) point estimate — the variant Appendix H
+  /// uses so the structure stays a linear sketch.
+  double EstimateAvg(uint64_t item) const;
+
+  /// Min over rows: the original Ganguly-Majumder estimator; an upper
+  /// bound for nonnegative streams.
+  int64_t EstimateMin(uint64_t item) const;
+
+  void Merge(const CRPrecisSketch& other);
+
+  /// Serializes primes and counters to a compact buffer.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a buffer from Serialize(). Returns false on malformed input.
+  static bool Deserialize(const std::vector<uint8_t>& buffer,
+                          std::unique_ptr<CRPrecisSketch>* out);
+
+  /// Deterministic worst-case point error as a fraction of F1 for the
+  /// given universe size.
+  double GuaranteedErrorFraction(uint64_t universe) const {
+    return mapper_->GuaranteedErrorFraction(universe);
+  }
+
+  uint64_t rows() const { return mapper_->rows(); }
+  uint64_t total_counters() const { return bank_.total_counters(); }
+  uint64_t SpaceBits() const { return bank_.SpaceBits(); }
+  const CRPrecisMapper& mapper() const { return *mapper_; }
+
+ private:
+  std::shared_ptr<CRPrecisMapper> mapper_;
+  CounterBank bank_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SKETCH_CR_PRECIS_H_

@@ -1,0 +1,56 @@
+#include "stream/expansion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+std::vector<int64_t> ExpandUpdate(int64_t delta) {
+  std::vector<int64_t> steps;
+  if (delta == 0) return steps;
+  int sign = Sgn(delta);
+  steps.assign(AbsU64(delta), sign);
+  return steps;
+}
+
+UnitExpansionGenerator::UnitExpansionGenerator(
+    std::unique_ptr<CountGenerator> inner)
+    : inner_(std::move(inner)) {}
+
+int64_t UnitExpansionGenerator::NextDelta() {
+  while (pending_ == 0) {
+    int64_t delta = inner_->NextDelta();
+    ++inner_updates_;
+    if (delta == 0) continue;
+    pending_ = static_cast<int64_t>(AbsU64(delta));
+    pending_sign_ = Sgn(delta);
+  }
+  --pending_;
+  return pending_sign_;
+}
+
+double ExpansionVariabilityBoundPositive(int64_t f_prev, int64_t delta) {
+  assert(delta > 0);
+  assert(f_prev >= 0);
+  double f_new = static_cast<double>(f_prev + delta);
+  double d = static_cast<double>(delta);
+  return (d / f_new) * (1.0 + HarmonicNumber(static_cast<uint64_t>(delta)));
+}
+
+double ExpansionVariabilityExact(int64_t f_prev, int64_t delta) {
+  assert(delta != 0);
+  double v = 0.0;
+  int sign = Sgn(delta);
+  int64_t f = f_prev;
+  for (int64_t i = 0; i < static_cast<int64_t>(AbsU64(delta)); ++i) {
+    f += sign;
+    v += (f == 0) ? 1.0
+                  : std::min(1.0, 1.0 / static_cast<double>(AbsU64(f)));
+  }
+  return v;
+}
+
+}  // namespace varstream

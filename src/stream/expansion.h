@@ -1,0 +1,56 @@
+// Appendix C: simulating large updates. The upper-bound algorithms of
+// section 3 assume f'(n) = +-1; an update with |f'(n)| > 1 is simulated by
+// |f'(n)| arrivals of +-1. Theorem C.1 bounds the variability overhead of
+// this expansion by a factor O(log max|f'|).
+
+#ifndef VARSTREAM_STREAM_EXPANSION_H_
+#define VARSTREAM_STREAM_EXPANSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/generator.h"
+
+namespace varstream {
+
+/// Expands one update of magnitude |delta| into |delta| unit steps with the
+/// sign of delta. delta = 0 produces nothing.
+std::vector<int64_t> ExpandUpdate(int64_t delta);
+
+/// Adapter: wraps a generator with arbitrary step sizes and re-emits its
+/// stream as +-1 unit updates (Appendix C simulation). The adapted stream
+/// has sum-preserving prefix values: after consuming the expansion of
+/// f'(t), the running sum equals f(t).
+class UnitExpansionGenerator : public CountGenerator {
+ public:
+  /// Takes ownership of `inner`.
+  explicit UnitExpansionGenerator(std::unique_ptr<CountGenerator> inner);
+
+  int64_t NextDelta() override;
+  int64_t initial_value() const override { return inner_->initial_value(); }
+  std::string name() const override { return inner_->name() + "+unit"; }
+
+  /// Number of original (pre-expansion) updates consumed so far.
+  uint64_t inner_updates() const { return inner_updates_; }
+
+ private:
+  std::unique_ptr<CountGenerator> inner_;
+  int64_t pending_ = 0;   // remaining magnitude of the current update
+  int pending_sign_ = 0;  // its sign
+  uint64_t inner_updates_ = 0;
+};
+
+/// Theorem C.1 (positive case): upper bound on the variability contributed
+/// by expanding an update f'(n) = delta > 1 arriving when f(n-1) = f_prev:
+///   sum_{t=1..delta} 1/(f_prev + t) <= (delta/f(n)) * (1 + H(delta)).
+/// Returns the bound's value. Requires delta > 0 and f_prev >= 0.
+double ExpansionVariabilityBoundPositive(int64_t f_prev, int64_t delta);
+
+/// Exact variability contributed by the expansion of one update, i.e.
+/// sum over the unit steps of min{1, 1/|f|} evaluated at each intermediate
+/// value. Requires delta != 0.
+double ExpansionVariabilityExact(int64_t f_prev, int64_t delta);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_EXPANSION_H_

@@ -1,0 +1,232 @@
+// Stream generators for every input class the paper analyzes:
+//
+//   * monotone streams                      (Theorem 2.1 with beta = 1)
+//   * nearly monotone streams               (Theorem 2.1, general beta)
+//   * symmetric random walks                (Theorem 2.2)
+//   * biased random walks with drift mu     (Theorem 2.4)
+//   * oscillating / sawtooth / zero-crossing adversarial streams
+//     (the high-variability regime motivating the Omega(n) lower bounds)
+//   * large-step streams                    (Appendix C)
+//
+// A generator emits the update sequence f'(1), f'(2), ...; site assignment
+// is orthogonal (see site_assigner.h).
+
+#ifndef VARSTREAM_STREAM_GENERATOR_H_
+#define VARSTREAM_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace varstream {
+
+/// Produces the update sequence f'(1), f'(2), ... of a count stream.
+/// Generators are stateful and single-pass; construct a fresh one (same
+/// seed) to replay a stream.
+class CountGenerator {
+ public:
+  virtual ~CountGenerator() = default;
+
+  /// Returns f'(t) for the next timestep t.
+  virtual int64_t NextDelta() = 0;
+
+  /// Initial value f(0); 0 unless stated otherwise (problem definition).
+  virtual int64_t initial_value() const { return 0; }
+
+  /// Human-readable name used in benchmark tables.
+  virtual std::string name() const = 0;
+};
+
+/// f'(t) = +1 always: the classic monotone counting stream.
+class MonotoneGenerator : public CountGenerator {
+ public:
+  MonotoneGenerator() = default;
+  int64_t NextDelta() override { return +1; }
+  std::string name() const override { return "monotone"; }
+};
+
+/// Deterministic nearly-monotone stream: repeats [+1 x up, -1 x down] with
+/// up > down, so f climbs (up - down) per period. Satisfies the premise of
+/// Theorem 2.1 with beta = down / (up - down) for n past the first period.
+class NearlyMonotoneGenerator : public CountGenerator {
+ public:
+  /// Requires up > down >= 0.
+  NearlyMonotoneGenerator(uint64_t up, uint64_t down);
+  int64_t NextDelta() override;
+  std::string name() const override;
+
+  /// The beta for which f^-(n) <= beta * f(n) holds eventually.
+  double beta() const;
+
+ private:
+  uint64_t up_;
+  uint64_t down_;
+  uint64_t phase_ = 0;  // position within the (up + down)-step period
+};
+
+/// f'(t) i.i.d. uniform on {-1, +1}: the symmetric random walk of
+/// Theorem 2.2. E[v(n)] = O(sqrt(n) log n).
+class RandomWalkGenerator : public CountGenerator {
+ public:
+  explicit RandomWalkGenerator(uint64_t seed);
+  int64_t NextDelta() override { return rng_.Sign(); }
+  std::string name() const override { return "random-walk"; }
+
+ private:
+  Rng rng_;
+};
+
+/// f'(t) i.i.d. with P(+1) = (1 + mu)/2: the biased walk of Theorem 2.4.
+/// E[v(n)] = O(log(n) / mu) for constant mu > 0.
+class BiasedWalkGenerator : public CountGenerator {
+ public:
+  /// Requires mu in [-1, 1], mu != 0.
+  BiasedWalkGenerator(double mu, uint64_t seed);
+  int64_t NextDelta() override { return rng_.BiasedSign(mu_); }
+  std::string name() const override;
+  double mu() const { return mu_; }
+
+ private:
+  double mu_;
+  Rng rng_;
+};
+
+/// Deterministic sawtooth between 0 and `amplitude`: climb +1 to the top,
+/// then -1 back to 0, forever. Variability is Theta(n log(A) / A): high
+/// variability because f repeatedly returns to zero.
+class SawtoothGenerator : public CountGenerator {
+ public:
+  /// Requires amplitude >= 1.
+  explicit SawtoothGenerator(int64_t amplitude);
+  int64_t NextDelta() override;
+  std::string name() const override;
+
+ private:
+  int64_t amplitude_;
+  int64_t level_ = 0;
+  int dir_ = +1;
+};
+
+/// Worst-case stream: f alternates 1, 0, 1, 0, ... so v(n) = n exactly
+/// (every step is a relative change of 1). This is the regime where the
+/// Omega(n) lower bounds for non-monotone tracking bind.
+class ZeroCrossingGenerator : public CountGenerator {
+ public:
+  ZeroCrossingGenerator() = default;
+  int64_t NextDelta() override;
+  std::string name() const override { return "zero-crossing"; }
+
+ private:
+  bool up_next_ = true;
+};
+
+/// The lower-bound-style oscillator (Theorem 4.1 shape): f starts at
+/// `base`, and every `period` steps toggles between base and base + jump
+/// via a burst of +-1 steps. Low variability when base >> jump.
+class OscillatorGenerator : public CountGenerator {
+ public:
+  /// Requires base >= 1, jump >= 1, period >= 2 * jump.
+  OscillatorGenerator(int64_t base, int64_t jump, uint64_t period);
+  int64_t NextDelta() override;
+  std::string name() const override;
+  int64_t initial_value() const override { return base_; }
+
+ private:
+  int64_t base_;
+  int64_t jump_;
+  uint64_t period_;
+  uint64_t t_ = 0;     // steps emitted so far
+  int64_t level_ = 0;  // f(t) - base
+  bool high_ = false;  // currently at base + jump?
+};
+
+/// Random steps with |f'(t)| possibly > 1: uniform on [-max_step, max_step]
+/// \ {0} plus drift. Used to exercise the Appendix C expansion.
+class LargeStepGenerator : public CountGenerator {
+ public:
+  /// Requires max_step >= 1; drift in [-1, 1] biases the step sign.
+  LargeStepGenerator(int64_t max_step, double drift, uint64_t seed);
+  int64_t NextDelta() override;
+  std::string name() const override;
+
+ private:
+  int64_t max_step_;
+  double drift_;
+  Rng rng_;
+};
+
+/// Mostly-calm +1 drift punctuated by rare large spikes (a burst of -1s
+/// followed by recovery) — models flash crowds / outage dips. Between
+/// spikes the variability accrues like a monotone stream; each spike adds
+/// O(spike/f) — so v stays small when f >> spike.
+class SpikeGenerator : public CountGenerator {
+ public:
+  /// A spike of `spike_size` deletions begins with probability
+  /// `spike_prob` at each calm step. Requires spike_size >= 1.
+  SpikeGenerator(int64_t spike_size, double spike_prob, uint64_t seed);
+  int64_t NextDelta() override;
+  std::string name() const override;
+
+ private:
+  int64_t spike_size_;
+  double spike_prob_;
+  Rng rng_;
+  int64_t spike_remaining_ = 0;
+};
+
+/// Alternates between drift regimes +mu and -mu every `period` steps: the
+/// stream climbs, then decays, then climbs again. Piecewise Theorem 2.4
+/// behaviour with regime boundaries where |f| can head toward zero.
+class RegimeSwitchGenerator : public CountGenerator {
+ public:
+  /// Requires mu in (0, 1], period >= 1.
+  RegimeSwitchGenerator(double mu, uint64_t period, uint64_t seed);
+  int64_t NextDelta() override;
+  std::string name() const override;
+
+ private:
+  double mu_;
+  uint64_t period_;
+  Rng rng_;
+  uint64_t t_ = 0;
+  int64_t f_ = 0;  // tracked to avoid drifting below zero
+};
+
+/// A daily-profile stream: f follows a 24-point target curve (scaled by
+/// `scale`) with Bernoulli noise, one "day" per `steps_per_day` updates.
+/// The realistic non-monotone workload of the sensor-network example,
+/// packaged as a reusable generator.
+class DiurnalGenerator : public CountGenerator {
+ public:
+  /// Requires scale >= 1, steps_per_day >= 48.
+  DiurnalGenerator(int64_t scale, uint64_t steps_per_day, uint64_t seed);
+  int64_t NextDelta() override;
+  std::string name() const override;
+
+ private:
+  int64_t TargetAt(uint64_t step) const;
+
+  int64_t scale_;
+  uint64_t steps_per_day_;
+  Rng rng_;
+  uint64_t t_ = 0;
+  int64_t f_ = 0;
+};
+
+/// Materializes the first n values f(1..n) of a generator (f(0) is
+/// gen->initial_value()). Element [t-1] of the result is f(t).
+std::vector<int64_t> MaterializeF(CountGenerator* gen, uint64_t n);
+
+/// Factory by name, for CLI-driven binaries. Supported names:
+/// "monotone", "nearly-monotone", "random-walk", "biased-walk", "sawtooth",
+/// "zero-crossing", "oscillator", "large-step", "spike", "regime-switch",
+/// "diurnal". Returns nullptr for unknown names.
+std::unique_ptr<CountGenerator> MakeGeneratorByName(const std::string& name,
+                                                    uint64_t seed);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_GENERATOR_H_

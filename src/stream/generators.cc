@@ -1,0 +1,256 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace varstream {
+
+NearlyMonotoneGenerator::NearlyMonotoneGenerator(uint64_t up, uint64_t down)
+    : up_(up), down_(down) {
+  assert(up > down);
+}
+
+int64_t NearlyMonotoneGenerator::NextDelta() {
+  int64_t delta = (phase_ < up_) ? +1 : -1;
+  phase_ = (phase_ + 1) % (up_ + down_);
+  return delta;
+}
+
+std::string NearlyMonotoneGenerator::name() const {
+  return "nearly-monotone(up=" + std::to_string(up_) +
+         ",down=" + std::to_string(down_) + ")";
+}
+
+double NearlyMonotoneGenerator::beta() const {
+  // Per full period, f^- grows by `down` and f grows by (up - down), so
+  // f^-(n) / f(n) -> down / (up - down).
+  return static_cast<double>(down_) / static_cast<double>(up_ - down_);
+}
+
+RandomWalkGenerator::RandomWalkGenerator(uint64_t seed) : rng_(seed) {}
+
+BiasedWalkGenerator::BiasedWalkGenerator(double mu, uint64_t seed)
+    : mu_(mu), rng_(seed) {
+  assert(mu >= -1.0 && mu <= 1.0);
+  assert(mu != 0.0);
+}
+
+std::string BiasedWalkGenerator::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "biased-walk(mu=%g)", mu_);
+  return buf;
+}
+
+SawtoothGenerator::SawtoothGenerator(int64_t amplitude)
+    : amplitude_(amplitude) {
+  assert(amplitude >= 1);
+}
+
+int64_t SawtoothGenerator::NextDelta() {
+  if (level_ == amplitude_) dir_ = -1;
+  if (level_ == 0) dir_ = +1;
+  level_ += dir_;
+  return dir_;
+}
+
+std::string SawtoothGenerator::name() const {
+  return "sawtooth(A=" + std::to_string(amplitude_) + ")";
+}
+
+int64_t ZeroCrossingGenerator::NextDelta() {
+  int64_t delta = up_next_ ? +1 : -1;
+  up_next_ = !up_next_;
+  return delta;
+}
+
+OscillatorGenerator::OscillatorGenerator(int64_t base, int64_t jump,
+                                         uint64_t period)
+    : base_(base), jump_(jump), period_(period) {
+  assert(base >= 1);
+  assert(jump >= 1);
+  assert(period >= 2 * static_cast<uint64_t>(jump));
+}
+
+int64_t OscillatorGenerator::NextDelta() {
+  // At the start of each period, begin a burst that toggles the level
+  // between 0 and jump_; between bursts, hold (emitting +1/-1 pairs so that
+  // every timestep carries an update, as the model requires).
+  uint64_t phase = t_ % period_;
+  ++t_;
+  uint64_t burst = static_cast<uint64_t>(jump_);
+  if (phase < burst) {
+    // Toggle burst: move toward the other extreme.
+    int64_t delta = high_ ? -1 : +1;
+    level_ += delta;
+    if (phase + 1 == burst) high_ = !high_;
+    return delta;
+  }
+  // Hold phase: +1 then -1 alternating keeps f within 1 of its level while
+  // still emitting one update per timestep.
+  bool up = ((phase - burst) % 2) == 0;
+  int64_t delta = up ? +1 : -1;
+  level_ += delta;
+  return delta;
+}
+
+std::string OscillatorGenerator::name() const {
+  return "oscillator(base=" + std::to_string(base_) +
+         ",jump=" + std::to_string(jump_) +
+         ",period=" + std::to_string(period_) + ")";
+}
+
+LargeStepGenerator::LargeStepGenerator(int64_t max_step, double drift,
+                                       uint64_t seed)
+    : max_step_(max_step), drift_(drift), rng_(seed) {
+  assert(max_step >= 1);
+  assert(drift >= -1.0 && drift <= 1.0);
+}
+
+int64_t LargeStepGenerator::NextDelta() {
+  int64_t magnitude = rng_.UniformInt(1, max_step_);
+  return rng_.BiasedSign(drift_) * magnitude;
+}
+
+std::string LargeStepGenerator::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "large-step(max=%lld,drift=%g)",
+                static_cast<long long>(max_step_), drift_);
+  return buf;
+}
+
+SpikeGenerator::SpikeGenerator(int64_t spike_size, double spike_prob,
+                               uint64_t seed)
+    : spike_size_(spike_size), spike_prob_(spike_prob), rng_(seed) {
+  assert(spike_size >= 1);
+  assert(spike_prob >= 0 && spike_prob < 1);
+}
+
+int64_t SpikeGenerator::NextDelta() {
+  if (spike_remaining_ > 0) {
+    --spike_remaining_;
+    return -1;
+  }
+  if (rng_.Bernoulli(spike_prob_)) {
+    spike_remaining_ = spike_size_ - 1;
+    return -1;
+  }
+  return +1;
+}
+
+std::string SpikeGenerator::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "spike(size=%lld,p=%g)",
+                static_cast<long long>(spike_size_), spike_prob_);
+  return buf;
+}
+
+RegimeSwitchGenerator::RegimeSwitchGenerator(double mu, uint64_t period,
+                                             uint64_t seed)
+    : mu_(mu), period_(period), rng_(seed) {
+  assert(mu > 0 && mu <= 1);
+  assert(period >= 1);
+}
+
+int64_t RegimeSwitchGenerator::NextDelta() {
+  bool up_regime = (t_ / period_) % 2 == 0;
+  ++t_;
+  double mu = up_regime ? mu_ : -mu_;
+  int64_t delta = (f_ <= 0) ? +1 : rng_.BiasedSign(mu);
+  f_ += delta;
+  return delta;
+}
+
+std::string RegimeSwitchGenerator::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "regime-switch(mu=%g,T=%llu)", mu_,
+                static_cast<unsigned long long>(period_));
+  return buf;
+}
+
+DiurnalGenerator::DiurnalGenerator(int64_t scale, uint64_t steps_per_day,
+                                   uint64_t seed)
+    : scale_(scale), steps_per_day_(steps_per_day), rng_(seed) {
+  assert(scale >= 1);
+  assert(steps_per_day >= 48);
+}
+
+int64_t DiurnalGenerator::TargetAt(uint64_t step) const {
+  // Hour-boundary targets, in units of scale_ (business-district profile).
+  static constexpr int kProfile[25] = {6,  6,  5,  5,  6,  8,  16, 30, 45,
+                                       52, 55, 54, 52, 53, 54, 52, 48, 38,
+                                       26, 18, 13, 10, 8,  7,  6};
+  uint64_t in_day = step % steps_per_day_;
+  double hour = 24.0 * static_cast<double>(in_day) /
+                static_cast<double>(steps_per_day_);
+  int h0 = static_cast<int>(hour);
+  double frac = hour - h0;
+  double level = (1.0 - frac) * kProfile[h0] + frac * kProfile[h0 + 1];
+  return static_cast<int64_t>(level * static_cast<double>(scale_));
+}
+
+int64_t DiurnalGenerator::NextDelta() {
+  int64_t target = TargetAt(t_ + steps_per_day_ / 96);  // steer ~1/4h ahead
+  ++t_;
+  double horizon = static_cast<double>(steps_per_day_ / 96 + 1);
+  double drift = std::clamp(
+      static_cast<double>(target - f_) / horizon, -0.9, 0.9);
+  int64_t delta = (f_ <= 0) ? +1 : rng_.BiasedSign(drift);
+  f_ += delta;
+  return delta;
+}
+
+std::string DiurnalGenerator::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "diurnal(scale=%lld,day=%llu)",
+                static_cast<long long>(scale_),
+                static_cast<unsigned long long>(steps_per_day_));
+  return buf;
+}
+
+std::vector<int64_t> MaterializeF(CountGenerator* gen, uint64_t n) {
+  std::vector<int64_t> f;
+  f.reserve(n);
+  int64_t value = gen->initial_value();
+  for (uint64_t t = 0; t < n; ++t) {
+    value += gen->NextDelta();
+    f.push_back(value);
+  }
+  return f;
+}
+
+std::unique_ptr<CountGenerator> MakeGeneratorByName(const std::string& name,
+                                                    uint64_t seed) {
+  if (name == "monotone") return std::make_unique<MonotoneGenerator>();
+  if (name == "nearly-monotone") {
+    return std::make_unique<NearlyMonotoneGenerator>(4, 2);
+  }
+  if (name == "random-walk") {
+    return std::make_unique<RandomWalkGenerator>(seed);
+  }
+  if (name == "biased-walk") {
+    return std::make_unique<BiasedWalkGenerator>(0.1, seed);
+  }
+  if (name == "sawtooth") return std::make_unique<SawtoothGenerator>(64);
+  if (name == "zero-crossing") {
+    return std::make_unique<ZeroCrossingGenerator>();
+  }
+  if (name == "oscillator") {
+    return std::make_unique<OscillatorGenerator>(1000, 30, 256);
+  }
+  if (name == "large-step") {
+    return std::make_unique<LargeStepGenerator>(16, 0.2, seed);
+  }
+  if (name == "spike") {
+    return std::make_unique<SpikeGenerator>(200, 0.001, seed);
+  }
+  if (name == "regime-switch") {
+    return std::make_unique<RegimeSwitchGenerator>(0.3, 8192, seed);
+  }
+  if (name == "diurnal") {
+    return std::make_unique<DiurnalGenerator>(100, 1 << 15, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace varstream

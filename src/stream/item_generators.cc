@@ -1,0 +1,110 @@
+#include "stream/item_generators.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace varstream {
+
+ZipfChurnGenerator::ZipfChurnGenerator(uint64_t universe, double skew,
+                                       double drift, uint64_t seed)
+    : sampler_(universe, skew), drift_(drift), rng_(seed) {
+  assert(drift > 0 && drift <= 1);
+}
+
+ItemEvent ZipfChurnGenerator::NextEvent() {
+  bool insert = present_.empty() || rng_.Bernoulli((1.0 + drift_) / 2.0);
+  if (insert) {
+    uint64_t item = sampler_.Sample(&rng_);
+    present_.push_back(item);
+    return {item, +1};
+  }
+  uint64_t idx = rng_.UniformBelow(present_.size());
+  uint64_t item = present_[idx];
+  present_[idx] = present_.back();
+  present_.pop_back();
+  return {item, -1};
+}
+
+std::string ZipfChurnGenerator::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "zipf-churn(drift=%g)", drift_);
+  return buf;
+}
+
+SlidingWindowGenerator::SlidingWindowGenerator(uint64_t universe,
+                                               uint64_t window, double skew,
+                                               uint64_t seed)
+    : sampler_(universe, skew), window_(window), rng_(seed) {
+  assert(window >= 1);
+}
+
+ItemEvent SlidingWindowGenerator::NextEvent() {
+  // While below the window the stream is pure inserts; once the window is
+  // full, the model still delivers one event per timestep, so inserts and
+  // expiry deletions alternate.
+  if (live_.size() >= window_ && !delete_next_) {
+    delete_next_ = true;
+  }
+  if (delete_next_ && !live_.empty()) {
+    delete_next_ = false;
+    uint64_t item = live_.front();
+    live_.pop_front();
+    return {item, -1};
+  }
+  uint64_t item = sampler_.Sample(&rng_);
+  live_.push_back(item);
+  return {item, +1};
+}
+
+std::string SlidingWindowGenerator::name() const {
+  return "sliding-window(W=" + std::to_string(window_) + ")";
+}
+
+HotItemFlipGenerator::HotItemFlipGenerator(uint64_t universe, int64_t plateau,
+                                           uint64_t seed)
+    : universe_(universe), plateau_(plateau), rng_(seed) {
+  assert(universe >= 2);
+  assert(plateau >= 2);
+}
+
+ItemEvent HotItemFlipGenerator::NextEvent() {
+  if (f1_ < plateau_) {
+    // Fill phase: insert background items (round-robin over universe \ {0}).
+    uint64_t item = 1 + (fill_next_ - 1) % (universe_ - 1);
+    ++fill_next_;
+    ++f1_;
+    return {item, +1};
+  }
+  // Plateau: flip the hot item (item 0) in and out.
+  if (hot_present_) {
+    hot_present_ = false;
+    --f1_;
+    return {0, -1};
+  }
+  hot_present_ = true;
+  ++f1_;
+  return {0, +1};
+}
+
+std::string HotItemFlipGenerator::name() const {
+  return "hot-item(plateau=" + std::to_string(plateau_) + ")";
+}
+
+std::unique_ptr<ItemGenerator> MakeItemGeneratorByName(const std::string& name,
+                                                       uint64_t universe,
+                                                       uint64_t seed) {
+  if (name == "zipf-churn") {
+    return std::make_unique<ZipfChurnGenerator>(universe, 1.1, 0.4, seed);
+  }
+  if (name == "sliding-window") {
+    return std::make_unique<SlidingWindowGenerator>(universe, universe / 4 + 1,
+                                                    1.1, seed);
+  }
+  if (name == "hot-item") {
+    return std::make_unique<HotItemFlipGenerator>(
+        universe, static_cast<int64_t>(universe / 2 + 2), seed);
+  }
+  return nullptr;
+}
+
+}  // namespace varstream

@@ -1,0 +1,121 @@
+// Item-stream generators for the frequency-tracking problem (Appendix H).
+// At each timestep either an item from universe U is inserted into the
+// dataset D, or an item currently in D is deleted. Generators maintain D so
+// deletions are always valid (never delete from an empty dataset).
+
+#ifndef VARSTREAM_STREAM_ITEM_GENERATORS_H_
+#define VARSTREAM_STREAM_ITEM_GENERATORS_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace varstream {
+
+/// One logical item event: which item, and insert (+1) or delete (-1).
+struct ItemEvent {
+  uint64_t item = 0;
+  int32_t delta = +1;
+};
+
+/// Produces the item-event sequence of an insert/delete stream over a
+/// finite universe.
+class ItemGenerator {
+ public:
+  virtual ~ItemGenerator() = default;
+
+  /// Returns the next event. Implementations guarantee deletes target an
+  /// item currently present in D.
+  virtual ItemEvent NextEvent() = 0;
+
+  /// Current dataset size F1 = |D|.
+  virtual int64_t f1() const = 0;
+
+  virtual uint64_t universe_size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Zipf-distributed inserts with probability (1 + drift)/2, else a uniform
+/// deletion from D. With drift > 0 the dataset grows; frequencies follow a
+/// Zipf profile, giving realistic heavy hitters.
+class ZipfChurnGenerator : public ItemGenerator {
+ public:
+  /// Requires universe >= 1, skew >= 0, drift in (0, 1].
+  ZipfChurnGenerator(uint64_t universe, double skew, double drift,
+                     uint64_t seed);
+
+  ItemEvent NextEvent() override;
+  int64_t f1() const override {
+    return static_cast<int64_t>(present_.size());
+  }
+  uint64_t universe_size() const override { return sampler_.universe_size(); }
+  std::string name() const override;
+
+ private:
+  ZipfSampler sampler_;
+  double drift_;
+  Rng rng_;
+  // Multiset of live item copies, stored flat for O(1) uniform deletion via
+  // swap-remove.
+  std::vector<uint64_t> present_;
+};
+
+/// Sliding-window stream: inserts item h(t) at time t and deletes the item
+/// inserted at time t - window once the window is full. F1 saturates at
+/// `window` — a canonically "nearly monotone then flat" F1 profile.
+class SlidingWindowGenerator : public ItemGenerator {
+ public:
+  /// Requires universe >= 1, window >= 1.
+  SlidingWindowGenerator(uint64_t universe, uint64_t window, double skew,
+                         uint64_t seed);
+
+  ItemEvent NextEvent() override;
+  int64_t f1() const override {
+    return static_cast<int64_t>(live_.size());
+  }
+  uint64_t universe_size() const override { return sampler_.universe_size(); }
+  std::string name() const override;
+
+ private:
+  ZipfSampler sampler_;
+  uint64_t window_;
+  Rng rng_;
+  std::deque<uint64_t> live_;  // insertion-ordered live items
+  bool delete_next_ = false;   // alternate insert/delete once saturated
+};
+
+/// Adversarial churn: grows D to `plateau`, then alternates insert/delete
+/// of a single hot item forever. Keeps F1 nearly constant while one item's
+/// frequency oscillates — stress case for per-item tracking.
+class HotItemFlipGenerator : public ItemGenerator {
+ public:
+  /// Requires universe >= 2, plateau >= 2.
+  HotItemFlipGenerator(uint64_t universe, int64_t plateau, uint64_t seed);
+
+  ItemEvent NextEvent() override;
+  int64_t f1() const override { return f1_; }
+  uint64_t universe_size() const override { return universe_; }
+  std::string name() const override;
+
+ private:
+  uint64_t universe_;
+  int64_t plateau_;
+  Rng rng_;
+  int64_t f1_ = 0;
+  bool hot_present_ = false;
+  uint64_t fill_next_ = 1;  // next background item to insert (item 0 is hot)
+};
+
+/// Factory by name: "zipf-churn", "sliding-window", "hot-item".
+/// Returns nullptr for unknown names.
+std::unique_ptr<ItemGenerator> MakeItemGeneratorByName(const std::string& name,
+                                                       uint64_t universe,
+                                                       uint64_t seed);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_ITEM_GENERATORS_H_

@@ -1,0 +1,81 @@
+#include "stream/site_assigner.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace varstream {
+
+RoundRobinAssigner::RoundRobinAssigner(uint32_t num_sites)
+    : num_sites_(num_sites) {
+  assert(num_sites >= 1);
+}
+
+uint32_t RoundRobinAssigner::NextSite() {
+  uint32_t site = next_;
+  next_ = (next_ + 1) % num_sites_;
+  return site;
+}
+
+UniformAssigner::UniformAssigner(uint32_t num_sites, uint64_t seed)
+    : num_sites_(num_sites), rng_(seed) {
+  assert(num_sites >= 1);
+}
+
+uint32_t UniformAssigner::NextSite() {
+  return static_cast<uint32_t>(rng_.UniformBelow(num_sites_));
+}
+
+SkewedAssigner::SkewedAssigner(uint32_t num_sites, double skew, uint64_t seed)
+    : skew_(skew), sampler_(num_sites, skew), rng_(seed) {
+  assert(num_sites >= 1);
+}
+
+uint32_t SkewedAssigner::NextSite() {
+  return static_cast<uint32_t>(sampler_.Sample(&rng_));
+}
+
+std::string SkewedAssigner::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "skewed(s=%g)", skew_);
+  return buf;
+}
+
+BurstAssigner::BurstAssigner(uint32_t num_sites, uint64_t burst)
+    : num_sites_(num_sites), burst_(burst) {
+  assert(num_sites >= 1);
+  assert(burst >= 1);
+}
+
+uint32_t BurstAssigner::NextSite() {
+  uint32_t site = site_;
+  if (++emitted_ >= burst_) {
+    emitted_ = 0;
+    site_ = (site_ + 1) % num_sites_;
+  }
+  return site;
+}
+
+std::string BurstAssigner::name() const {
+  return "burst(B=" + std::to_string(burst_) + ")";
+}
+
+std::unique_ptr<SiteAssigner> MakeAssignerByName(const std::string& name,
+                                                 uint32_t num_sites,
+                                                 uint64_t seed) {
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinAssigner>(num_sites);
+  }
+  if (name == "uniform") {
+    return std::make_unique<UniformAssigner>(num_sites, seed);
+  }
+  if (name == "skewed") {
+    return std::make_unique<SkewedAssigner>(num_sites, 1.0, seed);
+  }
+  if (name == "single") return std::make_unique<SingleSiteAssigner>();
+  if (name == "burst") {
+    return std::make_unique<BurstAssigner>(num_sites, 64);
+  }
+  return nullptr;
+}
+
+}  // namespace varstream

@@ -1,0 +1,102 @@
+// Policies for deciding which site i(n) observes update f'(n). The paper's
+// model allows an arbitrary (adversarial) assignment; the experiments use
+// round-robin, uniform random, and skewed assignments to exercise both
+// balanced and hot-site regimes.
+
+#ifndef VARSTREAM_STREAM_SITE_ASSIGNER_H_
+#define VARSTREAM_STREAM_SITE_ASSIGNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+
+namespace varstream {
+
+/// Maps timesteps to sites.
+class SiteAssigner {
+ public:
+  virtual ~SiteAssigner() = default;
+
+  /// Returns the site for the next timestep.
+  virtual uint32_t NextSite() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Sites 0, 1, ..., k-1, 0, 1, ... in order.
+class RoundRobinAssigner : public SiteAssigner {
+ public:
+  explicit RoundRobinAssigner(uint32_t num_sites);
+  uint32_t NextSite() override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  uint32_t num_sites_;
+  uint32_t next_ = 0;
+};
+
+/// Each update lands on a uniformly random site.
+class UniformAssigner : public SiteAssigner {
+ public:
+  UniformAssigner(uint32_t num_sites, uint64_t seed);
+  uint32_t NextSite() override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  uint32_t num_sites_;
+  Rng rng_;
+};
+
+/// Zipf-skewed assignment: site 0 is hottest. Exercises the case where a
+/// few sites carry most of the stream.
+class SkewedAssigner : public SiteAssigner {
+ public:
+  /// `skew` is the Zipf exponent (0 = uniform).
+  SkewedAssigner(uint32_t num_sites, double skew, uint64_t seed);
+  uint32_t NextSite() override;
+  std::string name() const override;
+
+ private:
+  double skew_;
+  ZipfSampler sampler_;
+  Rng rng_;
+};
+
+/// All updates at site 0: degenerates to the single-site model of
+/// section 5.2.
+class SingleSiteAssigner : public SiteAssigner {
+ public:
+  SingleSiteAssigner() = default;
+  uint32_t NextSite() override { return 0; }
+  std::string name() const override { return "single-site"; }
+};
+
+/// Adversarial-ish pattern: `burst` consecutive updates per site, then
+/// move to the next site. Concentrates each site's drift into short
+/// windows — the stress case for per-site send thresholds (one site's
+/// delta_i races to the threshold while the others idle).
+class BurstAssigner : public SiteAssigner {
+ public:
+  /// Requires num_sites >= 1, burst >= 1.
+  BurstAssigner(uint32_t num_sites, uint64_t burst);
+  uint32_t NextSite() override;
+  std::string name() const override;
+
+ private:
+  uint32_t num_sites_;
+  uint64_t burst_;
+  uint32_t site_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// Factory by name: "round-robin", "uniform", "skewed", "single", "burst".
+/// Returns nullptr for unknown names.
+std::unique_ptr<SiteAssigner> MakeAssignerByName(const std::string& name,
+                                                 uint32_t num_sites,
+                                                 uint64_t seed);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_SITE_ASSIGNER_H_

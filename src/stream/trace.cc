@@ -1,0 +1,133 @@
+#include "stream/trace.h"
+
+#include <cassert>
+#include <cstring>
+#include <fstream>
+
+#include "stream/variability.h"
+
+namespace varstream {
+
+namespace {
+
+constexpr uint32_t kTraceMagic = 0x56535452;  // "VSTR"
+
+template <typename T>
+void AppendLE(std::vector<uint8_t>* buf, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf->push_back(static_cast<uint8_t>(
+        (static_cast<uint64_t>(value) >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+bool ReadLE(const std::vector<uint8_t>& buf, size_t* pos, T* out) {
+  if (*pos + sizeof(T) > buf.size()) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<uint64_t>(buf[*pos + i]) << (8 * i);
+  }
+  *pos += sizeof(T);
+  *out = static_cast<T>(v);
+  return true;
+}
+
+}  // namespace
+
+StreamTrace StreamTrace::Record(CountGenerator* gen, SiteAssigner* assigner,
+                                uint64_t n) {
+  std::vector<CountUpdate> updates;
+  updates.reserve(n);
+  for (uint64_t t = 0; t < n; ++t) {
+    updates.push_back({assigner->NextSite(), gen->NextDelta()});
+  }
+  return StreamTrace(std::move(updates), gen->initial_value());
+}
+
+StreamTrace::StreamTrace(std::vector<CountUpdate> updates,
+                         int64_t initial_value)
+    : updates_(std::move(updates)), initial_value_(initial_value) {
+  BuildPrefix();
+}
+
+void StreamTrace::BuildPrefix() {
+  prefix_.clear();
+  prefix_.reserve(updates_.size());
+  int64_t f = initial_value_;
+  for (const auto& u : updates_) {
+    f += u.delta;
+    prefix_.push_back(f);
+  }
+}
+
+int64_t StreamTrace::ValueAt(uint64_t t) const {
+  if (t == 0) return initial_value_;
+  assert(t <= prefix_.size());
+  return prefix_[t - 1];
+}
+
+int64_t StreamTrace::final_value() const {
+  return prefix_.empty() ? initial_value_ : prefix_.back();
+}
+
+double StreamTrace::Variability() const {
+  return ComputeVariability(prefix_, initial_value_);
+}
+
+std::vector<uint8_t> StreamTrace::Serialize() const {
+  std::vector<uint8_t> buf;
+  buf.reserve(16 + updates_.size() * 12);
+  AppendLE<uint32_t>(&buf, kTraceMagic);
+  AppendLE<int64_t>(&buf, initial_value_);
+  AppendLE<uint64_t>(&buf, updates_.size());
+  for (const auto& u : updates_) {
+    AppendLE<uint32_t>(&buf, u.site);
+    AppendLE<int64_t>(&buf, u.delta);
+  }
+  return buf;
+}
+
+bool StreamTrace::SaveToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  std::vector<uint8_t> bytes = Serialize();
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(file);
+}
+
+bool StreamTrace::LoadFromFile(const std::string& path, StreamTrace* out) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return false;
+  std::streamsize size = file.tellg();
+  if (size < 0) return false;
+  file.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (!file.read(reinterpret_cast<char*>(bytes.data()), size)) return false;
+  return Deserialize(bytes, out);
+}
+
+bool StreamTrace::Deserialize(const std::vector<uint8_t>& buffer,
+                              StreamTrace* out) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  if (!ReadLE(buffer, &pos, &magic) || magic != kTraceMagic) return false;
+  int64_t initial = 0;
+  uint64_t count = 0;
+  if (!ReadLE(buffer, &pos, &initial)) return false;
+  if (!ReadLE(buffer, &pos, &count)) return false;
+  // Reject counts that cannot fit in the remaining bytes (12 per update).
+  if ((buffer.size() - pos) / 12 < count) return false;
+  std::vector<CountUpdate> updates;
+  updates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CountUpdate u;
+    if (!ReadLE(buffer, &pos, &u.site)) return false;
+    if (!ReadLE(buffer, &pos, &u.delta)) return false;
+    updates.push_back(u);
+  }
+  *out = StreamTrace(std::move(updates), initial);
+  return true;
+}
+
+}  // namespace varstream

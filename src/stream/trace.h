@@ -1,0 +1,68 @@
+// Recorded streams: capture a (site, delta) update sequence once and replay
+// it against several trackers so comparisons see byte-identical inputs.
+// Also supports compact binary (de)serialization for regression fixtures.
+
+#ifndef VARSTREAM_STREAM_TRACE_H_
+#define VARSTREAM_STREAM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "stream/update.h"
+
+namespace varstream {
+
+/// An immutable recorded count stream.
+class StreamTrace {
+ public:
+  StreamTrace() = default;
+
+  /// Records n updates from a generator + assigner.
+  static StreamTrace Record(CountGenerator* gen, SiteAssigner* assigner,
+                            uint64_t n);
+
+  /// Builds a trace directly from updates (f0 defaults to 0).
+  StreamTrace(std::vector<CountUpdate> updates, int64_t initial_value);
+
+  const std::vector<CountUpdate>& updates() const { return updates_; }
+  int64_t initial_value() const { return initial_value_; }
+  uint64_t size() const { return updates_.size(); }
+
+  /// f(t) for t in [1, size()]; f(0) = initial_value().
+  int64_t ValueAt(uint64_t t) const;
+
+  /// Final f(n).
+  int64_t final_value() const;
+
+  /// Total variability v(n) of the recorded stream.
+  double Variability() const;
+
+  /// Serializes to a compact little-endian byte buffer.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a buffer produced by Serialize(). Returns false on malformed
+  /// input (truncation, bad magic).
+  static bool Deserialize(const std::vector<uint8_t>& buffer,
+                          StreamTrace* out);
+
+  /// Writes Serialize() to `path`. Returns false on I/O failure.
+  bool SaveToFile(const std::string& path) const;
+
+  /// Reads and parses a file written by SaveToFile(). Returns false on
+  /// I/O failure or malformed content.
+  static bool LoadFromFile(const std::string& path, StreamTrace* out);
+
+ private:
+  void BuildPrefix();
+
+  std::vector<CountUpdate> updates_;
+  std::vector<int64_t> prefix_;  // prefix_[t-1] = f(t)
+  int64_t initial_value_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_TRACE_H_

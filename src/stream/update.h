@@ -1,0 +1,35 @@
+// Core update types for the distributed monitoring model (section 1 of the
+// paper). Time is discrete; at each timestep exactly one update arrives at
+// one site.
+
+#ifndef VARSTREAM_STREAM_UPDATE_H_
+#define VARSTREAM_STREAM_UPDATE_H_
+
+#include <cstdint>
+
+namespace varstream {
+
+/// One update of the counting problem: f'(n) = delta arrives at `site`.
+/// The upper-bound algorithms of section 3 assume delta = ±1; larger deltas
+/// are expanded by stream::ExpandLargeUpdates (Appendix C).
+struct CountUpdate {
+  uint32_t site = 0;
+  int64_t delta = 0;
+
+  bool operator==(const CountUpdate&) const = default;
+};
+
+/// One update of the item-frequency problem (Appendix H): item `item` is
+/// inserted (delta = +1) into or deleted (delta = -1) from the dataset D,
+/// observed at `site`.
+struct ItemUpdate {
+  uint32_t site = 0;
+  uint64_t item = 0;
+  int32_t delta = 0;  // +1 insert, -1 delete
+
+  bool operator==(const ItemUpdate&) const = default;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_UPDATE_H_

@@ -1,0 +1,84 @@
+#include "stream/variability.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+VariabilityMeter::VariabilityMeter(int64_t initial_value)
+    : f_(initial_value) {}
+
+double VariabilityMeter::Push(int64_t delta) {
+  f_ += delta;
+  ++n_;
+  double contribution;
+  if (f_ == 0) {
+    contribution = 1.0;
+  } else {
+    contribution = std::min(
+        1.0, static_cast<double>(AbsU64(delta)) /
+                 static_cast<double>(AbsU64(f_)));
+  }
+  v_ += contribution;
+  return contribution;
+}
+
+double F1VariabilityMeter::Push(int32_t delta) {
+  f1_ += delta;
+  ++n_;
+  double contribution =
+      (f1_ <= 0) ? 1.0
+                 : std::min(1.0, 1.0 / static_cast<double>(f1_));
+  v_ += contribution;
+  return contribution;
+}
+
+double ComputeVariability(const std::vector<int64_t>& f, int64_t f0) {
+  VariabilityMeter meter(f0);
+  int64_t prev = f0;
+  for (int64_t value : f) {
+    meter.Push(value - prev);
+    prev = value;
+  }
+  return meter.value();
+}
+
+std::vector<double> VariabilityPrefix(const std::vector<int64_t>& f,
+                                      int64_t f0) {
+  std::vector<double> prefix;
+  prefix.reserve(f.size());
+  VariabilityMeter meter(f0);
+  int64_t prev = f0;
+  for (int64_t value : f) {
+    meter.Push(value - prev);
+    prev = value;
+    prefix.push_back(meter.value());
+  }
+  return prefix;
+}
+
+int64_t NegativeDriftTotal(const std::vector<int64_t>& f, int64_t f0) {
+  int64_t total = 0;
+  int64_t prev = f0;
+  for (int64_t value : f) {
+    int64_t delta = value - prev;
+    if (delta < 0) total += -delta;
+    prev = value;
+  }
+  return total;
+}
+
+int64_t PositiveDriftTotal(const std::vector<int64_t>& f, int64_t f0) {
+  int64_t total = 0;
+  int64_t prev = f0;
+  for (int64_t value : f) {
+    int64_t delta = value - prev;
+    if (delta > 0) total += delta;
+    prev = value;
+  }
+  return total;
+}
+
+}  // namespace varstream

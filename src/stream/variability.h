@@ -1,0 +1,76 @@
+// The paper's central stream parameter (section 2):
+//
+//   v(n) = sum_{t=1..n} v'(t),   v'(t) = min{ 1, |f'(t)| / |f(t)| },
+//
+// with the convention v'(t) = 1 when f(t) = 0. VariabilityMeter computes it
+// online in O(1) per update; F1VariabilityMeter computes the F1-variability
+// used for item-frequency tracking (Appendix H), where v'(t) =
+// min{1, 1/F1(t)}.
+
+#ifndef VARSTREAM_STREAM_VARIABILITY_H_
+#define VARSTREAM_STREAM_VARIABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace varstream {
+
+/// Online computation of the f-variability of a stream.
+class VariabilityMeter {
+ public:
+  /// `initial_value` is f(0) (0 by the paper's default convention).
+  explicit VariabilityMeter(int64_t initial_value = 0);
+
+  /// Feeds f'(t) = delta; returns this step's contribution v'(t).
+  double Push(int64_t delta);
+
+  /// Total variability v(n) accumulated so far.
+  double value() const { return v_; }
+
+  /// Current f(n).
+  int64_t f() const { return f_; }
+
+  /// Number of updates consumed (the current time n).
+  uint64_t n() const { return n_; }
+
+ private:
+  int64_t f_;
+  double v_ = 0.0;
+  uint64_t n_ = 0;
+};
+
+/// Online computation of the F1-variability of an item stream:
+/// v'(t) = min{1, 1/F1(t)}, F1 = |D(t)|. Feed +-1 per insert/delete.
+class F1VariabilityMeter {
+ public:
+  F1VariabilityMeter() = default;
+
+  /// Feeds one insert (+1) or delete (-1); returns v'(t).
+  double Push(int32_t delta);
+
+  double value() const { return v_; }
+  int64_t f1() const { return f1_; }
+  uint64_t n() const { return n_; }
+
+ private:
+  int64_t f1_ = 0;
+  double v_ = 0.0;
+  uint64_t n_ = 0;
+};
+
+/// Batch helper: variability of the full sequence f(1..n) given f(0).
+double ComputeVariability(const std::vector<int64_t>& f, int64_t f0 = 0);
+
+/// Batch helper: the prefix series v(1), ..., v(n).
+std::vector<double> VariabilityPrefix(const std::vector<int64_t>& f,
+                                      int64_t f0 = 0);
+
+/// f^-(n) = sum of |f'(t)| over negative updates (Theorem 2.1 notation).
+int64_t NegativeDriftTotal(const std::vector<int64_t>& f, int64_t f0 = 0);
+
+/// f^+(n) = sum of f'(t) over positive updates.
+int64_t PositiveDriftTotal(const std::vector<int64_t>& f, int64_t f0 = 0);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_VARIABILITY_H_

@@ -1,0 +1,87 @@
+// Tests for the ablation knobs (TrackerOptions::drift_threshold_factor and
+// ::sample_constant): the paper's constants sit exactly on the guarantee
+// boundary, and the knobs trade cost against error in the predicted
+// direction.
+
+#include <cmath>
+
+#include "core/deterministic_tracker.h"
+#include "core/driver.h"
+#include "core/randomized_tracker.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+RunResult RunDet(double factor, double eps, uint64_t n) {
+  BiasedWalkGenerator gen(0.2, 7);
+  UniformAssigner assigner(8, 11);
+  TrackerOptions opts;
+  opts.num_sites = 8;
+  opts.epsilon = eps;
+  opts.drift_threshold_factor = factor;
+  DeterministicTracker tracker(opts);
+  return RunCount(&gen, &assigner, &tracker, n, eps);
+}
+
+TEST(DriftThresholdAblation, FactorOneIsThePaperAndHolds) {
+  RunResult r = RunDet(1.0, 0.1, 40000);
+  EXPECT_EQ(r.violation_rate, 0.0);
+  EXPECT_LE(r.max_rel_error, 0.1 + 1e-12);
+}
+
+TEST(DriftThresholdAblation, SmallerFactorCostsMoreErrsLess) {
+  RunResult loose = RunDet(1.0, 0.1, 40000);
+  RunResult tight = RunDet(0.25, 0.1, 40000);
+  EXPECT_GT(tight.messages, loose.messages);
+  EXPECT_LE(tight.max_rel_error, loose.max_rel_error + 1e-12);
+  // With factor c <= 1 the guarantee scales: error <= c*eps*|f| in
+  // r >= 1 blocks.
+  EXPECT_LE(tight.max_rel_error, 0.25 * 0.1 + 1e-12);
+}
+
+TEST(DriftThresholdAblation, LargerFactorBreaksTheGuarantee) {
+  // Factor 4 allows per-site drift up to 4*eps*2^r: the error bound
+  // becomes 4*eps*|f| and violations of eps appear — the paper's
+  // constant is not slack.
+  RunResult r = RunDet(4.0, 0.05, 40000);
+  EXPECT_GT(r.max_rel_error, 0.05);
+}
+
+TEST(SampleConstantAblation, PaperConstantMeetsGuarantee) {
+  RandomWalkGenerator gen(13);
+  UniformAssigner assigner(8, 17);
+  TrackerOptions opts;
+  opts.num_sites = 8;
+  opts.epsilon = 0.15;
+  opts.sample_constant = 3.0;
+  RandomizedTracker tracker(opts);
+  RunResult r = RunCount(&gen, &assigner, &tracker, 40000, 0.15);
+  EXPECT_LT(r.violation_rate, 1.0 / 3.0);
+}
+
+TEST(SampleConstantAblation, SmallerConstantIsCheaperButNoisier) {
+  auto run = [](double c) {
+    MonotoneGenerator gen;
+    RoundRobinAssigner assigner(16);
+    TrackerOptions opts;
+    opts.num_sites = 16;
+    opts.epsilon = 0.05;
+    opts.sample_constant = c;
+    opts.seed = 23;
+    RandomizedTracker tracker(opts);
+    return RunCount(&gen, &assigner, &tracker, 80000, 0.05);
+  };
+  RunResult cheap = run(1.0);
+  RunResult paper = run(3.0);
+  RunResult rich = run(9.0);
+  EXPECT_LT(cheap.tracking_messages, paper.tracking_messages);
+  EXPECT_LT(paper.tracking_messages, rich.tracking_messages);
+  // More samples -> tighter estimates on average.
+  EXPECT_LE(rich.mean_rel_error, cheap.mean_rel_error + 1e-12);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,100 @@
+// Smoke test for the umbrella header: core/api.h must be self-contained
+// and every public type constructible and minimally usable from a single
+// include — the "downstream user's first five minutes" test.
+
+#include "core/api.h"
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(Api, EveryTrackerConstructsAndTracks) {
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  opts.epsilon = 0.1;
+
+  DeterministicTracker det(opts);
+  RandomizedTracker rnd(opts);
+  NaiveTracker naive(opts);
+  PeriodicTracker periodic(opts, 8);
+  CmyMonotoneTracker cmy(opts);
+  HyzMonotoneTracker hyz(opts);
+  for (DistributedTracker* t :
+       std::initializer_list<DistributedTracker*>{&det, &rnd, &naive,
+                                                  &periodic, &cmy, &hyz}) {
+    for (int i = 0; i < 100; ++i) t->Push(i % 4, +1);
+    EXPECT_NEAR(t->Estimate(), 100.0, 15.0) << t->name();
+    EXPECT_EQ(t->time(), 100u) << t->name();
+  }
+}
+
+TEST(Api, SingleSiteAndMonitorsWork) {
+  TrackerOptions opts;
+  opts.num_sites = 1;
+  opts.epsilon = 0.1;
+  SingleSiteTracker single(opts);
+  single.Update(500);
+  EXPECT_EQ(single.EstimateInt(), 500);
+
+  opts.num_sites = 4;
+  ThresholdMonitor monitor(opts, 50);
+  for (int i = 0; i < 100; ++i) monitor.Push(i % 4, +1);
+  EXPECT_EQ(monitor.state(), ThresholdState::kAbove);
+}
+
+TEST(Api, FrequencyFamilyWorks) {
+  TrackerOptions opts;
+  opts.num_sites = 2;
+  opts.epsilon = 0.2;
+  FrequencyTracker freq(opts);
+  SketchFrequencyTracker cm(opts, SketchKind::kCountMinPartition, 1024);
+  QuantileTracker quant(opts, 10);
+  for (uint64_t i = 0; i < 100; ++i) {
+    freq.Push(i % 2, i % 10, +1);
+    cm.Push(i % 2, i % 10, +1);
+    quant.Push(i % 2, i % 10, +1);
+  }
+  EXPECT_EQ(freq.EstimateItem(3), 10);
+  EXPECT_GE(cm.EstimateItem(3), 0.0);
+  EXPECT_NEAR(quant.Rank(10), 100.0, 20.0);
+}
+
+TEST(Api, StreamToolkitWorks) {
+  auto gen = MakeGeneratorByName("diurnal", 1);
+  ASSERT_NE(gen, nullptr);
+  auto assigner = MakeAssignerByName("skewed", 4, 2);
+  ASSERT_NE(assigner, nullptr);
+  StreamTrace trace = StreamTrace::Record(gen.get(), assigner.get(), 1000);
+  EXPECT_EQ(trace.size(), 1000u);
+  EXPECT_GT(trace.Variability(), 0.0);
+
+  VariabilityMeter meter(0);
+  meter.Push(+1);
+  EXPECT_DOUBLE_EQ(meter.value(), 1.0);
+}
+
+TEST(Api, LowerBoundToolkitWorks) {
+  DetFamily family(10, 100, 4);
+  EXPECT_GT(family.Log2Size(), 0.0);
+  RandFamily rand_family(0.1, 20.0, 4000);
+  Rng rng(1);
+  EXPECT_EQ(rand_family.Sample(&rng).size(), 4000u);
+  IndexReductionResult red = RunIndexReduction(10, 50, 4, 0);
+  EXPECT_TRUE(red.decoded_ok);
+  auto f = std::vector<int64_t>{100, 200, 300};
+  EXPECT_GE(OfflineOptimalSyncs(f, 0.1, 0).min_syncs, 1u);
+}
+
+TEST(Api, SketchesWork) {
+  Rng rng(3);
+  CountMinSketch cm = CountMinSketch::PartitionForEpsilon(0.1, &rng);
+  cm.Update(7, 3);
+  EXPECT_GE(cm.EstimateMin(7), 3);
+  CRPrecisSketch cr = CRPrecisSketch::ForEpsilon(0.25, 1024);
+  cr.Update(7, 3);
+  EXPECT_DOUBLE_EQ(cr.EstimateAvg(7), 3.0);
+}
+
+}  // namespace
+}  // namespace varstream

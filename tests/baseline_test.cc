@@ -1,0 +1,136 @@
+#include "baseline/cmy_monotone_tracker.h"
+#include "baseline/hyz_monotone_tracker.h"
+#include "baseline/naive_tracker.h"
+#include "baseline/periodic_tracker.h"
+
+#include <cmath>
+
+#include "core/driver.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps, uint64_t seed = 0xBA5E) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(NaiveTracker, ExactWithOneMessagePerUpdate) {
+  RandomWalkGenerator gen(1);
+  UniformAssigner assigner(4, 2);
+  NaiveTracker tracker(Opts(4, 0.1));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 7777, 1e-9);
+  EXPECT_EQ(result.messages, 7777u);
+  EXPECT_DOUBLE_EQ(result.max_rel_error, 0.0);
+}
+
+TEST(PeriodicTracker, MessageCountIsNOverT) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(4);
+  PeriodicTracker tracker(Opts(4, 0.1), 10);
+  RunResult result = RunCount(&gen, &assigner, &tracker, 10000, 0.1);
+  EXPECT_EQ(result.messages, 1000u);
+}
+
+TEST(PeriodicTracker, NoErrorGuaranteeOnAdversarialStream) {
+  // A burst of inserts inside one batching window goes unreported.
+  PeriodicTracker tracker(Opts(1, 0.1), 100);
+  for (int i = 0; i < 99; ++i) tracker.Push(0, +1);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(), 0.0);  // stale by 99
+}
+
+TEST(PeriodicTracker, EventuallyCatchesUp) {
+  PeriodicTracker tracker(Opts(1, 0.1), 100);
+  for (int i = 0; i < 100; ++i) tracker.Push(0, +1);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(), 100.0);
+}
+
+TEST(CmyMonotoneTracker, GuaranteeOnMonotoneStreams) {
+  MonotoneGenerator gen;
+  UniformAssigner assigner(8, 3);
+  CmyMonotoneTracker tracker(Opts(8, 0.1));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 50000, 0.1);
+  EXPECT_EQ(result.violation_rate, 0.0);
+  EXPECT_LE(result.max_rel_error, 0.1 + 1e-12);
+}
+
+TEST(CmyMonotoneTracker, MessagesLogarithmicPerSite) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(4);
+  const double eps = 0.1;
+  CmyMonotoneTracker tracker(Opts(4, eps));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 100000, eps);
+  // Per site: ~log_{1+eps}(n/k) + 1 messages.
+  double per_site = std::log(100000.0 / 4.0) / std::log(1.0 + eps) + 2.0;
+  EXPECT_LE(static_cast<double>(result.messages), 4.0 * per_site);
+  EXPECT_GE(result.messages, 4u);
+}
+
+TEST(CmyMonotoneTracker, EstimateNeverExceedsTruth) {
+  // One-sided staleness: f̂ = sum of reported counts <= f.
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(3);
+  CmyMonotoneTracker tracker(Opts(3, 0.2));
+  int64_t f = 0;
+  for (int t = 0; t < 10000; ++t) {
+    f += 1;
+    tracker.Push(assigner.NextSite(), gen.NextDelta());
+    ASSERT_LE(tracker.Estimate(), static_cast<double>(f));
+  }
+}
+
+TEST(HyzMonotoneTracker, FailureRateWithinGuarantee) {
+  MonotoneGenerator gen;
+  UniformAssigner assigner(16, 4);
+  HyzMonotoneTracker tracker(Opts(16, 0.15, 99));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 60000, 0.15);
+  EXPECT_LT(result.violation_rate, 1.0 / 9.0);
+}
+
+TEST(HyzMonotoneTracker, DeterministicGivenSeed) {
+  MonotoneGenerator g1, g2;
+  RoundRobinAssigner a1(4), a2(4);
+  HyzMonotoneTracker t1(Opts(4, 0.1, 5)), t2(Opts(4, 0.1, 5));
+  for (int t = 0; t < 10000; ++t) {
+    t1.Push(a1.NextSite(), g1.NextDelta());
+    t2.Push(a2.NextSite(), g2.NextDelta());
+  }
+  EXPECT_DOUBLE_EQ(t1.Estimate(), t2.Estimate());
+  EXPECT_EQ(t1.cost().total_messages(), t2.cost().total_messages());
+}
+
+TEST(HyzMonotoneTracker, RoundScaleDoubles) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(2);
+  HyzMonotoneTracker tracker(Opts(2, 0.1, 6));
+  for (int t = 0; t < 100000; ++t) {
+    tracker.Push(assigner.NextSite(), gen.NextDelta());
+  }
+  // Scale should have grown to within a factor ~2 of f.
+  EXPECT_GE(tracker.round_scale(), 100000 / 4);
+  EXPECT_LE(tracker.round_scale(), 2 * 100000 + 1);
+}
+
+TEST(HyzMonotoneTracker, CheaperThanCmyForLargeKSmallEps) {
+  const double eps = 0.02;
+  const uint32_t k = 64;
+  MonotoneGenerator g1, g2;
+  RoundRobinAssigner a1(k), a2(k);
+  CmyMonotoneTracker cmy(Opts(k, eps));
+  HyzMonotoneTracker hyz(Opts(k, eps, 7));
+  for (int t = 0; t < 200000; ++t) {
+    cmy.Push(a1.NextSite(), g1.NextDelta());
+    hyz.Push(a2.NextSite(), g2.NextDelta());
+  }
+  // k/eps vs k + sqrt(k)/eps: HYZ should win clearly at k=64, eps=0.02.
+  EXPECT_LT(hyz.cost().total_messages(), cmy.cost().total_messages());
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,273 @@
+#include "core/block_partition.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/math_util.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "stream/variability.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(ScaleFor, MatchesPaperDefinition) {
+  const uint32_t k = 4;
+  // r = 0 iff |f| < 4k.
+  EXPECT_EQ(BlockPartitioner::ScaleFor(0, k), 0);
+  EXPECT_EQ(BlockPartitioner::ScaleFor(15, k), 0);
+  // r >= 1: 2^r*2k <= |f| < 2^r*4k.
+  EXPECT_EQ(BlockPartitioner::ScaleFor(16, k), 1);   // 2*8=16 <= 16 < 32
+  EXPECT_EQ(BlockPartitioner::ScaleFor(31, k), 1);
+  EXPECT_EQ(BlockPartitioner::ScaleFor(32, k), 2);   // 4*8=32 <= 32 < 64
+  EXPECT_EQ(BlockPartitioner::ScaleFor(63, k), 2);
+  EXPECT_EQ(BlockPartitioner::ScaleFor(64, k), 3);
+  EXPECT_EQ(BlockPartitioner::ScaleFor(1 << 20, k), 17);
+}
+
+TEST(ScaleFor, RangeInvariantAcrossValues) {
+  for (uint32_t k : {1u, 3u, 8u, 17u}) {
+    for (uint64_t f = 0; f < 10000; f += 7) {
+      int r = BlockPartitioner::ScaleFor(f, k);
+      if (r == 0) {
+        EXPECT_LT(f, 4ULL * k);
+      } else {
+        EXPECT_GE(f, Pow2(r) * 2 * k);
+        EXPECT_LT(f, Pow2(r) * 4 * k);
+      }
+    }
+  }
+}
+
+// Harness that drives the partitioner over a generator and records
+// per-block statistics for invariant checking.
+struct BlockStats {
+  uint64_t length = 0;
+  uint64_t messages_at_close = 0;
+  double v_at_close = 0;
+  int r = 0;
+  int64_t f_start = 0;
+};
+
+struct PartitionRun {
+  std::vector<BlockStats> closed;
+  std::vector<int64_t> f_values;
+  std::vector<int> block_r;  // r of the open block at each timestep
+  std::vector<int64_t> block_f_start;
+  std::vector<uint64_t> block_start_time;
+};
+
+PartitionRun Drive(CountGenerator* gen, uint32_t k, uint64_t n) {
+  SimNetwork net(k);
+  BlockPartitioner part(&net, gen->initial_value());
+  RoundRobinAssigner assigner(k);
+  VariabilityMeter meter(gen->initial_value());
+
+  PartitionRun run;
+  uint64_t last_close_time = 0;
+  uint64_t last_close_msgs = 0;
+  double last_close_v = 0;
+  BlockInfo open = part.block();
+  part.set_block_end_callback(
+      [&](const BlockInfo& closed_block, const BlockInfo& next) {
+        BlockStats st;
+        st.length = part.time() - last_close_time;
+        st.messages_at_close =
+            net.cost().total_messages() - last_close_msgs;
+        st.v_at_close = meter.value() - last_close_v;
+        st.r = closed_block.r;
+        st.f_start = closed_block.f_start;
+        run.closed.push_back(st);
+        last_close_time = part.time();
+        last_close_msgs = net.cost().total_messages();
+        last_close_v = meter.value();
+        open = next;
+      });
+  for (uint64_t t = 0; t < n; ++t) {
+    int64_t delta = gen->NextDelta();
+    meter.Push(delta);
+    run.block_r.push_back(open.r);
+    run.block_f_start.push_back(open.f_start);
+    run.block_start_time.push_back(open.start_time);
+    part.OnArrival(assigner.NextSite(), delta);
+    run.f_values.push_back(meter.f());
+  }
+  return run;
+}
+
+class PartitionInvariantTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint32_t>> {};
+
+TEST_P(PartitionInvariantTest, PaperInvariantsHold) {
+  auto [gen_name, k] = GetParam();
+  auto gen = MakeGeneratorByName(gen_name, 99);
+  ASSERT_NE(gen, nullptr);
+  PartitionRun run = Drive(gen.get(), k, 60000);
+  ASSERT_GT(run.closed.size(), 2u);
+
+  for (const BlockStats& b : run.closed) {
+    // Block length: ceil(2^{r-1})*k <= |Bj| <= 2^r*k.
+    EXPECT_GE(b.length, CeilPow2Half(b.r) * k);
+    EXPECT_LE(b.length, Pow2(b.r) * k);
+    // Partition messages per block: at most 5k (2k ci + k poll + k reply +
+    // k broadcast).
+    EXPECT_LE(b.messages_at_close, 5ULL * k);
+    // Variability increase per block: at least 1/10 (the safe version of
+    // the paper's 1/5 claim; see DESIGN.md).
+    EXPECT_GE(b.v_at_close, 1.0 / 10.0 - 1e-12);
+  }
+}
+
+TEST_P(PartitionInvariantTest, InBlockScaleBoundsHold) {
+  auto [gen_name, k] = GetParam();
+  auto gen = MakeGeneratorByName(gen_name, 123);
+  ASSERT_NE(gen, nullptr);
+  PartitionRun run = Drive(gen.get(), k, 60000);
+  for (size_t t = 0; t < run.f_values.size(); ++t) {
+    int r = run.block_r[t];
+    uint64_t abs_f = AbsU64(run.f_values[t]);
+    if (r == 0) {
+      EXPECT_LE(abs_f, 5ULL * k) << "t=" << t;
+    } else {
+      EXPECT_GE(abs_f, Pow2(r) * k) << "t=" << t;
+      EXPECT_LE(abs_f, Pow2(r) * 5 * k) << "t=" << t;
+    }
+    // Drift from block start bounded by 2^r * k.
+    EXPECT_LE(AbsU64(run.f_values[t] - run.block_f_start[t]),
+              Pow2(r) * k)
+        << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratorsAndSites, PartitionInvariantTest,
+    ::testing::Combine(::testing::Values("monotone", "random-walk",
+                                         "biased-walk", "sawtooth",
+                                         "zero-crossing", "nearly-monotone"),
+                       ::testing::Values(1u, 4u, 16u)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BlockPartitioner, ExactKnowledgeAtBoundaries) {
+  RandomWalkGenerator gen(3);
+  SimNetwork net(4);
+  BlockPartitioner part(&net, 0);
+  int64_t true_f = 0;
+  uint64_t true_n = 0;
+  bool checked = false;
+  part.set_block_end_callback(
+      [&](const BlockInfo&, const BlockInfo& next) {
+        EXPECT_EQ(next.f_start, true_f);
+        EXPECT_EQ(next.start_time, true_n);
+        checked = true;
+      });
+  RoundRobinAssigner assigner(4);
+  for (uint64_t t = 0; t < 10000; ++t) {
+    int64_t d = gen.NextDelta();
+    true_f += d;
+    ++true_n;
+    part.OnArrival(assigner.NextSite(), d);
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(BlockPartitioner, RZeroBlocksHaveLengthExactlyK) {
+  // With r = 0, every arrival is reported and the block closes after
+  // exactly k updates.
+  ZeroCrossingGenerator gen;  // f stays in {0, 1}: always r = 0
+  SimNetwork net(8);
+  BlockPartitioner part(&net, 0);
+  std::vector<uint64_t> lengths;
+  uint64_t last = 0;
+  part.set_block_end_callback([&](const BlockInfo&, const BlockInfo&) {
+    lengths.push_back(part.time() - last);
+    last = part.time();
+  });
+  RoundRobinAssigner assigner(8);
+  for (uint64_t t = 0; t < 800; ++t) {
+    part.OnArrival(assigner.NextSite(), gen.NextDelta());
+  }
+  ASSERT_EQ(lengths.size(), 100u);
+  for (uint64_t len : lengths) EXPECT_EQ(len, 8u);
+}
+
+TEST(BlockPartitioner, InitialScaleFromInitialValue) {
+  SimNetwork net(2);
+  BlockPartitioner part(&net, 1000);
+  EXPECT_EQ(part.block().r, BlockPartitioner::ScaleFor(1000, 2));
+  EXPECT_EQ(part.f_at_block_start(), 1000);
+}
+
+TEST(BlockPartitioner, AdversarialSingleSiteConcentration) {
+  // All updates land on one site of many: the paper's invariants must
+  // hold under the most skewed assignment possible.
+  MonotoneGenerator gen;
+  SimNetwork net(16);
+  BlockPartitioner part(&net, 0);
+  VariabilityMeter meter(0);
+  uint64_t last_time = 0, last_msgs = 0;
+  part.set_block_end_callback([&](const BlockInfo& closed,
+                                  const BlockInfo&) {
+    uint64_t len = part.time() - last_time;
+    EXPECT_GE(len, CeilPow2Half(closed.r) * 16);
+    EXPECT_LE(len, Pow2(closed.r) * 16);
+    EXPECT_LE(net.cost().total_messages() - last_msgs, 5ULL * 16);
+    last_time = part.time();
+    last_msgs = net.cost().total_messages();
+  });
+  for (uint64_t t = 0; t < 40000; ++t) {
+    int64_t d = gen.NextDelta();
+    meter.Push(d);
+    part.OnArrival(/*site=*/0, d);  // everything on site 0
+  }
+  EXPECT_GT(part.blocks_completed(), 3u);
+}
+
+TEST(BlockPartitioner, BurstAssignmentKeepsInvariants) {
+  RandomWalkGenerator gen(17);
+  SimNetwork net(8);
+  BlockPartitioner part(&net, 0);
+  BurstAssigner assigner(8, 128);
+  uint64_t last_time = 0;
+  part.set_block_end_callback([&](const BlockInfo& closed,
+                                  const BlockInfo&) {
+    uint64_t len = part.time() - last_time;
+    EXPECT_GE(len, CeilPow2Half(closed.r) * 8);
+    EXPECT_LE(len, Pow2(closed.r) * 8);
+    last_time = part.time();
+  });
+  for (uint64_t t = 0; t < 40000; ++t) {
+    part.OnArrival(assigner.NextSite(), gen.NextDelta());
+  }
+  EXPECT_GT(part.blocks_completed(), 3u);
+}
+
+TEST(BlockPartitioner, NegativeInitialValueScales) {
+  SimNetwork net(2);
+  BlockPartitioner part(&net, -1000);
+  EXPECT_EQ(part.block().r, BlockPartitioner::ScaleFor(1000, 2));
+  EXPECT_EQ(part.f_at_block_start(), -1000);
+}
+
+TEST(BlockPartitioner, BlockIndexIncrements) {
+  MonotoneGenerator gen;
+  SimNetwork net(2);
+  BlockPartitioner part(&net, 0);
+  RoundRobinAssigner assigner(2);
+  for (uint64_t t = 0; t < 5000; ++t) {
+    part.OnArrival(assigner.NextSite(), gen.NextDelta());
+  }
+  EXPECT_EQ(part.block().index, part.blocks_completed());
+  EXPECT_GT(part.blocks_completed(), 3u);
+}
+
+}  // namespace
+}  // namespace varstream

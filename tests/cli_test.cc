@@ -1,0 +1,65 @@
+#include "common/cli.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  return FlagParser(static_cast<int>(args.size()),
+                    const_cast<char**>(args.data()));
+}
+
+TEST(FlagParser, ParsesTypedValues) {
+  FlagParser flags =
+      Parse({"--n=1000", "--eps=0.05", "--name=walk", "--verbose"});
+  EXPECT_EQ(flags.GetInt("n", 0), 1000);
+  EXPECT_EQ(flags.GetUint("n", 0), 1000u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 0.05);
+  EXPECT_EQ(flags.GetString("name", ""), "walk");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagParser, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetInt("n", -5), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.25), 0.25);
+  EXPECT_EQ(flags.GetString("name", "dflt"), "dflt");
+  EXPECT_FALSE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.Has("n"));
+}
+
+TEST(FlagParser, NegativeNumbers) {
+  FlagParser flags = Parse({"--x=-42"});
+  EXPECT_EQ(flags.GetInt("x", 0), -42);
+}
+
+TEST(FlagParser, MalformedValueFallsBack) {
+  FlagParser flags = Parse({"--n=12abc"});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+}
+
+TEST(FlagParser, BooleanSpellings) {
+  FlagParser flags = Parse({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagParser, IgnoresPositionalArguments) {
+  FlagParser flags = Parse({"positional", "-x=1"});
+  EXPECT_FALSE(flags.Has("positional"));
+  EXPECT_FALSE(flags.Has("x"));
+}
+
+TEST(FlagParser, LastOccurrenceWins) {
+  FlagParser flags = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,100 @@
+#include "baseline/cmy_threshold_detector.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stream/site_assigner.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k) {
+  TrackerOptions o;
+  o.num_sites = k;
+  return o;
+}
+
+TEST(CmyThresholdDetector, FiresExactlyAtTau) {
+  // The final exact phase makes detection precise: fired_at == tau when
+  // every update is an insertion starting from zero.
+  for (int64_t tau : {1LL, 7LL, 100LL, 12345LL}) {
+    CmyThresholdDetector detector(Opts(4), tau);
+    RoundRobinAssigner assigner(4);
+    for (int64_t t = 0; t < tau + 100; ++t) {
+      detector.PushInsert(assigner.NextSite());
+    }
+    ASSERT_TRUE(detector.fired()) << "tau=" << tau;
+    EXPECT_EQ(detector.fired_at(), static_cast<uint64_t>(tau))
+        << "tau=" << tau;
+  }
+}
+
+TEST(CmyThresholdDetector, NeverFiresEarly) {
+  CmyThresholdDetector detector(Opts(8), 5000);
+  UniformAssigner assigner(8, 3);
+  for (int t = 0; t < 4999; ++t) {
+    detector.PushInsert(assigner.NextSite());
+    ASSERT_FALSE(detector.fired()) << "t=" << t;
+  }
+  detector.PushInsert(assigner.NextSite());
+  EXPECT_TRUE(detector.fired());
+}
+
+TEST(CmyThresholdDetector, LatchesAfterFiring) {
+  CmyThresholdDetector detector(Opts(2), 10);
+  RoundRobinAssigner assigner(2);
+  for (int t = 0; t < 50; ++t) detector.PushInsert(assigner.NextSite());
+  EXPECT_TRUE(detector.fired());
+  EXPECT_EQ(detector.fired_at(), 10u);
+  uint64_t msgs = detector.cost().total_messages();
+  detector.PushInsert(0);
+  EXPECT_EQ(detector.cost().total_messages(), msgs);  // no traffic after
+}
+
+TEST(CmyThresholdDetector, MessageCountLogarithmicInTau) {
+  // O(k log(tau/k)) messages: doubling tau adds ~O(k) messages, not 2x.
+  const uint32_t k = 8;
+  uint64_t prev_msgs = 0;
+  for (int64_t tau : {10000LL, 20000LL, 40000LL, 80000LL}) {
+    CmyThresholdDetector detector(Opts(k), tau);
+    UniformAssigner assigner(k, 7);
+    for (int64_t t = 0; t < tau; ++t) {
+      detector.PushInsert(assigner.NextSite());
+    }
+    ASSERT_TRUE(detector.fired());
+    uint64_t msgs = detector.cost().total_messages();
+    double bound =
+        6.0 * k *
+        (std::log2(static_cast<double>(tau) / k) + 4.0);
+    EXPECT_LT(static_cast<double>(msgs), bound) << "tau=" << tau;
+    if (prev_msgs > 0) {
+      // Sub-doubling growth.
+      EXPECT_LT(msgs, prev_msgs + prev_msgs / 2) << "tau=" << tau;
+    }
+    prev_msgs = msgs;
+  }
+}
+
+TEST(CmyThresholdDetector, SkewedArrivalsStillExact) {
+  // All arrivals at one site: quotas force signals and the gap still
+  // halves per round via the poll.
+  CmyThresholdDetector detector(Opts(16), 3000);
+  for (int t = 0; t < 3500; ++t) detector.PushInsert(0);
+  EXPECT_TRUE(detector.fired());
+  EXPECT_EQ(detector.fired_at(), 3000u);
+}
+
+TEST(CmyThresholdDetector, RoundCountLogarithmic) {
+  CmyThresholdDetector detector(Opts(4), 1 << 20);
+  RoundRobinAssigner assigner(4);
+  for (int64_t t = 0; t < (1 << 20); ++t) {
+    detector.PushInsert(assigner.NextSite());
+  }
+  ASSERT_TRUE(detector.fired());
+  // Gap halves (at least) each round: ~log2(tau/2k) + final rounds.
+  EXPECT_LE(detector.rounds(), 25u);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,83 @@
+#include "net/cost_meter.h"
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(CostMeter, StartsEmpty) {
+  CostMeter m;
+  EXPECT_EQ(m.total_messages(), 0u);
+  EXPECT_EQ(m.total_bits(), 0u);
+  EXPECT_EQ(m.Breakdown(), "none");
+}
+
+TEST(CostMeter, CountsPerKind) {
+  CostMeter m;
+  m.Count(MessageKind::kDrift, 88);
+  m.Count(MessageKind::kDrift, 88);
+  m.Count(MessageKind::kCiReport, 88, 3);
+  EXPECT_EQ(m.messages(MessageKind::kDrift), 2u);
+  EXPECT_EQ(m.messages(MessageKind::kCiReport), 3u);
+  EXPECT_EQ(m.total_messages(), 5u);
+  EXPECT_EQ(m.bits(MessageKind::kDrift), 176u);
+  EXPECT_EQ(m.total_bits(), 5 * 88u);
+}
+
+TEST(CostMeter, PartitionVsTrackingSplit) {
+  CostMeter m;
+  m.Count(MessageKind::kCiReport, 10);
+  m.Count(MessageKind::kPollRequest, 10);
+  m.Count(MessageKind::kPollReply, 10);
+  m.Count(MessageKind::kBroadcast, 10, 4);
+  m.Count(MessageKind::kDrift, 10, 5);
+  m.Count(MessageKind::kEndOfBlockReport, 10, 2);
+  m.Count(MessageKind::kSync, 10);
+  EXPECT_EQ(m.partition_messages(), 7u);
+  EXPECT_EQ(m.tracking_messages(), 8u);
+  EXPECT_EQ(m.total_messages(), 15u);
+}
+
+TEST(CostMeter, ResetClearsEverything) {
+  CostMeter m;
+  m.Count(MessageKind::kSync, 100, 7);
+  m.Reset();
+  EXPECT_EQ(m.total_messages(), 0u);
+  EXPECT_EQ(m.total_bits(), 0u);
+}
+
+TEST(CostMeter, MergeAddsCounts) {
+  CostMeter a, b;
+  a.Count(MessageKind::kDrift, 8, 2);
+  b.Count(MessageKind::kDrift, 8, 3);
+  b.Count(MessageKind::kSync, 8);
+  a.Merge(b);
+  EXPECT_EQ(a.messages(MessageKind::kDrift), 5u);
+  EXPECT_EQ(a.messages(MessageKind::kSync), 1u);
+  EXPECT_EQ(a.total_bits(), 6 * 8u);
+}
+
+TEST(CostMeter, BreakdownListsNonzeroKinds) {
+  CostMeter m;
+  m.Count(MessageKind::kCiReport, 8, 12);
+  m.Count(MessageKind::kDrift, 8, 37);
+  std::string breakdown = m.Breakdown();
+  EXPECT_NE(breakdown.find("ci=12"), std::string::npos);
+  EXPECT_NE(breakdown.find("drift=37"), std::string::npos);
+  EXPECT_EQ(breakdown.find("sync"), std::string::npos);
+}
+
+TEST(MessageKindName, AllKindsNamed) {
+  for (int i = 0; i < static_cast<int>(MessageKind::kNumKinds); ++i) {
+    EXPECT_STRNE(MessageKindName(static_cast<MessageKind>(i)), "?");
+  }
+}
+
+TEST(MessageBits, HeaderPlusWords) {
+  EXPECT_EQ(MessageBits(0), kHeaderBits);
+  EXPECT_EQ(MessageBits(1), kHeaderBits + kWordBits);
+  EXPECT_EQ(MessageBits(3), kHeaderBits + 3 * kWordBits);
+}
+
+}  // namespace
+}  // namespace varstream

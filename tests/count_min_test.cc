@@ -1,0 +1,259 @@
+#include "sketch/count_min.h"
+
+#include <map>
+#include <memory>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(CountMinSketch, ExactForFewItems) {
+  Rng rng(1);
+  CountMinSketch cm(4, 1024, &rng);
+  cm.Update(10, 5);
+  cm.Update(20, 3);
+  // With 1024 buckets and 2 items, collisions in all 4 rows are unlikely.
+  EXPECT_EQ(cm.EstimateMin(10), 5);
+  EXPECT_EQ(cm.EstimateMin(20), 3);
+}
+
+TEST(CountMinSketch, MinOverestimatesNonnegativeStreams) {
+  Rng rng(2);
+  CountMinSketch cm(3, 16, &rng);
+  std::map<uint64_t, int64_t> truth;
+  Rng data(3);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t item = data.UniformBelow(400);
+    cm.Update(item, 1);
+    ++truth[item];
+  }
+  for (const auto& [item, f] : truth) {
+    EXPECT_GE(cm.EstimateMin(item), f) << "item " << item;
+  }
+}
+
+TEST(CountMinSketch, ErrorBoundHoldsForMostItems) {
+  // Classic guarantee: error <= 2*F1/width per row, beaten by min with
+  // high probability.
+  Rng rng(4);
+  const uint64_t kWidth = 200;
+  CountMinSketch cm(5, kWidth, &rng);
+  std::map<uint64_t, int64_t> truth;
+  Rng data(5);
+  int64_t f1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t item = data.UniformBelow(2000);
+    cm.Update(item, 1);
+    ++truth[item];
+    ++f1;
+  }
+  int violations = 0;
+  for (const auto& [item, f] : truth) {
+    int64_t err = cm.EstimateMin(item) - f;
+    if (err > 2 * f1 / static_cast<int64_t>(kWidth)) ++violations;
+  }
+  EXPECT_LT(violations, static_cast<int>(truth.size()) / 20);
+}
+
+TEST(CountMinSketch, PartitionForEpsilonWidth) {
+  Rng rng(6);
+  CountMinSketch cm = CountMinSketch::PartitionForEpsilon(0.1, &rng);
+  EXPECT_EQ(cm.rows(), 1u);
+  EXPECT_EQ(cm.width(), 270u);
+}
+
+TEST(CountMinSketch, PartitionErrorWithinEpsF1OverThreeMostly) {
+  // Appendix H claim: width 27/eps gives error <= eps*F1/3 w.p. >= 8/9.
+  const double kEps = 0.1;
+  Rng data(7);
+  std::map<uint64_t, int64_t> truth;
+  std::vector<uint64_t> stream;
+  int64_t f1 = 0;
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t item = data.UniformBelow(5000);
+    stream.push_back(item);
+    ++truth[item];
+    ++f1;
+  }
+  // Average failure rate over independent sketch draws.
+  int failures = 0, queries = 0;
+  Rng seeder(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(seeder.NextU64());
+    CountMinSketch cm = CountMinSketch::PartitionForEpsilon(kEps, &rng);
+    for (uint64_t item : stream) cm.Update(item, 1);
+    for (const auto& [item, f] : truth) {
+      ++queries;
+      double err = std::abs(static_cast<double>(cm.EstimateMin(item) - f));
+      if (err > kEps * static_cast<double>(f1) / 3.0) ++failures;
+    }
+  }
+  EXPECT_LT(static_cast<double>(failures) / queries, 1.0 / 9.0);
+}
+
+TEST(CountMinSketch, ForErrorProbabilityShape) {
+  Rng rng(9);
+  CountMinSketch cm = CountMinSketch::ForErrorProbability(0.01, 0.01, &rng);
+  EXPECT_EQ(cm.width(), 272u);  // ceil(e/0.01)
+  EXPECT_EQ(cm.rows(), 5u);     // ceil(ln 100)
+}
+
+TEST(CountMinSketch, MedianHandlesTurnstile) {
+  Rng rng(10);
+  CountMinSketch cm(5, 64, &rng);
+  cm.Update(1, 10);
+  cm.Update(2, -4);
+  // Median should be near the truth even with cancellation noise.
+  EXPECT_NEAR(static_cast<double>(cm.EstimateMedian(1)), 10.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(cm.EstimateMedian(2)), -4.0, 4.0);
+}
+
+TEST(CountMinSketch, MergeEqualsCombinedStream) {
+  Rng seed_rng(11);
+  uint64_t seed = seed_rng.NextU64();
+  Rng r1(seed), r2(seed), r3(seed);
+  CountMinSketch a(3, 128, &r1), b(3, 128, &r2), combined(3, 128, &r3);
+  Rng data(12);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t item = data.UniformBelow(100);
+    if (i % 2) {
+      a.Update(item, 1);
+    } else {
+      b.Update(item, 1);
+    }
+    combined.Update(item, 1);
+  }
+  a.Merge(b);
+  for (uint64_t item = 0; item < 100; ++item) {
+    EXPECT_EQ(a.EstimateMin(item), combined.EstimateMin(item));
+  }
+}
+
+TEST(CountMinSketch, RowMassEqualsStreamMass) {
+  Rng rng(13);
+  CountMinSketch cm(2, 32, &rng);
+  cm.Update(1, 5);
+  cm.Update(2, 7);
+  cm.Update(1, -2);
+  EXPECT_EQ(cm.RowMass(0), 10);
+  EXPECT_EQ(cm.RowMass(1), 10);
+}
+
+TEST(CountMinSketch, SpaceBitsMatchesGeometry) {
+  Rng rng(14);
+  CountMinSketch cm(3, 100, &rng);
+  EXPECT_EQ(cm.SpaceBits(), 3 * 100 * 64u);
+}
+
+TEST(CountMinSketch, HeavyHitterRecall) {
+  // Any item with frequency > 2*F1/width must be recoverable by scanning
+  // candidate items and thresholding the estimate — the classic CM heavy
+  // hitter argument (estimates never underestimate).
+  Rng rng(15);
+  CountMinSketch cm(4, 256, &rng);
+  Rng data(16);
+  std::map<uint64_t, int64_t> truth;
+  int64_t f1 = 0;
+  // 5 heavy items + background noise.
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t heavy = 9000 + data.UniformBelow(5);
+    cm.Update(heavy, 1);
+    ++truth[heavy];
+    ++f1;
+    uint64_t light = data.UniformBelow(5000);
+    cm.Update(light, 1);
+    ++truth[light];
+    ++f1;
+  }
+  int64_t threshold = f1 / 10;
+  for (const auto& [item, f] : truth) {
+    if (f >= threshold) {
+      EXPECT_GE(cm.EstimateMin(item), threshold)
+          << "heavy item " << item << " must pass the filter";
+    }
+  }
+}
+
+TEST(CountMinSketch, SerializeRoundTripPreservesEstimates) {
+  Rng rng(19);
+  CountMinSketch cm(3, 64, &rng);
+  Rng data(20);
+  for (int i = 0; i < 3000; ++i) cm.Update(data.UniformBelow(500), 1);
+
+  std::unique_ptr<CountMinSketch> restored;
+  ASSERT_TRUE(CountMinSketch::Deserialize(cm.Serialize(), &restored));
+  EXPECT_EQ(restored->rows(), cm.rows());
+  EXPECT_EQ(restored->width(), cm.width());
+  for (uint64_t item = 0; item < 500; ++item) {
+    EXPECT_EQ(restored->EstimateMin(item), cm.EstimateMin(item));
+    EXPECT_EQ(restored->EstimateMedian(item), cm.EstimateMedian(item));
+  }
+}
+
+TEST(CountMinSketch, DeserializedSketchMergesWithOriginalFamily) {
+  // The shipped-sketch workflow: a site serializes its local sketch; the
+  // coordinator deserializes and merges into its own (same hash family).
+  Rng rng(21);
+  CountMinSketch coordinator(2, 32, &rng);
+  std::vector<uint8_t> wire;
+  {
+    std::unique_ptr<CountMinSketch> site;
+    ASSERT_TRUE(
+        CountMinSketch::Deserialize(coordinator.Serialize(), &site));
+    site->Update(7, 5);
+    site->Update(9, 2);
+    wire = site->Serialize();
+  }
+  std::unique_ptr<CountMinSketch> received;
+  ASSERT_TRUE(CountMinSketch::Deserialize(wire, &received));
+  coordinator.Update(7, 1);
+  coordinator.Merge(*received);
+  EXPECT_GE(coordinator.EstimateMin(7), 6);
+  EXPECT_GE(coordinator.EstimateMin(9), 2);
+  EXPECT_EQ(coordinator.RowMass(0), 8);
+}
+
+TEST(CountMinSketch, DeserializeRejectsCorruptBuffers) {
+  Rng rng(22);
+  CountMinSketch cm(2, 16, &rng);
+  cm.Update(1, 1);
+  auto bytes = cm.Serialize();
+  std::unique_ptr<CountMinSketch> out;
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(CountMinSketch::Deserialize(bad_magic, &out));
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 9);
+  EXPECT_FALSE(CountMinSketch::Deserialize(truncated, &out));
+
+  auto huge_rows = bytes;
+  huge_rows[4] = 0xFF;
+  huge_rows[5] = 0xFF;
+  huge_rows[6] = 0xFF;
+  EXPECT_FALSE(CountMinSketch::Deserialize(huge_rows, &out));
+
+  EXPECT_FALSE(CountMinSketch::Deserialize({}, &out));
+}
+
+TEST(CountMinSketch, LinearityUnderNegation) {
+  // CM is a linear sketch: updating +x then -x restores all counters.
+  Rng rng(17);
+  CountMinSketch cm(3, 64, &rng);
+  Rng data(18);
+  std::vector<std::pair<uint64_t, int64_t>> updates;
+  for (int i = 0; i < 500; ++i) {
+    updates.emplace_back(data.UniformBelow(1000),
+                         data.UniformInt(-5, 5));
+  }
+  for (auto [item, d] : updates) cm.Update(item, d);
+  for (auto [item, d] : updates) cm.Update(item, -d);
+  for (uint64_t item = 0; item < 1000; ++item) {
+    EXPECT_EQ(cm.EstimateMedian(item), 0);
+  }
+}
+
+}  // namespace
+}  // namespace varstream

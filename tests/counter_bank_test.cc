@@ -1,0 +1,106 @@
+#include "sketch/counter_bank.h"
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(CounterBank, GeometryAndIndexing) {
+  CounterBank bank({3, 5, 2});
+  EXPECT_EQ(bank.rows(), 3u);
+  EXPECT_EQ(bank.width(0), 3u);
+  EXPECT_EQ(bank.width(1), 5u);
+  EXPECT_EQ(bank.width(2), 2u);
+  EXPECT_EQ(bank.total_counters(), 10u);
+  EXPECT_EQ(bank.FlatIndex(0, 0), 0u);
+  EXPECT_EQ(bank.FlatIndex(1, 0), 3u);
+  EXPECT_EQ(bank.FlatIndex(2, 1), 9u);
+}
+
+TEST(CounterBank, ReadWriteThroughBothViews) {
+  CounterBank bank({2, 2});
+  bank.at(1, 1) = 42;
+  EXPECT_EQ(bank.flat(3), 42);
+  bank.flat(0) = -7;
+  EXPECT_EQ(bank.at(0, 0), -7);
+}
+
+TEST(CounterBank, ClearZeroesAll) {
+  CounterBank bank({4});
+  for (uint64_t i = 0; i < 4; ++i) bank.flat(i) = static_cast<int64_t>(i);
+  bank.Clear();
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(bank.flat(i), 0);
+}
+
+TEST(CounterBank, MergeAddsElementwise) {
+  CounterBank a({2, 3}), b({2, 3});
+  a.at(0, 1) = 5;
+  b.at(0, 1) = 7;
+  b.at(1, 2) = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.at(0, 1), 12);
+  EXPECT_EQ(a.at(1, 2), 1);
+}
+
+TEST(CounterBank, SpaceBits) {
+  CounterBank bank({10, 10});
+  EXPECT_EQ(bank.SpaceBits(), 20 * 64u);
+  EXPECT_EQ(bank.SpaceBits(32), 20 * 32u);
+}
+
+TEST(CountMinMapper, BucketsWithinWidthAndCombineIsMin) {
+  Rng rng(1);
+  CountMinMapper mapper(3, 8, &rng);
+  EXPECT_EQ(mapper.rows(), 3u);
+  for (uint64_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(mapper.width(r), 8u);
+    for (uint64_t item = 0; item < 100; ++item) {
+      EXPECT_LT(mapper.Bucket(r, item), 8u);
+    }
+  }
+  EXPECT_DOUBLE_EQ(mapper.Combine({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_EQ(mapper.name(), "count-min");
+}
+
+TEST(CRPrecisMapper, PrimesDistinctIncreasingAboveFloor) {
+  CRPrecisMapper mapper(5, 10);
+  const auto& primes = mapper.primes();
+  ASSERT_EQ(primes.size(), 5u);
+  EXPECT_EQ(primes[0], 11u);
+  for (size_t i = 1; i < primes.size(); ++i) {
+    EXPECT_GT(primes[i], primes[i - 1]);
+  }
+}
+
+TEST(CRPrecisMapper, BucketIsModPrimeAndCombineIsAvg) {
+  CRPrecisMapper mapper(2, 5);
+  EXPECT_EQ(mapper.Bucket(0, 23), 23 % mapper.primes()[0]);
+  EXPECT_EQ(mapper.Bucket(1, 23), 23 % mapper.primes()[1]);
+  EXPECT_DOUBLE_EQ(mapper.Combine({2.0, 4.0}), 3.0);
+  EXPECT_EQ(mapper.name(), "cr-precis");
+}
+
+TEST(CRPrecisMapper, GuaranteedErrorFractionShrinksWithRows) {
+  CRPrecisMapper few(3, 11), many(30, 11);
+  EXPECT_GT(few.GuaranteedErrorFraction(10000),
+            many.GuaranteedErrorFraction(10000));
+}
+
+TEST(SketchMapper, RowWidthsMatchesGeometry) {
+  CRPrecisMapper mapper(3, 5);
+  auto widths = mapper.RowWidths();
+  ASSERT_EQ(widths.size(), 3u);
+  EXPECT_EQ(widths[0], mapper.primes()[0]);
+  EXPECT_EQ(widths[2], mapper.primes()[2]);
+}
+
+TEST(FirstPrimesAtLeast, KnownValues) {
+  EXPECT_EQ(FirstPrimesAtLeast(2, 5),
+            (std::vector<uint64_t>{2, 3, 5, 7, 11}));
+  EXPECT_EQ(FirstPrimesAtLeast(10, 3), (std::vector<uint64_t>{11, 13, 17}));
+  EXPECT_EQ(FirstPrimesAtLeast(0, 1), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(FirstPrimesAtLeast(97, 1), (std::vector<uint64_t>{97}));
+}
+
+}  // namespace
+}  // namespace varstream

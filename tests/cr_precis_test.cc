@@ -1,0 +1,193 @@
+#include "sketch/cr_precis.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(CRPrecisSketch, ExactForSingleItem) {
+  CRPrecisSketch sk(5, 11);
+  sk.Update(42, 9);
+  EXPECT_DOUBLE_EQ(sk.EstimateAvg(42), 9.0);
+  EXPECT_EQ(sk.EstimateMin(42), 9);
+}
+
+TEST(CRPrecisSketch, DeterministicErrorGuaranteeAlwaysHolds) {
+  // The headline CR-precis property: for EVERY item, point error is at most
+  // GuaranteedErrorFraction(U) * F1. No randomness, no failure probability.
+  const uint64_t kUniverse = 4096;
+  CRPrecisSketch sk = CRPrecisSketch::ForEpsilon(0.2, kUniverse);
+  double frac = sk.GuaranteedErrorFraction(kUniverse);
+  EXPECT_LE(frac, 0.2 / 3.0 + 1e-9);
+
+  std::map<uint64_t, int64_t> truth;
+  Rng data(1);
+  int64_t f1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t item = data.UniformBelow(kUniverse);
+    sk.Update(item, 1);
+    ++truth[item];
+    ++f1;
+  }
+  for (const auto& [item, f] : truth) {
+    double err = std::abs(sk.EstimateAvg(item) - static_cast<double>(f));
+    EXPECT_LE(err, frac * static_cast<double>(f1) + 1e-9)
+        << "item " << item;
+  }
+}
+
+TEST(CRPrecisSketch, MinEstimatorUpperBoundsNonnegative) {
+  CRPrecisSketch sk(4, 13);
+  Rng data(2);
+  std::map<uint64_t, int64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t item = data.UniformBelow(500);
+    sk.Update(item, 1);
+    ++truth[item];
+  }
+  for (const auto& [item, f] : truth) {
+    EXPECT_GE(sk.EstimateMin(item), f);
+  }
+}
+
+TEST(CRPrecisSketch, PairwiseCollisionCountBounded) {
+  // Any two distinct items of a universe of size U collide in at most
+  // log_{p1}(U) rows — the number-theoretic core of the guarantee.
+  const uint64_t kUniverse = 10000;
+  CRPrecisMapper mapper(8, 11);
+  double max_collisions = std::log(static_cast<double>(kUniverse)) /
+                          std::log(static_cast<double>(mapper.primes()[0]));
+  Rng rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t x = rng.UniformBelow(kUniverse);
+    uint64_t y = rng.UniformBelow(kUniverse);
+    if (x == y) continue;
+    int collisions = 0;
+    for (uint64_t r = 0; r < mapper.rows(); ++r) {
+      if (mapper.Bucket(r, x) == mapper.Bucket(r, y)) ++collisions;
+    }
+    EXPECT_LE(collisions, static_cast<int>(max_collisions))
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(CRPrecisSketch, ForEpsilonShape) {
+  CRPrecisSketch sk = CRPrecisSketch::ForEpsilon(0.25, 1 << 20);
+  EXPECT_EQ(sk.rows(), 12u);  // ceil(3/0.25)
+  // Primes at least 6*20/(0.25*2) = 240.
+  EXPECT_GE(sk.mapper().primes()[0], 240u);
+}
+
+TEST(CRPrecisSketch, MergeEqualsCombinedStream) {
+  CRPrecisSketch a(4, 17), b(4, 17), combined(4, 17);
+  Rng data(4);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t item = data.UniformBelow(300);
+    if (i % 3 == 0) {
+      a.Update(item, 1);
+    } else {
+      b.Update(item, 1);
+    }
+    combined.Update(item, 1);
+  }
+  a.Merge(b);
+  for (uint64_t item = 0; item < 300; ++item) {
+    EXPECT_DOUBLE_EQ(a.EstimateAvg(item), combined.EstimateAvg(item));
+  }
+}
+
+TEST(CRPrecisSketch, HandlesDeletionsLinearly) {
+  CRPrecisSketch sk(5, 13);
+  sk.Update(7, 10);
+  sk.Update(7, -10);
+  EXPECT_DOUBLE_EQ(sk.EstimateAvg(7), 0.0);
+}
+
+TEST(CRPrecisSketch, AdversarialCollisionPattern) {
+  // Stack mass on items that all collide with the query item in row 0
+  // (same residue mod p0). The min estimator is badly fooled; the average
+  // still meets the deterministic guarantee because the colliders can
+  // only share log_{p0}(U) rows.
+  CRPrecisMapper mapper(8, 11);
+  uint64_t p0 = mapper.primes()[0];
+  CRPrecisSketch sk(8, 11);
+  const uint64_t kTarget = 5;
+  const uint64_t kUniverse = 4096;
+  int64_t f1 = 0;
+  for (uint64_t x = kTarget + p0; x < kUniverse; x += p0) {
+    sk.Update(x, 10);  // all collide with kTarget in row 0
+    f1 += 10;
+  }
+  double frac = sk.GuaranteedErrorFraction(kUniverse);
+  double err = std::abs(sk.EstimateAvg(kTarget) - 0.0);
+  EXPECT_LE(err, frac * static_cast<double>(f1) + 1e-9);
+  // And the row-0 collision really is total: min >= 10 shows the min
+  // estimator alone cannot give this guarantee per-row.
+  EXPECT_GE(sk.EstimateMin(kTarget), 0);
+}
+
+TEST(CRPrecisSketch, SerializeRoundTripPreservesEstimates) {
+  CRPrecisSketch sk(5, 13);
+  Rng data(5);
+  for (int i = 0; i < 2000; ++i) {
+    sk.Update(data.UniformBelow(400), 1);
+  }
+  std::unique_ptr<CRPrecisSketch> restored;
+  ASSERT_TRUE(CRPrecisSketch::Deserialize(sk.Serialize(), &restored));
+  EXPECT_EQ(restored->rows(), sk.rows());
+  EXPECT_EQ(restored->mapper().primes(), sk.mapper().primes());
+  for (uint64_t item = 0; item < 400; ++item) {
+    EXPECT_DOUBLE_EQ(restored->EstimateAvg(item), sk.EstimateAvg(item));
+  }
+}
+
+TEST(CRPrecisSketch, DeserializedSketchMerges) {
+  CRPrecisSketch a(4, 17), b(4, 17);
+  a.Update(3, 5);
+  b.Update(3, 2);
+  std::unique_ptr<CRPrecisSketch> shipped;
+  ASSERT_TRUE(CRPrecisSketch::Deserialize(b.Serialize(), &shipped));
+  a.Merge(*shipped);
+  EXPECT_DOUBLE_EQ(a.EstimateAvg(3), 7.0);
+}
+
+TEST(CRPrecisSketch, DeserializeRejectsCorruptBuffers) {
+  CRPrecisSketch sk(3, 11);
+  sk.Update(1, 1);
+  auto bytes = sk.Serialize();
+  std::unique_ptr<CRPrecisSketch> out;
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0x01;
+  EXPECT_FALSE(CRPrecisSketch::Deserialize(bad_magic, &out));
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(CRPrecisSketch::Deserialize(truncated, &out));
+
+  // Non-prime p0: patch p0 (offset 12) from 11 to 12 — the regenerated
+  // table would start at 13, which the decoder must detect.
+  auto bad_prime = bytes;
+  bad_prime[12] = 12;
+  EXPECT_FALSE(CRPrecisSketch::Deserialize(bad_prime, &out));
+
+  EXPECT_FALSE(CRPrecisSketch::Deserialize({}, &out));
+}
+
+TEST(CRPrecisSketch, SpaceIsSumOfPrimes) {
+  CRPrecisSketch sk(3, 11);
+  const auto& primes = sk.mapper().primes();
+  uint64_t expect = 0;
+  for (uint64_t p : primes) expect += p;
+  EXPECT_EQ(sk.total_counters(), expect);
+  EXPECT_EQ(sk.SpaceBits(), expect * 64);
+}
+
+}  // namespace
+}  // namespace varstream

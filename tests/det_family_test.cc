@@ -1,0 +1,128 @@
+#include "lowerbound/det_family.h"
+
+#include <cmath>
+#include <set>
+
+#include "stream/variability.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(BinomialSaturating, KnownValues) {
+  EXPECT_EQ(BinomialSaturating(5, 0), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 5), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 2), 10u);
+  EXPECT_EQ(BinomialSaturating(10, 3), 120u);
+  EXPECT_EQ(BinomialSaturating(52, 5), 2598960u);
+  EXPECT_EQ(BinomialSaturating(4, 7), 0u);
+}
+
+TEST(BinomialSaturating, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(BinomialSaturating(1000, 500), UINT64_MAX);
+}
+
+TEST(Log2Binomial, MatchesExactForSmallValues) {
+  EXPECT_NEAR(Log2Binomial(10, 3), std::log2(120.0), 1e-9);
+  EXPECT_NEAR(Log2Binomial(52, 5), std::log2(2598960.0), 1e-9);
+}
+
+TEST(Log2Binomial, LowerBoundRLogNOverR) {
+  // log2 C(n,r) >= r*log2(n/r): the Omega(r log n) bound's entropy source.
+  for (uint64_t n : {100ULL, 1000ULL, 100000ULL}) {
+    for (uint64_t r : {2ULL, 10ULL, 20ULL}) {
+      EXPECT_GE(Log2Binomial(n, r),
+                static_cast<double>(r) *
+                    std::log2(static_cast<double>(n) /
+                              static_cast<double>(r)) -
+                    1e-9);
+    }
+  }
+}
+
+TEST(DetFamily, SequencesToggleExactlyAtChosenTimes) {
+  DetFamily family(10, 20, 4);
+  std::vector<uint64_t> toggles{3, 7, 12, 18};
+  auto seq = family.SequenceFor(toggles);
+  ASSERT_EQ(seq.size(), 20u);
+  // Before t=3: m. In [3,7): m+3. In [7,12): m. Etc.
+  EXPECT_EQ(seq[0], 10);
+  EXPECT_EQ(seq[1], 10);
+  EXPECT_EQ(seq[2], 13);   // t=3
+  EXPECT_EQ(seq[5], 13);
+  EXPECT_EQ(seq[6], 10);   // t=7
+  EXPECT_EQ(seq[11], 13);  // t=12
+  EXPECT_EQ(seq[17], 10);  // t=18
+  EXPECT_EQ(seq[19], 10);
+}
+
+TEST(DetFamily, TogglesOfInvertsSequenceFor) {
+  DetFamily family(8, 30, 6);
+  std::vector<uint64_t> toggles{1, 5, 6, 20, 25, 30};
+  EXPECT_EQ(family.TogglesOf(family.SequenceFor(toggles)), toggles);
+}
+
+TEST(DetFamily, RankRoundTripAllSubsets) {
+  DetFamily family(6, 8, 4);  // C(8,4) = 70 members
+  ASSERT_EQ(family.Size(), 70u);
+  std::set<std::vector<uint64_t>> seen;
+  for (uint64_t rank = 0; rank < 70; ++rank) {
+    auto subset = family.SubsetForRank(rank);
+    ASSERT_EQ(subset.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(subset.begin(), subset.end()));
+    EXPECT_GE(subset.front(), 1u);
+    EXPECT_LE(subset.back(), 8u);
+    EXPECT_EQ(family.RankOfSubset(subset), rank);
+    seen.insert(subset);
+  }
+  EXPECT_EQ(seen.size(), 70u);  // all distinct
+}
+
+TEST(DetFamily, AllSequencesDistinct) {
+  DetFamily family(6, 8, 2);  // C(8,2) = 28
+  std::set<std::vector<int64_t>> sequences;
+  for (uint64_t rank = 0; rank < family.Size(); ++rank) {
+    sequences.insert(family.SequenceFor(family.SubsetForRank(rank)));
+  }
+  EXPECT_EQ(sequences.size(), family.Size());
+}
+
+TEST(DetFamily, ExactVariabilityMatchesMeasured) {
+  // Theorem 4.1's claimed variability (6m+9)/(2m+6)*eps*r, measured with
+  // the real VariabilityMeter over the actual update stream.
+  for (uint64_t m : {4ULL, 10ULL, 50ULL}) {
+    DetFamily family(m, 200, 10);
+    auto seq =
+        family.SequenceFor({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+    double measured =
+        ComputeVariability(seq, static_cast<int64_t>(m));
+    EXPECT_NEAR(measured, family.ExactVariability(), 1e-9) << "m=" << m;
+    // And the paper's algebraic form (6m+9)/(2m+6) * eps * r.
+    double md = static_cast<double>(m);
+    double paper_form = (6 * md + 9) / (2 * md + 6) * family.epsilon() * 10;
+    EXPECT_NEAR(family.ExactVariability(), paper_form, 1e-9);
+  }
+}
+
+TEST(DetFamily, VariabilityIndependentOfTogglePositions) {
+  DetFamily family(12, 100, 4);
+  auto v1 = ComputeVariability(family.SequenceFor({1, 2, 3, 4}), 12);
+  auto v2 = ComputeVariability(family.SequenceFor({97, 98, 99, 100}), 12);
+  EXPECT_NEAR(v1, v2, 1e-12);
+}
+
+TEST(DetFamily, LevelsConfusableOnlyForTinyM) {
+  EXPECT_TRUE(DetFamily(2, 10, 2).LevelsConfusable());
+  EXPECT_TRUE(DetFamily(3, 10, 2).LevelsConfusable());
+  EXPECT_FALSE(DetFamily(4, 10, 2).LevelsConfusable());
+  EXPECT_FALSE(DetFamily(100, 10, 2).LevelsConfusable());
+}
+
+TEST(DetFamily, SpaceLowerBoundGrowsWithRAndN) {
+  DetFamily small(8, 100, 4), bigger_r(8, 100, 8), bigger_n(8, 10000, 4);
+  EXPECT_GT(bigger_r.SpaceLowerBoundBits(), small.SpaceLowerBoundBits());
+  EXPECT_GT(bigger_n.SpaceLowerBoundBits(), small.SpaceLowerBoundBits());
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,180 @@
+#include "core/deterministic_tracker.h"
+
+#include <cmath>
+#include <memory>
+
+#include "core/driver.h"
+#include "stream/expansion.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  return o;
+}
+
+TEST(DeterministicTracker, ExactWhileSmall) {
+  // While |f| < 4k the scale is 0 and every update is forwarded: exact.
+  DeterministicTracker tracker(Opts(4, 0.1));
+  RandomWalkGenerator gen(1);
+  RoundRobinAssigner assigner(4);
+  int64_t f = 0;
+  for (int t = 0; t < 15; ++t) {  // |f| <= 15 < 16 = 4k always
+    int64_t d = gen.NextDelta();
+    f += d;
+    tracker.Push(assigner.NextSite(), d);
+    EXPECT_EQ(tracker.EstimateInt(), f) << "t=" << t;
+  }
+}
+
+class DetCorrectnessTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, uint32_t, double>> {};
+
+TEST_P(DetCorrectnessTest, RelativeErrorGuaranteeNeverViolated) {
+  auto [gen_name, k, eps] = GetParam();
+  auto gen = MakeGeneratorByName(gen_name, 7);
+  ASSERT_NE(gen, nullptr);
+  UniformAssigner assigner(k, 13);
+  TrackerOptions opts = Opts(k, eps);
+  opts.initial_value = gen->initial_value();
+  DeterministicTracker tracker(opts);
+  RunResult result = RunCount(gen.get(), &assigner, &tracker, 40000, eps);
+  EXPECT_EQ(result.violation_rate, 0.0)
+      << gen_name << " k=" << k << " eps=" << eps;
+  EXPECT_LE(result.max_rel_error, eps + 1e-12);
+}
+
+TEST_P(DetCorrectnessTest, MessageCostTracksVariability) {
+  auto [gen_name, k, eps] = GetParam();
+  auto gen = MakeGeneratorByName(gen_name, 11);
+  ASSERT_NE(gen, nullptr);
+  UniformAssigner assigner(k, 17);
+  TrackerOptions opts = Opts(k, eps);
+  opts.initial_value = gen->initial_value();
+  DeterministicTracker tracker(opts);
+  RunResult result = RunCount(gen.get(), &assigner, &tracker, 40000, eps);
+  // Section 3 bound: <= 5k*v/eps in-block messages + <= 5k per block
+  // partition messages with >= 1/10 variability per block, i.e. total
+  // <= 5k*v/eps + 50k*(v + 1) + startup slack.
+  double v = result.variability;
+  double bound = 5.0 * k * v / eps + 50.0 * k * (v + 1.0) + 10.0 * k;
+  EXPECT_LE(static_cast<double>(result.messages), bound)
+      << gen_name << " k=" << k << " eps=" << eps << " v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetCorrectnessTest,
+    ::testing::Combine(::testing::Values("monotone", "random-walk",
+                                         "sawtooth", "zero-crossing",
+                                         "nearly-monotone", "biased-walk",
+                                         "oscillator", "spike",
+                                         "regime-switch", "diurnal"),
+                       ::testing::Values(1u, 4u, 16u),
+                       ::testing::Values(0.05, 0.2)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      int eps_pct = static_cast<int>(std::get<2>(info.param) * 100);
+      return name + "_k" + std::to_string(std::get<1>(info.param)) + "_e" +
+             std::to_string(eps_pct);
+    });
+
+TEST(DeterministicTracker, ZeroCrossingsAreTrackedExactly) {
+  // On the 1,0,1,0,... stream f is always < 4k, so the estimate is exact —
+  // including at f = 0, where the relative guarantee requires exactness.
+  ZeroCrossingGenerator gen;
+  RoundRobinAssigner assigner(4);
+  DeterministicTracker tracker(Opts(4, 0.1));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 5000, 0.1);
+  EXPECT_EQ(result.max_rel_error, 0.0);
+  EXPECT_EQ(result.violation_rate, 0.0);
+}
+
+TEST(DeterministicTracker, CostOnWorstCaseStreamIsThetaN) {
+  // v = n on the zero-crossing stream: the framework's cost honestly
+  // degrades to the Omega(n) regime instead of breaking the guarantee.
+  ZeroCrossingGenerator gen;
+  RoundRobinAssigner assigner(2);
+  DeterministicTracker tracker(Opts(2, 0.25));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 4000, 0.25);
+  EXPECT_GE(result.messages, 4000u);
+}
+
+TEST(DeterministicTracker, MonotoneCostIsLogarithmicInN) {
+  // On monotone streams v = H(n), so messages = O(k log(n) / eps): doubling
+  // n should add roughly k*log(2)/eps messages, not double the cost.
+  MonotoneGenerator gen1, gen2;
+  RoundRobinAssigner a1(4), a2(4);
+  DeterministicTracker t1(Opts(4, 0.1)), t2(Opts(4, 0.1));
+  RunResult r1 = RunCount(&gen1, &a1, &t1, 50000, 0.1);
+  RunResult r2 = RunCount(&gen2, &a2, &t2, 100000, 0.1);
+  double growth = static_cast<double>(r2.messages) -
+                  static_cast<double>(r1.messages);
+  // Far less than the 50000 extra updates.
+  EXPECT_LT(growth, 2000.0);
+  EXPECT_GT(growth, 0.0);
+}
+
+TEST(DeterministicTracker, LargeUpdatesViaExpansion) {
+  // Appendix C route: expand |f'| > 1 into units; guarantee still holds.
+  auto inner = std::make_unique<LargeStepGenerator>(32, 0.3, 5);
+  UnitExpansionGenerator gen(std::move(inner));
+  UniformAssigner assigner(8, 3);
+  DeterministicTracker tracker(Opts(8, 0.1));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 30000, 0.1);
+  EXPECT_EQ(result.violation_rate, 0.0);
+}
+
+TEST(DeterministicTracker, EstimateIsExactAtBlockBoundaries) {
+  RandomWalkGenerator gen(9);
+  RoundRobinAssigner assigner(4);
+  DeterministicTracker tracker(Opts(4, 0.1));
+  int64_t f = 0;
+  uint64_t boundary_checks = 0;
+  uint64_t last_blocks = 0;
+  for (int t = 0; t < 20000; ++t) {
+    int64_t d = gen.NextDelta();
+    f += d;
+    tracker.Push(assigner.NextSite(), d);
+    if (tracker.blocks_completed() != last_blocks) {
+      last_blocks = tracker.blocks_completed();
+      EXPECT_EQ(tracker.EstimateInt(), f) << "block boundary at t=" << t;
+      ++boundary_checks;
+    }
+  }
+  EXPECT_GT(boundary_checks, 10u);
+}
+
+TEST(DeterministicTracker, PartitionAndTrackingPlanesBothCounted) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(4);
+  DeterministicTracker tracker(Opts(4, 0.1));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 20000, 0.1);
+  EXPECT_GT(result.partition_messages, 0u);
+  EXPECT_GT(result.tracking_messages, 0u);
+  EXPECT_EQ(result.partition_messages + result.tracking_messages,
+            result.messages);
+}
+
+TEST(DeterministicTracker, ScaleGrowsWithF) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(2);
+  DeterministicTracker tracker(Opts(2, 0.1));
+  EXPECT_EQ(tracker.current_scale(), 0);
+  for (int t = 0; t < 100000; ++t) {
+    tracker.Push(assigner.NextSite(), gen.NextDelta());
+  }
+  EXPECT_GE(tracker.current_scale(), 10);
+}
+
+}  // namespace
+}  // namespace varstream

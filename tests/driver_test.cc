@@ -1,0 +1,114 @@
+#include "core/driver.h"
+
+#include "baseline/naive_tracker.h"
+#include "baseline/periodic_tracker.h"
+#include "core/deterministic_tracker.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(RunCount, FinalValuesMatchGroundTruth) {
+  RandomWalkGenerator gen(1);
+  RandomWalkGenerator reference(1);
+  RoundRobinAssigner assigner(4);
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  NaiveTracker tracker(opts);
+  RunResult result = RunCount(&gen, &assigner, &tracker, 1000, 0.1);
+  int64_t f = 0;
+  for (int t = 0; t < 1000; ++t) f += reference.NextDelta();
+  EXPECT_EQ(result.final_f, f);
+  EXPECT_DOUBLE_EQ(result.final_estimate, static_cast<double>(f));
+  EXPECT_EQ(result.n, 1000u);
+}
+
+TEST(RunCount, NaiveTrackerHasZeroError) {
+  RandomWalkGenerator gen(2);
+  UniformAssigner assigner(3, 5);
+  TrackerOptions opts;
+  opts.num_sites = 3;
+  NaiveTracker tracker(opts);
+  RunResult result = RunCount(&gen, &assigner, &tracker, 5000, 0.0001);
+  EXPECT_DOUBLE_EQ(result.max_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(result.violation_rate, 0.0);
+  EXPECT_EQ(result.messages, 5000u);
+}
+
+TEST(RunCount, ViolationsCountedForSloppyTracker) {
+  // A periodic tracker with a huge period is mostly stale: violations > 0.
+  RandomWalkGenerator gen(3);
+  RoundRobinAssigner assigner(2);
+  TrackerOptions opts;
+  opts.num_sites = 2;
+  PeriodicTracker tracker(opts, 1 << 20);  // never syncs in this run
+  RunResult result = RunCount(&gen, &assigner, &tracker, 10000, 0.05);
+  EXPECT_GT(result.violation_rate, 0.1);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(RunCount, VariabilityMatchesStreamTraceComputation) {
+  RandomWalkGenerator gen(4);
+  RoundRobinAssigner assigner(2);
+  TrackerOptions opts;
+  opts.num_sites = 2;
+  NaiveTracker tracker(opts);
+  RunResult result = RunCount(&gen, &assigner, &tracker, 3000, 0.1);
+
+  RandomWalkGenerator gen2(4);
+  RoundRobinAssigner assigner2(2);
+  StreamTrace trace = StreamTrace::Record(&gen2, &assigner2, 3000);
+  EXPECT_DOUBLE_EQ(result.variability, trace.Variability());
+}
+
+TEST(RunCountOnTrace, EquivalentToLiveRun) {
+  RandomWalkGenerator gen_live(5);
+  UniformAssigner assigner_live(4, 9);
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  opts.epsilon = 0.1;
+  DeterministicTracker live(opts);
+  RunResult live_result = RunCount(&gen_live, &assigner_live, &live, 8000,
+                                   0.1);
+
+  RandomWalkGenerator gen_rec(5);
+  UniformAssigner assigner_rec(4, 9);
+  StreamTrace trace = StreamTrace::Record(&gen_rec, &assigner_rec, 8000);
+  DeterministicTracker replayed(opts);
+  RunResult replay_result = RunCountOnTrace(trace, &replayed, 0.1);
+
+  EXPECT_EQ(replay_result.final_f, live_result.final_f);
+  EXPECT_EQ(replay_result.messages, live_result.messages);
+  EXPECT_DOUBLE_EQ(replay_result.max_rel_error, live_result.max_rel_error);
+  EXPECT_DOUBLE_EQ(replay_result.variability, live_result.variability);
+}
+
+TEST(RunCount, TracerHookRecordsEstimates) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(2);
+  TrackerOptions opts;
+  opts.num_sites = 2;
+  NaiveTracker tracker(opts);
+  HistoryTracer trace(0.0);
+  RunCount(&gen, &assigner, &tracker, 100, 0.1, &trace);
+  EXPECT_DOUBLE_EQ(trace.Query(50), 50.0);
+  EXPECT_DOUBLE_EQ(trace.Query(100), 100.0);
+}
+
+TEST(RunCount, MeanErrorBetweenZeroAndMax) {
+  RandomWalkGenerator gen(6);
+  RoundRobinAssigner assigner(4);
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  opts.epsilon = 0.2;
+  DeterministicTracker tracker(opts);
+  RunResult result = RunCount(&gen, &assigner, &tracker, 20000, 0.2);
+  EXPECT_GE(result.mean_rel_error, 0.0);
+  EXPECT_LE(result.mean_rel_error, result.max_rel_error + 1e-12);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,90 @@
+#include "stream/expansion.h"
+
+#include <memory>
+
+#include "common/math_util.h"
+#include "stream/variability.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(ExpandUpdate, PositiveNegativeZero) {
+  EXPECT_EQ(ExpandUpdate(3), (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_EQ(ExpandUpdate(-2), (std::vector<int64_t>{-1, -1}));
+  EXPECT_TRUE(ExpandUpdate(0).empty());
+  EXPECT_EQ(ExpandUpdate(1), (std::vector<int64_t>{1}));
+}
+
+TEST(UnitExpansionGenerator, PreservesRunningSum) {
+  auto inner = std::make_unique<LargeStepGenerator>(8, 0.1, 1);
+  LargeStepGenerator reference(8, 0.1, 1);
+  UnitExpansionGenerator expanded(std::move(inner));
+
+  // Consume expanded stream; at each inner-update boundary the running sums
+  // must agree.
+  int64_t ref_sum = 0;
+  int64_t exp_sum = 0;
+  for (int updates = 0; updates < 200; ++updates) {
+    int64_t delta = reference.NextDelta();
+    ref_sum += delta;
+    for (int64_t i = 0; i < std::abs(delta); ++i) {
+      int64_t unit = expanded.NextDelta();
+      EXPECT_TRUE(unit == 1 || unit == -1);
+      exp_sum += unit;
+    }
+    EXPECT_EQ(exp_sum, ref_sum) << "after update " << updates;
+  }
+  EXPECT_EQ(expanded.inner_updates(), 200u);
+}
+
+TEST(UnitExpansionGenerator, NameAndInitialValue) {
+  auto inner = std::make_unique<MonotoneGenerator>();
+  UnitExpansionGenerator expanded(std::move(inner));
+  EXPECT_EQ(expanded.name(), "monotone+unit");
+  EXPECT_EQ(expanded.initial_value(), 0);
+}
+
+TEST(TheoremC1, PositiveExpansionBoundHolds) {
+  // Exact expansion variability <= (delta/f(n)) * (1 + H(delta)).
+  for (int64_t f_prev : {0LL, 1LL, 5LL, 100LL}) {
+    for (int64_t delta : {2LL, 3LL, 10LL, 64LL, 1000LL}) {
+      double exact = ExpansionVariabilityExact(f_prev, delta);
+      double bound = ExpansionVariabilityBoundPositive(f_prev, delta);
+      EXPECT_LE(exact, bound + 1e-9)
+          << "f_prev=" << f_prev << " delta=" << delta;
+    }
+  }
+}
+
+TEST(TheoremC1, OverheadIsLogarithmicInStepSize) {
+  // The multiplicative overhead vs the unexpanded contribution
+  // |f'|/f should be at most 1 + H(|f'|) = O(log |f'|).
+  int64_t f_prev = 1000;
+  for (int64_t delta : {4LL, 16LL, 64LL, 256LL}) {
+    double exact = ExpansionVariabilityExact(f_prev, delta);
+    double unexpanded = static_cast<double>(delta) /
+                        static_cast<double>(f_prev + delta);
+    double overhead = exact / unexpanded;
+    EXPECT_LE(overhead,
+              1.0 + HarmonicNumber(static_cast<uint64_t>(delta)) + 1e-9);
+  }
+}
+
+TEST(ExpansionVariabilityExact, MatchesMeterOnUnitPath) {
+  // Walking the expansion through a VariabilityMeter gives the same total.
+  int64_t f_prev = 7;
+  int64_t delta = -15;  // crosses zero into negative territory
+  VariabilityMeter meter(f_prev);
+  double total = 0;
+  for (int64_t step : ExpandUpdate(delta)) total += meter.Push(step);
+  EXPECT_DOUBLE_EQ(total, ExpansionVariabilityExact(f_prev, delta));
+}
+
+TEST(ExpansionVariabilityExact, ZeroCrossingCountsOnes) {
+  // From f=1 with delta=-2: steps land on 0 (v'=1) then -1 (v'=1).
+  EXPECT_DOUBLE_EQ(ExpansionVariabilityExact(1, -2), 2.0);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,196 @@
+#include "core/frequency_tracker.h"
+
+#include <map>
+#include <memory>
+
+#include "common/hash.h"
+#include "stream/item_generators.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  return o;
+}
+
+// Routes each item's traffic to a fixed site (hash routing), the
+// assignment under which the paper's report-count bound applies.
+uint32_t HashRoute(uint64_t item, uint32_t k) {
+  return static_cast<uint32_t>(Mix64(item) % k);
+}
+
+struct FreqRun {
+  double max_err_over_f1 = 0.0;  // max over time/items of |err| / F1
+  uint64_t worst_time = 0;
+};
+
+// Drives a generator through the tracker, auditing EVERY item's estimate
+// against ground truth after each update (checking changed items each step
+// and all items periodically).
+FreqRun DriveAndAudit(ItemGenerator* gen, FrequencyTracker* tracker,
+                      uint32_t k, uint64_t steps, bool hash_routing,
+                      uint64_t audit_period = 997) {
+  std::map<uint64_t, int64_t> truth;
+  int64_t f1 = 0;
+  Rng route_rng(0xBEEF);
+  FreqRun run;
+  auto audit_item = [&](uint64_t item, uint64_t t) {
+    double err = std::abs(static_cast<double>(tracker->EstimateItem(item)) -
+                          static_cast<double>(truth[item]));
+    double denom = std::max<double>(static_cast<double>(f1), 1.0);
+    double ratio = err / denom;
+    if (ratio > run.max_err_over_f1) {
+      run.max_err_over_f1 = ratio;
+      run.worst_time = t;
+    }
+  };
+  for (uint64_t t = 0; t < steps; ++t) {
+    ItemEvent e = gen->NextEvent();
+    uint32_t site = hash_routing
+                        ? HashRoute(e.item, k)
+                        : static_cast<uint32_t>(route_rng.UniformBelow(k));
+    tracker->Push(site, e.item, e.delta);
+    truth[e.item] += e.delta;
+    f1 += e.delta;
+    audit_item(e.item, t);
+    if (t % audit_period == 0) {
+      for (const auto& [item, unused] : truth) audit_item(item, t);
+    }
+  }
+  return run;
+}
+
+class FreqGuaranteeTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint32_t>> {};
+
+TEST_P(FreqGuaranteeTest, AllItemErrorsWithinEpsF1) {
+  auto [gen_name, k] = GetParam();
+  const double eps = 0.2;
+  auto gen = MakeItemGeneratorByName(gen_name, 256, 5);
+  ASSERT_NE(gen, nullptr);
+  FrequencyTracker tracker(Opts(k, eps));
+  FreqRun run = DriveAndAudit(gen.get(), &tracker, k, 20000,
+                              /*hash_routing=*/true);
+  EXPECT_LE(run.max_err_over_f1, eps + 1e-9)
+      << gen_name << " k=" << k << " worst at t=" << run.worst_time;
+}
+
+TEST_P(FreqGuaranteeTest, GuaranteeHoldsUnderArbitraryRouting) {
+  // Correctness must not depend on hash routing (only the communication
+  // bound does).
+  auto [gen_name, k] = GetParam();
+  const double eps = 0.2;
+  auto gen = MakeItemGeneratorByName(gen_name, 256, 6);
+  ASSERT_NE(gen, nullptr);
+  FrequencyTracker tracker(Opts(k, eps));
+  FreqRun run = DriveAndAudit(gen.get(), &tracker, k, 20000,
+                              /*hash_routing=*/false);
+  EXPECT_LE(run.max_err_over_f1, eps + 1e-9)
+      << gen_name << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FreqGuaranteeTest,
+    ::testing::Combine(::testing::Values("zipf-churn", "sliding-window",
+                                         "hot-item"),
+                       ::testing::Values(1u, 4u, 8u)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FrequencyTracker, ExactWhileF1Small) {
+  // r = 0 blocks (F1 < 4k) forward every update: estimates exact.
+  FrequencyTracker tracker(Opts(4, 0.1));
+  tracker.Push(HashRoute(1, 4), 1, +1);
+  tracker.Push(HashRoute(2, 4), 2, +1);
+  tracker.Push(HashRoute(1, 4), 1, +1);
+  EXPECT_EQ(tracker.EstimateItem(1), 2);
+  EXPECT_EQ(tracker.EstimateItem(2), 1);
+  tracker.Push(HashRoute(1, 4), 1, -1);
+  EXPECT_EQ(tracker.EstimateItem(1), 1);
+}
+
+TEST(FrequencyTracker, UnknownItemEstimatesZero) {
+  FrequencyTracker tracker(Opts(2, 0.1));
+  EXPECT_EQ(tracker.EstimateItem(999), 0);
+}
+
+TEST(FrequencyTracker, HeavyHittersSurfaceDominantItems) {
+  const uint32_t k = 4;
+  FrequencyTracker tracker(Opts(k, 0.1));
+  // Item 7 gets 60% of inserts, the rest spread over 50 items.
+  Rng rng(9);
+  for (int t = 0; t < 20000; ++t) {
+    uint64_t item = rng.Bernoulli(0.6) ? 7 : 100 + rng.UniformBelow(50);
+    tracker.Push(HashRoute(item, k), item, +1);
+  }
+  auto hh = tracker.HeavyHitters(0.5);
+  ASSERT_EQ(hh.size(), 1u);
+  EXPECT_EQ(hh[0].first, 7u);
+  // Tracking error is bounded by (2/3)*eps*F1 ~ 1333 plus sampling noise.
+  EXPECT_NEAR(static_cast<double>(hh[0].second), 12000.0, 1600.0);
+}
+
+TEST(FrequencyTracker, ReportCountPerBlockBoundedUnderHashRouting) {
+  // At most 12k/eps end-of-block reports per block (mass argument).
+  const uint32_t k = 4;
+  const double eps = 0.25;
+  FrequencyTracker tracker(Opts(k, eps));
+  ZipfChurnGenerator gen(512, 1.1, 0.5, 11);
+  uint64_t last_reports = 0;
+  uint64_t last_blocks = 0;
+  for (int t = 0; t < 60000; ++t) {
+    ItemEvent e = gen.NextEvent();
+    tracker.Push(HashRoute(e.item, k), e.item, e.delta);
+    if (tracker.blocks_completed() != last_blocks) {
+      uint64_t reports =
+          tracker.cost().messages(MessageKind::kEndOfBlockReport);
+      EXPECT_LE(reports - last_reports,
+                static_cast<uint64_t>(12.0 * k / eps))
+          << "block " << tracker.blocks_completed();
+      last_reports = reports;
+      last_blocks = tracker.blocks_completed();
+    }
+  }
+  EXPECT_GT(last_blocks, 3u);
+}
+
+TEST(FrequencyTracker, F1AtBlockStartTracksDatasetSize) {
+  const uint32_t k = 2;
+  FrequencyTracker tracker(Opts(k, 0.1));
+  ZipfChurnGenerator gen(128, 1.0, 0.6, 13);
+  int64_t f1 = 0;
+  for (int t = 0; t < 30000; ++t) {
+    ItemEvent e = gen.NextEvent();
+    tracker.Push(HashRoute(e.item, k), e.item, e.delta);
+    f1 += e.delta;
+  }
+  // Within a block F1 can drift by the block length <= 2^r*k, and
+  // 2^r*2k <= |F1(nj)|: the block-start value is within a factor ~2.
+  EXPECT_GT(tracker.F1AtBlockStart(), f1 / 3);
+  EXPECT_LT(tracker.F1AtBlockStart(), f1 * 3);
+}
+
+TEST(FrequencyTracker, DeletedItemsConvergeToZero) {
+  const uint32_t k = 2;
+  FrequencyTracker tracker(Opts(k, 0.2));
+  // Build up item 5, then remove it entirely while keeping other mass.
+  for (int i = 0; i < 200; ++i) tracker.Push(HashRoute(5, k), 5, +1);
+  for (int i = 0; i < 400; ++i) {
+    tracker.Push(HashRoute(i + 10, k), i + 10, +1);
+  }
+  for (int i = 0; i < 200; ++i) tracker.Push(HashRoute(5, k), 5, -1);
+  // Estimate error bounded by eps*F1 = 0.2 * 400.
+  EXPECT_LE(std::abs(static_cast<double>(tracker.EstimateItem(5))), 80.0);
+}
+
+}  // namespace
+}  // namespace varstream

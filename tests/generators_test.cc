@@ -1,0 +1,215 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "stream/variability.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(MonotoneGenerator, AlwaysPlusOne) {
+  MonotoneGenerator gen;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.NextDelta(), 1);
+  EXPECT_EQ(gen.initial_value(), 0);
+}
+
+TEST(NearlyMonotoneGenerator, PeriodicPattern) {
+  NearlyMonotoneGenerator gen(3, 1);
+  // +1 +1 +1 -1, repeating.
+  std::vector<int64_t> expect{1, 1, 1, -1, 1, 1, 1, -1};
+  for (int64_t e : expect) EXPECT_EQ(gen.NextDelta(), e);
+}
+
+TEST(NearlyMonotoneGenerator, BetaPremiseOfTheorem21Holds) {
+  // Theorem 2.1 premise: f^-(n) <= beta(n) * f(n) for n >= t0.
+  NearlyMonotoneGenerator gen(4, 2);
+  double beta = gen.beta();
+  EXPECT_DOUBLE_EQ(beta, 1.0);  // down / (up - down) = 2/2
+  auto f = MaterializeF(&gen, 5000);
+  int64_t f_minus = NegativeDriftTotal(f);
+  // Allow the first period to settle (t0 in the theorem).
+  EXPECT_LE(static_cast<double>(f_minus),
+            (beta + 0.05) * static_cast<double>(f.back()) + 6.0);
+}
+
+TEST(NearlyMonotoneGenerator, GrowsLinearly) {
+  NearlyMonotoneGenerator gen(5, 1);
+  auto f = MaterializeF(&gen, 6000);
+  // Net growth (5-1)/6 per step.
+  EXPECT_EQ(f.back(), 6000 / 6 * 4);
+}
+
+TEST(RandomWalkGenerator, StepsAreUnit) {
+  RandomWalkGenerator gen(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t d = gen.NextDelta();
+    EXPECT_TRUE(d == 1 || d == -1);
+  }
+}
+
+TEST(RandomWalkGenerator, DeterministicBySeed) {
+  RandomWalkGenerator a(9), b(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextDelta(), b.NextDelta());
+}
+
+TEST(BiasedWalkGenerator, DriftMatchesMu) {
+  BiasedWalkGenerator gen(0.3, 2);
+  int64_t sum = 0;
+  const int kSteps = 100000;
+  for (int i = 0; i < kSteps; ++i) sum += gen.NextDelta();
+  EXPECT_NEAR(static_cast<double>(sum) / kSteps, 0.3, 0.02);
+  EXPECT_DOUBLE_EQ(gen.mu(), 0.3);
+}
+
+TEST(SawtoothGenerator, StaysWithinEnvelope) {
+  SawtoothGenerator gen(16);
+  int64_t f = 0;
+  for (int i = 0; i < 1000; ++i) {
+    f += gen.NextDelta();
+    EXPECT_GE(f, 0);
+    EXPECT_LE(f, 16);
+  }
+}
+
+TEST(SawtoothGenerator, HitsBothExtremes) {
+  SawtoothGenerator gen(4);
+  int64_t f = 0;
+  bool hit_top = false, hit_bottom_again = false;
+  for (int i = 0; i < 100; ++i) {
+    f += gen.NextDelta();
+    if (f == 4) hit_top = true;
+    if (hit_top && f == 0) hit_bottom_again = true;
+  }
+  EXPECT_TRUE(hit_top);
+  EXPECT_TRUE(hit_bottom_again);
+}
+
+TEST(ZeroCrossingGenerator, AlternatesOneZero) {
+  ZeroCrossingGenerator gen;
+  auto f = MaterializeF(&gen, 10);
+  EXPECT_EQ(f, (std::vector<int64_t>{1, 0, 1, 0, 1, 0, 1, 0, 1, 0}));
+}
+
+TEST(ZeroCrossingGenerator, VariabilityIsN) {
+  // Every step has v'(t) = 1 (either f = 0 or |f'|/|f| = 1), so v(n) = n:
+  // the worst case that forces the Omega(n) lower bound.
+  ZeroCrossingGenerator gen;
+  auto f = MaterializeF(&gen, 500);
+  EXPECT_DOUBLE_EQ(ComputeVariability(f), 500.0);
+}
+
+TEST(OscillatorGenerator, StaysNearBase) {
+  OscillatorGenerator gen(1000, 30, 256);
+  int64_t f = gen.initial_value();
+  EXPECT_EQ(f, 1000);
+  for (int i = 0; i < 5000; ++i) {
+    f += gen.NextDelta();
+    EXPECT_GE(f, 999 - 1);
+    EXPECT_LE(f, 1031 + 1);
+  }
+}
+
+TEST(OscillatorGenerator, LowVariability) {
+  // Variability per period is about 2*jump/base << period/base.
+  OscillatorGenerator gen(1000, 30, 256);
+  auto f = MaterializeF(&gen, 1 << 14);
+  double v = ComputeVariability(f, gen.initial_value());
+  EXPECT_LT(v, (1 << 14) * 0.05);
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(LargeStepGenerator, MagnitudesWithinRange) {
+  LargeStepGenerator gen(16, 0.0, 3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t d = gen.NextDelta();
+    EXPECT_NE(d, 0);
+    EXPECT_LE(std::abs(d), 16);
+  }
+}
+
+TEST(MaterializeF, PrefixSumsFromInitialValue) {
+  MonotoneGenerator gen;
+  auto f = MaterializeF(&gen, 5);
+  EXPECT_EQ(f, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(SpikeGenerator, SpikesAreFullBursts) {
+  SpikeGenerator gen(50, 0.01, 4);
+  int64_t consecutive_down = 0;
+  int64_t max_burst = 0;
+  for (int i = 0; i < 50000; ++i) {
+    int64_t d = gen.NextDelta();
+    if (d == -1) {
+      ++consecutive_down;
+      max_burst = std::max(max_burst, consecutive_down);
+    } else {
+      consecutive_down = 0;
+    }
+  }
+  // Every spike is exactly 50 deletions (bursts can chain if a new spike
+  // starts right after, so allow multiples).
+  EXPECT_GE(max_burst, 50);
+  EXPECT_EQ(max_burst % 50, 0);
+}
+
+TEST(SpikeGenerator, MostlyGrowsBetweenSpikes) {
+  SpikeGenerator gen(100, 0.0005, 5);
+  auto f = MaterializeF(&gen, 100000);
+  EXPECT_GT(f.back(), 50000);  // net drift ~ (1 - 2*0.0005*100) per step
+}
+
+TEST(RegimeSwitchGenerator, AlternatesDriftDirection) {
+  RegimeSwitchGenerator gen(0.5, 10000, 6);
+  auto f = MaterializeF(&gen, 40000);
+  // Up regime: grows by ~5000; down regime: shrinks by ~5000.
+  EXPECT_GT(f[9999], 3000);
+  EXPECT_LT(f[19999], f[9999] - 3000);
+  EXPECT_GT(f[29999], f[19999] + 3000);
+}
+
+TEST(RegimeSwitchGenerator, NeverGoesNegative) {
+  RegimeSwitchGenerator gen(0.9, 100, 7);
+  int64_t f = 0;
+  for (int i = 0; i < 20000; ++i) {
+    f += gen.NextDelta();
+    ASSERT_GE(f, 0);
+  }
+}
+
+TEST(DiurnalGenerator, FollowsDailyProfile) {
+  const uint64_t kDay = 1 << 15;
+  DiurnalGenerator gen(100, kDay, 8);
+  auto f = MaterializeF(&gen, kDay);
+  // Peak hours (10-11am = ~10.5/24 of the day) near 55*100; night tail
+  // near 6*100.
+  auto at_hour = [&](double h) {
+    return f[static_cast<size_t>(h / 24.0 * kDay)];
+  };
+  EXPECT_NEAR(static_cast<double>(at_hour(10.5)), 5500.0, 700.0);
+  EXPECT_NEAR(static_cast<double>(at_hour(23.5)), 650.0, 400.0);
+  EXPECT_GT(at_hour(10.5), at_hour(5.0));
+}
+
+TEST(DiurnalGenerator, LowVariabilityDespiteNonMonotonicity) {
+  DiurnalGenerator gen(100, 1 << 15, 9);
+  auto f = MaterializeF(&gen, 1 << 16);  // two days
+  double v = ComputeVariability(f);
+  EXPECT_LT(v, (1 << 16) * 0.01);
+}
+
+TEST(MakeGeneratorByName, AllNamesResolve) {
+  for (const char* name :
+       {"monotone", "nearly-monotone", "random-walk", "biased-walk",
+        "sawtooth", "zero-crossing", "oscillator", "large-step", "spike",
+        "regime-switch", "diurnal"}) {
+    auto gen = MakeGeneratorByName(name, 1);
+    ASSERT_NE(gen, nullptr) << name;
+    gen->NextDelta();
+  }
+  EXPECT_EQ(MakeGeneratorByName("no-such", 1), nullptr);
+}
+
+}  // namespace
+}  // namespace varstream

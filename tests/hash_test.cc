@@ -1,0 +1,121 @@
+#include "common/hash.h"
+
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(MersenneModMulAdd, MatchesWideArithmetic) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t a = rng.UniformBelow(kMersenne61);
+    uint64_t x = rng.UniformBelow(kMersenne61);
+    uint64_t b = rng.UniformBelow(kMersenne61);
+    __uint128_t expect = (static_cast<__uint128_t>(a) * x + b) % kMersenne61;
+    EXPECT_EQ(MersenneModMulAdd(a, x, b), static_cast<uint64_t>(expect));
+  }
+}
+
+TEST(MersenneModMulAdd, ExtremeOperands) {
+  uint64_t p = kMersenne61;
+  EXPECT_EQ(MersenneModMulAdd(p - 1, p - 1, p - 1),
+            static_cast<uint64_t>(
+                (static_cast<__uint128_t>(p - 1) * (p - 1) + (p - 1)) % p));
+  EXPECT_EQ(MersenneModMulAdd(0, 12345, 0), 0u);
+  EXPECT_EQ(MersenneModMulAdd(1, 42, 0), 42u);
+}
+
+TEST(PairwiseHash, OutputsWithinWidth) {
+  Rng rng(2);
+  PairwiseHash h(17, &rng);
+  for (uint64_t key = 0; key < 10000; ++key) EXPECT_LT(h(key), 17u);
+}
+
+TEST(PairwiseHash, DeterministicGivenCoefficients) {
+  PairwiseHash h1(3, 5, 100);
+  PairwiseHash h2(3, 5, 100);
+  for (uint64_t key = 0; key < 1000; ++key) EXPECT_EQ(h1(key), h2(key));
+}
+
+TEST(PairwiseHash, FixedCoefficientsComputeAffineMap) {
+  PairwiseHash h(2, 1, 1000000);
+  // h(x) = (2x + 1 mod p) mod width; for small x no wraparound occurs.
+  EXPECT_EQ(h(0), 1u % 1000000);
+  EXPECT_EQ(h(10), 21u % 1000000);
+}
+
+TEST(PairwiseHash, CollisionRateNearOneOverWidth) {
+  Rng rng(3);
+  const uint64_t kWidth = 64;
+  const int kPairs = 20000;
+  int collisions = 0;
+  PairwiseHash h(kWidth, &rng);
+  for (int i = 0; i < kPairs; ++i) {
+    uint64_t x = rng.NextU64() >> 3;
+    uint64_t y = rng.NextU64() >> 3;
+    if (x == y) continue;
+    if (h(x) == h(y)) ++collisions;
+  }
+  double rate = static_cast<double>(collisions) / kPairs;
+  EXPECT_NEAR(rate, 1.0 / kWidth, 0.006);
+}
+
+TEST(PairwiseHash, TwoUniversalOverRandomFunctions) {
+  // For a fixed pair (x, y), the collision probability over the draw of
+  // the hash function should be about 1/width.
+  Rng rng(4);
+  const uint64_t kWidth = 32;
+  const int kFunctions = 20000;
+  int collisions = 0;
+  for (int i = 0; i < kFunctions; ++i) {
+    PairwiseHash h(kWidth, &rng);
+    if (h(123456789) == h(987654321)) ++collisions;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / kFunctions, 1.0 / kWidth,
+              0.01);
+}
+
+TEST(HashBank, RowsAreIndependentFunctions) {
+  Rng rng(5);
+  HashBank bank(4, 128, &rng);
+  EXPECT_EQ(bank.rows(), 4u);
+  EXPECT_EQ(bank.width(), 128u);
+  // Different rows should disagree on most keys.
+  int agreements = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (bank.Hash(0, key) == bank.Hash(1, key)) ++agreements;
+  }
+  EXPECT_LT(agreements, 50);
+}
+
+TEST(HashBank, OutputsWithinWidth) {
+  Rng rng(6);
+  HashBank bank(3, 7, &rng);
+  for (uint64_t row = 0; row < 3; ++row) {
+    for (uint64_t key = 0; key < 1000; ++key) {
+      EXPECT_LT(bank.Hash(row, key), 7u);
+    }
+  }
+}
+
+TEST(Mix64, BijectivityOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 10000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalancheChangesManyBits) {
+  int total_flips = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    uint64_t diff = Mix64(x) ^ Mix64(x + 1);
+    total_flips += __builtin_popcountll(diff);
+  }
+  // Average flips should be near 32 of 64 bits.
+  EXPECT_NEAR(total_flips / 1000.0, 32.0, 3.0);
+}
+
+}  // namespace
+}  // namespace varstream

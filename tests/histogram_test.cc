@@ -1,0 +1,111 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(LogHistogram, EmptyReturnsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(LogHistogram, SingleValue) {
+  LogHistogram h;
+  h.Record(100.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 100.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Percentile clamps to [min, max], so a single value is returned exactly.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 100.0);
+}
+
+TEST(LogHistogram, PercentileRelativeErrorBounded) {
+  LogHistogram h(1.1);
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    double v = std::exp(rng.NextDouble() * 10.0);  // 1 .. e^10
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    double truth = values[static_cast<size_t>(q * (values.size() - 1))];
+    double est = h.Percentile(q);
+    EXPECT_NEAR(est / truth, 1.0, 0.08) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, RepeatCountsWeighting) {
+  LogHistogram h;
+  h.Record(1.0, 99);
+  h.Record(1000.0, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LT(h.Percentile(0.5), 10.0);
+  // The 99th order statistic (q = 1.0) is the lone 1000; q = 0.98 is
+  // still inside the mass of 1.0s.
+  EXPECT_LT(h.Percentile(0.98), 10.0);
+  EXPECT_GT(h.Percentile(1.0), 100.0);
+}
+
+TEST(LogHistogram, ZeroAndSubOneValuesLandInFirstBucket) {
+  LogHistogram h;
+  h.Record(0.0);
+  h.Record(0.5);
+  h.Record(0.99);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.CountAtMost(0.999), 3u);
+}
+
+TEST(LogHistogram, NegativeValuesClampToZero) {
+  LogHistogram h;
+  h.Record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(LogHistogram, CountAtMostIsMonotone) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  uint64_t prev = 0;
+  for (double t : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    uint64_t c = h.CountAtMost(t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(h.CountAtMost(1e9), 1000u);
+  EXPECT_EQ(h.CountAtMost(-1.0), 0u);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedRecording) {
+  LogHistogram a, b, both;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = std::exp(rng.NextDouble() * 8.0);
+    (i % 2 ? a : b).Record(v);
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), both.Percentile(0.5));
+}
+
+TEST(LogHistogram, MergeIntoEmpty) {
+  LogHistogram a, b;
+  b.Record(42.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.max(), 42.0);
+}
+
+}  // namespace
+}  // namespace varstream

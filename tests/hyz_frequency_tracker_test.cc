@@ -1,0 +1,105 @@
+#include "baseline/hyz_frequency_tracker.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps, uint64_t seed = 0xFEED) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(HyzFrequencyTracker, ExactWhileSamplingProbabilityIsOne) {
+  HyzFrequencyTracker tracker(Opts(4, 0.1));
+  for (int i = 0; i < 20; ++i) {
+    tracker.PushInsert(static_cast<uint32_t>(i % 4), 7);
+  }
+  // p = 1 while F1 is small: estimates are exact.
+  EXPECT_DOUBLE_EQ(tracker.EstimateItem(7), 20.0);
+  EXPECT_DOUBLE_EQ(tracker.EstimateItem(8), 0.0);
+}
+
+TEST(HyzFrequencyTracker, RoundsDoubleWithF1) {
+  HyzFrequencyTracker tracker(Opts(2, 0.1));
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    tracker.PushInsert(static_cast<uint32_t>(rng.UniformBelow(2)),
+                       rng.UniformBelow(64));
+  }
+  EXPECT_GE(tracker.round_scale(), 100000 / 4);
+  EXPECT_LE(tracker.round_scale(), 2 * 100000);
+}
+
+TEST(HyzFrequencyTracker, MostEstimatesWithinEpsF1) {
+  const uint32_t k = 8;
+  const double eps = 0.1;
+  HyzFrequencyTracker tracker(Opts(k, eps, 3));
+  Rng rng(5);
+  ZipfSampler zipf(512, 1.1);
+  std::map<uint64_t, int64_t> truth;
+  int64_t f1 = 0;
+  uint64_t failures = 0, queries = 0;
+  for (int t = 0; t < 60000; ++t) {
+    uint64_t item = zipf.Sample(&rng);
+    tracker.PushInsert(static_cast<uint32_t>(Mix64(item) % k), item);
+    ++truth[item];
+    ++f1;
+    if (t % 2048 == 2047) {
+      for (const auto& [it, f] : truth) {
+        ++queries;
+        double err = std::abs(tracker.EstimateItem(it) -
+                              static_cast<double>(f));
+        if (err > eps * static_cast<double>(f1)) ++failures;
+      }
+    }
+  }
+  ASSERT_GT(queries, 0u);
+  // Chebyshev budget is 1/9 per query; empirically far lower.
+  EXPECT_LT(static_cast<double>(failures) / static_cast<double>(queries),
+            1.0 / 9.0);
+}
+
+TEST(HyzFrequencyTracker, DeterministicGivenSeed) {
+  HyzFrequencyTracker a(Opts(4, 0.1, 9)), b(Opts(4, 0.1, 9));
+  Rng rng(11);
+  for (int t = 0; t < 20000; ++t) {
+    uint64_t item = rng.UniformBelow(128);
+    auto site = static_cast<uint32_t>(item % 4);
+    a.PushInsert(site, item);
+    b.PushInsert(site, item);
+  }
+  for (uint64_t item = 0; item < 128; ++item) {
+    ASSERT_DOUBLE_EQ(a.EstimateItem(item), b.EstimateItem(item));
+  }
+  EXPECT_EQ(a.cost().total_messages(), b.cost().total_messages());
+}
+
+TEST(HyzFrequencyTracker, SamplingMessagesScaleWithSqrtKOverEps) {
+  // In-round drift messages (excluding resyncs) ~ sample_constant *
+  // sqrt(k)/eps per F1-doubling round.
+  const double eps = 0.05;
+  const uint32_t k = 16;
+  HyzFrequencyTracker tracker(Opts(k, eps, 13));
+  Rng rng(15);
+  const int kN = 200000;
+  for (int t = 0; t < kN; ++t) {
+    tracker.PushInsert(static_cast<uint32_t>(rng.UniformBelow(k)),
+                       rng.UniformBelow(1024));
+  }
+  double rounds = std::log2(static_cast<double>(kN));
+  double per_round = 2.0 * 3.0 * std::sqrt(static_cast<double>(k)) / eps;
+  uint64_t drift_msgs = tracker.cost().messages(MessageKind::kDrift);
+  EXPECT_LT(static_cast<double>(drift_msgs), 3.0 * per_round * rounds);
+}
+
+}  // namespace
+}  // namespace varstream

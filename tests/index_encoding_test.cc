@@ -1,0 +1,60 @@
+#include "lowerbound/index_encoding.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(IndexReduction, RoundTripDecodesExactly) {
+  // Every rank Alice encodes must come back out of Bob's decoder.
+  const uint64_t m = 10, n = 40, r = 4;
+  DetFamily family(m, n, r);
+  for (uint64_t rank : std::vector<uint64_t>{0, 1, 17, family.Size() / 2,
+                                             family.Size() - 1}) {
+    IndexReductionResult result = RunIndexReduction(m, n, r, rank);
+    EXPECT_TRUE(result.decoded_ok) << "rank " << rank;
+    EXPECT_EQ(result.bob_rank, rank);
+  }
+}
+
+TEST(IndexReduction, SummaryAtLeastEntropyBits) {
+  // Information-theoretic sanity: a decodable summary cannot be smaller
+  // than the family's entropy.
+  IndexReductionResult result = RunIndexReduction(10, 100, 6, 12345);
+  EXPECT_TRUE(result.decoded_ok);
+  EXPECT_GE(static_cast<double>(result.summary_bits), result.entropy_bits);
+}
+
+TEST(IndexReduction, MessagesProportionalToToggles) {
+  // The single-site tracker resyncs exactly at each level change (plus the
+  // initial sync if any): about r messages.
+  IndexReductionResult result = RunIndexReduction(12, 200, 8, 777);
+  EXPECT_GE(result.messages, 8u);
+  EXPECT_LE(result.messages, 10u);
+}
+
+TEST(IndexReduction, SummarySizeScalesWithRNotN) {
+  IndexReductionResult short_run = RunIndexReduction(10, 100, 4, 5);
+  IndexReductionResult long_run = RunIndexReduction(10, 10000, 4, 5);
+  // Same r: the number of changepoints is the same; only the per-entry
+  // time width grows (log n).
+  EXPECT_LT(long_run.summary_bits, short_run.summary_bits * 3);
+}
+
+TEST(IndexReduction, VariabilityMatchesFamilyFormula) {
+  const uint64_t m = 10, n = 100, r = 6;
+  DetFamily family(m, n, r);
+  IndexReductionResult result = RunIndexReduction(m, n, r, 3);
+  EXPECT_DOUBLE_EQ(result.family_variability, family.ExactVariability());
+}
+
+TEST(IndexReduction, EntropyGrowsWithFamilyParameters) {
+  IndexReductionResult small = RunIndexReduction(10, 50, 4, 1);
+  IndexReductionResult large = RunIndexReduction(10, 500, 8, 1);
+  EXPECT_GT(large.entropy_bits, small.entropy_bits);
+}
+
+}  // namespace
+}  // namespace varstream

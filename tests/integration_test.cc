@@ -1,0 +1,248 @@
+// End-to-end scenarios wiring several modules together, mirroring the
+// paper's motivating applications (section 1): sensor-network counting,
+// database-size auditing with historical queries, and distributed heavy
+// hitters — each against ground truth.
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "baseline/naive_tracker.h"
+#include "common/hash.h"
+#include "core/deterministic_tracker.h"
+#include "core/driver.h"
+#include "core/frequency_tracker.h"
+#include "core/quantile_tracker.h"
+#include "core/randomized_tracker.h"
+#include "core/threshold_monitor.h"
+#include "core/tracing.h"
+#include "stream/generator.h"
+#include "stream/item_generators.h"
+#include "stream/site_assigner.h"
+#include "stream/trace.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(Integration, SensorNetworkScenario) {
+  // 32 sensors report a net count that mostly grows with occasional dips;
+  // both the deterministic and randomized trackers must hold their
+  // guarantees on the identical recorded stream, at a fraction of naive
+  // cost.
+  const uint32_t k = 32;
+  const double eps = 0.1;
+  NearlyMonotoneGenerator gen(6, 2);
+  UniformAssigner assigner(k, 7);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 120000);
+
+  TrackerOptions opts;
+  opts.num_sites = k;
+  opts.epsilon = eps;
+  DeterministicTracker det(opts);
+  RandomizedTracker rand(opts);
+  NaiveTracker naive(opts);
+
+  RunResult det_result = RunCountOnTrace(trace, &det, eps);
+  RunResult rand_result = RunCountOnTrace(trace, &rand, eps);
+  RunResult naive_result = RunCountOnTrace(trace, &naive, eps);
+
+  EXPECT_EQ(det_result.violation_rate, 0.0);
+  EXPECT_LT(rand_result.violation_rate, 1.0 / 3.0);
+  EXPECT_EQ(naive_result.messages, 120000u);
+  // Low-variability stream: the paper's algorithms should be far cheaper.
+  EXPECT_LT(det_result.messages, naive_result.messages / 4);
+  EXPECT_LT(rand_result.messages, naive_result.messages / 4);
+}
+
+TEST(Integration, DatabaseAuditWithHistoricalQueries) {
+  // A database's size is tracked; later an auditor asks "how big was it at
+  // time t?" for many past t. The recorded coordinator history must answer
+  // every query within epsilon (the tracing problem of section 4).
+  const double eps = 0.05;
+  BiasedWalkGenerator gen(0.3, 11);
+  RoundRobinAssigner assigner(8);
+  StreamTrace stream = StreamTrace::Record(&gen, &assigner, 80000);
+
+  TrackerOptions opts;
+  opts.num_sites = 8;
+  opts.epsilon = eps;
+  DeterministicTracker tracker(opts);
+  HistoryTracer history(0.0);
+  RunCountOnTrace(stream, &tracker, eps, &history);
+
+  Rng rng(13);
+  for (int q = 0; q < 2000; ++q) {
+    uint64_t t = 1 + rng.UniformBelow(80000);
+    double est = history.Query(t);
+    auto truth = static_cast<double>(stream.ValueAt(t));
+    EXPECT_LE(std::abs(est - truth), eps * std::abs(truth) + 1e-9)
+        << "t=" << t;
+  }
+  // The summary is far smaller than storing every timestep.
+  EXPECT_LT(history.changepoints(), 80000u / 10);
+}
+
+TEST(Integration, DistributedHeavyHittersPipeline) {
+  // Zipf item stream across 8 sites; at the end, every item with true
+  // frequency >= 2*eps*F1 must be reported by HeavyHitters(eps), and no
+  // item below ~0 frequency can sneak in above the threshold.
+  const uint32_t k = 8;
+  const double eps = 0.1;
+  TrackerOptions opts;
+  opts.num_sites = k;
+  opts.epsilon = eps;
+  FrequencyTracker tracker(opts);
+  ZipfChurnGenerator gen(1024, 1.3, 0.5, 17);
+
+  std::map<uint64_t, int64_t> truth;
+  int64_t f1 = 0;
+  for (int t = 0; t < 60000; ++t) {
+    ItemEvent e = gen.NextEvent();
+    uint32_t site = static_cast<uint32_t>(Mix64(e.item) % k);
+    tracker.Push(site, e.item, e.delta);
+    truth[e.item] += e.delta;
+    f1 += e.delta;
+  }
+
+  auto hh = tracker.HeavyHitters(eps);
+  std::map<uint64_t, int64_t> reported(hh.begin(), hh.end());
+  for (const auto& [item, f] : truth) {
+    if (static_cast<double>(f) >= 2.2 * eps * static_cast<double>(f1)) {
+      EXPECT_TRUE(reported.count(item))
+          << "missed heavy item " << item << " f=" << f;
+    }
+  }
+  for (const auto& [item, est] : reported) {
+    // Anything reported must be genuinely non-trivial.
+    EXPECT_GE(static_cast<double>(truth[item]),
+              0.3 * eps * static_cast<double>(f1))
+        << "false heavy hitter " << item;
+  }
+}
+
+TEST(Integration, TraceSerializationPreservesTrackerBehavior) {
+  // Serialize a stream, reload it, and verify a tracker behaves byte-for-
+  // byte identically — the regression-fixture workflow.
+  RandomWalkGenerator gen(19);
+  UniformAssigner assigner(4, 23);
+  StreamTrace original = StreamTrace::Record(&gen, &assigner, 20000);
+  StreamTrace reloaded;
+  ASSERT_TRUE(StreamTrace::Deserialize(original.Serialize(), &reloaded));
+
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  opts.epsilon = 0.1;
+  DeterministicTracker t1(opts), t2(opts);
+  RunResult r1 = RunCountOnTrace(original, &t1, 0.1);
+  RunResult r2 = RunCountOnTrace(reloaded, &t2, 0.1);
+  EXPECT_EQ(r1.messages, r2.messages);
+  EXPECT_EQ(r1.final_f, r2.final_f);
+  EXPECT_DOUBLE_EQ(r1.max_rel_error, r2.max_rel_error);
+}
+
+TEST(Integration, MixedWorkloadSignCrossings) {
+  // A stream that climbs, crashes through zero into negative territory,
+  // and recovers — the full non-monotone gauntlet for the guarantee.
+  class GauntletGenerator : public CountGenerator {
+   public:
+    int64_t NextDelta() override {
+      ++t_;
+      if (t_ < 20000) return +1;                       // climb to 20k
+      if (t_ < 60000) return -1;                       // crash to -20k
+      return (t_ % 2 == 0) ? +1 : -1;                  // churn near -20k
+    }
+    std::string name() const override { return "gauntlet"; }
+
+   private:
+    uint64_t t_ = 0;
+  };
+
+  GauntletGenerator gen;
+  UniformAssigner assigner(8, 29);
+  TrackerOptions opts;
+  opts.num_sites = 8;
+  opts.epsilon = 0.1;
+  DeterministicTracker tracker(opts);
+  RunResult result = RunCount(&gen, &assigner, &tracker, 80000, 0.1);
+  EXPECT_EQ(result.violation_rate, 0.0);
+  EXPECT_LT(result.final_f, -19000);
+}
+
+TEST(Integration, ComposedViewsUnderBurstyAssignment) {
+  // Frequency + quantile + threshold views over one bursty item stream:
+  // all guarantees must hold simultaneously even when sites receive their
+  // traffic in long exclusive bursts.
+  const uint32_t k = 8;
+  const double eps = 0.25;
+  const uint32_t log_u = 9;
+  TrackerOptions opts;
+  opts.num_sites = k;
+  opts.epsilon = eps;
+  FrequencyTracker freq(opts);
+  QuantileTracker quant(opts, log_u);
+  ThresholdMonitor monitor(opts, 2000);
+
+  ZipfChurnGenerator gen(1ULL << log_u, 1.0, 0.5, 43);
+  BurstAssigner assigner(k, 200);
+  std::map<uint64_t, int64_t> truth;
+  int64_t f1 = 0;
+  for (int t = 0; t < 25000; ++t) {
+    ItemEvent e = gen.NextEvent();
+    uint32_t site = assigner.NextSite();
+    freq.Push(site, e.item, e.delta);
+    quant.Push(site, e.item, e.delta);
+    monitor.Push(site, e.delta);
+    truth[e.item] += e.delta;
+    f1 += e.delta;
+
+    if (t % 701 == 0) {
+      // Frequency guarantee on the touched item.
+      double ferr = std::abs(
+          static_cast<double>(freq.EstimateItem(e.item) - truth[e.item]));
+      ASSERT_LE(ferr,
+                eps * std::max<double>(1.0, static_cast<double>(f1)) + 1e-9);
+      // Rank guarantee at the touched item's value.
+      double exact_rank = 0;
+      for (const auto& [item, f] : truth) {
+        if (item < e.item) exact_rank += static_cast<double>(f);
+      }
+      ASSERT_LE(std::abs(quant.Rank(e.item) - exact_rank),
+                eps * std::max<double>(1.0, static_cast<double>(f1)) + 1e-9);
+      // Threshold certification on F1.
+      if (f1 >= 2000) {
+        ASSERT_EQ(monitor.state(), ThresholdState::kAbove);
+      }
+      if (static_cast<double>(f1) <= (1.0 - eps) * 2000.0) {
+        ASSERT_EQ(monitor.state(), ThresholdState::kBelow);
+      }
+    }
+  }
+  EXPECT_GT(f1, 2000);
+  EXPECT_EQ(monitor.state(), ThresholdState::kAbove);
+}
+
+TEST(Integration, CostAdvantageRequiresLowVariability) {
+  // The framework's promise, end to end: cost ~ v. Compare a low-v stream
+  // and a high-v stream of the same length; message counts should differ
+  // by an order of magnitude.
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  opts.epsilon = 0.1;
+
+  BiasedWalkGenerator low_v_gen(0.4, 31);
+  UniformAssigner a1(4, 37);
+  DeterministicTracker low_tracker(opts);
+  RunResult low = RunCount(&low_v_gen, &a1, &low_tracker, 50000, 0.1);
+
+  ZeroCrossingGenerator high_v_gen;
+  UniformAssigner a2(4, 41);
+  DeterministicTracker high_tracker(opts);
+  RunResult high = RunCount(&high_v_gen, &a2, &high_tracker, 50000, 0.1);
+
+  EXPECT_LT(low.variability * 20, high.variability);
+  EXPECT_LT(low.messages * 5, high.messages);
+}
+
+}  // namespace
+}  // namespace varstream

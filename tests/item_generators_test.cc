@@ -1,0 +1,108 @@
+#include "stream/item_generators.h"
+
+#include <map>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+// Replays a generator, asserting per-event invariants: deletions never
+// target absent items, F1 is consistent, items stay within the universe.
+void CheckInvariants(ItemGenerator* gen, uint64_t steps) {
+  std::map<uint64_t, int64_t> freq;
+  int64_t f1 = 0;
+  for (uint64_t t = 0; t < steps; ++t) {
+    ItemEvent e = gen->NextEvent();
+    ASSERT_TRUE(e.delta == 1 || e.delta == -1);
+    ASSERT_LT(e.item, gen->universe_size());
+    if (e.delta == -1) {
+      ASSERT_GT(freq[e.item], 0)
+          << "deleted item " << e.item << " not in D at t=" << t;
+    }
+    freq[e.item] += e.delta;
+    f1 += e.delta;
+    ASSERT_EQ(gen->f1(), f1);
+    ASSERT_GE(f1, 0);
+  }
+}
+
+TEST(ZipfChurnGenerator, InvariantsHold) {
+  ZipfChurnGenerator gen(100, 1.1, 0.4, 1);
+  CheckInvariants(&gen, 20000);
+}
+
+TEST(ZipfChurnGenerator, DriftGrowsDataset) {
+  ZipfChurnGenerator gen(100, 1.1, 0.5, 2);
+  for (int i = 0; i < 10000; ++i) gen.NextEvent();
+  // Expected growth is drift per step.
+  EXPECT_GT(gen.f1(), 10000 / 4);
+  EXPECT_LT(gen.f1(), 10000);
+}
+
+TEST(ZipfChurnGenerator, SkewConcentratesFrequency) {
+  ZipfChurnGenerator gen(1000, 1.3, 0.6, 3);
+  std::map<uint64_t, int64_t> freq;
+  for (int i = 0; i < 30000; ++i) {
+    ItemEvent e = gen.NextEvent();
+    freq[e.item] += e.delta;
+  }
+  // Item 0 should dominate some mid-tail item.
+  EXPECT_GT(freq[0], freq[500] * 2);
+}
+
+TEST(SlidingWindowGenerator, InvariantsHold) {
+  SlidingWindowGenerator gen(50, 64, 1.0, 4);
+  CheckInvariants(&gen, 5000);
+}
+
+TEST(SlidingWindowGenerator, F1SaturatesNearWindow) {
+  SlidingWindowGenerator gen(50, 64, 1.0, 5);
+  for (int i = 0; i < 5000; ++i) gen.NextEvent();
+  EXPECT_GE(gen.f1(), 63);
+  EXPECT_LE(gen.f1(), 65);
+}
+
+TEST(SlidingWindowGenerator, PureInsertsUntilWindowFull) {
+  SlidingWindowGenerator gen(50, 10, 1.0, 6);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.NextEvent().delta, 1) << "step " << i;
+  }
+}
+
+TEST(HotItemFlipGenerator, InvariantsHold) {
+  HotItemFlipGenerator gen(20, 50, 7);
+  CheckInvariants(&gen, 5000);
+}
+
+TEST(HotItemFlipGenerator, PlateauAlternatesHotItem) {
+  HotItemFlipGenerator gen(20, 10, 8);
+  for (int i = 0; i < 10; ++i) gen.NextEvent();  // fill
+  // From now on: item 0 in, item 0 out, forever.
+  for (int i = 0; i < 20; ++i) {
+    ItemEvent e = gen.NextEvent();
+    EXPECT_EQ(e.item, 0u);
+    EXPECT_EQ(e.delta, (i % 2 == 0) ? 1 : -1);
+  }
+}
+
+TEST(HotItemFlipGenerator, FillPhaseAvoidsHotItem) {
+  HotItemFlipGenerator gen(20, 15, 9);
+  for (int i = 0; i < 15; ++i) {
+    ItemEvent e = gen.NextEvent();
+    EXPECT_EQ(e.delta, 1);
+    EXPECT_NE(e.item, 0u);
+  }
+}
+
+TEST(MakeItemGeneratorByName, AllNamesResolve) {
+  for (const char* name : {"zipf-churn", "sliding-window", "hot-item"}) {
+    auto gen = MakeItemGeneratorByName(name, 64, 1);
+    ASSERT_NE(gen, nullptr) << name;
+    gen->NextEvent();
+  }
+  EXPECT_EQ(MakeItemGeneratorByName("nope", 64, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace varstream

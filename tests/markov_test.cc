@@ -1,0 +1,147 @@
+#include "lowerbound/markov.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(MarkovChain, StepPreservesProbabilityMass) {
+  MarkovChain chain({{0.9, 0.1}, {0.3, 0.7}});
+  std::vector<double> d{0.5, 0.5};
+  for (int i = 0; i < 10; ++i) {
+    d = chain.Step(d);
+    EXPECT_NEAR(d[0] + d[1], 1.0, 1e-12);
+  }
+}
+
+TEST(MarkovChain, StationaryOfSymmetricChainIsUniform) {
+  MarkovChain chain({{0.8, 0.2}, {0.2, 0.8}});
+  auto pi = chain.Stationary();
+  EXPECT_NEAR(pi[0], 0.5, 1e-9);
+  EXPECT_NEAR(pi[1], 0.5, 1e-9);
+}
+
+TEST(MarkovChain, StationaryOfAsymmetricChain) {
+  // pi solves pi = pi*P: for P = [[0.9, 0.1], [0.3, 0.7]],
+  // pi = (0.75, 0.25).
+  MarkovChain chain({{0.9, 0.1}, {0.3, 0.7}});
+  auto pi = chain.Stationary();
+  EXPECT_NEAR(pi[0], 0.75, 1e-9);
+  EXPECT_NEAR(pi[1], 0.25, 1e-9);
+}
+
+TEST(MarkovChain, TotalVariationBasics) {
+  EXPECT_DOUBLE_EQ(MarkovChain::TotalVariation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(MarkovChain::TotalVariation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(MarkovChain::TotalVariation({0.7, 0.3}, {0.5, 0.5}), 0.2);
+}
+
+TEST(MarkovChain, MixingTimeShrinksWithFasterChains) {
+  MarkovChain slow({{0.99, 0.01}, {0.01, 0.99}});
+  MarkovChain fast({{0.6, 0.4}, {0.4, 0.6}});
+  EXPECT_GT(slow.MixingTime(), fast.MixingTime());
+}
+
+TEST(MarkovChain, SamplePathFollowsTransitions) {
+  // A nearly-absorbing chain should produce long runs.
+  MarkovChain chain({{0.999, 0.001}, {0.001, 0.999}});
+  Rng rng(1);
+  auto path = chain.SamplePath({1.0, 0.0}, 1000, &rng);
+  int switches = 0;
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (path[i] != path[i - 1]) ++switches;
+  }
+  EXPECT_LT(switches, 10);
+  EXPECT_EQ(path[0], 0u);
+}
+
+TEST(MarkovChain, SamplePathStationaryFractions) {
+  MarkovChain chain({{0.9, 0.1}, {0.3, 0.7}});
+  Rng rng(2);
+  auto path = chain.SamplePath({0.75, 0.25}, 200000, &rng);
+  double frac0 =
+      static_cast<double>(std::count(path.begin(), path.end(), 0u)) /
+      static_cast<double>(path.size());
+  EXPECT_NEAR(frac0, 0.75, 0.01);
+}
+
+TEST(OverlapChain, AlphaFormula) {
+  OverlapChain chain(0.1);
+  EXPECT_DOUBLE_EQ(chain.alpha(), 1.0 - 2.0 * 0.1 * 0.9);
+}
+
+TEST(OverlapChain, ExactMixingMatchesGenericMachinery) {
+  for (double p : {0.05, 0.1, 0.3}) {
+    OverlapChain chain(p);
+    uint64_t exact = chain.ExactMixingTime();
+    uint64_t generic = chain.AsMarkovChain().MixingTime();
+    EXPECT_EQ(exact, generic) << "p=" << p;
+  }
+}
+
+TEST(OverlapChain, PaperBoundDominatesExactMixingTime) {
+  // Appendix G: T <= 3/(2p(1-p)). Our exact computation must respect it.
+  for (double p : {0.01, 0.05, 0.1, 0.25, 0.45}) {
+    OverlapChain chain(p);
+    EXPECT_LE(static_cast<double>(chain.ExactMixingTime()),
+              chain.PaperMixingBound() + 1.0)
+        << "p=" << p;
+  }
+}
+
+TEST(MarkovChain, ThreeStateCycleStationary) {
+  // A lazy directed cycle on 3 states has uniform stationary distribution.
+  MarkovChain chain({{0.5, 0.5, 0.0}, {0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}});
+  auto pi = chain.Stationary();
+  EXPECT_NEAR(pi[0], 1.0 / 3, 1e-9);
+  EXPECT_NEAR(pi[1], 1.0 / 3, 1e-9);
+  EXPECT_NEAR(pi[2], 1.0 / 3, 1e-9);
+}
+
+TEST(MarkovChain, AbsorbingLikeChainMixesSlowly) {
+  MarkovChain nearly_absorbing({{0.9999, 0.0001}, {0.0001, 0.9999}});
+  EXPECT_GT(nearly_absorbing.MixingTime(), 1000u);
+}
+
+TEST(CllmTailBound, DecaysWithN) {
+  double b1 = CllmTailBound(0.2, 0.5, 1000, 10.0);
+  double b2 = CllmTailBound(0.2, 0.5, 100000, 10.0);
+  EXPECT_LT(b2, b1);
+  EXPECT_LE(b1, 1.0);
+  EXPECT_GT(b2, 0.0);
+}
+
+TEST(CllmTailBound, GrowsWithMixingTime) {
+  double fast = CllmTailBound(0.2, 0.5, 10000, 5.0);
+  double slow = CllmTailBound(0.2, 0.5, 10000, 500.0);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(CllmTailBound, EmpiricalOverlapRespectsBound) {
+  // Sample the overlap chain and compare the empirical tail frequency of
+  // Y >= 0.6n against the CLLM bound with C = 1 (the bound should hold for
+  // our chain even with the unit constant, since it mixes fast).
+  const double p = 0.05;
+  const uint64_t n = 2000;
+  OverlapChain chain(p);
+  MarkovChain mc = chain.AsMarkovChain();
+  Rng rng(3);
+  const int kTrials = 400;
+  int exceed = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto path = mc.SamplePath({0.5, 0.5}, n, &rng);
+    auto same = static_cast<uint64_t>(
+        std::count(path.begin(), path.end(), 0u));
+    if (same * 10 >= 6 * n) ++exceed;
+  }
+  double empirical = static_cast<double>(exceed) / kTrials;
+  double bound = CllmTailBound(
+      0.2, 0.5, n, static_cast<double>(chain.ExactMixingTime()));
+  // Empirical rate must not significantly exceed the theoretical bound.
+  EXPECT_LE(empirical, std::max(bound * 3.0, 0.02));
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,103 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(FloorLog2, PowersAndNeighbors) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(7), 2);
+  EXPECT_EQ(FloorLog2(8), 3);
+  EXPECT_EQ(FloorLog2(1ULL << 62), 62);
+  EXPECT_EQ(FloorLog2((1ULL << 62) + 1), 62);
+}
+
+TEST(CeilLog2, PowersAndNeighbors) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1ULL << 40), 40);
+  EXPECT_EQ(CeilLog2((1ULL << 40) + 1), 41);
+}
+
+TEST(CeilDiv, ExactAndRemainders) {
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(1, 100), 1u);
+}
+
+TEST(Sgn, AllSigns) {
+  EXPECT_EQ(Sgn(-7), -1);
+  EXPECT_EQ(Sgn(0), 0);
+  EXPECT_EQ(Sgn(9), 1);
+  EXPECT_EQ(Sgn(std::numeric_limits<int64_t>::min()), -1);
+}
+
+TEST(AbsU64, HandlesInt64Min) {
+  EXPECT_EQ(AbsU64(0), 0u);
+  EXPECT_EQ(AbsU64(5), 5u);
+  EXPECT_EQ(AbsU64(-5), 5u);
+  EXPECT_EQ(AbsU64(std::numeric_limits<int64_t>::min()),
+            1ULL << 63);
+}
+
+TEST(HarmonicNumber, SmallExactValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_NEAR(HarmonicNumber(2), 1.5, 1e-12);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(HarmonicNumber, AsymptoticContinuity) {
+  // The exact and asymptotic regimes must agree around the threshold.
+  uint64_t t = 1 << 16;
+  double below = HarmonicNumber(t);
+  double above = HarmonicNumber(t + 1);
+  EXPECT_NEAR(above - below, 1.0 / static_cast<double>(t + 1), 1e-9);
+}
+
+TEST(HarmonicNumber, LogGrowth) {
+  double h = HarmonicNumber(1000000);
+  EXPECT_NEAR(h, std::log(1e6) + 0.5772156649, 1e-6);
+}
+
+TEST(CeilPow2Half, PaperThresholds) {
+  // ceil(2^{r-1}): r=0 -> ceil(1/2)=1; r>=1 -> 2^{r-1}.
+  EXPECT_EQ(CeilPow2Half(0), 1u);
+  EXPECT_EQ(CeilPow2Half(1), 1u);
+  EXPECT_EQ(CeilPow2Half(2), 2u);
+  EXPECT_EQ(CeilPow2Half(3), 4u);
+  EXPECT_EQ(CeilPow2Half(10), 512u);
+}
+
+TEST(Pow2, Values) {
+  EXPECT_EQ(Pow2(0), 1u);
+  EXPECT_EQ(Pow2(1), 2u);
+  EXPECT_EQ(Pow2(62), 1ULL << 62);
+}
+
+TEST(RelativeError, NonzeroTruth) {
+  EXPECT_DOUBLE_EQ(RelativeError(100, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(100, 110.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(-100, -90.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(10, 0.0), 1.0);
+}
+
+TEST(RelativeError, ZeroTruthConvention) {
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeError(0, 0.5)));
+  EXPECT_TRUE(std::isinf(RelativeError(0, -2.0)));
+}
+
+}  // namespace
+}  // namespace varstream

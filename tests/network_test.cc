@@ -1,0 +1,61 @@
+#include "net/network.h"
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(SimNetwork, CountsDirectionalMessages) {
+  SimNetwork net(4);
+  net.SendToCoordinator(0, MessageKind::kDrift);
+  net.SendToSite(1, MessageKind::kPollRequest, 0);
+  EXPECT_EQ(net.cost().total_messages(), 2u);
+  EXPECT_EQ(net.cost().messages(MessageKind::kDrift), 1u);
+  EXPECT_EQ(net.cost().messages(MessageKind::kPollRequest), 1u);
+}
+
+TEST(SimNetwork, BroadcastChargesPerRecipient) {
+  SimNetwork net(5);
+  net.Broadcast(MessageKind::kBroadcast);
+  EXPECT_EQ(net.cost().messages(MessageKind::kBroadcast), 5u);
+}
+
+TEST(SimNetwork, BitAccounting) {
+  SimNetwork net(2);
+  net.SendToCoordinator(0, MessageKind::kDrift, 1);
+  EXPECT_EQ(net.cost().total_bits(), MessageBits(1));
+  net.SendToCoordinator(1, MessageKind::kPollReply, 2);
+  EXPECT_EQ(net.cost().total_bits(), MessageBits(1) + MessageBits(2));
+}
+
+TEST(SimNetwork, ClockAdvancesWithTick) {
+  SimNetwork net(1);
+  EXPECT_EQ(net.now(), 0u);
+  net.Tick();
+  net.Tick();
+  EXPECT_EQ(net.now(), 2u);
+}
+
+TEST(SimNetwork, LoggingCapturesEventsWithTimestamps) {
+  SimNetwork net(3);
+  net.EnableLogging();
+  net.Tick();
+  net.SendToCoordinator(2, MessageKind::kDrift);
+  net.Tick();
+  net.Broadcast(MessageKind::kBroadcast);
+  ASSERT_EQ(net.log().size(), 1u + 3u);
+  EXPECT_EQ(net.log()[0].time, 1u);
+  EXPECT_EQ(net.log()[0].site, 2u);
+  EXPECT_TRUE(net.log()[0].to_coordinator);
+  EXPECT_EQ(net.log()[1].time, 2u);
+  EXPECT_FALSE(net.log()[1].to_coordinator);
+}
+
+TEST(SimNetwork, LoggingOffByDefault) {
+  SimNetwork net(2);
+  net.SendToCoordinator(0, MessageKind::kDrift);
+  EXPECT_TRUE(net.log().empty());
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,267 @@
+// Cross-cutting property suites: the paper's central claims checked as
+// invariants over randomized configuration sweeps (generator x sites x
+// epsilon x assigner x seed), rather than hand-picked cases.
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "baseline/naive_tracker.h"
+#include "common/hash.h"
+#include "core/deterministic_tracker.h"
+#include "core/driver.h"
+#include "core/quantile_tracker.h"
+#include "core/randomized_tracker.h"
+#include "core/single_site_tracker.h"
+#include "stream/generator.h"
+#include "stream/item_generators.h"
+#include "stream/site_assigner.h"
+#include "stream/variability.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+struct Config {
+  const char* generator;
+  const char* assigner;
+  uint32_t k;
+  double eps;
+  uint64_t seed;
+};
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> configs;
+  uint64_t seed = 1;
+  for (const char* gen :
+       {"monotone", "random-walk", "sawtooth", "nearly-monotone",
+        "oscillator", "biased-walk", "spike", "regime-switch", "diurnal"}) {
+    for (const char* assigner :
+         {"round-robin", "uniform", "skewed", "burst"}) {
+      for (uint32_t k : {2u, 8u}) {
+        for (double eps : {0.08, 0.3}) {
+          configs.push_back({gen, assigner, k, eps, seed++});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+class SweepTest : public ::testing::TestWithParam<Config> {};
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  std::string name = std::string(info.param.generator) + "_" +
+                     info.param.assigner + "_k" +
+                     std::to_string(info.param.k) + "_e" +
+                     std::to_string(static_cast<int>(info.param.eps * 100));
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+TEST_P(SweepTest, DeterministicTrackerNeverViolatesGuarantee) {
+  const Config& cfg = GetParam();
+  auto gen = MakeGeneratorByName(cfg.generator, cfg.seed);
+  auto assigner = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 99);
+  TrackerOptions opts;
+  opts.num_sites = cfg.k;
+  opts.epsilon = cfg.eps;
+  opts.initial_value = gen->initial_value();
+  DeterministicTracker tracker(opts);
+  RunResult result =
+      RunCount(gen.get(), assigner.get(), &tracker, 25000, cfg.eps);
+  EXPECT_EQ(result.violation_rate, 0.0) << ConfigName({GetParam(), 0});
+}
+
+TEST_P(SweepTest, DeterministicCostWithinPaperBound) {
+  const Config& cfg = GetParam();
+  auto gen = MakeGeneratorByName(cfg.generator, cfg.seed + 1);
+  auto assigner = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 100);
+  TrackerOptions opts;
+  opts.num_sites = cfg.k;
+  opts.epsilon = cfg.eps;
+  opts.initial_value = gen->initial_value();
+  DeterministicTracker tracker(opts);
+  RunResult result =
+      RunCount(gen.get(), assigner.get(), &tracker, 25000, cfg.eps);
+  double v = result.variability;
+  double bound =
+      5.0 * cfg.k * v / cfg.eps + 50.0 * cfg.k * (v + 1.0) + 10.0 * cfg.k;
+  EXPECT_LE(static_cast<double>(result.messages), bound);
+}
+
+TEST_P(SweepTest, RandomizedTrackerFailureRateWithinGuarantee) {
+  const Config& cfg = GetParam();
+  if (cfg.k > 9.0 / (cfg.eps * cfg.eps)) GTEST_SKIP();
+  auto gen = MakeGeneratorByName(cfg.generator, cfg.seed + 2);
+  auto assigner = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 101);
+  TrackerOptions opts;
+  opts.num_sites = cfg.k;
+  opts.epsilon = cfg.eps;
+  opts.seed = cfg.seed + 7;
+  opts.initial_value = gen->initial_value();
+  RandomizedTracker tracker(opts);
+  RunResult result =
+      RunCount(gen.get(), assigner.get(), &tracker, 25000, cfg.eps);
+  EXPECT_LT(result.violation_rate, 1.0 / 3.0);
+}
+
+TEST_P(SweepTest, TrackersAgreeWithNaiveOnFinalValue) {
+  // Whatever the estimates in between, every tracker's *view of the truth*
+  // (ground truth via the driver) must be identical for identical streams.
+  const Config& cfg = GetParam();
+  auto gen1 = MakeGeneratorByName(cfg.generator, cfg.seed + 3);
+  auto gen2 = MakeGeneratorByName(cfg.generator, cfg.seed + 3);
+  auto a1 = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 102);
+  auto a2 = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 102);
+  TrackerOptions opts;
+  opts.num_sites = cfg.k;
+  opts.epsilon = cfg.eps;
+  opts.initial_value = gen1->initial_value();
+  DeterministicTracker det(opts);
+  NaiveTracker naive(opts);
+  RunResult r1 = RunCount(gen1.get(), a1.get(), &det, 10000, cfg.eps);
+  RunResult r2 = RunCount(gen2.get(), a2.get(), &naive, 10000, cfg.eps);
+  EXPECT_EQ(r1.final_f, r2.final_f);
+  EXPECT_DOUBLE_EQ(r1.variability, r2.variability);
+  // And the deterministic estimate is within eps of the naive (exact) one.
+  EXPECT_LE(std::abs(r1.final_estimate - r2.final_estimate),
+            cfg.eps * std::abs(r2.final_estimate) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, SweepTest,
+                         ::testing::ValuesIn(AllConfigs()), ConfigName);
+
+// Single-site tracker: the Appendix I message bound as a property over
+// random aggregate paths (not just counts).
+class SingleSitePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SingleSitePropertyTest, MessageBoundOnRandomAggregatePaths) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  const double eps = 0.1;
+  TrackerOptions opts;
+  opts.num_sites = 1;
+  opts.epsilon = eps;
+  opts.initial_value = 100;
+  SingleSiteTracker tracker(opts);
+  VariabilityMeter meter(100);
+  int64_t value = 100;
+  for (int t = 0; t < 20000; ++t) {
+    // Random-magnitude aggregate changes, including occasional big jumps.
+    int64_t delta = rng.Bernoulli(0.01)
+                        ? rng.UniformInt(-50, 50)
+                        : rng.UniformInt(-2, 2);
+    value += delta;
+    meter.Push(delta);
+    tracker.Update(value);
+    ASSERT_LE(std::abs(tracker.Estimate() - static_cast<double>(value)),
+              eps * std::abs(static_cast<double>(value)) + 1e-9);
+  }
+  double bound = (1.0 + eps) / eps * meter.value() + 2.0;
+  EXPECT_LE(static_cast<double>(tracker.cost().total_messages()), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleSitePropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// Variability subadditivity-style sanity: prefix variability of the
+// concatenation equals sum of contributions (definition is a sum).
+TEST(VariabilityProperty, AdditiveOverConcatenation) {
+  RandomWalkGenerator gen(1234);
+  VariabilityMeter full(0);
+  VariabilityMeter part(0);
+  double first_half = 0;
+  for (int t = 0; t < 10000; ++t) {
+    int64_t d = gen.NextDelta();
+    full.Push(d);
+    part.Push(d);
+    if (t == 4999) first_half = part.value();
+  }
+  EXPECT_GT(first_half, 0.0);
+  EXPECT_DOUBLE_EQ(full.value(), part.value());
+  EXPECT_GE(part.value(), first_half);
+}
+
+// Quantile tracker property sweep: the rank guarantee across item stream
+// classes, site counts and epsilons.
+struct QuantileConfig {
+  const char* stream;
+  uint32_t k;
+  double eps;
+};
+
+class QuantilePropertyTest
+    : public ::testing::TestWithParam<QuantileConfig> {};
+
+TEST_P(QuantilePropertyTest, RankWithinEpsF1) {
+  const QuantileConfig& cfg = GetParam();
+  const uint32_t log_u = 9;
+  TrackerOptions opts;
+  opts.num_sites = cfg.k;
+  opts.epsilon = cfg.eps;
+  QuantileTracker tracker(opts, log_u);
+  auto gen = MakeItemGeneratorByName(cfg.stream, 1ULL << log_u, 77);
+  ASSERT_NE(gen, nullptr);
+  std::map<uint64_t, int64_t> truth;
+  int64_t f1 = 0;
+  Rng qrng(78);
+  for (int t = 0; t < 12000; ++t) {
+    ItemEvent e = gen->NextEvent();
+    auto site = static_cast<uint32_t>(Mix64(e.item) % cfg.k);
+    tracker.Push(site, e.item, e.delta);
+    truth[e.item] += e.delta;
+    f1 += e.delta;
+    if (t % 677 == 0) {
+      uint64_t x = qrng.UniformBelow((1ULL << log_u) + 1);
+      double exact = 0;
+      for (const auto& [item, f] : truth) {
+        if (item < x) exact += static_cast<double>(f);
+      }
+      ASSERT_LE(std::abs(tracker.Rank(x) - exact),
+                cfg.eps * std::max<double>(1.0, static_cast<double>(f1)) +
+                    1e-9)
+          << cfg.stream << " k=" << cfg.k << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, QuantilePropertyTest,
+    ::testing::Values(QuantileConfig{"zipf-churn", 2, 0.3},
+                      QuantileConfig{"zipf-churn", 8, 0.15},
+                      QuantileConfig{"sliding-window", 4, 0.3},
+                      QuantileConfig{"hot-item", 4, 0.2}),
+    [](const auto& info) {
+      std::string name = std::string(info.param.stream) + "_k" +
+                         std::to_string(info.param.k) + "_e" +
+                         std::to_string(
+                             static_cast<int>(info.param.eps * 100));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Monotone coupling: widening epsilon can only reduce deterministic cost.
+TEST(CostProperty, MessagesMonotoneInEpsilon) {
+  for (const char* gen_name : {"random-walk", "monotone", "sawtooth"}) {
+    uint64_t prev_messages = UINT64_MAX;
+    for (double eps : {0.05, 0.1, 0.2, 0.4}) {
+      auto gen = MakeGeneratorByName(gen_name, 5);
+      RoundRobinAssigner assigner(4);
+      TrackerOptions opts;
+      opts.num_sites = 4;
+      opts.epsilon = eps;
+      DeterministicTracker tracker(opts);
+      RunResult r = RunCount(gen.get(), &assigner, &tracker, 20000, eps);
+      EXPECT_LE(r.messages, prev_messages) << gen_name << " eps=" << eps;
+      prev_messages = r.messages;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,217 @@
+#include "core/quantile_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/hash.h"
+#include "stream/item_generators.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  return o;
+}
+
+uint32_t HashRoute(uint64_t item, uint32_t k) {
+  return static_cast<uint32_t>(Mix64(item) % k);
+}
+
+// Exact rank (# live items < x) from a frequency map.
+double ExactRank(const std::map<uint64_t, int64_t>& freq, uint64_t x) {
+  double rank = 0;
+  for (const auto& [item, f] : freq) {
+    if (item < x) rank += static_cast<double>(f);
+  }
+  return rank;
+}
+
+TEST(QuantileTracker, GeometrySetup) {
+  QuantileTracker tracker(Opts(4, 0.2), 10);
+  EXPECT_EQ(tracker.universe(), 1024u);
+  EXPECT_EQ(tracker.levels(), 11u);
+  EXPECT_EQ(tracker.name(), "quantile-dyadic");
+}
+
+TEST(QuantileTracker, ExactWhileSmall) {
+  QuantileTracker tracker(Opts(2, 0.2), 8);
+  tracker.Push(HashRoute(10, 2), 10, +1);
+  tracker.Push(HashRoute(20, 2), 20, +1);
+  tracker.Push(HashRoute(30, 2), 30, +1);
+  EXPECT_DOUBLE_EQ(tracker.Rank(10), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.Rank(11), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.Rank(21), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.Rank(256), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.EstimatedF1(), 3.0);
+  tracker.Push(HashRoute(20, 2), 20, -1);
+  EXPECT_DOUBLE_EQ(tracker.Rank(21), 1.0);
+}
+
+TEST(QuantileTracker, RankWithinEpsF1OnChurnStream) {
+  const uint32_t k = 4;
+  const double eps = 0.25;
+  const uint32_t log_u = 10;
+  QuantileTracker tracker(Opts(k, eps), log_u);
+  ZipfChurnGenerator gen(1 << log_u, 0.9, 0.5, 3);
+  std::map<uint64_t, int64_t> truth;
+  int64_t f1 = 0;
+  Rng query_rng(5);
+  for (int t = 0; t < 20000; ++t) {
+    ItemEvent e = gen.NextEvent();
+    tracker.Push(HashRoute(e.item, k), e.item, e.delta);
+    truth[e.item] += e.delta;
+    f1 += e.delta;
+    if (t % 512 == 511) {
+      for (int q = 0; q < 8; ++q) {
+        uint64_t x = query_rng.UniformBelow((1 << log_u) + 1);
+        double err = std::abs(tracker.Rank(x) - ExactRank(truth, x));
+        ASSERT_LE(err,
+                  eps * std::max<double>(1.0, static_cast<double>(f1)) +
+                      1e-9)
+            << "x=" << x << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(QuantileTracker, EstimatedF1TracksTruth) {
+  const uint32_t k = 4;
+  const double eps = 0.2;
+  QuantileTracker tracker(Opts(k, eps), 9);
+  ZipfChurnGenerator gen(512, 1.0, 0.6, 7);
+  int64_t f1 = 0;
+  for (int t = 0; t < 15000; ++t) {
+    ItemEvent e = gen.NextEvent();
+    tracker.Push(HashRoute(e.item, k), e.item, e.delta);
+    f1 += e.delta;
+    if (t % 997 == 0) {
+      ASSERT_LE(std::abs(tracker.EstimatedF1() - static_cast<double>(f1)),
+                eps * std::max<double>(1.0, static_cast<double>(f1)) + 1e-9);
+    }
+  }
+}
+
+TEST(QuantileTracker, QuantilesOfKnownDistribution) {
+  // Insert 0..999 once each; the phi-quantile should be near 1000*phi.
+  const uint32_t k = 4;
+  const double eps = 0.1;
+  QuantileTracker tracker(Opts(k, eps), 10);
+  for (uint64_t item = 0; item < 1000; ++item) {
+    tracker.Push(HashRoute(item, k), item, +1);
+  }
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    auto q = static_cast<double>(tracker.Quantile(phi));
+    // Rank error <= eps*F1 on each side -> position error <= ~2*eps*1000
+    // for the uniform distribution.
+    EXPECT_NEAR(q, 1000.0 * phi, 2 * eps * 1000.0 + 2.0) << "phi=" << phi;
+  }
+}
+
+TEST(QuantileTracker, MedianShiftsWithDeletions) {
+  const uint32_t k = 2;
+  QuantileTracker tracker(Opts(k, 0.1), 10);
+  for (uint64_t item = 0; item < 1000; ++item) {
+    tracker.Push(HashRoute(item, k), item, +1);
+  }
+  uint64_t median_before = tracker.Median();
+  // Delete the bottom half: median should move to ~750.
+  for (uint64_t item = 0; item < 500; ++item) {
+    tracker.Push(HashRoute(item, k), item, -1);
+  }
+  uint64_t median_after = tracker.Median();
+  EXPECT_NEAR(static_cast<double>(median_before), 500.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(median_after), 750.0, 120.0);
+}
+
+TEST(QuantileTracker, SlidingWindowQuantiles) {
+  // The turnstile case monotone-only quantile summaries cannot handle:
+  // old items expire. The live window is [t-W, t), values = timestamps
+  // mod universe; the median should chase the window.
+  const uint32_t k = 4;
+  const double eps = 0.2;
+  const uint32_t log_u = 12;
+  QuantileTracker tracker(Opts(k, eps), log_u);
+  const uint64_t kWindow = 1000;
+  for (uint64_t t = 0; t < 3000; ++t) {
+    uint64_t item = t % (1ULL << log_u);
+    tracker.Push(HashRoute(item, k), item, +1);
+    if (t >= kWindow) {
+      uint64_t old = (t - kWindow) % (1ULL << log_u);
+      tracker.Push(HashRoute(old, k), old, -1);
+    }
+  }
+  // Live items are 2000..2999; median ~ 2500.
+  EXPECT_NEAR(static_cast<double>(tracker.Median()), 2500.0,
+              2 * eps * 1000.0 + 10.0);
+}
+
+TEST(QuantileTracker, CostScalesWithLevelsNotUniverse) {
+  // Communication should grow ~L^2, not with the universe size itself.
+  const uint32_t k = 2;
+  const double eps = 0.25;
+  uint64_t msgs_small, msgs_large;
+  {
+    QuantileTracker tracker(Opts(k, eps), 6);
+    ZipfChurnGenerator gen(1 << 6, 1.0, 0.5, 9);
+    for (int t = 0; t < 10000; ++t) {
+      ItemEvent e = gen.NextEvent();
+      tracker.Push(HashRoute(e.item, k), e.item, e.delta);
+    }
+    msgs_small = tracker.cost().total_messages();
+  }
+  {
+    QuantileTracker tracker(Opts(k, eps), 12);
+    ZipfChurnGenerator gen(1 << 12, 1.0, 0.5, 9);
+    for (int t = 0; t < 10000; ++t) {
+      ItemEvent e = gen.NextEvent();
+      tracker.Push(HashRoute(e.item, k), e.item, e.delta);
+    }
+    msgs_large = tracker.cost().total_messages();
+  }
+  // Doubling L should cost well under the 64x a universe-linear scheme
+  // would pay; allow up to ~(13/7)^2 ~ 3.5x plus slack.
+  EXPECT_LT(msgs_large, msgs_small * 6);
+  EXPECT_GT(msgs_large, msgs_small);
+}
+
+TEST(QuantileTracker, RankAtZeroAndUniverse) {
+  QuantileTracker tracker(Opts(2, 0.2), 8);
+  tracker.Push(0, 100, +1);
+  EXPECT_DOUBLE_EQ(tracker.Rank(0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.Rank(256), 1.0);
+}
+
+TEST(QuantileTracker, QuantileExtremes) {
+  QuantileTracker tracker(Opts(2, 0.2), 8);
+  for (uint64_t item = 50; item < 60; ++item) {
+    tracker.Push(HashRoute(item, 2), item, +1);
+  }
+  // phi = 0 targets rank 0: the smallest x works.
+  EXPECT_LE(tracker.Quantile(0.0), 50u);
+  // phi = 1 targets the full mass: must reach the top items.
+  EXPECT_GE(tracker.Quantile(1.0), 59u);
+}
+
+TEST(QuantileTracker, EmptyDatasetQueries) {
+  QuantileTracker tracker(Opts(2, 0.2), 8);
+  EXPECT_DOUBLE_EQ(tracker.Rank(128), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.EstimatedF1(), 0.0);
+}
+
+TEST(QuantileTracker, InsertDeleteCancelsExactlyWhileSmall) {
+  QuantileTracker tracker(Opts(2, 0.2), 8);
+  for (int rep = 0; rep < 3; ++rep) {
+    tracker.Push(0, 10, +1);
+    tracker.Push(0, 10, -1);
+  }
+  EXPECT_DOUBLE_EQ(tracker.Rank(256), 0.0);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,160 @@
+#include "lowerbound/rand_family.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+RandFamily MakeFamily(double eps = 0.1, double v = 20.0, uint64_t n = 4000) {
+  return RandFamily(eps, v, n);
+}
+
+TEST(RandFamily, SwitchProbabilityFormula) {
+  RandFamily family = MakeFamily(0.1, 20.0, 4000);
+  EXPECT_DOUBLE_EQ(family.SwitchProbability(),
+                   20.0 / (6.0 * 0.1 * 4000.0));
+}
+
+TEST(RandFamily, SamplesTakeOnlyTwoLevels) {
+  RandFamily family = MakeFamily();
+  Rng rng(1);
+  auto seq = family.Sample(&rng);
+  ASSERT_EQ(seq.size(), 4000u);
+  for (int64_t x : seq) {
+    EXPECT_TRUE(x == family.low_level() || x == family.high_level());
+  }
+}
+
+TEST(RandFamily, InitialLevelIsFairCoin) {
+  RandFamily family = MakeFamily();
+  Rng rng(2);
+  int high_starts = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (family.Sample(&rng)[0] == family.high_level()) ++high_starts;
+  }
+  EXPECT_NEAR(static_cast<double>(high_starts) / kTrials, 0.5, 0.05);
+}
+
+TEST(RandFamily, SwitchCountConcentratesAroundPN) {
+  RandFamily family = MakeFamily();
+  Rng rng(3);
+  double expect = family.ExpectedSwitches();
+  double total = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(family.SwitchCount(family.Sample(&rng)));
+  }
+  EXPECT_NEAR(total / kTrials, expect, expect * 0.15);
+}
+
+TEST(RandFamily, LemmaChernoffSwitchTail) {
+  // Lemma G.1: P(switches >= 2*v/6eps) <= exp(-v/18eps) — check the
+  // empirical tail is no worse (with slack for small samples).
+  RandFamily family = MakeFamily(0.1, 30.0, 5000);
+  Rng rng(4);
+  double threshold = 2.0 * family.ExpectedSwitches();
+  const int kTrials = 500;
+  int exceed = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (static_cast<double>(family.SwitchCount(family.Sample(&rng))) >=
+        threshold) {
+      ++exceed;
+    }
+  }
+  double bound = std::exp(-30.0 / (18.0 * 0.1));
+  EXPECT_LE(static_cast<double>(exceed) / kTrials,
+            std::max(3.0 * bound, 0.02));
+}
+
+TEST(RandFamily, VariabilityPerSwitchIsAtMost3Eps) {
+  RandFamily family = MakeFamily(0.125, 16.0, 2000);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    auto seq = family.Sample(&rng);
+    double v = family.MeasuredVariability(seq);
+    auto switches = static_cast<double>(family.SwitchCount(seq));
+    EXPECT_LE(v, 3.0 * 0.125 * switches + 1e-9);
+  }
+}
+
+TEST(RandFamily, MostSamplesWithinVariabilityBudget) {
+  RandFamily family = MakeFamily(0.1, 30.0, 5000);
+  Rng rng(6);
+  int over = 0;
+  const int kTrials = 300;
+  for (int i = 0; i < kTrials; ++i) {
+    if (family.MeasuredVariability(family.Sample(&rng)) > 30.0) ++over;
+  }
+  // Expected variability ~ v/2; exceeding v requires ~2x the expected
+  // switches, which the Chernoff argument makes rare.
+  EXPECT_LT(over, kTrials / 10);
+}
+
+TEST(RandFamily, OverlapIsSymmetricAndBounded) {
+  RandFamily family = MakeFamily();
+  Rng rng(7);
+  auto f = family.Sample(&rng);
+  auto g = family.Sample(&rng);
+  EXPECT_EQ(family.Overlaps(f, g), family.Overlaps(g, f));
+  EXPECT_LE(family.Overlaps(f, g), family.n());
+  EXPECT_EQ(family.Overlaps(f, f), family.n());
+  EXPECT_TRUE(family.Matches(f, f));
+}
+
+TEST(RandFamily, EqualLevelsOverlapDifferentLevelsDoNot) {
+  // With eps <= 1/2 and m = 1/eps >= 2, values m and m+3 never overlap
+  // (that is what "no two sequences match" rests on).
+  RandFamily family = MakeFamily(0.25, 10.0, 200);
+  std::vector<int64_t> all_low(200, family.low_level());
+  std::vector<int64_t> all_high(200, family.high_level());
+  EXPECT_EQ(family.Overlaps(all_low, all_high), 0u);
+  EXPECT_FALSE(family.Matches(all_low, all_high));
+}
+
+TEST(RandFamily, IndependentSamplesOverlapNearHalf) {
+  RandFamily family = MakeFamily(0.1, 40.0, 6000);
+  Rng rng(8);
+  double total = 0;
+  const int kTrials = 60;
+  for (int i = 0; i < kTrials; ++i) {
+    auto f = family.Sample(&rng);
+    auto g = family.Sample(&rng);
+    total += static_cast<double>(family.Overlaps(f, g));
+  }
+  // Stationary overlap rate is 1/2.
+  EXPECT_NEAR(total / kTrials / 6000.0, 0.5, 0.06);
+}
+
+TEST(RandFamily, MatchProbabilityBoundComputesAndDecays) {
+  RandFamily small = MakeFamily(0.1, 20.0, 1000);
+  RandFamily large = MakeFamily(0.1, 20.0, 100000);
+  EXPECT_LE(large.MatchProbabilityBound(), small.MatchProbabilityBound());
+  EXPECT_LE(small.MatchProbabilityBound(), 1.0);
+}
+
+TEST(RandFamily, GreedyFamilyMembersPairwiseNonMatching) {
+  RandFamily family = MakeFamily(0.125, 24.0, 3000);
+  Rng rng(9);
+  auto members = family.BuildGreedyFamily(12, 3000, &rng);
+  EXPECT_GE(members.size(), 4u);
+  for (size_t i = 0; i < members.size(); ++i) {
+    EXPECT_LE(family.MeasuredVariability(members[i]), 24.0);
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      EXPECT_FALSE(family.Matches(members[i], members[j]))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(RandFamily, Log2FamilySizeTargetScalesWithVOverEps) {
+  RandFamily a(0.1, 1000.0, 100000);
+  RandFamily b(0.1, 2000.0, 100000);
+  EXPECT_NEAR(b.Log2FamilySizeTarget() - a.Log2FamilySizeTarget(),
+              1000.0 / (2 * 32400 * 0.1) / std::log(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,235 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256, DeterministicFromSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256, JumpChangesStream) {
+  Xoshiro256 a(7), b(7);
+  b.Jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(3);
+  for (uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformBelow(n), n);
+  }
+}
+
+TEST(Rng, UniformBelowOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformBelow(1), 0u);
+}
+
+TEST(Rng, UniformBelowRoughlyUniform) {
+  Rng rng(5);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformBelow(kBuckets)];
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples * 0.01)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(8);
+  const int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, SignIsFair) {
+  Rng rng(9);
+  const int kSamples = 100000;
+  int64_t sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Sign();
+  EXPECT_LT(std::abs(sum), 5 * std::sqrt(kSamples));
+}
+
+TEST(Rng, BiasedSignMatchesDrift) {
+  Rng rng(10);
+  const int kSamples = 200000;
+  double mu = 0.2;
+  int64_t sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.BiasedSign(mu);
+  EXPECT_NEAR(static_cast<double>(sum) / kSamples, mu, 0.01);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int kSamples = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Rng rng(12);
+  double p = 0.25;
+  const int kSamples = 100000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.Geometric(p));
+  }
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctSorted) {
+  Rng rng(15);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(100, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (uint64_t x : sample) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(16);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(17);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(18), p2(18);
+  Rng a = p1.Fork(7), b = p2.Fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(ZipfSampler, UniformWhenSIsZero) {
+  Rng rng(19);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, kSamples / 4, kSamples * 0.01);
+}
+
+TEST(ZipfSampler, SkewFavorsSmallItems) {
+  Rng rng(20);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSampler, SingleItemUniverse) {
+  Rng rng(21);
+  ZipfSampler zipf(1, 2.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(ZipfSampler, RatioMatchesPowerLaw) {
+  Rng rng(22);
+  ZipfSampler zipf(2, 1.0);
+  // P(0)/P(1) should be 2 for s = 1 on a 2-item universe.
+  const int kSamples = 300000;
+  int zero = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(&rng) == 0) ++zero;
+  }
+  double ratio = static_cast<double>(zero) / (kSamples - zero);
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,157 @@
+#include "core/single_site_tracker.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/driver.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "stream/variability.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(double eps, int64_t f0 = 0) {
+  TrackerOptions o;
+  o.num_sites = 1;
+  o.epsilon = eps;
+  o.initial_value = f0;
+  return o;
+}
+
+TEST(SingleSiteTracker, GuaranteeOnRandomWalk) {
+  RandomWalkGenerator gen(1);
+  SingleSiteAssigner assigner;
+  SingleSiteTracker tracker(Opts(0.1));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 50000, 0.1);
+  EXPECT_EQ(result.violation_rate, 0.0);
+  EXPECT_LE(result.max_rel_error, 0.1 + 1e-12);
+}
+
+TEST(SingleSiteTracker, ResyncsExactlyAtZero) {
+  SingleSiteTracker tracker(Opts(0.5));
+  tracker.Update(10);
+  tracker.Update(0);
+  // |0 - f̂| > eps*0 forces a send whenever f̂ != 0.
+  EXPECT_EQ(tracker.EstimateInt(), 0);
+}
+
+class SingleSiteBoundTest : public ::testing::TestWithParam<
+                                std::tuple<const char*, double>> {};
+
+TEST_P(SingleSiteBoundTest, MessageBoundFromAppendixI) {
+  auto [gen_name, eps] = GetParam();
+  auto gen = MakeGeneratorByName(gen_name, 3);
+  ASSERT_NE(gen, nullptr);
+  SingleSiteAssigner assigner;
+  TrackerOptions opts = Opts(eps, gen->initial_value());
+  SingleSiteTracker tracker(opts);
+  RunResult result = RunCount(gen.get(), &assigner, &tracker, 50000, eps);
+  // Appendix I: messages <= total increase of Phi / eps, and the increase
+  // per step is at most (1 + eps)*v'(t) (plus the v' = 1 resync steps).
+  double bound = (1.0 + eps) / eps * result.variability + 2.0;
+  EXPECT_LE(static_cast<double>(result.messages), bound)
+      << gen_name << " eps=" << eps << " v=" << result.variability;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SingleSiteBoundTest,
+    ::testing::Combine(::testing::Values("monotone", "random-walk",
+                                         "sawtooth", "zero-crossing",
+                                         "nearly-monotone", "oscillator"),
+                       ::testing::Values(0.05, 0.1, 0.3)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_e" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(SingleSiteTracker, TracksGeneralAggregatesNotJustCounts) {
+  // Track a running maximum — a non-count integer aggregate. The section
+  // 5.2 algorithm only needs the site to know f exactly.
+  SingleSiteTracker tracker(Opts(0.25));
+  Rng rng(4);
+  int64_t running_max = 0;
+  for (int t = 0; t < 10000; ++t) {
+    running_max = std::max(running_max,
+                           static_cast<int64_t>(rng.UniformBelow(100000)));
+    tracker.Update(running_max);
+    double err = std::abs(tracker.Estimate() -
+                          static_cast<double>(running_max));
+    ASSERT_LE(err, 0.25 * static_cast<double>(running_max) + 1e-9);
+  }
+  // A monotone aggregate needs only ~log_{1+eps}(max) messages.
+  EXPECT_LE(tracker.cost().total_messages(), 80u);
+}
+
+TEST(SingleSiteTracker, SignChangeForcesResync) {
+  SingleSiteTracker tracker(Opts(0.2));
+  tracker.Update(100);
+  double est_pos = tracker.Estimate();
+  EXPECT_NEAR(est_pos, 100.0, 20.0);
+  tracker.Update(-100);
+  // |f - f̂| = 200 > 0.2*100: must have resynced.
+  EXPECT_EQ(tracker.EstimateInt(), -100);
+}
+
+TEST(SingleSiteTracker, NoMessagesWhileWithinBand) {
+  SingleSiteTracker tracker(Opts(0.5));
+  tracker.Update(1000);  // resync
+  uint64_t base = tracker.cost().total_messages();
+  // Stay within +-50% of 1000: no further messages.
+  for (int64_t v : {1100LL, 1200LL, 900LL, 1400LL, 1000LL}) {
+    tracker.Update(v);
+  }
+  EXPECT_EQ(tracker.cost().total_messages(), base);
+  tracker.Update(2000);  // |2000-1000| = 1000 > 0.5*2000 = 1000? No: equal.
+  EXPECT_EQ(tracker.cost().total_messages(), base);
+  tracker.Update(2001);  // now strictly greater
+  EXPECT_EQ(tracker.cost().total_messages(), base + 1);
+}
+
+TEST(SingleSiteTracker, PushAndUpdateAgree) {
+  SingleSiteTracker a(Opts(0.1)), b(Opts(0.1));
+  RandomWalkGenerator g1(5), g2(5);
+  int64_t value = 0;
+  for (int t = 0; t < 5000; ++t) {
+    int64_t d = g1.NextDelta();
+    g2.NextDelta();
+    value += d;
+    a.Push(0, d);
+    b.Update(value);
+    ASSERT_EQ(a.EstimateInt(), b.EstimateInt());
+  }
+  EXPECT_EQ(a.cost().total_messages(), b.cost().total_messages());
+}
+
+TEST(SingleSiteTracker, InitialValueRespected) {
+  SingleSiteTracker tracker(Opts(0.1, 500));
+  EXPECT_EQ(tracker.EstimateInt(), 500);
+  EXPECT_EQ(tracker.exact_value(), 500);
+}
+
+TEST(SingleSiteTracker, VeryLooseEpsilonStillCorrect) {
+  RandomWalkGenerator gen(6);
+  SingleSiteAssigner assigner;
+  SingleSiteTracker tracker(Opts(0.9));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 20000, 0.9);
+  EXPECT_EQ(result.violation_rate, 0.0);
+  // With a 90% band almost nothing needs sending beyond zero-crossings.
+  EXPECT_LT(result.messages, result.n / 2);
+}
+
+TEST(SingleSiteTracker, VeryTightEpsilonNearExact) {
+  RandomWalkGenerator gen(7);
+  SingleSiteAssigner assigner;
+  SingleSiteTracker tracker(Opts(0.001));
+  RunResult result = RunCount(&gen, &assigner, &tracker, 5000, 0.001);
+  EXPECT_EQ(result.violation_rate, 0.0);
+  EXPECT_LE(result.max_rel_error, 0.001 + 1e-12);
+}
+
+}  // namespace
+}  // namespace varstream

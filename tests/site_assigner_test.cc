@@ -1,0 +1,75 @@
+#include "stream/site_assigner.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(RoundRobinAssigner, CyclesInOrder) {
+  RoundRobinAssigner a(3);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (uint32_t s = 0; s < 3; ++s) EXPECT_EQ(a.NextSite(), s);
+  }
+}
+
+TEST(RoundRobinAssigner, SingleSite) {
+  RoundRobinAssigner a(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextSite(), 0u);
+}
+
+TEST(UniformAssigner, WithinRangeAndBalanced) {
+  UniformAssigner a(8, 1);
+  std::vector<int> counts(8, 0);
+  const int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint32_t s = a.NextSite();
+    ASSERT_LT(s, 8u);
+    ++counts[s];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kSamples / 8, kSamples * 0.01);
+}
+
+TEST(UniformAssigner, DeterministicBySeed) {
+  UniformAssigner a(8, 42), b(8, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextSite(), b.NextSite());
+}
+
+TEST(SkewedAssigner, HotSiteDominates) {
+  SkewedAssigner a(8, 1.5, 2);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[a.NextSite()];
+  EXPECT_GT(counts[0], counts[7] * 4);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(SingleSiteAssigner, AlwaysZero) {
+  SingleSiteAssigner a;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextSite(), 0u);
+}
+
+TEST(BurstAssigner, EmitsBurstsInOrder) {
+  BurstAssigner a(3, 4);
+  std::vector<uint32_t> expect{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 0};
+  for (uint32_t e : expect) EXPECT_EQ(a.NextSite(), e);
+}
+
+TEST(BurstAssigner, BurstOfOneIsRoundRobin) {
+  BurstAssigner a(4, 1);
+  RoundRobinAssigner rr(4);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.NextSite(), rr.NextSite());
+}
+
+TEST(MakeAssignerByName, AllNamesResolve) {
+  for (const char* name :
+       {"round-robin", "uniform", "skewed", "single", "burst"}) {
+    auto a = MakeAssignerByName(name, 4, 1);
+    ASSERT_NE(a, nullptr) << name;
+    EXPECT_LT(a->NextSite(), 4u);
+  }
+  EXPECT_EQ(MakeAssignerByName("bogus", 4, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  std::vector<double> xs{1, 2, 3, 4, 5, -2, 7.5, 0.25};
+  RunningStats s;
+  double sum = 0;
+  for (double x : xs) {
+    s.Add(x);
+    sum += x;
+  }
+  double mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.Add(1);
+  s.Add(3);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Gaussian() * 3 + 1;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(2);
+  a.Add(4);
+  RunningStats b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 2.0), 3.0);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,67 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(TablePrinter, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Cell(uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Cell(int64_t{-7}), "-7");
+  EXPECT_EQ(TablePrinter::Cell(5), "5");
+  EXPECT_EQ(TablePrinter::Cell("abc"), "abc");
+  EXPECT_EQ(TablePrinter::Cell(std::string("xyz")), "xyz");
+}
+
+TEST(TablePrinter, AlignedOutput) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "23456"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // All lines have equal length (alignment).
+  std::istringstream is(out);
+  std::string line;
+  size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TablePrinter, RowsAreRecorded) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinter, DataRowsStartWithPipe) {
+  TablePrinter t({"h"});
+  t.AddRow({"v"});
+  std::ostringstream os;
+  t.Print(os);
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line[0], '|');
+  }
+}
+
+TEST(PrintBanner, ContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Theorem 2.2");
+  EXPECT_NE(os.str().find("=== Theorem 2.2 ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,106 @@
+#include "core/threshold_monitor.h"
+
+#include <vector>
+
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions Opts(uint32_t k, double eps) {
+  TrackerOptions o;
+  o.num_sites = k;
+  o.epsilon = eps;
+  return o;
+}
+
+TEST(ThresholdMonitor, StartsBelow) {
+  ThresholdMonitor monitor(Opts(4, 0.2), 1000);
+  EXPECT_EQ(monitor.state(), ThresholdState::kBelow);
+  EXPECT_EQ(monitor.flips(), 0u);
+}
+
+TEST(ThresholdMonitor, FlipsWhenCrossing) {
+  ThresholdMonitor monitor(Opts(4, 0.2), 100);
+  RoundRobinAssigner assigner(4);
+  for (int i = 0; i < 200; ++i) monitor.Push(assigner.NextSite(), +1);
+  EXPECT_EQ(monitor.state(), ThresholdState::kAbove);
+  for (int i = 0; i < 180; ++i) monitor.Push(assigner.NextSite(), -1);
+  EXPECT_EQ(monitor.state(), ThresholdState::kBelow);
+  EXPECT_GE(monitor.flips(), 2u);
+}
+
+TEST(ThresholdMonitor, NeverWrongOnCertifiedSides) {
+  // The (k, f, tau, eps) correctness contract: state is never kBelow when
+  // f >= tau and never kAbove when f <= (1-eps)*tau.
+  const int64_t tau = 500;
+  const double eps = 0.3;
+  ThresholdMonitor monitor(Opts(8, eps), tau);
+  RandomWalkGenerator gen(3);
+  UniformAssigner assigner(8, 5);
+  int64_t f = 0;
+  for (int t = 0; t < 60000; ++t) {
+    int64_t delta = gen.NextDelta();
+    if (f + delta < 0) delta = +1;  // keep f nonnegative
+    f += delta;
+    monitor.Push(assigner.NextSite(), delta);
+    if (f >= tau) {
+      ASSERT_EQ(monitor.state(), ThresholdState::kAbove) << "t=" << t;
+    }
+    if (static_cast<double>(f) <= (1.0 - eps) * static_cast<double>(tau)) {
+      ASSERT_EQ(monitor.state(), ThresholdState::kBelow) << "t=" << t;
+    }
+  }
+}
+
+TEST(ThresholdMonitor, CallbackFiresOnEveryFlip) {
+  ThresholdMonitor monitor(Opts(2, 0.2), 50);
+  std::vector<std::pair<uint64_t, ThresholdState>> events;
+  monitor.set_state_change_callback(
+      [&](uint64_t t, ThresholdState s) { events.emplace_back(t, s); });
+  RoundRobinAssigner assigner(2);
+  for (int i = 0; i < 100; ++i) monitor.Push(assigner.NextSite(), +1);
+  for (int i = 0; i < 90; ++i) monitor.Push(assigner.NextSite(), -1);
+  for (int i = 0; i < 90; ++i) monitor.Push(assigner.NextSite(), +1);
+  ASSERT_EQ(events.size(), monitor.flips());
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events[0].second, ThresholdState::kAbove);
+  EXPECT_EQ(events[1].second, ThresholdState::kBelow);
+  EXPECT_EQ(events[2].second, ThresholdState::kAbove);
+  // Timestamps are increasing.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].first, events[i - 1].first);
+  }
+}
+
+TEST(ThresholdMonitor, OscillationNearThresholdIsBounded) {
+  // Hovering exactly at the cut should not flip on every update: flips
+  // only happen when the tracked estimate moves, which costs messages —
+  // so flips are bounded by messages.
+  ThresholdMonitor monitor(Opts(4, 0.2), 1000);
+  RoundRobinAssigner assigner(4);
+  for (int i = 0; i < 1000; ++i) monitor.Push(assigner.NextSite(), +1);
+  // Oscillate +-1 around 1000.
+  for (int i = 0; i < 5000; ++i) {
+    monitor.Push(assigner.NextSite(), (i % 2 == 0) ? +1 : -1);
+  }
+  EXPECT_LE(monitor.flips(), monitor.cost().total_messages() + 1);
+}
+
+TEST(ThresholdMonitor, CheapWhenFarFromThreshold) {
+  // Far below tau the underlying tracker still pays O(v/eps') but no
+  // flips occur.
+  ThresholdMonitor monitor(Opts(4, 0.2), 1000000);
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(4);
+  for (int i = 0; i < 50000; ++i) {
+    monitor.Push(assigner.NextSite(), gen.NextDelta());
+  }
+  EXPECT_EQ(monitor.flips(), 0u);
+  EXPECT_EQ(monitor.state(), ThresholdState::kBelow);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,134 @@
+#include "stream/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "stream/variability.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+StreamTrace MakeWalkTrace(uint64_t n, uint64_t seed) {
+  RandomWalkGenerator gen(seed);
+  RoundRobinAssigner assigner(4);
+  return StreamTrace::Record(&gen, &assigner, n);
+}
+
+TEST(StreamTrace, RecordCapturesSitesAndDeltas) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(3);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 6);
+  ASSERT_EQ(trace.size(), 6u);
+  for (uint64_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(trace.updates()[t].site, t % 3);
+    EXPECT_EQ(trace.updates()[t].delta, 1);
+  }
+}
+
+TEST(StreamTrace, ValueAtMatchesPrefixSums) {
+  StreamTrace trace = MakeWalkTrace(100, 1);
+  int64_t sum = 0;
+  EXPECT_EQ(trace.ValueAt(0), 0);
+  for (uint64_t t = 1; t <= 100; ++t) {
+    sum += trace.updates()[t - 1].delta;
+    EXPECT_EQ(trace.ValueAt(t), sum);
+  }
+  EXPECT_EQ(trace.final_value(), sum);
+}
+
+TEST(StreamTrace, InitialValuePropagates) {
+  StreamTrace trace({{0, +1}, {0, -1}}, 50);
+  EXPECT_EQ(trace.ValueAt(0), 50);
+  EXPECT_EQ(trace.ValueAt(1), 51);
+  EXPECT_EQ(trace.ValueAt(2), 50);
+}
+
+TEST(StreamTrace, VariabilityMatchesDirectComputation) {
+  StreamTrace trace = MakeWalkTrace(500, 2);
+  std::vector<int64_t> f;
+  for (uint64_t t = 1; t <= 500; ++t) f.push_back(trace.ValueAt(t));
+  EXPECT_DOUBLE_EQ(trace.Variability(), ComputeVariability(f, 0));
+}
+
+TEST(StreamTrace, SerializeRoundTrip) {
+  StreamTrace trace = MakeWalkTrace(300, 3);
+  auto bytes = trace.Serialize();
+  StreamTrace restored;
+  ASSERT_TRUE(StreamTrace::Deserialize(bytes, &restored));
+  EXPECT_EQ(restored.size(), trace.size());
+  EXPECT_EQ(restored.initial_value(), trace.initial_value());
+  EXPECT_EQ(restored.updates(), trace.updates());
+  EXPECT_EQ(restored.final_value(), trace.final_value());
+}
+
+TEST(StreamTrace, EmptyTraceRoundTrip) {
+  StreamTrace trace({}, 7);
+  auto bytes = trace.Serialize();
+  StreamTrace restored;
+  ASSERT_TRUE(StreamTrace::Deserialize(bytes, &restored));
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_EQ(restored.final_value(), 7);
+}
+
+TEST(StreamTrace, DeserializeRejectsBadMagic) {
+  StreamTrace trace = MakeWalkTrace(10, 4);
+  auto bytes = trace.Serialize();
+  bytes[0] ^= 0xFF;
+  StreamTrace out;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out));
+}
+
+TEST(StreamTrace, DeserializeRejectsTruncation) {
+  StreamTrace trace = MakeWalkTrace(10, 5);
+  auto bytes = trace.Serialize();
+  bytes.resize(bytes.size() - 5);
+  StreamTrace out;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out));
+}
+
+TEST(StreamTrace, DeserializeRejectsOverstatedCount) {
+  StreamTrace trace({{0, 1}}, 0);
+  auto bytes = trace.Serialize();
+  // Patch the count field (offset 12, little endian u64) to a huge value.
+  bytes[12] = 0xFF;
+  bytes[13] = 0xFF;
+  StreamTrace out;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out));
+}
+
+TEST(StreamTrace, DeserializeRejectsEmptyBuffer) {
+  StreamTrace out;
+  EXPECT_FALSE(StreamTrace::Deserialize({}, &out));
+}
+
+TEST(StreamTrace, FileRoundTrip) {
+  StreamTrace trace = MakeWalkTrace(250, 6);
+  const char* path = "/tmp/varstream_trace_test.bin";
+  ASSERT_TRUE(trace.SaveToFile(path));
+  StreamTrace restored;
+  ASSERT_TRUE(StreamTrace::LoadFromFile(path, &restored));
+  EXPECT_EQ(restored.updates(), trace.updates());
+  EXPECT_EQ(restored.initial_value(), trace.initial_value());
+  std::remove(path);
+}
+
+TEST(StreamTrace, LoadFromMissingFileFails) {
+  StreamTrace out;
+  EXPECT_FALSE(
+      StreamTrace::LoadFromFile("/tmp/varstream_does_not_exist.bin", &out));
+}
+
+TEST(StreamTrace, LoadFromCorruptFileFails) {
+  const char* path = "/tmp/varstream_corrupt_test.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a trace";
+  }
+  StreamTrace out;
+  EXPECT_FALSE(StreamTrace::LoadFromFile(path, &out));
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,103 @@
+#include "core/tracing.h"
+
+#include "core/driver.h"
+#include "core/single_site_tracker.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(HistoryTracer, EmptyReturnsInitialEverywhere) {
+  HistoryTracer trace(5.0);
+  EXPECT_DOUBLE_EQ(trace.Query(0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.Query(100), 5.0);
+  EXPECT_EQ(trace.changepoints(), 0u);
+}
+
+TEST(HistoryTracer, StepFunctionSemantics) {
+  HistoryTracer trace(0.0);
+  trace.Observe(5, 10.0);
+  trace.Observe(9, -3.0);
+  EXPECT_DOUBLE_EQ(trace.Query(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.Query(4), 0.0);
+  EXPECT_DOUBLE_EQ(trace.Query(5), 10.0);
+  EXPECT_DOUBLE_EQ(trace.Query(8), 10.0);
+  EXPECT_DOUBLE_EQ(trace.Query(9), -3.0);
+  EXPECT_DOUBLE_EQ(trace.Query(1000), -3.0);
+}
+
+TEST(HistoryTracer, CoalescesDuplicateEstimates) {
+  HistoryTracer trace(1.0);
+  trace.Observe(1, 1.0);  // no change
+  trace.Observe(2, 2.0);
+  trace.Observe(3, 2.0);  // no change
+  trace.Observe(4, 2.0);  // no change
+  EXPECT_EQ(trace.changepoints(), 1u);
+}
+
+TEST(HistoryTracer, SameTimestepKeepsFinalValue) {
+  HistoryTracer trace(0.0);
+  trace.Observe(3, 1.0);
+  trace.Observe(3, 2.0);  // message + poll in one timestep
+  EXPECT_EQ(trace.changepoints(), 1u);
+  EXPECT_DOUBLE_EQ(trace.Query(3), 2.0);
+}
+
+TEST(HistoryTracer, SummaryBitsProportionalToChangepoints) {
+  HistoryTracer trace(0.0);
+  trace.Observe(1, 1.0);
+  trace.Observe(2, 2.0);
+  trace.Observe(3, 3.0);
+  EXPECT_EQ(trace.SummaryBits(), 3 * (64 + 64u));
+  EXPECT_EQ(trace.SummaryBits(10, 6), 3 * 16u);
+}
+
+TEST(HistoryTracer, TracedDeterministicRunAnswersHistoricalQueries) {
+  // Lemma D.1 in action: record a single-site run, then answer every
+  // historical query within epsilon.
+  const double eps = 0.1;
+  RandomWalkGenerator gen(3);
+  SingleSiteAssigner assigner;
+  TrackerOptions opts;
+  opts.num_sites = 1;
+  opts.epsilon = eps;
+  SingleSiteTracker tracker(opts);
+  HistoryTracer trace(0.0);
+
+  // Keep ground truth on the side.
+  std::vector<int64_t> f_values;
+  RandomWalkGenerator truth_gen(3);
+  int64_t f = 0;
+  RunCount(&gen, &assigner, &tracker, 20000, eps, &trace);
+  for (int t = 0; t < 20000; ++t) {
+    f += truth_gen.NextDelta();
+    f_values.push_back(f);
+  }
+
+  for (uint64_t t = 1; t <= 20000; t += 7) {
+    double est = trace.Query(t);
+    double truth = static_cast<double>(f_values[t - 1]);
+    EXPECT_LE(std::abs(est - truth), eps * std::abs(truth) + 1e-9)
+        << "historical query at t=" << t;
+  }
+}
+
+TEST(HistoryTracer, SummarySizeTracksMessagesNotStreamLength) {
+  const double eps = 0.1;
+  MonotoneGenerator gen;
+  SingleSiteAssigner assigner;
+  TrackerOptions opts;
+  opts.num_sites = 1;
+  opts.epsilon = eps;
+  SingleSiteTracker tracker(opts);
+  HistoryTracer trace(0.0);
+  RunCount(&gen, &assigner, &tracker, 100000, eps, &trace);
+  // Monotone: O(log n / eps) messages -> tiny summary.
+  EXPECT_LT(trace.changepoints(), 300u);
+  EXPECT_EQ(trace.changepoints(), tracker.cost().total_messages());
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,166 @@
+#include "stream/variability.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "stream/generator.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(VariabilityMeter, HandComputedSequence) {
+  // f: 0 -> 1 -> 2 -> 1 -> 0 with deltas +1 +1 -1 -1.
+  VariabilityMeter m(0);
+  EXPECT_DOUBLE_EQ(m.Push(+1), 1.0);        // f=1, |1/1|
+  EXPECT_DOUBLE_EQ(m.Push(+1), 0.5);        // f=2, |1/2|
+  EXPECT_DOUBLE_EQ(m.Push(-1), 1.0);        // f=1, |1/1|
+  EXPECT_DOUBLE_EQ(m.Push(-1), 1.0);        // f=0 -> convention v'=1
+  EXPECT_DOUBLE_EQ(m.value(), 3.5);
+  EXPECT_EQ(m.f(), 0);
+  EXPECT_EQ(m.n(), 4u);
+}
+
+TEST(VariabilityMeter, MonotoneVariabilityIsHarmonic) {
+  // For f' = +1 always, v(n) = sum_{t=1..n} 1/t = H(n) = Theta(log n),
+  // the abstract's "v is O(log f(n)) for monotone streams".
+  VariabilityMeter m(0);
+  const uint64_t kN = 10000;
+  for (uint64_t t = 0; t < kN; ++t) m.Push(+1);
+  EXPECT_NEAR(m.value(), HarmonicNumber(kN), 1e-9);
+}
+
+TEST(VariabilityMeter, LargeStepsClampToOne) {
+  VariabilityMeter m(0);
+  EXPECT_DOUBLE_EQ(m.Push(100), 1.0);  // f=100, |100/100| = 1
+  EXPECT_DOUBLE_EQ(m.Push(-200), 1.0);  // f=-100, clamp min{1, 200/100}
+  EXPECT_DOUBLE_EQ(m.Push(50), 1.0);   // f=-50, min{1, 50/50}
+  EXPECT_DOUBLE_EQ(m.Push(25), 1.0);   // f=-25, min{1, 25/25}=1
+  EXPECT_DOUBLE_EQ(m.Push(-75), 0.75); // f=-100, 75/100
+}
+
+TEST(VariabilityMeter, NegativeTerritorySymmetric) {
+  VariabilityMeter pos(0), neg(0);
+  std::vector<int64_t> deltas{1, 1, 1, -1, 1, 1};
+  for (int64_t d : deltas) {
+    pos.Push(d);
+    neg.Push(-d);
+  }
+  EXPECT_DOUBLE_EQ(pos.value(), neg.value());
+  EXPECT_EQ(pos.f(), -neg.f());
+}
+
+TEST(VariabilityMeter, InitialValueRespected) {
+  VariabilityMeter m(100);
+  EXPECT_DOUBLE_EQ(m.Push(+1), 1.0 / 101.0);
+}
+
+TEST(F1VariabilityMeter, UsesOneOverF1) {
+  F1VariabilityMeter m;
+  EXPECT_DOUBLE_EQ(m.Push(+1), 1.0);        // F1=1
+  EXPECT_DOUBLE_EQ(m.Push(+1), 0.5);        // F1=2
+  EXPECT_DOUBLE_EQ(m.Push(+1), 1.0 / 3.0);  // F1=3
+  EXPECT_DOUBLE_EQ(m.Push(-1), 0.5);        // F1=2
+  EXPECT_EQ(m.f1(), 2);
+}
+
+TEST(F1VariabilityMeter, EmptyDatasetContributesOne) {
+  F1VariabilityMeter m;
+  m.Push(+1);
+  EXPECT_DOUBLE_EQ(m.Push(-1), 1.0);  // F1 back to 0
+}
+
+TEST(ComputeVariability, MatchesMeter) {
+  RandomWalkGenerator gen(5);
+  auto f = MaterializeF(&gen, 2000);
+  VariabilityMeter m(0);
+  int64_t prev = 0;
+  for (int64_t value : f) {
+    m.Push(value - prev);
+    prev = value;
+  }
+  EXPECT_DOUBLE_EQ(ComputeVariability(f), m.value());
+}
+
+TEST(VariabilityPrefix, NonDecreasingAndEndsAtTotal) {
+  RandomWalkGenerator gen(6);
+  auto f = MaterializeF(&gen, 1000);
+  auto prefix = VariabilityPrefix(f);
+  ASSERT_EQ(prefix.size(), f.size());
+  for (size_t i = 1; i < prefix.size(); ++i) {
+    EXPECT_GE(prefix[i], prefix[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(prefix.back(), ComputeVariability(f));
+}
+
+TEST(DriftTotals, DecompositionIdentity) {
+  // f(n) = f(0) + f^+(n) - f^-(n).
+  RandomWalkGenerator gen(7);
+  auto f = MaterializeF(&gen, 5000);
+  int64_t plus = PositiveDriftTotal(f);
+  int64_t minus = NegativeDriftTotal(f);
+  EXPECT_EQ(f.back(), plus - minus);
+  EXPECT_EQ(plus + minus, 5000);  // every step is +-1
+}
+
+TEST(Theorem21, MonotoneStreamVariabilityIsLogF) {
+  // beta = 1 for strictly monotone: v <= O(log f(n)).
+  MonotoneGenerator gen;
+  auto f = MaterializeF(&gen, 100000);
+  double v = ComputeVariability(f);
+  double bound = 4.0 * 2.0 *
+                 (1.0 + std::log2(2.0 * 2.0 * static_cast<double>(f.back())));
+  EXPECT_LE(v, bound);
+  // And it is genuinely logarithmic, not constant.
+  EXPECT_GT(v, std::log(static_cast<double>(f.back())));
+}
+
+TEST(Theorem21, NearlyMonotoneVariabilityWithinBound) {
+  // v = O(beta * log(beta * f(n))) for f^- <= beta*f.
+  NearlyMonotoneGenerator gen(4, 2);  // beta = 1
+  auto f = MaterializeF(&gen, 100000);
+  double beta = gen.beta();
+  double v = ComputeVariability(f);
+  double bound =
+      4.0 * (1.0 + beta) *
+      (1.0 + std::log2(2.0 * (1.0 + beta) * static_cast<double>(f.back())));
+  // The proof's constant-factor bound (appendix A final display).
+  EXPECT_LE(v, 3.0 * bound);
+}
+
+TEST(Theorem22, RandomWalkExpectedVariabilityIsSqrtNLogN) {
+  // E[v(n)] = O(sqrt(n) log n): average over trials and compare.
+  const uint64_t kN = 20000;
+  const int kTrials = 12;
+  double total = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomWalkGenerator gen(1000 + trial);
+    auto f = MaterializeF(&gen, kN);
+    total += ComputeVariability(f);
+  }
+  double mean_v = total / kTrials;
+  double sqrt_n_log_n =
+      std::sqrt(static_cast<double>(kN)) * std::log(static_cast<double>(kN));
+  EXPECT_LT(mean_v, 3.0 * sqrt_n_log_n);
+  // Also clearly sublinear.
+  EXPECT_LT(mean_v, 0.25 * static_cast<double>(kN));
+}
+
+TEST(Theorem24, BiasedWalkExpectedVariabilityIsLogOverMu) {
+  const uint64_t kN = 100000;
+  const double kMu = 0.2;
+  const int kTrials = 8;
+  double total = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    BiasedWalkGenerator gen(kMu, 2000 + trial);
+    auto f = MaterializeF(&gen, kN);
+    total += ComputeVariability(f);
+  }
+  double mean_v = total / kTrials;
+  double bound = std::log(static_cast<double>(kN)) / kMu;
+  // O(log n / mu) with a modest constant.
+  EXPECT_LT(mean_v, 6.0 * bound);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,131 @@
+// varstream_run — run any (generator x assigner x tracker) configuration
+// from the command line and print the measurement row. The Swiss-army
+// knife for exploring the cost/error space without writing code.
+//
+//   $ varstream_run --tracker=deterministic --generator=random-walk
+//                   --sites=16 --eps=0.05 --n=200000 [--assigner=uniform]
+//                   [--seed=1] [--trace-out=walk.trace]
+//
+// Trackers: deterministic | randomized | naive | periodic | single-site
+//           | cmy (monotone only) | hyz (monotone only)
+// Generators / assigners: see MakeGeneratorByName / MakeAssignerByName.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/api.h"
+
+namespace {
+
+std::unique_ptr<varstream::DistributedTracker> MakeTracker(
+    const std::string& name, const varstream::TrackerOptions& options,
+    uint64_t period) {
+  using namespace varstream;
+  if (name == "deterministic") {
+    return std::make_unique<DeterministicTracker>(options);
+  }
+  if (name == "randomized") {
+    return std::make_unique<RandomizedTracker>(options);
+  }
+  if (name == "naive") return std::make_unique<NaiveTracker>(options);
+  if (name == "periodic") {
+    return std::make_unique<PeriodicTracker>(options, period);
+  }
+  if (name == "single-site") {
+    return std::make_unique<SingleSiteTracker>(options);
+  }
+  if (name == "cmy") return std::make_unique<CmyMonotoneTracker>(options);
+  if (name == "hyz") return std::make_unique<HyzMonotoneTracker>(options);
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  const std::string tracker_name =
+      flags.GetString("tracker", "deterministic");
+  const std::string generator_name =
+      flags.GetString("generator", "random-walk");
+  const std::string assigner_name = flags.GetString("assigner", "uniform");
+  const uint64_t n = flags.GetUint("n", 100000);
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const uint64_t period = flags.GetUint("period", 64);
+
+  varstream::TrackerOptions options;
+  options.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  options.epsilon = flags.GetDouble("eps", 0.1);
+  options.seed = seed ^ 0x7AC8E5;
+  options.drift_threshold_factor =
+      flags.GetDouble("threshold-factor", 1.0);
+  options.sample_constant = flags.GetDouble("sample-constant", 3.0);
+
+  auto gen = varstream::MakeGeneratorByName(generator_name, seed);
+  if (!gen) {
+    std::fprintf(stderr, "unknown generator '%s'\n",
+                 generator_name.c_str());
+    return 2;
+  }
+  options.initial_value = gen->initial_value();
+  auto assigner = varstream::MakeAssignerByName(
+      assigner_name,
+      tracker_name == "single-site" ? 1 : options.num_sites, seed + 1);
+  if (!assigner) {
+    std::fprintf(stderr, "unknown assigner '%s'\n", assigner_name.c_str());
+    return 2;
+  }
+  auto tracker = MakeTracker(tracker_name, options, period);
+  if (!tracker) {
+    std::fprintf(stderr, "unknown tracker '%s'\n", tracker_name.c_str());
+    return 2;
+  }
+
+  // Record the stream if requested so runs can be replayed elsewhere.
+  varstream::RunResult result;
+  std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    varstream::StreamTrace trace =
+        varstream::StreamTrace::Record(gen.get(), assigner.get(), n);
+    if (!trace.SaveToFile(trace_out)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return 3;
+    }
+    result = varstream::RunCountOnTrace(trace, tracker.get(),
+                                        options.epsilon);
+  } else {
+    result = varstream::RunCount(gen.get(), assigner.get(), tracker.get(),
+                                 n, options.epsilon);
+  }
+
+  std::printf("tracker        : %s (k=%u, eps=%g)\n",
+              tracker->name().c_str(), tracker->num_sites(),
+              options.epsilon);
+  std::printf("stream         : %s via %s, n=%llu, seed=%llu\n",
+              gen->name().c_str(), assigner->name().c_str(),
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(seed));
+  std::printf("variability    : %.3f (v/n = %.6f)\n", result.variability,
+              result.variability / static_cast<double>(result.n));
+  std::printf("final f / est  : %lld / %.2f\n",
+              static_cast<long long>(result.final_f),
+              result.final_estimate);
+  std::printf("max rel error  : %.6f\n", result.max_rel_error);
+  std::printf("mean rel error : %.6f\n", result.mean_rel_error);
+  std::printf("violation rate : %.6f\n", result.violation_rate);
+  std::printf("messages       : %llu (partition %llu + tracking %llu)\n",
+              static_cast<unsigned long long>(result.messages),
+              static_cast<unsigned long long>(result.partition_messages),
+              static_cast<unsigned long long>(result.tracking_messages));
+  std::printf("bits           : %llu\n",
+              static_cast<unsigned long long>(result.bits));
+  std::printf("msgs per unit v: %.2f   (naive: %.2f per unit v)\n",
+              static_cast<double>(result.messages) /
+                  std::max(result.variability, 1e-9),
+              static_cast<double>(result.n) /
+                  std::max(result.variability, 1e-9));
+  if (!trace_out.empty()) {
+    std::printf("trace written  : %s\n", trace_out.c_str());
+  }
+  return 0;
+}
