@@ -11,14 +11,9 @@
 
 #include <iostream>
 
-#include "baseline/cmy_monotone_tracker.h"
 #include "baseline/cmy_threshold_detector.h"
-#include "baseline/hyz_monotone_tracker.h"
-#include "baseline/naive_tracker.h"
-#include "baseline/periodic_tracker.h"
 #include "bench_util.h"
-#include "core/deterministic_tracker.h"
-#include "core/randomized_tracker.h"
+#include "core/registry.h"
 #include "core/threshold_monitor.h"
 #include "stream/trace.h"
 
@@ -54,28 +49,16 @@ void MonotoneShowdown(const bench::BenchScale& scale) {
 
   TablePrinter table(
       {"tracker", "msgs", "max err", "violation rate", "guarantee held"});
-  {
-    NaiveTracker t(Opts(k, eps));
-    AddRow(&table, "naive (exact)", RunCountOnTrace(trace, &t, eps), eps);
-  }
-  {
-    CmyMonotoneTracker t(Opts(k, eps));
-    AddRow(&table, "CMY monotone", RunCountOnTrace(trace, &t, eps), eps);
-  }
-  {
-    HyzMonotoneTracker t(Opts(k, eps));
-    AddRow(&table, "HYZ monotone", RunCountOnTrace(trace, &t, eps), eps);
-  }
-  {
-    DeterministicTracker t(Opts(k, eps));
-    AddRow(&table, "ours det (3.3)", RunCountOnTrace(trace, &t, eps), eps);
-  }
-  {
-    RandomizedTracker t(Opts(k, eps));
-    AddRow(&table, "ours rand (3.4)", RunCountOnTrace(trace, &t, eps), eps);
+  // Every registered tracker accepts a monotone stream; newly registered
+  // trackers show up in this table automatically.
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    auto t = registry.Create(name, Opts(k, eps));
+    if (t->num_sites() != k) continue;  // single-site pins k = 1
+    AddRow(&table, name, RunCountOnTrace(trace, t.get(), eps), eps);
   }
   table.Print(std::cout);
-  std::cout << "Expected: all four guarantee-holders beat naive by orders "
+  std::cout << "Expected: all guarantee-holders beat naive by orders "
                "of magnitude; ours are within a constant factor of the "
                "monotone-only specialists (v = O(log n) here).\n";
 }
@@ -92,22 +75,24 @@ void NonMonotoneShowdown(const bench::BenchScale& scale,
 
   TablePrinter table(
       {"tracker", "msgs", "max err", "violation rate", "guarantee held"});
-  {
-    NaiveTracker t(Opts(k, eps));
-    AddRow(&table, "naive (exact)", RunCountOnTrace(trace, &t, eps), eps);
-  }
-  for (uint64_t period : {16ULL, 256ULL}) {
-    PeriodicTracker t(Opts(k, eps), period);
-    AddRow(&table, "periodic T=" + std::to_string(period),
-           RunCountOnTrace(trace, &t, eps), eps);
-  }
-  {
-    DeterministicTracker t(Opts(k, eps));
-    AddRow(&table, "ours det (3.3)", RunCountOnTrace(trace, &t, eps), eps);
-  }
-  {
-    RandomizedTracker t(Opts(k, eps));
-    AddRow(&table, "ours rand (3.4)", RunCountOnTrace(trace, &t, eps), eps);
+  // All non-monotone-capable registered trackers, with the periodic
+  // baseline swept over two sync periods.
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    if (registry.IsMonotoneOnly(name)) continue;  // deletions break them
+    if (name == "periodic") {
+      for (uint64_t period : {16ULL, 256ULL}) {
+        TrackerOptions opts = Opts(k, eps);
+        opts.period = period;
+        auto t = registry.Create(name, opts);
+        AddRow(&table, "periodic T=" + std::to_string(period),
+               RunCountOnTrace(trace, t.get(), eps), eps);
+      }
+      continue;
+    }
+    auto t = registry.Create(name, Opts(k, eps));
+    if (t->num_sites() != k) continue;  // single-site pins k = 1
+    AddRow(&table, name, RunCountOnTrace(trace, t.get(), eps), eps);
   }
   std::cout << "stream variability v(n) = " << trace.Variability()
             << ", n = " << trace.size() << "\n";

@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "baseline/naive_tracker.h"
 #include "core/deterministic_tracker.h"
@@ -17,6 +19,7 @@
 #include "sketch/count_min.h"
 #include "sketch/cr_precis.h"
 #include "stream/generator.h"
+#include "stream/update.h"
 #include "stream/variability.h"
 
 namespace varstream {
@@ -60,6 +63,78 @@ void BM_DeterministicTrackerPush(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DeterministicTrackerPush)->Arg(4)->Arg(64);
+
+// Pre-generated ±1 update stream dealt round-robin over k sites, so the
+// ingest benchmarks below measure tracker cost only, not generator cost.
+std::vector<CountUpdate> MakeUpdatePool(uint32_t k, uint64_t seed,
+                                        size_t size) {
+  RandomWalkGenerator gen(seed);
+  std::vector<CountUpdate> pool(size);
+  uint32_t site = 0;
+  for (CountUpdate& u : pool) {
+    u.site = site;
+    u.delta = gen.NextDelta();
+    site = (site + 1) % k;
+  }
+  return pool;
+}
+
+// Per-update ingest over the pre-generated pool: the baseline the batched
+// path is measured against.
+void BM_DeterministicTrackerPushUnit(benchmark::State& state) {
+  const uint32_t k = 8;
+  DeterministicTracker tracker(Opts(k, 0.1));
+  std::vector<CountUpdate> pool = MakeUpdatePool(k, 3, size_t{1} << 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    const CountUpdate& u = pool[i];
+    tracker.Push(u.site, u.delta);
+    if (++i == pool.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeterministicTrackerPushUnit);
+
+// Batched ingest at batch sizes 1 / 64 / 4096 over the same pool. Compare
+// items/s against BM_DeterministicTrackerPushUnit: the NVI validation,
+// time accounting, and virtual dispatch are paid once per batch instead of
+// once per update.
+void BM_DeterministicTrackerPushBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  const uint32_t k = 8;
+  DeterministicTracker tracker(Opts(k, 0.1));
+  std::vector<CountUpdate> pool = MakeUpdatePool(k, 3, size_t{1} << 16);
+  std::span<const CountUpdate> updates(pool);
+  size_t off = 0;
+  for (auto _ : state) {
+    tracker.PushBatch(updates.subspan(off, batch_size));
+    off += batch_size;
+    if (off + batch_size > updates.size()) off = 0;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_DeterministicTrackerPushBatch)->Arg(1)->Arg(64)->Arg(4096);
+
+// Same comparison for the exact-forwarding baseline, whose per-update work
+// is so small that dispatch overhead dominates — the upper bound on what
+// batching can win.
+void BM_NaiveTrackerPushBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  const uint32_t k = 4;
+  NaiveTracker tracker(Opts(k, 0.1));
+  std::vector<CountUpdate> pool = MakeUpdatePool(k, 6, size_t{1} << 16);
+  std::span<const CountUpdate> updates(pool);
+  size_t off = 0;
+  for (auto _ : state) {
+    tracker.PushBatch(updates.subspan(off, batch_size));
+    off += batch_size;
+    if (off + batch_size > updates.size()) off = 0;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_NaiveTrackerPushBatch)->Arg(1)->Arg(64)->Arg(4096);
 
 void BM_RandomizedTrackerPush(benchmark::State& state) {
   auto k = static_cast<uint32_t>(state.range(0));

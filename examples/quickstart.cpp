@@ -1,7 +1,8 @@
 // Quickstart: track a non-monotone distributed count with the paper's
-// deterministic algorithm in ~20 lines of user code.
+// algorithms in ~20 lines of user code.
 //
-//   $ ./quickstart [--n=100000] [--sites=8] [--eps=0.05] [--seed=1]
+//   $ ./quickstart [--tracker=deterministic] [--n=100000] [--sites=8]
+//                  [--eps=0.05] [--seed=1] [--batch=256]
 //
 // Simulates a +-1 update stream (a biased random walk, so the count mostly
 // grows but sometimes shrinks) spread across `sites` observers, and tracks
@@ -9,7 +10,9 @@
 // estimate, the true value, and what the tracking cost — compare that cost
 // to the stream length n to see the variability framework at work.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/api.h"
 
@@ -19,39 +22,54 @@ int main(int argc, char** argv) {
   const auto sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
   const double eps = flags.GetDouble("eps", 0.05);
   const uint64_t seed = flags.GetUint("seed", 1);
+  const uint64_t batch_size = std::max<uint64_t>(flags.GetUint("batch", 256), 1);
 
-  // 1. Configure the tracker: k sites, relative error epsilon.
+  // 1. Configure and construct the tracker by registry name: k sites,
+  //    relative error epsilon.
   varstream::TrackerOptions options;
   options.num_sites = sites;
   options.epsilon = eps;
-  varstream::DeterministicTracker tracker(options);
+  auto tracker = varstream::TrackerRegistry::Instance().Create(
+      flags.GetString("tracker", "deterministic"), options);
+  if (!tracker) {
+    std::fprintf(stderr, "unknown tracker (try varstream_run "
+                         "--list-trackers)\n");
+    return 2;
+  }
 
-  // 2. Feed it the stream. Here: a drifting +-1 walk, dealt to sites
-  //    uniformly at random. In a real deployment each site would call
-  //    Push() on its own updates and the "network" would be real.
+  // 2. Feed it the stream in batches. Here: a drifting +-1 walk, dealt to
+  //    sites uniformly at random. In a real deployment each site would
+  //    buffer its own updates and PushBatch() them; the "network" between
+  //    sites and coordinator would be real.
   varstream::BiasedWalkGenerator stream(/*mu=*/0.2, seed);
   varstream::UniformAssigner dealer(sites, seed ^ 0xDA7A);
   varstream::VariabilityMeter meter(0);  // ground truth + variability
-  for (uint64_t t = 0; t < n; ++t) {
-    int64_t delta = stream.NextDelta();
-    meter.Push(delta);
-    tracker.Push(dealer.NextSite(), delta);
+  std::vector<varstream::CountUpdate> batch;
+  for (uint64_t t = 0; t < n;) {
+    batch.clear();
+    for (uint64_t i = 0; i < batch_size && t < n; ++i, ++t) {
+      int64_t delta = stream.NextDelta();
+      meter.Push(delta);
+      batch.push_back({dealer.NextSite(), delta});
+    }
+    tracker->PushBatch(batch);
   }
 
-  // 3. Read the coordinator's estimate and the communication bill.
+  // 3. Read one consistent snapshot: estimate + clock + communication bill.
+  varstream::TrackerSnapshot snap = tracker->Snapshot();
+  std::printf("tracker                : %s\n", tracker->name().c_str());
   std::printf("stream length n        : %llu updates\n",
-              static_cast<unsigned long long>(n));
+              static_cast<unsigned long long>(snap.time));
   std::printf("true count f(n)        : %lld\n",
               static_cast<long long>(meter.f()));
-  std::printf("coordinator estimate   : %.0f\n", tracker.Estimate());
+  std::printf("coordinator estimate   : %.0f\n", snap.estimate);
   std::printf("relative error         : %.5f (guarantee: <= %.3f)\n",
-              varstream::RelativeError(meter.f(), tracker.Estimate()), eps);
+              varstream::RelativeError(meter.f(), snap.estimate), eps);
   std::printf("stream variability v(n): %.2f\n", meter.value());
   std::printf("messages used          : %llu (naive would use %llu)\n",
-              static_cast<unsigned long long>(
-                  tracker.cost().total_messages()),
+              static_cast<unsigned long long>(snap.messages),
               static_cast<unsigned long long>(n));
   std::printf("message breakdown      : %s\n",
-              tracker.cost().Breakdown().c_str());
+              tracker->cost().Breakdown().c_str());
   return 0;
 }

@@ -2,22 +2,23 @@
 
 #include <cassert>
 
+#include "core/registry.h"
+
 namespace varstream {
 
 CmyMonotoneTracker::CmyMonotoneTracker(const TrackerOptions& options)
-    : epsilon_(options.epsilon),
+    : DistributedTracker(options.num_sites, UpdateSupport::kMonotoneUnit),
+      epsilon_(options.epsilon),
       net_(std::make_unique<SimNetwork>(options.num_sites)),
       site_count_(options.num_sites, 0),
       site_reported_(options.num_sites, 0) {
   assert(options.epsilon > 0 && options.epsilon < 1);
 }
 
-void CmyMonotoneTracker::Push(uint32_t site, int64_t delta) {
+void CmyMonotoneTracker::DoPush(uint32_t site, int64_t delta) {
   assert(delta == 1 && "CmyMonotoneTracker requires insertion-only streams");
-  assert(site < site_count_.size());
   (void)delta;
   net_->Tick();
-  ++time_;
   uint64_t& c = site_count_[site];
   uint64_t& reported = site_reported_[site];
   ++c;
@@ -30,5 +31,8 @@ void CmyMonotoneTracker::Push(uint32_t site, int64_t delta) {
     reported = c;
   }
 }
+
+VARSTREAM_REGISTER_MONOTONE_TRACKER("cmy-monotone", CmyMonotoneTracker)
+VARSTREAM_REGISTER_TRACKER_ALIAS("cmy", "cmy-monotone")
 
 }  // namespace varstream

@@ -23,16 +23,16 @@ class CmyMonotoneTracker : public DistributedTracker {
  public:
   explicit CmyMonotoneTracker(const TrackerOptions& options);
 
-  /// Only delta = +1 is accepted (monotone model).
-  void Push(uint32_t site, int64_t delta) override;
-
   double Estimate() const override {
     return static_cast<double>(estimate_);
   }
   const CostMeter& cost() const override { return net_->cost(); }
-  uint64_t time() const override { return time_; }
-  uint32_t num_sites() const override { return net_->num_sites(); }
   std::string name() const override { return "cmy-monotone"; }
+
+ protected:
+  /// Only delta = +1 reaches here (monotone model; the base class expands
+  /// larger positive updates and rejects deletions).
+  void DoPush(uint32_t site, int64_t delta) override;
 
  private:
   double epsilon_;
@@ -40,7 +40,6 @@ class CmyMonotoneTracker : public DistributedTracker {
   std::vector<uint64_t> site_count_;     // c_i
   std::vector<uint64_t> site_reported_;  // ĉ_i
   int64_t estimate_ = 0;                 // sum_i ĉ_i
-  uint64_t time_ = 0;
 };
 
 }  // namespace varstream

@@ -4,10 +4,13 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/registry.h"
+
 namespace varstream {
 
 HyzMonotoneTracker::HyzMonotoneTracker(const TrackerOptions& options)
-    : epsilon_(options.epsilon),
+    : DistributedTracker(options.num_sites, UpdateSupport::kMonotoneUnit),
+      epsilon_(options.epsilon),
       net_(std::make_unique<SimNetwork>(options.num_sites)),
       rng_(options.seed),
       site_count_(options.num_sites, 0),
@@ -31,12 +34,10 @@ void HyzMonotoneTracker::StartRound(int64_t exact_f) {
   }
 }
 
-void HyzMonotoneTracker::Push(uint32_t site, int64_t delta) {
+void HyzMonotoneTracker::DoPush(uint32_t site, int64_t delta) {
   assert(delta == 1 && "HyzMonotoneTracker requires insertion-only streams");
-  assert(site < site_count_.size());
   (void)delta;
   net_->Tick();
-  ++time_;
   ++site_count_[site];
 
   if (rng_.Bernoulli(p_)) {
@@ -66,5 +67,8 @@ void HyzMonotoneTracker::Push(uint32_t site, int64_t delta) {
 double HyzMonotoneTracker::Estimate() const {
   return static_cast<double>(base_f_) + coord_sum_;
 }
+
+VARSTREAM_REGISTER_MONOTONE_TRACKER("hyz-monotone", HyzMonotoneTracker)
+VARSTREAM_REGISTER_TRACKER_ALIAS("hyz", "hyz-monotone")
 
 }  // namespace varstream

@@ -31,18 +31,18 @@ class HyzMonotoneTracker : public DistributedTracker {
  public:
   explicit HyzMonotoneTracker(const TrackerOptions& options);
 
-  /// Only delta = +1 is accepted (monotone model).
-  void Push(uint32_t site, int64_t delta) override;
-
   double Estimate() const override;
   const CostMeter& cost() const override { return net_->cost(); }
-  uint64_t time() const override { return time_; }
-  uint32_t num_sites() const override { return net_->num_sites(); }
   std::string name() const override { return "hyz-monotone"; }
 
   /// Current round scale S and sampling probability p (for tests).
   int64_t round_scale() const { return scale_; }
   double sample_probability() const { return p_; }
+
+ protected:
+  /// Only delta = +1 reaches here (monotone model; the base class expands
+  /// larger positive updates and rejects deletions).
+  void DoPush(uint32_t site, int64_t delta) override;
 
  private:
   void StartRound(int64_t exact_f);
@@ -57,7 +57,6 @@ class HyzMonotoneTracker : public DistributedTracker {
   int64_t base_f_ = 0;                  // exact f at round start
   int64_t scale_ = 1;                   // S
   double p_ = 1.0;
-  uint64_t time_ = 0;
 };
 
 }  // namespace varstream

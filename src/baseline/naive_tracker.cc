@@ -2,18 +2,22 @@
 
 #include <cassert>
 
+#include "common/math_util.h"
+#include "core/registry.h"
+
 namespace varstream {
 
 NaiveTracker::NaiveTracker(const TrackerOptions& options)
-    : net_(std::make_unique<SimNetwork>(options.num_sites)),
+    : DistributedTracker(options.num_sites, UpdateSupport::kArbitrary),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
       value_(options.initial_value) {}
 
-void NaiveTracker::Push(uint32_t site, int64_t delta) {
-  assert(site < net_->num_sites());
-  net_->Tick();
-  ++time_;
+void NaiveTracker::DoPush(uint32_t site, int64_t delta) {
+  net_->Tick(AbsU64(delta));
   net_->SendToCoordinator(site, MessageKind::kSync);
   value_ += delta;
 }
+
+VARSTREAM_REGISTER_TRACKER("naive", NaiveTracker)
 
 }  // namespace varstream

@@ -17,17 +17,18 @@ class NaiveTracker : public DistributedTracker {
  public:
   explicit NaiveTracker(const TrackerOptions& options);
 
-  void Push(uint32_t site, int64_t delta) override;
   double Estimate() const override { return static_cast<double>(value_); }
   const CostMeter& cost() const override { return net_->cost(); }
-  uint64_t time() const override { return time_; }
-  uint32_t num_sites() const override { return net_->num_sites(); }
   std::string name() const override { return "naive"; }
+
+ protected:
+  /// Forwards the whole delta in one message — arbitrary magnitudes are
+  /// native (a batched site would ship the aggregate anyway).
+  void DoPush(uint32_t site, int64_t delta) override;
 
  private:
   std::unique_ptr<SimNetwork> net_;
   int64_t value_;
-  uint64_t time_ = 0;
 };
 
 }  // namespace varstream

@@ -2,21 +2,26 @@
 
 #include <cassert>
 
+#include "common/math_util.h"
+#include "core/registry.h"
+
 namespace varstream {
+
+PeriodicTracker::PeriodicTracker(const TrackerOptions& options)
+    : PeriodicTracker(options, options.period) {}
 
 PeriodicTracker::PeriodicTracker(const TrackerOptions& options,
                                  uint64_t period)
-    : net_(std::make_unique<SimNetwork>(options.num_sites)),
+    : DistributedTracker(options.num_sites, UpdateSupport::kArbitrary),
+      net_(std::make_unique<SimNetwork>(options.num_sites)),
       period_(period),
       sites_(options.num_sites),
       estimate_(options.initial_value) {
   assert(period >= 1);
 }
 
-void PeriodicTracker::Push(uint32_t site, int64_t delta) {
-  assert(site < sites_.size());
-  net_->Tick();
-  ++time_;
+void PeriodicTracker::DoPush(uint32_t site, int64_t delta) {
+  net_->Tick(AbsU64(delta));
   SiteState& s = sites_[site];
   s.pending += delta;
   if (++s.arrivals >= period_) {
@@ -27,8 +32,8 @@ void PeriodicTracker::Push(uint32_t site, int64_t delta) {
   }
 }
 
-std::string PeriodicTracker::name() const {
-  return "periodic(T=" + std::to_string(period_) + ")";
-}
+std::string PeriodicTracker::name() const { return "periodic"; }
+
+VARSTREAM_REGISTER_TRACKER("periodic", PeriodicTracker)
 
 }  // namespace varstream

@@ -18,19 +18,24 @@ namespace varstream {
 
 class PeriodicTracker : public DistributedTracker {
  public:
-  /// Requires period >= 1.
+  /// Uses options.period (>= 1) as the sync period.
+  explicit PeriodicTracker(const TrackerOptions& options);
+
+  /// Explicit-period form; requires period >= 1.
   PeriodicTracker(const TrackerOptions& options, uint64_t period);
 
-  void Push(uint32_t site, int64_t delta) override;
   double Estimate() const override {
     return static_cast<double>(estimate_);
   }
   const CostMeter& cost() const override { return net_->cost(); }
-  uint64_t time() const override { return time_; }
-  uint32_t num_sites() const override { return net_->num_sites(); }
   std::string name() const override;
 
   uint64_t period() const { return period_; }
+
+ protected:
+  /// Arbitrary deltas are native: one arrival of any magnitude counts one
+  /// step toward the period and accumulates the whole delta.
+  void DoPush(uint32_t site, int64_t delta) override;
 
  private:
   struct SiteState {
@@ -42,7 +47,6 @@ class PeriodicTracker : public DistributedTracker {
   uint64_t period_;
   std::vector<SiteState> sites_;
   int64_t estimate_;
-  uint64_t time_ = 0;
 };
 
 }  // namespace varstream

@@ -5,15 +5,29 @@
 // to relative error epsilon with communication proportional to the stream's
 // variability v(n) = sum_t min{1, |f'(t)|/|f(t)|} instead of its length.
 //
-// Typical use:
+// Typical use — construct by name via the registry, ingest in batches,
+// and read one consistent snapshot:
 //
 //   varstream::TrackerOptions options;
 //   options.num_sites = 16;
 //   options.epsilon = 0.05;
-//   varstream::DeterministicTracker tracker(options);
-//   for (auto [site, delta] : my_stream) tracker.Push(site, delta);
-//   double estimate = tracker.Estimate();          // within eps*|f| always
-//   uint64_t msgs = tracker.cost().total_messages();  // O(k*v/eps)
+//   auto tracker = varstream::TrackerRegistry::Instance().Create(
+//       "deterministic", options);
+//
+//   std::vector<varstream::CountUpdate> batch = ...;  // {site, delta}
+//   tracker->PushBatch(batch);          // amortized batched ingest
+//   tracker->Push(3, -42);              // single update, any magnitude
+//
+//   varstream::TrackerSnapshot snap = tracker->Snapshot();
+//   // snap.estimate is within eps*|f| always (deterministic tracker),
+//   // snap.messages is O(k*v/eps), snap.time is the unit-update clock.
+//
+//   for (const std::string& name :
+//        varstream::TrackerRegistry::Instance().Names()) ...  // all trackers
+//
+// Concrete tracker classes remain directly constructible
+// (varstream::DeterministicTracker tracker(options); tracker.Push(0, +1);)
+// when static typing or tracker-specific accessors are needed.
 
 #ifndef VARSTREAM_CORE_API_H_
 #define VARSTREAM_CORE_API_H_
@@ -54,6 +68,7 @@
 #include "core/options.h"                   // IWYU pragma: export
 #include "core/quantile_tracker.h"          // IWYU pragma: export
 #include "core/randomized_tracker.h"        // IWYU pragma: export
+#include "core/registry.h"                  // IWYU pragma: export
 #include "core/single_site_tracker.h"       // IWYU pragma: export
 #include "core/sketch_frequency_tracker.h"  // IWYU pragma: export
 #include "core/threshold_monitor.h"         // IWYU pragma: export

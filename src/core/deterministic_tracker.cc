@@ -4,11 +4,13 @@
 #include <cstdlib>
 
 #include "common/math_util.h"
+#include "core/registry.h"
 
 namespace varstream {
 
 DeterministicTracker::DeterministicTracker(const TrackerOptions& options)
-    : options_(options),
+    : DistributedTracker(options.num_sites, UpdateSupport::kUnit),
+      options_(options),
       net_(std::make_unique<SimNetwork>(options.num_sites)),
       site_drift_(options.num_sites, 0),
       site_unsent_(options.num_sites, 0),
@@ -20,18 +22,17 @@ DeterministicTracker::DeterministicTracker(const TrackerOptions& options)
       [this](const BlockInfo& closed, const BlockInfo& next) {
         OnBlockEnd(closed, next);
       });
+  RefreshSendThreshold(partitioner_->block().r);
 }
 
-bool DeterministicTracker::SendCondition(uint64_t abs_delta_i, int r) const {
-  if (r == 0) return abs_delta_i >= 1;
-  return static_cast<double>(abs_delta_i) >=
-         options_.drift_threshold_factor * options_.epsilon *
-             static_cast<double>(Pow2(r));
+void DeterministicTracker::RefreshSendThreshold(int r) {
+  send_threshold_ =
+      r == 0 ? 1.0
+             : options_.drift_threshold_factor * options_.epsilon *
+                   static_cast<double>(Pow2(r));
 }
 
-void DeterministicTracker::Push(uint32_t site, int64_t delta) {
-  assert(delta == 1 || delta == -1);
-  assert(site < options_.num_sites);
+void DeterministicTracker::UnitPush(uint32_t site, int64_t delta) {
   net_->Tick();
 
   // Site updates its in-block drift state first; if this arrival closes the
@@ -43,8 +44,7 @@ void DeterministicTracker::Push(uint32_t site, int64_t delta) {
   bool closed = partitioner_->OnArrival(site, delta);
   if (closed) return;
 
-  int r = partitioner_->block().r;
-  if (SendCondition(AbsU64(site_unsent_[site]), r)) {
+  if (static_cast<double>(AbsU64(site_unsent_[site])) >= send_threshold_) {
     // Message: the new value of di. Coordinator: d̂i = di.
     net_->SendToCoordinator(site, MessageKind::kDrift);
     coord_drift_sum_ += site_drift_[site] - coord_drift_[site];
@@ -53,13 +53,28 @@ void DeterministicTracker::Push(uint32_t site, int64_t delta) {
   }
 }
 
+void DeterministicTracker::DoPush(uint32_t site, int64_t delta) {
+  UnitPush(site, delta);
+}
+
+void DeterministicTracker::DoPushBatch(std::span<const CountUpdate> batch) {
+  // Per-unit work inlined into one loop: one virtual dispatch per batch
+  // instead of one per unit arrival.
+  for (const CountUpdate& u : batch) {
+    if (u.delta == 0) continue;
+    const int64_t step = u.delta > 0 ? 1 : -1;
+    for (uint64_t i = AbsU64(u.delta); i > 0; --i) UnitPush(u.site, step);
+  }
+}
+
 void DeterministicTracker::OnBlockEnd(const BlockInfo& /*closed*/,
-                                      const BlockInfo& /*next*/) {
+                                      const BlockInfo& next) {
   // The poll gave the coordinator the exact f(nj); all drift state resets.
   std::fill(site_drift_.begin(), site_drift_.end(), 0);
   std::fill(site_unsent_.begin(), site_unsent_.end(), 0);
   std::fill(coord_drift_.begin(), coord_drift_.end(), 0);
   coord_drift_sum_ = 0;
+  RefreshSendThreshold(next.r);
 }
 
 int64_t DeterministicTracker::EstimateInt() const {
@@ -69,5 +84,7 @@ int64_t DeterministicTracker::EstimateInt() const {
 double DeterministicTracker::Estimate() const {
   return static_cast<double>(EstimateInt());
 }
+
+VARSTREAM_REGISTER_TRACKER("deterministic", DeterministicTracker)
 
 }  // namespace varstream

@@ -31,11 +31,8 @@ class DeterministicTracker : public DistributedTracker {
  public:
   explicit DeterministicTracker(const TrackerOptions& options);
 
-  void Push(uint32_t site, int64_t delta) override;
   double Estimate() const override;
   const CostMeter& cost() const override { return net_->cost(); }
-  uint64_t time() const override { return partitioner_->time(); }
-  uint32_t num_sites() const override { return options_.num_sites; }
   std::string name() const override { return "deterministic"; }
 
   /// Exact integer estimate (the deterministic coordinator state is
@@ -50,16 +47,33 @@ class DeterministicTracker : public DistributedTracker {
   /// The current block's scale exponent r.
   int current_scale() const { return partitioner_->block().r; }
 
+ protected:
+  /// One ±1 arrival (the hot path; PushBatch amortizes dispatch overhead
+  /// by looping UnitPush directly).
+  void DoPush(uint32_t site, int64_t delta) override;
+  void DoPushBatch(std::span<const CountUpdate> batch) override;
+
  private:
   void OnBlockEnd(const BlockInfo& closed, const BlockInfo& next);
 
-  /// True when site drift change `abs_delta_i` must be reported under the
-  /// current block scale r (the paper's "condition").
-  bool SendCondition(uint64_t abs_delta_i, int r) const;
+  /// The non-virtual per-unit step shared by DoPush and DoPushBatch.
+  void UnitPush(uint32_t site, int64_t delta);
+
+  /// Re-derives the cached send condition for block scale `r` — the
+  /// paper's "report when |delta_i| >= eps*2^r" test, with r = 0 blocks
+  /// reporting every unit — called on construction and at every block
+  /// boundary.
+  void RefreshSendThreshold(int r);
 
   TrackerOptions options_;
   std::unique_ptr<SimNetwork> net_;
   std::unique_ptr<BlockPartitioner> partitioner_;
+
+  // Cached send condition for the current block: at scale r = 0 every
+  // unit of unsent drift reports; at r >= 1 the threshold is
+  // drift_threshold_factor * epsilon * 2^r (recomputing this per arrival
+  // costs two multiplies on the hot path, so it is cached per block).
+  double send_threshold_ = 1.0;
 
   // Site state: di = in-block drift, delta_i = drift since last message.
   std::vector<int64_t> site_drift_;

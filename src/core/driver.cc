@@ -1,7 +1,9 @@
 #include "core/driver.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "common/math_util.h"
 #include "stream/variability.h"
@@ -23,10 +25,47 @@ class Runner {
   void Step(uint32_t site, int64_t delta) {
     meter_.Push(delta);
     tracker_->Push(site, delta);
+    Observe();
+  }
+
+  /// Delivers the whole batch through PushBatch and validates once at the
+  /// batch boundary.
+  void StepBatch(std::span<const CountUpdate> batch) {
+    for (const CountUpdate& u : batch) meter_.Push(u.delta);
+    tracker_->PushBatch(batch);
+    Observe();
+  }
+
+  RunResult Finish() const {
+    RunResult result;
+    result.n = meter_.n();
+    result.variability = meter_.value();
+    const CostMeter& cost = tracker_->cost();
+    result.messages = cost.total_messages();
+    result.bits = cost.total_bits();
+    result.partition_messages = cost.partition_messages();
+    result.tracking_messages = cost.tracking_messages();
+    result.max_rel_error = max_rel_;
+    result.mean_rel_error =
+        finite_count_ ? sum_rel_ / static_cast<double>(finite_count_) : 0.0;
+    // One observation per Step / StepBatch; for the unbatched runners this
+    // is exactly n, preserving the per-update violation rate.
+    result.violation_rate =
+        observations_ ? static_cast<double>(violations_) /
+                            static_cast<double>(observations_)
+                      : 0.0;
+    result.final_f = meter_.f();
+    result.final_estimate = tracker_->Estimate();
+    return result;
+  }
+
+ private:
+  void Observe() {
     double est = tracker_->Estimate();
     if (tracer_ != nullptr) tracer_->Observe(meter_.n(), est);
     int64_t truth = meter_.f();
     double rel = RelativeError(truth, est);
+    ++observations_;
     // At truth == 0 RelativeError is 0 or infinity; treat "exact at zero"
     // as no error and anything else as a violation (matching the paper's
     // relative guarantee at f(n) = 0).
@@ -42,28 +81,6 @@ class Runner {
     }
   }
 
-  RunResult Finish() const {
-    RunResult result;
-    result.n = meter_.n();
-    result.variability = meter_.value();
-    const CostMeter& cost = tracker_->cost();
-    result.messages = cost.total_messages();
-    result.bits = cost.total_bits();
-    result.partition_messages = cost.partition_messages();
-    result.tracking_messages = cost.tracking_messages();
-    result.max_rel_error = max_rel_;
-    result.mean_rel_error =
-        finite_count_ ? sum_rel_ / static_cast<double>(finite_count_) : 0.0;
-    result.violation_rate =
-        result.n ? static_cast<double>(violations_) /
-                       static_cast<double>(result.n)
-                 : 0.0;
-    result.final_f = meter_.f();
-    result.final_estimate = tracker_->Estimate();
-    return result;
-  }
-
- private:
   DistributedTracker* tracker_;
   double epsilon_;
   HistoryTracer* tracer_;
@@ -72,6 +89,7 @@ class Runner {
   double sum_rel_ = 0.0;
   uint64_t finite_count_ = 0;
   uint64_t violations_ = 0;
+  uint64_t observations_ = 0;
 };
 
 }  // namespace
@@ -94,6 +112,41 @@ RunResult RunCountOnTrace(const StreamTrace& trace,
   Runner runner(tracker, epsilon, tracer, trace.initial_value());
   for (const CountUpdate& u : trace.updates()) {
     runner.Step(u.site, u.delta);
+  }
+  return runner.Finish();
+}
+
+RunResult RunCountBatched(CountGenerator* gen, SiteAssigner* assigner,
+                          DistributedTracker* tracker, uint64_t n,
+                          double epsilon, uint64_t batch_size,
+                          HistoryTracer* tracer) {
+  assert(tracker->time() == 0);
+  assert(batch_size >= 1);
+  Runner runner(tracker, epsilon, tracer, gen->initial_value());
+  std::vector<CountUpdate> batch;
+  batch.reserve(batch_size);
+  for (uint64_t t = 0; t < n; t += batch.size()) {
+    batch.clear();
+    uint64_t take = std::min(batch_size, n - t);
+    for (uint64_t i = 0; i < take; ++i) {
+      batch.push_back({assigner->NextSite(), gen->NextDelta()});
+    }
+    runner.StepBatch(batch);
+  }
+  return runner.Finish();
+}
+
+RunResult RunCountOnTraceBatched(const StreamTrace& trace,
+                                 DistributedTracker* tracker, double epsilon,
+                                 uint64_t batch_size, HistoryTracer* tracer) {
+  assert(tracker->time() == 0);
+  assert(batch_size >= 1);
+  Runner runner(tracker, epsilon, tracer, trace.initial_value());
+  std::span<const CountUpdate> updates(trace.updates());
+  for (size_t off = 0; off < updates.size(); off += batch_size) {
+    runner.StepBatch(
+        updates.subspan(off, std::min<size_t>(batch_size,
+                                              updates.size() - off)));
   }
   return runner.Finish();
 }

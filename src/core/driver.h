@@ -48,6 +48,23 @@ RunResult RunCountOnTrace(const StreamTrace& trace,
                           DistributedTracker* tracker, double epsilon,
                           HistoryTracer* tracer = nullptr);
 
+/// Batched-ingest variants: identical stream and tracker behavior (the
+/// PushBatch contract guarantees estimates, cost, and time match the
+/// per-update loop), but updates are delivered in batches of `batch_size`
+/// and the estimate is validated only at batch boundaries. Error and
+/// violation statistics are therefore measured over ceil(n/batch_size)
+/// observations instead of n — the throughput-measurement mode for large
+/// replays. batch_size must be >= 1.
+RunResult RunCountBatched(CountGenerator* gen, SiteAssigner* assigner,
+                          DistributedTracker* tracker, uint64_t n,
+                          double epsilon, uint64_t batch_size,
+                          HistoryTracer* tracer = nullptr);
+
+RunResult RunCountOnTraceBatched(const StreamTrace& trace,
+                                 DistributedTracker* tracker, double epsilon,
+                                 uint64_t batch_size,
+                                 HistoryTracer* tracer = nullptr);
+
 }  // namespace varstream
 
 #endif  // VARSTREAM_CORE_DRIVER_H_

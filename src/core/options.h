@@ -34,6 +34,11 @@ struct TrackerOptions {
   /// uses 3.0, which makes the Chebyshev failure bound 2/(sample_constant
   /// ^2/ ... ) = 2/9 < 1/3; smaller constants are cheaper but fail more.
   double sample_constant = 3.0;
+
+  /// Sync period of the periodic baseline (arrivals per site between
+  /// coordinator syncs); ignored by every other tracker. Lives here so the
+  /// TrackerRegistry can construct any tracker from one options struct.
+  uint64_t period = 64;
 };
 
 }  // namespace varstream

@@ -5,11 +5,13 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/registry.h"
 
 namespace varstream {
 
 RandomizedTracker::RandomizedTracker(const TrackerOptions& options)
-    : options_(options),
+    : DistributedTracker(options.num_sites, UpdateSupport::kUnit),
+      options_(options),
       net_(std::make_unique<SimNetwork>(options.num_sites)),
       rng_(options.seed),
       site_plus_(options.num_sites, 0),
@@ -32,9 +34,7 @@ double RandomizedTracker::SampleProbability(int r) const {
   return std::min(1.0, options_.sample_constant / denom);
 }
 
-void RandomizedTracker::Push(uint32_t site, int64_t delta) {
-  assert(delta == 1 || delta == -1);
-  assert(site < options_.num_sites);
+void RandomizedTracker::UnitPush(uint32_t site, int64_t delta) {
   net_->Tick();
 
   // Feed the arrival into the one-sided copy (A+ or A-) at this site.
@@ -61,6 +61,19 @@ void RandomizedTracker::Push(uint32_t site, int64_t delta) {
   }
 }
 
+void RandomizedTracker::DoPush(uint32_t site, int64_t delta) {
+  UnitPush(site, delta);
+}
+
+void RandomizedTracker::DoPushBatch(std::span<const CountUpdate> batch) {
+  // One virtual dispatch per batch instead of one per unit arrival.
+  for (const CountUpdate& u : batch) {
+    if (u.delta == 0) continue;
+    const int64_t step = u.delta > 0 ? 1 : -1;
+    for (uint64_t i = AbsU64(u.delta); i > 0; --i) UnitPush(u.site, step);
+  }
+}
+
 void RandomizedTracker::OnBlockEnd(const BlockInfo& /*closed*/,
                                    const BlockInfo& next) {
   std::fill(site_plus_.begin(), site_plus_.end(), 0);
@@ -76,5 +89,7 @@ double RandomizedTracker::Estimate() const {
   return static_cast<double>(partitioner_->f_at_block_start()) +
          (coord_plus_sum_ - coord_minus_sum_);
 }
+
+VARSTREAM_REGISTER_TRACKER("randomized", RandomizedTracker)
 
 }  // namespace varstream

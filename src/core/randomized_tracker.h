@@ -35,11 +35,8 @@ class RandomizedTracker : public DistributedTracker {
  public:
   explicit RandomizedTracker(const TrackerOptions& options);
 
-  void Push(uint32_t site, int64_t delta) override;
   double Estimate() const override;
   const CostMeter& cost() const override { return net_->cost(); }
-  uint64_t time() const override { return partitioner_->time(); }
-  uint32_t num_sites() const override { return options_.num_sites; }
   std::string name() const override { return "randomized"; }
 
   uint64_t blocks_completed() const {
@@ -50,8 +47,15 @@ class RandomizedTracker : public DistributedTracker {
   /// The sampling probability used in a block of scale r.
   double SampleProbability(int r) const;
 
+ protected:
+  void DoPush(uint32_t site, int64_t delta) override;
+  void DoPushBatch(std::span<const CountUpdate> batch) override;
+
  private:
   void OnBlockEnd(const BlockInfo& closed, const BlockInfo& next);
+
+  /// The non-virtual per-unit step shared by DoPush and DoPushBatch.
+  void UnitPush(uint32_t site, int64_t delta);
 
   TrackerOptions options_;
   std::unique_ptr<SimNetwork> net_;

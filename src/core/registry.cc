@@ -1,0 +1,75 @@
+#include "core/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace varstream {
+
+TrackerRegistry& TrackerRegistry::Instance() {
+  // Leaky singleton: constructed on first registration, never destroyed,
+  // so registration order across translation units is irrelevant and
+  // lookups from other static destructors stay valid.
+  static TrackerRegistry* instance = new TrackerRegistry();
+  return *instance;
+}
+
+bool TrackerRegistry::Register(const std::string& name, Factory factory,
+                               bool monotone_only) {
+  auto [it, inserted] =
+      entries_.emplace(name, Entry{std::move(factory), monotone_only});
+  if (!inserted) {
+    std::fprintf(stderr, "TrackerRegistry: duplicate tracker name '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return true;
+}
+
+bool TrackerRegistry::RegisterAlias(const std::string& alias,
+                                    const std::string& canonical) {
+  auto [it, inserted] = aliases_.emplace(alias, canonical);
+  if (!inserted || entries_.count(alias) != 0) {
+    std::fprintf(stderr, "TrackerRegistry: duplicate tracker alias '%s'\n",
+                 alias.c_str());
+    std::abort();
+  }
+  return true;
+}
+
+const TrackerRegistry::Entry* TrackerRegistry::Find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    auto alias = aliases_.find(name);
+    if (alias == aliases_.end()) return nullptr;
+    it = entries_.find(alias->second);
+    if (it == entries_.end()) return nullptr;
+  }
+  return &it->second;
+}
+
+std::unique_ptr<DistributedTracker> TrackerRegistry::Create(
+    const std::string& name, const TrackerOptions& options) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) return nullptr;
+  return entry->factory(options);
+}
+
+bool TrackerRegistry::Contains(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+bool TrackerRegistry::IsMonotoneOnly(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->monotone_only;
+}
+
+std::vector<std::string> TrackerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace varstream

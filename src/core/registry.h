@@ -1,0 +1,111 @@
+// TrackerRegistry: name -> factory mapping over TrackerOptions for every
+// DistributedTracker in the library. Trackers self-register from their own
+// translation unit via VARSTREAM_REGISTER_TRACKER, so adding a tracker is
+// one macro line in its .cc — no more hand-rolled string ladders in every
+// tool and benchmark. (The library is built as a CMake OBJECT library so
+// registration TUs are always linked; see CMakeLists.txt.)
+//
+//   auto tracker = TrackerRegistry::Instance().Create("deterministic", opts);
+//   for (const std::string& name : TrackerRegistry::Instance().Names()) ...
+
+#ifndef VARSTREAM_CORE_REGISTRY_H_
+#define VARSTREAM_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/tracker.h"
+
+namespace varstream {
+
+class TrackerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<DistributedTracker>(const TrackerOptions&)>;
+
+  /// Per-tracker registration record.
+  struct Entry {
+    Factory factory;
+    /// Insertion-only baseline: feed it monotone (+1) streams only.
+    bool monotone_only = false;
+  };
+
+  /// The process-wide registry (populated during static initialization by
+  /// the VARSTREAM_REGISTER_TRACKER macros).
+  static TrackerRegistry& Instance();
+
+  /// Registers a canonical tracker name. Aborts on duplicates (two
+  /// trackers claiming one name is a build error, not a runtime
+  /// condition). Returns true so it can seed a static initializer.
+  bool Register(const std::string& name, Factory factory,
+                bool monotone_only = false);
+
+  /// Registers an alternate CLI spelling resolving to `canonical`.
+  bool RegisterAlias(const std::string& alias, const std::string& canonical);
+
+  /// Constructs the named tracker (canonical name or alias), or nullptr if
+  /// the name is unknown.
+  std::unique_ptr<DistributedTracker> Create(
+      const std::string& name, const TrackerOptions& options) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// True if the named tracker only accepts insertion-only streams.
+  bool IsMonotoneOnly(const std::string& name) const;
+
+  /// Sorted canonical names (aliases omitted).
+  std::vector<std::string> Names() const;
+
+ private:
+  TrackerRegistry() = default;
+
+  const Entry* Find(const std::string& name) const;
+
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::string> aliases_;
+};
+
+/// Registers `Type` (constructible from const TrackerOptions&) under
+/// `name`. Place in the tracker's .cc at namespace scope.
+#define VARSTREAM_REGISTER_TRACKER(name, Type)                          \
+  VARSTREAM_REGISTER_TRACKER_IMPL(name, Type, false, __COUNTER__)
+
+/// Same, for insertion-only baselines (the registry tags them so generic
+/// callers know to feed monotone streams).
+#define VARSTREAM_REGISTER_MONOTONE_TRACKER(name, Type)                 \
+  VARSTREAM_REGISTER_TRACKER_IMPL(name, Type, true, __COUNTER__)
+
+/// Registers an extra CLI spelling for an already-registered tracker.
+#define VARSTREAM_REGISTER_TRACKER_ALIAS(alias, canonical)              \
+  VARSTREAM_REGISTER_ALIAS_IMPL(alias, canonical, __COUNTER__)
+
+#define VARSTREAM_REGISTER_TRACKER_IMPL(name, Type, monotone, counter)  \
+  VARSTREAM_REGISTER_TRACKER_IMPL2(name, Type, monotone, counter)
+#define VARSTREAM_REGISTER_TRACKER_IMPL2(name, Type, monotone, counter) \
+  namespace {                                                           \
+  const bool varstream_tracker_registrar_##counter =                    \
+      ::varstream::TrackerRegistry::Instance().Register(                \
+          name,                                                         \
+          [](const ::varstream::TrackerOptions& options) {              \
+            return std::unique_ptr<::varstream::DistributedTracker>(    \
+                std::make_unique<Type>(options));                       \
+          },                                                            \
+          monotone);                                                    \
+  }
+
+#define VARSTREAM_REGISTER_ALIAS_IMPL(alias, canonical, counter)        \
+  VARSTREAM_REGISTER_ALIAS_IMPL2(alias, canonical, counter)
+#define VARSTREAM_REGISTER_ALIAS_IMPL2(alias, canonical, counter)       \
+  namespace {                                                           \
+  const bool varstream_tracker_alias_registrar_##counter =              \
+      ::varstream::TrackerRegistry::Instance().RegisterAlias(alias,     \
+                                                             canonical); \
+  }
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_REGISTRY_H_

@@ -5,27 +5,34 @@
 #include <cstdlib>
 
 #include "common/math_util.h"
+#include "core/registry.h"
 
 namespace varstream {
 
 SingleSiteTracker::SingleSiteTracker(const TrackerOptions& options)
-    : options_(options),
+    : DistributedTracker(1, UpdateSupport::kArbitrary),
+      options_(options),
       net_(std::make_unique<SimNetwork>(1)),
       value_(options.initial_value),
       estimate_(options.initial_value) {
   assert(options.epsilon > 0 && options.epsilon < 1);
 }
 
-void SingleSiteTracker::Push(uint32_t site, int64_t delta) {
-  assert(site == 0);
-  (void)site;
-  Update(value_ + delta);
+void SingleSiteTracker::DoPush(uint32_t site, int64_t delta) {
+  (void)site;  // base class validated site == 0 (k = 1)
+  net_->Tick(AbsU64(delta));
+  value_ += delta;
+  MaybeSync();
 }
 
 void SingleSiteTracker::Update(int64_t value) {
-  ++time_;
+  AdvanceTime(1);
   net_->Tick();
   value_ = value;
+  MaybeSync();
+}
+
+void SingleSiteTracker::MaybeSync() {
   // Send f whenever |f - f̂| > epsilon*|f|. Note that at f = 0 any nonzero
   // estimate violates the condition, so the coordinator is resynced there.
   double error = std::abs(static_cast<double>(value_ - estimate_));
@@ -36,5 +43,7 @@ void SingleSiteTracker::Update(int64_t value) {
     estimate_ = value_;
   }
 }
+
+VARSTREAM_REGISTER_TRACKER("single-site", SingleSiteTracker)
 
 }  // namespace varstream

@@ -27,10 +27,10 @@ class SingleSiteTracker : public DistributedTracker {
   /// Only options.epsilon and options.initial_value are used; k is 1.
   explicit SingleSiteTracker(const TrackerOptions& options);
 
-  /// Streaming-count interface (site argument must be 0).
-  void Push(uint32_t site, int64_t delta) override;
-
   /// General-aggregate interface: the site's aggregate changed to `value`.
+  /// Advances time by one step (one aggregate change = one arrival). The
+  /// streaming-count special case goes through Push/PushBatch as usual
+  /// (site argument must be 0).
   void Update(int64_t value);
 
   double Estimate() const override {
@@ -38,19 +38,24 @@ class SingleSiteTracker : public DistributedTracker {
   }
   int64_t EstimateInt() const { return estimate_; }
   const CostMeter& cost() const override { return net_->cost(); }
-  uint64_t time() const override { return time_; }
-  uint32_t num_sites() const override { return 1; }
   std::string name() const override { return "single-site"; }
 
   /// Exact current value held at the site.
   int64_t exact_value() const { return value_; }
 
+ protected:
+  /// Arbitrary deltas are native here: the site knows f exactly, so a
+  /// magnitude-m update is one aggregate change, not m virtual arrivals.
+  void DoPush(uint32_t site, int64_t delta) override;
+
  private:
+  /// Resyncs the coordinator whenever |f - f̂| > epsilon*|f|.
+  void MaybeSync();
+
   TrackerOptions options_;
   std::unique_ptr<SimNetwork> net_;
   int64_t value_;
   int64_t estimate_;
-  uint64_t time_ = 0;
 };
 
 }  // namespace varstream

@@ -1,0 +1,62 @@
+#include "core/tracker.h"
+
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace varstream {
+
+DistributedTracker::DistributedTracker(uint32_t num_sites,
+                                       UpdateSupport support)
+    : num_sites_(num_sites), support_(support) {
+  assert(num_sites >= 1);
+}
+
+void DistributedTracker::Validate(uint32_t site, int64_t delta) const {
+  assert(site < num_sites_);
+  assert((support_ != UpdateSupport::kMonotoneUnit || delta >= 0) &&
+         "monotone tracker requires insertion-only (delta > 0) updates");
+  (void)site;
+  (void)delta;
+}
+
+void DistributedTracker::Dispatch(uint32_t site, int64_t delta) {
+  if (support_ == UpdateSupport::kArbitrary) {
+    DoPush(site, delta);
+    return;
+  }
+  // Appendix C: simulate a magnitude-m update as m unit arrivals.
+  const int64_t step = delta > 0 ? 1 : -1;
+  for (uint64_t i = AbsU64(delta); i > 0; --i) DoPush(site, step);
+}
+
+void DistributedTracker::Push(uint32_t site, int64_t delta) {
+  Validate(site, delta);
+  if (delta == 0) return;
+  time_ += AbsU64(delta);
+  Dispatch(site, delta);
+}
+
+void DistributedTracker::PushBatch(std::span<const CountUpdate> batch) {
+  uint64_t steps = 0;
+  for (const CountUpdate& u : batch) {
+    Validate(u.site, u.delta);
+    steps += AbsU64(u.delta);
+  }
+  time_ += steps;
+  DoPushBatch(batch);
+}
+
+void DistributedTracker::DoPushBatch(std::span<const CountUpdate> batch) {
+  for (const CountUpdate& u : batch) {
+    if (u.delta != 0) Dispatch(u.site, u.delta);
+  }
+}
+
+TrackerSnapshot DistributedTracker::Snapshot() const {
+  const CostMeter& c = cost();
+  return TrackerSnapshot{Estimate(), time_, c.total_messages(),
+                         c.total_bits()};
+}
+
+}  // namespace varstream

@@ -1,27 +1,78 @@
 // The public interface implemented by every distributed count tracker in
 // the library — the paper's algorithms (sections 3.3, 3.4) and the
 // baselines they are compared against.
+//
+// The interface is a non-virtual-interface (NVI) layer: callers use the
+// concrete entry points Push / PushBatch / Snapshot, and the base class
+// handles validation, unit expansion (Appendix C) for trackers that only
+// understand ±1 arrivals, and time accounting. Concrete trackers override
+// the protected DoPush / DoPushBatch hooks; hot trackers override
+// DoPushBatch to amortize per-update dispatch overhead across a batch.
 
 #ifndef VARSTREAM_CORE_TRACKER_H_
 #define VARSTREAM_CORE_TRACKER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "net/cost_meter.h"
+#include "stream/update.h"
 
 namespace varstream {
 
-/// A coordinator + k sites tracking an integer f(n) defined by +-1 updates
-/// arriving at the sites. After each Push the coordinator's estimate is
-/// available via Estimate(); communication is accounted in cost().
+/// One consistent view of a tracker: the coordinator's estimate together
+/// with the clock and communication spent producing it. Replaces the
+/// Estimate()/time()/cost() stitching that every caller used to hand-roll.
+struct TrackerSnapshot {
+  double estimate = 0.0;   ///< coordinator's current estimate of f(n)
+  uint64_t time = 0;       ///< unit updates consumed (the current time n)
+  uint64_t messages = 0;   ///< total messages sent so far
+  uint64_t bits = 0;       ///< total bits sent so far
+
+  bool operator==(const TrackerSnapshot&) const = default;
+};
+
+/// A coordinator + k sites tracking an integer f(n) defined by integer
+/// updates arriving at the sites. After each Push/PushBatch the
+/// coordinator's estimate is available via Estimate() or Snapshot();
+/// communication is accounted in cost().
 class DistributedTracker {
  public:
+  /// How a concrete tracker consumes update deltas. Declared by the
+  /// subclass at construction; the base class adapts arbitrary-magnitude
+  /// input to it.
+  enum class UpdateSupport {
+    /// DoPush accepts any nonzero int64 delta directly.
+    kArbitrary,
+    /// DoPush requires delta = ±1; the base class expands a magnitude-m
+    /// update into m unit arrivals (Appendix C simulation).
+    kUnit,
+    /// DoPush requires delta = +1 (insertion-only baselines); positive
+    /// updates are unit-expanded, negative deltas are rejected.
+    kMonotoneUnit,
+  };
+
   virtual ~DistributedTracker() = default;
 
-  /// Delivers update f'(n) = delta (must be +1 or -1; expand larger updates
-  /// with UnitExpansionGenerator) to `site`. Advances time by one step.
-  virtual void Push(uint32_t site, int64_t delta) = 0;
+  DistributedTracker(const DistributedTracker&) = delete;
+  DistributedTracker& operator=(const DistributedTracker&) = delete;
+
+  /// Delivers update f'(n) = delta to `site`. Any nonzero int64 delta is
+  /// accepted (monotone trackers require delta > 0); delta = 0 is a no-op.
+  /// Advances time by |delta| unit steps — the length of the equivalent
+  /// ±1 stream, so time() is comparable across trackers regardless of how
+  /// each consumes the update.
+  void Push(uint32_t site, int64_t delta);
+
+  /// Delivers a batch of updates in order, equivalent to calling Push on
+  /// each element but with per-call overhead amortized across the batch
+  /// (and further by trackers that override DoPushBatch). Estimates, cost
+  /// and time after the call are identical to the per-update loop.
+  void PushBatch(std::span<const CountUpdate> batch);
+
+  /// The estimate together with the clock and cost that produced it.
+  TrackerSnapshot Snapshot() const;
 
   /// The coordinator's current estimate of f(n). Double because randomized
   /// estimators carry the fractional 1/p correction of Huang et al.
@@ -30,11 +81,46 @@ class DistributedTracker {
   /// Communication spent so far.
   virtual const CostMeter& cost() const = 0;
 
-  /// Number of updates pushed so far (the current time n).
-  virtual uint64_t time() const = 0;
+  /// Number of unit updates consumed so far (the current time n).
+  uint64_t time() const { return time_; }
 
-  virtual uint32_t num_sites() const = 0;
+  uint32_t num_sites() const { return num_sites_; }
+
+  /// How this tracker consumes deltas (kUnit trackers pay the Appendix C
+  /// expansion on large updates; kArbitrary trackers ingest them in one
+  /// step).
+  UpdateSupport update_support() const { return support_; }
+
   virtual std::string name() const = 0;
+
+ protected:
+  DistributedTracker(uint32_t num_sites, UpdateSupport support);
+
+  /// Consumes one update. delta is ±1 for kUnit, +1 for kMonotoneUnit,
+  /// any nonzero value for kArbitrary — the base class has already
+  /// validated and expanded as needed.
+  virtual void DoPush(uint32_t site, int64_t delta) = 0;
+
+  /// Consumes a validated batch (entries may have delta = 0; skip them).
+  /// The default implementation expands and loops over DoPush; override
+  /// to amortize per-update work. Overrides must be observably equivalent
+  /// to the default (same estimates, cost, and time).
+  virtual void DoPushBatch(std::span<const CountUpdate> batch);
+
+  /// Expands `delta` per the declared UpdateSupport and feeds DoPush.
+  /// Does not touch the clock (Push/PushBatch advance it).
+  void Dispatch(uint32_t site, int64_t delta);
+
+  /// For auxiliary entry points (e.g. SingleSiteTracker::Update) that
+  /// consume time outside Push/PushBatch.
+  void AdvanceTime(uint64_t steps) { time_ += steps; }
+
+ private:
+  void Validate(uint32_t site, int64_t delta) const;
+
+  uint32_t num_sites_;
+  UpdateSupport support_;
+  uint64_t time_ = 0;
 };
 
 }  // namespace varstream

@@ -29,9 +29,11 @@ class SimNetwork {
 
   uint32_t num_sites() const { return num_sites_; }
 
-  /// Advances the simulation clock; trackers call this once per update so
-  /// logged events carry timestamps.
-  void Tick() { ++now_; }
+  /// Advances the simulation clock; trackers call this once per unit
+  /// arrival so logged events carry timestamps. Trackers that ingest a
+  /// magnitude-m update in one step pass m to keep the clock aligned with
+  /// the equivalent unit stream.
+  void Tick(uint64_t steps = 1) { now_ += steps; }
   uint64_t now() const { return now_; }
 
   /// Site -> coordinator message carrying `words` counter values.

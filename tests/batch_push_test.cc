@@ -1,0 +1,194 @@
+// The PushBatch contract: delivering a stream through PushBatch — in any
+// batching — yields exactly the same estimates, communication cost, and
+// clock as the per-update Push loop, for every tracker in the registry.
+// Also covers arbitrary-magnitude Push (Appendix C unit expansion) and the
+// Snapshot() accessor.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/driver.h"
+#include "core/registry.h"
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "stream/trace.h"
+#include "stream/update.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TrackerOptions TestOptions() {
+  TrackerOptions options;
+  options.num_sites = 4;
+  options.epsilon = 0.1;
+  options.seed = 0xBA7C4;
+  options.period = 8;
+  return options;
+}
+
+/// A mixed-magnitude test stream: monotone trackers get positive deltas
+/// only; everything else gets sign flips too. Magnitudes up to 6 exercise
+/// the unit-expansion path of kUnit trackers.
+std::vector<CountUpdate> MakeStream(uint32_t num_sites, bool monotone,
+                                    size_t n) {
+  Rng rng(42);
+  std::vector<CountUpdate> updates;
+  updates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto site = static_cast<uint32_t>(rng.UniformBelow(num_sites));
+    auto magnitude = static_cast<int64_t>(1 + rng.UniformBelow(6));
+    bool negative = !monotone && rng.Bernoulli(0.45);
+    updates.push_back({site, negative ? -magnitude : magnitude});
+  }
+  return updates;
+}
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BatchEquivalenceTest, BatchedPushMatchesUnitPushExactly) {
+  const std::string& name = GetParam();
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  TrackerOptions options = TestOptions();
+
+  auto unit_tracker = registry.Create(name, options);
+  auto batch_tracker = registry.Create(name, options);
+  ASSERT_NE(unit_tracker, nullptr);
+  ASSERT_NE(batch_tracker, nullptr);
+
+  std::vector<CountUpdate> stream = MakeStream(
+      unit_tracker->num_sites(), registry.IsMonotoneOnly(name), 3000);
+
+  for (size_t batch_size : {1u, 7u, 64u, 1024u}) {
+    // Fresh trackers per batching so each comparison starts from t = 0.
+    unit_tracker = registry.Create(name, options);
+    batch_tracker = registry.Create(name, options);
+
+    for (const CountUpdate& u : stream) {
+      unit_tracker->Push(u.site, u.delta);
+    }
+    for (size_t off = 0; off < stream.size(); off += batch_size) {
+      size_t take = std::min(batch_size, stream.size() - off);
+      batch_tracker->PushBatch(
+          std::span<const CountUpdate>(stream).subspan(off, take));
+    }
+
+    // Identical estimate, time, and cost — bit for bit.
+    EXPECT_EQ(unit_tracker->Snapshot(), batch_tracker->Snapshot())
+        << name << " with batch_size=" << batch_size;
+    EXPECT_EQ(unit_tracker->cost().Breakdown(),
+              batch_tracker->cost().Breakdown())
+        << name << " with batch_size=" << batch_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrackers, BatchEquivalenceTest,
+    ::testing::ValuesIn(TrackerRegistry::Instance().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string sanitized = info.param;
+      for (char& c : sanitized) {
+        if (c == '-') c = '_';
+      }
+      return sanitized;
+    });
+
+TEST(PushExpansion, LargeDeltaEqualsUnitSequence) {
+  // For a unit-expansion tracker, Push(site, +5) must be exactly five
+  // Push(site, +1) calls (Appendix C simulation).
+  TrackerOptions options = TestOptions();
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  auto expanded = registry.Create("deterministic", options);
+  auto unit = registry.Create("deterministic", options);
+
+  expanded->Push(1, +5);
+  expanded->Push(2, -3);
+  for (int i = 0; i < 5; ++i) unit->Push(1, +1);
+  for (int i = 0; i < 3; ++i) unit->Push(2, -1);
+
+  EXPECT_EQ(expanded->Snapshot(), unit->Snapshot());
+  EXPECT_EQ(expanded->time(), 8u);
+}
+
+TEST(PushExpansion, ZeroDeltaIsANoOp) {
+  TrackerOptions options = TestOptions();
+  auto tracker = TrackerRegistry::Instance().Create("naive", options);
+  tracker->Push(0, 0);
+  EXPECT_EQ(tracker->time(), 0u);
+  EXPECT_EQ(tracker->cost().total_messages(), 0u);
+}
+
+TEST(Snapshot, MatchesIndividualAccessors) {
+  TrackerOptions options = TestOptions();
+  auto tracker = TrackerRegistry::Instance().Create("deterministic",
+                                                    options);
+  RandomWalkGenerator gen(7);
+  for (int i = 0; i < 500; ++i) {
+    tracker->Push(static_cast<uint32_t>(i % 4), gen.NextDelta());
+  }
+  TrackerSnapshot snap = tracker->Snapshot();
+  EXPECT_DOUBLE_EQ(snap.estimate, tracker->Estimate());
+  EXPECT_EQ(snap.time, tracker->time());
+  EXPECT_EQ(snap.messages, tracker->cost().total_messages());
+  EXPECT_EQ(snap.bits, tracker->cost().total_bits());
+  EXPECT_EQ(snap.time, 500u);
+}
+
+TEST(RunCountBatched, MatchesUnbatchedRunOnSameTrace) {
+  TrackerOptions options = TestOptions();
+  RandomWalkGenerator gen(19);
+  UniformAssigner assigner(4, 23);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 5000);
+
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  auto unit_tracker = registry.Create("deterministic", options);
+  RunResult unit =
+      RunCountOnTrace(trace, unit_tracker.get(), options.epsilon);
+
+  for (uint64_t batch_size : {32ULL, 4096ULL, 100000ULL}) {
+    auto batch_tracker = registry.Create("deterministic", options);
+    RunResult batched = RunCountOnTraceBatched(
+        trace, batch_tracker.get(), options.epsilon, batch_size);
+    // The stream and tracker behavior are identical; only validation
+    // granularity differs.
+    EXPECT_EQ(batched.n, unit.n);
+    EXPECT_EQ(batched.messages, unit.messages);
+    EXPECT_EQ(batched.bits, unit.bits);
+    EXPECT_EQ(batched.final_f, unit.final_f);
+    EXPECT_DOUBLE_EQ(batched.final_estimate, unit.final_estimate);
+    EXPECT_DOUBLE_EQ(batched.variability, unit.variability);
+    // Deterministic tracker: the guarantee holds at batch boundaries too.
+    EXPECT_LE(batched.max_rel_error, options.epsilon + 1e-9);
+    EXPECT_EQ(batched.violation_rate, 0.0);
+  }
+}
+
+TEST(RunCountBatched, GeneratorDrivenBatchingMatchesTraceReplay) {
+  TrackerOptions options = TestOptions();
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+
+  RandomWalkGenerator gen_a(31);
+  UniformAssigner assigner_a(4, 37);
+  auto tracker_a = registry.Create("randomized", options);
+  RunResult direct = RunCountBatched(&gen_a, &assigner_a, tracker_a.get(),
+                                     4000, options.epsilon, 128);
+
+  RandomWalkGenerator gen_b(31);
+  UniformAssigner assigner_b(4, 37);
+  StreamTrace trace = StreamTrace::Record(&gen_b, &assigner_b, 4000);
+  auto tracker_b = registry.Create("randomized", options);
+  RunResult replayed = RunCountOnTraceBatched(trace, tracker_b.get(),
+                                              options.epsilon, 128);
+
+  EXPECT_EQ(direct.n, replayed.n);
+  EXPECT_EQ(direct.messages, replayed.messages);
+  EXPECT_DOUBLE_EQ(direct.final_estimate, replayed.final_estimate);
+  EXPECT_EQ(direct.final_f, replayed.final_f);
+}
+
+}  // namespace
+}  // namespace varstream

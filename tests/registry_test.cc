@@ -1,0 +1,93 @@
+// TrackerRegistry: every tracker in the library is constructible by name,
+// round-trips its registered name through name(), and carries the right
+// metadata for generic callers.
+
+#include "core/registry.h"
+
+#include <algorithm>
+
+#include "baseline/periodic_tracker.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(TrackerRegistry, EveryCoreAndBaselineTrackerIsRegistered) {
+  std::vector<std::string> names = TrackerRegistry::Instance().Names();
+  for (const char* expected :
+       {"deterministic", "randomized", "single-site", "naive", "periodic",
+        "cmy-monotone", "hyz-monotone"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing tracker '" << expected << "'";
+  }
+}
+
+TEST(TrackerRegistry, NamesAreSortedAndConstructible) {
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  std::vector<std::string> names = registry.Names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  TrackerOptions options;
+  options.num_sites = 4;
+  options.epsilon = 0.1;
+  for (const std::string& name : names) {
+    auto tracker = registry.Create(name, options);
+    ASSERT_NE(tracker, nullptr) << name;
+    // Round trip: the registered name is the tracker's own name.
+    EXPECT_EQ(tracker->name(), name);
+    EXPECT_GE(tracker->num_sites(), 1u) << name;
+    EXPECT_EQ(tracker->time(), 0u) << name;
+  }
+}
+
+TEST(TrackerRegistry, UnknownNameReturnsNull) {
+  TrackerOptions options;
+  EXPECT_EQ(TrackerRegistry::Instance().Create("no-such-tracker", options),
+            nullptr);
+  EXPECT_FALSE(TrackerRegistry::Instance().Contains("no-such-tracker"));
+}
+
+TEST(TrackerRegistry, AliasesResolveToCanonicalTrackers) {
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  TrackerOptions options;
+  options.num_sites = 2;
+  options.epsilon = 0.1;
+
+  auto cmy = registry.Create("cmy", options);
+  ASSERT_NE(cmy, nullptr);
+  EXPECT_EQ(cmy->name(), "cmy-monotone");
+
+  auto hyz = registry.Create("hyz", options);
+  ASSERT_NE(hyz, nullptr);
+  EXPECT_EQ(hyz->name(), "hyz-monotone");
+
+  // Aliases resolve but are not listed as canonical names.
+  std::vector<std::string> names = registry.Names();
+  EXPECT_EQ(std::find(names.begin(), names.end(), "cmy"), names.end());
+}
+
+TEST(TrackerRegistry, MonotoneOnlyMetadata) {
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  EXPECT_TRUE(registry.IsMonotoneOnly("cmy-monotone"));
+  EXPECT_TRUE(registry.IsMonotoneOnly("hyz-monotone"));
+  EXPECT_TRUE(registry.IsMonotoneOnly("hyz"));  // via alias
+  EXPECT_FALSE(registry.IsMonotoneOnly("deterministic"));
+  EXPECT_FALSE(registry.IsMonotoneOnly("randomized"));
+  EXPECT_FALSE(registry.IsMonotoneOnly("naive"));
+}
+
+TEST(TrackerRegistry, PeriodicHonorsOptionsPeriod) {
+  TrackerOptions options;
+  options.num_sites = 2;
+  options.epsilon = 0.1;
+  options.period = 17;
+  auto tracker = TrackerRegistry::Instance().Create("periodic", options);
+  ASSERT_NE(tracker, nullptr);
+  auto* periodic = dynamic_cast<PeriodicTracker*>(tracker.get());
+  ASSERT_NE(periodic, nullptr);
+  EXPECT_EQ(periodic->period(), 17u);
+}
+
+}  // namespace
+}  // namespace varstream

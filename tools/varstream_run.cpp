@@ -4,11 +4,11 @@
 //
 //   $ varstream_run --tracker=deterministic --generator=random-walk
 //                   --sites=16 --eps=0.05 --n=200000 [--assigner=uniform]
-//                   [--seed=1] [--trace-out=walk.trace]
+//                   [--seed=1] [--trace-out=walk.trace] [--batch=1]
 //
-// Trackers: deterministic | randomized | naive | periodic | single-site
-//           | cmy (monotone only) | hyz (monotone only)
-// Generators / assigners: see MakeGeneratorByName / MakeAssignerByName.
+// Trackers: anything in the TrackerRegistry — run with --list-trackers to
+// enumerate. Generators / assigners: see MakeGeneratorByName /
+// MakeAssignerByName.
 
 #include <cstdio>
 #include <memory>
@@ -18,32 +18,23 @@
 
 namespace {
 
-std::unique_ptr<varstream::DistributedTracker> MakeTracker(
-    const std::string& name, const varstream::TrackerOptions& options,
-    uint64_t period) {
-  using namespace varstream;
-  if (name == "deterministic") {
-    return std::make_unique<DeterministicTracker>(options);
+void ListTrackers() {
+  const varstream::TrackerRegistry& registry =
+      varstream::TrackerRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    std::printf("%s%s\n", name.c_str(),
+                registry.IsMonotoneOnly(name) ? " (monotone only)" : "");
   }
-  if (name == "randomized") {
-    return std::make_unique<RandomizedTracker>(options);
-  }
-  if (name == "naive") return std::make_unique<NaiveTracker>(options);
-  if (name == "periodic") {
-    return std::make_unique<PeriodicTracker>(options, period);
-  }
-  if (name == "single-site") {
-    return std::make_unique<SingleSiteTracker>(options);
-  }
-  if (name == "cmy") return std::make_unique<CmyMonotoneTracker>(options);
-  if (name == "hyz") return std::make_unique<HyzMonotoneTracker>(options);
-  return nullptr;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
+  if (flags.GetBool("list-trackers", false)) {
+    ListTrackers();
+    return 0;
+  }
   const std::string tracker_name =
       flags.GetString("tracker", "deterministic");
   const std::string generator_name =
@@ -51,7 +42,7 @@ int main(int argc, char** argv) {
   const std::string assigner_name = flags.GetString("assigner", "uniform");
   const uint64_t n = flags.GetUint("n", 100000);
   const uint64_t seed = flags.GetUint("seed", 1);
-  const uint64_t period = flags.GetUint("period", 64);
+  const uint64_t batch = flags.GetUint("batch", 1);
 
   varstream::TrackerOptions options;
   options.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
@@ -60,6 +51,7 @@ int main(int argc, char** argv) {
   options.drift_threshold_factor =
       flags.GetDouble("threshold-factor", 1.0);
   options.sample_constant = flags.GetDouble("sample-constant", 3.0);
+  options.period = flags.GetUint("period", 64);
 
   auto gen = varstream::MakeGeneratorByName(generator_name, seed);
   if (!gen) {
@@ -68,16 +60,29 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.initial_value = gen->initial_value();
-  auto assigner = varstream::MakeAssignerByName(
-      assigner_name,
-      tracker_name == "single-site" ? 1 : options.num_sites, seed + 1);
-  if (!assigner) {
-    std::fprintf(stderr, "unknown assigner '%s'\n", assigner_name.c_str());
+  auto tracker = varstream::TrackerRegistry::Instance().Create(
+      tracker_name, options);
+  if (!tracker) {
+    std::fprintf(stderr,
+                 "unknown tracker '%s'; --list-trackers enumerates the "
+                 "registry\n",
+                 tracker_name.c_str());
     return 2;
   }
-  auto tracker = MakeTracker(tracker_name, options, period);
-  if (!tracker) {
-    std::fprintf(stderr, "unknown tracker '%s'\n", tracker_name.c_str());
+  if (varstream::TrackerRegistry::Instance().IsMonotoneOnly(tracker_name) &&
+      generator_name != "monotone") {
+    std::fprintf(stderr,
+                 "warning: '%s' is insertion-only; generator '%s' may "
+                 "emit deletions, which insertion-only trackers cannot "
+                 "track\n",
+                 tracker->name().c_str(), generator_name.c_str());
+  }
+  // The tracker decides its own k (single-site pins it to 1); deal the
+  // stream across exactly that many sites.
+  auto assigner = varstream::MakeAssignerByName(
+      assigner_name, tracker->num_sites(), seed + 1);
+  if (!assigner) {
+    std::fprintf(stderr, "unknown assigner '%s'\n", assigner_name.c_str());
     return 2;
   }
 
@@ -91,11 +96,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
       return 3;
     }
-    result = varstream::RunCountOnTrace(trace, tracker.get(),
-                                        options.epsilon);
+    result = batch > 1
+                 ? varstream::RunCountOnTraceBatched(trace, tracker.get(),
+                                                     options.epsilon, batch)
+                 : varstream::RunCountOnTrace(trace, tracker.get(),
+                                              options.epsilon);
   } else {
-    result = varstream::RunCount(gen.get(), assigner.get(), tracker.get(),
-                                 n, options.epsilon);
+    result = batch > 1
+                 ? varstream::RunCountBatched(gen.get(), assigner.get(),
+                                              tracker.get(), n,
+                                              options.epsilon, batch)
+                 : varstream::RunCount(gen.get(), assigner.get(),
+                                       tracker.get(), n, options.epsilon);
   }
 
   std::printf("tracker        : %s (k=%u, eps=%g)\n",

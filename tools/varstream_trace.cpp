@@ -3,6 +3,10 @@
 //   $ varstream_trace --in=walk.trace                     # summary
 //   $ varstream_trace --in=walk.trace --replay=randomized --eps=0.05
 //   $ varstream_trace --record=random-walk --n=50000 --out=walk.trace
+//   $ varstream_trace --list-trackers                     # replay targets
+//
+// --replay accepts any TrackerRegistry name; --batch=B replays through the
+// batched ingest path (PushBatch) in batches of B updates.
 //
 // Traces are the regression-fixture format of stream/trace.h: byte-exact
 // replays across tracker implementations and machines.
@@ -15,6 +19,16 @@
 
 int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
+
+  if (flags.GetBool("list-trackers", false)) {
+    const varstream::TrackerRegistry& registry =
+        varstream::TrackerRegistry::Instance();
+    for (const std::string& name : registry.Names()) {
+      std::printf("%s%s\n", name.c_str(),
+                  registry.IsMonotoneOnly(name) ? " (monotone only)" : "");
+    }
+    return 0;
+  }
 
   // --- Record mode. ---
   std::string record = flags.GetString("record", "");
@@ -73,19 +87,42 @@ int main(int argc, char** argv) {
   options.epsilon = flags.GetDouble("eps", 0.1);
   options.initial_value = trace.initial_value();
   options.seed = flags.GetUint("seed", 1);
-  std::unique_ptr<varstream::DistributedTracker> tracker;
-  if (replay == "deterministic") {
-    tracker = std::make_unique<varstream::DeterministicTracker>(options);
-  } else if (replay == "randomized") {
-    tracker = std::make_unique<varstream::RandomizedTracker>(options);
-  } else if (replay == "naive") {
-    tracker = std::make_unique<varstream::NaiveTracker>(options);
-  } else {
-    std::fprintf(stderr, "unknown tracker '%s'\n", replay.c_str());
+  options.period = flags.GetUint("period", 64);
+  const varstream::TrackerRegistry& registry =
+      varstream::TrackerRegistry::Instance();
+  std::unique_ptr<varstream::DistributedTracker> tracker =
+      registry.Create(replay, options);
+  if (!tracker) {
+    std::fprintf(stderr,
+                 "unknown tracker '%s'; --list-trackers enumerates the "
+                 "registry\n",
+                 replay.c_str());
     return 2;
   }
+  if (tracker->num_sites() <= max_site) {
+    std::fprintf(stderr,
+                 "tracker '%s' has %u site(s) but the trace spans %u\n",
+                 tracker->name().c_str(), tracker->num_sites(),
+                 max_site + 1);
+    return 2;
+  }
+  if (registry.IsMonotoneOnly(replay)) {
+    for (const auto& u : trace.updates()) {
+      if (u.delta < 0) {
+        std::fprintf(stderr,
+                     "tracker '%s' is insertion-only but the trace "
+                     "contains deletions\n",
+                     tracker->name().c_str());
+        return 2;
+      }
+    }
+  }
+  const uint64_t batch = flags.GetUint("batch", 1);
   varstream::RunResult r =
-      varstream::RunCountOnTrace(trace, tracker.get(), options.epsilon);
+      batch > 1 ? varstream::RunCountOnTraceBatched(trace, tracker.get(),
+                                                    options.epsilon, batch)
+                : varstream::RunCountOnTrace(trace, tracker.get(),
+                                             options.epsilon);
   std::printf("replayed with  : %s (eps=%g)\n", tracker->name().c_str(),
               options.epsilon);
   std::printf("messages       : %llu\n",
