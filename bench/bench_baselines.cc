@@ -9,12 +9,16 @@
 //     loses the guarantee. Our trackers keep the guarantee at O(v)-scaled
 //     cost — the crossover the paper's framework creates.
 
+#include <algorithm>
 #include <iostream>
+#include <span>
+#include <vector>
 
 #include "baseline/cmy_threshold_detector.h"
 #include "bench_util.h"
 #include "core/registry.h"
 #include "core/threshold_monitor.h"
+#include "stream/source.h"
 #include "stream/trace.h"
 
 namespace varstream {
@@ -38,14 +42,32 @@ void AddRow(TablePrinter* table, const std::string& name,
                      : (r.violation_rate < 1.0 / 3 ? "w.p. 2/3" : "NO")});
 }
 
+/// Replays one recorded stream against a fresh tracker (byte-identical
+/// input for every row of a table).
+RunResult ReplayTrace(const StreamTrace& trace, DistributedTracker* tracker,
+                      double eps) {
+  TraceSource source(&trace);
+  RunOptions options;
+  options.epsilon = eps;
+  return Run(source, *tracker, options);
+}
+
+/// Records n updates of a registered stream dealt uniformly over k sites.
+StreamTrace RecordStream(const std::string& stream, uint32_t k,
+                         uint64_t seed, uint64_t n) {
+  StreamSpec spec;
+  spec.num_sites = k;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  return RecordTrace(*source, n);
+}
+
 void MonotoneShowdown(const bench::BenchScale& scale) {
   PrintBanner(std::cout,
               "E14a / monotone streams: ours vs CMY & HYZ (k=16, eps=0.05)");
   const uint32_t k = 16;
   const double eps = 0.05;
-  MonotoneGenerator gen;
-  UniformAssigner assigner(k, 3);
-  StreamTrace trace = StreamTrace::Record(&gen, &assigner, scale.n * 2);
+  StreamTrace trace = RecordStream("monotone", k, 3, scale.n * 2);
 
   TablePrinter table(
       {"tracker", "msgs", "max err", "violation rate", "guarantee held"});
@@ -55,7 +77,7 @@ void MonotoneShowdown(const bench::BenchScale& scale) {
   for (const std::string& name : registry.Names()) {
     auto t = registry.Create(name, Opts(k, eps));
     if (t->num_sites() != k) continue;  // single-site pins k = 1
-    AddRow(&table, name, RunCountOnTrace(trace, t.get(), eps), eps);
+    AddRow(&table, name, ReplayTrace(trace, t.get(), eps), eps);
   }
   table.Print(std::cout);
   std::cout << "Expected: all guarantee-holders beat naive by orders "
@@ -69,9 +91,7 @@ void NonMonotoneShowdown(const bench::BenchScale& scale,
                              gen_name + "): guarantees vs cost");
   const uint32_t k = 16;
   const double eps = 0.1;
-  auto gen = MakeGeneratorByName(gen_name, seed);
-  UniformAssigner assigner(k, seed + 1);
-  StreamTrace trace = StreamTrace::Record(gen.get(), &assigner, scale.n);
+  StreamTrace trace = RecordStream(gen_name, k, seed, scale.n);
 
   TablePrinter table(
       {"tracker", "msgs", "max err", "violation rate", "guarantee held"});
@@ -86,13 +106,13 @@ void NonMonotoneShowdown(const bench::BenchScale& scale,
         opts.period = period;
         auto t = registry.Create(name, opts);
         AddRow(&table, "periodic T=" + std::to_string(period),
-               RunCountOnTrace(trace, t.get(), eps), eps);
+               ReplayTrace(trace, t.get(), eps), eps);
       }
       continue;
     }
     auto t = registry.Create(name, Opts(k, eps));
     if (t->num_sites() != k) continue;  // single-site pins k = 1
-    AddRow(&table, name, RunCountOnTrace(trace, t.get(), eps), eps);
+    AddRow(&table, name, ReplayTrace(trace, t.get(), eps), eps);
   }
   std::cout << "stream variability v(n) = " << trace.Variability()
             << ", n = " << trace.size() << "\n";
@@ -110,12 +130,22 @@ void ThresholdShowdown(const bench::BenchScale& scale) {
   const int64_t tau = static_cast<int64_t>(scale.n / 2);
   TablePrinter table({"detector", "msgs", "fired at", "tau", "re-arms",
                       "handles deletions"});
+  // Both detectors see the identical insertion stream: two fresh sources
+  // built from the same spec replay the same update sequence.
+  StreamSpec spec;
+  spec.num_sites = k;
+  spec.seed = 51;
+  std::vector<CountUpdate> batch(4096);
   {
     TrackerOptions opts = Opts(k, 0.1);
     CmyThresholdDetector detector(opts, tau);
-    UniformAssigner assigner(k, 51);
-    for (uint64_t t = 0; t < scale.n; ++t) {
-      detector.PushInsert(assigner.NextSite());
+    auto source = StreamRegistry::Instance().Create("monotone", spec);
+    for (uint64_t t = 0; t < scale.n;) {
+      size_t got = source->NextBatch(
+          std::span(batch.data(),
+                    std::min<uint64_t>(batch.size(), scale.n - t)));
+      for (size_t i = 0; i < got; ++i) detector.PushInsert(batch[i].site);
+      t += got;
     }
     table.AddRow({"CMY one-shot",
                   TablePrinter::Cell(detector.cost().total_messages()),
@@ -125,15 +155,20 @@ void ThresholdShowdown(const bench::BenchScale& scale) {
   {
     TrackerOptions opts = Opts(k, 0.1);
     ThresholdMonitor monitor(opts, tau);
-    UniformAssigner assigner(k, 51);
     uint64_t fired_at = 0;
     monitor.set_state_change_callback(
         [&](uint64_t t, ThresholdState s) {
           if (fired_at == 0 && s == ThresholdState::kAbove) fired_at = t;
         });
-    MonotoneGenerator gen;
-    for (uint64_t t = 0; t < scale.n; ++t) {
-      monitor.Push(assigner.NextSite(), gen.NextDelta());
+    auto source = StreamRegistry::Instance().Create("monotone", spec);
+    for (uint64_t t = 0; t < scale.n;) {
+      size_t got = source->NextBatch(
+          std::span(batch.data(),
+                    std::min<uint64_t>(batch.size(), scale.n - t)));
+      for (size_t i = 0; i < got; ++i) {
+        monitor.Push(batch[i].site, batch[i].delta);
+      }
+      t += got;
     }
     table.AddRow({"ThresholdMonitor",
                   TablePrinter::Cell(monitor.cost().total_messages()),

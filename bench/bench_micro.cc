@@ -10,6 +10,7 @@
 
 #include "baseline/naive_tracker.h"
 #include "core/deterministic_tracker.h"
+#include "core/driver.h"
 #include "core/frequency_tracker.h"
 #include "core/quantile_tracker.h"
 #include "core/randomized_tracker.h"
@@ -19,6 +20,9 @@
 #include "sketch/count_min.h"
 #include "sketch/cr_precis.h"
 #include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "stream/source.h"
+#include "stream/trace.h"
 #include "stream/update.h"
 #include "stream/variability.h"
 
@@ -66,18 +70,66 @@ BENCHMARK(BM_DeterministicTrackerPush)->Arg(4)->Arg(64);
 
 // Pre-generated ±1 update stream dealt round-robin over k sites, so the
 // ingest benchmarks below measure tracker cost only, not generator cost.
+// One NextBatch pull fills the whole pool.
 std::vector<CountUpdate> MakeUpdatePool(uint32_t k, uint64_t seed,
                                         size_t size) {
-  RandomWalkGenerator gen(seed);
+  GeneratorSource source(std::make_unique<RandomWalkGenerator>(seed),
+                         std::make_unique<RoundRobinAssigner>(k), k);
   std::vector<CountUpdate> pool(size);
-  uint32_t site = 0;
-  for (CountUpdate& u : pool) {
-    u.site = site;
-    u.delta = gen.NextDelta();
-    site = (site + 1) % k;
-  }
+  source.NextBatch(pool);
   return pool;
 }
+
+// Pull cost of the source abstraction itself at several batch sizes: the
+// per-update virtual-dispatch overhead every Run() pays on the stream
+// side, and how batching amortizes it.
+void BM_GeneratorSourceNextBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  GeneratorSource source(std::make_unique<RandomWalkGenerator>(21),
+                         std::make_unique<RoundRobinAssigner>(8), 8);
+  std::vector<CountUpdate> buf(batch_size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.NextBatch(buf));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_GeneratorSourceNextBatch)->Arg(1)->Arg(64)->Arg(4096);
+
+// Replay side: pulling from a recorded trace is a bounds check + memcpy.
+void BM_TraceSourceNextBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  GeneratorSource gen_source(std::make_unique<RandomWalkGenerator>(22),
+                             std::make_unique<RoundRobinAssigner>(8), 8);
+  TraceSource source(RecordTrace(gen_source, size_t{1} << 16));
+  std::vector<CountUpdate> buf(batch_size);
+  for (auto _ : state) {
+    if (source.remaining() < batch_size) source.Reset();
+    benchmark::DoNotOptimize(source.NextBatch(buf));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_TraceSourceNextBatch)->Arg(64)->Arg(4096);
+
+// End-to-end unified driver over a recorded 64Ki-update stream: per-update
+// validation (batch 1) vs batched boundary validation (batch 4096).
+void BM_DriverRun(benchmark::State& state) {
+  const auto batch_size = static_cast<uint64_t>(state.range(0));
+  const uint32_t k = 8;
+  TraceSource source(
+      StreamTrace(MakeUpdatePool(k, 23, size_t{1} << 16), 0));
+  for (auto _ : state) {
+    source.Reset();
+    DeterministicTracker tracker(Opts(k, 0.1));
+    RunOptions options;
+    options.epsilon = 0.1;
+    options.batch_size = batch_size;
+    benchmark::DoNotOptimize(Run(source, tracker, options));
+  }
+  state.SetItemsProcessed(state.iterations() * (int64_t{1} << 16));
+}
+BENCHMARK(BM_DriverRun)->Arg(1)->Arg(4096);
 
 // Per-update ingest over the pre-generated pool: the baseline the batched
 // path is measured against.

@@ -16,6 +16,7 @@
 #include "core/options.h"
 #include "stream/generator.h"
 #include "stream/site_assigner.h"
+#include "stream/source.h"
 
 namespace varstream {
 namespace bench {
@@ -32,13 +33,20 @@ struct BenchScale {
   }
 };
 
-/// Runs one (generator, assigner, tracker) configuration.
-inline RunResult RunConfig(const std::string& generator_name, uint64_t seed,
+/// Runs one (stream, tracker) configuration through the registry-built
+/// source (uniform site assignment, as the experiments have always used).
+inline RunResult RunConfig(const std::string& stream_name, uint64_t seed,
                            uint32_t k, DistributedTracker* tracker,
                            uint64_t n, double epsilon) {
-  auto gen = MakeGeneratorByName(generator_name, seed);
-  UniformAssigner assigner(k, seed ^ 0x5EED);
-  return RunCount(gen.get(), &assigner, tracker, n, epsilon);
+  StreamSpec spec;
+  spec.num_sites = k;
+  spec.seed = seed;
+  spec.assigner = "uniform";
+  auto source = StreamRegistry::Instance().Create(stream_name, spec);
+  RunOptions options;
+  options.epsilon = epsilon;
+  options.max_updates = n;
+  return Run(*source, *tracker, options);
 }
 
 inline std::string Fmt(double v, int precision = 2) {

@@ -12,14 +12,34 @@
 
 #include <cmath>
 #include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/math_util.h"
 #include "stream/expansion.h"
+#include "stream/source.h"
 #include "stream/variability.h"
 
 namespace varstream {
 namespace {
+
+/// f(1..n) of a registered stream (site assignment is irrelevant for
+/// variability, which only sees the deltas).
+std::vector<int64_t> MaterializeStream(const std::string& stream,
+                                       uint64_t seed,
+                                       std::map<std::string, double> params,
+                                       uint64_t n) {
+  StreamSpec spec;
+  spec.num_sites = 1;
+  spec.seed = seed;
+  spec.assigner = "single";
+  spec.params = std::move(params);
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  return MaterializeF(*source, n);
+}
 
 void TheoremMonotone(const FlagParser& flags) {
   PrintBanner(std::cout,
@@ -27,8 +47,7 @@ void TheoremMonotone(const FlagParser& flags) {
   TablePrinter table({"n", "f(n)", "v(n)", "log2 f(n)", "v / log2 f"});
   uint64_t max_n = flags.GetBool("full", false) ? 10000000 : 1000000;
   for (uint64_t n = 1000; n <= max_n; n *= 10) {
-    MonotoneGenerator gen;
-    auto f = MaterializeF(&gen, n);
+    auto f = MaterializeStream("monotone", 1, {}, n);
     double v = ComputeVariability(f);
     double logf = std::log2(static_cast<double>(f.back()));
     table.AddRow({TablePrinter::Cell(n), TablePrinter::Cell(f.back()),
@@ -49,9 +68,14 @@ void TheoremNearlyMonotone(const FlagParser& flags) {
   };
   for (Shape s : {Shape{4, 1}, Shape{3, 1}, Shape{4, 2}, Shape{8, 6},
                   Shape{16, 14}}) {
-    NearlyMonotoneGenerator gen(s.up, s.down);
-    double beta = gen.beta();
-    auto f = MaterializeF(&gen, n);
+    // Per full period, f^- grows by `down` and f by (up - down).
+    double beta = static_cast<double>(s.down) /
+                  static_cast<double>(s.up - s.down);
+    auto f = MaterializeStream(
+        "nearly-monotone", 1,
+        {{"up", static_cast<double>(s.up)},
+         {"down", static_cast<double>(s.down)}},
+        n);
     double v = ComputeVariability(f);
     double bound =
         beta * std::log2(std::max(2.0, beta * static_cast<double>(f.back())));
@@ -73,8 +97,8 @@ void TheoremRandomWalk(const FlagParser& flags) {
   for (uint64_t n = 12500; n <= max_n; n *= 4) {
     RunningStats stats;
     for (int trial = 0; trial < scale.trials; ++trial) {
-      RandomWalkGenerator gen(1000 + static_cast<uint64_t>(trial));
-      auto f = MaterializeF(&gen, n);
+      auto f = MaterializeStream("random-walk",
+                                 1000 + static_cast<uint64_t>(trial), {}, n);
       stats.Add(ComputeVariability(f));
     }
     double bound = std::sqrt(static_cast<double>(n)) *
@@ -97,8 +121,9 @@ void TheoremBiasedWalk(const FlagParser& flags) {
   for (double mu : {0.5, 0.2, 0.1, 0.05, 0.02}) {
     RunningStats stats;
     for (int trial = 0; trial < scale.trials; ++trial) {
-      BiasedWalkGenerator gen(mu, 2000 + static_cast<uint64_t>(trial));
-      auto f = MaterializeF(&gen, scale.n);
+      auto f = MaterializeStream("biased-walk",
+                                 2000 + static_cast<uint64_t>(trial),
+                                 {{"mu", mu}}, scale.n);
       stats.Add(ComputeVariability(f));
     }
     double bound = std::log(static_cast<double>(scale.n)) / mu;
@@ -137,8 +162,7 @@ void WorstCase(const FlagParser& /*flags*/) {
               "Context: the Omega(n) regime (zero-crossing stream)");
   TablePrinter table({"n", "v(n)", "v/n"});
   for (uint64_t n : {1000ULL, 10000ULL, 100000ULL}) {
-    ZeroCrossingGenerator gen;
-    auto f = MaterializeF(&gen, n);
+    auto f = MaterializeStream("zero-crossing", 1, {}, n);
     double v = ComputeVariability(f);
     table.AddRow({TablePrinter::Cell(n), bench::Fmt(v),
                   bench::Fmt(v / static_cast<double>(n), 4)});

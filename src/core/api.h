@@ -5,8 +5,30 @@
 // to relative error epsilon with communication proportional to the stream's
 // variability v(n) = sum_t min{1, |f'(t)|/|f(t)|} instead of its length.
 //
-// Typical use — construct by name via the registry, ingest in batches,
-// and read one consistent snapshot:
+// Typical use — declare a Scenario (names resolved through the tracker
+// and stream registries) and run it; cross-products go through the suite:
+//
+//   varstream::Scenario s;
+//   s.tracker = "deterministic";       // any TrackerRegistry name
+//   s.stream = "random-walk";          // any StreamRegistry name
+//   s.epsilon = 0.05;
+//   s.n = 200000;
+//   varstream::ScenarioResult r = varstream::RunScenario(s);
+//   // r.result.messages, r.result.max_rel_error, ...
+//
+//   varstream::SuiteSpec suite;        // trackers x streams x eps x seeds
+//   suite.epsilons = {0.05, 0.1};
+//   suite.seeds = {1, 2, 3};
+//   auto results = varstream::RunSuite(varstream::ExpandSuite(suite), 8);
+//   std::string json = varstream::SuiteResultsToJson(results);
+//
+// One layer down, streams are pull-based StreamSources and trackers ingest
+// update batches; both sides are constructible by name:
+//
+//   varstream::StreamSpec spec;        // sites, seed, assigner, params
+//   spec.num_sites = 16;
+//   auto source = varstream::StreamRegistry::Instance().Create(
+//       "sawtooth", spec);
 //
 //   varstream::TrackerOptions options;
 //   options.num_sites = 16;
@@ -14,20 +36,16 @@
 //   auto tracker = varstream::TrackerRegistry::Instance().Create(
 //       "deterministic", options);
 //
-//   std::vector<varstream::CountUpdate> batch = ...;  // {site, delta}
-//   tracker->PushBatch(batch);          // amortized batched ingest
-//   tracker->Push(3, -42);              // single update, any magnitude
+//   varstream::RunOptions ropts;
+//   ropts.epsilon = 0.05;
+//   ropts.max_updates = 200000;
+//   varstream::RunResult result = varstream::Run(*source, *tracker, ropts);
 //
-//   varstream::TrackerSnapshot snap = tracker->Snapshot();
-//   // snap.estimate is within eps*|f| always (deterministic tracker),
-//   // snap.messages is O(k*v/eps), snap.time is the unit-update clock.
-//
-//   for (const std::string& name :
-//        varstream::TrackerRegistry::Instance().Names()) ...  // all trackers
-//
-// Concrete tracker classes remain directly constructible
-// (varstream::DeterministicTracker tracker(options); tracker.Push(0, +1);)
-// when static typing or tracker-specific accessors are needed.
+// Or drive the tracker yourself: source->NextBatch(span) fills update
+// batches, tracker->PushBatch(batch) ingests them, tracker->Snapshot()
+// reads one consistent {estimate, time, messages, bits} view. Concrete
+// generator/tracker classes remain directly constructible when static
+// typing or class-specific accessors are needed.
 
 #ifndef VARSTREAM_CORE_API_H_
 #define VARSTREAM_CORE_API_H_
@@ -46,6 +64,7 @@
 #include "stream/generator.h"        // IWYU pragma: export
 #include "stream/item_generators.h"  // IWYU pragma: export
 #include "stream/site_assigner.h"    // IWYU pragma: export
+#include "stream/source.h"           // IWYU pragma: export
 #include "stream/trace.h"            // IWYU pragma: export
 #include "stream/update.h"           // IWYU pragma: export
 #include "stream/variability.h"      // IWYU pragma: export
@@ -69,7 +88,9 @@
 #include "core/quantile_tracker.h"          // IWYU pragma: export
 #include "core/randomized_tracker.h"        // IWYU pragma: export
 #include "core/registry.h"                  // IWYU pragma: export
+#include "core/scenario.h"                  // IWYU pragma: export
 #include "core/single_site_tracker.h"       // IWYU pragma: export
+#include "core/suite.h"                     // IWYU pragma: export
 #include "core/sketch_frequency_tracker.h"  // IWYU pragma: export
 #include "core/threshold_monitor.h"         // IWYU pragma: export
 #include "core/tracing.h"                   // IWYU pragma: export

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/math_util.h"
@@ -48,8 +50,8 @@ class Runner {
     result.max_rel_error = max_rel_;
     result.mean_rel_error =
         finite_count_ ? sum_rel_ / static_cast<double>(finite_count_) : 0.0;
-    // One observation per Step / StepBatch; for the unbatched runners this
-    // is exactly n, preserving the per-update violation rate.
+    // One observation per Step / StepBatch; for batch_size == 1 this is
+    // exactly n, preserving the per-update violation rate.
     result.violation_rate =
         observations_ ? static_cast<double>(violations_) /
                             static_cast<double>(observations_)
@@ -92,63 +94,95 @@ class Runner {
   uint64_t observations_ = 0;
 };
 
+/// Pull granularity for per-update runs: large enough to amortize the
+/// virtual NextBatch call, small enough to stay cache-resident.
+constexpr uint64_t kPullChunk = 4096;
+
 }  // namespace
+
+RunResult Run(StreamSource& source, DistributedTracker& tracker,
+              const RunOptions& options) {
+  assert(tracker.time() == 0);
+  assert(options.batch_size >= 1);
+  uint64_t budget = options.max_updates != 0 ? options.max_updates
+                                             : source.remaining();
+  // Draining is only meaningful for finite sources; an unbounded source
+  // needs an explicit max_updates. A hard check, not an assert: in an
+  // NDEBUG build this misuse would otherwise loop for 2^64 updates.
+  if (budget == StreamSource::kUnbounded) {
+    std::fprintf(stderr,
+                 "Run(): source '%s' is unbounded; set "
+                 "RunOptions::max_updates\n",
+                 source.name().c_str());
+    std::abort();
+  }
+
+  Runner runner(&tracker, options.epsilon, options.tracer,
+                source.initial_value());
+  const uint64_t chunk =
+      options.batch_size > 1 ? options.batch_size
+                             : std::min<uint64_t>(budget, kPullChunk);
+  std::vector<CountUpdate> buffer(chunk);
+  uint64_t left = budget;
+  while (left > 0) {
+    size_t want = static_cast<size_t>(std::min<uint64_t>(chunk, left));
+    size_t got = source.NextBatch(std::span(buffer.data(), want));
+    if (got == 0) break;  // finite source exhausted before the budget
+    if (options.batch_size > 1) {
+      runner.StepBatch(std::span(buffer.data(), got));
+    } else {
+      for (size_t i = 0; i < got; ++i) {
+        runner.Step(buffer[i].site, buffer[i].delta);
+      }
+    }
+    left -= got;
+  }
+  return runner.Finish();
+}
 
 RunResult RunCount(CountGenerator* gen, SiteAssigner* assigner,
                    DistributedTracker* tracker, uint64_t n, double epsilon,
                    HistoryTracer* tracer) {
-  assert(tracker->time() == 0);
-  Runner runner(tracker, epsilon, tracer, gen->initial_value());
-  for (uint64_t t = 0; t < n; ++t) {
-    runner.Step(assigner->NextSite(), gen->NextDelta());
-  }
-  return runner.Finish();
+  GeneratorSource source(gen, assigner);
+  RunOptions options;
+  options.epsilon = epsilon;
+  options.max_updates = n;
+  options.tracer = tracer;
+  return Run(source, *tracker, options);
 }
 
 RunResult RunCountOnTrace(const StreamTrace& trace,
                           DistributedTracker* tracker, double epsilon,
                           HistoryTracer* tracer) {
-  assert(tracker->time() == 0);
-  Runner runner(tracker, epsilon, tracer, trace.initial_value());
-  for (const CountUpdate& u : trace.updates()) {
-    runner.Step(u.site, u.delta);
-  }
-  return runner.Finish();
+  TraceSource source(&trace);
+  RunOptions options;
+  options.epsilon = epsilon;
+  options.tracer = tracer;
+  return Run(source, *tracker, options);
 }
 
 RunResult RunCountBatched(CountGenerator* gen, SiteAssigner* assigner,
                           DistributedTracker* tracker, uint64_t n,
                           double epsilon, uint64_t batch_size,
                           HistoryTracer* tracer) {
-  assert(tracker->time() == 0);
-  assert(batch_size >= 1);
-  Runner runner(tracker, epsilon, tracer, gen->initial_value());
-  std::vector<CountUpdate> batch;
-  batch.reserve(batch_size);
-  for (uint64_t t = 0; t < n; t += batch.size()) {
-    batch.clear();
-    uint64_t take = std::min(batch_size, n - t);
-    for (uint64_t i = 0; i < take; ++i) {
-      batch.push_back({assigner->NextSite(), gen->NextDelta()});
-    }
-    runner.StepBatch(batch);
-  }
-  return runner.Finish();
+  GeneratorSource source(gen, assigner);
+  RunOptions options;
+  options.epsilon = epsilon;
+  options.max_updates = n;
+  options.batch_size = batch_size;
+  options.tracer = tracer;
+  return Run(source, *tracker, options);
 }
 
 RunResult RunCountOnTraceBatched(const StreamTrace& trace,
                                  DistributedTracker* tracker, double epsilon,
                                  uint64_t batch_size, HistoryTracer* tracer) {
-  assert(tracker->time() == 0);
-  assert(batch_size >= 1);
-  Runner runner(tracker, epsilon, tracer, trace.initial_value());
-  std::span<const CountUpdate> updates(trace.updates());
-  for (size_t off = 0; off < updates.size(); off += batch_size) {
-    runner.StepBatch(
-        updates.subspan(off, std::min<size_t>(batch_size,
-                                              updates.size() - off)));
-  }
-  return runner.Finish();
+  TraceSource source(&trace);
+  RunOptions options;
+  options.epsilon = epsilon;
+  options.batch_size = batch_size;
+  options.tracer = tracer;
+  return Run(source, *tracker, options);
 }
 
 }  // namespace varstream

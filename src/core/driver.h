@@ -1,8 +1,7 @@
-// Experiment driver: wires a stream (generator + site assigner, or a
-// recorded trace) into a tracker, checks the estimate against ground truth
-// after every update, and reports error/cost/variability measurements.
-// Every test and benchmark in the repository funnels through RunCount so
-// measurements are comparable.
+// Experiment driver: wires any StreamSource into a tracker, checks the
+// estimate against ground truth after every delivery, and reports
+// error/cost/variability measurements. Every test, tool, and benchmark in
+// the repository funnels through Run so measurements are comparable.
 
 #ifndef VARSTREAM_CORE_DRIVER_H_
 #define VARSTREAM_CORE_DRIVER_H_
@@ -13,6 +12,7 @@
 #include "core/tracker.h"
 #include "stream/generator.h"
 #include "stream/site_assigner.h"
+#include "stream/source.h"
 #include "stream/trace.h"
 
 namespace varstream {
@@ -34,32 +34,57 @@ struct RunResult {
   double final_estimate = 0.0;
 };
 
-/// Runs `n` updates from (gen, assigner) through `tracker`, validating the
-/// estimate after each one against `epsilon`. If `tracer` is non-null, the
-/// estimate history is recorded for historical queries. The tracker must be
-/// fresh (time() == 0) and have the same initial value as the generator.
+/// Knobs for one Run.
+struct RunOptions {
+  /// Relative-error budget the estimate is validated against.
+  double epsilon = 0.1;
+
+  /// Updates to consume. 0 means "drain the source", which is only legal
+  /// for finite sources (a TraceSource); unbounded generator-backed
+  /// sources require an explicit budget. A finite source may run dry
+  /// before the budget — the run then ends at exhaustion.
+  uint64_t max_updates = 0;
+
+  /// Delivery granularity. 1 delivers per-update through Push and
+  /// validates the estimate after every update. B > 1 delivers through
+  /// PushBatch (identical stream and tracker behavior per the PushBatch
+  /// contract) and validates only at batch boundaries, so error and
+  /// violation statistics are measured over ceil(n/B) observations — the
+  /// throughput-measurement mode for large replays.
+  uint64_t batch_size = 1;
+
+  /// If non-null, the estimate history is recorded for historical queries.
+  HistoryTracer* tracer = nullptr;
+};
+
+/// Runs updates pulled from `source` through `tracker` under `options`.
+/// The tracker must be fresh (time() == 0) and share the source's initial
+/// value.
+RunResult Run(StreamSource& source, DistributedTracker& tracker,
+              const RunOptions& options = {});
+
+// --- Deprecated shims over Run(). ---
+// The pre-StreamSource entry points, kept for existing call sites. New
+// code should construct a StreamSource (usually via StreamRegistry) and
+// call Run.
+
+/// Deprecated: wrap (gen, assigner) in a GeneratorSource and call Run.
 RunResult RunCount(CountGenerator* gen, SiteAssigner* assigner,
                    DistributedTracker* tracker, uint64_t n, double epsilon,
                    HistoryTracer* tracer = nullptr);
 
-/// Same, replaying a recorded trace (byte-identical comparisons between
-/// trackers).
+/// Deprecated: wrap the trace in a TraceSource and call Run.
 RunResult RunCountOnTrace(const StreamTrace& trace,
                           DistributedTracker* tracker, double epsilon,
                           HistoryTracer* tracer = nullptr);
 
-/// Batched-ingest variants: identical stream and tracker behavior (the
-/// PushBatch contract guarantees estimates, cost, and time match the
-/// per-update loop), but updates are delivered in batches of `batch_size`
-/// and the estimate is validated only at batch boundaries. Error and
-/// violation statistics are therefore measured over ceil(n/batch_size)
-/// observations instead of n — the throughput-measurement mode for large
-/// replays. batch_size must be >= 1.
+/// Deprecated: use Run with RunOptions::batch_size.
 RunResult RunCountBatched(CountGenerator* gen, SiteAssigner* assigner,
                           DistributedTracker* tracker, uint64_t n,
                           double epsilon, uint64_t batch_size,
                           HistoryTracer* tracer = nullptr);
 
+/// Deprecated: use Run with RunOptions::batch_size.
 RunResult RunCountOnTraceBatched(const StreamTrace& trace,
                                  DistributedTracker* tracker, double epsilon,
                                  uint64_t batch_size,

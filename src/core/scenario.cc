@@ -1,0 +1,224 @@
+#include "core/scenario.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/registry.h"
+#include "stream/source.h"
+
+namespace varstream {
+
+namespace {
+
+/// FNV-1a over a string: a fixed, platform-independent hash (std::hash is
+/// implementation-defined, which would break cross-machine reproducibility
+/// of the derived seeds).
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t ScenarioFingerprint(const Scenario& s) {
+  uint64_t h = s.seed;
+  h = Mix64(h ^ Fnv1a(s.stream));
+  h = Mix64(h ^ Fnv1a(s.tracker));
+  h = Mix64(h ^ Fnv1a(s.assigner));
+  h = Mix64(h ^ s.num_sites);
+  return h;
+}
+
+std::string FmtDouble(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// RFC-4180 escaping: fields containing a comma, quote, or newline are
+/// quoted with embedded quotes doubled; everything else passes through.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string Scenario::Id() const {
+  std::string id = tracker + "/" + stream + "/" + assigner + "/k" +
+                   std::to_string(num_sites) + "/eps" +
+                   FmtDouble("%g", epsilon) + "/n" + std::to_string(n) +
+                   "/seed" + std::to_string(seed);
+  if (batch_size > 1) id += "/b" + std::to_string(batch_size);
+  return id;
+}
+
+uint64_t ScenarioStreamSeed(const Scenario& scenario) {
+  return Mix64(ScenarioFingerprint(scenario) ^ 0x57E4EA11ull);
+}
+
+uint64_t ScenarioTrackerSeed(const Scenario& scenario) {
+  return Mix64(ScenarioFingerprint(scenario) ^ 0x7AC4E4D0ull);
+}
+
+ScenarioResult RunScenario(const Scenario& scenario) {
+  ScenarioResult out;
+  out.scenario = scenario;
+
+  const StreamRegistry& streams = StreamRegistry::Instance();
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  if (!streams.ContainsStream(scenario.stream)) {
+    out.error = "unknown stream '" + scenario.stream +
+                "'; valid streams: " + JoinNames(streams.StreamNames());
+    return out;
+  }
+  if (!trackers.Contains(scenario.tracker)) {
+    out.error = "unknown tracker '" + scenario.tracker +
+                "'; valid trackers: " + JoinNames(trackers.Names());
+    return out;
+  }
+  if (!streams.ContainsAssigner(scenario.assigner)) {
+    out.error = "unknown assigner '" + scenario.assigner +
+                "'; valid assigners: " + JoinNames(streams.AssignerNames());
+    return out;
+  }
+  if (trackers.IsMonotoneOnly(scenario.tracker) &&
+      !streams.IsMonotone(scenario.stream)) {
+    out.error = "tracker '" + scenario.tracker +
+                "' is insertion-only but stream '" + scenario.stream +
+                "' can emit deletions";
+    return out;
+  }
+
+  StreamSpec spec;
+  spec.num_sites = scenario.num_sites;
+  spec.seed = ScenarioStreamSeed(scenario);
+  spec.assigner = scenario.assigner;
+  spec.params = scenario.params;
+
+  // The generator is built twice: once for its initial value (the tracker
+  // needs it at construction), then again inside the composed source.
+  std::unique_ptr<CountGenerator> gen =
+      streams.CreateGenerator(scenario.stream, spec);
+  TrackerOptions topts;
+  topts.num_sites = scenario.num_sites;
+  topts.epsilon = scenario.epsilon;
+  topts.seed = ScenarioTrackerSeed(scenario);
+  topts.initial_value = gen->initial_value();
+  topts.period = scenario.period;
+  std::unique_ptr<DistributedTracker> tracker =
+      trackers.Create(scenario.tracker, topts);
+
+  // The tracker decides its own k (single-site pins it to 1); deal the
+  // stream across exactly that many sites.
+  spec.num_sites = tracker->num_sites();
+  std::unique_ptr<StreamSource> source =
+      streams.Create(scenario.stream, spec);
+
+  RunOptions ropts;
+  ropts.epsilon = scenario.epsilon;
+  ropts.max_updates = scenario.n;
+  ropts.batch_size = scenario.batch_size;
+  out.result = Run(*source, *tracker, ropts);
+  out.ok = true;
+  return out;
+}
+
+std::string ScenarioResultToJson(const ScenarioResult& r) {
+  const Scenario& s = r.scenario;
+  std::string json = "{";
+  json += "\"id\":\"" + JsonEscape(s.Id()) + "\"";
+  json += ",\"tracker\":\"" + JsonEscape(s.tracker) + "\"";
+  json += ",\"stream\":\"" + JsonEscape(s.stream) + "\"";
+  json += ",\"assigner\":\"" + JsonEscape(s.assigner) + "\"";
+  json += ",\"sites\":" + std::to_string(s.num_sites);
+  json += ",\"epsilon\":" + FmtDouble("%g", s.epsilon);
+  json += ",\"n\":" + std::to_string(s.n);
+  json += ",\"seed\":" + std::to_string(s.seed);
+  json += ",\"batch\":" + std::to_string(s.batch_size);
+  json += ",\"ok\":" + std::string(r.ok ? "true" : "false");
+  if (!r.ok) {
+    json += ",\"error\":\"" + JsonEscape(r.error) + "\"";
+    return json + "}";
+  }
+  const RunResult& m = r.result;
+  json += ",\"n_processed\":" + std::to_string(m.n);
+  json += ",\"variability\":" + FmtDouble("%.17g", m.variability);
+  json += ",\"messages\":" + std::to_string(m.messages);
+  json += ",\"bits\":" + std::to_string(m.bits);
+  json += ",\"partition_messages\":" + std::to_string(m.partition_messages);
+  json += ",\"tracking_messages\":" + std::to_string(m.tracking_messages);
+  json += ",\"max_rel_error\":" + FmtDouble("%.17g", m.max_rel_error);
+  json += ",\"mean_rel_error\":" + FmtDouble("%.17g", m.mean_rel_error);
+  json += ",\"violation_rate\":" + FmtDouble("%.17g", m.violation_rate);
+  json += ",\"final_f\":" + std::to_string(m.final_f);
+  json += ",\"final_estimate\":" + FmtDouble("%.17g", m.final_estimate);
+  return json + "}";
+}
+
+std::string ScenarioResultCsvHeader() {
+  return "id,tracker,stream,assigner,sites,epsilon,n,seed,batch,ok,error,"
+         "n_processed,variability,messages,bits,partition_messages,"
+         "tracking_messages,max_rel_error,mean_rel_error,violation_rate,"
+         "final_f,final_estimate";
+}
+
+std::string ScenarioResultToCsvRow(const ScenarioResult& r) {
+  const Scenario& s = r.scenario;
+  std::string row = CsvField(s.Id()) + "," + CsvField(s.tracker) + "," +
+                    CsvField(s.stream) + "," + CsvField(s.assigner) + "," +
+                    std::to_string(s.num_sites) + "," +
+                    FmtDouble("%g", s.epsilon) + "," + std::to_string(s.n) +
+                    "," + std::to_string(s.seed) + "," +
+                    std::to_string(s.batch_size) + "," +
+                    (r.ok ? "true" : "false") + ",";
+  // Error messages contain commas (name listings); CsvField quotes them.
+  if (!r.ok) row += CsvField(r.error);
+  row += ",";
+  if (!r.ok) return row + ",,,,,,,,,,";
+  const RunResult& m = r.result;
+  row += std::to_string(m.n) + "," + FmtDouble("%.17g", m.variability) +
+         "," + std::to_string(m.messages) + "," + std::to_string(m.bits) +
+         "," + std::to_string(m.partition_messages) + "," +
+         std::to_string(m.tracking_messages) + "," +
+         FmtDouble("%.17g", m.max_rel_error) + "," +
+         FmtDouble("%.17g", m.mean_rel_error) + "," +
+         FmtDouble("%.17g", m.violation_rate) + "," +
+         std::to_string(m.final_f) + "," +
+         FmtDouble("%.17g", m.final_estimate);
+  return row;
+}
+
+}  // namespace varstream

@@ -1,0 +1,75 @@
+// Scenario: one declarative experiment. A scenario names a stream, a
+// tracker, and the run parameters (sites, epsilon, n, seed, batch); running
+// it resolves both names through their registries, derives deterministic
+// per-scenario seeds, and measures the run through the shared driver.
+//
+//   Scenario s;
+//   s.tracker = "deterministic";
+//   s.stream = "random-walk";
+//   s.epsilon = 0.05;
+//   ScenarioResult r = RunScenario(s);
+//   // r.ok, r.result.messages, ScenarioResultToJson(r), ...
+//
+// Scenarios are value types: the same Scenario always produces the same
+// ScenarioResult, regardless of what ran before it or on which thread —
+// the property the parallel suite runner (core/suite.h) is built on.
+
+#ifndef VARSTREAM_CORE_SCENARIO_H_
+#define VARSTREAM_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/driver.h"
+
+namespace varstream {
+
+/// A named (stream x tracker x parameters) experiment configuration.
+struct Scenario {
+  std::string tracker = "deterministic";  ///< TrackerRegistry name
+  std::string stream = "random-walk";     ///< StreamRegistry name
+  std::string assigner = "uniform";       ///< site-assignment policy
+  uint32_t num_sites = 8;
+  double epsilon = 0.1;
+  uint64_t n = 100000;   ///< updates to run
+  uint64_t seed = 1;     ///< user-level seed (mixed per scenario, see below)
+  uint64_t batch_size = 1;
+  uint64_t period = 64;  ///< periodic-baseline sync period
+  std::map<std::string, double> params;  ///< stream knobs (StreamSpec)
+
+  /// "tracker/stream/assigner/k../eps../n../seed.." — unique within a
+  /// suite expansion, used as the row key in result files.
+  std::string Id() const;
+};
+
+/// Outcome of one scenario: either a RunResult or a resolution error
+/// (unknown tracker/stream/assigner, incompatible pairing).
+struct ScenarioResult {
+  Scenario scenario;
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  RunResult result;   ///< valid when ok
+};
+
+/// Deterministic sub-seeds: pure functions of the scenario fields, so a
+/// scenario produces identical randomness no matter where or when it runs.
+/// The stream and tracker draw from decorrelated seeds, and different
+/// (stream, tracker) pairs at the same user seed are decorrelated too.
+uint64_t ScenarioStreamSeed(const Scenario& scenario);
+uint64_t ScenarioTrackerSeed(const Scenario& scenario);
+
+/// Resolves and runs one scenario. Never throws; resolution failures come
+/// back as ok == false with a message listing the valid names.
+ScenarioResult RunScenario(const Scenario& scenario);
+
+/// One JSON object per result (schema documented in README.md).
+std::string ScenarioResultToJson(const ScenarioResult& result);
+
+/// CSV row (and the matching header) with the same fields.
+std::string ScenarioResultCsvHeader();
+std::string ScenarioResultToCsvRow(const ScenarioResult& result);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_SCENARIO_H_

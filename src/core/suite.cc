@@ -1,0 +1,111 @@
+#include "core/suite.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "core/registry.h"
+#include "stream/source.h"
+
+namespace varstream {
+
+std::vector<Scenario> ExpandSuite(const SuiteSpec& spec) {
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  const StreamRegistry& streams = StreamRegistry::Instance();
+  std::vector<std::string> tracker_names =
+      spec.trackers.empty() ? trackers.Names() : spec.trackers;
+  std::vector<std::string> stream_names =
+      spec.streams.empty() ? streams.StreamNames() : spec.streams;
+
+  std::vector<Scenario> scenarios;
+  for (const std::string& tracker : tracker_names) {
+    for (const std::string& stream : stream_names) {
+      if (spec.skip_incompatible && trackers.IsMonotoneOnly(tracker) &&
+          !streams.IsMonotone(stream)) {
+        continue;
+      }
+      for (const std::string& assigner : spec.assigners) {
+        for (double epsilon : spec.epsilons) {
+          for (uint64_t seed : spec.seeds) {
+            Scenario s;
+            s.tracker = tracker;
+            s.stream = stream;
+            s.assigner = assigner;
+            s.num_sites = spec.num_sites;
+            s.epsilon = epsilon;
+            s.n = spec.n;
+            s.seed = seed;
+            s.batch_size = spec.batch_size;
+            s.period = spec.period;
+            s.params = spec.params;
+            scenarios.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+std::vector<ScenarioResult> RunSuite(const std::vector<Scenario>& scenarios,
+                                     unsigned num_threads) {
+  std::vector<ScenarioResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+  if (num_threads < 1) num_threads = 1;
+  num_threads = static_cast<unsigned>(
+      std::min<size_t>(num_threads, scenarios.size()));
+
+  if (num_threads == 1) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      results[i] = RunScenario(scenarios[i]);
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic index: each worker claims the next unclaimed
+  // scenario and writes into its own slot, so the result order (and every
+  // result value — scenarios are self-seeded) is independent of thread
+  // scheduling.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&scenarios, &results, &next] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= scenarios.size()) return;
+        results[i] = RunScenario(scenarios[i]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return results;
+}
+
+std::string SuiteResultsToJson(const std::vector<ScenarioResult>& results) {
+  size_t failed = 0;
+  for (const ScenarioResult& r : results) {
+    if (!r.ok) ++failed;
+  }
+  std::string json = "{\"schema\":\"varstream-suite-v1\",\"count\":" +
+                     std::to_string(results.size()) +
+                     ",\"failed\":" + std::to_string(failed) +
+                     ",\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "\n" + ScenarioResultToJson(results[i]);
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+std::string SuiteResultsToCsv(const std::vector<ScenarioResult>& results) {
+  std::string csv = ScenarioResultCsvHeader() + "\n";
+  for (const ScenarioResult& r : results) {
+    csv += ScenarioResultToCsvRow(r) + "\n";
+  }
+  return csv;
+}
+
+}  // namespace varstream

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "stream/source.h"
+
 namespace varstream {
 
 NearlyMonotoneGenerator::NearlyMonotoneGenerator(uint64_t up, uint64_t down)
@@ -221,36 +223,92 @@ std::vector<int64_t> MaterializeF(CountGenerator* gen, uint64_t n) {
 
 std::unique_ptr<CountGenerator> MakeGeneratorByName(const std::string& name,
                                                     uint64_t seed) {
-  if (name == "monotone") return std::make_unique<MonotoneGenerator>();
-  if (name == "nearly-monotone") {
-    return std::make_unique<NearlyMonotoneGenerator>(4, 2);
-  }
-  if (name == "random-walk") {
-    return std::make_unique<RandomWalkGenerator>(seed);
-  }
-  if (name == "biased-walk") {
-    return std::make_unique<BiasedWalkGenerator>(0.1, seed);
-  }
-  if (name == "sawtooth") return std::make_unique<SawtoothGenerator>(64);
-  if (name == "zero-crossing") {
-    return std::make_unique<ZeroCrossingGenerator>();
-  }
-  if (name == "oscillator") {
-    return std::make_unique<OscillatorGenerator>(1000, 30, 256);
-  }
-  if (name == "large-step") {
-    return std::make_unique<LargeStepGenerator>(16, 0.2, seed);
-  }
-  if (name == "spike") {
-    return std::make_unique<SpikeGenerator>(200, 0.001, seed);
-  }
-  if (name == "regime-switch") {
-    return std::make_unique<RegimeSwitchGenerator>(0.3, 8192, seed);
-  }
-  if (name == "diurnal") {
-    return std::make_unique<DiurnalGenerator>(100, 1 << 15, seed);
-  }
-  return nullptr;
+  StreamSpec spec;
+  spec.seed = seed;
+  return StreamRegistry::Instance().CreateGenerator(name, spec);
 }
+
+// --- StreamRegistry registrations. Each stream's tunable knobs come from
+// StreamSpec::params with the defaults the experiments have always used;
+// registering here keeps the registry in lockstep with the classes above.
+
+VARSTREAM_REGISTER_MONOTONE_STREAM(
+    "monotone", [](const StreamSpec&) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<MonotoneGenerator>();
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "nearly-monotone",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<NearlyMonotoneGenerator>(
+          static_cast<uint64_t>(spec.GetParam("up", 4)),
+          static_cast<uint64_t>(spec.GetParam("down", 2)));
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "random-walk",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<RandomWalkGenerator>(spec.seed);
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "biased-walk",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<BiasedWalkGenerator>(
+          spec.GetParam("mu", 0.1), spec.seed);
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "sawtooth",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<SawtoothGenerator>(
+          static_cast<int64_t>(spec.GetParam("amplitude", 64)));
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "zero-crossing",
+    [](const StreamSpec&) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<ZeroCrossingGenerator>();
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "oscillator",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<OscillatorGenerator>(
+          static_cast<int64_t>(spec.GetParam("base", 1000)),
+          static_cast<int64_t>(spec.GetParam("jump", 30)),
+          static_cast<uint64_t>(spec.GetParam("period", 256)));
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "large-step",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<LargeStepGenerator>(
+          static_cast<int64_t>(spec.GetParam("max-step", 16)),
+          spec.GetParam("drift", 0.2), spec.seed);
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "spike", [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<SpikeGenerator>(
+          static_cast<int64_t>(spec.GetParam("size", 200)),
+          spec.GetParam("prob", 0.001), spec.seed);
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "regime-switch",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<RegimeSwitchGenerator>(
+          spec.GetParam("mu", 0.3),
+          static_cast<uint64_t>(spec.GetParam("period", 8192)), spec.seed);
+    })
+
+VARSTREAM_REGISTER_STREAM(
+    "diurnal",
+    [](const StreamSpec& spec) -> std::unique_ptr<CountGenerator> {
+      return std::make_unique<DiurnalGenerator>(
+          static_cast<int64_t>(spec.GetParam("scale", 100)),
+          static_cast<uint64_t>(spec.GetParam("day", 1 << 15)), spec.seed);
+    })
 
 }  // namespace varstream

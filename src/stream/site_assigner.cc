@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "stream/source.h"
+
 namespace varstream {
 
 RoundRobinAssigner::RoundRobinAssigner(uint32_t num_sites)
@@ -62,20 +64,42 @@ std::string BurstAssigner::name() const {
 std::unique_ptr<SiteAssigner> MakeAssignerByName(const std::string& name,
                                                  uint32_t num_sites,
                                                  uint64_t seed) {
-  if (name == "round-robin") {
-    return std::make_unique<RoundRobinAssigner>(num_sites);
-  }
-  if (name == "uniform") {
-    return std::make_unique<UniformAssigner>(num_sites, seed);
-  }
-  if (name == "skewed") {
-    return std::make_unique<SkewedAssigner>(num_sites, 1.0, seed);
-  }
-  if (name == "single") return std::make_unique<SingleSiteAssigner>();
-  if (name == "burst") {
-    return std::make_unique<BurstAssigner>(num_sites, 64);
-  }
-  return nullptr;
+  StreamSpec spec;
+  spec.num_sites = num_sites;
+  spec.seed = seed;
+  return StreamRegistry::Instance().CreateAssigner(name, spec);
 }
+
+// --- StreamRegistry registrations (spec.params defaults match the
+// defaults MakeAssignerByName has always used).
+
+VARSTREAM_REGISTER_ASSIGNER(
+    "round-robin",
+    [](const StreamSpec& spec) -> std::unique_ptr<SiteAssigner> {
+      return std::make_unique<RoundRobinAssigner>(spec.num_sites);
+    })
+
+VARSTREAM_REGISTER_ASSIGNER(
+    "uniform", [](const StreamSpec& spec) -> std::unique_ptr<SiteAssigner> {
+      return std::make_unique<UniformAssigner>(spec.num_sites, spec.seed);
+    })
+
+VARSTREAM_REGISTER_ASSIGNER(
+    "skewed", [](const StreamSpec& spec) -> std::unique_ptr<SiteAssigner> {
+      return std::make_unique<SkewedAssigner>(
+          spec.num_sites, spec.GetParam("skew", 1.0), spec.seed);
+    })
+
+VARSTREAM_REGISTER_ASSIGNER(
+    "single", [](const StreamSpec&) -> std::unique_ptr<SiteAssigner> {
+      return std::make_unique<SingleSiteAssigner>();
+    })
+
+VARSTREAM_REGISTER_ASSIGNER(
+    "burst", [](const StreamSpec& spec) -> std::unique_ptr<SiteAssigner> {
+      return std::make_unique<BurstAssigner>(
+          spec.num_sites,
+          static_cast<uint64_t>(spec.GetParam("burst", 64)));
+    })
 
 }  // namespace varstream

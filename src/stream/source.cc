@@ -1,0 +1,218 @@
+#include "stream/source.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace varstream {
+
+GeneratorSource::GeneratorSource(std::unique_ptr<CountGenerator> gen,
+                                 std::unique_ptr<SiteAssigner> assigner,
+                                 uint32_t num_sites, bool monotone)
+    : owned_gen_(std::move(gen)),
+      owned_assigner_(std::move(assigner)),
+      gen_(owned_gen_.get()),
+      assigner_(owned_assigner_.get()),
+      num_sites_(num_sites),
+      monotone_(monotone) {
+  assert(gen_ != nullptr && assigner_ != nullptr);
+}
+
+GeneratorSource::GeneratorSource(CountGenerator* gen, SiteAssigner* assigner,
+                                 uint32_t num_sites, bool monotone)
+    : gen_(gen),
+      assigner_(assigner),
+      num_sites_(num_sites),
+      monotone_(monotone) {
+  assert(gen_ != nullptr && assigner_ != nullptr);
+}
+
+size_t GeneratorSource::NextBatch(std::span<CountUpdate> out) {
+  for (CountUpdate& u : out) {
+    u.site = assigner_->NextSite();
+    u.delta = gen_->NextDelta();
+  }
+  return out.size();
+}
+
+std::string GeneratorSource::name() const {
+  return gen_->name() + " via " + assigner_->name();
+}
+
+TraceSource::TraceSource(StreamTrace trace)
+    : owned_trace_(std::move(trace)), trace_(&owned_trace_) {
+  ScanMetadata();
+}
+
+TraceSource::TraceSource(const StreamTrace* trace) : trace_(trace) {
+  assert(trace != nullptr);
+  ScanMetadata();
+}
+
+void TraceSource::ScanMetadata() {
+  uint32_t max_site = 0;
+  for (const CountUpdate& u : trace_->updates()) {
+    max_site = std::max(max_site, u.site);
+    if (u.delta <= 0) monotone_ = false;
+  }
+  num_sites_ = trace_->size() == 0 ? 0 : max_site + 1;
+}
+
+std::unique_ptr<TraceSource> TraceSource::FromFile(const std::string& path,
+                                                   std::string* error) {
+  StreamTrace trace;
+  if (!StreamTrace::LoadFromFile(path, &trace, error)) return nullptr;
+  return std::make_unique<TraceSource>(std::move(trace));
+}
+
+size_t TraceSource::NextBatch(std::span<CountUpdate> out) {
+  const std::vector<CountUpdate>& updates = trace_->updates();
+  size_t take = std::min<size_t>(out.size(), updates.size() - pos_);
+  std::copy_n(updates.begin() + static_cast<ptrdiff_t>(pos_), take,
+              out.begin());
+  pos_ += take;
+  return take;
+}
+
+std::string TraceSource::name() const {
+  return "trace(n=" + std::to_string(trace_->size()) + ")";
+}
+
+StreamTrace RecordTrace(StreamSource& source, uint64_t n) {
+  std::vector<CountUpdate> updates(n);
+  size_t got = source.NextBatch(updates);
+  updates.resize(got);
+  return StreamTrace(std::move(updates), source.initial_value());
+}
+
+std::vector<int64_t> MaterializeF(StreamSource& source, uint64_t n) {
+  std::vector<CountUpdate> updates(n);
+  size_t got = source.NextBatch(updates);
+  std::vector<int64_t> f;
+  f.reserve(got);
+  int64_t value = source.initial_value();
+  for (size_t t = 0; t < got; ++t) {
+    value += updates[t].delta;
+    f.push_back(value);
+  }
+  return f;
+}
+
+double StreamSpec::GetParam(const std::string& name,
+                            double default_value) const {
+  auto it = params.find(name);
+  return it == params.end() ? default_value : it->second;
+}
+
+StreamRegistry& StreamRegistry::Instance() {
+  static StreamRegistry* registry = new StreamRegistry();
+  return *registry;
+}
+
+bool StreamRegistry::RegisterStream(const std::string& name,
+                                    GeneratorFactory factory, bool monotone) {
+  auto [it, inserted] =
+      streams_.emplace(name, StreamEntry{std::move(factory), monotone});
+  if (!inserted) {
+    std::fprintf(stderr, "StreamRegistry: duplicate stream '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return true;
+}
+
+bool StreamRegistry::RegisterAssigner(const std::string& name,
+                                      AssignerFactory factory) {
+  auto [it, inserted] = assigners_.emplace(name, std::move(factory));
+  if (!inserted) {
+    std::fprintf(stderr, "StreamRegistry: duplicate assigner '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return true;
+}
+
+std::unique_ptr<StreamSource> StreamRegistry::Create(
+    const std::string& stream, const StreamSpec& spec) const {
+  std::unique_ptr<CountGenerator> gen = CreateGenerator(stream, spec);
+  if (gen == nullptr) return nullptr;
+  // Decorrelate the assigner from the generator: both are seeded from
+  // spec.seed, so give the assigner a mixed seed of its own.
+  StreamSpec assigner_spec = spec;
+  assigner_spec.seed = Mix64(spec.seed ^ 0x517E5EEDull);
+  std::unique_ptr<SiteAssigner> assigner =
+      CreateAssigner(spec.assigner, assigner_spec);
+  if (assigner == nullptr) return nullptr;
+  return std::make_unique<GeneratorSource>(std::move(gen),
+                                           std::move(assigner),
+                                           spec.num_sites,
+                                           IsMonotone(stream));
+}
+
+std::unique_ptr<CountGenerator> StreamRegistry::CreateGenerator(
+    const std::string& name, const StreamSpec& spec) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return nullptr;
+  return it->second.factory(spec);
+}
+
+std::unique_ptr<SiteAssigner> StreamRegistry::CreateAssigner(
+    const std::string& name, const StreamSpec& spec) const {
+  auto it = assigners_.find(name);
+  if (it == assigners_.end()) return nullptr;
+  return it->second(spec);
+}
+
+bool StreamRegistry::ContainsStream(const std::string& name) const {
+  return streams_.count(name) > 0;
+}
+
+bool StreamRegistry::ContainsAssigner(const std::string& name) const {
+  return assigners_.count(name) > 0;
+}
+
+bool StreamRegistry::IsMonotone(const std::string& name) const {
+  auto it = streams_.find(name);
+  return it != streams_.end() && it->second.monotone;
+}
+
+std::vector<std::string> StreamRegistry::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, entry] : streams_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> StreamRegistry::AssignerNames() const {
+  std::vector<std::string> names;
+  names.reserve(assigners_.size());
+  for (const auto& [name, factory] : assigners_) names.push_back(name);
+  return names;
+}
+
+std::string StreamRegistry::ListingText() const {
+  std::string out = "streams:\n";
+  for (const auto& [name, entry] : streams_) {
+    out += "  " + name + (entry.monotone ? " (monotone)" : "") + "\n";
+  }
+  out += "assigners:\n";
+  for (const auto& [name, factory] : assigners_) {
+    out += "  " + name + "\n";
+  }
+  return out;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace varstream

@@ -1,0 +1,249 @@
+// StreamSource: the unified pull-based input abstraction. Every way this
+// repository produces a count stream — a CountGenerator dealt across sites
+// by a SiteAssigner, a recorded StreamTrace, or a trace file on disk — is
+// exposed behind one batch API, so drivers, tools, and the Scenario/suite
+// layer consume any input class through a single code path:
+//
+//   StreamSpec spec;
+//   spec.num_sites = 16;
+//   spec.seed = 7;
+//   auto source = StreamRegistry::Instance().Create("random-walk", spec);
+//
+//   std::vector<CountUpdate> buf(4096);
+//   size_t got = source->NextBatch(buf);   // fills the span, returns count
+//
+// Sources self-register by name in the StreamRegistry (the macros live in
+// the generator/assigner .cc files, mirroring TrackerRegistry), so new
+// input classes become available to every tool, bench, and suite by adding
+// one macro line.
+
+#ifndef VARSTREAM_STREAM_SOURCE_H_
+#define VARSTREAM_STREAM_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/generator.h"
+#include "stream/site_assigner.h"
+#include "stream/trace.h"
+#include "stream/update.h"
+
+namespace varstream {
+
+/// A pull-based producer of (site, delta) updates. Sources are stateful
+/// and single-pass; construct a fresh one (same spec + seed) to replay a
+/// stream.
+class StreamSource {
+ public:
+  /// remaining() value for generator-backed sources, which never run dry.
+  static constexpr uint64_t kUnbounded = ~uint64_t{0};
+
+  virtual ~StreamSource() = default;
+
+  /// Fills `out` with the next updates in stream order and returns how
+  /// many were written. Writes fewer than out.size() only when the source
+  /// is exhausted; 0 means exhausted.
+  virtual size_t NextBatch(std::span<CountUpdate> out) = 0;
+
+  /// Initial value f(0); 0 unless stated otherwise (problem definition).
+  virtual int64_t initial_value() const { return 0; }
+
+  /// Human-readable name used in tables and result rows.
+  virtual std::string name() const = 0;
+
+  /// Sites the stream is dealt across (every emitted site is below this);
+  /// 0 when unknown (non-owning adapter over externally built parts).
+  virtual uint32_t num_sites() const = 0;
+
+  /// True when every delta is positive (safe for insertion-only trackers).
+  virtual bool monotone() const { return false; }
+
+  /// Updates left, or kUnbounded for endless generator-backed sources.
+  virtual uint64_t remaining() const { return kUnbounded; }
+};
+
+/// Adapts a CountGenerator + SiteAssigner pair. Owning and non-owning
+/// (borrowed parts must outlive the source) constructions are supported;
+/// the latter backs the deprecated RunCount* shims.
+class GeneratorSource : public StreamSource {
+ public:
+  GeneratorSource(std::unique_ptr<CountGenerator> gen,
+                  std::unique_ptr<SiteAssigner> assigner, uint32_t num_sites,
+                  bool monotone = false);
+  GeneratorSource(CountGenerator* gen, SiteAssigner* assigner,
+                  uint32_t num_sites = 0, bool monotone = false);
+
+  size_t NextBatch(std::span<CountUpdate> out) override;
+  int64_t initial_value() const override { return gen_->initial_value(); }
+  std::string name() const override;
+  uint32_t num_sites() const override { return num_sites_; }
+  bool monotone() const override { return monotone_; }
+
+ private:
+  std::unique_ptr<CountGenerator> owned_gen_;
+  std::unique_ptr<SiteAssigner> owned_assigner_;
+  CountGenerator* gen_;
+  SiteAssigner* assigner_;
+  uint32_t num_sites_;
+  bool monotone_;
+};
+
+/// Replays a recorded StreamTrace (owned copy or borrowed pointer). A
+/// finite source: NextBatch short-reads exactly once, at the end.
+class TraceSource : public StreamSource {
+ public:
+  explicit TraceSource(StreamTrace trace);
+  explicit TraceSource(const StreamTrace* trace);  // non-owning
+
+  /// Loads a trace file (stream/trace.h format). Returns nullptr and sets
+  /// *error on I/O failure or malformed content.
+  static std::unique_ptr<TraceSource> FromFile(const std::string& path,
+                                               std::string* error = nullptr);
+
+  size_t NextBatch(std::span<CountUpdate> out) override;
+  int64_t initial_value() const override { return trace_->initial_value(); }
+  std::string name() const override;
+  uint32_t num_sites() const override { return num_sites_; }
+  bool monotone() const override { return monotone_; }
+  uint64_t remaining() const override { return trace_->size() - pos_; }
+
+  /// Rewinds to the beginning for another replay.
+  void Reset() { pos_ = 0; }
+
+  const StreamTrace& trace() const { return *trace_; }
+
+ private:
+  void ScanMetadata();
+
+  StreamTrace owned_trace_;
+  const StreamTrace* trace_;
+  uint64_t pos_ = 0;
+  uint32_t num_sites_ = 0;
+  bool monotone_ = true;
+};
+
+/// Materializes the next `n` updates of a source into a replayable trace.
+StreamTrace RecordTrace(StreamSource& source, uint64_t n);
+
+/// "a, b, c" — for one-line listings in error messages.
+std::string JoinNames(const std::vector<std::string>& names);
+
+/// Materializes f(1..n) of a source (element [t-1] is f(t)); the
+/// source-level counterpart of MaterializeF(CountGenerator*, n).
+std::vector<int64_t> MaterializeF(StreamSource& source, uint64_t n);
+
+/// Everything needed to instantiate a registered stream by name: the site
+/// layout, the seed, the site-assignment policy, and optional per-stream
+/// numeric knobs (e.g. {"mu", 0.2} for biased-walk). Unknown params are
+/// ignored; omitted ones fall back to each stream's documented default.
+struct StreamSpec {
+  uint32_t num_sites = 8;
+  uint64_t seed = 1;
+  std::string assigner = "uniform";
+  std::map<std::string, double> params;
+
+  double GetParam(const std::string& name, double default_value) const;
+};
+
+/// Name -> factory registry for stream generators and site assigners,
+/// mirroring TrackerRegistry. Generators and assigners self-register from
+/// their own .cc via the macros below; Create() composes a registered
+/// generator with the spec's assigner into a ready-to-run StreamSource.
+class StreamRegistry {
+ public:
+  using GeneratorFactory =
+      std::function<std::unique_ptr<CountGenerator>(const StreamSpec&)>;
+  using AssignerFactory =
+      std::function<std::unique_ptr<SiteAssigner>(const StreamSpec&)>;
+
+  /// The process-wide registry (populated during static initialization).
+  static StreamRegistry& Instance();
+
+  /// Registers a stream name. Aborts on duplicates (a build error, not a
+  /// runtime condition). Returns true so it can seed a static initializer.
+  bool RegisterStream(const std::string& name, GeneratorFactory factory,
+                      bool monotone = false);
+  bool RegisterAssigner(const std::string& name, AssignerFactory factory);
+
+  /// Builds the named stream dealt across spec.num_sites sites by
+  /// spec.assigner (with a seed derived from spec.seed so the generator
+  /// and assigner draw independent randomness). Returns nullptr if either
+  /// name is unknown.
+  std::unique_ptr<StreamSource> Create(const std::string& stream,
+                                       const StreamSpec& spec) const;
+
+  /// The generator / assigner halves, for callers composing their own
+  /// pipelines. Return nullptr for unknown names.
+  std::unique_ptr<CountGenerator> CreateGenerator(
+      const std::string& name, const StreamSpec& spec) const;
+  std::unique_ptr<SiteAssigner> CreateAssigner(const std::string& name,
+                                               const StreamSpec& spec) const;
+
+  bool ContainsStream(const std::string& name) const;
+  bool ContainsAssigner(const std::string& name) const;
+
+  /// True if the named stream emits only positive deltas.
+  bool IsMonotone(const std::string& name) const;
+
+  /// Sorted registered names.
+  std::vector<std::string> StreamNames() const;
+  std::vector<std::string> AssignerNames() const;
+
+  /// The multi-line streams + assigners listing printed by the tools'
+  /// --list-streams (monotone streams tagged).
+  std::string ListingText() const;
+
+ private:
+  struct StreamEntry {
+    GeneratorFactory factory;
+    bool monotone = false;
+  };
+
+  StreamRegistry() = default;
+
+  std::map<std::string, StreamEntry> streams_;
+  std::map<std::string, AssignerFactory> assigners_;
+};
+
+/// Registers a stream under `name`. `factory` is an expression convertible
+/// to StreamRegistry::GeneratorFactory (typically a lambda over the spec).
+/// Place in the generator's .cc at namespace scope.
+#define VARSTREAM_REGISTER_STREAM(name, factory)                           \
+  VARSTREAM_REGISTER_STREAM_IMPL(name, factory, false, __COUNTER__)
+
+/// Same, for insertion-only streams (every delta positive); the registry
+/// tags them so generic callers know they are safe for monotone-only
+/// trackers.
+#define VARSTREAM_REGISTER_MONOTONE_STREAM(name, factory)                  \
+  VARSTREAM_REGISTER_STREAM_IMPL(name, factory, true, __COUNTER__)
+
+/// Registers a site-assignment policy. Place in the assigner's .cc.
+#define VARSTREAM_REGISTER_ASSIGNER(name, factory)                         \
+  VARSTREAM_REGISTER_ASSIGNER_IMPL(name, factory, __COUNTER__)
+
+#define VARSTREAM_REGISTER_STREAM_IMPL(name, factory, monotone, counter)   \
+  VARSTREAM_REGISTER_STREAM_IMPL2(name, factory, monotone, counter)
+#define VARSTREAM_REGISTER_STREAM_IMPL2(name, factory, monotone, counter)  \
+  namespace {                                                              \
+  const bool varstream_stream_registrar_##counter =                        \
+      ::varstream::StreamRegistry::Instance().RegisterStream(              \
+          name, factory, monotone);                                        \
+  }
+
+#define VARSTREAM_REGISTER_ASSIGNER_IMPL(name, factory, counter)           \
+  VARSTREAM_REGISTER_ASSIGNER_IMPL2(name, factory, counter)
+#define VARSTREAM_REGISTER_ASSIGNER_IMPL2(name, factory, counter)          \
+  namespace {                                                              \
+  const bool varstream_assigner_registrar_##counter =                      \
+      ::varstream::StreamRegistry::Instance().RegisterAssigner(name,       \
+                                                               factory);   \
+  }
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_STREAM_SOURCE_H_

@@ -11,6 +11,13 @@ namespace varstream {
 namespace {
 
 constexpr uint32_t kTraceMagic = 0x56535452;  // "VSTR"
+// Format history: 1 = unversioned header (magic, f0, count) — no longer
+// read; 2 = versioned header + trailing-garbage rejection.
+constexpr uint32_t kTraceVersion = 2;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
 
 template <typename T>
 void AppendLE(std::vector<uint8_t>* buf, T value) {
@@ -76,8 +83,9 @@ double StreamTrace::Variability() const {
 
 std::vector<uint8_t> StreamTrace::Serialize() const {
   std::vector<uint8_t> buf;
-  buf.reserve(16 + updates_.size() * 12);
+  buf.reserve(24 + updates_.size() * 12);
   AppendLE<uint32_t>(&buf, kTraceMagic);
+  AppendLE<uint32_t>(&buf, kTraceVersion);
   AppendLE<int64_t>(&buf, initial_value_);
   AppendLE<uint64_t>(&buf, updates_.size());
   for (const auto& u : updates_) {
@@ -96,34 +104,80 @@ bool StreamTrace::SaveToFile(const std::string& path) const {
   return static_cast<bool>(file);
 }
 
-bool StreamTrace::LoadFromFile(const std::string& path, StreamTrace* out) {
+bool StreamTrace::LoadFromFile(const std::string& path, StreamTrace* out,
+                               std::string* error) {
   std::ifstream file(path, std::ios::binary | std::ios::ate);
-  if (!file) return false;
+  if (!file) {
+    SetError(error, "cannot open '" + path + "'");
+    return false;
+  }
   std::streamsize size = file.tellg();
-  if (size < 0) return false;
+  if (size < 0) {
+    SetError(error, "cannot stat '" + path + "'");
+    return false;
+  }
   file.seekg(0);
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  if (!file.read(reinterpret_cast<char*>(bytes.data()), size)) return false;
-  return Deserialize(bytes, out);
+  if (!file.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    SetError(error, "short read from '" + path + "'");
+    return false;
+  }
+  return Deserialize(bytes, out, error);
 }
 
 bool StreamTrace::Deserialize(const std::vector<uint8_t>& buffer,
-                              StreamTrace* out) {
+                              StreamTrace* out, std::string* error) {
   size_t pos = 0;
   uint32_t magic = 0;
-  if (!ReadLE(buffer, &pos, &magic) || magic != kTraceMagic) return false;
+  if (!ReadLE(buffer, &pos, &magic)) {
+    SetError(error, "trace shorter than its magic (" +
+                        std::to_string(buffer.size()) + " bytes)");
+    return false;
+  }
+  if (magic != kTraceMagic) {
+    SetError(error, "bad magic: not a varstream trace");
+    return false;
+  }
+  uint32_t version = 0;
+  if (!ReadLE(buffer, &pos, &version)) {
+    SetError(error, "truncated header: missing version field");
+    return false;
+  }
+  if (version != kTraceVersion) {
+    SetError(error, "unsupported trace version " + std::to_string(version) +
+                        " (expected " + std::to_string(kTraceVersion) +
+                        "; version-less v1 files must be re-recorded)");
+    return false;
+  }
   int64_t initial = 0;
   uint64_t count = 0;
-  if (!ReadLE(buffer, &pos, &initial)) return false;
-  if (!ReadLE(buffer, &pos, &count)) return false;
-  // Reject counts that cannot fit in the remaining bytes (12 per update).
-  if ((buffer.size() - pos) / 12 < count) return false;
+  if (!ReadLE(buffer, &pos, &initial) || !ReadLE(buffer, &pos, &count)) {
+    SetError(error, "truncated header: missing f(0) or update count");
+    return false;
+  }
+  // Each update is 12 bytes; the body must match the declared count
+  // exactly — a short body is a truncated file, a long one is garbage or
+  // corruption. Either way, refuse instead of silently truncating.
+  const uint64_t body = buffer.size() - pos;
+  if (body / 12 < count) {
+    SetError(error, "truncated body: header declares " +
+                        std::to_string(count) + " updates (" +
+                        std::to_string(count * 12) + " bytes) but only " +
+                        std::to_string(body) + " bytes follow");
+    return false;
+  }
+  if (body != count * 12) {
+    SetError(error, std::to_string(body - count * 12) +
+                        " trailing bytes past the declared " +
+                        std::to_string(count) + " updates");
+    return false;
+  }
   std::vector<CountUpdate> updates;
   updates.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     CountUpdate u;
-    if (!ReadLE(buffer, &pos, &u.site)) return false;
-    if (!ReadLE(buffer, &pos, &u.delta)) return false;
+    ReadLE(buffer, &pos, &u.site);
+    ReadLE(buffer, &pos, &u.delta);
     updates.push_back(u);
   }
   *out = StreamTrace(std::move(updates), initial);

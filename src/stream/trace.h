@@ -40,20 +40,27 @@ class StreamTrace {
   /// Total variability v(n) of the recorded stream.
   double Variability() const;
 
-  /// Serializes to a compact little-endian byte buffer.
+  /// Serializes to a compact little-endian byte buffer:
+  ///   magic "VSTR" (u32) | format version (u32) | f(0) (i64) |
+  ///   update count m (u64) | m x { site (u32) | delta (i64) }
   std::vector<uint8_t> Serialize() const;
 
-  /// Parses a buffer produced by Serialize(). Returns false on malformed
-  /// input (truncation, bad magic).
+  /// Parses a buffer produced by Serialize(). Fails loudly on malformed
+  /// input — bad magic, unsupported version, a count that overruns the
+  /// buffer (truncation), or trailing bytes past the declared count — and
+  /// reports why through `error` (if non-null) instead of silently
+  /// truncating.
   static bool Deserialize(const std::vector<uint8_t>& buffer,
-                          StreamTrace* out);
+                          StreamTrace* out, std::string* error = nullptr);
 
   /// Writes Serialize() to `path`. Returns false on I/O failure.
   bool SaveToFile(const std::string& path) const;
 
-  /// Reads and parses a file written by SaveToFile(). Returns false on
-  /// I/O failure or malformed content.
-  static bool LoadFromFile(const std::string& path, StreamTrace* out);
+  /// Reads and parses a file written by SaveToFile(). Returns false (with
+  /// a diagnostic in `error` if non-null) on I/O failure or malformed
+  /// content.
+  static bool LoadFromFile(const std::string& path, StreamTrace* out,
+                           std::string* error = nullptr);
 
  private:
   void BuildPrefix();

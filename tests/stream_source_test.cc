@@ -1,0 +1,299 @@
+// StreamSource + StreamRegistry: every registered stream is constructible
+// by name, replays deterministically from its spec, carries correct
+// metadata, and feeds the unified driver identically to the legacy
+// generator+assigner path.
+
+#include "stream/source.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/naive_tracker.h"
+#include "core/deterministic_tracker.h"
+#include "core/driver.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+std::vector<CountUpdate> Pull(StreamSource& source, size_t n,
+                              size_t batch = 137) {
+  std::vector<CountUpdate> out;
+  std::vector<CountUpdate> buf(batch);
+  while (out.size() < n) {
+    size_t want = std::min(batch, n - out.size());
+    size_t got = source.NextBatch(std::span(buf.data(), want));
+    out.insert(out.end(), buf.begin(), buf.begin() + got);
+    if (got < want) break;
+  }
+  return out;
+}
+
+TEST(StreamRegistry, EveryExpectedStreamAndAssignerIsRegistered) {
+  const StreamRegistry& registry = StreamRegistry::Instance();
+  std::vector<std::string> streams = registry.StreamNames();
+  for (const char* expected :
+       {"monotone", "nearly-monotone", "random-walk", "biased-walk",
+        "sawtooth", "zero-crossing", "oscillator", "large-step", "spike",
+        "regime-switch", "diurnal"}) {
+    EXPECT_NE(std::find(streams.begin(), streams.end(), expected),
+              streams.end())
+        << "missing stream '" << expected << "'";
+  }
+  std::vector<std::string> assigners = registry.AssignerNames();
+  for (const char* expected :
+       {"round-robin", "uniform", "skewed", "single", "burst"}) {
+    EXPECT_NE(std::find(assigners.begin(), assigners.end(), expected),
+              assigners.end())
+        << "missing assigner '" << expected << "'";
+  }
+  EXPECT_TRUE(std::is_sorted(streams.begin(), streams.end()));
+  EXPECT_TRUE(std::is_sorted(assigners.begin(), assigners.end()));
+}
+
+TEST(StreamRegistry, EveryRegisteredStreamIsConstructible) {
+  const StreamRegistry& registry = StreamRegistry::Instance();
+  StreamSpec spec;
+  spec.num_sites = 4;
+  spec.seed = 11;
+  for (const std::string& name : registry.StreamNames()) {
+    auto source = registry.Create(name, spec);
+    ASSERT_NE(source, nullptr) << name;
+    EXPECT_EQ(source->num_sites(), 4u) << name;
+    EXPECT_EQ(source->remaining(), StreamSource::kUnbounded) << name;
+    EXPECT_FALSE(source->name().empty()) << name;
+    // The source emits sites below num_sites and nonzero deltas.
+    for (const CountUpdate& u : Pull(*source, 500)) {
+      EXPECT_LT(u.site, 4u) << name;
+      EXPECT_NE(u.delta, 0) << name;
+    }
+  }
+}
+
+TEST(StreamRegistry, MonotoneMetadataMatchesEmittedDeltas) {
+  const StreamRegistry& registry = StreamRegistry::Instance();
+  StreamSpec spec;
+  spec.num_sites = 3;
+  spec.seed = 7;
+  EXPECT_TRUE(registry.IsMonotone("monotone"));
+  for (const std::string& name : registry.StreamNames()) {
+    if (!registry.IsMonotone(name)) continue;
+    auto source = registry.Create(name, spec);
+    for (const CountUpdate& u : Pull(*source, 2000)) {
+      EXPECT_GT(u.delta, 0) << name << " claims monotone";
+    }
+    EXPECT_TRUE(source->monotone()) << name;
+  }
+  // And a known non-monotone stream is tagged as such.
+  EXPECT_FALSE(registry.IsMonotone("random-walk"));
+  EXPECT_FALSE(registry.Create("random-walk", spec)->monotone());
+}
+
+TEST(StreamRegistry, ReplayIsDeterministicForEveryStream) {
+  // Same spec + seed => byte-identical update sequence, independent of
+  // pull granularity.
+  const StreamRegistry& registry = StreamRegistry::Instance();
+  StreamSpec spec;
+  spec.num_sites = 8;
+  spec.seed = 42;
+  spec.assigner = "uniform";
+  for (const std::string& name : registry.StreamNames()) {
+    auto a = registry.Create(name, spec);
+    auto b = registry.Create(name, spec);
+    std::vector<CountUpdate> ua = Pull(*a, 3000, 137);
+    std::vector<CountUpdate> ub = Pull(*b, 3000, 512);
+    EXPECT_EQ(ua, ub) << name;
+  }
+}
+
+TEST(StreamRegistry, DifferentSeedsDecorrelateRandomStreams) {
+  StreamSpec a, b;
+  a.seed = 1;
+  b.seed = 2;
+  auto sa = StreamRegistry::Instance().Create("random-walk", a);
+  auto sb = StreamRegistry::Instance().Create("random-walk", b);
+  EXPECT_NE(Pull(*sa, 1000), Pull(*sb, 1000));
+}
+
+TEST(StreamRegistry, ParamsReachTheGenerator) {
+  StreamSpec spec;
+  spec.num_sites = 1;
+  spec.assigner = "single";
+  spec.params["amplitude"] = 4;
+  auto source = StreamRegistry::Instance().Create("sawtooth", spec);
+  // Amplitude 4 => f peaks at 4: +1 x4, -1 x4, repeating.
+  std::vector<CountUpdate> updates = Pull(*source, 16);
+  int64_t f = 0, max_f = 0;
+  for (const CountUpdate& u : updates) {
+    f += u.delta;
+    max_f = std::max(max_f, f);
+  }
+  EXPECT_EQ(max_f, 4);
+}
+
+TEST(StreamRegistry, UnknownNamesReturnNull) {
+  StreamSpec spec;
+  EXPECT_EQ(StreamRegistry::Instance().Create("no-such-stream", spec),
+            nullptr);
+  EXPECT_EQ(StreamRegistry::Instance().CreateAssigner("no-such", spec),
+            nullptr);
+  spec.assigner = "no-such-assigner";
+  EXPECT_EQ(StreamRegistry::Instance().Create("random-walk", spec),
+            nullptr);
+  EXPECT_FALSE(StreamRegistry::Instance().ContainsStream("no-such-stream"));
+  EXPECT_FALSE(StreamRegistry::Instance().ContainsAssigner("no-such"));
+}
+
+TEST(StreamRegistry, LegacyFactoriesDelegateToRegistry) {
+  // MakeGeneratorByName / MakeAssignerByName are shims over the registry:
+  // identical construction for identical (name, seed).
+  auto via_shim = MakeGeneratorByName("random-walk", 9);
+  StreamSpec spec;
+  spec.seed = 9;
+  auto via_registry =
+      StreamRegistry::Instance().CreateGenerator("random-walk", spec);
+  ASSERT_NE(via_shim, nullptr);
+  ASSERT_NE(via_registry, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(via_shim->NextDelta(), via_registry->NextDelta());
+  }
+  EXPECT_EQ(MakeGeneratorByName("bogus", 1), nullptr);
+  EXPECT_EQ(MakeAssignerByName("bogus", 4, 1), nullptr);
+}
+
+TEST(TraceSource, ReplaysTheTraceExactlyAndReportsMetadata) {
+  RandomWalkGenerator gen(5);
+  RoundRobinAssigner assigner(3);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 100);
+  TraceSource source(&trace);
+  EXPECT_EQ(source.num_sites(), 3u);
+  EXPECT_EQ(source.remaining(), 100u);
+  EXPECT_FALSE(source.monotone());  // walks emit deletions
+  std::vector<CountUpdate> pulled = Pull(source, 100, 7);
+  EXPECT_EQ(pulled, trace.updates());
+  EXPECT_EQ(source.remaining(), 0u);
+  // Exhausted: NextBatch returns 0.
+  std::vector<CountUpdate> buf(4);
+  EXPECT_EQ(source.NextBatch(buf), 0u);
+  source.Reset();
+  EXPECT_EQ(source.remaining(), 100u);
+}
+
+TEST(TraceSource, ShortReadsOnlyAtExhaustion) {
+  MonotoneGenerator gen;
+  SingleSiteAssigner assigner;
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 10);
+  TraceSource source(&trace);
+  std::vector<CountUpdate> buf(7);
+  EXPECT_EQ(source.NextBatch(buf), 7u);
+  EXPECT_EQ(source.NextBatch(buf), 3u);  // the tail
+  EXPECT_EQ(source.NextBatch(buf), 0u);
+  EXPECT_TRUE(source.monotone());
+}
+
+TEST(RecordTrace, MatchesStreamTraceRecord) {
+  RandomWalkGenerator gen_a(3);
+  UniformAssigner assigner_a(4, 8);
+  StreamTrace direct = StreamTrace::Record(&gen_a, &assigner_a, 500);
+
+  RandomWalkGenerator gen_b(3);
+  UniformAssigner assigner_b(4, 8);
+  GeneratorSource source(&gen_b, &assigner_b, 4);
+  StreamTrace via_source = RecordTrace(source, 500);
+  EXPECT_EQ(direct.updates(), via_source.updates());
+  EXPECT_EQ(direct.initial_value(), via_source.initial_value());
+}
+
+TEST(Run, MatchesDeprecatedRunCountShim) {
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  opts.epsilon = 0.1;
+
+  RandomWalkGenerator gen_a(17);
+  UniformAssigner assigner_a(4, 23);
+  DeterministicTracker tracker_a(opts);
+  RunResult via_shim =
+      RunCount(&gen_a, &assigner_a, &tracker_a, 5000, 0.1);
+
+  RandomWalkGenerator gen_b(17);
+  UniformAssigner assigner_b(4, 23);
+  GeneratorSource source(&gen_b, &assigner_b, 4);
+  DeterministicTracker tracker_b(opts);
+  RunOptions ropts;
+  ropts.epsilon = 0.1;
+  ropts.max_updates = 5000;
+  RunResult via_run = varstream::Run(source, tracker_b, ropts);
+
+  EXPECT_EQ(via_shim.n, via_run.n);
+  EXPECT_EQ(via_shim.final_f, via_run.final_f);
+  EXPECT_EQ(via_shim.messages, via_run.messages);
+  EXPECT_DOUBLE_EQ(via_shim.max_rel_error, via_run.max_rel_error);
+  EXPECT_DOUBLE_EQ(via_shim.mean_rel_error, via_run.mean_rel_error);
+  EXPECT_DOUBLE_EQ(via_shim.violation_rate, via_run.violation_rate);
+  EXPECT_DOUBLE_EQ(via_shim.variability, via_run.variability);
+}
+
+TEST(Run, DrainsFiniteSourceWithoutExplicitBudget) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(2);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 250);
+  TraceSource source(&trace);
+  TrackerOptions opts;
+  opts.num_sites = 2;
+  NaiveTracker tracker(opts);
+  RunResult result = varstream::Run(source, tracker);  // drain (max_updates = 0)
+  EXPECT_EQ(result.n, 250u);
+  EXPECT_EQ(result.final_f, 250);
+}
+
+TEST(Run, BudgetStopsBeforeExhaustion) {
+  MonotoneGenerator gen;
+  RoundRobinAssigner assigner(2);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 250);
+  TraceSource source(&trace);
+  TrackerOptions opts;
+  opts.num_sites = 2;
+  NaiveTracker tracker(opts);
+  RunOptions ropts;
+  ropts.max_updates = 100;
+  RunResult result = varstream::Run(source, tracker, ropts);
+  EXPECT_EQ(result.n, 100u);
+  EXPECT_EQ(source.remaining(), 150u);
+}
+
+TEST(Run, BatchedValidationObservesAtBoundaries) {
+  // batch_size B: estimates/cost identical to per-update ingest (the
+  // PushBatch contract), error statistics measured per boundary.
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  opts.epsilon = 0.1;
+
+  StreamSpec spec;
+  spec.num_sites = 4;
+  spec.seed = 31;
+  auto unit_source =
+      StreamRegistry::Instance().Create("random-walk", spec);
+  DeterministicTracker unit_tracker(opts);
+  RunOptions unit_opts;
+  unit_opts.epsilon = 0.1;
+  unit_opts.max_updates = 4096;
+  RunResult unit = varstream::Run(*unit_source, unit_tracker, unit_opts);
+
+  auto batch_source =
+      StreamRegistry::Instance().Create("random-walk", spec);
+  DeterministicTracker batch_tracker(opts);
+  RunOptions batch_opts = unit_opts;
+  batch_opts.batch_size = 256;
+  RunResult batched =
+      varstream::Run(*batch_source, batch_tracker, batch_opts);
+
+  EXPECT_EQ(unit.n, batched.n);
+  EXPECT_EQ(unit.final_f, batched.final_f);
+  EXPECT_EQ(unit.messages, batched.messages);
+  EXPECT_DOUBLE_EQ(unit.final_estimate, batched.final_estimate);
+  // Boundary-only observation can only lower the max error.
+  EXPECT_LE(batched.max_rel_error, unit.max_rel_error + 1e-12);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,151 @@
+// ExperimentSuite: cross-product expansion and the parallel runner.
+// The acceptance-critical property: a suite run on >= 4 threads produces
+// results identical to the single-threaded run.
+
+#include "core/suite.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/registry.h"
+#include "stream/source.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+SuiteSpec SmallSpec() {
+  SuiteSpec spec;
+  spec.trackers = {"deterministic", "randomized", "naive"};
+  spec.streams = {"random-walk", "sawtooth", "monotone"};
+  spec.epsilons = {0.1, 0.2};
+  spec.seeds = {1, 2};
+  spec.num_sites = 4;
+  spec.n = 2000;
+  return spec;
+}
+
+TEST(ExpandSuite, FullCrossProduct) {
+  SuiteSpec spec = SmallSpec();
+  std::vector<Scenario> scenarios = ExpandSuite(spec);
+  // 3 trackers x 3 streams x 1 assigner x 2 eps x 2 seeds.
+  EXPECT_EQ(scenarios.size(), 36u);
+  std::set<std::string> ids;
+  for (const Scenario& s : scenarios) ids.insert(s.Id());
+  EXPECT_EQ(ids.size(), scenarios.size()) << "ids must be unique";
+}
+
+TEST(ExpandSuite, SkipsIncompatiblePairs) {
+  SuiteSpec spec = SmallSpec();
+  spec.trackers = {"cmy-monotone", "deterministic"};
+  std::vector<Scenario> scenarios = ExpandSuite(spec);
+  // cmy-monotone only pairs with the monotone stream: 1*1 + 1*3 streams,
+  // each x 2 eps x 2 seeds.
+  EXPECT_EQ(scenarios.size(), 16u);
+  for (const Scenario& s : scenarios) {
+    if (s.tracker == "cmy-monotone") {
+      EXPECT_EQ(s.stream, "monotone");
+    }
+  }
+
+  spec.skip_incompatible = false;
+  EXPECT_EQ(ExpandSuite(spec).size(), 24u);
+}
+
+TEST(ExpandSuite, EmptyListsMeanEveryRegisteredName) {
+  SuiteSpec spec;
+  spec.trackers.clear();
+  spec.streams.clear();
+  spec.n = 10;
+  std::vector<Scenario> scenarios = ExpandSuite(spec);
+  std::set<std::string> trackers, streams;
+  for (const Scenario& s : scenarios) {
+    trackers.insert(s.tracker);
+    streams.insert(s.stream);
+  }
+  // Every registered tracker appears (each has at least the monotone
+  // stream), and every registered stream appears (paired with the
+  // non-monotone-only trackers).
+  for (const std::string& name : TrackerRegistry::Instance().Names()) {
+    EXPECT_TRUE(trackers.count(name)) << name;
+  }
+  for (const std::string& name :
+       StreamRegistry::Instance().StreamNames()) {
+    EXPECT_TRUE(streams.count(name)) << name;
+  }
+}
+
+TEST(RunSuite, ParallelMatchesSerial) {
+  std::vector<Scenario> scenarios = ExpandSuite(SmallSpec());
+  std::vector<ScenarioResult> serial = RunSuite(scenarios, 1);
+  std::vector<ScenarioResult> parallel = RunSuite(scenarios, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ok, parallel[i].ok) << scenarios[i].Id();
+    EXPECT_EQ(serial[i].scenario.Id(), parallel[i].scenario.Id());
+    EXPECT_EQ(serial[i].result.final_f, parallel[i].result.final_f);
+    EXPECT_EQ(serial[i].result.messages, parallel[i].result.messages);
+    EXPECT_EQ(serial[i].result.bits, parallel[i].result.bits);
+    EXPECT_DOUBLE_EQ(serial[i].result.max_rel_error,
+                     parallel[i].result.max_rel_error)
+        << scenarios[i].Id();
+    EXPECT_DOUBLE_EQ(serial[i].result.final_estimate,
+                     parallel[i].result.final_estimate);
+    EXPECT_DOUBLE_EQ(serial[i].result.variability,
+                     parallel[i].result.variability);
+  }
+  // The serialized artifacts are byte-identical too.
+  EXPECT_EQ(SuiteResultsToJson(serial), SuiteResultsToJson(parallel));
+  EXPECT_EQ(SuiteResultsToCsv(serial), SuiteResultsToCsv(parallel));
+}
+
+TEST(RunSuite, MoreThreadsThanScenarios) {
+  SuiteSpec spec = SmallSpec();
+  spec.trackers = {"naive"};
+  spec.streams = {"monotone"};
+  spec.epsilons = {0.1};
+  spec.seeds = {1};
+  std::vector<Scenario> scenarios = ExpandSuite(spec);
+  ASSERT_EQ(scenarios.size(), 1u);
+  std::vector<ScenarioResult> results = RunSuite(scenarios, 16);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].result.n, 2000u);
+}
+
+TEST(RunSuite, EmptySuite) {
+  EXPECT_TRUE(RunSuite({}, 4).empty());
+}
+
+TEST(RunSuite, ErrorsAreCarriedNotThrown) {
+  Scenario bad;
+  bad.tracker = "no-such-tracker";
+  bad.n = 10;
+  std::vector<ScenarioResult> results = RunSuite({bad}, 2);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_FALSE(results[0].error.empty());
+  std::string json = SuiteResultsToJson(results);
+  EXPECT_NE(json.find("\"failed\":1"), std::string::npos);
+}
+
+TEST(SuiteResults, JsonEnvelope) {
+  SuiteSpec spec = SmallSpec();
+  spec.trackers = {"naive"};
+  spec.streams = {"monotone"};
+  spec.epsilons = {0.1};
+  spec.seeds = {1};
+  std::vector<ScenarioResult> results =
+      RunSuite(ExpandSuite(spec), 1);
+  std::string json = SuiteResultsToJson(results);
+  EXPECT_NE(json.find("\"schema\":\"varstream-suite-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"results\":["), std::string::npos);
+  std::string csv = SuiteResultsToCsv(results);
+  EXPECT_EQ(csv.find("id,tracker,stream"), 0u);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + row
+}
+
+}  // namespace
+}  // namespace varstream

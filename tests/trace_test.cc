@@ -76,7 +76,20 @@ TEST(StreamTrace, DeserializeRejectsBadMagic) {
   auto bytes = trace.Serialize();
   bytes[0] ^= 0xFF;
   StreamTrace out;
-  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out));
+  std::string error;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(StreamTrace, DeserializeRejectsUnsupportedVersion) {
+  StreamTrace trace = MakeWalkTrace(10, 4);
+  auto bytes = trace.Serialize();
+  // Patch the version field (offset 4, little endian u32).
+  bytes[4] = 0x77;
+  StreamTrace out;
+  std::string error;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
 }
 
 TEST(StreamTrace, DeserializeRejectsTruncation) {
@@ -84,22 +97,58 @@ TEST(StreamTrace, DeserializeRejectsTruncation) {
   auto bytes = trace.Serialize();
   bytes.resize(bytes.size() - 5);
   StreamTrace out;
-  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out));
+  std::string error;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(StreamTrace, DeserializeRejectsOverstatedCount) {
   StreamTrace trace({{0, 1}}, 0);
   auto bytes = trace.Serialize();
-  // Patch the count field (offset 12, little endian u64) to a huge value.
-  bytes[12] = 0xFF;
-  bytes[13] = 0xFF;
+  // Patch the count field (offset 16, little endian u64) to a huge value.
+  bytes[16] = 0xFF;
+  bytes[17] = 0xFF;
   StreamTrace out;
-  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out));
+  std::string error;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(StreamTrace, DeserializeRejectsTrailingGarbage) {
+  // A count understating the body must fail loudly, not silently drop the
+  // tail.
+  StreamTrace trace = MakeWalkTrace(10, 6);
+  auto bytes = trace.Serialize();
+  bytes.push_back(0xAB);
+  StreamTrace out;
+  std::string error;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+
+  // Equivalently: count patched one lower than the recorded body.
+  auto bytes2 = trace.Serialize();
+  ASSERT_EQ(bytes2[16], 10);
+  bytes2[16] = 9;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes2, &out, &error));
 }
 
 TEST(StreamTrace, DeserializeRejectsEmptyBuffer) {
   StreamTrace out;
-  EXPECT_FALSE(StreamTrace::Deserialize({}, &out));
+  std::string error;
+  EXPECT_FALSE(StreamTrace::Deserialize({}, &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(StreamTrace, DeserializeRejectsVersionlessLegacyHeader) {
+  // A v1 file (magic, f0, count — no version field) must be rejected with
+  // a version diagnostic, not misparsed.
+  StreamTrace trace = MakeWalkTrace(4, 7);
+  auto bytes = trace.Serialize();
+  // Drop the 4 version bytes to reconstruct the legacy layout.
+  bytes.erase(bytes.begin() + 4, bytes.begin() + 8);
+  StreamTrace out;
+  std::string error;
+  EXPECT_FALSE(StreamTrace::Deserialize(bytes, &out, &error));
 }
 
 TEST(StreamTrace, FileRoundTrip) {

@@ -1,16 +1,20 @@
-// varstream_run — run any (generator x assigner x tracker) configuration
+// varstream_run — run any (stream x assigner x tracker) configuration
 // from the command line and print the measurement row. The Swiss-army
 // knife for exploring the cost/error space without writing code.
 //
-//   $ varstream_run --tracker=deterministic --generator=random-walk
+//   $ varstream_run --tracker=deterministic --stream=random-walk
 //                   --sites=16 --eps=0.05 --n=200000 [--assigner=uniform]
 //                   [--seed=1] [--trace-out=walk.trace] [--batch=1]
+//                   [--params=mu=0.2,amplitude=128]
 //
-// Trackers: anything in the TrackerRegistry — run with --list-trackers to
-// enumerate. Generators / assigners: see MakeGeneratorByName /
-// MakeAssignerByName.
+// Trackers: anything in the TrackerRegistry (--list-trackers). Streams and
+// assigners: anything in the StreamRegistry (--list-streams); --params
+// passes per-stream knobs. --generator is accepted as a legacy alias for
+// --stream.
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -27,6 +31,35 @@ void ListTrackers() {
   }
 }
 
+/// Parses "--params=key=val,key=val" into StreamSpec params. Returns
+/// false (with a diagnostic) on a malformed pair or non-numeric value.
+bool ParseParams(const std::string& csv,
+                 std::map<std::string, double>* params) {
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    std::string pair = csv.substr(start, comma - start);
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--params: '%s' is not key=value\n",
+                   pair.c_str());
+      return false;
+    }
+    std::string value = pair.substr(eq + 1);
+    char* end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--params: '%s' is not a number\n",
+                   value.c_str());
+      return false;
+    }
+    (*params)[pair.substr(0, eq)] = parsed;
+    start = comma + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -35,31 +68,55 @@ int main(int argc, char** argv) {
     ListTrackers();
     return 0;
   }
+  if (flags.GetBool("list-streams", false)) {
+    std::fputs(varstream::StreamRegistry::Instance().ListingText().c_str(),
+               stdout);
+    return 0;
+  }
   const std::string tracker_name =
       flags.GetString("tracker", "deterministic");
-  const std::string generator_name =
-      flags.GetString("generator", "random-walk");
+  const std::string stream_name =
+      flags.GetString("stream", flags.GetString("generator", "random-walk"));
   const std::string assigner_name = flags.GetString("assigner", "uniform");
   const uint64_t n = flags.GetUint("n", 100000);
   const uint64_t seed = flags.GetUint("seed", 1);
   const uint64_t batch = flags.GetUint("batch", 1);
 
+  const varstream::StreamRegistry& streams =
+      varstream::StreamRegistry::Instance();
+  if (!streams.ContainsStream(stream_name)) {
+    std::fprintf(stderr,
+                 "unknown stream '%s'; valid streams: %s (--list-streams "
+                 "for details)\n",
+                 stream_name.c_str(),
+                 varstream::JoinNames(streams.StreamNames()).c_str());
+    return 2;
+  }
+  if (!streams.ContainsAssigner(assigner_name)) {
+    std::fprintf(stderr,
+                 "unknown assigner '%s'; valid assigners: %s\n",
+                 assigner_name.c_str(),
+                 varstream::JoinNames(streams.AssignerNames()).c_str());
+    return 2;
+  }
+
+  varstream::StreamSpec spec;
+  spec.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  spec.seed = seed;
+  spec.assigner = assigner_name;
+  if (!ParseParams(flags.GetString("params", ""), &spec.params)) return 2;
+
   varstream::TrackerOptions options;
-  options.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  options.num_sites = spec.num_sites;
   options.epsilon = flags.GetDouble("eps", 0.1);
   options.seed = seed ^ 0x7AC8E5;
   options.drift_threshold_factor =
       flags.GetDouble("threshold-factor", 1.0);
   options.sample_constant = flags.GetDouble("sample-constant", 3.0);
   options.period = flags.GetUint("period", 64);
+  options.initial_value =
+      streams.CreateGenerator(stream_name, spec)->initial_value();
 
-  auto gen = varstream::MakeGeneratorByName(generator_name, seed);
-  if (!gen) {
-    std::fprintf(stderr, "unknown generator '%s'\n",
-                 generator_name.c_str());
-    return 2;
-  }
-  options.initial_value = gen->initial_value();
   auto tracker = varstream::TrackerRegistry::Instance().Create(
       tracker_name, options);
   if (!tracker) {
@@ -70,52 +127,46 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (varstream::TrackerRegistry::Instance().IsMonotoneOnly(tracker_name) &&
-      generator_name != "monotone") {
+      !streams.IsMonotone(stream_name)) {
     std::fprintf(stderr,
-                 "warning: '%s' is insertion-only; generator '%s' may "
-                 "emit deletions, which insertion-only trackers cannot "
-                 "track\n",
-                 tracker->name().c_str(), generator_name.c_str());
+                 "warning: '%s' is insertion-only; stream '%s' may emit "
+                 "deletions, which insertion-only trackers cannot track\n",
+                 tracker->name().c_str(), stream_name.c_str());
   }
   // The tracker decides its own k (single-site pins it to 1); deal the
   // stream across exactly that many sites.
-  auto assigner = varstream::MakeAssignerByName(
-      assigner_name, tracker->num_sites(), seed + 1);
-  if (!assigner) {
-    std::fprintf(stderr, "unknown assigner '%s'\n", assigner_name.c_str());
-    return 2;
-  }
+  spec.num_sites = tracker->num_sites();
+  std::unique_ptr<varstream::StreamSource> source =
+      streams.Create(stream_name, spec);
+
+  varstream::RunOptions ropts;
+  ropts.epsilon = options.epsilon;
+  ropts.batch_size = batch;
 
   // Record the stream if requested so runs can be replayed elsewhere.
   varstream::RunResult result;
+  std::string source_desc;
   std::string trace_out = flags.GetString("trace-out", "");
   if (!trace_out.empty()) {
-    varstream::StreamTrace trace =
-        varstream::StreamTrace::Record(gen.get(), assigner.get(), n);
+    varstream::StreamTrace trace = varstream::RecordTrace(*source, n);
     if (!trace.SaveToFile(trace_out)) {
       std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
       return 3;
     }
-    result = batch > 1
-                 ? varstream::RunCountOnTraceBatched(trace, tracker.get(),
-                                                     options.epsilon, batch)
-                 : varstream::RunCountOnTrace(trace, tracker.get(),
-                                              options.epsilon);
+    varstream::TraceSource replay(&trace);
+    source_desc = replay.name();
+    result = Run(replay, *tracker, ropts);
   } else {
-    result = batch > 1
-                 ? varstream::RunCountBatched(gen.get(), assigner.get(),
-                                              tracker.get(), n,
-                                              options.epsilon, batch)
-                 : varstream::RunCount(gen.get(), assigner.get(),
-                                       tracker.get(), n, options.epsilon);
+    ropts.max_updates = n;
+    source_desc = source->name();
+    result = Run(*source, *tracker, ropts);
   }
 
   std::printf("tracker        : %s (k=%u, eps=%g)\n",
               tracker->name().c_str(), tracker->num_sites(),
               options.epsilon);
-  std::printf("stream         : %s via %s, n=%llu, seed=%llu\n",
-              gen->name().c_str(), assigner->name().c_str(),
-              static_cast<unsigned long long>(n),
+  std::printf("stream         : %s, n=%llu, seed=%llu\n",
+              source_desc.c_str(), static_cast<unsigned long long>(n),
               static_cast<unsigned long long>(seed));
   std::printf("variability    : %.3f (v/n = %.6f)\n", result.variability,
               result.variability / static_cast<double>(result.n));

@@ -1,0 +1,216 @@
+// varstream_suite — expand a trackers x streams x assigners x epsilons x
+// seeds cross-product into scenarios and run them on a thread pool.
+// Results are deterministic for any --threads value (each scenario derives
+// its randomness from its own fields) and can be written as JSON or CSV.
+//
+//   $ varstream_suite                                # all x all, defaults
+//   $ varstream_suite --trackers=deterministic,randomized
+//                     --streams=random-walk,sawtooth
+//                     --eps=0.05,0.1 --seeds=1,2,3
+//                     --n=100000 --sites=16 --threads=8
+//                     --json=results.json --csv=results.csv
+//   $ varstream_suite --list-trackers | --list-streams
+//
+// JSON schema: see the "Suite result schema" section of README.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+
+namespace {
+
+using varstream::StreamRegistry;
+using varstream::TrackerRegistry;
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void ListTrackers() {
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    std::printf("%s%s\n", name.c_str(),
+                registry.IsMonotoneOnly(name) ? " (monotone only)" : "");
+  }
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+/// Rejects unknown names up front with the full list of valid ones, so a
+/// typo fails the invocation instead of producing rows of errors.
+bool ValidateNames(const std::vector<std::string>& names,
+                   const std::vector<std::string>& valid, const char* kind) {
+  bool ok = true;
+  for (const std::string& name : names) {
+    if (std::find(valid.begin(), valid.end(), name) != valid.end()) continue;
+    std::fprintf(stderr, "unknown %s '%s'; valid %ss: %s\n", kind,
+                 name.c_str(), kind, varstream::JoinNames(valid).c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+/// Parses a comma-separated numeric list; returns false (with a
+/// diagnostic naming the flag) on any non-numeric entry.
+bool ParseDoubleList(const std::string& csv, const char* flag,
+                     std::vector<double>* out) {
+  out->clear();
+  for (const std::string& item : SplitList(csv)) {
+    char* end = nullptr;
+    double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not a number\n", flag,
+                   item.c_str());
+      return false;
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+bool ParseUintList(const std::string& csv, const char* flag,
+                   std::vector<uint64_t>* out) {
+  out->clear();
+  for (const std::string& item : SplitList(csv)) {
+    char* end = nullptr;
+    uint64_t v = std::strtoull(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not an unsigned integer\n", flag,
+                   item.c_str());
+      return false;
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  if (flags.GetBool("list-streams", false)) {
+    std::fputs(StreamRegistry::Instance().ListingText().c_str(), stdout);
+    return 0;
+  }
+  if (flags.GetBool("list-trackers", false)) {
+    ListTrackers();
+    return 0;
+  }
+
+  varstream::SuiteSpec spec;
+  spec.trackers = SplitList(flags.GetString("trackers", ""));
+  spec.streams = SplitList(flags.GetString("streams", ""));
+  spec.assigners = SplitList(flags.GetString("assigners", "uniform"));
+  spec.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  spec.n = flags.GetUint("n", 100000);
+  spec.batch_size = flags.GetUint("batch", 1);
+  spec.period = flags.GetUint("period", 64);
+
+  if (!ParseDoubleList(flags.GetString("eps", "0.1"), "eps",
+                       &spec.epsilons) ||
+      !ParseUintList(flags.GetString("seeds", "1"), "seeds", &spec.seeds)) {
+    return 2;
+  }
+
+  // An alias resolves (e.g. --trackers=cmy) but Names() lists canonical
+  // spellings, so pre-filter trackers through Contains before the
+  // name-list check.
+  std::vector<std::string> unknown_trackers;
+  for (const std::string& t : spec.trackers) {
+    if (!TrackerRegistry::Instance().Contains(t)) {
+      unknown_trackers.push_back(t);
+    }
+  }
+  bool names_ok = ValidateNames(unknown_trackers,
+                                TrackerRegistry::Instance().Names(),
+                                "tracker");
+  names_ok = ValidateNames(spec.streams,
+                           StreamRegistry::Instance().StreamNames(),
+                           "stream") &&
+             names_ok;
+  names_ok = ValidateNames(spec.assigners,
+                           StreamRegistry::Instance().AssignerNames(),
+                           "assigner") &&
+             names_ok;
+  if (!names_ok) {
+    std::fprintf(stderr,
+                 "--list-trackers / --list-streams enumerate the "
+                 "registries\n");
+    return 2;
+  }
+
+  std::vector<varstream::Scenario> scenarios = ExpandSuite(spec);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "suite expanded to zero scenarios\n");
+    return 2;
+  }
+
+  unsigned threads = static_cast<unsigned>(
+      flags.GetUint("threads", std::thread::hardware_concurrency()));
+  if (threads < 1) threads = 1;
+  std::printf("running %zu scenarios on %u threads...\n", scenarios.size(),
+              threads);
+  std::vector<varstream::ScenarioResult> results =
+      RunSuite(scenarios, threads);
+
+  varstream::TablePrinter table({"scenario", "v(n)", "msgs", "max err",
+                                 "violations", "status"});
+  size_t failed = 0;
+  for (const varstream::ScenarioResult& r : results) {
+    if (!r.ok) {
+      ++failed;
+      table.AddRow({r.scenario.Id(), "-", "-", "-", "-", "ERROR"});
+      continue;
+    }
+    table.AddRow({r.scenario.Id(),
+                  varstream::TablePrinter::Cell(r.result.variability, 1),
+                  varstream::TablePrinter::Cell(r.result.messages),
+                  varstream::TablePrinter::Cell(r.result.max_rel_error, 4),
+                  varstream::TablePrinter::Cell(r.result.violation_rate, 4),
+                  "ok"});
+  }
+  if (!flags.GetBool("quiet", false)) table.Print(std::cout);
+  for (const varstream::ScenarioResult& r : results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "%s: %s\n", r.scenario.Id().c_str(),
+                   r.error.c_str());
+    }
+  }
+
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !WriteWholeFile(json_path, SuiteResultsToJson(results))) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 3;
+  }
+  std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty() &&
+      !WriteWholeFile(csv_path, SuiteResultsToCsv(results))) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 3;
+  }
+  std::printf("%zu scenarios, %zu failed%s%s\n", results.size(), failed,
+              json_path.empty() ? "" : (", json: " + json_path).c_str(),
+              csv_path.empty() ? "" : (", csv: " + csv_path).c_str());
+  return failed == 0 ? 0 : 1;
+}

@@ -4,9 +4,11 @@
 //   $ varstream_trace --in=walk.trace --replay=randomized --eps=0.05
 //   $ varstream_trace --record=random-walk --n=50000 --out=walk.trace
 //   $ varstream_trace --list-trackers                     # replay targets
+//   $ varstream_trace --list-streams                      # record sources
 //
-// --replay accepts any TrackerRegistry name; --batch=B replays through the
-// batched ingest path (PushBatch) in batches of B updates.
+// --record accepts any StreamRegistry stream; --replay accepts any
+// TrackerRegistry name; --batch=B replays through the batched ingest path
+// (PushBatch) in batches of B updates.
 //
 // Traces are the regression-fixture format of stream/trace.h: byte-exact
 // replays across tracker implementations and machines.
@@ -29,30 +31,43 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  const varstream::StreamRegistry& streams =
+      varstream::StreamRegistry::Instance();
+  if (flags.GetBool("list-streams", false)) {
+    std::fputs(streams.ListingText().c_str(), stdout);
+    return 0;
+  }
 
   // --- Record mode. ---
   std::string record = flags.GetString("record", "");
   if (!record.empty()) {
     std::string out = flags.GetString("out", "stream.trace");
     uint64_t n = flags.GetUint("n", 100000);
-    uint64_t seed = flags.GetUint("seed", 1);
-    auto sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
-    auto gen = varstream::MakeGeneratorByName(record, seed);
-    if (!gen) {
-      std::fprintf(stderr, "unknown generator '%s'\n", record.c_str());
+    varstream::StreamSpec spec;
+    spec.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+    spec.seed = flags.GetUint("seed", 1);
+    spec.assigner = flags.GetString("assigner", "uniform");
+    if (!streams.ContainsStream(record)) {
+      std::fprintf(stderr, "unknown stream '%s'; valid streams: %s\n",
+                   record.c_str(),
+                   varstream::JoinNames(streams.StreamNames()).c_str());
       return 2;
     }
-    auto assigner = varstream::MakeAssignerByName(
-        flags.GetString("assigner", "uniform"), sites, seed + 1);
-    varstream::StreamTrace trace =
-        varstream::StreamTrace::Record(gen.get(), assigner.get(), n);
+    std::unique_ptr<varstream::StreamSource> source =
+        streams.Create(record, spec);
+    if (!source) {
+      std::fprintf(stderr, "unknown assigner '%s'\n",
+                   spec.assigner.c_str());
+      return 2;
+    }
+    varstream::StreamTrace trace = varstream::RecordTrace(*source, n);
     if (!trace.SaveToFile(out)) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
       return 3;
     }
     std::printf("recorded %llu updates of %s to %s (v = %.2f)\n",
                 static_cast<unsigned long long>(trace.size()),
-                gen->name().c_str(), out.c_str(), trace.Variability());
+                source->name().c_str(), out.c_str(), trace.Variability());
     return 0;
   }
 
@@ -61,19 +76,22 @@ int main(int argc, char** argv) {
   if (in.empty()) {
     std::fprintf(stderr,
                  "usage: varstream_trace --in=FILE [--replay=TRACKER] | "
-                 "--record=GENERATOR --out=FILE\n");
+                 "--record=STREAM --out=FILE\n");
     return 2;
   }
-  varstream::StreamTrace trace;
-  if (!varstream::StreamTrace::LoadFromFile(in, &trace)) {
-    std::fprintf(stderr, "cannot read trace from %s\n", in.c_str());
+  std::string load_error;
+  std::unique_ptr<varstream::TraceSource> source =
+      varstream::TraceSource::FromFile(in, &load_error);
+  if (!source) {
+    std::fprintf(stderr, "cannot read trace from %s: %s\n", in.c_str(),
+                 load_error.c_str());
     return 3;
   }
-  uint32_t max_site = 0;
-  for (const auto& u : trace.updates()) max_site = std::max(max_site, u.site);
+  const varstream::StreamTrace& trace = source->trace();
   std::printf("trace          : %s\n", in.c_str());
-  std::printf("updates        : %llu across %u sites\n",
-              static_cast<unsigned long long>(trace.size()), max_site + 1);
+  std::printf("updates        : %llu across %u sites%s\n",
+              static_cast<unsigned long long>(trace.size()),
+              source->num_sites(), source->monotone() ? " (monotone)" : "");
   std::printf("f(0) / f(n)    : %lld / %lld\n",
               static_cast<long long>(trace.initial_value()),
               static_cast<long long>(trace.final_value()));
@@ -83,7 +101,7 @@ int main(int argc, char** argv) {
   if (replay.empty()) return 0;
 
   varstream::TrackerOptions options;
-  options.num_sites = max_site + 1;
+  options.num_sites = source->num_sites() == 0 ? 1 : source->num_sites();
   options.epsilon = flags.GetDouble("eps", 0.1);
   options.initial_value = trace.initial_value();
   options.seed = flags.GetUint("seed", 1);
@@ -99,30 +117,24 @@ int main(int argc, char** argv) {
                  replay.c_str());
     return 2;
   }
-  if (tracker->num_sites() <= max_site) {
+  if (tracker->num_sites() < source->num_sites()) {
     std::fprintf(stderr,
                  "tracker '%s' has %u site(s) but the trace spans %u\n",
                  tracker->name().c_str(), tracker->num_sites(),
-                 max_site + 1);
+                 source->num_sites());
     return 2;
   }
-  if (registry.IsMonotoneOnly(replay)) {
-    for (const auto& u : trace.updates()) {
-      if (u.delta < 0) {
-        std::fprintf(stderr,
-                     "tracker '%s' is insertion-only but the trace "
-                     "contains deletions\n",
-                     tracker->name().c_str());
-        return 2;
-      }
-    }
+  if (registry.IsMonotoneOnly(replay) && !source->monotone()) {
+    std::fprintf(stderr,
+                 "tracker '%s' is insertion-only but the trace contains "
+                 "deletions\n",
+                 tracker->name().c_str());
+    return 2;
   }
-  const uint64_t batch = flags.GetUint("batch", 1);
-  varstream::RunResult r =
-      batch > 1 ? varstream::RunCountOnTraceBatched(trace, tracker.get(),
-                                                    options.epsilon, batch)
-                : varstream::RunCountOnTrace(trace, tracker.get(),
-                                             options.epsilon);
+  varstream::RunOptions ropts;
+  ropts.epsilon = options.epsilon;
+  ropts.batch_size = flags.GetUint("batch", 1);
+  varstream::RunResult r = Run(*source, *tracker, ropts);
   std::printf("replayed with  : %s (eps=%g)\n", tracker->name().c_str(),
               options.epsilon);
   std::printf("messages       : %llu\n",
