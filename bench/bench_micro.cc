@@ -14,7 +14,9 @@
 #include "core/frequency_tracker.h"
 #include "core/quantile_tracker.h"
 #include "core/randomized_tracker.h"
+#include "core/sharded.h"
 #include "core/single_site_tracker.h"
+#include "core/spsc_queue.h"
 #include "core/threshold_monitor.h"
 #include "lowerbound/offline_opt.h"
 #include "sketch/count_min.h"
@@ -187,6 +189,70 @@ void BM_NaiveTrackerPushBatch(benchmark::State& state) {
                           static_cast<int64_t>(batch_size));
 }
 BENCHMARK(BM_NaiveTrackerPushBatch)->Arg(1)->Arg(64)->Arg(4096);
+
+// Sharded parallel ingest (core/sharded.h): demux + SPSC queues + one
+// single-site tracker per site, swept over worker counts. Compare items/s
+// against BM_DeterministicTrackerPushBatch/4096 — the serial engine this
+// pipeline parallelizes. bench_shards sweeps the same space standalone and
+// feeds the bench-regression CI job.
+void BM_ShardedDeterministicPushBatch(benchmark::State& state) {
+  const auto workers = static_cast<uint32_t>(state.range(0));
+  const uint32_t k = 8;
+  constexpr size_t kBatch = 4096;
+  std::string error;
+  auto tracker =
+      ShardedTracker::Create("deterministic", Opts(k, 0.1), workers, &error);
+  std::vector<CountUpdate> pool = MakeUpdatePool(k, 3, size_t{1} << 16);
+  std::span<const CountUpdate> updates(pool);
+  size_t off = 0;
+  for (auto _ : state) {
+    tracker->PushBatch(updates.subspan(off, kBatch));
+    off += kBatch;
+    if (off + kBatch > updates.size()) off = 0;
+  }
+  benchmark::DoNotOptimize(tracker->Snapshot());  // drain the pipeline
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_ShardedDeterministicPushBatch)->Arg(1)->Arg(2)->Arg(4);
+
+// The same pipeline under the cheapest possible per-site tracker, so the
+// engine overhead (demux, ring transfer, drain) dominates the row.
+void BM_ShardedNaivePushBatch(benchmark::State& state) {
+  const auto workers = static_cast<uint32_t>(state.range(0));
+  const uint32_t k = 8;
+  constexpr size_t kBatch = 4096;
+  std::string error;
+  auto tracker = ShardedTracker::Create("naive", Opts(k, 0.1), workers,
+                                        &error);
+  std::vector<CountUpdate> pool = MakeUpdatePool(k, 6, size_t{1} << 16);
+  std::span<const CountUpdate> updates(pool);
+  size_t off = 0;
+  for (auto _ : state) {
+    tracker->PushBatch(updates.subspan(off, kBatch));
+    off += kBatch;
+    if (off + kBatch > updates.size()) off = 0;
+  }
+  benchmark::DoNotOptimize(tracker->Snapshot());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_ShardedNaivePushBatch)->Arg(1)->Arg(2)->Arg(4);
+
+// Raw transfer cost of the SPSC ring (single thread: push + pop pairs on
+// recycled vector payloads — the allocation-free steady state).
+void BM_SpscQueueTransfer(benchmark::State& state) {
+  SpscQueue<std::vector<CountUpdate>, 8> queue;
+  std::vector<CountUpdate> in(64), out;
+  for (auto _ : state) {
+    queue.TryPush(in);
+    queue.TryPop(out);
+    using std::swap;
+    swap(in, out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueueTransfer);
 
 void BM_RandomizedTrackerPush(benchmark::State& state) {
   auto k = static_cast<uint32_t>(state.range(0));

@@ -1,0 +1,247 @@
+// Shard-sweep ingest benchmark: throughput of the sharded parallel ingest
+// engine (core/sharded.h) across worker counts, against the serial engine,
+// for every mergeable tracker. This is the benchmark behind the committed
+// BENCH_shards.json and the bench-regression CI job (ci/README section in
+// README.md): it emits a machine-readable JSON report that
+// ci/check_bench_regression.py diffs against ci/bench_baseline.json.
+//
+//   $ bench_shards                         # table on stdout
+//   $ bench_shards --json=BENCH_shards.json
+//   $ bench_shards --n=4000000 --shards=0,1,2,4,8 --reps=5
+//
+// --shards takes a comma list; 0 means the serial engine (plain registry
+// tracker), W >= 1 the sharded engine with W workers. Each configuration
+// ingests the same pre-recorded update pool through PushBatch and is
+// timed over --reps repetitions, reporting the best (least-noisy) rep.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "stream/source.h"
+
+namespace varstream {
+namespace {
+
+struct BenchRow {
+  std::string name;
+  std::string tracker;
+  uint32_t shards = 0;  // 0 = serial engine
+  double seconds = 0.0;
+  double updates_per_sec = 0.0;
+  uint64_t messages = 0;
+};
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::unique_ptr<DistributedTracker> MakeTracker(const std::string& name,
+                                                const TrackerOptions& opts,
+                                                uint32_t shards) {
+  if (shards == 0) return TrackerRegistry::Instance().Create(name, opts);
+  std::string error;
+  auto tracker = ShardedTracker::Create(name, opts, shards, &error);
+  if (tracker == nullptr) {
+    std::fprintf(stderr, "bench_shards: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return tracker;
+}
+
+/// One timed ingest of the whole pool through PushBatch; the final
+/// Snapshot() is inside the timed region so sharded configurations pay
+/// their pipeline drain (serial pays a no-op), keeping the comparison
+/// end-to-end fair.
+double TimedIngest(DistributedTracker& tracker,
+                   std::span<const CountUpdate> pool, uint64_t batch,
+                   TrackerSnapshot* snapshot) {
+  auto start = std::chrono::steady_clock::now();
+  for (size_t off = 0; off < pool.size(); off += batch) {
+    size_t len = std::min<size_t>(batch, pool.size() - off);
+    tracker.PushBatch(pool.subspan(off, len));
+  }
+  *snapshot = tracker.Snapshot();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+std::string FmtG(double v, const char* fmt = "%.6g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace varstream
+
+int main(int argc, char** argv) {
+  using namespace varstream;
+  FlagParser flags(argc, argv);
+  const uint64_t n = flags.GetUint("n", 1u << 20);
+  const uint64_t batch = flags.GetUint("batch", 8192);
+  const auto sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  const double eps = flags.GetDouble("eps", 0.1);
+  const uint64_t seed = flags.GetUint("seed", 42);
+  const int reps = static_cast<int>(flags.GetUint("reps", 3));
+  const std::string stream = flags.GetString("stream", "random-walk");
+
+  std::vector<std::string> trackers = SplitList(flags.GetString(
+      "trackers", "deterministic,randomized,naive,periodic"));
+  std::vector<uint32_t> shard_counts;
+  for (const std::string& s : SplitList(flags.GetString("shards", "0,1,2,4"))) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v > sites) {
+      std::fprintf(stderr,
+                   "--shards: '%s' is not a valid shard count (0 for the "
+                   "serial engine, or 1..%u)\n",
+                   s.c_str(), sites);
+      return 2;
+    }
+    shard_counts.push_back(static_cast<uint32_t>(v));
+  }
+  for (const std::string& t : trackers) {
+    if (!TrackerRegistry::Instance().IsMergeable(t)) {
+      std::fprintf(stderr,
+                   "bench_shards: '%s' is not mergeable; mergeable "
+                   "trackers: %s\n",
+                   t.c_str(),
+                   JoinNames(TrackerRegistry::Instance().MergeableNames())
+                       .c_str());
+      return 2;
+    }
+  }
+
+  // One shared pre-recorded pool: every configuration ingests identical
+  // bytes, so rows differ only by engine and worker count.
+  StreamSpec spec;
+  spec.num_sites = sites;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  if (source == nullptr) {
+    std::fprintf(stderr, "bench_shards: unknown stream '%s'\n",
+                 stream.c_str());
+    return 2;
+  }
+  std::vector<CountUpdate> pool(n);
+  if (source->NextBatch(pool) != n) {
+    std::fprintf(stderr, "bench_shards: stream ran dry before %llu updates\n",
+                 static_cast<unsigned long long>(n));
+    return 2;
+  }
+  // Snapshot.time counts unit steps (sum of |delta|), not updates — they
+  // only coincide on ±1 streams, so precompute the pool's unit length for
+  // the lost-update check below.
+  uint64_t unit_steps = 0;
+  for (const CountUpdate& u : pool) {
+    unit_steps += static_cast<uint64_t>(u.delta < 0 ? -u.delta : u.delta);
+  }
+
+  TrackerOptions opts;
+  opts.num_sites = sites;
+  opts.epsilon = eps;
+  opts.seed = seed ^ 0x7AC8E5;
+
+  std::vector<BenchRow> rows;
+  for (const std::string& tracker_name : trackers) {
+    for (uint32_t shards : shard_counts) {
+      BenchRow row;
+      row.tracker = tracker_name;
+      row.shards = shards;
+      row.name = "ingest/" + tracker_name + "/" +
+                 (shards == 0 ? std::string("serial")
+                              : "shards=" + std::to_string(shards));
+      double best = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        auto tracker = MakeTracker(tracker_name, opts, shards);
+        TrackerSnapshot snapshot;
+        double seconds = TimedIngest(*tracker, pool, batch, &snapshot);
+        if (snapshot.time != unit_steps) {
+          std::fprintf(stderr,
+                       "bench_shards: %s consumed %llu of %llu unit steps\n",
+                       row.name.c_str(),
+                       static_cast<unsigned long long>(snapshot.time),
+                       static_cast<unsigned long long>(unit_steps));
+          return 3;
+        }
+        row.messages = snapshot.messages;
+        if (rep == 0 || seconds < best) best = seconds;
+      }
+      row.seconds = best;
+      row.updates_per_sec = static_cast<double>(n) / best;
+      rows.push_back(row);
+      std::fprintf(stderr, "  %-36s %10.0f updates/s\n", row.name.c_str(),
+                   row.updates_per_sec);
+    }
+  }
+
+  if (!flags.GetBool("quiet", false)) {
+    TablePrinter table({"benchmark", "shards", "seconds", "updates/s",
+                        "msgs"});
+    for (const BenchRow& r : rows) {
+      table.AddRow({r.name,
+                    r.shards == 0 ? std::string("serial")
+                                  : std::to_string(r.shards),
+                    bench::Fmt(r.seconds, 4),
+                    TablePrinter::Cell(r.updates_per_sec, 0),
+                    TablePrinter::Cell(r.messages)});
+    }
+    table.Print(std::cout);
+  }
+
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    // Schema documented in README.md ("Bench JSON schema"); consumed by
+    // ci/check_bench_regression.py.
+    std::string json = "{\n  \"schema\": \"varstream-bench-shards-v1\",\n";
+    json += "  \"config\": {\"stream\": \"" + stream +
+            "\", \"n\": " + std::to_string(n) +
+            ", \"batch\": " + std::to_string(batch) +
+            ", \"sites\": " + std::to_string(sites) + ", \"eps\": " +
+            FmtG(eps) + ", \"seed\": " + std::to_string(seed) +
+            ", \"reps\": " + std::to_string(reps) + "},\n";
+    json += "  \"host\": {\"hardware_concurrency\": " +
+            std::to_string(std::thread::hardware_concurrency()) + "},\n";
+    json += "  \"benchmarks\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const BenchRow& r = rows[i];
+      json += "    {\"name\": \"" + r.name + "\", \"tracker\": \"" +
+              r.tracker + "\", \"shards\": " + std::to_string(r.shards) +
+              ", \"n\": " + std::to_string(n) + ", \"seconds\": " +
+              FmtG(r.seconds) + ", \"updates_per_sec\": " +
+              FmtG(r.updates_per_sec) + ", \"messages\": " +
+              std::to_string(r.messages) + "}";
+      json += (i + 1 == rows.size()) ? "\n" : ",\n";
+    }
+    json += "  ]\n}\n";
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "bench_shards: cannot write %s\n",
+                   json_path.c_str());
+      return 3;
+    }
+    std::printf("json written   : %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for varstream CI.
+
+Compares a freshly generated bench_shards JSON report (schema
+varstream-bench-shards-v1, see README.md "Bench JSON schema") against the
+committed baseline and fails when any benchmark lost more than the
+threshold (default 25%) of its throughput.
+
+Because CI runners and developer machines differ in absolute speed, the
+default comparison mode is *normalized*: every benchmark's updates_per_sec
+is divided by the same run's `ingest/naive/serial` throughput (the
+cheapest, most machine-bound row), so a uniformly slower machine cancels
+out and only genuine relative regressions — e.g. the sharded engine
+getting more expensive relative to serial ingest — trip the gate. Pass
+--mode=absolute for same-machine comparisons (e.g. a perf lab).
+
+Exit codes: 0 ok, 1 regression found, 2 usage / malformed input.
+
+Escape hatch: the workflow skips this check when the PR carries the
+`bench-exempt` label (see .github/workflows/ci.yml); to accept a new
+performance baseline, regenerate it with
+    ./build/bench_shards --json=ci/bench_baseline.json
+and commit the result.
+"""
+
+import argparse
+import json
+import sys
+
+REFERENCE = "ingest/naive/serial"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != "varstream-bench-shards-v1":
+        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    rows = {b["name"]: b for b in doc.get("benchmarks", [])}
+    if not rows:
+        sys.exit(f"error: {path}: no benchmarks")
+    cores = doc.get("host", {}).get("hardware_concurrency", 0)
+    return rows, cores
+
+
+def throughputs(rows, mode, path):
+    if mode == "absolute":
+        return {name: row["updates_per_sec"] for name, row in rows.items()}
+    ref = rows.get(REFERENCE)
+    if ref is None:
+        sys.exit(
+            f"error: {path}: normalized mode needs the {REFERENCE!r} row; "
+            "rerun bench_shards with naive in --trackers and 0 in --shards"
+        )
+    return {
+        name: row["updates_per_sec"] / ref["updates_per_sec"]
+        for name, row in rows.items()
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional throughput loss (default 0.25)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("normalized", "absolute"),
+        default="normalized",
+        help="normalized (default): compare ratios to the %s row, which "
+        "cancels machine speed; absolute: compare raw updates/s" % REFERENCE,
+    )
+    args = parser.parse_args()
+
+    baseline, base_cores = load(args.baseline)
+    current, cur_cores = load(args.current)
+    base_tp = throughputs(baseline, args.mode, args.baseline)
+    cur_tp = throughputs(current, args.mode, args.current)
+
+    # Normalization cancels scalar machine speed but not parallelism:
+    # sharded rows genuinely change shape with the core count, so a
+    # baseline recorded in a different parallelism regime cannot gate.
+    # Report, but downgrade failures to a warning and ask for a baseline
+    # refresh from this run's artifact.
+    advisory = base_cores != cur_cores
+    if advisory:
+        print(
+            f"warning: baseline host has {base_cores} core(s) but this "
+            f"host has {cur_cores}; sharded-row ratios are not comparable "
+            "across parallelism regimes, so this check is ADVISORY. "
+            "Refresh the baseline from this run's artifact "
+            "(copy BENCH_shards_ci.json to ci/bench_baseline.json) to "
+            "re-arm the gate."
+        )
+
+    shared = sorted(set(base_tp) & set(cur_tp))
+    if not shared:
+        sys.exit("error: baseline and current share no benchmark names")
+    missing = sorted(set(base_tp) - set(cur_tp))
+    if missing:
+        print(f"warning: benchmarks missing from current run: {missing}")
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"mode={args.mode} threshold={args.threshold:.0%}")
+    for name in shared:
+        ratio = cur_tp[name] / base_tp[name]
+        flag = ""
+        # In normalized mode the reference row is 1.0/1.0 by construction.
+        if ratio < 1.0 - args.threshold:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        print(f"  {name:<{width}}  {ratio:7.2%} of baseline{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2%} of baseline")
+        if advisory:
+            print("\nadvisory mode (cross-regime baseline): not failing "
+                  "the build; refresh ci/bench_baseline.json to re-arm.")
+            return 0
+        print("\nIf this slowdown is intended, regenerate the baseline "
+              "(./build/bench_shards --json=ci/bench_baseline.json) and "
+              "commit it, or apply the 'bench-exempt' PR label.")
+        return 1
+    print("no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

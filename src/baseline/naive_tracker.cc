@@ -1,6 +1,8 @@
 #include "baseline/naive_tracker.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/math_util.h"
 #include "core/registry.h"
@@ -10,12 +12,25 @@ namespace varstream {
 NaiveTracker::NaiveTracker(const TrackerOptions& options)
     : DistributedTracker(options.num_sites, UpdateSupport::kArbitrary),
       net_(std::make_unique<SimNetwork>(options.num_sites)),
-      value_(options.initial_value) {}
+      value_(options.initial_value),
+      initial_value_(options.initial_value) {}
 
 void NaiveTracker::DoPush(uint32_t site, int64_t delta) {
   net_->Tick(AbsU64(delta));
   net_->SendToCoordinator(site, MessageKind::kSync);
   value_ += delta;
+}
+
+void NaiveTracker::MergeFrom(const DistributedTracker& other) {
+  const NaiveTracker& peer = CheckedMergePeer(*this, other);
+  value_ += peer.value_ - peer.initial_value_;
+  net_->mutable_cost()->Merge(peer.cost());
+  AdvanceTime(peer.time());
+}
+
+std::string NaiveTracker::SerializeState() const {
+  return FormatMergeableState("naive", num_sites(), std::to_string(value_),
+                              time(), cost());
 }
 
 VARSTREAM_REGISTER_TRACKER("naive", NaiveTracker)

@@ -7,19 +7,25 @@
 
 #include <memory>
 
+#include "core/mergeable.h"
 #include "core/options.h"
 #include "core/tracker.h"
 #include "net/network.h"
 
 namespace varstream {
 
-class NaiveTracker : public DistributedTracker {
+class NaiveTracker : public DistributedTracker, public Mergeable {
  public:
   explicit NaiveTracker(const TrackerOptions& options);
 
   double Estimate() const override { return static_cast<double>(value_); }
   const CostMeter& cost() const override { return net_->cost(); }
   std::string name() const override { return "naive"; }
+
+  /// The coordinator value is the exact per-site sum, so the merge over a
+  /// disjoint site partition reproduces the serial tracker byte for byte.
+  void MergeFrom(const DistributedTracker& other) override;
+  std::string SerializeState() const override;
 
  protected:
   /// Forwards the whole delta in one message — arbitrary magnitudes are
@@ -29,6 +35,7 @@ class NaiveTracker : public DistributedTracker {
  private:
   std::unique_ptr<SimNetwork> net_;
   int64_t value_;
+  int64_t initial_value_;
 };
 
 }  // namespace varstream

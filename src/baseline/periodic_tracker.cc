@@ -1,6 +1,8 @@
 #include "baseline/periodic_tracker.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/math_util.h"
 #include "core/registry.h"
@@ -16,7 +18,8 @@ PeriodicTracker::PeriodicTracker(const TrackerOptions& options,
       net_(std::make_unique<SimNetwork>(options.num_sites)),
       period_(period),
       sites_(options.num_sites),
-      estimate_(options.initial_value) {
+      estimate_(options.initial_value),
+      initial_value_(options.initial_value) {
   assert(period >= 1);
 }
 
@@ -30,6 +33,19 @@ void PeriodicTracker::DoPush(uint32_t site, int64_t delta) {
     s.pending = 0;
     s.arrivals = 0;
   }
+}
+
+void PeriodicTracker::MergeFrom(const DistributedTracker& other) {
+  const PeriodicTracker& peer = CheckedMergePeer(*this, other);
+  estimate_ += peer.estimate_ - peer.initial_value_;
+  net_->mutable_cost()->Merge(peer.cost());
+  AdvanceTime(peer.time());
+}
+
+std::string PeriodicTracker::SerializeState() const {
+  return FormatMergeableState("periodic|T=" + std::to_string(period_),
+                              num_sites(), std::to_string(estimate_), time(),
+                              cost());
 }
 
 std::string PeriodicTracker::name() const { return "periodic"; }

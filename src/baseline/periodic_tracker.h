@@ -10,13 +10,14 @@
 #include <memory>
 #include <vector>
 
+#include "core/mergeable.h"
 #include "core/options.h"
 #include "core/tracker.h"
 #include "net/network.h"
 
 namespace varstream {
 
-class PeriodicTracker : public DistributedTracker {
+class PeriodicTracker : public DistributedTracker, public Mergeable {
  public:
   /// Uses options.period (>= 1) as the sync period.
   explicit PeriodicTracker(const TrackerOptions& options);
@@ -31,6 +32,12 @@ class PeriodicTracker : public DistributedTracker {
   std::string name() const override;
 
   uint64_t period() const { return period_; }
+
+  /// Sync decisions are a pure per-site function (local arrival count mod
+  /// period), so the merge over a disjoint site partition reproduces the
+  /// serial tracker byte for byte.
+  void MergeFrom(const DistributedTracker& other) override;
+  std::string SerializeState() const override;
 
  protected:
   /// Arbitrary deltas are native: one arrival of any magnitude counts one
@@ -47,6 +54,7 @@ class PeriodicTracker : public DistributedTracker {
   uint64_t period_;
   std::vector<SiteState> sites_;
   int64_t estimate_;
+  int64_t initial_value_;
 };
 
 }  // namespace varstream

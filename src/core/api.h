@@ -84,12 +84,15 @@
 #include "core/deterministic_tracker.h"     // IWYU pragma: export
 #include "core/driver.h"                    // IWYU pragma: export
 #include "core/frequency_tracker.h"         // IWYU pragma: export
+#include "core/mergeable.h"                 // IWYU pragma: export
 #include "core/options.h"                   // IWYU pragma: export
 #include "core/quantile_tracker.h"          // IWYU pragma: export
 #include "core/randomized_tracker.h"        // IWYU pragma: export
 #include "core/registry.h"                  // IWYU pragma: export
 #include "core/scenario.h"                  // IWYU pragma: export
+#include "core/sharded.h"                   // IWYU pragma: export
 #include "core/single_site_tracker.h"       // IWYU pragma: export
+#include "core/spsc_queue.h"                // IWYU pragma: export
 #include "core/suite.h"                     // IWYU pragma: export
 #include "core/sketch_frequency_tracker.h"  // IWYU pragma: export
 #include "core/threshold_monitor.h"         // IWYU pragma: export

@@ -1,6 +1,7 @@
 #include "core/deterministic_tracker.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/math_util.h"
@@ -78,11 +79,24 @@ void DeterministicTracker::OnBlockEnd(const BlockInfo& /*closed*/,
 }
 
 int64_t DeterministicTracker::EstimateInt() const {
-  return partitioner_->f_at_block_start() + coord_drift_sum_;
+  return partitioner_->f_at_block_start() + coord_drift_sum_ +
+         merged_estimate_;
 }
 
 double DeterministicTracker::Estimate() const {
   return static_cast<double>(EstimateInt());
+}
+
+void DeterministicTracker::MergeFrom(const DistributedTracker& other) {
+  const DeterministicTracker& peer = CheckedMergePeer(*this, other);
+  merged_estimate_ += peer.EstimateInt() - peer.options_.initial_value;
+  net_->mutable_cost()->Merge(peer.cost());
+  AdvanceTime(peer.time());
+}
+
+std::string DeterministicTracker::SerializeState() const {
+  return FormatMergeableState("deterministic", num_sites(),
+                              std::to_string(EstimateInt()), time(), cost());
 }
 
 VARSTREAM_REGISTER_TRACKER("deterministic", DeterministicTracker)

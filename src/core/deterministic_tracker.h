@@ -21,19 +21,25 @@
 #include <vector>
 
 #include "core/block_partition.h"
+#include "core/mergeable.h"
 #include "core/options.h"
 #include "core/tracker.h"
 #include "net/network.h"
 
 namespace varstream {
 
-class DeterministicTracker : public DistributedTracker {
+class DeterministicTracker : public DistributedTracker, public Mergeable {
  public:
   explicit DeterministicTracker(const TrackerOptions& options);
 
   double Estimate() const override;
   const CostMeter& cost() const override { return net_->cost(); }
   std::string name() const override { return "deterministic"; }
+
+  /// Coordinator state is integral, so merging disjoint site partitions
+  /// is exact integer addition (core/mergeable.h semantics).
+  void MergeFrom(const DistributedTracker& other) override;
+  std::string SerializeState() const override;
 
   /// Exact integer estimate (the deterministic coordinator state is
   /// integral).
@@ -82,6 +88,10 @@ class DeterministicTracker : public DistributedTracker {
   // Coordinator state: last reported drift per site and their sum.
   std::vector<int64_t> coord_drift_;
   int64_t coord_drift_sum_ = 0;
+
+  // Folded-in estimate of merged disjoint partitions (MergeFrom); their
+  // clock and cost land in time_ / net_ directly.
+  int64_t merged_estimate_ = 0;
 };
 
 }  // namespace varstream

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/math_util.h"
+#include "core/sharded.h"
 #include "stream/variability.h"
 
 namespace varstream {
@@ -104,6 +105,16 @@ RunResult Run(StreamSource& source, DistributedTracker& tracker,
               const RunOptions& options) {
   assert(tracker.time() == 0);
   assert(options.batch_size >= 1);
+#ifndef NDEBUG
+  // num_shards is descriptive (the tracker is constructed upstream), so
+  // catch a mismatched pairing — results would be attributed to the wrong
+  // configuration in every downstream row.
+  if (options.num_shards >= 1) {
+    auto* sharded = dynamic_cast<ShardedTracker*>(&tracker);
+    assert(sharded != nullptr && sharded->num_shards() == options.num_shards &&
+           "RunOptions::num_shards does not match the tracker");
+  }
+#endif
   uint64_t budget = options.max_updates != 0 ? options.max_updates
                                              : source.remaining();
   // Draining is only meaningful for finite sources; an unbounded source

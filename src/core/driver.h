@@ -53,6 +53,16 @@ struct RunOptions {
   /// throughput-measurement mode for large replays.
   uint64_t batch_size = 1;
 
+  /// Worker shards driving the run. 0 = the serial engine (a plain
+  /// registry tracker); >= 1 = the tracker must be a ShardedTracker
+  /// (core/sharded.h) with exactly this worker count — construct it via
+  /// ShardedTracker::Create and Run cross-checks the pairing in debug
+  /// builds. Carried in RunOptions so one options struct travels from the
+  /// CLI / Scenario layer into result rows. Sharded runs want
+  /// batch_size >> 1: every estimate validation drains the shard
+  /// pipeline.
+  uint32_t num_shards = 0;
+
   /// If non-null, the estimate history is recorded for historical queries.
   HistoryTracer* tracer = nullptr;
 };

@@ -1,0 +1,100 @@
+// Mergeable: the capability that makes a tracker shardable.
+//
+// A tracker is mergeable when its coordinator state over a union of
+// disjoint site partitions is the sum of the coordinator states over the
+// partitions: running one instance per partition and adding their
+// estimates, clocks, and cost meters yields exactly the global Snapshot()
+// a single instance over the union would report for protocols whose
+// per-site decisions depend only on per-site state (naive, periodic), and
+// an estimate carrying the same per-partition relative-error guarantee for
+// the paper's block-partitioned algorithms (deterministic, randomized) —
+// see the merge-semantics table in README.md.
+//
+// core/sharded.h uses the capability as the admission test for the
+// sharded ingest engine; the registry exposes it as metadata
+// (TrackerRegistry::IsMergeable) so tools can list which trackers scale
+// across worker shards. The registration macros detect the capability
+// automatically: any registered tracker deriving from Mergeable is
+// tagged mergeable.
+//
+// Trackers that are NOT mergeable have coordinator state that is a
+// non-additive function of the cross-site configuration (e.g. the
+// single-site specialization pins k = 1; the CMY/HYZ monotone baselines
+// maintain global round state) — sharding them would silently change the
+// protocol, so the engine refuses them loudly instead.
+
+#ifndef VARSTREAM_CORE_MERGEABLE_H_
+#define VARSTREAM_CORE_MERGEABLE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/tracker.h"
+#include "net/cost_meter.h"
+
+namespace varstream {
+
+class Mergeable {
+ public:
+  virtual ~Mergeable() = default;
+
+  /// Folds the coordinator-side summary of `other` — a tracker of the
+  /// same concrete type that observed a *disjoint* site partition of the
+  /// stream — into this tracker: Estimate() gains other's estimate,
+  /// time() gains other's clock, cost() absorbs other's meter. This
+  /// tracker may continue ingesting its own sites afterwards; the merged
+  /// contribution stays a constant additive term. Call with a tracker of
+  /// a different concrete type (or with itself) and the program aborts
+  /// with a diagnostic — a merge across algorithms is a logic error, not
+  /// a recoverable condition.
+  ///
+  /// Merging trackers that both carry a nonzero f(0) would double-count
+  /// it; give every partition instance initial_value = 0 and account f(0)
+  /// once at the top (core/sharded.cc does exactly this).
+  virtual void MergeFrom(const DistributedTracker& other) = 0;
+
+  /// One-line textual dump of the mergeable coordinator state
+  /// ("name|k=..|est=..|time=..|msgs=..|bits=.."), stable across runs for
+  /// deterministic protocols. Used by the shard-equivalence tests to
+  /// assert byte-identical results across worker counts, and useful for
+  /// shipping a shard summary between processes.
+  virtual std::string SerializeState() const = 0;
+};
+
+/// Shared MergeFrom preamble: casts `other` to the merging tracker's own
+/// concrete type, aborting with a diagnostic on a cross-algorithm merge
+/// or a self-merge (per the MergeFrom contract). Instantiate from the
+/// tracker's .cc, where both types are complete:
+///
+///   const auto& peer = CheckedMergePeer(*this, other);
+template <typename Tracker>
+const Tracker& CheckedMergePeer(const Tracker& self,
+                                const DistributedTracker& other) {
+  const auto* peer = dynamic_cast<const Tracker*>(&other);
+  if (peer == nullptr || peer == &self) {
+    std::fprintf(stderr, "%s::MergeFrom: cannot absorb '%s'\n",
+                 self.name().c_str(), other.name().c_str());
+    std::abort();
+  }
+  return *peer;
+}
+
+/// The shared SerializeState line format:
+/// "label|k=K|est=E|time=T|msgs=M|bits=B". Trackers with extra state
+/// fold it into `label` (e.g. "periodic|T=64"); `estimate` is
+/// pre-formatted so integral coordinators serialize exactly.
+inline std::string FormatMergeableState(const std::string& label,
+                                        uint32_t num_sites,
+                                        const std::string& estimate,
+                                        uint64_t time, const CostMeter& cost) {
+  return label + "|k=" + std::to_string(num_sites) + "|est=" + estimate +
+         "|time=" + std::to_string(time) + "|msgs=" +
+         std::to_string(cost.total_messages()) + "|bits=" +
+         std::to_string(cost.total_bits());
+}
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_MERGEABLE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/math_util.h"
 #include "core/registry.h"
@@ -87,7 +89,22 @@ void RandomizedTracker::OnBlockEnd(const BlockInfo& /*closed*/,
 
 double RandomizedTracker::Estimate() const {
   return static_cast<double>(partitioner_->f_at_block_start()) +
-         (coord_plus_sum_ - coord_minus_sum_);
+         (coord_plus_sum_ - coord_minus_sum_) + merged_estimate_;
+}
+
+void RandomizedTracker::MergeFrom(const DistributedTracker& other) {
+  const RandomizedTracker& peer = CheckedMergePeer(*this, other);
+  merged_estimate_ +=
+      peer.Estimate() - static_cast<double>(peer.options_.initial_value);
+  net_->mutable_cost()->Merge(peer.cost());
+  AdvanceTime(peer.time());
+}
+
+std::string RandomizedTracker::SerializeState() const {
+  char est[64];
+  std::snprintf(est, sizeof(est), "%.17g", Estimate());
+  return FormatMergeableState("randomized", num_sites(), est, time(),
+                              cost());
 }
 
 VARSTREAM_REGISTER_TRACKER("randomized", RandomizedTracker)

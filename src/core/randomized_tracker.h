@@ -25,19 +25,26 @@
 
 #include "common/random.h"
 #include "core/block_partition.h"
+#include "core/mergeable.h"
 #include "core/options.h"
 #include "core/tracker.h"
 #include "net/network.h"
 
 namespace varstream {
 
-class RandomizedTracker : public DistributedTracker {
+class RandomizedTracker : public DistributedTracker, public Mergeable {
  public:
   explicit RandomizedTracker(const TrackerOptions& options);
 
   double Estimate() const override;
   const CostMeter& cost() const override { return net_->cost(); }
   std::string name() const override { return "randomized"; }
+
+  /// HYZ one-sided estimators are unbiased and independent across sites,
+  /// so summing disjoint partitions preserves unbiasedness; per-partition
+  /// seeds must be decorrelated (ShardedTracker::DeriveSiteSeed).
+  void MergeFrom(const DistributedTracker& other) override;
+  std::string SerializeState() const override;
 
   uint64_t blocks_completed() const {
     return partitioner_->blocks_completed();
@@ -72,6 +79,9 @@ class RandomizedTracker : public DistributedTracker {
   double coord_plus_sum_ = 0.0;
   double coord_minus_sum_ = 0.0;
   double p_ = 1.0;  // sampling probability of the current block
+
+  // Folded-in estimate of merged disjoint partitions (MergeFrom).
+  double merged_estimate_ = 0.0;
 };
 
 }  // namespace varstream

@@ -1,5 +1,6 @@
 #include "core/registry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -15,9 +16,9 @@ TrackerRegistry& TrackerRegistry::Instance() {
 }
 
 bool TrackerRegistry::Register(const std::string& name, Factory factory,
-                               bool monotone_only) {
-  auto [it, inserted] =
-      entries_.emplace(name, Entry{std::move(factory), monotone_only});
+                               bool monotone_only, bool mergeable) {
+  auto [it, inserted] = entries_.emplace(
+      name, Entry{std::move(factory), monotone_only, mergeable});
   if (!inserted) {
     std::fprintf(stderr, "TrackerRegistry: duplicate tracker name '%s'\n",
                  name.c_str());
@@ -65,11 +66,46 @@ bool TrackerRegistry::IsMonotoneOnly(const std::string& name) const {
   return entry != nullptr && entry->monotone_only;
 }
 
+bool TrackerRegistry::IsMergeable(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->mergeable;
+}
+
 std::vector<std::string> TrackerRegistry::Names() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> TrackerRegistry::MergeableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.mergeable) names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+std::string TrackerRegistry::ListingText() const {
+  // Column-aligned so the capability tags read as a table:
+  //   deterministic        mergeable
+  //   cmy-monotone         monotone-only
+  size_t width = 0;
+  for (const auto& [name, entry] : entries_) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    std::string tags;
+    if (entry.mergeable) tags = "mergeable";
+    if (entry.monotone_only) {
+      if (!tags.empty()) tags += ", ";
+      tags += "monotone-only";
+    }
+    if (tags.empty()) tags = "-";
+    out += name + std::string(width + 2 - name.size(), ' ') + tags + "\n";
+  }
+  return out;
 }
 
 }  // namespace varstream

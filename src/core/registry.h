@@ -15,8 +15,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "core/mergeable.h"
 #include "core/options.h"
 #include "core/tracker.h"
 
@@ -32,6 +34,11 @@ class TrackerRegistry {
     Factory factory;
     /// Insertion-only baseline: feed it monotone (+1) streams only.
     bool monotone_only = false;
+    /// Implements Mergeable (core/mergeable.h): coordinator state is
+    /// additive across disjoint site partitions, so the sharded ingest
+    /// engine (core/sharded.h) accepts it. Derived automatically by the
+    /// registration macros from the class hierarchy.
+    bool mergeable = false;
   };
 
   /// The process-wide registry (populated during static initialization by
@@ -42,7 +49,7 @@ class TrackerRegistry {
   /// trackers claiming one name is a build error, not a runtime
   /// condition). Returns true so it can seed a static initializer.
   bool Register(const std::string& name, Factory factory,
-                bool monotone_only = false);
+                bool monotone_only = false, bool mergeable = false);
 
   /// Registers an alternate CLI spelling resolving to `canonical`.
   bool RegisterAlias(const std::string& alias, const std::string& canonical);
@@ -57,8 +64,21 @@ class TrackerRegistry {
   /// True if the named tracker only accepts insertion-only streams.
   bool IsMonotoneOnly(const std::string& name) const;
 
+  /// True if the named tracker implements Mergeable and can therefore be
+  /// driven by the sharded ingest engine (core/sharded.h).
+  bool IsMergeable(const std::string& name) const;
+
   /// Sorted canonical names (aliases omitted).
   std::vector<std::string> Names() const;
+
+  /// Sorted canonical names of mergeable trackers only — the valid values
+  /// for --shards, quoted by the engine's admission errors.
+  std::vector<std::string> MergeableNames() const;
+
+  /// The multi-line listing printed by the tools' --list-trackers: one
+  /// row per canonical name with a capability column (mergeable /
+  /// monotone-only).
+  std::string ListingText() const;
 
  private:
   TrackerRegistry() = default;
@@ -94,7 +114,8 @@ class TrackerRegistry {
             return std::unique_ptr<::varstream::DistributedTracker>(    \
                 std::make_unique<Type>(options));                       \
           },                                                            \
-          monotone);                                                    \
+          monotone,                                                     \
+          std::is_base_of_v<::varstream::Mergeable, Type>);             \
   }
 
 #define VARSTREAM_REGISTER_ALIAS_IMPL(alias, canonical, counter)        \

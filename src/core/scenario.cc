@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "core/registry.h"
+#include "core/sharded.h"
 #include "stream/source.h"
 
 namespace varstream {
@@ -82,6 +83,7 @@ std::string Scenario::Id() const {
                    FmtDouble("%g", epsilon) + "/n" + std::to_string(n) +
                    "/seed" + std::to_string(seed);
   if (batch_size > 1) id += "/b" + std::to_string(batch_size);
+  if (num_shards > 0) id += "/s" + std::to_string(num_shards);
   return id;
 }
 
@@ -138,8 +140,18 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   topts.seed = ScenarioTrackerSeed(scenario);
   topts.initial_value = gen->initial_value();
   topts.period = scenario.period;
-  std::unique_ptr<DistributedTracker> tracker =
-      trackers.Create(scenario.tracker, topts);
+  std::unique_ptr<DistributedTracker> tracker;
+  if (scenario.num_shards > 0) {
+    std::string shard_error;
+    tracker = ShardedTracker::Create(scenario.tracker, topts,
+                                     scenario.num_shards, &shard_error);
+    if (tracker == nullptr) {
+      out.error = shard_error;
+      return out;
+    }
+  } else {
+    tracker = trackers.Create(scenario.tracker, topts);
+  }
 
   // The tracker decides its own k (single-site pins it to 1); deal the
   // stream across exactly that many sites.
@@ -151,6 +163,7 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   ropts.epsilon = scenario.epsilon;
   ropts.max_updates = scenario.n;
   ropts.batch_size = scenario.batch_size;
+  ropts.num_shards = scenario.num_shards;
   out.result = Run(*source, *tracker, ropts);
   out.ok = true;
   return out;
@@ -168,6 +181,7 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
   json += ",\"n\":" + std::to_string(s.n);
   json += ",\"seed\":" + std::to_string(s.seed);
   json += ",\"batch\":" + std::to_string(s.batch_size);
+  json += ",\"shards\":" + std::to_string(s.num_shards);
   json += ",\"ok\":" + std::string(r.ok ? "true" : "false");
   if (!r.ok) {
     json += ",\"error\":\"" + JsonEscape(r.error) + "\"";
@@ -189,8 +203,8 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
 }
 
 std::string ScenarioResultCsvHeader() {
-  return "id,tracker,stream,assigner,sites,epsilon,n,seed,batch,ok,error,"
-         "n_processed,variability,messages,bits,partition_messages,"
+  return "id,tracker,stream,assigner,sites,epsilon,n,seed,batch,shards,ok,"
+         "error,n_processed,variability,messages,bits,partition_messages,"
          "tracking_messages,max_rel_error,mean_rel_error,violation_rate,"
          "final_f,final_estimate";
 }
@@ -203,6 +217,7 @@ std::string ScenarioResultToCsvRow(const ScenarioResult& r) {
                     FmtDouble("%g", s.epsilon) + "," + std::to_string(s.n) +
                     "," + std::to_string(s.seed) + "," +
                     std::to_string(s.batch_size) + "," +
+                    std::to_string(s.num_shards) + "," +
                     (r.ok ? "true" : "false") + ",";
   // Error messages contain commas (name listings); CsvField quotes them.
   if (!r.ok) row += CsvField(r.error);

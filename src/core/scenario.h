@@ -36,6 +36,11 @@ struct Scenario {
   uint64_t seed = 1;     ///< user-level seed (mixed per scenario, see below)
   uint64_t batch_size = 1;
   uint64_t period = 64;  ///< periodic-baseline sync period
+  /// Worker shards: 0 = serial engine, 1..num_sites = sharded ingest
+  /// engine (core/sharded.h; requires a mergeable tracker). Results are
+  /// identical for every value >= 1; the knob trades threads for
+  /// wall-clock only.
+  uint32_t num_shards = 0;
   std::map<std::string, double> params;  ///< stream knobs (StreamSpec)
 
   /// "tracker/stream/assigner/k../eps../n../seed.." — unique within a

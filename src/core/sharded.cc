@@ -1,0 +1,264 @@
+#include "core/sharded.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "core/registry.h"
+#include "stream/source.h"
+
+namespace varstream {
+
+namespace {
+
+/// Escalating wait for the spin sites (full ring on the producer side,
+/// empty ring on the consumer side, drain). Busy-spins briefly, then
+/// yields, then sleeps — the sleep tier is what keeps a W-thread engine
+/// live on machines with fewer than W cores.
+class Backoff {
+ public:
+  void Wait() {
+    ++spins_;
+    if (spins_ < 64) return;  // stay hot: the peer is usually mid-batch
+    if (spins_ < 1024) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+ private:
+  uint32_t spins_ = 0;
+};
+
+}  // namespace
+
+uint64_t ShardedTracker::DeriveSiteSeed(uint64_t seed, uint32_t site) {
+  // Decorrelate per-site streams from each other and from the user seed;
+  // golden-ratio offset keeps site 0 from mapping seed -> Mix64(seed),
+  // which callers may already use for other derivations.
+  return Mix64(seed ^ (0x9E3779B97F4A7C15ull + site));
+}
+
+std::unique_ptr<ShardedTracker> ShardedTracker::Create(
+    const std::string& base_name, const TrackerOptions& options,
+    uint32_t num_shards, std::string* error) {
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  if (!registry.Contains(base_name)) {
+    if (error != nullptr) {
+      *error = "unknown tracker '" + base_name +
+               "'; valid trackers: " + JoinNames(registry.Names());
+    }
+    return nullptr;
+  }
+  if (!registry.IsMergeable(base_name)) {
+    if (error != nullptr) {
+      *error = "tracker '" + base_name +
+               "' is not mergeable and cannot be sharded; mergeable "
+               "trackers: " +
+               JoinNames(registry.MergeableNames());
+    }
+    return nullptr;
+  }
+  if (num_shards < 1 || num_shards > options.num_sites) {
+    if (error != nullptr) {
+      *error = "invalid shard count " + std::to_string(num_shards) +
+               ": the site space is the unit of partitioning, so valid "
+               "values are 1.." +
+               std::to_string(options.num_sites) + " (k=" +
+               std::to_string(options.num_sites) +
+               " sites; omit --shards for the serial engine)";
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<ShardedTracker>(
+      new ShardedTracker(base_name, options, num_shards));
+}
+
+ShardedTracker::ShardedTracker(const std::string& base_name,
+                               const TrackerOptions& options,
+                               uint32_t num_shards)
+    : DistributedTracker(options.num_sites, UpdateSupport::kArbitrary),
+      base_name_(base_name),
+      options_(options),
+      num_shards_(num_shards) {
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  site_trackers_.reserve(options.num_sites);
+  for (uint32_t site = 0; site < options.num_sites; ++site) {
+    TrackerOptions per_site = options;
+    per_site.num_sites = 1;
+    per_site.seed = DeriveSiteSeed(options.seed, site);
+    // f(0) is a global quantity; the per-site substreams each start at 0
+    // and Estimate() adds options_.initial_value back once.
+    per_site.initial_value = 0;
+    site_trackers_.push_back(registry.Create(base_name, per_site));
+    if (site_trackers_.back() == nullptr ||
+        site_trackers_.back()->num_sites() != 1) {
+      std::fprintf(stderr,
+                   "ShardedTracker: base '%s' cannot be instantiated as a "
+                   "single-site partition\n",
+                   base_name.c_str());
+      std::abort();
+    }
+  }
+  shards_.reserve(num_shards);
+  for (uint32_t w = 0; w < num_shards; ++w) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (uint32_t w = 0; w < num_shards; ++w) {
+    shards_[w]->thread =
+        std::thread([this, w] { WorkerLoop(shards_[w].get()); });
+  }
+}
+
+ShardedTracker::~ShardedTracker() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+void ShardedTracker::WorkerLoop(Shard* shard) {
+  std::vector<CountUpdate> batch;
+  auto process = [&] {
+    for (const CountUpdate& u : batch) {
+      // Each site's instance is single-site: every update lands on its
+      // local site 0. Only this worker ever touches these instances.
+      site_trackers_[u.site]->Push(0, u.delta);
+    }
+    batch.clear();
+    shard->completed.fetch_add(1, std::memory_order_release);
+  };
+  Backoff backoff;
+  for (;;) {
+    if (shard->queue.TryPop(batch)) {
+      process();
+      backoff = Backoff();
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // The producer stopped before setting stop_, but batches published
+      // between our failed pop and the flag read must still be consumed.
+      while (shard->queue.TryPop(batch)) process();
+      return;
+    }
+    backoff.Wait();
+  }
+}
+
+void ShardedTracker::Publish(Shard* shard) {
+  Backoff backoff;
+  while (!shard->queue.TryPush(shard->staging)) backoff.Wait();
+  // TryPush swapped in the consumer's last recycled buffer; it is clear
+  // but keeps its capacity, so steady-state demuxing never reallocates.
+  ++shard->published;
+}
+
+void ShardedTracker::DoPush(uint32_t site, int64_t delta) {
+  CountUpdate u{site, delta};
+  DoPushBatch(std::span<const CountUpdate>(&u, 1));
+}
+
+void ShardedTracker::DoPushBatch(std::span<const CountUpdate> batch) {
+  // Demux stage: split the batch by owning shard, preserving stream order
+  // within each site (all of a site's updates flow through one shard).
+  for (const CountUpdate& u : batch) {
+    if (u.delta == 0) continue;
+    shards_[u.site % num_shards_]->staging.push_back(u);
+  }
+  for (auto& shard : shards_) {
+    if (!shard->staging.empty()) Publish(shard.get());
+  }
+}
+
+void ShardedTracker::Drain() const {
+  for (const auto& shard : shards_) {
+    Backoff backoff;
+    while (shard->completed.load(std::memory_order_acquire) <
+           shard->published) {
+      backoff.Wait();
+    }
+  }
+}
+
+void ShardedTracker::DebugCheckConsistency() const {
+#ifndef NDEBUG
+  // The engine clock (advanced by the producer-side PushBatch) is an
+  // independent record of what entered the queues; the per-site clocks
+  // record what the workers consumed. Any drop, duplication, or misroute
+  // in the demux/queue layer breaks the equality. (CostMeter::Merge has
+  // its own debug overflow checks, so the merged meter needs no second
+  // recomputation here — it is the same sums by construction.)
+  uint64_t site_time = merged_time_;
+  for (const auto& t : site_trackers_) site_time += t->time();
+  assert(site_time == time() &&
+         "sharded engine lost or duplicated updates in the queues");
+#endif
+}
+
+double ShardedTracker::Estimate() const {
+  Drain();
+  // Fixed summation order (site 0..k-1) keeps the floating-point result
+  // independent of the worker count and of queue timing.
+  double sum = static_cast<double>(options_.initial_value) + merged_estimate_;
+  for (const auto& t : site_trackers_) sum += t->Estimate();
+  return sum;
+}
+
+const CostMeter& ShardedTracker::cost() const {
+  Drain();
+  merged_cost_.Reset();
+  merged_cost_.Merge(extra_cost_);
+  for (const auto& t : site_trackers_) merged_cost_.Merge(t->cost());
+  DebugCheckConsistency();
+  return merged_cost_;
+}
+
+std::string ShardedTracker::name() const {
+  return base_name_ + "[x" + std::to_string(num_shards_) + "]";
+}
+
+const DistributedTracker& ShardedTracker::site_tracker(uint32_t site) const {
+  assert(site < site_trackers_.size());
+  Drain();
+  return *site_trackers_[site];
+}
+
+void ShardedTracker::MergeFrom(const DistributedTracker& other) {
+  const ShardedTracker& peer = CheckedMergePeer(*this, other);
+  if (peer.base_name_ != base_name_) {
+    std::fprintf(stderr,
+                 "ShardedTracker::MergeFrom: '%s' cannot absorb '%s' "
+                 "(different base algorithms)\n",
+                 name().c_str(), other.name().c_str());
+    std::abort();
+  }
+  Drain();
+  peer.Drain();
+  // peer.Estimate() includes its f(0); the union carries one f(0) —
+  // ours — so subtract the peer's before folding.
+  merged_estimate_ +=
+      peer.Estimate() - static_cast<double>(peer.options_.initial_value);
+  merged_time_ += peer.time();
+  extra_cost_.Merge(peer.cost());
+  AdvanceTime(peer.time());
+}
+
+std::string ShardedTracker::SerializeState() const {
+  Drain();
+  char est[64];
+  std::snprintf(est, sizeof(est), "%.17g", Estimate());
+  std::string out = FormatMergeableState("sharded(" + base_name_ + ")",
+                                         num_sites(), est, time(), cost());
+  for (const auto& t : site_trackers_) {
+    const auto* m = dynamic_cast<const Mergeable*>(t.get());
+    assert(m != nullptr);  // admission requires a Mergeable base
+    out += "\n  " + m->SerializeState();
+  }
+  return out;
+}
+
+}  // namespace varstream

@@ -1,0 +1,162 @@
+// ShardedTracker: the parallel ingest engine. Partitions the site space
+// across W worker shards so a single run scales with cores instead of
+// being pinned to one thread.
+//
+// Architecture (one Push/PushBatch call, producer thread on the left):
+//
+//   PushBatch(batch)                          worker shard w (thread)
+//     demux by site ──► SPSC ring (per shard) ──► pop batch
+//                        lock-free, swap-based      route each update to
+//                                                   its per-site tracker
+//
+// The unit of partitioning is the SITE, not the worker: every one of the
+// k sites owns a private single-site instance of the base algorithm
+// (constructed through the TrackerRegistry with a per-site derived seed),
+// and worker shard w processes the sites with site % W == w. Because the
+// per-site decomposition is fixed by k alone, the worker count only
+// changes *scheduling*, never results: Snapshot() under --shards 4 is
+// byte-identical to --shards 1 — for the deterministic tracker exactly,
+// and for the randomized tracker too, because each site's randomness
+// comes from DeriveSiteSeed(seed, site), independent of W. (Had each
+// worker owned one base instance over its whole site subset, the merged
+// estimate would depend on W through the per-instance block partitions.)
+//
+// Relation to the serial algorithms: the composition is the natural
+// two-level monitoring tree. For protocols whose behavior is a per-site
+// function (naive, periodic) the sharded Snapshot equals the serial
+// tracker's byte for byte — verified by tests. For the paper's
+// block-partitioned algorithms (deterministic, randomized) each site runs
+// its own section-3.1 partition over its substream f_i, so the summed
+// estimate carries the per-partition guarantee
+//     |f(n) - f̂(n)| <= epsilon * sum_i |f_i(n)|,
+// which equals the serial epsilon*|f(n)| bound on monotone streams and
+// degrades only when substreams cancel across sites. Cost totals are the
+// exact sums of the per-site meters (net/cost_meter.h Merge).
+//
+// Only trackers registered as Mergeable (core/mergeable.h) are admitted;
+// everything else is refused with an error listing the mergeable set.
+//
+// Threading contract: like every DistributedTracker, the public interface
+// is single-threaded — one caller thread pushes and snapshots. Internally
+// Push/PushBatch publish work to the shard queues and return; Estimate(),
+// cost(), Snapshot() and SerializeState() drain (wait until every shard
+// has consumed its queue) before reading, so reads are always consistent
+// with everything pushed so far. Per-update runs therefore serialize on
+// the drain after every estimate check — drive sharded runs through
+// PushBatch / RunOptions::batch_size >> 1 to let the pipeline breathe.
+
+#ifndef VARSTREAM_CORE_SHARDED_H_
+#define VARSTREAM_CORE_SHARDED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mergeable.h"
+#include "core/options.h"
+#include "core/spsc_queue.h"
+#include "core/tracker.h"
+#include "net/cost_meter.h"
+#include "stream/update.h"
+
+namespace varstream {
+
+class ShardedTracker : public DistributedTracker, public Mergeable {
+ public:
+  /// Builds a sharded `base_name` over options.num_sites sites with
+  /// `num_shards` worker threads. Fails (nullptr, *error set) when the
+  /// base is unknown or not mergeable, or when num_shards is outside
+  /// [1, num_sites] — the error names the valid range / the mergeable
+  /// trackers, so CLI layers can surface it verbatim.
+  static std::unique_ptr<ShardedTracker> Create(const std::string& base_name,
+                                                const TrackerOptions& options,
+                                                uint32_t num_shards,
+                                                std::string* error);
+
+  ~ShardedTracker() override;
+
+  /// f(0) plus the per-site estimates, summed in site order (so the
+  /// floating-point result is identical for every worker count). Drains.
+  double Estimate() const override;
+
+  /// The per-site meters merged into one (drains first). In debug builds
+  /// the merge is cross-checked against independently summed totals and
+  /// the engine's own clock — see DebugCheckConsistency.
+  const CostMeter& cost() const override;
+
+  std::string name() const override;
+
+  uint32_t num_shards() const { return num_shards_; }
+  const std::string& base_name() const { return base_name_; }
+
+  /// The seed fed to site `site`'s base instance. A pure function of
+  /// (seed, site) — never of the worker count — which is what makes
+  /// randomized runs reproducible across shard sweeps.
+  static uint64_t DeriveSiteSeed(uint64_t seed, uint32_t site);
+
+  /// Read-only access to one per-site instance (drains). Tests use this
+  /// to compare against hand-merged state.
+  const DistributedTracker& site_tracker(uint32_t site) const;
+
+  // Mergeable: fold another ShardedTracker (same base algorithm) over a
+  // disjoint site partition into this one's totals.
+  void MergeFrom(const DistributedTracker& other) override;
+  std::string SerializeState() const override;
+
+ protected:
+  void DoPush(uint32_t site, int64_t delta) override;
+  void DoPushBatch(std::span<const CountUpdate> batch) override;
+
+ private:
+  // A worker shard: its queue, its thread, and the producer-side staging
+  // buffer the demux fills before publishing. `published` is written by
+  // the producer only; `completed` is the consumer's progress, and
+  // published == completed (acquire) is the drain condition.
+  struct Shard {
+    SpscQueue<std::vector<CountUpdate>, 8> queue;
+    std::vector<CountUpdate> staging;
+    uint64_t published = 0;
+    alignas(64) std::atomic<uint64_t> completed{0};
+    std::thread thread;
+  };
+
+  ShardedTracker(const std::string& base_name, const TrackerOptions& options,
+                 uint32_t num_shards);
+
+  void WorkerLoop(Shard* shard);
+
+  /// Publishes one staged batch to its shard's ring, spinning (with
+  /// backoff) while the ring is full.
+  void Publish(Shard* shard);
+
+  /// Blocks until every shard has consumed everything published. The
+  /// release/acquire pair on Shard::completed orders the workers' tracker
+  /// writes before the caller's subsequent reads.
+  void Drain() const;
+
+  /// Debug-only invariants after a drain: no update was lost in the
+  /// queues (engine clock == summed per-site clocks) and the merged meter
+  /// equals the per-kind sums of the per-site meters.
+  void DebugCheckConsistency() const;
+
+  std::string base_name_;
+  TrackerOptions options_;
+  uint32_t num_shards_;
+  std::vector<std::unique_ptr<DistributedTracker>> site_trackers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+
+  // Contributions folded in via MergeFrom (disjoint partitions run
+  // elsewhere); rebuilt cost() view lives in merged_cost_.
+  double merged_estimate_ = 0.0;
+  uint64_t merged_time_ = 0;
+  CostMeter extra_cost_;
+  mutable CostMeter merged_cost_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_SHARDED_H_

@@ -1,0 +1,93 @@
+// SpscQueue: a bounded lock-free single-producer / single-consumer ring.
+//
+// The transport under the sharded ingest engine (core/sharded.h): the
+// demux stage owns the producer side of one queue per worker shard and the
+// worker owns the consumer side, so neither side ever takes a lock or
+// contends with any thread but its one peer. Slots transfer by swap, which
+// makes the queue allocation-free in steady state when T is a container:
+// the consumer swaps a processed-and-cleared vector back into the slot it
+// pops, and the producer gets that capacity back on its next push into the
+// same slot.
+//
+// Memory ordering is the classic Lamport ring: the producer publishes a
+// slot with a release store of tail_ and the consumer acquires it; the
+// consumer releases a slot with a release store of head_ and the producer
+// acquires that. Indices are monotonically increasing (masked on access)
+// so full/empty never ambiguate. Verified race-free under ThreadSanitizer
+// by tests/spsc_queue_test.cc, which the CI TSan job gates on.
+
+#ifndef VARSTREAM_CORE_SPSC_QUEUE_H_
+#define VARSTREAM_CORE_SPSC_QUEUE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace varstream {
+
+/// One producer thread may call TryPush / PushCount; one consumer thread
+/// may call TryPop. Empty() is safe from either side (it is a snapshot —
+/// the other side may change it immediately).
+template <typename T, size_t kCapacity = 8>
+class SpscQueue {
+  static_assert(kCapacity >= 2 && (kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two >= 2");
+
+ public:
+  SpscQueue() = default;
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Swaps `item` into the ring and returns true, or
+  /// returns false (item untouched) when the ring is full. On success
+  /// `item` holds whatever the slot previously contained — for container
+  /// payloads that is the cleared-but-allocated buffer the consumer
+  /// returned, ready to be refilled without reallocating.
+  bool TryPush(T& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == kCapacity) {
+      return false;
+    }
+    using std::swap;
+    swap(slots_[tail & kMask], item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Swaps the oldest slot out into `item` and returns
+  /// true, or returns false (item untouched) when the ring is empty. The
+  /// slot is left holding item's previous contents (see TryPush).
+  bool TryPop(T& item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    using std::swap;
+    swap(slots_[head & kMask], item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot emptiness test (exact only when the opposite side is idle).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  static constexpr size_t capacity() { return kCapacity; }
+
+ private:
+  static constexpr size_t kMask = kCapacity - 1;
+
+  // Head, tail, and the slot array each start on their own cache line so
+  // the producer's stores to tail_ never false-share with the consumer's
+  // stores to head_, and neither index shares a line with slot payloads.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) std::array<T, kCapacity> slots_{};
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_SPSC_QUEUE_H_

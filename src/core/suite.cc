@@ -20,6 +20,10 @@ std::vector<Scenario> ExpandSuite(const SuiteSpec& spec) {
 
   std::vector<Scenario> scenarios;
   for (const std::string& tracker : tracker_names) {
+    if (spec.skip_incompatible && spec.num_shards > 0 &&
+        !trackers.IsMergeable(tracker)) {
+      continue;  // the sharded engine refuses non-mergeable trackers
+    }
     for (const std::string& stream : stream_names) {
       if (spec.skip_incompatible && trackers.IsMonotoneOnly(tracker) &&
           !streams.IsMonotone(stream)) {
@@ -38,6 +42,7 @@ std::vector<Scenario> ExpandSuite(const SuiteSpec& spec) {
             s.seed = seed;
             s.batch_size = spec.batch_size;
             s.period = spec.period;
+            s.num_shards = spec.num_shards;
             s.params = spec.params;
             scenarios.push_back(std::move(s));
           }

@@ -39,10 +39,14 @@ struct SuiteSpec {
   uint64_t n = 100000;
   uint64_t batch_size = 1;
   uint64_t period = 64;
+  /// Worker shards per scenario: 0 = serial engine, >= 1 = sharded ingest
+  /// engine (mergeable trackers only; see core/sharded.h).
+  uint32_t num_shards = 0;
   std::map<std::string, double> params;  ///< stream knobs, shared
 
-  /// Drop (insertion-only tracker) x (non-monotone stream) pairs instead
-  /// of expanding scenarios that can only fail.
+  /// Drop (insertion-only tracker) x (non-monotone stream) pairs — and,
+  /// when num_shards > 0, non-mergeable trackers — instead of expanding
+  /// scenarios that can only fail.
   bool skip_incompatible = true;
 };
 

@@ -1,5 +1,6 @@
 #include "net/cost_meter.h"
 
+#include <cassert>
 #include <numeric>
 
 namespace varstream {
@@ -28,8 +29,18 @@ const char* MessageKindName(MessageKind kind) {
 
 void CostMeter::Count(MessageKind kind, uint64_t bits_each, uint64_t count) {
   auto idx = static_cast<size_t>(kind);
+  assert(idx < kKinds);
+  const uint64_t bits_total = bits_each * count;
+  // The counters are plain uint64_t accumulated from tracker hot paths;
+  // silent wraparound would corrupt every downstream cost comparison, so
+  // debug builds trip on it — both on the product and on the running
+  // sums (a real run is ~2^64 messages away from the latter).
+  assert((count == 0 || bits_total / count == bits_each) &&
+         "CostMeter bit product overflow");
   messages_[idx] += count;
-  bits_[idx] += bits_each * count;
+  bits_[idx] += bits_total;
+  assert(messages_[idx] >= count && "CostMeter message counter overflow");
+  assert(bits_[idx] >= bits_total && "CostMeter bit counter overflow");
 }
 
 uint64_t CostMeter::total_messages() const {
@@ -70,6 +81,12 @@ void CostMeter::Merge(const CostMeter& other) {
   for (size_t i = 0; i < kKinds; ++i) {
     messages_[i] += other.messages_[i];
     bits_[i] += other.bits_[i];
+    // Per-shard aggregation (core/sharded.cc) funnels through here; a
+    // wrapped sum would silently report cheaper-than-serial totals.
+    assert(messages_[i] >= other.messages_[i] &&
+           "CostMeter merge overflowed a message counter");
+    assert(bits_[i] >= other.bits_[i] &&
+           "CostMeter merge overflowed a bit counter");
   }
 }
 

@@ -1,0 +1,400 @@
+// Shard-equivalence suite for the sharded parallel ingest engine
+// (core/sharded.h) and the Mergeable capability (core/mergeable.h):
+//
+//   * results are invariant in the worker count — N-shard == 1-shard,
+//     byte for byte, for every registered mergeable tracker;
+//   * site-local protocols (naive, periodic) additionally equal the
+//     serial (pre-shard) tracker exactly;
+//   * the deterministic tracker keeps the paper's relative-error
+//     guarantee through the sharded engine on monotone streams;
+//   * MergeFrom folds disjoint partitions into exact sums;
+//   * invalid configurations fail loudly with actionable messages.
+
+#include "core/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baseline/naive_tracker.h"
+#include "core/deterministic_tracker.h"
+#include "core/driver.h"
+#include "core/mergeable.h"
+#include "core/registry.h"
+#include "core/scenario.h"
+#include "core/suite.h"
+#include "stream/source.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace {
+
+constexpr uint32_t kSites = 8;
+
+TrackerOptions Opts(uint64_t seed = 99, int64_t initial = 0) {
+  TrackerOptions opts;
+  opts.num_sites = kSites;
+  opts.epsilon = 0.1;
+  opts.seed = seed;
+  opts.initial_value = initial;
+  return opts;
+}
+
+StreamTrace Record(const std::string& stream, uint64_t n, uint64_t seed) {
+  StreamSpec spec;
+  spec.num_sites = kSites;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  return RecordTrace(*source, n);
+}
+
+TrackerSnapshot IngestTrace(DistributedTracker& tracker,
+                            const StreamTrace& trace, size_t batch_size) {
+  TraceSource source(&trace);
+  std::vector<CountUpdate> buffer(batch_size);
+  for (;;) {
+    size_t got = source.NextBatch(buffer);
+    if (got == 0) break;
+    tracker.PushBatch(std::span<const CountUpdate>(buffer.data(), got));
+  }
+  return tracker.Snapshot();
+}
+
+TEST(MergeableRegistry, TagsExactlyTheAdditivelyDecomposableTrackers) {
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  for (const char* name : {"deterministic", "randomized", "naive",
+                           "periodic"}) {
+    EXPECT_TRUE(registry.IsMergeable(name)) << name;
+  }
+  for (const char* name : {"single-site", "cmy-monotone", "hyz-monotone"}) {
+    if (registry.Contains(name)) {
+      EXPECT_FALSE(registry.IsMergeable(name)) << name;
+    }
+  }
+  // MergeableNames is the subset Names() tags as mergeable.
+  for (const std::string& name : registry.MergeableNames()) {
+    EXPECT_TRUE(registry.IsMergeable(name)) << name;
+  }
+  EXPECT_GE(registry.MergeableNames().size(), 4u);
+}
+
+// The acceptance property: for every mergeable tracker, the Snapshot
+// after ingesting one fixed stream is byte-identical for every worker
+// count (the per-site decomposition is fixed by k, W only schedules).
+TEST(ShardedTracker, SnapshotInvariantAcrossWorkerCounts) {
+  StreamTrace trace = Record("random-walk", 20000, 7);
+  for (const std::string& name :
+       TrackerRegistry::Instance().MergeableNames()) {
+    std::string error;
+    auto reference = ShardedTracker::Create(name, Opts(), 1, &error);
+    ASSERT_NE(reference, nullptr) << name << ": " << error;
+    TrackerSnapshot expected = IngestTrace(*reference, trace, 512);
+    std::string expected_state = reference->SerializeState();
+
+    for (uint32_t workers : {2u, 3u, kSites}) {
+      auto sharded = ShardedTracker::Create(name, Opts(), workers, &error);
+      ASSERT_NE(sharded, nullptr) << name << ": " << error;
+      TrackerSnapshot snapshot = IngestTrace(*sharded, trace, 512);
+      EXPECT_EQ(snapshot, expected) << name << " with " << workers
+                                    << " workers";
+      EXPECT_EQ(sharded->SerializeState(), expected_state)
+          << name << " with " << workers << " workers";
+    }
+  }
+}
+
+// Site-local protocols: the sharded engine reproduces the serial tracker
+// exactly (same estimate, clock, messages, bits), because their per-site
+// decisions never depended on cross-site state in the first place.
+TEST(ShardedTracker, NaiveAndPeriodicMatchSerialTrackerExactly) {
+  StreamTrace trace = Record("sawtooth", 20000, 11);
+  for (const char* name : {"naive", "periodic"}) {
+    auto serial = TrackerRegistry::Instance().Create(name, Opts());
+    TrackerSnapshot serial_snapshot = IngestTrace(*serial, trace, 512);
+
+    std::string error;
+    auto sharded = ShardedTracker::Create(name, Opts(), 4, &error);
+    ASSERT_NE(sharded, nullptr) << error;
+    TrackerSnapshot sharded_snapshot = IngestTrace(*sharded, trace, 512);
+
+    EXPECT_EQ(sharded_snapshot, serial_snapshot) << name;
+  }
+}
+
+// Nonzero f(0) is carried once at the top, not per partition.
+TEST(ShardedTracker, InitialValueCountedExactlyOnce) {
+  StreamTrace trace = Record("random-walk", 5000, 13);
+  std::string error;
+  auto sharded = ShardedTracker::Create("naive", Opts(99, 1000), 2, &error);
+  ASSERT_NE(sharded, nullptr) << error;
+  TrackerSnapshot snapshot = IngestTrace(*sharded, trace, 256);
+
+  auto serial = TrackerRegistry::Instance().Create("naive", Opts(99, 1000));
+  EXPECT_EQ(snapshot.estimate, IngestTrace(*serial, trace, 256).estimate);
+}
+
+// Per-update Push and batched PushBatch land in identical state, like
+// every other tracker honoring the PushBatch contract.
+TEST(ShardedTracker, PushMatchesPushBatch) {
+  StreamTrace trace = Record("random-walk", 8000, 17);
+  std::string error;
+  auto batched = ShardedTracker::Create("deterministic", Opts(), 3, &error);
+  ASSERT_NE(batched, nullptr) << error;
+  TrackerSnapshot batched_snapshot = IngestTrace(*batched, trace, 1024);
+
+  auto unit = ShardedTracker::Create("deterministic", Opts(), 3, &error);
+  ASSERT_NE(unit, nullptr) << error;
+  TraceSource source(&trace);
+  std::vector<CountUpdate> buffer(1);
+  while (source.NextBatch(buffer) == 1) {
+    unit->Push(buffer[0].site, buffer[0].delta);
+  }
+  EXPECT_EQ(unit->Snapshot(), batched_snapshot);
+}
+
+// Magnitude > 1 updates: the engine routes whole deltas; per-site unit
+// expansion happens inside the per-site instances, so the clock equals
+// the unit-stream length and the exact tracker stays exact.
+TEST(ShardedTracker, ArbitraryMagnitudeDeltasExactUnderNaive) {
+  std::vector<CountUpdate> updates;
+  int64_t f = 0;
+  uint64_t unit_steps = 0;
+  for (int i = 0; i < 3000; ++i) {
+    int64_t delta = static_cast<int64_t>(
+                        (static_cast<uint64_t>(i) * 2654435761u) % 9) -
+                    4;  // -4..4, deterministic
+    if (delta == 0) delta = 5;
+    updates.push_back({static_cast<uint32_t>(i % kSites), delta});
+    f += delta;
+    unit_steps += static_cast<uint64_t>(delta < 0 ? -delta : delta);
+  }
+  StreamTrace trace(updates, 0);
+
+  std::string error;
+  auto sharded = ShardedTracker::Create("naive", Opts(), 4, &error);
+  ASSERT_NE(sharded, nullptr) << error;
+  TrackerSnapshot snapshot = IngestTrace(*sharded, trace, 333);
+  EXPECT_EQ(snapshot.estimate, static_cast<double>(f));
+  EXPECT_EQ(snapshot.time, unit_steps);
+}
+
+// The paper's guarantee survives the per-site composition on monotone
+// streams: |f - f̂| <= eps * sum_i f_i = eps * f.
+TEST(ShardedTracker, DeterministicGuaranteeHoldsThroughShardingOnMonotone) {
+  StreamSpec spec;
+  spec.num_sites = kSites;
+  spec.seed = 23;
+  auto source = StreamRegistry::Instance().Create("monotone", spec);
+  std::string error;
+  auto sharded = ShardedTracker::Create("deterministic", Opts(), 4, &error);
+  ASSERT_NE(sharded, nullptr) << error;
+
+  RunOptions ropts;
+  ropts.epsilon = 0.1;
+  ropts.max_updates = 20000;
+  ropts.batch_size = 500;
+  ropts.num_shards = 4;
+  RunResult result = varstream::Run(*source, *sharded, ropts);
+  EXPECT_LE(result.max_rel_error, 0.1 + 1e-9);
+  EXPECT_EQ(result.violation_rate, 0.0);
+}
+
+TEST(ShardedTracker, MergeFromFoldsDisjointPartitionsExactly) {
+  StreamTrace left = Record("random-walk", 6000, 29);
+  StreamTrace right = Record("sawtooth", 6000, 31);
+  for (const char* name : {"naive", "deterministic"}) {
+    auto a = TrackerRegistry::Instance().Create(name, Opts());
+    auto b = TrackerRegistry::Instance().Create(name, Opts(101));
+    TrackerSnapshot sa = IngestTrace(*a, left, 256);
+    TrackerSnapshot sb = IngestTrace(*b, right, 256);
+
+    auto* mergeable = dynamic_cast<Mergeable*>(a.get());
+    ASSERT_NE(mergeable, nullptr) << name;
+    mergeable->MergeFrom(*b);
+    TrackerSnapshot merged = a->Snapshot();
+    EXPECT_EQ(merged.estimate, sa.estimate + sb.estimate) << name;
+    EXPECT_EQ(merged.time, sa.time + sb.time) << name;
+    EXPECT_EQ(merged.messages, sa.messages + sb.messages) << name;
+    EXPECT_EQ(merged.bits, sa.bits + sb.bits) << name;
+  }
+}
+
+TEST(ShardedTracker, MergeFromFoldsTwoShardedEngines) {
+  StreamTrace left = Record("random-walk", 4000, 37);
+  StreamTrace right = Record("random-walk", 4000, 41);
+  std::string error;
+  auto a = ShardedTracker::Create("periodic", Opts(), 2, &error);
+  auto b = ShardedTracker::Create("periodic", Opts(103), 3, &error);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  TrackerSnapshot sa = IngestTrace(*a, left, 512);
+  TrackerSnapshot sb = IngestTrace(*b, right, 512);
+  a->MergeFrom(*b);
+  TrackerSnapshot merged = a->Snapshot();
+  EXPECT_EQ(merged.estimate, sa.estimate + sb.estimate);
+  EXPECT_EQ(merged.time, sa.time + sb.time);
+  EXPECT_EQ(merged.messages, sa.messages + sb.messages);
+  EXPECT_EQ(merged.bits, sa.bits + sb.bits);
+}
+
+TEST(ShardedTracker, MergeFromAcrossAlgorithmsAbortsLoudly) {
+  auto naive = TrackerRegistry::Instance().Create("naive", Opts());
+  auto det = TrackerRegistry::Instance().Create("deterministic", Opts());
+  auto* mergeable = dynamic_cast<Mergeable*>(naive.get());
+  ASSERT_NE(mergeable, nullptr);
+  EXPECT_DEATH(mergeable->MergeFrom(*det), "cannot absorb");
+}
+
+TEST(ShardedTrackerCreate, RejectsInvalidConfigurationsWithLoudErrors) {
+  std::string error;
+  EXPECT_EQ(ShardedTracker::Create("deterministic", Opts(), 0, &error),
+            nullptr);
+  EXPECT_NE(error.find("1..8"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_EQ(ShardedTracker::Create("deterministic", Opts(), kSites + 1,
+                                   &error),
+            nullptr);
+  EXPECT_NE(error.find("1..8"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_EQ(ShardedTracker::Create("single-site", Opts(), 2, &error),
+            nullptr);
+  EXPECT_NE(error.find("not mergeable"), std::string::npos) << error;
+  EXPECT_NE(error.find("deterministic"), std::string::npos)
+      << "error should list the mergeable trackers: " << error;
+
+  error.clear();
+  EXPECT_EQ(ShardedTracker::Create("no-such-tracker", Opts(), 2, &error),
+            nullptr);
+  EXPECT_NE(error.find("unknown tracker"), std::string::npos) << error;
+}
+
+TEST(ShardedTracker, NameAndAccessorsReflectConfiguration) {
+  std::string error;
+  auto sharded = ShardedTracker::Create("deterministic", Opts(), 2, &error);
+  ASSERT_NE(sharded, nullptr) << error;
+  EXPECT_EQ(sharded->name(), "deterministic[x2]");
+  EXPECT_EQ(sharded->num_shards(), 2u);
+  EXPECT_EQ(sharded->base_name(), "deterministic");
+  EXPECT_EQ(sharded->num_sites(), kSites);
+  // Per-site instances are single-site partitions of the base algorithm.
+  for (uint32_t site = 0; site < kSites; ++site) {
+    EXPECT_EQ(sharded->site_tracker(site).num_sites(), 1u);
+  }
+}
+
+TEST(ShardedTracker, SiteSeedDerivationIgnoresWorkerCount) {
+  // A pure function of (seed, site): no worker count anywhere in it, and
+  // decorrelated across sites and from the raw seed.
+  EXPECT_NE(ShardedTracker::DeriveSiteSeed(1, 0),
+            ShardedTracker::DeriveSiteSeed(1, 1));
+  EXPECT_NE(ShardedTracker::DeriveSiteSeed(1, 0),
+            ShardedTracker::DeriveSiteSeed(2, 0));
+  EXPECT_EQ(ShardedTracker::DeriveSiteSeed(42, 3),
+            ShardedTracker::DeriveSiteSeed(42, 3));
+}
+
+// Full-stack invariance: RunScenario with num_shards = 4 measures exactly
+// what num_shards = 1 measures.
+TEST(ScenarioShards, ResultsInvariantAcrossShardCounts) {
+  Scenario base;
+  base.tracker = "randomized";
+  base.stream = "random-walk";
+  base.n = 20000;
+  base.batch_size = 512;
+  base.num_shards = 1;
+  ScenarioResult one = RunScenario(base);
+  ASSERT_TRUE(one.ok) << one.error;
+
+  base.num_shards = 4;
+  ScenarioResult four = RunScenario(base);
+  ASSERT_TRUE(four.ok) << four.error;
+
+  EXPECT_EQ(four.result.final_estimate, one.result.final_estimate);
+  EXPECT_EQ(four.result.messages, one.result.messages);
+  EXPECT_EQ(four.result.bits, one.result.bits);
+  EXPECT_EQ(four.result.n, one.result.n);
+  EXPECT_EQ(four.result.max_rel_error, one.result.max_rel_error);
+  EXPECT_EQ(four.result.violation_rate, one.result.violation_rate);
+}
+
+TEST(ScenarioShards, JsonAndIdCarryTheShardCount) {
+  Scenario s;
+  s.tracker = "naive";
+  s.n = 1000;
+  s.batch_size = 128;
+  s.num_shards = 3;
+  ScenarioResult r = RunScenario(s);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(s.Id().find("/s3"), std::string::npos) << s.Id();
+  std::string json = ScenarioResultToJson(r);
+  EXPECT_NE(json.find("\"shards\":3"), std::string::npos) << json;
+}
+
+TEST(ScenarioShards, NonMergeableTrackerFailsWithActionableError) {
+  Scenario s;
+  s.tracker = "single-site";
+  s.n = 1000;
+  s.num_shards = 2;
+  ScenarioResult r = RunScenario(s);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not mergeable"), std::string::npos) << r.error;
+}
+
+TEST(SuiteShards, ExpansionSkipsNonMergeableTrackers) {
+  SuiteSpec spec;  // all registered trackers
+  spec.num_shards = 2;
+  spec.n = 1000;
+  std::vector<Scenario> scenarios = ExpandSuite(spec);
+  ASSERT_FALSE(scenarios.empty());
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  for (const Scenario& s : scenarios) {
+    EXPECT_TRUE(registry.IsMergeable(s.tracker)) << s.tracker;
+    EXPECT_EQ(s.num_shards, 2u);
+  }
+}
+
+// Queue-layer stress through the whole engine: many small odd-sized
+// batches over a wide site space with all workers busy; the exact tracker
+// proves nothing was lost, duplicated, or reordered per site. (The CI
+// TSan job runs this file to certify the engine's synchronization.)
+TEST(ShardedTracker, StressManySmallBatches) {
+  TrackerOptions opts;
+  opts.num_sites = 16;
+  opts.epsilon = 0.1;
+  opts.seed = 5;
+  std::string error;
+  auto sharded = ShardedTracker::Create("naive", opts, 4, &error);
+  ASSERT_NE(sharded, nullptr) << error;
+
+  StreamSpec spec;
+  spec.num_sites = 16;
+  spec.seed = 47;
+  auto source = StreamRegistry::Instance().Create("random-walk", spec);
+  std::vector<CountUpdate> buffer(37);  // deliberately odd batch size
+  int64_t f = 0;
+  uint64_t n = 0;
+  while (n < 100000) {
+    size_t got = source->NextBatch(buffer);
+    ASSERT_GT(got, 0u);
+    for (size_t i = 0; i < got; ++i) f += buffer[i].delta;
+    sharded->PushBatch(std::span<const CountUpdate>(buffer.data(), got));
+    n += got;
+    if (n % 9990 == 0) {
+      // Interleave reads: every Estimate drains and re-fills the pipeline.
+      EXPECT_EQ(sharded->Estimate(), static_cast<double>(f));
+    }
+  }
+  TrackerSnapshot snapshot = sharded->Snapshot();
+  EXPECT_EQ(snapshot.estimate, static_cast<double>(f));
+  EXPECT_EQ(snapshot.time, n);
+  EXPECT_EQ(snapshot.messages, n);  // naive: one message per update
+}
+
+}  // namespace
+}  // namespace varstream

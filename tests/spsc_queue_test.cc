@@ -1,0 +1,121 @@
+// SpscQueue: single-thread semantics (FIFO, full/empty, swap recycling)
+// plus a producer/consumer stress test. The stress test is the TSan gate
+// for the sharded ingest engine's transport — the CI tsan job runs it with
+// -fsanitize=thread to prove the acquire/release protocol publishes slot
+// contents correctly.
+
+#include "core/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace varstream {
+namespace {
+
+TEST(SpscQueue, FifoOrderSingleThread) {
+  SpscQueue<std::vector<int>, 4> queue;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<int> batch{i, i + 10};
+    ASSERT_TRUE(queue.TryPush(batch));
+  }
+  std::vector<int> out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.TryPop(out));
+    EXPECT_EQ(out, (std::vector<int>{i, i + 10}));
+  }
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_FALSE(queue.TryPop(out));
+}
+
+TEST(SpscQueue, FullRingRejectsPushWithoutTouchingItem) {
+  SpscQueue<std::vector<int>, 2> queue;
+  std::vector<int> a{1}, b{2}, c{3};
+  ASSERT_TRUE(queue.TryPush(a));
+  ASSERT_TRUE(queue.TryPush(b));
+  EXPECT_FALSE(queue.TryPush(c));
+  EXPECT_EQ(c, std::vector<int>{3});  // rejected push leaves item intact
+  std::vector<int> out;
+  ASSERT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out, std::vector<int>{1});
+  EXPECT_TRUE(queue.TryPush(c));  // slot freed
+}
+
+// The swap protocol hands the producer back the consumer's recycled
+// buffer: capacity survives the round trip, so steady-state batching
+// never reallocates.
+TEST(SpscQueue, SwapRecyclesConsumerBuffers) {
+  SpscQueue<std::vector<int>, 2> queue;
+  std::vector<int> produced;
+  produced.reserve(1024);
+  produced.assign(100, 7);
+  ASSERT_TRUE(queue.TryPush(produced));  // producer now holds slot's vector
+
+  std::vector<int> consumed;
+  consumed.reserve(2048);
+  ASSERT_TRUE(queue.TryPop(consumed));  // slot 0 now holds the 2048-cap buf
+  EXPECT_EQ(consumed.size(), 100u);
+
+  // One full lap later the producer reaches slot 0 again and gets the
+  // consumer's recycled buffer back — with its capacity intact.
+  produced.clear();
+  produced.push_back(1);
+  ASSERT_TRUE(queue.TryPush(produced));  // slot 1
+  produced.clear();
+  produced.push_back(2);
+  ASSERT_TRUE(queue.TryPush(produced));  // slot 0
+  EXPECT_GE(produced.capacity(), 2048u);
+}
+
+// Two-thread stress: every pushed batch arrives exactly once, in order,
+// with its contents intact, through a deliberately tiny ring (constant
+// full/empty contention). Run under TSan in CI.
+TEST(SpscQueue, ProducerConsumerStress) {
+  constexpr uint64_t kBatches = 20000;
+  constexpr size_t kBatchLen = 17;
+  SpscQueue<std::vector<uint64_t>, 4> queue;
+
+  uint64_t consumed_sum = 0;
+  uint64_t consumed_batches = 0;
+  std::thread consumer([&] {
+    std::vector<uint64_t> batch;
+    uint64_t expected_first = 0;
+    while (consumed_batches < kBatches) {
+      if (!queue.TryPop(batch)) {
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_EQ(batch.size(), kBatchLen);
+      ASSERT_EQ(batch.front(), expected_first);  // FIFO across the ring
+      expected_first += kBatchLen;
+      consumed_sum += std::accumulate(batch.begin(), batch.end(),
+                                      uint64_t{0});
+      batch.clear();
+      ++consumed_batches;
+    }
+  });
+
+  uint64_t produced_sum = 0;
+  uint64_t next = 0;
+  std::vector<uint64_t> batch;
+  for (uint64_t b = 0; b < kBatches; ++b) {
+    batch.clear();
+    for (size_t i = 0; i < kBatchLen; ++i) {
+      batch.push_back(next);
+      produced_sum += next;
+      ++next;
+    }
+    while (!queue.TryPush(batch)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  EXPECT_EQ(consumed_batches, kBatches);
+  EXPECT_EQ(consumed_sum, produced_sum);
+  EXPECT_TRUE(queue.Empty());
+}
+
+}  // namespace
+}  // namespace varstream

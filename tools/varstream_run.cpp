@@ -5,12 +5,17 @@
 //   $ varstream_run --tracker=deterministic --stream=random-walk
 //                   --sites=16 --eps=0.05 --n=200000 [--assigner=uniform]
 //                   [--seed=1] [--trace-out=walk.trace] [--batch=1]
-//                   [--params=mu=0.2,amplitude=128]
+//                   [--shards=4] [--params=mu=0.2,amplitude=128]
 //
 // Trackers: anything in the TrackerRegistry (--list-trackers). Streams and
 // assigners: anything in the StreamRegistry (--list-streams); --params
 // passes per-stream knobs. --generator is accepted as a legacy alias for
 // --stream.
+//
+// --shards=W runs the sharded ingest engine (core/sharded.h): W worker
+// threads over the per-site partition of a mergeable tracker. Results are
+// identical for every W in 1..sites; pair it with --batch >> 1 so estimate
+// validation does not drain the pipeline per update.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,15 +26,6 @@
 #include "core/api.h"
 
 namespace {
-
-void ListTrackers() {
-  const varstream::TrackerRegistry& registry =
-      varstream::TrackerRegistry::Instance();
-  for (const std::string& name : registry.Names()) {
-    std::printf("%s%s\n", name.c_str(),
-                registry.IsMonotoneOnly(name) ? " (monotone only)" : "");
-  }
-}
 
 /// Parses "--params=key=val,key=val" into StreamSpec params. Returns
 /// false (with a diagnostic) on a malformed pair or non-numeric value.
@@ -65,7 +61,9 @@ bool ParseParams(const std::string& csv,
 int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
   if (flags.GetBool("list-trackers", false)) {
-    ListTrackers();
+    std::fputs(
+        varstream::TrackerRegistry::Instance().ListingText().c_str(),
+        stdout);
     return 0;
   }
   if (flags.GetBool("list-streams", false)) {
@@ -117,8 +115,25 @@ int main(int argc, char** argv) {
   options.initial_value =
       streams.CreateGenerator(stream_name, spec)->initial_value();
 
-  auto tracker = varstream::TrackerRegistry::Instance().Create(
-      tracker_name, options);
+  // --shards present (any value, including 0) selects the sharded ingest
+  // engine, which validates the count and the tracker's mergeability and
+  // reports the valid alternatives itself.
+  std::unique_ptr<varstream::DistributedTracker> tracker;
+  const bool sharded = flags.Has("shards");
+  const auto num_shards =
+      static_cast<uint32_t>(flags.GetUint("shards", 0));
+  if (sharded) {
+    std::string shard_error;
+    tracker = varstream::ShardedTracker::Create(tracker_name, options,
+                                                num_shards, &shard_error);
+    if (!tracker) {
+      std::fprintf(stderr, "--shards: %s\n", shard_error.c_str());
+      return 2;
+    }
+  } else {
+    tracker =
+        varstream::TrackerRegistry::Instance().Create(tracker_name, options);
+  }
   if (!tracker) {
     std::fprintf(stderr,
                  "unknown tracker '%s'; --list-trackers enumerates the "
@@ -142,6 +157,7 @@ int main(int argc, char** argv) {
   varstream::RunOptions ropts;
   ropts.epsilon = options.epsilon;
   ropts.batch_size = batch;
+  ropts.num_shards = sharded ? num_shards : 0;
 
   // Record the stream if requested so runs can be replayed elsewhere.
   varstream::RunResult result;
@@ -165,6 +181,11 @@ int main(int argc, char** argv) {
   std::printf("tracker        : %s (k=%u, eps=%g)\n",
               tracker->name().c_str(), tracker->num_sites(),
               options.epsilon);
+  if (sharded) {
+    std::printf("shards         : %u worker(s) over %u per-site "
+                "partitions\n",
+                num_shards, tracker->num_sites());
+  }
   std::printf("stream         : %s, n=%llu, seed=%llu\n",
               source_desc.c_str(), static_cast<unsigned long long>(n),
               static_cast<unsigned long long>(seed));

@@ -41,14 +41,6 @@ std::vector<std::string> SplitList(const std::string& csv) {
   return out;
 }
 
-void ListTrackers() {
-  const TrackerRegistry& registry = TrackerRegistry::Instance();
-  for (const std::string& name : registry.Names()) {
-    std::printf("%s%s\n", name.c_str(),
-                registry.IsMonotoneOnly(name) ? " (monotone only)" : "");
-  }
-}
-
 bool WriteWholeFile(const std::string& path, const std::string& content) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return false;
@@ -113,7 +105,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (flags.GetBool("list-trackers", false)) {
-    ListTrackers();
+    std::fputs(TrackerRegistry::Instance().ListingText().c_str(), stdout);
     return 0;
   }
 
@@ -125,6 +117,19 @@ int main(int argc, char** argv) {
   spec.n = flags.GetUint("n", 100000);
   spec.batch_size = flags.GetUint("batch", 1);
   spec.period = flags.GetUint("period", 64);
+  // --shards=W drives every expanded scenario through the sharded ingest
+  // engine; non-mergeable trackers are skipped during expansion. An
+  // explicit out-of-range value must fail loudly, not expand to nothing.
+  spec.num_shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
+  if (flags.Has("shards") &&
+      (spec.num_shards < 1 || spec.num_shards > spec.num_sites)) {
+    std::fprintf(stderr,
+                 "--shards: invalid shard count %u: valid values are "
+                 "1..%u (k=%u sites; omit --shards for the serial "
+                 "engine)\n",
+                 spec.num_shards, spec.num_sites, spec.num_sites);
+    return 2;
+  }
 
   if (!ParseDoubleList(flags.GetString("eps", "0.1"), "eps",
                        &spec.epsilons) ||

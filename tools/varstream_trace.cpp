@@ -8,7 +8,9 @@
 //
 // --record accepts any StreamRegistry stream; --replay accepts any
 // TrackerRegistry name; --batch=B replays through the batched ingest path
-// (PushBatch) in batches of B updates.
+// (PushBatch) in batches of B updates. --shards=W replays through the
+// sharded ingest engine (mergeable trackers only; results identical for
+// every W — see core/sharded.h).
 //
 // Traces are the regression-fixture format of stream/trace.h: byte-exact
 // replays across tracker implementations and machines.
@@ -23,12 +25,9 @@ int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
 
   if (flags.GetBool("list-trackers", false)) {
-    const varstream::TrackerRegistry& registry =
-        varstream::TrackerRegistry::Instance();
-    for (const std::string& name : registry.Names()) {
-      std::printf("%s%s\n", name.c_str(),
-                  registry.IsMonotoneOnly(name) ? " (monotone only)" : "");
-    }
+    std::fputs(
+        varstream::TrackerRegistry::Instance().ListingText().c_str(),
+        stdout);
     return 0;
   }
   const varstream::StreamRegistry& streams =
@@ -108,8 +107,20 @@ int main(int argc, char** argv) {
   options.period = flags.GetUint("period", 64);
   const varstream::TrackerRegistry& registry =
       varstream::TrackerRegistry::Instance();
-  std::unique_ptr<varstream::DistributedTracker> tracker =
-      registry.Create(replay, options);
+  std::unique_ptr<varstream::DistributedTracker> tracker;
+  const bool sharded = flags.Has("shards");
+  const auto num_shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
+  if (sharded) {
+    std::string shard_error;
+    tracker = varstream::ShardedTracker::Create(replay, options, num_shards,
+                                                &shard_error);
+    if (!tracker) {
+      std::fprintf(stderr, "--shards: %s\n", shard_error.c_str());
+      return 2;
+    }
+  } else {
+    tracker = registry.Create(replay, options);
+  }
   if (!tracker) {
     std::fprintf(stderr,
                  "unknown tracker '%s'; --list-trackers enumerates the "
@@ -134,6 +145,7 @@ int main(int argc, char** argv) {
   varstream::RunOptions ropts;
   ropts.epsilon = options.epsilon;
   ropts.batch_size = flags.GetUint("batch", 1);
+  ropts.num_shards = sharded ? num_shards : 0;
   varstream::RunResult r = Run(*source, *tracker, ropts);
   std::printf("replayed with  : %s (eps=%g)\n", tracker->name().c_str(),
               options.epsilon);
