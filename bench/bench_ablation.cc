@@ -39,7 +39,8 @@ void ThresholdFactorAblation(const bench::BenchScale& scale) {
     opts.epsilon = eps;
     opts.drift_threshold_factor = c;
     DeterministicTracker tracker(opts);
-    RunResult r = RunCount(gen, &assigner, &tracker, scale.n, eps);
+    GeneratorSource src1(gen, &assigner);
+    RunResult r = Run(src1, tracker, {.epsilon = eps, .max_updates = scale.n});
     table.AddRow({bench::Fmt(c), TablePrinter::Cell(r.messages),
                   bench::Fmt(r.max_rel_error, 4), bench::Fmt(c * eps, 3),
                   r.max_rel_error <= eps + 1e-9 ? "held" : "BROKEN"});
@@ -66,7 +67,8 @@ void SampleConstantAblation(const bench::BenchScale& scale) {
     opts.sample_constant = c;
     opts.seed = 41;
     RandomizedTracker tracker(opts);
-    RunResult r = RunCount(gen.get(), &assigner, &tracker, scale.n * 2, eps);
+    GeneratorSource src2(gen.get(), &assigner);
+    RunResult r = Run(src2, tracker, {.epsilon = eps, .max_updates = scale.n * 2});
     table.AddRow({bench::Fmt(c), TablePrinter::Cell(r.tracking_messages),
                   bench::Fmt(r.violation_rate, 5),
                   bench::Fmt(std::min(1.0, 2.0 / (c * c)), 4)});
@@ -94,8 +96,10 @@ void EpsilonPathways(const bench::BenchScale& scale) {
     opts.seed = 51;
     DeterministicTracker det(opts);
     RandomizedTracker rnd(opts);
-    RunResult dr = RunCount(g1.get(), &a1, &det, scale.n, eps);
-    RunResult rr = RunCount(g2.get(), &a2, &rnd, scale.n, eps);
+    GeneratorSource src3(g1.get(), &a1);
+    RunResult dr = Run(src3, det, {.epsilon = eps, .max_updates = scale.n});
+    GeneratorSource src4(g2.get(), &a2);
+    RunResult rr = Run(src4, rnd, {.epsilon = eps, .max_updates = scale.n});
     table.AddRow(
         {bench::Fmt(eps), TablePrinter::Cell(dr.messages),
          bench::Fmt(static_cast<double>(dr.messages) * eps /

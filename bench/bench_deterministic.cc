@@ -39,7 +39,8 @@ void GeneratorSweep(const bench::BenchScale& scale) {
     TrackerOptions opts = Opts(k, eps);
     opts.initial_value = gen->initial_value();
     DeterministicTracker tracker(opts);
-    RunResult r = RunCount(gen.get(), &assigner, &tracker, scale.n, eps);
+    GeneratorSource src1(gen.get(), &assigner);
+    RunResult r = Run(src1, tracker, {.epsilon = eps, .max_updates = scale.n});
     double norm = static_cast<double>(r.messages) /
                   (k * (r.variability + 1.0) / eps);
     table.AddRow({gen_name, TablePrinter::Cell(r.n),
@@ -62,7 +63,8 @@ void SiteSweep(const bench::BenchScale& scale) {
     auto gen = MakeGeneratorByName("random-walk", 11);
     UniformAssigner assigner(k, 13);
     DeterministicTracker tracker(Opts(k, eps));
-    RunResult r = RunCount(gen.get(), &assigner, &tracker, scale.n, eps);
+    GeneratorSource src2(gen.get(), &assigner);
+    RunResult r = Run(src2, tracker, {.epsilon = eps, .max_updates = scale.n});
     table.AddRow({TablePrinter::Cell(k), bench::Fmt(r.variability),
                   TablePrinter::Cell(r.messages),
                   bench::Fmt(static_cast<double>(r.messages) / k),
@@ -86,7 +88,8 @@ void EpsilonSweep(const bench::BenchScale& scale) {
     auto gen = MakeGeneratorByName("biased-walk", 17);
     UniformAssigner assigner(k, 19);
     DeterministicTracker tracker(Opts(k, eps));
-    RunResult r = RunCount(gen.get(), &assigner, &tracker, scale.n, eps);
+    GeneratorSource src3(gen.get(), &assigner);
+    RunResult r = Run(src3, tracker, {.epsilon = eps, .max_updates = scale.n});
     table.AddRow({bench::Fmt(eps, 3), bench::Fmt(r.variability),
                   TablePrinter::Cell(r.messages),
                   bench::Fmt(static_cast<double>(r.messages) * eps /
@@ -109,7 +112,8 @@ void MonotoneSpecialization(const bench::BenchScale& scale) {
     MonotoneGenerator gen;
     UniformAssigner assigner(k, 23);
     DeterministicTracker tracker(Opts(k, eps));
-    RunResult r = RunCount(&gen, &assigner, &tracker, n, eps);
+    GeneratorSource src4(&gen, &assigner);
+    RunResult r = Run(src4, tracker, {.epsilon = eps, .max_updates = n});
     double bound = k * std::log(static_cast<double>(n)) / eps;
     table.AddRow({TablePrinter::Cell(n), TablePrinter::Cell(r.messages),
                   bench::Fmt(bound),

@@ -45,8 +45,10 @@ void GeneratorSweep(const bench::BenchScale& scale) {
     opts.initial_value = gen1->initial_value();
     RandomizedTracker rand_tracker(opts);
     DeterministicTracker det_tracker(opts);
-    RunResult rr = RunCount(gen1.get(), &a1, &rand_tracker, scale.n, eps);
-    RunResult dr = RunCount(gen2.get(), &a2, &det_tracker, scale.n, eps);
+    GeneratorSource src1(gen1.get(), &a1);
+    RunResult rr = Run(src1, rand_tracker, {.epsilon = eps, .max_updates = scale.n});
+    GeneratorSource src2(gen2.get(), &a2);
+    RunResult dr = Run(src2, det_tracker, {.epsilon = eps, .max_updates = scale.n});
     table.AddRow({gen_name, bench::Fmt(rr.variability),
                   TablePrinter::Cell(rr.messages),
                   TablePrinter::Cell(dr.messages),
@@ -69,8 +71,10 @@ void SqrtKSeparation(const bench::BenchScale& scale) {
     UniformAssigner a1(k, 41), a2(k, 41);
     RandomizedTracker rand_tracker(Opts(k, eps, 43));
     DeterministicTracker det_tracker(Opts(k, eps));
-    RunResult rr = RunCount(&g1, &a1, &rand_tracker, scale.n * 2, eps);
-    RunResult dr = RunCount(&g2, &a2, &det_tracker, scale.n * 2, eps);
+    GeneratorSource src3(&g1, &a1);
+    RunResult rr = Run(src3, rand_tracker, {.epsilon = eps, .max_updates = scale.n * 2});
+    GeneratorSource src4(&g2, &a2);
+    RunResult dr = Run(src4, det_tracker, {.epsilon = eps, .max_updates = scale.n * 2});
     double ratio = static_cast<double>(rr.tracking_messages) /
                    std::max<double>(1.0, static_cast<double>(
                                              dr.tracking_messages));
@@ -107,7 +111,8 @@ void FairCoinSpecialization(const bench::BenchScale& scale) {
       UniformAssigner assigner(k, 600 + static_cast<uint64_t>(trial));
       RandomizedTracker tracker(
           Opts(k, eps, 700 + static_cast<uint64_t>(trial)));
-      RunResult r = RunCount(&gen, &assigner, &tracker, n, eps);
+      GeneratorSource src5(&gen, &assigner);
+      RunResult r = Run(src5, tracker, {.epsilon = eps, .max_updates = n});
       msgs_stats.Add(static_cast<double>(r.messages));
       v_stats.Add(r.variability);
     }
@@ -138,7 +143,8 @@ void ErrorDistribution(const bench::BenchScale& scale) {
     UniformAssigner assigner(k, 1000 + static_cast<uint64_t>(trial));
     RandomizedTracker tracker(
         Opts(k, eps, 1100 + static_cast<uint64_t>(trial)));
-    RunResult r = RunCount(&gen, &assigner, &tracker, scale.n / 2, eps);
+    GeneratorSource src6(&gen, &assigner);
+    RunResult r = Run(src6, tracker, {.epsilon = eps, .max_updates = scale.n / 2});
     violation_stats.Add(r.violation_rate);
     max_err_stats.Add(r.max_rel_error);
   }

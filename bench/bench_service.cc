@@ -1,0 +1,233 @@
+// bench_service — end-to-end throughput of the ingest service
+// (src/service/) against in-process ingest on the same tracker
+// configuration. Quantifies what the wire protocol + loopback TCP +
+// per-session locking cost relative to calling PushBatch directly, for
+// both the serial engine and the sharded engine.
+//
+//   $ bench_service [--n=1000000] [--batch=4096] [--sites=16]
+//                   [--shards=4] [--tracker=deterministic]
+//                   [--reps=3] [--json=BENCH_service.json]
+//
+// Each configuration ingests the same recorded random-walk trace;
+// updates/sec is the best of --reps runs (minimum wall-clock), matching
+// bench_shards methodology. JSON schema "varstream-bench-service-v1":
+//
+//   {"schema": "varstream-bench-service-v1", "n": ..., "batch": ...,
+//    "rows": [{"mode": "in-process"|"service", "tracker": ...,
+//              "shards": W, "updates_per_sec": ...}, ...]}
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/api.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace {
+
+using varstream::CountUpdate;
+
+double BestSeconds(int reps, const std::function<double()>& run) {
+  double best = -1;
+  for (int rep = 0; rep < reps; ++rep) {
+    double seconds = run();
+    if (best < 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+std::unique_ptr<varstream::DistributedTracker> Build(
+    const std::string& tracker_name, const varstream::TrackerOptions& options,
+    uint32_t shards) {
+  if (shards >= 1) {
+    std::string error;
+    auto tracker = varstream::ShardedTracker::Create(tracker_name, options,
+                                                     shards, &error);
+    if (tracker == nullptr) {
+      std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+      std::exit(2);
+    }
+    return tracker;
+  }
+  auto tracker =
+      varstream::TrackerRegistry::Instance().Create(tracker_name, options);
+  if (tracker == nullptr) {
+    std::fprintf(stderr, "bench_service: unknown tracker '%s'\n",
+                 tracker_name.c_str());
+    std::exit(2);
+  }
+  return tracker;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  const uint64_t n = flags.GetUint("n", 1000000);
+  const uint64_t batch = flags.GetUint("batch", 4096);
+  const auto sites = static_cast<uint32_t>(flags.GetUint("sites", 16));
+  const auto shards = static_cast<uint32_t>(flags.GetUint("shards", 4));
+  const std::string tracker_name =
+      flags.GetString("tracker", "deterministic");
+  const int reps = static_cast<int>(flags.GetUint("reps", 3));
+  const std::string json_path = flags.GetString("json", "");
+
+  varstream::StreamSpec spec;
+  spec.num_sites = sites;
+  spec.seed = 17;
+  auto source = varstream::StreamRegistry::Instance().Create("random-walk",
+                                                             spec);
+  varstream::StreamTrace trace = varstream::RecordTrace(*source, n);
+
+  varstream::TrackerOptions options;
+  options.num_sites = sites;
+  options.epsilon = 0.1;
+  options.seed = 99;
+
+  // One batched pass over the trace through any tracker.
+  auto ingest = [&](varstream::DistributedTracker& tracker) {
+    varstream::TraceSource replay(&trace);
+    std::vector<CountUpdate> buffer(batch);
+    auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      size_t got = replay.NextBatch(buffer);
+      if (got == 0) break;
+      tracker.PushBatch(std::span<const CountUpdate>(buffer.data(), got));
+    }
+    // Include the pipeline drain for sharded trackers: the run is not
+    // over until the estimate is readable.
+    (void)tracker.Estimate();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // The same pass through a loopback service session.
+  auto ingest_service = [&](uint32_t session_shards, int rep) {
+    varstream::VarstreamServer server(varstream::ServerOptions{});
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+      std::exit(1);
+    }
+    varstream::VarstreamClient client;
+    varstream::HelloFrame hello;
+    // Fresh session per rep (sessions are single-stream).
+    hello.session = "bench-" + std::to_string(session_shards) + "-" +
+                    std::to_string(rep);
+    hello.tracker = tracker_name;
+    hello.shards = session_shards;
+    hello.options = options;
+    varstream::HelloAckFrame ack;
+    if (!client.Connect("127.0.0.1", server.port(), &error) ||
+        !client.Hello(hello, &ack, &error)) {
+      std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+      std::exit(1);
+    }
+    varstream::TraceSource replay(&trace);
+    std::vector<CountUpdate> buffer(batch);
+    auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      size_t got = replay.NextBatch(buffer);
+      if (got == 0) break;
+      varstream::PushAckFrame push_ack;
+      if (!client.Push(std::span<const CountUpdate>(buffer.data(), got),
+                       &push_ack, &error)) {
+        std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+        std::exit(1);
+      }
+    }
+    varstream::SnapshotFrame snapshot;
+    if (!client.Query(&snapshot, &error)) {
+      std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+      std::exit(1);
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    client.Close();
+    server.Stop();
+    return seconds;
+  };
+
+  struct Row {
+    std::string mode;
+    uint32_t shards;
+    double updates_per_sec;
+  };
+  std::vector<Row> rows;
+
+  // Serial always; the sharded column only when a nonzero worker count
+  // was requested (--shards=0 would duplicate the serial rows).
+  std::vector<uint32_t> worker_counts = {0u};
+  if (shards >= 1) worker_counts.push_back(shards);
+
+  for (uint32_t w : worker_counts) {
+    double seconds = BestSeconds(reps, [&] {
+      auto tracker = Build(tracker_name, options, w);
+      return ingest(*tracker);
+    });
+    rows.push_back({"in-process", w, static_cast<double>(n) / seconds});
+  }
+  {
+    int rep_counter = 0;
+    for (uint32_t w : worker_counts) {
+      double seconds = BestSeconds(reps, [&] {
+        return ingest_service(w, rep_counter++);
+      });
+      rows.push_back({"service", w, static_cast<double>(n) / seconds});
+    }
+  }
+
+  varstream::TablePrinter table({"mode", "tracker", "shards",
+                                 "updates/sec", "vs in-process"});
+  for (const Row& row : rows) {
+    double base = row.updates_per_sec;
+    for (const Row& candidate : rows) {
+      if (candidate.mode == "in-process" && candidate.shards == row.shards) {
+        base = candidate.updates_per_sec;
+        break;
+      }
+    }
+    table.AddRow({row.mode, tracker_name,
+                  row.shards == 0 ? "serial" : std::to_string(row.shards),
+                  varstream::bench::Fmt(row.updates_per_sec, 0),
+                  varstream::bench::Fmt(row.updates_per_sec / base, 3)});
+  }
+  table.Print(std::cout);
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_service: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"schema\": \"varstream-bench-service-v1\", "
+                 "\"n\": %llu, \"batch\": %llu, \"sites\": %u, "
+                 "\"tracker\": \"%s\", \"rows\": [",
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(batch), sites,
+                 tracker_name.c_str());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"mode\": \"%s\", \"shards\": %u, "
+                   "\"updates_per_sec\": %.1f}",
+                   i == 0 ? "" : ", ", rows[i].mode.c_str(), rows[i].shards,
+                   rows[i].updates_per_sec);
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

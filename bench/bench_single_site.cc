@@ -36,7 +36,8 @@ void CountStreams(const bench::BenchScale& scale) {
       opts.epsilon = eps;
       opts.initial_value = gen->initial_value();
       SingleSiteTracker tracker(opts);
-      RunResult r = RunCount(gen.get(), &assigner, &tracker, scale.n, eps);
+      GeneratorSource src1(gen.get(), &assigner);
+      RunResult r = Run(src1, tracker, {.epsilon = eps, .max_updates = scale.n});
       double bound = (1.0 + eps) / eps * r.variability + 2.0;
       table.AddRow({gen_name, bench::Fmt(eps), bench::Fmt(r.variability),
                     TablePrinter::Cell(r.messages), bench::Fmt(bound),
@@ -124,8 +125,8 @@ void CompetitiveRatio(const bench::BenchScale& scale) {
     opts.epsilon = eps;
     opts.initial_value = gen2->initial_value();
     SingleSiteTracker tracker(opts);
-    RunResult r = RunCount(gen2.get(), &assigner, &tracker, scale.n / 2,
-                           eps);
+    GeneratorSource src2(gen2.get(), &assigner);
+    RunResult r = Run(src2, tracker, {.epsilon = eps, .max_updates = scale.n / 2});
     double ratio = opt.min_syncs
                        ? static_cast<double>(r.messages) /
                              static_cast<double>(opt.min_syncs)

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Service smoke drill (wired into CI, runnable locally):
+#
+#   bash ci/service_smoke.sh [build-dir]
+#
+# 1. Starts varstream_serve, replays every mergeable tracker against it
+#    (serial and sharded) with varstream_loadgen, and requires the served
+#    snapshot to be byte-identical to an in-process run (loadgen exits
+#    nonzero on any divergence).
+# 2. Replays a recorded trace file through the service.
+# 3. Runs the crash drill: checkpoint mid-stream, kill -9 the server,
+#    restart with --restore, resume the same stream — parity must still
+#    hold against an uninterrupted in-process run.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/varstream_serve"
+LOADGEN="$BUILD_DIR/varstream_loadgen"
+RUN="$BUILD_DIR/varstream_run"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+start_server() {
+  : > "$WORK/serve.log"
+  "$SERVE" --port=0 "$@" >> "$WORK/serve.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 200); do
+    PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORK/serve.log")
+    [ -n "$PORT" ] && return 0
+    sleep 0.05
+  done
+  echo "FAIL: server did not start"; cat "$WORK/serve.log"; exit 1
+}
+
+echo "=== parity: every mergeable tracker, serial and sharded ==="
+start_server
+for tracker in deterministic randomized naive periodic; do
+  for shards in 0 4; do
+    $LOADGEN --port="$PORT" --session="$tracker-x$shards" \
+      --tracker="$tracker" --stream=random-walk --n=60000 --batch=512 \
+      --shards="$shards"
+  done
+done
+
+echo "=== parity: trace-file replay ==="
+$RUN --tracker=naive --stream=sawtooth --n=20000 \
+  --trace-out="$WORK/smoke.trace" > /dev/null
+$LOADGEN --port="$PORT" --session=trace-replay --tracker=deterministic \
+  --trace="$WORK/smoke.trace" --n=20000 --batch=256 --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "=== crash drill: checkpoint, kill -9, restore, resume ==="
+CKPT="$WORK/state.ckpt"
+start_server --checkpoint-path="$CKPT"
+# Run 1 pushes the first half and checkpoints exactly at update 50000;
+# the parity check covers the pre-crash prefix.
+$LOADGEN --port="$PORT" --tracker=randomized --stream=random-walk \
+  --n=50000 --batch=512 --shards=4 --checkpoint-at=50000
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+start_server --restore="$CKPT"
+grep -q "restored session 'default'" "$WORK/serve.log" || {
+  echo "FAIL: restored server did not report the session"
+  cat "$WORK/serve.log"; exit 1
+}
+# Run 2 resumes at update 50000 and finishes the stream; its parity check
+# compares against an uninterrupted 100k-update in-process run.
+$LOADGEN --port="$PORT" --tracker=randomized --stream=random-walk \
+  --n=100000 --batch=512 --shards=4 --skip=50000 --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "service smoke OK"

@@ -6,15 +6,66 @@
 //   $ ./db_size_monitor [--days=30] [--eps=0.02]
 //
 // Scenario: a database grows via inserts with periodic compaction /
-// retention deletes (nearly monotone, Theorem 2.1 regime). The monitor
-// records every coordinator update into a HistoryTracer; at the end an
-// auditor replays point-in-time queries ("how many rows did we hold at
-// day d, hour h?") against the summary and validates them within epsilon.
+// retention deletes (nearly monotone, Theorem 2.1 regime). The workload
+// is a custom StreamSource that also records ground truth; the monitor
+// is the registry's "single-site" tracker driven through the shared
+// Run() driver with a HistoryTracer attached. At the end an auditor
+// replays point-in-time queries ("how many rows did we hold at day d,
+// hour h?") against the summary and validates them within epsilon.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/api.h"
+
+namespace {
+
+/// Insert/delete workload of a database under retention: mostly inserts,
+/// with a nightly window deleting ~15% of operations. Records the true
+/// row count after every operation so the audit can check the summary.
+class RetentionWorkload : public varstream::StreamSource {
+ public:
+  RetentionWorkload(int days, uint64_t ops_per_day, uint64_t seed)
+      : total_(static_cast<uint64_t>(days) * ops_per_day),
+        ops_per_day_(ops_per_day),
+        rng_(seed) {
+    truth_.reserve(total_);
+  }
+
+  size_t NextBatch(std::span<varstream::CountUpdate> out) override {
+    size_t produced = 0;
+    for (; produced < out.size() && emitted_ < total_; ++produced) {
+      uint64_t op = emitted_ % ops_per_day_;
+      bool nightly = op > ops_per_day_ * 9 / 10;
+      bool insert = rows_ == 0 || rng_.Bernoulli(nightly ? 0.35 : 0.85);
+      rows_ += insert ? +1 : -1;
+      truth_.push_back(rows_);
+      out[produced] = {0, insert ? int64_t{+1} : int64_t{-1}};
+      ++emitted_;
+    }
+    return produced;
+  }
+
+  std::string name() const override { return "retention-workload"; }
+  uint32_t num_sites() const override { return 1; }
+  uint64_t remaining() const override { return total_ - emitted_; }
+
+  /// True row count after operation t (1-based).
+  int64_t truth_at(uint64_t t) const { return truth_[t - 1]; }
+
+ private:
+  uint64_t total_;
+  uint64_t ops_per_day_;
+  varstream::Rng rng_;
+  int64_t rows_ = 0;
+  uint64_t emitted_ = 0;
+  std::vector<int64_t> truth_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
@@ -25,38 +76,25 @@ int main(int argc, char** argv) {
   varstream::TrackerOptions options;
   options.num_sites = 1;
   options.epsilon = eps;
-  varstream::SingleSiteTracker tracker(options);
+  auto tracker = varstream::TrackerRegistry::Instance().Create(
+      "single-site", options);
+
+  // Run the workload through the shared driver; the tracer records every
+  // coordinator estimate change into the queryable summary.
+  RetentionWorkload workload(days, kOpsPerDay, /*seed=*/2026);
   varstream::HistoryTracer history(0.0);
-
-  varstream::Rng rng(2026);
-  std::vector<int64_t> truth;  // row count after each operation
-  truth.reserve(static_cast<size_t>(days) * kOpsPerDay);
-  int64_t rows = 0;
-  uint64_t t = 0;
-
-  for (int day = 0; day < days; ++day) {
-    for (uint64_t op = 0; op < kOpsPerDay; ++op) {
-      // 70% inserts; nightly retention window deletes ~15% of ops.
-      bool nightly = (op > kOpsPerDay * 9 / 10);
-      bool insert = rows == 0 || rng.Bernoulli(nightly ? 0.35 : 0.85);
-      rows += insert ? +1 : -1;
-      tracker.Push(0, insert ? +1 : -1);
-      ++t;
-      history.Observe(t, tracker.Estimate());
-      truth.push_back(rows);
-    }
-  }
+  varstream::RunResult run = varstream::Run(
+      workload, *tracker, {.epsilon = eps, .tracer = &history});
 
   std::printf("operations            : %llu\n",
-              static_cast<unsigned long long>(t));
+              static_cast<unsigned long long>(run.n));
   std::printf("final row count       : %lld (estimate %.0f)\n",
-              static_cast<long long>(rows), tracker.Estimate());
+              static_cast<long long>(run.final_f), run.final_estimate);
   std::printf("messages to monitor   : %llu\n",
-              static_cast<unsigned long long>(
-                  tracker.cost().total_messages()));
+              static_cast<unsigned long long>(run.messages));
   std::printf("history changepoints  : %llu (vs %llu operations)\n",
               static_cast<unsigned long long>(history.changepoints()),
-              static_cast<unsigned long long>(t));
+              static_cast<unsigned long long>(run.n));
   std::printf("summary size          : %.1f KiB\n",
               static_cast<double>(history.SummaryBits(64, 64)) / 8192.0);
 
@@ -65,16 +103,17 @@ int main(int argc, char** argv) {
   uint64_t checked = 0, ok = 0;
   double worst = 0;
   for (int q = 0; q < 10000; ++q) {
-    uint64_t when = 1 + audit_rng.UniformBelow(t);
+    uint64_t when = 1 + audit_rng.UniformBelow(run.n);
     double est = history.Query(when);
-    auto true_rows = static_cast<double>(truth[when - 1]);
-    double err = varstream::RelativeError(truth[when - 1], est);
+    int64_t true_rows = workload.truth_at(when);
+    double err = varstream::RelativeError(true_rows, est);
     worst = std::max(worst, err);
     ++checked;
     if (err <= eps + 1e-12) ++ok;
     if (q < 3) {
-      std::printf("  audit sample: t=%llu  summary=%.0f  truth=%.0f\n",
-                  static_cast<unsigned long long>(when), est, true_rows);
+      std::printf("  audit sample: t=%llu  summary=%.0f  truth=%lld\n",
+                  static_cast<unsigned long long>(when), est,
+                  static_cast<long long>(true_rows));
     }
   }
   std::printf("audit                 : %llu/%llu historical queries within "

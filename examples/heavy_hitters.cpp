@@ -9,6 +9,12 @@
 // eps*F1 and surfaces flows holding more than phi of the live total — even
 // as flows churn out (a turnstile workload that one-pass insert-only heavy
 // hitter algorithms cannot handle).
+//
+// Note on API surface: item-frequency trackers take (site, item, delta)
+// updates, so they live outside the count-tracker registry and the
+// Scenario layer (both of which speak CountUpdate streams) — this example
+// intentionally shows the direct class-level API. Flows hash to sites
+// with Mix64 so a flow's insert and delete land on the same collector.
 
 #include <algorithm>
 #include <cstdio>

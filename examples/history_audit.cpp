@@ -11,6 +11,10 @@
 // each estimate to the nearer of {m, m+3}, and reads the message back.
 // The demo prints the entropy (the Omega(r log n) lower bound) against
 // the actual summary size.
+//
+// Note on API surface: the lower-bound constructions (lowerbound/) are a
+// self-contained reduction pipeline, deliberately below the Scenario /
+// registry layer — RunIndexReduction is their one-call entry point.
 
 #include <cstdio>
 #include <string>

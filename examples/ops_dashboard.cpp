@@ -28,11 +28,23 @@ int main(int argc, char** argv) {
   // Each view gets its own error budget: counts are cheap to track
   // tightly; quantiles pay an (L+1)^2 factor, so they get a coarser
   // epsilon and a coarser universe (64 buckets of 16 ms).
+  //
+  // The plain count view comes from the registry (swap in any
+  // --list-trackers name); the item-problem views (quantiles, heavy
+  // buckets) and the callback-driven alarm are class-specific APIs, so
+  // they are constructed directly.
   varstream::TrackerOptions opts;
   opts.num_sites = sites;
   opts.epsilon = 0.05;
   opts.seed = 11;
-  varstream::DeterministicTracker inflight(opts);     // total in flight
+  auto inflight_tracker = varstream::TrackerRegistry::Instance().Create(
+      flags.GetString("count-tracker", "deterministic"), opts);
+  if (inflight_tracker == nullptr) {
+    std::fprintf(stderr, "unknown --count-tracker (try varstream_run "
+                         "--list-trackers)\n");
+    return 2;
+  }
+  varstream::DistributedTracker& inflight = *inflight_tracker;
 
   varstream::TrackerOptions quantile_opts = opts;
   quantile_opts.epsilon = 0.2;

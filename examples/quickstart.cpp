@@ -1,75 +1,63 @@
 // Quickstart: track a non-monotone distributed count with the paper's
-// algorithms in ~20 lines of user code.
+// algorithms — in one declarative Scenario.
 //
-//   $ ./quickstart [--tracker=deterministic] [--n=100000] [--sites=8]
-//                  [--eps=0.05] [--seed=1] [--batch=256]
+//   $ ./quickstart [--tracker=deterministic] [--stream=biased-walk]
+//                  [--n=100000] [--sites=8] [--eps=0.05] [--seed=1]
+//                  [--batch=256] [--shards=0]
 //
-// Simulates a +-1 update stream (a biased random walk, so the count mostly
-// grows but sometimes shrinks) spread across `sites` observers, and tracks
-// it at the coordinator to within eps relative error. Prints the final
-// estimate, the true value, and what the tracking cost — compare that cost
-// to the stream length n to see the variability framework at work.
+// A Scenario names a tracker and a stream (both resolved through their
+// registries — `varstream_run --list-trackers` / `--list-streams`
+// enumerate the choices), plus the run parameters. RunScenario expands
+// it deterministically: the same Scenario yields the same numbers on any
+// machine. Set --shards=W to push ingest through the sharded parallel
+// engine; results are identical for every W in 1..sites (the serial
+// engine at --shards=0 is a different per-site decomposition, so its
+// numbers legitimately differ — see the merge-semantics table in the
+// README).
 
 #include <algorithm>
 #include <cstdio>
-#include <vector>
 
 #include "core/api.h"
 
 int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
-  const uint64_t n = flags.GetUint("n", 100000);
-  const auto sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
-  const double eps = flags.GetDouble("eps", 0.05);
-  const uint64_t seed = flags.GetUint("seed", 1);
-  const uint64_t batch_size = std::max<uint64_t>(flags.GetUint("batch", 256), 1);
 
-  // 1. Configure and construct the tracker by registry name: k sites,
-  //    relative error epsilon.
-  varstream::TrackerOptions options;
-  options.num_sites = sites;
-  options.epsilon = eps;
-  auto tracker = varstream::TrackerRegistry::Instance().Create(
-      flags.GetString("tracker", "deterministic"), options);
-  if (!tracker) {
-    std::fprintf(stderr, "unknown tracker (try varstream_run "
-                         "--list-trackers)\n");
+  // 1. Describe the experiment. Every field has a sane default; nothing
+  //    here constructs anything yet.
+  varstream::Scenario scenario;
+  scenario.tracker = flags.GetString("tracker", "deterministic");
+  scenario.stream = flags.GetString("stream", "biased-walk");
+  scenario.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  scenario.epsilon = flags.GetDouble("eps", 0.05);
+  scenario.n = flags.GetUint("n", 100000);
+  scenario.seed = flags.GetUint("seed", 1);
+  scenario.batch_size = std::max<uint64_t>(flags.GetUint("batch", 256), 1);
+  scenario.num_shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
+  scenario.params["mu"] = flags.GetDouble("mu", 0.2);  // walk drift
+
+  // 2. Run it. Name-resolution errors come back as r.ok == false with a
+  //    message listing the valid names — no exceptions, no aborts.
+  varstream::ScenarioResult r = varstream::RunScenario(scenario);
+  if (!r.ok) {
+    std::fprintf(stderr, "scenario failed: %s\n", r.error.c_str());
     return 2;
   }
 
-  // 2. Feed it the stream in batches. Here: a drifting +-1 walk, dealt to
-  //    sites uniformly at random. In a real deployment each site would
-  //    buffer its own updates and PushBatch() them; the "network" between
-  //    sites and coordinator would be real.
-  varstream::BiasedWalkGenerator stream(/*mu=*/0.2, seed);
-  varstream::UniformAssigner dealer(sites, seed ^ 0xDA7A);
-  varstream::VariabilityMeter meter(0);  // ground truth + variability
-  std::vector<varstream::CountUpdate> batch;
-  for (uint64_t t = 0; t < n;) {
-    batch.clear();
-    for (uint64_t i = 0; i < batch_size && t < n; ++i, ++t) {
-      int64_t delta = stream.NextDelta();
-      meter.Push(delta);
-      batch.push_back({dealer.NextSite(), delta});
-    }
-    tracker->PushBatch(batch);
-  }
-
-  // 3. Read one consistent snapshot: estimate + clock + communication bill.
-  varstream::TrackerSnapshot snap = tracker->Snapshot();
-  std::printf("tracker                : %s\n", tracker->name().c_str());
+  // 3. Read the measurements.
+  std::printf("scenario               : %s\n", r.scenario.Id().c_str());
   std::printf("stream length n        : %llu updates\n",
-              static_cast<unsigned long long>(snap.time));
+              static_cast<unsigned long long>(r.result.n));
   std::printf("true count f(n)        : %lld\n",
-              static_cast<long long>(meter.f()));
-  std::printf("coordinator estimate   : %.0f\n", snap.estimate);
-  std::printf("relative error         : %.5f (guarantee: <= %.3f)\n",
-              varstream::RelativeError(meter.f(), snap.estimate), eps);
-  std::printf("stream variability v(n): %.2f\n", meter.value());
+              static_cast<long long>(r.result.final_f));
+  std::printf("coordinator estimate   : %.0f\n", r.result.final_estimate);
+  std::printf("max rel error          : %.5f (guarantee: <= %.3f)\n",
+              r.result.max_rel_error, scenario.epsilon);
+  std::printf("stream variability v(n): %.2f\n", r.result.variability);
   std::printf("messages used          : %llu (naive would use %llu)\n",
-              static_cast<unsigned long long>(snap.messages),
-              static_cast<unsigned long long>(n));
-  std::printf("message breakdown      : %s\n",
-              tracker->cost().Breakdown().c_str());
+              static_cast<unsigned long long>(r.result.messages),
+              static_cast<unsigned long long>(r.result.n));
+  std::printf("as JSON                : %s\n",
+              varstream::ScenarioResultToJson(r).c_str());
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "core/registry.h"
+#include "core/state_codec.h"
 
 namespace varstream {
 
@@ -29,8 +30,45 @@ void NaiveTracker::MergeFrom(const DistributedTracker& other) {
 }
 
 std::string NaiveTracker::SerializeState() const {
-  return FormatMergeableState("naive", num_sites(), std::to_string(value_),
-                              time(), cost());
+  std::string out = FormatMergeableState("naive", num_sites(),
+                                         std::to_string(value_), time(),
+                                         cost());
+  AppendField(&out, "v", std::to_string(kTrackerStateVersion));
+  AppendField(&out, "init", std::to_string(initial_value_));
+  AppendField(&out, "clk", std::to_string(net_->now()));
+  AppendField(&out, "cost", cost().SerializeCounts());
+  return out;
+}
+
+bool NaiveTracker::RestoreState(const std::string& state,
+                                std::string* error) {
+  StateFields fields;
+  if (!ParseTrackerState(state, "naive", num_sites(), time(), &fields,
+                         error)) {
+    return false;
+  }
+  int64_t est = 0, init = 0;
+  uint64_t t = 0, clk = 0;
+  std::string cost_text;
+  if (!fields.GetI64("est", &est) || !fields.GetI64("init", &init) ||
+      !fields.GetU64("time", &t) || !fields.GetU64("clk", &clk) ||
+      !fields.GetString("cost", &cost_text) ||
+      !net_->mutable_cost()->RestoreCounts(cost_text)) {
+    if (error != nullptr) *error = "corrupt naive tracker state";
+    return false;
+  }
+  if (init != initial_value_) {
+    if (error != nullptr) {
+      *error = "state was taken with initial_value=" + std::to_string(init) +
+               ", this tracker was constructed with " +
+               std::to_string(initial_value_);
+    }
+    return false;
+  }
+  value_ = est;
+  net_->RestoreClock(clk);
+  AdvanceTime(t);
+  return true;
 }
 
 VARSTREAM_REGISTER_TRACKER("naive", NaiveTracker)

@@ -26,6 +26,7 @@ class NaiveTracker : public DistributedTracker, public Mergeable {
   /// disjoint site partition reproduces the serial tracker byte for byte.
   void MergeFrom(const DistributedTracker& other) override;
   std::string SerializeState() const override;
+  bool RestoreState(const std::string& state, std::string* error) override;
 
  protected:
   /// Forwards the whole delta in one message — arbitrary magnitudes are

@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "core/registry.h"
+#include "core/state_codec.h"
 
 namespace varstream {
 
@@ -43,9 +44,69 @@ void PeriodicTracker::MergeFrom(const DistributedTracker& other) {
 }
 
 std::string PeriodicTracker::SerializeState() const {
-  return FormatMergeableState("periodic|T=" + std::to_string(period_),
-                              num_sites(), std::to_string(estimate_), time(),
-                              cost());
+  std::string out = FormatMergeableState(
+      "periodic|T=" + std::to_string(period_), num_sites(),
+      std::to_string(estimate_), time(), cost());
+  AppendField(&out, "v", std::to_string(kTrackerStateVersion));
+  AppendField(&out, "init", std::to_string(initial_value_));
+  AppendField(&out, "clk", std::to_string(net_->now()));
+  std::vector<std::pair<int64_t, int64_t>> site_pairs;
+  site_pairs.reserve(sites_.size());
+  for (const SiteState& s : sites_) {
+    site_pairs.emplace_back(static_cast<int64_t>(s.arrivals), s.pending);
+  }
+  AppendField(&out, "sites", JoinI64Pairs(site_pairs));
+  AppendField(&out, "cost", cost().SerializeCounts());
+  return out;
+}
+
+bool PeriodicTracker::RestoreState(const std::string& state,
+                                   std::string* error) {
+  StateFields fields;
+  if (!ParseTrackerState(state, "periodic", num_sites(), time(), &fields,
+                         error)) {
+    return false;
+  }
+  uint64_t period = 0;
+  if (!fields.GetU64("T", &period) || period != period_) {
+    if (error != nullptr) {
+      *error = "state sync period does not match this tracker (T=" +
+               std::to_string(period_) + ")";
+    }
+    return false;
+  }
+  int64_t est = 0, init = 0;
+  uint64_t t = 0, clk = 0;
+  std::string cost_text;
+  std::vector<std::pair<int64_t, int64_t>> site_pairs;
+  if (!fields.GetI64("est", &est) || !fields.GetI64("init", &init) ||
+      !fields.GetU64("time", &t) || !fields.GetU64("clk", &clk) ||
+      !fields.GetI64PairList("sites", sites_.size(), &site_pairs) ||
+      !fields.GetString("cost", &cost_text) ||
+      !net_->mutable_cost()->RestoreCounts(cost_text)) {
+    if (error != nullptr) *error = "corrupt periodic tracker state";
+    return false;
+  }
+  if (init != initial_value_) {
+    if (error != nullptr) {
+      *error = "state was taken with initial_value=" + std::to_string(init) +
+               ", this tracker was constructed with " +
+               std::to_string(initial_value_);
+    }
+    return false;
+  }
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    if (site_pairs[i].first < 0) {
+      if (error != nullptr) *error = "corrupt periodic tracker state";
+      return false;
+    }
+    sites_[i].arrivals = static_cast<uint64_t>(site_pairs[i].first);
+    sites_[i].pending = site_pairs[i].second;
+  }
+  estimate_ = est;
+  net_->RestoreClock(clk);
+  AdvanceTime(t);
+  return true;
 }
 
 std::string PeriodicTracker::name() const { return "periodic"; }

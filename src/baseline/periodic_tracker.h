@@ -38,6 +38,7 @@ class PeriodicTracker : public DistributedTracker, public Mergeable {
   /// serial tracker byte for byte.
   void MergeFrom(const DistributedTracker& other) override;
   std::string SerializeState() const override;
+  bool RestoreState(const std::string& state, std::string* error) override;
 
  protected:
   /// Arbitrary deltas are native: one arrival of any magnitude counts one

@@ -1,8 +1,34 @@
 #include "common/cli.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace varstream {
+
+bool ParseKeyValueParams(const std::string& csv,
+                         std::map<std::string, double>* params) {
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    std::string pair = csv.substr(start, comma - start);
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--params: '%s' is not key=value\n", pair.c_str());
+      return false;
+    }
+    std::string value = pair.substr(eq + 1);
+    char* end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--params: '%s' is not a number\n", value.c_str());
+      return false;
+    }
+    (*params)[pair.substr(0, eq)] = parsed;
+    start = comma + 1;
+  }
+  return true;
+}
 
 FlagParser::FlagParser(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

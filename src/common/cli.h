@@ -11,6 +11,12 @@
 
 namespace varstream {
 
+/// Parses "key=val,key=val" (the tools' --params payload) into a numeric
+/// map. Returns false with a stderr diagnostic on a malformed pair or a
+/// non-numeric value.
+bool ParseKeyValueParams(const std::string& csv,
+                         std::map<std::string, double>* params);
+
 /// Parses flags of the form --name=value (or bare --name for booleans).
 /// Unknown positional arguments are ignored. Typed getters fall back to the
 /// provided default when a flag is absent or unparsable.

@@ -1,8 +1,11 @@
 #include "common/random.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
 namespace varstream {
 
@@ -59,8 +62,46 @@ void Xoshiro256::Jump() {
   s_[3] = s3;
 }
 
+void Xoshiro256::set_state(const std::array<uint64_t, 4>& s) {
+  for (int i = 0; i < 4; ++i) s_[i] = s[i];
+}
+
 Rng::Rng(uint64_t seed)
     : engine_(seed), spare_gaussian_(0), has_spare_gaussian_(false) {}
+
+std::string Rng::SerializeState() const {
+  const std::array<uint64_t, 4> s = engine_.state();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64
+                ":%016" PRIx64 ":%d",
+                s[0], s[1], s[2], s[3],
+                std::bit_cast<uint64_t>(spare_gaussian_),
+                has_spare_gaussian_ ? 1 : 0);
+  return buf;
+}
+
+bool Rng::RestoreState(const std::string& state) {
+  // Strict parse: exactly six ':'-separated fields consuming the whole
+  // string (%n guards against trailing garbage sscanf would ignore).
+  std::array<uint64_t, 4> s{};
+  uint64_t spare_bits = 0;
+  int has_spare = 0;
+  int consumed = 0;
+  if (std::sscanf(state.c_str(),
+                  "%" SCNx64 ":%" SCNx64 ":%" SCNx64 ":%" SCNx64 ":%" SCNx64
+                  ":%d%n",
+                  &s[0], &s[1], &s[2], &s[3], &spare_bits, &has_spare,
+                  &consumed) != 6 ||
+      static_cast<size_t>(consumed) != state.size() ||
+      (has_spare != 0 && has_spare != 1)) {
+    return false;
+  }
+  engine_.set_state(s);
+  spare_gaussian_ = std::bit_cast<double>(spare_bits);
+  has_spare_gaussian_ = has_spare == 1;
+  return true;
+}
 
 Rng Rng::Fork(uint64_t stream) const {
   // Mix the stream id into fresh engine state derived from this engine's

@@ -8,8 +8,10 @@
 #ifndef VARSTREAM_COMMON_RANDOM_H_
 #define VARSTREAM_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace varstream {
@@ -49,6 +51,11 @@ class Xoshiro256 {
   /// Equivalent to 2^128 calls to Next(); used to derive independent
   /// sub-streams from one seed.
   void Jump();
+
+  /// Raw engine state, for checkpoint/restore: set_state(state()) on a
+  /// second engine makes it emit the identical output sequence.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s);
 
  private:
   uint64_t s_[4];
@@ -108,6 +115,14 @@ class Rng {
   /// Samples `count` distinct values from [0, n) in increasing order
   /// (Floyd's algorithm + sort). Requires count <= n.
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count);
+
+  /// Complete generator state (engine words + the cached Box-Muller
+  /// spare) as one compact token, and its bit-exact inverse. Used by the
+  /// tracker checkpoints (core/mergeable.h RestoreState) so a restored
+  /// randomized tracker draws the same sequence an uninterrupted run
+  /// would. RestoreState returns false on a malformed token.
+  std::string SerializeState() const;
+  bool RestoreState(const std::string& state);
 
  private:
   explicit Rng(const Xoshiro256& engine)

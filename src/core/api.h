@@ -95,9 +95,17 @@
 #include "core/spsc_queue.h"                // IWYU pragma: export
 #include "core/suite.h"                     // IWYU pragma: export
 #include "core/sketch_frequency_tracker.h"  // IWYU pragma: export
+#include "core/state_codec.h"               // IWYU pragma: export
 #include "core/threshold_monitor.h"         // IWYU pragma: export
 #include "core/tracing.h"                   // IWYU pragma: export
 #include "core/tracker.h"                   // IWYU pragma: export
+
+// The ingest service: wire protocol, server, client, checkpoints
+// (real loopback TCP — everything above simulates its network).
+#include "service/checkpoint.h"  // IWYU pragma: export
+#include "service/client.h"      // IWYU pragma: export
+#include "service/protocol.h"    // IWYU pragma: export
+#include "service/server.h"      // IWYU pragma: export
 
 // Baselines.
 #include "baseline/cmy_monotone_tracker.h"    // IWYU pragma: export

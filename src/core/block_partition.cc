@@ -1,9 +1,14 @@
 #include "core/block_partition.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/math_util.h"
+#include "core/state_codec.h"
 
 namespace varstream {
 
@@ -77,6 +82,84 @@ void BlockPartitioner::CloseBlock() {
   StartBlock(f_exact);
   net_->Broadcast(MessageKind::kBroadcast);
   if (block_end_callback_) block_end_callback_(closed, block_);
+}
+
+std::string BlockPartitioner::SerializeState() const {
+  std::string out = std::to_string(block_.index) + ',' +
+                    std::to_string(block_.start_time) + ',' +
+                    std::to_string(block_.f_start) + ',' +
+                    std::to_string(block_.r) + ',' +
+                    std::to_string(block_.site_threshold) + ',' +
+                    std::to_string(block_.end_threshold) + ',' +
+                    std::to_string(t_hat_) + ',' + std::to_string(time_) +
+                    ',' + std::to_string(blocks_completed_);
+  out += ';';
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(sites_.size());
+  for (const SiteState& s : sites_) {
+    pairs.emplace_back(static_cast<int64_t>(s.ci), s.fi);
+  }
+  out += JoinI64Pairs(pairs);
+  return out;
+}
+
+bool BlockPartitioner::RestoreState(const std::string& text) {
+  size_t semi = text.find(';');
+  if (semi == std::string::npos) return false;
+  // Head: nine comma-separated integers, parsed strictly (the state_codec
+  // parsers reject partial tokens, signs on unsigned fields, and
+  // whitespace — a CRC-valid but hand-damaged dump must not half-load).
+  std::string head = text.substr(0, semi);
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  for (;;) {
+    size_t comma = head.find(',', start);
+    if (comma == std::string::npos) {
+      tokens.push_back(head.substr(start));
+      break;
+    }
+    tokens.push_back(head.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (tokens.size() != 9) return false;
+  uint64_t index = 0, start_time = 0, site_threshold = 0, end_threshold = 0,
+           t_hat = 0, time = 0, blocks = 0;
+  int64_t f_start = 0, r = 0;
+  if (!ParseU64Text(tokens[0], &index) ||
+      !ParseU64Text(tokens[1], &start_time) ||
+      !ParseI64Text(tokens[2], &f_start) ||
+      !ParseI64Text(tokens[3], &r) || r < 0 || r > 62 ||
+      !ParseU64Text(tokens[4], &site_threshold) ||
+      !ParseU64Text(tokens[5], &end_threshold) ||
+      !ParseU64Text(tokens[6], &t_hat) || !ParseU64Text(tokens[7], &time) ||
+      !ParseU64Text(tokens[8], &blocks)) {
+    return false;
+  }
+  BlockInfo block;
+  block.index = index;
+  block.start_time = start_time;
+  block.f_start = f_start;
+  block.r = static_cast<int>(r);
+  block.site_threshold = site_threshold;
+  block.end_threshold = end_threshold;
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  if (!ParseI64Pairs(text.substr(semi + 1), sites_.size(), &pairs)) {
+    return false;
+  }
+  std::vector<SiteState> sites;
+  sites.reserve(pairs.size());
+  for (const auto& [ci, fi] : pairs) {
+    if (ci < 0) return false;
+    sites.push_back(SiteState{static_cast<uint64_t>(ci), fi});
+  }
+
+  block_ = block;
+  sites_ = std::move(sites);
+  t_hat_ = t_hat;
+  time_ = time;
+  blocks_completed_ = blocks;
+  return true;
 }
 
 }  // namespace varstream

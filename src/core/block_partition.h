@@ -81,6 +81,15 @@ class BlockPartitioner {
   /// 0 if abs_f < 4k, else the unique r >= 1 with 2^r*2k <= abs_f < 2^r*4k.
   static int ScaleFor(uint64_t abs_f, uint32_t k);
 
+  /// Complete partitioner state as one token (no '|' or newlines, so it
+  /// embeds as a field of a tracker state line — core/state_codec.h):
+  /// "j,start,fstart,r,h,end,that,time,blocks;ci:fi,ci:fi,...". The
+  /// restored partitioner resumes mid-block exactly where the serialized
+  /// one stopped. RestoreState returns false on a malformed token or a
+  /// site-count mismatch; it does not touch the network or the callback.
+  std::string SerializeState() const;
+  bool RestoreState(const std::string& text);
+
  private:
   void StartBlock(int64_t f_exact);
   void CloseBlock();

@@ -3,9 +3,11 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "common/math_util.h"
 #include "core/registry.h"
+#include "core/state_codec.h"
 
 namespace varstream {
 
@@ -95,8 +97,74 @@ void DeterministicTracker::MergeFrom(const DistributedTracker& other) {
 }
 
 std::string DeterministicTracker::SerializeState() const {
-  return FormatMergeableState("deterministic", num_sites(),
-                              std::to_string(EstimateInt()), time(), cost());
+  std::string out = FormatMergeableState("deterministic", num_sites(),
+                                         std::to_string(EstimateInt()),
+                                         time(), cost());
+  AppendField(&out, "v", std::to_string(kTrackerStateVersion));
+  AppendField(&out, "init", std::to_string(options_.initial_value));
+  AppendField(&out, "clk", std::to_string(net_->now()));
+  AppendField(&out, "merged", std::to_string(merged_estimate_));
+  AppendField(&out, "csum", std::to_string(coord_drift_sum_));
+  AppendField(&out, "sdrift", JoinI64(site_drift_));
+  AppendField(&out, "sunsent", JoinI64(site_unsent_));
+  AppendField(&out, "cdrift", JoinI64(coord_drift_));
+  AppendField(&out, "part", partitioner_->SerializeState());
+  AppendField(&out, "cost", cost().SerializeCounts());
+  return out;
+}
+
+bool DeterministicTracker::RestoreState(const std::string& state,
+                                        std::string* error) {
+  StateFields fields;
+  if (!ParseTrackerState(state, "deterministic", num_sites(), time(),
+                         &fields, error)) {
+    return false;
+  }
+  int64_t est = 0, init = 0, merged = 0, csum = 0;
+  uint64_t t = 0, clk = 0;
+  std::string part_text, cost_text;
+  std::vector<int64_t> sdrift, sunsent, cdrift;
+  if (!fields.GetI64("est", &est) || !fields.GetI64("init", &init) ||
+      !fields.GetU64("time", &t) || !fields.GetU64("clk", &clk) ||
+      !fields.GetI64("merged", &merged) || !fields.GetI64("csum", &csum) ||
+      !fields.GetI64List("sdrift", num_sites(), &sdrift) ||
+      !fields.GetI64List("sunsent", num_sites(), &sunsent) ||
+      !fields.GetI64List("cdrift", num_sites(), &cdrift) ||
+      !fields.GetString("part", &part_text) ||
+      !fields.GetString("cost", &cost_text)) {
+    if (error != nullptr) *error = "corrupt deterministic tracker state";
+    return false;
+  }
+  if (init != options_.initial_value) {
+    if (error != nullptr) {
+      *error = "state was taken with initial_value=" + std::to_string(init) +
+               ", this tracker was constructed with " +
+               std::to_string(options_.initial_value);
+    }
+    return false;
+  }
+  if (!partitioner_->RestoreState(part_text) ||
+      !net_->mutable_cost()->RestoreCounts(cost_text)) {
+    if (error != nullptr) *error = "corrupt deterministic tracker state";
+    return false;
+  }
+  site_drift_ = std::move(sdrift);
+  site_unsent_ = std::move(sunsent);
+  coord_drift_ = std::move(cdrift);
+  coord_drift_sum_ = csum;
+  merged_estimate_ = merged;
+  net_->RestoreClock(clk);
+  AdvanceTime(t);
+  RefreshSendThreshold(partitioner_->block().r);
+  if (EstimateInt() != est) {
+    if (error != nullptr) {
+      *error = "restored deterministic state is inconsistent (estimate " +
+               std::to_string(EstimateInt()) + " != serialized " +
+               std::to_string(est) + ")";
+    }
+    return false;
+  }
+  return true;
 }
 
 VARSTREAM_REGISTER_TRACKER("deterministic", DeterministicTracker)

@@ -40,6 +40,7 @@ class DeterministicTracker : public DistributedTracker, public Mergeable {
   /// is exact integer addition (core/mergeable.h semantics).
   void MergeFrom(const DistributedTracker& other) override;
   std::string SerializeState() const override;
+  bool RestoreState(const std::string& state, std::string* error) override;
 
   /// Exact integer estimate (the deterministic coordinator state is
   /// integral).

@@ -151,49 +151,4 @@ RunResult Run(StreamSource& source, DistributedTracker& tracker,
   return runner.Finish();
 }
 
-RunResult RunCount(CountGenerator* gen, SiteAssigner* assigner,
-                   DistributedTracker* tracker, uint64_t n, double epsilon,
-                   HistoryTracer* tracer) {
-  GeneratorSource source(gen, assigner);
-  RunOptions options;
-  options.epsilon = epsilon;
-  options.max_updates = n;
-  options.tracer = tracer;
-  return Run(source, *tracker, options);
-}
-
-RunResult RunCountOnTrace(const StreamTrace& trace,
-                          DistributedTracker* tracker, double epsilon,
-                          HistoryTracer* tracer) {
-  TraceSource source(&trace);
-  RunOptions options;
-  options.epsilon = epsilon;
-  options.tracer = tracer;
-  return Run(source, *tracker, options);
-}
-
-RunResult RunCountBatched(CountGenerator* gen, SiteAssigner* assigner,
-                          DistributedTracker* tracker, uint64_t n,
-                          double epsilon, uint64_t batch_size,
-                          HistoryTracer* tracer) {
-  GeneratorSource source(gen, assigner);
-  RunOptions options;
-  options.epsilon = epsilon;
-  options.max_updates = n;
-  options.batch_size = batch_size;
-  options.tracer = tracer;
-  return Run(source, *tracker, options);
-}
-
-RunResult RunCountOnTraceBatched(const StreamTrace& trace,
-                                 DistributedTracker* tracker, double epsilon,
-                                 uint64_t batch_size, HistoryTracer* tracer) {
-  TraceSource source(&trace);
-  RunOptions options;
-  options.epsilon = epsilon;
-  options.batch_size = batch_size;
-  options.tracer = tracer;
-  return Run(source, *tracker, options);
-}
-
 }  // namespace varstream

@@ -73,33 +73,6 @@ struct RunOptions {
 RunResult Run(StreamSource& source, DistributedTracker& tracker,
               const RunOptions& options = {});
 
-// --- Deprecated shims over Run(). ---
-// The pre-StreamSource entry points, kept for existing call sites. New
-// code should construct a StreamSource (usually via StreamRegistry) and
-// call Run.
-
-/// Deprecated: wrap (gen, assigner) in a GeneratorSource and call Run.
-RunResult RunCount(CountGenerator* gen, SiteAssigner* assigner,
-                   DistributedTracker* tracker, uint64_t n, double epsilon,
-                   HistoryTracer* tracer = nullptr);
-
-/// Deprecated: wrap the trace in a TraceSource and call Run.
-RunResult RunCountOnTrace(const StreamTrace& trace,
-                          DistributedTracker* tracker, double epsilon,
-                          HistoryTracer* tracer = nullptr);
-
-/// Deprecated: use Run with RunOptions::batch_size.
-RunResult RunCountBatched(CountGenerator* gen, SiteAssigner* assigner,
-                          DistributedTracker* tracker, uint64_t n,
-                          double epsilon, uint64_t batch_size,
-                          HistoryTracer* tracer = nullptr);
-
-/// Deprecated: use Run with RunOptions::batch_size.
-RunResult RunCountOnTraceBatched(const StreamTrace& trace,
-                                 DistributedTracker* tracker, double epsilon,
-                                 uint64_t batch_size,
-                                 HistoryTracer* tracer = nullptr);
-
 }  // namespace varstream
 
 #endif  // VARSTREAM_CORE_DRIVER_H_

@@ -55,12 +55,27 @@ class Mergeable {
   /// once at the top (core/sharded.cc does exactly this).
   virtual void MergeFrom(const DistributedTracker& other) = 0;
 
-  /// One-line textual dump of the mergeable coordinator state
-  /// ("name|k=..|est=..|time=..|msgs=..|bits=.."), stable across runs for
-  /// deterministic protocols. Used by the shard-equivalence tests to
-  /// assert byte-identical results across worker counts, and useful for
-  /// shipping a shard summary between processes.
+  /// Complete textual dump of the tracker state: the summary prefix
+  /// ("name|k=..|est=..|time=..|msgs=..|bits=..") followed by the full
+  /// internal state as |key=value fields (core/state_codec.h) — site
+  /// drifts, block-partition position, RNG state, per-kind cost counters.
+  /// Stable across runs for deterministic protocols; used by the
+  /// shard-equivalence tests to assert byte-identical results across
+  /// worker counts, and by the checkpoint layer (src/service/) as the
+  /// on-disk session payload of the varstream-ckpt-v1 format.
   virtual std::string SerializeState() const = 0;
+
+  /// Symmetric inverse of SerializeState: reloads a dumped state into
+  /// this freshly constructed tracker (same registry name and
+  /// construction options as the serialized instance; time() must still
+  /// be 0). After a successful restore the tracker resumes the stream
+  /// exactly where the serialized instance stopped — feeding both the
+  /// same suffix yields byte-identical Snapshot()s. Returns false and
+  /// sets *error (when non-null) on a label/site-count/options mismatch
+  /// or a corrupt dump, leaving the tracker unusable for resumption (the
+  /// caller should construct a fresh one).
+  virtual bool RestoreState(const std::string& state,
+                            std::string* error) = 0;
 };
 
 /// Shared MergeFrom preamble: casts `other` to the merging tracker's own

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "common/math_util.h"
 #include "core/registry.h"
+#include "core/state_codec.h"
 
 namespace varstream {
 
@@ -103,8 +105,89 @@ void RandomizedTracker::MergeFrom(const DistributedTracker& other) {
 std::string RandomizedTracker::SerializeState() const {
   char est[64];
   std::snprintf(est, sizeof(est), "%.17g", Estimate());
-  return FormatMergeableState("randomized", num_sites(), est, time(),
-                              cost());
+  std::string out =
+      FormatMergeableState("randomized", num_sites(), est, time(), cost());
+  AppendField(&out, "v", std::to_string(kTrackerStateVersion));
+  AppendField(&out, "init", std::to_string(options_.initial_value));
+  AppendField(&out, "clk", std::to_string(net_->now()));
+  AppendField(&out, "merged", EncodeDoubleBits(merged_estimate_));
+  AppendField(&out, "psum", EncodeDoubleBits(coord_plus_sum_));
+  AppendField(&out, "msum", EncodeDoubleBits(coord_minus_sum_));
+  AppendField(&out, "splus", JoinI64(site_plus_));
+  AppendField(&out, "sminus", JoinI64(site_minus_));
+  AppendField(&out, "cplus", JoinDoubleBits(coord_plus_));
+  AppendField(&out, "cminus", JoinDoubleBits(coord_minus_));
+  AppendField(&out, "rng", rng_.SerializeState());
+  AppendField(&out, "part", partitioner_->SerializeState());
+  AppendField(&out, "cost", cost().SerializeCounts());
+  return out;
+}
+
+bool RandomizedTracker::RestoreState(const std::string& state,
+                                     std::string* error) {
+  StateFields fields;
+  if (!ParseTrackerState(state, "randomized", num_sites(), time(), &fields,
+                         error)) {
+    return false;
+  }
+  int64_t init = 0;
+  uint64_t t = 0, clk = 0;
+  double merged = 0, psum = 0, msum = 0;
+  std::string rng_text, part_text, cost_text, est_text;
+  std::vector<int64_t> splus, sminus;
+  std::vector<double> cplus, cminus;
+  if (!fields.GetString("est", &est_text) || !fields.GetI64("init", &init) ||
+      !fields.GetU64("time", &t) || !fields.GetU64("clk", &clk) ||
+      !fields.GetDoubleBits("merged", &merged) ||
+      !fields.GetDoubleBits("psum", &psum) ||
+      !fields.GetDoubleBits("msum", &msum) ||
+      !fields.GetI64List("splus", num_sites(), &splus) ||
+      !fields.GetI64List("sminus", num_sites(), &sminus) ||
+      !fields.GetDoubleBitsList("cplus", num_sites(), &cplus) ||
+      !fields.GetDoubleBitsList("cminus", num_sites(), &cminus) ||
+      !fields.GetString("rng", &rng_text) ||
+      !fields.GetString("part", &part_text) ||
+      !fields.GetString("cost", &cost_text)) {
+    if (error != nullptr) *error = "corrupt randomized tracker state";
+    return false;
+  }
+  if (init != options_.initial_value) {
+    if (error != nullptr) {
+      *error = "state was taken with initial_value=" + std::to_string(init) +
+               ", this tracker was constructed with " +
+               std::to_string(options_.initial_value);
+    }
+    return false;
+  }
+  if (!rng_.RestoreState(rng_text) ||
+      !partitioner_->RestoreState(part_text) ||
+      !net_->mutable_cost()->RestoreCounts(cost_text)) {
+    if (error != nullptr) *error = "corrupt randomized tracker state";
+    return false;
+  }
+  site_plus_ = std::move(splus);
+  site_minus_ = std::move(sminus);
+  coord_plus_ = std::move(cplus);
+  coord_minus_ = std::move(cminus);
+  coord_plus_sum_ = psum;
+  coord_minus_sum_ = msum;
+  merged_estimate_ = merged;
+  net_->RestoreClock(clk);
+  AdvanceTime(t);
+  p_ = SampleProbability(partitioner_->block().r);
+  // The serialized estimate is %.17g, which round-trips doubles exactly —
+  // so an estimate mismatch here means real corruption, not rounding.
+  char round_trip[64];
+  std::snprintf(round_trip, sizeof(round_trip), "%.17g", Estimate());
+  if (est_text != round_trip) {
+    if (error != nullptr) {
+      *error = std::string("restored randomized state is inconsistent "
+                           "(estimate ") +
+               round_trip + " != serialized " + est_text + ")";
+    }
+    return false;
+  }
+  return true;
 }
 
 VARSTREAM_REGISTER_TRACKER("randomized", RandomizedTracker)

@@ -45,6 +45,7 @@ class RandomizedTracker : public DistributedTracker, public Mergeable {
   /// seeds must be decorrelated (ShardedTracker::DeriveSiteSeed).
   void MergeFrom(const DistributedTracker& other) override;
   std::string SerializeState() const override;
+  bool RestoreState(const std::string& state, std::string* error) override;
 
   uint64_t blocks_completed() const {
     return partitioner_->blocks_completed();

@@ -88,8 +88,12 @@ std::vector<std::string> TrackerRegistry::MergeableNames() const {
 
 std::string TrackerRegistry::ListingText() const {
   // Column-aligned so the capability tags read as a table:
-  //   deterministic        mergeable
+  //   deterministic        mergeable, checkpointable
   //   cmy-monotone         monotone-only
+  // Mergeable implies checkpointable: RestoreState is declared on the
+  // Mergeable capability (core/mergeable.h), so exactly the trackers the
+  // sharded engine accepts can also be served with checkpoint/restore by
+  // varstream_serve (src/service/).
   size_t width = 0;
   for (const auto& [name, entry] : entries_) {
     width = std::max(width, name.size());
@@ -97,7 +101,7 @@ std::string TrackerRegistry::ListingText() const {
   std::string out;
   for (const auto& [name, entry] : entries_) {
     std::string tags;
-    if (entry.mergeable) tags = "mergeable";
+    if (entry.mergeable) tags = "mergeable, checkpointable";
     if (entry.monotone_only) {
       if (!tags.empty()) tags += ", ";
       tags += "monotone-only";

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/math_util.h"
 #include "core/registry.h"
+#include "core/state_codec.h"
 #include "stream/source.h"
 
 namespace varstream {
@@ -253,12 +254,93 @@ std::string ShardedTracker::SerializeState() const {
   std::snprintf(est, sizeof(est), "%.17g", Estimate());
   std::string out = FormatMergeableState("sharded(" + base_name_ + ")",
                                          num_sites(), est, time(), cost());
+  AppendField(&out, "v", std::to_string(kTrackerStateVersion));
+  AppendField(&out, "init", std::to_string(options_.initial_value));
+  AppendField(&out, "merged", EncodeDoubleBits(merged_estimate_));
+  AppendField(&out, "mtime", std::to_string(merged_time_));
+  AppendField(&out, "extracost", extra_cost_.SerializeCounts());
   for (const auto& t : site_trackers_) {
     const auto* m = dynamic_cast<const Mergeable*>(t.get());
     assert(m != nullptr);  // admission requires a Mergeable base
     out += "\n  " + m->SerializeState();
   }
   return out;
+}
+
+bool ShardedTracker::RestoreState(const std::string& state,
+                                  std::string* error) {
+  Drain();
+  // Split the dump into the engine header and one line per site.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= state.size()) {
+    size_t nl = state.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(state.substr(start));
+      break;
+    }
+    lines.push_back(state.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.size() != site_trackers_.size() + 1) {
+    if (error != nullptr) {
+      *error = "sharded state has " + std::to_string(lines.size() - 1) +
+               " per-site lines, this engine has " +
+               std::to_string(site_trackers_.size()) + " sites";
+    }
+    return false;
+  }
+  StateFields fields;
+  if (!ParseTrackerState(lines[0], "sharded(" + base_name_ + ")",
+                         num_sites(), time(), &fields, error)) {
+    return false;
+  }
+  int64_t init = 0;
+  uint64_t t = 0, mtime = 0;
+  double merged = 0;
+  std::string extra_text;
+  if (!fields.GetI64("init", &init) || !fields.GetU64("time", &t) ||
+      !fields.GetU64("mtime", &mtime) ||
+      !fields.GetDoubleBits("merged", &merged) ||
+      !fields.GetString("extracost", &extra_text)) {
+    if (error != nullptr) *error = "corrupt sharded engine state";
+    return false;
+  }
+  if (init != options_.initial_value) {
+    if (error != nullptr) {
+      *error = "state was taken with initial_value=" + std::to_string(init) +
+               ", this engine was constructed with " +
+               std::to_string(options_.initial_value);
+    }
+    return false;
+  }
+  if (!extra_cost_.RestoreCounts(extra_text)) {
+    if (error != nullptr) *error = "corrupt sharded engine state";
+    return false;
+  }
+  for (size_t site = 0; site < site_trackers_.size(); ++site) {
+    const std::string& line = lines[site + 1];
+    if (line.rfind("  ", 0) != 0) {
+      if (error != nullptr) {
+        *error = "corrupt sharded engine state (per-site line " +
+                 std::to_string(site) + " lacks its indent)";
+      }
+      return false;
+    }
+    auto* m = dynamic_cast<Mergeable*>(site_trackers_[site].get());
+    assert(m != nullptr);
+    if (!m->RestoreState(line.substr(2), error)) {
+      if (error != nullptr) {
+        *error = "site " + std::to_string(site) + ": " + *error;
+      }
+      return false;
+    }
+  }
+  merged_estimate_ = merged;
+  merged_time_ = mtime;
+  AdvanceTime(t);
+  DebugCheckConsistency();
+  return true;
 }
 
 }  // namespace varstream

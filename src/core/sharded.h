@@ -102,9 +102,14 @@ class ShardedTracker : public DistributedTracker, public Mergeable {
   const DistributedTracker& site_tracker(uint32_t site) const;
 
   // Mergeable: fold another ShardedTracker (same base algorithm) over a
-  // disjoint site partition into this one's totals.
+  // disjoint site partition into this one's totals. SerializeState dumps
+  // the engine header plus every per-site instance (one indented line
+  // each); RestoreState reloads the same multi-line dump into a fresh
+  // engine with the same base/options — the worker count may differ,
+  // since W only schedules and never shapes results.
   void MergeFrom(const DistributedTracker& other) override;
   std::string SerializeState() const override;
+  bool RestoreState(const std::string& state, std::string* error) override;
 
  protected:
   void DoPush(uint32_t site, int64_t delta) override;

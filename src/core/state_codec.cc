@@ -1,0 +1,266 @@
+#include "core/state_codec.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace varstream {
+
+namespace {
+
+/// Splits `text` on `sep`, keeping empty tokens (so they can be rejected).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  for (;;) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      tokens.push_back(text.substr(start));
+      return tokens;
+    }
+    tokens.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseHexU64(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtoull(text.c_str(), &end, 16);
+  return end == text.c_str() + text.size();
+}
+
+}  // namespace
+
+bool ParseU64Text(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+bool ParseI64Text(const std::string& text, int64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtoll(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+bool ParseDoubleBits(const std::string& text, double* value) {
+  uint64_t bits = 0;
+  if (!ParseHexU64(text, &bits)) return false;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool StateFields::Parse(const std::string& line, std::string* label,
+                        StateFields* out) {
+  std::vector<std::string> segments = Split(line, '|');
+  if (segments.empty() || segments[0].empty() ||
+      segments[0].find('=') != std::string::npos) {
+    return false;
+  }
+  *label = segments[0];
+  out->fields_.clear();
+  for (size_t i = 1; i < segments.size(); ++i) {
+    size_t eq = segments[i].find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    auto [it, inserted] = out->fields_.emplace(segments[i].substr(0, eq),
+                                               segments[i].substr(eq + 1));
+    if (!inserted) return false;
+  }
+  return true;
+}
+
+bool StateFields::Has(const std::string& key) const {
+  return fields_.count(key) != 0;
+}
+
+bool StateFields::GetString(const std::string& key,
+                            std::string* value) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+bool StateFields::GetU64(const std::string& key, uint64_t* value) const {
+  auto it = fields_.find(key);
+  return it != fields_.end() && ParseU64Text(it->second, value);
+}
+
+bool StateFields::GetI64(const std::string& key, int64_t* value) const {
+  auto it = fields_.find(key);
+  return it != fields_.end() && ParseI64Text(it->second, value);
+}
+
+bool StateFields::GetU32(const std::string& key, uint32_t* value) const {
+  uint64_t wide = 0;
+  if (!GetU64(key, &wide) || wide > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool StateFields::GetDoubleBits(const std::string& key,
+                                double* value) const {
+  auto it = fields_.find(key);
+  uint64_t bits = 0;
+  if (it == fields_.end() || !ParseHexU64(it->second, &bits)) return false;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool StateFields::GetI64List(const std::string& key, size_t expected_size,
+                             std::vector<int64_t>* values) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return false;
+  std::vector<std::string> tokens =
+      it->second.empty() ? std::vector<std::string>{} : Split(it->second, ',');
+  if (tokens.size() != expected_size) return false;
+  values->clear();
+  values->reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    int64_t value = 0;
+    if (!ParseI64Text(token, &value)) return false;
+    values->push_back(value);
+  }
+  return true;
+}
+
+bool StateFields::GetDoubleBitsList(const std::string& key,
+                                    size_t expected_size,
+                                    std::vector<double>* values) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return false;
+  std::vector<std::string> tokens =
+      it->second.empty() ? std::vector<std::string>{} : Split(it->second, ',');
+  if (tokens.size() != expected_size) return false;
+  values->clear();
+  values->reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    uint64_t bits = 0;
+    if (!ParseHexU64(token, &bits)) return false;
+    values->push_back(std::bit_cast<double>(bits));
+  }
+  return true;
+}
+
+bool ParseI64Pairs(const std::string& text, size_t expected_size,
+                   std::vector<std::pair<int64_t, int64_t>>* values) {
+  std::vector<std::string> tokens =
+      text.empty() ? std::vector<std::string>{} : Split(text, ',');
+  if (tokens.size() != expected_size) return false;
+  values->clear();
+  values->reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    size_t colon = token.find(':');
+    if (colon == std::string::npos) return false;
+    int64_t first = 0, second = 0;
+    if (!ParseI64Text(token.substr(0, colon), &first) ||
+        !ParseI64Text(token.substr(colon + 1), &second)) {
+      return false;
+    }
+    values->emplace_back(first, second);
+  }
+  return true;
+}
+
+bool StateFields::GetI64PairList(
+    const std::string& key, size_t expected_size,
+    std::vector<std::pair<int64_t, int64_t>>* values) const {
+  auto it = fields_.find(key);
+  return it != fields_.end() &&
+         ParseI64Pairs(it->second, expected_size, values);
+}
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool ParseTrackerState(const std::string& state,
+                       const std::string& expected_label,
+                       uint32_t expected_sites, uint64_t tracker_time,
+                       StateFields* fields, std::string* error) {
+  std::string label;
+  if (!StateFields::Parse(state, &label, fields)) {
+    SetError(error, "malformed state line");
+    return false;
+  }
+  if (label != expected_label) {
+    SetError(error, "state is for tracker '" + label + "', expected '" +
+                        expected_label + "'");
+    return false;
+  }
+  uint32_t sites = 0;
+  if (!fields->GetU32("k", &sites) || sites != expected_sites) {
+    SetError(error, "state site count does not match this tracker (k=" +
+                        std::to_string(expected_sites) + ")");
+    return false;
+  }
+  uint64_t version = 0;
+  if (!fields->GetU64("v", &version) || version != kTrackerStateVersion) {
+    SetError(error,
+             "unsupported state version (want v=" +
+                 std::to_string(kTrackerStateVersion) +
+                 "; a summary-only dump from an older build cannot be "
+                 "restored)");
+    return false;
+  }
+  if (tracker_time != 0) {
+    SetError(error, "RestoreState requires a freshly constructed tracker");
+    return false;
+  }
+  return true;
+}
+
+void AppendField(std::string* out, const std::string& key,
+                 const std::string& value) {
+  *out += '|';
+  *out += key;
+  *out += '=';
+  *out += value;
+}
+
+std::string EncodeDoubleBits(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                std::bit_cast<uint64_t>(value));
+  return buf;
+}
+
+std::string JoinI64(const std::vector<int64_t>& values) {
+  std::string out;
+  for (int64_t value : values) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+std::string JoinDoubleBits(const std::vector<double>& values) {
+  std::string out;
+  for (double value : values) {
+    if (!out.empty()) out += ',';
+    out += EncodeDoubleBits(value);
+  }
+  return out;
+}
+
+std::string JoinI64Pairs(
+    const std::vector<std::pair<int64_t, int64_t>>& values) {
+  std::string out;
+  for (const auto& [first, second] : values) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(first);
+    out += ':';
+    out += std::to_string(second);
+  }
+  return out;
+}
+
+}  // namespace varstream

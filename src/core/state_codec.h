@@ -1,0 +1,92 @@
+// Field codec for the checkpointable-tracker state dumps
+// (core/mergeable.h SerializeState / RestoreState).
+//
+// A state line is '|'-separated: the first segment is the tracker label,
+// every later segment is key=value. Values never contain '|' or newlines;
+// list-valued fields are comma-separated, pair lists use ':' inside each
+// element. Doubles that must survive a round trip bit-exactly are encoded
+// as the hex of their IEEE-754 bit pattern (EncodeDoubleBits).
+//
+//   deterministic|k=8|est=42|time=9000|msgs=51|bits=4488|v=1|clk=9000|...
+//
+// StateFields::Parse splits a line into (label, field map); the typed
+// getters return false on a missing or malformed field so RestoreState
+// implementations can reject corrupt checkpoints loudly instead of
+// resuming from garbage.
+
+#ifndef VARSTREAM_CORE_STATE_CODEC_H_
+#define VARSTREAM_CORE_STATE_CODEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace varstream {
+
+class StateFields {
+ public:
+  /// Splits "label|k1=v1|k2=v2|..." — duplicate keys and empty segments
+  /// are malformed.
+  static bool Parse(const std::string& line, std::string* label,
+                    StateFields* out);
+
+  bool Has(const std::string& key) const;
+
+  bool GetU64(const std::string& key, uint64_t* value) const;
+  bool GetI64(const std::string& key, int64_t* value) const;
+  bool GetU32(const std::string& key, uint32_t* value) const;
+  /// Reads a hex bit-pattern field written by EncodeDoubleBits.
+  bool GetDoubleBits(const std::string& key, double* value) const;
+  bool GetString(const std::string& key, std::string* value) const;
+
+  bool GetI64List(const std::string& key, size_t expected_size,
+                  std::vector<int64_t>* values) const;
+  bool GetDoubleBitsList(const std::string& key, size_t expected_size,
+                         std::vector<double>* values) const;
+  /// "a:b,a:b,..." with both halves int64.
+  bool GetI64PairList(const std::string& key, size_t expected_size,
+                      std::vector<std::pair<int64_t, int64_t>>* values) const;
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+/// Shared RestoreState preamble for the checkpointable trackers: parses
+/// `state` into *fields and verifies the label, the site count (field
+/// "k"), the state-format version (field "v" == kTrackerStateVersion),
+/// and that the restoring tracker is still fresh (tracker_time == 0).
+/// On failure returns false and sets *error (when non-null) to a
+/// diagnostic naming the mismatch.
+inline constexpr uint64_t kTrackerStateVersion = 1;
+bool ParseTrackerState(const std::string& state,
+                       const std::string& expected_label,
+                       uint32_t expected_sites, uint64_t tracker_time,
+                       StateFields* fields, std::string* error);
+
+/// Appends "|key=value".
+void AppendField(std::string* out, const std::string& key,
+                 const std::string& value);
+
+std::string EncodeDoubleBits(double value);
+
+/// Strict whole-string numeric parsers shared by the state and
+/// checkpoint codecs: the entire string must parse; empty is malformed.
+bool ParseU64Text(const std::string& text, uint64_t* value);
+bool ParseI64Text(const std::string& text, int64_t* value);
+/// EncodeDoubleBits's inverse (hex IEEE-754 bit pattern).
+bool ParseDoubleBits(const std::string& text, double* value);
+
+/// JoinI64Pairs's inverse: parses "a:b,a:b,..." into exactly
+/// expected_size pairs (empty text means zero pairs).
+bool ParseI64Pairs(const std::string& text, size_t expected_size,
+                   std::vector<std::pair<int64_t, int64_t>>* values);
+std::string JoinI64(const std::vector<int64_t>& values);
+std::string JoinDoubleBits(const std::vector<double>& values);
+std::string JoinI64Pairs(
+    const std::vector<std::pair<int64_t, int64_t>>& values);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_STATE_CODEC_H_

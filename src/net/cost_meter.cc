@@ -1,6 +1,7 @@
 #include "net/cost_meter.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <numeric>
 
 namespace varstream {
@@ -21,6 +22,8 @@ const char* MessageKindName(MessageKind kind) {
       return "eob";
     case MessageKind::kSync:
       return "sync";
+    case MessageKind::kWire:
+      return "wire";
     case MessageKind::kNumKinds:
       break;
   }
@@ -88,6 +91,41 @@ void CostMeter::Merge(const CostMeter& other) {
     assert(bits_[i] >= other.bits_[i] &&
            "CostMeter merge overflowed a bit counter");
   }
+}
+
+std::string CostMeter::SerializeCounts() const {
+  std::string out;
+  for (size_t i = 0; i < kKinds; ++i) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(messages_[i]);
+    out += ':';
+    out += std::to_string(bits_[i]);
+  }
+  return out;
+}
+
+bool CostMeter::RestoreCounts(const std::string& text) {
+  std::array<uint64_t, kKinds> messages{};
+  std::array<uint64_t, kKinds> bits{};
+  size_t start = 0;
+  for (size_t i = 0; i < kKinds; ++i) {
+    size_t comma = text.find(',', start);
+    bool last = comma == std::string::npos;
+    // Exactly kKinds pairs: neither too few nor trailing segments.
+    if (last != (i + 1 == kKinds)) return false;
+    std::string pair =
+        text.substr(start, last ? std::string::npos : comma - start);
+    char* end = nullptr;
+    messages[i] = std::strtoull(pair.c_str(), &end, 10);
+    if (end == pair.c_str() || *end != ':') return false;
+    const char* bits_text = end + 1;
+    bits[i] = std::strtoull(bits_text, &end, 10);
+    if (end == bits_text || *end != '\0') return false;
+    start = last ? text.size() : comma + 1;
+  }
+  messages_ = messages;
+  bits_ = bits;
+  return true;
 }
 
 std::string CostMeter::Breakdown() const {

@@ -47,6 +47,14 @@ class CostMeter {
   /// One-line breakdown, e.g. "ci=12 poll=4 reply=4 bcast=4 drift=37".
   std::string Breakdown() const;
 
+  /// Complete per-kind dump "msgs:bits,msgs:bits,..." (one pair per
+  /// MessageKind, enum order) and its exact inverse — the checkpoint
+  /// representation (core/mergeable.h RestoreState). RestoreCounts
+  /// replaces the meter's contents; it returns false (meter unchanged) on
+  /// a malformed token or a pair-count mismatch.
+  std::string SerializeCounts() const;
+  bool RestoreCounts(const std::string& text);
+
  private:
   static constexpr size_t kKinds =
       static_cast<size_t>(MessageKind::kNumKinds);

@@ -20,6 +20,8 @@ enum class MessageKind : uint8_t {
   kDrift,               // site -> coordinator: in-block drift message
   kEndOfBlockReport,    // site -> coordinator: heavy counter report (App. H)
   kSync,                // baseline synchronization messages
+  kWire,                // real client<->server frames (src/service/), in
+                        // actual wire bytes rather than model O(log n) bits
   kNumKinds,            // sentinel
 };
 

@@ -36,6 +36,11 @@ class SimNetwork {
   void Tick(uint64_t steps = 1) { now_ += steps; }
   uint64_t now() const { return now_; }
 
+  /// Rewinds/advances the clock to an absolute value — checkpoint restore
+  /// only (core/mergeable.h RestoreState), where the restored tracker must
+  /// resume with the serialized instance's exact clock.
+  void RestoreClock(uint64_t now) { now_ = now; }
+
   /// Site -> coordinator message carrying `words` counter values.
   void SendToCoordinator(uint32_t site, MessageKind kind, uint64_t words = 1);
 

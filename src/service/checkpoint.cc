@@ -1,0 +1,227 @@
+#include "service/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "core/state_codec.h"  // EncodeDoubleBits + strict parsers
+#include "service/protocol.h"  // Crc32
+
+namespace varstream {
+
+namespace {
+
+/// Pulls the next line (without the trailing '\n') out of `text`.
+/// Returns false at end of input.
+bool NextLine(const std::string& text, size_t* pos, std::string* line) {
+  if (*pos >= text.size()) return false;
+  size_t nl = text.find('\n', *pos);
+  if (nl == std::string::npos) {
+    *line = text.substr(*pos);
+    *pos = text.size();
+  } else {
+    *line = text.substr(*pos, nl - *pos);
+    *pos = nl + 1;
+  }
+  return true;
+}
+
+/// "key=value" accessor for the fixed session header lines.
+bool KeyValue(const std::string& line, const std::string& key,
+              std::string* value) {
+  if (line.rfind(key + "=", 0) != 0) return false;
+  *value = line.substr(key.size() + 1);
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = "varstream-ckpt-v1: " + message;
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(
+    const std::vector<SessionCheckpoint>& sessions) {
+  std::string out = std::string(kCheckpointMagic) + "\n";
+  out += "sessions=" + std::to_string(sessions.size()) + "\n";
+  for (const SessionCheckpoint& s : sessions) {
+    out += "[session]\n";
+    out += "name=" + s.name + "\n";
+    out += "tracker=" + s.tracker + "\n";
+    out += "sites=" + std::to_string(s.options.num_sites) + "\n";
+    out += "shards=" + std::to_string(s.shards) + "\n";
+    out += "epsilon=" + EncodeDoubleBits(s.options.epsilon) + "\n";
+    out += "seed=" + std::to_string(s.options.seed) + "\n";
+    out += "period=" + std::to_string(s.options.period) + "\n";
+    out += "initial=" + std::to_string(s.options.initial_value) + "\n";
+    out += "dtf=" + EncodeDoubleBits(s.options.drift_threshold_factor) + "\n";
+    out += "sconst=" + EncodeDoubleBits(s.options.sample_constant) + "\n";
+    uint64_t state_lines = 1;
+    for (char c : s.state) {
+      if (c == '\n') ++state_lines;
+    }
+    out += "state-lines=" + std::to_string(state_lines) + "\n";
+    out += s.state + "\n";
+    out += "[end]\n";
+  }
+  uint32_t crc = Crc32(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(out.data()), out.size()));
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof(crc_line), "crc=%08x\n", crc);
+  out += crc_line;
+  return out;
+}
+
+bool DecodeCheckpoint(const std::string& text,
+                      std::vector<SessionCheckpoint>* sessions,
+                      std::string* error) {
+  // The CRC line covers everything before it; find and verify it first so
+  // every later diagnostic can trust the bytes it quotes.
+  size_t crc_pos = text.rfind("crc=");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return Fail(error, "missing trailing crc line (truncated checkpoint?)");
+  }
+  {
+    std::string crc_text = text.substr(crc_pos + 4);
+    while (!crc_text.empty() && crc_text.back() == '\n') crc_text.pop_back();
+    char* end = nullptr;
+    uint64_t stored = std::strtoull(crc_text.c_str(), &end, 16);
+    if (crc_text.size() != 8 || end != crc_text.c_str() + crc_text.size()) {
+      return Fail(error, "malformed crc line");
+    }
+    uint32_t computed = Crc32(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(text.data()), crc_pos));
+    if (stored != computed) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "crc mismatch (file %08" PRIx64 ", computed %08x) — "
+                    "checkpoint is corrupt",
+                    stored, computed);
+      return Fail(error, buf);
+    }
+  }
+
+  size_t pos = 0;
+  std::string line;
+  if (!NextLine(text, &pos, &line) || line != kCheckpointMagic) {
+    return Fail(error, "bad magic line (not a varstream checkpoint)");
+  }
+  std::string value;
+  uint64_t count = 0;
+  if (!NextLine(text, &pos, &line) || !KeyValue(line, "sessions", &value) ||
+      !ParseU64Text(value, &count)) {
+    return Fail(error, "missing or malformed sessions count");
+  }
+  sessions->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!NextLine(text, &pos, &line) || line != "[session]") {
+      return Fail(error, "expected [session] for entry " + std::to_string(i));
+    }
+    SessionCheckpoint s;
+    uint64_t sites = 0, shards = 0, seed = 0, period = 0, state_lines = 0;
+    int64_t initial = 0;
+    // Read the fixed header lines in order; any deviation is corruption.
+    auto read_kv = [&](const char* key, std::string* dest) {
+      return NextLine(text, &pos, &line) && KeyValue(line, key, dest);
+    };
+    if (!read_kv("name", &s.name) || !read_kv("tracker", &s.tracker)) {
+      return Fail(error, "malformed session header in entry " +
+                             std::to_string(i));
+    }
+    auto read_u64 = [&](const char* key, uint64_t* dest) {
+      return read_kv(key, &value) && ParseU64Text(value, dest);
+    };
+    auto read_bits = [&](const char* key, double* dest) {
+      return read_kv(key, &value) && ParseDoubleBits(value, dest);
+    };
+    if (!read_u64("sites", &sites) || sites == 0 || sites > UINT32_MAX ||
+        !read_u64("shards", &shards) || shards > sites ||
+        !read_bits("epsilon", &s.options.epsilon) ||
+        !read_u64("seed", &seed) ||
+        !read_u64("period", &period) || period == 0 ||
+        !read_kv("initial", &value) || !ParseI64Text(value, &initial) ||
+        !read_bits("dtf", &s.options.drift_threshold_factor) ||
+        !read_bits("sconst", &s.options.sample_constant) ||
+        !read_u64("state-lines", &state_lines) || state_lines == 0) {
+      return Fail(error, "malformed session header in entry " +
+                             std::to_string(i) + " ('" + s.name + "')");
+    }
+    s.options.num_sites = static_cast<uint32_t>(sites);
+    s.shards = static_cast<uint32_t>(shards);
+    s.options.seed = seed;
+    s.options.period = period;
+    s.options.initial_value = initial;
+    for (uint64_t l = 0; l < state_lines; ++l) {
+      if (!NextLine(text, &pos, &line)) {
+        return Fail(error, "truncated state dump in session '" + s.name +
+                               "'");
+      }
+      if (l > 0) s.state += '\n';
+      s.state += line;
+    }
+    if (!NextLine(text, &pos, &line) || line != "[end]") {
+      return Fail(error, "missing [end] after session '" + s.name + "'");
+    }
+    sessions->push_back(std::move(s));
+  }
+  if (pos != crc_pos) {
+    return Fail(error, "trailing garbage between sessions and crc line");
+  }
+  return true;
+}
+
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<SessionCheckpoint>& sessions,
+                         std::string* error) {
+  std::string text = EncodeCheckpoint(sessions);
+  std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+    return false;
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    if (error != nullptr) *error = "short write to " + tmp;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadCheckpointFile(const std::string& path,
+                        std::vector<SessionCheckpoint>* sessions,
+                        std::string* error) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open checkpoint file " + path;
+    }
+    return false;
+  }
+  std::string text;
+  char buf[65536];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    if (error != nullptr) *error = "I/O error reading " + path;
+    return false;
+  }
+  return DecodeCheckpoint(text, sessions, error);
+}
+
+}  // namespace varstream

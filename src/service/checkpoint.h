@@ -1,0 +1,82 @@
+// varstream-ckpt-v1: the on-disk checkpoint format of VarstreamServer.
+//
+// A checkpoint captures every session a server hosts — the configuration
+// needed to reconstruct each tracker (registry name, TrackerOptions,
+// shard count) plus the tracker's complete SerializeState dump — so a
+// killed server restarted with --restore resumes with byte-identical
+// estimates (core/mergeable.h RestoreState).
+//
+// The format is line-oriented text (schema documented in README.md):
+//
+//   varstream-ckpt-v1
+//   sessions=<N>
+//   [session]
+//   name=<session name>
+//   tracker=<registry name>
+//   sites=<k>
+//   shards=<W>                        (0 = serial engine)
+//   epsilon=<hex IEEE-754 bits>
+//   seed=<u64>
+//   period=<u64>
+//   initial=<i64>
+//   dtf=<hex bits>                    (drift_threshold_factor)
+//   sconst=<hex bits>                 (sample_constant)
+//   state-lines=<M>
+//   <M raw lines of Mergeable::SerializeState>
+//   [end]
+//   ... repeated per session ...
+//   crc=<8 hex digits>                (CRC-32 of every preceding byte)
+//
+// Loading is strict: a missing magic line, a session count mismatch, an
+// unknown tracker, a CRC mismatch, or a state dump RestoreState rejects
+// all fail loudly with a diagnostic — a checkpoint that cannot be
+// trusted end-to-end is worse than none.
+
+#ifndef VARSTREAM_SERVICE_CHECKPOINT_H_
+#define VARSTREAM_SERVICE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+
+namespace varstream {
+
+inline constexpr char kCheckpointMagic[] = "varstream-ckpt-v1";
+
+/// One session's checkpoint entry: its reconstruction config and the
+/// serialized tracker state.
+struct SessionCheckpoint {
+  std::string name;
+  std::string tracker;
+  uint32_t shards = 0;  // 0 = serial engine
+  TrackerOptions options;
+  std::string state;  // Mergeable::SerializeState dump (may be multi-line)
+};
+
+/// Serializes the entries into the varstream-ckpt-v1 text (including the
+/// trailing CRC line).
+std::string EncodeCheckpoint(const std::vector<SessionCheckpoint>& sessions);
+
+/// Parses checkpoint text. Returns false and sets *error on any
+/// malformation (including a CRC mismatch).
+bool DecodeCheckpoint(const std::string& text,
+                      std::vector<SessionCheckpoint>* sessions,
+                      std::string* error);
+
+/// Atomically writes the checkpoint (temp file + rename, so a kill
+/// mid-write never leaves a torn checkpoint at `path`). Returns false
+/// and sets *error on I/O failure.
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<SessionCheckpoint>& sessions,
+                         std::string* error);
+
+/// Reads and parses a checkpoint file.
+bool ReadCheckpointFile(const std::string& path,
+                        std::vector<SessionCheckpoint>* sessions,
+                        std::string* error);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SERVICE_CHECKPOINT_H_

@@ -1,0 +1,211 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace varstream {
+
+namespace {
+
+/// SendAllBytes (service/protocol.h) with the client's error reporting.
+bool SendAll(int fd, const uint8_t* data, size_t size, std::string* error) {
+  if (SendAllBytes(fd, data, size)) return true;
+  if (error != nullptr) {
+    *error = "send(): " + std::string(strerror(errno));
+  }
+  return false;
+}
+
+}  // namespace
+
+VarstreamClient::~VarstreamClient() { Close(); }
+
+void VarstreamClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+bool VarstreamClient::Connect(const std::string& host, uint16_t port,
+                              std::string* error) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "cannot parse host '" + host +
+               "' (the client speaks IPv4 dotted-quad or 'localhost')";
+    }
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect(" + resolved + ":" + std::to_string(port) +
+               "): " + strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool VarstreamClient::RawSend(std::span<const uint8_t> bytes,
+                              std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  return SendAll(fd_, bytes.data(), bytes.size(), error);
+}
+
+bool VarstreamClient::RawReadFrame(Frame* frame, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  for (;;) {
+    size_t consumed = 0;
+    std::string decode_error;
+    DecodeStatus status =
+        DecodeFrame(read_buffer_, frame, &consumed, &decode_error);
+    if (status == DecodeStatus::kOk) {
+      read_buffer_.erase(read_buffer_.begin(),
+                         read_buffer_.begin() + consumed);
+      return true;
+    }
+    if (status == DecodeStatus::kMalformed) {
+      if (error != nullptr) {
+        *error = "malformed frame from server: " + decode_error;
+      }
+      return false;
+    }
+    uint8_t chunk[65536];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      if (error != nullptr) *error = "server closed the connection";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "recv(): " + std::string(strerror(errno));
+      }
+      return false;
+    }
+    read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
+  }
+}
+
+bool VarstreamClient::Request(FrameType type,
+                              std::span<const uint8_t> payload,
+                              FrameType expected, Frame* reply,
+                              std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  std::vector<uint8_t> wire;
+  wire.reserve(kFrameOverhead + payload.size());
+  AppendFrame(&wire, type, payload);
+  if (!SendAll(fd_, wire.data(), wire.size(), error)) return false;
+  if (!RawReadFrame(reply, error)) return false;
+  if (reply->type == FrameType::kError) {
+    ErrorFrame server_error;
+    if (error != nullptr) {
+      *error = DecodeError(reply->payload, &server_error)
+                   ? "server: " + server_error.message
+                   : "server sent an undecodable error frame";
+    }
+    return false;
+  }
+  if (reply->type != expected) {
+    if (error != nullptr) {
+      *error = std::string("expected ") + FrameTypeName(expected) +
+               " reply, got " + FrameTypeName(reply->type);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool VarstreamClient::Hello(const HelloFrame& hello, HelloAckFrame* ack,
+                            std::string* error) {
+  Frame reply;
+  if (!Request(FrameType::kHello, EncodeHello(hello), FrameType::kHelloAck,
+               &reply, error)) {
+    return false;
+  }
+  if (!DecodeHelloAck(reply.payload, ack)) {
+    if (error != nullptr) *error = "malformed hello-ack from server";
+    return false;
+  }
+  return true;
+}
+
+bool VarstreamClient::Push(std::span<const CountUpdate> updates,
+                           PushAckFrame* ack, std::string* error) {
+  Frame reply;
+  if (!Request(FrameType::kPushBatch, EncodePushBatch(updates),
+               FrameType::kPushAck, &reply, error)) {
+    return false;
+  }
+  if (!DecodePushAck(reply.payload, ack)) {
+    if (error != nullptr) *error = "malformed push-ack from server";
+    return false;
+  }
+  return true;
+}
+
+bool VarstreamClient::Query(SnapshotFrame* snapshot, std::string* error) {
+  Frame reply;
+  if (!Request(FrameType::kQuery, {}, FrameType::kSnapshot, &reply,
+               error)) {
+    return false;
+  }
+  if (!DecodeSnapshot(reply.payload, snapshot)) {
+    if (error != nullptr) *error = "malformed snapshot from server";
+    return false;
+  }
+  return true;
+}
+
+bool VarstreamClient::Checkpoint(std::string* checkpoint_path,
+                                 std::string* error) {
+  Frame reply;
+  if (!Request(FrameType::kCheckpoint, {}, FrameType::kCheckpointAck,
+               &reply, error)) {
+    return false;
+  }
+  CheckpointAckFrame ack;
+  if (!DecodeCheckpointAck(reply.payload, &ack)) {
+    if (error != nullptr) *error = "malformed checkpoint-ack from server";
+    return false;
+  }
+  if (checkpoint_path != nullptr) *checkpoint_path = ack.path;
+  return true;
+}
+
+bool VarstreamClient::Shutdown(std::string* error) {
+  Frame reply;
+  return Request(FrameType::kShutdown, {}, FrameType::kShutdownAck, &reply,
+                 error);
+}
+
+}  // namespace varstream

@@ -1,0 +1,75 @@
+// VarstreamClient: the client half of the service/protocol.h wire
+// protocol. Connects to a VarstreamServer over loopback TCP, attaches to
+// (or creates) a named tracker session, and exposes the request/reply
+// pairs as blocking calls:
+//
+//   VarstreamClient client;
+//   std::string error;
+//   if (!client.Connect("127.0.0.1", port, &error)) ...
+//   HelloFrame hello;            // session name, tracker, options, shards
+//   HelloAckFrame ack;
+//   if (!client.Hello(hello, &ack, &error)) ...
+//   client.Push(batch, &push_ack, &error);     // span<const CountUpdate>
+//   client.Query(&snapshot, &error);           // live, ingest keeps going
+//   client.Checkpoint(&path, &error);          // server writes ckpt file
+//   client.Shutdown(&error);                   // stops the server
+//
+// Every call returns false with *error set when the server answered with
+// an Error frame (the server's diagnostic is passed through verbatim) or
+// the connection failed. The Raw* escape hatches exist for the protocol
+// robustness tests, which need to send deliberately broken bytes.
+
+#ifndef VARSTREAM_SERVICE_CLIENT_H_
+#define VARSTREAM_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "stream/update.h"
+
+namespace varstream {
+
+class VarstreamClient {
+ public:
+  VarstreamClient() = default;
+  ~VarstreamClient();
+
+  VarstreamClient(const VarstreamClient&) = delete;
+  VarstreamClient& operator=(const VarstreamClient&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad; "localhost" is accepted
+  /// and means 127.0.0.1).
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  bool Hello(const HelloFrame& hello, HelloAckFrame* ack,
+             std::string* error);
+  bool Push(std::span<const CountUpdate> updates, PushAckFrame* ack,
+            std::string* error);
+  bool Query(SnapshotFrame* snapshot, std::string* error);
+  bool Checkpoint(std::string* checkpoint_path, std::string* error);
+  bool Shutdown(std::string* error);
+
+  /// Robustness-test escape hatches: ship arbitrary bytes / read one
+  /// frame without the request/reply pairing.
+  bool RawSend(std::span<const uint8_t> bytes, std::string* error);
+  bool RawReadFrame(Frame* frame, std::string* error);
+
+ private:
+  /// Sends `payload` framed as `type`, reads exactly one reply frame,
+  /// and requires it to be `expected`. An Error reply surfaces the
+  /// server's message in *error.
+  bool Request(FrameType type, std::span<const uint8_t> payload,
+               FrameType expected, Frame* reply, std::string* error);
+
+  int fd_ = -1;
+  std::vector<uint8_t> read_buffer_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SERVICE_CLIENT_H_

@@ -1,0 +1,365 @@
+#include "service/protocol.h"
+
+#include <sys/socket.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace varstream {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  out->push_back(static_cast<uint8_t>(value));
+  out->push_back(static_cast<uint8_t>(value >> 8));
+  out->push_back(static_cast<uint8_t>(value >> 16));
+  out->push_back(static_cast<uint8_t>(value >> 24));
+}
+
+uint32_t ReadU32At(std::span<const uint8_t> data, size_t pos) {
+  return static_cast<uint32_t>(data[pos]) |
+         static_cast<uint32_t>(data[pos + 1]) << 8 |
+         static_cast<uint32_t>(data[pos + 2]) << 16 |
+         static_cast<uint32_t>(data[pos + 3]) << 24;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kHelloAck:
+      return "hello-ack";
+    case FrameType::kPushBatch:
+      return "push-batch";
+    case FrameType::kPushAck:
+      return "push-ack";
+    case FrameType::kQuery:
+      return "query";
+    case FrameType::kSnapshot:
+      return "snapshot";
+    case FrameType::kCheckpoint:
+      return "checkpoint";
+    case FrameType::kCheckpointAck:
+      return "checkpoint-ack";
+    case FrameType::kShutdown:
+      return "shutdown";
+    case FrameType::kShutdownAck:
+      return "shutdown-ack";
+    case FrameType::kError:
+      return "error";
+  }
+  return "?";
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  const auto& table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool SendAllBytes(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 std::span<const uint8_t> payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  size_t crc_start = out->size();
+  out->push_back(static_cast<uint8_t>(type));
+  out->insert(out->end(), payload.begin(), payload.end());
+  uint32_t crc = Crc32(std::span<const uint8_t>(out->data() + crc_start,
+                                                payload.size() + 1));
+  PutU32(out, crc);
+}
+
+DecodeStatus DecodeFrame(std::span<const uint8_t> in, Frame* frame,
+                         size_t* consumed, std::string* error) {
+  if (in.size() < 4) return DecodeStatus::kNeedMore;
+  uint32_t length = ReadU32At(in, 0);
+  if (length > kMaxFramePayload) {
+    if (error != nullptr) {
+      *error = "oversized frame: payload of " + std::to_string(length) +
+               " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+               "-byte limit";
+    }
+    return DecodeStatus::kMalformed;
+  }
+  size_t total = kFrameOverhead + length;
+  if (in.size() < total) return DecodeStatus::kNeedMore;
+  uint8_t type_byte = in[4];
+  if (type_byte < static_cast<uint8_t>(FrameType::kHello) ||
+      type_byte > static_cast<uint8_t>(FrameType::kMaxFrameType)) {
+    if (error != nullptr) {
+      *error = "unknown frame type " + std::to_string(type_byte);
+    }
+    return DecodeStatus::kMalformed;
+  }
+  uint32_t expected_crc = ReadU32At(in, 5 + length);
+  uint32_t actual_crc = Crc32(in.subspan(4, length + 1));
+  if (expected_crc != actual_crc) {
+    if (error != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "CRC mismatch on %s frame (got %08x, computed %08x)",
+                    FrameTypeName(static_cast<FrameType>(type_byte)),
+                    expected_crc, actual_crc);
+      *error = buf;
+    }
+    return DecodeStatus::kMalformed;
+  }
+  frame->type = static_cast<FrameType>(type_byte);
+  frame->payload.assign(in.begin() + 5, in.begin() + 5 + length);
+  *consumed = total;
+  return DecodeStatus::kOk;
+}
+
+// --- WireWriter / WireReader. ---
+
+void WireWriter::U8(uint8_t value) { out_->push_back(value); }
+
+void WireWriter::U32(uint32_t value) { PutU32(out_, value); }
+
+void WireWriter::U64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_->push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void WireWriter::I64(int64_t value) { U64(static_cast<uint64_t>(value)); }
+
+void WireWriter::F64(double value) { U64(std::bit_cast<uint64_t>(value)); }
+
+void WireWriter::String(const std::string& value) {
+  U32(static_cast<uint32_t>(value.size()));
+  out_->insert(out_->end(), value.begin(), value.end());
+}
+
+bool WireReader::U8(uint8_t* value) {
+  if (pos_ + 1 > data_.size()) return false;
+  *value = data_[pos_++];
+  return true;
+}
+
+bool WireReader::U32(uint32_t* value) {
+  if (pos_ + 4 > data_.size()) return false;
+  *value = ReadU32At(data_, pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool WireReader::U64(uint64_t* value) {
+  if (pos_ + 8 > data_.size()) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *value = v;
+  return true;
+}
+
+bool WireReader::I64(int64_t* value) {
+  uint64_t v = 0;
+  if (!U64(&v)) return false;
+  *value = static_cast<int64_t>(v);
+  return true;
+}
+
+bool WireReader::F64(double* value) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) return false;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool WireReader::String(std::string* value) {
+  uint32_t length = 0;
+  if (!U32(&length)) return false;
+  if (pos_ + length > data_.size()) return false;
+  value->assign(reinterpret_cast<const char*>(data_.data()) + pos_, length);
+  pos_ += length;
+  return true;
+}
+
+// --- Frame payload codecs. ---
+
+std::vector<uint8_t> EncodeHello(const HelloFrame& hello) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U32(hello.magic);
+  w.U32(hello.version);
+  w.String(hello.session);
+  w.String(hello.tracker);
+  w.U32(hello.shards);
+  w.U32(hello.options.num_sites);
+  w.F64(hello.options.epsilon);
+  w.U64(hello.options.seed);
+  w.I64(hello.options.initial_value);
+  w.F64(hello.options.drift_threshold_factor);
+  w.F64(hello.options.sample_constant);
+  w.U64(hello.options.period);
+  return payload;
+}
+
+bool DecodeHello(std::span<const uint8_t> payload, HelloFrame* hello) {
+  WireReader r(payload);
+  return r.U32(&hello->magic) && r.U32(&hello->version) &&
+         r.String(&hello->session) && r.String(&hello->tracker) &&
+         r.U32(&hello->shards) && r.U32(&hello->options.num_sites) &&
+         r.F64(&hello->options.epsilon) && r.U64(&hello->options.seed) &&
+         r.I64(&hello->options.initial_value) &&
+         r.F64(&hello->options.drift_threshold_factor) &&
+         r.F64(&hello->options.sample_constant) &&
+         r.U64(&hello->options.period) && r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAckFrame& ack) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U32(ack.version);
+  w.U8(ack.created ? 1 : 0);
+  w.U64(ack.session_time);
+  return payload;
+}
+
+bool DecodeHelloAck(std::span<const uint8_t> payload, HelloAckFrame* ack) {
+  WireReader r(payload);
+  uint8_t created = 0;
+  if (!r.U32(&ack->version) || !r.U8(&created) ||
+      !r.U64(&ack->session_time) || !r.AtEnd() || created > 1) {
+    return false;
+  }
+  ack->created = created == 1;
+  return true;
+}
+
+std::vector<uint8_t> EncodePushBatch(std::span<const CountUpdate> updates) {
+  std::vector<uint8_t> payload;
+  payload.reserve(4 + updates.size() * 12);
+  WireWriter w(&payload);
+  w.U32(static_cast<uint32_t>(updates.size()));
+  for (const CountUpdate& u : updates) {
+    w.U32(u.site);
+    w.I64(u.delta);
+  }
+  return payload;
+}
+
+bool DecodePushBatch(std::span<const uint8_t> payload,
+                     PushBatchFrame* batch) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return false;
+  // Each update is 12 bytes; reject a count the payload cannot hold
+  // before allocating.
+  if (payload.size() != 4 + static_cast<size_t>(count) * 12) return false;
+  batch->updates.clear();
+  batch->updates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CountUpdate u;
+    if (!r.U32(&u.site) || !r.I64(&u.delta)) return false;
+    batch->updates.push_back(u);
+  }
+  return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodePushAck(const PushAckFrame& ack) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U64(ack.session_time);
+  w.U8(ack.checkpointed ? 1 : 0);
+  return payload;
+}
+
+bool DecodePushAck(std::span<const uint8_t> payload, PushAckFrame* ack) {
+  WireReader r(payload);
+  uint8_t checkpointed = 0;
+  if (!r.U64(&ack->session_time) || !r.U8(&checkpointed) || !r.AtEnd() ||
+      checkpointed > 1) {
+    return false;
+  }
+  ack->checkpointed = checkpointed == 1;
+  return true;
+}
+
+std::vector<uint8_t> EncodeSnapshot(const SnapshotFrame& snapshot) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.F64(snapshot.estimate);
+  w.U64(snapshot.time);
+  w.U64(snapshot.messages);
+  w.U64(snapshot.bits);
+  w.U64(snapshot.wire_messages);
+  w.U64(snapshot.wire_bits);
+  return payload;
+}
+
+bool DecodeSnapshot(std::span<const uint8_t> payload,
+                    SnapshotFrame* snapshot) {
+  WireReader r(payload);
+  return r.F64(&snapshot->estimate) && r.U64(&snapshot->time) &&
+         r.U64(&snapshot->messages) && r.U64(&snapshot->bits) &&
+         r.U64(&snapshot->wire_messages) && r.U64(&snapshot->wire_bits) &&
+         r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeCheckpointAck(const CheckpointAckFrame& ack) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.String(ack.path);
+  return payload;
+}
+
+bool DecodeCheckpointAck(std::span<const uint8_t> payload,
+                         CheckpointAckFrame* ack) {
+  WireReader r(payload);
+  return r.String(&ack->path) && r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeError(const std::string& message) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.String(message);
+  return payload;
+}
+
+bool DecodeError(std::span<const uint8_t> payload, ErrorFrame* error) {
+  WireReader r(payload);
+  return r.String(&error->message) && r.AtEnd();
+}
+
+}  // namespace varstream

@@ -1,0 +1,218 @@
+// The varstream wire protocol: length-prefixed, CRC-protected binary
+// frames between a VarstreamClient and a VarstreamServer (src/service/).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset 0  u32  payload length L (bytes; <= kMaxFramePayload)
+//   offset 4  u8   frame type (FrameType)
+//   offset 5  u8[L] payload
+//   offset 5+L u32 CRC-32 over bytes [4, 5+L) — type byte + payload
+//
+// The protocol is versioned through the Hello frame: the first frame on
+// every connection must be a Hello carrying kProtocolMagic and
+// kProtocolVersion; the server answers HelloAck (or Error and closes).
+// Integers inside payloads are fixed-width little-endian; strings are
+// u32 length + raw bytes; doubles travel as their IEEE-754 bit pattern
+// in a u64 so estimates survive the wire bit-exactly (the loadgen parity
+// check depends on this).
+//
+// Malformed input is never "repaired": a frame with a bad length, bad
+// CRC, unknown type, or a payload that decodes short/long produces
+// DecodeStatus::kMalformed with a diagnostic, and the server answers
+// with an Error frame and closes the connection. A truncated prefix is
+// kNeedMore — the caller reads more bytes and retries. Because a frame
+// is applied only after it fully decodes, a connection that dies
+// mid-frame leaves the session's tracker untouched.
+
+#ifndef VARSTREAM_SERVICE_PROTOCOL_H_
+#define VARSTREAM_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "stream/update.h"
+
+namespace varstream {
+
+inline constexpr uint32_t kProtocolMagic = 0x56535257;  // "VSRW"
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard cap on payload size: large enough for ~256k updates per
+/// PushBatch, small enough that a corrupt length prefix cannot make the
+/// server allocate gigabytes.
+inline constexpr uint32_t kMaxFramePayload = 4u << 20;
+
+/// Bytes of framing around a payload: length prefix + type + CRC.
+inline constexpr size_t kFrameOverhead = 9;
+
+enum class FrameType : uint8_t {
+  kHello = 1,       // client -> server: version + session configuration
+  kHelloAck,        // server -> client: accepted, session attached
+  kPushBatch,       // client -> server: a batch of CountUpdates
+  kPushAck,         // server -> client: batch applied, session clock
+  kQuery,           // client -> server: read one consistent snapshot
+  kSnapshot,        // server -> client: estimate/time/messages/bits (+wire)
+  kCheckpoint,      // client -> server: write a checkpoint now
+  kCheckpointAck,   // server -> client: checkpoint path
+  kShutdown,        // client -> server: stop the server process
+  kShutdownAck,     // server -> client: acknowledged, about to stop
+  kError,           // server -> client: diagnostic; connection closes
+  kMaxFrameType = kError,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// One decoded frame: the type plus its raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// CRC-32 (IEEE, reflected, poly 0xEDB88320) over `data`.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+/// Appends one complete frame (header + payload + CRC) to `out`.
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 std::span<const uint8_t> payload);
+
+/// send()s the whole buffer on a connected socket, resuming on EINTR and
+/// short writes, with MSG_NOSIGNAL so a vanished peer surfaces as a
+/// false return (errno preserved) instead of a SIGPIPE. The one wire
+/// write primitive shared by server and client.
+bool SendAllBytes(int fd, const uint8_t* data, size_t size);
+
+enum class DecodeStatus {
+  kOk,        // *frame holds a complete, CRC-checked frame
+  kNeedMore,  // `in` is a valid but incomplete prefix; read more bytes
+  kMalformed, // unrecoverable: close the connection (see *error)
+};
+
+/// Decodes the first frame of `in`. On kOk sets *consumed to the bytes
+/// of the whole frame (strip them before the next call). On kMalformed
+/// sets *error to a diagnostic naming what was wrong (oversized length,
+/// CRC mismatch, unknown type).
+DecodeStatus DecodeFrame(std::span<const uint8_t> in, Frame* frame,
+                         size_t* consumed, std::string* error);
+
+// --- Payload primitives. ---
+
+/// Appends little-endian integers / bit-cast doubles / length-prefixed
+/// strings to a payload buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t value);
+  void U32(uint32_t value);
+  void U64(uint64_t value);
+  void I64(int64_t value);
+  void F64(double value);  // IEEE bit pattern as U64
+  void String(const std::string& value);
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Reads a payload back. Every getter returns false once the payload is
+/// exhausted or a string length overruns — decoders treat any false as a
+/// malformed frame. AtEnd() must be true when a decoder finishes:
+/// trailing bytes are malformed too.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool U8(uint8_t* value);
+  bool U32(uint32_t* value);
+  bool U64(uint64_t* value);
+  bool I64(int64_t* value);
+  bool F64(double* value);
+  bool String(std::string* value);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// --- Frame payloads. ---
+
+/// Hello: everything the server needs to create (or attach to) a named
+/// tracker session. `shards` = 0 runs the serial engine; >= 1 the
+/// sharded engine with that worker count.
+struct HelloFrame {
+  uint32_t magic = kProtocolMagic;
+  uint32_t version = kProtocolVersion;
+  std::string session = "default";
+  std::string tracker = "deterministic";
+  uint32_t shards = 0;
+  TrackerOptions options;
+};
+
+struct HelloAckFrame {
+  uint32_t version = kProtocolVersion;
+  bool created = false;  // false: attached to an existing session
+  uint64_t session_time = 0;
+};
+
+struct PushBatchFrame {
+  std::vector<CountUpdate> updates;
+};
+
+struct PushAckFrame {
+  uint64_t session_time = 0;  // tracker->time() after applying the batch
+  bool checkpointed = false;  // an automatic --checkpoint-every fired
+};
+
+/// The tracker's Snapshot() plus the session's real wire-byte accounting
+/// (MessageKind::kWire); the wire fields are reporting-only and excluded
+/// from the loadgen parity check, which compares the first four fields
+/// bit-for-bit against an in-process run.
+struct SnapshotFrame {
+  double estimate = 0.0;
+  uint64_t time = 0;
+  uint64_t messages = 0;
+  uint64_t bits = 0;
+  uint64_t wire_messages = 0;
+  uint64_t wire_bits = 0;
+};
+
+struct CheckpointAckFrame {
+  std::string path;
+};
+
+struct ErrorFrame {
+  std::string message;
+};
+
+// Encoders produce the payload only (frame it with AppendFrame);
+// decoders return false on any short/long/invalid payload.
+std::vector<uint8_t> EncodeHello(const HelloFrame& hello);
+bool DecodeHello(std::span<const uint8_t> payload, HelloFrame* hello);
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAckFrame& ack);
+bool DecodeHelloAck(std::span<const uint8_t> payload, HelloAckFrame* ack);
+
+std::vector<uint8_t> EncodePushBatch(std::span<const CountUpdate> updates);
+bool DecodePushBatch(std::span<const uint8_t> payload, PushBatchFrame* batch);
+
+std::vector<uint8_t> EncodePushAck(const PushAckFrame& ack);
+bool DecodePushAck(std::span<const uint8_t> payload, PushAckFrame* ack);
+
+std::vector<uint8_t> EncodeSnapshot(const SnapshotFrame& snapshot);
+bool DecodeSnapshot(std::span<const uint8_t> payload,
+                    SnapshotFrame* snapshot);
+
+std::vector<uint8_t> EncodeCheckpointAck(const CheckpointAckFrame& ack);
+bool DecodeCheckpointAck(std::span<const uint8_t> payload,
+                         CheckpointAckFrame* ack);
+
+std::vector<uint8_t> EncodeError(const std::string& message);
+bool DecodeError(std::span<const uint8_t> payload, ErrorFrame* error);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SERVICE_PROTOCOL_H_

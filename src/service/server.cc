@@ -1,0 +1,592 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/mergeable.h"
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "stream/source.h"  // JoinNames
+
+namespace varstream {
+
+namespace {
+
+/// Hello frames are untrusted input, so session sizing is capped before
+/// it drives any allocation: the site id also travels in 16 bits of the
+/// simulated message header (net/message.h), making 2^16 the natural
+/// ceiling of the monitoring model.
+constexpr uint32_t kMaxSessionSites = 1u << 16;
+
+/// Session names are embedded verbatim in the line-oriented
+/// varstream-ckpt-v1 file, so a newline (or other control bytes) in a
+/// name would write a checkpoint that can never be restored. Only a
+/// conservative filename-ish charset is admitted.
+constexpr size_t kMaxSessionNameLength = 128;
+
+bool SessionNameIsSafe(const std::string& name) {
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool OptionsMatch(const TrackerOptions& a, const TrackerOptions& b) {
+  return a.num_sites == b.num_sites && a.epsilon == b.epsilon &&
+         a.seed == b.seed && a.initial_value == b.initial_value &&
+         a.drift_threshold_factor == b.drift_threshold_factor &&
+         a.sample_constant == b.sample_constant && a.period == b.period;
+}
+
+}  // namespace
+
+VarstreamServer::VarstreamServer(ServerOptions options)
+    : options_(std::move(options)) {}
+
+VarstreamServer::~VarstreamServer() { Stop(); }
+
+std::unique_ptr<DistributedTracker> VarstreamServer::BuildTracker(
+    const std::string& tracker_name, const TrackerOptions& options,
+    uint32_t shards, std::string* error) {
+  if (shards >= 1) {
+    return ShardedTracker::Create(tracker_name, options, shards, error);
+  }
+  auto tracker = TrackerRegistry::Instance().Create(tracker_name, options);
+  if (tracker == nullptr && error != nullptr) {
+    *error = "unknown tracker '" + tracker_name + "'; valid trackers: " +
+             JoinNames(TrackerRegistry::Instance().Names());
+  }
+  return tracker;
+}
+
+bool VarstreamServer::Start(std::string* error) {
+  if (!options_.restore_path.empty()) {
+    std::vector<SessionCheckpoint> entries;
+    if (!ReadCheckpointFile(options_.restore_path, &entries, error)) {
+      return false;
+    }
+    for (SessionCheckpoint& entry : entries) {
+      std::string build_error;
+      auto tracker = BuildTracker(entry.tracker, entry.options, entry.shards,
+                                  &build_error);
+      if (tracker == nullptr) {
+        if (error != nullptr) {
+          *error = "restore: session '" + entry.name + "': " + build_error;
+        }
+        return false;
+      }
+      auto* mergeable = dynamic_cast<Mergeable*>(tracker.get());
+      std::string restore_error;
+      if (mergeable == nullptr ||
+          !mergeable->RestoreState(entry.state, &restore_error)) {
+        if (error != nullptr) {
+          *error = "restore: session '" + entry.name + "': " +
+                   (mergeable == nullptr ? "tracker is not checkpointable"
+                                         : restore_error);
+        }
+        return false;
+      }
+      auto session = std::make_unique<Session>();
+      session->name = entry.name;
+      session->tracker_name = entry.tracker;
+      session->shards = entry.shards;
+      session->options = entry.options;
+      session->tracker = std::move(tracker);
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.emplace(entry.name, std::move(session));
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind(127.0.0.1:" + std::to_string(options_.port) +
+               "): " + strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) *error = "listen(): " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
+  return true;
+}
+
+void VarstreamServer::Stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Wake every connection thread blocked in recv(). The fds stay open
+  // (handlers never close them), so there is no recycled-fd hazard here.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& conn : connections_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (const auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  if (was_running) {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+  }
+}
+
+void VarstreamServer::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void VarstreamServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(connections_[i]));
+        connections_.erase(connections_.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    conn->thread.join();  // the handler already returned; joins instantly
+    ::close(conn->fd);
+  }
+}
+
+void VarstreamServer::AcceptLoop(int listen_fd) {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      // Transient conditions must not kill the only accept loop a
+      // long-running server has: a peer that reset while still in the
+      // backlog (ECONNABORTED/EPROTO) or fd exhaustion (EMFILE/ENFILE,
+      // which subsides when connections close) just mean "try again".
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      std::fprintf(stderr, "varstream_serve: accept(): %s%s\n",
+                   strerror(errno),
+                   (errno == EMFILE || errno == ENFILE)
+                       ? " (fd limit; retrying)"
+                       : " (retrying)");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    ReapFinishedConnections();
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    connections_.back()->thread =
+        std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+bool VarstreamServer::SendFrame(int fd, FrameType type,
+                                std::span<const uint8_t> payload,
+                                Session* session) {
+  std::vector<uint8_t> wire;
+  wire.reserve(kFrameOverhead + payload.size());
+  AppendFrame(&wire, type, payload);
+  if (session != nullptr) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->wire_cost.Count(MessageKind::kWire, wire.size() * 8);
+  }
+  return SendAllBytes(fd, wire.data(), wire.size());
+}
+
+bool VarstreamServer::SendError(int fd, Session* session,
+                                const std::string& message) {
+  // Loud on the server side too: operators tailing the log see exactly
+  // what the client was told before the connection dropped.
+  std::fprintf(stderr, "varstream_serve: %s\n", message.c_str());
+  SendFrame(fd, FrameType::kError, EncodeError(message), session);
+  return false;  // caller closes the connection
+}
+
+VarstreamServer::Session* VarstreamServer::ResolveSession(
+    const HelloFrame& hello, bool* created, std::string* error) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(hello.session);
+  if (it != sessions_.end()) {
+    Session* session = it->second.get();
+    if (session->tracker_name != hello.tracker ||
+        session->shards != hello.shards ||
+        !OptionsMatch(session->options, hello.options)) {
+      *error = "session '" + hello.session +
+               "' already exists with a different configuration (" +
+               session->tracker_name + ", k=" +
+               std::to_string(session->options.num_sites) + ", shards=" +
+               std::to_string(session->shards) + ")";
+      return nullptr;
+    }
+    *created = false;
+    return session;
+  }
+  // Checkpointing applies to every session, so a checkpointing server
+  // only admits checkpointable (= mergeable) trackers.
+  if (!options_.checkpoint_path.empty() &&
+      !TrackerRegistry::Instance().IsMergeable(hello.tracker)) {
+    *error = "tracker '" + hello.tracker +
+             "' is not checkpointable; this server checkpoints to " +
+             options_.checkpoint_path + " — checkpointable trackers: " +
+             JoinNames(TrackerRegistry::Instance().MergeableNames());
+    return nullptr;
+  }
+  auto tracker = BuildTracker(hello.tracker, hello.options, hello.shards,
+                              error);
+  if (tracker == nullptr) return nullptr;
+  auto session = std::make_unique<Session>();
+  session->name = hello.session;
+  session->tracker_name = hello.tracker;
+  session->shards = hello.shards;
+  session->options = hello.options;
+  session->tracker = std::move(tracker);
+  Session* raw = session.get();
+  sessions_.emplace(hello.session, std::move(session));
+  *created = true;
+  return raw;
+}
+
+bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
+                                  Session** session,
+                                  uint64_t* pre_session_wire_msgs,
+                                  uint64_t* pre_session_wire_bits) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      if (*session != nullptr) {
+        return SendError(fd, *session, "duplicate hello on this connection");
+      }
+      HelloFrame hello;
+      if (!DecodeHello(frame.payload, &hello)) {
+        return SendError(fd, nullptr, "malformed hello payload");
+      }
+      if (hello.magic != kProtocolMagic) {
+        return SendError(fd, nullptr, "bad protocol magic");
+      }
+      if (hello.version != kProtocolVersion) {
+        return SendError(
+            fd, nullptr,
+            "protocol version mismatch: client speaks v" +
+                std::to_string(hello.version) + ", server speaks v" +
+                std::to_string(kProtocolVersion));
+      }
+      if (hello.options.num_sites == 0 ||
+          hello.options.num_sites > kMaxSessionSites ||
+          !(hello.options.epsilon > 0 && hello.options.epsilon < 1) ||
+          hello.options.period == 0) {
+        return SendError(fd, nullptr,
+                         "invalid session config: need 1 <= sites <= " +
+                             std::to_string(kMaxSessionSites) +
+                             ", epsilon in (0, 1), period >= 1");
+      }
+      if (hello.session.empty() ||
+          hello.session.size() > kMaxSessionNameLength ||
+          !SessionNameIsSafe(hello.session)) {
+        return SendError(
+            fd, nullptr,
+            "invalid session name (1-" +
+                std::to_string(kMaxSessionNameLength) +
+                " characters from [A-Za-z0-9._-]; it is embedded in the "
+                "line-oriented checkpoint file)");
+      }
+      std::string error;
+      bool created = false;
+      Session* resolved = ResolveSession(hello, &created, &error);
+      if (resolved == nullptr) return SendError(fd, nullptr, error);
+      *session = resolved;
+      HelloAckFrame ack;
+      ack.created = created;
+      {
+        std::lock_guard<std::mutex> lock(resolved->mu);
+        ack.session_time = resolved->tracker->time();
+        // Fold the bytes this connection spent before the session existed
+        // (the hello frame itself) into the session's wire meter.
+        resolved->wire_cost.Count(MessageKind::kWire, *pre_session_wire_bits,
+                                  *pre_session_wire_msgs);
+        *pre_session_wire_msgs = 0;
+        *pre_session_wire_bits = 0;
+      }
+      return SendFrame(fd, FrameType::kHelloAck, EncodeHelloAck(ack),
+                       resolved);
+    }
+    case FrameType::kPushBatch: {
+      if (*session == nullptr) {
+        return SendError(fd, nullptr, "push-batch before hello");
+      }
+      PushBatchFrame batch;
+      if (!DecodePushBatch(frame.payload, &batch)) {
+        return SendError(fd, *session, "malformed push-batch payload");
+      }
+      Session& s = **session;
+      const bool monotone_only =
+          TrackerRegistry::Instance().IsMonotoneOnly(s.tracker_name);
+      for (const CountUpdate& u : batch.updates) {
+        // Validate before touching the tracker: the in-process API treats
+        // these as programming errors (debug asserts), but on the wire
+        // they are untrusted input.
+        if (u.site >= s.options.num_sites) {
+          return SendError(fd, *session,
+                           "push-batch update targets site " +
+                               std::to_string(u.site) + ", session has k=" +
+                               std::to_string(s.options.num_sites));
+        }
+        if (monotone_only && u.delta < 0) {
+          return SendError(fd, *session,
+                           "tracker '" + s.tracker_name +
+                               "' is insertion-only; negative delta "
+                               "rejected");
+        }
+      }
+      PushAckFrame ack;
+      bool want_checkpoint = false;
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.tracker->PushBatch(batch.updates);
+        s.updates_since_checkpoint += batch.updates.size();
+        if (options_.checkpoint_every > 0 &&
+            s.updates_since_checkpoint >= options_.checkpoint_every) {
+          want_checkpoint = true;
+          s.updates_since_checkpoint = 0;
+        }
+        ack.session_time = s.tracker->time();
+      }
+      if (want_checkpoint) {
+        std::string error;
+        if (!WriteCheckpointLocked(&error)) {
+          return SendError(fd, *session, "automatic checkpoint failed: " +
+                                             error);
+        }
+        ack.checkpointed = true;
+      }
+      return SendFrame(fd, FrameType::kPushAck, EncodePushAck(ack),
+                       *session);
+    }
+    case FrameType::kQuery: {
+      if (*session == nullptr) {
+        return SendError(fd, nullptr, "query before hello");
+      }
+      Session& s = **session;
+      SnapshotFrame snapshot;
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        TrackerSnapshot snap = s.tracker->Snapshot();
+        snapshot.estimate = snap.estimate;
+        snapshot.time = snap.time;
+        snapshot.messages = snap.messages;
+        snapshot.bits = snap.bits;
+        snapshot.wire_messages =
+            s.wire_cost.messages(MessageKind::kWire);
+        snapshot.wire_bits = s.wire_cost.bits(MessageKind::kWire);
+      }
+      return SendFrame(fd, FrameType::kSnapshot, EncodeSnapshot(snapshot),
+                       *session);
+    }
+    case FrameType::kCheckpoint: {
+      if (*session == nullptr) {
+        return SendError(fd, nullptr, "checkpoint before hello");
+      }
+      if (!frame.payload.empty()) {
+        return SendError(fd, *session, "malformed checkpoint payload");
+      }
+      std::string error;
+      if (!WriteCheckpointLocked(&error)) {
+        return SendError(fd, *session, error);
+      }
+      CheckpointAckFrame ack;
+      ack.path = options_.checkpoint_path;
+      return SendFrame(fd, FrameType::kCheckpointAck,
+                       EncodeCheckpointAck(ack), *session);
+    }
+    case FrameType::kShutdown: {
+      if (!frame.payload.empty()) {
+        return SendError(fd, *session, "malformed shutdown payload");
+      }
+      SendFrame(fd, FrameType::kShutdownAck, {}, *session);
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return false;  // close this connection; the owner tears down
+    }
+    default:
+      return SendError(fd, *session,
+                       std::string("unexpected ") +
+                           FrameTypeName(frame.type) +
+                           " frame (server-to-client only)");
+  }
+}
+
+void VarstreamServer::HandleConnection(Connection* conn) {
+  const int fd = conn->fd;
+  std::vector<uint8_t> buffer;
+  Session* session = nullptr;
+  uint64_t pre_session_wire_msgs = 0;
+  uint64_t pre_session_wire_bits = 0;
+  bool open = true;
+  while (open) {
+    // Drain every complete frame currently buffered.
+    size_t offset = 0;
+    for (;;) {
+      Frame frame;
+      size_t consumed = 0;
+      std::string decode_error;
+      DecodeStatus status = DecodeFrame(
+          std::span<const uint8_t>(buffer.data() + offset,
+                                   buffer.size() - offset),
+          &frame, &consumed, &decode_error);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kMalformed) {
+        SendError(fd, session, "malformed frame: " + decode_error);
+        open = false;
+        break;
+      }
+      offset += consumed;
+      // Account the received frame's real bytes.
+      if (session != nullptr) {
+        std::lock_guard<std::mutex> lock(session->mu);
+        session->wire_cost.Count(MessageKind::kWire, consumed * 8);
+      } else {
+        ++pre_session_wire_msgs;
+        pre_session_wire_bits += consumed * 8;
+      }
+      if (!HandleFrame(fd, frame, &session, &pre_session_wire_msgs,
+                       &pre_session_wire_bits)) {
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+    buffer.erase(buffer.begin(), buffer.begin() + offset);
+
+    uint8_t chunk[65536];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // disconnect: any partial frame in `buffer` is discarded
+    }
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+  // No close here: the reaper (or Stop) joins this thread first and then
+  // closes the fd, so a concurrent Stop() never touches a recycled fd.
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool VarstreamServer::WriteCheckpoint(std::string* error) {
+  return WriteCheckpointLocked(error);
+}
+
+bool VarstreamServer::WriteCheckpointLocked(std::string* error) {
+  if (options_.checkpoint_path.empty()) {
+    if (error != nullptr) {
+      *error = "checkpointing is disabled (start the server with "
+               "--checkpoint-path)";
+    }
+    return false;
+  }
+  // One checkpoint at a time; sessions are locked one by one in map
+  // (name) order while their state is captured.
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  std::vector<SessionCheckpoint> entries;
+  {
+    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    for (auto& [name, session] : sessions_) {
+      std::lock_guard<std::mutex> session_lock(session->mu);
+      auto* mergeable = dynamic_cast<Mergeable*>(session->tracker.get());
+      if (mergeable == nullptr) {
+        if (error != nullptr) {
+          *error = "session '" + name + "' (tracker '" +
+                   session->tracker_name +
+                   "') is not checkpointable; checkpointable trackers: " +
+                   JoinNames(TrackerRegistry::Instance().MergeableNames());
+        }
+        return false;
+      }
+      SessionCheckpoint entry;
+      entry.name = name;
+      entry.tracker = session->tracker_name;
+      entry.shards = session->shards;
+      entry.options = session->options;
+      entry.state = mergeable->SerializeState();
+      entries.push_back(std::move(entry));
+    }
+  }
+  return WriteCheckpointFile(options_.checkpoint_path, entries, error);
+}
+
+std::vector<std::string> VarstreamServer::SessionNames() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+bool VarstreamServer::SessionSnapshot(const std::string& name,
+                                      TrackerSnapshot* snapshot) {
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(name);
+    if (it == sessions_.end()) return false;
+    session = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  *snapshot = session->tracker->Snapshot();
+  return true;
+}
+
+}  // namespace varstream

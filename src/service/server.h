@@ -1,0 +1,178 @@
+// VarstreamServer: the long-running ingest service. Hosts one or more
+// named tracker sessions — each a registry-constructed tracker, optionally
+// wrapped in the sharded ingest engine (core/sharded.h) — accepts
+// concurrent client connections over loopback TCP speaking the
+// service/protocol.h frame protocol, answers live Query frames with one
+// consistent Snapshot while ingest is in flight, and (when configured)
+// checkpoints every session to a varstream-ckpt-v1 file so a killed
+// server restarted with --restore resumes with byte-identical estimates.
+//
+// Concurrency model: one accept thread plus one thread per connection.
+// Each session owns a mutex serializing tracker access; PushBatch from
+// one connection and Query from another interleave at frame granularity,
+// so queries never stop ingest — they ride between batches. A frame is
+// applied only after it fully decodes and passes its CRC, so a client
+// that dies mid-frame (mid-batch disconnect) never corrupts tracker
+// state: the torn bytes are discarded with the connection.
+//
+// The server binds 127.0.0.1 only. The paper's cost model meters the
+// simulated site->coordinator protocol inside each tracker; the real
+// client->server traffic is metered separately per session as
+// MessageKind::kWire in actual wire bytes, and reported through the
+// Snapshot frame's wire_messages/wire_bits fields (reporting-only — the
+// loadgen parity check compares the tracker fields, which are identical
+// to an in-process run).
+
+#ifndef VARSTREAM_SERVICE_SERVER_H_
+#define VARSTREAM_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tracker.h"
+#include "net/cost_meter.h"
+#include "service/checkpoint.h"
+#include "service/protocol.h"
+
+namespace varstream {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back via
+  /// port() — how the tests and bench run without port collisions).
+  uint16_t port = 0;
+
+  /// Checkpoint file path; empty disables checkpointing (Checkpoint
+  /// frames are then answered with an Error).
+  std::string checkpoint_path;
+
+  /// Automatic checkpoint cadence in ingested updates per session
+  /// (0 = only on explicit Checkpoint frames). Checkpoints land on
+  /// PushBatch frame boundaries, so a restore resumes exactly at a batch
+  /// edge the client can reproduce.
+  uint64_t checkpoint_every = 0;
+
+  /// When nonempty, Start() restores every session from this
+  /// varstream-ckpt-v1 file before accepting connections.
+  std::string restore_path;
+};
+
+class VarstreamServer {
+ public:
+  explicit VarstreamServer(ServerOptions options);
+  ~VarstreamServer();
+
+  VarstreamServer(const VarstreamServer&) = delete;
+  VarstreamServer& operator=(const VarstreamServer&) = delete;
+
+  /// Restores (if configured), binds, listens, and spawns the accept
+  /// thread. Returns false with *error on a bind failure or a restore
+  /// failure (a checkpoint that cannot be trusted fails startup loudly).
+  bool Start(std::string* error);
+
+  /// Stops accepting, closes every connection, and joins all threads.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client sends a Shutdown frame or Stop() is called.
+  void WaitForShutdownRequest();
+
+  /// Writes all sessions to options.checkpoint_path. Returns false with
+  /// *error if checkpointing is disabled, a session's tracker is not
+  /// checkpointable, or the write fails.
+  bool WriteCheckpoint(std::string* error);
+
+  /// Test/introspection helpers (thread-safe).
+  std::vector<std::string> SessionNames() const;
+  bool SessionSnapshot(const std::string& name, TrackerSnapshot* snapshot);
+
+ private:
+  struct Session {
+    std::mutex mu;
+    std::string name;
+    std::string tracker_name;
+    uint32_t shards = 0;
+    TrackerOptions options;
+    std::unique_ptr<DistributedTracker> tracker;
+    uint64_t updates_since_checkpoint = 0;
+    CostMeter wire_cost;  // MessageKind::kWire, real bytes
+  };
+
+  /// One live (or finished-but-unreaped) client connection. The handler
+  /// thread never closes `fd` itself: it sets `done` and leaves join +
+  /// close to the reaper (or Stop), so a concurrently Stop()ing thread
+  /// can never shut down a recycled descriptor.
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  /// Runs on the accept thread with its own copy of the listening fd —
+  /// Stop() closes and clears the member concurrently, so the thread
+  /// must never re-read it.
+  void AcceptLoop(int listen_fd);
+  void HandleConnection(Connection* conn);
+
+  /// Joins and closes every finished connection. Called from the accept
+  /// thread before each accept so a long-running server handling many
+  /// short-lived connections stays bounded, and from Stop() for the
+  /// rest.
+  void ReapFinishedConnections();
+
+  /// Frame dispatch for one connection. Returns false when the
+  /// connection must close (error already sent).
+  bool HandleFrame(int fd, const Frame& frame, Session** session,
+                   uint64_t* pre_session_wire_msgs,
+                   uint64_t* pre_session_wire_bits);
+
+  /// Creates or attaches the session a Hello names. Returns nullptr and
+  /// sets *error on unknown tracker / bad shard count / config mismatch.
+  Session* ResolveSession(const HelloFrame& hello, bool* created,
+                          std::string* error);
+
+  /// Builds the tracker a session config describes (serial or sharded).
+  static std::unique_ptr<DistributedTracker> BuildTracker(
+      const std::string& tracker_name, const TrackerOptions& options,
+      uint32_t shards, std::string* error);
+
+  bool SendFrame(int fd, FrameType type,
+                 std::span<const uint8_t> payload, Session* session);
+  bool SendError(int fd, Session* session, const std::string& message);
+
+  /// Serializes every session into checkpoint entries (locking each in
+  /// name order) and writes the file. Caller must not hold a session
+  /// lock.
+  bool WriteCheckpointLocked(std::string* error);
+
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+
+  std::mutex checkpoint_mu_;  // serializes whole-file checkpoint writes
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SERVICE_SERVER_H_

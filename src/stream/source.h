@@ -69,7 +69,7 @@ class StreamSource {
 
 /// Adapts a CountGenerator + SiteAssigner pair. Owning and non-owning
 /// (borrowed parts must outlive the source) constructions are supported;
-/// the latter backs the deprecated RunCount* shims.
+/// lets callers borrow externally built parts).
 class GeneratorSource : public StreamSource {
  public:
   GeneratorSource(std::unique_ptr<CountGenerator> gen,

@@ -23,7 +23,8 @@ RunResult RunDet(double factor, double eps, uint64_t n) {
   opts.epsilon = eps;
   opts.drift_threshold_factor = factor;
   DeterministicTracker tracker(opts);
-  return RunCount(&gen, &assigner, &tracker, n, eps);
+  GeneratorSource src1(&gen, &assigner);
+  return varstream::Run(src1, tracker, {.epsilon = eps, .max_updates = n});
 }
 
 TEST(DriftThresholdAblation, FactorOneIsThePaperAndHolds) {
@@ -58,7 +59,8 @@ TEST(SampleConstantAblation, PaperConstantMeetsGuarantee) {
   opts.epsilon = 0.15;
   opts.sample_constant = 3.0;
   RandomizedTracker tracker(opts);
-  RunResult r = RunCount(&gen, &assigner, &tracker, 40000, 0.15);
+  GeneratorSource src2(&gen, &assigner);
+  RunResult r = varstream::Run(src2, tracker, {.epsilon = 0.15, .max_updates = 40000});
   EXPECT_LT(r.violation_rate, 1.0 / 3.0);
 }
 
@@ -72,7 +74,8 @@ TEST(SampleConstantAblation, SmallerConstantIsCheaperButNoisier) {
     opts.sample_constant = c;
     opts.seed = 23;
     RandomizedTracker tracker(opts);
-    return RunCount(&gen, &assigner, &tracker, 80000, 0.05);
+    GeneratorSource src3(&gen, &assigner);
+    return varstream::Run(src3, tracker, {.epsilon = 0.05, .max_updates = 80000});
   };
   RunResult cheap = run(1.0);
   RunResult paper = run(3.0);

@@ -25,7 +25,8 @@ TEST(NaiveTracker, ExactWithOneMessagePerUpdate) {
   RandomWalkGenerator gen(1);
   UniformAssigner assigner(4, 2);
   NaiveTracker tracker(Opts(4, 0.1));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 7777, 1e-9);
+  GeneratorSource src1(&gen, &assigner);
+  RunResult result = varstream::Run(src1, tracker, {.epsilon = 1e-9, .max_updates = 7777});
   EXPECT_EQ(result.messages, 7777u);
   EXPECT_DOUBLE_EQ(result.max_rel_error, 0.0);
 }
@@ -34,7 +35,8 @@ TEST(PeriodicTracker, MessageCountIsNOverT) {
   MonotoneGenerator gen;
   RoundRobinAssigner assigner(4);
   PeriodicTracker tracker(Opts(4, 0.1), 10);
-  RunResult result = RunCount(&gen, &assigner, &tracker, 10000, 0.1);
+  GeneratorSource src2(&gen, &assigner);
+  RunResult result = varstream::Run(src2, tracker, {.epsilon = 0.1, .max_updates = 10000});
   EXPECT_EQ(result.messages, 1000u);
 }
 
@@ -55,7 +57,8 @@ TEST(CmyMonotoneTracker, GuaranteeOnMonotoneStreams) {
   MonotoneGenerator gen;
   UniformAssigner assigner(8, 3);
   CmyMonotoneTracker tracker(Opts(8, 0.1));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 50000, 0.1);
+  GeneratorSource src3(&gen, &assigner);
+  RunResult result = varstream::Run(src3, tracker, {.epsilon = 0.1, .max_updates = 50000});
   EXPECT_EQ(result.violation_rate, 0.0);
   EXPECT_LE(result.max_rel_error, 0.1 + 1e-12);
 }
@@ -65,7 +68,8 @@ TEST(CmyMonotoneTracker, MessagesLogarithmicPerSite) {
   RoundRobinAssigner assigner(4);
   const double eps = 0.1;
   CmyMonotoneTracker tracker(Opts(4, eps));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 100000, eps);
+  GeneratorSource src4(&gen, &assigner);
+  RunResult result = varstream::Run(src4, tracker, {.epsilon = eps, .max_updates = 100000});
   // Per site: ~log_{1+eps}(n/k) + 1 messages.
   double per_site = std::log(100000.0 / 4.0) / std::log(1.0 + eps) + 2.0;
   EXPECT_LE(static_cast<double>(result.messages), 4.0 * per_site);
@@ -89,7 +93,8 @@ TEST(HyzMonotoneTracker, FailureRateWithinGuarantee) {
   MonotoneGenerator gen;
   UniformAssigner assigner(16, 4);
   HyzMonotoneTracker tracker(Opts(16, 0.15, 99));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 60000, 0.15);
+  GeneratorSource src5(&gen, &assigner);
+  RunResult result = varstream::Run(src5, tracker, {.epsilon = 0.15, .max_updates = 60000});
   EXPECT_LT(result.violation_rate, 1.0 / 9.0);
 }
 

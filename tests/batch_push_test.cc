@@ -138,7 +138,7 @@ TEST(Snapshot, MatchesIndividualAccessors) {
   EXPECT_EQ(snap.time, 500u);
 }
 
-TEST(RunCountBatched, MatchesUnbatchedRunOnSameTrace) {
+TEST(RunBatched, MatchesUnbatchedRunOnSameTrace) {
   TrackerOptions options = TestOptions();
   RandomWalkGenerator gen(19);
   UniformAssigner assigner(4, 23);
@@ -146,13 +146,14 @@ TEST(RunCountBatched, MatchesUnbatchedRunOnSameTrace) {
 
   const TrackerRegistry& registry = TrackerRegistry::Instance();
   auto unit_tracker = registry.Create("deterministic", options);
+  TraceSource src3(&trace);
   RunResult unit =
-      RunCountOnTrace(trace, unit_tracker.get(), options.epsilon);
+      varstream::Run(src3, *unit_tracker, {.epsilon = options.epsilon});
 
   for (uint64_t batch_size : {32ULL, 4096ULL, 100000ULL}) {
     auto batch_tracker = registry.Create("deterministic", options);
-    RunResult batched = RunCountOnTraceBatched(
-        trace, batch_tracker.get(), options.epsilon, batch_size);
+    TraceSource src1(&trace);
+    RunResult batched = varstream::Run(src1, *batch_tracker, {.epsilon = options.epsilon, .batch_size = batch_size});
     // The stream and tracker behavior are identical; only validation
     // granularity differs.
     EXPECT_EQ(batched.n, unit.n);
@@ -167,22 +168,22 @@ TEST(RunCountBatched, MatchesUnbatchedRunOnSameTrace) {
   }
 }
 
-TEST(RunCountBatched, GeneratorDrivenBatchingMatchesTraceReplay) {
+TEST(RunBatched, GeneratorDrivenBatchingMatchesTraceReplay) {
   TrackerOptions options = TestOptions();
   const TrackerRegistry& registry = TrackerRegistry::Instance();
 
   RandomWalkGenerator gen_a(31);
   UniformAssigner assigner_a(4, 37);
   auto tracker_a = registry.Create("randomized", options);
-  RunResult direct = RunCountBatched(&gen_a, &assigner_a, tracker_a.get(),
-                                     4000, options.epsilon, 128);
+  GeneratorSource src4(&gen_a, &assigner_a);
+  RunResult direct = varstream::Run(src4, *tracker_a, {.epsilon = options.epsilon, .max_updates = 4000, .batch_size = 128});
 
   RandomWalkGenerator gen_b(31);
   UniformAssigner assigner_b(4, 37);
   StreamTrace trace = StreamTrace::Record(&gen_b, &assigner_b, 4000);
   auto tracker_b = registry.Create("randomized", options);
-  RunResult replayed = RunCountOnTraceBatched(trace, tracker_b.get(),
-                                              options.epsilon, 128);
+  TraceSource src2(&trace);
+  RunResult replayed = varstream::Run(src2, *tracker_b, {.epsilon = options.epsilon, .batch_size = 128});
 
   EXPECT_EQ(direct.n, replayed.n);
   EXPECT_EQ(direct.messages, replayed.messages);

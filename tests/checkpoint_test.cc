@@ -1,0 +1,321 @@
+// Checkpoint/restore round-trip suite for the Mergeable SerializeState /
+// RestoreState pair (core/mergeable.h) and the varstream-ckpt-v1 file
+// format (service/checkpoint.h):
+//
+//   * for EVERY registered mergeable tracker, serialize mid-stream,
+//     restore into a fresh instance, feed both the identical suffix —
+//     snapshots and state dumps must be byte-identical;
+//   * the sharded engine round-trips across *different* worker counts
+//     (W only schedules);
+//   * corrupt, mismatched, or stale state is rejected loudly;
+//   * the checkpoint file format detects truncation and corruption via
+//     its trailing CRC.
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mergeable.h"
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "core/state_codec.h"
+#include "net/cost_meter.h"
+#include "service/checkpoint.h"
+#include "stream/source.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace {
+
+constexpr uint32_t kSites = 8;
+
+TrackerOptions Opts(int64_t initial = 0) {
+  TrackerOptions opts;
+  opts.num_sites = kSites;
+  opts.epsilon = 0.1;
+  opts.seed = 1234;
+  opts.initial_value = initial;
+  return opts;
+}
+
+StreamTrace Record(const std::string& stream, uint64_t n, uint64_t seed) {
+  StreamSpec spec;
+  spec.num_sites = kSites;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  return RecordTrace(*source, n);
+}
+
+/// Pushes trace updates [from, to) in batches of 512.
+void Feed(DistributedTracker& tracker, const StreamTrace& trace,
+          size_t from, size_t to) {
+  const std::vector<CountUpdate>& updates = trace.updates();
+  size_t pos = from;
+  while (pos < to) {
+    size_t len = std::min<size_t>(512, to - pos);
+    tracker.PushBatch(
+        std::span<const CountUpdate>(updates.data() + pos, len));
+    pos += len;
+  }
+}
+
+Mergeable* AsMergeable(DistributedTracker* tracker) {
+  auto* m = dynamic_cast<Mergeable*>(tracker);
+  EXPECT_NE(m, nullptr);
+  return m;
+}
+
+// The core acceptance property: restore + identical suffix ==
+// uninterrupted run, byte for byte, for every mergeable tracker.
+TEST(CheckpointRoundTrip, EveryMergeableTrackerResumesByteIdentically) {
+  StreamTrace trace = Record("random-walk", 30000, 7);
+  const size_t half = 15000;
+  for (const std::string& name :
+       TrackerRegistry::Instance().MergeableNames()) {
+    auto uninterrupted = TrackerRegistry::Instance().Create(name, Opts());
+    Feed(*uninterrupted, trace, 0, trace.size());
+
+    auto first = TrackerRegistry::Instance().Create(name, Opts());
+    Feed(*first, trace, 0, half);
+    std::string state = AsMergeable(first.get())->SerializeState();
+
+    auto resumed = TrackerRegistry::Instance().Create(name, Opts());
+    std::string error;
+    ASSERT_TRUE(AsMergeable(resumed.get())->RestoreState(state, &error))
+        << name << ": " << error;
+    Feed(*resumed, trace, half, trace.size());
+
+    EXPECT_EQ(resumed->Snapshot(), uninterrupted->Snapshot()) << name;
+    EXPECT_EQ(AsMergeable(resumed.get())->SerializeState(),
+              AsMergeable(uninterrupted.get())->SerializeState())
+        << name;
+  }
+}
+
+// Monotone streams exercise different block-partition paths (large r).
+TEST(CheckpointRoundTrip, SurvivesLargeCountsOnMonotoneStreams) {
+  StreamTrace trace = Record("monotone", 30000, 11);
+  const size_t cut = 20000;
+  for (const char* name : {"deterministic", "randomized"}) {
+    auto uninterrupted = TrackerRegistry::Instance().Create(name, Opts());
+    Feed(*uninterrupted, trace, 0, trace.size());
+
+    auto first = TrackerRegistry::Instance().Create(name, Opts());
+    Feed(*first, trace, 0, cut);
+    std::string state = AsMergeable(first.get())->SerializeState();
+    auto resumed = TrackerRegistry::Instance().Create(name, Opts());
+    std::string error;
+    ASSERT_TRUE(AsMergeable(resumed.get())->RestoreState(state, &error))
+        << name << ": " << error;
+    Feed(*resumed, trace, cut, trace.size());
+    EXPECT_EQ(resumed->Snapshot(), uninterrupted->Snapshot()) << name;
+  }
+}
+
+TEST(CheckpointRoundTrip, NonzeroInitialValueIsPreserved) {
+  StreamTrace trace = Record("random-walk", 10000, 13);
+  auto uninterrupted =
+      TrackerRegistry::Instance().Create("deterministic", Opts(5000));
+  Feed(*uninterrupted, trace, 0, trace.size());
+
+  auto first =
+      TrackerRegistry::Instance().Create("deterministic", Opts(5000));
+  Feed(*first, trace, 0, 4000);
+  std::string state = AsMergeable(first.get())->SerializeState();
+  auto resumed =
+      TrackerRegistry::Instance().Create("deterministic", Opts(5000));
+  std::string error;
+  ASSERT_TRUE(AsMergeable(resumed.get())->RestoreState(state, &error));
+  Feed(*resumed, trace, 4000, trace.size());
+  EXPECT_EQ(resumed->Snapshot(), uninterrupted->Snapshot());
+}
+
+// The sharded engine serializes from one worker count and restores into
+// another: the per-site decomposition is fixed by k, so W is free to
+// change across a checkpoint (e.g. restoring on a smaller machine).
+TEST(CheckpointRoundTrip, ShardedEngineRestoresAcrossWorkerCounts) {
+  StreamTrace trace = Record("sawtooth", 24000, 17);
+  const size_t half = 12000;
+  for (const std::string& name :
+       TrackerRegistry::Instance().MergeableNames()) {
+    std::string error;
+    auto uninterrupted = ShardedTracker::Create(name, Opts(), 1, &error);
+    ASSERT_NE(uninterrupted, nullptr) << error;
+    Feed(*uninterrupted, trace, 0, trace.size());
+
+    auto first = ShardedTracker::Create(name, Opts(), 2, &error);
+    ASSERT_NE(first, nullptr) << error;
+    Feed(*first, trace, 0, half);
+    std::string state = first->SerializeState();
+
+    auto resumed = ShardedTracker::Create(name, Opts(), 3, &error);
+    ASSERT_NE(resumed, nullptr) << error;
+    ASSERT_TRUE(resumed->RestoreState(state, &error)) << name << ": "
+                                                      << error;
+    Feed(*resumed, trace, half, trace.size());
+    EXPECT_EQ(resumed->Snapshot(), uninterrupted->Snapshot()) << name;
+  }
+}
+
+TEST(CheckpointRestore, RejectsStateFromAnotherTracker) {
+  auto naive = TrackerRegistry::Instance().Create("naive", Opts());
+  std::string state = AsMergeable(naive.get())->SerializeState();
+  auto det = TrackerRegistry::Instance().Create("deterministic", Opts());
+  std::string error;
+  EXPECT_FALSE(AsMergeable(det.get())->RestoreState(state, &error));
+  EXPECT_NE(error.find("naive"), std::string::npos) << error;
+}
+
+TEST(CheckpointRestore, RejectsSiteCountMismatch) {
+  auto small = TrackerRegistry::Instance().Create("naive", Opts());
+  std::string state = AsMergeable(small.get())->SerializeState();
+  TrackerOptions big = Opts();
+  big.num_sites = kSites * 2;
+  auto tracker = TrackerRegistry::Instance().Create("naive", big);
+  std::string error;
+  EXPECT_FALSE(AsMergeable(tracker.get())->RestoreState(state, &error));
+  EXPECT_NE(error.find("site count"), std::string::npos) << error;
+}
+
+TEST(CheckpointRestore, RejectsNonFreshTracker) {
+  auto source = TrackerRegistry::Instance().Create("naive", Opts());
+  std::string state = AsMergeable(source.get())->SerializeState();
+  auto used = TrackerRegistry::Instance().Create("naive", Opts());
+  used->Push(0, +1);
+  std::string error;
+  EXPECT_FALSE(AsMergeable(used.get())->RestoreState(state, &error));
+  EXPECT_NE(error.find("fresh"), std::string::npos) << error;
+}
+
+TEST(CheckpointRestore, RejectsTamperedState) {
+  StreamTrace trace = Record("random-walk", 5000, 23);
+  auto tracker =
+      TrackerRegistry::Instance().Create("deterministic", Opts());
+  Feed(*tracker, trace, 0, trace.size());
+  std::string state = AsMergeable(tracker.get())->SerializeState();
+
+  // Damage the per-site drift list: wrong element count.
+  size_t pos = state.find("|sdrift=");
+  ASSERT_NE(pos, std::string::npos);
+  std::string tampered = state.substr(0, pos) + "|sdrift=1,2" +
+                         state.substr(state.find('|', pos + 1));
+  auto victim = TrackerRegistry::Instance().Create("deterministic", Opts());
+  std::string error;
+  EXPECT_FALSE(AsMergeable(victim.get())->RestoreState(tampered, &error));
+}
+
+TEST(CheckpointRestore, RejectsSummaryOnlyDump) {
+  // A dump without the full-state fields (e.g. from a pre-restore build)
+  // must be refused, not half-restored.
+  auto tracker = TrackerRegistry::Instance().Create("naive", Opts());
+  std::string error;
+  EXPECT_FALSE(AsMergeable(tracker.get())
+                   ->RestoreState("naive|k=8|est=0|time=0|msgs=0|bits=0",
+                                  &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(CostMeterCounts, SerializeRestoreRoundTrip) {
+  CostMeter meter;
+  meter.Count(MessageKind::kDrift, 88, 3);
+  meter.Count(MessageKind::kSync, 24, 7);
+  CostMeter restored;
+  ASSERT_TRUE(restored.RestoreCounts(meter.SerializeCounts()));
+  EXPECT_EQ(restored.total_messages(), meter.total_messages());
+  EXPECT_EQ(restored.total_bits(), meter.total_bits());
+  EXPECT_EQ(restored.messages(MessageKind::kDrift), 3u);
+  EXPECT_EQ(restored.bits(MessageKind::kSync), 24u * 7u);
+
+  EXPECT_FALSE(restored.RestoreCounts("1:2"));         // too few pairs
+  EXPECT_FALSE(restored.RestoreCounts("garbage"));     // not pairs at all
+  std::string extra = meter.SerializeCounts() + ",0:0";
+  EXPECT_FALSE(restored.RestoreCounts(extra));         // too many pairs
+}
+
+TEST(RngState, SerializeRestoreReproducesTheSequence) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) rng.NextU64();
+  (void)rng.Gaussian();  // leave a spare cached
+  std::string state = rng.SerializeState();
+  Rng restored(7);  // different seed: state must fully overwrite it
+  ASSERT_TRUE(restored.RestoreState(state));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.NextU64(), rng.NextU64());
+  }
+  EXPECT_EQ(restored.Gaussian(), rng.Gaussian());
+  EXPECT_FALSE(restored.RestoreState("not-a-state"));
+}
+
+// --- varstream-ckpt-v1 file format. ---
+
+std::vector<SessionCheckpoint> SampleSessions() {
+  StreamTrace trace = Record("random-walk", 8000, 29);
+  std::vector<SessionCheckpoint> sessions;
+  for (const char* name : {"deterministic", "periodic"}) {
+    auto tracker = TrackerRegistry::Instance().Create(name, Opts());
+    Feed(*tracker, trace, 0, trace.size());
+    SessionCheckpoint entry;
+    entry.name = std::string("session-") + name;
+    entry.tracker = name;
+    entry.options = Opts();
+    entry.state = dynamic_cast<Mergeable*>(tracker.get())->SerializeState();
+    sessions.push_back(entry);
+  }
+  return sessions;
+}
+
+TEST(CheckpointFile, EncodeDecodeRoundTrip) {
+  std::vector<SessionCheckpoint> sessions = SampleSessions();
+  std::string text = EncodeCheckpoint(sessions);
+  std::vector<SessionCheckpoint> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeCheckpoint(text, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.size(), sessions.size());
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_EQ(decoded[i].name, sessions[i].name);
+    EXPECT_EQ(decoded[i].tracker, sessions[i].tracker);
+    EXPECT_EQ(decoded[i].shards, sessions[i].shards);
+    EXPECT_EQ(decoded[i].options.num_sites, sessions[i].options.num_sites);
+    EXPECT_EQ(decoded[i].options.epsilon, sessions[i].options.epsilon);
+    EXPECT_EQ(decoded[i].state, sessions[i].state);
+  }
+}
+
+TEST(CheckpointFile, DetectsCorruptionAndTruncation) {
+  std::string text = EncodeCheckpoint(SampleSessions());
+  std::vector<SessionCheckpoint> decoded;
+  std::string error;
+
+  std::string flipped = text;
+  flipped[text.size() / 2] ^= 1;
+  EXPECT_FALSE(DecodeCheckpoint(flipped, &decoded, &error));
+  EXPECT_NE(error.find("crc"), std::string::npos) << error;
+
+  std::string truncated = text.substr(0, text.size() / 2);
+  EXPECT_FALSE(DecodeCheckpoint(truncated, &decoded, &error));
+
+  EXPECT_FALSE(DecodeCheckpoint("", &decoded, &error));
+  EXPECT_FALSE(DecodeCheckpoint("random garbage\n", &decoded, &error));
+}
+
+TEST(CheckpointFile, WriteReadRoundTrip) {
+  std::vector<SessionCheckpoint> sessions = SampleSessions();
+  std::string path = testing::TempDir() + "varstream_ckpt_test.ckpt";
+  std::string error;
+  ASSERT_TRUE(WriteCheckpointFile(path, sessions, &error)) << error;
+  std::vector<SessionCheckpoint> decoded;
+  ASSERT_TRUE(ReadCheckpointFile(path, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.size(), sessions.size());
+  EXPECT_EQ(decoded[0].state, sessions[0].state);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(ReadCheckpointFile(testing::TempDir() + "nonexistent.ckpt",
+                                  &decoded, &error));
+}
+
+}  // namespace
+}  // namespace varstream

@@ -45,7 +45,8 @@ TEST_P(DetCorrectnessTest, RelativeErrorGuaranteeNeverViolated) {
   TrackerOptions opts = Opts(k, eps);
   opts.initial_value = gen->initial_value();
   DeterministicTracker tracker(opts);
-  RunResult result = RunCount(gen.get(), &assigner, &tracker, 40000, eps);
+  GeneratorSource src1(gen.get(), &assigner);
+  RunResult result = varstream::Run(src1, tracker, {.epsilon = eps, .max_updates = 40000});
   EXPECT_EQ(result.violation_rate, 0.0)
       << gen_name << " k=" << k << " eps=" << eps;
   EXPECT_LE(result.max_rel_error, eps + 1e-12);
@@ -59,7 +60,8 @@ TEST_P(DetCorrectnessTest, MessageCostTracksVariability) {
   TrackerOptions opts = Opts(k, eps);
   opts.initial_value = gen->initial_value();
   DeterministicTracker tracker(opts);
-  RunResult result = RunCount(gen.get(), &assigner, &tracker, 40000, eps);
+  GeneratorSource src2(gen.get(), &assigner);
+  RunResult result = varstream::Run(src2, tracker, {.epsilon = eps, .max_updates = 40000});
   // Section 3 bound: <= 5k*v/eps in-block messages + <= 5k per block
   // partition messages with >= 1/10 variability per block, i.e. total
   // <= 5k*v/eps + 50k*(v + 1) + startup slack.
@@ -94,7 +96,8 @@ TEST(DeterministicTracker, ZeroCrossingsAreTrackedExactly) {
   ZeroCrossingGenerator gen;
   RoundRobinAssigner assigner(4);
   DeterministicTracker tracker(Opts(4, 0.1));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 5000, 0.1);
+  GeneratorSource src3(&gen, &assigner);
+  RunResult result = varstream::Run(src3, tracker, {.epsilon = 0.1, .max_updates = 5000});
   EXPECT_EQ(result.max_rel_error, 0.0);
   EXPECT_EQ(result.violation_rate, 0.0);
 }
@@ -105,7 +108,8 @@ TEST(DeterministicTracker, CostOnWorstCaseStreamIsThetaN) {
   ZeroCrossingGenerator gen;
   RoundRobinAssigner assigner(2);
   DeterministicTracker tracker(Opts(2, 0.25));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 4000, 0.25);
+  GeneratorSource src4(&gen, &assigner);
+  RunResult result = varstream::Run(src4, tracker, {.epsilon = 0.25, .max_updates = 4000});
   EXPECT_GE(result.messages, 4000u);
 }
 
@@ -115,8 +119,10 @@ TEST(DeterministicTracker, MonotoneCostIsLogarithmicInN) {
   MonotoneGenerator gen1, gen2;
   RoundRobinAssigner a1(4), a2(4);
   DeterministicTracker t1(Opts(4, 0.1)), t2(Opts(4, 0.1));
-  RunResult r1 = RunCount(&gen1, &a1, &t1, 50000, 0.1);
-  RunResult r2 = RunCount(&gen2, &a2, &t2, 100000, 0.1);
+  GeneratorSource src5(&gen1, &a1);
+  RunResult r1 = varstream::Run(src5, t1, {.epsilon = 0.1, .max_updates = 50000});
+  GeneratorSource src6(&gen2, &a2);
+  RunResult r2 = varstream::Run(src6, t2, {.epsilon = 0.1, .max_updates = 100000});
   double growth = static_cast<double>(r2.messages) -
                   static_cast<double>(r1.messages);
   // Far less than the 50000 extra updates.
@@ -130,7 +136,8 @@ TEST(DeterministicTracker, LargeUpdatesViaExpansion) {
   UnitExpansionGenerator gen(std::move(inner));
   UniformAssigner assigner(8, 3);
   DeterministicTracker tracker(Opts(8, 0.1));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 30000, 0.1);
+  GeneratorSource src7(&gen, &assigner);
+  RunResult result = varstream::Run(src7, tracker, {.epsilon = 0.1, .max_updates = 30000});
   EXPECT_EQ(result.violation_rate, 0.0);
 }
 
@@ -158,7 +165,8 @@ TEST(DeterministicTracker, PartitionAndTrackingPlanesBothCounted) {
   MonotoneGenerator gen;
   RoundRobinAssigner assigner(4);
   DeterministicTracker tracker(Opts(4, 0.1));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 20000, 0.1);
+  GeneratorSource src8(&gen, &assigner);
+  RunResult result = varstream::Run(src8, tracker, {.epsilon = 0.1, .max_updates = 20000});
   EXPECT_GT(result.partition_messages, 0u);
   EXPECT_GT(result.tracking_messages, 0u);
   EXPECT_EQ(result.partition_messages + result.tracking_messages,

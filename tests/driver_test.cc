@@ -10,14 +10,15 @@
 namespace varstream {
 namespace {
 
-TEST(RunCount, FinalValuesMatchGroundTruth) {
+TEST(Run, FinalValuesMatchGroundTruth) {
   RandomWalkGenerator gen(1);
   RandomWalkGenerator reference(1);
   RoundRobinAssigner assigner(4);
   TrackerOptions opts;
   opts.num_sites = 4;
   NaiveTracker tracker(opts);
-  RunResult result = RunCount(&gen, &assigner, &tracker, 1000, 0.1);
+  GeneratorSource src2(&gen, &assigner);
+  RunResult result = varstream::Run(src2, tracker, {.epsilon = 0.1, .max_updates = 1000});
   int64_t f = 0;
   for (int t = 0; t < 1000; ++t) f += reference.NextDelta();
   EXPECT_EQ(result.final_f, f);
@@ -25,38 +26,41 @@ TEST(RunCount, FinalValuesMatchGroundTruth) {
   EXPECT_EQ(result.n, 1000u);
 }
 
-TEST(RunCount, NaiveTrackerHasZeroError) {
+TEST(Run, NaiveTrackerHasZeroError) {
   RandomWalkGenerator gen(2);
   UniformAssigner assigner(3, 5);
   TrackerOptions opts;
   opts.num_sites = 3;
   NaiveTracker tracker(opts);
-  RunResult result = RunCount(&gen, &assigner, &tracker, 5000, 0.0001);
+  GeneratorSource src3(&gen, &assigner);
+  RunResult result = varstream::Run(src3, tracker, {.epsilon = 0.0001, .max_updates = 5000});
   EXPECT_DOUBLE_EQ(result.max_rel_error, 0.0);
   EXPECT_DOUBLE_EQ(result.mean_rel_error, 0.0);
   EXPECT_DOUBLE_EQ(result.violation_rate, 0.0);
   EXPECT_EQ(result.messages, 5000u);
 }
 
-TEST(RunCount, ViolationsCountedForSloppyTracker) {
+TEST(Run, ViolationsCountedForSloppyTracker) {
   // A periodic tracker with a huge period is mostly stale: violations > 0.
   RandomWalkGenerator gen(3);
   RoundRobinAssigner assigner(2);
   TrackerOptions opts;
   opts.num_sites = 2;
   PeriodicTracker tracker(opts, 1 << 20);  // never syncs in this run
-  RunResult result = RunCount(&gen, &assigner, &tracker, 10000, 0.05);
+  GeneratorSource src4(&gen, &assigner);
+  RunResult result = varstream::Run(src4, tracker, {.epsilon = 0.05, .max_updates = 10000});
   EXPECT_GT(result.violation_rate, 0.1);
   EXPECT_EQ(result.messages, 0u);
 }
 
-TEST(RunCount, VariabilityMatchesStreamTraceComputation) {
+TEST(Run, VariabilityMatchesStreamTraceComputation) {
   RandomWalkGenerator gen(4);
   RoundRobinAssigner assigner(2);
   TrackerOptions opts;
   opts.num_sites = 2;
   NaiveTracker tracker(opts);
-  RunResult result = RunCount(&gen, &assigner, &tracker, 3000, 0.1);
+  GeneratorSource src5(&gen, &assigner);
+  RunResult result = varstream::Run(src5, tracker, {.epsilon = 0.1, .max_updates = 3000});
 
   RandomWalkGenerator gen2(4);
   RoundRobinAssigner assigner2(2);
@@ -64,21 +68,22 @@ TEST(RunCount, VariabilityMatchesStreamTraceComputation) {
   EXPECT_DOUBLE_EQ(result.variability, trace.Variability());
 }
 
-TEST(RunCountOnTrace, EquivalentToLiveRun) {
+TEST(RunOnTrace, EquivalentToLiveRun) {
   RandomWalkGenerator gen_live(5);
   UniformAssigner assigner_live(4, 9);
   TrackerOptions opts;
   opts.num_sites = 4;
   opts.epsilon = 0.1;
   DeterministicTracker live(opts);
-  RunResult live_result = RunCount(&gen_live, &assigner_live, &live, 8000,
-                                   0.1);
+  GeneratorSource src6(&gen_live, &assigner_live);
+  RunResult live_result = varstream::Run(src6, live, {.epsilon = 0.1, .max_updates = 8000});
 
   RandomWalkGenerator gen_rec(5);
   UniformAssigner assigner_rec(4, 9);
   StreamTrace trace = StreamTrace::Record(&gen_rec, &assigner_rec, 8000);
   DeterministicTracker replayed(opts);
-  RunResult replay_result = RunCountOnTrace(trace, &replayed, 0.1);
+  TraceSource src1(&trace);
+  RunResult replay_result = varstream::Run(src1, replayed, {.epsilon = 0.1});
 
   EXPECT_EQ(replay_result.final_f, live_result.final_f);
   EXPECT_EQ(replay_result.messages, live_result.messages);
@@ -86,26 +91,28 @@ TEST(RunCountOnTrace, EquivalentToLiveRun) {
   EXPECT_DOUBLE_EQ(replay_result.variability, live_result.variability);
 }
 
-TEST(RunCount, TracerHookRecordsEstimates) {
+TEST(Run, TracerHookRecordsEstimates) {
   MonotoneGenerator gen;
   RoundRobinAssigner assigner(2);
   TrackerOptions opts;
   opts.num_sites = 2;
   NaiveTracker tracker(opts);
   HistoryTracer trace(0.0);
-  RunCount(&gen, &assigner, &tracker, 100, 0.1, &trace);
+  GeneratorSource src7(&gen, &assigner);
+  varstream::Run(src7, tracker, {.epsilon = 0.1, .max_updates = 100, .tracer = &trace});
   EXPECT_DOUBLE_EQ(trace.Query(50), 50.0);
   EXPECT_DOUBLE_EQ(trace.Query(100), 100.0);
 }
 
-TEST(RunCount, MeanErrorBetweenZeroAndMax) {
+TEST(Run, MeanErrorBetweenZeroAndMax) {
   RandomWalkGenerator gen(6);
   RoundRobinAssigner assigner(4);
   TrackerOptions opts;
   opts.num_sites = 4;
   opts.epsilon = 0.2;
   DeterministicTracker tracker(opts);
-  RunResult result = RunCount(&gen, &assigner, &tracker, 20000, 0.2);
+  GeneratorSource src8(&gen, &assigner);
+  RunResult result = varstream::Run(src8, tracker, {.epsilon = 0.2, .max_updates = 20000});
   EXPECT_GE(result.mean_rel_error, 0.0);
   EXPECT_LE(result.mean_rel_error, result.max_rel_error + 1e-12);
 }

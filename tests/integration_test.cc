@@ -43,9 +43,12 @@ TEST(Integration, SensorNetworkScenario) {
   RandomizedTracker rand(opts);
   NaiveTracker naive(opts);
 
-  RunResult det_result = RunCountOnTrace(trace, &det, eps);
-  RunResult rand_result = RunCountOnTrace(trace, &rand, eps);
-  RunResult naive_result = RunCountOnTrace(trace, &naive, eps);
+  TraceSource src1(&trace);
+  RunResult det_result = varstream::Run(src1, det, {.epsilon = eps});
+  TraceSource src2(&trace);
+  RunResult rand_result = varstream::Run(src2, rand, {.epsilon = eps});
+  TraceSource src3(&trace);
+  RunResult naive_result = varstream::Run(src3, naive, {.epsilon = eps});
 
   EXPECT_EQ(det_result.violation_rate, 0.0);
   EXPECT_LT(rand_result.violation_rate, 1.0 / 3.0);
@@ -69,7 +72,8 @@ TEST(Integration, DatabaseAuditWithHistoricalQueries) {
   opts.epsilon = eps;
   DeterministicTracker tracker(opts);
   HistoryTracer history(0.0);
-  RunCountOnTrace(stream, &tracker, eps, &history);
+  TraceSource src4(&stream);
+  varstream::Run(src4, tracker, {.epsilon = eps, .tracer = &history});
 
   Rng rng(13);
   for (int q = 0; q < 2000; ++q) {
@@ -134,8 +138,10 @@ TEST(Integration, TraceSerializationPreservesTrackerBehavior) {
   opts.num_sites = 4;
   opts.epsilon = 0.1;
   DeterministicTracker t1(opts), t2(opts);
-  RunResult r1 = RunCountOnTrace(original, &t1, 0.1);
-  RunResult r2 = RunCountOnTrace(reloaded, &t2, 0.1);
+  TraceSource src5(&original);
+  RunResult r1 = varstream::Run(src5, t1, {.epsilon = 0.1});
+  TraceSource src6(&reloaded);
+  RunResult r2 = varstream::Run(src6, t2, {.epsilon = 0.1});
   EXPECT_EQ(r1.messages, r2.messages);
   EXPECT_EQ(r1.final_f, r2.final_f);
   EXPECT_DOUBLE_EQ(r1.max_rel_error, r2.max_rel_error);
@@ -164,7 +170,8 @@ TEST(Integration, MixedWorkloadSignCrossings) {
   opts.num_sites = 8;
   opts.epsilon = 0.1;
   DeterministicTracker tracker(opts);
-  RunResult result = RunCount(&gen, &assigner, &tracker, 80000, 0.1);
+  GeneratorSource src7(&gen, &assigner);
+  RunResult result = varstream::Run(src7, tracker, {.epsilon = 0.1, .max_updates = 80000});
   EXPECT_EQ(result.violation_rate, 0.0);
   EXPECT_LT(result.final_f, -19000);
 }
@@ -233,12 +240,14 @@ TEST(Integration, CostAdvantageRequiresLowVariability) {
   BiasedWalkGenerator low_v_gen(0.4, 31);
   UniformAssigner a1(4, 37);
   DeterministicTracker low_tracker(opts);
-  RunResult low = RunCount(&low_v_gen, &a1, &low_tracker, 50000, 0.1);
+  GeneratorSource src8(&low_v_gen, &a1);
+  RunResult low = varstream::Run(src8, low_tracker, {.epsilon = 0.1, .max_updates = 50000});
 
   ZeroCrossingGenerator high_v_gen;
   UniformAssigner a2(4, 41);
   DeterministicTracker high_tracker(opts);
-  RunResult high = RunCount(&high_v_gen, &a2, &high_tracker, 50000, 0.1);
+  GeneratorSource src9(&high_v_gen, &a2);
+  RunResult high = varstream::Run(src9, high_tracker, {.epsilon = 0.1, .max_updates = 50000});
 
   EXPECT_LT(low.variability * 20, high.variability);
   EXPECT_LT(low.messages * 5, high.messages);

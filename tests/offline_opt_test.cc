@@ -107,7 +107,8 @@ TEST(OfflineOptimalSyncs, OnlineTrackerIsWithinTheoryFactorOfOpt) {
     opts.num_sites = 1;
     opts.epsilon = eps;
     SingleSiteTracker tracker(opts);
-    RunResult r = RunCount(gen2.get(), &assigner, &tracker, 30000, eps);
+    GeneratorSource src1(gen2.get(), &assigner);
+    RunResult r = varstream::Run(src1, tracker, {.epsilon = eps, .max_updates = 30000});
 
     ASSERT_GE(r.messages + 1, opt.min_syncs)
         << name << ": online cannot beat the offline optimum";

@@ -70,8 +70,9 @@ TEST_P(SweepTest, DeterministicTrackerNeverViolatesGuarantee) {
   opts.epsilon = cfg.eps;
   opts.initial_value = gen->initial_value();
   DeterministicTracker tracker(opts);
+  GeneratorSource src1(gen.get(), assigner.get());
   RunResult result =
-      RunCount(gen.get(), assigner.get(), &tracker, 25000, cfg.eps);
+      varstream::Run(src1, tracker, {.epsilon = cfg.eps, .max_updates = 25000});
   EXPECT_EQ(result.violation_rate, 0.0) << ConfigName({GetParam(), 0});
 }
 
@@ -84,8 +85,9 @@ TEST_P(SweepTest, DeterministicCostWithinPaperBound) {
   opts.epsilon = cfg.eps;
   opts.initial_value = gen->initial_value();
   DeterministicTracker tracker(opts);
+  GeneratorSource src2(gen.get(), assigner.get());
   RunResult result =
-      RunCount(gen.get(), assigner.get(), &tracker, 25000, cfg.eps);
+      varstream::Run(src2, tracker, {.epsilon = cfg.eps, .max_updates = 25000});
   double v = result.variability;
   double bound =
       5.0 * cfg.k * v / cfg.eps + 50.0 * cfg.k * (v + 1.0) + 10.0 * cfg.k;
@@ -103,8 +105,9 @@ TEST_P(SweepTest, RandomizedTrackerFailureRateWithinGuarantee) {
   opts.seed = cfg.seed + 7;
   opts.initial_value = gen->initial_value();
   RandomizedTracker tracker(opts);
+  GeneratorSource src3(gen.get(), assigner.get());
   RunResult result =
-      RunCount(gen.get(), assigner.get(), &tracker, 25000, cfg.eps);
+      varstream::Run(src3, tracker, {.epsilon = cfg.eps, .max_updates = 25000});
   EXPECT_LT(result.violation_rate, 1.0 / 3.0);
 }
 
@@ -122,8 +125,10 @@ TEST_P(SweepTest, TrackersAgreeWithNaiveOnFinalValue) {
   opts.initial_value = gen1->initial_value();
   DeterministicTracker det(opts);
   NaiveTracker naive(opts);
-  RunResult r1 = RunCount(gen1.get(), a1.get(), &det, 10000, cfg.eps);
-  RunResult r2 = RunCount(gen2.get(), a2.get(), &naive, 10000, cfg.eps);
+  GeneratorSource src4(gen1.get(), a1.get());
+  RunResult r1 = varstream::Run(src4, det, {.epsilon = cfg.eps, .max_updates = 10000});
+  GeneratorSource src5(gen2.get(), a2.get());
+  RunResult r2 = varstream::Run(src5, naive, {.epsilon = cfg.eps, .max_updates = 10000});
   EXPECT_EQ(r1.final_f, r2.final_f);
   EXPECT_DOUBLE_EQ(r1.variability, r2.variability);
   // And the deterministic estimate is within eps of the naive (exact) one.
@@ -256,7 +261,8 @@ TEST(CostProperty, MessagesMonotoneInEpsilon) {
       opts.num_sites = 4;
       opts.epsilon = eps;
       DeterministicTracker tracker(opts);
-      RunResult r = RunCount(gen.get(), &assigner, &tracker, 20000, eps);
+      GeneratorSource src6(gen.get(), &assigner);
+      RunResult r = varstream::Run(src6, tracker, {.epsilon = eps, .max_updates = 20000});
       EXPECT_LE(r.messages, prev_messages) << gen_name << " eps=" << eps;
       prev_messages = r.messages;
     }

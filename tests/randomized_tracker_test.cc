@@ -47,7 +47,8 @@ TEST(RandomizedTracker, ExactInScaleZeroBlocksWhenKSmall) {
   ZeroCrossingGenerator gen;
   RoundRobinAssigner assigner(4);
   RandomizedTracker tracker(Opts(4, 0.2));  // 9/eps^2 = 225 >= 4
-  RunResult result = RunCount(&gen, &assigner, &tracker, 4000, 0.2);
+  GeneratorSource src1(&gen, &assigner);
+  RunResult result = varstream::Run(src1, tracker, {.epsilon = 0.2, .max_updates = 4000});
   EXPECT_EQ(result.max_rel_error, 0.0);
   EXPECT_EQ(result.violation_rate, 0.0);
 }
@@ -65,7 +66,8 @@ TEST_P(RandViolationTest, PerTimeFailureRateWellBelowOneThird) {
   TrackerOptions opts = Opts(k, eps, 31);
   opts.initial_value = gen->initial_value();
   RandomizedTracker tracker(opts);
-  RunResult result = RunCount(gen.get(), &assigner, &tracker, 60000, eps);
+  GeneratorSource src2(gen.get(), &assigner);
+  RunResult result = varstream::Run(src2, tracker, {.epsilon = eps, .max_updates = 60000});
   // Guarantee is P(violation) < 1/3 per timestep; Chebyshev actually gives
   // 2/9, and empirically it is far smaller. Assert the guarantee itself.
   EXPECT_LT(result.violation_rate, 1.0 / 3.0)
@@ -141,7 +143,8 @@ TEST(RandomizedTracker, MessageCostTracksVariability) {
   UniformAssigner assigner(16, 43);
   const double eps = 0.1;
   RandomizedTracker tracker(Opts(16, eps, 47));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 60000, eps);
+  GeneratorSource src3(&gen, &assigner);
+  RunResult result = varstream::Run(src3, tracker, {.epsilon = eps, .max_updates = 60000});
   double v = result.variability;
   // Expected in-block cost <= 30*sqrt(k)*vj/eps per block (paper), plus
   // partition 5k per block with vj >= 1/10: generous constant-factor check.

@@ -29,7 +29,8 @@ TEST(Regression, DeterministicTrackerOnRandomWalk) {
   opts.num_sites = 8;
   opts.epsilon = 0.1;
   DeterministicTracker tracker(opts);
-  RunResult r = RunCount(&gen, &assigner, &tracker, 50000, 0.1);
+  GeneratorSource src1(&gen, &assigner);
+  RunResult r = varstream::Run(src1, tracker, {.epsilon = 0.1, .max_updates = 50000});
   EXPECT_EQ(r.messages, 197567u);
   EXPECT_EQ(r.bits, 17385896u);
   EXPECT_EQ(r.final_f, -128);
@@ -46,7 +47,8 @@ TEST(Regression, RandomizedTrackerOnBiasedWalk) {
   opts.epsilon = 0.15;
   opts.seed = 4242;
   RandomizedTracker tracker(opts);
-  RunResult r = RunCount(&gen, &assigner, &tracker, 50000, 0.15);
+  GeneratorSource src2(&gen, &assigner);
+  RunResult r = varstream::Run(src2, tracker, {.epsilon = 0.15, .max_updates = 50000});
   EXPECT_EQ(r.messages, 6712u);
   EXPECT_EQ(r.final_f, 10330);
   EXPECT_NEAR(r.final_estimate, 10051.6, 1e-6);
@@ -59,7 +61,8 @@ TEST(Regression, SingleSiteTrackerOnSawtooth) {
   opts.num_sites = 1;
   opts.epsilon = 0.2;
   SingleSiteTracker tracker(opts);
-  RunResult r = RunCount(&gen, &assigner, &tracker, 30000, 0.2);
+  GeneratorSource src3(&gen, &assigner);
+  RunResult r = varstream::Run(src3, tracker, {.epsilon = 0.2, .max_updates = 30000});
   EXPECT_EQ(r.messages, 7033u);
 }
 

@@ -1,0 +1,192 @@
+// Robustness suite for the wire protocol (service/protocol.h): framing
+// round trips, truncation (kNeedMore at every prefix), CRC corruption,
+// oversized lengths, unknown types, and payload codecs that must reject
+// short and over-long payloads instead of guessing.
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+
+namespace varstream {
+namespace {
+
+std::vector<uint8_t> FrameOf(FrameType type,
+                             const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> wire;
+  AppendFrame(&wire, type, payload);
+  return wire;
+}
+
+TEST(Crc32, MatchesTheReferenceVector) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char* text = "123456789";
+  EXPECT_EQ(Crc32(std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(text), 9)),
+            0xCBF43926u);
+}
+
+TEST(Framing, RoundTripsEveryType) {
+  for (uint8_t t = static_cast<uint8_t>(FrameType::kHello);
+       t <= static_cast<uint8_t>(FrameType::kMaxFrameType); ++t) {
+    std::vector<uint8_t> payload = {1, 2, 3, 0xFF, 0};
+    std::vector<uint8_t> wire = FrameOf(static_cast<FrameType>(t), payload);
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+              DecodeStatus::kOk)
+        << error;
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(frame.type, static_cast<FrameType>(t));
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(Framing, EveryTruncationPrefixAsksForMoreBytes) {
+  std::vector<uint8_t> wire =
+      FrameOf(FrameType::kPushBatch, EncodePushBatch({}));
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(DecodeFrame(std::span<const uint8_t>(wire.data(), len),
+                          &frame, &consumed, &error),
+              DecodeStatus::kNeedMore)
+        << "at prefix length " << len;
+  }
+}
+
+TEST(Framing, FlippingAnyPayloadByteTripsTheCrc) {
+  std::vector<uint8_t> payload = {10, 20, 30, 40};
+  std::vector<uint8_t> wire = FrameOf(FrameType::kQuery, payload);
+  // Corrupt each payload byte (offsets 5..8) and the type byte (4).
+  for (size_t pos = 4; pos < 5 + payload.size(); ++pos) {
+    std::vector<uint8_t> corrupt = wire;
+    corrupt[pos] ^= 0x40;
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    DecodeStatus status = DecodeFrame(corrupt, &frame, &consumed, &error);
+    EXPECT_EQ(status, DecodeStatus::kMalformed) << "at offset " << pos;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Framing, OversizedLengthIsMalformedNotAnAllocation) {
+  std::vector<uint8_t> wire(16, 0);
+  uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(wire.data(), &huge, 4);
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+            DecodeStatus::kMalformed);
+  EXPECT_NE(error.find("oversized"), std::string::npos) << error;
+}
+
+TEST(Framing, UnknownTypeIsMalformed) {
+  std::vector<uint8_t> wire = FrameOf(FrameType::kQuery, {});
+  wire[4] = 0x7F;  // valid CRC no longer matters: type is checked first
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+            DecodeStatus::kMalformed);
+  EXPECT_NE(error.find("unknown frame type"), std::string::npos) << error;
+}
+
+TEST(Framing, BackToBackFramesDecodeInOrder) {
+  std::vector<uint8_t> wire;
+  AppendFrame(&wire, FrameType::kQuery, {});
+  AppendFrame(&wire, FrameType::kShutdown, {});
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(wire, &frame, &consumed, &error), DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  std::span<const uint8_t> rest(wire.data() + consumed,
+                                wire.size() - consumed);
+  ASSERT_EQ(DecodeFrame(rest, &frame, &consumed, &error), DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+}
+
+TEST(PayloadCodecs, HelloRoundTripsEveryField) {
+  HelloFrame hello;
+  hello.session = "telemetry";
+  hello.tracker = "randomized";
+  hello.shards = 4;
+  hello.options.num_sites = 32;
+  hello.options.epsilon = 0.0625;
+  hello.options.seed = 0xDEADBEEFCAFEBABEull;
+  hello.options.initial_value = -12345;
+  hello.options.drift_threshold_factor = 0.5;
+  hello.options.sample_constant = 2.5;
+  hello.options.period = 128;
+  HelloFrame decoded;
+  ASSERT_TRUE(DecodeHello(EncodeHello(hello), &decoded));
+  EXPECT_EQ(decoded.magic, kProtocolMagic);
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_EQ(decoded.session, hello.session);
+  EXPECT_EQ(decoded.tracker, hello.tracker);
+  EXPECT_EQ(decoded.shards, hello.shards);
+  EXPECT_EQ(decoded.options.num_sites, hello.options.num_sites);
+  EXPECT_EQ(decoded.options.epsilon, hello.options.epsilon);
+  EXPECT_EQ(decoded.options.seed, hello.options.seed);
+  EXPECT_EQ(decoded.options.initial_value, hello.options.initial_value);
+  EXPECT_EQ(decoded.options.period, hello.options.period);
+}
+
+TEST(PayloadCodecs, PushBatchRoundTripsAndRejectsLengthLies) {
+  std::vector<CountUpdate> updates = {{0, +1}, {3, -1}, {7, +100}};
+  std::vector<uint8_t> payload = EncodePushBatch(updates);
+  PushBatchFrame decoded;
+  ASSERT_TRUE(DecodePushBatch(payload, &decoded));
+  EXPECT_EQ(decoded.updates, updates);
+
+  // Count says 3 but payload holds 2: reject.
+  std::vector<uint8_t> short_payload(payload.begin(), payload.end() - 12);
+  EXPECT_FALSE(DecodePushBatch(short_payload, &decoded));
+
+  // Trailing bytes after the declared updates: reject.
+  std::vector<uint8_t> long_payload = payload;
+  long_payload.push_back(0);
+  EXPECT_FALSE(DecodePushBatch(long_payload, &decoded));
+
+  EXPECT_FALSE(DecodePushBatch({}, &decoded));  // empty: no count
+}
+
+TEST(PayloadCodecs, SnapshotRoundTripsBitExactEstimates) {
+  SnapshotFrame snapshot;
+  snapshot.estimate = 0.1 + 0.2;  // a value with a messy bit pattern
+  snapshot.time = 123456789;
+  snapshot.messages = 42;
+  snapshot.bits = 99999;
+  snapshot.wire_messages = 7;
+  snapshot.wire_bits = 512;
+  SnapshotFrame decoded;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(snapshot), &decoded));
+  EXPECT_EQ(std::bit_cast<uint64_t>(decoded.estimate),
+            std::bit_cast<uint64_t>(snapshot.estimate));
+  EXPECT_EQ(decoded.time, snapshot.time);
+  EXPECT_EQ(decoded.wire_bits, snapshot.wire_bits);
+
+  std::vector<uint8_t> payload = EncodeSnapshot(snapshot);
+  payload.pop_back();
+  EXPECT_FALSE(DecodeSnapshot(payload, &decoded));
+}
+
+TEST(PayloadCodecs, StringsRejectOverrunningLengths) {
+  // An Error frame whose string length field points past the payload.
+  std::vector<uint8_t> payload = EncodeError("boom");
+  payload[0] = 200;  // length prefix now exceeds the remaining bytes
+  ErrorFrame decoded;
+  EXPECT_FALSE(DecodeError(payload, &decoded));
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,464 @@
+// End-to-end suite for the ingest service (service/server.h +
+// service/client.h) over real loopback TCP:
+//
+//   * served snapshots are byte-identical to in-process runs (serial and
+//     sharded sessions);
+//   * live queries answer while ingest is in flight;
+//   * protocol misuse (version mismatch, unknown tracker, bad sites,
+//     frames before hello) is refused with actionable errors;
+//   * a mid-batch disconnect never corrupts session state;
+//   * a server checkpoint restores into a new server byte-identically.
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "stream/source.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace {
+
+constexpr uint32_t kSites = 8;
+
+TrackerOptions Opts() {
+  TrackerOptions opts;
+  opts.num_sites = kSites;
+  opts.epsilon = 0.1;
+  opts.seed = 4321;
+  return opts;
+}
+
+HelloFrame MakeHello(const std::string& session, const std::string& tracker,
+                     uint32_t shards = 0) {
+  HelloFrame hello;
+  hello.session = session;
+  hello.tracker = tracker;
+  hello.shards = shards;
+  hello.options = Opts();
+  return hello;
+}
+
+StreamTrace Record(const std::string& stream, uint64_t n, uint64_t seed) {
+  StreamSpec spec;
+  spec.num_sites = kSites;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  return RecordTrace(*source, n);
+}
+
+/// A started server + connected client, torn down in reverse order.
+struct Harness {
+  Harness() : server(ServerOptions{}) { StartAndConnect(); }
+  explicit Harness(ServerOptions options) : server(std::move(options)) {
+    StartAndConnect();
+  }
+
+  void StartAndConnect() {
+    std::string error;
+    EXPECT_TRUE(server.Start(&error)) << error;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  }
+
+  VarstreamServer server;
+  VarstreamClient client;
+};
+
+void PushTrace(VarstreamClient& client, const StreamTrace& trace,
+               size_t from, size_t to, size_t batch = 512) {
+  const std::vector<CountUpdate>& updates = trace.updates();
+  size_t pos = from;
+  while (pos < to) {
+    size_t len = std::min(batch, to - pos);
+    PushAckFrame ack;
+    std::string error;
+    ASSERT_TRUE(client.Push(
+        std::span<const CountUpdate>(updates.data() + pos, len), &ack,
+        &error))
+        << error;
+    pos += len;
+  }
+}
+
+TrackerSnapshot InProcess(const std::string& tracker_name, uint32_t shards,
+                          const StreamTrace& trace) {
+  std::unique_ptr<DistributedTracker> tracker;
+  if (shards >= 1) {
+    std::string error;
+    tracker = ShardedTracker::Create(tracker_name, Opts(), shards, &error);
+    EXPECT_NE(tracker, nullptr) << error;
+  } else {
+    tracker = TrackerRegistry::Instance().Create(tracker_name, Opts());
+  }
+  const std::vector<CountUpdate>& updates = trace.updates();
+  size_t pos = 0;
+  while (pos < updates.size()) {
+    size_t len = std::min<size_t>(512, updates.size() - pos);
+    tracker->PushBatch(
+        std::span<const CountUpdate>(updates.data() + pos, len));
+    pos += len;
+  }
+  return tracker->Snapshot();
+}
+
+void ExpectBitIdentical(const SnapshotFrame& served,
+                        const TrackerSnapshot& expected,
+                        const std::string& context) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(served.estimate),
+            std::bit_cast<uint64_t>(expected.estimate))
+      << context;
+  EXPECT_EQ(served.time, expected.time) << context;
+  EXPECT_EQ(served.messages, expected.messages) << context;
+  EXPECT_EQ(served.bits, expected.bits) << context;
+}
+
+// The headline property: a served session is indistinguishable from the
+// in-process tracker, for every mergeable tracker, serial and sharded.
+TEST(ServiceServer, ServedSnapshotsMatchInProcessBitForBit) {
+  StreamTrace trace = Record("random-walk", 20000, 3);
+  for (const std::string& name :
+       TrackerRegistry::Instance().MergeableNames()) {
+    for (uint32_t shards : {0u, 4u}) {
+      Harness h;
+      HelloAckFrame hello_ack;
+      std::string error;
+      ASSERT_TRUE(h.client.Hello(MakeHello("s", name, shards), &hello_ack,
+                                 &error))
+          << error;
+      EXPECT_TRUE(hello_ack.created);
+      PushTrace(h.client, trace, 0, trace.size());
+      SnapshotFrame served;
+      ASSERT_TRUE(h.client.Query(&served, &error)) << error;
+      ExpectBitIdentical(served, InProcess(name, shards, trace),
+                         name + "/shards=" + std::to_string(shards));
+      EXPECT_GT(served.wire_messages, 0u);
+      EXPECT_GT(served.wire_bits, 0u);
+    }
+  }
+}
+
+// A second connection queries the same session live, while the first
+// keeps pushing: every snapshot it sees is a consistent prefix state
+// (time never regresses, and estimate/messages always come together).
+TEST(ServiceServer, LiveQueriesAnswerWhileIngestIsInFlight) {
+  StreamTrace trace = Record("sawtooth", 40000, 5);
+  Harness h;
+  HelloAckFrame hello_ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("live", "deterministic"), &hello_ack,
+                             &error))
+      << error;
+
+  VarstreamClient observer;
+  ASSERT_TRUE(observer.Connect("127.0.0.1", h.server.port(), &error))
+      << error;
+  ASSERT_TRUE(observer.Hello(MakeHello("live", "deterministic"), &hello_ack,
+                             &error))
+      << error;
+  EXPECT_FALSE(hello_ack.created);  // attached to the existing session
+
+  std::atomic<bool> done{false};
+  std::thread ingest([&] {
+    PushTrace(h.client, trace, 0, trace.size(), 256);
+    done.store(true);
+  });
+  uint64_t last_time = 0;
+  uint64_t queries = 0;
+  while (!done.load()) {
+    SnapshotFrame snapshot;
+    ASSERT_TRUE(observer.Query(&snapshot, &error)) << error;
+    EXPECT_GE(snapshot.time, last_time);
+    last_time = snapshot.time;
+    ++queries;
+  }
+  ingest.join();
+  EXPECT_GT(queries, 0u);
+  SnapshotFrame final_snapshot;
+  ASSERT_TRUE(observer.Query(&final_snapshot, &error)) << error;
+  ExpectBitIdentical(final_snapshot, InProcess("deterministic", 0, trace),
+                     "after concurrent ingest");
+}
+
+TEST(ServiceServer, VersionMismatchIsRefusedLoudly) {
+  Harness h;
+  HelloFrame hello = MakeHello("s", "deterministic");
+  hello.version = 99;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(h.client.Hello(hello, &ack, &error));
+  EXPECT_NE(error.find("version mismatch"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, UnknownTrackerListsTheRegistry) {
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(
+      h.client.Hello(MakeHello("s", "no-such-tracker"), &ack, &error));
+  EXPECT_NE(error.find("deterministic"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, NonMergeableTrackerCannotBeSharded) {
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(h.client.Hello(MakeHello("s", "cmy-monotone", 4), &ack,
+                              &error));
+  EXPECT_NE(error.find("mergeable"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, OversizedSiteCountIsRefusedBeforeAllocation) {
+  // A well-formed Hello is still untrusted input: a huge k must be
+  // refused up front, not honored with gigabytes of per-site vectors.
+  Harness h;
+  HelloFrame hello = MakeHello("s", "deterministic");
+  hello.options.num_sites = 4000000000u;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(h.client.Hello(hello, &ack, &error));
+  EXPECT_NE(error.find("sites"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, SessionNamesAreRestrictedToACheckpointSafeCharset) {
+  // A newline in a session name would corrupt the line-oriented
+  // varstream-ckpt-v1 file into something that can never be restored.
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(
+      h.client.Hello(MakeHello("evil\n[end]", "naive"), &ack, &error));
+  EXPECT_NE(error.find("session name"), std::string::npos) << error;
+
+  VarstreamClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", h.server.port(), &error)) << error;
+  EXPECT_FALSE(second.Hello(MakeHello("", "naive"), &ack, &error));
+  EXPECT_NE(error.find("session name"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, FramesBeforeHelloAreRefused) {
+  Harness h;
+  std::string error;
+  SnapshotFrame snapshot;
+  EXPECT_FALSE(h.client.Query(&snapshot, &error));
+  EXPECT_NE(error.find("before hello"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, AttachWithDifferentConfigIsRefused) {
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("s", "deterministic"), &ack, &error))
+      << error;
+  VarstreamClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", h.server.port(), &error)) << error;
+  EXPECT_FALSE(second.Hello(MakeHello("s", "naive"), &ack, &error));
+  EXPECT_NE(error.find("different configuration"), std::string::npos)
+      << error;
+}
+
+TEST(ServiceServer, OutOfRangeSiteInBatchIsRefused) {
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("s", "deterministic"), &ack, &error))
+      << error;
+  CountUpdate bad{kSites + 3, +1};
+  PushAckFrame push_ack;
+  EXPECT_FALSE(h.client.Push(std::span<const CountUpdate>(&bad, 1),
+                             &push_ack, &error));
+  EXPECT_NE(error.find("site"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, MalformedBytesGetAnErrorFrameAndAClose) {
+  Harness h;
+  std::string error;
+  // A frame header whose advertised length is beyond the cap.
+  std::vector<uint8_t> junk = {0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3};
+  ASSERT_TRUE(h.client.RawSend(junk, &error)) << error;
+  Frame reply;
+  ASSERT_TRUE(h.client.RawReadFrame(&reply, &error)) << error;
+  EXPECT_EQ(reply.type, FrameType::kError);
+  ErrorFrame decoded;
+  ASSERT_TRUE(DecodeError(reply.payload, &decoded));
+  EXPECT_NE(decoded.message.find("oversized"), std::string::npos)
+      << decoded.message;
+}
+
+// The mid-batch disconnect drill: a client dies partway through a
+// PushBatch frame. The torn frame must be discarded with the connection
+// — the session's tracker state stays exactly where the last complete
+// frame left it, and a healthy client can finish the stream with full
+// parity.
+TEST(ServiceServer, MidBatchDisconnectDoesNotCorruptSessionState) {
+  StreamTrace trace = Record("random-walk", 10000, 9);
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("s", "deterministic"), &ack, &error))
+      << error;
+  PushTrace(h.client, trace, 0, 5000);
+
+  {
+    // A second client attaches and dies mid-frame: it ships only half of
+    // an (otherwise valid) PushBatch frame, then disconnects.
+    VarstreamClient dying;
+    ASSERT_TRUE(dying.Connect("127.0.0.1", h.server.port(), &error))
+        << error;
+    ASSERT_TRUE(dying.Hello(MakeHello("s", "deterministic"), &ack, &error))
+        << error;
+    std::vector<uint8_t> frame;
+    AppendFrame(&frame, FrameType::kPushBatch,
+                EncodePushBatch(std::span<const CountUpdate>(
+                    trace.updates().data() + 5000, 1000)));
+    std::span<const uint8_t> half(frame.data(), frame.size() / 2);
+    ASSERT_TRUE(dying.RawSend(half, &error)) << error;
+    dying.Close();
+  }
+
+  // Give the server a moment to reap the dead connection, then verify
+  // the session is still exactly at update 5000.
+  SnapshotFrame snapshot;
+  for (int tries = 0; tries < 100; ++tries) {
+    ASSERT_TRUE(h.client.Query(&snapshot, &error)) << error;
+    if (snapshot.time == 5000) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(snapshot.time, 5000u)
+      << "a torn frame must not reach the tracker";
+
+  // The healthy client finishes the stream; parity must hold.
+  PushTrace(h.client, trace, 5000, trace.size());
+  ASSERT_TRUE(h.client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, InProcess("deterministic", 0, trace),
+                     "after mid-batch disconnect");
+}
+
+TEST(ServiceServer, CheckpointRestoreAcrossServersIsByteIdentical) {
+  StreamTrace trace = Record("random-walk", 16000, 21);
+  std::string path = testing::TempDir() + "service_server_test.ckpt";
+  TrackerSnapshot expected = InProcess("randomized", 0, trace);
+  {
+    ServerOptions options;
+    options.checkpoint_path = path;
+    Harness h(options);
+    HelloAckFrame ack;
+    std::string error;
+    ASSERT_TRUE(h.client.Hello(MakeHello("ckpt", "randomized"), &ack,
+                               &error))
+        << error;
+    PushTrace(h.client, trace, 0, 8000);
+    std::string written;
+    ASSERT_TRUE(h.client.Checkpoint(&written, &error)) << error;
+    EXPECT_EQ(written, path);
+    // Updates after the checkpoint are lost with the "crash" below —
+    // that is the point.
+    PushTrace(h.client, trace, 8000, 12000);
+    h.server.Stop();  // unit-test stand-in for kill -9
+  }
+  {
+    ServerOptions options;
+    options.restore_path = path;
+    Harness h(options);
+    HelloAckFrame ack;
+    std::string error;
+    ASSERT_TRUE(h.client.Hello(MakeHello("ckpt", "randomized"), &ack,
+                               &error))
+        << error;
+    EXPECT_FALSE(ack.created);        // the restored session was attached
+    EXPECT_EQ(ack.session_time, 8000u);
+    PushTrace(h.client, trace, 8000, trace.size());
+    SnapshotFrame snapshot;
+    ASSERT_TRUE(h.client.Query(&snapshot, &error)) << error;
+    ExpectBitIdentical(snapshot, expected, "after checkpoint restore");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceServer, CheckpointingServerRefusesUncheckpointableTrackers) {
+  ServerOptions options;
+  options.checkpoint_path = testing::TempDir() + "never_written.ckpt";
+  Harness h(options);
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(
+      h.client.Hello(MakeHello("s", "cmy-monotone"), &ack, &error));
+  EXPECT_NE(error.find("checkpointable"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, CheckpointWithoutPathIsRefused) {
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("s", "naive"), &ack, &error))
+      << error;
+  std::string path;
+  EXPECT_FALSE(h.client.Checkpoint(&path, &error));
+  EXPECT_NE(error.find("disabled"), std::string::npos) << error;
+}
+
+TEST(ServiceServer, StartFailsOnCorruptRestoreFile) {
+  std::string path = testing::TempDir() + "corrupt_restore_test.ckpt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("definitely not a checkpoint\n", f);
+  std::fclose(f);
+  ServerOptions options;
+  options.restore_path = path;
+  VarstreamServer server(options);
+  std::string error;
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_NE(error.find("varstream-ckpt-v1"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ServiceServer, AutomaticCheckpointsFireOnCadence) {
+  StreamTrace trace = Record("random-walk", 4000, 31);
+  std::string path = testing::TempDir() + "auto_ckpt_test.ckpt";
+  ServerOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1000;
+  Harness h(options);
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("auto", "naive"), &ack, &error))
+      << error;
+  bool saw_checkpoint = false;
+  const std::vector<CountUpdate>& updates = trace.updates();
+  for (size_t pos = 0; pos < updates.size(); pos += 500) {
+    PushAckFrame push_ack;
+    ASSERT_TRUE(h.client.Push(
+        std::span<const CountUpdate>(updates.data() + pos, 500), &push_ack,
+        &error))
+        << error;
+    saw_checkpoint |= push_ack.checkpointed;
+  }
+  EXPECT_TRUE(saw_checkpoint);
+  std::vector<SessionCheckpoint> entries;
+  ASSERT_TRUE(ReadCheckpointFile(path, &entries, &error)) << error;
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "auto");
+  std::remove(path.c_str());
+}
+
+TEST(ServiceServer, ShutdownFrameStopsTheServer) {
+  Harness h;
+  std::string error;
+  ASSERT_TRUE(h.client.Shutdown(&error)) << error;
+  h.server.WaitForShutdownRequest();  // returns because of the frame
+  h.server.Stop();
+}
+
+}  // namespace
+}  // namespace varstream

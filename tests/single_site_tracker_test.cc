@@ -24,7 +24,8 @@ TEST(SingleSiteTracker, GuaranteeOnRandomWalk) {
   RandomWalkGenerator gen(1);
   SingleSiteAssigner assigner;
   SingleSiteTracker tracker(Opts(0.1));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 50000, 0.1);
+  GeneratorSource src1(&gen, &assigner);
+  RunResult result = varstream::Run(src1, tracker, {.epsilon = 0.1, .max_updates = 50000});
   EXPECT_EQ(result.violation_rate, 0.0);
   EXPECT_LE(result.max_rel_error, 0.1 + 1e-12);
 }
@@ -47,7 +48,8 @@ TEST_P(SingleSiteBoundTest, MessageBoundFromAppendixI) {
   SingleSiteAssigner assigner;
   TrackerOptions opts = Opts(eps, gen->initial_value());
   SingleSiteTracker tracker(opts);
-  RunResult result = RunCount(gen.get(), &assigner, &tracker, 50000, eps);
+  GeneratorSource src2(gen.get(), &assigner);
+  RunResult result = varstream::Run(src2, tracker, {.epsilon = eps, .max_updates = 50000});
   // Appendix I: messages <= total increase of Phi / eps, and the increase
   // per step is at most (1 + eps)*v'(t) (plus the v' = 1 resync steps).
   double bound = (1.0 + eps) / eps * result.variability + 2.0;
@@ -138,7 +140,8 @@ TEST(SingleSiteTracker, VeryLooseEpsilonStillCorrect) {
   RandomWalkGenerator gen(6);
   SingleSiteAssigner assigner;
   SingleSiteTracker tracker(Opts(0.9));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 20000, 0.9);
+  GeneratorSource src3(&gen, &assigner);
+  RunResult result = varstream::Run(src3, tracker, {.epsilon = 0.9, .max_updates = 20000});
   EXPECT_EQ(result.violation_rate, 0.0);
   // With a 90% band almost nothing needs sending beyond zero-crossings.
   EXPECT_LT(result.messages, result.n / 2);
@@ -148,7 +151,8 @@ TEST(SingleSiteTracker, VeryTightEpsilonNearExact) {
   RandomWalkGenerator gen(7);
   SingleSiteAssigner assigner;
   SingleSiteTracker tracker(Opts(0.001));
-  RunResult result = RunCount(&gen, &assigner, &tracker, 5000, 0.001);
+  GeneratorSource src4(&gen, &assigner);
+  RunResult result = varstream::Run(src4, tracker, {.epsilon = 0.001, .max_updates = 5000});
   EXPECT_EQ(result.violation_rate, 0.0);
   EXPECT_LE(result.max_rel_error, 0.001 + 1e-12);
 }

@@ -204,7 +204,11 @@ TEST(RecordTrace, MatchesStreamTraceRecord) {
   EXPECT_EQ(direct.initial_value(), via_source.initial_value());
 }
 
-TEST(Run, MatchesDeprecatedRunCountShim) {
+// Run is a pure function of (source stream, tracker, options): the same
+// configuration assembled through a borrowed-parts GeneratorSource or a
+// sized one, with designated-initializer or explicit RunOptions, measures
+// identically.
+TEST(Run, EquivalentAcrossConstructionStyles) {
   TrackerOptions opts;
   opts.num_sites = 4;
   opts.epsilon = 0.1;
@@ -212,8 +216,9 @@ TEST(Run, MatchesDeprecatedRunCountShim) {
   RandomWalkGenerator gen_a(17);
   UniformAssigner assigner_a(4, 23);
   DeterministicTracker tracker_a(opts);
-  RunResult via_shim =
-      RunCount(&gen_a, &assigner_a, &tracker_a, 5000, 0.1);
+  GeneratorSource borrowed(&gen_a, &assigner_a);
+  RunResult via_borrowed = varstream::Run(
+      borrowed, tracker_a, {.epsilon = 0.1, .max_updates = 5000});
 
   RandomWalkGenerator gen_b(17);
   UniformAssigner assigner_b(4, 23);
@@ -224,13 +229,13 @@ TEST(Run, MatchesDeprecatedRunCountShim) {
   ropts.max_updates = 5000;
   RunResult via_run = varstream::Run(source, tracker_b, ropts);
 
-  EXPECT_EQ(via_shim.n, via_run.n);
-  EXPECT_EQ(via_shim.final_f, via_run.final_f);
-  EXPECT_EQ(via_shim.messages, via_run.messages);
-  EXPECT_DOUBLE_EQ(via_shim.max_rel_error, via_run.max_rel_error);
-  EXPECT_DOUBLE_EQ(via_shim.mean_rel_error, via_run.mean_rel_error);
-  EXPECT_DOUBLE_EQ(via_shim.violation_rate, via_run.violation_rate);
-  EXPECT_DOUBLE_EQ(via_shim.variability, via_run.variability);
+  EXPECT_EQ(via_borrowed.n, via_run.n);
+  EXPECT_EQ(via_borrowed.final_f, via_run.final_f);
+  EXPECT_EQ(via_borrowed.messages, via_run.messages);
+  EXPECT_DOUBLE_EQ(via_borrowed.max_rel_error, via_run.max_rel_error);
+  EXPECT_DOUBLE_EQ(via_borrowed.mean_rel_error, via_run.mean_rel_error);
+  EXPECT_DOUBLE_EQ(via_borrowed.violation_rate, via_run.violation_rate);
+  EXPECT_DOUBLE_EQ(via_borrowed.variability, via_run.variability);
 }
 
 TEST(Run, DrainsFiniteSourceWithoutExplicitBudget) {

@@ -70,7 +70,8 @@ TEST(HistoryTracer, TracedDeterministicRunAnswersHistoricalQueries) {
   std::vector<int64_t> f_values;
   RandomWalkGenerator truth_gen(3);
   int64_t f = 0;
-  RunCount(&gen, &assigner, &tracker, 20000, eps, &trace);
+  GeneratorSource src1(&gen, &assigner);
+  varstream::Run(src1, tracker, {.epsilon = eps, .max_updates = 20000, .tracer = &trace});
   for (int t = 0; t < 20000; ++t) {
     f += truth_gen.NextDelta();
     f_values.push_back(f);
@@ -93,7 +94,8 @@ TEST(HistoryTracer, SummarySizeTracksMessagesNotStreamLength) {
   opts.epsilon = eps;
   SingleSiteTracker tracker(opts);
   HistoryTracer trace(0.0);
-  RunCount(&gen, &assigner, &tracker, 100000, eps, &trace);
+  GeneratorSource src2(&gen, &assigner);
+  varstream::Run(src2, tracker, {.epsilon = eps, .max_updates = 100000, .tracer = &trace});
   // Monotone: O(log n / eps) messages -> tiny summary.
   EXPECT_LT(trace.changepoints(), 300u);
   EXPECT_EQ(trace.changepoints(), tracker.cost().total_messages());

@@ -1,0 +1,300 @@
+// varstream_loadgen — replays any registered stream (or a recorded trace
+// file) against a running varstream_serve and cross-checks the server's
+// final snapshot against an in-process run of the identical
+// configuration. The tracker layer is deterministic given (tracker,
+// options, stream), so the two snapshots must agree BIT FOR BIT —
+// estimate bit pattern, clock, messages, and bits. Any divergence means
+// the service layer corrupted state, and loadgen exits nonzero.
+//
+//   $ varstream_loadgen --port=7787 --tracker=deterministic
+//                       --stream=random-walk --n=200000 --batch=512
+//   $ varstream_loadgen --port=7787 --trace=walk.trace
+//   $ varstream_loadgen --port=7787 --shards=4 ...       # sharded session
+//
+// Checkpoint/restore drills (see ci/service_smoke.sh): --checkpoint-at=K
+// sends a Checkpoint frame exactly after stream position K, and --skip=K
+// resumes a second run at position K against a server restarted with
+// --restore — the final snapshot must still match the uninterrupted
+// in-process run byte for byte.
+//
+//   run 1: varstream_loadgen --port=P --n=100000 --checkpoint-at=50000
+//          (kill -9 the server; restart with --restore=state.ckpt)
+//   run 2: varstream_loadgen --port=P --n=100000 --skip=50000
+//
+// --shutdown asks the server to exit after the run; --verify=false skips
+// the in-process cross-check (pure load generation).
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "service/client.h"
+
+namespace {
+
+/// Mirrors the server session in-process: the same tracker construction
+/// varstream_serve performs for a Hello frame.
+std::unique_ptr<varstream::DistributedTracker> BuildReference(
+    const std::string& tracker_name, const varstream::TrackerOptions& options,
+    uint32_t shards, std::string* error) {
+  if (shards >= 1) {
+    return varstream::ShardedTracker::Create(tracker_name, options, shards,
+                                             error);
+  }
+  auto tracker =
+      varstream::TrackerRegistry::Instance().Create(tracker_name, options);
+  if (tracker == nullptr) {
+    *error = "unknown tracker '" + tracker_name + "'";
+  }
+  return tracker;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(flags.GetUint("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "varstream_loadgen: --port is required\n");
+    return 2;
+  }
+  const std::string tracker_name =
+      flags.GetString("tracker", "deterministic");
+  const std::string stream_name = flags.GetString("stream", "random-walk");
+  const std::string trace_path = flags.GetString("trace", "");
+  const uint64_t n = flags.GetUint("n", 100000);
+  const uint64_t batch = std::max<uint64_t>(flags.GetUint("batch", 512), 1);
+  const uint64_t skip = flags.GetUint("skip", 0);
+  const uint64_t checkpoint_at = flags.GetUint("checkpoint-at", 0);
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const bool verify = flags.GetBool("verify", true);
+  const bool shutdown = flags.GetBool("shutdown", false);
+  const auto shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
+
+  // --- Build the stream twice: one pass for the server, one for the
+  // in-process reference. Sources are single-pass, so use a factory.
+  varstream::StreamSpec spec;
+  spec.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  spec.seed = seed;
+  spec.assigner = flags.GetString("assigner", "uniform");
+  if (!varstream::ParseKeyValueParams(flags.GetString("params", ""),
+                                      &spec.params)) {
+    return 2;
+  }
+  auto make_source =
+      [&]() -> std::unique_ptr<varstream::StreamSource> {
+    if (!trace_path.empty()) {
+      std::string error;
+      auto source = varstream::TraceSource::FromFile(trace_path, &error);
+      if (source == nullptr) {
+        std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+      }
+      return source;
+    }
+    auto source = varstream::StreamRegistry::Instance().Create(stream_name,
+                                                               spec);
+    if (source == nullptr) {
+      std::fprintf(
+          stderr, "varstream_loadgen: unknown stream '%s'; valid: %s\n",
+          stream_name.c_str(),
+          varstream::JoinNames(
+              varstream::StreamRegistry::Instance().StreamNames())
+              .c_str());
+    }
+    return source;
+  };
+  auto source = make_source();
+  if (source == nullptr) return 2;
+  uint64_t total = n;
+  if (source->remaining() != varstream::StreamSource::kUnbounded) {
+    total = std::min<uint64_t>(n, source->remaining());
+  }
+  if (skip >= total) {
+    std::fprintf(stderr,
+                 "varstream_loadgen: --skip=%llu covers the whole %llu-"
+                 "update stream; nothing to push\n",
+                 static_cast<unsigned long long>(skip),
+                 static_cast<unsigned long long>(total));
+    return 2;
+  }
+  if (checkpoint_at != 0 &&
+      (checkpoint_at <= skip || checkpoint_at > total)) {
+    std::fprintf(stderr,
+                 "varstream_loadgen: --checkpoint-at must lie in "
+                 "(--skip, --n]\n");
+    return 2;
+  }
+
+  varstream::HelloFrame hello;
+  hello.session = flags.GetString("session", "default");
+  hello.tracker = tracker_name;
+  hello.shards = shards;
+  hello.options.num_sites =
+      trace_path.empty() ? spec.num_sites
+                         : std::max(source->num_sites(), 1u);
+  hello.options.epsilon = flags.GetDouble("eps", 0.1);
+  hello.options.seed = seed ^ 0x7AC8E5;  // same derivation as varstream_run
+  hello.options.period = flags.GetUint("period", 64);
+  hello.options.initial_value = source->initial_value();
+
+  varstream::VarstreamClient client;
+  std::string error;
+  if (!client.Connect(host, port, &error)) {
+    std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  varstream::HelloAckFrame hello_ack;
+  if (!client.Hello(hello, &hello_ack, &error)) {
+    std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  // --- Replay [skip, total) in batches, checkpointing at the requested
+  // stream position. The skipped prefix is regenerated and dropped; its
+  // unit-step weight (sum |delta|, the session clock's unit) validates
+  // that the restored session really is at the resume point.
+  std::vector<varstream::CountUpdate> buffer(batch);
+  uint64_t position = 0;
+  uint64_t pushed = 0;
+  uint64_t skipped_steps = 0;
+  bool resume_checked = false;
+  auto start_time = std::chrono::steady_clock::now();
+  while (position < total) {
+    // Stop a batch early at the checkpoint position so the checkpoint
+    // lands exactly there.
+    uint64_t limit = total;
+    if (checkpoint_at > position) limit = std::min(limit, checkpoint_at);
+    size_t want =
+        static_cast<size_t>(std::min<uint64_t>(batch, limit - position));
+    size_t got = source->NextBatch(std::span(buffer.data(), want));
+    if (got == 0) break;
+    uint64_t batch_start = position;
+    position += got;
+    size_t dropped = batch_start + got <= skip
+                         ? got
+                         : (batch_start < skip
+                                ? static_cast<size_t>(skip - batch_start)
+                                : 0);
+    for (size_t i = 0; i < dropped; ++i) {
+      skipped_steps += varstream::AbsU64(buffer[i].delta);
+    }
+    if (dropped == got) {
+      // Entirely inside the already-restored prefix: regenerate, drop.
+    } else {
+      size_t from = dropped;
+      if (!resume_checked) {
+        resume_checked = true;
+        if (hello_ack.session_time != skipped_steps) {
+          std::fprintf(
+              stderr,
+              "varstream_loadgen: session '%s' is at time %llu but the "
+              "replay resumes at time %llu — wrong --skip, or a stale "
+              "session\n",
+              hello.session.c_str(),
+              static_cast<unsigned long long>(hello_ack.session_time),
+              static_cast<unsigned long long>(skipped_steps));
+          return 1;
+        }
+      }
+      varstream::PushAckFrame ack;
+      if (!client.Push(
+              std::span<const varstream::CountUpdate>(buffer.data() + from,
+                                                      got - from),
+              &ack, &error)) {
+        std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+        return 1;
+      }
+      pushed += got - from;
+    }
+    if (checkpoint_at != 0 && position == checkpoint_at) {
+      std::string path;
+      if (!client.Checkpoint(&path, &error)) {
+        std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("checkpoint written at position %llu: %s\n",
+                  static_cast<unsigned long long>(position), path.c_str());
+    }
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_time)
+                     .count();
+
+  varstream::SnapshotFrame server_snapshot;
+  if (!client.Query(&server_snapshot, &error)) {
+    std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("pushed %llu updates in %.3fs (%.0f updates/s over the "
+              "wire)\n",
+              static_cast<unsigned long long>(pushed), elapsed,
+              elapsed > 0 ? static_cast<double>(pushed) / elapsed : 0.0);
+  std::printf("server snapshot: estimate=%.17g time=%llu messages=%llu "
+              "bits=%llu\n",
+              server_snapshot.estimate,
+              static_cast<unsigned long long>(server_snapshot.time),
+              static_cast<unsigned long long>(server_snapshot.messages),
+              static_cast<unsigned long long>(server_snapshot.bits));
+  std::printf("wire traffic   : %llu frames, %llu bytes\n",
+              static_cast<unsigned long long>(server_snapshot.wire_messages),
+              static_cast<unsigned long long>(server_snapshot.wire_bits / 8));
+
+  int exit_code = 0;
+  if (verify) {
+    // --- The in-process reference: identical tracker construction,
+    // identical stream, full replay from position 0.
+    std::string build_error;
+    auto reference = BuildReference(tracker_name, hello.options, shards,
+                                    &build_error);
+    if (reference == nullptr) {
+      std::fprintf(stderr, "varstream_loadgen: reference: %s\n",
+                   build_error.c_str());
+      return 1;
+    }
+    auto replay = make_source();
+    if (replay == nullptr) return 1;
+    uint64_t left = total;
+    while (left > 0) {
+      size_t want = static_cast<size_t>(std::min<uint64_t>(batch, left));
+      size_t got = replay->NextBatch(std::span(buffer.data(), want));
+      if (got == 0) break;
+      reference->PushBatch(
+          std::span<const varstream::CountUpdate>(buffer.data(), got));
+      left -= got;
+    }
+    varstream::TrackerSnapshot expected = reference->Snapshot();
+    bool estimate_match =
+        std::bit_cast<uint64_t>(expected.estimate) ==
+        std::bit_cast<uint64_t>(server_snapshot.estimate);
+    bool match = estimate_match && expected.time == server_snapshot.time &&
+                 expected.messages == server_snapshot.messages &&
+                 expected.bits == server_snapshot.bits;
+    if (match) {
+      std::printf("PARITY OK: served snapshot is byte-identical to the "
+                  "in-process run\n");
+    } else {
+      std::printf("PARITY MISMATCH:\n");
+      std::printf("  in-process: estimate=%.17g time=%llu messages=%llu "
+                  "bits=%llu\n",
+                  expected.estimate,
+                  static_cast<unsigned long long>(expected.time),
+                  static_cast<unsigned long long>(expected.messages),
+                  static_cast<unsigned long long>(expected.bits));
+      exit_code = 1;
+    }
+  }
+
+  if (shutdown) {
+    if (!client.Shutdown(&error)) {
+      std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("server shutdown acknowledged\n");
+  }
+  return exit_code;
+}

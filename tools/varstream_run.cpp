@@ -25,39 +25,6 @@
 
 #include "core/api.h"
 
-namespace {
-
-/// Parses "--params=key=val,key=val" into StreamSpec params. Returns
-/// false (with a diagnostic) on a malformed pair or non-numeric value.
-bool ParseParams(const std::string& csv,
-                 std::map<std::string, double>* params) {
-  size_t start = 0;
-  while (start < csv.size()) {
-    size_t comma = csv.find(',', start);
-    if (comma == std::string::npos) comma = csv.size();
-    std::string pair = csv.substr(start, comma - start);
-    size_t eq = pair.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      std::fprintf(stderr, "--params: '%s' is not key=value\n",
-                   pair.c_str());
-      return false;
-    }
-    std::string value = pair.substr(eq + 1);
-    char* end = nullptr;
-    double parsed = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0') {
-      std::fprintf(stderr, "--params: '%s' is not a number\n",
-                   value.c_str());
-      return false;
-    }
-    (*params)[pair.substr(0, eq)] = parsed;
-    start = comma + 1;
-  }
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
   if (flags.GetBool("list-trackers", false)) {
@@ -102,7 +69,10 @@ int main(int argc, char** argv) {
   spec.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
   spec.seed = seed;
   spec.assigner = assigner_name;
-  if (!ParseParams(flags.GetString("params", ""), &spec.params)) return 2;
+  if (!varstream::ParseKeyValueParams(flags.GetString("params", ""),
+                                      &spec.params)) {
+    return 2;
+  }
 
   varstream::TrackerOptions options;
   options.num_sites = spec.num_sites;
