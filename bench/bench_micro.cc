@@ -27,6 +27,8 @@
 #include "stream/trace.h"
 #include "stream/update.h"
 #include "stream/variability.h"
+#include "testkit/oracles.h"
+#include "testkit/scenario_gen.h"
 
 namespace varstream {
 namespace {
@@ -132,6 +134,37 @@ void BM_DriverRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (int64_t{1} << 16));
 }
 BENCHMARK(BM_DriverRun)->Arg(1)->Arg(4096);
+
+// Conformance-check throughput (src/testkit/): scenario generation +
+// trace materialization alone, and one full accuracy-oracle check per
+// iteration — the unit the CI conformance job spends its 60-second
+// budgets on, so a regression here silently shrinks CI's coverage.
+void BM_TestkitGenerateCase(benchmark::State& state) {
+  testkit::GenOptions options;
+  options.min_updates = 1000;
+  options.max_updates = 1000;
+  testkit::ScenarioGenerator gen(options, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.NextCase());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TestkitGenerateCase);
+
+void BM_TestkitAccuracyCheck(benchmark::State& state) {
+  testkit::GenOptions options;
+  options.trackers = {"deterministic"};
+  options.min_updates = 1000;
+  options.max_updates = 1000;
+  testkit::ScenarioGenerator gen(options, 42);
+  testkit::GeneratedCase c = gen.NextCase();
+  const testkit::Oracle* oracle = testkit::FindOracle("accuracy");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->Check(c));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TestkitAccuracyCheck);
 
 // Per-update ingest over the pre-generated pool: the baseline the batched
 // path is measured against.

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace varstream {
 
@@ -36,10 +37,14 @@ FlagParser::FlagParser(int argc, char** argv) {
     if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') continue;
     std::string body = arg.substr(2);
     auto eq = body.find('=');
-    if (eq == std::string::npos) {
-      values_[body] = "true";
-    } else {
+    if (eq != std::string::npos) {
       values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      // "--flag value": the next argument is the value unless it is
+      // itself a flag ("-5" style negative values are values).
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare boolean
     }
   }
 }

@@ -17,9 +17,10 @@ namespace varstream {
 bool ParseKeyValueParams(const std::string& csv,
                          std::map<std::string, double>* params);
 
-/// Parses flags of the form --name=value (or bare --name for booleans).
-/// Unknown positional arguments are ignored. Typed getters fall back to the
-/// provided default when a flag is absent or unparsable.
+/// Parses flags of the form --name=value or --name value (or bare
+/// trailing/pre-flag --name for booleans). Unknown positional arguments
+/// are ignored. Typed getters fall back to the provided default when a
+/// flag is absent or unparsable.
 class FlagParser {
  public:
   FlagParser(int argc, char** argv);

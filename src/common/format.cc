@@ -1,0 +1,35 @@
+#include "common/format.h"
+
+#include <cstdio>
+
+namespace varstream {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return buf;
+}
+
+}  // namespace varstream

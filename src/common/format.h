@@ -1,0 +1,22 @@
+// Small shared text-formatting helpers for the hand-rolled JSON/report
+// emitters (core/scenario.cc, testkit/runner.cc, ...). One definition
+// each, so the varstream-suite-v1 and varstream-check-v1 documents can
+// never drift in escaping or number formatting.
+
+#ifndef VARSTREAM_COMMON_FORMAT_H_
+#define VARSTREAM_COMMON_FORMAT_H_
+
+#include <string>
+
+namespace varstream {
+
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes, and control characters (\n, \t, \u00XX).
+std::string JsonEscape(const std::string& s);
+
+/// snprintf through a printf double format (e.g. "%g", "%.17g").
+std::string FormatDouble(const char* fmt, double value);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_COMMON_FORMAT_H_

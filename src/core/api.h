@@ -81,6 +81,7 @@
 
 // The paper's algorithms.
 #include "core/block_partition.h"           // IWYU pragma: export
+#include "core/compat.h"                    // IWYU pragma: export
 #include "core/deterministic_tracker.h"     // IWYU pragma: export
 #include "core/driver.h"                    // IWYU pragma: export
 #include "core/frequency_tracker.h"         // IWYU pragma: export

@@ -1,0 +1,58 @@
+#include "core/compat.h"
+
+#include "core/registry.h"
+#include "stream/source.h"
+
+namespace varstream {
+
+PairingVerdict CheckTrackerStreamPairing(const std::string& tracker,
+                                         const std::string& stream) {
+  const StreamRegistry& streams = StreamRegistry::Instance();
+  if (!streams.ContainsStream(stream)) return {};  // name errors elsewhere
+  return CheckTrackerMonotonePairing(tracker, streams.IsMonotone(stream),
+                                     "stream '" + stream + "'");
+}
+
+PairingVerdict CheckTrackerMonotonePairing(const std::string& tracker,
+                                           bool stream_monotone,
+                                           const std::string& stream_desc) {
+  if (stream_monotone) return {};
+  if (!TrackerRegistry::Instance().IsMonotoneOnly(tracker)) return {};
+  return {false, "tracker '" + tracker + "' is insertion-only but " +
+                     stream_desc + " can emit deletions"};
+}
+
+PairingVerdict CheckExplicitShardCount(uint32_t num_shards,
+                                       uint32_t num_sites) {
+  if (num_shards >= 1 && num_shards <= num_sites) return {};
+  return {false,
+          "invalid shard count " + std::to_string(num_shards) +
+              ": the site space is the unit of partitioning, so valid "
+              "values are 1.." +
+              std::to_string(num_sites) + " (k=" + std::to_string(num_sites) +
+              " sites; omit --shards for the serial engine)"};
+}
+
+PairingVerdict CheckShardPairing(const std::string& tracker,
+                                 uint32_t num_shards, uint32_t num_sites) {
+  if (num_shards == 0) return {};  // serial engine
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  if (trackers.Contains(tracker) && !trackers.IsMergeable(tracker)) {
+    return {false, "tracker '" + tracker +
+                       "' is not mergeable and cannot be sharded; mergeable "
+                       "trackers: " +
+                       JoinNames(trackers.MergeableNames())};
+  }
+  return CheckExplicitShardCount(num_shards, num_sites);
+}
+
+PairingVerdict CheckScenarioPairing(const std::string& tracker,
+                                    const std::string& stream,
+                                    uint32_t num_shards,
+                                    uint32_t num_sites) {
+  PairingVerdict verdict = CheckTrackerStreamPairing(tracker, stream);
+  if (!verdict.ok) return verdict;
+  return CheckShardPairing(tracker, num_shards, num_sites);
+}
+
+}  // namespace varstream

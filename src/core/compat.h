@@ -1,0 +1,70 @@
+// Pairing admissibility: the single source of truth for which
+// (tracker, stream, shards) combinations are runnable. The same two
+// predicates used to be repeated — with drifting wording — in the suite
+// expansion, the scenario runner, and each of the tools:
+//
+//   * insertion-only trackers (registry monotone_only) can only consume
+//     monotone streams (registry monotone / trace-level monotone flag);
+//   * the sharded ingest engine only admits mergeable trackers, with a
+//     worker count in [1, k].
+//
+// Every layer that skips, refuses, or warns about a pairing now asks
+// these helpers, so a skip decision in ExpandSuite, a RunScenario error,
+// a tool diagnostic, and a testkit generator resample are guaranteed to
+// agree (pinned by tests/compat_test.cc).
+
+#ifndef VARSTREAM_CORE_COMPAT_H_
+#define VARSTREAM_CORE_COMPAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace varstream {
+
+/// Outcome of an admissibility check: ok, or a refusal with the
+/// human-readable reason every consumer prints verbatim.
+struct PairingVerdict {
+  bool ok = true;
+  std::string reason;  ///< set when !ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// tracker x stream by registry name: insertion-only trackers require a
+/// stream registered monotone. Unknown names are *admitted* — name
+/// resolution stays the caller's concern (it has richer errors listing
+/// the valid names).
+PairingVerdict CheckTrackerStreamPairing(const std::string& tracker,
+                                         const std::string& stream);
+
+/// Same check when the stream is not a registry name — a recorded trace
+/// or a custom source — and only its monotone flag is known.
+/// `stream_desc` names the stream in the refusal message.
+PairingVerdict CheckTrackerMonotonePairing(const std::string& tracker,
+                                           bool stream_monotone,
+                                           const std::string& stream_desc);
+
+/// An explicitly requested worker-shard count: must lie in [1, num_sites]
+/// (the site space is the unit of partitioning). This is the range check
+/// of ShardedTracker::Create and of the tools' --shards flag — at this
+/// level 0 is an error, not "serial".
+PairingVerdict CheckExplicitShardCount(uint32_t num_shards,
+                                       uint32_t num_sites);
+
+/// tracker x shards at the scenario level, where num_shards == 0 means
+/// the serial engine (always ok). Nonzero counts additionally require a
+/// mergeable tracker — the admission test of the sharded ingest engine
+/// (core/sharded.h).
+PairingVerdict CheckShardPairing(const std::string& tracker,
+                                 uint32_t num_shards, uint32_t num_sites);
+
+/// The combined scenario-level admission: tracker x stream x shards.
+/// Exactly the skip decision of ExpandSuite and the refusal of
+/// RunScenario.
+PairingVerdict CheckScenarioPairing(const std::string& tracker,
+                                    const std::string& stream,
+                                    uint32_t num_shards, uint32_t num_sites);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_CORE_COMPAT_H_

@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/format.h"
 #include "common/hash.h"
+#include "core/compat.h"
 #include "core/registry.h"
 #include "core/sharded.h"
 #include "stream/source.h"
@@ -35,34 +37,6 @@ uint64_t ScenarioFingerprint(const Scenario& s) {
   return h;
 }
 
-std::string FmtDouble(const char* fmt, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), fmt, v);
-  return buf;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 /// RFC-4180 escaping: fields containing a comma, quote, or newline are
 /// quoted with embedded quotes doubled; everything else passes through.
 std::string CsvField(const std::string& s) {
@@ -80,7 +54,7 @@ std::string CsvField(const std::string& s) {
 std::string Scenario::Id() const {
   std::string id = tracker + "/" + stream + "/" + assigner + "/k" +
                    std::to_string(num_sites) + "/eps" +
-                   FmtDouble("%g", epsilon) + "/n" + std::to_string(n) +
+                   FormatDouble("%g", epsilon) + "/n" + std::to_string(n) +
                    "/seed" + std::to_string(seed);
   if (batch_size > 1) id += "/b" + std::to_string(batch_size);
   if (num_shards > 0) id += "/s" + std::to_string(num_shards);
@@ -116,11 +90,14 @@ ScenarioResult RunScenario(const Scenario& scenario) {
                 "'; valid assigners: " + JoinNames(streams.AssignerNames());
     return out;
   }
-  if (trackers.IsMonotoneOnly(scenario.tracker) &&
-      !streams.IsMonotone(scenario.stream)) {
-    out.error = "tracker '" + scenario.tracker +
-                "' is insertion-only but stream '" + scenario.stream +
-                "' can emit deletions";
+  // Pairing admissibility (insertion-only x deletions, mergeable x
+  // shards) comes from the shared predicates so this refusal, the suite
+  // expansion skip, and the tools' diagnostics can never disagree.
+  PairingVerdict pairing = CheckScenarioPairing(
+      scenario.tracker, scenario.stream, scenario.num_shards,
+      scenario.num_sites);
+  if (!pairing.ok) {
+    out.error = pairing.reason;
     return out;
   }
 
@@ -177,7 +154,7 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
   json += ",\"stream\":\"" + JsonEscape(s.stream) + "\"";
   json += ",\"assigner\":\"" + JsonEscape(s.assigner) + "\"";
   json += ",\"sites\":" + std::to_string(s.num_sites);
-  json += ",\"epsilon\":" + FmtDouble("%g", s.epsilon);
+  json += ",\"epsilon\":" + FormatDouble("%g", s.epsilon);
   json += ",\"n\":" + std::to_string(s.n);
   json += ",\"seed\":" + std::to_string(s.seed);
   json += ",\"batch\":" + std::to_string(s.batch_size);
@@ -189,16 +166,16 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
   }
   const RunResult& m = r.result;
   json += ",\"n_processed\":" + std::to_string(m.n);
-  json += ",\"variability\":" + FmtDouble("%.17g", m.variability);
+  json += ",\"variability\":" + FormatDouble("%.17g", m.variability);
   json += ",\"messages\":" + std::to_string(m.messages);
   json += ",\"bits\":" + std::to_string(m.bits);
   json += ",\"partition_messages\":" + std::to_string(m.partition_messages);
   json += ",\"tracking_messages\":" + std::to_string(m.tracking_messages);
-  json += ",\"max_rel_error\":" + FmtDouble("%.17g", m.max_rel_error);
-  json += ",\"mean_rel_error\":" + FmtDouble("%.17g", m.mean_rel_error);
-  json += ",\"violation_rate\":" + FmtDouble("%.17g", m.violation_rate);
+  json += ",\"max_rel_error\":" + FormatDouble("%.17g", m.max_rel_error);
+  json += ",\"mean_rel_error\":" + FormatDouble("%.17g", m.mean_rel_error);
+  json += ",\"violation_rate\":" + FormatDouble("%.17g", m.violation_rate);
   json += ",\"final_f\":" + std::to_string(m.final_f);
-  json += ",\"final_estimate\":" + FmtDouble("%.17g", m.final_estimate);
+  json += ",\"final_estimate\":" + FormatDouble("%.17g", m.final_estimate);
   return json + "}";
 }
 
@@ -214,7 +191,7 @@ std::string ScenarioResultToCsvRow(const ScenarioResult& r) {
   std::string row = CsvField(s.Id()) + "," + CsvField(s.tracker) + "," +
                     CsvField(s.stream) + "," + CsvField(s.assigner) + "," +
                     std::to_string(s.num_sites) + "," +
-                    FmtDouble("%g", s.epsilon) + "," + std::to_string(s.n) +
+                    FormatDouble("%g", s.epsilon) + "," + std::to_string(s.n) +
                     "," + std::to_string(s.seed) + "," +
                     std::to_string(s.batch_size) + "," +
                     std::to_string(s.num_shards) + "," +
@@ -224,15 +201,15 @@ std::string ScenarioResultToCsvRow(const ScenarioResult& r) {
   row += ",";
   if (!r.ok) return row + ",,,,,,,,,,";
   const RunResult& m = r.result;
-  row += std::to_string(m.n) + "," + FmtDouble("%.17g", m.variability) +
+  row += std::to_string(m.n) + "," + FormatDouble("%.17g", m.variability) +
          "," + std::to_string(m.messages) + "," + std::to_string(m.bits) +
          "," + std::to_string(m.partition_messages) + "," +
          std::to_string(m.tracking_messages) + "," +
-         FmtDouble("%.17g", m.max_rel_error) + "," +
-         FmtDouble("%.17g", m.mean_rel_error) + "," +
-         FmtDouble("%.17g", m.violation_rate) + "," +
+         FormatDouble("%.17g", m.max_rel_error) + "," +
+         FormatDouble("%.17g", m.mean_rel_error) + "," +
+         FormatDouble("%.17g", m.violation_rate) + "," +
          std::to_string(m.final_f) + "," +
-         FmtDouble("%.17g", m.final_estimate);
+         FormatDouble("%.17g", m.final_estimate);
   return row;
 }
 

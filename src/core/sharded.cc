@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/math_util.h"
+#include "core/compat.h"
 #include "core/registry.h"
 #include "core/state_codec.h"
 #include "stream/source.h"
@@ -55,24 +56,15 @@ std::unique_ptr<ShardedTracker> ShardedTracker::Create(
     }
     return nullptr;
   }
-  if (!registry.IsMergeable(base_name)) {
-    if (error != nullptr) {
-      *error = "tracker '" + base_name +
-               "' is not mergeable and cannot be sharded; mergeable "
-               "trackers: " +
-               JoinNames(registry.MergeableNames());
-    }
-    return nullptr;
-  }
-  if (num_shards < 1 || num_shards > options.num_sites) {
-    if (error != nullptr) {
-      *error = "invalid shard count " + std::to_string(num_shards) +
-               ": the site space is the unit of partitioning, so valid "
-               "values are 1.." +
-               std::to_string(options.num_sites) + " (k=" +
-               std::to_string(options.num_sites) +
-               " sites; omit --shards for the serial engine)";
-    }
+  // Admission through the shared predicates (core/compat.h). At this
+  // level a shard count of 0 is an error, not "serial", so the explicit
+  // range check runs even when CheckShardPairing would wave 0 through.
+  PairingVerdict verdict =
+      num_shards == 0
+          ? CheckExplicitShardCount(num_shards, options.num_sites)
+          : CheckShardPairing(base_name, num_shards, options.num_sites);
+  if (!verdict.ok) {
+    if (error != nullptr) *error = verdict.reason;
     return nullptr;
   }
   return std::unique_ptr<ShardedTracker>(

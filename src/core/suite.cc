@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/compat.h"
 #include "core/registry.h"
 #include "stream/source.h"
 
@@ -20,13 +21,13 @@ std::vector<Scenario> ExpandSuite(const SuiteSpec& spec) {
 
   std::vector<Scenario> scenarios;
   for (const std::string& tracker : tracker_names) {
-    if (spec.skip_incompatible && spec.num_shards > 0 &&
-        !trackers.IsMergeable(tracker)) {
+    if (spec.skip_incompatible &&
+        !CheckShardPairing(tracker, spec.num_shards, spec.num_sites).ok) {
       continue;  // the sharded engine refuses non-mergeable trackers
     }
     for (const std::string& stream : stream_names) {
-      if (spec.skip_incompatible && trackers.IsMonotoneOnly(tracker) &&
-          !streams.IsMonotone(stream)) {
+      if (spec.skip_incompatible &&
+          !CheckTrackerStreamPairing(tracker, stream).ok) {
         continue;
       }
       for (const std::string& assigner : spec.assigners) {

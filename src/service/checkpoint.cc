@@ -86,11 +86,25 @@ bool DecodeCheckpoint(const std::string& text,
     return Fail(error, "missing trailing crc line (truncated checkpoint?)");
   }
   {
-    std::string crc_text = text.substr(crc_pos + 4);
-    while (!crc_text.empty() && crc_text.back() == '\n') crc_text.pop_back();
-    char* end = nullptr;
-    uint64_t stored = std::strtoull(crc_text.c_str(), &end, 16);
-    if (crc_text.size() != 8 || end != crc_text.c_str() + crc_text.size()) {
+    // Strict: the file ends with exactly "crc=<8 lowercase hex>\n". A
+    // missing final newline is truncation, and the digits are matched
+    // byte-for-byte — strtoull-style parsing would accept a case-flipped
+    // digit ('a' vs 'A' differ in exactly one bit) as the same value,
+    // a silent accept the corruption-matrix tests reject.
+    const std::string crc_text = text.substr(crc_pos + 4);
+    bool well_formed = crc_text.size() == 9 && crc_text.back() == '\n';
+    uint64_t stored = 0;
+    for (size_t i = 0; well_formed && i < 8; ++i) {
+      char c = crc_text[i];
+      if (c >= '0' && c <= '9') {
+        stored = stored << 4 | static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        stored = stored << 4 | static_cast<uint64_t>(c - 'a' + 10);
+      } else {
+        well_formed = false;
+      }
+    }
+    if (!well_formed) {
       return Fail(error, "malformed crc line");
     }
     uint32_t computed = Crc32(std::span<const uint8_t>(

@@ -81,6 +81,21 @@ double StreamTrace::Variability() const {
   return ComputeVariability(prefix_, initial_value_);
 }
 
+StreamTrace StreamTrace::Prefix(uint64_t n) const {
+  if (n >= updates_.size()) return *this;
+  return StreamTrace(
+      std::vector<CountUpdate>(updates_.begin(),
+                               updates_.begin() + static_cast<size_t>(n)),
+      initial_value_);
+}
+
+StreamTrace StreamTrace::RemapSites(uint32_t num_sites) const {
+  assert(num_sites >= 1);
+  std::vector<CountUpdate> remapped = updates_;
+  for (CountUpdate& u : remapped) u.site %= num_sites;
+  return StreamTrace(std::move(remapped), initial_value_);
+}
+
 std::vector<uint8_t> StreamTrace::Serialize() const {
   std::vector<uint8_t> buf;
   buf.reserve(24 + updates_.size() * 12);

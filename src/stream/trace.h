@@ -40,6 +40,16 @@ class StreamTrace {
   /// Total variability v(n) of the recorded stream.
   double Variability() const;
 
+  /// The first n updates as a new trace (same f(0)). Any prefix of a
+  /// valid stream is a valid stream, which is what makes truncation the
+  /// primary shrink move of testkit/shrink.h. n >= size() copies whole.
+  StreamTrace Prefix(uint64_t n) const;
+
+  /// The same delta sequence dealt over a smaller site space
+  /// (site % num_sites, num_sites >= 1) — the shrinker's k-reduction
+  /// move. f(t) is untouched; only the site labels change.
+  StreamTrace RemapSites(uint32_t num_sites) const;
+
   /// Serializes to a compact little-endian byte buffer:
   ///   magic "VSTR" (u32) | format version (u32) | f(0) (i64) |
   ///   update count m (u64) | m x { site (u32) | delta (i64) }

@@ -1,0 +1,130 @@
+#include "testkit/bytefuzz.h"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+
+#include "common/random.h"
+
+namespace varstream {
+namespace testkit {
+
+namespace {
+
+std::vector<uint8_t> ToVector(std::span<const uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+Mutation FlipBitAt(std::span<const uint8_t> bytes, size_t bit) {
+  Mutation m;
+  m.bytes = ToVector(bytes);
+  m.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  m.description = "bit-flip at bit " + std::to_string(bit) + " (byte " +
+                  std::to_string(bit / 8) + ")";
+  return m;
+}
+
+}  // namespace
+
+std::vector<Mutation> TruncationSweep(std::span<const uint8_t> bytes,
+                                      uint64_t seed, size_t budget) {
+  std::vector<Mutation> out;
+  if (bytes.empty()) return out;
+  std::set<size_t> lengths;
+  if (bytes.size() <= budget) {
+    for (size_t len = 0; len < bytes.size(); ++len) lengths.insert(len);
+  } else {
+    lengths.insert(0);
+    lengths.insert(bytes.size() - 1);
+    Rng rng(seed ^ 0x7121C473ull);
+    while (lengths.size() < budget) {
+      lengths.insert(static_cast<size_t>(rng.UniformBelow(bytes.size())));
+    }
+  }
+  for (size_t len : lengths) {
+    Mutation m;
+    m.bytes.assign(bytes.begin(), bytes.begin() + len);
+    m.description = "truncated to " + std::to_string(len) + " of " +
+                    std::to_string(bytes.size()) + " bytes";
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<Mutation> BitFlipSweep(std::span<const uint8_t> bytes,
+                                   uint64_t seed, size_t budget) {
+  std::vector<Mutation> out;
+  const size_t total_bits = bytes.size() * 8;
+  if (total_bits == 0) return out;
+  if (total_bits <= budget) {
+    for (size_t bit = 0; bit < total_bits; ++bit) {
+      out.push_back(FlipBitAt(bytes, bit));
+    }
+    return out;
+  }
+  std::set<size_t> bits;
+  Rng rng(seed ^ 0xB17F11Bull);
+  while (bits.size() < budget) {
+    bits.insert(static_cast<size_t>(rng.UniformBelow(total_bits)));
+  }
+  for (size_t bit : bits) out.push_back(FlipBitAt(bytes, bit));
+  return out;
+}
+
+std::vector<Mutation> LengthLieSweep(std::span<const uint8_t> bytes) {
+  std::vector<Mutation> out;
+  if (bytes.size() < 4) return out;
+  uint32_t declared = static_cast<uint32_t>(bytes[0]) |
+                      static_cast<uint32_t>(bytes[1]) << 8 |
+                      static_cast<uint32_t>(bytes[2]) << 16 |
+                      static_cast<uint32_t>(bytes[3]) << 24;
+  const uint32_t lies[] = {0u,
+                           declared == 0 ? 1u : declared - 1,
+                           declared + 1,
+                           declared + 1000,
+                           64u << 20,  // way past any payload cap
+                           0xFFFFFFFFu};
+  for (uint32_t lie : lies) {
+    if (lie == declared) continue;
+    Mutation m;
+    m.bytes = ToVector(bytes);
+    m.bytes[0] = static_cast<uint8_t>(lie);
+    m.bytes[1] = static_cast<uint8_t>(lie >> 8);
+    m.bytes[2] = static_cast<uint8_t>(lie >> 16);
+    m.bytes[3] = static_cast<uint8_t>(lie >> 24);
+    m.description = "length field lies " + std::to_string(declared) +
+                    " -> " + std::to_string(lie);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<Mutation> CrcSmashSweep(std::span<const uint8_t> bytes) {
+  std::vector<Mutation> out;
+  if (bytes.size() < 4) return out;
+  const size_t first_bit = (bytes.size() - 4) * 8;
+  for (size_t bit = first_bit; bit < bytes.size() * 8; ++bit) {
+    Mutation m = FlipBitAt(bytes, bit);
+    m.description = "CRC smash: " + m.description;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<Mutation> CorruptionSweep(std::span<const uint8_t> bytes,
+                                      uint64_t seed) {
+  std::vector<Mutation> out = TruncationSweep(bytes, seed);
+  std::vector<Mutation> flips = BitFlipSweep(bytes, seed);
+  std::vector<Mutation> lies = LengthLieSweep(bytes);
+  std::vector<Mutation> smashes = CrcSmashSweep(bytes);
+  out.insert(out.end(), std::make_move_iterator(flips.begin()),
+             std::make_move_iterator(flips.end()));
+  out.insert(out.end(), std::make_move_iterator(lies.begin()),
+             std::make_move_iterator(lies.end()));
+  out.insert(out.end(), std::make_move_iterator(smashes.begin()),
+             std::make_move_iterator(smashes.end()));
+  return out;
+}
+
+}  // namespace testkit
+}  // namespace varstream

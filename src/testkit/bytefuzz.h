@@ -1,0 +1,59 @@
+// Deterministic byte-level corruption sweeps for decoder robustness
+// tests: given a valid encoded buffer, enumerate the classic corruption
+// classes and hand each mutant to the decoder under test, which must
+// answer with a loud malformed/false — never a crash, hang, or silent
+// accept. Everything is seeded and budgeted, so the sweep is exhaustive
+// on small buffers and a reproducible sample on large ones.
+//
+// Used by tests/wire_fuzz_test.cc against the service frame protocol
+// (service/protocol.h) and the varstream-ckpt-v1 checkpoint decoder
+// (service/checkpoint.h), and reusable against any future codec.
+
+#ifndef VARSTREAM_TESTKIT_BYTEFUZZ_H_
+#define VARSTREAM_TESTKIT_BYTEFUZZ_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace varstream {
+namespace testkit {
+
+/// One corrupted buffer plus a description naming the corruption, so an
+/// assertion failure says exactly which mutant broke the decoder.
+struct Mutation {
+  std::vector<uint8_t> bytes;
+  std::string description;
+};
+
+/// Every strict prefix when the buffer is short, otherwise `budget`
+/// seeded sample lengths (always including 0 and size-1). A decoder must
+/// treat all of these as incomplete or malformed.
+std::vector<Mutation> TruncationSweep(std::span<const uint8_t> bytes,
+                                      uint64_t seed, size_t budget = 512);
+
+/// Single-bit flips: every bit when the buffer is at most budget/8
+/// bytes, otherwise `budget` seeded positions. A checksummed format must
+/// reject every one of these (CRC-32 detects all single-bit errors).
+std::vector<Mutation> BitFlipSweep(std::span<const uint8_t> bytes,
+                                   uint64_t seed, size_t budget = 2048);
+
+/// Lies in the leading u32 little-endian length field: zero, one less,
+/// one more, huge, and all-ones — the classic allocate-gigabytes /
+/// read-out-of-bounds probes. Empty result when the buffer is shorter
+/// than 4 bytes.
+std::vector<Mutation> LengthLieSweep(std::span<const uint8_t> bytes);
+
+/// Every single-bit flip inside the trailing 4 bytes (where this
+/// repository's codecs keep their CRC-32).
+std::vector<Mutation> CrcSmashSweep(std::span<const uint8_t> bytes);
+
+/// The concatenation of all four sweeps — the full corruption matrix.
+std::vector<Mutation> CorruptionSweep(std::span<const uint8_t> bytes,
+                                      uint64_t seed);
+
+}  // namespace testkit
+}  // namespace varstream
+
+#endif  // VARSTREAM_TESTKIT_BYTEFUZZ_H_

@@ -1,0 +1,656 @@
+#include "testkit/oracles.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/format.h"
+#include "core/compat.h"
+#include "core/mergeable.h"
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "service/checkpoint.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "stream/source.h"
+#include "stream/variability.h"
+
+namespace varstream {
+namespace testkit {
+
+namespace {
+
+/// Replays trace updates [from, to) through the tracker in batches of
+/// `batch_size`, invoking observe(delivered_total) after each batch.
+/// PushBatch is observably equivalent to per-update Push (the NVI
+/// contract, pinned by tests/batch_push_test.cc), so batching here only
+/// sets the observation grid.
+template <typename Observe>
+void ReplayRange(const StreamTrace& trace, DistributedTracker& tracker,
+                 uint64_t batch_size, size_t from, size_t to,
+                 Observe&& observe) {
+  const std::vector<CountUpdate>& updates = trace.updates();
+  to = std::min(to, updates.size());
+  const size_t b = static_cast<size_t>(std::max<uint64_t>(batch_size, 1));
+  size_t pos = from;
+  while (pos < to) {
+    size_t take = std::min(b, to - pos);
+    tracker.PushBatch(std::span<const CountUpdate>(updates.data() + pos,
+                                                   take));
+    pos += take;
+    observe(pos);
+  }
+}
+
+std::string FmtG(double v) { return FormatDouble("%.6g", v); }
+
+bool SnapshotsBitIdentical(const TrackerSnapshot& a,
+                           const TrackerSnapshot& b) {
+  return std::bit_cast<uint64_t>(a.estimate) ==
+             std::bit_cast<uint64_t>(b.estimate) &&
+         a.time == b.time && a.messages == b.messages && a.bits == b.bits;
+}
+
+std::string SnapshotDiff(const char* label_a, const TrackerSnapshot& a,
+                         const char* label_b, const TrackerSnapshot& b) {
+  return std::string(label_a) + " {est=" + FmtG(a.estimate) + ", time=" +
+         std::to_string(a.time) + ", msgs=" + std::to_string(a.messages) +
+         ", bits=" + std::to_string(a.bits) + "} vs " + label_b + " {est=" +
+         FmtG(b.estimate) + ", time=" + std::to_string(b.time) + ", msgs=" +
+         std::to_string(b.messages) + ", bits=" + std::to_string(b.bits) +
+         "}";
+}
+
+/// Trackers whose estimate carries a relative-error guarantee the
+/// accuracy oracle can enforce (periodic syncs have no eps guarantee
+/// between syncs by design).
+bool HasAccuracyGuarantee(const std::string& tracker) {
+  return tracker == "deterministic" || tracker == "randomized" ||
+         tracker == "naive" || tracker == "single-site" ||
+         tracker == "cmy-monotone" || tracker == "hyz-monotone";
+}
+
+/// Randomized protocols: the paper guarantees each timestep individually
+/// with probability >= 2/3, so the observed violation rate gets a
+/// Hoeffding sampling allowance on top of 1/3.
+bool IsRandomizedProtocol(const std::string& tracker) {
+  return tracker == "randomized" || tracker == "hyz-monotone";
+}
+
+// --- accuracy ---------------------------------------------------------
+
+class AccuracyOracle final : public Oracle {
+ public:
+  std::string name() const override { return "accuracy"; }
+
+  bool Applicable(const Scenario& s) const override {
+    if (!HasAccuracyGuarantee(s.tracker)) return false;
+    // Inadmissible pairings never reach oracles from the generator, but
+    // --replay can hand us anything.
+    return CheckScenarioPairing(s.tracker, s.stream, s.num_shards,
+                                s.num_sites)
+        .ok;
+  }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    std::string error;
+    std::unique_ptr<DistributedTracker> tracker =
+        MakeCaseTracker(s, s.num_shards, c.trace.initial_value(), &error);
+    if (tracker == nullptr) {
+      return OracleOutcome::Fail("cannot construct tracker: " + error);
+    }
+
+    // Exact naive shadow: the global truth f(t) plus, for the sharded
+    // engine, the per-site substream sums — the sharded estimate's
+    // guarantee is eps * sum_i |f_i(t)| (core/sharded.h), which equals
+    // eps * (f(t) - f(0)) on monotone streams and degrades only when
+    // substreams cancel across sites.
+    const bool sharded = s.num_shards >= 1;
+    const std::vector<CountUpdate>& updates = c.trace.updates();
+    std::vector<int64_t> site_f(tracker->num_sites(), 0);
+    int64_t truth = c.trace.initial_value();
+    double abs_site_sum = 0.0;
+
+    uint64_t observations = 0;
+    uint64_t violations = 0;
+    std::string first_violation;
+
+    const size_t b = static_cast<size_t>(std::max<uint64_t>(s.batch_size, 1));
+    size_t pos = 0;
+    while (pos < updates.size()) {
+      size_t take = std::min(b, updates.size() - pos);
+      for (size_t i = pos; i < pos + take; ++i) {
+        const CountUpdate& u = updates[i];
+        truth += u.delta;
+        if (sharded && u.site < site_f.size()) {
+          int64_t before = site_f[u.site];
+          site_f[u.site] += u.delta;
+          abs_site_sum += std::abs(static_cast<double>(site_f[u.site])) -
+                          std::abs(static_cast<double>(before));
+        }
+      }
+      tracker->PushBatch(
+          std::span<const CountUpdate>(updates.data() + pos, take));
+      pos += take;
+
+      double est = tracker->Estimate();
+      double bound = sharded
+                         ? s.epsilon * abs_site_sum
+                         : s.epsilon * std::abs(static_cast<double>(truth));
+      double err = std::abs(est - static_cast<double>(truth));
+      ++observations;
+      if (err > bound * (1.0 + 1e-12) + 1e-9) {
+        ++violations;
+        if (first_violation.empty()) {
+          first_violation = "t=" + std::to_string(pos) + ": |est - f| = |" +
+                            FmtG(est) + " - " + std::to_string(truth) +
+                            "| = " + FmtG(err) + " > " +
+                            (sharded ? "eps*sum_i|f_i| = " : "eps*|f| = ") +
+                            FmtG(bound);
+        }
+      }
+    }
+
+    if (violations == 0) return OracleOutcome::Pass();
+    if (IsRandomizedProtocol(s.tracker)) {
+      // Per-timestep failure probability is allowed up to 1/3; allow the
+      // empirical rate that plus a Hoeffding term targeting ~1e-7 false
+      // alarms per check, so a 2000-iteration run stays quiet while a
+      // broken sampler still trips in a handful of iterations.
+      double n = static_cast<double>(observations);
+      double budget = 1.0 / 3.0 + std::sqrt(std::log(1e7) / (2.0 * n));
+      double rate = static_cast<double>(violations) / n;
+      if (rate <= budget) return OracleOutcome::Pass();
+      return OracleOutcome::Fail(
+          "violation rate " + FmtG(rate) + " exceeds whp budget " +
+          FmtG(budget) + " (" + std::to_string(violations) + "/" +
+          std::to_string(observations) + "); first: " + first_violation);
+    }
+    return OracleOutcome::Fail(
+        std::to_string(violations) + "/" + std::to_string(observations) +
+        " observations violate the deterministic guarantee; first: " +
+        first_violation);
+  }
+};
+
+// --- cost -------------------------------------------------------------
+
+class CostOracle final : public Oracle {
+ public:
+  std::string name() const override { return "cost"; }
+
+  /// The envelope is a theorem only for the deterministic tracker
+  /// (Theorem 3.5 with explicit constants); the randomized / baseline
+  /// envelopes bound expectations, which a legal run can exceed.
+  bool hard(const Scenario& s) const override {
+    return s.tracker == "deterministic";
+  }
+
+  bool Applicable(const Scenario& s) const override {
+    if (s.tracker == "naive" || s.tracker == "periodic") return false;
+    if (!TrackerRegistry::Instance().Contains(s.tracker)) return false;
+    return CheckScenarioPairing(s.tracker, s.stream, s.num_shards,
+                                s.num_sites)
+        .ok;
+  }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    std::string error;
+    std::unique_ptr<DistributedTracker> tracker =
+        MakeCaseTracker(s, s.num_shards, c.trace.initial_value(), &error);
+    if (tracker == nullptr) {
+      return OracleOutcome::Fail("cannot construct tracker: " + error);
+    }
+    ReplayRange(c.trace, *tracker, s.batch_size, 0, c.trace.size(),
+                [](size_t) {});
+
+    const double v = c.trace.Variability();
+    const double eps = s.epsilon;
+    const double k = static_cast<double>(tracker->num_sites());
+    const double n = static_cast<double>(c.trace.size());
+    const auto messages =
+        static_cast<double>(tracker->cost().total_messages());
+
+    // The sharded engine runs one single-site instance per site over
+    // that site's substream, so its envelope is the sum of per-site
+    // envelopes over the per-site variabilities v_i — which are computed
+    // against |f_i|, not |f|, and can far exceed the global v when a
+    // substream hovers near zero (e.g. an oscillator dealt across
+    // sites). Materialize them from the trace.
+    const bool sharded = s.num_shards >= 1;
+    auto per_site_variability = [&] {
+      std::vector<VariabilityMeter> meters(
+          tracker->num_sites(), VariabilityMeter(0));
+      for (const CountUpdate& u : c.trace.updates()) {
+        if (u.site < meters.size()) meters[u.site].Push(u.delta);
+      }
+      std::vector<double> vs;
+      vs.reserve(meters.size());
+      for (const VariabilityMeter& m : meters) vs.push_back(m.value());
+      return vs;
+    };
+
+    double bound;
+    std::string formula;
+    if (s.tracker == "deterministic") {
+      if (sharded) {
+        bound = 0.0;
+        for (double vi : per_site_variability()) {
+          bound += 5.0 * vi / eps + 50.0 * (vi + 1.0) + 10.0;
+        }
+        formula = "sum_i [5 v_i/eps + 50(v_i+1) + 10]";
+      } else {
+        bound = 5.0 * k * v / eps + 50.0 * k * (v + 1.0) + 10.0 * k;
+        formula = "5kv/eps + 50k(v+1) + 10k";
+      }
+    } else if (s.tracker == "randomized") {
+      if (sharded) {
+        bound = 0.0;
+        for (double vi : per_site_variability()) {
+          bound += 60.0 * (1.0 / eps + 1.0) * (vi + 1.0) + 100.0;
+        }
+        formula = "sum_i [60(1/eps + 1)(v_i+1) + 100]";
+      } else {
+        bound = 60.0 * (std::sqrt(k) / eps + k) * (v + 1.0) + 100.0 * k;
+        formula = "60(sqrt(k)/eps + k)(v+1) + 100k";
+      }
+    } else if (s.tracker == "cmy-monotone") {
+      bound = k * (std::log(std::max(n, 2.0 * k) / k) / std::log(1.0 + eps) +
+                   2.0) +
+              4.0 * k;
+      formula = "k(log_{1+eps}(n/k) + 2) + 4k";
+    } else if (s.tracker == "hyz-monotone") {
+      bound = 60.0 * (k + std::sqrt(k) / eps) * (v + 1.0) + 100.0 * k;
+      formula = "60(k + sqrt(k)/eps)(v+1) + 100k";
+    } else if (s.tracker == "single-site") {
+      bound = (1.0 + eps) / eps * v + 8.0;
+      formula = "(1+eps)/eps * v + 8";
+    } else {
+      return OracleOutcome::Skip("no cost envelope for '" + s.tracker + "'");
+    }
+
+    if (messages <= bound) return OracleOutcome::Pass();
+    return OracleOutcome::Fail(
+        std::to_string(tracker->cost().total_messages()) +
+        " messages exceed the " + formula + " envelope = " + FmtG(bound) +
+        " (v=" + FmtG(v) + ", k=" + FmtG(k) + ", eps=" + FmtG(eps) + ")");
+  }
+};
+
+// --- monotone ---------------------------------------------------------
+
+class MonotoneOracle final : public Oracle {
+ public:
+  std::string name() const override { return "monotone"; }
+
+  bool Applicable(const Scenario&) const override { return true; }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    const bool registry_monotone =
+        StreamRegistry::Instance().ContainsStream(s.stream) &&
+        StreamRegistry::Instance().IsMonotone(s.stream);
+    const bool tracker_needs_monotone =
+        TrackerRegistry::Instance().IsMonotoneOnly(s.tracker);
+    if (!registry_monotone && !tracker_needs_monotone) {
+      return OracleOutcome::Pass();  // nothing claimed, nothing to check
+    }
+    const std::vector<CountUpdate>& updates = c.trace.updates();
+    for (size_t t = 0; t < updates.size(); ++t) {
+      if (updates[t].delta > 0) continue;
+      if (registry_monotone) {
+        return OracleOutcome::Fail(
+            "stream '" + s.stream +
+            "' is registered monotone but update " + std::to_string(t) +
+            " has delta " + std::to_string(updates[t].delta));
+      }
+      return OracleOutcome::Fail(
+          "insertion-only tracker '" + s.tracker +
+          "' was paired with a stream emitting delta " +
+          std::to_string(updates[t].delta) + " at update " +
+          std::to_string(t) + " (generator pairing invariant broken)");
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+// --- shard-parity -----------------------------------------------------
+
+class ShardParityOracle final : public Oracle {
+ public:
+  std::string name() const override { return "shard-parity"; }
+
+  bool Applicable(const Scenario& s) const override {
+    if (!TrackerRegistry::Instance().IsMergeable(s.tracker)) return false;
+    // --replay can hand us anything: an inadmissible pairing is a SKIP,
+    // not a parity failure.
+    return CheckScenarioPairing(s.tracker, s.stream, s.num_shards,
+                                s.num_sites)
+        .ok;
+  }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    const int64_t f0 = c.trace.initial_value();
+
+    // Worker counts to sweep: the engine claims results identical for
+    // every W in 1..k; check the edges plus the scenario's own W.
+    std::vector<uint32_t> worker_counts = {1};
+    if (s.num_sites >= 2) worker_counts.push_back(2);
+    worker_counts.push_back(s.num_sites);
+    if (s.num_shards >= 1) worker_counts.push_back(s.num_shards);
+    std::sort(worker_counts.begin(), worker_counts.end());
+    worker_counts.erase(
+        std::unique(worker_counts.begin(), worker_counts.end()),
+        worker_counts.end());
+
+    TrackerSnapshot reference{};
+    std::string reference_state;
+    for (size_t i = 0; i < worker_counts.size(); ++i) {
+      std::string error;
+      std::unique_ptr<DistributedTracker> tracker =
+          MakeCaseTracker(s, worker_counts[i], f0, &error);
+      if (tracker == nullptr) {
+        return OracleOutcome::Fail("cannot construct W=" +
+                                   std::to_string(worker_counts[i]) +
+                                   " engine: " + error);
+      }
+      ReplayRange(c.trace, *tracker, s.batch_size, 0, c.trace.size(),
+                  [](size_t) {});
+      TrackerSnapshot snapshot = tracker->Snapshot();
+      auto* mergeable = dynamic_cast<Mergeable*>(tracker.get());
+      std::string state =
+          mergeable != nullptr ? mergeable->SerializeState() : "";
+      if (i == 0) {
+        reference = snapshot;
+        reference_state = state;
+        continue;
+      }
+      if (!SnapshotsBitIdentical(reference, snapshot)) {
+        return OracleOutcome::Fail(
+            "W=" + std::to_string(worker_counts[i]) +
+            " diverges from W=" + std::to_string(worker_counts[0]) + ": " +
+            SnapshotDiff("W_lo", reference, "W_hi", snapshot));
+      }
+      if (state != reference_state) {
+        return OracleOutcome::Fail(
+            "W=" + std::to_string(worker_counts[i]) +
+            " SerializeState differs from W=" +
+            std::to_string(worker_counts[0]) +
+            " (snapshots agree — internal state drift)");
+      }
+    }
+
+    // Per-site-function protocols additionally equal the *serial*
+    // tracker byte for byte (core/sharded.h).
+    if (s.tracker == "naive" || s.tracker == "periodic") {
+      std::string error;
+      std::unique_ptr<DistributedTracker> serial =
+          MakeCaseTracker(s, 0, f0, &error);
+      if (serial == nullptr) {
+        return OracleOutcome::Fail("cannot construct serial tracker: " +
+                                   error);
+      }
+      ReplayRange(c.trace, *serial, s.batch_size, 0, c.trace.size(),
+                  [](size_t) {});
+      TrackerSnapshot snapshot = serial->Snapshot();
+      if (!SnapshotsBitIdentical(reference, snapshot)) {
+        return OracleOutcome::Fail(
+            "sharded engine diverges from the serial tracker: " +
+            SnapshotDiff("serial", snapshot, "sharded", reference));
+      }
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+// --- checkpoint-roundtrip ---------------------------------------------
+
+class CheckpointRoundTripOracle final : public Oracle {
+ public:
+  std::string name() const override { return "checkpoint-roundtrip"; }
+
+  bool Applicable(const Scenario& s) const override {
+    if (!TrackerRegistry::Instance().IsMergeable(s.tracker)) return false;
+    // --replay can hand us anything: an inadmissible pairing is a SKIP,
+    // not a round-trip failure.
+    return CheckScenarioPairing(s.tracker, s.stream, s.num_shards,
+                                s.num_sites)
+        .ok;
+  }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    const int64_t f0 = c.trace.initial_value();
+    const size_t cut = c.trace.size() / 2;
+    std::string error;
+
+    // Uninterrupted reference.
+    std::unique_ptr<DistributedTracker> full =
+        MakeCaseTracker(s, s.num_shards, f0, &error);
+    if (full == nullptr) {
+      return OracleOutcome::Fail("cannot construct tracker: " + error);
+    }
+    ReplayRange(c.trace, *full, s.batch_size, 0, c.trace.size(),
+                [](size_t) {});
+    TrackerSnapshot want = full->Snapshot();
+
+    // Interrupted run: prefix, checkpoint through the real
+    // varstream-ckpt-v1 encode/decode, restore, resume.
+    std::unique_ptr<DistributedTracker> pre =
+        MakeCaseTracker(s, s.num_shards, f0, &error);
+    if (pre == nullptr) {
+      return OracleOutcome::Fail("cannot construct tracker: " + error);
+    }
+    ReplayRange(c.trace, *pre, s.batch_size, 0, cut, [](size_t) {});
+    auto* pre_state = dynamic_cast<Mergeable*>(pre.get());
+    if (pre_state == nullptr) {
+      return OracleOutcome::Fail("tracker is registered mergeable but does "
+                                 "not implement Mergeable");
+    }
+
+    SessionCheckpoint entry;
+    entry.name = "conformance";
+    entry.tracker = s.tracker;
+    entry.shards = s.num_shards;
+    entry.options = CaseTrackerOptions(s, f0);
+    entry.state = pre_state->SerializeState();
+    const std::string text = EncodeCheckpoint({entry});
+    std::vector<SessionCheckpoint> decoded;
+    if (!DecodeCheckpoint(text, &decoded, &error)) {
+      return OracleOutcome::Fail("EncodeCheckpoint output does not decode: " +
+                                 error);
+    }
+    if (decoded.size() != 1) {
+      return OracleOutcome::Fail("decoded " + std::to_string(decoded.size()) +
+                                 " sessions from a 1-session checkpoint");
+    }
+
+    // Restore with a *different* worker count when sharded: W only
+    // schedules, so a checkpoint taken under W must resume bit-exactly
+    // under W'.
+    uint32_t restore_shards = decoded[0].shards;
+    if (restore_shards >= 1) {
+      restore_shards = restore_shards % s.num_sites + 1;
+    }
+    std::unique_ptr<DistributedTracker> post =
+        restore_shards >= 1
+            ? std::unique_ptr<DistributedTracker>(ShardedTracker::Create(
+                  decoded[0].tracker, decoded[0].options, restore_shards,
+                  &error))
+            : TrackerRegistry::Instance().Create(decoded[0].tracker,
+                                                 decoded[0].options);
+    if (post == nullptr) {
+      return OracleOutcome::Fail("cannot reconstruct tracker from decoded "
+                                 "checkpoint: " +
+                                 error);
+    }
+    auto* post_state = dynamic_cast<Mergeable*>(post.get());
+    if (post_state == nullptr ||
+        !post_state->RestoreState(decoded[0].state, &error)) {
+      return OracleOutcome::Fail("RestoreState rejected the round-tripped "
+                                 "dump: " +
+                                 error);
+    }
+    ReplayRange(c.trace, *post, s.batch_size, cut, c.trace.size(),
+                [](size_t) {});
+    TrackerSnapshot got = post->Snapshot();
+    if (!SnapshotsBitIdentical(want, got)) {
+      return OracleOutcome::Fail(
+          "save(cut=" + std::to_string(cut) + ")->restore(W'=" +
+          std::to_string(restore_shards) + ")->resume diverges from the "
+          "uninterrupted run: " +
+          SnapshotDiff("uninterrupted", want, "restored", got));
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+// --- service-parity ---------------------------------------------------
+
+class ServiceParityOracle final : public Oracle {
+ public:
+  std::string name() const override { return "service-parity"; }
+
+  bool Applicable(const Scenario& s) const override {
+    if (!TrackerRegistry::Instance().Contains(s.tracker)) return false;
+    return CheckScenarioPairing(s.tracker, s.stream, s.num_shards,
+                                s.num_sites)
+        .ok;
+  }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    const int64_t f0 = c.trace.initial_value();
+    std::string error;
+
+    std::unique_ptr<DistributedTracker> reference =
+        MakeCaseTracker(s, s.num_shards, f0, &error);
+    if (reference == nullptr) {
+      return OracleOutcome::Fail("cannot construct tracker: " + error);
+    }
+
+    ServerOptions server_options;
+    server_options.port = 0;  // ephemeral — concurrent checks don't collide
+    VarstreamServer server(server_options);
+    if (!server.Start(&error)) {
+      return OracleOutcome::Fail("server start failed: " + error);
+    }
+    VarstreamClient client;
+    OracleOutcome outcome = Drive(c, *reference, server, client, &error)
+                                ? OracleOutcome::Pass()
+                                : OracleOutcome::Fail(error);
+    client.Close();
+    server.Stop();
+    return outcome;
+  }
+
+ private:
+  /// Pushes the trace over the wire and in-process in lockstep; compares
+  /// a mid-stream live Query and the final snapshot bit for bit.
+  static bool Drive(const GeneratedCase& c, DistributedTracker& reference,
+                    VarstreamServer& server, VarstreamClient& client,
+                    std::string* error) {
+    const Scenario& s = c.scenario;
+    if (!client.Connect("127.0.0.1", server.port(), error)) {
+      *error = "connect: " + *error;
+      return false;
+    }
+    HelloFrame hello;
+    hello.session = "conformance";
+    hello.tracker = s.tracker;
+    hello.shards = s.num_shards;
+    hello.options = CaseTrackerOptions(s, c.trace.initial_value());
+    HelloAckFrame hello_ack;
+    if (!client.Hello(hello, &hello_ack, error)) {
+      *error = "hello: " + *error;
+      return false;
+    }
+
+    const std::vector<CountUpdate>& updates = c.trace.updates();
+    const size_t b = static_cast<size_t>(std::max<uint64_t>(s.batch_size, 1));
+    const size_t midpoint = updates.size() / 2;
+    bool compared_midstream = false;
+    size_t pos = 0;
+    while (pos < updates.size()) {
+      size_t take = std::min(b, updates.size() - pos);
+      std::span<const CountUpdate> batch(updates.data() + pos, take);
+      PushAckFrame push_ack;
+      if (!client.Push(batch, &push_ack, error)) {
+        *error = "push at update " + std::to_string(pos) + ": " + *error;
+        return false;
+      }
+      reference.PushBatch(batch);
+      pos += take;
+      if (!compared_midstream && pos >= midpoint) {
+        compared_midstream = true;
+        if (!CompareSnapshots(client, reference, "mid-stream", pos, error)) {
+          return false;
+        }
+      }
+    }
+    return CompareSnapshots(client, reference, "final", pos, error);
+  }
+
+  static bool CompareSnapshots(VarstreamClient& client,
+                               DistributedTracker& reference,
+                               const char* where, size_t pos,
+                               std::string* error) {
+    SnapshotFrame wire;
+    if (!client.Query(&wire, error)) {
+      *error = std::string("query (") + where + "): " + *error;
+      return false;
+    }
+    TrackerSnapshot local = reference.Snapshot();
+    TrackerSnapshot served;
+    served.estimate = wire.estimate;
+    served.time = wire.time;
+    served.messages = wire.messages;
+    served.bits = wire.bits;
+    if (SnapshotsBitIdentical(local, served)) return true;
+    *error = std::string(where) + " snapshot at update " +
+             std::to_string(pos) + " diverges (wire vs in-process): " +
+             SnapshotDiff("wire", served, "in-process", local);
+    return false;
+  }
+};
+
+}  // namespace
+
+const std::vector<const Oracle*>& AllOracles() {
+  static const AccuracyOracle accuracy;
+  static const CostOracle cost;
+  static const MonotoneOracle monotone;
+  static const ShardParityOracle shard_parity;
+  static const CheckpointRoundTripOracle checkpoint_roundtrip;
+  static const ServiceParityOracle service_parity;
+  static const std::vector<const Oracle*> all = {
+      &accuracy,  &cost,
+      &monotone,  &shard_parity,
+      &checkpoint_roundtrip, &service_parity,
+  };
+  return all;
+}
+
+const Oracle* FindOracle(const std::string& name) {
+  for (const Oracle* oracle : AllOracles()) {
+    if (oracle->name() == name) return oracle;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> OracleNames() {
+  std::vector<std::string> names;
+  for (const Oracle* oracle : AllOracles()) names.push_back(oracle->name());
+  return names;
+}
+
+}  // namespace testkit
+}  // namespace varstream

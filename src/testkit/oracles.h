@@ -1,0 +1,103 @@
+// Executable paper invariants. Each oracle turns one of the paper's
+// guarantees (or a differential engineering invariant the repo has
+// accumulated on top of them) into a pass/fail check over a generated
+// case (testkit/scenario_gen.h):
+//
+//   accuracy    |f(t) - f̂(t)| <= eps * |f(t)| at every observation
+//               against an exact naive shadow (Theorems 3.5 / 3.8); for
+//               the sharded engine the per-partition form
+//               eps * sum_i |f_i(t)| (core/sharded.h); randomized
+//               trackers get a high-probability budget: the guarantee
+//               allows failure probability 1/3 per timestep, so the
+//               observed violation rate must stay under 1/3 plus a
+//               Hoeffding sampling term.
+//   cost        total messages within the O((k/eps) * v) envelope with
+//               explicit constants — hard for the deterministic tracker
+//               (Theorem 3.5), advisory for the randomized/baseline
+//               expectation bounds.
+//   monotone    registry metadata is truthful: streams registered
+//               monotone emit only positive deltas, and insertion-only
+//               trackers were only paired with monotone streams.
+//   shard-parity     Snapshot and SerializeState are bit-identical for
+//                    every worker count W in {1, 2, k} (plus the
+//                    scenario's own W) — the core sharded-engine claim;
+//                    naive/periodic additionally equal the serial
+//                    tracker exactly.
+//   checkpoint-roundtrip  run prefix -> EncodeCheckpoint -> Decode ->
+//                    RestoreState into a fresh tracker (different worker
+//                    count when sharded) -> run suffix == uninterrupted
+//                    run, bit for bit (varstream-ckpt-v1).
+//   service-parity   the wire path (VarstreamServer + VarstreamClient,
+//                    real loopback TCP) equals the in-process run bit
+//                    for bit, at a mid-stream live Query and at the end.
+//
+// Oracles are stateless singletons; Check() may be called concurrently
+// from the runner's worker threads and must derive everything from the
+// case alone.
+
+#ifndef VARSTREAM_TESTKIT_ORACLES_H_
+#define VARSTREAM_TESTKIT_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "testkit/scenario_gen.h"
+
+namespace varstream {
+namespace testkit {
+
+struct OracleOutcome {
+  enum class Status { kPass, kFail, kSkip };
+  Status status = Status::kPass;
+  std::string detail;  ///< on kFail: what was violated, with numbers
+
+  static OracleOutcome Pass() { return {Status::kPass, ""}; }
+  static OracleOutcome Fail(std::string detail) {
+    return {Status::kFail, std::move(detail)};
+  }
+  static OracleOutcome Skip(std::string reason) {
+    return {Status::kSkip, std::move(reason)};
+  }
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Stable kebab-case identifier (--oracle flag, JSON report key).
+  virtual std::string name() const = 0;
+
+  /// Hard failures fail the check run; advisory ones are reported in the
+  /// JSON but do not gate (expectation bounds that a legal random run
+  /// can exceed). May depend on the scenario (the cost envelope is a
+  /// theorem for the deterministic tracker, an expectation otherwise).
+  virtual bool hard(const Scenario& scenario) const {
+    (void)scenario;
+    return true;
+  }
+
+  /// Whether this oracle has anything to say about the scenario (e.g.
+  /// shard parity needs a mergeable tracker). Non-applicable scenarios
+  /// count as skipped, not passed.
+  virtual bool Applicable(const Scenario& scenario) const = 0;
+
+  /// Runs the invariant over the materialized case. Must be
+  /// deterministic in the case (shrinking re-runs it many times) and
+  /// thread-safe.
+  virtual OracleOutcome Check(const GeneratedCase& c) const = 0;
+};
+
+/// The built-in oracles, in reporting order. Pointers are to static
+/// singletons and never invalidated.
+const std::vector<const Oracle*>& AllOracles();
+
+/// Lookup by name(); nullptr when unknown.
+const Oracle* FindOracle(const std::string& name);
+
+/// Sorted oracle names, for --list-oracles and error messages.
+std::vector<std::string> OracleNames();
+
+}  // namespace testkit
+}  // namespace varstream
+
+#endif  // VARSTREAM_TESTKIT_ORACLES_H_

@@ -1,0 +1,234 @@
+#include "testkit/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/format.h"
+#include "common/hash.h"
+
+namespace varstream {
+namespace testkit {
+
+namespace {
+
+/// The per-iteration seed: a pure function of (run seed, iteration), so
+/// iteration i generates the same scenario no matter which worker claims
+/// it or how many workers exist.
+uint64_t IterationSeed(uint64_t run_seed, uint64_t iteration) {
+  return Mix64(run_seed ^ (0x9E3779B97F4A7C15ull * (iteration + 1)));
+}
+
+}  // namespace
+
+bool CheckReport::ok() const { return hard_failures() == 0; }
+
+uint64_t CheckReport::hard_failures() const {
+  uint64_t n = 0;
+  for (const auto& [name, s] : stats) n += s.failed;
+  return n;
+}
+
+CheckReport RunChecks(const CheckOptions& options) {
+  // Resolve the oracle selection up front; an unknown name is a
+  // configuration error, not a check failure.
+  std::vector<const Oracle*> oracles;
+  if (options.oracles.empty()) {
+    oracles = AllOracles();
+  } else {
+    for (const std::string& name : options.oracles) {
+      const Oracle* oracle = FindOracle(name);
+      if (oracle == nullptr) {
+        std::fprintf(stderr, "testkit: unknown oracle '%s'; valid: ",
+                     name.c_str());
+        for (const std::string& valid : OracleNames()) {
+          std::fprintf(stderr, "%s ", valid.c_str());
+        }
+        std::fputc('\n', stderr);
+        std::abort();
+      }
+      oracles.push_back(oracle);
+    }
+  }
+  {
+    // Validate the generator focus once, loudly.
+    ScenarioGenerator probe(options.gen, 0);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "testkit: %s\n", probe.error().c_str());
+      std::abort();
+    }
+  }
+
+  uint64_t iter_cap = options.iters;
+  if (iter_cap == 0 && options.seconds <= 0.0) iter_cap = 100;
+  const auto start = std::chrono::steady_clock::now();
+  const bool timed = options.seconds > 0.0;
+  auto past_deadline = [&] {
+    if (!timed) return false;
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= options.seconds;
+  };
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> completed{0};
+  std::mutex mu;
+  std::vector<OracleStats> totals(oracles.size());
+  std::vector<CheckFailure> failures;
+
+  auto worker = [&] {
+    std::vector<OracleStats> local(oracles.size());
+    for (;;) {
+      if (past_deadline()) break;
+      uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (iter_cap != 0 && i >= iter_cap) break;
+
+      ScenarioGenerator gen(options.gen, IterationSeed(options.seed, i));
+      GeneratedCase c = gen.NextCase();
+
+      for (size_t oi = 0; oi < oracles.size(); ++oi) {
+        const Oracle* oracle = oracles[oi];
+        if (!oracle->Applicable(c.scenario)) {
+          ++local[oi].skipped;
+          continue;
+        }
+        OracleOutcome outcome = oracle->Check(c);
+        if (outcome.status == OracleOutcome::Status::kSkip) {
+          ++local[oi].skipped;
+          continue;
+        }
+        ++local[oi].checked;
+        if (outcome.status == OracleOutcome::Status::kPass) {
+          ++local[oi].passed;
+          continue;
+        }
+
+        const bool advisory = !oracle->hard(c.scenario);
+        if (advisory) {
+          ++local[oi].advisory_failed;
+        } else {
+          ++local[oi].failed;
+        }
+
+        CheckFailure failure;
+        failure.iteration = i;
+        failure.oracle = oracle->name();
+        failure.advisory = advisory;
+        failure.detail = outcome.detail;
+        failure.original_updates = c.trace.size();
+
+        GeneratedCase minimal = c;
+        if (options.shrink && !advisory) {
+          ShrinkOptions shrink_options;
+          shrink_options.max_attempts = options.shrink_attempts;
+          ShrinkResult shrunk = ShrinkFailure(*oracle, c, shrink_options);
+          minimal = std::move(shrunk.minimal);
+          if (!shrunk.detail.empty()) failure.detail = shrunk.detail;
+        }
+        failure.scenario_id = minimal.scenario.Id();
+        failure.shrunk_updates = minimal.trace.size();
+
+        std::string trace_path = "<unsaved>.trace";
+        if (!options.repro_dir.empty()) {
+          trace_path = options.repro_dir + "/repro-" + oracle->name() +
+                       "-i" + std::to_string(i) + ".trace";
+          if (minimal.trace.SaveToFile(trace_path)) {
+            failure.trace_path = trace_path;
+          } else {
+            std::fprintf(stderr, "testkit: cannot write repro trace %s\n",
+                         trace_path.c_str());
+            trace_path = "<unsaved>.trace";
+          }
+        }
+        failure.replay_command =
+            ReplayCommand(minimal, oracle->name(), trace_path);
+
+        std::lock_guard<std::mutex> lock(mu);
+        if (failures.size() < options.max_failures) {
+          failures.push_back(std::move(failure));
+        }
+      }
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t oi = 0; oi < oracles.size(); ++oi) {
+      totals[oi].checked += local[oi].checked;
+      totals[oi].passed += local[oi].passed;
+      totals[oi].failed += local[oi].failed;
+      totals[oi].advisory_failed += local[oi].advisory_failed;
+      totals[oi].skipped += local[oi].skipped;
+    }
+  };
+
+  unsigned threads = std::max(options.threads, 1u);
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  CheckReport report;
+  report.seed = options.seed;
+  report.iterations = completed.load();
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (size_t oi = 0; oi < oracles.size(); ++oi) {
+    report.stats.emplace_back(oracles[oi]->name(), totals[oi]);
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const CheckFailure& a, const CheckFailure& b) {
+              if (a.iteration != b.iteration) return a.iteration < b.iteration;
+              return a.oracle < b.oracle;
+            });
+  report.failures = std::move(failures);
+  return report;
+}
+
+std::string CheckReportToJson(const CheckReport& report) {
+  std::string json = "{\"schema\":\"varstream-check-v1\"";
+  json += ",\"seed\":" + std::to_string(report.seed);
+  json += ",\"iterations\":" + std::to_string(report.iterations);
+  json += ",\"elapsed_seconds\":" + FormatDouble("%.6g", report.elapsed_seconds);
+  json += ",\"ok\":" + std::string(report.ok() ? "true" : "false");
+  json += ",\"hard_failures\":" + std::to_string(report.hard_failures());
+  json += ",\"oracles\":[";
+  for (size_t i = 0; i < report.stats.size(); ++i) {
+    const auto& [name, s] = report.stats[i];
+    if (i > 0) json += ",";
+    json += "\n{\"name\":\"" + JsonEscape(name) + "\"";
+    json += ",\"checked\":" + std::to_string(s.checked);
+    json += ",\"passed\":" + std::to_string(s.passed);
+    json += ",\"failed\":" + std::to_string(s.failed);
+    json += ",\"advisory_failed\":" + std::to_string(s.advisory_failed);
+    json += ",\"skipped\":" + std::to_string(s.skipped) + "}";
+  }
+  json += "\n],\"failures\":[";
+  for (size_t i = 0; i < report.failures.size(); ++i) {
+    const CheckFailure& f = report.failures[i];
+    if (i > 0) json += ",";
+    json += "\n{\"iteration\":" + std::to_string(f.iteration);
+    json += ",\"oracle\":\"" + JsonEscape(f.oracle) + "\"";
+    json += ",\"advisory\":" + std::string(f.advisory ? "true" : "false");
+    json += ",\"scenario\":\"" + JsonEscape(f.scenario_id) + "\"";
+    json += ",\"detail\":\"" + JsonEscape(f.detail) + "\"";
+    json += ",\"original_updates\":" + std::to_string(f.original_updates);
+    json += ",\"shrunk_updates\":" + std::to_string(f.shrunk_updates);
+    if (!f.trace_path.empty()) {
+      json += ",\"trace\":\"" + JsonEscape(f.trace_path) + "\"";
+    }
+    json += ",\"replay\":\"" + JsonEscape(f.replay_command) + "\"}";
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+}  // namespace testkit
+}  // namespace varstream

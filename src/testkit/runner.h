@@ -1,0 +1,104 @@
+// The budgeted conformance loop: generate a scenario, materialize its
+// trace, run every selected oracle, shrink whatever fails, and report —
+// the engine behind tools/varstream_check.cpp and the fixed-seed
+// conformance gtest suites.
+//
+// Determinism: iteration i draws its scenario from a seed that is a pure
+// function of (options.seed, i), and results are keyed by iteration, so
+// a run with --iters N produces the same scenarios and verdicts for any
+// --threads value. Time budgets (--seconds) bound how many iterations
+// happen, never what any iteration does.
+//
+//   testkit::CheckOptions options;
+//   options.iters = 2000;
+//   options.seed = 1;
+//   options.threads = 8;
+//   testkit::CheckReport report = testkit::RunChecks(options);
+//   // report.ok(), CheckReportToJson(report)  ("varstream-check-v1")
+
+#ifndef VARSTREAM_TESTKIT_RUNNER_H_
+#define VARSTREAM_TESTKIT_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testkit/oracles.h"
+#include "testkit/scenario_gen.h"
+#include "testkit/shrink.h"
+
+namespace varstream {
+namespace testkit {
+
+struct CheckOptions {
+  /// Iteration cap; 0 = unbounded (then `seconds` must be set). One
+  /// iteration = one generated scenario through every selected oracle.
+  uint64_t iters = 0;
+  /// Wall-clock budget; 0 = unbounded. When both are 0 the runner
+  /// defaults to 100 iterations.
+  double seconds = 0.0;
+  uint64_t seed = 1;
+  unsigned threads = 1;
+  /// Oracle names to run (testkit/oracles.h); empty = all.
+  std::vector<std::string> oracles;
+  /// Focus filters and generation axes.
+  GenOptions gen;
+  /// Shrink failures before reporting (disable for speed in gtest).
+  bool shrink = true;
+  uint64_t shrink_attempts = 256;
+  /// Where shrunken repro traces are written; empty = don't write files
+  /// (the replay command then names "<unsaved>.trace").
+  std::string repro_dir;
+  /// Stop collecting failure records beyond this many (counters keep
+  /// counting; shrinking a flood of failures helps no one).
+  uint64_t max_failures = 25;
+};
+
+struct OracleStats {
+  uint64_t checked = 0;   ///< scenarios where the oracle was applicable
+  uint64_t passed = 0;
+  uint64_t failed = 0;           ///< hard failures
+  uint64_t advisory_failed = 0;  ///< advisory (non-gating) failures
+  uint64_t skipped = 0;          ///< not applicable to the scenario
+};
+
+struct CheckFailure {
+  uint64_t iteration = 0;
+  std::string oracle;
+  bool advisory = false;
+  std::string scenario_id;  ///< shrunken scenario's Id()
+  std::string detail;
+  uint64_t original_updates = 0;
+  uint64_t shrunk_updates = 0;
+  std::string replay_command;
+  std::string trace_path;  ///< empty when repro_dir was empty
+};
+
+struct CheckReport {
+  uint64_t seed = 0;
+  uint64_t iterations = 0;
+  double elapsed_seconds = 0.0;
+  /// One entry per selected oracle, in AllOracles() order.
+  std::vector<std::pair<std::string, OracleStats>> stats;
+  /// Sorted by iteration; capped at options.max_failures records.
+  std::vector<CheckFailure> failures;
+
+  /// No hard failures (advisory failures don't gate).
+  bool ok() const;
+  uint64_t hard_failures() const;
+};
+
+/// Runs the loop. Aborts (with a diagnostic) on unknown oracle names or
+/// an unsatisfiable generator focus — configuration errors, not check
+/// failures. Thread-safe oracles are assumed (they are stateless).
+CheckReport RunChecks(const CheckOptions& options);
+
+/// The whole report as one JSON document, schema "varstream-check-v1"
+/// (documented in README.md).
+std::string CheckReportToJson(const CheckReport& report);
+
+}  // namespace testkit
+}  // namespace varstream
+
+#endif  // VARSTREAM_TESTKIT_RUNNER_H_

@@ -1,0 +1,217 @@
+#include "testkit/scenario_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "core/compat.h"
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "stream/source.h"
+
+namespace varstream {
+namespace testkit {
+
+namespace {
+
+/// Known stream / assigner knobs the generator may jitter off their
+/// defaults. The registries do not expose knob metadata, so this table
+/// names the documented ones (stream/generators.cc, site_assigner.cc);
+/// unknown params are ignored by GetParam, so the table can only widen
+/// coverage, never break a stream.
+struct Knob {
+  const char* owner;  // stream or assigner name
+  const char* param;
+  double values[3];
+};
+
+constexpr Knob kKnobs[] = {
+    {"sawtooth", "up", {2, 4, 8}},
+    {"sawtooth", "down", {1, 2, 4}},
+    {"biased-walk", "mu", {0.05, 0.1, 0.3}},
+    {"oscillator", "amplitude", {16, 64, 256}},
+    {"regime-switch", "jump", {10, 30, 80}},
+    {"nearly-monotone", "drift", {0.05, 0.2, 0.4}},
+    {"spike", "prob", {0.001, 0.005, 0.01}},
+    {"diurnal", "mu", {0.1, 0.2, 0.3}},
+    {"large-step", "scale", {10, 50, 200}},
+    {"skewed", "skew", {0.5, 1.0, 2.0}},
+    {"burst", "burst", {16, 64, 256}},
+};
+
+}  // namespace
+
+TrackerOptions CaseTrackerOptions(const Scenario& scenario,
+                                  int64_t initial_value) {
+  TrackerOptions topts;
+  topts.num_sites = scenario.num_sites;
+  topts.epsilon = scenario.epsilon;
+  topts.seed = ScenarioTrackerSeed(scenario);
+  topts.initial_value = initial_value;
+  topts.period = scenario.period;
+  return topts;
+}
+
+std::unique_ptr<DistributedTracker> MakeCaseTracker(const Scenario& scenario,
+                                                    uint32_t num_shards,
+                                                    int64_t initial_value,
+                                                    std::string* error) {
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  if (!trackers.Contains(scenario.tracker)) {
+    if (error != nullptr) {
+      *error = "unknown tracker '" + scenario.tracker +
+               "'; valid trackers: " + JoinNames(trackers.Names());
+    }
+    return nullptr;
+  }
+  TrackerOptions topts = CaseTrackerOptions(scenario, initial_value);
+  if (num_shards >= 1) {
+    return ShardedTracker::Create(scenario.tracker, topts, num_shards, error);
+  }
+  return trackers.Create(scenario.tracker, topts);
+}
+
+bool MaterializeCase(const Scenario& scenario, GeneratedCase* out,
+                     std::string* error) {
+  // A serial probe instance decides the actual site space (single-site
+  // pins k = 1), mirroring RunScenario.
+  std::unique_ptr<DistributedTracker> probe =
+      MakeCaseTracker(scenario, 0, 0, error);
+  if (probe == nullptr) return false;
+
+  const StreamRegistry& streams = StreamRegistry::Instance();
+  StreamSpec spec;
+  spec.num_sites = probe->num_sites();
+  spec.seed = ScenarioStreamSeed(scenario);
+  spec.assigner = scenario.assigner;
+  spec.params = scenario.params;
+  std::unique_ptr<StreamSource> source = streams.Create(scenario.stream, spec);
+  if (source == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown stream '" + scenario.stream + "' or assigner '" +
+               scenario.assigner + "'";
+    }
+    return false;
+  }
+  out->scenario = scenario;
+  out->trace = RecordTrace(*source, scenario.n);
+  return true;
+}
+
+ScenarioGenerator::ScenarioGenerator(const GenOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  const StreamRegistry& streams = StreamRegistry::Instance();
+
+  std::vector<std::string> tracker_names =
+      options.trackers.empty() ? trackers.Names() : options.trackers;
+  std::vector<std::string> stream_names =
+      options.streams.empty() ? streams.StreamNames() : options.streams;
+  assigners_ =
+      options.assigners.empty() ? streams.AssignerNames() : options.assigners;
+
+  for (const std::string& tracker : tracker_names) {
+    if (!trackers.Contains(tracker)) {
+      error_ = "unknown tracker '" + tracker +
+               "'; valid trackers: " + JoinNames(trackers.Names());
+      return;
+    }
+  }
+  for (const std::string& stream : stream_names) {
+    if (!streams.ContainsStream(stream)) {
+      error_ = "unknown stream '" + stream +
+               "'; valid streams: " + JoinNames(streams.StreamNames());
+      return;
+    }
+  }
+  for (const std::string& assigner : assigners_) {
+    if (!streams.ContainsAssigner(assigner)) {
+      error_ = "unknown assigner '" + assigner +
+               "'; valid assigners: " + JoinNames(streams.AssignerNames());
+      return;
+    }
+  }
+
+  for (const std::string& tracker : tracker_names) {
+    std::vector<std::string> compatible;
+    for (const std::string& stream : stream_names) {
+      if (CheckTrackerStreamPairing(tracker, stream).ok) {
+        compatible.push_back(stream);
+      }
+    }
+    if (!compatible.empty()) {
+      trackers_.push_back(tracker);
+      streams_per_tracker_.push_back(std::move(compatible));
+    }
+  }
+  if (trackers_.empty()) {
+    error_ =
+        "no admissible (tracker, stream) pairing under the focus filters "
+        "(insertion-only trackers need a monotone stream)";
+    return;
+  }
+  if (options_.site_counts.empty() || options_.epsilons.empty() ||
+      options_.batch_sizes.empty() || options_.min_updates == 0 ||
+      options_.max_updates < options_.min_updates) {
+    error_ = "empty generation axis (sites / epsilons / batches / updates)";
+  }
+}
+
+Scenario ScenarioGenerator::Next() {
+  Scenario s;
+  size_t ti = static_cast<size_t>(rng_.UniformBelow(trackers_.size()));
+  s.tracker = trackers_[ti];
+  const std::vector<std::string>& streams = streams_per_tracker_[ti];
+  s.stream = streams[static_cast<size_t>(rng_.UniformBelow(streams.size()))];
+  s.assigner = assigners_[static_cast<size_t>(
+      rng_.UniformBelow(assigners_.size()))];
+  s.num_sites = options_.site_counts[static_cast<size_t>(
+      rng_.UniformBelow(options_.site_counts.size()))];
+  s.epsilon = options_.epsilons[static_cast<size_t>(
+      rng_.UniformBelow(options_.epsilons.size()))];
+
+  // Update counts log-uniform across the range, so short and long runs
+  // are equally represented per decade.
+  double lo = static_cast<double>(options_.min_updates);
+  double hi = static_cast<double>(options_.max_updates);
+  s.n = static_cast<uint64_t>(
+      lo * std::exp(rng_.NextDouble() * std::log(hi / lo)));
+  s.n = std::clamp<uint64_t>(s.n, options_.min_updates, options_.max_updates);
+
+  s.seed = rng_.NextU64();
+  s.batch_size = options_.batch_sizes[static_cast<size_t>(
+      rng_.UniformBelow(options_.batch_sizes.size()))];
+  s.period = static_cast<uint64_t>(1) << rng_.UniformInt(4, 8);  // 16..256
+
+  if (TrackerRegistry::Instance().IsMergeable(s.tracker) &&
+      rng_.Bernoulli(options_.sharded_fraction)) {
+    s.num_shards =
+        static_cast<uint32_t>(1 + rng_.UniformBelow(s.num_sites));
+  }
+
+  for (const Knob& knob : kKnobs) {
+    if (knob.owner != s.stream && knob.owner != s.assigner) continue;
+    if (!rng_.Bernoulli(options_.param_jitter)) continue;
+    s.params[knob.param] = knob.values[rng_.UniformBelow(3)];
+  }
+  return s;
+}
+
+GeneratedCase ScenarioGenerator::NextCase() {
+  Scenario s = Next();
+  GeneratedCase out;
+  std::string error;
+  if (!MaterializeCase(s, &out, &error)) {
+    // Every name came from the registries and every pairing was checked,
+    // so materialization cannot fail; treat it as the logic error it is.
+    std::fprintf(stderr, "testkit: cannot materialize %s: %s\n",
+                 s.Id().c_str(), error.c_str());
+    std::abort();
+  }
+  return out;
+}
+
+}  // namespace testkit
+}  // namespace varstream

@@ -1,0 +1,126 @@
+// Seeded random Scenario generation over the full registry cross-product
+// (tracker x stream x assigner x k x eps x n x batch x shards x stream
+// params), honoring the monotone / mergeable compatibility predicates
+// from registry metadata (core/compat.h) — incompatible pairs are never
+// produced, mirroring the suite expansion's skip decisions exactly.
+//
+// The generator is the input half of the conformance testkit: every
+// iteration of the check runner (testkit/runner.h) draws one scenario,
+// materializes its stream into a replayable StreamTrace, and hands the
+// pair to each paper-theorem oracle (testkit/oracles.h). Determinism is
+// total: the same (GenOptions, seed) produces the same scenario sequence
+// on any machine and thread count, which is what lets a CI failure be
+// replayed locally by seed alone.
+//
+//   testkit::ScenarioGenerator gen({}, /*seed=*/42);
+//   testkit::GeneratedCase c = gen.Next();
+//   // c.scenario (names resolved, pairing admissible), c.trace (the
+//   // materialized updates; any oracle can replay it as often as needed)
+
+#ifndef VARSTREAM_TESTKIT_SCENARIO_GEN_H_
+#define VARSTREAM_TESTKIT_SCENARIO_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/options.h"
+#include "core/scenario.h"
+#include "core/tracker.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace testkit {
+
+/// The axes the generator samples. Empty name lists mean "every
+/// registered name"; the numeric lists are sampled uniformly (repeat an
+/// entry to weight it). Defaults cover the whole surface the repo grew
+/// across PRs 1-4: serial and sharded engines, unit and batched
+/// delivery, one to sixteen sites.
+struct GenOptions {
+  std::vector<std::string> trackers;   ///< empty = all registered
+  std::vector<std::string> streams;    ///< empty = all registered
+  std::vector<std::string> assigners;  ///< empty = all registered
+  std::vector<uint32_t> site_counts = {1, 2, 3, 4, 8, 16};
+  std::vector<double> epsilons = {0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.4};
+  /// Update counts are log-uniform in [min_updates, max_updates].
+  uint64_t min_updates = 200;
+  uint64_t max_updates = 4000;
+  /// batch_size = 1 appears twice so half the scenarios validate per
+  /// update (the strictest accuracy observation grid).
+  std::vector<uint64_t> batch_sizes = {1, 1, 16, 128, 512};
+  /// Probability a mergeable tracker is run through the sharded engine
+  /// (worker count then uniform in 1..k).
+  double sharded_fraction = 0.5;
+  /// Probability each known stream/assigner knob is jittered off its
+  /// default (per-stream knob tables live in scenario_gen.cc).
+  double param_jitter = 0.3;
+};
+
+/// One generated conformance case: the scenario plus its stream
+/// materialized into a trace over the tracker's actual site space.
+/// Oracles replay the trace (never the live generator), so every oracle
+/// — and the shrinker — sees byte-identical input.
+struct GeneratedCase {
+  Scenario scenario;
+  StreamTrace trace;
+};
+
+/// The TrackerOptions MakeCaseTracker constructs from: scenario fields
+/// plus the derived tracker seed and the trace's f(0). Exposed because
+/// the checkpoint and service oracles must hand the server / checkpoint
+/// entry the exact construction options.
+TrackerOptions CaseTrackerOptions(const Scenario& scenario,
+                                  int64_t initial_value);
+
+/// Constructs the tracker a scenario describes: registry-constructed,
+/// wrapped in the sharded engine when num_shards >= 1 is passed, seeded
+/// with ScenarioTrackerSeed(scenario), starting from `initial_value`
+/// (the trace's f(0)). The one tracker-construction path shared by every
+/// oracle, the shrinker, and --replay, mirroring RunScenario's. Returns
+/// nullptr with *error set for unknown names / inadmissible pairings.
+std::unique_ptr<DistributedTracker> MakeCaseTracker(const Scenario& scenario,
+                                                    uint32_t num_shards,
+                                                    int64_t initial_value,
+                                                    std::string* error);
+
+/// Materializes the scenario's stream: resolves the stream through the
+/// StreamRegistry with the scenario's derived stream seed, dealt across
+/// the tracker's actual site space (single-site pins k = 1), and records
+/// scenario.n updates. Returns false with *error on unknown names.
+bool MaterializeCase(const Scenario& scenario, GeneratedCase* out,
+                     std::string* error);
+
+class ScenarioGenerator {
+ public:
+  /// Resolves the option lists against the registries. Trackers whose
+  /// compatible stream set is empty under `options` are dropped; if
+  /// nothing remains, ok() is false and error() names the conflict.
+  ScenarioGenerator(const GenOptions& options, uint64_t seed);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Draws the next scenario (without materializing its trace). Only
+  /// admissible pairings are produced. Requires ok().
+  Scenario Next();
+
+  /// Next() + MaterializeCase. Requires ok().
+  GeneratedCase NextCase();
+
+ private:
+  GenOptions options_;
+  Rng rng_;
+  std::string error_;
+  std::vector<std::string> trackers_;
+  /// streams_per_tracker_[i]: the streams tracker i may consume.
+  std::vector<std::vector<std::string>> streams_per_tracker_;
+  std::vector<std::string> assigners_;
+};
+
+}  // namespace testkit
+}  // namespace varstream
+
+#endif  // VARSTREAM_TESTKIT_SCENARIO_GEN_H_

@@ -1,0 +1,140 @@
+#include "testkit/shrink.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/format.h"
+
+namespace varstream {
+namespace testkit {
+
+namespace {
+
+GeneratedCase WithTrace(const GeneratedCase& base, StreamTrace trace) {
+  GeneratedCase out;
+  out.scenario = base.scenario;
+  out.scenario.n = trace.size();
+  out.trace = std::move(trace);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkFailure(const Oracle& oracle, const GeneratedCase& failing,
+                           const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.minimal = failing;
+  result.original_updates = failing.trace.size();
+
+  // Re-running the oracle is the only source of truth; a candidate is
+  // accepted exactly when it still fails.
+  auto still_fails = [&](const GeneratedCase& candidate,
+                         std::string* detail) {
+    if (result.attempts >= options.max_attempts) return false;
+    ++result.attempts;
+    OracleOutcome outcome = oracle.Check(candidate);
+    if (outcome.status != OracleOutcome::Status::kFail) return false;
+    *detail = std::move(outcome.detail);
+    return true;
+  };
+
+  auto try_accept = [&](GeneratedCase candidate) {
+    std::string detail;
+    if (!still_fails(candidate, &detail)) return false;
+    result.minimal = std::move(candidate);
+    result.detail = std::move(detail);
+    return true;
+  };
+
+  // 1. Truncation: halve while the prefix still fails, then trim the
+  // tail in finer steps.
+  auto truncate_pass = [&] {
+    while (result.minimal.trace.size() > 1) {
+      uint64_t half = result.minimal.trace.size() / 2;
+      if (!try_accept(
+              WithTrace(result.minimal, result.minimal.trace.Prefix(half)))) {
+        break;
+      }
+    }
+    for (;;) {
+      uint64_t size = result.minimal.trace.size();
+      if (size <= 1) break;
+      uint64_t step = std::max<uint64_t>(size / 8, 1);
+      if (!try_accept(WithTrace(result.minimal,
+                                result.minimal.trace.Prefix(size - step)))) {
+        break;
+      }
+    }
+  };
+  truncate_pass();
+
+  // 2. Unit batches.
+  if (result.minimal.scenario.batch_size > 1) {
+    GeneratedCase candidate = result.minimal;
+    candidate.scenario.batch_size = 1;
+    try_accept(std::move(candidate));
+  }
+
+  // 3. Fewer worker shards (1 keeps the sharded engine with minimal
+  // threading; 0 drops to the serial engine when the failure survives
+  // that too).
+  for (uint32_t shards : {1u, 0u}) {
+    if (result.minimal.scenario.num_shards <= shards) continue;
+    GeneratedCase candidate = result.minimal;
+    candidate.scenario.num_shards = shards;
+    try_accept(std::move(candidate));
+  }
+
+  // 4. Smaller site space: remap sites and re-truncate (a smaller k
+  // often unlocks a shorter failing prefix). Changing k changes the
+  // derived tracker seed — irrelevant, since acceptance re-verifies.
+  for (uint32_t k : {1u, 2u, result.minimal.scenario.num_sites / 2}) {
+    uint32_t current = result.minimal.scenario.num_sites;
+    if (k == 0 || k >= current) continue;
+    GeneratedCase candidate = result.minimal;
+    candidate.scenario.num_sites = k;
+    candidate.scenario.num_shards =
+        std::min(candidate.scenario.num_shards, k);
+    candidate.trace = result.minimal.trace.RemapSites(k);
+    if (try_accept(std::move(candidate))) truncate_pass();
+  }
+
+  if (result.detail.empty()) {
+    // No candidate was accepted; re-derive the detail from the original.
+    OracleOutcome outcome = oracle.Check(result.minimal);
+    result.detail = outcome.detail;
+    ++result.attempts;
+  }
+  return result;
+}
+
+std::string ReplayCommand(const GeneratedCase& c, const std::string& oracle,
+                          const std::string& trace_path) {
+  const Scenario& s = c.scenario;
+  std::string cmd = "varstream_check --replay=" + trace_path +
+                    " --oracle=" + oracle + " --tracker=" + s.tracker +
+                    " --stream=" + s.stream + " --assigner=" + s.assigner +
+                    " --sites=" + std::to_string(s.num_sites) +
+                    " --eps=" + FormatDouble("%g", s.epsilon) +
+                    " --seed=" + std::to_string(s.seed) +
+                    " --batch=" + std::to_string(s.batch_size) +
+                    " --period=" + std::to_string(s.period);
+  if (s.num_shards > 0) {
+    cmd += " --shards=" + std::to_string(s.num_shards);
+  }
+  if (!s.params.empty()) {
+    // The updates come from the trace file, so params only keep the
+    // repro self-describing; one combined flag (FlagParser keeps the
+    // last occurrence of a repeated flag).
+    std::string joined;
+    for (const auto& [key, value] : s.params) {
+      if (!joined.empty()) joined += ",";
+      joined += key + "=" + FormatDouble("%g", value);
+    }
+    cmd += " --params=" + joined;
+  }
+  return cmd;
+}
+
+}  // namespace testkit
+}  // namespace varstream

@@ -1,0 +1,62 @@
+// Greedy failure shrinking: given a (scenario, trace) pair an oracle
+// rejects, search for the smallest case that still fails, then emit a
+// ready-to-paste `varstream_check --replay` command (plus the recorded
+// trace file) as the minimal repro.
+//
+// Shrink moves, tried in order and kept only while the oracle still
+// fails:
+//   1. fewer updates   — truncate the trace to a failing prefix (halving
+//                        first, then fine end-trimming); any prefix of a
+//                        valid stream is a valid stream;
+//   2. unit batches    — batch_size -> 1 (the strictest observation
+//                        grid);
+//   3. fewer shards    — num_shards -> 1 -> 0 where the oracle allows;
+//   4. smaller k       — remap sites (site % k') and retry truncation.
+//
+// Every candidate re-runs the oracle, so the result is *verified*
+// failing, and because oracles are deterministic in the case, replaying
+// the emitted command reproduces the exact failure.
+
+#ifndef VARSTREAM_TESTKIT_SHRINK_H_
+#define VARSTREAM_TESTKIT_SHRINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "testkit/oracles.h"
+#include "testkit/scenario_gen.h"
+
+namespace varstream {
+namespace testkit {
+
+struct ShrinkOptions {
+  /// Cap on oracle re-runs across all moves; greedy search stops when
+  /// exhausted and reports the smallest failure found so far.
+  uint64_t max_attempts = 256;
+};
+
+struct ShrinkResult {
+  GeneratedCase minimal;       ///< the smallest still-failing case
+  std::string detail;          ///< oracle detail at the minimum
+  uint64_t attempts = 0;       ///< oracle re-runs spent
+  uint64_t original_updates = 0;
+};
+
+/// Requires that `oracle.Check(failing)` fails (the caller just observed
+/// it); returns the shrunken case. Never returns a passing case: every
+/// accepted move re-verified the failure.
+ShrinkResult ShrinkFailure(const Oracle& oracle, const GeneratedCase& failing,
+                           const ShrinkOptions& options = {});
+
+/// The ready-to-paste repro command for a case whose trace was saved at
+/// `trace_path`: `varstream_check --replay=... --oracle=...` plus every
+/// scenario field the oracle and the seed derivation depend on (stream
+/// and assigner names only feed the deterministic seed fingerprint — the
+/// updates themselves come from the trace file).
+std::string ReplayCommand(const GeneratedCase& c, const std::string& oracle,
+                          const std::string& trace_path);
+
+}  // namespace testkit
+}  // namespace varstream
+
+#endif  // VARSTREAM_TESTKIT_SHRINK_H_

@@ -56,6 +56,24 @@ TEST(FlagParser, IgnoresPositionalArguments) {
   EXPECT_FALSE(flags.Has("x"));
 }
 
+TEST(FlagParser, SpaceSeparatedValues) {
+  // "--flag value" is equivalent to "--flag=value" (the spelling the
+  // acceptance commands in CI use); a following flag keeps the first
+  // one boolean, and "-5"-style negatives count as values.
+  FlagParser flags =
+      Parse({"--iters", "2000", "--seed", "1", "--quiet", "--x", "-5"});
+  EXPECT_EQ(flags.GetUint("iters", 0), 2000u);
+  EXPECT_EQ(flags.GetUint("seed", 0), 1u);
+  EXPECT_TRUE(flags.GetBool("quiet", false));
+  EXPECT_EQ(flags.GetInt("x", 0), -5);
+}
+
+TEST(FlagParser, BareFlagBeforeFlagStaysBoolean) {
+  FlagParser flags = Parse({"--verbose", "--n=3"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("n", 0), 3);
+}
+
 TEST(FlagParser, LastOccurrenceWins) {
   FlagParser flags = Parse({"--n=1", "--n=2"});
   EXPECT_EQ(flags.GetInt("n", 0), 2);

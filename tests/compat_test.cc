@@ -1,0 +1,133 @@
+// core/compat.h: the shared pairing predicates must agree with every
+// consumer — the suite expansion's skip decisions, RunScenario's
+// refusals, and the sharded engine's admission errors all have to be the
+// same function, or a scenario could be expanded by one layer and
+// refused by the next.
+
+#include "core/compat.h"
+
+#include <set>
+
+#include "core/registry.h"
+#include "core/scenario.h"
+#include "core/sharded.h"
+#include "core/suite.h"
+#include "stream/source.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(CompatTest, MonotoneOnlyTrackerRequiresMonotoneStream) {
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  const StreamRegistry& streams = StreamRegistry::Instance();
+  for (const std::string& tracker : trackers.Names()) {
+    for (const std::string& stream : streams.StreamNames()) {
+      PairingVerdict v = CheckTrackerStreamPairing(tracker, stream);
+      bool expect_refusal = trackers.IsMonotoneOnly(tracker) &&
+                            !streams.IsMonotone(stream);
+      EXPECT_EQ(v.ok, !expect_refusal) << tracker << " x " << stream;
+      if (!v.ok) {
+        EXPECT_NE(v.reason.find("insertion-only"), std::string::npos);
+      }
+    }
+  }
+}
+
+TEST(CompatTest, UnknownNamesAreAdmitted) {
+  // Name resolution is the caller's concern (it lists the valid names);
+  // the pairing predicate must not mask an unknown-name error with a
+  // pairing refusal.
+  EXPECT_TRUE(CheckTrackerStreamPairing("no-such-tracker", "sawtooth").ok);
+  EXPECT_TRUE(CheckTrackerStreamPairing("deterministic", "no-such-stream").ok);
+  EXPECT_TRUE(CheckShardPairing("no-such-tracker", 2, 8).ok);
+}
+
+TEST(CompatTest, ShardPairingRequiresMergeableAndRange) {
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  for (const std::string& tracker : trackers.Names()) {
+    // 0 = serial engine: always admitted.
+    EXPECT_TRUE(CheckShardPairing(tracker, 0, 8).ok) << tracker;
+    PairingVerdict v = CheckShardPairing(tracker, 2, 8);
+    EXPECT_EQ(v.ok, trackers.IsMergeable(tracker)) << tracker;
+    if (!v.ok) {
+      EXPECT_NE(v.reason.find("not mergeable"), std::string::npos);
+    }
+  }
+  // Range errors for mergeable trackers.
+  EXPECT_FALSE(CheckShardPairing("deterministic", 9, 8).ok);
+  EXPECT_FALSE(CheckExplicitShardCount(0, 8).ok);
+  EXPECT_FALSE(CheckExplicitShardCount(9, 8).ok);
+  EXPECT_TRUE(CheckExplicitShardCount(1, 8).ok);
+  EXPECT_TRUE(CheckExplicitShardCount(8, 8).ok);
+}
+
+// The pin the satellite asks for: ExpandSuite's skip decisions are
+// exactly CheckScenarioPairing over the full registry cross-product, for
+// both the serial and the sharded expansion.
+TEST(CompatTest, SuiteExpansionSkipsExactlyTheIncompatiblePairs) {
+  const TrackerRegistry& trackers = TrackerRegistry::Instance();
+  const StreamRegistry& streams = StreamRegistry::Instance();
+  for (uint32_t num_shards : {0u, 2u}) {
+    SuiteSpec spec;  // empty lists = every registered tracker and stream
+    spec.num_shards = num_shards;
+    spec.n = 10;
+    std::set<std::pair<std::string, std::string>> expanded;
+    for (const Scenario& s : ExpandSuite(spec)) {
+      expanded.emplace(s.tracker, s.stream);
+    }
+    for (const std::string& tracker : trackers.Names()) {
+      for (const std::string& stream : streams.StreamNames()) {
+        bool admitted = CheckScenarioPairing(tracker, stream, num_shards,
+                                             spec.num_sites)
+                            .ok;
+        EXPECT_EQ(expanded.count({tracker, stream}) > 0, admitted)
+            << tracker << " x " << stream << " shards=" << num_shards;
+      }
+    }
+  }
+}
+
+// And RunScenario refuses exactly what the predicate refuses, with the
+// predicate's reason verbatim.
+TEST(CompatTest, RunScenarioRefusalsMatchThePredicate) {
+  Scenario s;
+  s.tracker = "cmy-monotone";
+  s.stream = "random-walk";
+  s.n = 100;
+  ScenarioResult r = RunScenario(s);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error,
+            CheckScenarioPairing(s.tracker, s.stream, 0, s.num_sites).reason);
+
+  Scenario sharded;
+  sharded.tracker = "single-site";  // not mergeable
+  sharded.stream = "random-walk";
+  sharded.num_shards = 2;
+  sharded.n = 100;
+  ScenarioResult r2 = RunScenario(sharded);
+  ASSERT_FALSE(r2.ok);
+  EXPECT_EQ(r2.error, CheckScenarioPairing(sharded.tracker, sharded.stream,
+                                           sharded.num_shards,
+                                           sharded.num_sites)
+                          .reason);
+}
+
+// ShardedTracker::Create consumes the same predicates, so its admission
+// errors are the predicate's reasons verbatim.
+TEST(CompatTest, ShardedCreateErrorsMatchThePredicate) {
+  TrackerOptions opts;
+  opts.num_sites = 4;
+  std::string error;
+  EXPECT_EQ(ShardedTracker::Create("single-site", opts, 2, &error), nullptr);
+  EXPECT_EQ(error, CheckShardPairing("single-site", 2, 4).reason);
+  EXPECT_EQ(ShardedTracker::Create("deterministic", opts, 0, &error),
+            nullptr);
+  EXPECT_EQ(error, CheckExplicitShardCount(0, 4).reason);
+  EXPECT_EQ(ShardedTracker::Create("deterministic", opts, 5, &error),
+            nullptr);
+  EXPECT_EQ(error, CheckExplicitShardCount(5, 4).reason);
+}
+
+}  // namespace
+}  // namespace varstream

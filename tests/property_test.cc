@@ -1,17 +1,21 @@
-// Cross-cutting property suites: the paper's central claims checked as
-// invariants over randomized configuration sweeps (generator x sites x
-// epsilon x assigner x seed), rather than hand-picked cases.
+// Property suites for the surfaces the scenario registries do not reach
+// (single-site Update(), the quantile tracker's item streams, the
+// variability meter itself). The registry-wide configuration sweep that
+// used to be hand-enumerated here — deterministic guarantee/cost,
+// randomized failure rate, naive agreement, across generator x assigner
+// x k x eps grids — now lives in the testkit conformance suites
+// (tests/testkit_conformance_test.cc), which draw randomized scenarios
+// from the full cross-product and check them against the paper-theorem
+// oracles in src/testkit/oracles.h.
 
 #include <cmath>
 #include <map>
 #include <memory>
 
-#include "baseline/naive_tracker.h"
 #include "common/hash.h"
 #include "core/deterministic_tracker.h"
 #include "core/driver.h"
 #include "core/quantile_tracker.h"
-#include "core/randomized_tracker.h"
 #include "core/single_site_tracker.h"
 #include "stream/generator.h"
 #include "stream/item_generators.h"
@@ -21,123 +25,6 @@
 
 namespace varstream {
 namespace {
-
-struct Config {
-  const char* generator;
-  const char* assigner;
-  uint32_t k;
-  double eps;
-  uint64_t seed;
-};
-
-std::vector<Config> AllConfigs() {
-  std::vector<Config> configs;
-  uint64_t seed = 1;
-  for (const char* gen :
-       {"monotone", "random-walk", "sawtooth", "nearly-monotone",
-        "oscillator", "biased-walk", "spike", "regime-switch", "diurnal"}) {
-    for (const char* assigner :
-         {"round-robin", "uniform", "skewed", "burst"}) {
-      for (uint32_t k : {2u, 8u}) {
-        for (double eps : {0.08, 0.3}) {
-          configs.push_back({gen, assigner, k, eps, seed++});
-        }
-      }
-    }
-  }
-  return configs;
-}
-
-class SweepTest : public ::testing::TestWithParam<Config> {};
-
-std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
-  std::string name = std::string(info.param.generator) + "_" +
-                     info.param.assigner + "_k" +
-                     std::to_string(info.param.k) + "_e" +
-                     std::to_string(static_cast<int>(info.param.eps * 100));
-  for (auto& c : name) {
-    if (c == '-') c = '_';
-  }
-  return name;
-}
-
-TEST_P(SweepTest, DeterministicTrackerNeverViolatesGuarantee) {
-  const Config& cfg = GetParam();
-  auto gen = MakeGeneratorByName(cfg.generator, cfg.seed);
-  auto assigner = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 99);
-  TrackerOptions opts;
-  opts.num_sites = cfg.k;
-  opts.epsilon = cfg.eps;
-  opts.initial_value = gen->initial_value();
-  DeterministicTracker tracker(opts);
-  GeneratorSource src1(gen.get(), assigner.get());
-  RunResult result =
-      varstream::Run(src1, tracker, {.epsilon = cfg.eps, .max_updates = 25000});
-  EXPECT_EQ(result.violation_rate, 0.0) << ConfigName({GetParam(), 0});
-}
-
-TEST_P(SweepTest, DeterministicCostWithinPaperBound) {
-  const Config& cfg = GetParam();
-  auto gen = MakeGeneratorByName(cfg.generator, cfg.seed + 1);
-  auto assigner = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 100);
-  TrackerOptions opts;
-  opts.num_sites = cfg.k;
-  opts.epsilon = cfg.eps;
-  opts.initial_value = gen->initial_value();
-  DeterministicTracker tracker(opts);
-  GeneratorSource src2(gen.get(), assigner.get());
-  RunResult result =
-      varstream::Run(src2, tracker, {.epsilon = cfg.eps, .max_updates = 25000});
-  double v = result.variability;
-  double bound =
-      5.0 * cfg.k * v / cfg.eps + 50.0 * cfg.k * (v + 1.0) + 10.0 * cfg.k;
-  EXPECT_LE(static_cast<double>(result.messages), bound);
-}
-
-TEST_P(SweepTest, RandomizedTrackerFailureRateWithinGuarantee) {
-  const Config& cfg = GetParam();
-  if (cfg.k > 9.0 / (cfg.eps * cfg.eps)) GTEST_SKIP();
-  auto gen = MakeGeneratorByName(cfg.generator, cfg.seed + 2);
-  auto assigner = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 101);
-  TrackerOptions opts;
-  opts.num_sites = cfg.k;
-  opts.epsilon = cfg.eps;
-  opts.seed = cfg.seed + 7;
-  opts.initial_value = gen->initial_value();
-  RandomizedTracker tracker(opts);
-  GeneratorSource src3(gen.get(), assigner.get());
-  RunResult result =
-      varstream::Run(src3, tracker, {.epsilon = cfg.eps, .max_updates = 25000});
-  EXPECT_LT(result.violation_rate, 1.0 / 3.0);
-}
-
-TEST_P(SweepTest, TrackersAgreeWithNaiveOnFinalValue) {
-  // Whatever the estimates in between, every tracker's *view of the truth*
-  // (ground truth via the driver) must be identical for identical streams.
-  const Config& cfg = GetParam();
-  auto gen1 = MakeGeneratorByName(cfg.generator, cfg.seed + 3);
-  auto gen2 = MakeGeneratorByName(cfg.generator, cfg.seed + 3);
-  auto a1 = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 102);
-  auto a2 = MakeAssignerByName(cfg.assigner, cfg.k, cfg.seed + 102);
-  TrackerOptions opts;
-  opts.num_sites = cfg.k;
-  opts.epsilon = cfg.eps;
-  opts.initial_value = gen1->initial_value();
-  DeterministicTracker det(opts);
-  NaiveTracker naive(opts);
-  GeneratorSource src4(gen1.get(), a1.get());
-  RunResult r1 = varstream::Run(src4, det, {.epsilon = cfg.eps, .max_updates = 10000});
-  GeneratorSource src5(gen2.get(), a2.get());
-  RunResult r2 = varstream::Run(src5, naive, {.epsilon = cfg.eps, .max_updates = 10000});
-  EXPECT_EQ(r1.final_f, r2.final_f);
-  EXPECT_DOUBLE_EQ(r1.variability, r2.variability);
-  // And the deterministic estimate is within eps of the naive (exact) one.
-  EXPECT_LE(std::abs(r1.final_estimate - r2.final_estimate),
-            cfg.eps * std::abs(r2.final_estimate) + 1e-9);
-}
-
-INSTANTIATE_TEST_SUITE_P(AllConfigs, SweepTest,
-                         ::testing::ValuesIn(AllConfigs()), ConfigName);
 
 // Single-site tracker: the Appendix I message bound as a property over
 // random aggregate paths (not just counts).

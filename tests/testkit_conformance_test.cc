@@ -1,0 +1,208 @@
+// Fixed-seed conformance batches: every paper-theorem oracle over ~200
+// generated scenarios, as a deterministic tier-1 gate. This is the
+// gtest face of tools/varstream_check — same generator, same oracles,
+// pinned seeds — so a regression in any tracker/engine/service layer
+// fails here first, and the printed replay command reproduces it from
+// the command line.
+//
+// These suites subsume the hand-enumerated configuration sweep that
+// used to live in tests/property_test.cc: the generator draws from the
+// full registry cross-product (7 trackers x 11 streams x 5 assigners x
+// k x eps x batch x shards) instead of a fixed 288-point grid.
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/compat.h"
+#include "core/registry.h"
+#include "stream/source.h"
+#include "testkit/oracles.h"
+#include "testkit/runner.h"
+#include "testkit/scenario_gen.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace testkit {
+namespace {
+
+/// One fixed-seed batch for one oracle. Scenario sizes are kept small
+/// (the runner's own default is 200..4000 updates) so the whole file
+/// stays a few seconds in tier-1.
+CheckReport RunBatch(const std::string& oracle, uint64_t iters,
+                     uint64_t seed) {
+  CheckOptions options;
+  options.iters = iters;
+  options.seed = seed;
+  options.threads = 4;
+  options.oracles = {oracle};
+  options.shrink = true;  // a failure should arrive pre-shrunk
+  options.gen.min_updates = 100;
+  options.gen.max_updates = 1500;
+  return RunChecks(options);
+}
+
+void ExpectClean(const CheckReport& report, const std::string& oracle) {
+  EXPECT_TRUE(report.ok());
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << oracle << " failed at iteration " << failure.iteration
+                  << ": " << failure.detail
+                  << "\n  replay: " << failure.replay_command;
+  }
+  ASSERT_EQ(report.stats.size(), 1u);
+  const OracleStats& stats = report.stats[0].second;
+  EXPECT_EQ(stats.failed, 0u);
+  // The batch must actually exercise the oracle: applicability filters
+  // (mergeable-only, guarantee-carrying trackers) skip some scenarios,
+  // but the majority of a 200-scenario batch must be real checks.
+  EXPECT_GE(stats.checked, 80u) << oracle;
+  EXPECT_EQ(stats.checked, stats.passed) << oracle;
+}
+
+TEST(TestkitConformance, AccuracyOracle) {
+  ExpectClean(RunBatch("accuracy", 200, 0xACC), "accuracy");
+}
+
+TEST(TestkitConformance, CostOracle) {
+  ExpectClean(RunBatch("cost", 200, 0xC057), "cost");
+}
+
+TEST(TestkitConformance, MonotoneOracle) {
+  ExpectClean(RunBatch("monotone", 200, 0x3070), "monotone");
+}
+
+TEST(TestkitConformance, ShardParityOracle) {
+  ExpectClean(RunBatch("shard-parity", 200, 0x5AAD), "shard-parity");
+}
+
+TEST(TestkitConformance, CheckpointRoundTripOracle) {
+  ExpectClean(RunBatch("checkpoint-roundtrip", 200, 0xC4EC),
+              "checkpoint-roundtrip");
+}
+
+TEST(TestkitConformance, ServiceParityOracle) {
+  ExpectClean(RunBatch("service-parity", 120, 0x5E21), "service-parity");
+}
+
+// The generator honors the compatibility predicates: across a large
+// fixed-seed sample, every produced scenario is admissible and the
+// cross-product is actually covered (every tracker, stream, and
+// assigner shows up).
+TEST(TestkitGenerator, ProducesOnlyAdmissibleScenariosAndCoversTheSpace) {
+  ScenarioGenerator gen({}, 0xBEEF);
+  ASSERT_TRUE(gen.ok()) << gen.error();
+  std::set<std::string> trackers, streams, assigners;
+  size_t sharded = 0;
+  for (int i = 0; i < 500; ++i) {
+    Scenario s = gen.Next();
+    EXPECT_TRUE(
+        CheckScenarioPairing(s.tracker, s.stream, s.num_shards, s.num_sites)
+            .ok)
+        << s.Id();
+    EXPECT_GE(s.n, 200u);
+    EXPECT_LE(s.n, 4000u);
+    trackers.insert(s.tracker);
+    streams.insert(s.stream);
+    assigners.insert(s.assigner);
+    if (s.num_shards > 0) {
+      ++sharded;
+      EXPECT_LE(s.num_shards, s.num_sites) << s.Id();
+    }
+  }
+  EXPECT_EQ(trackers.size(), TrackerRegistry::Instance().Names().size());
+  EXPECT_EQ(streams.size(),
+            StreamRegistry::Instance().StreamNames().size());
+  EXPECT_EQ(assigners.size(),
+            StreamRegistry::Instance().AssignerNames().size());
+  EXPECT_GT(sharded, 50u);  // the sharded engine is genuinely exercised
+}
+
+// Same (options, seed) => same scenarios, on any thread count — the
+// property that makes a CI failure replayable from its seed alone.
+TEST(TestkitGenerator, DeterministicAcrossConstructions) {
+  ScenarioGenerator a({}, 1234), b({}, 1234);
+  ASSERT_TRUE(a.ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next().Id(), b.Next().Id());
+  }
+}
+
+TEST(TestkitGenerator, MaterializedTraceMatchesScenario) {
+  ScenarioGenerator gen({}, 77);
+  ASSERT_TRUE(gen.ok());
+  for (int i = 0; i < 20; ++i) {
+    GeneratedCase c = gen.NextCase();
+    EXPECT_EQ(c.trace.size(), c.scenario.n) << c.scenario.Id();
+    // Materialization is deterministic in the scenario.
+    GeneratedCase again;
+    std::string error;
+    ASSERT_TRUE(MaterializeCase(c.scenario, &again, &error)) << error;
+    EXPECT_EQ(again.trace.updates(), c.trace.updates());
+    EXPECT_EQ(again.trace.initial_value(), c.trace.initial_value());
+  }
+}
+
+TEST(TestkitGenerator, FocusFiltersRestrictTheSpace) {
+  GenOptions options;
+  options.trackers = {"deterministic"};
+  options.streams = {"sawtooth"};
+  ScenarioGenerator gen(options, 5);
+  ASSERT_TRUE(gen.ok()) << gen.error();
+  for (int i = 0; i < 20; ++i) {
+    Scenario s = gen.Next();
+    EXPECT_EQ(s.tracker, "deterministic");
+    EXPECT_EQ(s.stream, "sawtooth");
+  }
+}
+
+TEST(TestkitGenerator, UnsatisfiableFocusFailsLoudly) {
+  GenOptions options;
+  options.trackers = {"cmy-monotone"};     // insertion-only
+  options.streams = {"random-walk"};       // emits deletions
+  ScenarioGenerator gen(options, 5);
+  EXPECT_FALSE(gen.ok());
+  EXPECT_NE(gen.error().find("no admissible"), std::string::npos);
+}
+
+TEST(TestkitRunner, ReportJsonCarriesTheSchema) {
+  CheckOptions options;
+  options.iters = 5;
+  options.seed = 9;
+  options.oracles = {"monotone"};
+  CheckReport report = RunChecks(options);
+  EXPECT_EQ(report.iterations, 5u);
+  std::string json = CheckReportToJson(report);
+  EXPECT_NE(json.find("\"schema\":\"varstream-check-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"monotone\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+}
+
+// The runner's per-iteration seeding makes verdicts independent of the
+// worker count.
+TEST(TestkitRunner, StatsIdenticalAcrossThreadCounts) {
+  CheckOptions options;
+  options.iters = 60;
+  options.seed = 31337;
+  options.oracles = {"accuracy", "cost"};
+  options.threads = 1;
+  CheckReport serial = RunChecks(options);
+  options.threads = 4;
+  CheckReport parallel = RunChecks(options);
+  ASSERT_EQ(serial.stats.size(), parallel.stats.size());
+  for (size_t i = 0; i < serial.stats.size(); ++i) {
+    EXPECT_EQ(serial.stats[i].first, parallel.stats[i].first);
+    EXPECT_EQ(serial.stats[i].second.checked,
+              parallel.stats[i].second.checked);
+    EXPECT_EQ(serial.stats[i].second.passed,
+              parallel.stats[i].second.passed);
+    EXPECT_EQ(serial.stats[i].second.failed,
+              parallel.stats[i].second.failed);
+    EXPECT_EQ(serial.stats[i].second.skipped,
+              parallel.stats[i].second.skipped);
+  }
+}
+
+}  // namespace
+}  // namespace testkit
+}  // namespace varstream

@@ -1,0 +1,170 @@
+// testkit/shrink.h: a seeded known-bad oracle must shrink to a minimal
+// repro. The "bug" oracles here fail by construction on properties the
+// real trackers satisfy, so shrinking behavior is pinned independently
+// of tracker correctness: the shrinker must (a) only ever return a
+// verified-failing case, (b) reach the known minimal size, and (c) emit
+// a replay command carrying every field the repro depends on.
+
+#include <algorithm>
+#include <string>
+
+#include "testkit/oracles.h"
+#include "testkit/runner.h"
+#include "testkit/scenario_gen.h"
+#include "testkit/shrink.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace testkit {
+namespace {
+
+/// Fails whenever the trace delivers at least `threshold` updates — the
+/// canonical shrink target: the minimal failing case is exactly
+/// `threshold` updates long.
+class SizeThresholdOracle final : public Oracle {
+ public:
+  explicit SizeThresholdOracle(uint64_t threshold) : threshold_(threshold) {}
+
+  std::string name() const override { return "test-size-threshold"; }
+  bool Applicable(const Scenario&) const override { return true; }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    if (c.trace.size() >= threshold_) {
+      return OracleOutcome::Fail(
+          "trace has " + std::to_string(c.trace.size()) + " >= " +
+          std::to_string(threshold_) + " updates");
+    }
+    return OracleOutcome::Pass();
+  }
+
+ private:
+  uint64_t threshold_;
+};
+
+/// Fails only while the case keeps >= 2 sites and a batch size > 1 —
+/// pins that the k-reduction and unit-batch moves are only accepted
+/// when the failure survives them.
+class NeedsSitesAndBatchOracle final : public Oracle {
+ public:
+  std::string name() const override { return "test-sites-and-batch"; }
+  bool Applicable(const Scenario&) const override { return true; }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    if (c.scenario.num_sites >= 2 && c.scenario.batch_size > 1) {
+      return OracleOutcome::Fail("k >= 2 and batched");
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+GeneratedCase MakeCase(uint64_t n, uint32_t sites, uint64_t batch) {
+  Scenario s;
+  s.tracker = "deterministic";
+  s.stream = "random-walk";
+  s.num_sites = sites;
+  s.n = n;
+  s.seed = 99;
+  s.batch_size = batch;
+  GeneratedCase c;
+  std::string error;
+  EXPECT_TRUE(MaterializeCase(s, &c, &error)) << error;
+  return c;
+}
+
+TEST(TestkitShrink, ShrinksToTheKnownMinimalSize) {
+  SizeThresholdOracle oracle(7);
+  GeneratedCase failing = MakeCase(2000, 8, 128);
+  ASSERT_EQ(oracle.Check(failing).status, OracleOutcome::Status::kFail);
+
+  ShrinkResult result = ShrinkFailure(oracle, failing);
+  EXPECT_EQ(result.original_updates, 2000u);
+  // Greedy halving + end-trimming must land exactly on the threshold.
+  EXPECT_EQ(result.minimal.trace.size(), 7u);
+  EXPECT_EQ(result.minimal.scenario.n, 7u);
+  // The returned case is verified failing, with the failing detail.
+  EXPECT_EQ(oracle.Check(result.minimal).status,
+            OracleOutcome::Status::kFail);
+  EXPECT_NE(result.detail.find(">= 7"), std::string::npos);
+  EXPECT_GT(result.attempts, 0u);
+}
+
+TEST(TestkitShrink, SimplifiesBatchAndShardsAndSitesWhenFailureSurvives) {
+  SizeThresholdOracle oracle(3);
+  GeneratedCase failing = MakeCase(500, 8, 512);
+  failing.scenario.num_shards = 4;
+  ShrinkResult result = ShrinkFailure(oracle, failing);
+  // Size-only failure: every simplification move survives, so the
+  // minimum is fully reduced on every axis.
+  EXPECT_EQ(result.minimal.trace.size(), 3u);
+  EXPECT_EQ(result.minimal.scenario.batch_size, 1u);
+  EXPECT_EQ(result.minimal.scenario.num_shards, 0u);
+  EXPECT_EQ(result.minimal.scenario.num_sites, 1u);
+  for (const CountUpdate& u : result.minimal.trace.updates()) {
+    EXPECT_EQ(u.site, 0u);
+  }
+}
+
+TEST(TestkitShrink, KeepsAxesTheFailureNeeds) {
+  NeedsSitesAndBatchOracle oracle;
+  GeneratedCase failing = MakeCase(400, 8, 128);
+  ShrinkResult result = ShrinkFailure(oracle, failing);
+  // Dropping batch to 1 or k to 1 makes the case pass, so the shrinker
+  // must keep both above their floors...
+  EXPECT_GE(result.minimal.scenario.num_sites, 2u);
+  EXPECT_GT(result.minimal.scenario.batch_size, 1u);
+  // ...while the trace still truncates (trace size is free here).
+  EXPECT_LT(result.minimal.trace.size(), 400u);
+  EXPECT_EQ(oracle.Check(result.minimal).status,
+            OracleOutcome::Status::kFail);
+}
+
+TEST(TestkitShrink, RespectsTheAttemptBudget) {
+  SizeThresholdOracle oracle(7);
+  GeneratedCase failing = MakeCase(4000, 8, 1);
+  ShrinkOptions options;
+  options.max_attempts = 3;
+  ShrinkResult result = ShrinkFailure(oracle, failing, options);
+  EXPECT_LE(result.attempts, 4u);  // budget + the final detail re-check
+  // Still failing, even if not minimal.
+  EXPECT_EQ(oracle.Check(result.minimal).status,
+            OracleOutcome::Status::kFail);
+}
+
+TEST(TestkitShrink, ReplayCommandCarriesEveryField) {
+  GeneratedCase c = MakeCase(50, 4, 16);
+  c.scenario.num_shards = 2;
+  c.scenario.params["mu"] = 0.3;
+  std::string cmd = ReplayCommand(c, "accuracy", "repro.trace");
+  EXPECT_NE(cmd.find("varstream_check --replay=repro.trace"),
+            std::string::npos);
+  EXPECT_NE(cmd.find("--oracle=accuracy"), std::string::npos);
+  EXPECT_NE(cmd.find("--tracker=deterministic"), std::string::npos);
+  EXPECT_NE(cmd.find("--stream=random-walk"), std::string::npos);
+  EXPECT_NE(cmd.find("--sites=4"), std::string::npos);
+  EXPECT_NE(cmd.find("--seed=99"), std::string::npos);
+  EXPECT_NE(cmd.find("--batch=16"), std::string::npos);
+  EXPECT_NE(cmd.find("--shards=2"), std::string::npos);
+  EXPECT_NE(cmd.find("--params=mu=0.3"), std::string::npos);
+}
+
+// End-to-end through the runner: a failure is caught, shrunk, and
+// reported with a replay command — using a real oracle against a
+// scenario engineered to violate it is impossible (the trackers are
+// correct), so pin the wiring with the runner's own report on a
+// passing batch plus the shrinker pieces above. The full
+// injected-bug drill lives in the PR description and CI can reproduce
+// it by patching a threshold; here we assert the report plumbing.
+TEST(TestkitShrink, RunnerReportsNoFailuresOnHealthyTrackers) {
+  CheckOptions options;
+  options.iters = 30;
+  options.seed = 404;
+  options.oracles = {"accuracy"};
+  options.threads = 2;
+  CheckReport report = RunChecks(options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.failures.empty());
+}
+
+}  // namespace
+}  // namespace testkit
+}  // namespace varstream

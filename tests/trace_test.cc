@@ -44,6 +44,34 @@ TEST(StreamTrace, InitialValuePropagates) {
   EXPECT_EQ(trace.ValueAt(2), 50);
 }
 
+TEST(StreamTrace, PrefixKeepsInitialValueAndPath) {
+  RandomWalkGenerator gen(9);
+  RoundRobinAssigner assigner(4);
+  StreamTrace trace = StreamTrace::Record(&gen, &assigner, 50);
+  StreamTrace prefix = trace.Prefix(20);
+  ASSERT_EQ(prefix.size(), 20u);
+  EXPECT_EQ(prefix.initial_value(), trace.initial_value());
+  for (uint64_t t = 1; t <= 20; ++t) {
+    EXPECT_EQ(prefix.ValueAt(t), trace.ValueAt(t));
+  }
+  // n >= size() copies the whole trace.
+  EXPECT_EQ(trace.Prefix(500).size(), 50u);
+  EXPECT_EQ(trace.Prefix(0).size(), 0u);
+}
+
+TEST(StreamTrace, RemapSitesPreservesDeltasAndF) {
+  StreamTrace trace = MakeWalkTrace(60, 3);
+  StreamTrace remapped = trace.RemapSites(2);
+  ASSERT_EQ(remapped.size(), trace.size());
+  for (uint64_t t = 0; t < trace.size(); ++t) {
+    EXPECT_LT(remapped.updates()[t].site, 2u);
+    EXPECT_EQ(remapped.updates()[t].site, trace.updates()[t].site % 2);
+    EXPECT_EQ(remapped.updates()[t].delta, trace.updates()[t].delta);
+  }
+  EXPECT_EQ(remapped.final_value(), trace.final_value());
+  EXPECT_DOUBLE_EQ(remapped.Variability(), trace.Variability());
+}
+
 TEST(StreamTrace, VariabilityMatchesDirectComputation) {
   StreamTrace trace = MakeWalkTrace(500, 2);
   std::vector<int64_t> f;

@@ -1,0 +1,233 @@
+// Fuzz-style corruption matrix over the service wire decoders, driven
+// by testkit's byte mutator (testkit/bytefuzz.h): every frame type of
+// service/protocol.h and the varstream-ckpt-v1 checkpoint decoder are
+// swept with truncations, single-bit flips, length-field lies, and CRC
+// smashes. The contract under attack is uniform: a corrupted input must
+// produce a loud kMalformed / false-with-diagnostic — never a crash, an
+// allocation blowup, or a silent accept.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/mergeable.h"
+#include "service/checkpoint.h"
+#include "service/protocol.h"
+#include "testkit/bytefuzz.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+using testkit::BitFlipSweep;
+using testkit::CorruptionSweep;
+using testkit::CrcSmashSweep;
+using testkit::LengthLieSweep;
+using testkit::Mutation;
+using testkit::TruncationSweep;
+
+/// One representative, fully populated frame per FrameType.
+std::vector<std::pair<FrameType, std::vector<uint8_t>>> AllFramePayloads() {
+  std::vector<std::pair<FrameType, std::vector<uint8_t>>> frames;
+  HelloFrame hello;
+  hello.session = "fuzz";
+  hello.tracker = "deterministic";
+  hello.shards = 2;
+  frames.emplace_back(FrameType::kHello, EncodeHello(hello));
+  HelloAckFrame hello_ack;
+  hello_ack.created = true;
+  hello_ack.session_time = 123;
+  frames.emplace_back(FrameType::kHelloAck, EncodeHelloAck(hello_ack));
+  std::vector<CountUpdate> updates = {{0, 5}, {1, -3}, {3, 1}, {2, -1}};
+  frames.emplace_back(FrameType::kPushBatch, EncodePushBatch(updates));
+  PushAckFrame push_ack;
+  push_ack.session_time = 77;
+  push_ack.checkpointed = true;
+  frames.emplace_back(FrameType::kPushAck, EncodePushAck(push_ack));
+  frames.emplace_back(FrameType::kQuery, std::vector<uint8_t>{});
+  SnapshotFrame snapshot;
+  snapshot.estimate = 3.25;
+  snapshot.time = 99;
+  snapshot.messages = 7;
+  snapshot.bits = 224;
+  snapshot.wire_messages = 2;
+  snapshot.wire_bits = 640;
+  frames.emplace_back(FrameType::kSnapshot, EncodeSnapshot(snapshot));
+  frames.emplace_back(FrameType::kCheckpoint, std::vector<uint8_t>{});
+  CheckpointAckFrame ckpt_ack;
+  ckpt_ack.path = "/tmp/state.ckpt";
+  frames.emplace_back(FrameType::kCheckpointAck,
+                      EncodeCheckpointAck(ckpt_ack));
+  frames.emplace_back(FrameType::kShutdown, std::vector<uint8_t>{});
+  frames.emplace_back(FrameType::kShutdownAck, std::vector<uint8_t>{});
+  frames.emplace_back(FrameType::kError, EncodeError("boom"));
+  return frames;
+}
+
+std::vector<uint8_t> FrameBytes(FrameType type,
+                                std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+/// Decodes one mutant; the frame decoder must stay inside its protocol:
+/// kOk is a silent accept (CRC-32 makes it impossible for every mutation
+/// class this sweep emits), anything else must carry its diagnostic.
+void ExpectRejected(const Mutation& m, FrameType type) {
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  DecodeStatus status = DecodeFrame(m.bytes, &frame, &consumed, &error);
+  EXPECT_NE(status, DecodeStatus::kOk)
+      << FrameTypeName(type) << ": silent accept of " << m.description;
+  if (status == DecodeStatus::kMalformed) {
+    EXPECT_FALSE(error.empty())
+        << FrameTypeName(type) << ": kMalformed without a diagnostic for "
+        << m.description;
+  }
+}
+
+TEST(WireFuzz, EveryFrameTypeSurvivesTheFullCorruptionMatrix) {
+  for (const auto& [type, payload] : AllFramePayloads()) {
+    std::vector<uint8_t> frame_bytes = FrameBytes(type, payload);
+
+    // Sanity: the unmutated frame decodes to exactly what was framed.
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(DecodeFrame(frame_bytes, &frame, &consumed, &error),
+              DecodeStatus::kOk)
+        << FrameTypeName(type) << ": " << error;
+    ASSERT_EQ(consumed, frame_bytes.size());
+    ASSERT_EQ(frame.type, type);
+    ASSERT_EQ(frame.payload, payload);
+
+    for (const Mutation& m : CorruptionSweep(frame_bytes, 0xF422)) {
+      ExpectRejected(m, type);
+    }
+  }
+}
+
+TEST(WireFuzz, OversizedLengthLiesAreMalformedNotAllocated) {
+  // A lying length prefix beyond kMaxFramePayload must be rejected as
+  // malformed immediately — not answered with kNeedMore (which would
+  // make the reader buffer gigabytes for a 4-byte lie).
+  std::vector<uint8_t> frame_bytes =
+      FrameBytes(FrameType::kError, EncodeError("x"));
+  for (const Mutation& m : LengthLieSweep(frame_bytes)) {
+    uint32_t lied = static_cast<uint32_t>(m.bytes[0]) |
+                    static_cast<uint32_t>(m.bytes[1]) << 8 |
+                    static_cast<uint32_t>(m.bytes[2]) << 16 |
+                    static_cast<uint32_t>(m.bytes[3]) << 24;
+    if (lied <= kMaxFramePayload) continue;
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(DecodeFrame(m.bytes, &frame, &consumed, &error),
+              DecodeStatus::kMalformed)
+        << m.description;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
+  // Payloads carry no checksum (the frame CRC covers them), so a bit
+  // flip may legitimately decode to a different valid value — but a
+  // truncated payload, or a PushBatch whose count field lies about the
+  // entries that follow, must always decode false.
+  HelloFrame hello;
+  hello.session = "fuzz";
+  std::vector<uint8_t> hello_payload = EncodeHello(hello);
+  for (const Mutation& m : TruncationSweep(hello_payload, 1)) {
+    HelloFrame out;
+    EXPECT_FALSE(DecodeHello(m.bytes, &out)) << "hello " << m.description;
+  }
+
+  std::vector<CountUpdate> updates = {{0, 1}, {1, -2}, {2, 3}};
+  std::vector<uint8_t> batch_payload = EncodePushBatch(updates);
+  for (const Mutation& m : TruncationSweep(batch_payload, 2)) {
+    PushBatchFrame out;
+    EXPECT_FALSE(DecodePushBatch(m.bytes, &out))
+        << "push-batch " << m.description;
+  }
+  for (const Mutation& m : LengthLieSweep(batch_payload)) {
+    PushBatchFrame out;
+    EXPECT_FALSE(DecodePushBatch(m.bytes, &out))
+        << "push-batch " << m.description;
+  }
+
+  SnapshotFrame snapshot;
+  std::vector<uint8_t> snapshot_payload = EncodeSnapshot(snapshot);
+  for (const Mutation& m : TruncationSweep(snapshot_payload, 3)) {
+    SnapshotFrame out;
+    EXPECT_FALSE(DecodeSnapshot(m.bytes, &out))
+        << "snapshot " << m.description;
+  }
+
+  // And none of the bit flips may crash (silent value changes are fine
+  // at this layer; semantic validation happens in the server).
+  for (const Mutation& m : BitFlipSweep(hello_payload, 4)) {
+    HelloFrame out;
+    (void)DecodeHello(m.bytes, &out);
+  }
+  for (const Mutation& m : BitFlipSweep(batch_payload, 5)) {
+    PushBatchFrame out;
+    (void)DecodePushBatch(m.bytes, &out);
+  }
+}
+
+// --- varstream-ckpt-v1 ------------------------------------------------
+
+std::string RealCheckpointText() {
+  // Real tracker state, not a toy: a deterministic tracker that ingested
+  // a few updates, and a randomized one (RNG state in the dump).
+  std::vector<SessionCheckpoint> sessions;
+  for (const char* name : {"deterministic", "randomized"}) {
+    TrackerOptions options;
+    options.num_sites = 4;
+    options.epsilon = 0.1;
+    auto tracker = TrackerRegistry::Instance().Create(name, options);
+    for (int i = 0; i < 50; ++i) {
+      tracker->Push(static_cast<uint32_t>(i % 4), (i % 7) - 3 == 0
+                                                      ? 1
+                                                      : (i % 7) - 3);
+    }
+    auto* mergeable = dynamic_cast<Mergeable*>(tracker.get());
+    SessionCheckpoint entry;
+    entry.name = std::string("sess-") + name;
+    entry.tracker = name;
+    entry.options = options;
+    entry.state = mergeable->SerializeState();
+    sessions.push_back(std::move(entry));
+  }
+  return EncodeCheckpoint(sessions);
+}
+
+TEST(CheckpointFuzz, DecoderSurvivesTheFullCorruptionMatrix) {
+  const std::string text = RealCheckpointText();
+  std::vector<SessionCheckpoint> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeCheckpoint(text, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.size(), 2u);
+
+  std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size());
+  for (const Mutation& m : CorruptionSweep(bytes, 0xCCC7)) {
+    std::string mutated(reinterpret_cast<const char*>(m.bytes.data()),
+                        m.bytes.size());
+    std::vector<SessionCheckpoint> out;
+    std::string why;
+    // The trailing CRC-32 covers every byte, so every truncation and
+    // every single-bit flip — including lies in the sessions= /
+    // state-lines= counts — must fail loudly, never silently restore a
+    // half-trusted checkpoint.
+    EXPECT_FALSE(DecodeCheckpoint(mutated, &out, &why)) << m.description;
+    EXPECT_FALSE(why.empty()) << m.description;
+  }
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,254 @@
+// varstream_check — property-based conformance checking: random
+// scenarios over the full registry cross-product, validated against the
+// paper-theorem oracles (testkit/oracles.h), with failing cases shrunk
+// to a minimal ready-to-paste repro.
+//
+//   $ varstream_check --iters 2000 --seed 1            # fixed budget
+//   $ varstream_check --seconds 60 --oracle=accuracy   # time budget
+//   $ varstream_check --focus=tracker=deterministic,stream=sawtooth
+//   $ varstream_check --threads=8 --json=report.json --repro-dir=repros
+//   $ varstream_check --list-oracles
+//
+// On failure the tool prints (and records in the JSON report, schema
+// "varstream-check-v1") a replay command like:
+//
+//   varstream_check --replay=repros/repro-accuracy-i17.trace \
+//       --oracle=accuracy --tracker=deterministic --stream=sawtooth ...
+//
+// which reruns exactly that oracle over exactly that recorded stream —
+// the shrunken, verified-failing minimal repro. Exit status: 0 all hard
+// oracles passed, 1 hard failures (or a failing --replay), 2 usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "testkit/bytefuzz.h"
+#include "testkit/oracles.h"
+#include "testkit/runner.h"
+#include "testkit/shrink.h"
+
+namespace {
+
+using varstream::testkit::CheckOptions;
+using varstream::testkit::CheckReport;
+
+std::vector<std::string> SplitList(const std::string& csv, char sep = ',') {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t pos = csv.find(sep, start);
+    if (pos == std::string::npos) pos = csv.size();
+    if (pos > start) out.push_back(csv.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+/// --focus=tracker=deterministic,stream=sawtooth,tracker=randomized —
+/// repeated keys accumulate into the generator's name lists.
+bool ParseFocus(const std::string& focus, varstream::testkit::GenOptions* gen) {
+  for (const std::string& item : SplitList(focus)) {
+    size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--focus: '%s' is not key=value\n", item.c_str());
+      return false;
+    }
+    std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    if (key == "tracker") {
+      gen->trackers.push_back(value);
+    } else if (key == "stream") {
+      gen->streams.push_back(value);
+    } else if (key == "assigner") {
+      gen->assigners.push_back(value);
+    } else {
+      std::fprintf(stderr,
+                   "--focus: unknown key '%s' (tracker, stream, assigner)\n",
+                   key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+int ReplayMode(const varstream::FlagParser& flags) {
+  const std::string trace_path = flags.GetString("replay", "");
+  const std::string oracle_name = flags.GetString("oracle", "");
+  const varstream::testkit::Oracle* oracle =
+      varstream::testkit::FindOracle(oracle_name);
+  if (oracle == nullptr) {
+    std::fprintf(stderr, "--replay needs --oracle=<name>; valid: %s\n",
+                 varstream::JoinNames(varstream::testkit::OracleNames())
+                     .c_str());
+    return 2;
+  }
+  std::string error;
+  std::unique_ptr<varstream::TraceSource> source =
+      varstream::TraceSource::FromFile(trace_path, &error);
+  if (source == nullptr) {
+    std::fprintf(stderr, "cannot read trace %s: %s\n", trace_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  varstream::testkit::GeneratedCase c;
+  c.trace = source->trace();
+  varstream::Scenario& s = c.scenario;
+  s.tracker = flags.GetString("tracker", "deterministic");
+  s.stream = flags.GetString("stream", "random-walk");
+  s.assigner = flags.GetString("assigner", "uniform");
+  s.num_sites = static_cast<uint32_t>(flags.GetUint("sites", 8));
+  s.epsilon = flags.GetDouble("eps", 0.1);
+  s.n = c.trace.size();
+  s.seed = flags.GetUint("seed", 1);
+  s.batch_size = flags.GetUint("batch", 1);
+  s.period = flags.GetUint("period", 64);
+  s.num_shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
+  if (!varstream::ParseKeyValueParams(flags.GetString("params", ""),
+                                      &s.params)) {
+    return 2;
+  }
+
+  if (!oracle->Applicable(s)) {
+    std::printf("SKIP %s: oracle not applicable to %s\n",
+                oracle->name().c_str(), s.Id().c_str());
+    return 0;
+  }
+  varstream::testkit::OracleOutcome outcome = oracle->Check(c);
+  switch (outcome.status) {
+    case varstream::testkit::OracleOutcome::Status::kPass:
+      std::printf("PASS %s on %s (%llu updates)\n", oracle->name().c_str(),
+                  s.Id().c_str(),
+                  static_cast<unsigned long long>(c.trace.size()));
+      return 0;
+    case varstream::testkit::OracleOutcome::Status::kSkip:
+      std::printf("SKIP %s: %s\n", oracle->name().c_str(),
+                  outcome.detail.c_str());
+      return 0;
+    case varstream::testkit::OracleOutcome::Status::kFail:
+      std::printf("FAIL %s on %s (%llu updates)\n  %s\n",
+                  oracle->name().c_str(), s.Id().c_str(),
+                  static_cast<unsigned long long>(c.trace.size()),
+                  outcome.detail.c_str());
+      return 1;
+  }
+  return 2;  // unreachable
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  if (flags.GetBool("list-oracles", false)) {
+    for (const varstream::testkit::Oracle* oracle :
+         varstream::testkit::AllOracles()) {
+      std::printf("%s\n", oracle->name().c_str());
+    }
+    return 0;
+  }
+  if (flags.Has("replay")) return ReplayMode(flags);
+
+  CheckOptions options;
+  options.iters = flags.GetUint("iters", 0);
+  options.seconds = flags.GetDouble("seconds", 0.0);
+  options.seed = flags.GetUint("seed", 1);
+  options.threads = static_cast<unsigned>(
+      flags.GetUint("threads", std::thread::hardware_concurrency()));
+  options.shrink = flags.GetBool("shrink", true);
+  options.shrink_attempts = flags.GetUint("shrink-attempts", 256);
+  options.repro_dir = flags.GetString("repro-dir", "");
+  options.max_failures = flags.GetUint("max-failures", 25);
+  options.gen.min_updates = flags.GetUint("min-n", 200);
+  options.gen.max_updates = flags.GetUint("max-n", 4000);
+
+  const std::string oracle_csv = flags.GetString("oracle", "");
+  if (!oracle_csv.empty()) {
+    for (const std::string& name : SplitList(oracle_csv)) {
+      if (varstream::testkit::FindOracle(name) == nullptr) {
+        std::fprintf(stderr, "unknown oracle '%s'; valid: %s\n",
+                     name.c_str(),
+                     varstream::JoinNames(
+                         varstream::testkit::OracleNames())
+                         .c_str());
+        return 2;
+      }
+      options.oracles.push_back(name);
+    }
+  }
+  if (!ParseFocus(flags.GetString("focus", ""), &options.gen)) return 2;
+  for (const std::string& name : SplitList(flags.GetString("trackers", ""))) {
+    options.gen.trackers.push_back(name);
+  }
+  for (const std::string& name : SplitList(flags.GetString("streams", ""))) {
+    options.gen.streams.push_back(name);
+  }
+
+  {
+    // Validate focus names up front for a friendly exit instead of the
+    // runner's abort.
+    varstream::testkit::ScenarioGenerator probe(options.gen, 0);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "%s\n", probe.error().c_str());
+      return 2;
+    }
+  }
+
+  CheckReport report = varstream::testkit::RunChecks(options);
+
+  varstream::TablePrinter table(
+      {"oracle", "checked", "passed", "failed", "advisory", "skipped"});
+  for (const auto& [name, s] : report.stats) {
+    table.AddRow({name, varstream::TablePrinter::Cell(s.checked),
+                  varstream::TablePrinter::Cell(s.passed),
+                  varstream::TablePrinter::Cell(s.failed),
+                  varstream::TablePrinter::Cell(s.advisory_failed),
+                  varstream::TablePrinter::Cell(s.skipped)});
+  }
+  if (!flags.GetBool("quiet", false)) table.Print(std::cout);
+  std::printf("%llu iterations in %.1fs (seed %llu)\n",
+              static_cast<unsigned long long>(report.iterations),
+              report.elapsed_seconds,
+              static_cast<unsigned long long>(report.seed));
+
+  for (const auto& failure : report.failures) {
+    std::fprintf(stderr, "%s[%s] iter %llu: %s\n  shrunk %llu -> %llu "
+                 "updates\n  replay: %s\n",
+                 failure.advisory ? "advisory " : "FAIL ",
+                 failure.oracle.c_str(),
+                 static_cast<unsigned long long>(failure.iteration),
+                 failure.detail.c_str(),
+                 static_cast<unsigned long long>(failure.original_updates),
+                 static_cast<unsigned long long>(failure.shrunk_updates),
+                 failure.replay_command.c_str());
+  }
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !WriteWholeFile(json_path,
+                      varstream::testkit::CheckReportToJson(report))) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+
+  if (report.ok()) {
+    std::printf("all hard oracles passed\n");
+    return 0;
+  }
+  std::fprintf(stderr, "%llu hard failure(s)\n",
+               static_cast<unsigned long long>(report.hard_failures()));
+  return 1;
+}

@@ -111,12 +111,13 @@ int main(int argc, char** argv) {
                  tracker_name.c_str());
     return 2;
   }
-  if (varstream::TrackerRegistry::Instance().IsMonotoneOnly(tracker_name) &&
-      !streams.IsMonotone(stream_name)) {
-    std::fprintf(stderr,
-                 "warning: '%s' is insertion-only; stream '%s' may emit "
-                 "deletions, which insertion-only trackers cannot track\n",
-                 tracker->name().c_str(), stream_name.c_str());
+  varstream::PairingVerdict pairing =
+      varstream::CheckTrackerStreamPairing(tracker_name, stream_name);
+  if (!pairing.ok) {
+    // A warning rather than a refusal: this tool is the exploration
+    // surface, and watching an insertion-only baseline fail on deletions
+    // is itself informative.
+    std::fprintf(stderr, "warning: %s\n", pairing.reason.c_str());
   }
   // The tracker decides its own k (single-site pins it to 1); deal the
   // stream across exactly that many sites.

@@ -121,14 +121,13 @@ int main(int argc, char** argv) {
   // engine; non-mergeable trackers are skipped during expansion. An
   // explicit out-of-range value must fail loudly, not expand to nothing.
   spec.num_shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
-  if (flags.Has("shards") &&
-      (spec.num_shards < 1 || spec.num_shards > spec.num_sites)) {
-    std::fprintf(stderr,
-                 "--shards: invalid shard count %u: valid values are "
-                 "1..%u (k=%u sites; omit --shards for the serial "
-                 "engine)\n",
-                 spec.num_shards, spec.num_sites, spec.num_sites);
-    return 2;
+  if (flags.Has("shards")) {
+    varstream::PairingVerdict verdict = varstream::CheckExplicitShardCount(
+        spec.num_shards, spec.num_sites);
+    if (!verdict.ok) {
+      std::fprintf(stderr, "--shards: %s\n", verdict.reason.c_str());
+      return 2;
+    }
   }
 
   if (!ParseDoubleList(flags.GetString("eps", "0.1"), "eps",

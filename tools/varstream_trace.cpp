@@ -135,11 +135,10 @@ int main(int argc, char** argv) {
                  source->num_sites());
     return 2;
   }
-  if (registry.IsMonotoneOnly(replay) && !source->monotone()) {
-    std::fprintf(stderr,
-                 "tracker '%s' is insertion-only but the trace contains "
-                 "deletions\n",
-                 tracker->name().c_str());
+  varstream::PairingVerdict pairing = varstream::CheckTrackerMonotonePairing(
+      replay, source->monotone(), "the trace");
+  if (!pairing.ok) {
+    std::fprintf(stderr, "%s\n", pairing.reason.c_str());
     return 2;
   }
   varstream::RunOptions ropts;
