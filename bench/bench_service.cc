@@ -10,9 +10,11 @@
 //
 // Each configuration ingests the same recorded random-walk trace;
 // updates/sec is the best of --reps runs (minimum wall-clock), matching
-// bench_shards methodology. JSON schema "varstream-bench-service-v1":
+// bench_shards methodology. JSON schema "varstream-bench-service-v2"
+// (v2 = v1 plus the mandatory host block, mirroring bench_shards):
 //
-//   {"schema": "varstream-bench-service-v1", "n": ..., "batch": ...,
+//   {"schema": "varstream-bench-service-v2", "n": ..., "batch": ...,
+//    "host": {"hardware_concurrency": ...},
 //    "rows": [{"mode": "in-process"|"service", "tracker": ...,
 //              "shards": W, "updates_per_sec": ...}, ...]}
 
@@ -24,6 +26,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -204,6 +207,16 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
+  // Same caveat as bench_shards: one hardware thread means server,
+  // client, and shard workers all timeshare a single core, so sharded
+  // and service rows measure overhead, not parallelism.
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(stderr,
+                 "bench_service: WARNING: this host exposes 1 hardware "
+                 "thread; service/sharded rows measure overhead only, not "
+                 "parallel speedup. Do not gate on them.\n");
+  }
+
   if (!json_path.empty()) {
     FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -212,12 +225,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f,
-                 "{\"schema\": \"varstream-bench-service-v1\", "
+                 "{\"schema\": \"varstream-bench-service-v2\", "
                  "\"n\": %llu, \"batch\": %llu, \"sites\": %u, "
-                 "\"tracker\": \"%s\", \"rows\": [",
+                 "\"tracker\": \"%s\", "
+                 "\"host\": {\"hardware_concurrency\": %u}, \"rows\": [",
                  static_cast<unsigned long long>(n),
                  static_cast<unsigned long long>(batch), sites,
-                 tracker_name.c_str());
+                 tracker_name.c_str(),
+                 std::thread::hardware_concurrency());
     for (size_t i = 0; i < rows.size(); ++i) {
       std::fprintf(f,
                    "%s{\"mode\": \"%s\", \"shards\": %u, "

@@ -209,11 +209,23 @@ int main(int argc, char** argv) {
     table.Print(std::cout);
   }
 
+  // Sharded rows measure parallelism: on a single hardware thread every
+  // worker count serializes onto one core and shards>=2 rows say nothing
+  // about the engine. Say so loudly wherever the numbers may end up.
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(stderr,
+                 "bench_shards: WARNING: this host exposes 1 hardware "
+                 "thread; sharded rows measure lock/queue overhead only, "
+                 "not parallel speedup. Do not gate on them.\n");
+  }
+
   std::string json_path = flags.GetString("json", "");
   if (!json_path.empty()) {
     // Schema documented in README.md ("Bench JSON schema"); consumed by
-    // ci/check_bench_regression.py.
-    std::string json = "{\n  \"schema\": \"varstream-bench-shards-v1\",\n";
+    // ci/check_bench_regression.py. v2 = v1 plus the mandatory host
+    // block (hardware_concurrency), so the regression gate can detect
+    // cross-parallelism-regime and single-core runs.
+    std::string json = "{\n  \"schema\": \"varstream-bench-shards-v2\",\n";
     json += "  \"config\": {\"stream\": \"" + stream +
             "\", \"n\": " + std::to_string(n) +
             ", \"batch\": " + std::to_string(batch) +

@@ -2,7 +2,8 @@
 """Benchmark-regression gate for varstream CI.
 
 Compares a freshly generated bench_shards JSON report (schema
-varstream-bench-shards-v1, see README.md "Bench JSON schema") against the
+varstream-bench-shards-v2, see README.md "Bench JSON schema"; v1 inputs
+are still accepted so pre-v2 baselines keep working) against the
 committed baseline and fails when any benchmark lost more than the
 threshold (default 25%) of its throughput.
 
@@ -36,11 +37,16 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
-    if doc.get("schema") != "varstream-bench-shards-v1":
-        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in ("varstream-bench-shards-v1", "varstream-bench-shards-v2"):
+        sys.exit(f"error: {path}: unexpected schema {schema!r}")
     rows = {b["name"]: b for b in doc.get("benchmarks", [])}
     if not rows:
         sys.exit(f"error: {path}: no benchmarks")
+    # v2 made the host block mandatory precisely so this gate can reason
+    # about the parallelism regime; a v2 file without it is malformed.
+    if schema == "varstream-bench-shards-v2" and "host" not in doc:
+        sys.exit(f"error: {path}: schema {schema} requires a host block")
     cores = doc.get("host", {}).get("hardware_concurrency", 0)
     return rows, cores
 
@@ -83,6 +89,18 @@ def main():
     current, cur_cores = load(args.current)
     base_tp = throughputs(baseline, args.mode, args.baseline)
     cur_tp = throughputs(current, args.mode, args.current)
+
+    # On a single hardware thread every worker count serializes onto one
+    # core: sharded rows measure lock/queue overhead, not the parallel
+    # engine. Flag it loudly so nobody reads a 1-core run as a speedup
+    # (or regression) measurement.
+    for label, cores in (("baseline", base_cores), ("current", cur_cores)):
+        if cores == 1:
+            print(
+                f"warning: the {label} run was recorded on a SINGLE-CORE "
+                "host; its sharded rows measure serialization overhead "
+                "only and say nothing about parallel speedup."
+            )
 
     # Normalization cancels scalar machine speed but not parallelism:
     # sharded rows genuinely change shape with the core count, so a

@@ -11,6 +11,10 @@
 # 3. Runs the crash drill: checkpoint mid-stream, kill -9 the server,
 #    restart with --restore, resume the same stream — parity must still
 #    hold against an uninterrupted in-process run.
+# 4. Runs the history drill: ingest with sampling on, query the retained
+#    series with varstream_query (row count, monotone sample clock,
+#    bucket downsampling), checkpoint, kill -9, restore — the served CSV
+#    must be byte-identical across the crash.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -74,6 +78,48 @@ grep -q "restored session 'default'" "$WORK/serve.log" || {
 $LOADGEN --port="$PORT" --tracker=randomized --stream=random-walk \
   --n=100000 --batch=512 --shards=4 --skip=50000 --shutdown
 wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "=== history drill: ingest, query, kill -9, restore — history intact ==="
+QUERY="$BUILD_DIR/varstream_query"
+HCKPT="$WORK/history.ckpt"
+start_server --checkpoint-path="$HCKPT" --history-every=1000 \
+  --history-capacity=64
+$LOADGEN --port="$PORT" --session=hist --tracker=deterministic \
+  --stream=random-walk --n=30000 --batch=500 --checkpoint-at=30000 --quiet
+$QUERY --port="$PORT" --session=hist --format=csv --out="$WORK/before.csv"
+# 30000 updates at cadence 1000 = exactly 30 retained rows (capacity 64,
+# nothing evicted), with a strictly increasing sample clock.
+ROWS=$(($(wc -l < "$WORK/before.csv") - 1))
+[ "$ROWS" -eq 30 ] || {
+  echo "FAIL: expected 30 history rows, got $ROWS"
+  cat "$WORK/before.csv"; exit 1
+}
+awk -F, 'NR > 1 { if (prev != "" && $3 + 0 <= prev + 0) {
+    print "FAIL: sample clock not increasing at line " NR; exit 1
+  } prev = $3 }' "$WORK/before.csv"
+# Downsampling to 5 buckets over evenly spaced samples yields 5 rows.
+DOWN=$(($($QUERY --port="$PORT" --session=hist --agg=mean --buckets=5 \
+  --format=csv | wc -l) - 1))
+[ "$DOWN" -eq 5 ] || {
+  echo "FAIL: expected 5 downsampled rows, got $DOWN"; exit 1
+}
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+start_server --restore="$HCKPT"
+grep -q "restored session 'hist'" "$WORK/serve.log" || {
+  echo "FAIL: restored server did not report the session"
+  cat "$WORK/serve.log"; exit 1
+}
+$QUERY --port="$PORT" --session=hist --format=csv --out="$WORK/after.csv"
+cmp "$WORK/before.csv" "$WORK/after.csv" || {
+  echo "FAIL: history changed across kill -9 + restore"
+  diff "$WORK/before.csv" "$WORK/after.csv" || true; exit 1
+}
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
 echo "service smoke OK"

@@ -71,6 +71,11 @@ bool TrackerRegistry::IsMergeable(const std::string& name) const {
   return entry != nullptr && entry->mergeable;
 }
 
+bool TrackerRegistry::SupportsHistory(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->history_sampling;
+}
+
 std::vector<std::string> TrackerRegistry::Names() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
@@ -105,6 +110,10 @@ std::string TrackerRegistry::ListingText() const {
     if (entry.monotone_only) {
       if (!tags.empty()) tags += ", ";
       tags += "monotone-only";
+    }
+    if (entry.history_sampling) {
+      if (!tags.empty()) tags += ", ";
+      tags += "history";
     }
     if (tags.empty()) tags = "-";
     out += name + std::string(width + 2 - name.size(), ' ') + tags + "\n";

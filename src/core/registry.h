@@ -39,6 +39,13 @@ class TrackerRegistry {
     /// engine (core/sharded.h) accepts it. Derived automatically by the
     /// registration macros from the class hierarchy.
     bool mergeable = false;
+    /// The service's history sampler (src/history/) works through
+    /// Snapshot(), which is part of the DistributedTracker NVI base —
+    /// every tracker supports it by construction. The flag exists so the
+    /// capability listing and SupportsHistory() have one source of truth,
+    /// and a registry pin test asserts it is true for every tracker: a
+    /// future opt-out must flip the test, not silently drop sampling.
+    bool history_sampling = true;
   };
 
   /// The process-wide registry (populated during static initialization by
@@ -67,6 +74,11 @@ class TrackerRegistry {
   /// True if the named tracker implements Mergeable and can therefore be
   /// driven by the sharded ingest engine (core/sharded.h).
   bool IsMergeable(const std::string& name) const;
+
+  /// True if the named tracker's sessions can be history-sampled by the
+  /// service (src/history/). Currently true for every registered tracker
+  /// (Snapshot() is on the NVI base); pinned by a registry test.
+  bool SupportsHistory(const std::string& name) const;
 
   /// Sorted canonical names (aliases omitted).
   std::vector<std::string> Names() const;

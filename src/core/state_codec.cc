@@ -1,6 +1,7 @@
 #include "core/state_codec.h"
 
 #include <bit>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -34,10 +35,13 @@ bool ParseHexU64(const std::string& text, uint64_t* value) {
 }  // namespace
 
 bool ParseU64Text(const std::string& text, uint64_t* value) {
-  if (text.empty()) return false;
+  // strtoull alone would skip leading whitespace and wrap "-1" to
+  // UINT64_MAX; an unsigned field must start with a digit.
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
   char* end = nullptr;
+  errno = 0;
   *value = std::strtoull(text.c_str(), &end, 10);
-  return end == text.c_str() + text.size();
+  return errno == 0 && end == text.c_str() + text.size();
 }
 
 bool ParseI64Text(const std::string& text, int64_t* value) {

@@ -1,0 +1,41 @@
+#include "history/history.h"
+
+#include <cstdio>
+
+#include "core/state_codec.h"
+
+namespace varstream {
+
+std::string EncodeHistoryRow(const HistoryRow& row) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%llu %s %llu %llu %llu",
+                static_cast<unsigned long long>(row.time),
+                EncodeDoubleBits(row.estimate).c_str(),
+                static_cast<unsigned long long>(row.messages),
+                static_cast<unsigned long long>(row.bits),
+                static_cast<unsigned long long>(row.wire_bytes));
+  return buf;
+}
+
+bool ParseHistoryRow(const std::string& line, HistoryRow* row) {
+  // Split into exactly five space-separated tokens; empty tokens (from
+  // leading/trailing/double spaces) are malformed.
+  std::string tokens[5];
+  size_t count = 0;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = line.find(' ', start);
+    if (end == std::string::npos) end = line.size();
+    if (end == start || count == 5) return false;
+    tokens[count++] = line.substr(start, end - start);
+    start = end + 1;
+  }
+  if (count != 5) return false;
+  return ParseU64Text(tokens[0], &row->time) &&
+         ParseDoubleBits(tokens[1], &row->estimate) &&
+         ParseU64Text(tokens[2], &row->messages) &&
+         ParseU64Text(tokens[3], &row->bits) &&
+         ParseU64Text(tokens[4], &row->wire_bytes);
+}
+
+}  // namespace varstream

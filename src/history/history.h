@@ -1,0 +1,107 @@
+// History store: bounded time-series retention for tracker sessions.
+//
+// Every varstream_serve session samples its tracker at batch boundaries
+// and appends `(time, estimate, messages, bits, wire_bytes)` rows into a
+// RingBuffer (src/history/ring_buffer.h). Retention follows the paper's
+// cost-model ethos: where the trackers bound *communication* per site
+// regardless of stream length, the history bounds *memory* per session
+// regardless of stream length — `capacity` rows, FIFO eviction, and a
+// `dropped` counter so a reader always knows how much prefix was evicted.
+// Cadence (one sample per `cadence` ingested updates, checked only at
+// batch boundaries under the existing session lock) keeps the sampler off
+// the per-update hot path: Snapshot() drains the sharded pipeline, so it
+// must run rarely relative to batch size.
+//
+// Rows are checkpointed inside varstream-ckpt-v1 (optional per-session
+// history section) using the same strict text codec discipline as tracker
+// state: hex bit patterns for the estimate, whole-string integer parses,
+// loud rejection of anything malformed.
+
+#ifndef VARSTREAM_HISTORY_HISTORY_H_
+#define VARSTREAM_HISTORY_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/ring_buffer.h"
+
+namespace varstream {
+
+/// One retained sample of a session's tracker. `wire_bytes` is the
+/// session's cumulative wire traffic (MessageKind::kWire, bytes) at
+/// sample time; like SnapshotFrame it is reporting-only and excluded
+/// from parity comparisons (an in-process shadow has no wire traffic).
+struct HistoryRow {
+  uint64_t time = 0;       ///< session clock (sum of |delta| ingested)
+  double estimate = 0.0;   ///< tracker estimate at `time`
+  uint64_t messages = 0;   ///< cumulative site->coordinator messages
+  uint64_t bits = 0;       ///< cumulative communication bits
+  uint64_t wire_bytes = 0; ///< cumulative service wire bytes
+
+  friend bool operator==(const HistoryRow& a, const HistoryRow& b) = default;
+};
+
+struct HistoryOptions {
+  /// Retained rows per session; 0 disables retention entirely.
+  uint64_t capacity = 1024;
+  /// Ingested updates between samples (checked at batch boundaries, so
+  /// one batch never yields more than one sample); 0 disables sampling.
+  uint64_t cadence = 8192;
+};
+
+/// Per-session sampler: cadence accounting plus the ring. Single-writer;
+/// the service guards it with the session mutex.
+class HistorySampler {
+ public:
+  explicit HistorySampler(const HistoryOptions& options)
+      : options_(options), ring_(static_cast<size_t>(options.capacity)) {}
+
+  bool enabled() const {
+    return options_.capacity > 0 && options_.cadence > 0;
+  }
+  const HistoryOptions& options() const { return options_; }
+  const RingBuffer<HistoryRow>& ring() const { return ring_; }
+
+  /// Advances the cadence counter by `updates` just-ingested updates and
+  /// reports whether a sample is due. At most one sample per call: the
+  /// counter resets to zero when due, so a batch larger than the cadence
+  /// still yields a single row (the batch boundary is the only place a
+  /// consistent snapshot exists anyway).
+  bool Due(uint64_t updates) {
+    if (!enabled()) return false;
+    pending_ += updates;
+    if (pending_ < options_.cadence) return false;
+    pending_ = 0;
+    return true;
+  }
+
+  void Record(const HistoryRow& row) { ring_.Append(row); }
+
+  /// Checkpoint plumbing: the cadence counter and eviction count must
+  /// round-trip so a restored session samples at exactly the positions
+  /// the uninterrupted run would have.
+  uint64_t pending() const { return pending_; }
+  bool Restore(const std::vector<HistoryRow>& rows, uint64_t dropped,
+               uint64_t pending) {
+    if (!ring_.Restore(rows, dropped)) return false;
+    pending_ = pending;
+    return true;
+  }
+
+ private:
+  HistoryOptions options_;
+  RingBuffer<HistoryRow> ring_;
+  uint64_t pending_ = 0;  ///< updates ingested since the last sample
+};
+
+/// Text codec for checkpoint row lines: space-separated
+/// `<time> <estimate-hexbits> <messages> <bits> <wire_bytes>`, strict
+/// whole-token parses (state_codec.h discipline). The estimate travels
+/// as its IEEE-754 bit pattern so restored history is bit-identical.
+std::string EncodeHistoryRow(const HistoryRow& row);
+bool ParseHistoryRow(const std::string& line, HistoryRow* row);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_HISTORY_HISTORY_H_

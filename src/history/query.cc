@@ -1,0 +1,243 @@
+#include "history/query.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace varstream {
+
+namespace {
+
+/// Reduces rows[first, last) — non-empty, time-ordered — to one row.
+QueryRow Reduce(std::span<const HistoryRow> rows, size_t first, size_t last,
+                Aggregation agg) {
+  QueryRow out;
+  out.time_first = rows[first].time;
+  out.time_last = rows[last - 1].time;
+  out.samples = last - first;
+  out.messages = rows[last - 1].messages;
+  out.bits = rows[last - 1].bits;
+  out.wire_bytes = rows[last - 1].wire_bytes;
+  switch (agg) {
+    case Aggregation::kNone:  // caller maps kNone+buckets to kLast
+    case Aggregation::kLast:
+      out.value = rows[last - 1].estimate;
+      break;
+    case Aggregation::kMin: {
+      double v = rows[first].estimate;
+      for (size_t i = first + 1; i < last; ++i)
+        v = std::min(v, rows[i].estimate);
+      out.value = v;
+      break;
+    }
+    case Aggregation::kMax: {
+      double v = rows[first].estimate;
+      for (size_t i = first + 1; i < last; ++i)
+        v = std::max(v, rows[i].estimate);
+      out.value = v;
+      break;
+    }
+    case Aggregation::kMean: {
+      double sum = 0.0;
+      for (size_t i = first; i < last; ++i) sum += rows[i].estimate;
+      out.value = sum / static_cast<double>(last - first);
+      break;
+    }
+    case Aggregation::kCount:
+      out.value = static_cast<double>(last - first);
+      break;
+  }
+  return out;
+}
+
+void AppendF64(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out->append(buf);
+}
+
+/// Strings on the wire are session/tracker names (registry identifiers,
+/// no quotes or control characters in practice), but escape defensively
+/// so hostile names cannot break the JSON.
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* AggregationName(Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kNone:  return "none";
+    case Aggregation::kMin:   return "min";
+    case Aggregation::kMax:   return "max";
+    case Aggregation::kLast:  return "last";
+    case Aggregation::kMean:  return "mean";
+    case Aggregation::kCount: return "count";
+  }
+  return "unknown";
+}
+
+bool ParseAggregation(const std::string& text, Aggregation* agg) {
+  for (uint8_t i = 0;
+       i <= static_cast<uint8_t>(Aggregation::kMaxAggregation); ++i) {
+    auto candidate = static_cast<Aggregation>(i);
+    if (text == AggregationName(candidate)) {
+      *agg = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<QueryRow> EvaluateQuery(std::span<const HistoryRow> rows,
+                                    const QuerySpec& spec) {
+  // Selection: rows are time-ordered, so the window is a contiguous run.
+  size_t first = 0;
+  while (first < rows.size() && rows[first].time < spec.time_min) ++first;
+  size_t last = first;
+  while (last < rows.size() && rows[last].time <= spec.time_max) ++last;
+
+  std::vector<QueryRow> out;
+  if (first == last) return out;
+
+  if (spec.buckets == 0) {
+    if (spec.agg == Aggregation::kNone) {
+      out.reserve(last - first);
+      for (size_t i = first; i < last; ++i)
+        out.push_back(Reduce(rows, i, i + 1, Aggregation::kNone));
+    } else {
+      out.push_back(Reduce(rows, first, last, spec.agg));
+    }
+    return out;
+  }
+
+  // Downsampling: partition the selected span [t0, t1] into `buckets`
+  // equal integer ranges. The span can approach 2^64, so the bucket
+  // index (t - t0) * buckets / span is computed in 128 bits.
+  Aggregation agg =
+      spec.agg == Aggregation::kNone ? Aggregation::kLast : spec.agg;
+  const uint64_t t0 = rows[first].time;
+  const uint64_t span = rows[last - 1].time - t0 + 1;
+  auto bucket_of = [&](uint64_t t) -> uint64_t {
+    return static_cast<uint64_t>(
+        static_cast<unsigned __int128>(t - t0) * spec.buckets / span);
+  };
+  size_t group_start = first;
+  for (size_t i = first + 1; i <= last; ++i) {
+    if (i == last ||
+        bucket_of(rows[i].time) != bucket_of(rows[group_start].time)) {
+      out.push_back(Reduce(rows, group_start, i, agg));
+      group_start = i;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendQueryRowJson(std::string* out, const QueryRow& row) {
+  out->append("{\"time_first\":");
+  AppendU64(out, row.time_first);
+  out->append(",\"time_last\":");
+  AppendU64(out, row.time_last);
+  out->append(",\"value\":");
+  AppendF64(out, row.value);
+  out->append(",\"messages\":");
+  AppendU64(out, row.messages);
+  out->append(",\"bits\":");
+  AppendU64(out, row.bits);
+  out->append(",\"wire_bytes\":");
+  AppendU64(out, row.wire_bytes);
+  out->append(",\"samples\":");
+  AppendU64(out, row.samples);
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string WriteQueryResultJson(
+    const QuerySpec& spec, const std::vector<SessionQueryResult>& sessions) {
+  std::string out;
+  out.append("{\"schema\":\"varstream-query-v1\",\"query\":{\"time_min\":");
+  AppendU64(&out, spec.time_min);
+  out.append(",\"time_max\":");
+  AppendU64(&out, spec.time_max);
+  out.append(",\"agg\":\"");
+  out.append(AggregationName(spec.agg));
+  out.append("\",\"buckets\":");
+  AppendU64(&out, spec.buckets);
+  out.append("},\"sessions\":[");
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    const SessionQueryResult& session = sessions[s];
+    if (s > 0) out.push_back(',');
+    out.append("{\"session\":");
+    AppendJsonString(&out, session.session);
+    out.append(",\"tracker\":");
+    AppendJsonString(&out, session.tracker);
+    out.append(",\"capacity\":");
+    AppendU64(&out, session.capacity);
+    out.append(",\"cadence\":");
+    AppendU64(&out, session.cadence);
+    out.append(",\"dropped\":");
+    AppendU64(&out, session.dropped);
+    out.append(",\"rows\":[");
+    for (size_t i = 0; i < session.rows.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendQueryRowJson(&out, session.rows[i]);
+    }
+    out.append("]}");
+  }
+  out.append("]}\n");
+  return out;
+}
+
+std::string WriteQueryResultCsv(
+    const std::vector<SessionQueryResult>& sessions) {
+  std::string out =
+      "session,tracker,time_first,time_last,value,messages,bits,"
+      "wire_bytes,samples\n";
+  for (const SessionQueryResult& session : sessions) {
+    for (const QueryRow& row : session.rows) {
+      out.append(session.session);
+      out.push_back(',');
+      out.append(session.tracker);
+      out.push_back(',');
+      AppendU64(&out, row.time_first);
+      out.push_back(',');
+      AppendU64(&out, row.time_last);
+      out.push_back(',');
+      AppendF64(&out, row.value);
+      out.push_back(',');
+      AppendU64(&out, row.messages);
+      out.push_back(',');
+      AppendU64(&out, row.bits);
+      out.push_back(',');
+      AppendU64(&out, row.wire_bytes);
+      out.push_back(',');
+      AppendU64(&out, row.samples);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace varstream

@@ -1,0 +1,99 @@
+// Query evaluation over retained history rows: time-window selection,
+// aggregation (min/max/last/mean/count), and downsampling into N time
+// buckets. One evaluator shared by the server (QueryRange frames,
+// src/service/server.cc) and the tools (tools/varstream_query.cpp), so
+// "what the wire returns" and "what a local replay computes" are the
+// same function — the history-parity oracle compares the two bit for
+// bit.
+//
+// Output rows are also the wire/tool schema (`varstream-query-v1`):
+// WriteQueryResultJson / WriteQueryResultCsv render the same structs the
+// QueryRange result frame carries.
+
+#ifndef VARSTREAM_HISTORY_QUERY_H_
+#define VARSTREAM_HISTORY_QUERY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace varstream {
+
+enum class Aggregation : uint8_t {
+  kNone = 0,  // raw samples, one output row per retained row
+  kMin,       // minimum estimate in the group
+  kMax,       // maximum estimate in the group
+  kLast,      // last (newest) estimate in the group
+  kMean,      // arithmetic mean of estimates in the group
+  kCount,     // number of samples in the group (as a double)
+  kMaxAggregation = kCount,
+};
+
+const char* AggregationName(Aggregation agg);
+/// Inverse of AggregationName ("none", "min", ...); false on unknown.
+bool ParseAggregation(const std::string& text, Aggregation* agg);
+
+/// A query over one session's rows. Times are inclusive on both ends;
+/// the defaults select everything.
+struct QuerySpec {
+  uint64_t time_min = 0;
+  uint64_t time_max = UINT64_MAX;
+  Aggregation agg = Aggregation::kNone;
+  /// 0 = no downsampling. N > 0 partitions the selected rows' time span
+  /// into N equal integer buckets; each non-empty bucket yields one
+  /// output row (empty buckets are omitted). kNone with buckets is
+  /// evaluated as kLast — a bucket must reduce to one value somehow.
+  uint32_t buckets = 0;
+};
+
+/// One output row: a group of 1+ samples reduced by the aggregation.
+/// For Aggregation::kNone each retained row passes through unchanged
+/// (time_first == time_last, samples == 1, value == estimate). The
+/// cumulative counters (messages/bits/wire_bytes) always report the
+/// group's newest sample — they are running totals, so "last" is the
+/// only reduction that keeps their meaning.
+struct QueryRow {
+  uint64_t time_first = 0;
+  uint64_t time_last = 0;
+  double value = 0.0;
+  uint64_t messages = 0;
+  uint64_t bits = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t samples = 0;
+
+  friend bool operator==(const QueryRow& a, const QueryRow& b) = default;
+};
+
+/// Evaluates `spec` over `rows` (which must be in non-decreasing time
+/// order, as the sampler produces them). Pure function of its inputs.
+std::vector<QueryRow> EvaluateQuery(std::span<const HistoryRow> rows,
+                                    const QuerySpec& spec);
+
+/// One session's evaluated result plus retention metadata — the unit the
+/// QueryRange wire op returns and the tools render.
+struct SessionQueryResult {
+  std::string session;
+  std::string tracker;
+  uint64_t capacity = 0;   ///< session's configured retention capacity
+  uint64_t cadence = 0;    ///< session's sampling cadence (updates)
+  uint64_t dropped = 0;    ///< rows evicted before this query ran
+  std::vector<QueryRow> rows;
+};
+
+// --- varstream-query-v1 renderers (shared tool/CI output format). ---
+
+/// JSON: {"schema":"varstream-query-v1","query":{...},"sessions":[...]}.
+/// Doubles print as %.17g so values round-trip bit-exactly.
+std::string WriteQueryResultJson(const QuerySpec& spec,
+                                 const std::vector<SessionQueryResult>& sessions);
+
+/// CSV: header `session,tracker,time_first,time_last,value,messages,
+/// bits,wire_bytes,samples`, one line per row, sessions concatenated.
+std::string WriteQueryResultCsv(const std::vector<SessionQueryResult>& sessions);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_HISTORY_QUERY_H_

@@ -1,0 +1,90 @@
+// Bounded FIFO ring buffer behind the history subsystem's time-series
+// retention (src/history/history.h): a fixed block of `capacity` slots
+// allocated once at construction, appended to forever, evicting the
+// oldest entry when full. Memory is fixed for the life of the buffer —
+// the retention analogue of the paper's bounded-communication ethos: a
+// session's history costs capacity * sizeof(T) bytes no matter how long
+// the stream runs.
+//
+// The structure is lock-free-friendly — single writer, monotone
+// `appended` counter, no internal allocation after construction — but is
+// not itself synchronized: the service appends under the existing
+// per-session mutex at batch boundaries (off the per-update hot path)
+// and copies rows out under the same lock.
+
+#ifndef VARSTREAM_HISTORY_RING_BUFFER_H_
+#define VARSTREAM_HISTORY_RING_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace varstream {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Allocates all `capacity` slots up front. Capacity 0 is legal and
+  /// retains nothing: every Append is immediately an eviction.
+  explicit RingBuffer(size_t capacity) : slots_(capacity) {}
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Entries ever appended (monotone; survives eviction).
+  uint64_t appended() const { return appended_; }
+
+  /// Entries evicted by FIFO overwrite: appended() - size().
+  uint64_t dropped() const { return appended_ - size_; }
+
+  /// Appends `value`, evicting the oldest entry when full.
+  void Append(const T& value) {
+    ++appended_;
+    if (slots_.empty()) return;  // capacity 0: drop everything, count it
+    slots_[(head_ + size_) % slots_.size()] = value;
+    if (size_ < slots_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % slots_.size();  // overwrote the oldest
+    }
+  }
+
+  /// The i-th retained entry, 0 = oldest, size()-1 = newest.
+  const T& At(size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  /// Retained entries, oldest first.
+  std::vector<T> Rows() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
+    return out;
+  }
+
+  /// Restores a checkpointed buffer: the retained rows (oldest first,
+  /// must fit capacity) plus the count evicted before the checkpoint, so
+  /// appended()/dropped() resume exactly. Returns false when rows exceed
+  /// capacity (a corrupt checkpoint; caller reports loudly).
+  bool Restore(const std::vector<T>& rows, uint64_t dropped) {
+    if (rows.size() > slots_.size()) return false;
+    head_ = 0;
+    size_ = rows.size();
+    for (size_t i = 0; i < rows.size(); ++i) slots_[i] = rows[i];
+    appended_ = dropped + rows.size();
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t head_ = 0;  ///< index of the oldest entry
+  size_t size_ = 0;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_HISTORY_RING_BUFFER_H_

@@ -65,6 +65,16 @@ std::string EncodeCheckpoint(
     }
     out += "state-lines=" + std::to_string(state_lines) + "\n";
     out += s.state + "\n";
+    if (s.has_history) {
+      out += "history-capacity=" + std::to_string(s.history.capacity) + "\n";
+      out += "history-cadence=" + std::to_string(s.history.cadence) + "\n";
+      out += "history-pending=" + std::to_string(s.history.pending) + "\n";
+      out += "history-dropped=" + std::to_string(s.history.dropped) + "\n";
+      out += "history-rows=" + std::to_string(s.history.rows.size()) + "\n";
+      for (const HistoryRow& row : s.history.rows) {
+        out += EncodeHistoryRow(row) + "\n";
+      }
+    }
     out += "[end]\n";
   }
   uint32_t crc = Crc32(std::span<const uint8_t>(
@@ -177,7 +187,50 @@ bool DecodeCheckpoint(const std::string& text,
       if (l > 0) s.state += '\n';
       s.state += line;
     }
-    if (!NextLine(text, &pos, &line) || line != "[end]") {
+    if (!NextLine(text, &pos, &line)) {
+      return Fail(error, "missing [end] after session '" + s.name + "'");
+    }
+    if (KeyValue(line, "history-capacity", &value)) {
+      // Optional history section: all five header lines in order, then
+      // exactly history-rows row lines. Internal inconsistencies (more
+      // retained rows than capacity, a cadence counter at or past the
+      // cadence, rows out of time order) mean the checkpoint was not
+      // written by this code — reject loudly rather than "fix" it.
+      s.has_history = true;
+      uint64_t row_count = 0;
+      if (!ParseU64Text(value, &s.history.capacity) ||
+          !read_u64("history-cadence", &s.history.cadence) ||
+          !read_u64("history-pending", &s.history.pending) ||
+          !read_u64("history-dropped", &s.history.dropped) ||
+          !read_u64("history-rows", &row_count)) {
+        return Fail(error, "malformed history section in session '" +
+                               s.name + "'");
+      }
+      if (row_count > s.history.capacity ||
+          (s.history.cadence > 0 && s.history.pending >= s.history.cadence) ||
+          (s.history.cadence == 0 && s.history.pending != 0)) {
+        return Fail(error, "inconsistent history section in session '" +
+                               s.name + "'");
+      }
+      s.history.rows.reserve(row_count);
+      for (uint64_t l = 0; l < row_count; ++l) {
+        HistoryRow row;
+        if (!NextLine(text, &pos, &line) || !ParseHistoryRow(line, &row)) {
+          return Fail(error, "malformed history row in session '" + s.name +
+                                 "'");
+        }
+        if (!s.history.rows.empty() &&
+            row.time < s.history.rows.back().time) {
+          return Fail(error, "history rows out of time order in session '" +
+                                 s.name + "'");
+        }
+        s.history.rows.push_back(row);
+      }
+      if (!NextLine(text, &pos, &line)) {
+        return Fail(error, "missing [end] after session '" + s.name + "'");
+      }
+    }
+    if (line != "[end]") {
       return Fail(error, "missing [end] after session '" + s.name + "'");
     }
     sessions->push_back(std::move(s));

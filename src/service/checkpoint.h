@@ -23,9 +23,20 @@
 //   sconst=<hex bits>                 (sample_constant)
 //   state-lines=<M>
 //   <M raw lines of Mergeable::SerializeState>
+//   history-capacity=<u64>            (optional history section; a
+//   history-cadence=<u64>             session checkpointed without
+//   history-pending=<u64>             sampling omits all six lines)
+//   history-dropped=<u64>
+//   history-rows=<R>
+//   <R rows: "time estimate-hexbits messages bits wire_bytes">
 //   [end]
 //   ... repeated per session ...
 //   crc=<8 hex digits>                (CRC-32 of every preceding byte)
+//
+// The history section rides inside the same CRC envelope as everything
+// else; its absence is the documented back-compat meaning "no retained
+// history", so v1 checkpoints written before the history subsystem
+// restore cleanly.
 //
 // Loading is strict: a missing magic line, a session count mismatch, an
 // unknown tracker, a CRC mismatch, or a state dump RestoreState rejects
@@ -40,10 +51,23 @@
 #include <vector>
 
 #include "core/options.h"
+#include "history/history.h"
 
 namespace varstream {
 
 inline constexpr char kCheckpointMagic[] = "varstream-ckpt-v1";
+
+/// A session's retained history at checkpoint time: the sampler config,
+/// its cadence counter, the eviction count, and every retained row — all
+/// of it must round-trip so a restored session's history (and every
+/// future sample position) matches the uninterrupted run exactly.
+struct SessionHistoryCheckpoint {
+  uint64_t capacity = 0;
+  uint64_t cadence = 0;
+  uint64_t pending = 0;  // updates ingested since the last sample
+  uint64_t dropped = 0;  // rows evicted before the checkpoint
+  std::vector<HistoryRow> rows;
+};
 
 /// One session's checkpoint entry: its reconstruction config and the
 /// serialized tracker state.
@@ -53,6 +77,10 @@ struct SessionCheckpoint {
   uint32_t shards = 0;  // 0 = serial engine
   TrackerOptions options;
   std::string state;  // Mergeable::SerializeState dump (may be multi-line)
+  /// False for sessions without sampling (and for pre-history
+  /// checkpoints, which simply lack the section).
+  bool has_history = false;
+  SessionHistoryCheckpoint history;
 };
 
 /// Serializes the entries into the varstream-ckpt-v1 text (including the

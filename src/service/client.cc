@@ -186,6 +186,21 @@ bool VarstreamClient::Query(SnapshotFrame* snapshot, std::string* error) {
   return true;
 }
 
+bool VarstreamClient::QueryRange(const QueryRangeFrame& query,
+                                 QueryRangeResultFrame* result,
+                                 std::string* error) {
+  Frame reply;
+  if (!Request(FrameType::kQueryRange, EncodeQueryRange(query),
+               FrameType::kQueryRangeResult, &reply, error)) {
+    return false;
+  }
+  if (!DecodeQueryRangeResult(reply.payload, result)) {
+    if (error != nullptr) *error = "malformed query-range result from server";
+    return false;
+  }
+  return true;
+}
+
 bool VarstreamClient::Checkpoint(std::string* checkpoint_path,
                                  std::string* error) {
   Frame reply;

@@ -51,6 +51,10 @@ class VarstreamClient {
   bool Push(std::span<const CountUpdate> updates, PushAckFrame* ack,
             std::string* error);
   bool Query(SnapshotFrame* snapshot, std::string* error);
+  /// Evaluates a history query (protocol v2). Works before (or without)
+  /// Hello — QueryRange is read-only and session-independent.
+  bool QueryRange(const QueryRangeFrame& query, QueryRangeResultFrame* result,
+                  std::string* error);
   bool Checkpoint(std::string* checkpoint_path, std::string* error);
   bool Shutdown(std::string* error);
 

@@ -69,6 +69,10 @@ const char* FrameTypeName(FrameType type) {
       return "shutdown-ack";
     case FrameType::kError:
       return "error";
+    case FrameType::kQueryRange:
+      return "query-range";
+    case FrameType::kQueryRangeResult:
+      return "query-range-result";
   }
   return "?";
 }
@@ -360,6 +364,109 @@ std::vector<uint8_t> EncodeError(const std::string& message) {
 bool DecodeError(std::span<const uint8_t> payload, ErrorFrame* error) {
   WireReader r(payload);
   return r.String(&error->message) && r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeQueryRange(const QueryRangeFrame& query) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U32(query.version);
+  w.String(query.session);
+  w.String(query.tracker);
+  w.U64(query.spec.time_min);
+  w.U64(query.spec.time_max);
+  w.U8(static_cast<uint8_t>(query.spec.agg));
+  w.U32(query.spec.buckets);
+  return payload;
+}
+
+bool DecodeQueryRange(std::span<const uint8_t> payload,
+                      QueryRangeFrame* query) {
+  WireReader r(payload);
+  uint8_t agg = 0;
+  if (!r.U32(&query->version) || !r.String(&query->session) ||
+      !r.String(&query->tracker) || !r.U64(&query->spec.time_min) ||
+      !r.U64(&query->spec.time_max) || !r.U8(&agg) ||
+      !r.U32(&query->spec.buckets) || !r.AtEnd()) {
+    return false;
+  }
+  // The aggregation is a closed enum: anything past kMaxAggregation is a
+  // malformed frame, not a semantic error (unlike `version`, which the
+  // server checks so it can answer with a diagnostic).
+  if (agg > static_cast<uint8_t>(Aggregation::kMaxAggregation)) return false;
+  query->spec.agg = static_cast<Aggregation>(agg);
+  return true;
+}
+
+namespace {
+
+// Fixed wire sizes used to bound element counts before allocation.
+constexpr size_t kQueryRowWireBytes = 7 * 8;        // seven u64/f64 fields
+constexpr size_t kSessionResultMinWireBytes =        // empty-string session
+    4 + 4 + 3 * 8 + 4;  // 2 string lengths + capacity/cadence/dropped + rows
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryRangeResult(
+    const QueryRangeResultFrame& result) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U32(result.version);
+  w.U32(static_cast<uint32_t>(result.sessions.size()));
+  for (const SessionQueryResult& session : result.sessions) {
+    w.String(session.session);
+    w.String(session.tracker);
+    w.U64(session.capacity);
+    w.U64(session.cadence);
+    w.U64(session.dropped);
+    w.U32(static_cast<uint32_t>(session.rows.size()));
+    for (const QueryRow& row : session.rows) {
+      w.U64(row.time_first);
+      w.U64(row.time_last);
+      w.F64(row.value);
+      w.U64(row.messages);
+      w.U64(row.bits);
+      w.U64(row.wire_bytes);
+      w.U64(row.samples);
+    }
+  }
+  return payload;
+}
+
+bool DecodeQueryRangeResult(std::span<const uint8_t> payload,
+                            QueryRangeResultFrame* result) {
+  WireReader r(payload);
+  uint32_t session_count = 0;
+  if (!r.U32(&result->version) || !r.U32(&session_count)) return false;
+  if (static_cast<size_t>(session_count) * kSessionResultMinWireBytes >
+      r.Remaining()) {
+    return false;
+  }
+  result->sessions.clear();
+  result->sessions.reserve(session_count);
+  for (uint32_t s = 0; s < session_count; ++s) {
+    SessionQueryResult session;
+    uint32_t row_count = 0;
+    if (!r.String(&session.session) || !r.String(&session.tracker) ||
+        !r.U64(&session.capacity) || !r.U64(&session.cadence) ||
+        !r.U64(&session.dropped) || !r.U32(&row_count)) {
+      return false;
+    }
+    if (static_cast<size_t>(row_count) * kQueryRowWireBytes > r.Remaining()) {
+      return false;
+    }
+    session.rows.reserve(row_count);
+    for (uint32_t i = 0; i < row_count; ++i) {
+      QueryRow row;
+      if (!r.U64(&row.time_first) || !r.U64(&row.time_last) ||
+          !r.F64(&row.value) || !r.U64(&row.messages) || !r.U64(&row.bits) ||
+          !r.U64(&row.wire_bytes) || !r.U64(&row.samples)) {
+        return false;
+      }
+      session.rows.push_back(row);
+    }
+    result->sessions.push_back(std::move(session));
+  }
+  return r.AtEnd();
 }
 
 }  // namespace varstream

@@ -33,12 +33,16 @@
 #include <vector>
 
 #include "core/options.h"
+#include "history/query.h"
 #include "stream/update.h"
 
 namespace varstream {
 
 inline constexpr uint32_t kProtocolMagic = 0x56535257;  // "VSRW"
-inline constexpr uint32_t kProtocolVersion = 1;
+// v2 added QueryRange/QueryRangeResult (history queries). Hello still
+// requires an exact version match; the new frame types were appended
+// after kError so every v1 frame keeps its byte value.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard cap on payload size: large enough for ~256k updates per
 /// PushBatch, small enough that a corrupt length prefix cannot make the
@@ -60,7 +64,9 @@ enum class FrameType : uint8_t {
   kShutdown,        // client -> server: stop the server process
   kShutdownAck,     // server -> client: acknowledged, about to stop
   kError,           // server -> client: diagnostic; connection closes
-  kMaxFrameType = kError,
+  kQueryRange,      // client -> server: evaluate a history query (v2)
+  kQueryRangeResult,// server -> client: evaluated rows per session (v2)
+  kMaxFrameType = kQueryRangeResult,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -133,6 +139,10 @@ class WireReader {
 
   bool AtEnd() const { return pos_ == data_.size(); }
 
+  /// Bytes left to read — decoders use this to reject element counts a
+  /// payload cannot possibly hold before reserving memory for them.
+  size_t Remaining() const { return data_.size() - pos_; }
+
  private:
   std::span<const uint8_t> data_;
   size_t pos_ = 0;
@@ -188,6 +198,31 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// QueryRange carries its own version (independent of the connection
+/// handshake) so the history query schema can evolve without another
+/// protocol bump. The server rejects unknown versions with a loud Error
+/// naming both sides, exactly like the Hello version check.
+inline constexpr uint32_t kQueryRangeVersion = 1;
+
+/// A history query: which sessions (empty `session` = all sessions,
+/// empty `tracker` = any tracker) and what evaluation (QuerySpec,
+/// src/history/query.h). QueryRange is read-only and session-independent,
+/// so the server accepts it before (or without) a Hello.
+struct QueryRangeFrame {
+  uint32_t version = kQueryRangeVersion;
+  std::string session;  // exact session name, or empty for all
+  std::string tracker;  // restrict to sessions of this tracker; empty = any
+  QuerySpec spec;
+};
+
+/// Evaluated rows per matching session, name-ordered, plus each
+/// session's retention metadata (capacity/cadence/dropped) so readers
+/// can tell how much prefix history was evicted.
+struct QueryRangeResultFrame {
+  uint32_t version = kQueryRangeVersion;
+  std::vector<SessionQueryResult> sessions;
+};
+
 // Encoders produce the payload only (frame it with AppendFrame);
 // decoders return false on any short/long/invalid payload.
 std::vector<uint8_t> EncodeHello(const HelloFrame& hello);
@@ -212,6 +247,15 @@ bool DecodeCheckpointAck(std::span<const uint8_t> payload,
 
 std::vector<uint8_t> EncodeError(const std::string& message);
 bool DecodeError(std::span<const uint8_t> payload, ErrorFrame* error);
+
+std::vector<uint8_t> EncodeQueryRange(const QueryRangeFrame& query);
+bool DecodeQueryRange(std::span<const uint8_t> payload,
+                      QueryRangeFrame* query);
+
+std::vector<uint8_t> EncodeQueryRangeResult(
+    const QueryRangeResultFrame& result);
+bool DecodeQueryRangeResult(std::span<const uint8_t> payload,
+                            QueryRangeResultFrame* result);
 
 }  // namespace varstream
 

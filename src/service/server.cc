@@ -103,6 +103,27 @@ bool VarstreamServer::Start(std::string* error) {
       session->shards = entry.shards;
       session->options = entry.options;
       session->tracker = std::move(tracker);
+      // A checkpointed history section carries its own retention config:
+      // the restored session resumes the original sampling schedule even
+      // if this server was started with different --history-* flags. A
+      // checkpoint without the section (pre-history, or sampling was
+      // disabled) starts fresh with this server's config.
+      HistoryOptions history_options = options_.history;
+      if (entry.has_history) {
+        history_options.capacity = entry.history.capacity;
+        history_options.cadence = entry.history.cadence;
+      }
+      session->history = std::make_unique<HistorySampler>(history_options);
+      if (entry.has_history &&
+          !session->history->Restore(entry.history.rows,
+                                     entry.history.dropped,
+                                     entry.history.pending)) {
+        if (error != nullptr) {
+          *error = "restore: session '" + entry.name +
+                   "': history section does not fit its declared capacity";
+        }
+        return false;
+      }
       std::lock_guard<std::mutex> lock(sessions_mu_);
       sessions_.emplace(entry.name, std::move(session));
     }
@@ -294,6 +315,7 @@ VarstreamServer::Session* VarstreamServer::ResolveSession(
   session->shards = hello.shards;
   session->options = hello.options;
   session->tracker = std::move(tracker);
+  session->history = std::make_unique<HistorySampler>(options_.history);
   Session* raw = session.get();
   sessions_.emplace(hello.session, std::move(session));
   *created = true;
@@ -395,6 +417,15 @@ bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
       {
         std::lock_guard<std::mutex> lock(s.mu);
         s.tracker->PushBatch(batch.updates);
+        // History sampling rides the batch boundary — the only point
+        // with a consistent snapshot and the only frequency that keeps
+        // Snapshot()'s sharded-pipeline drain off the per-update path.
+        if (s.history->Due(batch.updates.size())) {
+          TrackerSnapshot snap = s.tracker->Snapshot();
+          s.history->Record({snap.time, snap.estimate, snap.messages,
+                             snap.bits,
+                             s.wire_cost.bits(MessageKind::kWire) / 8});
+        }
         s.updates_since_checkpoint += batch.updates.size();
         if (options_.checkpoint_every > 0 &&
             s.updates_since_checkpoint >= options_.checkpoint_every) {
@@ -449,6 +480,70 @@ bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
       ack.path = options_.checkpoint_path;
       return SendFrame(fd, FrameType::kCheckpointAck,
                        EncodeCheckpointAck(ack), *session);
+    }
+    case FrameType::kQueryRange: {
+      // Read-only and session-independent: unlike the ingest frames, a
+      // query needs no Hello — varstream_query attaches to any running
+      // server without creating or naming a session.
+      QueryRangeFrame query;
+      if (!DecodeQueryRange(frame.payload, &query)) {
+        return SendError(fd, *session, "malformed query-range payload");
+      }
+      if (query.version != kQueryRangeVersion) {
+        return SendError(
+            fd, *session,
+            "query-range version mismatch: client speaks v" +
+                std::to_string(query.version) + ", server speaks v" +
+                std::to_string(kQueryRangeVersion));
+      }
+      // Capture matching sessions' rows under their locks (name order,
+      // same ordering discipline as WriteCheckpointLocked); evaluate
+      // outside all locks so an expensive aggregation never stalls
+      // ingest.
+      struct Captured {
+        SessionQueryResult meta;
+        std::vector<HistoryRow> rows;
+      };
+      std::vector<Captured> captured;
+      bool found_named = false;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        for (auto& [name, s] : sessions_) {
+          if (!query.session.empty() && name != query.session) continue;
+          found_named = found_named || name == query.session;
+          if (!query.tracker.empty() && s->tracker_name != query.tracker) {
+            continue;
+          }
+          Captured c;
+          c.meta.session = name;
+          c.meta.tracker = s->tracker_name;
+          std::lock_guard<std::mutex> session_lock(s->mu);
+          c.meta.capacity = s->history->options().capacity;
+          c.meta.cadence = s->history->options().cadence;
+          c.meta.dropped = s->history->ring().dropped();
+          c.rows = s->history->ring().Rows();
+          captured.push_back(std::move(c));
+        }
+      }
+      if (!query.session.empty() && !found_named) {
+        return SendError(fd, *session,
+                         "unknown session '" + query.session + "'");
+      }
+      QueryRangeResultFrame result;
+      for (Captured& c : captured) {
+        c.meta.rows = EvaluateQuery(c.rows, query.spec);
+        result.sessions.push_back(std::move(c.meta));
+      }
+      std::vector<uint8_t> payload = EncodeQueryRangeResult(result);
+      if (payload.size() > kMaxFramePayload) {
+        return SendError(
+            fd, *session,
+            "query-range result (" + std::to_string(payload.size()) +
+                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
+                "-byte frame limit; narrow the time window, name a "
+                "session, or downsample with buckets");
+      }
+      return SendFrame(fd, FrameType::kQueryRangeResult, payload, *session);
     }
     case FrameType::kShutdown: {
       if (!frame.payload.empty()) {
@@ -561,6 +656,14 @@ bool VarstreamServer::WriteCheckpointLocked(std::string* error) {
       entry.shards = session->shards;
       entry.options = session->options;
       entry.state = mergeable->SerializeState();
+      if (session->history->enabled()) {
+        entry.has_history = true;
+        entry.history.capacity = session->history->options().capacity;
+        entry.history.cadence = session->history->options().cadence;
+        entry.history.pending = session->history->pending();
+        entry.history.dropped = session->history->ring().dropped();
+        entry.history.rows = session->history->ring().Rows();
+      }
       entries.push_back(std::move(entry));
     }
   }

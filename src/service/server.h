@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/tracker.h"
+#include "history/history.h"
 #include "net/cost_meter.h"
 #include "service/checkpoint.h"
 #include "service/protocol.h"
@@ -61,6 +62,16 @@ struct ServerOptions {
   /// When nonempty, Start() restores every session from this
   /// varstream-ckpt-v1 file before accepting connections.
   std::string restore_path;
+
+  /// History retention for every session this server creates (capacity
+  /// rows per session, one sample per `cadence` ingested updates —
+  /// src/history/history.h). The defaults retain 1024 rows at cadence
+  /// 8192: ~40 KiB per session, sampled rarely enough that Snapshot()'s
+  /// pipeline drain stays off the ingest hot path (bench_service guards
+  /// this). Set capacity or cadence to 0 to disable sampling. Restored
+  /// sessions keep their checkpointed history config instead, so a
+  /// restore resumes the exact sampling schedule of the original run.
+  HistoryOptions history;
 };
 
 class VarstreamServer {
@@ -105,6 +116,9 @@ class VarstreamServer {
     std::unique_ptr<DistributedTracker> tracker;
     uint64_t updates_since_checkpoint = 0;
     CostMeter wire_cost;  // MessageKind::kWire, real bytes
+    /// History sampler (guarded by `mu` like the tracker). Always set
+    /// once the session exists; a capacity/cadence of 0 disables it.
+    std::unique_ptr<HistorySampler> history;
   };
 
   /// One live (or finished-but-unreaped) client connection. The handler

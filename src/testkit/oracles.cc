@@ -14,6 +14,8 @@
 #include "core/mergeable.h"
 #include "core/registry.h"
 #include "core/sharded.h"
+#include "history/history.h"
+#include "history/query.h"
 #include "service/checkpoint.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -622,6 +624,320 @@ class ServiceParityOracle final : public Oracle {
   }
 };
 
+// --- history-parity ---------------------------------------------------
+
+class HistoryParityOracle final : public Oracle {
+ public:
+  std::string name() const override { return "history-parity"; }
+
+  bool Applicable(const Scenario& s) const override {
+    if (!TrackerRegistry::Instance().Contains(s.tracker)) return false;
+    if (!TrackerRegistry::Instance().SupportsHistory(s.tracker)) return false;
+    return CheckScenarioPairing(s.tracker, s.stream, s.num_shards,
+                                s.num_sites)
+        .ok;
+  }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    const int64_t f0 = c.trace.initial_value();
+    std::string error;
+
+    // Scenario-derived retention: a cadence that lands a handful of
+    // samples in the trace, and a capacity that alternates (by seed
+    // parity) between tight — so eviction and the dropped counter are
+    // genuinely exercised — and roomy, so full retention is too.
+    HistoryOptions history;
+    history.cadence = std::max<uint64_t>(1, c.trace.size() / 7);
+    history.capacity = (s.seed % 2 == 0) ? 3 : 1024;
+
+    // In-process shadow: the same tracker construction, batching, and
+    // sampler the server runs, minus the wire (wire_bytes stays 0 and is
+    // excluded from comparisons, like SnapshotFrame parity).
+    HistorySampler shadow(history);
+    {
+      std::unique_ptr<DistributedTracker> tracker =
+          MakeCaseTracker(s, s.num_shards, f0, &error);
+      if (tracker == nullptr) {
+        return OracleOutcome::Fail("cannot construct tracker: " + error);
+      }
+      ReplaySampled(c, *tracker, shadow, 0, c.trace.size());
+    }
+    if (shadow.ring().Rows().empty()) {
+      return OracleOutcome::Fail("shadow sampler retained no rows (cadence " +
+                                 std::to_string(history.cadence) + ", n=" +
+                                 std::to_string(c.trace.size()) + ")");
+    }
+
+    // Wire leg: ingest the same batches through a real server configured
+    // with the same retention, then QueryRange must serve the shadow's
+    // rows bit for bit — raw and downsampled.
+    ServerOptions server_options;
+    server_options.port = 0;  // ephemeral — concurrent checks don't collide
+    server_options.history = history;
+    VarstreamServer server(server_options);
+    if (!server.Start(&error)) {
+      return OracleOutcome::Fail("server start failed: " + error);
+    }
+    OracleOutcome outcome = Drive(c, shadow, server, &error)
+                                ? OracleOutcome::Pass()
+                                : OracleOutcome::Fail(error);
+    server.Stop();
+    if (outcome.status != OracleOutcome::Status::kPass) return outcome;
+
+    // Checkpoint leg (mergeable trackers): prefix -> encode the history
+    // section inside varstream-ckpt-v1 -> decode -> restore under a
+    // different worker count -> resume. The resumed ring must equal the
+    // uninterrupted shadow exactly, including every post-restore sample
+    // position (the pending counter round-trips).
+    if (TrackerRegistry::Instance().IsMergeable(s.tracker)) {
+      return CheckCheckpointLeg(c, history, shadow);
+    }
+    return OracleOutcome::Pass();
+  }
+
+ private:
+  /// Replays [from, to) in scenario batches, running the sampler at each
+  /// batch boundary exactly as VarstreamServer::kPushBatch does.
+  static void ReplaySampled(const GeneratedCase& c,
+                            DistributedTracker& tracker,
+                            HistorySampler& sampler, size_t from,
+                            size_t to) {
+    size_t prev = from;
+    ReplayRange(c.trace, tracker, c.scenario.batch_size, from, to,
+                [&](size_t pos) {
+                  if (sampler.Due(pos - prev)) {
+                    TrackerSnapshot snap = tracker.Snapshot();
+                    sampler.Record({snap.time, snap.estimate, snap.messages,
+                                    snap.bits, 0});
+                  }
+                  prev = pos;
+                });
+  }
+
+  /// Field-wise row comparison excluding wire_bytes (the shadow has no
+  /// wire traffic, by construction).
+  static bool RowsMatch(const std::vector<QueryRow>& served,
+                        const std::vector<QueryRow>& expect,
+                        std::string* error) {
+    if (served.size() != expect.size()) {
+      *error = "row count " + std::to_string(served.size()) + " vs shadow " +
+               std::to_string(expect.size());
+      return false;
+    }
+    for (size_t i = 0; i < served.size(); ++i) {
+      const QueryRow& a = served[i];
+      const QueryRow& b = expect[i];
+      if (a.time_first != b.time_first || a.time_last != b.time_last ||
+          std::bit_cast<uint64_t>(a.value) !=
+              std::bit_cast<uint64_t>(b.value) ||
+          a.messages != b.messages || a.bits != b.bits ||
+          a.samples != b.samples) {
+        *error = "row " + std::to_string(i) + " diverges: wire {t=[" +
+                 std::to_string(a.time_first) + "," +
+                 std::to_string(a.time_last) + "], v=" + FmtG(a.value) +
+                 ", msgs=" + std::to_string(a.messages) + ", bits=" +
+                 std::to_string(a.bits) + ", n=" +
+                 std::to_string(a.samples) + "} vs shadow {t=[" +
+                 std::to_string(b.time_first) + "," +
+                 std::to_string(b.time_last) + "], v=" + FmtG(b.value) +
+                 ", msgs=" + std::to_string(b.messages) + ", bits=" +
+                 std::to_string(b.bits) + ", n=" +
+                 std::to_string(b.samples) + "}";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool Drive(const GeneratedCase& c, const HistorySampler& shadow,
+                    VarstreamServer& server, std::string* error) {
+    const Scenario& s = c.scenario;
+    VarstreamClient client;
+    if (!client.Connect("127.0.0.1", server.port(), error)) {
+      *error = "connect: " + *error;
+      return false;
+    }
+    HelloFrame hello;
+    hello.session = "conformance";
+    hello.tracker = s.tracker;
+    hello.shards = s.num_shards;
+    hello.options = CaseTrackerOptions(s, c.trace.initial_value());
+    HelloAckFrame hello_ack;
+    if (!client.Hello(hello, &hello_ack, error)) {
+      *error = "hello: " + *error;
+      return false;
+    }
+    const std::vector<CountUpdate>& updates = c.trace.updates();
+    const size_t b =
+        static_cast<size_t>(std::max<uint64_t>(s.batch_size, 1));
+    size_t pos = 0;
+    while (pos < updates.size()) {
+      size_t take = std::min(b, updates.size() - pos);
+      PushAckFrame push_ack;
+      if (!client.Push(
+              std::span<const CountUpdate>(updates.data() + pos, take),
+              &push_ack, error)) {
+        *error = "push at update " + std::to_string(pos) + ": " + *error;
+        return false;
+      }
+      pos += take;
+    }
+
+    // Raw retention parity.
+    QueryRangeFrame raw;
+    QueryRangeResultFrame result;
+    if (!client.QueryRange(raw, &result, error)) {
+      *error = "query-range: " + *error;
+      return false;
+    }
+    if (result.sessions.size() != 1) {
+      *error = "query-range returned " +
+               std::to_string(result.sessions.size()) + " sessions";
+      return false;
+    }
+    const SessionQueryResult& session = result.sessions[0];
+    if (session.dropped != shadow.ring().dropped()) {
+      *error = "dropped " + std::to_string(session.dropped) + " vs shadow " +
+               std::to_string(shadow.ring().dropped());
+      return false;
+    }
+    if (!RowsMatch(session.rows,
+                   EvaluateQuery(shadow.ring().Rows(), raw.spec), error)) {
+      *error = "raw rows: " + *error;
+      return false;
+    }
+
+    // Downsampled parity: a windowed mean over 3 buckets must agree with
+    // evaluating the same spec over the shadow's rows.
+    const std::vector<HistoryRow>& rows = shadow.ring().Rows();
+    QueryRangeFrame down;
+    down.spec.time_min = rows.front().time;
+    down.spec.time_max = rows.back().time;
+    down.spec.agg = Aggregation::kMean;
+    down.spec.buckets = 3;
+    if (!client.QueryRange(down, &result, error)) {
+      *error = "downsampled query-range: " + *error;
+      return false;
+    }
+    if (result.sessions.size() != 1) {
+      *error = "downsampled query-range returned " +
+               std::to_string(result.sessions.size()) + " sessions";
+      return false;
+    }
+    if (!RowsMatch(result.sessions[0].rows, EvaluateQuery(rows, down.spec),
+                   error)) {
+      *error = "downsampled rows: " + *error;
+      return false;
+    }
+    return true;
+  }
+
+  static OracleOutcome CheckCheckpointLeg(const GeneratedCase& c,
+                                          const HistoryOptions& history,
+                                          const HistorySampler& shadow) {
+    const Scenario& s = c.scenario;
+    const int64_t f0 = c.trace.initial_value();
+    // A real server checkpoint lands between Push frames, never inside
+    // one — so the cut must sit on the batch grid, or the interrupted
+    // run would see batch boundaries (= candidate sample points) the
+    // uninterrupted run never had.
+    const size_t b = static_cast<size_t>(std::max<uint64_t>(s.batch_size, 1));
+    const size_t cut = (c.trace.size() / 2) / b * b;
+    std::string error;
+
+    std::unique_ptr<DistributedTracker> pre =
+        MakeCaseTracker(s, s.num_shards, f0, &error);
+    if (pre == nullptr) {
+      return OracleOutcome::Fail("cannot construct tracker: " + error);
+    }
+    HistorySampler pre_sampler(history);
+    ReplaySampled(c, *pre, pre_sampler, 0, cut);
+    auto* pre_state = dynamic_cast<Mergeable*>(pre.get());
+    if (pre_state == nullptr) {
+      return OracleOutcome::Fail("tracker is registered mergeable but does "
+                                 "not implement Mergeable");
+    }
+
+    SessionCheckpoint entry;
+    entry.name = "conformance";
+    entry.tracker = s.tracker;
+    entry.shards = s.num_shards;
+    entry.options = CaseTrackerOptions(s, f0);
+    entry.state = pre_state->SerializeState();
+    entry.has_history = true;
+    entry.history.capacity = history.capacity;
+    entry.history.cadence = history.cadence;
+    entry.history.pending = pre_sampler.pending();
+    entry.history.dropped = pre_sampler.ring().dropped();
+    entry.history.rows = pre_sampler.ring().Rows();
+    const std::string text = EncodeCheckpoint({entry});
+    std::vector<SessionCheckpoint> decoded;
+    if (!DecodeCheckpoint(text, &decoded, &error)) {
+      return OracleOutcome::Fail("EncodeCheckpoint output does not decode: " +
+                                 error);
+    }
+    if (decoded.size() != 1 || !decoded[0].has_history) {
+      return OracleOutcome::Fail("history section did not round-trip "
+                                 "through varstream-ckpt-v1");
+    }
+
+    // Restore with a different worker count when sharded (W only
+    // schedules; see checkpoint-roundtrip).
+    uint32_t restore_shards = decoded[0].shards;
+    if (restore_shards >= 1) {
+      restore_shards = restore_shards % s.num_sites + 1;
+    }
+    std::unique_ptr<DistributedTracker> post =
+        restore_shards >= 1
+            ? std::unique_ptr<DistributedTracker>(ShardedTracker::Create(
+                  decoded[0].tracker, decoded[0].options, restore_shards,
+                  &error))
+            : TrackerRegistry::Instance().Create(decoded[0].tracker,
+                                                 decoded[0].options);
+    if (post == nullptr) {
+      return OracleOutcome::Fail("cannot reconstruct tracker from decoded "
+                                 "checkpoint: " +
+                                 error);
+    }
+    auto* post_state = dynamic_cast<Mergeable*>(post.get());
+    if (post_state == nullptr ||
+        !post_state->RestoreState(decoded[0].state, &error)) {
+      return OracleOutcome::Fail("RestoreState rejected the round-tripped "
+                                 "dump: " +
+                                 error);
+    }
+    HistorySampler post_sampler(
+        {decoded[0].history.capacity, decoded[0].history.cadence});
+    if (!post_sampler.Restore(decoded[0].history.rows,
+                              decoded[0].history.dropped,
+                              decoded[0].history.pending)) {
+      return OracleOutcome::Fail("sampler rejected the round-tripped "
+                                 "history section");
+    }
+    ReplaySampled(c, *post, post_sampler, cut, c.trace.size());
+
+    if (post_sampler.ring().Rows() != shadow.ring().Rows()) {
+      return OracleOutcome::Fail(
+          "save(cut=" + std::to_string(cut) + ")->restore(W'=" +
+          std::to_string(restore_shards) +
+          ")->resume history diverges from the uninterrupted run (" +
+          std::to_string(post_sampler.ring().Rows().size()) + " vs " +
+          std::to_string(shadow.ring().Rows().size()) + " rows)");
+    }
+    if (post_sampler.ring().dropped() != shadow.ring().dropped() ||
+        post_sampler.pending() != shadow.pending()) {
+      return OracleOutcome::Fail(
+          "restored sampler counters diverge: dropped " +
+          std::to_string(post_sampler.ring().dropped()) + "/" +
+          std::to_string(shadow.ring().dropped()) + ", pending " +
+          std::to_string(post_sampler.pending()) + "/" +
+          std::to_string(shadow.pending()));
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& AllOracles() {
@@ -631,10 +947,12 @@ const std::vector<const Oracle*>& AllOracles() {
   static const ShardParityOracle shard_parity;
   static const CheckpointRoundTripOracle checkpoint_roundtrip;
   static const ServiceParityOracle service_parity;
+  static const HistoryParityOracle history_parity;
   static const std::vector<const Oracle*> all = {
       &accuracy,  &cost,
       &monotone,  &shard_parity,
       &checkpoint_roundtrip, &service_parity,
+      &history_parity,
   };
   return all;
 }

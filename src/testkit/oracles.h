@@ -30,6 +30,12 @@
 //   service-parity   the wire path (VarstreamServer + VarstreamClient,
 //                    real loopback TCP) equals the in-process run bit
 //                    for bit, at a mid-stream live Query and at the end.
+//   history-parity   the history store (src/history/): rows a real
+//                    server retains and serves over QueryRange — raw and
+//                    downsampled — equal an in-process shadow sampler
+//                    bit for bit, and the checkpointed history section
+//                    resumes (under a different worker count) into the
+//                    exact rows of the uninterrupted run.
 //
 // Oracles are stateless singletons; Check() may be called concurrently
 // from the runner's worker threads and must derive everything from the

@@ -1,0 +1,231 @@
+// Tests for the query-evaluation layer (history/query.h): time-window
+// selection, the five aggregations, bucket downsampling (including the
+// near-2^64 span the 128-bit bucket math exists for), and the
+// varstream-query-v1 renderers.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/query.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+std::vector<HistoryRow> SampleRows() {
+  // Cumulative counters grow with time, estimates oscillate.
+  return {
+      {100, 4.0, 10, 800, 50},
+      {200, -2.0, 20, 1600, 100},
+      {300, 7.5, 30, 2400, 150},
+      {400, 1.0, 40, 3200, 200},
+      {500, -6.0, 50, 4000, 250},
+  };
+}
+
+TEST(EvaluateQuery, NoFilterNoAggPassesRowsThrough) {
+  QuerySpec spec;
+  std::vector<QueryRow> rows = EvaluateQuery(SampleRows(), spec);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].time_first, 100u);
+  EXPECT_EQ(rows[0].time_last, 100u);
+  EXPECT_EQ(rows[0].value, 4.0);
+  EXPECT_EQ(rows[0].messages, 10u);
+  EXPECT_EQ(rows[0].bits, 800u);
+  EXPECT_EQ(rows[0].wire_bytes, 50u);
+  EXPECT_EQ(rows[0].samples, 1u);
+  EXPECT_EQ(rows[4].value, -6.0);
+}
+
+TEST(EvaluateQuery, TimeWindowIsInclusiveOnBothEnds) {
+  QuerySpec spec;
+  spec.time_min = 200;
+  spec.time_max = 400;
+  std::vector<QueryRow> rows = EvaluateQuery(SampleRows(), spec);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.front().time_first, 200u);
+  EXPECT_EQ(rows.back().time_first, 400u);
+
+  spec.time_min = 201;
+  spec.time_max = 399;
+  rows = EvaluateQuery(SampleRows(), spec);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].time_first, 300u);
+
+  spec.time_min = 501;
+  spec.time_max = UINT64_MAX;
+  EXPECT_TRUE(EvaluateQuery(SampleRows(), spec).empty());
+}
+
+TEST(EvaluateQuery, AggregationsReduceTheWholeSelection) {
+  QuerySpec spec;
+  spec.agg = Aggregation::kMin;
+  std::vector<QueryRow> rows = EvaluateQuery(SampleRows(), spec);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].value, -6.0);
+  EXPECT_EQ(rows[0].time_first, 100u);
+  EXPECT_EQ(rows[0].time_last, 500u);
+  EXPECT_EQ(rows[0].samples, 5u);
+  // Cumulative counters come from the newest sample in the group.
+  EXPECT_EQ(rows[0].messages, 50u);
+  EXPECT_EQ(rows[0].bits, 4000u);
+  EXPECT_EQ(rows[0].wire_bytes, 250u);
+
+  spec.agg = Aggregation::kMax;
+  EXPECT_EQ(EvaluateQuery(SampleRows(), spec)[0].value, 7.5);
+  spec.agg = Aggregation::kLast;
+  EXPECT_EQ(EvaluateQuery(SampleRows(), spec)[0].value, -6.0);
+  spec.agg = Aggregation::kMean;
+  EXPECT_EQ(EvaluateQuery(SampleRows(), spec)[0].value,
+            (4.0 - 2.0 + 7.5 + 1.0 - 6.0) / 5.0);
+  spec.agg = Aggregation::kCount;
+  EXPECT_EQ(EvaluateQuery(SampleRows(), spec)[0].value, 5.0);
+
+  // Empty selection aggregates to no rows, not a zero row.
+  spec.time_min = 9999;
+  EXPECT_TRUE(EvaluateQuery(SampleRows(), spec).empty());
+}
+
+TEST(EvaluateQuery, BucketsPartitionTheSelectedSpan) {
+  // Span [100, 500] (width 401); 2 buckets split at (t-100)*2/401:
+  // 100..300 -> bucket 0, 301..500 -> bucket 1.
+  QuerySpec spec;
+  spec.agg = Aggregation::kMean;
+  spec.buckets = 2;
+  std::vector<QueryRow> rows = EvaluateQuery(SampleRows(), spec);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].time_first, 100u);
+  EXPECT_EQ(rows[0].time_last, 300u);
+  EXPECT_EQ(rows[0].samples, 3u);
+  EXPECT_EQ(rows[0].value, (4.0 - 2.0 + 7.5) / 3.0);
+  EXPECT_EQ(rows[1].time_first, 400u);
+  EXPECT_EQ(rows[1].time_last, 500u);
+  EXPECT_EQ(rows[1].samples, 2u);
+  EXPECT_EQ(rows[1].value, (1.0 - 6.0) / 2.0);
+}
+
+TEST(EvaluateQuery, EmptyBucketsAreOmitted) {
+  // 5 samples into 100 buckets: at most 5 non-empty buckets come back.
+  QuerySpec spec;
+  spec.agg = Aggregation::kCount;
+  spec.buckets = 100;
+  std::vector<QueryRow> rows = EvaluateQuery(SampleRows(), spec);
+  ASSERT_EQ(rows.size(), 5u);
+  for (const QueryRow& row : rows) EXPECT_EQ(row.value, 1.0);
+}
+
+TEST(EvaluateQuery, NoneWithBucketsActsAsLast) {
+  QuerySpec spec;
+  spec.agg = Aggregation::kNone;
+  spec.buckets = 2;
+  std::vector<QueryRow> rows = EvaluateQuery(SampleRows(), spec);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].value, 7.5);   // last estimate in bucket 0
+  EXPECT_EQ(rows[1].value, -6.0);  // last estimate in bucket 1
+}
+
+TEST(EvaluateQuery, BucketIndexSurvivesNearMaxTimeSpans) {
+  // (t - t0) * buckets would overflow u64 for spans near 2^64; the
+  // evaluator's 128-bit bucket math must keep the partition exact.
+  std::vector<HistoryRow> rows = {
+      {0, 1.0, 1, 8, 0},
+      {UINT64_MAX / 2, 2.0, 2, 16, 0},
+      {UINT64_MAX - 1, 3.0, 3, 24, 0},
+  };
+  QuerySpec spec;
+  spec.buckets = 2;
+  spec.agg = Aggregation::kCount;
+  std::vector<QueryRow> out = EvaluateQuery(rows, spec);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].samples, 2u);  // 0 and the midpoint land in bucket 0
+  EXPECT_EQ(out[1].samples, 1u);
+  EXPECT_EQ(out[1].time_first, UINT64_MAX - 1);
+}
+
+TEST(EvaluateQuery, SingleSampleSpanWithBuckets) {
+  std::vector<HistoryRow> rows = {{42, 9.0, 1, 8, 0}};
+  QuerySpec spec;
+  spec.buckets = 10;
+  std::vector<QueryRow> out = EvaluateQuery(rows, spec);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time_first, 42u);
+  EXPECT_EQ(out[0].value, 9.0);
+}
+
+TEST(AggregationNames, RoundTripAndRejectUnknown) {
+  for (uint8_t i = 0;
+       i <= static_cast<uint8_t>(Aggregation::kMaxAggregation); ++i) {
+    auto agg = static_cast<Aggregation>(i);
+    Aggregation back = Aggregation::kNone;
+    ASSERT_TRUE(ParseAggregation(AggregationName(agg), &back))
+        << AggregationName(agg);
+    EXPECT_EQ(back, agg);
+  }
+  Aggregation out;
+  EXPECT_FALSE(ParseAggregation("median", &out));
+  EXPECT_FALSE(ParseAggregation("", &out));
+  EXPECT_FALSE(ParseAggregation("MEAN", &out));
+}
+
+TEST(QueryRenderers, CsvListsEveryRowUnderItsSession) {
+  SessionQueryResult a;
+  a.session = "alpha";
+  a.tracker = "deterministic";
+  a.rows = {{100, 100, 0.5, 1, 8, 2, 1}, {200, 200, -1.5, 2, 16, 4, 1}};
+  SessionQueryResult b;
+  b.session = "beta";
+  b.tracker = "randomized";
+  b.rows = {{300, 400, 2.0, 3, 24, 6, 2}};
+  std::string csv = WriteQueryResultCsv({a, b});
+  EXPECT_EQ(csv,
+            "session,tracker,time_first,time_last,value,messages,bits,"
+            "wire_bytes,samples\n"
+            "alpha,deterministic,100,100,0.5,1,8,2,1\n"
+            "alpha,deterministic,200,200,-1.5,2,16,4,1\n"
+            "beta,randomized,300,400,2,3,24,6,2\n");
+}
+
+TEST(QueryRenderers, JsonCarriesSchemaQueryAndRetentionMetadata) {
+  QuerySpec spec;
+  spec.time_min = 10;
+  spec.time_max = 500;
+  spec.agg = Aggregation::kMean;
+  spec.buckets = 4;
+  SessionQueryResult session;
+  session.session = "alpha";
+  session.tracker = "deterministic";
+  session.capacity = 64;
+  session.cadence = 1000;
+  session.dropped = 3;
+  session.rows = {{100, 200, 1.25, 5, 40, 9, 2}};
+  std::string json = WriteQueryResultJson(spec, {session});
+  EXPECT_EQ(
+      json,
+      "{\"schema\":\"varstream-query-v1\",\"query\":{\"time_min\":10,"
+      "\"time_max\":500,\"agg\":\"mean\",\"buckets\":4},\"sessions\":["
+      "{\"session\":\"alpha\",\"tracker\":\"deterministic\","
+      "\"capacity\":64,\"cadence\":1000,\"dropped\":3,\"rows\":["
+      "{\"time_first\":100,\"time_last\":200,\"value\":1.25,"
+      "\"messages\":5,\"bits\":40,\"wire_bytes\":9,\"samples\":2}]}]}\n");
+}
+
+TEST(QueryRenderers, ValuesRoundTripBitExactlyThroughTheirText) {
+  // %.17g is the shortest fixed precision that round-trips every double;
+  // both renderers rely on it so scripted diffs are bit-exact.
+  SessionQueryResult session;
+  session.session = "s";
+  session.tracker = "t";
+  double awkward = 0.1 + 0.2;  // 0.30000000000000004
+  session.rows = {{1, 1, awkward, 0, 0, 0, 1}};
+  std::string csv = WriteQueryResultCsv({session});
+  size_t value_start = csv.find("1,1,") + 4;
+  size_t value_end = csv.find(',', value_start);
+  double parsed = std::stod(csv.substr(value_start, value_end - value_start));
+  EXPECT_EQ(std::bit_cast<uint64_t>(parsed),
+            std::bit_cast<uint64_t>(awkward));
+}
+
+}  // namespace
+}  // namespace varstream

@@ -1,0 +1,148 @@
+// Boundary tests for the history ring buffer (history/ring_buffer.h),
+// the sampler's cadence accounting, and the checkpoint row line codec
+// (history/history.h).
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+#include "history/ring_buffer.h"
+#include "gtest/gtest.h"
+
+namespace varstream {
+namespace {
+
+TEST(RingBuffer, CapacityZeroRetainsNothingButCountsAppends) {
+  RingBuffer<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 0u);
+  for (int i = 0; i < 5; ++i) ring.Append(i);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.appended(), 5u);
+  EXPECT_EQ(ring.dropped(), 5u);
+  EXPECT_TRUE(ring.Rows().empty());
+}
+
+TEST(RingBuffer, CapacityOneKeepsOnlyTheNewest) {
+  RingBuffer<int> ring(1);
+  ring.Append(7);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.At(0), 7);
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.Append(8);
+  ring.Append(9);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.At(0), 9);
+  EXPECT_EQ(ring.appended(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(RingBuffer, ExactWrapBoundary) {
+  // Fill to exactly capacity: nothing evicted, order preserved.
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 4; ++i) ring.Append(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.Rows(), (std::vector<int>{0, 1, 2, 3}));
+  // One more evicts exactly the oldest.
+  ring.Append(4);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  EXPECT_EQ(ring.Rows(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(RingBuffer, EvictionOrderIsFifoAcrossManyWraps) {
+  RingBuffer<int> ring(3);
+  for (int i = 0; i < 100; ++i) {
+    ring.Append(i);
+    // The retained window is always the last min(i+1, 3) values in
+    // append order.
+    std::vector<int> expected;
+    for (int v = std::max(0, i - 2); v <= i; ++v) expected.push_back(v);
+    ASSERT_EQ(ring.Rows(), expected) << "after appending " << i;
+  }
+  EXPECT_EQ(ring.appended(), 100u);
+  EXPECT_EQ(ring.dropped(), 97u);
+}
+
+TEST(RingBuffer, RestoreResumesCountersExactly) {
+  RingBuffer<int> ring(4);
+  ASSERT_TRUE(ring.Restore({5, 6, 7}, 10));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.appended(), 13u);
+  EXPECT_EQ(ring.dropped(), 10u);
+  ring.Append(8);
+  ring.Append(9);  // now full beyond capacity: 5 evicted
+  EXPECT_EQ(ring.Rows(), (std::vector<int>{6, 7, 8, 9}));
+  EXPECT_EQ(ring.dropped(), 11u);
+
+  // Rows beyond capacity are a corrupt checkpoint, refused.
+  RingBuffer<int> small(2);
+  EXPECT_FALSE(small.Restore({1, 2, 3}, 0));
+}
+
+TEST(HistorySampler, CadenceAccountingAtBatchBoundaries) {
+  HistorySampler sampler({/*capacity=*/4, /*cadence=*/100});
+  ASSERT_TRUE(sampler.enabled());
+  EXPECT_FALSE(sampler.Due(99));
+  EXPECT_TRUE(sampler.Due(1));    // 99 + 1 reaches the cadence
+  EXPECT_EQ(sampler.pending(), 0u);
+  // A batch larger than the cadence still yields exactly one sample —
+  // the batch boundary is the only consistent snapshot point.
+  EXPECT_TRUE(sampler.Due(1000));
+  EXPECT_FALSE(sampler.Due(0));
+  EXPECT_FALSE(sampler.Due(99));
+  EXPECT_EQ(sampler.pending(), 99u);
+}
+
+TEST(HistorySampler, DisabledConfigurationsNeverSample) {
+  HistorySampler no_capacity({/*capacity=*/0, /*cadence=*/10});
+  EXPECT_FALSE(no_capacity.enabled());
+  EXPECT_FALSE(no_capacity.Due(1000000));
+  EXPECT_EQ(no_capacity.pending(), 0u);
+
+  HistorySampler no_cadence({/*capacity=*/10, /*cadence=*/0});
+  EXPECT_FALSE(no_cadence.enabled());
+  EXPECT_FALSE(no_cadence.Due(1000000));
+}
+
+TEST(HistorySampler, RestoreRoundTripsRowsDroppedAndPending) {
+  HistorySampler sampler({/*capacity=*/2, /*cadence=*/50});
+  std::vector<HistoryRow> rows = {{100, 1.5, 3, 240, 10},
+                                  {200, -2.0, 6, 480, 20}};
+  ASSERT_TRUE(sampler.Restore(rows, /*dropped=*/7, /*pending=*/49));
+  EXPECT_EQ(sampler.ring().Rows(), rows);
+  EXPECT_EQ(sampler.ring().dropped(), 7u);
+  EXPECT_EQ(sampler.pending(), 49u);
+  EXPECT_TRUE(sampler.Due(1));  // resumes exactly where the run left off
+}
+
+TEST(HistoryRowCodec, RoundTripsBitExactly) {
+  HistoryRow row;
+  row.time = 123456789;
+  row.estimate = -0.1;  // not exactly representable; bit pattern must hold
+  row.messages = 42;
+  row.bits = 9001;
+  row.wire_bytes = 77;
+  HistoryRow back;
+  ASSERT_TRUE(ParseHistoryRow(EncodeHistoryRow(row), &back));
+  EXPECT_EQ(back, row);
+}
+
+TEST(HistoryRowCodec, RejectsMalformedLines) {
+  HistoryRow row;
+  EXPECT_FALSE(ParseHistoryRow("", &row));
+  EXPECT_FALSE(ParseHistoryRow("1 2 3 4", &row));          // too few
+  EXPECT_FALSE(ParseHistoryRow("1 3ff0000000000000 3 4 5 6", &row));  // extra
+  EXPECT_FALSE(ParseHistoryRow("1  3ff0000000000000 3 4 5", &row));   // double space
+  EXPECT_FALSE(ParseHistoryRow(" 1 3ff0000000000000 3 4 5", &row));   // leading
+  EXPECT_FALSE(ParseHistoryRow("1 3ff0000000000000 3 4 5 ", &row));   // trailing
+  EXPECT_FALSE(ParseHistoryRow("x 3ff0000000000000 3 4 5", &row));    // non-numeric
+  EXPECT_FALSE(ParseHistoryRow("1 nothex 3 4 5", &row));
+  EXPECT_FALSE(ParseHistoryRow("-1 3ff0000000000000 3 4 5", &row));   // negative
+}
+
+}  // namespace
+}  // namespace varstream

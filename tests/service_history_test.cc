@@ -1,0 +1,390 @@
+// End-to-end tests for the history subsystem through the service layer:
+// batch-boundary sampling into the per-session ring, the QueryRange wire
+// op (windowing, downsampling, filters, version/misuse errors), and
+// history survival across checkpoint/restore. The shadow recorder here
+// replays the identical tracker + sampler in-process — the same parity
+// discipline the loadgen uses for snapshots, extended to whole series.
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "history/history.h"
+#include "history/query.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "stream/source.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace {
+
+constexpr uint32_t kSites = 8;
+
+TrackerOptions Opts() {
+  TrackerOptions opts;
+  opts.num_sites = kSites;
+  opts.epsilon = 0.1;
+  opts.seed = 991;
+  return opts;
+}
+
+HelloFrame MakeHello(const std::string& session,
+                     const std::string& tracker) {
+  HelloFrame hello;
+  hello.session = session;
+  hello.tracker = tracker;
+  hello.options = Opts();
+  return hello;
+}
+
+StreamTrace Record(uint64_t n, uint64_t seed) {
+  StreamSpec spec;
+  spec.num_sites = kSites;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create("random-walk", spec);
+  return RecordTrace(*source, n);
+}
+
+void PushTrace(VarstreamClient& client, const StreamTrace& trace,
+               size_t batch = 512) {
+  const std::vector<CountUpdate>& updates = trace.updates();
+  size_t pos = 0;
+  while (pos < updates.size()) {
+    size_t len = std::min(batch, updates.size() - pos);
+    PushAckFrame ack;
+    std::string error;
+    ASSERT_TRUE(client.Push(
+        std::span<const CountUpdate>(updates.data() + pos, len), &ack,
+        &error))
+        << error;
+    pos += len;
+  }
+}
+
+/// In-process shadow of the server's sampling loop: same tracker, same
+/// batching, same HistorySampler. wire_bytes is 0 in the shadow (no
+/// sockets), so comparisons cover the four tracker-derived fields.
+std::vector<HistoryRow> ShadowHistory(const std::string& tracker_name,
+                                      const StreamTrace& trace,
+                                      const HistoryOptions& options,
+                                      size_t batch = 512) {
+  auto tracker = TrackerRegistry::Instance().Create(tracker_name, Opts());
+  EXPECT_NE(tracker, nullptr);
+  HistorySampler sampler(options);
+  const std::vector<CountUpdate>& updates = trace.updates();
+  size_t pos = 0;
+  while (pos < updates.size()) {
+    size_t len = std::min(batch, updates.size() - pos);
+    tracker->PushBatch(
+        std::span<const CountUpdate>(updates.data() + pos, len));
+    if (sampler.Due(len)) {
+      TrackerSnapshot snap = tracker->Snapshot();
+      sampler.Record(
+          {snap.time, snap.estimate, snap.messages, snap.bits, 0});
+    }
+    pos += len;
+  }
+  return sampler.ring().Rows();
+}
+
+void ExpectRowsMatchShadow(const std::vector<QueryRow>& served,
+                           const std::vector<QueryRow>& shadow,
+                           const std::string& context) {
+  ASSERT_EQ(served.size(), shadow.size()) << context;
+  for (size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].time_first, shadow[i].time_first)
+        << context << " row " << i;
+    EXPECT_EQ(served[i].time_last, shadow[i].time_last)
+        << context << " row " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(served[i].value),
+              std::bit_cast<uint64_t>(shadow[i].value))
+        << context << " row " << i;
+    EXPECT_EQ(served[i].messages, shadow[i].messages)
+        << context << " row " << i;
+    EXPECT_EQ(served[i].bits, shadow[i].bits) << context << " row " << i;
+    EXPECT_EQ(served[i].samples, shadow[i].samples)
+        << context << " row " << i;
+  }
+}
+
+TEST(ServiceHistory, SampledRowsMatchInProcessShadowBitForBit) {
+  HistoryOptions history{/*capacity=*/64, /*cadence=*/1000};
+  ServerOptions options;
+  options.history = history;
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("s", "deterministic"), &hello_ack,
+                           &error))
+      << error;
+  StreamTrace trace = Record(30000, 5);
+  PushTrace(client, trace);
+
+  QueryRangeFrame query;
+  QueryRangeResultFrame result;
+  ASSERT_TRUE(client.QueryRange(query, &result, &error)) << error;
+  ASSERT_EQ(result.version, kQueryRangeVersion);
+  ASSERT_EQ(result.sessions.size(), 1u);
+  const SessionQueryResult& session = result.sessions[0];
+  EXPECT_EQ(session.session, "s");
+  EXPECT_EQ(session.tracker, "deterministic");
+  EXPECT_EQ(session.capacity, history.capacity);
+  EXPECT_EQ(session.cadence, history.cadence);
+
+  std::vector<HistoryRow> shadow =
+      ShadowHistory("deterministic", trace, history);
+  EXPECT_FALSE(shadow.empty());
+  ExpectRowsMatchShadow(session.rows, EvaluateQuery(shadow, query.spec),
+                        "raw rows");
+  // Sampled clocks are strictly increasing (each sample is >= cadence
+  // unit-steps after the previous one).
+  for (size_t i = 1; i < session.rows.size(); ++i) {
+    EXPECT_GT(session.rows[i].time_first, session.rows[i - 1].time_first);
+  }
+  EXPECT_EQ(session.dropped, 0u);  // 30 samples fit capacity 64
+
+  // A windowed, downsampled aggregation evaluates identically server-
+  // side and against the shadow — the tool-vs-oracle contract.
+  QueryRangeFrame down;
+  down.spec.time_min = 5000;
+  down.spec.time_max = 25000;
+  down.spec.agg = Aggregation::kMean;
+  down.spec.buckets = 4;
+  QueryRangeResultFrame down_result;
+  ASSERT_TRUE(client.QueryRange(down, &down_result, &error)) << error;
+  ASSERT_EQ(down_result.sessions.size(), 1u);
+  ExpectRowsMatchShadow(down_result.sessions[0].rows,
+                        EvaluateQuery(shadow, down.spec), "downsampled");
+}
+
+TEST(ServiceHistory, EvictionKeepsTheNewestRowsAndCountsDrops) {
+  ServerOptions options;
+  options.history = {/*capacity=*/4, /*cadence=*/1000};
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("s", "deterministic"), &hello_ack,
+                           &error))
+      << error;
+  StreamTrace trace = Record(30000, 6);
+  PushTrace(client, trace);
+
+  QueryRangeFrame query;
+  QueryRangeResultFrame result;
+  ASSERT_TRUE(client.QueryRange(query, &result, &error)) << error;
+  ASSERT_EQ(result.sessions.size(), 1u);
+  const SessionQueryResult& session = result.sessions[0];
+  ASSERT_EQ(session.rows.size(), 4u);
+  EXPECT_GT(session.dropped, 0u);
+
+  std::vector<HistoryRow> shadow = ShadowHistory(
+      "deterministic", trace, {/*capacity=*/4, /*cadence=*/1000});
+  ExpectRowsMatchShadow(session.rows, EvaluateQuery(shadow, query.spec),
+                        "evicted window");
+}
+
+TEST(ServiceHistory, QueryRangeWorksWithoutHelloAndFilters) {
+  ServerOptions options;
+  options.history = {/*capacity=*/16, /*cadence=*/500};
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Two sessions with different trackers, fed by one ingest client.
+  StreamTrace trace = Record(4000, 7);
+  for (const char* spec : {"a:deterministic", "b:randomized"}) {
+    std::string name(spec, 1);
+    std::string tracker(spec + 2);
+    VarstreamClient ingest;
+    ASSERT_TRUE(ingest.Connect("127.0.0.1", server.port(), &error)) << error;
+    HelloAckFrame hello_ack;
+    ASSERT_TRUE(ingest.Hello(MakeHello(name, tracker), &hello_ack, &error))
+        << error;
+    PushTrace(ingest, trace);
+  }
+
+  // A fresh connection queries with no Hello at all.
+  VarstreamClient reader;
+  ASSERT_TRUE(reader.Connect("127.0.0.1", server.port(), &error)) << error;
+  QueryRangeFrame all;
+  QueryRangeResultFrame result;
+  ASSERT_TRUE(reader.QueryRange(all, &result, &error)) << error;
+  ASSERT_EQ(result.sessions.size(), 2u);
+  EXPECT_EQ(result.sessions[0].session, "a");  // name order
+  EXPECT_EQ(result.sessions[1].session, "b");
+
+  QueryRangeFrame named;
+  named.session = "b";
+  ASSERT_TRUE(reader.QueryRange(named, &result, &error)) << error;
+  ASSERT_EQ(result.sessions.size(), 1u);
+  EXPECT_EQ(result.sessions[0].session, "b");
+  EXPECT_EQ(result.sessions[0].tracker, "randomized");
+
+  QueryRangeFrame by_tracker;
+  by_tracker.tracker = "deterministic";
+  ASSERT_TRUE(reader.QueryRange(by_tracker, &result, &error)) << error;
+  ASSERT_EQ(result.sessions.size(), 1u);
+  EXPECT_EQ(result.sessions[0].session, "a");
+
+  // A named session that exists but fails the tracker filter is an
+  // empty result, not an error.
+  QueryRangeFrame mismatched;
+  mismatched.session = "a";
+  mismatched.tracker = "randomized";
+  ASSERT_TRUE(reader.QueryRange(mismatched, &result, &error)) << error;
+  EXPECT_TRUE(result.sessions.empty());
+}
+
+TEST(ServiceHistory, QueryRangeMisuseIsRefusedLoudly) {
+  VarstreamServer server(ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  QueryRangeFrame unknown;
+  unknown.session = "nonexistent";
+  QueryRangeResultFrame result;
+  EXPECT_FALSE(client.QueryRange(unknown, &result, &error));
+  EXPECT_NE(error.find("unknown session"), std::string::npos) << error;
+
+  // The connection closed with the error; reconnect for the version
+  // probe. An unsupported query-range version names both versions.
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  QueryRangeFrame future;
+  future.version = 99;
+  EXPECT_FALSE(client.QueryRange(future, &result, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  EXPECT_NE(error.find("99"), std::string::npos) << error;
+}
+
+TEST(ServiceHistory, DisabledSamplerServesEmptyHistory) {
+  ServerOptions options;
+  options.history = {/*capacity=*/0, /*cadence=*/1000};
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("s", "deterministic"), &hello_ack,
+                           &error))
+      << error;
+  StreamTrace trace = Record(5000, 8);
+  PushTrace(client, trace);
+  QueryRangeFrame query;
+  QueryRangeResultFrame result;
+  ASSERT_TRUE(client.QueryRange(query, &result, &error)) << error;
+  ASSERT_EQ(result.sessions.size(), 1u);
+  EXPECT_TRUE(result.sessions[0].rows.empty());
+  EXPECT_EQ(result.sessions[0].capacity, 0u);
+}
+
+TEST(ServiceHistory, HistorySurvivesCheckpointRestoreBitForBit) {
+  std::string path = testing::TempDir() + "service_history_test.ckpt";
+  HistoryOptions history{/*capacity=*/8, /*cadence=*/700};
+  StreamTrace trace = Record(20000, 9);
+  QueryRangeResultFrame before;
+  {
+    ServerOptions options;
+    options.checkpoint_path = path;
+    options.history = history;
+    VarstreamServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    VarstreamClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+    HelloAckFrame hello_ack;
+    ASSERT_TRUE(client.Hello(MakeHello("s", "deterministic"), &hello_ack,
+                             &error))
+        << error;
+    PushTrace(client, trace);
+    ASSERT_TRUE(client.QueryRange(QueryRangeFrame{}, &before, &error))
+        << error;
+    std::string ckpt_path;
+    ASSERT_TRUE(client.Checkpoint(&ckpt_path, &error)) << error;
+    EXPECT_EQ(ckpt_path, path);
+    // Server destructor = the crash; everything after the checkpoint
+    // would be lost, but nothing was pushed after it.
+  }
+  {
+    ServerOptions options;
+    options.restore_path = path;
+    options.checkpoint_path = path;
+    // Deliberately different flags: the checkpointed history config must
+    // win for the restored session.
+    options.history = {/*capacity=*/2, /*cadence=*/1};
+    VarstreamServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    VarstreamClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+    QueryRangeResultFrame after;
+    ASSERT_TRUE(client.QueryRange(QueryRangeFrame{}, &after, &error))
+        << error;
+    ASSERT_EQ(after.sessions.size(), 1u);
+    ASSERT_EQ(before.sessions.size(), 1u);
+    const SessionQueryResult& a = before.sessions[0];
+    const SessionQueryResult& b = after.sessions[0];
+    EXPECT_EQ(b.capacity, history.capacity);
+    EXPECT_EQ(b.cadence, history.cadence);
+    EXPECT_EQ(b.dropped, a.dropped);
+    ASSERT_EQ(b.rows.size(), a.rows.size());
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+      // Full row equality including wire_bytes: stored rows are restored
+      // verbatim, not resampled.
+      EXPECT_EQ(std::bit_cast<uint64_t>(b.rows[i].value),
+                std::bit_cast<uint64_t>(a.rows[i].value))
+          << "row " << i;
+      EXPECT_EQ(b.rows[i].time_first, a.rows[i].time_first) << "row " << i;
+      EXPECT_EQ(b.rows[i].messages, a.rows[i].messages) << "row " << i;
+      EXPECT_EQ(b.rows[i].bits, a.rows[i].bits) << "row " << i;
+      EXPECT_EQ(b.rows[i].wire_bytes, a.rows[i].wire_bytes) << "row " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceHistory, EveryRegisteredTrackerSupportsHistorySampling) {
+  // The sampler works through Snapshot() on the NVI base, so support is
+  // universal. Pinned here: a future tracker (or registry change) that
+  // opts out of history must flip this test consciously, not silently
+  // lose coverage. The --list-trackers capability column advertises it.
+  const TrackerRegistry& registry = TrackerRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    EXPECT_TRUE(registry.SupportsHistory(name)) << name;
+  }
+  EXPECT_FALSE(registry.SupportsHistory("no-such-tracker"));
+  // Every listing row advertises the capability.
+  std::string listing = registry.ListingText();
+  size_t rows = 0, tagged = 0;
+  size_t pos = 0;
+  while (pos < listing.size()) {
+    size_t nl = listing.find('\n', pos);
+    if (nl == std::string::npos) break;
+    ++rows;
+    if (listing.substr(pos, nl - pos).find("history") != std::string::npos) {
+      ++tagged;
+    }
+    pos = nl + 1;
+  }
+  EXPECT_GT(rows, 0u);
+  EXPECT_EQ(tagged, rows);
+}
+
+}  // namespace
+}  // namespace varstream

@@ -84,6 +84,10 @@ TEST(TestkitConformance, ServiceParityOracle) {
   ExpectClean(RunBatch("service-parity", 120, 0x5E21), "service-parity");
 }
 
+TEST(TestkitConformance, HistoryParityOracle) {
+  ExpectClean(RunBatch("history-parity", 120, 0x4157), "history-parity");
+}
+
 // The generator honors the compatibility predicates: across a large
 // fixed-seed sample, every produced scenario is admissible and the
 // cross-product is actually covered (every tracker, stream, and

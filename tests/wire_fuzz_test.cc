@@ -63,6 +63,26 @@ std::vector<std::pair<FrameType, std::vector<uint8_t>>> AllFramePayloads() {
   frames.emplace_back(FrameType::kShutdown, std::vector<uint8_t>{});
   frames.emplace_back(FrameType::kShutdownAck, std::vector<uint8_t>{});
   frames.emplace_back(FrameType::kError, EncodeError("boom"));
+  QueryRangeFrame query;
+  query.session = "fuzz";
+  query.tracker = "deterministic";
+  query.spec.time_min = 100;
+  query.spec.time_max = 90000;
+  query.spec.agg = Aggregation::kMean;
+  query.spec.buckets = 16;
+  frames.emplace_back(FrameType::kQueryRange, EncodeQueryRange(query));
+  QueryRangeResultFrame result;
+  SessionQueryResult session;
+  session.session = "fuzz";
+  session.tracker = "deterministic";
+  session.capacity = 64;
+  session.cadence = 1000;
+  session.dropped = 3;
+  session.rows = {{1000, 1000, -14.5, 10, 800, 123, 1},
+                  {2000, 3000, 7.25, 20, 1600, 456, 2}};
+  result.sessions = {session};
+  frames.emplace_back(FrameType::kQueryRangeResult,
+                      EncodeQueryRangeResult(result));
   return frames;
 }
 
@@ -167,6 +187,43 @@ TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
         << "snapshot " << m.description;
   }
 
+  QueryRangeFrame query;
+  query.session = "fuzz";
+  query.spec.agg = Aggregation::kMax;
+  std::vector<uint8_t> query_payload = EncodeQueryRange(query);
+  for (const Mutation& m : TruncationSweep(query_payload, 6)) {
+    QueryRangeFrame out;
+    EXPECT_FALSE(DecodeQueryRange(m.bytes, &out))
+        << "query-range " << m.description;
+  }
+
+  QueryRangeResultFrame result;
+  SessionQueryResult session;
+  session.session = "fuzz";
+  session.tracker = "deterministic";
+  session.rows = {{10, 20, 1.5, 3, 240, 99, 2}, {30, 30, -2.0, 4, 320, 110, 1}};
+  result.sessions = {session};
+  std::vector<uint8_t> result_payload = EncodeQueryRangeResult(result);
+  for (const Mutation& m : TruncationSweep(result_payload, 7)) {
+    QueryRangeResultFrame out;
+    EXPECT_FALSE(DecodeQueryRangeResult(m.bytes, &out))
+        << "query-range-result " << m.description;
+  }
+  // A session/row count lying beyond what the payload holds must be
+  // rejected before any allocation (the counts are bounded by
+  // Remaining() in the decoder). The session count is the u32 after the
+  // version; the row count is the u32 right before the packed rows.
+  auto lie_u32_at = [&](size_t offset) {
+    std::vector<uint8_t> lied = result_payload;
+    lied[offset] = lied[offset + 1] = lied[offset + 2] = lied[offset + 3] =
+        0xFF;
+    QueryRangeResultFrame out;
+    EXPECT_FALSE(DecodeQueryRangeResult(lied, &out))
+        << "query-range-result count lie at offset " << offset;
+  };
+  lie_u32_at(4);
+  lie_u32_at(result_payload.size() - session.rows.size() * 7 * 8 - 4);
+
   // And none of the bit flips may crash (silent value changes are fine
   // at this layer; semantic validation happens in the server).
   for (const Mutation& m : BitFlipSweep(hello_payload, 4)) {
@@ -203,6 +260,15 @@ std::string RealCheckpointText() {
     entry.state = mergeable->SerializeState();
     sessions.push_back(std::move(entry));
   }
+  // One session carries a history section so the sweep also covers the
+  // history header lines and packed rows.
+  sessions[0].has_history = true;
+  sessions[0].history.capacity = 8;
+  sessions[0].history.cadence = 10;
+  sessions[0].history.pending = 3;
+  sessions[0].history.dropped = 2;
+  sessions[0].history.rows = {{10, -3.0, 5, 400, 111},
+                              {20, 1.5, 9, 720, 222}};
   return EncodeCheckpoint(sessions);
 }
 

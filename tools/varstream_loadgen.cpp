@@ -23,6 +23,17 @@
 //
 // --shutdown asks the server to exit after the run; --verify=false skips
 // the in-process cross-check (pure load generation).
+//
+// Every run ends with one machine-readable line on stdout regardless of
+// flags — the stable interface for scripts (ci/service_smoke.sh):
+//
+//   summary: pushed=N elapsed=S estimate=E time=T messages=M bits=B
+//            wire_frames=F wire_bytes=W parity=ok|mismatch|skipped
+//            checkpoint=<path|->
+//
+// --quiet suppresses all other stdout chatter, leaving exactly that line
+// (diagnostics still go to stderr, and the exit code still reports
+// parity).
 
 #include <algorithm>
 #include <bit>
@@ -75,6 +86,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = flags.GetUint("seed", 1);
   const bool verify = flags.GetBool("verify", true);
   const bool shutdown = flags.GetBool("shutdown", false);
+  const bool quiet = flags.GetBool("quiet", false);
   const auto shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
 
   // --- Build the stream twice: one pass for the server, one for the
@@ -162,6 +174,7 @@ int main(int argc, char** argv) {
   uint64_t position = 0;
   uint64_t pushed = 0;
   uint64_t skipped_steps = 0;
+  std::string checkpoint_path;  // set when --checkpoint-at fires
   bool resume_checked = false;
   auto start_time = std::chrono::steady_clock::now();
   while (position < total) {
@@ -212,13 +225,15 @@ int main(int argc, char** argv) {
       pushed += got - from;
     }
     if (checkpoint_at != 0 && position == checkpoint_at) {
-      std::string path;
-      if (!client.Checkpoint(&path, &error)) {
+      if (!client.Checkpoint(&checkpoint_path, &error)) {
         std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
         return 1;
       }
-      std::printf("checkpoint written at position %llu: %s\n",
-                  static_cast<unsigned long long>(position), path.c_str());
+      if (!quiet) {
+        std::printf("checkpoint written at position %llu: %s\n",
+                    static_cast<unsigned long long>(position),
+                    checkpoint_path.c_str());
+      }
     }
   }
   auto elapsed = std::chrono::duration<double>(
@@ -230,21 +245,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
     return 1;
   }
-  std::printf("pushed %llu updates in %.3fs (%.0f updates/s over the "
-              "wire)\n",
-              static_cast<unsigned long long>(pushed), elapsed,
-              elapsed > 0 ? static_cast<double>(pushed) / elapsed : 0.0);
-  std::printf("server snapshot: estimate=%.17g time=%llu messages=%llu "
-              "bits=%llu\n",
-              server_snapshot.estimate,
-              static_cast<unsigned long long>(server_snapshot.time),
-              static_cast<unsigned long long>(server_snapshot.messages),
-              static_cast<unsigned long long>(server_snapshot.bits));
-  std::printf("wire traffic   : %llu frames, %llu bytes\n",
-              static_cast<unsigned long long>(server_snapshot.wire_messages),
-              static_cast<unsigned long long>(server_snapshot.wire_bits / 8));
+  if (!quiet) {
+    std::printf("pushed %llu updates in %.3fs (%.0f updates/s over the "
+                "wire)\n",
+                static_cast<unsigned long long>(pushed), elapsed,
+                elapsed > 0 ? static_cast<double>(pushed) / elapsed : 0.0);
+    std::printf("server snapshot: estimate=%.17g time=%llu messages=%llu "
+                "bits=%llu\n",
+                server_snapshot.estimate,
+                static_cast<unsigned long long>(server_snapshot.time),
+                static_cast<unsigned long long>(server_snapshot.messages),
+                static_cast<unsigned long long>(server_snapshot.bits));
+    std::printf("wire traffic   : %llu frames, %llu bytes\n",
+                static_cast<unsigned long long>(
+                    server_snapshot.wire_messages),
+                static_cast<unsigned long long>(
+                    server_snapshot.wire_bits / 8));
+  }
 
   int exit_code = 0;
+  const char* parity = "skipped";
   if (verify) {
     // --- The in-process reference: identical tracker construction,
     // identical stream, full replay from position 0.
@@ -274,27 +294,55 @@ int main(int argc, char** argv) {
     bool match = estimate_match && expected.time == server_snapshot.time &&
                  expected.messages == server_snapshot.messages &&
                  expected.bits == server_snapshot.bits;
+    parity = match ? "ok" : "mismatch";
     if (match) {
-      std::printf("PARITY OK: served snapshot is byte-identical to the "
-                  "in-process run\n");
+      if (!quiet) {
+        std::printf("PARITY OK: served snapshot is byte-identical to the "
+                    "in-process run\n");
+      }
     } else {
-      std::printf("PARITY MISMATCH:\n");
-      std::printf("  in-process: estimate=%.17g time=%llu messages=%llu "
-                  "bits=%llu\n",
-                  expected.estimate,
-                  static_cast<unsigned long long>(expected.time),
-                  static_cast<unsigned long long>(expected.messages),
-                  static_cast<unsigned long long>(expected.bits));
+      // Mismatch details always surface — on stderr, so --quiet scripts
+      // still capture the diagnosis next to the nonzero exit.
+      std::fprintf(stderr, "PARITY MISMATCH:\n");
+      std::fprintf(stderr,
+                   "  in-process: estimate=%.17g time=%llu messages=%llu "
+                   "bits=%llu\n",
+                   expected.estimate,
+                   static_cast<unsigned long long>(expected.time),
+                   static_cast<unsigned long long>(expected.messages),
+                   static_cast<unsigned long long>(expected.bits));
+      std::fprintf(stderr,
+                   "  server    : estimate=%.17g time=%llu messages=%llu "
+                   "bits=%llu\n",
+                   server_snapshot.estimate,
+                   static_cast<unsigned long long>(server_snapshot.time),
+                   static_cast<unsigned long long>(server_snapshot.messages),
+                   static_cast<unsigned long long>(server_snapshot.bits));
       exit_code = 1;
     }
   }
+
+  // The one stable line scripts parse; identical shape with or without
+  // --checkpoint-at / --verify / --quiet.
+  std::printf("summary: pushed=%llu elapsed=%.3f estimate=%.17g time=%llu "
+              "messages=%llu bits=%llu wire_frames=%llu wire_bytes=%llu "
+              "parity=%s checkpoint=%s\n",
+              static_cast<unsigned long long>(pushed), elapsed,
+              server_snapshot.estimate,
+              static_cast<unsigned long long>(server_snapshot.time),
+              static_cast<unsigned long long>(server_snapshot.messages),
+              static_cast<unsigned long long>(server_snapshot.bits),
+              static_cast<unsigned long long>(server_snapshot.wire_messages),
+              static_cast<unsigned long long>(server_snapshot.wire_bits / 8),
+              parity,
+              checkpoint_path.empty() ? "-" : checkpoint_path.c_str());
 
   if (shutdown) {
     if (!client.Shutdown(&error)) {
       std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
       return 1;
     }
-    std::printf("server shutdown acknowledged\n");
+    if (!quiet) std::printf("server shutdown acknowledged\n");
   }
   return exit_code;
 }

@@ -1,0 +1,136 @@
+// varstream_query — the history query CLI. Connects to a running
+// varstream_serve, sends a QueryRange frame (protocol v2, read-only, no
+// session Hello needed), and renders the evaluated rows.
+//
+//   $ varstream_query --port=7787                      # all sessions, raw rows
+//   $ varstream_query --port=7787 --session=default --from=1000 --to=60000
+//   $ varstream_query --port=7787 --agg=mean --buckets=20
+//   $ varstream_query --port=7787 --tracker=deterministic --format=json
+//   $ varstream_query --port=7787 --format=csv --out=history.csv
+//
+// --from/--to bound the session clock (inclusive); --agg is one of
+// none/min/max/last/mean/count; --buckets=N downsamples the selected
+// span into N equal time buckets (empty buckets are omitted). --format
+// is table (default, human-readable), csv, or json — the latter two emit
+// the varstream-query-v1 schema documented in README.md, identical to
+// what the query-evaluation layer (src/history/query.h) computes
+// in-process, so scripted consumers can diff server output against a
+// local replay bit for bit.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "history/query.h"
+#include "service/client.h"
+
+namespace {
+
+void PrintTable(const std::vector<varstream::SessionQueryResult>& sessions) {
+  for (const varstream::SessionQueryResult& session : sessions) {
+    std::printf("session '%s' (tracker %s, capacity %llu, cadence %llu, "
+                "%llu evicted): %zu row%s\n",
+                session.session.c_str(), session.tracker.c_str(),
+                static_cast<unsigned long long>(session.capacity),
+                static_cast<unsigned long long>(session.cadence),
+                static_cast<unsigned long long>(session.dropped),
+                session.rows.size(), session.rows.size() == 1 ? "" : "s");
+    if (session.rows.empty()) continue;
+    std::printf("  %20s %20s %24s %10s %12s %12s %8s\n", "time_first",
+                "time_last", "value", "samples", "messages", "bits",
+                "wire_kb");
+    for (const varstream::QueryRow& row : session.rows) {
+      std::printf("  %20llu %20llu %24.17g %10llu %12llu %12llu %8.1f\n",
+                  static_cast<unsigned long long>(row.time_first),
+                  static_cast<unsigned long long>(row.time_last), row.value,
+                  static_cast<unsigned long long>(row.samples),
+                  static_cast<unsigned long long>(row.messages),
+                  static_cast<unsigned long long>(row.bits),
+                  static_cast<double>(row.wire_bytes) / 1024.0);
+    }
+  }
+  if (sessions.empty()) {
+    std::printf("no matching sessions\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(flags.GetUint("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "varstream_query: --port is required\n");
+    return 2;
+  }
+
+  varstream::QueryRangeFrame query;
+  query.session = flags.GetString("session", "");
+  query.tracker = flags.GetString("tracker", "");
+  query.spec.time_min = flags.GetUint("from", 0);
+  query.spec.time_max = flags.GetUint("to", UINT64_MAX);
+  query.spec.buckets = static_cast<uint32_t>(flags.GetUint("buckets", 0));
+  const std::string agg_name = flags.GetString("agg", "none");
+  if (!varstream::ParseAggregation(agg_name, &query.spec.agg)) {
+    std::fprintf(stderr,
+                 "varstream_query: unknown --agg '%s'; valid: none, min, "
+                 "max, last, mean, count\n",
+                 agg_name.c_str());
+    return 2;
+  }
+  if (query.spec.time_min > query.spec.time_max) {
+    std::fprintf(stderr, "varstream_query: --from exceeds --to\n");
+    return 2;
+  }
+  const std::string format = flags.GetString("format", "table");
+  if (format != "table" && format != "csv" && format != "json") {
+    std::fprintf(stderr,
+                 "varstream_query: unknown --format '%s'; valid: table, "
+                 "csv, json\n",
+                 format.c_str());
+    return 2;
+  }
+
+  varstream::VarstreamClient client;
+  std::string error;
+  if (!client.Connect(host, port, &error)) {
+    std::fprintf(stderr, "varstream_query: %s\n", error.c_str());
+    return 1;
+  }
+  varstream::QueryRangeResultFrame result;
+  if (!client.QueryRange(query, &result, &error)) {
+    std::fprintf(stderr, "varstream_query: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (format == "table") {
+    PrintTable(result.sessions);
+    return 0;
+  }
+  const std::string rendered =
+      format == "csv" ? varstream::WriteQueryResultCsv(result.sessions)
+                      : varstream::WriteQueryResultJson(query.spec,
+                                                        result.sessions);
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "varstream_query: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  bool ok =
+      std::fwrite(rendered.data(), 1, rendered.size(), f) == rendered.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "varstream_query: short write to %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

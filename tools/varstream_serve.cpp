@@ -9,6 +9,13 @@
 //   $ varstream_serve --port=7787 --checkpoint-path=state.ckpt
 //                     --checkpoint-every=100000
 //   $ varstream_serve --port=7787 --restore=state.ckpt
+//   $ varstream_serve --port=7787 --history-capacity=1024
+//                     --history-every=8192
+//
+// Every session retains a bounded history of (time, estimate, messages,
+// bits, wire_bytes) rows — queryable live through varstream_query — with
+// FIFO eviction at --history-capacity rows, sampled every
+// --history-every ingested updates (0 disables; see src/history/).
 //
 // With --checkpoint-path the server writes a varstream-ckpt-v1 file on
 // every client Checkpoint frame (and every --checkpoint-every ingested
@@ -39,6 +46,15 @@ int main(int argc, char** argv) {
   options.checkpoint_path = flags.GetString("checkpoint-path", "");
   options.checkpoint_every = flags.GetUint("checkpoint-every", 0);
   options.restore_path = flags.GetString("restore", "");
+  // History retention (queried via varstream_query / QueryRange): keep
+  // --history-capacity rows per session, sampling one row every
+  // --history-every ingested updates at batch boundaries. Either flag at
+  // 0 disables sampling. Restored sessions keep the config their
+  // checkpoint recorded.
+  options.history.capacity =
+      flags.GetUint("history-capacity", options.history.capacity);
+  options.history.cadence =
+      flags.GetUint("history-every", options.history.cadence);
   if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "--checkpoint-every needs --checkpoint-path to write to\n");
