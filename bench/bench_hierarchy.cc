@@ -1,0 +1,247 @@
+// bench_hierarchy — end-to-end ingest throughput of the two-level
+// hierarchy (src/hierarchy/: root aggregator + in-process leaves over
+// real loopback TCP) against the in-process engines on the same tracker
+// configuration. Quantifies what the tree costs on top of a single
+// service hop: batch demux by site range, one TCP round trip per leaf
+// per batch, and the journal the root keeps for crash recovery.
+//
+//   $ bench_hierarchy [--n=200000] [--batch=2048] [--sites=12]
+//                     [--shards=2] [--leaves=3]
+//                     [--tracker=deterministic] [--reps=3]
+//                     [--json=BENCH_hierarchy.json]
+//
+// Each row ingests the same recorded random-walk trace; updates/sec is
+// the best of --reps runs (minimum wall-clock), matching bench_shards
+// methodology. JSON schema "varstream-bench-hierarchy-v1" (host block
+// mandatory, mirroring bench-shards-v2, so ci/check_bench_regression.py
+// can reason about the parallelism regime):
+//
+//   {"schema": "varstream-bench-hierarchy-v1", "n": ..., "batch": ...,
+//    "sites": ..., "tracker": ..., "leaves": ...,
+//    "host": {"hardware_concurrency": ...},
+//    "benchmarks": [{"name": "ingest/in-process/serial",
+//                    "updates_per_sec": ...}, ...]}
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/api.h"
+#include "hierarchy/launcher.h"
+#include "hierarchy/root.h"
+#include "service/client.h"
+
+namespace {
+
+using varstream::CountUpdate;
+
+double BestSeconds(int reps, const std::function<double()>& run) {
+  double best = -1;
+  for (int rep = 0; rep < reps; ++rep) {
+    double seconds = run();
+    if (best < 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+[[noreturn]] void Die(const std::string& what) {
+  std::fprintf(stderr, "bench_hierarchy: %s\n", what.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  const uint64_t n = flags.GetUint("n", 200000);
+  const uint64_t batch = flags.GetUint("batch", 2048);
+  const auto sites = static_cast<uint32_t>(flags.GetUint("sites", 12));
+  const auto shards = static_cast<uint32_t>(flags.GetUint("shards", 2));
+  const auto leaves = static_cast<uint32_t>(flags.GetUint("leaves", 3));
+  const std::string tracker_name =
+      flags.GetString("tracker", "deterministic");
+  const int reps = static_cast<int>(flags.GetUint("reps", 3));
+  const std::string json_path = flags.GetString("json", "");
+  if (shards < 1 || leaves < 1 || leaves > sites) {
+    Die("needs --shards>=1 and 1 <= --leaves <= --sites (the root only "
+        "serves sharded sessions and every leaf needs a site)");
+  }
+
+  varstream::StreamSpec spec;
+  spec.num_sites = sites;
+  spec.seed = 17;
+  auto source = varstream::StreamRegistry::Instance().Create("random-walk",
+                                                             spec);
+  varstream::StreamTrace trace = varstream::RecordTrace(*source, n);
+
+  varstream::TrackerOptions options;
+  options.num_sites = sites;
+  options.epsilon = 0.1;
+  options.seed = 99;
+
+  // One batched pass directly through an in-process tracker.
+  auto ingest = [&](varstream::DistributedTracker& tracker) {
+    varstream::TraceSource replay(&trace);
+    std::vector<CountUpdate> buffer(batch);
+    auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      size_t got = replay.NextBatch(buffer);
+      if (got == 0) break;
+      tracker.PushBatch(std::span<const CountUpdate>(buffer.data(), got));
+    }
+    (void)tracker.Estimate();  // include the pipeline drain
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // The same pass through a root aggregator supervising in-process
+  // leaves: client -> root (demux + journal) -> one TCP hop per leaf.
+  auto ingest_root = [&](int rep) {
+    std::string work_dir = "/tmp/varstream-bench-hier-" +
+                           std::to_string(::getpid()) + "-" +
+                           std::to_string(rep);
+    ::mkdir(work_dir.c_str(), 0755);
+    varstream::InProcessLauncher launcher(work_dir);
+    varstream::RootOptions root_options;
+    root_options.port = 0;
+    root_options.num_leaves = leaves;
+    varstream::RootAggregator root(root_options, &launcher);
+    std::string error;
+    if (!root.Start(&error)) Die(error);
+    varstream::VarstreamClient client;
+    varstream::HelloFrame hello;
+    hello.session = "bench-" + std::to_string(rep);
+    hello.tracker = tracker_name;
+    hello.shards = shards;
+    hello.options = options;
+    varstream::HelloAckFrame ack;
+    if (!client.Connect("127.0.0.1", root.port(), &error) ||
+        !client.Hello(hello, &ack, &error)) {
+      Die(error);
+    }
+    varstream::TraceSource replay(&trace);
+    std::vector<CountUpdate> buffer(batch);
+    auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      size_t got = replay.NextBatch(buffer);
+      if (got == 0) break;
+      varstream::PushAckFrame push_ack;
+      if (!client.Push(std::span<const CountUpdate>(buffer.data(), got),
+                       &push_ack, &error)) {
+        Die(error);
+      }
+    }
+    // The run is not over until the merged answer is readable: Query
+    // pulls a state dump from every leaf and splices it.
+    varstream::SnapshotFrame snapshot;
+    if (!client.Query(&snapshot, &error)) Die(error);
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    client.Close();
+    root.Stop();
+    for (uint32_t leaf = 0; leaf < leaves; ++leaf) {
+      std::remove(
+          (work_dir + "/leaf_" + std::to_string(leaf) + ".ckpt").c_str());
+    }
+    ::rmdir(work_dir.c_str());
+    return seconds;
+  };
+
+  struct Row {
+    std::string name;
+    double updates_per_sec;
+  };
+  std::vector<Row> rows;
+
+  {
+    double seconds = BestSeconds(reps, [&] {
+      auto tracker =
+          varstream::TrackerRegistry::Instance().Create(tracker_name,
+                                                        options);
+      if (tracker == nullptr) Die("unknown tracker '" + tracker_name + "'");
+      return ingest(*tracker);
+    });
+    rows.push_back(
+        {"ingest/in-process/serial", static_cast<double>(n) / seconds});
+  }
+  {
+    double seconds = BestSeconds(reps, [&] {
+      std::string error;
+      auto tracker = varstream::ShardedTracker::Create(tracker_name, options,
+                                                       shards, &error);
+      if (tracker == nullptr) Die(error);
+      return ingest(*tracker);
+    });
+    rows.push_back({"ingest/in-process/sharded" + std::to_string(shards),
+                    static_cast<double>(n) / seconds});
+  }
+  {
+    int rep_counter = 0;
+    double seconds =
+        BestSeconds(reps, [&] { return ingest_root(rep_counter++); });
+    rows.push_back({"ingest/root/leaves" + std::to_string(leaves),
+                    static_cast<double>(n) / seconds});
+  }
+
+  varstream::TablePrinter table(
+      {"benchmark", "tracker", "updates/sec", "vs serial"});
+  const double serial = rows[0].updates_per_sec;
+  for (const Row& row : rows) {
+    table.AddRow({row.name, tracker_name,
+                  varstream::bench::Fmt(row.updates_per_sec, 0),
+                  varstream::bench::Fmt(row.updates_per_sec / serial, 3)});
+  }
+  table.Print(std::cout);
+
+  // Same caveat as bench_shards/bench_service: on one hardware thread
+  // the root, every leaf, the client, and the shard workers all
+  // timeshare a single core, so tree rows measure overhead only.
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(stderr,
+                 "bench_hierarchy: WARNING: this host exposes 1 hardware "
+                 "thread; root/sharded rows measure overhead only, not "
+                 "parallel speedup. Do not gate on them.\n");
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_hierarchy: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"schema\": \"varstream-bench-hierarchy-v1\", "
+                 "\"n\": %llu, \"batch\": %llu, \"sites\": %u, "
+                 "\"tracker\": \"%s\", \"leaves\": %u, "
+                 "\"host\": {\"hardware_concurrency\": %u}, "
+                 "\"benchmarks\": [",
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(batch), sites,
+                 tracker_name.c_str(), leaves,
+                 std::thread::hardware_concurrency());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"name\": \"%s\", \"updates_per_sec\": %.1f}",
+                   i == 0 ? "" : ", ", rows[i].name.c_str(),
+                   rows[i].updates_per_sec);
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
 """Benchmark-regression gate for varstream CI.
 
-Compares a freshly generated bench_shards JSON report (schema
-varstream-bench-shards-v2, see README.md "Bench JSON schema"; v1 inputs
-are still accepted so pre-v2 baselines keep working) against the
-committed baseline and fails when any benchmark lost more than the
-threshold (default 25%) of its throughput.
+Compares a freshly generated bench JSON report against the committed
+baseline and fails when any benchmark lost more than the threshold
+(default 25%) of its throughput. Two schema families are accepted (see
+README.md "Bench JSON schema"), each with its own committed baseline:
+
+  varstream-bench-shards-v1/-v2    bench_shards (ci/bench_baseline.json)
+  varstream-bench-hierarchy-v1     bench_hierarchy
+                                   (ci/bench_hierarchy_baseline.json)
+
+Baseline and current must come from the same family — a shards report
+cannot gate a hierarchy run.
 
 Because CI runners and developer machines differ in absolute speed, the
 default comparison mode is *normalized*: every benchmark's updates_per_sec
-is divided by the same run's `ingest/naive/serial` throughput (the
-cheapest, most machine-bound row), so a uniformly slower machine cancels
-out and only genuine relative regressions — e.g. the sharded engine
-getting more expensive relative to serial ingest — trip the gate. Pass
---mode=absolute for same-machine comparisons (e.g. a perf lab).
+is divided by the same run's reference row (the cheapest, most
+machine-bound one — `ingest/naive/serial` for shards,
+`ingest/in-process/serial` for hierarchy), so a uniformly slower machine
+cancels out and only genuine relative regressions — e.g. the sharded
+engine or the root hop getting more expensive relative to serial ingest
+— trip the gate. Pass --mode=absolute for same-machine comparisons
+(e.g. a perf lab).
 
 Exit codes: 0 ok, 1 regression found, 2 usage / malformed input.
 
@@ -21,6 +29,7 @@ Escape hatch: the workflow skips this check when the PR carries the
 `bench-exempt` label (see .github/workflows/ci.yml); to accept a new
 performance baseline, regenerate it with
     ./build/bench_shards --json=ci/bench_baseline.json
+    ./build/bench_hierarchy --json=ci/bench_hierarchy_baseline.json
 and commit the result.
 """
 
@@ -28,7 +37,18 @@ import argparse
 import json
 import sys
 
-REFERENCE = "ingest/naive/serial"
+# schema -> (family, normalized-mode reference row). The host block is
+# mandatory in every schema generation after the first, so the gate can
+# reason about the parallelism regime.
+SCHEMAS = {
+    "varstream-bench-shards-v1": ("shards", "ingest/naive/serial", False),
+    "varstream-bench-shards-v2": ("shards", "ingest/naive/serial", True),
+    "varstream-bench-hierarchy-v1": (
+        "hierarchy",
+        "ingest/in-process/serial",
+        True,
+    ),
+}
 
 
 def load(path):
@@ -38,27 +58,25 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
     schema = doc.get("schema")
-    if schema not in ("varstream-bench-shards-v1", "varstream-bench-shards-v2"):
+    if schema not in SCHEMAS:
         sys.exit(f"error: {path}: unexpected schema {schema!r}")
+    family, reference, host_required = SCHEMAS[schema]
     rows = {b["name"]: b for b in doc.get("benchmarks", [])}
     if not rows:
         sys.exit(f"error: {path}: no benchmarks")
-    # v2 made the host block mandatory precisely so this gate can reason
-    # about the parallelism regime; a v2 file without it is malformed.
-    if schema == "varstream-bench-shards-v2" and "host" not in doc:
+    if host_required and "host" not in doc:
         sys.exit(f"error: {path}: schema {schema} requires a host block")
     cores = doc.get("host", {}).get("hardware_concurrency", 0)
-    return rows, cores
+    return rows, cores, family, reference
 
 
-def throughputs(rows, mode, path):
+def throughputs(rows, mode, reference, path):
     if mode == "absolute":
         return {name: row["updates_per_sec"] for name, row in rows.items()}
-    ref = rows.get(REFERENCE)
+    ref = rows.get(reference)
     if ref is None:
         sys.exit(
-            f"error: {path}: normalized mode needs the {REFERENCE!r} row; "
-            "rerun bench_shards with naive in --trackers and 0 in --shards"
+            f"error: {path}: normalized mode needs the {reference!r} row"
         )
     return {
         name: row["updates_per_sec"] / ref["updates_per_sec"]
@@ -80,15 +98,21 @@ def main():
         "--mode",
         choices=("normalized", "absolute"),
         default="normalized",
-        help="normalized (default): compare ratios to the %s row, which "
-        "cancels machine speed; absolute: compare raw updates/s" % REFERENCE,
+        help="normalized (default): compare ratios to the schema family's "
+        "reference row, which cancels machine speed; absolute: compare raw "
+        "updates/s",
     )
     args = parser.parse_args()
 
-    baseline, base_cores = load(args.baseline)
-    current, cur_cores = load(args.current)
-    base_tp = throughputs(baseline, args.mode, args.baseline)
-    cur_tp = throughputs(current, args.mode, args.current)
+    baseline, base_cores, base_family, reference = load(args.baseline)
+    current, cur_cores, cur_family, _ = load(args.current)
+    if base_family != cur_family:
+        sys.exit(
+            f"error: baseline is a {base_family!r} report but current is "
+            f"{cur_family!r}; each family gates against its own baseline"
+        )
+    base_tp = throughputs(baseline, args.mode, reference, args.baseline)
+    cur_tp = throughputs(current, args.mode, reference, args.current)
 
     # On a single hardware thread every worker count serializes onto one
     # core: sharded rows measure lock/queue overhead, not the parallel
@@ -147,8 +171,9 @@ def main():
                   "the build; refresh ci/bench_baseline.json to re-arm.")
             return 0
         print("\nIf this slowdown is intended, regenerate the baseline "
-              "(./build/bench_shards --json=ci/bench_baseline.json) and "
-              "commit it, or apply the 'bench-exempt' PR label.")
+              "(./build/bench_shards --json=ci/bench_baseline.json or "
+              "./build/bench_hierarchy --json=ci/bench_hierarchy_baseline"
+              ".json) and commit it, or apply the 'bench-exempt' PR label.")
         return 1
     print("no benchmark regressed beyond the threshold")
     return 0

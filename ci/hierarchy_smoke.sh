@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Hierarchy smoke drill (wired into CI, runnable locally):
+#
+#   bash ci/hierarchy_smoke.sh [build-dir] [artifact-dir]
+#
+# Two runs of the same 100k-update stream against a varstream_root
+# supervising 3 varstream_serve leaf processes, with root-side history
+# sampling on:
+#
+#   run A (reference): uninterrupted ingest; the merged history series
+#          is captured with varstream_query as ref.csv. Loadgen itself
+#          enforces bit-for-bit snapshot parity against an in-process
+#          run (exit nonzero on divergence).
+#   run B (crash drill): fresh tree, ingest the first 50k and checkpoint,
+#          kill -9 one leaf process, resume with --skip=50000 — the
+#          supervisor must respawn the leaf with --restore and replay
+#          the journal while the client only sees a paused ack. The
+#          final merged CSV must be byte-identical to ref.csv, and the
+#          root must report exactly one leaf restart.
+#
+# Also drives the leaf fleet DIRECTLY (loadgen --topology) against three
+# standalone leaves to pin the client-side partition/splice path.
+# Artifacts (CSVs + root/leaf logs) are copied to the artifact dir for
+# upload.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-hierarchy-smoke-out}"
+ROOT="$BUILD_DIR/varstream_root"
+SERVE="$BUILD_DIR/varstream_serve"
+LOADGEN="$BUILD_DIR/varstream_loadgen"
+QUERY="$BUILD_DIR/varstream_query"
+WORK="$(mktemp -d)"
+ROOT_PID=""
+EXTRA_PIDS=""
+
+cleanup() {
+  [ -n "$ROOT_PID" ] && kill -9 "$ROOT_PID" 2>/dev/null
+  for pid in $EXTRA_PIDS; do kill -9 "$pid" 2>/dev/null; done
+  # Leaves are separate processes; reap any the root left behind.
+  pkill -9 -f "varstream_serve .*--port=0 --checkpoint-path=$WORK" \
+    2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkdir -p "$OUT_DIR"
+
+# Starts varstream_root over a fresh leaf dir; sets PORT and LEAF_PIDS.
+start_root() {
+  local dir="$1"; shift
+  mkdir -p "$dir"
+  : > "$dir/root.log"
+  "$ROOT" --serve="$SERVE" --dir="$dir" --leaves=3 --port=0 \
+    --history-every=1000 --history-capacity=64 "$@" \
+    >> "$dir/root.log" 2>&1 &
+  ROOT_PID=$!
+  PORT=""
+  for _ in $(seq 1 200); do
+    PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$dir/root.log")
+    [ -n "$PORT" ] && break
+    sleep 0.05
+  done
+  [ -n "$PORT" ] || {
+    echo "FAIL: root did not start"; cat "$dir/root.log"; exit 1
+  }
+  # Wait for all three per-leaf lines, then collect the pids.
+  for _ in $(seq 1 200); do
+    [ "$(grep -c '^leaf [0-9]* listening' "$dir/root.log")" -eq 3 ] && break
+    sleep 0.05
+  done
+  LEAF_PIDS=$(sed -n 's/^leaf [0-9]* listening .* pid=\([0-9]*\)$/\1/p' \
+    "$dir/root.log")
+  [ "$(echo "$LEAF_PIDS" | wc -w)" -eq 3 ] || {
+    echo "FAIL: expected 3 leaf lines"; cat "$dir/root.log"; exit 1
+  }
+}
+
+# Sends a Shutdown frame through a throwaway one-batch session and
+# reaps the root (loadgen refuses --n=0).
+stop_root() {
+  $LOADGEN --port="$PORT" --session=bye --tracker=deterministic \
+    --stream=random-walk --n=512 --batch=512 --shards=2 --shutdown \
+    --quiet > /dev/null
+  wait "$ROOT_PID"
+  ROOT_PID=""
+}
+
+echo "=== run A: uninterrupted 100k reference ==="
+start_root "$WORK/ref"
+$LOADGEN --port="$PORT" --session=hist --tracker=deterministic \
+  --stream=random-walk --n=100000 --batch=500 --shards=2 --quiet
+$QUERY --port="$PORT" --session=hist --format=csv --out="$WORK/ref.csv"
+# 100 samples at cadence 1000 against capacity 64: the ring keeps the
+# newest 64 rows.
+ROWS=$(($(wc -l < "$WORK/ref.csv") - 1))
+[ "$ROWS" -eq 64 ] || {
+  echo "FAIL: expected 64 history rows, got $ROWS"
+  cat "$WORK/ref.csv"; exit 1
+}
+stop_root
+
+echo "=== run B: checkpoint at 50k, kill -9 a leaf, resume to parity ==="
+start_root "$WORK/drill"
+$LOADGEN --port="$PORT" --session=hist --tracker=deterministic \
+  --stream=random-walk --n=50000 --batch=500 --shards=2 \
+  --checkpoint-at=50000 --quiet
+VICTIM=$(echo "$LEAF_PIDS" | tr ' \n' '\n\n' | sed -n '2p')
+kill -9 "$VICTIM"
+# The resume run hits the dead leaf on its first push; the root must
+# respawn it with --restore from leaf_1.ckpt, replay the journal suffix,
+# and keep serving — parity at the end proves the recovery was exact.
+$LOADGEN --port="$PORT" --session=hist --tracker=deterministic \
+  --stream=random-walk --n=100000 --batch=500 --shards=2 \
+  --skip=50000 --quiet
+$QUERY --port="$PORT" --session=hist --format=csv --out="$WORK/drill.csv"
+cmp "$WORK/ref.csv" "$WORK/drill.csv" || {
+  echo "FAIL: merged history diverged across kill -9 + supervisor restore"
+  diff "$WORK/ref.csv" "$WORK/drill.csv" || true; exit 1
+}
+stop_root
+grep -q 'shutdown requested; leaf restarts: 0 1 0' "$WORK/drill/root.log" || {
+  echo "FAIL: root did not report exactly one restart of leaf 1"
+  cat "$WORK/drill/root.log"; exit 1
+}
+
+echo "=== direct topology drive: 3 standalone leaves, client-side splice ==="
+mkdir -p "$WORK/fleet"
+FLEET_PORTS=""
+for i in 0 1 2; do
+  : > "$WORK/fleet/leaf_$i.log"
+  "$SERVE" --port=0 >> "$WORK/fleet/leaf_$i.log" 2>&1 &
+  EXTRA_PIDS="$EXTRA_PIDS $!"
+  P=""
+  for _ in $(seq 1 200); do
+    P=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORK/fleet/leaf_$i.log")
+    [ -n "$P" ] && break
+    sleep 0.05
+  done
+  [ -n "$P" ] || { echo "FAIL: fleet leaf $i did not start"; exit 1; }
+  FLEET_PORTS="$FLEET_PORTS,$P"
+done
+$LOADGEN --topology="${FLEET_PORTS#,}" --tracker=randomized \
+  --stream=random-walk --n=60000 --batch=512 --shards=2 --shutdown --quiet
+for pid in $EXTRA_PIDS; do wait "$pid" 2>/dev/null || true; done
+EXTRA_PIDS=""
+
+cp "$WORK/ref.csv" "$WORK/drill.csv" "$OUT_DIR/"
+cp "$WORK/ref/root.log" "$OUT_DIR/root_ref.log"
+cp "$WORK/drill/root.log" "$OUT_DIR/root_drill.log"
+cp "$WORK/drill"/leaf_*.log "$OUT_DIR/" 2>/dev/null || true
+
+echo "hierarchy smoke OK"

@@ -39,6 +39,15 @@ struct TrackerOptions {
   /// coordinator syncs); ignored by every other tracker. Lives here so the
   /// TrackerRegistry can construct any tracker from one options struct.
   uint64_t period = 64;
+
+  /// First global site id owned by this tracker. A leaf node in a
+  /// two-level hierarchy (src/hierarchy/) tracks the contiguous global
+  /// range [site_base, site_base + num_sites); local site i then derives
+  /// its randomness from the GLOBAL id site_base + i, so a partitioned
+  /// deployment reproduces a single full-range run bit for bit. 0 (the
+  /// default) is the ordinary single-node case. Only the sharded engine
+  /// consumes it; serial trackers ignore it.
+  uint32_t site_base = 0;
 };
 
 }  // namespace varstream

@@ -83,7 +83,11 @@ ShardedTracker::ShardedTracker(const std::string& base_name,
   for (uint32_t site = 0; site < options.num_sites; ++site) {
     TrackerOptions per_site = options;
     per_site.num_sites = 1;
-    per_site.seed = DeriveSiteSeed(options.seed, site);
+    // Seed by GLOBAL site id: a leaf engine over [site_base, site_base+k)
+    // gives its sites the exact seeds the full-range engine would, which
+    // is what makes hierarchy splits bit-identical to one big run.
+    per_site.seed = DeriveSiteSeed(options.seed, options.site_base + site);
+    per_site.site_base = 0;
     // f(0) is a global quantity; the per-site substreams each start at 0
     // and Estimate() adds options_.initial_value back once.
     per_site.initial_value = 0;
@@ -251,6 +255,11 @@ std::string ShardedTracker::SerializeState() const {
   AppendField(&out, "merged", EncodeDoubleBits(merged_estimate_));
   AppendField(&out, "mtime", std::to_string(merged_time_));
   AppendField(&out, "extracost", extra_cost_.SerializeCounts());
+  // Emitted only when nonzero so single-node dumps (and every dump that
+  // predates the hierarchy) keep their exact bytes.
+  if (options_.site_base != 0) {
+    AppendField(&out, "sbase", std::to_string(options_.site_base));
+  }
   for (const auto& t : site_trackers_) {
     const auto* m = dynamic_cast<const Mergeable*>(t.get());
     assert(m != nullptr);  // admission requires a Mergeable base
@@ -303,6 +312,19 @@ bool ShardedTracker::RestoreState(const std::string& state,
       *error = "state was taken with initial_value=" + std::to_string(init) +
                ", this engine was constructed with " +
                std::to_string(options_.initial_value);
+    }
+    return false;
+  }
+  uint32_t sbase = 0;  // absent in pre-hierarchy dumps == 0
+  if (fields.Has("sbase") && !fields.GetU32("sbase", &sbase)) {
+    if (error != nullptr) *error = "corrupt sharded engine state";
+    return false;
+  }
+  if (sbase != options_.site_base) {
+    if (error != nullptr) {
+      *error = "state was taken with site_base=" + std::to_string(sbase) +
+               ", this engine was constructed with " +
+               std::to_string(options_.site_base);
     }
     return false;
   }

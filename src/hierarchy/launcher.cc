@@ -1,0 +1,212 @@
+#include "hierarchy/launcher.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "service/server.h"
+
+namespace varstream {
+
+namespace {
+
+std::string LeafFile(const std::string& dir, uint32_t leaf,
+                     const char* suffix) {
+  return dir + "/leaf_" + std::to_string(leaf) + suffix;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+// --- InProcessLauncher. ---
+
+InProcessLauncher::InProcessLauncher(std::string work_dir)
+    : work_dir_(std::move(work_dir)) {}
+
+InProcessLauncher::~InProcessLauncher() = default;
+
+std::string InProcessLauncher::CheckpointPath(uint32_t leaf) const {
+  return LeafFile(work_dir_, leaf, ".ckpt");
+}
+
+bool InProcessLauncher::Launch(uint32_t leaf, bool restore,
+                               LeafHandle* handle, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_.erase(leaf);  // fence any previous incarnation
+  ServerOptions options;
+  options.port = 0;
+  options.checkpoint_path = CheckpointPath(leaf);
+  if (restore) options.restore_path = options.checkpoint_path;
+  options.history.capacity = 0;  // the root samples its own history
+  auto server = std::make_unique<VarstreamServer>(options);
+  if (!server->Start(error)) {
+    if (error != nullptr) {
+      *error = "leaf " + std::to_string(leaf) + ": " + *error;
+    }
+    return false;
+  }
+  handle->host = "127.0.0.1";
+  handle->port = server->port();
+  handle->pid = 0;
+  servers_[leaf] = std::move(server);
+  return true;
+}
+
+void InProcessLauncher::Kill(uint32_t leaf) {
+  std::unique_ptr<VarstreamServer> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(leaf);
+    if (it == servers_.end()) return;
+    doomed = std::move(it->second);
+    servers_.erase(it);
+  }
+  // Destroyed outside the lock: Stop() joins connection threads, and a
+  // concurrent Launch of another leaf must not wait on that.
+  doomed.reset();
+}
+
+// --- ProcessLauncher. ---
+
+ProcessLauncher::ProcessLauncher(Options options)
+    : options_(std::move(options)) {}
+
+ProcessLauncher::~ProcessLauncher() {
+  std::vector<uint32_t> leaves;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [leaf, pid] : pids_) leaves.push_back(leaf);
+  }
+  for (uint32_t leaf : leaves) Kill(leaf);
+}
+
+bool ProcessLauncher::Launch(uint32_t leaf, bool restore, LeafHandle* handle,
+                             std::string* error) {
+  Kill(leaf);  // fence any previous incarnation
+  const std::string ckpt = LeafFile(options_.work_dir, leaf, ".ckpt");
+  const std::string log = LeafFile(options_.work_dir, leaf, ".log");
+  if (restore && !FileExists(ckpt)) {
+    if (error != nullptr) {
+      *error = "leaf " + std::to_string(leaf) +
+               ": restore requested but no checkpoint at " + ckpt;
+    }
+    return false;
+  }
+  std::vector<std::string> args = {
+      options_.serve_binary,
+      "--port=0",
+      "--checkpoint-path=" + ckpt,
+      "--history-capacity=0",  // the root samples its own history
+  };
+  if (restore) args.push_back("--restore=" + ckpt);
+
+  // Truncate the per-leaf log BEFORE forking: the parent polls it for
+  // the "listening on" line below, and a respawn after an external
+  // kill -9 must never read the previous incarnation's (stale) port.
+  int log_fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (log_fd < 0) {
+    if (error != nullptr) {
+      *error = "open(" + log + "): " + std::string(strerror(errno));
+    }
+    return false;
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(log_fd);
+    if (error != nullptr) {
+      *error = "fork(): " + std::string(strerror(errno));
+    }
+    return false;
+  }
+  if (pid == 0) {
+    // Child: stdout+stderr to the per-leaf log.
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    if (log_fd > STDERR_FILENO) ::close(log_fd);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "execv(%s): %s\n", argv[0], strerror(errno));
+    ::_exit(127);
+  }
+  ::close(log_fd);
+
+  // Parent: wait for "listening on 127.0.0.1:<port>" in the log.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.start_timeout_ms);
+  uint32_t port = 0;
+  while (port == 0) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      if (error != nullptr) {
+        *error = "leaf " + std::to_string(leaf) + " (" +
+                 options_.serve_binary + ") exited during startup; see " +
+                 log;
+      }
+      return false;
+    }
+    FILE* f = std::fopen(log.c_str(), "rb");
+    if (f != nullptr) {
+      char line[256];
+      while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::sscanf(line, "listening on 127.0.0.1:%u", &port) == 1) {
+          break;
+        }
+      }
+      std::fclose(f);
+    }
+    if (port != 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      if (error != nullptr) {
+        *error = "leaf " + std::to_string(leaf) +
+                 " did not report its port within " +
+                 std::to_string(options_.start_timeout_ms) + " ms; see " +
+                 log;
+      }
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pids_[leaf] = pid;
+  }
+  handle->host = "127.0.0.1";
+  handle->port = static_cast<uint16_t>(port);
+  handle->pid = static_cast<uint64_t>(pid);
+  return true;
+}
+
+void ProcessLauncher::Kill(uint32_t leaf) {
+  pid_t pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pids_.find(leaf);
+    if (it == pids_.end()) return;
+    pid = it->second;
+    pids_.erase(it);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+}  // namespace varstream

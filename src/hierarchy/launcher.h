@@ -1,0 +1,119 @@
+// LeafLauncher: how the root aggregator (hierarchy/root.h) creates,
+// fences, and restarts its leaf servers.
+//
+// Two implementations share the interface so one RootAggregator powers
+// every layer of the stack:
+//
+//   * ProcessLauncher — fork/exec real varstream_serve processes, one
+//     per leaf, each checkpointing to <work_dir>/leaf_<i>.ckpt. This is
+//     what tools/varstream_root.cpp and the CI hierarchy-smoke drill
+//     run; Kill() is a literal kill -9.
+//   * InProcessLauncher — VarstreamServer objects in this process. The
+//     tests, the testkit hierarchy oracle, and bench_hierarchy use it;
+//     SimulateCrash() destroys the server object WITHOUT a checkpoint,
+//     which is exactly what kill -9 loses.
+//
+// The contract the root's recovery logic leans on: Kill() is a fence —
+// after it returns, the old leaf can never apply another update — and a
+// Launch(leaf, restore=true) that follows resumes from that leaf's last
+// checkpoint file (restore=false starts it empty). Leaves are launched
+// with history sampling disabled: the root samples its own merged
+// history, and a leaf's ring would only hold partition-local estimates.
+
+#ifndef VARSTREAM_HIERARCHY_LAUNCHER_H_
+#define VARSTREAM_HIERARCHY_LAUNCHER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace varstream {
+
+class VarstreamServer;
+
+/// Where a launched leaf listens (and, for processes, its pid).
+struct LeafHandle {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t pid = 0;  // 0 for in-process leaves
+};
+
+class LeafLauncher {
+ public:
+  virtual ~LeafLauncher() = default;
+
+  /// Starts (or restarts) leaf `leaf`. With restore=true the leaf
+  /// resumes from its last checkpoint file; the caller only passes true
+  /// after a checkpoint was actually written. Returns false with *error
+  /// on failure. A still-running instance of the same leaf is fenced
+  /// (killed) first.
+  virtual bool Launch(uint32_t leaf, bool restore, LeafHandle* handle,
+                      std::string* error) = 0;
+
+  /// Hard-stops the leaf (kill -9 semantics: no checkpoint, no goodbye).
+  /// Idempotent; the fence the root's recovery path relies on.
+  virtual void Kill(uint32_t leaf) = 0;
+
+  /// Human-readable location of the leaf checkpoint files (the work
+  /// directory); the root surfaces it in CheckpointAck frames.
+  virtual std::string CheckpointLocation() const = 0;
+};
+
+/// Leaves as VarstreamServer objects inside this process.
+class InProcessLauncher : public LeafLauncher {
+ public:
+  /// Leaf checkpoints land in `work_dir` (must exist and be writable).
+  explicit InProcessLauncher(std::string work_dir);
+  ~InProcessLauncher() override;
+
+  bool Launch(uint32_t leaf, bool restore, LeafHandle* handle,
+              std::string* error) override;
+  void Kill(uint32_t leaf) override;
+  std::string CheckpointLocation() const override { return work_dir_; }
+
+  /// Test hook with kill -9 semantics: destroys the server object, so
+  /// everything since its last checkpoint is lost and its sockets drop
+  /// mid-conversation. Safe to call from a test thread while the root is
+  /// using the leaf.
+  void SimulateCrash(uint32_t leaf) { Kill(leaf); }
+
+ private:
+  std::string CheckpointPath(uint32_t leaf) const;
+
+  std::string work_dir_;
+  std::mutex mu_;
+  std::map<uint32_t, std::unique_ptr<VarstreamServer>> servers_;
+};
+
+/// Leaves as real varstream_serve child processes (fork/exec).
+class ProcessLauncher : public LeafLauncher {
+ public:
+  struct Options {
+    std::string serve_binary;  // path to the varstream_serve executable
+    std::string work_dir;      // checkpoints + per-leaf logs live here
+    int start_timeout_ms = 5000;  // how long to wait for the port line
+  };
+
+  explicit ProcessLauncher(Options options);
+  ~ProcessLauncher() override;  // kills every still-running leaf
+
+  bool Launch(uint32_t leaf, bool restore, LeafHandle* handle,
+              std::string* error) override;
+  void Kill(uint32_t leaf) override;
+  std::string CheckpointLocation() const override {
+    return options_.work_dir;
+  }
+
+ private:
+  Options options_;
+  std::mutex mu_;
+  std::map<uint32_t, pid_t> pids_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_HIERARCHY_LAUNCHER_H_

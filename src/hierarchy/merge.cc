@@ -1,0 +1,107 @@
+#include "hierarchy/merge.h"
+
+#include "core/mergeable.h"
+#include "core/state_codec.h"
+#include "net/cost_meter.h"
+
+namespace varstream {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+bool SpliceLeafStates(const std::string& tracker_name,
+                      const TrackerOptions& options,
+                      const std::vector<SiteRange>& ranges,
+                      const std::vector<std::string>& leaf_states,
+                      std::unique_ptr<ShardedTracker>* mirror,
+                      std::string* error) {
+  if (leaf_states.size() != ranges.size()) {
+    if (error != nullptr) {
+      *error = "splice got " + std::to_string(leaf_states.size()) +
+               " leaf states for " + std::to_string(ranges.size()) +
+               " ranges";
+    }
+    return false;
+  }
+  const std::string label = "sharded(" + tracker_name + ")";
+  uint64_t total_time = 0;
+  std::string site_lines;  // "\n  <site dump>" per global site, in order
+  for (size_t leaf = 0; leaf < ranges.size(); ++leaf) {
+    const SiteRange& range = ranges[leaf];
+    if (range.empty()) continue;
+    std::vector<std::string> lines = SplitLines(leaf_states[leaf]);
+    if (lines.size() != static_cast<size_t>(range.size()) + 1) {
+      if (error != nullptr) {
+        *error = "leaf " + std::to_string(leaf) + " state has " +
+                 std::to_string(lines.size() - 1) +
+                 " per-site lines, its range [" + std::to_string(range.lo) +
+                 ", " + std::to_string(range.hi) + ") has " +
+                 std::to_string(range.size());
+      }
+      return false;
+    }
+    StateFields fields;
+    std::string parse_error;
+    if (!ParseTrackerState(lines[0], label, range.size(), /*tracker_time=*/0,
+                           &fields, &parse_error)) {
+      if (error != nullptr) {
+        *error = "leaf " + std::to_string(leaf) + " state: " + parse_error;
+      }
+      return false;
+    }
+    uint64_t leaf_clock = 0;
+    if (!fields.GetU64("time", &leaf_clock)) {
+      if (error != nullptr) {
+        *error = "leaf " + std::to_string(leaf) +
+                 " state: corrupt engine header";
+      }
+      return false;
+    }
+    total_time += leaf_clock;
+    // Leaf order IS global site order, and the per-site lines already
+    // carry their "  " indent — splice them through verbatim.
+    for (size_t i = 1; i < lines.size(); ++i) site_lines += "\n" + lines[i];
+  }
+
+  // Synthesize the full-range engine header the splice needs. Only the
+  // label/k/v fields are validated and only time/init/merged/mtime/
+  // extracost are consumed on restore (est/msgs/bits are recomputed from
+  // the per-site state), so zeros for the merge-fold fields reproduce a
+  // tracker that never called MergeFrom — exactly what an uninterrupted
+  // single-process run is.
+  auto engine = ShardedTracker::Create(tracker_name, options,
+                                       /*num_shards=*/1, error);
+  if (engine == nullptr) return false;
+  std::string header = FormatMergeableState(label, options.num_sites, "0",
+                                            total_time, CostMeter{});
+  AppendField(&header, "v", std::to_string(kTrackerStateVersion));
+  AppendField(&header, "init", std::to_string(options.initial_value));
+  AppendField(&header, "merged", EncodeDoubleBits(0.0));
+  AppendField(&header, "mtime", "0");
+  AppendField(&header, "extracost", CostMeter{}.SerializeCounts());
+  std::string restore_error;
+  if (!engine->RestoreState(header + site_lines, &restore_error)) {
+    if (error != nullptr) *error = "splice restore: " + restore_error;
+    return false;
+  }
+  *mirror = std::move(engine);
+  return true;
+}
+
+}  // namespace varstream

@@ -1,0 +1,47 @@
+// The hierarchy's merge primitive: splicing per-leaf serialized tracker
+// states into one full-range engine whose Snapshot()/SerializeState()
+// are byte-identical to an uninterrupted single-process run.
+//
+// Why splice text instead of summing leaf estimates: floating-point
+// addition is not associative, so folding N leaf estimates at the root
+// would group the per-site sum differently than the single-process
+// engine (f0 + e0 + e1 + ... in global site order) and drift in the low
+// bits. The per-SITE states, however, are exact: a leaf tracking global
+// range [lo, hi) with site_base = lo derives every site's seed from its
+// GLOBAL id, so its per-site lines equal the single-process run's lines
+// for those sites byte for byte. Concatenating the leaves' site lines in
+// leaf order (= global site order) under a synthesized full-range header
+// and restoring the result into a fresh engine reproduces the
+// single-process tracker exactly — fold order included.
+//
+// Shared by the root aggregator (hierarchy/root.h), varstream_loadgen's
+// --topology mode, and the testkit hierarchy-parity oracle.
+
+#ifndef VARSTREAM_HIERARCHY_MERGE_H_
+#define VARSTREAM_HIERARCHY_MERGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sharded.h"
+#include "hierarchy/partition.h"
+
+namespace varstream {
+
+/// Splices the leaves' SerializeState dumps into a fresh full-range
+/// sharded engine. `options` is the FULL-range configuration (site_base
+/// = 0, initial_value = f(0)); `leaf_states[i]` is leaf i's dump for its
+/// range `ranges[i]` (ignored — may be empty — where the range is
+/// empty). Returns false with *error on a malformed or mismatched dump.
+bool SpliceLeafStates(const std::string& tracker_name,
+                      const TrackerOptions& options,
+                      const std::vector<SiteRange>& ranges,
+                      const std::vector<std::string>& leaf_states,
+                      std::unique_ptr<ShardedTracker>* mirror,
+                      std::string* error);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_HIERARCHY_MERGE_H_

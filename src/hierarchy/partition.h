@@ -1,0 +1,84 @@
+// Site-range partitioning for the two-level hierarchy (root + leaves).
+//
+// The root assigns leaf i the contiguous global range
+//     [ floor(i*k/N), floor((i+1)*k/N) )
+// of the k sites: ranges are disjoint, cover [0, k), and differ in size
+// by at most one. When k < N the trailing leaves get empty ranges and
+// simply host no partition of that session.
+//
+// The same helper feeds the root's batch demux, varstream_loadgen's
+// --topology mode, and the testkit hierarchy oracle, so every layer
+// agrees on who owns which site.
+
+#ifndef VARSTREAM_HIERARCHY_PARTITION_H_
+#define VARSTREAM_HIERARCHY_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace varstream {
+
+/// A half-open range [lo, hi) of global site ids.
+struct SiteRange {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+
+  uint32_t size() const { return hi - lo; }
+  bool empty() const { return hi == lo; }
+  bool Contains(uint32_t site) const { return site >= lo && site < hi; }
+};
+
+/// The canonical leaf assignment for k sites over N leaves (see file
+/// comment). num_leaves must be >= 1.
+inline std::vector<SiteRange> PartitionSites(uint32_t num_sites,
+                                             uint32_t num_leaves) {
+  std::vector<SiteRange> ranges(num_leaves);
+  for (uint32_t i = 0; i < num_leaves; ++i) {
+    ranges[i].lo = static_cast<uint32_t>(
+        static_cast<uint64_t>(i) * num_sites / num_leaves);
+    ranges[i].hi = static_cast<uint32_t>(
+        static_cast<uint64_t>(i + 1) * num_sites / num_leaves);
+  }
+  return ranges;
+}
+
+/// site -> owning leaf, precomputed so the per-update demux is one
+/// indexed load (the ranges are contiguous, so this is just the ranges
+/// unrolled).
+inline std::vector<uint32_t> SiteOwners(const std::vector<SiteRange>& ranges,
+                                        uint32_t num_sites) {
+  std::vector<uint32_t> owner(num_sites, 0);
+  for (uint32_t leaf = 0; leaf < ranges.size(); ++leaf) {
+    for (uint32_t site = ranges[leaf].lo; site < ranges[leaf].hi; ++site) {
+      owner[site] = leaf;
+    }
+  }
+  return owner;
+}
+
+/// Splits `batch` into one sub-batch per leaf, remapping each update's
+/// global site id to the leaf-local id (site - lo). Mirrors the sharded
+/// engine's demux discipline: delta == 0 updates are dropped (they carry
+/// no information and no clock), and stream order is preserved within
+/// each leaf. `per_leaf` is resized to ranges.size(); existing contents
+/// are cleared but keep their capacity, so steady-state demuxing never
+/// reallocates.
+inline void PartitionBatch(std::span<const CountUpdate> batch,
+                           const std::vector<uint32_t>& owner,
+                           const std::vector<SiteRange>& ranges,
+                           std::vector<std::vector<CountUpdate>>* per_leaf) {
+  per_leaf->resize(ranges.size());
+  for (auto& sub : *per_leaf) sub.clear();
+  for (const CountUpdate& u : batch) {
+    if (u.delta == 0) continue;
+    uint32_t leaf = owner[u.site];
+    (*per_leaf)[leaf].push_back({u.site - ranges[leaf].lo, u.delta});
+  }
+}
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_HIERARCHY_PARTITION_H_

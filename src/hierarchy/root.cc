@@ -1,0 +1,952 @@
+#include "hierarchy/root.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/registry.h"
+#include "hierarchy/merge.h"
+#include "history/query.h"
+#include "stream/source.h"  // JoinNames
+
+namespace varstream {
+
+namespace {
+
+bool OptionsMatch(const TrackerOptions& a, const TrackerOptions& b) {
+  return a.num_sites == b.num_sites && a.epsilon == b.epsilon &&
+         a.seed == b.seed && a.initial_value == b.initial_value &&
+         a.drift_threshold_factor == b.drift_threshold_factor &&
+         a.sample_constant == b.sample_constant && a.period == b.period &&
+         a.site_base == b.site_base;
+}
+
+/// |delta| as the session clock counts it (two's complement negation, so
+/// INT64_MIN is handled).
+uint64_t AbsDelta(int64_t delta) {
+  return delta < 0 ? ~static_cast<uint64_t>(delta) + 1
+                   : static_cast<uint64_t>(delta);
+}
+
+uint64_t BatchClockAdvance(const std::vector<CountUpdate>& batch) {
+  uint64_t advance = 0;
+  for (const CountUpdate& u : batch) advance += AbsDelta(u.delta);
+  return advance;
+}
+
+}  // namespace
+
+RootAggregator::RootAggregator(RootOptions options, LeafLauncher* launcher)
+    : options_(std::move(options)), launcher_(launcher) {}
+
+RootAggregator::~RootAggregator() { Stop(); }
+
+bool RootAggregator::Start(std::string* error) {
+  if (options_.num_leaves == 0) {
+    if (error != nullptr) *error = "a root needs at least one leaf";
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leaves_.resize(options_.num_leaves);
+    for (uint32_t leaf = 0; leaf < options_.num_leaves; ++leaf) {
+      if (!launcher_->Launch(leaf, /*restore=*/false, &leaves_[leaf].handle,
+                             error)) {
+        return false;
+      }
+      if (!ConnectControlLocked(leaf, error)) return false;
+      leaves_[leaf].alive = true;
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind(127.0.0.1:" + std::to_string(options_.port) +
+               "): " + strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) *error = "listen(): " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
+  if (options_.heartbeat_ms > 0) {
+    supervisor_thread_ = std::thread([this] { SupervisorLoop(); });
+  }
+  return true;
+}
+
+void RootAggregator::Stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& conn : connections_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (supervisor_thread_.joinable()) supervisor_thread_.join();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (const auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  if (was_running) {
+    {
+      // Ask each leaf to exit cleanly (so process leaves flush their
+      // logs), then fence it — the launcher owns the actual teardown.
+      std::lock_guard<std::mutex> lock(mu_);
+      for (uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+        if (leaves_[leaf].alive && leaves_[leaf].control != nullptr) {
+          std::string ignored;
+          leaves_[leaf].control->Shutdown(&ignored);  // best effort
+        }
+        leaves_[leaf].control.reset();
+        launcher_->Kill(leaf);
+        leaves_[leaf].alive = false;
+      }
+      for (auto& [name, s] : sessions_) {
+        for (auto& client : s->leaf_clients) client.reset();
+      }
+    }
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+  }
+}
+
+void RootAggregator::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+TopologyInfoFrame RootAggregator::TopologySnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TopologySnapshotLocked();
+}
+
+bool RootAggregator::RecoverLeaf(uint32_t leaf, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (leaf >= leaves_.size()) {
+    if (error != nullptr) {
+      *error = "no leaf " + std::to_string(leaf) + " (root has " +
+               std::to_string(leaves_.size()) + " leaves)";
+    }
+    return false;
+  }
+  return RecoverLeafLocked(leaf, error);
+}
+
+// --- Downward paths. ---
+
+bool RootAggregator::ConnectControlLocked(uint32_t leaf, std::string* error) {
+  ClientDeadlines deadlines{options_.leaf_connect_timeout_ms,
+                            options_.leaf_io_timeout_ms};
+  auto client = std::make_unique<VarstreamClient>(deadlines);
+  std::string connect_error;
+  if (!client->Connect(leaves_[leaf].handle.host, leaves_[leaf].handle.port,
+                       &connect_error)) {
+    if (error != nullptr) {
+      *error = "leaf " + std::to_string(leaf) + " control: " + connect_error;
+    }
+    return false;
+  }
+  leaves_[leaf].control = std::move(client);
+  return true;
+}
+
+bool RootAggregator::HelloLeafLocked(RootSession& s, uint32_t leaf,
+                                     uint64_t* leaf_time,
+                                     std::string* error) {
+  const SiteRange& range = s.ranges[leaf];
+  ClientDeadlines deadlines{options_.leaf_connect_timeout_ms,
+                            options_.leaf_io_timeout_ms};
+  auto client = std::make_unique<VarstreamClient>(deadlines);
+  std::string err;
+  if (!client->Connect(leaves_[leaf].handle.host, leaves_[leaf].handle.port,
+                       &err)) {
+    if (error != nullptr) {
+      *error = "leaf " + std::to_string(leaf) + ": " + err;
+    }
+    return false;
+  }
+  HelloFrame hello;
+  hello.session = s.name;
+  hello.tracker = s.tracker_name;
+  // Worker count scales down with the partition; W never shapes results.
+  hello.shards = std::min(s.shards, range.size());
+  hello.options = s.options;
+  hello.options.num_sites = range.size();
+  hello.options.site_base = range.lo;
+  // f(0) is accounted once, at the root's merge; a leaf carrying it too
+  // would double-count it (core/mergeable.h MergeFrom contract).
+  hello.options.initial_value = 0;
+  HelloAckFrame ack;
+  if (!client->Hello(hello, &ack, &err)) {
+    if (error != nullptr) {
+      *error = "leaf " + std::to_string(leaf) + " hello for session '" +
+               s.name + "': " + err;
+    }
+    return false;
+  }
+  s.leaf_clients[leaf] = std::move(client);
+  *leaf_time = ack.session_time;
+  return true;
+}
+
+bool RootAggregator::EnsureLeafLocked(uint32_t leaf, std::string* error) {
+  if (leaves_[leaf].alive) return true;
+  return RecoverLeafLocked(leaf, error);
+}
+
+bool RootAggregator::RecoverLeafLocked(uint32_t leaf, std::string* error) {
+  Leaf& node = leaves_[leaf];
+  node.alive = false;
+  // Drop every client bound to the dead incarnation before fencing it —
+  // their sockets point at a server that no longer exists.
+  node.control.reset();
+  for (auto& [name, s] : sessions_) {
+    if (leaf < s->leaf_clients.size()) s->leaf_clients[leaf].reset();
+  }
+  launcher_->Kill(leaf);  // the fence: the old incarnation is gone
+  if (!launcher_->Launch(leaf, /*restore=*/node.checkpointed, &node.handle,
+                         error)) {
+    return false;
+  }
+  ++node.restarts;
+
+  int delay_ms = 10;
+  bool connected = false;
+  std::string connect_error;
+  for (int attempt = 0; attempt < options_.reconnect_attempts; ++attempt) {
+    if (ConnectControlLocked(leaf, &connect_error)) {
+      connected = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, options_.reconnect_max_delay_ms);
+  }
+  if (!connected) {
+    if (error != nullptr) {
+      *error = "leaf " + std::to_string(leaf) + ": reconnect failed after " +
+               std::to_string(options_.reconnect_attempts) +
+               " attempts: " + connect_error;
+    }
+    return false;
+  }
+
+  // Re-attach every session, verify the restored clock sits on a journal
+  // boundary, and replay whatever the checkpoint does not cover. The
+  // fence above makes this exactly-once: anything the dead incarnation
+  // applied but never checkpointed is gone, and the journal holds every
+  // sub-batch since the last checkpoint.
+  for (auto& [name, s] : sessions_) {
+    if (s->ranges[leaf].empty()) continue;
+    uint64_t restored_time = 0;
+    if (!HelloLeafLocked(*s, leaf, &restored_time, error)) return false;
+    uint64_t expect = s->time_at_checkpoint[leaf];
+    size_t next = 0;
+    while (expect < restored_time && next < s->journal[leaf].size()) {
+      expect += BatchClockAdvance(s->journal[leaf][next++]);
+    }
+    if (expect != restored_time) {
+      if (error != nullptr) {
+        *error = "leaf " + std::to_string(leaf) + " restored session '" +
+                 name + "' at clock " + std::to_string(restored_time) +
+                 ", which matches neither its last checkpoint (" +
+                 std::to_string(s->time_at_checkpoint[leaf]) +
+                 ") nor any journal boundary — refusing to replay into an "
+                 "unknown state";
+      }
+      return false;
+    }
+    s->leaf_time[leaf] = restored_time;
+    for (; next < s->journal[leaf].size(); ++next) {
+      PushAckFrame ack;
+      std::string push_error;
+      if (!s->leaf_clients[leaf]->Push(s->journal[leaf][next], &ack,
+                                       &push_error)) {
+        if (error != nullptr) {
+          *error = "leaf " + std::to_string(leaf) +
+                   ": journal replay for session '" + name +
+                   "' failed: " + push_error;
+        }
+        return false;
+      }
+      s->leaf_time[leaf] = ack.session_time;
+    }
+  }
+  node.alive = true;
+  return true;
+}
+
+bool RootAggregator::PushToLeafLocked(RootSession& s, uint32_t leaf,
+                                      std::vector<CountUpdate> sub,
+                                      std::string* error) {
+  // Journal BEFORE sending: if the push (or the leaf) dies anywhere past
+  // this line, recovery replays it.
+  s.journal[leaf].push_back(std::move(sub));
+  if (leaves_[leaf].alive && s.leaf_clients[leaf] != nullptr) {
+    PushAckFrame ack;
+    std::string push_error;
+    if (s.leaf_clients[leaf]->Push(s.journal[leaf].back(), &ack,
+                                   &push_error)) {
+      s.leaf_time[leaf] = ack.session_time;
+      return true;
+    }
+    std::fprintf(stderr, "varstream_root: leaf %u push failed (%s); "
+                 "recovering\n", leaf, push_error.c_str());
+  }
+  // Recovery replays the journal — including the sub-batch just added.
+  return RecoverLeafLocked(leaf, error);
+}
+
+bool RootAggregator::ForwardCheckpointLocked(std::string* error) {
+  for (uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    // Any session's data connection can carry the Checkpoint frame; the
+    // leaf writes its whole multi-session file either way.
+    RootSession* via = nullptr;
+    for (auto& [name, s] : sessions_) {
+      if (!s->ranges[leaf].empty()) {
+        via = s.get();
+        break;
+      }
+    }
+    if (via == nullptr) continue;  // this leaf hosts no partition yet
+    std::string path;
+    std::string ckpt_error;
+    bool ok = via->leaf_clients[leaf] != nullptr &&
+              via->leaf_clients[leaf]->Checkpoint(&path, &ckpt_error);
+    if (!ok) {
+      std::fprintf(stderr, "varstream_root: leaf %u checkpoint failed (%s); "
+                   "recovering\n", leaf, ckpt_error.c_str());
+      if (!RecoverLeafLocked(leaf, error)) return false;
+      if (!via->leaf_clients[leaf]->Checkpoint(&path, &ckpt_error)) {
+        if (error != nullptr) {
+          *error = "leaf " + std::to_string(leaf) +
+                   ": checkpoint failed after recovery: " + ckpt_error;
+        }
+        return false;
+      }
+    }
+    // The leaf's file now covers everything it has acked, so the journal
+    // up to here is redundant. Per-leaf truncation: a later leaf failing
+    // must not resurrect this one's journal.
+    leaves_[leaf].checkpointed = true;
+    for (auto& [name, s] : sessions_) {
+      if (s->ranges[leaf].empty()) continue;
+      s->journal[leaf].clear();
+      s->time_at_checkpoint[leaf] = s->leaf_time[leaf];
+    }
+  }
+  return true;
+}
+
+bool RootAggregator::PullMergedLocked(RootSession& s,
+                                      std::unique_ptr<ShardedTracker>* mirror,
+                                      std::string* error) {
+  std::vector<std::string> leaf_states(leaves_.size());
+  for (uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    if (s.ranges[leaf].empty()) continue;
+    if (!EnsureLeafLocked(leaf, error)) return false;
+    StateDumpResultFrame dump;
+    std::string pull_error;
+    bool ok = leaves_[leaf].control != nullptr &&
+              leaves_[leaf].control->StateDump(s.name, &dump, &pull_error);
+    if (!ok) {
+      std::fprintf(stderr, "varstream_root: leaf %u state pull failed (%s); "
+                   "recovering\n", leaf, pull_error.c_str());
+      if (!RecoverLeafLocked(leaf, error)) return false;
+      if (!leaves_[leaf].control->StateDump(s.name, &dump, &pull_error)) {
+        if (error != nullptr) {
+          *error = "leaf " + std::to_string(leaf) +
+                   ": state pull failed after recovery: " + pull_error;
+        }
+        return false;
+      }
+    }
+    if (dump.tracker != s.tracker_name) {
+      if (error != nullptr) {
+        *error = "leaf " + std::to_string(leaf) + " serves tracker '" +
+                 dump.tracker + "' for session '" + s.name +
+                 "', the root expected '" + s.tracker_name + "'";
+      }
+      return false;
+    }
+    leaf_states[leaf] = std::move(dump.state);
+  }
+  std::string splice_error;
+  if (!SpliceLeafStates(s.tracker_name, s.options, s.ranges, leaf_states,
+                        mirror, &splice_error)) {
+    if (error != nullptr) {
+      *error = "merge for session '" + s.name + "': " + splice_error;
+    }
+    return false;
+  }
+  return true;
+}
+
+RootAggregator::RootSession* RootAggregator::ResolveSessionLocked(
+    const HelloFrame& hello, bool* created, std::string* error) {
+  auto it = sessions_.find(hello.session);
+  if (it != sessions_.end()) {
+    RootSession* s = it->second.get();
+    if (s->tracker_name != hello.tracker || s->shards != hello.shards ||
+        !OptionsMatch(s->options, hello.options)) {
+      *error = "session '" + hello.session +
+               "' already exists with a different configuration (" +
+               s->tracker_name + ", k=" +
+               std::to_string(s->options.num_sites) + ", shards=" +
+               std::to_string(s->shards) + ")";
+      return nullptr;
+    }
+    *created = false;
+    return s;
+  }
+  if (hello.shards == 0) {
+    *error = "the root drives sharded leaf engines; session '" +
+             hello.session +
+             "' must request shards >= 1 (a serial tracker's fold order "
+             "cannot be reproduced across a site partition)";
+    return nullptr;
+  }
+  if (hello.options.site_base != 0) {
+    *error = "the root assigns site ranges itself; clients must leave "
+             "site_base = 0";
+    return nullptr;
+  }
+  if (!TrackerRegistry::Instance().IsMergeable(hello.tracker)) {
+    *error = "tracker '" + hello.tracker +
+             "' is not mergeable; a hierarchy merges leaf state, so the "
+             "root only admits mergeable trackers: " +
+             JoinNames(TrackerRegistry::Instance().MergeableNames());
+    return nullptr;
+  }
+  auto s = std::make_unique<RootSession>();
+  s->name = hello.session;
+  s->tracker_name = hello.tracker;
+  s->shards = hello.shards;
+  s->options = hello.options;
+  const uint32_t n = static_cast<uint32_t>(leaves_.size());
+  s->ranges = PartitionSites(hello.options.num_sites, n);
+  s->owner = SiteOwners(s->ranges, hello.options.num_sites);
+  s->leaf_clients.resize(n);
+  s->leaf_time.assign(n, 0);
+  s->time_at_checkpoint.assign(n, 0);
+  s->journal.resize(n);
+  s->history = std::make_unique<HistorySampler>(options_.history);
+  for (uint32_t leaf = 0; leaf < n; ++leaf) {
+    if (s->ranges[leaf].empty()) continue;
+    if (!EnsureLeafLocked(leaf, error)) return nullptr;
+    uint64_t t = 0;
+    if (!HelloLeafLocked(*s, leaf, &t, error)) return nullptr;
+    // A fresh leaf answers t = 0; one restored from a checkpoint taken
+    // before the root restarted answers its checkpointed clock. Either
+    // way this clock is the journal's base.
+    s->leaf_time[leaf] = t;
+    s->time_at_checkpoint[leaf] = t;
+  }
+  RootSession* raw = s.get();
+  sessions_.emplace(hello.session, std::move(s));
+  *created = true;
+  return raw;
+}
+
+TopologyInfoFrame RootAggregator::TopologySnapshotLocked() {
+  TopologyInfoFrame info;
+  info.role = "root";
+  // Ranges are per-session; the table shows the first session's (every
+  // session of the same k partitions identically, and the table is
+  // informational — the root never hands a client a leaf address).
+  const RootSession* first =
+      sessions_.empty() ? nullptr : sessions_.begin()->second.get();
+  for (uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    TopologyLeaf entry;
+    entry.index = leaf;
+    entry.port = leaves_[leaf].handle.port;
+    if (first != nullptr) {
+      entry.site_lo = first->ranges[leaf].lo;
+      entry.site_hi = first->ranges[leaf].hi;
+    }
+    entry.alive = leaves_[leaf].alive;
+    entry.pid = leaves_[leaf].handle.pid;
+    entry.restarts = leaves_[leaf].restarts;
+    info.leaves.push_back(entry);
+  }
+  return info;
+}
+
+void RootAggregator::SupervisorLoop() {
+  const auto cadence = std::chrono::milliseconds(options_.heartbeat_ms);
+  auto next_beat = std::chrono::steady_clock::now() + cadence;
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (std::chrono::steady_clock::now() < next_beat) continue;
+    next_beat = std::chrono::steady_clock::now() + cadence;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    for (uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+      bool healthy = false;
+      if (leaves_[leaf].alive && leaves_[leaf].control != nullptr) {
+        TopologyInfoFrame info;
+        std::string beat_error;
+        healthy = leaves_[leaf].control->Topology(&info, &beat_error);
+        if (!healthy) {
+          std::fprintf(stderr, "varstream_root: leaf %u heartbeat failed: "
+                       "%s\n", leaf, beat_error.c_str());
+        }
+      }
+      if (healthy) continue;
+      std::string recover_error;
+      if (RecoverLeafLocked(leaf, &recover_error)) {
+        std::fprintf(stderr, "varstream_root: leaf %u recovered "
+                     "(restart %u)\n", leaf, leaves_[leaf].restarts);
+      } else {
+        std::fprintf(stderr, "varstream_root: leaf %u recovery failed: %s "
+                     "(next heartbeat retries)\n", leaf,
+                     recover_error.c_str());
+      }
+    }
+  }
+}
+
+// --- Upward server plumbing. ---
+
+void RootAggregator::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(connections_[i]));
+        connections_.erase(connections_.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    conn->thread.join();
+    ::close(conn->fd);
+  }
+}
+
+void RootAggregator::AcceptLoop(int listen_fd) {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      std::fprintf(stderr, "varstream_root: accept(): %s%s\n",
+                   strerror(errno),
+                   (errno == EMFILE || errno == ENFILE)
+                       ? " (fd limit; retrying)"
+                       : " (retrying)");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    ReapFinishedConnections();
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    connections_.back()->thread =
+        std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+bool RootAggregator::SendFrame(int fd, FrameType type,
+                               std::span<const uint8_t> payload,
+                               RootSession* session) {
+  std::vector<uint8_t> wire;
+  wire.reserve(kFrameOverhead + payload.size());
+  AppendFrame(&wire, type, payload);
+  if (session != nullptr) {
+    std::lock_guard<std::mutex> lock(session->wire_mu);
+    session->wire_cost.Count(MessageKind::kWire, wire.size() * 8);
+  }
+  return SendAllBytes(fd, wire.data(), wire.size());
+}
+
+bool RootAggregator::SendError(int fd, RootSession* session,
+                               const std::string& message) {
+  std::fprintf(stderr, "varstream_root: %s\n", message.c_str());
+  SendFrame(fd, FrameType::kError, EncodeError(message), session);
+  return false;  // caller closes the connection
+}
+
+bool RootAggregator::HandleFrame(int fd, const Frame& frame,
+                                 RootSession** session) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      if (*session != nullptr) {
+        return SendError(fd, *session, "duplicate hello on this connection");
+      }
+      HelloFrame hello;
+      if (!DecodeHello(frame.payload, &hello)) {
+        return SendError(fd, nullptr, "malformed hello payload");
+      }
+      std::string admission = ValidateHello(hello, kMaxSessionSites);
+      if (!admission.empty()) return SendError(fd, nullptr, admission);
+      HelloAckFrame ack;
+      RootSession* resolved = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::string error;
+        bool created = false;
+        resolved = ResolveSessionLocked(hello, &created, &error);
+        if (resolved == nullptr) {
+          // SendError re-locks mu_ only when given a session; pass null.
+          return SendError(fd, nullptr, error);
+        }
+        ack.created = created;
+        for (uint64_t t : resolved->leaf_time) ack.session_time += t;
+      }
+      *session = resolved;
+      return SendFrame(fd, FrameType::kHelloAck, EncodeHelloAck(ack),
+                       resolved);
+    }
+    case FrameType::kPushBatch: {
+      if (*session == nullptr) {
+        return SendError(fd, nullptr, "push-batch before hello");
+      }
+      PushBatchFrame batch;
+      if (!DecodePushBatch(frame.payload, &batch)) {
+        return SendError(fd, *session, "malformed push-batch payload");
+      }
+      RootSession& s = **session;
+      const bool monotone_only =
+          TrackerRegistry::Instance().IsMonotoneOnly(s.tracker_name);
+      for (const CountUpdate& u : batch.updates) {
+        if (u.site >= s.options.num_sites) {
+          return SendError(fd, *session,
+                           "push-batch update targets site " +
+                               std::to_string(u.site) + ", session has k=" +
+                               std::to_string(s.options.num_sites));
+        }
+        if (monotone_only && u.delta < 0) {
+          return SendError(fd, *session,
+                           "tracker '" + s.tracker_name +
+                               "' is insertion-only; negative delta "
+                               "rejected");
+        }
+      }
+      PushAckFrame ack;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::vector<std::vector<CountUpdate>> per_leaf;
+        PartitionBatch(batch.updates, s.owner, s.ranges, &per_leaf);
+        for (uint32_t leaf = 0; leaf < per_leaf.size(); ++leaf) {
+          if (per_leaf[leaf].empty()) continue;
+          std::string error;
+          if (!PushToLeafLocked(s, leaf, std::move(per_leaf[leaf]),
+                                &error)) {
+            return SendError(fd, *session,
+                             "push failed downstream: " + error);
+          }
+        }
+        // History samples the MERGED state at the batch boundary — the
+        // same cadence discipline a single server applies, so a root
+        // session's ring is row-for-row identical to the in-process run.
+        if (s.history->Due(batch.updates.size())) {
+          std::unique_ptr<ShardedTracker> mirror;
+          std::string error;
+          if (!PullMergedLocked(s, &mirror, &error)) {
+            return SendError(fd, *session,
+                             "history sample failed: " + error);
+          }
+          TrackerSnapshot snap = mirror->Snapshot();
+          s.history->Record(
+              {snap.time, snap.estimate, snap.messages, snap.bits,
+               /*wire_bytes=*/0});
+        }
+        s.updates_since_checkpoint += batch.updates.size();
+        if (options_.checkpoint_every > 0 &&
+            s.updates_since_checkpoint >= options_.checkpoint_every) {
+          s.updates_since_checkpoint = 0;
+          std::string error;
+          if (!ForwardCheckpointLocked(&error)) {
+            return SendError(fd, *session,
+                             "automatic checkpoint failed: " + error);
+          }
+          ack.checkpointed = true;
+        }
+        for (uint64_t t : s.leaf_time) ack.session_time += t;
+      }
+      return SendFrame(fd, FrameType::kPushAck, EncodePushAck(ack),
+                       *session);
+    }
+    case FrameType::kQuery: {
+      if (*session == nullptr) {
+        return SendError(fd, nullptr, "query before hello");
+      }
+      RootSession& s = **session;
+      SnapshotFrame snapshot;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::unique_ptr<ShardedTracker> mirror;
+        std::string error;
+        if (!PullMergedLocked(s, &mirror, &error)) {
+          return SendError(fd, *session, "query failed: " + error);
+        }
+        TrackerSnapshot snap = mirror->Snapshot();
+        snapshot.estimate = snap.estimate;
+        snapshot.time = snap.time;
+        snapshot.messages = snap.messages;
+        snapshot.bits = snap.bits;
+      }
+      {
+        std::lock_guard<std::mutex> lock(s.wire_mu);
+        snapshot.wire_messages = s.wire_cost.messages(MessageKind::kWire);
+        snapshot.wire_bits = s.wire_cost.bits(MessageKind::kWire);
+      }
+      return SendFrame(fd, FrameType::kSnapshot, EncodeSnapshot(snapshot),
+                       *session);
+    }
+    case FrameType::kCheckpoint: {
+      if (*session == nullptr) {
+        return SendError(fd, nullptr, "checkpoint before hello");
+      }
+      if (!frame.payload.empty()) {
+        return SendError(fd, *session, "malformed checkpoint payload");
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::string error;
+        if (!ForwardCheckpointLocked(&error)) {
+          return SendError(fd, *session, error);
+        }
+      }
+      CheckpointAckFrame ack;
+      ack.path = launcher_->CheckpointLocation();
+      return SendFrame(fd, FrameType::kCheckpointAck,
+                       EncodeCheckpointAck(ack), *session);
+    }
+    case FrameType::kQueryRange: {
+      QueryRangeFrame query;
+      if (!DecodeQueryRange(frame.payload, &query)) {
+        return SendError(fd, *session, "malformed query-range payload");
+      }
+      if (query.version != kQueryRangeVersion) {
+        return SendError(
+            fd, *session,
+            "query-range version mismatch: client speaks v" +
+                std::to_string(query.version) + ", server speaks v" +
+                std::to_string(kQueryRangeVersion));
+      }
+      struct Captured {
+        SessionQueryResult meta;
+        std::vector<HistoryRow> rows;
+      };
+      std::vector<Captured> captured;
+      bool found_named = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [name, s] : sessions_) {
+          if (!query.session.empty() && name != query.session) continue;
+          found_named = found_named || name == query.session;
+          if (!query.tracker.empty() && s->tracker_name != query.tracker) {
+            continue;
+          }
+          Captured c;
+          c.meta.session = name;
+          c.meta.tracker = s->tracker_name;
+          c.meta.capacity = s->history->options().capacity;
+          c.meta.cadence = s->history->options().cadence;
+          c.meta.dropped = s->history->ring().dropped();
+          c.rows = s->history->ring().Rows();
+          captured.push_back(std::move(c));
+        }
+      }
+      if (!query.session.empty() && !found_named) {
+        return SendError(fd, *session,
+                         "unknown session '" + query.session + "'");
+      }
+      QueryRangeResultFrame result;
+      for (Captured& c : captured) {
+        c.meta.rows = EvaluateQuery(c.rows, query.spec);
+        result.sessions.push_back(std::move(c.meta));
+      }
+      std::vector<uint8_t> payload = EncodeQueryRangeResult(result);
+      if (payload.size() > kMaxFramePayload) {
+        return SendError(
+            fd, *session,
+            "query-range result (" + std::to_string(payload.size()) +
+                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
+                "-byte frame limit; narrow the time window, name a "
+                "session, or downsample with buckets");
+      }
+      return SendFrame(fd, FrameType::kQueryRangeResult, payload, *session);
+    }
+    case FrameType::kStateDump: {
+      StateDumpFrame dump;
+      if (!DecodeStateDump(frame.payload, &dump)) {
+        return SendError(fd, *session, "malformed state-dump payload");
+      }
+      StateDumpResultFrame result;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sessions_.find(dump.session);
+        if (it == sessions_.end()) {
+          return SendError(fd, *session,
+                           "unknown session '" + dump.session + "'");
+        }
+        RootSession& target = *it->second;
+        std::unique_ptr<ShardedTracker> mirror;
+        std::string error;
+        if (!PullMergedLocked(target, &mirror, &error)) {
+          return SendError(fd, *session, "state dump failed: " + error);
+        }
+        result.tracker = target.tracker_name;
+        result.shards = target.shards;
+        result.state = mirror->SerializeState();
+      }
+      std::vector<uint8_t> payload = EncodeStateDumpResult(result);
+      if (payload.size() > kMaxFramePayload) {
+        return SendError(
+            fd, *session,
+            "state dump (" + std::to_string(payload.size()) +
+                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
+                "-byte frame limit");
+      }
+      return SendFrame(fd, FrameType::kStateDumpResult, payload, *session);
+    }
+    case FrameType::kTopology: {
+      if (!frame.payload.empty()) {
+        return SendError(fd, *session, "malformed topology payload");
+      }
+      TopologyInfoFrame info;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        info = TopologySnapshotLocked();
+      }
+      return SendFrame(fd, FrameType::kTopologyInfo,
+                       EncodeTopologyInfo(info), *session);
+    }
+    case FrameType::kShutdown: {
+      if (!frame.payload.empty()) {
+        return SendError(fd, *session, "malformed shutdown payload");
+      }
+      SendFrame(fd, FrameType::kShutdownAck, {}, *session);
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return false;  // close this connection; the owner tears down
+    }
+    default:
+      return SendError(fd, *session,
+                       std::string("unexpected ") +
+                           FrameTypeName(frame.type) +
+                           " frame (server-to-client only)");
+  }
+}
+
+void RootAggregator::HandleConnection(Connection* conn) {
+  const int fd = conn->fd;
+  std::vector<uint8_t> buffer;
+  RootSession* session = nullptr;
+  uint64_t pre_session_wire_msgs = 0;
+  uint64_t pre_session_wire_bits = 0;
+  bool open = true;
+  while (open) {
+    size_t offset = 0;
+    for (;;) {
+      Frame frame;
+      size_t consumed = 0;
+      std::string decode_error;
+      DecodeStatus status = DecodeFrame(
+          std::span<const uint8_t>(buffer.data() + offset,
+                                   buffer.size() - offset),
+          &frame, &consumed, &decode_error);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kMalformed) {
+        SendError(fd, session, "malformed frame: " + decode_error);
+        open = false;
+        break;
+      }
+      offset += consumed;
+      if (session != nullptr) {
+        std::lock_guard<std::mutex> lock(session->wire_mu);
+        session->wire_cost.Count(MessageKind::kWire, consumed * 8);
+      } else {
+        ++pre_session_wire_msgs;
+        pre_session_wire_bits += consumed * 8;
+      }
+      const bool had_session = session != nullptr;
+      if (!HandleFrame(fd, frame, &session)) {
+        open = false;
+        break;
+      }
+      if (!had_session && session != nullptr) {
+        // Fold this connection's pre-session bytes (the hello frame and
+        // the HelloAck SendFrame already counted itself) into the meter.
+        std::lock_guard<std::mutex> lock(session->wire_mu);
+        session->wire_cost.Count(MessageKind::kWire, pre_session_wire_bits,
+                                 pre_session_wire_msgs);
+        pre_session_wire_msgs = 0;
+        pre_session_wire_bits = 0;
+      }
+    }
+    if (!open) break;
+    buffer.erase(buffer.begin(), buffer.begin() + offset);
+
+    uint8_t chunk[65536];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace varstream

@@ -1,0 +1,228 @@
+// RootAggregator: the coordinator of a two-level varstream hierarchy.
+//
+//                      clients (loadgen, varstream_query, ...)
+//                                   │  varstream-wire v3
+//                                   ▼
+//                             varstream_root
+//                  demux by site range │ merge by state splice
+//                 ┌───────────────────┼───────────────────┐
+//                 ▼                   ▼                   ▼
+//            leaf 0 [0,k/3)     leaf 1 [k/3,2k/3)    leaf 2 [2k/3,k)
+//            varstream_serve    varstream_serve     varstream_serve
+//
+// The root speaks the ordinary wire protocol upward — to a client it
+// looks like one varstream_serve hosting full-k sharded sessions — and
+// drives N leaf servers downward, each owning a disjoint contiguous
+// site range of every session (hierarchy/partition.h; the assignment is
+// handed out through the Hello frame's v3 site_base field).
+//
+//   * PushBatch is partitioned by site range and forwarded; each
+//     sub-batch is journaled BEFORE it is sent, so a leaf that dies
+//     mid-stream can always be replayed exactly.
+//   * Query / StateDump / the history sampler pull every leaf's
+//     SerializeState dump and splice the per-site lines into one
+//     full-range state, restored into a fresh in-process mirror engine.
+//     Because each leaf derives its per-site seeds from GLOBAL site ids
+//     (TrackerOptions::site_base) and the splice preserves global site
+//     order, the merged Snapshot/SerializeState is BYTE-IDENTICAL to an
+//     uninterrupted single-process run — the property the testkit
+//     hierarchy-parity oracle and the CI hierarchy-smoke drill enforce.
+//   * Checkpoint is forwarded to every leaf (each writes its own
+//     varstream-ckpt-v1 file); the acked leaf's journal is truncated.
+//   * A supervisor loop heartbeats each leaf (Topology ping under the
+//     client's read deadline), and any failure — heartbeat, push, or
+//     state pull — fences the leaf (kill), relaunches it with --restore
+//     from its last checkpoint, reconnects with bounded exponential
+//     backoff, re-attaches every session (verifying the restored clock
+//     matches the journal's base), and replays the journal. Everything
+//     since the last checkpoint is thereby reapplied exactly once.
+//
+// Concurrency: one coarse root mutex serializes session/leaf state and
+// all leaf I/O — correctness over throughput, deliberately; the root is
+// a coordinator, not a data plane (bench_hierarchy measures the cost
+// honestly). Upward connections get a thread each, like VarstreamServer.
+
+#ifndef VARSTREAM_HIERARCHY_ROOT_H_
+#define VARSTREAM_HIERARCHY_ROOT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sharded.h"
+#include "hierarchy/launcher.h"
+#include "hierarchy/partition.h"
+#include "history/history.h"
+#include "net/cost_meter.h"
+#include "service/client.h"
+#include "service/protocol.h"
+
+namespace varstream {
+
+struct RootOptions {
+  /// Upward TCP port on 127.0.0.1; 0 picks an ephemeral port.
+  uint16_t port = 0;
+
+  /// Number of leaf servers to supervise (>= 1).
+  uint32_t num_leaves = 3;
+
+  /// Forward a Checkpoint to every leaf after this many ingested updates
+  /// per session (0 = only on explicit Checkpoint frames). Journals are
+  /// truncated at each checkpoint, so this also bounds journal memory.
+  uint64_t checkpoint_every = 0;
+
+  /// Supervisor heartbeat cadence in ms (0 disables the supervisor
+  /// thread; failures are then detected on the next push/query).
+  int heartbeat_ms = 0;
+
+  /// Deadlines on every leaf-facing client (service/client.h): a dead
+  /// leaf surfaces as a bounded, loud timeout, never a hang.
+  int leaf_connect_timeout_ms = 2000;
+  int leaf_io_timeout_ms = 5000;
+
+  /// Reconnect backoff after a leaf relaunch: delays double from 10 ms
+  /// up to this cap, for at most `reconnect_attempts` tries.
+  int reconnect_max_delay_ms = 500;
+  int reconnect_attempts = 8;
+
+  /// Root-side history retention per session, sampled from the MERGED
+  /// state at push-batch boundaries (leaves run with sampling disabled —
+  /// their rings would only hold partition-local estimates). Row
+  /// wire_bytes are recorded as 0: the root's client-facing traffic is
+  /// deployment noise, not tracker state, and must not break the
+  /// byte-identical history comparison across a leaf crash drill.
+  HistoryOptions history;
+};
+
+class RootAggregator {
+ public:
+  /// The launcher is borrowed, not owned (tests hold an
+  /// InProcessLauncher to inject crashes; the tool owns a
+  /// ProcessLauncher) and must outlive the aggregator.
+  RootAggregator(RootOptions options, LeafLauncher* launcher);
+  ~RootAggregator();
+
+  RootAggregator(const RootAggregator&) = delete;
+  RootAggregator& operator=(const RootAggregator&) = delete;
+
+  /// Launches every leaf (fresh), connects control channels, binds the
+  /// upward listener, and starts the accept + supervisor threads.
+  bool Start(std::string* error);
+
+  /// Stops accepting, closes every connection, asks each leaf to shut
+  /// down (then fences it), and joins all threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client sends Shutdown or Stop() is called.
+  void WaitForShutdownRequest();
+
+  /// The root's own Topology answer (role "root" + leaf table); also
+  /// used by tools for status printing.
+  TopologyInfoFrame TopologySnapshot();
+
+  /// Test/drill hook: run the full fence → relaunch(--restore) →
+  /// reconnect → re-attach → replay recovery for one leaf now.
+  bool RecoverLeaf(uint32_t leaf, std::string* error);
+
+ private:
+  struct Leaf {
+    LeafHandle handle;
+    bool alive = false;
+    uint32_t restarts = 0;
+    /// Set once a checkpoint covering this leaf was acked; recovery
+    /// passes restore=true to the launcher only then.
+    bool checkpointed = false;
+    std::unique_ptr<VarstreamClient> control;  // Topology + StateDump
+  };
+
+  struct RootSession {
+    std::string name;
+    std::string tracker_name;  // base registry name (leaves run sharded)
+    uint32_t shards = 0;       // client-requested worker count (>= 1)
+    TrackerOptions options;    // full-range options (site_base == 0)
+    std::vector<SiteRange> ranges;  // per leaf
+    std::vector<uint32_t> owner;    // site -> leaf
+    /// Per-leaf ingest connection (null where the range is empty).
+    std::vector<std::unique_ptr<VarstreamClient>> leaf_clients;
+    /// Tracked per-leaf session clocks; their sum is the root's
+    /// session_time (== the full-range tracker clock).
+    std::vector<uint64_t> leaf_time;
+    std::vector<uint64_t> time_at_checkpoint;
+    /// Store-and-forward journal: per leaf, every sub-batch sent since
+    /// that leaf's last acked checkpoint, in order.
+    std::vector<std::vector<std::vector<CountUpdate>>> journal;
+    uint64_t updates_since_checkpoint = 0;
+    std::unique_ptr<HistorySampler> history;
+    /// Client-facing bytes, reporting-only. Own lock (never held while
+    /// taking mu_): SendFrame must be able to account an Error sent from
+    /// inside a mu_-holding handler without self-deadlocking.
+    std::mutex wire_mu;
+    CostMeter wire_cost;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  // Upward server plumbing (same discipline as VarstreamServer).
+  void AcceptLoop(int listen_fd);
+  void HandleConnection(Connection* conn);
+  void ReapFinishedConnections();
+  bool HandleFrame(int fd, const Frame& frame, RootSession** session);
+  bool SendFrame(int fd, FrameType type, std::span<const uint8_t> payload,
+                 RootSession* session);
+  bool SendError(int fd, RootSession* session, const std::string& message);
+
+  // Downward paths. *Locked methods require mu_ held.
+  bool ConnectControlLocked(uint32_t leaf, std::string* error);
+  bool HelloLeafLocked(RootSession& s, uint32_t leaf, uint64_t* leaf_time,
+                       std::string* error);
+  bool EnsureLeafLocked(uint32_t leaf, std::string* error);
+  bool RecoverLeafLocked(uint32_t leaf, std::string* error);
+  bool PushToLeafLocked(RootSession& s, uint32_t leaf,
+                        std::vector<CountUpdate> sub, std::string* error);
+  bool ForwardCheckpointLocked(std::string* error);
+  /// Pulls every leaf's state dump for `s`, splices them into one
+  /// full-range dump, and restores it into a fresh mirror engine.
+  bool PullMergedLocked(RootSession& s,
+                        std::unique_ptr<ShardedTracker>* mirror,
+                        std::string* error);
+  RootSession* ResolveSessionLocked(const HelloFrame& hello, bool* created,
+                                    std::string* error);
+  TopologyInfoFrame TopologySnapshotLocked();
+  void SupervisorLoop();
+
+  RootOptions options_;
+  LeafLauncher* launcher_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+
+  std::mutex mu_;  // leaves_, sessions_, and all leaf-facing I/O
+  std::vector<Leaf> leaves_;
+  std::map<std::string, std::unique_ptr<RootSession>> sessions_;
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+  std::thread supervisor_thread_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_HIERARCHY_ROOT_H_

@@ -59,6 +59,11 @@ std::string EncodeCheckpoint(
     out += "initial=" + std::to_string(s.options.initial_value) + "\n";
     out += "dtf=" + EncodeDoubleBits(s.options.drift_threshold_factor) + "\n";
     out += "sconst=" + EncodeDoubleBits(s.options.sample_constant) + "\n";
+    // Optional (hierarchy leaves only): omitted when 0 so single-node
+    // checkpoints keep their exact pre-hierarchy bytes.
+    if (s.options.site_base != 0) {
+      out += "sitebase=" + std::to_string(s.options.site_base) + "\n";
+    }
     uint64_t state_lines = 1;
     for (char c : s.state) {
       if (c == '\n') ++state_lines;
@@ -169,11 +174,33 @@ bool DecodeCheckpoint(const std::string& text,
         !read_u64("period", &period) || period == 0 ||
         !read_kv("initial", &value) || !ParseI64Text(value, &initial) ||
         !read_bits("dtf", &s.options.drift_threshold_factor) ||
-        !read_bits("sconst", &s.options.sample_constant) ||
-        !read_u64("state-lines", &state_lines) || state_lines == 0) {
+        !read_bits("sconst", &s.options.sample_constant)) {
       return Fail(error, "malformed session header in entry " +
                              std::to_string(i) + " ('" + s.name + "')");
     }
+    // Optional sitebase line (hierarchy leaves); absent means 0, the
+    // documented back-compat reading of pre-hierarchy checkpoints.
+    uint64_t sitebase = 0;
+    if (!NextLine(text, &pos, &line)) {
+      return Fail(error, "malformed session header in entry " +
+                             std::to_string(i) + " ('" + s.name + "')");
+    }
+    if (KeyValue(line, "sitebase", &value)) {
+      if (!ParseU64Text(value, &sitebase) || sitebase == 0 ||
+          sitebase + sites > UINT32_MAX) {
+        return Fail(error, "malformed sitebase in session '" + s.name + "'");
+      }
+      if (!NextLine(text, &pos, &line)) {
+        return Fail(error, "malformed session header in entry " +
+                               std::to_string(i) + " ('" + s.name + "')");
+      }
+    }
+    if (!KeyValue(line, "state-lines", &value) ||
+        !ParseU64Text(value, &state_lines) || state_lines == 0) {
+      return Fail(error, "malformed session header in entry " +
+                             std::to_string(i) + " ('" + s.name + "')");
+    }
+    s.options.site_base = static_cast<uint32_t>(sitebase);
     s.options.num_sites = static_cast<uint32_t>(sites);
     s.shards = static_cast<uint32_t>(shards);
     s.options.seed = seed;

@@ -21,6 +21,10 @@
 //   initial=<i64>
 //   dtf=<hex bits>                    (drift_threshold_factor)
 //   sconst=<hex bits>                 (sample_constant)
+//   sitebase=<u32>                    (optional: a hierarchy leaf's first
+//                                     global site id; omitted when 0 so
+//                                     pre-hierarchy checkpoints and
+//                                     single-node files keep their bytes)
 //   state-lines=<M>
 //   <M raw lines of Mergeable::SerializeState>
 //   history-capacity=<u64>            (optional history section; a

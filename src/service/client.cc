@@ -1,9 +1,12 @@
 #include "service/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,13 +16,29 @@ namespace varstream {
 
 namespace {
 
-/// SendAllBytes (service/protocol.h) with the client's error reporting.
-bool SendAll(int fd, const uint8_t* data, size_t size, std::string* error) {
+/// SendAllBytes (service/protocol.h) with the client's error reporting;
+/// an SO_SNDTIMEO expiry (EAGAIN) is named as the deadline it is.
+bool SendAll(int fd, const uint8_t* data, size_t size, int io_timeout_ms,
+             std::string* error) {
   if (SendAllBytes(fd, data, size)) return true;
   if (error != nullptr) {
-    *error = "send(): " + std::string(strerror(errno));
+    if ((errno == EAGAIN || errno == EWOULDBLOCK) && io_timeout_ms > 0) {
+      *error = "send deadline (" + std::to_string(io_timeout_ms) +
+               " ms) expired — the peer stopped draining its socket";
+    } else {
+      *error = "send(): " + std::string(strerror(errno));
+    }
   }
   return false;
+}
+
+void SetSocketTimeouts(int fd, int io_timeout_ms) {
+  if (io_timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -53,16 +72,58 @@ bool VarstreamClient::Connect(const std::string& host, uint16_t port,
     if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  const std::string where = resolved + ":" + std::to_string(port);
+  if (deadlines_.connect_timeout_ms > 0) {
+    // Bounded handshake: non-blocking connect, poll for writability,
+    // then read back SO_ERROR. A dead or blackholed peer surfaces as a
+    // loud timeout instead of the kernel's minutes-long default.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      if (error != nullptr) {
+        *error = "connect(" + where + "): " + strerror(errno);
+      }
+      Close();
+      return false;
+    }
+    if (rc != 0) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      int ready = ::poll(&pfd, 1, deadlines_.connect_timeout_ms);
+      if (ready == 0) {
+        if (error != nullptr) {
+          *error = "connect(" + where + "): deadline (" +
+                   std::to_string(deadlines_.connect_timeout_ms) +
+                   " ms) expired — is the server up?";
+        }
+        Close();
+        return false;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready < 0 ||
+          ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        if (error != nullptr) {
+          *error = "connect(" + where +
+                   "): " + strerror(so_error != 0 ? so_error : errno);
+        }
+        Close();
+        return false;
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     if (error != nullptr) {
-      *error = "connect(" + resolved + ":" + std::to_string(port) +
-               "): " + strerror(errno);
+      *error = "connect(" + where + "): " + strerror(errno);
     }
     Close();
     return false;
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetSocketTimeouts(fd_, deadlines_.io_timeout_ms);
   return true;
 }
 
@@ -72,7 +133,8 @@ bool VarstreamClient::RawSend(std::span<const uint8_t> bytes,
     if (error != nullptr) *error = "not connected";
     return false;
   }
-  return SendAll(fd_, bytes.data(), bytes.size(), error);
+  return SendAll(fd_, bytes.data(), bytes.size(), deadlines_.io_timeout_ms,
+                 error);
 }
 
 bool VarstreamClient::RawReadFrame(Frame* frame, std::string* error) {
@@ -105,7 +167,15 @@ bool VarstreamClient::RawReadFrame(Frame* frame, std::string* error) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (error != nullptr) {
-        *error = "recv(): " + std::string(strerror(errno));
+        if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+            deadlines_.io_timeout_ms > 0) {
+          *error = "read deadline (" +
+                   std::to_string(deadlines_.io_timeout_ms) +
+                   " ms) expired waiting for a frame — the peer is up but "
+                   "not answering (hung or mid-crash)";
+        } else {
+          *error = "recv(): " + std::string(strerror(errno));
+        }
       }
       return false;
     }
@@ -124,7 +194,10 @@ bool VarstreamClient::Request(FrameType type,
   std::vector<uint8_t> wire;
   wire.reserve(kFrameOverhead + payload.size());
   AppendFrame(&wire, type, payload);
-  if (!SendAll(fd_, wire.data(), wire.size(), error)) return false;
+  if (!SendAll(fd_, wire.data(), wire.size(), deadlines_.io_timeout_ms,
+               error)) {
+    return false;
+  }
   if (!RawReadFrame(reply, error)) return false;
   if (reply->type == FrameType::kError) {
     ErrorFrame server_error;
@@ -214,6 +287,36 @@ bool VarstreamClient::Checkpoint(std::string* checkpoint_path,
     return false;
   }
   if (checkpoint_path != nullptr) *checkpoint_path = ack.path;
+  return true;
+}
+
+bool VarstreamClient::StateDump(const std::string& session,
+                                StateDumpResultFrame* result,
+                                std::string* error) {
+  StateDumpFrame dump;
+  dump.session = session;
+  Frame reply;
+  if (!Request(FrameType::kStateDump, EncodeStateDump(dump),
+               FrameType::kStateDumpResult, &reply, error)) {
+    return false;
+  }
+  if (!DecodeStateDumpResult(reply.payload, result)) {
+    if (error != nullptr) *error = "malformed state-dump result from server";
+    return false;
+  }
+  return true;
+}
+
+bool VarstreamClient::Topology(TopologyInfoFrame* info, std::string* error) {
+  Frame reply;
+  if (!Request(FrameType::kTopology, {}, FrameType::kTopologyInfo, &reply,
+               error)) {
+    return false;
+  }
+  if (!DecodeTopologyInfo(reply.payload, info)) {
+    if (error != nullptr) *error = "malformed topology-info from server";
+    return false;
+  }
   return true;
 }
 

@@ -32,13 +32,31 @@
 
 namespace varstream {
 
+/// Deadlines for a client's blocking calls. 0 (the default) blocks
+/// forever — the historical behavior, fine for tests and local tools.
+/// The root aggregator's heartbeat and recovery paths set both, so a
+/// leaf that dies without closing its socket (kill -9, network cut)
+/// surfaces as a loud, bounded timeout instead of hanging the
+/// supervisor forever.
+struct ClientDeadlines {
+  int connect_timeout_ms = 0;  // Connect(): TCP handshake deadline
+  int io_timeout_ms = 0;       // per-call send/recv deadline
+};
+
 class VarstreamClient {
  public:
   VarstreamClient() = default;
+  explicit VarstreamClient(ClientDeadlines deadlines)
+      : deadlines_(deadlines) {}
   ~VarstreamClient();
 
   VarstreamClient(const VarstreamClient&) = delete;
   VarstreamClient& operator=(const VarstreamClient&) = delete;
+
+  /// Deadlines apply to subsequent calls; set before Connect to bound
+  /// the handshake too.
+  void set_deadlines(ClientDeadlines deadlines) { deadlines_ = deadlines; }
+  const ClientDeadlines& deadlines() const { return deadlines_; }
 
   /// Connects to host:port (IPv4 dotted quad; "localhost" is accepted
   /// and means 127.0.0.1).
@@ -56,6 +74,13 @@ class VarstreamClient {
   bool QueryRange(const QueryRangeFrame& query, QueryRangeResultFrame* result,
                   std::string* error);
   bool Checkpoint(std::string* checkpoint_path, std::string* error);
+  /// Pulls one session's Mergeable::SerializeState text (protocol v3).
+  /// Hello-free like QueryRange — the root's merge path uses this.
+  bool StateDump(const std::string& session, StateDumpResultFrame* result,
+                 std::string* error);
+  /// Asks the node what it is (protocol v3): role "server" or "root",
+  /// plus the leaf table for a root. Doubles as the heartbeat ping.
+  bool Topology(TopologyInfoFrame* info, std::string* error);
   bool Shutdown(std::string* error);
 
   /// Robustness-test escape hatches: ship arbitrary bytes / read one
@@ -71,6 +96,7 @@ class VarstreamClient {
                FrameType expected, Frame* reply, std::string* error);
 
   int fd_ = -1;
+  ClientDeadlines deadlines_;
   std::vector<uint8_t> read_buffer_;
 };
 

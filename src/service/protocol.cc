@@ -73,6 +73,14 @@ const char* FrameTypeName(FrameType type) {
       return "query-range";
     case FrameType::kQueryRangeResult:
       return "query-range-result";
+    case FrameType::kStateDump:
+      return "state-dump";
+    case FrameType::kStateDumpResult:
+      return "state-dump-result";
+    case FrameType::kTopology:
+      return "topology";
+    case FrameType::kTopologyInfo:
+      return "topology-info";
   }
   return "?";
 }
@@ -236,6 +244,7 @@ std::vector<uint8_t> EncodeHello(const HelloFrame& hello) {
   w.F64(hello.options.drift_threshold_factor);
   w.F64(hello.options.sample_constant);
   w.U64(hello.options.period);
+  w.U32(hello.options.site_base);  // appended in v3
   return payload;
 }
 
@@ -248,7 +257,8 @@ bool DecodeHello(std::span<const uint8_t> payload, HelloFrame* hello) {
          r.I64(&hello->options.initial_value) &&
          r.F64(&hello->options.drift_threshold_factor) &&
          r.F64(&hello->options.sample_constant) &&
-         r.U64(&hello->options.period) && r.AtEnd();
+         r.U64(&hello->options.period) &&
+         r.U32(&hello->options.site_base) && r.AtEnd();
 }
 
 std::vector<uint8_t> EncodeHelloAck(const HelloAckFrame& ack) {
@@ -467,6 +477,129 @@ bool DecodeQueryRangeResult(std::span<const uint8_t> payload,
     result->sessions.push_back(std::move(session));
   }
   return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeStateDump(const StateDumpFrame& dump) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.String(dump.session);
+  return payload;
+}
+
+bool DecodeStateDump(std::span<const uint8_t> payload, StateDumpFrame* dump) {
+  WireReader r(payload);
+  return r.String(&dump->session) && r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeStateDumpResult(
+    const StateDumpResultFrame& result) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.String(result.tracker);
+  w.U32(result.shards);
+  w.String(result.state);
+  return payload;
+}
+
+bool DecodeStateDumpResult(std::span<const uint8_t> payload,
+                           StateDumpResultFrame* result) {
+  WireReader r(payload);
+  return r.String(&result->tracker) && r.U32(&result->shards) &&
+         r.String(&result->state) && r.AtEnd();
+}
+
+namespace {
+
+// index + port + site_lo + site_hi + alive + pid + restarts.
+constexpr size_t kTopologyLeafWireBytes = 4 * 4 + 1 + 8 + 4;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeTopologyInfo(const TopologyInfoFrame& info) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.String(info.role);
+  w.U32(static_cast<uint32_t>(info.leaves.size()));
+  for (const TopologyLeaf& leaf : info.leaves) {
+    w.U32(leaf.index);
+    w.U32(leaf.port);
+    w.U32(leaf.site_lo);
+    w.U32(leaf.site_hi);
+    w.U8(leaf.alive ? 1 : 0);
+    w.U64(leaf.pid);
+    w.U32(leaf.restarts);
+  }
+  return payload;
+}
+
+bool DecodeTopologyInfo(std::span<const uint8_t> payload,
+                        TopologyInfoFrame* info) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  if (!r.String(&info->role) || !r.U32(&count)) return false;
+  if (static_cast<size_t>(count) * kTopologyLeafWireBytes > r.Remaining()) {
+    return false;
+  }
+  info->leaves.clear();
+  info->leaves.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TopologyLeaf leaf;
+    uint8_t alive = 0;
+    if (!r.U32(&leaf.index) || !r.U32(&leaf.port) || !r.U32(&leaf.site_lo) ||
+        !r.U32(&leaf.site_hi) || !r.U8(&alive) || !r.U64(&leaf.pid) ||
+        !r.U32(&leaf.restarts) || alive > 1) {
+      return false;
+    }
+    leaf.alive = alive == 1;
+    info->leaves.push_back(leaf);
+  }
+  return r.AtEnd();
+}
+
+bool SessionNameIsSafe(const std::string& name) {
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string ValidateHello(const HelloFrame& hello, uint32_t max_sites) {
+  if (hello.magic != kProtocolMagic) return "bad protocol magic";
+  if (hello.version != kProtocolVersion) {
+    return "protocol version mismatch: client speaks v" +
+           std::to_string(hello.version) + ", server speaks v" +
+           std::to_string(kProtocolVersion);
+  }
+  if (hello.options.num_sites == 0 || hello.options.num_sites > max_sites ||
+      !(hello.options.epsilon > 0 && hello.options.epsilon < 1) ||
+      hello.options.period == 0) {
+    return "invalid session config: need 1 <= sites <= " +
+           std::to_string(max_sites) + ", epsilon in (0, 1), period >= 1";
+  }
+  // u64 math: a hostile site_base near 2^32 must not wrap past the cap.
+  if (static_cast<uint64_t>(hello.options.site_base) +
+          hello.options.num_sites >
+      max_sites) {
+    return "invalid session config: site range [" +
+           std::to_string(hello.options.site_base) + ", " +
+           std::to_string(static_cast<uint64_t>(hello.options.site_base) +
+                          hello.options.num_sites) +
+           ") exceeds the " + std::to_string(max_sites) + "-site ceiling";
+  }
+  if (hello.options.site_base != 0 && hello.shards == 0) {
+    return "invalid session config: site_base requires the sharded engine "
+           "(shards >= 1) — serial trackers have no global site identity";
+  }
+  if (hello.session.empty() || hello.session.size() > kMaxSessionNameLength ||
+      !SessionNameIsSafe(hello.session)) {
+    return "invalid session name (1-" +
+           std::to_string(kMaxSessionNameLength) +
+           " characters from [A-Za-z0-9._-]; it is embedded in the "
+           "line-oriented checkpoint file)";
+  }
+  return "";
 }
 
 }  // namespace varstream

@@ -39,10 +39,13 @@
 namespace varstream {
 
 inline constexpr uint32_t kProtocolMagic = 0x56535257;  // "VSRW"
-// v2 added QueryRange/QueryRangeResult (history queries). Hello still
-// requires an exact version match; the new frame types were appended
-// after kError so every v1 frame keeps its byte value.
-inline constexpr uint32_t kProtocolVersion = 2;
+// v2 added QueryRange/QueryRangeResult (history queries). v3 added the
+// hierarchy exchange: Hello grew a trailing site_base field (the leaf's
+// first global site id, assigned by the root), and StateDump/Topology
+// frames let a root pull serialized tracker state and probe node health.
+// Hello still requires an exact version match; new frame types are
+// appended so every v1/v2 frame keeps its byte value.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Hard cap on payload size: large enough for ~256k updates per
 /// PushBatch, small enough that a corrupt length prefix cannot make the
@@ -66,7 +69,11 @@ enum class FrameType : uint8_t {
   kError,           // server -> client: diagnostic; connection closes
   kQueryRange,      // client -> server: evaluate a history query (v2)
   kQueryRangeResult,// server -> client: evaluated rows per session (v2)
-  kMaxFrameType = kQueryRangeResult,
+  kStateDump,       // client -> server: serialize one session's tracker (v3)
+  kStateDumpResult, // server -> client: the SerializeState text (v3)
+  kTopology,        // client -> server: describe this node / heartbeat (v3)
+  kTopologyInfo,    // server -> client: role + leaf table (v3)
+  kMaxFrameType = kTopologyInfo,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -223,6 +230,41 @@ struct QueryRangeResultFrame {
   std::vector<SessionQueryResult> sessions;
 };
 
+/// StateDump asks for one session's full Mergeable::SerializeState text —
+/// the root aggregator's merge primitive: it splices the per-site lines
+/// of every leaf's dump into one full-range state. Read-only; requires
+/// the session to exist but (like QueryRange) no prior Hello.
+struct StateDumpFrame {
+  std::string session;
+};
+
+struct StateDumpResultFrame {
+  std::string tracker;   // registry name of the session's base algorithm
+  uint32_t shards = 0;   // worker count the session was created with
+  std::string state;     // Mergeable::SerializeState text
+};
+
+/// One leaf in a TopologyInfo answer: its site range [site_lo, site_hi),
+/// where it listens, and its supervision state.
+struct TopologyLeaf {
+  uint32_t index = 0;
+  uint32_t port = 0;
+  uint32_t site_lo = 0;
+  uint32_t site_hi = 0;
+  bool alive = false;
+  uint64_t pid = 0;       // 0 for in-process leaves
+  uint32_t restarts = 0;  // supervisor respawn count
+};
+
+/// Topology (empty payload) asks a node what it is. A plain
+/// varstream_serve answers role "server" with no leaves; varstream_root
+/// answers role "root" and its leaf table. The root's supervisor also
+/// uses Topology as its heartbeat ping — any valid answer counts.
+struct TopologyInfoFrame {
+  std::string role;
+  std::vector<TopologyLeaf> leaves;
+};
+
 // Encoders produce the payload only (frame it with AppendFrame);
 // decoders return false on any short/long/invalid payload.
 std::vector<uint8_t> EncodeHello(const HelloFrame& hello);
@@ -256,6 +298,40 @@ std::vector<uint8_t> EncodeQueryRangeResult(
     const QueryRangeResultFrame& result);
 bool DecodeQueryRangeResult(std::span<const uint8_t> payload,
                             QueryRangeResultFrame* result);
+
+std::vector<uint8_t> EncodeStateDump(const StateDumpFrame& dump);
+bool DecodeStateDump(std::span<const uint8_t> payload, StateDumpFrame* dump);
+
+std::vector<uint8_t> EncodeStateDumpResult(const StateDumpResultFrame& result);
+bool DecodeStateDumpResult(std::span<const uint8_t> payload,
+                           StateDumpResultFrame* result);
+
+// Topology's request payload is empty; only the answer has a codec.
+std::vector<uint8_t> EncodeTopologyInfo(const TopologyInfoFrame& info);
+bool DecodeTopologyInfo(std::span<const uint8_t> payload,
+                        TopologyInfoFrame* info);
+
+// --- Shared Hello admission checks. ---
+
+/// Hello frames are untrusted input, so session sizing is capped before
+/// it drives any allocation: the site id also travels in 16 bits of the
+/// simulated message header (net/message.h), making 2^16 the natural
+/// ceiling of the monitoring model. The cap bounds the GLOBAL range — a
+/// leaf's site_base + num_sites must stay within it too.
+inline constexpr uint32_t kMaxSessionSites = 1u << 16;
+
+/// Session names are path-safe and bounded so checkpoint file layouts
+/// and log lines can embed them verbatim.
+inline constexpr size_t kMaxSessionNameLength = 128;
+bool SessionNameIsSafe(const std::string& name);
+
+/// The Hello checks every node (leaf server and root aggregator) applies
+/// identically: magic, exact version match, site count within
+/// [1, max_sites] with site_base + num_sites not overflowing it, epsilon
+/// in (0, 1), period >= 1, and a safe session name. Returns an empty
+/// string on success, else the Error-frame diagnostic to send back.
+/// Tracker existence and shard pairing stay node-specific.
+std::string ValidateHello(const HelloFrame& hello, uint32_t max_sites);
 
 }  // namespace varstream
 

@@ -21,32 +21,15 @@ namespace varstream {
 
 namespace {
 
-/// Hello frames are untrusted input, so session sizing is capped before
-/// it drives any allocation: the site id also travels in 16 bits of the
-/// simulated message header (net/message.h), making 2^16 the natural
-/// ceiling of the monitoring model.
-constexpr uint32_t kMaxSessionSites = 1u << 16;
-
-/// Session names are embedded verbatim in the line-oriented
-/// varstream-ckpt-v1 file, so a newline (or other control bytes) in a
-/// name would write a checkpoint that can never be restored. Only a
-/// conservative filename-ish charset is admitted.
-constexpr size_t kMaxSessionNameLength = 128;
-
-bool SessionNameIsSafe(const std::string& name) {
-  for (char c : name) {
-    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
-    if (!ok) return false;
-  }
-  return true;
-}
+// Session-name and sizing checks live in protocol.cc (ValidateHello)
+// now, shared with the root aggregator's identical admission path.
 
 bool OptionsMatch(const TrackerOptions& a, const TrackerOptions& b) {
   return a.num_sites == b.num_sites && a.epsilon == b.epsilon &&
          a.seed == b.seed && a.initial_value == b.initial_value &&
          a.drift_threshold_factor == b.drift_threshold_factor &&
-         a.sample_constant == b.sample_constant && a.period == b.period;
+         a.sample_constant == b.sample_constant && a.period == b.period &&
+         a.site_base == b.site_base;
 }
 
 }  // namespace
@@ -296,6 +279,17 @@ VarstreamServer::Session* VarstreamServer::ResolveSession(
     *created = false;
     return session;
   }
+  // Admission cap before any allocation: every session owns a tracker
+  // (possibly a W-thread engine), so a server facing untrusted clients
+  // needs a ceiling that refuses loudly instead of thrashing.
+  if (options_.max_sessions > 0 &&
+      sessions_.size() >= options_.max_sessions) {
+    *error = "session limit reached (" +
+             std::to_string(options_.max_sessions) +
+             " sessions; --max-sessions); session '" + hello.session +
+             "' refused — attach to an existing session or raise the cap";
+    return nullptr;
+  }
   // Checkpointing applies to every session, so a checkpointing server
   // only admits checkpointable (= mergeable) trackers.
   if (!options_.checkpoint_path.empty() &&
@@ -335,35 +329,8 @@ bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
       if (!DecodeHello(frame.payload, &hello)) {
         return SendError(fd, nullptr, "malformed hello payload");
       }
-      if (hello.magic != kProtocolMagic) {
-        return SendError(fd, nullptr, "bad protocol magic");
-      }
-      if (hello.version != kProtocolVersion) {
-        return SendError(
-            fd, nullptr,
-            "protocol version mismatch: client speaks v" +
-                std::to_string(hello.version) + ", server speaks v" +
-                std::to_string(kProtocolVersion));
-      }
-      if (hello.options.num_sites == 0 ||
-          hello.options.num_sites > kMaxSessionSites ||
-          !(hello.options.epsilon > 0 && hello.options.epsilon < 1) ||
-          hello.options.period == 0) {
-        return SendError(fd, nullptr,
-                         "invalid session config: need 1 <= sites <= " +
-                             std::to_string(kMaxSessionSites) +
-                             ", epsilon in (0, 1), period >= 1");
-      }
-      if (hello.session.empty() ||
-          hello.session.size() > kMaxSessionNameLength ||
-          !SessionNameIsSafe(hello.session)) {
-        return SendError(
-            fd, nullptr,
-            "invalid session name (1-" +
-                std::to_string(kMaxSessionNameLength) +
-                " characters from [A-Za-z0-9._-]; it is embedded in the "
-                "line-oriented checkpoint file)");
-      }
+      std::string admission = ValidateHello(hello, kMaxSessionSites);
+      if (!admission.empty()) return SendError(fd, nullptr, admission);
       std::string error;
       bool created = false;
       Session* resolved = ResolveSession(hello, &created, &error);
@@ -544,6 +511,60 @@ bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
                 "session, or downsample with buckets");
       }
       return SendFrame(fd, FrameType::kQueryRangeResult, payload, *session);
+    }
+    case FrameType::kStateDump: {
+      // Read-only and (like QueryRange) Hello-free: the root aggregator
+      // pulls these over whatever connection is handy.
+      StateDumpFrame dump;
+      if (!DecodeStateDump(frame.payload, &dump)) {
+        return SendError(fd, *session, "malformed state-dump payload");
+      }
+      Session* target = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        auto it = sessions_.find(dump.session);
+        if (it != sessions_.end()) target = it->second.get();
+      }
+      if (target == nullptr) {
+        return SendError(fd, *session,
+                         "unknown session '" + dump.session + "'");
+      }
+      StateDumpResultFrame result;
+      {
+        std::lock_guard<std::mutex> lock(target->mu);
+        auto* mergeable = dynamic_cast<Mergeable*>(target->tracker.get());
+        if (mergeable == nullptr) {
+          return SendError(
+              fd, *session,
+              "session '" + dump.session + "' (tracker '" +
+                  target->tracker_name +
+                  "') has no serializable state; mergeable trackers: " +
+                  JoinNames(TrackerRegistry::Instance().MergeableNames()));
+        }
+        result.tracker = target->tracker_name;
+        result.shards = target->shards;
+        result.state = mergeable->SerializeState();
+      }
+      std::vector<uint8_t> payload = EncodeStateDumpResult(result);
+      if (payload.size() > kMaxFramePayload) {
+        return SendError(
+            fd, *session,
+            "state dump (" + std::to_string(payload.size()) +
+                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
+                "-byte frame limit");
+      }
+      return SendFrame(fd, FrameType::kStateDumpResult, payload, *session);
+    }
+    case FrameType::kTopology: {
+      if (!frame.payload.empty()) {
+        return SendError(fd, *session, "malformed topology payload");
+      }
+      // A plain server is its own one-node topology; the root's
+      // supervisor also uses this answer as its heartbeat.
+      TopologyInfoFrame info;
+      info.role = "server";
+      return SendFrame(fd, FrameType::kTopologyInfo,
+                       EncodeTopologyInfo(info), *session);
     }
     case FrameType::kShutdown: {
       if (!frame.payload.empty()) {

@@ -63,6 +63,13 @@ struct ServerOptions {
   /// varstream-ckpt-v1 file before accepting connections.
   std::string restore_path;
 
+  /// Admission cap on concurrent sessions: a Hello that would create
+  /// session number max_sessions + 1 is answered with a loud Error frame
+  /// instead of an unbounded allocation (each session owns a tracker and
+  /// possibly a W-thread engine). 0 = unlimited. Attaching to an
+  /// existing session is always admitted, as are restored sessions.
+  uint32_t max_sessions = 0;
+
   /// History retention for every session this server creates (capacity
   /// rows per session, one sample per `cadence` ingested updates —
   /// src/history/history.h). The defaults retain 1024 rows at cadence

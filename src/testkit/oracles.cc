@@ -1,10 +1,13 @@
 #include "testkit/oracles.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <vector>
@@ -14,6 +17,8 @@
 #include "core/mergeable.h"
 #include "core/registry.h"
 #include "core/sharded.h"
+#include "hierarchy/launcher.h"
+#include "hierarchy/root.h"
 #include "history/history.h"
 #include "history/query.h"
 #include "service/checkpoint.h"
@@ -66,6 +71,58 @@ std::string SnapshotDiff(const char* label_a, const TrackerSnapshot& a,
          FmtG(b.estimate) + ", time=" + std::to_string(b.time) + ", msgs=" +
          std::to_string(b.messages) + ", bits=" + std::to_string(b.bits) +
          "}";
+}
+
+/// Replays [from, to) in scenario batches, running the sampler at each
+/// batch boundary exactly as VarstreamServer::kPushBatch (and the root
+/// aggregator's push path) does. Shared by the history and hierarchy
+/// parity oracles.
+void ReplaySampled(const GeneratedCase& c, DistributedTracker& tracker,
+                   HistorySampler& sampler, size_t from, size_t to) {
+  size_t prev = from;
+  ReplayRange(c.trace, tracker, c.scenario.batch_size, from, to,
+              [&](size_t pos) {
+                if (sampler.Due(pos - prev)) {
+                  TrackerSnapshot snap = tracker.Snapshot();
+                  sampler.Record({snap.time, snap.estimate, snap.messages,
+                                  snap.bits, 0});
+                }
+                prev = pos;
+              });
+}
+
+/// Field-wise row comparison excluding wire_bytes (the shadow has no
+/// wire traffic, by construction).
+bool RowsMatch(const std::vector<QueryRow>& served,
+               const std::vector<QueryRow>& expect, std::string* error) {
+  if (served.size() != expect.size()) {
+    *error = "row count " + std::to_string(served.size()) + " vs shadow " +
+             std::to_string(expect.size());
+    return false;
+  }
+  for (size_t i = 0; i < served.size(); ++i) {
+    const QueryRow& a = served[i];
+    const QueryRow& b = expect[i];
+    if (a.time_first != b.time_first || a.time_last != b.time_last ||
+        std::bit_cast<uint64_t>(a.value) !=
+            std::bit_cast<uint64_t>(b.value) ||
+        a.messages != b.messages || a.bits != b.bits ||
+        a.samples != b.samples) {
+      *error = "row " + std::to_string(i) + " diverges: wire {t=[" +
+               std::to_string(a.time_first) + "," +
+               std::to_string(a.time_last) + "], v=" + FmtG(a.value) +
+               ", msgs=" + std::to_string(a.messages) + ", bits=" +
+               std::to_string(a.bits) + ", n=" +
+               std::to_string(a.samples) + "} vs shadow {t=[" +
+               std::to_string(b.time_first) + "," +
+               std::to_string(b.time_last) + "], v=" + FmtG(b.value) +
+               ", msgs=" + std::to_string(b.messages) + ", bits=" +
+               std::to_string(b.bits) + ", n=" +
+               std::to_string(b.samples) + "}";
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Trackers whose estimate carries a relative-error guarantee the
@@ -697,59 +754,6 @@ class HistoryParityOracle final : public Oracle {
   }
 
  private:
-  /// Replays [from, to) in scenario batches, running the sampler at each
-  /// batch boundary exactly as VarstreamServer::kPushBatch does.
-  static void ReplaySampled(const GeneratedCase& c,
-                            DistributedTracker& tracker,
-                            HistorySampler& sampler, size_t from,
-                            size_t to) {
-    size_t prev = from;
-    ReplayRange(c.trace, tracker, c.scenario.batch_size, from, to,
-                [&](size_t pos) {
-                  if (sampler.Due(pos - prev)) {
-                    TrackerSnapshot snap = tracker.Snapshot();
-                    sampler.Record({snap.time, snap.estimate, snap.messages,
-                                    snap.bits, 0});
-                  }
-                  prev = pos;
-                });
-  }
-
-  /// Field-wise row comparison excluding wire_bytes (the shadow has no
-  /// wire traffic, by construction).
-  static bool RowsMatch(const std::vector<QueryRow>& served,
-                        const std::vector<QueryRow>& expect,
-                        std::string* error) {
-    if (served.size() != expect.size()) {
-      *error = "row count " + std::to_string(served.size()) + " vs shadow " +
-               std::to_string(expect.size());
-      return false;
-    }
-    for (size_t i = 0; i < served.size(); ++i) {
-      const QueryRow& a = served[i];
-      const QueryRow& b = expect[i];
-      if (a.time_first != b.time_first || a.time_last != b.time_last ||
-          std::bit_cast<uint64_t>(a.value) !=
-              std::bit_cast<uint64_t>(b.value) ||
-          a.messages != b.messages || a.bits != b.bits ||
-          a.samples != b.samples) {
-        *error = "row " + std::to_string(i) + " diverges: wire {t=[" +
-                 std::to_string(a.time_first) + "," +
-                 std::to_string(a.time_last) + "], v=" + FmtG(a.value) +
-                 ", msgs=" + std::to_string(a.messages) + ", bits=" +
-                 std::to_string(a.bits) + ", n=" +
-                 std::to_string(a.samples) + "} vs shadow {t=[" +
-                 std::to_string(b.time_first) + "," +
-                 std::to_string(b.time_last) + "], v=" + FmtG(b.value) +
-                 ", msgs=" + std::to_string(b.messages) + ", bits=" +
-                 std::to_string(b.bits) + ", n=" +
-                 std::to_string(b.samples) + "}";
-        return false;
-      }
-    }
-    return true;
-  }
-
   static bool Drive(const GeneratedCase& c, const HistorySampler& shadow,
                     VarstreamServer& server, std::string* error) {
     const Scenario& s = c.scenario;
@@ -938,6 +942,200 @@ class HistoryParityOracle final : public Oracle {
   }
 };
 
+// --- hierarchy-parity -------------------------------------------------
+
+class HierarchyParityOracle final : public Oracle {
+ public:
+  std::string name() const override { return "hierarchy-parity"; }
+
+  bool Applicable(const Scenario& s) const override {
+    // The root partitions sites across leaves, so it needs a mergeable
+    // tracker and at least two sites to split.
+    if (!TrackerRegistry::Instance().IsMergeable(s.tracker)) return false;
+    if (s.num_sites < 2) return false;
+    return CheckScenarioPairing(s.tracker, s.stream, s.num_shards,
+                                s.num_sites)
+        .ok;
+  }
+
+  OracleOutcome Check(const GeneratedCase& c) const override {
+    const Scenario& s = c.scenario;
+    const int64_t f0 = c.trace.initial_value();
+    // The root only hosts sharded sessions (a serial tracker's fold
+    // order cannot be reproduced across a site partition), so a serial
+    // scenario is checked at W = 1 — W only schedules.
+    const uint32_t shards = std::max<uint32_t>(s.num_shards, 1);
+    std::string error;
+
+    // No-failure reference: the full-k engine plus a shadow of the
+    // root's merged history sampler, replayed on the same batch grid.
+    std::unique_ptr<DistributedTracker> reference =
+        MakeCaseTracker(s, shards, f0, &error);
+    if (reference == nullptr) {
+      return OracleOutcome::Fail("cannot construct tracker: " + error);
+    }
+    HistoryOptions history;
+    history.cadence = std::max<uint64_t>(1, c.trace.size() / 7);
+    history.capacity = 1024;
+    HistorySampler shadow(history);
+    ReplaySampled(c, *reference, shadow, 0, c.trace.size());
+    TrackerSnapshot want = reference->Snapshot();
+    auto* reference_state = dynamic_cast<Mergeable*>(reference.get());
+    if (reference_state == nullptr) {
+      return OracleOutcome::Fail("tracker is registered mergeable but does "
+                                 "not implement Mergeable");
+    }
+    const std::string want_state = reference_state->SerializeState();
+
+    char scratch_template[] = "/tmp/varstream-hier-XXXXXX";
+    char* scratch = mkdtemp(scratch_template);
+    if (scratch == nullptr) {
+      return OracleOutcome::Fail("cannot create leaf checkpoint scratch "
+                                 "dir under /tmp");
+    }
+    const std::string work_dir = scratch;
+    const uint32_t num_leaves =
+        std::min<uint32_t>(2 + static_cast<uint32_t>(s.seed % 2),
+                           s.num_sites);
+    InProcessLauncher launcher(work_dir);
+    RootOptions root_options;
+    root_options.port = 0;  // ephemeral — concurrent checks don't collide
+    root_options.num_leaves = num_leaves;
+    root_options.heartbeat_ms = 0;  // the drill triggers recovery itself
+    root_options.history = history;
+    RootAggregator root(root_options, &launcher);
+    OracleOutcome outcome = OracleOutcome::Pass();
+    if (!root.Start(&error)) {
+      outcome = OracleOutcome::Fail("root start failed: " + error);
+    } else {
+      outcome = Drive(c, shards, num_leaves, want, want_state, shadow,
+                      root, launcher, &error)
+                    ? OracleOutcome::Pass()
+                    : OracleOutcome::Fail(error);
+    }
+    root.Stop();
+    for (uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+      std::remove(
+          (work_dir + "/leaf_" + std::to_string(leaf) + ".ckpt").c_str());
+    }
+    rmdir(work_dir.c_str());
+    return outcome;
+  }
+
+ private:
+  /// Streams the trace through the root, kill -9s one leaf at the middle
+  /// batch boundary (checkpointing first on even seeds, so recovery
+  /// alternates between restore+journal-suffix and full journal replay),
+  /// recovers, finishes the stream, and then compares every read surface
+  /// — Query, StateDump, QueryRange — bit for bit against the
+  /// no-failure reference.
+  static bool Drive(const GeneratedCase& c, uint32_t shards,
+                    uint32_t num_leaves, const TrackerSnapshot& want,
+                    const std::string& want_state,
+                    const HistorySampler& shadow, RootAggregator& root,
+                    InProcessLauncher& launcher, std::string* error) {
+    const Scenario& s = c.scenario;
+    VarstreamClient client;
+    if (!client.Connect("127.0.0.1", root.port(), error)) {
+      *error = "connect: " + *error;
+      return false;
+    }
+    HelloFrame hello;
+    hello.session = "conformance";
+    hello.tracker = s.tracker;
+    hello.shards = shards;
+    hello.options = CaseTrackerOptions(s, c.trace.initial_value());
+    HelloAckFrame hello_ack;
+    if (!client.Hello(hello, &hello_ack, error)) {
+      *error = "hello: " + *error;
+      return false;
+    }
+
+    const std::vector<CountUpdate>& updates = c.trace.updates();
+    const size_t b =
+        static_cast<size_t>(std::max<uint64_t>(s.batch_size, 1));
+    const size_t cut = (updates.size() / 2) / b * b;  // batch boundary
+    const uint32_t victim = static_cast<uint32_t>(s.seed % num_leaves);
+    const bool checkpoint_first = s.seed % 2 == 0;
+    bool crashed = false;
+    size_t pos = 0;
+    while (pos < updates.size()) {
+      if (!crashed && pos >= cut) {
+        crashed = true;
+        if (checkpoint_first) {
+          std::string path;
+          if (!client.Checkpoint(&path, error)) {
+            *error = "checkpoint before crash: " + *error;
+            return false;
+          }
+        }
+        launcher.SimulateCrash(victim);
+        if (!root.RecoverLeaf(victim, error)) {
+          *error = "recovery of leaf " + std::to_string(victim) + ": " +
+                   *error;
+          return false;
+        }
+      }
+      size_t take = std::min(b, updates.size() - pos);
+      PushAckFrame push_ack;
+      if (!client.Push(
+              std::span<const CountUpdate>(updates.data() + pos, take),
+              &push_ack, error)) {
+        *error = "push at update " + std::to_string(pos) + ": " + *error;
+        return false;
+      }
+      pos += take;
+    }
+
+    SnapshotFrame wire;
+    if (!client.Query(&wire, error)) {
+      *error = "query: " + *error;
+      return false;
+    }
+    TrackerSnapshot served;
+    served.estimate = wire.estimate;
+    served.time = wire.time;
+    served.messages = wire.messages;
+    served.bits = wire.bits;
+    if (!SnapshotsBitIdentical(want, served)) {
+      *error = "merged snapshot after the crash drill diverges from the "
+               "no-failure run: " +
+               SnapshotDiff("root", served, "in-process", want);
+      return false;
+    }
+
+    StateDumpResultFrame dump;
+    if (!client.StateDump("conformance", &dump, error)) {
+      *error = "state dump: " + *error;
+      return false;
+    }
+    if (dump.state != want_state) {
+      *error = "merged SerializeState after the crash drill differs from "
+               "the no-failure run (snapshots agree — internal state "
+               "drift)";
+      return false;
+    }
+
+    QueryRangeFrame raw;
+    QueryRangeResultFrame result;
+    if (!client.QueryRange(raw, &result, error)) {
+      *error = "query-range: " + *error;
+      return false;
+    }
+    if (result.sessions.size() != 1) {
+      *error = "query-range returned " +
+               std::to_string(result.sessions.size()) + " sessions";
+      return false;
+    }
+    if (!RowsMatch(result.sessions[0].rows,
+                   EvaluateQuery(shadow.ring().Rows(), raw.spec), error)) {
+      *error = "merged history rows: " + *error;
+      return false;
+    }
+    return true;
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& AllOracles() {
@@ -948,11 +1146,12 @@ const std::vector<const Oracle*>& AllOracles() {
   static const CheckpointRoundTripOracle checkpoint_roundtrip;
   static const ServiceParityOracle service_parity;
   static const HistoryParityOracle history_parity;
+  static const HierarchyParityOracle hierarchy_parity;
   static const std::vector<const Oracle*> all = {
       &accuracy,  &cost,
       &monotone,  &shard_parity,
       &checkpoint_roundtrip, &service_parity,
-      &history_parity,
+      &history_parity, &hierarchy_parity,
   };
   return all;
 }

@@ -36,6 +36,14 @@
 //                    bit for bit, and the checkpointed history section
 //                    resumes (under a different worker count) into the
 //                    exact rows of the uninterrupted run.
+//   hierarchy-parity the two-level hierarchy (src/hierarchy/): a real
+//                    RootAggregator over in-process leaves, with one
+//                    leaf kill -9'd at a mid-stream batch boundary and
+//                    recovered (alternating by seed between a
+//                    checkpoint-backed restore and a full journal
+//                    replay), must end with Query, StateDump, and
+//                    QueryRange answers byte-identical to the
+//                    uninterrupted single-process run.
 //
 // Oracles are stateless singletons; Check() may be called concurrently
 // from the runner's worker threads and must derive everything from the

@@ -11,6 +11,7 @@
 //   * the checkpoint file format detects truncation and corruption via
 //     its trailing CRC.
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <span>
@@ -283,6 +284,41 @@ TEST(CheckpointFile, EncodeDecodeRoundTrip) {
     EXPECT_EQ(decoded[i].options.epsilon, sessions[i].options.epsilon);
     EXPECT_EQ(decoded[i].state, sessions[i].state);
   }
+}
+
+TEST(CheckpointFile, SiteBaseRoundTripsOnlyWhenNonzero) {
+  // A hierarchy leaf owns a global range [site_base, site_base + sites);
+  // its checkpoint must carry the offset so --restore re-seeds per-site
+  // state against the same GLOBAL site ids. Plain servers (site_base 0)
+  // must keep emitting the exact pre-v3 bytes — no sitebase line at all.
+  std::vector<SessionCheckpoint> sessions = SampleSessions();
+  ASSERT_GE(sessions.size(), 1u);
+  sessions[0].options.site_base = 24;
+
+  std::string text = EncodeCheckpoint(sessions);
+  EXPECT_NE(text.find("sitebase=24\n"), std::string::npos);
+
+  std::vector<SessionCheckpoint> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeCheckpoint(text, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.size(), sessions.size());
+  EXPECT_EQ(decoded[0].options.site_base, 24u);
+  for (size_t i = 1; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].options.site_base, 0u);
+  }
+
+  // Zero offsets leave the encoding untouched.
+  sessions[0].options.site_base = 0;
+  EXPECT_EQ(EncodeCheckpoint(sessions).find("sitebase="),
+            std::string::npos);
+
+  // An offset that pushes the range past the 32-bit global site space
+  // is malformed, not silently clamped (the CRC already catches any
+  // byte-level tampering, so this goes through a well-formed encode).
+  sessions[0].options.site_base = UINT32_MAX - 2;  // + kSites overflows
+  EXPECT_FALSE(DecodeCheckpoint(EncodeCheckpoint(sessions), &decoded,
+                                &error));
+  EXPECT_NE(error.find("sitebase"), std::string::npos) << error;
 }
 
 TEST(CheckpointFile, DetectsCorruptionAndTruncation) {

@@ -1,0 +1,432 @@
+// The two-level hierarchy (src/hierarchy/) over real loopback TCP with
+// in-process leaves:
+//
+//   * site-range partitioning is disjoint, contiguous, balanced, and the
+//     batch demux remaps sites to leaf-local ids;
+//   * a session served through the root is byte-identical to the
+//     in-process full-range engine (the state-splice claim);
+//   * kill -9ing a leaf mid-stream — with or without a prior checkpoint
+//     — recovers to the exact no-failure state via journal replay;
+//   * Topology frames describe the tree (role "root" with a leaf table,
+//     role "server" on a leaf);
+//   * root admission refuses serial sessions, client-set site bases, and
+//     non-mergeable trackers with actionable errors.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "hierarchy/launcher.h"
+#include "hierarchy/merge.h"
+#include "hierarchy/partition.h"
+#include "hierarchy/root.h"
+#include "service/client.h"
+#include "stream/source.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace {
+
+constexpr uint32_t kSites = 12;
+
+TrackerOptions Opts() {
+  TrackerOptions opts;
+  opts.num_sites = kSites;
+  opts.epsilon = 0.1;
+  opts.seed = 4321;
+  return opts;
+}
+
+HelloFrame MakeHello(const std::string& session, const std::string& tracker,
+                     uint32_t shards = 2) {
+  HelloFrame hello;
+  hello.session = session;
+  hello.tracker = tracker;
+  hello.shards = shards;
+  hello.options = Opts();
+  return hello;
+}
+
+StreamTrace Record(const std::string& stream, uint64_t n, uint64_t seed) {
+  StreamSpec spec;
+  spec.num_sites = kSites;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  return RecordTrace(*source, n);
+}
+
+TrackerSnapshot InProcess(const std::string& tracker_name, uint32_t shards,
+                          const StreamTrace& trace, std::string* state) {
+  std::string error;
+  auto tracker = ShardedTracker::Create(tracker_name, Opts(), shards, &error);
+  EXPECT_NE(tracker, nullptr) << error;
+  const std::vector<CountUpdate>& updates = trace.updates();
+  size_t pos = 0;
+  while (pos < updates.size()) {
+    size_t len = std::min<size_t>(512, updates.size() - pos);
+    tracker->PushBatch(
+        std::span<const CountUpdate>(updates.data() + pos, len));
+    pos += len;
+  }
+  if (state != nullptr) *state = tracker->SerializeState();
+  return tracker->Snapshot();
+}
+
+void ExpectBitIdentical(const SnapshotFrame& served,
+                        const TrackerSnapshot& expected,
+                        const std::string& context) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(served.estimate),
+            std::bit_cast<uint64_t>(expected.estimate))
+      << context;
+  EXPECT_EQ(served.time, expected.time) << context;
+  EXPECT_EQ(served.messages, expected.messages) << context;
+  EXPECT_EQ(served.bits, expected.bits) << context;
+}
+
+/// A started root over fresh in-process leaves, plus a connected client.
+/// Leaf checkpoints land in a per-harness temp dir, removed on teardown.
+struct RootHarness {
+  explicit RootHarness(uint32_t num_leaves = 3, RootOptions base = {})
+      : work_dir(testing::TempDir() + "hierarchy_test_" +
+                 std::to_string(::getpid()) + "_" +
+                 std::to_string(counter()++)),
+        launcher((::mkdir(work_dir.c_str(), 0755), work_dir)),
+        root(
+            [&] {
+              base.port = 0;
+              base.num_leaves = num_leaves;
+              return base;
+            }(),
+            &launcher) {
+    std::string error;
+    EXPECT_TRUE(root.Start(&error)) << error;
+    EXPECT_TRUE(client.Connect("127.0.0.1", root.port(), &error)) << error;
+  }
+
+  ~RootHarness() {
+    client.Close();
+    root.Stop();
+    for (uint32_t leaf = 0; leaf < 16; ++leaf) {
+      std::remove(
+          (work_dir + "/leaf_" + std::to_string(leaf) + ".ckpt").c_str());
+    }
+    ::rmdir(work_dir.c_str());
+  }
+
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+
+  std::string work_dir;
+  InProcessLauncher launcher;
+  RootAggregator root;
+  VarstreamClient client;
+};
+
+void PushTrace(VarstreamClient& client, const StreamTrace& trace,
+               size_t from, size_t to, size_t batch = 512) {
+  const std::vector<CountUpdate>& updates = trace.updates();
+  size_t pos = from;
+  while (pos < to) {
+    size_t len = std::min(batch, to - pos);
+    PushAckFrame ack;
+    std::string error;
+    ASSERT_TRUE(client.Push(
+        std::span<const CountUpdate>(updates.data() + pos, len), &ack,
+        &error))
+        << error;
+    pos += len;
+  }
+}
+
+// --- partition math ---------------------------------------------------
+
+TEST(Partition, RangesAreDisjointContiguousAndBalanced) {
+  for (uint32_t k : {1u, 2u, 7u, 12u, 100u}) {
+    for (uint32_t n : {1u, 2u, 3u, 5u, 16u}) {
+      std::vector<SiteRange> ranges = PartitionSites(k, n);
+      ASSERT_EQ(ranges.size(), n);
+      uint32_t next = 0;
+      uint32_t lo_size = UINT32_MAX;
+      uint32_t hi_size = 0;
+      for (const SiteRange& r : ranges) {
+        EXPECT_EQ(r.lo, next) << "k=" << k << " n=" << n;
+        EXPECT_LE(r.lo, r.hi);
+        next = r.hi;
+        lo_size = std::min(lo_size, r.size());
+        hi_size = std::max(hi_size, r.size());
+      }
+      EXPECT_EQ(next, k) << "ranges must cover [0, k)";
+      EXPECT_LE(hi_size - lo_size, 1u) << "sizes differ by at most one";
+    }
+  }
+}
+
+TEST(Partition, SiteOwnersAgreeWithContains) {
+  std::vector<SiteRange> ranges = PartitionSites(kSites, 3);
+  std::vector<uint32_t> owner = SiteOwners(ranges, kSites);
+  for (uint32_t site = 0; site < kSites; ++site) {
+    EXPECT_TRUE(ranges[owner[site]].Contains(site)) << "site " << site;
+  }
+}
+
+TEST(Partition, BatchDemuxRemapsSitesAndDropsZeroDeltas) {
+  std::vector<SiteRange> ranges = PartitionSites(6, 2);  // [0,3) [3,6)
+  std::vector<uint32_t> owner = SiteOwners(ranges, 6);
+  std::vector<CountUpdate> batch = {
+      {0, +1}, {3, -2}, {5, 0}, {2, +4}, {4, +7},
+  };
+  std::vector<std::vector<CountUpdate>> per_leaf;
+  PartitionBatch(batch, owner, ranges, &per_leaf);
+  ASSERT_EQ(per_leaf.size(), 2u);
+  ASSERT_EQ(per_leaf[0].size(), 2u);  // sites 0, 2
+  ASSERT_EQ(per_leaf[1].size(), 2u);  // sites 3, 4 (5 had delta 0)
+  EXPECT_EQ(per_leaf[0][0].site, 0u);
+  EXPECT_EQ(per_leaf[0][1].site, 2u);
+  EXPECT_EQ(per_leaf[1][0].site, 0u);  // global 3 - lo 3
+  EXPECT_EQ(per_leaf[1][0].delta, -2);
+  EXPECT_EQ(per_leaf[1][1].site, 1u);  // global 4 - lo 3
+}
+
+TEST(Partition, SpliceRefusesMismatchedInput) {
+  std::vector<SiteRange> ranges = PartitionSites(kSites, 3);
+  std::unique_ptr<ShardedTracker> mirror;
+  std::string error;
+  EXPECT_FALSE(SpliceLeafStates("deterministic", Opts(), ranges,
+                                {"", ""},  // 2 states for 3 ranges
+                                &mirror, &error));
+  EXPECT_NE(error.find("3 ranges"), std::string::npos) << error;
+}
+
+// --- parity through the root ------------------------------------------
+
+// The headline property: a session served through the root over three
+// leaves is byte-identical to the in-process full-range engine — both
+// the Snapshot surface and the serialized state.
+TEST(Hierarchy, RootServesMergedSessionsBitForBit) {
+  StreamTrace trace = Record("random-walk", 20000, 3);
+  for (const std::string& name :
+       TrackerRegistry::Instance().MergeableNames()) {
+    RootHarness h;
+    HelloAckFrame hello_ack;
+    std::string error;
+    ASSERT_TRUE(h.client.Hello(MakeHello("s", name), &hello_ack, &error))
+        << error;
+    EXPECT_TRUE(hello_ack.created);
+    PushTrace(h.client, trace, 0, trace.size());
+
+    std::string want_state;
+    TrackerSnapshot want = InProcess(name, 2, trace, &want_state);
+    SnapshotFrame served;
+    ASSERT_TRUE(h.client.Query(&served, &error)) << error;
+    ExpectBitIdentical(served, want, name);
+
+    StateDumpResultFrame dump;
+    ASSERT_TRUE(h.client.StateDump("s", &dump, &error)) << error;
+    EXPECT_EQ(dump.tracker, name);
+    EXPECT_EQ(dump.state, want_state)
+        << name << ": merged state drifted from the in-process engine";
+  }
+}
+
+// More leaves than sites: trailing leaves get empty ranges and must not
+// break the merge.
+TEST(Hierarchy, EmptyLeafRangesAreHandled) {
+  StreamTrace trace = Record("random-walk", 4000, 5);
+  RootHarness h(/*num_leaves=*/3);
+  HelloFrame hello = MakeHello("tiny", "deterministic");
+  hello.options.num_sites = 2;  // leaf 2 gets [2, 2)
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(hello, &ack, &error)) << error;
+  // The trace was recorded over kSites; clamp updates into 2 sites.
+  std::vector<CountUpdate> updates = trace.updates();
+  for (CountUpdate& u : updates) u.site %= 2;
+  PushAckFrame push_ack;
+  ASSERT_TRUE(h.client.Push(std::span<const CountUpdate>(updates), &push_ack,
+                            &error))
+      << error;
+  SnapshotFrame served;
+  ASSERT_TRUE(h.client.Query(&served, &error)) << error;
+  EXPECT_EQ(served.time, trace.size());
+}
+
+// --- crash drills -----------------------------------------------------
+
+// kill -9 a leaf mid-stream after a checkpoint: recovery restores from
+// the checkpoint and replays the journal suffix; the final state is
+// byte-identical to the no-failure run.
+TEST(Hierarchy, LeafCrashAfterCheckpointRecoversByteIdentical) {
+  StreamTrace trace = Record("random-walk", 16000, 21);
+  RootHarness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("drill", "randomized"), &ack, &error))
+      << error;
+  PushTrace(h.client, trace, 0, 8000);
+  std::string path;
+  ASSERT_TRUE(h.client.Checkpoint(&path, &error)) << error;
+  EXPECT_EQ(path, h.work_dir);
+  PushTrace(h.client, trace, 8000, 12000);  // journaled past the checkpoint
+
+  h.launcher.SimulateCrash(1);
+  ASSERT_TRUE(h.root.RecoverLeaf(1, &error)) << error;
+
+  PushTrace(h.client, trace, 12000, trace.size());
+  std::string want_state;
+  TrackerSnapshot want = InProcess("randomized", 2, trace, &want_state);
+  SnapshotFrame served;
+  ASSERT_TRUE(h.client.Query(&served, &error)) << error;
+  ExpectBitIdentical(served, want, "after checkpoint-backed recovery");
+  StateDumpResultFrame dump;
+  ASSERT_TRUE(h.client.StateDump("drill", &dump, &error)) << error;
+  EXPECT_EQ(dump.state, want_state);
+
+  TopologyInfoFrame info = h.root.TopologySnapshot();
+  ASSERT_EQ(info.leaves.size(), 3u);
+  EXPECT_EQ(info.leaves[1].restarts, 1u);
+}
+
+// The same drill with no checkpoint at all: recovery relaunches the leaf
+// empty and replays the entire journal.
+TEST(Hierarchy, LeafCrashWithoutCheckpointReplaysTheFullJournal) {
+  StreamTrace trace = Record("random-walk", 10000, 7);
+  RootHarness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("drill", "deterministic"), &ack,
+                             &error))
+      << error;
+  PushTrace(h.client, trace, 0, 5000);
+
+  h.launcher.SimulateCrash(0);
+  ASSERT_TRUE(h.root.RecoverLeaf(0, &error)) << error;
+
+  PushTrace(h.client, trace, 5000, trace.size());
+  SnapshotFrame served;
+  ASSERT_TRUE(h.client.Query(&served, &error)) << error;
+  ExpectBitIdentical(served, InProcess("deterministic", 2, trace, nullptr),
+                     "after journal-only recovery");
+}
+
+// A crash the root has NOT been told about: the next push hits the dead
+// leaf, fails, and the push path recovers in place — the client call
+// succeeds and parity still holds.
+TEST(Hierarchy, PushPathRecoversACrashedLeafOnItsOwn) {
+  StreamTrace trace = Record("random-walk", 10000, 13);
+  RootHarness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("drill", "deterministic"), &ack,
+                             &error))
+      << error;
+  PushTrace(h.client, trace, 0, 5000);
+  h.launcher.SimulateCrash(2);  // no RecoverLeaf — the root finds out
+  PushTrace(h.client, trace, 5000, trace.size());
+  SnapshotFrame served;
+  ASSERT_TRUE(h.client.Query(&served, &error)) << error;
+  ExpectBitIdentical(served, InProcess("deterministic", 2, trace, nullptr),
+                     "after in-band crash detection");
+}
+
+// --- topology ---------------------------------------------------------
+
+TEST(Hierarchy, TopologyFramesDescribeTheTree) {
+  RootHarness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("s", "deterministic"), &ack, &error))
+      << error;
+
+  TopologyInfoFrame info;
+  ASSERT_TRUE(h.client.Topology(&info, &error)) << error;
+  EXPECT_EQ(info.role, "root");
+  ASSERT_EQ(info.leaves.size(), 3u);
+  uint32_t next = 0;
+  for (const TopologyLeaf& leaf : info.leaves) {
+    EXPECT_TRUE(leaf.alive);
+    EXPECT_EQ(leaf.site_lo, next);
+    next = leaf.site_hi;
+    EXPECT_NE(leaf.port, 0u);
+  }
+  EXPECT_EQ(next, kSites);
+
+  // A leaf introduces itself as a plain server with no leaf table.
+  VarstreamClient direct;
+  ASSERT_TRUE(
+      direct.Connect("127.0.0.1",
+                     static_cast<uint16_t>(info.leaves[0].port), &error))
+      << error;
+  TopologyInfoFrame leaf_info;
+  ASSERT_TRUE(direct.Topology(&leaf_info, &error)) << error;
+  EXPECT_EQ(leaf_info.role, "server");
+  EXPECT_TRUE(leaf_info.leaves.empty());
+}
+
+// --- admission --------------------------------------------------------
+
+TEST(Hierarchy, SerialSessionsAreRefused) {
+  RootHarness h;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(h.client.Hello(MakeHello("s", "deterministic", /*shards=*/0),
+                              &ack, &error));
+  EXPECT_NE(error.find("fold order"), std::string::npos) << error;
+}
+
+TEST(Hierarchy, ClientSetSiteBaseIsRefused) {
+  RootHarness h;
+  HelloFrame hello = MakeHello("s", "deterministic");
+  hello.options.site_base = 4;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(h.client.Hello(hello, &ack, &error));
+  EXPECT_NE(error.find("site ranges"), std::string::npos) << error;
+}
+
+TEST(Hierarchy, NonMergeableTrackersAreRefused) {
+  RootHarness h;
+  HelloAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(
+      h.client.Hello(MakeHello("s", "cmy-monotone", 1), &ack, &error));
+  EXPECT_NE(error.find("mergeable"), std::string::npos) << error;
+}
+
+TEST(Hierarchy, AttachWithDifferentConfigIsRefused) {
+  RootHarness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("s", "deterministic"), &ack, &error))
+      << error;
+  VarstreamClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", h.root.port(), &error)) << error;
+  EXPECT_FALSE(second.Hello(MakeHello("s", "naive"), &ack, &error));
+  EXPECT_NE(error.find("different configuration"), std::string::npos)
+      << error;
+}
+
+TEST(Hierarchy, RootWithZeroLeavesRefusesToStart) {
+  std::string dir = testing::TempDir();
+  InProcessLauncher launcher(dir);
+  RootOptions options;
+  options.num_leaves = 0;
+  RootAggregator root(options, &launcher);
+  std::string error;
+  EXPECT_FALSE(root.Start(&error));
+  EXPECT_NE(error.find("at least one leaf"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace varstream

@@ -127,6 +127,7 @@ TEST(PayloadCodecs, HelloRoundTripsEveryField) {
   hello.options.drift_threshold_factor = 0.5;
   hello.options.sample_constant = 2.5;
   hello.options.period = 128;
+  hello.options.site_base = 96;  // a hierarchy leaf owning [96, 128)
   HelloFrame decoded;
   ASSERT_TRUE(DecodeHello(EncodeHello(hello), &decoded));
   EXPECT_EQ(decoded.magic, kProtocolMagic);
@@ -139,6 +140,7 @@ TEST(PayloadCodecs, HelloRoundTripsEveryField) {
   EXPECT_EQ(decoded.options.seed, hello.options.seed);
   EXPECT_EQ(decoded.options.initial_value, hello.options.initial_value);
   EXPECT_EQ(decoded.options.period, hello.options.period);
+  EXPECT_EQ(decoded.options.site_base, hello.options.site_base);
 }
 
 TEST(PayloadCodecs, PushBatchRoundTripsAndRejectsLengthLies) {
@@ -178,6 +180,63 @@ TEST(PayloadCodecs, SnapshotRoundTripsBitExactEstimates) {
   std::vector<uint8_t> payload = EncodeSnapshot(snapshot);
   payload.pop_back();
   EXPECT_FALSE(DecodeSnapshot(payload, &decoded));
+}
+
+TEST(PayloadCodecs, StateDumpRoundTripsAndRejectsTruncation) {
+  StateDumpFrame dump;
+  dump.session = "telemetry";
+  std::vector<uint8_t> payload = EncodeStateDump(dump);
+  StateDumpFrame decoded;
+  ASSERT_TRUE(DecodeStateDump(payload, &decoded));
+  EXPECT_EQ(decoded.session, dump.session);
+  payload.pop_back();
+  EXPECT_FALSE(DecodeStateDump(payload, &decoded));
+
+  StateDumpResultFrame result;
+  result.tracker = "deterministic";
+  result.shards = 4;
+  result.state = "sharded(deterministic) sites=8 time=42\n  s0\n  s1\n";
+  std::vector<uint8_t> result_payload = EncodeStateDumpResult(result);
+  StateDumpResultFrame result_decoded;
+  ASSERT_TRUE(DecodeStateDumpResult(result_payload, &result_decoded));
+  EXPECT_EQ(result_decoded.tracker, result.tracker);
+  EXPECT_EQ(result_decoded.shards, result.shards);
+  EXPECT_EQ(result_decoded.state, result.state);
+  result_payload.pop_back();
+  EXPECT_FALSE(DecodeStateDumpResult(result_payload, &result_decoded));
+}
+
+TEST(PayloadCodecs, TopologyInfoRoundTripsTheLeafTable) {
+  TopologyInfoFrame info;
+  info.role = "root";
+  info.leaves = {{0, 7801, 0, 5, true, 1234, 0},
+                 {1, 7802, 5, 11, false, 0, 7},
+                 {2, 7803, 11, 16, true, 5678, 2}};
+  std::vector<uint8_t> payload = EncodeTopologyInfo(info);
+  TopologyInfoFrame decoded;
+  ASSERT_TRUE(DecodeTopologyInfo(payload, &decoded));
+  EXPECT_EQ(decoded.role, info.role);
+  ASSERT_EQ(decoded.leaves.size(), info.leaves.size());
+  for (size_t i = 0; i < info.leaves.size(); ++i) {
+    EXPECT_EQ(decoded.leaves[i].index, info.leaves[i].index);
+    EXPECT_EQ(decoded.leaves[i].port, info.leaves[i].port);
+    EXPECT_EQ(decoded.leaves[i].site_lo, info.leaves[i].site_lo);
+    EXPECT_EQ(decoded.leaves[i].site_hi, info.leaves[i].site_hi);
+    EXPECT_EQ(decoded.leaves[i].alive, info.leaves[i].alive);
+    EXPECT_EQ(decoded.leaves[i].pid, info.leaves[i].pid);
+    EXPECT_EQ(decoded.leaves[i].restarts, info.leaves[i].restarts);
+  }
+  payload.pop_back();
+  EXPECT_FALSE(DecodeTopologyInfo(payload, &decoded));
+
+  // A plain server's answer: no leaves.
+  TopologyInfoFrame server;
+  server.role = "server";
+  TopologyInfoFrame server_decoded;
+  ASSERT_TRUE(DecodeTopologyInfo(EncodeTopologyInfo(server),
+                                 &server_decoded));
+  EXPECT_EQ(server_decoded.role, "server");
+  EXPECT_TRUE(server_decoded.leaves.empty());
 }
 
 TEST(PayloadCodecs, StringsRejectOverrunningLengths) {

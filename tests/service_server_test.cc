@@ -9,6 +9,11 @@
 //   * a mid-batch disconnect never corrupts session state;
 //   * a server checkpoint restores into a new server byte-identically.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <bit>
 #include <chrono>
@@ -450,6 +455,91 @@ TEST(ServiceServer, AutomaticCheckpointsFireOnCadence) {
   ASSERT_EQ(entries.size(), 1u);
   EXPECT_EQ(entries[0].name, "auto");
   std::remove(path.c_str());
+}
+
+// A valid PushBatch frame dribbled one byte per write() must decode
+// exactly like a single send: framing state never depends on read
+// boundaries.
+TEST(ServiceServer, ByteDribbledPushBatchDecodesIdentically) {
+  StreamTrace trace = Record("random-walk", 257, 17);
+  Harness h;
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("s", "deterministic"), &ack, &error))
+      << error;
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, FrameType::kPushBatch,
+              EncodePushBatch(std::span<const CountUpdate>(
+                  trace.updates().data(), trace.size())));
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(h.client.RawSend(
+        std::span<const uint8_t>(frame.data() + i, 1), &error))
+        << "byte " << i << ": " << error;
+  }
+  Frame reply;
+  ASSERT_TRUE(h.client.RawReadFrame(&reply, &error)) << error;
+  EXPECT_EQ(reply.type, FrameType::kPushAck);
+  SnapshotFrame snapshot;
+  ASSERT_TRUE(h.client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, InProcess("deterministic", 0, trace),
+                     "byte-dribbled push");
+}
+
+// The --max-sessions admission cap: the overflow Hello gets a loud Error
+// frame, while attaching to an existing session is always admitted.
+TEST(ServiceServer, MaxSessionsCapRefusesTheOverflowHello) {
+  ServerOptions options;
+  options.max_sessions = 2;
+  Harness h(options);
+  HelloAckFrame ack;
+  std::string error;
+  ASSERT_TRUE(h.client.Hello(MakeHello("a", "naive"), &ack, &error))
+      << error;
+  VarstreamClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", h.server.port(), &error)) << error;
+  ASSERT_TRUE(second.Hello(MakeHello("b", "naive"), &ack, &error)) << error;
+
+  VarstreamClient third;
+  ASSERT_TRUE(third.Connect("127.0.0.1", h.server.port(), &error)) << error;
+  EXPECT_FALSE(third.Hello(MakeHello("c", "naive"), &ack, &error));
+  EXPECT_NE(error.find("session limit reached"), std::string::npos) << error;
+
+  VarstreamClient attach;
+  ASSERT_TRUE(attach.Connect("127.0.0.1", h.server.port(), &error)) << error;
+  ASSERT_TRUE(attach.Hello(MakeHello("a", "naive"), &ack, &error)) << error;
+  EXPECT_FALSE(ack.created);
+}
+
+// A listening socket that never accept()s: the TCP handshake completes
+// (the backlog takes it), so the failure mode is a server that is up but
+// never answers. With an io deadline set, Hello must fail loudly and
+// within the deadline's order of magnitude — not hang forever.
+TEST(ServiceClient, ReadDeadlineSurfacesAHungServerLoudly) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  VarstreamClient client(ClientDeadlines{/*connect_timeout_ms=*/2000,
+                                         /*io_timeout_ms=*/200});
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+  HelloAckFrame ack;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.Hello(MakeHello("s", "deterministic"), &ack, &error));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(error.find("read deadline"), std::string::npos) << error;
+  EXPECT_NE(error.find("200 ms"), std::string::npos) << error;
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "the deadline must bound the wait";
+  ::close(fd);
 }
 
 TEST(ServiceServer, ShutdownFrameStopsTheServer) {

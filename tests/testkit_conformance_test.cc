@@ -88,6 +88,13 @@ TEST(TestkitConformance, HistoryParityOracle) {
   ExpectClean(RunBatch("history-parity", 120, 0x4157), "history-parity");
 }
 
+TEST(TestkitConformance, HierarchyParityOracle) {
+  // Each applicable scenario stands up a real root + leaves over
+  // loopback TCP and kill -9s one mid-stream, so the batch is smaller;
+  // applicability (mergeable, k >= 2) passes roughly half of it.
+  ExpectClean(RunBatch("hierarchy-parity", 240, 0x7EE), "hierarchy-parity");
+}
+
 // The generator honors the compatibility predicates: across a large
 // fixed-seed sample, every produced scenario is admissible and the
 // cross-product is actually covered (every tracker, stream, and

@@ -83,6 +83,22 @@ std::vector<std::pair<FrameType, std::vector<uint8_t>>> AllFramePayloads() {
   result.sessions = {session};
   frames.emplace_back(FrameType::kQueryRangeResult,
                       EncodeQueryRangeResult(result));
+  StateDumpFrame dump;
+  dump.session = "fuzz";
+  frames.emplace_back(FrameType::kStateDump, EncodeStateDump(dump));
+  StateDumpResultFrame dump_result;
+  dump_result.tracker = "deterministic";
+  dump_result.shards = 2;
+  dump_result.state = "sharded(deterministic) sites=4 time=9\n  line\n";
+  frames.emplace_back(FrameType::kStateDumpResult,
+                      EncodeStateDumpResult(dump_result));
+  frames.emplace_back(FrameType::kTopology, std::vector<uint8_t>{});
+  TopologyInfoFrame topology;
+  topology.role = "root";
+  topology.leaves = {{0, 7801, 0, 6, true, 4242, 0},
+                     {1, 7802, 6, 12, false, 0, 3}};
+  frames.emplace_back(FrameType::kTopologyInfo,
+                      EncodeTopologyInfo(topology));
   return frames;
 }
 
@@ -223,6 +239,28 @@ TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
   };
   lie_u32_at(4);
   lie_u32_at(result_payload.size() - session.rows.size() * 7 * 8 - 4);
+
+  StateDumpResultFrame dump_result;
+  dump_result.tracker = "deterministic";
+  dump_result.shards = 2;
+  dump_result.state = "sharded(deterministic) sites=4 time=9\n  line\n";
+  std::vector<uint8_t> dump_payload = EncodeStateDumpResult(dump_result);
+  for (const Mutation& m : TruncationSweep(dump_payload, 8)) {
+    StateDumpResultFrame out;
+    EXPECT_FALSE(DecodeStateDumpResult(m.bytes, &out))
+        << "state-dump-result " << m.description;
+  }
+
+  TopologyInfoFrame topology;
+  topology.role = "root";
+  topology.leaves = {{0, 7801, 0, 6, true, 4242, 0},
+                     {1, 7802, 6, 12, false, 0, 3}};
+  std::vector<uint8_t> topology_payload = EncodeTopologyInfo(topology);
+  for (const Mutation& m : TruncationSweep(topology_payload, 9)) {
+    TopologyInfoFrame out;
+    EXPECT_FALSE(DecodeTopologyInfo(m.bytes, &out))
+        << "topology-info " << m.description;
+  }
 
   // And none of the bit flips may crash (silent value changes are fine
   // at this layer; semantic validation happens in the server).

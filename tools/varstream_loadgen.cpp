@@ -10,6 +10,20 @@
 //                       --stream=random-walk --n=200000 --batch=512
 //   $ varstream_loadgen --port=7787 --trace=walk.trace
 //   $ varstream_loadgen --port=7787 --shards=4 ...       # sharded session
+//   $ varstream_loadgen --topology=7801,7802,7803 --shards=2 ...
+//                                                # drive N leaves directly
+//
+// --topology=p1,p2,... drives a fleet of varstream_serve leaves DIRECTLY:
+// sites are partitioned across the listed ports exactly as varstream_root
+// does (src/hierarchy/partition.h), each leaf gets its own session over
+// its range, and at the end the leaves' serialized states are spliced
+// (src/hierarchy/merge.h) into one full-range engine that must match the
+// uninterrupted in-process run bit for bit. Pointing plain --port at a
+// varstream_root exercises the same partition/merge path THROUGH the
+// root instead. Topology mode needs --shards>=1 (a serial tracker's fold
+// order cannot be reproduced across a site partition) and does not take
+// --skip/--checkpoint-at — crash drills against a leaf fleet run through
+// varstream_root, which owns the checkpoints.
 //
 // Checkpoint/restore drills (see ci/service_smoke.sh): --checkpoint-at=K
 // sends a Checkpoint frame exactly after stream position K, and --skip=K
@@ -39,11 +53,14 @@
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/api.h"
+#include "hierarchy/merge.h"
+#include "hierarchy/partition.h"
 #include "service/client.h"
 
 namespace {
@@ -71,8 +88,16 @@ int main(int argc, char** argv) {
   varstream::FlagParser flags(argc, argv);
   const std::string host = flags.GetString("host", "127.0.0.1");
   const auto port = static_cast<uint16_t>(flags.GetUint("port", 0));
-  if (port == 0) {
-    std::fprintf(stderr, "varstream_loadgen: --port is required\n");
+  const std::string topology = flags.GetString("topology", "");
+  if (port == 0 && topology.empty()) {
+    std::fprintf(stderr,
+                 "varstream_loadgen: --port (or --topology) is required\n");
+    return 2;
+  }
+  if (port != 0 && !topology.empty()) {
+    std::fprintf(stderr,
+                 "varstream_loadgen: --port and --topology are exclusive — "
+                 "one server or a leaf fleet, not both\n");
     return 2;
   }
   const std::string tracker_name =
@@ -155,95 +180,242 @@ int main(int argc, char** argv) {
   hello.options.period = flags.GetUint("period", 64);
   hello.options.initial_value = source->initial_value();
 
-  varstream::VarstreamClient client;
-  std::string error;
-  if (!client.Connect(host, port, &error)) {
-    std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
-    return 1;
-  }
-  varstream::HelloAckFrame hello_ack;
-  if (!client.Hello(hello, &hello_ack, &error)) {
-    std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
-    return 1;
-  }
-  // --- Replay [skip, total) in batches, checkpointing at the requested
-  // stream position. The skipped prefix is regenerated and dropped; its
-  // unit-step weight (sum |delta|, the session clock's unit) validates
-  // that the restored session really is at the resume point.
+  varstream::VarstreamClient client;  // single-server mode
+  std::vector<std::unique_ptr<varstream::VarstreamClient>> leaf_clients;
   std::vector<varstream::CountUpdate> buffer(batch);
-  uint64_t position = 0;
+  std::string error;
   uint64_t pushed = 0;
-  uint64_t skipped_steps = 0;
+  double elapsed = 0.0;
   std::string checkpoint_path;  // set when --checkpoint-at fires
-  bool resume_checked = false;
-  auto start_time = std::chrono::steady_clock::now();
-  while (position < total) {
-    // Stop a batch early at the checkpoint position so the checkpoint
-    // lands exactly there.
-    uint64_t limit = total;
-    if (checkpoint_at > position) limit = std::min(limit, checkpoint_at);
-    size_t want =
-        static_cast<size_t>(std::min<uint64_t>(batch, limit - position));
-    size_t got = source->NextBatch(std::span(buffer.data(), want));
-    if (got == 0) break;
-    uint64_t batch_start = position;
-    position += got;
-    size_t dropped = batch_start + got <= skip
-                         ? got
-                         : (batch_start < skip
-                                ? static_cast<size_t>(skip - batch_start)
-                                : 0);
-    for (size_t i = 0; i < dropped; ++i) {
-      skipped_steps += varstream::AbsU64(buffer[i].delta);
+  varstream::SnapshotFrame server_snapshot;
+  if (topology.empty()) {
+    if (!client.Connect(host, port, &error)) {
+      std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+      return 1;
     }
-    if (dropped == got) {
-      // Entirely inside the already-restored prefix: regenerate, drop.
-    } else {
-      size_t from = dropped;
-      if (!resume_checked) {
-        resume_checked = true;
-        if (hello_ack.session_time != skipped_steps) {
-          std::fprintf(
-              stderr,
-              "varstream_loadgen: session '%s' is at time %llu but the "
-              "replay resumes at time %llu — wrong --skip, or a stale "
-              "session\n",
-              hello.session.c_str(),
-              static_cast<unsigned long long>(hello_ack.session_time),
-              static_cast<unsigned long long>(skipped_steps));
+    varstream::HelloAckFrame hello_ack;
+    if (!client.Hello(hello, &hello_ack, &error)) {
+      std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+      return 1;
+    }
+    // --- Replay [skip, total) in batches, checkpointing at the requested
+    // stream position. The skipped prefix is regenerated and dropped; its
+    // unit-step weight (sum |delta|, the session clock's unit) validates
+    // that the restored session really is at the resume point.
+    uint64_t position = 0;
+    uint64_t skipped_steps = 0;
+    bool resume_checked = false;
+    auto start_time = std::chrono::steady_clock::now();
+    while (position < total) {
+      // Stop a batch early at the checkpoint position so the checkpoint
+      // lands exactly there.
+      uint64_t limit = total;
+      if (checkpoint_at > position) limit = std::min(limit, checkpoint_at);
+      size_t want =
+          static_cast<size_t>(std::min<uint64_t>(batch, limit - position));
+      size_t got = source->NextBatch(std::span(buffer.data(), want));
+      if (got == 0) break;
+      uint64_t batch_start = position;
+      position += got;
+      size_t dropped = batch_start + got <= skip
+                           ? got
+                           : (batch_start < skip
+                                  ? static_cast<size_t>(skip - batch_start)
+                                  : 0);
+      for (size_t i = 0; i < dropped; ++i) {
+        skipped_steps += varstream::AbsU64(buffer[i].delta);
+      }
+      if (dropped == got) {
+        // Entirely inside the already-restored prefix: regenerate, drop.
+      } else {
+        size_t from = dropped;
+        if (!resume_checked) {
+          resume_checked = true;
+          if (hello_ack.session_time != skipped_steps) {
+            std::fprintf(
+                stderr,
+                "varstream_loadgen: session '%s' is at time %llu but the "
+                "replay resumes at time %llu — wrong --skip, or a stale "
+                "session\n",
+                hello.session.c_str(),
+                static_cast<unsigned long long>(hello_ack.session_time),
+                static_cast<unsigned long long>(skipped_steps));
+            return 1;
+          }
+        }
+        varstream::PushAckFrame ack;
+        if (!client.Push(
+                std::span<const varstream::CountUpdate>(buffer.data() + from,
+                                                        got - from),
+                &ack, &error)) {
+          std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
           return 1;
         }
+        pushed += got - from;
       }
-      varstream::PushAckFrame ack;
-      if (!client.Push(
-              std::span<const varstream::CountUpdate>(buffer.data() + from,
-                                                      got - from),
-              &ack, &error)) {
-        std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
-        return 1;
-      }
-      pushed += got - from;
-    }
-    if (checkpoint_at != 0 && position == checkpoint_at) {
-      if (!client.Checkpoint(&checkpoint_path, &error)) {
-        std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
-        return 1;
-      }
-      if (!quiet) {
-        std::printf("checkpoint written at position %llu: %s\n",
-                    static_cast<unsigned long long>(position),
-                    checkpoint_path.c_str());
+      if (checkpoint_at != 0 && position == checkpoint_at) {
+        if (!client.Checkpoint(&checkpoint_path, &error)) {
+          std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+          return 1;
+        }
+        if (!quiet) {
+          std::printf("checkpoint written at position %llu: %s\n",
+                      static_cast<unsigned long long>(position),
+                      checkpoint_path.c_str());
+        }
       }
     }
-  }
-  auto elapsed = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start_time)
-                     .count();
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_time)
+                  .count();
 
-  varstream::SnapshotFrame server_snapshot;
-  if (!client.Query(&server_snapshot, &error)) {
-    std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
-    return 1;
+    if (!client.Query(&server_snapshot, &error)) {
+      std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    // --- Topology mode: one session per leaf over its site range, the
+    // same demux varstream_root runs, then a state splice instead of a
+    // server Query.
+    if (skip != 0 || checkpoint_at != 0) {
+      std::fprintf(stderr,
+                   "varstream_loadgen: --topology does not take --skip/"
+                   "--checkpoint-at; run crash drills through "
+                   "varstream_root\n");
+      return 2;
+    }
+    if (shards == 0) {
+      std::fprintf(stderr,
+                   "varstream_loadgen: --topology needs --shards>=1 — a "
+                   "serial tracker's fold order cannot be reproduced "
+                   "across a site partition\n");
+      return 2;
+    }
+    std::vector<uint16_t> leaf_ports;
+    std::string token;
+    for (size_t i = 0; i <= topology.size(); ++i) {
+      if (i < topology.size() && topology[i] != ',') {
+        token.push_back(topology[i]);
+        continue;
+      }
+      char* end = nullptr;
+      unsigned long value = std::strtoul(token.c_str(), &end, 10);
+      if (token.empty() || end == nullptr || *end != '\0' || value == 0 ||
+          value > 65535) {
+        std::fprintf(stderr,
+                     "varstream_loadgen: --topology wants comma-separated "
+                     "ports, got '%s'\n", token.c_str());
+        return 2;
+      }
+      leaf_ports.push_back(static_cast<uint16_t>(value));
+      token.clear();
+    }
+    const auto num_leaves = static_cast<uint32_t>(leaf_ports.size());
+    const uint32_t num_sites = hello.options.num_sites;
+    std::vector<varstream::SiteRange> ranges =
+        varstream::PartitionSites(num_sites, num_leaves);
+    std::vector<uint32_t> owner = varstream::SiteOwners(ranges, num_sites);
+    leaf_clients.resize(num_leaves);
+    for (uint32_t i = 0; i < num_leaves; ++i) {
+      if (ranges[i].empty()) continue;  // more leaves than sites
+      leaf_clients[i] = std::make_unique<varstream::VarstreamClient>();
+      if (!leaf_clients[i]->Connect(host, leaf_ports[i], &error)) {
+        std::fprintf(stderr, "varstream_loadgen: leaf %u: %s\n", i,
+                     error.c_str());
+        return 1;
+      }
+      // The leaf sees its range as a complete tracker: local site ids
+      // [0, size), global seeds via site_base, and f(0) zeroed so the
+      // splice counts the shared initial value exactly once.
+      varstream::HelloFrame leaf_hello = hello;
+      leaf_hello.shards = std::min<uint32_t>(shards, ranges[i].size());
+      leaf_hello.options.num_sites = ranges[i].size();
+      leaf_hello.options.site_base = ranges[i].lo;
+      leaf_hello.options.initial_value = 0;
+      varstream::HelloAckFrame ack;
+      if (!leaf_clients[i]->Hello(leaf_hello, &ack, &error)) {
+        std::fprintf(stderr, "varstream_loadgen: leaf %u: %s\n", i,
+                     error.c_str());
+        return 1;
+      }
+      if (ack.session_time != 0) {
+        std::fprintf(stderr,
+                     "varstream_loadgen: leaf %u session '%s' is at time "
+                     "%llu — topology mode needs fresh sessions\n",
+                     i, hello.session.c_str(),
+                     static_cast<unsigned long long>(ack.session_time));
+        return 1;
+      }
+    }
+    std::vector<std::vector<varstream::CountUpdate>> per_leaf;
+    uint64_t position = 0;
+    auto start_time = std::chrono::steady_clock::now();
+    while (position < total) {
+      size_t want =
+          static_cast<size_t>(std::min<uint64_t>(batch, total - position));
+      size_t got = source->NextBatch(std::span(buffer.data(), want));
+      if (got == 0) break;
+      position += got;
+      varstream::PartitionBatch(
+          std::span<const varstream::CountUpdate>(buffer.data(), got), owner,
+          ranges, &per_leaf);
+      for (uint32_t i = 0; i < num_leaves; ++i) {
+        if (per_leaf[i].empty()) continue;
+        varstream::PushAckFrame ack;
+        if (!leaf_clients[i]->Push(
+                std::span<const varstream::CountUpdate>(per_leaf[i]), &ack,
+                &error)) {
+          std::fprintf(stderr, "varstream_loadgen: leaf %u: %s\n", i,
+                       error.c_str());
+          return 1;
+        }
+        pushed += per_leaf[i].size();
+      }
+    }
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_time)
+                  .count();
+
+    // Pull every leaf's serialized state and splice: summing estimates
+    // would re-associate the floating-point fold, the splice reproduces
+    // the single-process engine bit for bit (src/hierarchy/merge.h).
+    std::vector<std::string> leaf_states(num_leaves);
+    for (uint32_t i = 0; i < num_leaves; ++i) {
+      if (ranges[i].empty()) continue;
+      varstream::SnapshotFrame leaf_snapshot;
+      if (!leaf_clients[i]->Query(&leaf_snapshot, &error)) {
+        std::fprintf(stderr, "varstream_loadgen: leaf %u: %s\n", i,
+                     error.c_str());
+        return 1;
+      }
+      server_snapshot.wire_messages += leaf_snapshot.wire_messages;
+      server_snapshot.wire_bits += leaf_snapshot.wire_bits;
+      varstream::StateDumpResultFrame dump;
+      if (!leaf_clients[i]->StateDump(hello.session, &dump, &error)) {
+        std::fprintf(stderr, "varstream_loadgen: leaf %u: %s\n", i,
+                     error.c_str());
+        return 1;
+      }
+      if (dump.tracker != tracker_name) {
+        std::fprintf(stderr,
+                     "varstream_loadgen: leaf %u serves tracker '%s', "
+                     "expected '%s'\n",
+                     i, dump.tracker.c_str(), tracker_name.c_str());
+        return 1;
+      }
+      leaf_states[i] = std::move(dump.state);
+    }
+    std::unique_ptr<varstream::ShardedTracker> mirror;
+    if (!varstream::SpliceLeafStates(tracker_name, hello.options, ranges,
+                                     leaf_states, &mirror, &error)) {
+      std::fprintf(stderr, "varstream_loadgen: merge: %s\n", error.c_str());
+      return 1;
+    }
+    varstream::TrackerSnapshot merged = mirror->Snapshot();
+    server_snapshot.estimate = merged.estimate;
+    server_snapshot.time = merged.time;
+    server_snapshot.messages = merged.messages;
+    server_snapshot.bits = merged.bits;
   }
   if (!quiet) {
     std::printf("pushed %llu updates in %.3fs (%.0f updates/s over the "
@@ -338,9 +510,20 @@ int main(int argc, char** argv) {
               checkpoint_path.empty() ? "-" : checkpoint_path.c_str());
 
   if (shutdown) {
-    if (!client.Shutdown(&error)) {
-      std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
-      return 1;
+    if (topology.empty()) {
+      if (!client.Shutdown(&error)) {
+        std::fprintf(stderr, "varstream_loadgen: %s\n", error.c_str());
+        return 1;
+      }
+    } else {
+      for (size_t i = 0; i < leaf_clients.size(); ++i) {
+        if (leaf_clients[i] == nullptr) continue;
+        if (!leaf_clients[i]->Shutdown(&error)) {
+          std::fprintf(stderr, "varstream_loadgen: leaf %zu: %s\n", i,
+                       error.c_str());
+          return 1;
+        }
+      }
     }
     if (!quiet) std::printf("server shutdown acknowledged\n");
   }

@@ -1,0 +1,80 @@
+// varstream_root — the root of a two-level varstream hierarchy. Spawns
+// and supervises N varstream_serve leaf processes, assigns each a
+// disjoint contiguous site range of every session, and speaks the
+// ordinary wire protocol upward: to varstream_loadgen / varstream_query
+// it looks like one server hosting full-k sharded sessions, but ingest
+// is partitioned across the leaves and reads are answered by splicing
+// the leaves' serialized state into one byte-identical merged result
+// (src/hierarchy/root.h has the full design).
+//
+//   $ varstream_root --serve=./varstream_serve --dir=/tmp/tree --leaves=3
+//   $ varstream_root ... --port=7787 --heartbeat-ms=200
+//   $ varstream_root ... --checkpoint-every=100000
+//   $ varstream_root ... --history-capacity=1024 --history-every=8192
+//
+// Leaf checkpoints land in --dir as leaf_<i>.ckpt (their stdout/stderr
+// as leaf_<i>.log). A leaf that dies — kill -9 included — is respawned
+// with --restore from its own last checkpoint and replayed from the
+// root's journal; clients never see the failure, only (at most) a
+// paused ack. The process runs until a client sends a Shutdown frame
+// (e.g. varstream_loadgen --shutdown), which also shuts the leaves
+// down.
+//
+// The "listening on 127.0.0.1:<port>" line on stdout is flushed before
+// the first accept; the per-leaf lines that follow carry each leaf's
+// port and pid so drills (ci/hierarchy_smoke.sh) can kill one.
+
+#include <cstdio>
+#include <string>
+
+#include "core/api.h"
+#include "hierarchy/launcher.h"
+#include "hierarchy/root.h"
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+
+  varstream::ProcessLauncher::Options launch;
+  launch.serve_binary = flags.GetString("serve", "./varstream_serve");
+  launch.work_dir = flags.GetString("dir", ".");
+
+  varstream::RootOptions options;
+  options.port = static_cast<uint16_t>(flags.GetUint("port", 0));
+  options.num_leaves = static_cast<uint32_t>(flags.GetUint("leaves", 3));
+  options.checkpoint_every = flags.GetUint("checkpoint-every", 0);
+  options.heartbeat_ms =
+      static_cast<int>(flags.GetUint("heartbeat-ms", 500));
+  options.history.capacity =
+      flags.GetUint("history-capacity", options.history.capacity);
+  options.history.cadence =
+      flags.GetUint("history-every", options.history.cadence);
+  if (options.num_leaves == 0) {
+    std::fprintf(stderr, "varstream_root: --leaves must be >= 1\n");
+    return 2;
+  }
+
+  varstream::ProcessLauncher launcher(launch);
+  varstream::RootAggregator root(options, &launcher);
+  std::string error;
+  if (!root.Start(&error)) {
+    std::fprintf(stderr, "varstream_root: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u\n", root.port());
+  varstream::TopologyInfoFrame topology = root.TopologySnapshot();
+  for (const varstream::TopologyLeaf& leaf : topology.leaves) {
+    std::printf("leaf %u listening on 127.0.0.1:%u pid=%llu\n", leaf.index,
+                leaf.port, static_cast<unsigned long long>(leaf.pid));
+  }
+  std::fflush(stdout);
+
+  root.WaitForShutdownRequest();
+  topology = root.TopologySnapshot();
+  std::printf("shutdown requested; leaf restarts:");
+  for (const varstream::TopologyLeaf& leaf : topology.leaves) {
+    std::printf(" %u", leaf.restarts);
+  }
+  std::printf("\n");
+  root.Stop();
+  return 0;
+}

@@ -11,6 +11,7 @@
 //   $ varstream_serve --port=7787 --restore=state.ckpt
 //   $ varstream_serve --port=7787 --history-capacity=1024
 //                     --history-every=8192
+//   $ varstream_serve --port=7787 --max-sessions=4
 //
 // Every session retains a bounded history of (time, estimate, messages,
 // bits, wire_bytes) rows — queryable live through varstream_query — with
@@ -55,6 +56,11 @@ int main(int argc, char** argv) {
       flags.GetUint("history-capacity", options.history.capacity);
   options.history.cadence =
       flags.GetUint("history-every", options.history.cadence);
+  // Admission cap: at most --max-sessions live sessions (0 = unlimited).
+  // A Hello that would create one more is answered with a loud Error
+  // frame; attaching to an existing session is always admitted.
+  options.max_sessions =
+      static_cast<uint32_t>(flags.GetUint("max-sessions", 0));
   if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "--checkpoint-every needs --checkpoint-path to write to\n");
