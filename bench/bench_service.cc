@@ -6,17 +6,28 @@
 //
 //   $ bench_service [--n=1000000] [--batch=4096] [--sites=16]
 //                   [--shards=4] [--tracker=deterministic]
+//                   [--connections=1000] [--conn-n=500]
 //                   [--reps=3] [--json=BENCH_service.json]
 //
 // Each configuration ingests the same recorded random-walk trace;
 // updates/sec is the best of --reps runs (minimum wall-clock), matching
-// bench_shards methodology. JSON schema "varstream-bench-service-v2"
-// (v2 = v1 plus the mandatory host block, mirroring bench_shards):
+// bench_shards methodology. The many-connections row drives
+// --connections concurrent sessions (each pushing --conn-n updates)
+// through ONE epoll client thread against a 2-worker server — the
+// throughput of the event-loop fan-in itself, with the worker-thread
+// count pinned regardless of the connection count.
 //
-//   {"schema": "varstream-bench-service-v2", "n": ..., "batch": ...,
+// JSON schema "varstream-bench-service-v3" (named benchmark rows, the
+// shape ci/check_bench_regression.py gates on — normalized against
+// ingest/in-process/serial):
+//
+//   {"schema": "varstream-bench-service-v3", "n": ..., "batch": ...,
 //    "host": {"hardware_concurrency": ...},
-//    "rows": [{"mode": "in-process"|"service", "tracker": ...,
-//              "shards": W, "updates_per_sec": ...}, ...]}
+//    "benchmarks": [{"name": "ingest/in-process/serial",
+//                    "updates_per_sec": ...},
+//                   {"name": "ingest/service/shards=4", ...},
+//                   {"name": "service/connections=1000",
+//                    "connections": 1000, "workers": 2, ...}, ...]}
 
 #include <chrono>
 #include <cstdio>
@@ -32,6 +43,7 @@
 #include "bench_util.h"
 #include "core/api.h"
 #include "service/client.h"
+#include "service/many_client.h"
 #include "service/server.h"
 
 namespace {
@@ -82,6 +94,9 @@ int main(int argc, char** argv) {
       flags.GetString("tracker", "deterministic");
   const int reps = static_cast<int>(flags.GetUint("reps", 3));
   const std::string json_path = flags.GetString("json", "");
+  const auto connections =
+      static_cast<uint32_t>(flags.GetUint("connections", 1000));
+  const uint64_t conn_n = flags.GetUint("conn-n", 500);
 
   varstream::StreamSpec spec;
   spec.num_sites = sites;
@@ -161,12 +176,72 @@ int main(int argc, char** argv) {
     return seconds;
   };
 
+  // The event-loop fan-in row: --connections concurrent sessions, each
+  // replaying the same conn-n-update prefix in 128-update frames, all
+  // driven by ONE epoll client thread against a 2-worker server. The
+  // session count scales, the thread count does not.
+  std::vector<std::vector<CountUpdate>> conn_batches;
+  {
+    varstream::TraceSource replay(&trace);
+    std::vector<CountUpdate> buffer(128);
+    uint64_t left = conn_n;
+    while (left > 0) {
+      size_t want = static_cast<size_t>(
+          std::min<uint64_t>(buffer.size(), left));
+      size_t got = replay.NextBatch(std::span(buffer.data(), want));
+      if (got == 0) break;
+      conn_batches.emplace_back(buffer.begin(),
+                                buffer.begin() + static_cast<long>(got));
+      left -= got;
+    }
+  }
+  const uint32_t kManyWorkers = 2;
+  auto ingest_many = [&](int rep) {
+    varstream::ServerOptions server_options;
+    server_options.workers = kManyWorkers;
+    varstream::VarstreamServer server(server_options);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::vector<varstream::ManyClientConn> fleet(connections);
+    for (uint32_t c = 0; c < connections; ++c) {
+      fleet[c].hello.session = "bench-many-" + std::to_string(rep) + "-" +
+                               std::to_string(c);
+      fleet[c].hello.tracker = tracker_name;
+      fleet[c].hello.shards = 0;
+      fleet[c].hello.options = options;
+      fleet[c].batches = conn_batches;
+    }
+    varstream::ManyClientOptions many_options;
+    many_options.port = server.port();
+    varstream::ManyClientResult result;
+    auto start = std::chrono::steady_clock::now();
+    if (!varstream::RunManyClients(many_options, std::move(fleet),
+                                   &result)) {
+      std::fprintf(stderr, "bench_service: %s\n", result.error.c_str());
+      std::exit(1);
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    server.Stop();
+    return seconds;
+  };
+
   struct Row {
-    std::string mode;
-    uint32_t shards;
+    std::string name;         // the key the regression gate tracks
+    std::string mode;         // table columns
+    std::string shards_label;
     double updates_per_sec;
+    uint32_t connections = 0;  // nonzero only for the fan-in row
+    uint32_t workers = 0;
   };
   std::vector<Row> rows;
+  auto shards_name = [](uint32_t w) {
+    return w == 0 ? std::string("serial") : "shards=" + std::to_string(w);
+  };
 
   // Serial always; the sharded column only when a nonzero worker count
   // was requested (--shards=0 would duplicate the serial rows).
@@ -178,7 +253,8 @@ int main(int argc, char** argv) {
       auto tracker = Build(tracker_name, options, w);
       return ingest(*tracker);
     });
-    rows.push_back({"in-process", w, static_cast<double>(n) / seconds});
+    rows.push_back({"ingest/in-process/" + shards_name(w), "in-process",
+                    shards_name(w), static_cast<double>(n) / seconds});
   }
   {
     int rep_counter = 0;
@@ -186,22 +262,33 @@ int main(int argc, char** argv) {
       double seconds = BestSeconds(reps, [&] {
         return ingest_service(w, rep_counter++);
       });
-      rows.push_back({"service", w, static_cast<double>(n) / seconds});
+      rows.push_back({"ingest/service/" + shards_name(w), "service",
+                      shards_name(w), static_cast<double>(n) / seconds});
     }
   }
+  if (connections > 0 && !conn_batches.empty()) {
+    int rep_counter = 0;
+    double seconds =
+        BestSeconds(reps, [&] { return ingest_many(rep_counter++); });
+    const double total =
+        static_cast<double>(connections) * static_cast<double>(conn_n);
+    rows.push_back({"service/connections=" + std::to_string(connections),
+                    "service", "serial", total / seconds, connections,
+                    kManyWorkers});
+  }
 
-  varstream::TablePrinter table({"mode", "tracker", "shards",
+  varstream::TablePrinter table({"benchmark", "mode", "tracker", "shards",
                                  "updates/sec", "vs in-process"});
   for (const Row& row : rows) {
     double base = row.updates_per_sec;
     for (const Row& candidate : rows) {
-      if (candidate.mode == "in-process" && candidate.shards == row.shards) {
+      if (candidate.mode == "in-process" &&
+          candidate.shards_label == row.shards_label) {
         base = candidate.updates_per_sec;
         break;
       }
     }
-    table.AddRow({row.mode, tracker_name,
-                  row.shards == 0 ? "serial" : std::to_string(row.shards),
+    table.AddRow({row.name, row.mode, tracker_name, row.shards_label,
                   varstream::bench::Fmt(row.updates_per_sec, 0),
                   varstream::bench::Fmt(row.updates_per_sec / base, 3)});
   }
@@ -225,20 +312,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f,
-                 "{\"schema\": \"varstream-bench-service-v2\", "
+                 "{\"schema\": \"varstream-bench-service-v3\", "
                  "\"n\": %llu, \"batch\": %llu, \"sites\": %u, "
                  "\"tracker\": \"%s\", "
-                 "\"host\": {\"hardware_concurrency\": %u}, \"rows\": [",
+                 "\"host\": {\"hardware_concurrency\": %u}, "
+                 "\"benchmarks\": [",
                  static_cast<unsigned long long>(n),
                  static_cast<unsigned long long>(batch), sites,
                  tracker_name.c_str(),
                  std::thread::hardware_concurrency());
     for (size_t i = 0; i < rows.size(); ++i) {
-      std::fprintf(f,
-                   "%s{\"mode\": \"%s\", \"shards\": %u, "
-                   "\"updates_per_sec\": %.1f}",
-                   i == 0 ? "" : ", ", rows[i].mode.c_str(), rows[i].shards,
+      std::fprintf(f, "%s{\"name\": \"%s\", \"updates_per_sec\": %.1f",
+                   i == 0 ? "" : ", ", rows[i].name.c_str(),
                    rows[i].updates_per_sec);
+      if (rows[i].connections > 0) {
+        std::fprintf(f, ", \"connections\": %u, \"workers\": %u",
+                     rows[i].connections, rows[i].workers);
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);

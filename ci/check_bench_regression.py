@@ -9,6 +9,8 @@ README.md "Bench JSON schema"), each with its own committed baseline:
   varstream-bench-shards-v1/-v2    bench_shards (ci/bench_baseline.json)
   varstream-bench-hierarchy-v1     bench_hierarchy
                                    (ci/bench_hierarchy_baseline.json)
+  varstream-bench-service-v3       bench_service
+                                   (ci/bench_service_baseline.json)
 
 Baseline and current must come from the same family — a shards report
 cannot gate a hierarchy run.
@@ -37,16 +39,38 @@ import argparse
 import json
 import sys
 
-# schema -> (family, normalized-mode reference row). The host block is
-# mandatory in every schema generation after the first, so the gate can
-# reason about the parallelism regime.
+# schema -> (family, normalized-mode reference row, host block required,
+# cross-regime advisory). The host block is mandatory in every schema
+# generation after the first, so the gate can reason about the
+# parallelism regime. Families whose rows change shape with the core
+# count (shards, hierarchy) downgrade to advisory when baseline and
+# current hosts differ; the service family does NOT — its rows measure
+# event-loop and wire overhead relative to serial ingest, which is a
+# same-machine ratio in any regime, so its gate always enforces.
 SCHEMAS = {
-    "varstream-bench-shards-v1": ("shards", "ingest/naive/serial", False),
-    "varstream-bench-shards-v2": ("shards", "ingest/naive/serial", True),
+    "varstream-bench-shards-v1": (
+        "shards",
+        "ingest/naive/serial",
+        False,
+        True,
+    ),
+    "varstream-bench-shards-v2": (
+        "shards",
+        "ingest/naive/serial",
+        True,
+        True,
+    ),
     "varstream-bench-hierarchy-v1": (
         "hierarchy",
         "ingest/in-process/serial",
         True,
+        True,
+    ),
+    "varstream-bench-service-v3": (
+        "service",
+        "ingest/in-process/serial",
+        True,
+        False,
     ),
 }
 
@@ -60,14 +84,14 @@ def load(path):
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         sys.exit(f"error: {path}: unexpected schema {schema!r}")
-    family, reference, host_required = SCHEMAS[schema]
+    family, reference, host_required, regime_advisory = SCHEMAS[schema]
     rows = {b["name"]: b for b in doc.get("benchmarks", [])}
     if not rows:
         sys.exit(f"error: {path}: no benchmarks")
     if host_required and "host" not in doc:
         sys.exit(f"error: {path}: schema {schema} requires a host block")
     cores = doc.get("host", {}).get("hardware_concurrency", 0)
-    return rows, cores, family, reference
+    return rows, cores, family, reference, regime_advisory
 
 
 def throughputs(rows, mode, reference, path):
@@ -104,8 +128,10 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline, base_cores, base_family, reference = load(args.baseline)
-    current, cur_cores, cur_family, _ = load(args.current)
+    baseline, base_cores, base_family, reference, regime_advisory = load(
+        args.baseline
+    )
+    current, cur_cores, cur_family, _, _ = load(args.current)
     if base_family != cur_family:
         sys.exit(
             f"error: baseline is a {base_family!r} report but current is "
@@ -130,8 +156,9 @@ def main():
     # sharded rows genuinely change shape with the core count, so a
     # baseline recorded in a different parallelism regime cannot gate.
     # Report, but downgrade failures to a warning and ask for a baseline
-    # refresh from this run's artifact.
-    advisory = base_cores != cur_cores
+    # refresh from this run's artifact. The service family opts out of
+    # this escape (see SCHEMAS): its gate enforces on every host.
+    advisory = regime_advisory and base_cores != cur_cores
     if advisory:
         print(
             f"warning: baseline host has {base_cores} core(s) but this "

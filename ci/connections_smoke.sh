@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Many-connections gauntlet (wired into CI, runnable locally):
+#
+#   bash ci/connections_smoke.sh [build-dir]
+#
+# 1. The gauntlet: varstream_loadgen --connections=1000 opens 1000
+#    concurrent sessions (one epoll client thread) against a 2-worker
+#    varstream_serve and requires byte-identical parity for EVERY
+#    session. While the loadgen holds all 1000 connections open, the
+#    script samples /proc/<pid>/status: the server's thread count must
+#    be EXACTLY what it was before the first connection — the worker
+#    pool never grows with load.
+# 2. The overload drill: the server restarts with --pending-batch-cap=1
+#    and the loadgen pipelines 16-deep, forcing Overloaded replies. The
+#    clients must receive them as loud backpressure (not a hang, not a
+#    disconnect), back off, go-back-N resend, and still converge to
+#    byte-identical estimates; the server's stats line must account for
+#    every rejection.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/varstream_serve"
+LOADGEN="$BUILD_DIR/varstream_loadgen"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+start_server() {
+  : > "$WORK/serve.log"
+  "$SERVE" --port=0 --workers=2 --stats "$@" >> "$WORK/serve.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 200); do
+    PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORK/serve.log")
+    [ -n "$PORT" ] && return 0
+    sleep 0.05
+  done
+  echo "FAIL: server did not start"; cat "$WORK/serve.log"; exit 1
+}
+
+threads_of() {
+  awk '/^Threads:/{print $2}' "/proc/$1/status"
+}
+
+require_line() {  # file, grep pattern, failure message
+  if ! grep -q "$2" "$1"; then
+    echo "FAIL: $3"
+    echo "--- $1 ---"; cat "$1"
+    exit 1
+  fi
+}
+
+echo "=== gauntlet: 1000 connections, fixed worker-thread count ==="
+start_server
+grep -q '^workers: 2$' "$WORK/serve.log" \
+  || { echo "FAIL: server did not report its worker count"; exit 1; }
+THREADS_BEFORE=$(threads_of "$SERVER_PID")
+echo "server threads before load: $THREADS_BEFORE"
+
+: > "$WORK/gauntlet.log"
+"$LOADGEN" --port="$PORT" --connections=1000 --n=500 --batch=64 \
+  --hold-ms=3000 --shutdown >> "$WORK/gauntlet.log" 2>&1 &
+LOADGEN_PID=$!
+# Block on the hold marker: every push is acked and all 1000
+# connections are still open when it appears.
+HELD=""
+for _ in $(seq 1 1200); do
+  if grep -q '^holding 1000 open connections$' "$WORK/gauntlet.log"; then
+    HELD=1; break
+  fi
+  if ! kill -0 "$LOADGEN_PID" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+[ -n "$HELD" ] || { echo "FAIL: loadgen never reached the hold window"
+                    cat "$WORK/gauntlet.log"; exit 1; }
+THREADS_DURING=$(threads_of "$SERVER_PID")
+echo "server threads under 1000 connections: $THREADS_DURING"
+if [ "$THREADS_BEFORE" != "$THREADS_DURING" ]; then
+  echo "FAIL: thread count moved under load ($THREADS_BEFORE -> $THREADS_DURING);"
+  echo "      the worker pool must not scale with connections"
+  exit 1
+fi
+wait "$LOADGEN_PID" \
+  || { echo "FAIL: gauntlet loadgen failed"; cat "$WORK/gauntlet.log"; exit 1; }
+wait "$SERVER_PID"; SERVER_PID=""
+require_line "$WORK/gauntlet.log" \
+  '^many: connections=1000 pipeline=4 pushed=500000 overloads=0 parity=ok$' \
+  "gauntlet parity line missing or wrong"
+require_line "$WORK/serve.log" \
+  '^stats: workers=2 accepted=1001 peak_connections=1000 overload_rejections=0$' \
+  "server stats line missing or wrong"
+echo "gauntlet ok: 1000 parity-clean sessions, thread count pinned at $THREADS_BEFORE"
+
+echo "=== overload drill: cap=1, pipeline=16, loud backpressure ==="
+start_server --pending-batch-cap=1
+: > "$WORK/overload.log"
+"$LOADGEN" --port="$PORT" --connections=50 --n=4000 --batch=64 \
+  --pipeline=16 --shutdown >> "$WORK/overload.log" 2>&1 \
+  || { echo "FAIL: overload loadgen failed"; cat "$WORK/overload.log"; exit 1; }
+wait "$SERVER_PID"; SERVER_PID=""
+require_line "$WORK/overload.log" '^many: .* parity=ok$' \
+  "overload drill lost parity"
+# The drill must actually have provoked backpressure, and the client and
+# server must agree on how much.
+CLIENT_OVERLOADS=$(sed -n 's/^many: .* overloads=\([0-9]*\) .*$/\1/p' \
+  "$WORK/overload.log")
+SERVER_OVERLOADS=$(sed -n 's/^stats: .* overload_rejections=\([0-9]*\)$/\1/p' \
+  "$WORK/serve.log")
+[ -n "$CLIENT_OVERLOADS" ] && [ "$CLIENT_OVERLOADS" -gt 0 ] \
+  || { echo "FAIL: overload drill saw no Overloaded replies"; exit 1; }
+[ "$CLIENT_OVERLOADS" = "$SERVER_OVERLOADS" ] \
+  || { echo "FAIL: client counted $CLIENT_OVERLOADS rejections, server" \
+            "counted $SERVER_OVERLOADS"; exit 1; }
+echo "overload drill ok: $CLIENT_OVERLOADS rejections, all converged"
+
+echo "ALL CONNECTION SMOKE TESTS PASSED"

@@ -622,7 +622,8 @@ bool RootAggregator::SendError(int fd, RootSession* session,
 }
 
 bool RootAggregator::HandleFrame(int fd, const Frame& frame,
-                                 RootSession** session) {
+                                 RootSession** session,
+                                 uint64_t* expected_seq) {
   switch (frame.type) {
     case FrameType::kHello: {
       if (*session != nullptr) {
@@ -659,6 +660,15 @@ bool RootAggregator::HandleFrame(int fd, const Frame& frame,
       PushBatchFrame batch;
       if (!DecodePushBatch(frame.payload, &batch)) {
         return SendError(fd, *session, "malformed push-batch payload");
+      }
+      // The root handles frames strictly in order on one thread per
+      // connection, so it never rejects with Overloaded — any sequence
+      // gap is a protocol violation, not backpressure (protocol v4).
+      if (batch.seq != *expected_seq) {
+        return SendError(fd, *session,
+                         "push-batch seq " + std::to_string(batch.seq) +
+                             " out of order (connection expects " +
+                             std::to_string(*expected_seq) + ")");
       }
       RootSession& s = **session;
       const bool monotone_only =
@@ -719,6 +729,8 @@ bool RootAggregator::HandleFrame(int fd, const Frame& frame,
         }
         for (uint64_t t : s.leaf_time) ack.session_time += t;
       }
+      ack.seq = batch.seq;
+      ++*expected_seq;
       return SendFrame(fd, FrameType::kPushAck, EncodePushAck(ack),
                        *session);
     }
@@ -893,6 +905,7 @@ void RootAggregator::HandleConnection(Connection* conn) {
   const int fd = conn->fd;
   std::vector<uint8_t> buffer;
   RootSession* session = nullptr;
+  uint64_t expected_seq = 0;  // per-connection PushBatch sequence (v4)
   uint64_t pre_session_wire_msgs = 0;
   uint64_t pre_session_wire_bits = 0;
   bool open = true;
@@ -921,7 +934,7 @@ void RootAggregator::HandleConnection(Connection* conn) {
         pre_session_wire_bits += consumed * 8;
       }
       const bool had_session = session != nullptr;
-      if (!HandleFrame(fd, frame, &session)) {
+      if (!HandleFrame(fd, frame, &session, &expected_seq)) {
         open = false;
         break;
       }

@@ -179,7 +179,8 @@ class RootAggregator {
   void AcceptLoop(int listen_fd);
   void HandleConnection(Connection* conn);
   void ReapFinishedConnections();
-  bool HandleFrame(int fd, const Frame& frame, RootSession** session);
+  bool HandleFrame(int fd, const Frame& frame, RootSession** session,
+                   uint64_t* expected_seq);
   bool SendFrame(int fd, FrameType type, std::span<const uint8_t> payload,
                  RootSession* session);
   bool SendError(int fd, RootSession* session, const std::string& message);

@@ -9,8 +9,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace varstream {
 
@@ -51,6 +54,7 @@ void VarstreamClient::Close() {
     fd_ = -1;
   }
   read_buffer_.clear();
+  next_seq_ = 0;  // sequence numbers are per-connection
 }
 
 bool VarstreamClient::Connect(const std::string& host, uint16_t port,
@@ -234,16 +238,67 @@ bool VarstreamClient::Hello(const HelloFrame& hello, HelloAckFrame* ack,
 
 bool VarstreamClient::Push(std::span<const CountUpdate> updates,
                            PushAckFrame* ack, std::string* error) {
-  Frame reply;
-  if (!Request(FrameType::kPushBatch, EncodePushBatch(updates),
-               FrameType::kPushAck, &reply, error)) {
-    return false;
+  constexpr int kMaxOverloadRetries = 64;
+  const uint64_t seq = next_seq_;
+  const std::vector<uint8_t> payload = EncodePushBatch(seq, updates);
+  for (int attempt = 0;; ++attempt) {
+    if (fd_ < 0) {
+      if (error != nullptr) *error = "not connected";
+      return false;
+    }
+    std::vector<uint8_t> wire;
+    wire.reserve(kFrameOverhead + payload.size());
+    AppendFrame(&wire, FrameType::kPushBatch, payload);
+    if (!SendAll(fd_, wire.data(), wire.size(), deadlines_.io_timeout_ms,
+                 error)) {
+      return false;
+    }
+    Frame reply;
+    if (!RawReadFrame(&reply, error)) return false;
+    if (reply.type == FrameType::kOverloaded) {
+      OverloadedFrame overloaded;
+      if (!DecodeOverloaded(reply.payload, &overloaded)) {
+        if (error != nullptr) *error = "malformed overloaded frame";
+        return false;
+      }
+      if (attempt >= kMaxOverloadRetries) {
+        if (error != nullptr) {
+          *error = "server overloaded: session queue stayed full "
+                   "(pending=" + std::to_string(overloaded.pending) +
+                   " cap=" + std::to_string(overloaded.cap) + ") after " +
+                   std::to_string(attempt) + " backed-off retries";
+        }
+        return false;
+      }
+      ++overload_retries_;
+      const int backoff_ms = 1 << std::min(attempt, 6);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      continue;
+    }
+    if (reply.type == FrameType::kError) {
+      ErrorFrame server_error;
+      if (error != nullptr) {
+        *error = DecodeError(reply.payload, &server_error)
+                     ? "server: " + server_error.message
+                     : "server sent an undecodable error frame";
+      }
+      return false;
+    }
+    if (reply.type != FrameType::kPushAck ||
+        !DecodePushAck(reply.payload, ack)) {
+      if (error != nullptr) *error = "malformed push-ack from server";
+      return false;
+    }
+    if (ack->seq != seq) {
+      if (error != nullptr) {
+        *error = "push-ack sequence mismatch: sent " + std::to_string(seq) +
+                 ", server acked " + std::to_string(ack->seq);
+      }
+      return false;
+    }
+    ++next_seq_;
+    return true;
   }
-  if (!DecodePushAck(reply.payload, ack)) {
-    if (error != nullptr) *error = "malformed push-ack from server";
-    return false;
-  }
-  return true;
 }
 
 bool VarstreamClient::Query(SnapshotFrame* snapshot, std::string* error) {

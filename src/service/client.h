@@ -66,8 +66,15 @@ class VarstreamClient {
 
   bool Hello(const HelloFrame& hello, HelloAckFrame* ack,
              std::string* error);
+  /// Sends one sequenced batch (protocol v4) and waits for its ack. An
+  /// Overloaded reply is retried transparently with exponential backoff
+  /// (1 ms doubling to 64 ms, up to kMaxOverloadRetries attempts) — the
+  /// caller only sees a failure if the server stays saturated for the
+  /// whole retry budget. overload_retries() counts the retries so tests
+  /// and tools can report how often backpressure engaged.
   bool Push(std::span<const CountUpdate> updates, PushAckFrame* ack,
             std::string* error);
+  uint64_t overload_retries() const { return overload_retries_; }
   bool Query(SnapshotFrame* snapshot, std::string* error);
   /// Evaluates a history query (protocol v2). Works before (or without)
   /// Hello — QueryRange is read-only and session-independent.
@@ -98,6 +105,8 @@ class VarstreamClient {
   int fd_ = -1;
   ClientDeadlines deadlines_;
   std::vector<uint8_t> read_buffer_;
+  uint64_t next_seq_ = 0;  // per-connection PushBatch sequence (v4)
+  uint64_t overload_retries_ = 0;
 };
 
 }  // namespace varstream

@@ -1,0 +1,401 @@
+#include "service/many_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+namespace varstream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class ConnState {
+  kConnecting,   // nonblocking connect in flight
+  kHelloSent,    // waiting for HelloAck
+  kPushing,      // streaming batches (pipeline + go-back-N)
+  kQuerySent,    // waiting for the final Snapshot
+  kDone,
+};
+
+struct DriverConn {
+  int fd = -1;
+  size_t index = 0;  // position in the caller's conns vector
+  ConnState state = ConnState::kConnecting;
+  std::vector<uint8_t> rbuf;
+  std::vector<uint8_t> wbuf;
+  size_t wbuf_sent = 0;
+  /// Next batch to send; rewound by an Overloaded reply (go-back-N).
+  uint64_t next_seq = 0;
+  std::deque<uint64_t> inflight;  // sent, unacked, in send order
+  /// Lowest rejected seq seen in the current overload round; resend
+  /// starts there once every outstanding reply has drained.
+  uint64_t rewind_to = UINT64_MAX;
+  Clock::time_point backoff_until = Clock::time_point::min();
+  uint32_t overload_rounds = 0;  // consecutive; resets on any ack
+  bool registered_out = false;
+};
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string ConnError(const DriverConn& c, const std::string& what) {
+  return "connection " + std::to_string(c.index) + ": " + what;
+}
+
+}  // namespace
+
+bool RunManyClients(const ManyClientOptions& options,
+                    std::vector<ManyClientConn> conns,
+                    ManyClientResult* result) {
+  result->snapshots.assign(conns.size(), SnapshotFrame{});
+  result->overload_rejections = 0;
+  result->error.clear();
+  if (conns.empty()) return true;
+  const uint32_t pipeline = std::max(1u, options.pipeline);
+  // Overload rounds are expected under a shrunk server cap; what must
+  // never happen is spinning forever without a single acceptance.
+  constexpr uint32_t kMaxOverloadRounds = 4096;
+
+  RaiseFdLimit(conns.size() + 1024);
+
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    result->error = "epoll_create1(): " + std::string(strerror(errno));
+    return false;
+  }
+
+  std::vector<DriverConn> dconns(conns.size());
+  size_t done_count = 0;
+  bool failed = false;
+
+  auto fail = [&](const std::string& message) {
+    if (!failed) {
+      failed = true;
+      result->error = message;
+    }
+  };
+
+  auto update_interest = [&](DriverConn& c) {
+    bool want_out = c.wbuf_sent < c.wbuf.size() ||
+                    c.state == ConnState::kConnecting;
+    if (want_out == c.registered_out) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_out ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    ev.data.u64 = static_cast<uint64_t>(c.index);
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+    c.registered_out = want_out;
+  };
+
+  auto flush = [&](DriverConn& c) {
+    while (c.wbuf_sent < c.wbuf.size()) {
+      ssize_t n = ::send(c.fd, c.wbuf.data() + c.wbuf_sent,
+                         c.wbuf.size() - c.wbuf_sent,
+                         MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        c.wbuf_sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      fail(ConnError(c, "send(): " + std::string(strerror(errno))));
+      return;
+    }
+    if (c.wbuf_sent == c.wbuf.size()) {
+      c.wbuf.clear();
+      c.wbuf_sent = 0;
+    }
+    update_interest(c);
+  };
+
+  auto queue_frame = [&](DriverConn& c, FrameType type,
+                         std::span<const uint8_t> payload) {
+    if (c.wbuf_sent > 0) {
+      c.wbuf.erase(c.wbuf.begin(),
+                   c.wbuf.begin() + static_cast<long>(c.wbuf_sent));
+      c.wbuf_sent = 0;
+    }
+    AppendFrame(&c.wbuf, type, payload);
+    flush(c);
+  };
+
+  // Keeps the pipeline full: resends after a completed overload round,
+  // then fresh batches, then the final Query.
+  auto pump = [&](DriverConn& c) {
+    if (c.state != ConnState::kPushing) return;
+    const auto& batches = conns[c.index].batches;
+    if (c.rewind_to != UINT64_MAX) {
+      // Go-back-N: every reply for the overshoot must drain before the
+      // resend, or the server would see (and re-reject) stale seqs.
+      if (!c.inflight.empty()) return;
+      if (Clock::now() < c.backoff_until) return;
+      c.next_seq = c.rewind_to;
+      c.rewind_to = UINT64_MAX;
+    }
+    while (c.inflight.size() < pipeline &&
+           c.next_seq < batches.size()) {
+      queue_frame(c, FrameType::kPushBatch,
+                  EncodePushBatch(c.next_seq, batches[c.next_seq]));
+      c.inflight.push_back(c.next_seq);
+      ++c.next_seq;
+      if (failed) return;
+    }
+    if (c.inflight.empty() && c.next_seq == batches.size()) {
+      c.state = ConnState::kQuerySent;
+      queue_frame(c, FrameType::kQuery, {});
+    }
+  };
+
+  auto handle_frame = [&](DriverConn& c, const Frame& frame) {
+    switch (frame.type) {
+      case FrameType::kHelloAck: {
+        if (c.state != ConnState::kHelloSent) {
+          fail(ConnError(c, "unexpected hello-ack"));
+          return;
+        }
+        c.state = ConnState::kPushing;
+        pump(c);
+        return;
+      }
+      case FrameType::kPushAck: {
+        PushAckFrame ack;
+        if (!DecodePushAck(frame.payload, &ack)) {
+          fail(ConnError(c, "malformed push-ack payload"));
+          return;
+        }
+        if (c.inflight.empty() || ack.seq != c.inflight.front()) {
+          fail(ConnError(c, "push-ack seq " + std::to_string(ack.seq) +
+                                " does not match the oldest in-flight "
+                                "batch"));
+          return;
+        }
+        c.inflight.pop_front();
+        c.overload_rounds = 0;
+        pump(c);
+        return;
+      }
+      case FrameType::kOverloaded: {
+        OverloadedFrame overloaded;
+        if (!DecodeOverloaded(frame.payload, &overloaded)) {
+          fail(ConnError(c, "malformed overloaded payload"));
+          return;
+        }
+        if (c.inflight.empty() ||
+            overloaded.seq != c.inflight.front()) {
+          fail(ConnError(c, "overloaded seq " +
+                                std::to_string(overloaded.seq) +
+                                " does not match the oldest in-flight "
+                                "batch"));
+          return;
+        }
+        c.inflight.pop_front();
+        ++result->overload_rejections;
+        c.rewind_to = std::min(c.rewind_to, overloaded.seq);
+        if (c.inflight.empty()) {
+          if (++c.overload_rounds > kMaxOverloadRounds) {
+            fail(ConnError(c, "server stayed overloaded for " +
+                                  std::to_string(kMaxOverloadRounds) +
+                                  " consecutive rounds (pending=" +
+                                  std::to_string(overloaded.pending) +
+                                  " cap=" + std::to_string(overloaded.cap) +
+                                  ")"));
+            return;
+          }
+          uint32_t shift = std::min(c.overload_rounds - 1, 6u);
+          c.backoff_until =
+              Clock::now() + std::chrono::milliseconds(1u << shift);
+        }
+        pump(c);
+        return;
+      }
+      case FrameType::kSnapshot: {
+        if (c.state != ConnState::kQuerySent) {
+          fail(ConnError(c, "unexpected snapshot"));
+          return;
+        }
+        SnapshotFrame snapshot;
+        if (!DecodeSnapshot(frame.payload, &snapshot)) {
+          fail(ConnError(c, "malformed snapshot payload"));
+          return;
+        }
+        result->snapshots[c.index] = snapshot;
+        c.state = ConnState::kDone;
+        ++done_count;
+        return;
+      }
+      case FrameType::kError: {
+        ErrorFrame err;
+        std::string message = DecodeError(frame.payload, &err)
+                                  ? err.message
+                                  : "(malformed error payload)";
+        fail(ConnError(c, "server: " + message));
+        return;
+      }
+      default:
+        fail(ConnError(c, std::string("unexpected ") +
+                              FrameTypeName(frame.type) + " frame"));
+        return;
+    }
+  };
+
+  auto handle_readable = [&](DriverConn& c) {
+    for (;;) {
+      uint8_t chunk[65536];
+      ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        c.rbuf.insert(c.rbuf.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      fail(ConnError(c, n == 0 ? "server closed the connection"
+                               : "recv(): " + std::string(strerror(errno))));
+      return;
+    }
+    size_t offset = 0;
+    while (!failed && c.state != ConnState::kDone) {
+      Frame frame;
+      size_t consumed = 0;
+      std::string decode_error;
+      DecodeStatus status = DecodeFrame(
+          std::span<const uint8_t>(c.rbuf.data() + offset,
+                                   c.rbuf.size() - offset),
+          &frame, &consumed, &decode_error);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kMalformed) {
+        fail(ConnError(c, "malformed frame: " + decode_error));
+        break;
+      }
+      offset += consumed;
+      handle_frame(c, frame);
+    }
+    if (offset > 0) {
+      c.rbuf.erase(c.rbuf.begin(),
+                   c.rbuf.begin() + static_cast<long>(offset));
+    }
+  };
+
+  // --- Open every connection (nonblocking connect storm). ---
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  std::string host = options.host == "localhost" ? "127.0.0.1" : options.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    result->error = "invalid host '" + options.host + "'";
+    ::close(epoll_fd);
+    return false;
+  }
+  for (size_t i = 0; i < conns.size() && !failed; ++i) {
+    DriverConn& c = dconns[i];
+    c.index = i;
+    c.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (c.fd < 0 || !SetNonBlocking(c.fd)) {
+      fail(ConnError(c, "socket(): " + std::string(strerror(errno))));
+      break;
+    }
+    int one = 1;
+    ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      c.state = ConnState::kHelloSent;
+    } else if (errno == EINPROGRESS) {
+      c.state = ConnState::kConnecting;
+    } else {
+      fail(ConnError(c, "connect(): " + std::string(strerror(errno))));
+      break;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | (c.state == ConnState::kConnecting
+                               ? static_cast<uint32_t>(EPOLLOUT)
+                               : 0u);
+    ev.data.u64 = static_cast<uint64_t>(i);
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, c.fd, &ev) != 0) {
+      fail(ConnError(c, "epoll_ctl(): " + std::string(strerror(errno))));
+      break;
+    }
+    c.registered_out = c.state == ConnState::kConnecting;
+    if (c.state == ConnState::kHelloSent) {
+      queue_frame(c, FrameType::kHello, EncodeHello(conns[i].hello));
+    }
+  }
+
+  // --- The event loop. ---
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (!failed && done_count < conns.size()) {
+    // Wake promptly when a backoff deadline is the next thing due.
+    int timeout_ms = 1000;
+    auto now = Clock::now();
+    for (DriverConn& c : dconns) {
+      if (c.state == ConnState::kPushing && c.rewind_to != UINT64_MAX &&
+          c.inflight.empty()) {
+        if (c.backoff_until <= now) {
+          pump(c);
+        } else {
+          auto wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             c.backoff_until - now)
+                             .count();
+          timeout_ms = std::min<int>(timeout_ms,
+                                     static_cast<int>(wait_ms) + 1);
+        }
+      }
+    }
+    if (failed || done_count == conns.size()) break;
+    int n = ::epoll_wait(epoll_fd, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("epoll_wait(): " + std::string(strerror(errno)));
+      break;
+    }
+    for (int i = 0; i < n && !failed; ++i) {
+      DriverConn& c = dconns[events[i].data.u64];
+      if (c.state == ConnState::kDone) continue;
+      const uint32_t ev = events[i].events;
+      if (c.state == ConnState::kConnecting) {
+        if (ev & (EPOLLOUT | EPOLLHUP | EPOLLERR)) {
+          int so_error = 0;
+          socklen_t len = sizeof(so_error);
+          ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+          if (so_error != 0) {
+            fail(ConnError(c, "connect(): " +
+                                  std::string(strerror(so_error))));
+            break;
+          }
+          c.state = ConnState::kHelloSent;
+          update_interest(c);
+          queue_frame(c, FrameType::kHello,
+                      EncodeHello(conns[c.index].hello));
+        }
+        continue;
+      }
+      if (ev & EPOLLOUT) flush(c);
+      if (failed) break;
+      if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) handle_readable(c);
+    }
+  }
+
+  if (!failed && options.hold_ms > 0) {
+    if (options.on_hold) options.on_hold();
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.hold_ms));
+  }
+  for (DriverConn& c : dconns) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  ::close(epoll_fd);
+  return !failed;
+}
+
+}  // namespace varstream

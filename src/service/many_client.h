@@ -1,0 +1,70 @@
+// ManyClientDriver: a single-threaded epoll client that drives hundreds
+// to thousands of concurrent connections against one VarstreamServer —
+// the client half of the many-connections CI gauntlet. Each connection
+// attaches to its own session, replays its own batch list with a bounded
+// pipeline of in-flight PushBatch frames, honors the server's v4
+// backpressure (an Overloaded reply triggers a go-back-N resend from the
+// first rejected sequence number, with exponential backoff), and ends
+// with a Query whose Snapshot the caller cross-checks against an
+// in-process reference.
+//
+// One thread, one epoll set: the point of the gauntlet is that BOTH ends
+// of the socket hold their thread count flat while the connection count
+// scales. Used by varstream_loadgen --connections=N and by the
+// service/connections bench_service row.
+
+#ifndef VARSTREAM_SERVICE_MANY_CLIENT_H_
+#define VARSTREAM_SERVICE_MANY_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "stream/update.h"
+
+namespace varstream {
+
+/// One connection's whole script: the session it attaches to and the
+/// exact batches it pushes (batch index == PushBatch seq).
+struct ManyClientConn {
+  HelloFrame hello;
+  std::vector<std::vector<CountUpdate>> batches;
+};
+
+struct ManyClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Max unacked PushBatch frames per connection. Values past the
+  /// server's pending-batch cap deliberately provoke Overloaded replies
+  /// (the overload drill); 1 disables pipelining entirely.
+  uint32_t pipeline = 4;
+  /// When nonzero, keep every connection open for this long after all
+  /// snapshots arrive — the window in which the CI job samples the
+  /// server's /proc thread count under full connection load.
+  uint32_t hold_ms = 0;
+  /// Invoked once, right when the hold window opens (all pushes acked,
+  /// all snapshots in hand, every connection still open).
+  std::function<void()> on_hold;
+};
+
+struct ManyClientResult {
+  /// Final server snapshot per connection, indexed like the input.
+  std::vector<SnapshotFrame> snapshots;
+  /// Overloaded replies observed across all connections (0 on an
+  /// unsaturated server; the overload drill asserts > 0).
+  uint64_t overload_rejections = 0;
+  std::string error;  // empty on success
+};
+
+/// Runs the whole fleet to completion. Returns false with result->error
+/// set on any connection failure, server Error frame, or protocol
+/// violation (acks out of order, seq mismatch).
+bool RunManyClients(const ManyClientOptions& options,
+                    std::vector<ManyClientConn> conns,
+                    ManyClientResult* result);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_SERVICE_MANY_CLIENT_H_

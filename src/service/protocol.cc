@@ -1,12 +1,15 @@
 #include "service/protocol.h"
 
+#include <sys/resource.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace varstream {
 
@@ -81,6 +84,8 @@ const char* FrameTypeName(FrameType type) {
       return "topology";
     case FrameType::kTopologyInfo:
       return "topology-info";
+    case FrameType::kOverloaded:
+      return "overloaded";
   }
   return "?";
 }
@@ -281,10 +286,12 @@ bool DecodeHelloAck(std::span<const uint8_t> payload, HelloAckFrame* ack) {
   return true;
 }
 
-std::vector<uint8_t> EncodePushBatch(std::span<const CountUpdate> updates) {
+std::vector<uint8_t> EncodePushBatch(uint64_t seq,
+                                     std::span<const CountUpdate> updates) {
   std::vector<uint8_t> payload;
-  payload.reserve(4 + updates.size() * 12);
+  payload.reserve(12 + updates.size() * 12);
   WireWriter w(&payload);
+  w.U64(seq);
   w.U32(static_cast<uint32_t>(updates.size()));
   for (const CountUpdate& u : updates) {
     w.U32(u.site);
@@ -297,10 +304,10 @@ bool DecodePushBatch(std::span<const uint8_t> payload,
                      PushBatchFrame* batch) {
   WireReader r(payload);
   uint32_t count = 0;
-  if (!r.U32(&count)) return false;
-  // Each update is 12 bytes; reject a count the payload cannot hold
-  // before allocating.
-  if (payload.size() != 4 + static_cast<size_t>(count) * 12) return false;
+  if (!r.U64(&batch->seq) || !r.U32(&count)) return false;
+  // Each update is 12 bytes after the 8-byte seq + 4-byte count header;
+  // reject a count the payload cannot hold before allocating.
+  if (payload.size() != 12 + static_cast<size_t>(count) * 12) return false;
   batch->updates.clear();
   batch->updates.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -314,6 +321,7 @@ bool DecodePushBatch(std::span<const uint8_t> payload,
 std::vector<uint8_t> EncodePushAck(const PushAckFrame& ack) {
   std::vector<uint8_t> payload;
   WireWriter w(&payload);
+  w.U64(ack.seq);
   w.U64(ack.session_time);
   w.U8(ack.checkpointed ? 1 : 0);
   return payload;
@@ -322,12 +330,28 @@ std::vector<uint8_t> EncodePushAck(const PushAckFrame& ack) {
 bool DecodePushAck(std::span<const uint8_t> payload, PushAckFrame* ack) {
   WireReader r(payload);
   uint8_t checkpointed = 0;
-  if (!r.U64(&ack->session_time) || !r.U8(&checkpointed) || !r.AtEnd() ||
-      checkpointed > 1) {
+  if (!r.U64(&ack->seq) || !r.U64(&ack->session_time) ||
+      !r.U8(&checkpointed) || !r.AtEnd() || checkpointed > 1) {
     return false;
   }
   ack->checkpointed = checkpointed == 1;
   return true;
+}
+
+std::vector<uint8_t> EncodeOverloaded(const OverloadedFrame& overloaded) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U64(overloaded.seq);
+  w.U64(overloaded.pending);
+  w.U64(overloaded.cap);
+  return payload;
+}
+
+bool DecodeOverloaded(std::span<const uint8_t> payload,
+                      OverloadedFrame* overloaded) {
+  WireReader r(payload);
+  return r.U64(&overloaded->seq) && r.U64(&overloaded->pending) &&
+         r.U64(&overloaded->cap) && r.AtEnd();
 }
 
 std::vector<uint8_t> EncodeSnapshot(const SnapshotFrame& snapshot) {
@@ -600,6 +624,21 @@ std::string ValidateHello(const HelloFrame& hello, uint32_t max_sites) {
            "line-oriented checkpoint file)";
   }
   return "";
+}
+
+uint64_t RaiseFdLimit(uint64_t want) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  if (limit.rlim_cur != RLIM_INFINITY && limit.rlim_cur < want) {
+    rlimit raised = limit;
+    raised.rlim_cur = (limit.rlim_max == RLIM_INFINITY)
+                          ? want
+                          : std::min<rlim_t>(want, limit.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) limit = raised;
+  }
+  return limit.rlim_cur == RLIM_INFINITY
+             ? std::numeric_limits<uint64_t>::max()
+             : static_cast<uint64_t>(limit.rlim_cur);
 }
 
 }  // namespace varstream

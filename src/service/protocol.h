@@ -43,9 +43,13 @@ inline constexpr uint32_t kProtocolMagic = 0x56535257;  // "VSRW"
 // hierarchy exchange: Hello grew a trailing site_base field (the leaf's
 // first global site id, assigned by the root), and StateDump/Topology
 // frames let a root pull serialized tracker state and probe node health.
+// v4 added backpressure: PushBatch and PushAck carry a per-connection
+// u64 sequence number (client-assigned, consecutive from 0), and the
+// Overloaded frame rejects a batch without applying it — the client
+// backs off and resends from the first rejected sequence (go-back-N).
 // Hello still requires an exact version match; new frame types are
-// appended so every v1/v2 frame keeps its byte value.
-inline constexpr uint32_t kProtocolVersion = 3;
+// appended so every v1/v2/v3 frame keeps its byte value.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// Hard cap on payload size: large enough for ~256k updates per
 /// PushBatch, small enough that a corrupt length prefix cannot make the
@@ -73,7 +77,8 @@ enum class FrameType : uint8_t {
   kStateDumpResult, // server -> client: the SerializeState text (v3)
   kTopology,        // client -> server: describe this node / heartbeat (v3)
   kTopologyInfo,    // server -> client: role + leaf table (v3)
-  kMaxFrameType = kTopologyInfo,
+  kOverloaded,      // server -> client: batch rejected, back off + resend (v4)
+  kMaxFrameType = kOverloaded,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -175,13 +180,32 @@ struct HelloAckFrame {
   uint64_t session_time = 0;
 };
 
+/// `seq` is per-connection and client-assigned: 0 for the first batch
+/// after Hello, +1 for each subsequent batch. The server applies batches
+/// strictly in sequence; a batch arriving past the session's
+/// pending-batch cap is answered with Overloaded (not applied) and the
+/// expected sequence does not advance, so a pipelined client resends
+/// from the first rejected seq and ordering — and therefore bit-for-bit
+/// parity with an in-process run — is preserved under overload.
 struct PushBatchFrame {
+  uint64_t seq = 0;
   std::vector<CountUpdate> updates;
 };
 
 struct PushAckFrame {
+  uint64_t seq = 0;           // echoes the applied batch's sequence number
   uint64_t session_time = 0;  // tracker->time() after applying the batch
   bool checkpointed = false;  // an automatic --checkpoint-every fired
+};
+
+/// Overloaded: the server's session queue was full when `seq` arrived
+/// (or `seq` trailed an already-rejected batch). The batch was NOT
+/// applied; the connection stays healthy. `pending`/`cap` report the
+/// session's queue depth and configured cap so clients can log why.
+struct OverloadedFrame {
+  uint64_t seq = 0;
+  uint64_t pending = 0;
+  uint64_t cap = 0;
 };
 
 /// The tracker's Snapshot() plus the session's real wire-byte accounting
@@ -273,11 +297,16 @@ bool DecodeHello(std::span<const uint8_t> payload, HelloFrame* hello);
 std::vector<uint8_t> EncodeHelloAck(const HelloAckFrame& ack);
 bool DecodeHelloAck(std::span<const uint8_t> payload, HelloAckFrame* ack);
 
-std::vector<uint8_t> EncodePushBatch(std::span<const CountUpdate> updates);
+std::vector<uint8_t> EncodePushBatch(uint64_t seq,
+                                     std::span<const CountUpdate> updates);
 bool DecodePushBatch(std::span<const uint8_t> payload, PushBatchFrame* batch);
 
 std::vector<uint8_t> EncodePushAck(const PushAckFrame& ack);
 bool DecodePushAck(std::span<const uint8_t> payload, PushAckFrame* ack);
+
+std::vector<uint8_t> EncodeOverloaded(const OverloadedFrame& overloaded);
+bool DecodeOverloaded(std::span<const uint8_t> payload,
+                      OverloadedFrame* overloaded);
 
 std::vector<uint8_t> EncodeSnapshot(const SnapshotFrame& snapshot);
 bool DecodeSnapshot(std::span<const uint8_t> payload,
@@ -332,6 +361,12 @@ bool SessionNameIsSafe(const std::string& name);
 /// string on success, else the Error-frame diagnostic to send back.
 /// Tracker existence and shard pairing stay node-specific.
 std::string ValidateHello(const HelloFrame& hello, uint32_t max_sites);
+
+/// Raises the process's soft RLIMIT_NOFILE toward `want` (clamped to the
+/// hard limit). The many-connections paths — the epoll server's worker
+/// pool and the loadgen's --connections driver — need well over the
+/// usual 1024-fd default. Best-effort: returns the resulting soft limit.
+uint64_t RaiseFdLimit(uint64_t want);
 
 }  // namespace varstream
 

@@ -1,11 +1,15 @@
 #include "service/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -21,8 +25,8 @@ namespace varstream {
 
 namespace {
 
-// Session-name and sizing checks live in protocol.cc (ValidateHello)
-// now, shared with the root aggregator's identical admission path.
+// Session-name and sizing checks live in protocol.cc (ValidateHello),
+// shared with the root aggregator's identical admission path.
 
 bool OptionsMatch(const TrackerOptions& a, const TrackerOptions& b) {
   return a.num_sites == b.num_sites && a.epsilon == b.epsilon &&
@@ -39,6 +43,10 @@ VarstreamServer::VarstreamServer(ServerOptions options)
 
 VarstreamServer::~VarstreamServer() { Stop(); }
 
+VarstreamServer::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
 std::unique_ptr<DistributedTracker> VarstreamServer::BuildTracker(
     const std::string& tracker_name, const TrackerOptions& options,
     uint32_t shards, std::string* error) {
@@ -53,7 +61,25 @@ std::unique_ptr<DistributedTracker> VarstreamServer::BuildTracker(
   return tracker;
 }
 
+uint32_t VarstreamServer::SessionOwner(const std::string& name) const {
+  // FNV-1a 64-bit: stable across runs (restore must land sessions on the
+  // same worker the hash picks at the new worker count).
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h % worker_count_);
+}
+
 bool VarstreamServer::Start(std::string* error) {
+  worker_count_ = options_.workers;
+  if (worker_count_ == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    worker_count_ = std::max(1u, std::min(4u, hw == 0 ? 1u : hw));
+  }
+  if (options_.pending_batch_cap == 0) options_.pending_batch_cap = 1;
+
   if (!options_.restore_path.empty()) {
     std::vector<SessionCheckpoint> entries;
     if (!ReadCheckpointFile(options_.restore_path, &entries, error)) {
@@ -84,6 +110,7 @@ bool VarstreamServer::Start(std::string* error) {
       session->name = entry.name;
       session->tracker_name = entry.tracker;
       session->shards = entry.shards;
+      session->owner = SessionOwner(entry.name);
       session->options = entry.options;
       session->tracker = std::move(tracker);
       // A checkpointed history section carries its own retention config:
@@ -112,6 +139,10 @@ bool VarstreamServer::Start(std::string* error) {
     }
   }
 
+  // A thousand-connection gauntlet needs more than the default soft
+  // NOFILE limit; raise it as far as the hard limit allows.
+  RaiseFdLimit(16384);
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
@@ -136,40 +167,85 @@ bool VarstreamServer::Start(std::string* error) {
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
+  // A burst of 1000 clients connecting at once must not see ECONNREFUSED
+  // because the backlog filled while the acceptor was distributing fds.
+  if (::listen(listen_fd_, 1024) != 0) {
     if (error != nullptr) *error = "listen(): " + std::string(strerror(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
   }
+
+  workers_.clear();
+  for (uint32_t i = 0; i < worker_count_; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->server = this;
+    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epoll_fd < 0 || w->event_fd < 0) {
+      if (error != nullptr) {
+        *error = "epoll/eventfd setup: " + std::string(strerror(errno));
+      }
+      if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+      if (w->event_fd >= 0) ::close(w->event_fd);
+      for (auto& prev : workers_) {
+        ::close(prev->epoll_fd);
+        ::close(prev->event_fd);
+      }
+      workers_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr marks the wakeup eventfd
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->event_fd, &ev);
+    w->mail_open = true;
+    workers_.push_back(std::move(w));
+  }
+
   running_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(ext_mu_);
+    workers_running_ = true;
+  }
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  }
   accept_thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
   return true;
 }
 
 void VarstreamServer::Stop() {
+  std::lock_guard<std::mutex> ext_lock(ext_mu_);
   bool was_running = running_.exchange(false, std::memory_order_acq_rel);
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  // Wake every connection thread blocked in recv(). The fds stay open
-  // (handlers never close them), so there is no recycled-fd hazard here.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const auto& conn : connections_) ::shutdown(conn->fd, SHUT_RDWR);
-  }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::unique_ptr<Connection>> connections;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    connections.swap(connections_);
+  // Wake every worker: each sees running_ == false at the top of its
+  // loop, drains its mailbox one final time, destroys every connection
+  // it owns, and exits. Joining here therefore guarantees that when
+  // Stop() returns no connection fd and no server thread survives.
+  for (auto& w : workers_) {
+    if (w->event_fd >= 0) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(w->event_fd, &one, sizeof(one));
+    }
   }
-  for (const auto& conn : connections) {
-    if (conn->thread.joinable()) conn->thread.join();
-    ::close(conn->fd);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+    if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+    if (w->event_fd >= 0) ::close(w->event_fd);
   }
+  workers_.clear();
+  workers_running_ = false;
   if (was_running) {
     std::lock_guard<std::mutex> lock(shutdown_mu_);
     shutdown_requested_ = true;
@@ -182,26 +258,46 @@ void VarstreamServer::WaitForShutdownRequest() {
   shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
 }
 
-void VarstreamServer::ReapFinishedConnections() {
-  std::vector<std::unique_ptr<Connection>> finished;
+bool VarstreamServer::PostToWorker(Worker* w, std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (size_t i = 0; i < connections_.size();) {
-      if (connections_[i]->done.load(std::memory_order_acquire)) {
-        finished.push_back(std::move(connections_[i]));
-        connections_.erase(connections_.begin() + i);
-      } else {
-        ++i;
-      }
-    }
+    std::lock_guard<std::mutex> lock(w->mail_mu);
+    if (!w->mail_open) return false;
+    w->mail.push_back(std::move(task));
   }
-  for (const auto& conn : finished) {
-    conn->thread.join();  // the handler already returned; joins instantly
-    ::close(conn->fd);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(w->event_fd, &one, sizeof(one));
+  return true;
+}
+
+void VarstreamServer::RunMailbox(Worker* w) {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(w->mail_mu);
+    tasks.swap(w->mail);
+  }
+  for (auto& task : tasks) task();
+}
+
+void VarstreamServer::MarkDirty(Worker* w, Session* s) {
+  if (s->in_dirty) return;
+  s->in_dirty = true;
+  w->dirty.push_back(s);
+}
+
+void VarstreamServer::DrainDirtySessions(Worker* w) {
+  // DrainSession can re-dirty a session (auto-checkpoint freezes it with
+  // batches still queued; the unfreeze completion drains the rest), so
+  // swap the list out and make a single pass.
+  std::vector<Session*> dirty;
+  dirty.swap(w->dirty);
+  for (Session* s : dirty) {
+    s->in_dirty = false;
+    DrainSession(w, s);
   }
 }
 
 void VarstreamServer::AcceptLoop(int listen_fd) {
+  uint32_t next_worker = 0;
   while (running_.load(std::memory_order_acquire)) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -221,47 +317,354 @@ void VarstreamServer::AcceptLoop(int listen_fd) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    ReapFinishedConnections();
+    accepted_.fetch_add(1, std::memory_order_relaxed);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (!running_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
+    Worker* w = workers_[next_worker++ % worker_count_].get();
+    if (!PostToWorker(w, [this, w, fd] { AddConnToWorker(w, fd); })) {
+      ::close(fd);  // worker already shutting down
     }
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    connections_.push_back(std::move(conn));
-    connections_.back()->thread =
-        std::thread([this, raw] { HandleConnection(raw); });
   }
 }
 
-bool VarstreamServer::SendFrame(int fd, FrameType type,
-                                std::span<const uint8_t> payload,
-                                Session* session) {
+void VarstreamServer::WorkerLoop(Worker* w) {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    RunMailbox(w);
+    DrainDirtySessions(w);
+    w->graveyard.clear();
+    if (!running_.load(std::memory_order_acquire)) break;
+    int n = ::epoll_wait(w->epoll_fd, events, kMaxEvents, 1000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone; only happens during teardown
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        // Wakeup eventfd: drain the counter; the mailbox runs at loop-top.
+        uint64_t count = 0;
+        while (::read(w->event_fd, &count, sizeof(count)) > 0) {
+        }
+        continue;
+      }
+      Conn* conn = static_cast<Conn*>(events[i].data.ptr);
+      if (conn->dead) continue;  // destroyed earlier in this batch
+      const uint32_t ev = events[i].events;
+      if (conn->parked) {
+        // A cross-worker op owns this connection's next step; remember a
+        // dead peer, act on it when the completion unparks.
+        if (ev & (EPOLLHUP | EPOLLERR)) conn->closing = true;
+        continue;
+      }
+      if (ev & EPOLLOUT) {
+        const bool was_throttled = conn->throttled;
+        FlushConn(w, conn);
+        if (conn->dead) continue;
+        if (conn->closing && conn->wbuf_sent == conn->wbuf.size()) {
+          DestroyConn(w, conn);
+          continue;
+        }
+        // Unthrottled: resume decoding bytes already buffered (no new
+        // EPOLLIN fires for data that arrived while interest was off).
+        if (was_throttled && !conn->throttled && !conn->closing) {
+          if (!ProcessInput(w, conn)) continue;
+        }
+      }
+      if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(w, conn);
+      }
+    }
+    // Destroy-at-batch-end: stale epoll_event pointers in this batch
+    // still dereference a live (dead-flagged) Conn.
+  }
+  // Shutdown: refuse new mail, run what was already posted (cross-worker
+  // gathers in flight still see live conns), then tear everything down.
+  {
+    std::lock_guard<std::mutex> lock(w->mail_mu);
+    w->mail_open = false;
+  }
+  RunMailbox(w);
+  DrainDirtySessions(w);
+  std::vector<Conn*> remaining;
+  remaining.reserve(w->conns.size());
+  for (auto& [fd, conn] : w->conns) remaining.push_back(conn.get());
+  for (Conn* conn : remaining) {
+    if (!conn->dead) DestroyConn(w, conn);
+  }
+  w->conns.clear();
+  w->graveyard.clear();
+}
+
+void VarstreamServer::AddConnToWorker(Worker* w, int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  Conn* raw = conn.get();
+  w->conns.emplace(fd, std::move(conn));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = raw;
+  if (::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    w->conns.erase(fd);  // Conn dtor closes the fd
+    return;
+  }
+  raw->registered_mask = EPOLLIN;
+  uint64_t current =
+      current_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t peak = peak_connections_.load(std::memory_order_relaxed);
+  while (current > peak && !peak_connections_.compare_exchange_weak(
+                               peak, current, std::memory_order_relaxed)) {
+  }
+}
+
+void VarstreamServer::HandleReadable(Worker* w, Conn* conn) {
+  bool eof = false;
+  size_t read_this_cycle = 0;
+  for (;;) {
+    uint8_t chunk[65536];
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      conn->rbuf.insert(conn->rbuf.end(), chunk, chunk + n);
+      read_this_cycle += static_cast<size_t>(n);
+      // Fairness cap: a firehose connection yields after ~256 KiB so a
+      // thousand quieter connections on this worker still get served.
+      if (read_this_cycle >= 256 * 1024) break;
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    }
+    eof = true;  // disconnect or hard error
+    break;
+  }
+  if (!ProcessInput(w, conn)) return;  // migrated or destroyed
+  if (eof) {
+    if (conn->parked) {
+      conn->closing = true;  // completion task finishes the teardown
+    } else {
+      // Any partial frame in rbuf is discarded with the connection —
+      // a client that dies mid-frame never corrupts tracker state.
+      DestroyConn(w, conn);
+    }
+  }
+}
+
+bool VarstreamServer::ProcessInput(Worker* w, Conn* conn) {
+  size_t offset = 0;
+  bool keep_decoding = true;
+  while (keep_decoding && !conn->dead && !conn->closing && !conn->parked) {
+    if (conn->wbuf.size() - conn->wbuf_sent > options_.write_buffer_cap) {
+      conn->throttled = true;  // stop reading until replies drain
+      break;
+    }
+    Frame frame;
+    size_t consumed = 0;
+    std::string decode_error;
+    DecodeStatus status = DecodeFrame(
+        std::span<const uint8_t>(conn->rbuf.data() + offset,
+                                 conn->rbuf.size() - offset),
+        &frame, &consumed, &decode_error);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status == DecodeStatus::kMalformed) {
+      SendErrorAndClose(w, conn, "malformed frame: " + decode_error);
+      break;
+    }
+    FrameResult result = HandleFrame(w, conn, frame, consumed);
+    if (result == FrameResult::kMigrated) {
+      // The hello frame itself is metered here; it travels to the owning
+      // worker inside the pre-session counters and FinishHello folds it
+      // into the session.
+      ++conn->pre_session_wire_msgs;
+      conn->pre_session_wire_bits += consumed * 8;
+      MigrateConn(w, conn, offset + consumed);
+      return false;
+    }
+    if (result == FrameResult::kParkRetry) {
+      // Frame stays in rbuf (not consumed, not metered); the unpark
+      // re-enters ProcessInput and decodes it again.
+      break;
+    }
+    // Account the received frame's real bytes exactly once, when it is
+    // consumed. HandleFrame already folded the hello of a same-worker
+    // session attach via FinishHello's pre-session counters.
+    if (conn->session != nullptr) {
+      conn->session->wire_cost.Count(MessageKind::kWire, consumed * 8);
+    } else {
+      ++conn->pre_session_wire_msgs;
+      conn->pre_session_wire_bits += consumed * 8;
+    }
+    offset += consumed;
+    keep_decoding = (result == FrameResult::kContinue);
+  }
+  if (offset > 0 && !conn->dead) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<long>(offset));
+  }
+  if (conn->dead) return false;
+  FlushConn(w, conn);
+  if (conn->dead) return false;
+  if (!conn->parked && conn->closing &&
+      conn->wbuf_sent == conn->wbuf.size()) {
+    DestroyConn(w, conn);
+    return false;
+  }
+  UpdateInterest(w, conn);
+  return true;
+}
+
+void VarstreamServer::QueueFrame(Worker* w, Conn* conn, FrameType type,
+                                 std::span<const uint8_t> payload) {
+  if (conn->dead) return;
   std::vector<uint8_t> wire;
   wire.reserve(kFrameOverhead + payload.size());
   AppendFrame(&wire, type, payload);
-  if (session != nullptr) {
-    std::lock_guard<std::mutex> lock(session->mu);
-    session->wire_cost.Count(MessageKind::kWire, wire.size() * 8);
+  if (conn->session != nullptr) {
+    conn->session->wire_cost.Count(MessageKind::kWire, wire.size() * 8);
+  } else {
+    ++conn->pre_session_wire_msgs;
+    conn->pre_session_wire_bits += wire.size() * 8;
   }
-  return SendAllBytes(fd, wire.data(), wire.size());
+  // Compact the flushed prefix before growing, so a long-lived chatty
+  // connection does not accrete an ever-larger wbuf.
+  if (conn->wbuf_sent > 0) {
+    conn->wbuf.erase(conn->wbuf.begin(),
+                     conn->wbuf.begin() + static_cast<long>(conn->wbuf_sent));
+    conn->wbuf_sent = 0;
+  }
+  conn->wbuf.insert(conn->wbuf.end(), wire.begin(), wire.end());
+  FlushConn(w, conn);
 }
 
-bool VarstreamServer::SendError(int fd, Session* session,
-                                const std::string& message) {
+void VarstreamServer::FlushConn(Worker* w, Conn* conn) {
+  if (conn->dead || conn->fd < 0) return;
+  while (conn->wbuf_sent < conn->wbuf.size()) {
+    ssize_t n = ::send(conn->fd, conn->wbuf.data() + conn->wbuf_sent,
+                       conn->wbuf.size() - conn->wbuf_sent,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      conn->wbuf_sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer gone: nothing more to say; drop the queue and close.
+    conn->wbuf.clear();
+    conn->wbuf_sent = 0;
+    conn->closing = true;
+    break;
+  }
+  if (conn->wbuf_sent == conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->wbuf_sent = 0;
+  }
+  if (conn->throttled &&
+      conn->wbuf.size() - conn->wbuf_sent < options_.write_buffer_cap / 2) {
+    conn->throttled = false;
+  }
+  UpdateInterest(w, conn);
+}
+
+void VarstreamServer::UpdateInterest(Worker* w, Conn* conn) {
+  if (conn->dead || conn->fd < 0) return;
+  uint32_t mask = 0;
+  if (!conn->parked && !conn->closing && !conn->throttled) mask |= EPOLLIN;
+  if (conn->wbuf_sent < conn->wbuf.size()) mask |= EPOLLOUT;
+  if (mask == conn->registered_mask) return;
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.ptr = conn;
+  if (::epoll_ctl(w->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->registered_mask = mask;
+  }
+}
+
+VarstreamServer::FrameResult VarstreamServer::SendErrorAndClose(
+    Worker* w, Conn* conn, const std::string& message) {
   // Loud on the server side too: operators tailing the log see exactly
   // what the client was told before the connection dropped.
   std::fprintf(stderr, "varstream_serve: %s\n", message.c_str());
-  SendFrame(fd, FrameType::kError, EncodeError(message), session);
-  return false;  // caller closes the connection
+  QueueFrame(w, conn, FrameType::kError, EncodeError(message));
+  conn->closing = true;
+  UpdateInterest(w, conn);
+  return FrameResult::kClose;
+}
+
+void VarstreamServer::DestroyConn(Worker* w, Conn* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  if (conn->fd >= 0) {
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  }
+  // Null out every queued-batch and waiter reference: the batch still
+  // applies (ingest already promised the order), the ack just has
+  // nowhere to go.
+  if (conn->session != nullptr) {
+    for (PendingBatch& b : conn->session->pending) {
+      if (b.conn == conn) b.conn = nullptr;
+    }
+    auto& waiters = conn->session->waiters;
+    waiters.erase(std::remove(waiters.begin(), waiters.end(), conn),
+                  waiters.end());
+  }
+  current_connections_.fetch_sub(1, std::memory_order_relaxed);
+  const int fd = conn->fd;
+  auto it = w->conns.find(fd);
+  if (it != w->conns.end() && it->second.get() == conn) {
+    // Keep the object alive until the current event batch ends: epoll
+    // may still hold events pointing at it.
+    w->graveyard.push_back(std::move(it->second));
+    w->conns.erase(it);
+  }
+  if (fd >= 0) {
+    ::close(fd);
+    conn->fd = -1;
+  }
+}
+
+void VarstreamServer::MigrateConn(Worker* w, Conn* conn, size_t consumed) {
+  // The hello frame's bytes travel as pre-session counters and are
+  // folded into the session's wire meter by FinishHello on arrival.
+  const size_t hello_bytes = consumed > 0 ? consumed : 0;
+  conn->rbuf.erase(conn->rbuf.begin(),
+                   conn->rbuf.begin() + static_cast<long>(hello_bytes));
+  ::epoll_ctl(w->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conn->registered_mask = 0;
+  auto it = w->conns.find(conn->fd);
+  auto carrier = std::make_shared<std::unique_ptr<Conn>>(std::move(it->second));
+  w->conns.erase(it);
+  Worker* target = workers_[conn->migrate_owner].get();
+  HelloFrame hello = std::move(conn->migrate_hello);
+  bool posted = PostToWorker(
+      target, [this, target, carrier, hello = std::move(hello)] {
+        Conn* moved = carrier->get();
+        target->conns.emplace(moved->fd, std::move(*carrier));
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.ptr = moved;
+        if (::epoll_ctl(target->epoll_fd, EPOLL_CTL_ADD, moved->fd, &ev) !=
+            0) {
+          DestroyConn(target, moved);
+          return;
+        }
+        moved->registered_mask = EPOLLIN;
+        FinishHello(target, moved, hello);
+        // Decode anything that followed the hello in the same segment;
+        // also flushes/destroys if FinishHello refused the session.
+        ProcessInput(target, moved);
+      });
+  if (!posted) {
+    // Worker shutting down: the carrier's Conn dtor closes the fd.
+    current_connections_.fetch_sub(1, std::memory_order_relaxed);
+    carrier->reset();
+  }
 }
 
 VarstreamServer::Session* VarstreamServer::ResolveSession(
-    const HelloFrame& hello, bool* created, std::string* error) {
+    const HelloFrame& hello, uint32_t owner, bool* created,
+    std::string* error) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   auto it = sessions_.find(hello.session);
   if (it != sessions_.end()) {
@@ -307,6 +710,7 @@ VarstreamServer::Session* VarstreamServer::ResolveSession(
   session->name = hello.session;
   session->tracker_name = hello.tracker;
   session->shards = hello.shards;
+  session->owner = owner;
   session->options = hello.options;
   session->tracker = std::move(tracker);
   session->history = std::make_unique<HistorySampler>(options_.history);
@@ -316,137 +720,163 @@ VarstreamServer::Session* VarstreamServer::ResolveSession(
   return raw;
 }
 
-bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
-                                  Session** session,
-                                  uint64_t* pre_session_wire_msgs,
-                                  uint64_t* pre_session_wire_bits) {
+VarstreamServer::FrameResult VarstreamServer::FinishHello(
+    Worker* w, Conn* conn, const HelloFrame& hello) {
+  std::string error;
+  bool created = false;
+  Session* resolved = ResolveSession(hello, w->index, &created, &error);
+  if (resolved == nullptr) return SendErrorAndClose(w, conn, error);
+  conn->session = resolved;
+  conn->expected_seq = 0;
+  HelloAckFrame ack;
+  ack.created = created;
+  ack.session_time = resolved->tracker->time();
+  // Fold the bytes this connection spent before the session existed
+  // (the hello frame itself, for a migrated connection) into the
+  // session's wire meter.
+  resolved->wire_cost.Count(MessageKind::kWire, conn->pre_session_wire_bits,
+                            conn->pre_session_wire_msgs);
+  conn->pre_session_wire_msgs = 0;
+  conn->pre_session_wire_bits = 0;
+  QueueFrame(w, conn, FrameType::kHelloAck, EncodeHelloAck(ack));
+  return FrameResult::kContinue;
+}
+
+VarstreamServer::FrameResult VarstreamServer::HandleFrame(
+    Worker* w, Conn* conn, const Frame& frame, size_t frame_bytes) {
+  (void)frame_bytes;
+  // Parks the connection until the session thaws, leaving the current
+  // frame in rbuf for a re-decode (kParkRetry). A connection already
+  // parked by StartCheckpoint (it triggered the freeze itself) keeps its
+  // existing unpark path — FinishCheckpoint re-enters ProcessInput.
+  auto park_until_thaw = [&](Session* s) {
+    if (!conn->parked) {
+      conn->parked = true;
+      s->waiters.push_back(conn);
+    }
+    conn->park_retry = true;
+    UpdateInterest(w, conn);
+    return FrameResult::kParkRetry;
+  };
+  auto conn_has_pending = [&](Session* s) {
+    for (const PendingBatch& b : s->pending) {
+      if (b.conn == conn) return true;
+    }
+    return false;
+  };
+
   switch (frame.type) {
     case FrameType::kHello: {
-      if (*session != nullptr) {
-        return SendError(fd, *session, "duplicate hello on this connection");
+      if (conn->session != nullptr) {
+        return SendErrorAndClose(w, conn,
+                                 "duplicate hello on this connection");
       }
       HelloFrame hello;
       if (!DecodeHello(frame.payload, &hello)) {
-        return SendError(fd, nullptr, "malformed hello payload");
+        return SendErrorAndClose(w, conn, "malformed hello payload");
       }
       std::string admission = ValidateHello(hello, kMaxSessionSites);
-      if (!admission.empty()) return SendError(fd, nullptr, admission);
-      std::string error;
-      bool created = false;
-      Session* resolved = ResolveSession(hello, &created, &error);
-      if (resolved == nullptr) return SendError(fd, nullptr, error);
-      *session = resolved;
-      HelloAckFrame ack;
-      ack.created = created;
-      {
-        std::lock_guard<std::mutex> lock(resolved->mu);
-        ack.session_time = resolved->tracker->time();
-        // Fold the bytes this connection spent before the session existed
-        // (the hello frame itself) into the session's wire meter.
-        resolved->wire_cost.Count(MessageKind::kWire, *pre_session_wire_bits,
-                                  *pre_session_wire_msgs);
-        *pre_session_wire_msgs = 0;
-        *pre_session_wire_bits = 0;
-      }
-      return SendFrame(fd, FrameType::kHelloAck, EncodeHelloAck(ack),
-                       resolved);
+      if (!admission.empty()) return SendErrorAndClose(w, conn, admission);
+      const uint32_t owner = SessionOwner(hello.session);
+      if (owner == w->index) return FinishHello(w, conn, hello);
+      conn->migrate_hello = std::move(hello);
+      conn->migrate_owner = owner;
+      return FrameResult::kMigrated;
     }
     case FrameType::kPushBatch: {
-      if (*session == nullptr) {
-        return SendError(fd, nullptr, "push-batch before hello");
+      if (conn->session == nullptr) {
+        return SendErrorAndClose(w, conn, "push-batch before hello");
       }
       PushBatchFrame batch;
       if (!DecodePushBatch(frame.payload, &batch)) {
-        return SendError(fd, *session, "malformed push-batch payload");
+        return SendErrorAndClose(w, conn, "malformed push-batch payload");
       }
-      Session& s = **session;
+      Session* s = conn->session;
       const bool monotone_only =
-          TrackerRegistry::Instance().IsMonotoneOnly(s.tracker_name);
+          TrackerRegistry::Instance().IsMonotoneOnly(s->tracker_name);
       for (const CountUpdate& u : batch.updates) {
         // Validate before touching the tracker: the in-process API treats
         // these as programming errors (debug asserts), but on the wire
         // they are untrusted input.
-        if (u.site >= s.options.num_sites) {
-          return SendError(fd, *session,
-                           "push-batch update targets site " +
-                               std::to_string(u.site) + ", session has k=" +
-                               std::to_string(s.options.num_sites));
+        if (u.site >= s->options.num_sites) {
+          return SendErrorAndClose(
+              w, conn,
+              "push-batch update targets site " + std::to_string(u.site) +
+                  ", session has k=" +
+                  std::to_string(s->options.num_sites));
         }
         if (monotone_only && u.delta < 0) {
-          return SendError(fd, *session,
-                           "tracker '" + s.tracker_name +
-                               "' is insertion-only; negative delta "
-                               "rejected");
+          return SendErrorAndClose(w, conn,
+                                   "tracker '" + s->tracker_name +
+                                       "' is insertion-only; negative "
+                                       "delta rejected");
         }
       }
-      PushAckFrame ack;
-      bool want_checkpoint = false;
-      {
-        std::lock_guard<std::mutex> lock(s.mu);
-        s.tracker->PushBatch(batch.updates);
-        // History sampling rides the batch boundary — the only point
-        // with a consistent snapshot and the only frequency that keeps
-        // Snapshot()'s sharded-pipeline drain off the per-update path.
-        if (s.history->Due(batch.updates.size())) {
-          TrackerSnapshot snap = s.tracker->Snapshot();
-          s.history->Record({snap.time, snap.estimate, snap.messages,
-                             snap.bits,
-                             s.wire_cost.bits(MessageKind::kWire) / 8});
-        }
-        s.updates_since_checkpoint += batch.updates.size();
-        if (options_.checkpoint_every > 0 &&
-            s.updates_since_checkpoint >= options_.checkpoint_every) {
-          want_checkpoint = true;
-          s.updates_since_checkpoint = 0;
-        }
-        ack.session_time = s.tracker->time();
+      // Go-back-N sequencing (protocol v4): a regression is a protocol
+      // violation (loud close); a gap means the client kept pipelining
+      // past a rejection and every later batch bounces until it resends
+      // from the first rejected seq — application order is preserved.
+      if (batch.seq < conn->expected_seq) {
+        return SendErrorAndClose(
+            w, conn,
+            "push-batch seq " + std::to_string(batch.seq) +
+                " regressed (connection expects " +
+                std::to_string(conn->expected_seq) + ")");
       }
-      if (want_checkpoint) {
-        std::string error;
-        if (!WriteCheckpointLocked(&error)) {
-          return SendError(fd, *session, "automatic checkpoint failed: " +
-                                             error);
-        }
-        ack.checkpointed = true;
+      PendingBatch pb;
+      pb.conn = conn;
+      pb.seq = batch.seq;
+      if (batch.seq > conn->expected_seq ||
+          s->pending_applies >= options_.pending_batch_cap) {
+        pb.rejected = true;
+        pb.pending_at_enqueue = s->pending_applies;
+        overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        pb.updates = std::move(batch.updates);
+        ++s->pending_applies;
+        ++conn->expected_seq;
       }
-      return SendFrame(fd, FrameType::kPushAck, EncodePushAck(ack),
-                       *session);
+      s->pending.push_back(std::move(pb));
+      MarkDirty(w, s);
+      return FrameResult::kContinue;
     }
     case FrameType::kQuery: {
-      if (*session == nullptr) {
-        return SendError(fd, nullptr, "query before hello");
+      if (conn->session == nullptr) {
+        return SendErrorAndClose(w, conn, "query before hello");
       }
-      Session& s = **session;
+      Session* s = conn->session;
+      // Apply everything this connection already pushed, so the snapshot
+      // reflects its own writes (same guarantee the threaded server gave
+      // by handling frames in order).
+      DrainSession(w, s);
+      if (s->frozen && conn_has_pending(s)) return park_until_thaw(s);
       SnapshotFrame snapshot;
-      {
-        std::lock_guard<std::mutex> lock(s.mu);
-        TrackerSnapshot snap = s.tracker->Snapshot();
-        snapshot.estimate = snap.estimate;
-        snapshot.time = snap.time;
-        snapshot.messages = snap.messages;
-        snapshot.bits = snap.bits;
-        snapshot.wire_messages =
-            s.wire_cost.messages(MessageKind::kWire);
-        snapshot.wire_bits = s.wire_cost.bits(MessageKind::kWire);
-      }
-      return SendFrame(fd, FrameType::kSnapshot, EncodeSnapshot(snapshot),
-                       *session);
+      TrackerSnapshot snap = s->tracker->Snapshot();
+      snapshot.estimate = snap.estimate;
+      snapshot.time = snap.time;
+      snapshot.messages = snap.messages;
+      snapshot.bits = snap.bits;
+      snapshot.wire_messages = s->wire_cost.messages(MessageKind::kWire);
+      snapshot.wire_bits = s->wire_cost.bits(MessageKind::kWire);
+      QueueFrame(w, conn, FrameType::kSnapshot, EncodeSnapshot(snapshot));
+      return FrameResult::kContinue;
     }
     case FrameType::kCheckpoint: {
-      if (*session == nullptr) {
-        return SendError(fd, nullptr, "checkpoint before hello");
+      if (conn->session == nullptr) {
+        return SendErrorAndClose(w, conn, "checkpoint before hello");
       }
       if (!frame.payload.empty()) {
-        return SendError(fd, *session, "malformed checkpoint payload");
+        return SendErrorAndClose(w, conn, "malformed checkpoint payload");
       }
-      std::string error;
-      if (!WriteCheckpointLocked(&error)) {
-        return SendError(fd, *session, error);
+      if (options_.checkpoint_path.empty()) {
+        return SendErrorAndClose(w, conn,
+                                 "checkpointing is disabled (start the "
+                                 "server with --checkpoint-path)");
       }
-      CheckpointAckFrame ack;
-      ack.path = options_.checkpoint_path;
-      return SendFrame(fd, FrameType::kCheckpointAck,
-                       EncodeCheckpointAck(ack), *session);
+      Session* s = conn->session;
+      DrainSession(w, s);
+      if (s->frozen) return park_until_thaw(s);
+      return StartCheckpoint(w, s, conn, /*is_auto=*/false, PushAckFrame{});
     }
     case FrameType::kQueryRange: {
       // Read-only and session-independent: unlike the ingest frames, a
@@ -454,70 +884,99 @@ bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
       // server without creating or naming a session.
       QueryRangeFrame query;
       if (!DecodeQueryRange(frame.payload, &query)) {
-        return SendError(fd, *session, "malformed query-range payload");
+        return SendErrorAndClose(w, conn, "malformed query-range payload");
       }
       if (query.version != kQueryRangeVersion) {
-        return SendError(
-            fd, *session,
+        return SendErrorAndClose(
+            w, conn,
             "query-range version mismatch: client speaks v" +
                 std::to_string(query.version) + ", server speaks v" +
                 std::to_string(kQueryRangeVersion));
       }
-      // Capture matching sessions' rows under their locks (name order,
-      // same ordering discipline as WriteCheckpointLocked); evaluate
-      // outside all locks so an expensive aggregation never stalls
-      // ingest.
-      struct Captured {
-        SessionQueryResult meta;
-        std::vector<HistoryRow> rows;
-      };
-      std::vector<Captured> captured;
-      bool found_named = false;
-      {
-        std::lock_guard<std::mutex> lock(sessions_mu_);
-        for (auto& [name, s] : sessions_) {
-          if (!query.session.empty() && name != query.session) continue;
-          found_named = found_named || name == query.session;
-          if (!query.tracker.empty() && s->tracker_name != query.tracker) {
-            continue;
-          }
-          Captured c;
-          c.meta.session = name;
-          c.meta.tracker = s->tracker_name;
-          std::lock_guard<std::mutex> session_lock(s->mu);
-          c.meta.capacity = s->history->options().capacity;
-          c.meta.cadence = s->history->options().cadence;
-          c.meta.dropped = s->history->ring().dropped();
-          c.rows = s->history->ring().Rows();
-          captured.push_back(std::move(c));
+      if (conn->session != nullptr) {
+        DrainSession(w, conn->session);
+        if (conn->session->frozen && conn_has_pending(conn->session)) {
+          return park_until_thaw(conn->session);
         }
       }
-      if (!query.session.empty() && !found_named) {
-        return SendError(fd, *session,
-                         "unknown session '" + query.session + "'");
+      if (!query.session.empty()) {
+        bool found = false;
+        {
+          std::lock_guard<std::mutex> lock(sessions_mu_);
+          found = sessions_.find(query.session) != sessions_.end();
+        }
+        if (!found) {
+          return SendErrorAndClose(
+              w, conn, "unknown session '" + query.session + "'");
+        }
       }
-      QueryRangeResultFrame result;
-      for (Captured& c : captured) {
-        c.meta.rows = EvaluateQuery(c.rows, query.spec);
-        result.sessions.push_back(std::move(c.meta));
+      conn->parked = true;
+      UpdateInterest(w, conn);
+      auto gather = std::make_shared<RangeGather>();
+      gather->query = std::move(query);
+      gather->remaining = worker_count_;
+      Worker* initiator = w;
+      Conn* pinned = conn;
+      for (uint32_t i = 0; i < worker_count_; ++i) {
+        auto task = [this, gather, initiator, pinned, i] {
+          std::vector<RangeCapture> out;
+          CaptureWorkerHistory(i, gather->query, &out);
+          bool last = false;
+          {
+            std::lock_guard<std::mutex> lock(gather->mu);
+            for (RangeCapture& c : out) {
+              gather->captured.push_back(std::move(c));
+            }
+            last = (--gather->remaining == 0);
+          }
+          if (!last) return;
+          // Always posted, never inline: the continuation re-enters
+          // ProcessInput via UnparkConn, which must not nest inside the
+          // ProcessInput invocation that parked the connection.
+          PostToWorker(initiator, [this, gather, initiator, pinned] {
+            Conn* c = pinned;
+            if (c->dead) return;
+            std::sort(gather->captured.begin(), gather->captured.end(),
+                      [](const RangeCapture& a, const RangeCapture& b) {
+                        return a.meta.session < b.meta.session;
+                      });
+            QueryRangeResultFrame result;
+            for (RangeCapture& cap : gather->captured) {
+              cap.meta.rows = EvaluateQuery(cap.rows, gather->query.spec);
+              result.sessions.push_back(std::move(cap.meta));
+            }
+            std::vector<uint8_t> payload = EncodeQueryRangeResult(result);
+            if (payload.size() > kMaxFramePayload) {
+              SendErrorAndClose(
+                  initiator, c,
+                  "query-range result (" + std::to_string(payload.size()) +
+                      " bytes) exceeds the " +
+                      std::to_string(kMaxFramePayload) +
+                      "-byte frame limit; narrow the time window, name a "
+                      "session, or downsample with buckets");
+            } else {
+              QueueFrame(initiator, c, FrameType::kQueryRangeResult,
+                         payload);
+            }
+            UnparkConn(initiator, c);
+          });
+        };
+        if (i == w->index) {
+          task();
+        } else if (!PostToWorker(workers_[i].get(), task)) {
+          // Global shutdown: the connection dies with its worker.
+          std::lock_guard<std::mutex> lock(gather->mu);
+          --gather->remaining;
+        }
       }
-      std::vector<uint8_t> payload = EncodeQueryRangeResult(result);
-      if (payload.size() > kMaxFramePayload) {
-        return SendError(
-            fd, *session,
-            "query-range result (" + std::to_string(payload.size()) +
-                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
-                "-byte frame limit; narrow the time window, name a "
-                "session, or downsample with buckets");
-      }
-      return SendFrame(fd, FrameType::kQueryRangeResult, payload, *session);
+      return FrameResult::kParkDone;
     }
     case FrameType::kStateDump: {
       // Read-only and (like QueryRange) Hello-free: the root aggregator
       // pulls these over whatever connection is handy.
       StateDumpFrame dump;
       if (!DecodeStateDump(frame.payload, &dump)) {
-        return SendError(fd, *session, "malformed state-dump payload");
+        return SendErrorAndClose(w, conn, "malformed state-dump payload");
       }
       Session* target = nullptr;
       {
@@ -526,126 +985,340 @@ bool VarstreamServer::HandleFrame(int fd, const Frame& frame,
         if (it != sessions_.end()) target = it->second.get();
       }
       if (target == nullptr) {
-        return SendError(fd, *session,
-                         "unknown session '" + dump.session + "'");
+        return SendErrorAndClose(w, conn,
+                                 "unknown session '" + dump.session + "'");
       }
-      StateDumpResultFrame result;
-      {
-        std::lock_guard<std::mutex> lock(target->mu);
-        auto* mergeable = dynamic_cast<Mergeable*>(target->tracker.get());
+      // Serialize on the owner worker (tracker state is owner-confined);
+      // build the reply-or-error there, deliver on this worker.
+      auto build = [this](Session* t, std::vector<uint8_t>* payload,
+                          std::string* error) {
+        auto* mergeable = dynamic_cast<Mergeable*>(t->tracker.get());
         if (mergeable == nullptr) {
-          return SendError(
-              fd, *session,
-              "session '" + dump.session + "' (tracker '" +
-                  target->tracker_name +
-                  "') has no serializable state; mergeable trackers: " +
-                  JoinNames(TrackerRegistry::Instance().MergeableNames()));
+          *error = "session '" + t->name + "' (tracker '" + t->tracker_name +
+                   "') has no serializable state; mergeable trackers: " +
+                   JoinNames(TrackerRegistry::Instance().MergeableNames());
+          return false;
         }
-        result.tracker = target->tracker_name;
-        result.shards = target->shards;
+        StateDumpResultFrame result;
+        result.tracker = t->tracker_name;
+        result.shards = t->shards;
         result.state = mergeable->SerializeState();
+        *payload = EncodeStateDumpResult(result);
+        if (payload->size() > kMaxFramePayload) {
+          *error = "state dump (" + std::to_string(payload->size()) +
+                   " bytes) exceeds the " +
+                   std::to_string(kMaxFramePayload) + "-byte frame limit";
+          return false;
+        }
+        return true;
+      };
+      if (target->owner == w->index) {
+        DrainSession(w, target);
+        std::vector<uint8_t> payload;
+        std::string error;
+        if (!build(target, &payload, &error)) {
+          return SendErrorAndClose(w, conn, error);
+        }
+        QueueFrame(w, conn, FrameType::kStateDumpResult, payload);
+        return FrameResult::kContinue;
       }
-      std::vector<uint8_t> payload = EncodeStateDumpResult(result);
-      if (payload.size() > kMaxFramePayload) {
-        return SendError(
-            fd, *session,
-            "state dump (" + std::to_string(payload.size()) +
-                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
-                "-byte frame limit");
-      }
-      return SendFrame(fd, FrameType::kStateDumpResult, payload, *session);
+      conn->parked = true;
+      UpdateInterest(w, conn);
+      Worker* initiator = w;
+      Conn* pinned = conn;
+      Worker* owner_worker = workers_[target->owner].get();
+      bool posted = PostToWorker(
+          owner_worker, [this, build, target, initiator, pinned,
+                         owner_worker] {
+            auto payload = std::make_shared<std::vector<uint8_t>>();
+            auto error = std::make_shared<std::string>();
+            DrainSession(owner_worker, target);
+            bool ok = build(target, payload.get(), error.get());
+            PostToWorker(initiator,
+                         [this, initiator, pinned, payload, error, ok] {
+                           Conn* c = pinned;
+                           if (c->dead) return;
+                           if (ok) {
+                             QueueFrame(initiator, c,
+                                        FrameType::kStateDumpResult,
+                                        *payload);
+                           } else {
+                             SendErrorAndClose(initiator, c, *error);
+                           }
+                           UnparkConn(initiator, c);
+                         });
+          });
+      (void)posted;  // dropped only at global shutdown
+      return FrameResult::kParkDone;
     }
     case FrameType::kTopology: {
       if (!frame.payload.empty()) {
-        return SendError(fd, *session, "malformed topology payload");
+        return SendErrorAndClose(w, conn, "malformed topology payload");
       }
       // A plain server is its own one-node topology; the root's
       // supervisor also uses this answer as its heartbeat.
       TopologyInfoFrame info;
       info.role = "server";
-      return SendFrame(fd, FrameType::kTopologyInfo,
-                       EncodeTopologyInfo(info), *session);
+      QueueFrame(w, conn, FrameType::kTopologyInfo,
+                 EncodeTopologyInfo(info));
+      return FrameResult::kContinue;
     }
     case FrameType::kShutdown: {
       if (!frame.payload.empty()) {
-        return SendError(fd, *session, "malformed shutdown payload");
+        return SendErrorAndClose(w, conn, "malformed shutdown payload");
       }
-      SendFrame(fd, FrameType::kShutdownAck, {}, *session);
+      QueueFrame(w, conn, FrameType::kShutdownAck, {});
       {
         std::lock_guard<std::mutex> lock(shutdown_mu_);
         shutdown_requested_ = true;
       }
       shutdown_cv_.notify_all();
-      return false;  // close this connection; the owner tears down
+      conn->closing = true;  // close once the ack flushes
+      return FrameResult::kClose;
     }
     default:
-      return SendError(fd, *session,
-                       std::string("unexpected ") +
-                           FrameTypeName(frame.type) +
-                           " frame (server-to-client only)");
+      return SendErrorAndClose(w, conn,
+                               std::string("unexpected ") +
+                                   FrameTypeName(frame.type) +
+                                   " frame (server-to-client only)");
   }
 }
 
-void VarstreamServer::HandleConnection(Connection* conn) {
-  const int fd = conn->fd;
-  std::vector<uint8_t> buffer;
-  Session* session = nullptr;
-  uint64_t pre_session_wire_msgs = 0;
-  uint64_t pre_session_wire_bits = 0;
-  bool open = true;
-  while (open) {
-    // Drain every complete frame currently buffered.
-    size_t offset = 0;
-    for (;;) {
-      Frame frame;
-      size_t consumed = 0;
-      std::string decode_error;
-      DecodeStatus status = DecodeFrame(
-          std::span<const uint8_t>(buffer.data() + offset,
-                                   buffer.size() - offset),
-          &frame, &consumed, &decode_error);
-      if (status == DecodeStatus::kNeedMore) break;
-      if (status == DecodeStatus::kMalformed) {
-        SendError(fd, session, "malformed frame: " + decode_error);
-        open = false;
-        break;
+void VarstreamServer::DrainSession(Worker* w, Session* s) {
+  while (!s->frozen && !s->pending.empty()) {
+    PendingBatch b = std::move(s->pending.front());
+    s->pending.pop_front();
+    if (b.rejected) {
+      if (b.conn != nullptr && !b.conn->dead) {
+        OverloadedFrame overloaded;
+        overloaded.seq = b.seq;
+        overloaded.pending = b.pending_at_enqueue;
+        overloaded.cap = options_.pending_batch_cap;
+        QueueFrame(w, b.conn, FrameType::kOverloaded,
+                   EncodeOverloaded(overloaded));
       }
-      offset += consumed;
-      // Account the received frame's real bytes.
-      if (session != nullptr) {
-        std::lock_guard<std::mutex> lock(session->mu);
-        session->wire_cost.Count(MessageKind::kWire, consumed * 8);
-      } else {
-        ++pre_session_wire_msgs;
-        pre_session_wire_bits += consumed * 8;
-      }
-      if (!HandleFrame(fd, frame, &session, &pre_session_wire_msgs,
-                       &pre_session_wire_bits)) {
-        open = false;
-        break;
-      }
+      continue;
     }
-    if (!open) break;
-    buffer.erase(buffer.begin(), buffer.begin() + offset);
-
-    uint8_t chunk[65536];
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;  // disconnect: any partial frame in `buffer` is discarded
+    --s->pending_applies;
+    s->tracker->PushBatch(b.updates);
+    // History sampling rides the batch boundary — the only point with a
+    // consistent snapshot and the only frequency that keeps Snapshot()'s
+    // sharded-pipeline drain off the per-update path.
+    if (s->history->Due(b.updates.size())) {
+      TrackerSnapshot snap = s->tracker->Snapshot();
+      s->history->Record({snap.time, snap.estimate, snap.messages,
+                          snap.bits,
+                          s->wire_cost.bits(MessageKind::kWire) / 8});
     }
-    buffer.insert(buffer.end(), chunk, chunk + n);
+    s->updates_since_checkpoint += b.updates.size();
+    PushAckFrame ack;
+    ack.seq = b.seq;
+    ack.session_time = s->tracker->time();
+    if (options_.checkpoint_every > 0 &&
+        s->updates_since_checkpoint >= options_.checkpoint_every) {
+      s->updates_since_checkpoint = 0;
+      // Freezes the session and parks b.conn; FinishCheckpoint sends the
+      // ack (checkpointed=true) and resumes the drain.
+      StartCheckpoint(w, s, b.conn, /*is_auto=*/true, ack);
+      return;
+    }
+    if (b.conn != nullptr && !b.conn->dead) {
+      QueueFrame(w, b.conn, FrameType::kPushAck, EncodePushAck(ack));
+    }
   }
-  // No close here: the reaper (or Stop) joins this thread first and then
-  // closes the fd, so a concurrent Stop() never touches a recycled fd.
-  conn->done.store(true, std::memory_order_release);
+}
+
+VarstreamServer::FrameResult VarstreamServer::StartCheckpoint(
+    Worker* w, Session* s, Conn* conn, bool is_auto,
+    PushAckFrame parked_ack) {
+  s->frozen = true;
+  if (conn != nullptr && !conn->dead) {
+    conn->parked = true;
+    UpdateInterest(w, conn);
+  } else {
+    conn = nullptr;  // the triggering client died; checkpoint anyway
+  }
+  auto gather = std::make_shared<CkptGather>();
+  gather->remaining = worker_count_;
+  Worker* initiator = w;
+  Conn* pinned = conn;
+  for (uint32_t i = 0; i < worker_count_; ++i) {
+    auto task = [this, gather, initiator, pinned, s, is_auto, parked_ack,
+                 i] {
+      std::vector<SessionCheckpoint> entries;
+      std::string error;
+      bool ok = CaptureWorkerSessions(i, &entries, &error);
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(gather->mu);
+        if (!ok && !gather->failed) {
+          gather->failed = true;
+          gather->error = error;
+        }
+        for (SessionCheckpoint& e : entries) {
+          gather->entries.push_back(std::move(e));
+        }
+        last = (--gather->remaining == 0);
+      }
+      if (!last) return;
+      // Always posted (even post-to-self): the continuation re-enters
+      // ProcessInput via UnparkConn and must run from the mailbox, not
+      // nested inside whatever called StartCheckpoint.
+      PostToWorker(initiator,
+                   [this, initiator, gather, s, pinned, is_auto,
+                    parked_ack] {
+                     FinishCheckpoint(initiator, gather, s, pinned, is_auto,
+                                      parked_ack);
+                   });
+    };
+    if (i == w->index) {
+      task();
+    } else if (!PostToWorker(workers_[i].get(), task)) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(gather->mu);
+        if (!gather->failed) {
+          gather->failed = true;
+          gather->error = "server is stopping";
+        }
+        last = (--gather->remaining == 0);
+      }
+      if (last) {
+        PostToWorker(initiator,
+                     [this, initiator, gather, s, pinned, is_auto,
+                      parked_ack] {
+                       FinishCheckpoint(initiator, gather, s, pinned,
+                                        is_auto, parked_ack);
+                     });
+      }
+    }
+  }
+  return FrameResult::kParkDone;
+}
+
+void VarstreamServer::FinishCheckpoint(Worker* w,
+                                       std::shared_ptr<CkptGather> gather,
+                                       Session* s, Conn* conn, bool is_auto,
+                                       PushAckFrame parked_ack) {
+  std::string error;
+  bool ok = false;
+  if (gather->failed) {
+    error = gather->error;
+  } else {
+    ok = WriteCheckpointEntries(std::move(gather->entries), &error);
+  }
+  if (conn != nullptr && !conn->dead) {
+    if (!ok) {
+      SendErrorAndClose(w, conn,
+                        is_auto ? "automatic checkpoint failed: " + error
+                                : error);
+    } else if (is_auto) {
+      parked_ack.checkpointed = true;
+      QueueFrame(w, conn, FrameType::kPushAck, EncodePushAck(parked_ack));
+    } else {
+      CheckpointAckFrame ack;
+      ack.path = options_.checkpoint_path;
+      QueueFrame(w, conn, FrameType::kCheckpointAck,
+                 EncodeCheckpointAck(ack));
+    }
+  }
+  UnfreezeSession(w, s);
+  if (conn != nullptr) UnparkConn(w, conn);
+}
+
+void VarstreamServer::UnfreezeSession(Worker* w, Session* s) {
+  s->frozen = false;
+  std::vector<Conn*> waiters;
+  waiters.swap(s->waiters);
+  DrainSession(w, s);  // may re-freeze on the next auto-checkpoint edge
+  for (Conn* c : waiters) UnparkConn(w, c);
+}
+
+void VarstreamServer::UnparkConn(Worker* w, Conn* conn) {
+  if (conn->dead) return;
+  conn->parked = false;
+  conn->park_retry = false;
+  if (conn->closing) {
+    // The peer hung up (or erred) while the connection was parked.
+    FlushConn(w, conn);
+    if (!conn->dead && conn->wbuf_sent == conn->wbuf.size()) {
+      DestroyConn(w, conn);
+    }
+    return;
+  }
+  ProcessInput(w, conn);
+}
+
+bool VarstreamServer::CaptureWorkerSessions(
+    uint32_t index, std::vector<SessionCheckpoint>* entries,
+    std::string* error) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto& [name, session] : sessions_) {
+    if (session->owner != index) continue;
+    auto* mergeable = dynamic_cast<Mergeable*>(session->tracker.get());
+    if (mergeable == nullptr) {
+      if (error != nullptr) {
+        *error = "session '" + name + "' (tracker '" +
+                 session->tracker_name +
+                 "') is not checkpointable; checkpointable trackers: " +
+                 JoinNames(TrackerRegistry::Instance().MergeableNames());
+      }
+      return false;
+    }
+    SessionCheckpoint entry;
+    entry.name = name;
+    entry.tracker = session->tracker_name;
+    entry.shards = session->shards;
+    entry.options = session->options;
+    entry.state = mergeable->SerializeState();
+    if (session->history->enabled()) {
+      entry.has_history = true;
+      entry.history.capacity = session->history->options().capacity;
+      entry.history.cadence = session->history->options().cadence;
+      entry.history.pending = session->history->pending();
+      entry.history.dropped = session->history->ring().dropped();
+      entry.history.rows = session->history->ring().Rows();
+    }
+    entries->push_back(std::move(entry));
+  }
+  return true;
+}
+
+void VarstreamServer::CaptureWorkerHistory(uint32_t index,
+                                           const QueryRangeFrame& query,
+                                           std::vector<RangeCapture>* out) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto& [name, s] : sessions_) {
+    if (s->owner != index) continue;
+    if (!query.session.empty() && name != query.session) continue;
+    if (!query.tracker.empty() && s->tracker_name != query.tracker) {
+      continue;
+    }
+    RangeCapture c;
+    c.meta.session = name;
+    c.meta.tracker = s->tracker_name;
+    c.meta.capacity = s->history->options().capacity;
+    c.meta.cadence = s->history->options().cadence;
+    c.meta.dropped = s->history->ring().dropped();
+    c.rows = s->history->ring().Rows();
+    out->push_back(std::move(c));
+  }
+}
+
+bool VarstreamServer::WriteCheckpointEntries(
+    std::vector<SessionCheckpoint> entries, std::string* error) {
+  // Captures arrive in worker order; the file format (and the restore
+  // tests) expect name order, the same discipline the single-threaded
+  // writer had.
+  std::sort(entries.begin(), entries.end(),
+            [](const SessionCheckpoint& a, const SessionCheckpoint& b) {
+              return a.name < b.name;
+            });
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  return WriteCheckpointFile(options_.checkpoint_path, entries, error);
 }
 
 bool VarstreamServer::WriteCheckpoint(std::string* error) {
-  return WriteCheckpointLocked(error);
-}
-
-bool VarstreamServer::WriteCheckpointLocked(std::string* error) {
   if (options_.checkpoint_path.empty()) {
     if (error != nullptr) {
       *error = "checkpointing is disabled (start the server with "
@@ -653,42 +1326,59 @@ bool VarstreamServer::WriteCheckpointLocked(std::string* error) {
     }
     return false;
   }
-  // One checkpoint at a time; sessions are locked one by one in map
-  // (name) order while their state is captured.
-  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  std::lock_guard<std::mutex> ext_lock(ext_mu_);
   std::vector<SessionCheckpoint> entries;
-  {
-    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
-    for (auto& [name, session] : sessions_) {
-      std::lock_guard<std::mutex> session_lock(session->mu);
-      auto* mergeable = dynamic_cast<Mergeable*>(session->tracker.get());
-      if (mergeable == nullptr) {
-        if (error != nullptr) {
-          *error = "session '" + name + "' (tracker '" +
-                   session->tracker_name +
-                   "') is not checkpointable; checkpointable trackers: " +
-                   JoinNames(TrackerRegistry::Instance().MergeableNames());
-        }
-        return false;
-      }
-      SessionCheckpoint entry;
-      entry.name = name;
-      entry.tracker = session->tracker_name;
-      entry.shards = session->shards;
-      entry.options = session->options;
-      entry.state = mergeable->SerializeState();
-      if (session->history->enabled()) {
-        entry.has_history = true;
-        entry.history.capacity = session->history->options().capacity;
-        entry.history.cadence = session->history->options().cadence;
-        entry.history.pending = session->history->pending();
-        entry.history.dropped = session->history->ring().dropped();
-        entry.history.rows = session->history->ring().Rows();
-      }
-      entries.push_back(std::move(entry));
+  if (!workers_running_) {
+    // No worker threads alive: capture directly, any thread is safe.
+    for (uint32_t i = 0; i < worker_count_; ++i) {
+      if (!CaptureWorkerSessions(i, &entries, error)) return false;
     }
+  } else {
+    struct ExtGather {
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t remaining = 0;
+      std::vector<SessionCheckpoint> entries;
+      std::string error;
+      bool failed = false;
+    };
+    auto gather = std::make_shared<ExtGather>();
+    gather->remaining = worker_count_;
+    for (uint32_t i = 0; i < worker_count_; ++i) {
+      bool posted = PostToWorker(workers_[i].get(), [this, gather, i] {
+        std::vector<SessionCheckpoint> captured;
+        std::string capture_error;
+        bool ok = CaptureWorkerSessions(i, &captured, &capture_error);
+        std::lock_guard<std::mutex> lock(gather->mu);
+        if (!ok && !gather->failed) {
+          gather->failed = true;
+          gather->error = capture_error;
+        }
+        for (SessionCheckpoint& e : captured) {
+          gather->entries.push_back(std::move(e));
+        }
+        --gather->remaining;
+        gather->cv.notify_all();
+      });
+      if (!posted) {
+        std::lock_guard<std::mutex> lock(gather->mu);
+        if (!gather->failed) {
+          gather->failed = true;
+          gather->error = "server is stopping";
+        }
+        --gather->remaining;
+        gather->cv.notify_all();
+      }
+    }
+    std::unique_lock<std::mutex> lock(gather->mu);
+    gather->cv.wait(lock, [&] { return gather->remaining == 0; });
+    if (gather->failed) {
+      if (error != nullptr) *error = gather->error;
+      return false;
+    }
+    entries = std::move(gather->entries);
   }
-  return WriteCheckpointFile(options_.checkpoint_path, entries, error);
+  return WriteCheckpointEntries(std::move(entries), error);
 }
 
 std::vector<std::string> VarstreamServer::SessionNames() const {
@@ -701,6 +1391,7 @@ std::vector<std::string> VarstreamServer::SessionNames() const {
 
 bool VarstreamServer::SessionSnapshot(const std::string& name,
                                       TrackerSnapshot* snapshot) {
+  std::lock_guard<std::mutex> ext_lock(ext_mu_);
   Session* session = nullptr;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -708,9 +1399,41 @@ bool VarstreamServer::SessionSnapshot(const std::string& name,
     if (it == sessions_.end()) return false;
     session = it->second.get();
   }
-  std::lock_guard<std::mutex> lock(session->mu);
-  *snapshot = session->tracker->Snapshot();
+  if (!workers_running_) {
+    *snapshot = session->tracker->Snapshot();
+    return true;
+  }
+  struct SnapWait {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    TrackerSnapshot snapshot;
+  };
+  auto wait = std::make_shared<SnapWait>();
+  Worker* owner = workers_[session->owner].get();
+  bool posted = PostToWorker(owner, [this, owner, session, wait] {
+    DrainSession(owner, session);
+    TrackerSnapshot snap = session->tracker->Snapshot();
+    std::lock_guard<std::mutex> lock(wait->mu);
+    wait->snapshot = snap;
+    wait->done = true;
+    wait->cv.notify_all();
+  });
+  if (!posted) return false;
+  std::unique_lock<std::mutex> lock(wait->mu);
+  wait->cv.wait(lock, [&] { return wait->done; });
+  *snapshot = wait->snapshot;
   return true;
+}
+
+ServerStats VarstreamServer::Stats() const {
+  ServerStats stats;
+  stats.workers = worker_count_;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.peak_connections = peak_connections_.load(std::memory_order_relaxed);
+  stats.overload_rejections =
+      overload_rejections_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace varstream

@@ -7,13 +7,34 @@
 // checkpoints every session to a varstream-ckpt-v1 file so a killed
 // server restarted with --restore resumes with byte-identical estimates.
 //
-// Concurrency model: one accept thread plus one thread per connection.
-// Each session owns a mutex serializing tracker access; PushBatch from
-// one connection and Query from another interleave at frame granularity,
-// so queries never stop ingest — they ride between batches. A frame is
-// applied only after it fully decodes and passes its CRC, so a client
-// that dies mid-frame (mid-batch disconnect) never corrupts tracker
-// state: the torn bytes are discarded with the connection.
+// Concurrency model: one accept thread plus a FIXED pool of epoll worker
+// threads (ServerOptions::workers). The acceptor hands each new
+// connection to a worker round-robin; the worker owns the connection's
+// fd, its frame-reassembly read buffer, and its bounded write queue, and
+// runs non-blocking reads through a per-worker epoll set. Sessions are
+// hash-partitioned onto workers by name: when a connection's Hello names
+// a session, the connection migrates to the session's owning worker, so
+// every frame that touches a session's tracker is decoded and applied on
+// exactly one thread — there is no per-session mutex on the hot path.
+// Cross-worker operations (Checkpoint captures every session; QueryRange
+// and StateDump may target sessions owned elsewhere) go through a small
+// per-worker mailbox: the initiating worker parks the connection, posts
+// capture tasks, and a completion task sends the reply — workers never
+// block on each other.
+//
+// Backpressure (protocol v4): each session has a bounded queue of
+// decoded-but-unapplied batches (ServerOptions::pending_batch_cap). A
+// PushBatch that arrives past the cap is answered with a loud Overloaded
+// frame instead of being applied, and the connection's expected sequence
+// number does not advance — a pipelined client resends from the first
+// rejected seq (go-back-N), so application order and therefore
+// bit-for-bit parity survive overload. Per-connection write queues are
+// bounded too: a connection that stops draining its socket stops being
+// read (EPOLLIN interest dropped) until its replies flush.
+//
+// A frame is applied only after it fully decodes and passes its CRC, so
+// a client that dies mid-frame (mid-batch disconnect) never corrupts
+// tracker state: the torn bytes are discarded with the connection.
 //
 // The server binds 127.0.0.1 only. The paper's cost model meters the
 // simulated site->coordinator protocol inside each tracker; the real
@@ -29,11 +50,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/tracker.h"
@@ -79,6 +103,32 @@ struct ServerOptions {
   /// sessions keep their checkpointed history config instead, so a
   /// restore resumes the exact sampling schedule of the original run.
   HistoryOptions history;
+
+  /// Epoll worker threads. 0 = auto: min(4, hardware_concurrency), at
+  /// least 1. The pool size is fixed for the server's lifetime — the
+  /// thread count never grows with the connection count (the
+  /// many-connections CI job asserts this via /proc).
+  uint32_t workers = 0;
+
+  /// Per-session cap on decoded-but-unapplied PushBatch frames. A batch
+  /// arriving past the cap is rejected with an Overloaded frame (not
+  /// applied, connection stays healthy). Bounds the memory a pipelining
+  /// client can pin per session; clamped to at least 1.
+  uint32_t pending_batch_cap = 64;
+
+  /// Per-connection write-queue bound in bytes. When a connection's
+  /// unsent replies exceed this, the server stops reading from it until
+  /// the queue drains below half — a client that stops draining its
+  /// socket cannot pin unbounded reply memory.
+  size_t write_buffer_cap = 1u << 20;
+};
+
+/// Lifetime counters for operators and the CI thread-count drill.
+struct ServerStats {
+  uint32_t workers = 0;
+  uint64_t accepted = 0;
+  uint64_t peak_connections = 0;
+  uint64_t overload_rejections = 0;
 };
 
 class VarstreamServer {
@@ -89,13 +139,17 @@ class VarstreamServer {
   VarstreamServer(const VarstreamServer&) = delete;
   VarstreamServer& operator=(const VarstreamServer&) = delete;
 
-  /// Restores (if configured), binds, listens, and spawns the accept
-  /// thread. Returns false with *error on a bind failure or a restore
-  /// failure (a checkpoint that cannot be trusted fails startup loudly).
+  /// Restores (if configured), binds, listens, and spawns the worker
+  /// pool plus the accept thread. Returns false with *error on a bind
+  /// failure or a restore failure (a checkpoint that cannot be trusted
+  /// fails startup loudly).
   bool Start(std::string* error);
 
-  /// Stops accepting, closes every connection, and joins all threads.
-  /// Idempotent; also called by the destructor.
+  /// Deterministic shutdown: stops accepting, wakes every worker, and
+  /// joins them; each worker drains its mailbox and closes every
+  /// connection it owns before exiting, so when Stop() returns no
+  /// connection fd and no server thread survives. Idempotent; also
+  /// called by the destructor.
   void Stop();
 
   /// The bound port (valid after Start).
@@ -106,88 +160,219 @@ class VarstreamServer {
 
   /// Writes all sessions to options.checkpoint_path. Returns false with
   /// *error if checkpointing is disabled, a session's tracker is not
-  /// checkpointable, or the write fails.
+  /// checkpointable, or the write fails. Thread-safe; callable while
+  /// the server is running (captures ride the worker mailboxes) or
+  /// before/after.
   bool WriteCheckpoint(std::string* error);
 
   /// Test/introspection helpers (thread-safe).
   std::vector<std::string> SessionNames() const;
   bool SessionSnapshot(const std::string& name, TrackerSnapshot* snapshot);
+  ServerStats Stats() const;
 
  private:
+  struct Session;
+  struct Conn;
+  struct Worker;
+
+  /// One decoded PushBatch waiting to be applied (or rejected) at the
+  /// next drain point on the session's owner worker. `conn` is nulled if
+  /// the connection dies first — the batch still applies, the ack just
+  /// has nowhere to go.
+  struct PendingBatch {
+    Conn* conn = nullptr;
+    uint64_t seq = 0;
+    bool rejected = false;  // answer with Overloaded instead of applying
+    uint64_t pending_at_enqueue = 0;
+    std::vector<CountUpdate> updates;
+  };
+
+  /// All mutable session state after creation is touched only by the
+  /// owner worker's thread (or by any thread once the workers have been
+  /// joined) — that is the refactor's whole point: no per-session mutex.
+  /// The sessions_ map itself stays under sessions_mu_ (creation,
+  /// lookups, capture iteration), which is off the per-batch hot path.
   struct Session {
-    std::mutex mu;
     std::string name;
     std::string tracker_name;
     uint32_t shards = 0;
+    uint32_t owner = 0;  // worker index, hash(name) % workers
     TrackerOptions options;
     std::unique_ptr<DistributedTracker> tracker;
     uint64_t updates_since_checkpoint = 0;
     CostMeter wire_cost;  // MessageKind::kWire, real bytes
-    /// History sampler (guarded by `mu` like the tracker). Always set
-    /// once the session exists; a capacity/cadence of 0 disables it.
     std::unique_ptr<HistorySampler> history;
+    std::deque<PendingBatch> pending;
+    uint64_t pending_applies = 0;  // non-rejected entries in `pending`
+    /// True while a checkpoint capture is in flight for this session:
+    /// draining pauses so the capture sees exactly the batch boundary
+    /// that triggered it (PushAck.checkpointed means "file written").
+    bool frozen = false;
+    bool in_dirty = false;  // already on the owner worker's dirty list
+    /// Connections parked until `frozen` clears, their current frame
+    /// left undecoded for a retry.
+    std::vector<Conn*> waiters;
   };
 
-  /// One live (or finished-but-unreaped) client connection. The handler
-  /// thread never closes `fd` itself: it sets `done` and leaves join +
-  /// close to the reaper (or Stop), so a concurrently Stop()ing thread
-  /// can never shut down a recycled descriptor.
-  struct Connection {
+  /// One live connection, owned by exactly one worker at a time. A
+  /// connection starts on the worker the acceptor picked and migrates to
+  /// its session's owner worker when the Hello decodes.
+  struct Conn {
+    ~Conn();
     int fd = -1;
-    std::atomic<bool> done{false};
-    std::thread thread;
+    Session* session = nullptr;
+    std::vector<uint8_t> rbuf;   // undecoded inbound bytes
+    std::vector<uint8_t> wbuf;   // unsent reply bytes
+    size_t wbuf_sent = 0;        // flushed prefix of wbuf
+    uint64_t expected_seq = 0;   // next in-order PushBatch seq (v4)
+    uint64_t pre_session_wire_msgs = 0;
+    uint64_t pre_session_wire_bits = 0;
+    uint32_t registered_mask = 0;  // current epoll interest
+    bool throttled = false;  // write queue over cap; reads paused
+    bool parked = false;     // a cross-worker op owns the next reply
+    bool park_retry = false;  // parked frame stays in rbuf, re-decode
+    bool closing = false;    // flush wbuf, then close
+    bool dead = false;       // destroyed; stale epoll events skip it
+    /// Set by HandleFrame when a Hello names a session owned elsewhere;
+    /// ProcessInput performs the actual hand-off.
+    HelloFrame migrate_hello;
+    uint32_t migrate_owner = 0;
   };
 
-  /// Runs on the accept thread with its own copy of the listening fd —
-  /// Stop() closes and clears the member concurrently, so the thread
-  /// must never re-read it.
+  struct Worker {
+    uint32_t index = 0;
+    VarstreamServer* server = nullptr;
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    std::mutex mail_mu;
+    std::vector<std::function<void()>> mail;
+    bool mail_open = false;  // guarded by mail_mu
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;  // by fd
+    std::vector<Session*> dirty;  // sessions with queued batches
+    /// Connections destroyed mid-event-batch park here until the batch
+    /// ends, so stale epoll_event pointers stay dereferenceable.
+    std::vector<std::unique_ptr<Conn>> graveyard;
+  };
+
+  /// Checkpoint capture fanned out across the workers; the last capture
+  /// posts the completion.
+  struct CkptGather {
+    std::mutex mu;
+    std::vector<SessionCheckpoint> entries;
+    std::string error;
+    bool failed = false;
+    size_t remaining = 0;
+  };
+
+  struct RangeCapture {
+    SessionQueryResult meta;
+    std::vector<HistoryRow> rows;
+  };
+  struct RangeGather {
+    std::mutex mu;
+    std::vector<RangeCapture> captured;
+    size_t remaining = 0;
+    QueryRangeFrame query;
+  };
+
+  /// Outcome of handling one decoded frame on a worker thread.
+  enum class FrameResult {
+    kContinue,   // keep decoding this connection's buffer
+    kClose,      // reply queued (or peer gone); flush then close
+    kMigrated,   // connection handed to another worker; stop touching it
+    kParkRetry,  // leave the frame in rbuf, re-decode after unpark
+    kParkDone,   // frame consumed; a completion task will unpark
+  };
+
   void AcceptLoop(int listen_fd);
-  void HandleConnection(Connection* conn);
+  void WorkerLoop(Worker* w);
+  void RunMailbox(Worker* w);
+  void DrainDirtySessions(Worker* w);
+  /// Applies (or rejects) every queued batch of `s` in FIFO order,
+  /// stopping early if an automatic checkpoint freezes the session.
+  void DrainSession(Worker* w, Session* s);
+  void MarkDirty(Worker* w, Session* s);
 
-  /// Joins and closes every finished connection. Called from the accept
-  /// thread before each accept so a long-running server handling many
-  /// short-lived connections stays bounded, and from Stop() for the
-  /// rest.
-  void ReapFinishedConnections();
+  void AddConnToWorker(Worker* w, int fd);
+  void HandleReadable(Worker* w, Conn* conn);
+  /// Decodes and dispatches buffered frames. Returns false when the
+  /// connection is no longer owned by this worker (destroyed/migrated).
+  bool ProcessInput(Worker* w, Conn* conn);
+  FrameResult HandleFrame(Worker* w, Conn* conn, const Frame& frame,
+                          size_t frame_bytes);
+  /// Hands `conn` to its session's owner worker (migrate_hello/_owner set
+  /// by HandleFrame). `consumed` bytes — everything up to and including
+  /// the hello frame — are dropped from rbuf before the hand-off.
+  void MigrateConn(Worker* w, Conn* conn, size_t consumed);
+  FrameResult FinishHello(Worker* w, Conn* conn, const HelloFrame& hello);
+  FrameResult StartCheckpoint(Worker* w, Session* s, Conn* conn,
+                              bool is_auto, PushAckFrame parked_ack);
+  void FinishCheckpoint(Worker* w, std::shared_ptr<CkptGather> gather,
+                        Session* s, Conn* conn, bool is_auto,
+                        PushAckFrame parked_ack);
+  void UnfreezeSession(Worker* w, Session* s);
+  void UnparkConn(Worker* w, Conn* conn);
 
-  /// Frame dispatch for one connection. Returns false when the
-  /// connection must close (error already sent).
-  bool HandleFrame(int fd, const Frame& frame, Session** session,
-                   uint64_t* pre_session_wire_msgs,
-                   uint64_t* pre_session_wire_bits);
+  /// Queues a frame on the connection and flushes as much as the socket
+  /// takes without blocking; the rest rides EPOLLOUT.
+  void QueueFrame(Worker* w, Conn* conn, FrameType type,
+                  std::span<const uint8_t> payload);
+  void FlushConn(Worker* w, Conn* conn);
+  void UpdateInterest(Worker* w, Conn* conn);
+  /// Logs the diagnostic, queues an Error frame, and marks the
+  /// connection closing (it closes once the error flushes).
+  FrameResult SendErrorAndClose(Worker* w, Conn* conn,
+                                const std::string& message);
+  void DestroyConn(Worker* w, Conn* conn);
 
-  /// Creates or attaches the session a Hello names. Returns nullptr and
-  /// sets *error on unknown tracker / bad shard count / config mismatch.
-  Session* ResolveSession(const HelloFrame& hello, bool* created,
-                          std::string* error);
+  /// Posts a task to a worker's mailbox and wakes it. False once the
+  /// worker has begun shutting down (the task is dropped).
+  bool PostToWorker(Worker* w, std::function<void()> task);
 
-  /// Builds the tracker a session config describes (serial or sharded).
+  Session* ResolveSession(const HelloFrame& hello, uint32_t owner,
+                          bool* created, std::string* error);
+  uint32_t SessionOwner(const std::string& name) const;
+
   static std::unique_ptr<DistributedTracker> BuildTracker(
       const std::string& tracker_name, const TrackerOptions& options,
       uint32_t shards, std::string* error);
 
-  bool SendFrame(int fd, FrameType type,
-                 std::span<const uint8_t> payload, Session* session);
-  bool SendError(int fd, Session* session, const std::string& message);
-
-  /// Serializes every session into checkpoint entries (locking each in
-  /// name order) and writes the file. Caller must not hold a session
-  /// lock.
-  bool WriteCheckpointLocked(std::string* error);
+  /// Captures every session owned by worker `index` into checkpoint
+  /// entries. Must run on that worker's thread (or with all workers
+  /// joined). False + error on a non-checkpointable tracker.
+  bool CaptureWorkerSessions(uint32_t index,
+                             std::vector<SessionCheckpoint>* entries,
+                             std::string* error);
+  void CaptureWorkerHistory(uint32_t index, const QueryRangeFrame& query,
+                            std::vector<RangeCapture>* out);
+  bool WriteCheckpointEntries(std::vector<SessionCheckpoint> entries,
+                              std::string* error);
 
   ServerOptions options_;
+  uint32_t worker_count_ = 1;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
+  bool workers_running_ = false;  // guarded by ext_mu_
 
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
 
   std::mutex checkpoint_mu_;  // serializes whole-file checkpoint writes
 
-  std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  /// Serializes external entry points (WriteCheckpoint, SessionSnapshot,
+  /// Stop) against each other: while an external op waits on the worker
+  /// mailboxes, Stop() cannot tear the workers down under it.
+  mutable std::mutex ext_mu_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::thread accept_thread_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> current_connections_{0};
+  std::atomic<uint64_t> peak_connections_{0};
+  std::atomic<uint64_t> overload_rejections_{0};
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -1,0 +1,422 @@
+// Event-loop–specific suite for the epoll worker-pool server
+// (service/server.h): the behaviors the thread-per-connection server
+// never had to define.
+//
+//   * backpressure: a full per-session pending queue answers PushBatch
+//     with a loud Overloaded frame, go-back-N semantics are exact
+//     (gap seqs bounce deterministically, regressions are protocol
+//     errors), and a bursting client converges to full parity;
+//   * frame reassembly: a PushBatch split at EVERY byte offset across
+//     separate EPOLLIN wakeups decodes identically;
+//   * sessions hash-partition across workers and connections migrate to
+//     their owning worker with bit-identical results;
+//   * Stop() under hundreds of live connections drains every epoll set
+//     and returns cleanly instead of leaking or hanging.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/sharded.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "stream/source.h"
+#include "stream/trace.h"
+
+namespace varstream {
+namespace {
+
+constexpr uint32_t kSites = 8;
+
+TrackerOptions Opts() {
+  TrackerOptions opts;
+  opts.num_sites = kSites;
+  opts.epsilon = 0.1;
+  opts.seed = 4321;
+  return opts;
+}
+
+HelloFrame MakeHello(const std::string& session,
+                     const std::string& tracker) {
+  HelloFrame hello;
+  hello.session = session;
+  hello.tracker = tracker;
+  hello.shards = 0;
+  hello.options = Opts();
+  return hello;
+}
+
+StreamTrace Record(const std::string& stream, uint64_t n, uint64_t seed) {
+  StreamSpec spec;
+  spec.num_sites = kSites;
+  spec.seed = seed;
+  auto source = StreamRegistry::Instance().Create(stream, spec);
+  return RecordTrace(*source, n);
+}
+
+TrackerSnapshot Reference(const std::string& tracker_name,
+                          const std::vector<std::vector<CountUpdate>>&
+                              batches) {
+  auto tracker = TrackerRegistry::Instance().Create(tracker_name, Opts());
+  for (const auto& batch : batches) {
+    tracker->PushBatch(std::span<const CountUpdate>(batch));
+  }
+  return tracker->Snapshot();
+}
+
+void ExpectBitIdentical(const SnapshotFrame& served,
+                        const TrackerSnapshot& expected,
+                        const std::string& context) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(served.estimate),
+            std::bit_cast<uint64_t>(expected.estimate))
+      << context;
+  EXPECT_EQ(served.time, expected.time) << context;
+  EXPECT_EQ(served.messages, expected.messages) << context;
+  EXPECT_EQ(served.bits, expected.bits) << context;
+}
+
+std::vector<uint8_t> BatchFrame(uint64_t seq,
+                                const std::vector<CountUpdate>& updates) {
+  std::vector<uint8_t> wire;
+  AppendFrame(&wire, FrameType::kPushBatch,
+              EncodePushBatch(seq, updates));
+  return wire;
+}
+
+std::vector<std::vector<CountUpdate>> Chunk(const StreamTrace& trace,
+                                            size_t batch) {
+  std::vector<std::vector<CountUpdate>> batches;
+  const std::vector<CountUpdate>& updates = trace.updates();
+  for (size_t pos = 0; pos < updates.size(); pos += batch) {
+    size_t len = std::min(batch, updates.size() - pos);
+    batches.emplace_back(updates.begin() + static_cast<long>(pos),
+                         updates.begin() + static_cast<long>(pos + len));
+  }
+  return batches;
+}
+
+// A seq gap is rejected no matter how the server's drain interleaves
+// with the reads: seq 2 while the connection expects 1 bounces with an
+// Overloaded frame, never an apply and never a disconnect. The client
+// then resends from the gap and finishes with full parity.
+TEST(ServiceEpoll, OverloadGapIsRejectedDeterministically) {
+  StreamTrace trace = Record("random-walk", 4 * 64, 31);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, 64);
+  ASSERT_EQ(batches.size(), 4u);
+
+  ServerOptions options;
+  options.workers = 1;
+  options.pending_batch_cap = 1;
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("gap", "deterministic"), &hello_ack,
+                           &error))
+      << error;
+
+  // One write carrying seq 0 then seq 2: the gap guarantees a rejection
+  // regardless of scheduling (2 > expected_seq no matter when the drain
+  // runs).
+  std::vector<uint8_t> wire = BatchFrame(0, batches[0]);
+  std::vector<uint8_t> gap = BatchFrame(2, batches[2]);
+  wire.insert(wire.end(), gap.begin(), gap.end());
+  ASSERT_TRUE(client.RawSend(wire, &error)) << error;
+
+  Frame reply;
+  ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+  ASSERT_EQ(reply.type, FrameType::kPushAck);
+  PushAckFrame ack;
+  ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+  EXPECT_EQ(ack.seq, 0u);
+
+  ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+  ASSERT_EQ(reply.type, FrameType::kOverloaded);
+  OverloadedFrame overloaded;
+  ASSERT_TRUE(DecodeOverloaded(reply.payload, &overloaded));
+  EXPECT_EQ(overloaded.seq, 2u);
+  EXPECT_EQ(overloaded.cap, 1u);
+  EXPECT_GE(server.Stats().overload_rejections, 1u);
+
+  // Resend from the gap, one batch at a time: every seq is now expected
+  // and under the cap, so each gets a plain ack.
+  for (uint64_t seq = 1; seq < batches.size(); ++seq) {
+    ASSERT_TRUE(client.RawSend(BatchFrame(seq, batches[seq]), &error))
+        << error;
+    ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+    ASSERT_EQ(reply.type, FrameType::kPushAck) << "seq " << seq;
+    ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+    EXPECT_EQ(ack.seq, seq);
+  }
+  SnapshotFrame snapshot;
+  ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, Reference("deterministic", batches),
+                     "after the gap rejection");
+  server.Stop();
+}
+
+// Resending an already-accepted seq is not congestion, it is a protocol
+// violation: the server answers with a loud Error naming both seqs and
+// closes the connection.
+TEST(ServiceEpoll, SeqRegressionIsALoudProtocolError) {
+  StreamTrace trace = Record("random-walk", 64, 32);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, 64);
+  VarstreamServer server(ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("regress", "deterministic"),
+                           &hello_ack, &error))
+      << error;
+  ASSERT_TRUE(client.RawSend(BatchFrame(0, batches[0]), &error)) << error;
+  Frame reply;
+  ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+  ASSERT_EQ(reply.type, FrameType::kPushAck);
+  ASSERT_TRUE(client.RawSend(BatchFrame(0, batches[0]), &error)) << error;
+  ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+  ASSERT_EQ(reply.type, FrameType::kError);
+  ErrorFrame decoded;
+  ASSERT_TRUE(DecodeError(reply.payload, &decoded));
+  EXPECT_NE(decoded.message.find("regressed"), std::string::npos)
+      << decoded.message;
+  server.Stop();
+}
+
+// The overload drill in miniature: a client pipelines a burst far past
+// pending-batch-cap=1, collects a mix of acks and Overloaded frames,
+// and resends go-back-N style from the first rejection until everything
+// is applied exactly once. The session must end bit-identical to the
+// in-process run — rejections never reach the tracker.
+TEST(ServiceEpoll, OverloadBurstConvergesWithParity) {
+  StreamTrace trace = Record("random-walk", 8 * 32, 33);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, 32);
+  ASSERT_EQ(batches.size(), 8u);
+
+  ServerOptions options;
+  options.workers = 1;
+  options.pending_batch_cap = 1;
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("burst", "deterministic"), &hello_ack,
+                           &error))
+      << error;
+
+  uint64_t acked = 0;  // seqs [0, acked) applied; next burst starts here
+  uint64_t overloads = 0;
+  int rounds = 0;
+  while (acked < batches.size()) {
+    ASSERT_LT(++rounds, 1000) << "burst never converged";
+    // The whole remaining tail in one write — with cap=1 most of it
+    // must bounce.
+    std::vector<uint8_t> wire;
+    for (uint64_t seq = acked; seq < batches.size(); ++seq) {
+      std::vector<uint8_t> frame = BatchFrame(seq, batches[seq]);
+      wire.insert(wire.end(), frame.begin(), frame.end());
+    }
+    ASSERT_TRUE(client.RawSend(wire, &error)) << error;
+    // One reply per sent frame, in order: acks extend the prefix,
+    // Overloaded frames mark where the resend restarts.
+    uint64_t sent = batches.size() - acked;
+    uint64_t rewind_to = UINT64_MAX;
+    for (uint64_t i = 0; i < sent; ++i) {
+      Frame reply;
+      ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+      if (reply.type == FrameType::kPushAck) {
+        PushAckFrame ack;
+        ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+        EXPECT_EQ(ack.seq, acked);
+        ++acked;
+        continue;
+      }
+      ASSERT_EQ(reply.type, FrameType::kOverloaded);
+      OverloadedFrame overloaded;
+      ASSERT_TRUE(DecodeOverloaded(reply.payload, &overloaded));
+      rewind_to = std::min(rewind_to, overloaded.seq);
+      ++overloads;
+    }
+    if (rewind_to != UINT64_MAX) {
+      EXPECT_EQ(rewind_to, acked)
+          << "first rejection must sit exactly at the applied prefix";
+    }
+  }
+  EXPECT_GE(overloads, 1u) << "cap=1 must reject some of an 8-deep burst";
+  EXPECT_EQ(server.Stats().overload_rejections, overloads);
+
+  SnapshotFrame snapshot;
+  ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, Reference("deterministic", batches),
+                     "after the overload burst");
+  server.Stop();
+}
+
+// Frame reassembly across readiness boundaries: one PushBatch frame is
+// split at EVERY byte offset, the two halves separated by a pause long
+// enough that the server's epoll loop wakes for each half separately.
+// Every split must decode to exactly one applied batch.
+TEST(ServiceEpoll, FrameReassemblyAcrossEpollWakeupBoundaries) {
+  // 4-update batches: the frame is 69 bytes, so the sweep covers every
+  // prefix length of a realistic small frame.
+  const size_t kBatch = 4;
+  std::vector<uint8_t> probe =
+      BatchFrame(0, std::vector<CountUpdate>(kBatch, CountUpdate{0, 1}));
+  const size_t frame_len = probe.size();
+  StreamTrace trace =
+      Record("random-walk", (frame_len - 1) * kBatch, 34);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, kBatch);
+  ASSERT_EQ(batches.size(), frame_len - 1);
+
+  VarstreamServer server(ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("split", "deterministic"), &hello_ack,
+                           &error))
+      << error;
+
+  for (size_t split = 1; split < frame_len; ++split) {
+    uint64_t seq = split - 1;
+    std::vector<uint8_t> frame = BatchFrame(seq, batches[seq]);
+    ASSERT_EQ(frame.size(), frame_len);
+    ASSERT_TRUE(client.RawSend(
+        std::span<const uint8_t>(frame.data(), split), &error))
+        << error;
+    // The pause forces the tail into a separate EPOLLIN wakeup; the
+    // server sits on the partial frame without consuming or answering.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(client.RawSend(
+        std::span<const uint8_t>(frame.data() + split, frame_len - split),
+        &error))
+        << error;
+    Frame reply;
+    ASSERT_TRUE(client.RawReadFrame(&reply, &error))
+        << "split at byte " << split << ": " << error;
+    ASSERT_EQ(reply.type, FrameType::kPushAck) << "split at byte " << split;
+    PushAckFrame ack;
+    ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+    EXPECT_EQ(ack.seq, seq);
+  }
+  SnapshotFrame snapshot;
+  ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, Reference("deterministic", batches),
+                     "after the split sweep");
+  server.Stop();
+}
+
+// Sessions hash-partition onto workers and every connection migrates to
+// its owner at Hello time: many sessions over a 4-worker pool, pushed
+// round-robin from separate connections, all bit-identical at the end.
+TEST(ServiceEpoll, SessionsPartitionAcrossWorkersWithParity) {
+  const int kSessions = 8;
+  ServerOptions options;
+  options.workers = 4;
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  EXPECT_EQ(server.Stats().workers, 4u);
+
+  std::vector<StreamTrace> traces;
+  std::vector<std::unique_ptr<VarstreamClient>> clients;
+  for (int i = 0; i < kSessions; ++i) {
+    traces.push_back(Record("random-walk", 2000, 40 + i));
+    clients.push_back(std::make_unique<VarstreamClient>());
+    ASSERT_TRUE(clients[i]->Connect("127.0.0.1", server.port(), &error))
+        << error;
+    HelloAckFrame ack;
+    ASSERT_TRUE(clients[i]->Hello(
+        MakeHello("part-" + std::to_string(i), "deterministic"), &ack,
+        &error))
+        << error;
+  }
+  // Round-robin the pushes so every worker is live at once.
+  const size_t kStep = 250;
+  for (size_t pos = 0; pos < 2000; pos += kStep) {
+    for (int i = 0; i < kSessions; ++i) {
+      PushAckFrame ack;
+      ASSERT_TRUE(clients[i]->Push(
+          std::span<const CountUpdate>(traces[i].updates().data() + pos,
+                                       kStep),
+          &ack, &error))
+          << error;
+    }
+  }
+  for (int i = 0; i < kSessions; ++i) {
+    SnapshotFrame snapshot;
+    ASSERT_TRUE(clients[i]->Query(&snapshot, &error)) << error;
+    ExpectBitIdentical(snapshot, Reference("deterministic",
+                                           Chunk(traces[i], kStep)),
+                       "session part-" + std::to_string(i));
+  }
+  server.Stop();
+}
+
+// Deterministic shutdown: Stop() under hundreds of live connections —
+// some mid-session, some pre-hello, some holding half a frame — drains
+// every epoll set, closes every fd, and returns. A hang here is the
+// bug; the ctest timeout is the failure detector.
+TEST(ServiceEpoll, StopUnder500LiveConnectionsReturnsCleanly) {
+  const int kConns = 500;
+  RaiseFdLimit(4096);
+  ServerOptions options;
+  options.workers = 2;
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  StreamTrace trace = Record("random-walk", 64, 50);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, 64);
+  std::vector<std::unique_ptr<VarstreamClient>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    clients.push_back(std::make_unique<VarstreamClient>());
+    ASSERT_TRUE(clients[i]->Connect("127.0.0.1", server.port(), &error))
+        << "conn " << i << ": " << error;
+    if (i % 3 == 0) {
+      HelloAckFrame ack;
+      ASSERT_TRUE(clients[i]->Hello(
+          MakeHello("stop-" + std::to_string(i % 7), "deterministic"),
+          &ack, &error))
+          << error;
+    } else if (i % 3 == 1) {
+      // Half a PushBatch frame: the server must drop the torn tail with
+      // the connection, never block on it.
+      std::vector<uint8_t> frame = BatchFrame(0, batches[0]);
+      ASSERT_TRUE(clients[i]->RawSend(
+          std::span<const uint8_t>(frame.data(), frame.size() / 2),
+          &error))
+          << error;
+    }  // else: connected, silent
+  }
+  EXPECT_GE(server.Stats().peak_connections,
+            static_cast<uint64_t>(kConns));
+
+  server.Stop();  // must return with all 500 still open
+
+  // Every socket must observe the server-side close.
+  for (int i = 0; i < kConns; i += 50) {
+    Frame reply;
+    EXPECT_FALSE(clients[i]->RawReadFrame(&reply, &error));
+  }
+}
+
+}  // namespace
+}  // namespace varstream

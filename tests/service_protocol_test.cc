@@ -49,7 +49,7 @@ TEST(Framing, RoundTripsEveryType) {
 
 TEST(Framing, EveryTruncationPrefixAsksForMoreBytes) {
   std::vector<uint8_t> wire =
-      FrameOf(FrameType::kPushBatch, EncodePushBatch({}));
+      FrameOf(FrameType::kPushBatch, EncodePushBatch(0, {}));
   for (size_t len = 0; len < wire.size(); ++len) {
     Frame frame;
     size_t consumed = 0;
@@ -145,9 +145,10 @@ TEST(PayloadCodecs, HelloRoundTripsEveryField) {
 
 TEST(PayloadCodecs, PushBatchRoundTripsAndRejectsLengthLies) {
   std::vector<CountUpdate> updates = {{0, +1}, {3, -1}, {7, +100}};
-  std::vector<uint8_t> payload = EncodePushBatch(updates);
+  std::vector<uint8_t> payload = EncodePushBatch(41, updates);
   PushBatchFrame decoded;
   ASSERT_TRUE(DecodePushBatch(payload, &decoded));
+  EXPECT_EQ(decoded.seq, 41u);
   EXPECT_EQ(decoded.updates, updates);
 
   // Count says 3 but payload holds 2: reject.

@@ -326,8 +326,9 @@ TEST(ServiceServer, MidBatchDisconnectDoesNotCorruptSessionState) {
         << error;
     std::vector<uint8_t> frame;
     AppendFrame(&frame, FrameType::kPushBatch,
-                EncodePushBatch(std::span<const CountUpdate>(
-                    trace.updates().data() + 5000, 1000)));
+                EncodePushBatch(0, std::span<const CountUpdate>(
+                                       trace.updates().data() + 5000,
+                                       1000)));
     std::span<const uint8_t> half(frame.data(), frame.size() / 2);
     ASSERT_TRUE(dying.RawSend(half, &error)) << error;
     dying.Close();
@@ -469,8 +470,8 @@ TEST(ServiceServer, ByteDribbledPushBatchDecodesIdentically) {
       << error;
   std::vector<uint8_t> frame;
   AppendFrame(&frame, FrameType::kPushBatch,
-              EncodePushBatch(std::span<const CountUpdate>(
-                  trace.updates().data(), trace.size())));
+              EncodePushBatch(0, std::span<const CountUpdate>(
+                                     trace.updates().data(), trace.size())));
   for (size_t i = 0; i < frame.size(); ++i) {
     ASSERT_TRUE(h.client.RawSend(
         std::span<const uint8_t>(frame.data() + i, 1), &error))

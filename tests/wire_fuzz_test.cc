@@ -41,8 +41,9 @@ std::vector<std::pair<FrameType, std::vector<uint8_t>>> AllFramePayloads() {
   hello_ack.session_time = 123;
   frames.emplace_back(FrameType::kHelloAck, EncodeHelloAck(hello_ack));
   std::vector<CountUpdate> updates = {{0, 5}, {1, -3}, {3, 1}, {2, -1}};
-  frames.emplace_back(FrameType::kPushBatch, EncodePushBatch(updates));
+  frames.emplace_back(FrameType::kPushBatch, EncodePushBatch(9, updates));
   PushAckFrame push_ack;
+  push_ack.seq = 9;
   push_ack.session_time = 77;
   push_ack.checkpointed = true;
   frames.emplace_back(FrameType::kPushAck, EncodePushAck(push_ack));
@@ -99,6 +100,11 @@ std::vector<std::pair<FrameType, std::vector<uint8_t>>> AllFramePayloads() {
                      {1, 7802, 6, 12, false, 0, 3}};
   frames.emplace_back(FrameType::kTopologyInfo,
                       EncodeTopologyInfo(topology));
+  OverloadedFrame overloaded;
+  overloaded.seq = 9;
+  overloaded.pending = 64;
+  overloaded.cap = 64;
+  frames.emplace_back(FrameType::kOverloaded, EncodeOverloaded(overloaded));
   return frames;
 }
 
@@ -183,15 +189,22 @@ TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
   }
 
   std::vector<CountUpdate> updates = {{0, 1}, {1, -2}, {2, 3}};
-  std::vector<uint8_t> batch_payload = EncodePushBatch(updates);
+  std::vector<uint8_t> batch_payload = EncodePushBatch(3, updates);
   for (const Mutation& m : TruncationSweep(batch_payload, 2)) {
     PushBatchFrame out;
     EXPECT_FALSE(DecodePushBatch(m.bytes, &out))
         << "push-batch " << m.description;
   }
-  for (const Mutation& m : LengthLieSweep(batch_payload)) {
+  // The update count sits behind the u64 seq (protocol v4): aim the
+  // length-lie sweep at the count-onward suffix, then restore the seq.
+  std::span<const uint8_t> from_count(batch_payload.data() + 8,
+                                      batch_payload.size() - 8);
+  for (const Mutation& m : LengthLieSweep(from_count)) {
+    std::vector<uint8_t> lied(batch_payload.begin(),
+                              batch_payload.begin() + 8);
+    lied.insert(lied.end(), m.bytes.begin(), m.bytes.end());
     PushBatchFrame out;
-    EXPECT_FALSE(DecodePushBatch(m.bytes, &out))
+    EXPECT_FALSE(DecodePushBatch(lied, &out))
         << "push-batch " << m.description;
   }
 

@@ -35,6 +35,20 @@
 //          (kill -9 the server; restart with --restore=state.ckpt)
 //   run 2: varstream_loadgen --port=P --n=100000 --skip=50000
 //
+// Many-connections mode (the CI gauntlet, see ci/connections_smoke.sh):
+// --connections=N opens N concurrent connections from ONE epoll-driven
+// client thread. Connection i attaches to session "<session>-c<i>" with
+// its own stream seeded seed+i, pipelines up to --pipeline PushBatch
+// frames, and honors Overloaded backpressure with go-back-N resends.
+// Every connection's final snapshot is cross-checked bit for bit against
+// its own in-process reference. --hold-ms=K keeps all N connections open
+// for K ms after the snapshots arrive (printing "holding N open
+// connections" when the window opens) so scripts can sample the server's
+// thread count under full load. An extra machine-readable line reports
+// the fleet:
+//
+//   many: connections=N pipeline=P pushed=X overloads=R parity=ok|...
+//
 // --shutdown asks the server to exit after the run; --verify=false skips
 // the in-process cross-check (pure load generation).
 //
@@ -62,6 +76,7 @@
 #include "hierarchy/merge.h"
 #include "hierarchy/partition.h"
 #include "service/client.h"
+#include "service/many_client.h"
 
 namespace {
 
@@ -113,6 +128,19 @@ int main(int argc, char** argv) {
   const bool shutdown = flags.GetBool("shutdown", false);
   const bool quiet = flags.GetBool("quiet", false);
   const auto shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
+  const auto connections =
+      static_cast<uint32_t>(flags.GetUint("connections", 0));
+  const auto pipeline = static_cast<uint32_t>(flags.GetUint("pipeline", 4));
+  const auto hold_ms = static_cast<uint32_t>(flags.GetUint("hold-ms", 0));
+  if (connections > 0 &&
+      (!topology.empty() || skip != 0 || checkpoint_at != 0 ||
+       !trace_path.empty())) {
+    std::fprintf(stderr,
+                 "varstream_loadgen: --connections drives independent "
+                 "per-connection streams; it does not combine with "
+                 "--topology, --skip, --checkpoint-at, or --trace\n");
+    return 2;
+  }
 
   // --- Build the stream twice: one pass for the server, one for the
   // in-process reference. Sources are single-pass, so use a factory.
@@ -179,6 +207,167 @@ int main(int argc, char** argv) {
   hello.options.seed = seed ^ 0x7AC8E5;  // same derivation as varstream_run
   hello.options.period = flags.GetUint("period", 64);
   hello.options.initial_value = source->initial_value();
+
+  if (connections > 0) {
+    // --- Many-connections gauntlet: script every connection up front
+    // (its own session, its own seed+i stream, pre-chunked batches),
+    // run the whole fleet through one epoll thread, then cross-check
+    // every snapshot against its own in-process reference.
+    std::vector<varstream::ManyClientConn> fleet(connections);
+    std::vector<varstream::TrackerSnapshot> expected;
+    if (verify) expected.resize(connections);
+    uint64_t scripted = 0;
+    std::vector<varstream::CountUpdate> chunk(batch);
+    for (uint32_t c = 0; c < connections; ++c) {
+      varstream::StreamSpec conn_spec = spec;
+      conn_spec.seed = seed + c;
+      auto conn_source =
+          varstream::StreamRegistry::Instance().Create(stream_name,
+                                                       conn_spec);
+      if (conn_source == nullptr) {
+        std::fprintf(stderr, "varstream_loadgen: unknown stream '%s'\n",
+                     stream_name.c_str());
+        return 2;
+      }
+      varstream::HelloFrame conn_hello = hello;
+      conn_hello.session = hello.session + "-c" + std::to_string(c);
+      conn_hello.options.seed = (seed + c) ^ 0x7AC8E5;
+      conn_hello.options.initial_value = conn_source->initial_value();
+      uint64_t conn_total = n;
+      if (conn_source->remaining() !=
+          varstream::StreamSource::kUnbounded) {
+        conn_total = std::min<uint64_t>(n, conn_source->remaining());
+      }
+      uint64_t position = 0;
+      while (position < conn_total) {
+        size_t want = static_cast<size_t>(
+            std::min<uint64_t>(batch, conn_total - position));
+        size_t got = conn_source->NextBatch(std::span(chunk.data(), want));
+        if (got == 0) break;
+        position += got;
+        fleet[c].batches.emplace_back(chunk.begin(),
+                                      chunk.begin() + static_cast<long>(got));
+      }
+      scripted += position;
+      if (verify) {
+        std::string build_error;
+        auto reference = BuildReference(tracker_name, conn_hello.options,
+                                        shards, &build_error);
+        if (reference == nullptr) {
+          std::fprintf(stderr, "varstream_loadgen: reference: %s\n",
+                       build_error.c_str());
+          return 1;
+        }
+        for (const auto& b : fleet[c].batches) {
+          reference->PushBatch(std::span<const varstream::CountUpdate>(b));
+        }
+        expected[c] = reference->Snapshot();
+      }
+      fleet[c].hello = std::move(conn_hello);
+    }
+
+    varstream::ManyClientOptions mopts;
+    mopts.host = host;
+    mopts.port = port;
+    mopts.pipeline = pipeline;
+    mopts.hold_ms = hold_ms;
+    mopts.on_hold = [connections]() {
+      // Synchronization marker for ci/connections_smoke.sh: every push
+      // is acked and all connections are still open — sample the server
+      // NOW. Printed even under --quiet; scripts block on it.
+      std::printf("holding %u open connections\n", connections);
+      std::fflush(stdout);
+    };
+    varstream::ManyClientResult result;
+    auto start_time = std::chrono::steady_clock::now();
+    bool ok = varstream::RunManyClients(mopts, std::move(fleet), &result);
+    double many_elapsed = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_time)
+                              .count();
+    if (!ok) {
+      std::fprintf(stderr, "varstream_loadgen: %s\n", result.error.c_str());
+      return 1;
+    }
+
+    const char* many_parity = "skipped";
+    int exit_code = 0;
+    varstream::SnapshotFrame first = result.snapshots.empty()
+                                         ? varstream::SnapshotFrame{}
+                                         : result.snapshots[0];
+    uint64_t wire_frames = 0, wire_bits = 0;
+    for (const auto& snapshot : result.snapshots) {
+      wire_frames += snapshot.wire_messages;
+      wire_bits += snapshot.wire_bits;
+    }
+    if (verify) {
+      uint32_t mismatches = 0;
+      for (uint32_t c = 0; c < connections; ++c) {
+        const varstream::SnapshotFrame& got = result.snapshots[c];
+        const varstream::TrackerSnapshot& want = expected[c];
+        bool match = std::bit_cast<uint64_t>(want.estimate) ==
+                         std::bit_cast<uint64_t>(got.estimate) &&
+                     want.time == got.time &&
+                     want.messages == got.messages && want.bits == got.bits;
+        if (match) continue;
+        ++mismatches;
+        if (mismatches <= 5) {
+          std::fprintf(
+              stderr,
+              "PARITY MISMATCH on connection %u (session %s-c%u):\n"
+              "  in-process: estimate=%.17g time=%llu messages=%llu "
+              "bits=%llu\n"
+              "  server    : estimate=%.17g time=%llu messages=%llu "
+              "bits=%llu\n",
+              c, hello.session.c_str(), c, want.estimate,
+              static_cast<unsigned long long>(want.time),
+              static_cast<unsigned long long>(want.messages),
+              static_cast<unsigned long long>(want.bits), got.estimate,
+              static_cast<unsigned long long>(got.time),
+              static_cast<unsigned long long>(got.messages),
+              static_cast<unsigned long long>(got.bits));
+        }
+      }
+      if (mismatches > 5) {
+        std::fprintf(stderr, "... and %u more mismatched connections\n",
+                     mismatches - 5);
+      }
+      many_parity = mismatches == 0 ? "ok" : "mismatch";
+      if (mismatches != 0) exit_code = 1;
+      if (!quiet && mismatches == 0) {
+        std::printf("PARITY OK: all %u served snapshots are byte-identical "
+                    "to their in-process runs\n",
+                    connections);
+      }
+    }
+    std::printf("many: connections=%u pipeline=%u pushed=%llu "
+                "overloads=%llu parity=%s\n",
+                connections, pipeline,
+                static_cast<unsigned long long>(scripted),
+                static_cast<unsigned long long>(result.overload_rejections),
+                many_parity);
+    std::printf("summary: pushed=%llu elapsed=%.3f estimate=%.17g "
+                "time=%llu messages=%llu bits=%llu wire_frames=%llu "
+                "wire_bytes=%llu parity=%s checkpoint=-\n",
+                static_cast<unsigned long long>(scripted), many_elapsed,
+                first.estimate, static_cast<unsigned long long>(first.time),
+                static_cast<unsigned long long>(first.messages),
+                static_cast<unsigned long long>(first.bits),
+                static_cast<unsigned long long>(wire_frames),
+                static_cast<unsigned long long>(wire_bits / 8),
+                many_parity);
+    if (shutdown) {
+      varstream::VarstreamClient admin;
+      std::string shutdown_error;
+      if (!admin.Connect(host, port, &shutdown_error) ||
+          !admin.Shutdown(&shutdown_error)) {
+        std::fprintf(stderr, "varstream_loadgen: %s\n",
+                     shutdown_error.c_str());
+        return 1;
+      }
+      if (!quiet) std::printf("server shutdown acknowledged\n");
+    }
+    return exit_code;
+  }
 
   varstream::VarstreamClient client;  // single-server mode
   std::vector<std::unique_ptr<varstream::VarstreamClient>> leaf_clients;

@@ -12,6 +12,18 @@
 //   $ varstream_serve --port=7787 --history-capacity=1024
 //                     --history-every=8192
 //   $ varstream_serve --port=7787 --max-sessions=4
+//   $ varstream_serve --port=7787 --workers=2 --pending-batch-cap=16
+//
+// The server is an epoll worker pool (src/service/server.h): --workers
+// fixes the worker-thread count (0 = auto), and the thread count never
+// grows with the connection count. --pending-batch-cap bounds the
+// per-session queue of accepted-but-unapplied batches; past it the
+// server answers PushBatch with a loud Overloaded frame (go-back-N:
+// clients resend from the first rejected seq after backing off).
+// --stats prints "workers: N" at startup and a final
+// "stats: workers=... accepted=... peak_connections=...
+// overload_rejections=..." line at shutdown — the hooks
+// ci/connections_smoke.sh asserts against.
 //
 // Every session retains a bounded history of (time, estimate, messages,
 // bits, wire_bytes) rows — queryable live through varstream_query — with
@@ -61,6 +73,10 @@ int main(int argc, char** argv) {
   // frame; attaching to an existing session is always admitted.
   options.max_sessions =
       static_cast<uint32_t>(flags.GetUint("max-sessions", 0));
+  options.workers = static_cast<uint32_t>(flags.GetUint("workers", 0));
+  options.pending_batch_cap = static_cast<uint32_t>(
+      flags.GetUint("pending-batch-cap", options.pending_batch_cap));
+  const bool stats = flags.GetBool("stats", false);
   if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "--checkpoint-every needs --checkpoint-path to write to\n");
@@ -79,6 +95,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("listening on 127.0.0.1:%u\n", server.port());
+  if (stats) {
+    std::printf("workers: %u\n", server.Stats().workers);
+  }
   if (!options.restore_path.empty()) {
     for (const std::string& name : server.SessionNames()) {
       varstream::TrackerSnapshot snap;
@@ -104,5 +123,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snap.bits));
   }
   server.Stop();
+  if (stats) {
+    varstream::ServerStats final_stats = server.Stats();
+    std::printf("stats: workers=%u accepted=%llu peak_connections=%llu "
+                "overload_rejections=%llu\n",
+                final_stats.workers,
+                static_cast<unsigned long long>(final_stats.accepted),
+                static_cast<unsigned long long>(final_stats.peak_connections),
+                static_cast<unsigned long long>(
+                    final_stats.overload_rejections));
+  }
   return 0;
 }
