@@ -16,27 +16,47 @@
 #    disconnect), back off, go-back-N resend, and still converge to
 #    byte-identical estimates; the server's stats line must account for
 #    every rejection.
+# 3. The metrics drill rides along: the server runs with --metrics-port=0,
+#    the Prometheus endpoint and varstream_top --once --json are scraped
+#    WHILE all 1000 connections are live (the scrape must not stall the
+#    workers), and the overload drill cross-checks the Prometheus
+#    overload_rejections series against both the client's count and the
+#    server's stats line. Scrapes land in the out dir (second arg) so CI
+#    uploads them as artifacts.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-connections-smoke-out}"
 SERVE="$BUILD_DIR/varstream_serve"
 LOADGEN="$BUILD_DIR/varstream_loadgen"
+TOP="$BUILD_DIR/varstream_top"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+mkdir -p "$OUT_DIR"
 
 start_server() {
   : > "$WORK/serve.log"
-  "$SERVE" --port=0 --workers=2 --stats "$@" >> "$WORK/serve.log" 2>&1 &
+  "$SERVE" --port=0 --workers=2 --stats --metrics-port=0 "$@" \
+    >> "$WORK/serve.log" 2>&1 &
   SERVER_PID=$!
   PORT=""
   for _ in $(seq 1 200); do
     PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
       "$WORK/serve.log")
-    [ -n "$PORT" ] && return 0
+    METRICS_PORT=$(sed -n 's/^metrics on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORK/serve.log")
+    [ -n "$PORT" ] && [ -n "$METRICS_PORT" ] && return 0
     sleep 0.05
   done
   echo "FAIL: server did not start"; cat "$WORK/serve.log"; exit 1
+}
+
+scrape() {  # http path, output file — plain-bash HTTP GET, no curl dep
+  exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+  cat <&3 > "$2"
+  exec 3<&-
 }
 
 threads_of() {
@@ -81,37 +101,76 @@ if [ "$THREADS_BEFORE" != "$THREADS_DURING" ]; then
   echo "      the worker pool must not scale with connections"
   exit 1
 fi
+# Metrics drill: scrape Prometheus, the JSON document, and varstream_top
+# inside the hold window — 1000 live connections, every push acked, the
+# scrape path must answer without stalling the workers.
+scrape /metrics "$OUT_DIR/gauntlet-metrics.prom"
+scrape /metrics.json "$OUT_DIR/gauntlet-metrics.json"
+require_line "$OUT_DIR/gauntlet-metrics.prom" \
+  '^varstream_connections_current 1000$' \
+  "Prometheus scrape does not show the 1000 held connections"
+require_line "$OUT_DIR/gauntlet-metrics.prom" \
+  '^varstream_updates_applied_total' \
+  "Prometheus scrape lacks the updates_applied series"
+require_line "$OUT_DIR/gauntlet-metrics.json" '"varstream_metrics":1' \
+  "metrics.json scrape is not a MetricsDump document"
+"$TOP" --port="$PORT" --once --json > "$OUT_DIR/gauntlet-top.json" \
+  || { echo "FAIL: varstream_top could not scrape the loaded server"; exit 1; }
+require_line "$OUT_DIR/gauntlet-top.json" '"role":"server"' \
+  "varstream_top --json did not return a server document"
+PROM_UPDATES=$(awk '/^varstream_updates_applied_total/{s+=$2} END{print s+0}' \
+  "$OUT_DIR/gauntlet-metrics.prom")
+[ "$PROM_UPDATES" = "500000" ] \
+  || { echo "FAIL: mid-hold scrape counted $PROM_UPDATES updates_applied," \
+            "expected 500000 (all pushes were acked before the hold)"; exit 1; }
+echo "metrics drill ok: scraped 500000 applied updates under full load"
 wait "$LOADGEN_PID" \
   || { echo "FAIL: gauntlet loadgen failed"; cat "$WORK/gauntlet.log"; exit 1; }
 wait "$SERVER_PID"; SERVER_PID=""
 require_line "$WORK/gauntlet.log" \
-  '^many: connections=1000 pipeline=4 pushed=500000 overloads=0 parity=ok$' \
+  '^many: connections=1000 pipeline=4 pushed=500000 overloads=0 parity=ok lat_p50_us=[0-9][0-9]* lat_p99_us=[0-9][0-9]*$' \
   "gauntlet parity line missing or wrong"
+# accepted = 1000 gauntlet conns + varstream_top's scrape conn + the
+# loadgen's shutdown conn; peak = the 1000 held + the top scrape.
 require_line "$WORK/serve.log" \
-  '^stats: workers=2 accepted=1001 peak_connections=1000 overload_rejections=0$' \
+  '^stats: workers=2 accepted=1002 peak_connections=1001 overload_rejections=0 peak_pending_batches=[0-9][0-9]* worker_accepted=[0-9][0-9]*,[0-9][0-9]*$' \
   "server stats line missing or wrong"
 echo "gauntlet ok: 1000 parity-clean sessions, thread count pinned at $THREADS_BEFORE"
 
 echo "=== overload drill: cap=1, pipeline=16, loud backpressure ==="
 start_server --pending-batch-cap=1
 : > "$WORK/overload.log"
+# No --shutdown here: the Prometheus endpoint is scraped after the run so
+# its overload series can be compared against the client's count and the
+# stats line; a fresh-session shutdown ping then stops the server.
 "$LOADGEN" --port="$PORT" --connections=50 --n=4000 --batch=64 \
-  --pipeline=16 --shutdown >> "$WORK/overload.log" 2>&1 \
+  --pipeline=16 >> "$WORK/overload.log" 2>&1 \
   || { echo "FAIL: overload loadgen failed"; cat "$WORK/overload.log"; exit 1; }
+scrape /metrics "$OUT_DIR/overload-metrics.prom"
+"$LOADGEN" --port="$PORT" --session=down --n=1 --shutdown --quiet \
+  > /dev/null 2>&1 \
+  || { echo "FAIL: shutdown ping failed"; exit 1; }
 wait "$SERVER_PID"; SERVER_PID=""
-require_line "$WORK/overload.log" '^many: .* parity=ok$' \
+require_line "$WORK/overload.log" '^many: .* parity=ok .*$' \
   "overload drill lost parity"
-# The drill must actually have provoked backpressure, and the client and
-# server must agree on how much.
+# The drill must actually have provoked backpressure, and the client, the
+# server's stats line, and the Prometheus scrape must agree on how much.
 CLIENT_OVERLOADS=$(sed -n 's/^many: .* overloads=\([0-9]*\) .*$/\1/p' \
   "$WORK/overload.log")
-SERVER_OVERLOADS=$(sed -n 's/^stats: .* overload_rejections=\([0-9]*\)$/\1/p' \
-  "$WORK/serve.log")
+SERVER_OVERLOADS=$(sed -n \
+  's/^stats: .* overload_rejections=\([0-9]*\) .*$/\1/p' "$WORK/serve.log")
+PROM_OVERLOADS=$(awk \
+  '/^varstream_overload_rejections_total/{s+=$2} END{print s+0}' \
+  "$OUT_DIR/overload-metrics.prom")
 [ -n "$CLIENT_OVERLOADS" ] && [ "$CLIENT_OVERLOADS" -gt 0 ] \
   || { echo "FAIL: overload drill saw no Overloaded replies"; exit 1; }
 [ "$CLIENT_OVERLOADS" = "$SERVER_OVERLOADS" ] \
   || { echo "FAIL: client counted $CLIENT_OVERLOADS rejections, server" \
             "counted $SERVER_OVERLOADS"; exit 1; }
-echo "overload drill ok: $CLIENT_OVERLOADS rejections, all converged"
+[ "$CLIENT_OVERLOADS" = "$PROM_OVERLOADS" ] \
+  || { echo "FAIL: client counted $CLIENT_OVERLOADS rejections, Prometheus" \
+            "scrape counted $PROM_OVERLOADS"; exit 1; }
+echo "overload drill ok: $CLIENT_OVERLOADS rejections, all converged," \
+     "Prometheus agrees"
 
 echo "ALL CONNECTION SMOKE TESTS PASSED"

@@ -15,12 +15,17 @@
 #    series with varstream_query (row count, monotone sample clock,
 #    bucket downsampling), checkpoint, kill -9, restore — the served CSV
 #    must be byte-identical across the crash.
+# 5. Runs the metrics drill: ingest a known workload with
+#    --metrics-port=0 on, then require the Prometheus endpoint, the
+#    /metrics.json document, and varstream_top --once --json to report
+#    exactly that workload's counters.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 SERVE="$BUILD_DIR/varstream_serve"
 LOADGEN="$BUILD_DIR/varstream_loadgen"
 RUN="$BUILD_DIR/varstream_run"
+TOP="$BUILD_DIR/varstream_top"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
@@ -121,5 +126,57 @@ cmp "$WORK/before.csv" "$WORK/after.csv" || {
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
+
+echo "=== metrics drill: Prometheus + MetricsDump report the exact workload ==="
+start_server --metrics-port=0
+METRICS_PORT=""
+for _ in $(seq 1 200); do
+  METRICS_PORT=$(sed -n 's/^metrics on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$WORK/serve.log")
+  [ -n "$METRICS_PORT" ] && break
+  sleep 0.05
+done
+[ -n "$METRICS_PORT" ] || {
+  echo "FAIL: server did not announce its metrics port"
+  cat "$WORK/serve.log"; exit 1
+}
+# 50000 updates in 500-update batches = exactly 100 applied batches.
+$LOADGEN --port="$PORT" --session=metrics --tracker=deterministic \
+  --stream=random-walk --n=50000 --batch=500 --quiet
+scrape() {  # http path, output file — plain-bash HTTP GET, no curl dep
+  exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+  cat <&3 > "$2"
+  exec 3<&-
+}
+scrape /metrics "$WORK/metrics.prom"
+scrape /metrics.json "$WORK/metrics.json"
+PROM_UPDATES=$(awk '/^varstream_updates_applied_total/{s+=$2} END{print s+0}' \
+  "$WORK/metrics.prom")
+PROM_BATCHES=$(awk '/^varstream_batches_applied_total/{s+=$2} END{print s+0}' \
+  "$WORK/metrics.prom")
+[ "$PROM_UPDATES" = "50000" ] && [ "$PROM_BATCHES" = "100" ] || {
+  echo "FAIL: Prometheus counted updates=$PROM_UPDATES batches=$PROM_BATCHES,"
+  echo "      expected exactly 50000/100"
+  cat "$WORK/metrics.prom"; exit 1
+}
+grep -q '"varstream_metrics":1' "$WORK/metrics.json" || {
+  echo "FAIL: /metrics.json is not a MetricsDump document"
+  cat "$WORK/metrics.json"; exit 1
+}
+grep -q 'varstream_apply_latency_us_count' "$WORK/metrics.prom" || {
+  echo "FAIL: Prometheus scrape lacks the apply-latency histogram"; exit 1
+}
+$TOP --port="$PORT" --once --json > "$WORK/top.json" || {
+  echo "FAIL: varstream_top --once --json failed"; exit 1
+}
+grep -q '"role":"server"' "$WORK/top.json" || {
+  echo "FAIL: varstream_top did not return a server document"
+  cat "$WORK/top.json"; exit 1
+}
+$LOADGEN --port="$PORT" --session=down --n=1 --shutdown --quiet > /dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "metrics drill ok: 50000 updates / 100 batches visible on every surface"
 
 echo "service smoke OK"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace varstream {
 
@@ -62,7 +64,13 @@ uint64_t LogHistogram::CountAtMost(double threshold) const {
 }
 
 void LogHistogram::Merge(const LogHistogram& other) {
-  assert(std::abs(gamma_ - other.gamma_) < 1e-12);
+  if (std::abs(gamma_ - other.gamma_) >= 1e-12) {
+    std::fprintf(stderr,
+                 "LogHistogram::Merge: gamma mismatch (%.17g vs %.17g); "
+                 "bucket indices are not comparable across gammas\n",
+                 gamma_, other.gamma_);
+    std::abort();
+  }
   if (other.count_ == 0) return;
   if (buckets_.size() < other.buckets_.size()) {
     buckets_.resize(other.buckets_.size(), 0);

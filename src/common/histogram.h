@@ -36,7 +36,16 @@ class LogHistogram {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
 
-  /// Merges another histogram with the same gamma.
+  double gamma() const { return gamma_; }
+
+  /// Raw bucket counts; buckets_[0] holds values in [0, 1), bucket b >= 1
+  /// covers [gamma^(b-1), gamma^b). Exposed so serializers (metrics
+  /// snapshots) can ship exact counts instead of lossy percentiles.
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
+  /// Merges another histogram with the same gamma. Bucket indices are
+  /// only comparable for identical gammas, so a mismatch aborts loudly
+  /// instead of silently producing garbage percentiles.
   void Merge(const LogHistogram& other);
 
  private:

@@ -147,11 +147,30 @@ void ShardedTracker::WorkerLoop(Shard* shard) {
 }
 
 void ShardedTracker::Publish(Shard* shard) {
-  Backoff backoff;
-  while (!shard->queue.TryPush(shard->staging)) backoff.Wait();
+  if (!shard->queue.TryPush(shard->staging)) {
+    // Contended path only: the clock read costs nothing when the ring
+    // has room, and an unattached engine skips it entirely.
+    const bool timed = demux_stall_us_ != nullptr;
+    std::chrono::steady_clock::time_point stall_start;
+    if (timed) stall_start = std::chrono::steady_clock::now();
+    Backoff backoff;
+    do {
+      backoff.Wait();
+    } while (!shard->queue.TryPush(shard->staging));
+    if (timed) {
+      demux_stall_us_->Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - stall_start)
+              .count());
+    }
+  }
   // TryPush swapped in the consumer's last recycled buffer; it is clear
   // but keeps its capacity, so steady-state demuxing never reallocates.
   ++shard->published;
+  if (shard->depth_gauge != nullptr) {
+    shard->depth_gauge->Set(static_cast<int64_t>(
+        shard->published - shard->completed.load(std::memory_order_relaxed)));
+  }
 }
 
 void ShardedTracker::DoPush(uint32_t site, int64_t delta) {
@@ -168,6 +187,18 @@ void ShardedTracker::DoPushBatch(std::span<const CountUpdate> batch) {
   }
   for (auto& shard : shards_) {
     if (!shard->staging.empty()) Publish(shard.get());
+  }
+}
+
+void ShardedTracker::AttachMetrics(MetricsRegistry* registry,
+                                   const std::string& session) {
+  if (registry == nullptr) return;
+  demux_stall_us_ =
+      registry->Histogram("demux_stall_us", {{"session", session}});
+  for (uint32_t w = 0; w < num_shards_; ++w) {
+    shards_[w]->depth_gauge = registry->Gauge(
+        "shard_queue_depth",
+        {{"session", session}, {"shard", std::to_string(w)}});
   }
 }
 

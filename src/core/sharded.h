@@ -60,6 +60,7 @@
 #include "core/spsc_queue.h"
 #include "core/tracker.h"
 #include "net/cost_meter.h"
+#include "obs/metrics.h"
 #include "stream/update.h"
 
 namespace varstream {
@@ -111,6 +112,16 @@ class ShardedTracker : public DistributedTracker, public Mergeable {
   std::string SerializeState() const override;
   bool RestoreState(const std::string& state, std::string* error) override;
 
+  /// Wires the engine's queue instrumentation into `registry`: a
+  /// `demux_stall_us` histogram (time Publish spends waiting on a full
+  /// ring) plus one producer-side `shard_queue_depth` gauge per shard,
+  /// all labeled {session=<session>, [shard=w]}. The slots are plain
+  /// pointers written here and read only by the producer thread, so call
+  /// this from the thread that owns the producer side, before pushing —
+  /// never mid-stream from another thread. An unattached engine pays one
+  /// null check per publish and nothing else.
+  void AttachMetrics(MetricsRegistry* registry, const std::string& session);
+
  protected:
   void DoPush(uint32_t site, int64_t delta) override;
   void DoPushBatch(std::span<const CountUpdate> batch) override;
@@ -126,6 +137,9 @@ class ShardedTracker : public DistributedTracker, public Mergeable {
     uint64_t published = 0;
     alignas(64) std::atomic<uint64_t> completed{0};
     std::thread thread;
+    // Producer-side ring occupancy (published - completed), refreshed on
+    // every publish. Null until AttachMetrics.
+    MetricsGauge* depth_gauge = nullptr;
   };
 
   ShardedTracker(const std::string& base_name, const TrackerOptions& options,
@@ -153,6 +167,7 @@ class ShardedTracker : public DistributedTracker, public Mergeable {
   std::vector<std::unique_ptr<DistributedTracker>> site_trackers_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
+  MetricsHistogram* demux_stall_us_ = nullptr;  // set by AttachMetrics
 
   // Contributions folded in via MergeFrom (disjoint partitions run
   // elsewhere); rebuilt cost() view lives in merged_cost_.

@@ -16,6 +16,7 @@
 #include "core/registry.h"
 #include "hierarchy/merge.h"
 #include "history/query.h"
+#include "obs/json.h"
 #include "stream/source.h"  // JoinNames
 
 namespace varstream {
@@ -58,7 +59,11 @@ bool RootAggregator::Start(std::string* error) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     leaves_.resize(options_.num_leaves);
+    splice_us_ = metrics_.Histogram("splice_us");
     for (uint32_t leaf = 0; leaf < options_.num_leaves; ++leaf) {
+      MetricLabels labels = {{"leaf", std::to_string(leaf)}};
+      leaves_[leaf].ack_us = metrics_.Histogram("leaf_ack_us", labels);
+      leaves_[leaf].recoveries = metrics_.Counter("leaf_recoveries", labels);
       if (!launcher_->Launch(leaf, /*restore=*/false, &leaves_[leaf].handle,
                              error)) {
         return false;
@@ -314,6 +319,7 @@ bool RootAggregator::RecoverLeafLocked(uint32_t leaf, std::string* error) {
     }
   }
   node.alive = true;
+  node.recoveries->Add();
   return true;
 }
 
@@ -326,8 +332,13 @@ bool RootAggregator::PushToLeafLocked(RootSession& s, uint32_t leaf,
   if (leaves_[leaf].alive && s.leaf_clients[leaf] != nullptr) {
     PushAckFrame ack;
     std::string push_error;
+    const auto push_start = std::chrono::steady_clock::now();
     if (s.leaf_clients[leaf]->Push(s.journal[leaf].back(), &ack,
                                    &push_error)) {
+      leaves_[leaf].ack_us->Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - push_start)
+              .count());
       s.leaf_time[leaf] = ack.session_time;
       return true;
     }
@@ -382,6 +393,7 @@ bool RootAggregator::ForwardCheckpointLocked(std::string* error) {
 bool RootAggregator::PullMergedLocked(RootSession& s,
                                       std::unique_ptr<ShardedTracker>* mirror,
                                       std::string* error) {
+  const auto splice_start = std::chrono::steady_clock::now();
   std::vector<std::string> leaf_states(leaves_.size());
   for (uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
     if (s.ranges[leaf].empty()) continue;
@@ -420,6 +432,9 @@ bool RootAggregator::PullMergedLocked(RootSession& s,
     }
     return false;
   }
+  splice_us_->Record(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - splice_start)
+                         .count());
   return true;
 }
 
@@ -511,6 +526,89 @@ TopologyInfoFrame RootAggregator::TopologySnapshotLocked() {
     info.leaves.push_back(entry);
   }
   return info;
+}
+
+std::string RootAggregator::MetricsJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MetricsJsonLocked();
+}
+
+std::string RootAggregator::MetricsJsonLocked() {
+  MetricsSnapshot node = metrics_.Collect();
+  {
+    // Liveness is root-owned state, not a slot; append it at scrape time
+    // (the same pattern VarstreamServer uses for its connection gauges).
+    auto gauge = [&node](const char* name, MetricLabels labels, int64_t value,
+                         GaugeAgg agg) {
+      MetricPoint p;
+      p.name = name;
+      p.labels = std::move(labels);
+      p.kind = MetricKind::kGauge;
+      p.agg = agg;
+      p.gauge = value;
+      node.points.push_back(std::move(p));
+    };
+    int64_t alive = 0;
+    for (const Leaf& leaf : leaves_) alive += leaf.alive ? 1 : 0;
+    gauge("leaves", {}, static_cast<int64_t>(leaves_.size()), GaugeAgg::kSum);
+    gauge("leaves_alive", {}, alive, GaugeAgg::kSum);
+    gauge("sessions", {}, static_cast<int64_t>(sessions_.size()),
+          GaugeAgg::kSum);
+  }
+
+  std::string out = "{\"varstream_metrics\":1,\"role\":\"root\",\"node\":";
+  out += node.ToJson();
+  out += ",\"leaves\":[";
+  // The merged view aggregates the root's own registry plus every leaf
+  // that answered; a leaf that did not answer appears in "leaves" with an
+  // error string and contributes nothing (scrapes must not block on, or
+  // try to recover, a dead leaf — that is the supervisor's job).
+  MetricsSnapshot combined = node;
+  for (uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    if (leaf > 0) out.push_back(',');
+    out += "{\"index\":";
+    AppendJsonNumber(&out, static_cast<double>(leaf));
+    out += ",\"port\":";
+    AppendJsonNumber(&out, static_cast<double>(leaves_[leaf].handle.port));
+    out += ",\"alive\":";
+    out += leaves_[leaf].alive ? "true" : "false";
+    std::string scrape_error;
+    MetricsSnapshot leaf_snap;
+    bool scraped = false;
+    if (leaves_[leaf].alive && leaves_[leaf].control != nullptr) {
+      MetricsDumpResultFrame dump;
+      if (leaves_[leaf].control->MetricsDump(&dump, &scrape_error)) {
+        JsonValue doc;
+        if (ParseJson(dump.json, &doc, &scrape_error) && doc.is_object()) {
+          const JsonValue* leaf_node = doc.Find("node");
+          if (leaf_node == nullptr) {
+            scrape_error = "leaf metrics document has no 'node' object";
+          } else {
+            scraped = MetricsSnapshotFromJsonValue(*leaf_node, &leaf_snap,
+                                                   &scrape_error);
+          }
+        }
+      }
+    } else {
+      scrape_error = "leaf is down";
+    }
+    if (scraped) {
+      // Round-trip through the snapshot (instead of splicing the leaf's
+      // bytes in verbatim) so a leaf can never corrupt the root's JSON.
+      out += ",\"metrics\":";
+      out += leaf_snap.ToJson();
+      combined.points.insert(combined.points.end(), leaf_snap.points.begin(),
+                             leaf_snap.points.end());
+    } else {
+      out += ",\"error\":";
+      AppendJsonString(&out, scrape_error);
+    }
+    out.push_back('}');
+  }
+  out += "],\"merged\":";
+  out += combined.AggregateByName().ToJson();
+  out.push_back('}');
+  return out;
 }
 
 void RootAggregator::SupervisorLoop() {
@@ -880,6 +978,36 @@ bool RootAggregator::HandleFrame(int fd, const Frame& frame,
       }
       return SendFrame(fd, FrameType::kTopologyInfo,
                        EncodeTopologyInfo(info), *session);
+    }
+    case FrameType::kMetricsDump: {
+      // Hello-free like QueryRange. The root answers for the whole tree:
+      // its own registry plus a MetricsDump fanned out to every live
+      // leaf, with the name-aggregated union under "merged".
+      MetricsDumpFrame dump;
+      if (!DecodeMetricsDump(frame.payload, &dump)) {
+        return SendError(fd, *session, "malformed metrics-dump payload");
+      }
+      if (dump.version != kMetricsDumpVersion) {
+        return SendError(
+            fd, *session,
+            "metrics-dump version mismatch: client speaks v" +
+                std::to_string(dump.version) + ", server speaks v" +
+                std::to_string(kMetricsDumpVersion));
+      }
+      MetricsDumpResultFrame result;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        result.json = MetricsJsonLocked();
+      }
+      std::vector<uint8_t> payload = EncodeMetricsDumpResult(result);
+      if (payload.size() > kMaxFramePayload) {
+        return SendError(
+            fd, *session,
+            "metrics dump (" + std::to_string(payload.size()) +
+                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
+                "-byte frame limit");
+      }
+      return SendFrame(fd, FrameType::kMetricsDumpResult, payload, *session);
     }
     case FrameType::kShutdown: {
       if (!frame.payload.empty()) {

@@ -61,6 +61,7 @@
 #include "hierarchy/partition.h"
 #include "history/history.h"
 #include "net/cost_meter.h"
+#include "obs/metrics.h"
 #include "service/client.h"
 #include "service/protocol.h"
 
@@ -133,6 +134,14 @@ class RootAggregator {
   /// reconnect → re-attach → replay recovery for one leaf now.
   bool RecoverLeaf(uint32_t leaf, std::string* error);
 
+  /// The whole-tree metrics document (protocol.h MetricsDumpResultFrame
+  /// schema): the root's own registry under "node", every leaf's scraped
+  /// registry under "leaves" (with a per-leaf error string where a scrape
+  /// failed), and the name-aggregated union under "merged". Fans a
+  /// MetricsDump out over the control channels, so it holds the root
+  /// mutex for the duration — scrape cadence, not data plane.
+  std::string MetricsJson();
+
  private:
   struct Leaf {
     LeafHandle handle;
@@ -142,6 +151,10 @@ class RootAggregator {
     /// passes restore=true to the launcher only then.
     bool checkpointed = false;
     std::unique_ptr<VarstreamClient> control;  // Topology + StateDump
+    /// Observability slots (created in Start, written under mu_ only):
+    /// push→ack round-trip per leaf, and completed recovery count.
+    MetricsHistogram* ack_us = nullptr;
+    MetricsCounter* recoveries = nullptr;
   };
 
   struct RootSession {
@@ -202,6 +215,7 @@ class RootAggregator {
   RootSession* ResolveSessionLocked(const HelloFrame& hello, bool* created,
                                     std::string* error);
   TopologyInfoFrame TopologySnapshotLocked();
+  std::string MetricsJsonLocked();
   void SupervisorLoop();
 
   RootOptions options_;
@@ -213,6 +227,11 @@ class RootAggregator {
   std::mutex mu_;  // leaves_, sessions_, and all leaf-facing I/O
   std::vector<Leaf> leaves_;
   std::map<std::string, std::unique_ptr<RootSession>> sessions_;
+
+  /// Root-side instrumentation. All writers hold mu_, which satisfies
+  /// the registry's single-writer slot contract by mutual exclusion.
+  MetricsRegistry metrics_;
+  MetricsHistogram* splice_us_ = nullptr;  // state pull + splice latency
 
   std::mutex conn_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -1,0 +1,272 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace varstream {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string* error;
+
+  bool Fail(const std::string& message) {
+    if (error != nullptr) {
+      *error = message + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return Fail("expected '" + std::string(word) + "'");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') {
+      return Fail("expected '\"'");
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos;
+        continue;
+      }
+      if (pos + 1 >= text.size()) return Fail("truncated escape");
+      char esc = text[pos + 1];
+      pos += 2;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+            else return Fail("bad hex digit in \\u escape");
+          }
+          pos += 4;
+          // Encode the BMP code point as UTF-8; surrogate pairs are not
+          // stitched (metric names and session names are ASCII).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return Fail("expected number");
+    std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+      pos = start;
+      return Fail("bad number '" + token + "'");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    char c = text[pos];
+    switch (c) {
+      case '{': {
+        ++pos;
+        out->type = JsonValue::Type::kObject;
+        SkipSpace();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          SkipSpace();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipSpace();
+          if (pos >= text.size() || text[pos] != ':') {
+            return Fail("expected ':'");
+          }
+          ++pos;
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->members.emplace_back(std::move(key), std::move(value));
+          SkipSpace();
+          if (pos >= text.size()) return Fail("unterminated object");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == '}') {
+            ++pos;
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        out->type = JsonValue::Type::kArray;
+        SkipSpace();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->items.push_back(std::move(value));
+          SkipSpace();
+          if (pos >= text.size()) return Fail("unterminated array");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == ']') {
+            ++pos;
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  Parser parser;
+  parser.text = text;
+  parser.error = error;
+  *out = JsonValue{};
+  if (!parser.ParseValue(out, 0)) return false;
+  parser.SkipSpace();
+  if (parser.pos != text.size()) {
+    return parser.Fail("trailing garbage after JSON value");
+  }
+  return true;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) value = 0.0;
+  char buf[40];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out->append(buf);
+}
+
+}  // namespace varstream

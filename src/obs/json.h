@@ -1,0 +1,56 @@
+// Minimal JSON reader/writer for the metrics snapshot wire format.
+//
+// The repo's other JSON producers (varstream_query --format=json, suite
+// summaries) only ever *write* JSON; metrics is the first subsystem that
+// must read it back (the root aggregator merges leaf MetricsDump replies,
+// varstream_top renders them). This is a small recursive-descent parser
+// for exactly the JSON we emit — objects, arrays, strings with the
+// standard escapes, doubles, bools, null — with a depth cap so hostile
+// input fails loudly instead of blowing the stack. No external deps.
+
+#ifndef VARSTREAM_OBS_JSON_H_
+#define VARSTREAM_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace varstream {
+
+struct JsonValue {
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// First member with this key, or nullptr. Linear scan: metrics
+  /// objects have a handful of keys.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` (the whole string must be one JSON value plus optional
+/// trailing whitespace). On failure returns false and sets `error` to a
+/// message with the byte offset.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+/// Appends `s` as a JSON string literal (quotes included) to `out`.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Appends a double in a round-trippable format ("%.17g"; integers print
+/// without an exponent).
+void AppendJsonNumber(std::string* out, double value);
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_OBS_JSON_H_

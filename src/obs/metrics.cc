@@ -1,0 +1,527 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace varstream {
+
+namespace {
+
+/// Geometric midpoint of bucket b in the shared geometry — the value a
+/// scrape re-records so the count lands back in bucket b exactly
+/// (midpoint b - 0.5 can never round across an integer boundary).
+double BucketMidpoint(size_t bucket) {
+  if (bucket == 0) return 0.5;
+  return std::exp((static_cast<double>(bucket) - 0.5) *
+                  std::log(kMetricsGamma));
+}
+
+/// Upper edge of bucket b, for Prometheus `le` labels.
+double BucketUpperEdge(size_t bucket) {
+  return std::pow(kMetricsGamma, static_cast<double>(bucket));
+}
+
+std::string LabelsKey(const MetricLabels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key.push_back('\x01');
+    key += v;
+    key.push_back('\x01');
+  }
+  return key;
+}
+
+std::string PointKey(const MetricPoint& p) {
+  return p.name + '\x02' + LabelsKey(p.labels);
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+void AppendPromLabels(std::string* out, const MetricLabels& labels,
+                      const char* extra_key = nullptr,
+                      const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out->push_back('{');
+  bool first = true;
+  auto emit = [&](const std::string& k, const std::string& v) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(k);
+    out->append("=\"");
+    for (char c : v) {
+      if (c == '\\' || c == '"') out->push_back('\\');
+      if (c == '\n') {
+        out->append("\\n");
+        continue;
+      }
+      out->push_back(c);
+    }
+    out->push_back('"');
+  };
+  for (const auto& [k, v] : labels) emit(k, v);
+  if (extra_key != nullptr) emit(extra_key, extra_value);
+  out->push_back('}');
+}
+
+/// Combines `from` into `into` under the merge rules. Returns false on a
+/// kind or gamma conflict (reported, not aborted: by the time the root
+/// merges leaf snapshots the input came off the wire).
+bool CombinePoint(MetricPoint* into, const MetricPoint& from,
+                  std::string* error) {
+  if (into->kind != from.kind) {
+    if (error != nullptr) {
+      *error = "metric '" + from.name + "' changes kind across nodes (" +
+               KindName(into->kind) + " vs " + KindName(from.kind) + ")";
+    }
+    return false;
+  }
+  switch (into->kind) {
+    case MetricKind::kCounter:
+      into->counter += from.counter;
+      break;
+    case MetricKind::kGauge:
+      if (into->agg == GaugeAgg::kMax || from.agg == GaugeAgg::kMax) {
+        into->agg = GaugeAgg::kMax;
+        into->gauge = std::max(into->gauge, from.gauge);
+      } else {
+        into->gauge += from.gauge;
+      }
+      break;
+    case MetricKind::kHistogram:
+      if (std::abs(into->hist.gamma() - from.hist.gamma()) >= 1e-12) {
+        if (error != nullptr) {
+          *error = "metric '" + from.name +
+                   "' has mismatched histogram gamma across nodes";
+        }
+        return false;
+      }
+      into->hist.Merge(from.hist);
+      break;
+  }
+  return true;
+}
+
+std::vector<const MetricPoint*> SortedPoints(
+    const std::vector<MetricPoint>& points) {
+  std::vector<const MetricPoint*> sorted;
+  sorted.reserve(points.size());
+  for (const MetricPoint& p : points) sorted.push_back(&p);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricPoint* a, const MetricPoint* b) {
+              if (a->name != b->name) return a->name < b->name;
+              return LabelsKey(a->labels) < LabelsKey(b->labels);
+            });
+  return sorted;
+}
+
+}  // namespace
+
+LogHistogram MetricsHistogram::Snapshot() const {
+  LogHistogram hist(kMetricsGamma);
+  for (size_t b = 0; b < kMetricsHistogramBuckets; ++b) {
+    uint64_t count = buckets_[b].load(std::memory_order_relaxed);
+    if (count > 0) hist.Record(BucketMidpoint(b), count);
+  }
+  return hist;
+}
+
+MetricsRegistry::Slot* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                     MetricLabels labels,
+                                                     MetricKind kind,
+                                                     GaugeAgg agg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) {
+    if (slot->kind == kind && slot->name == name && slot->labels == labels) {
+      return slot.get();
+    }
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->name = name;
+  slot->labels = std::move(labels);
+  slot->kind = kind;
+  slot->agg = agg;
+  switch (kind) {
+    case MetricKind::kCounter:
+      slot->counter = std::make_unique<MetricsCounter>();
+      break;
+    case MetricKind::kGauge:
+      slot->gauge = std::make_unique<MetricsGauge>();
+      break;
+    case MetricKind::kHistogram:
+      slot->hist = std::make_unique<MetricsHistogram>();
+      break;
+  }
+  Slot* raw = slot.get();
+  slots_.push_back(std::move(slot));
+  return raw;
+}
+
+MetricsCounter* MetricsRegistry::Counter(const std::string& name,
+                                         MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), MetricKind::kCounter,
+                      GaugeAgg::kSum)
+      ->counter.get();
+}
+
+MetricsGauge* MetricsRegistry::Gauge(const std::string& name,
+                                     MetricLabels labels, GaugeAgg agg) {
+  return FindOrCreate(name, std::move(labels), MetricKind::kGauge, agg)
+      ->gauge.get();
+}
+
+MetricsHistogram* MetricsRegistry::Histogram(const std::string& name,
+                                             MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), MetricKind::kHistogram,
+                      GaugeAgg::kSum)
+      ->hist.get();
+}
+
+MetricsSnapshot MetricsRegistry::Collect() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.points.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    MetricPoint p;
+    p.name = slot->name;
+    p.labels = slot->labels;
+    p.kind = slot->kind;
+    p.agg = slot->agg;
+    switch (slot->kind) {
+      case MetricKind::kCounter:
+        p.counter = slot->counter->Value();
+        break;
+      case MetricKind::kGauge:
+        p.gauge = slot->gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        p.hist = slot->hist->Snapshot();
+        break;
+    }
+    snapshot.points.push_back(std::move(p));
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricPoint* p : SortedPoints(points)) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, p->name);
+    out.append(",\"labels\":[");
+    for (size_t i = 0; i < p->labels.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back('[');
+      AppendJsonString(&out, p->labels[i].first);
+      out.push_back(',');
+      AppendJsonString(&out, p->labels[i].second);
+      out.push_back(']');
+    }
+    out.append("],\"kind\":\"");
+    out.append(KindName(p->kind));
+    out.push_back('"');
+    switch (p->kind) {
+      case MetricKind::kCounter:
+        out.append(",\"value\":");
+        AppendJsonNumber(&out, static_cast<double>(p->counter));
+        break;
+      case MetricKind::kGauge:
+        out.append(",\"agg\":\"");
+        out.append(p->agg == GaugeAgg::kMax ? "max" : "sum");
+        out.append("\",\"value\":");
+        AppendJsonNumber(&out, static_cast<double>(p->gauge));
+        break;
+      case MetricKind::kHistogram: {
+        out.append(",\"gamma\":");
+        AppendJsonNumber(&out, p->hist.gamma());
+        out.append(",\"count\":");
+        AppendJsonNumber(&out, static_cast<double>(p->hist.count()));
+        out.append(",\"p50\":");
+        AppendJsonNumber(&out, p->hist.Percentile(0.50));
+        out.append(",\"p99\":");
+        AppendJsonNumber(&out, p->hist.Percentile(0.99));
+        out.append(",\"buckets\":[");
+        const std::vector<uint64_t>& buckets = p->hist.bucket_counts();
+        bool first_bucket = true;
+        for (size_t b = 0; b < buckets.size(); ++b) {
+          if (buckets[b] == 0) continue;
+          if (!first_bucket) out.push_back(',');
+          first_bucket = false;
+          out.push_back('[');
+          AppendJsonNumber(&out, static_cast<double>(b));
+          out.push_back(',');
+          AppendJsonNumber(&out, static_cast<double>(buckets[b]));
+          out.push_back(']');
+        }
+        out.push_back(']');
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus(const std::string& prefix) const {
+  std::string out;
+  std::string last_typed;
+  for (const MetricPoint* p : SortedPoints(points)) {
+    const std::string base = prefix + p->name;
+    const std::string series =
+        p->kind == MetricKind::kCounter ? base + "_total" : base;
+    if (p->name != last_typed) {
+      last_typed = p->name;
+      out.append("# TYPE ");
+      out.append(series);
+      out.push_back(' ');
+      out.append(KindName(p->kind));
+      out.push_back('\n');
+    }
+    switch (p->kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge: {
+        out.append(series);
+        AppendPromLabels(&out, p->labels);
+        out.push_back(' ');
+        AppendJsonNumber(&out, p->kind == MetricKind::kCounter
+                                   ? static_cast<double>(p->counter)
+                                   : static_cast<double>(p->gauge));
+        out.push_back('\n');
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const std::vector<uint64_t>& buckets = p->hist.bucket_counts();
+        uint64_t cumulative = 0;
+        double approx_sum = 0.0;
+        for (size_t b = 0; b < buckets.size(); ++b) {
+          if (buckets[b] == 0) continue;
+          cumulative += buckets[b];
+          approx_sum += static_cast<double>(buckets[b]) * BucketMidpoint(b);
+          char le[40];
+          std::snprintf(le, sizeof(le), "%.6g", BucketUpperEdge(b));
+          out.append(series);
+          out.append("_bucket");
+          AppendPromLabels(&out, p->labels, "le", le);
+          out.push_back(' ');
+          AppendJsonNumber(&out, static_cast<double>(cumulative));
+          out.push_back('\n');
+        }
+        out.append(series);
+        out.append("_bucket");
+        AppendPromLabels(&out, p->labels, "le", "+Inf");
+        out.push_back(' ');
+        AppendJsonNumber(&out, static_cast<double>(p->hist.count()));
+        out.push_back('\n');
+        out.append(series);
+        out.append("_sum");
+        AppendPromLabels(&out, p->labels);
+        out.push_back(' ');
+        AppendJsonNumber(&out, approx_sum);
+        out.push_back('\n');
+        out.append(series);
+        out.append("_count");
+        AppendPromLabels(&out, p->labels);
+        out.push_back(' ');
+        AppendJsonNumber(&out, static_cast<double>(p->hist.count()));
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsSnapshot::AddLabel(const std::string& key,
+                               const std::string& value) {
+  for (MetricPoint& p : points) {
+    p.labels.emplace_back(key, value);
+  }
+}
+
+bool MetricsSnapshot::Merge(const MetricsSnapshot& other, std::string* error) {
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < points.size(); ++i) {
+    index.emplace(PointKey(points[i]), i);
+  }
+  for (const MetricPoint& p : other.points) {
+    auto it = index.find(PointKey(p));
+    if (it == index.end()) {
+      index.emplace(PointKey(p), points.size());
+      points.push_back(p);
+      continue;
+    }
+    if (!CombinePoint(&points[it->second], p, error)) return false;
+  }
+  return true;
+}
+
+MetricsSnapshot MetricsSnapshot::AggregateByName() const {
+  MetricsSnapshot out;
+  std::map<std::string, size_t> index;
+  for (const MetricPoint& p : points) {
+    auto it = index.find(p.name);
+    if (it == index.end()) {
+      index.emplace(p.name, out.points.size());
+      MetricPoint collapsed = p;
+      collapsed.labels.clear();
+      out.points.push_back(std::move(collapsed));
+      continue;
+    }
+    // Conflicting kinds under one name cannot happen within a registry;
+    // across hostile nodes the first kind wins rather than aborting.
+    std::string ignored;
+    CombinePoint(&out.points[it->second], p, &ignored);
+  }
+  return out;
+}
+
+const MetricPoint* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricPoint& p : points) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  for (const MetricPoint& p : points) {
+    if (p.name == name && p.kind == MetricKind::kCounter) total += p.counter;
+  }
+  return total;
+}
+
+bool MetricsSnapshotFromJson(std::string_view json, MetricsSnapshot* out,
+                             std::string* error) {
+  JsonValue root;
+  if (!ParseJson(json, &root, error)) return false;
+  return MetricsSnapshotFromJsonValue(root, out, error);
+}
+
+bool MetricsSnapshotFromJsonValue(const JsonValue& root, MetricsSnapshot* out,
+                                  std::string* error) {
+  if (!root.is_object()) {
+    if (error != nullptr) *error = "metrics snapshot is not a JSON object";
+    return false;
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    if (error != nullptr) *error = "snapshot is missing the 'metrics' array";
+    return false;
+  }
+  out->points.clear();
+  out->points.reserve(metrics->items.size());
+  for (const JsonValue& item : metrics->items) {
+    if (!item.is_object()) {
+      if (error != nullptr) *error = "metric entry is not an object";
+      return false;
+    }
+    MetricPoint p;
+    const JsonValue* name = item.Find("name");
+    const JsonValue* kind = item.Find("kind");
+    if (name == nullptr || !name->is_string() || kind == nullptr ||
+        !kind->is_string()) {
+      if (error != nullptr) *error = "metric entry lacks name/kind strings";
+      return false;
+    }
+    p.name = name->str;
+    const JsonValue* labels = item.Find("labels");
+    if (labels != nullptr && labels->is_array()) {
+      for (const JsonValue& pair : labels->items) {
+        if (!pair.is_array() || pair.items.size() != 2 ||
+            !pair.items[0].is_string() || !pair.items[1].is_string()) {
+          if (error != nullptr) *error = "metric label is not a [k,v] pair";
+          return false;
+        }
+        p.labels.emplace_back(pair.items[0].str, pair.items[1].str);
+      }
+    }
+    if (kind->str == "counter") {
+      p.kind = MetricKind::kCounter;
+      const JsonValue* value = item.Find("value");
+      if (value == nullptr || !value->is_number() || value->number < 0) {
+        if (error != nullptr) {
+          *error = "counter '" + p.name + "' lacks a nonnegative value";
+        }
+        return false;
+      }
+      p.counter = static_cast<uint64_t>(value->number);
+    } else if (kind->str == "gauge") {
+      p.kind = MetricKind::kGauge;
+      const JsonValue* value = item.Find("value");
+      if (value == nullptr || !value->is_number()) {
+        if (error != nullptr) {
+          *error = "gauge '" + p.name + "' lacks a numeric value";
+        }
+        return false;
+      }
+      p.gauge = static_cast<int64_t>(value->number);
+      const JsonValue* agg = item.Find("agg");
+      p.agg = (agg != nullptr && agg->is_string() && agg->str == "max")
+                  ? GaugeAgg::kMax
+                  : GaugeAgg::kSum;
+    } else if (kind->str == "histogram") {
+      p.kind = MetricKind::kHistogram;
+      const JsonValue* gamma = item.Find("gamma");
+      const JsonValue* buckets = item.Find("buckets");
+      if (gamma == nullptr || !gamma->is_number() || gamma->number <= 1.0 ||
+          buckets == nullptr || !buckets->is_array()) {
+        if (error != nullptr) {
+          *error = "histogram '" + p.name + "' lacks gamma/buckets";
+        }
+        return false;
+      }
+      LogHistogram hist(gamma->number);
+      const double log_gamma = std::log(gamma->number);
+      for (const JsonValue& pair : buckets->items) {
+        if (!pair.is_array() || pair.items.size() != 2 ||
+            !pair.items[0].is_number() || !pair.items[1].is_number() ||
+            pair.items[0].number < 0 || pair.items[1].number < 0) {
+          if (error != nullptr) {
+            *error = "histogram '" + p.name + "' has a malformed bucket";
+          }
+          return false;
+        }
+        const double b = pair.items[0].number;
+        if (b > 4096) {  // bucket index bound: nothing we emit goes near it
+          if (error != nullptr) {
+            *error = "histogram '" + p.name + "' bucket index out of range";
+          }
+          return false;
+        }
+        const size_t bucket = static_cast<size_t>(b);
+        const uint64_t count = static_cast<uint64_t>(pair.items[1].number);
+        const double mid =
+            bucket == 0
+                ? 0.5
+                : std::exp((static_cast<double>(bucket) - 0.5) * log_gamma);
+        hist.Record(mid, count);
+      }
+      p.hist = std::move(hist);
+    } else {
+      if (error != nullptr) {
+        *error = "metric '" + p.name + "' has unknown kind '" + kind->str +
+                 "'";
+      }
+      return false;
+    }
+    out->points.push_back(std::move(p));
+  }
+  return true;
+}
+
+}  // namespace varstream

@@ -1,0 +1,213 @@
+// Metrics subsystem: named counters, gauges, and log-bucketed latency
+// histograms, built so the ingest hot path never takes a lock or issues
+// an atomic read-modify-write.
+//
+// Design: every metric handle is a *slot* with exactly one writer (a
+// worker thread, the acceptor, a shard producer, ...). Writers update
+// slots with relaxed load-then-store — a plain increment on every ISA,
+// no `lock xadd`, no cache-line ping-pong with readers beyond the line
+// transfer any read implies. Scrapes (MetricsDump, Prometheus, --stats)
+// read the slots with relaxed loads from whatever thread asks and merge
+// them into a coherent snapshot *at scrape time*; the registry mutex is
+// touched only when a slot is created and when the slot list is walked,
+// never on Record/Add. The numbers a scrape sees are each individually
+// exact (a slot's writer publishes totals, not deltas) but mutually
+// slightly skewed — the standard contract for monitoring counters.
+//
+// Histogram slots reuse LogHistogram's bucket geometry (gamma = 1.1)
+// over a fixed array of atomic buckets; a scrape rebuilds a real
+// LogHistogram by re-recording each bucket's geometric midpoint, which
+// lands back in the same bucket, so merged percentiles are exact at
+// bucket resolution. Snapshots serialize gamma + raw bucket counts (not
+// percentiles), which is what makes cross-node merging at the root
+// well-defined — and why LogHistogram::Merge's loud gamma check matters.
+
+#ifndef VARSTREAM_OBS_METRICS_H_
+#define VARSTREAM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace varstream {
+
+/// Bucket geometry shared by every histogram slot. 256 buckets at
+/// gamma = 1.1 cover [0, 1.1^255) — over 3e10 in the recorded unit
+/// (microseconds: ~9 hours), with overflow clamped into the last bucket.
+inline constexpr size_t kMetricsHistogramBuckets = 256;
+inline constexpr double kMetricsGamma = 1.1;
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+/// How same-named gauges combine when slots (or nodes) are merged:
+/// instantaneous depths add; high-water marks take the max.
+enum class GaugeAgg : uint8_t { kSum, kMax };
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Single writer; any thread may read.
+class MetricsCounter {
+ public:
+  void Add(uint64_t n = 1) {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time value. Single writer; any thread may read.
+class MetricsGauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void RaiseTo(int64_t v) {
+    if (v > v_.load(std::memory_order_relaxed)) {
+      v_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(int64_t n) {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-bucketed histogram slot. Single writer; scrapes read the bucket
+/// array with relaxed loads and rebuild a LogHistogram.
+class MetricsHistogram {
+ public:
+  void Record(double value) {
+    size_t b = BucketIndex(value);
+    buckets_[b].store(buckets_[b].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  }
+
+  /// Same bucket math as LogHistogram::BucketFor, clamped to the fixed
+  /// array (verified against LogHistogram by obs_metrics_test).
+  static size_t BucketIndex(double value) {
+    if (!(value >= 1.0)) return 0;  // also catches NaN
+    size_t b = 1 + static_cast<size_t>(std::log(value) / kLogGamma());
+    return b < kMetricsHistogramBuckets ? b : kMetricsHistogramBuckets - 1;
+  }
+
+  /// Rebuilds a mergeable LogHistogram from the current bucket counts.
+  LogHistogram Snapshot() const;
+
+ private:
+  static double kLogGamma() {
+    static const double v = std::log(kMetricsGamma);
+    return v;
+  }
+  std::array<std::atomic<uint64_t>, kMetricsHistogramBuckets> buckets_{};
+};
+
+/// One metric's value at scrape time.
+struct MetricPoint {
+  std::string name;
+  MetricLabels labels;
+  MetricKind kind = MetricKind::kCounter;
+  GaugeAgg agg = GaugeAgg::kSum;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  LogHistogram hist{kMetricsGamma};
+};
+
+/// A coherent-at-scrape-time view of a registry (or of a whole tree,
+/// after merging). Serializes to stable JSON and Prometheus text.
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  /// Stable JSON: `{"metrics":[...]}` with points sorted by (name,
+  /// labels). Histograms carry gamma + sparse bucket counts so a reader
+  /// can merge them exactly.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4). Every metric name gets
+  /// `prefix` prepended; counters gain the `_total` suffix; histograms
+  /// emit cumulative `_bucket{le=...}` series over non-empty buckets
+  /// plus `_count` and a bucket-midpoint-approximated `_sum`.
+  std::string ToPrometheus(const std::string& prefix) const;
+
+  /// Adds `extra` label to every point (e.g. leaf="0") — how the root
+  /// keeps per-leaf series distinguishable after merging.
+  void AddLabel(const std::string& key, const std::string& value);
+
+  /// Point-wise merge by (name, labels): counters and sum-gauges add,
+  /// max-gauges take the max, histograms LogHistogram::Merge. Points
+  /// with mismatched kinds or histogram gammas fail the merge (returns
+  /// false with `error` set) instead of aborting — leaf JSON is
+  /// untrusted input by the time the root merges it.
+  bool Merge(const MetricsSnapshot& other, std::string* error);
+
+  /// Collapses labels away: one point per (name, kind), combined under
+  /// the same rules as Merge(). The "whole tree in one number" view.
+  MetricsSnapshot AggregateByName() const;
+
+  /// Convenience: first point with this name (any labels), or nullptr.
+  const MetricPoint* Find(const std::string& name) const;
+
+  /// Sum of `counter` across every point with this name.
+  uint64_t CounterTotal(const std::string& name) const;
+};
+
+/// Parses a snapshot previously produced by ToJson(). Unknown keys are
+/// ignored (forward compatibility); structural violations fail loudly.
+bool MetricsSnapshotFromJson(std::string_view json, MetricsSnapshot* out,
+                             std::string* error);
+
+struct JsonValue;  // obs/json.h
+
+/// Same, from an already-parsed value — the root uses this to read the
+/// "node" object out of a leaf's wrapper document without re-parsing.
+bool MetricsSnapshotFromJsonValue(const JsonValue& root, MetricsSnapshot* out,
+                                  std::string* error);
+
+/// Owns the slots. Instantiable (each VarstreamServer / RootAggregator
+/// carries its own, so tests stay hermetic); slot pointers are stable
+/// for the registry's lifetime. Slot lookup is idempotent on
+/// (name, labels) so re-resolving a session reuses its gauge.
+class MetricsRegistry {
+ public:
+  MetricsCounter* Counter(const std::string& name, MetricLabels labels = {});
+  MetricsGauge* Gauge(const std::string& name, MetricLabels labels = {},
+                      GaugeAgg agg = GaugeAgg::kSum);
+  MetricsHistogram* Histogram(const std::string& name,
+                              MetricLabels labels = {});
+
+  MetricsSnapshot Collect() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    MetricLabels labels;
+    MetricKind kind;
+    GaugeAgg agg = GaugeAgg::kSum;
+    std::unique_ptr<MetricsCounter> counter;
+    std::unique_ptr<MetricsGauge> gauge;
+    std::unique_ptr<MetricsHistogram> hist;
+  };
+
+  Slot* FindOrCreate(const std::string& name, MetricLabels labels,
+                     MetricKind kind, GaugeAgg agg);
+
+  mutable std::mutex mu_;  // guards slots_ layout only, never slot values
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_OBS_METRICS_H_

@@ -1,0 +1,131 @@
+#include "obs/prom_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace varstream {
+
+namespace {
+
+void SendResponse(int fd, const char* status, const char* content_type,
+                  const std::string& body) {
+  std::string response = "HTTP/1.0 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    ssize_t n = ::send(fd, response.data() + sent, response.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // scraper went away mid-reply; nothing to salvage
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+PromHttpServer::~PromHttpServer() { Stop(); }
+
+bool PromHttpServer::Start(uint16_t port, Handlers handlers,
+                           std::string* error) {
+  Stop();
+  handlers_ = std::move(handlers);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) {
+      *error = "bind(127.0.0.1:" + std::to_string(port) +
+               "): " + strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) *error = "listen(): " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void PromHttpServer::Stop() {
+  if (listen_fd_ < 0 && !thread_.joinable()) return;
+  running_.store(false, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void PromHttpServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener fd torn down
+    }
+    // Bound the read so one hung scraper cannot pin the endpoint.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string request;
+    char chunk[2048];
+    while (request.size() < 16 * 1024 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      request.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t line_end = request.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? request : request.substr(0, line_end);
+    if (line.rfind("GET /metrics.json", 0) == 0) {
+      SendResponse(fd, "200 OK", "application/json",
+                   handlers_.metrics_json ? handlers_.metrics_json() : "{}");
+    } else if (line.rfind("GET /metrics", 0) == 0) {
+      SendResponse(fd, "200 OK", "text/plain; version=0.0.4",
+                   handlers_.metrics_text ? handlers_.metrics_text() : "");
+    } else {
+      SendResponse(fd, "404 Not Found", "text/plain",
+                   "varstream metrics endpoint: GET /metrics or "
+                   "/metrics.json\n");
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace varstream

@@ -1,0 +1,54 @@
+// Minimal HTTP/1.0 exposition endpoint for Prometheus scrapes.
+//
+// One listener thread, one request per connection, two routes:
+//   GET /metrics       -> text/plain Prometheus exposition (0.0.4)
+//   GET /metrics.json  -> the same snapshot as MetricsDump JSON
+// The handlers run on the listener thread, never on a worker: a slow or
+// stuck scraper can only stall other scrapers, not ingest. No keep-alive,
+// no TLS, no external dependencies — this is a monitoring side door, not
+// a web server.
+
+#ifndef VARSTREAM_OBS_PROM_HTTP_H_
+#define VARSTREAM_OBS_PROM_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace varstream {
+
+class PromHttpServer {
+ public:
+  struct Handlers {
+    std::function<std::string()> metrics_text;  // GET /metrics
+    std::function<std::string()> metrics_json;  // GET /metrics.json
+  };
+
+  PromHttpServer() = default;
+  ~PromHttpServer();
+  PromHttpServer(const PromHttpServer&) = delete;
+  PromHttpServer& operator=(const PromHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:port (0 picks an ephemeral port, see port()) and
+  /// starts the listener thread.
+  bool Start(uint16_t port, Handlers handlers, std::string* error);
+
+  uint16_t port() const { return port_; }
+
+  void Stop();
+
+ private:
+  void Serve();
+
+  Handlers handlers_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace varstream
+
+#endif  // VARSTREAM_OBS_PROM_HTTP_H_

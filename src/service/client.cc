@@ -375,6 +375,29 @@ bool VarstreamClient::Topology(TopologyInfoFrame* info, std::string* error) {
   return true;
 }
 
+bool VarstreamClient::MetricsDump(MetricsDumpResultFrame* result,
+                                  std::string* error) {
+  MetricsDumpFrame dump;
+  Frame reply;
+  if (!Request(FrameType::kMetricsDump, EncodeMetricsDump(dump),
+               FrameType::kMetricsDumpResult, &reply, error)) {
+    return false;
+  }
+  if (!DecodeMetricsDumpResult(reply.payload, result)) {
+    if (error != nullptr) *error = "malformed metrics-dump result from server";
+    return false;
+  }
+  if (result->version != kMetricsDumpVersion) {
+    if (error != nullptr) {
+      *error = "metrics-dump version mismatch: server answered v" +
+               std::to_string(result->version) + ", client speaks v" +
+               std::to_string(kMetricsDumpVersion);
+    }
+    return false;
+  }
+  return true;
+}
+
 bool VarstreamClient::Shutdown(std::string* error) {
   Frame reply;
   return Request(FrameType::kShutdown, {}, FrameType::kShutdownAck, &reply,

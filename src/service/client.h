@@ -88,6 +88,10 @@ class VarstreamClient {
   /// Asks the node what it is (protocol v3): role "server" or "root",
   /// plus the leaf table for a root. Doubles as the heartbeat ping.
   bool Topology(TopologyInfoFrame* info, std::string* error);
+  /// Scrapes the node's metrics registry as JSON (protocol v5). Hello-
+  /// free like QueryRange; against a root the answer covers the whole
+  /// tree with per-leaf breakdown.
+  bool MetricsDump(MetricsDumpResultFrame* result, std::string* error);
   bool Shutdown(std::string* error);
 
   /// Robustness-test escape hatches: ship arbitrary bytes / read one

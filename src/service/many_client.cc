@@ -39,6 +39,8 @@ struct DriverConn {
   /// Next batch to send; rewound by an Overloaded reply (go-back-N).
   uint64_t next_seq = 0;
   std::deque<uint64_t> inflight;  // sent, unacked, in send order
+  /// Send timestamp of each in-flight batch, aligned with `inflight`.
+  std::deque<Clock::time_point> inflight_sent;
   /// Lowest rejected seq seen in the current overload round; resend
   /// starts there once every outstanding reply has drained.
   uint64_t rewind_to = UINT64_MAX;
@@ -150,6 +152,7 @@ bool RunManyClients(const ManyClientOptions& options,
       queue_frame(c, FrameType::kPushBatch,
                   EncodePushBatch(c.next_seq, batches[c.next_seq]));
       c.inflight.push_back(c.next_seq);
+      c.inflight_sent.push_back(Clock::now());
       ++c.next_seq;
       if (failed) return;
     }
@@ -183,6 +186,11 @@ bool RunManyClients(const ManyClientOptions& options,
           return;
         }
         c.inflight.pop_front();
+        result->push_ack_us.Record(
+            std::chrono::duration<double, std::micro>(
+                Clock::now() - c.inflight_sent.front())
+                .count());
+        c.inflight_sent.pop_front();
         c.overload_rounds = 0;
         pump(c);
         return;
@@ -202,6 +210,7 @@ bool RunManyClients(const ManyClientOptions& options,
           return;
         }
         c.inflight.pop_front();
+        c.inflight_sent.pop_front();  // a rejection is not a latency sample
         ++result->overload_rejections;
         c.rewind_to = std::min(c.rewind_to, overloaded.seq);
         if (c.inflight.empty()) {

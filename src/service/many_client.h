@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 #include "stream/update.h"
 
@@ -55,6 +57,12 @@ struct ManyClientResult {
   /// Overloaded replies observed across all connections (0 on an
   /// unsaturated server; the overload drill asserts > 0).
   uint64_t overload_rejections = 0;
+  /// Client-observed push→ack round trip in microseconds, one sample per
+  /// acked batch across the whole fleet (rejected batches are not
+  /// samples; a resent batch restarts its clock at the resend). Same
+  /// bucket geometry as the server's metric histograms, so loadgen
+  /// percentiles are directly comparable to a MetricsDump scrape.
+  LogHistogram push_ack_us{kMetricsGamma};
   std::string error;  // empty on success
 };
 

@@ -86,6 +86,10 @@ const char* FrameTypeName(FrameType type) {
       return "topology-info";
     case FrameType::kOverloaded:
       return "overloaded";
+    case FrameType::kMetricsDump:
+      return "metrics-dump";
+    case FrameType::kMetricsDumpResult:
+      return "metrics-dump-result";
   }
   return "?";
 }
@@ -578,6 +582,34 @@ bool DecodeTopologyInfo(std::span<const uint8_t> payload,
     info->leaves.push_back(leaf);
   }
   return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeMetricsDump(const MetricsDumpFrame& dump) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U32(dump.version);
+  return payload;
+}
+
+bool DecodeMetricsDump(std::span<const uint8_t> payload,
+                       MetricsDumpFrame* dump) {
+  WireReader r(payload);
+  return r.U32(&dump->version) && r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeMetricsDumpResult(
+    const MetricsDumpResultFrame& result) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  w.U32(result.version);
+  w.String(result.json);
+  return payload;
+}
+
+bool DecodeMetricsDumpResult(std::span<const uint8_t> payload,
+                             MetricsDumpResultFrame* result) {
+  WireReader r(payload);
+  return r.U32(&result->version) && r.String(&result->json) && r.AtEnd();
 }
 
 bool SessionNameIsSafe(const std::string& name) {

@@ -49,7 +49,11 @@ inline constexpr uint32_t kProtocolMagic = 0x56535257;  // "VSRW"
 // backs off and resends from the first rejected sequence (go-back-N).
 // Hello still requires an exact version match; new frame types are
 // appended so every v1/v2/v3 frame keeps its byte value.
-inline constexpr uint32_t kProtocolVersion = 4;
+// v5 added observability: MetricsDump/MetricsDumpResult expose a node's
+// (or, through the root, a whole tree's) metrics registry as a stable
+// JSON snapshot; like QueryRange the op carries its own sub-version and
+// needs no Hello.
+inline constexpr uint32_t kProtocolVersion = 5;
 
 /// Hard cap on payload size: large enough for ~256k updates per
 /// PushBatch, small enough that a corrupt length prefix cannot make the
@@ -78,7 +82,9 @@ enum class FrameType : uint8_t {
   kTopology,        // client -> server: describe this node / heartbeat (v3)
   kTopologyInfo,    // server -> client: role + leaf table (v3)
   kOverloaded,      // server -> client: batch rejected, back off + resend (v4)
-  kMaxFrameType = kOverloaded,
+  kMetricsDump,     // client -> server: scrape the metrics registry (v5)
+  kMetricsDumpResult,  // server -> client: JSON metrics snapshot (v5)
+  kMaxFrameType = kMetricsDumpResult,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -289,6 +295,33 @@ struct TopologyInfoFrame {
   std::vector<TopologyLeaf> leaves;
 };
 
+/// MetricsDump carries its own version (like QueryRange) so the snapshot
+/// schema can evolve without a protocol bump; unknown versions get a
+/// loud Error naming both sides.
+inline constexpr uint32_t kMetricsDumpVersion = 1;
+
+/// Asks a node for its metrics registry. Read-only, session-independent,
+/// and legal before (or without) a Hello — scrapers must never have to
+/// create sessions. A root fans the request out to its leaves and
+/// answers with the merged tree.
+struct MetricsDumpFrame {
+  uint32_t version = kMetricsDumpVersion;
+};
+
+/// The snapshot as a JSON document (schema documented in README's
+/// Observability section):
+///   {"varstream_metrics":1,"role":"server"|"root",
+///    "node":{"metrics":[...]},            // this process's registry
+///    "leaves":[{"index":..,"port":..,"alive":..,"metrics":{...}}, ...],
+///    "merged":{"metrics":[...]}}          // root only: whole-tree sums
+/// JSON (not a binary table) because the set of metric names is open —
+/// new instrumentation must not need a protocol change — and histograms
+/// carry gamma + raw bucket counts so merging stays exact.
+struct MetricsDumpResultFrame {
+  uint32_t version = kMetricsDumpVersion;
+  std::string json;
+};
+
 // Encoders produce the payload only (frame it with AppendFrame);
 // decoders return false on any short/long/invalid payload.
 std::vector<uint8_t> EncodeHello(const HelloFrame& hello);
@@ -339,6 +372,15 @@ bool DecodeStateDumpResult(std::span<const uint8_t> payload,
 std::vector<uint8_t> EncodeTopologyInfo(const TopologyInfoFrame& info);
 bool DecodeTopologyInfo(std::span<const uint8_t> payload,
                         TopologyInfoFrame* info);
+
+std::vector<uint8_t> EncodeMetricsDump(const MetricsDumpFrame& dump);
+bool DecodeMetricsDump(std::span<const uint8_t> payload,
+                       MetricsDumpFrame* dump);
+
+std::vector<uint8_t> EncodeMetricsDumpResult(
+    const MetricsDumpResultFrame& result);
+bool DecodeMetricsDumpResult(std::span<const uint8_t> payload,
+                             MetricsDumpResultFrame* result);
 
 // --- Shared Hello admission checks. ---
 

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -27,6 +28,14 @@ namespace {
 
 // Session-name and sizing checks live in protocol.cc (ValidateHello),
 // shared with the root aggregator's identical admission path.
+
+using MetricClock = std::chrono::steady_clock;
+
+double ElapsedUs(MetricClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(MetricClock::now() -
+                                                   start)
+      .count();
+}
 
 bool OptionsMatch(const TrackerOptions& a, const TrackerOptions& b) {
   return a.num_sites == b.num_sites && a.epsilon == b.epsilon &&
@@ -124,6 +133,12 @@ bool VarstreamServer::Start(std::string* error) {
         history_options.cadence = entry.history.cadence;
       }
       session->history = std::make_unique<HistorySampler>(history_options);
+      session->pending_gauge =
+          metrics_.Gauge("pending_batches", {{"session", entry.name}});
+      if (auto* sharded = dynamic_cast<ShardedTracker*>(
+              session->tracker.get())) {
+        sharded->AttachMetrics(&metrics_, entry.name);
+      }
       if (entry.has_history &&
           !session->history->Restore(entry.history.rows,
                                      entry.history.dropped,
@@ -203,6 +218,21 @@ bool VarstreamServer::Start(std::string* error) {
     ev.data.ptr = nullptr;  // nullptr marks the wakeup eventfd
     ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->event_fd, &ev);
     w->mail_open = true;
+    const MetricLabels labels = {{"worker", std::to_string(i)}};
+    w->metrics.accepted = metrics_.Counter("accepted", labels);
+    w->metrics.frames_decoded = metrics_.Counter("frames_decoded", labels);
+    w->metrics.frames_malformed =
+        metrics_.Counter("frames_malformed", labels);
+    w->metrics.batches_applied = metrics_.Counter("batches_applied", labels);
+    w->metrics.updates_applied = metrics_.Counter("updates_applied", labels);
+    w->metrics.overload_rejections =
+        metrics_.Counter("overload_rejections", labels);
+    w->metrics.epoll_wait_us = metrics_.Histogram("epoll_wait_us", labels);
+    w->metrics.apply_latency_us =
+        metrics_.Histogram("apply_latency_us", labels);
+    w->metrics.mailbox_depth = metrics_.Gauge("mailbox_depth", labels);
+    w->metrics.peak_pending_batches =
+        metrics_.Gauge("peak_pending_batches", labels, GaugeAgg::kMax);
     workers_.push_back(std::move(w));
   }
 
@@ -275,6 +305,7 @@ void VarstreamServer::RunMailbox(Worker* w) {
     std::lock_guard<std::mutex> lock(w->mail_mu);
     tasks.swap(w->mail);
   }
+  w->metrics.mailbox_depth->Set(static_cast<int64_t>(tasks.size()));
   for (auto& task : tasks) task();
 }
 
@@ -317,10 +348,12 @@ void VarstreamServer::AcceptLoop(int listen_fd) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    accepted_.fetch_add(1, std::memory_order_relaxed);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Worker* w = workers_[next_worker++ % worker_count_].get();
+    // The acceptor is the sole writer of every worker's accepted slot —
+    // it picked the worker, so the attribution is exact.
+    w->metrics.accepted->Add();
     if (!PostToWorker(w, [this, w, fd] { AddConnToWorker(w, fd); })) {
       ::close(fd);  // worker already shutting down
     }
@@ -335,7 +368,11 @@ void VarstreamServer::WorkerLoop(Worker* w) {
     DrainDirtySessions(w);
     w->graveyard.clear();
     if (!running_.load(std::memory_order_acquire)) break;
+    // The wait-time distribution is the idle/busy signal ROADMAP asks
+    // for: a busy worker's waits collapse toward zero.
+    const MetricClock::time_point wait_start = MetricClock::now();
     int n = ::epoll_wait(w->epoll_fd, events, kMaxEvents, 1000);
+    w->metrics.epoll_wait_us->Record(ElapsedUs(wait_start));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll fd gone; only happens during teardown
@@ -469,9 +506,11 @@ bool VarstreamServer::ProcessInput(Worker* w, Conn* conn) {
         &frame, &consumed, &decode_error);
     if (status == DecodeStatus::kNeedMore) break;
     if (status == DecodeStatus::kMalformed) {
+      w->metrics.frames_malformed->Add();
       SendErrorAndClose(w, conn, "malformed frame: " + decode_error);
       break;
     }
+    w->metrics.frames_decoded->Add();
     FrameResult result = HandleFrame(w, conn, frame, consumed);
     if (result == FrameResult::kMigrated) {
       // The hello frame itself is metered here; it travels to the owning
@@ -714,6 +753,12 @@ VarstreamServer::Session* VarstreamServer::ResolveSession(
   session->options = hello.options;
   session->tracker = std::move(tracker);
   session->history = std::make_unique<HistorySampler>(options_.history);
+  session->pending_gauge =
+      metrics_.Gauge("pending_batches", {{"session", hello.session}});
+  if (auto* sharded =
+          dynamic_cast<ShardedTracker*>(session->tracker.get())) {
+    sharded->AttachMetrics(&metrics_, hello.session);
+  }
   Session* raw = session.get();
   sessions_.emplace(hello.session, std::move(session));
   *created = true;
@@ -830,13 +875,16 @@ VarstreamServer::FrameResult VarstreamServer::HandleFrame(
           s->pending_applies >= options_.pending_batch_cap) {
         pb.rejected = true;
         pb.pending_at_enqueue = s->pending_applies;
-        overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+        w->metrics.overload_rejections->Add();
       } else {
         pb.updates = std::move(batch.updates);
         ++s->pending_applies;
         ++conn->expected_seq;
       }
       s->pending.push_back(std::move(pb));
+      const int64_t depth = static_cast<int64_t>(s->pending.size());
+      s->pending_gauge->Set(depth);
+      w->metrics.peak_pending_batches->RaiseTo(depth);
       MarkDirty(w, s);
       return FrameResult::kContinue;
     }
@@ -1063,6 +1111,36 @@ VarstreamServer::FrameResult VarstreamServer::HandleFrame(
                  EncodeTopologyInfo(info));
       return FrameResult::kContinue;
     }
+    case FrameType::kMetricsDump: {
+      // Read-only and Hello-free like QueryRange: scrapers (varstream_top,
+      // the root's fan-out) must never have to create sessions. Answered
+      // inline on whatever worker got the frame — every slot is readable
+      // from any thread with relaxed loads, so a scrape never parks the
+      // connection or posts cross-worker work.
+      MetricsDumpFrame dump;
+      if (!DecodeMetricsDump(frame.payload, &dump)) {
+        return SendErrorAndClose(w, conn, "malformed metrics-dump payload");
+      }
+      if (dump.version != kMetricsDumpVersion) {
+        return SendErrorAndClose(
+            w, conn,
+            "metrics-dump version mismatch: client speaks v" +
+                std::to_string(dump.version) + ", server speaks v" +
+                std::to_string(kMetricsDumpVersion));
+      }
+      MetricsDumpResultFrame result;
+      result.json = MetricsJson();
+      std::vector<uint8_t> payload = EncodeMetricsDumpResult(result);
+      if (payload.size() > kMaxFramePayload) {
+        return SendErrorAndClose(
+            w, conn,
+            "metrics dump (" + std::to_string(payload.size()) +
+                " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
+                "-byte frame limit");
+      }
+      QueueFrame(w, conn, FrameType::kMetricsDumpResult, payload);
+      return FrameResult::kContinue;
+    }
     case FrameType::kShutdown: {
       if (!frame.payload.empty()) {
         return SendErrorAndClose(w, conn, "malformed shutdown payload");
@@ -1088,6 +1166,7 @@ void VarstreamServer::DrainSession(Worker* w, Session* s) {
   while (!s->frozen && !s->pending.empty()) {
     PendingBatch b = std::move(s->pending.front());
     s->pending.pop_front();
+    s->pending_gauge->Set(static_cast<int64_t>(s->pending.size()));
     if (b.rejected) {
       if (b.conn != nullptr && !b.conn->dead) {
         OverloadedFrame overloaded;
@@ -1100,7 +1179,13 @@ void VarstreamServer::DrainSession(Worker* w, Session* s) {
       continue;
     }
     --s->pending_applies;
+    // One clock pair + one histogram store per BATCH, nothing per
+    // update — the bench-regression gate holds ingest to within noise.
+    const MetricClock::time_point apply_start = MetricClock::now();
     s->tracker->PushBatch(b.updates);
+    w->metrics.apply_latency_us->Record(ElapsedUs(apply_start));
+    w->metrics.batches_applied->Add();
+    w->metrics.updates_applied->Add(b.updates.size());
     // History sampling rides the batch boundary — the only point with a
     // consistent snapshot and the only frequency that keeps Snapshot()'s
     // sharded-pipeline drain off the per-update path.
@@ -1427,13 +1512,75 @@ bool VarstreamServer::SessionSnapshot(const std::string& name,
 }
 
 ServerStats VarstreamServer::Stats() const {
+  // Rebuilt from the registry — the same numbers MetricsDump and the
+  // Prometheus endpoint serve, so the --stats line can never disagree
+  // with a scrape. The registry outlives the workers, so this stays
+  // valid after Stop().
   ServerStats stats;
   stats.workers = worker_count_;
-  stats.accepted = accepted_.load(std::memory_order_relaxed);
   stats.peak_connections = peak_connections_.load(std::memory_order_relaxed);
-  stats.overload_rejections =
-      overload_rejections_.load(std::memory_order_relaxed);
+  stats.per_worker_accepted.assign(worker_count_, 0);
+  MetricsSnapshot snap = metrics_.Collect();
+  for (const MetricPoint& p : snap.points) {
+    if (p.kind == MetricKind::kCounter && p.name == "accepted") {
+      stats.accepted += p.counter;
+      for (const auto& [key, value] : p.labels) {
+        if (key != "worker") continue;
+        size_t index = std::strtoul(value.c_str(), nullptr, 10);
+        if (index < stats.per_worker_accepted.size()) {
+          stats.per_worker_accepted[index] = p.counter;
+        }
+      }
+    } else if (p.kind == MetricKind::kCounter &&
+               p.name == "overload_rejections") {
+      stats.overload_rejections += p.counter;
+    } else if (p.kind == MetricKind::kGauge &&
+               p.name == "peak_pending_batches") {
+      stats.peak_pending_batches =
+          std::max(stats.peak_pending_batches,
+                   static_cast<uint64_t>(std::max<int64_t>(p.gauge, 0)));
+    }
+  }
   return stats;
+}
+
+MetricsSnapshot VarstreamServer::CollectMetrics() const {
+  MetricsSnapshot snap = metrics_.Collect();
+  auto gauge = [&snap](const char* name, int64_t value, GaugeAgg agg) {
+    MetricPoint p;
+    p.name = name;
+    p.kind = MetricKind::kGauge;
+    p.agg = agg;
+    p.gauge = value;
+    snap.points.push_back(std::move(p));
+  };
+  // Connection lifecycle and session count live outside the registry
+  // (multi-writer atomics / the sessions map); folded in per scrape so
+  // every surface sees them.
+  gauge("connections_current",
+        static_cast<int64_t>(
+            current_connections_.load(std::memory_order_relaxed)),
+        GaugeAgg::kSum);
+  gauge("connections_peak",
+        static_cast<int64_t>(
+            peak_connections_.load(std::memory_order_relaxed)),
+        GaugeAgg::kMax);
+  gauge("workers", static_cast<int64_t>(worker_count_), GaugeAgg::kSum);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    gauge("sessions", static_cast<int64_t>(sessions_.size()),
+          GaugeAgg::kSum);
+  }
+  return snap;
+}
+
+std::string VarstreamServer::MetricsJson() const {
+  return "{\"varstream_metrics\":1,\"role\":\"server\",\"node\":" +
+         CollectMetrics().ToJson() + "}";
+}
+
+std::string VarstreamServer::MetricsPrometheus() const {
+  return CollectMetrics().ToPrometheus("varstream_");
 }
 
 }  // namespace varstream

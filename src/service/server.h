@@ -63,6 +63,7 @@
 #include "core/tracker.h"
 #include "history/history.h"
 #include "net/cost_meter.h"
+#include "obs/metrics.h"
 #include "service/checkpoint.h"
 #include "service/protocol.h"
 
@@ -124,11 +125,19 @@ struct ServerOptions {
 };
 
 /// Lifetime counters for operators and the CI thread-count drill.
+/// Derived from the metrics registry (one source of truth with
+/// MetricsDump and the Prometheus endpoint), so it stays readable after
+/// Stop() — the registry outlives the workers.
 struct ServerStats {
   uint32_t workers = 0;
   uint64_t accepted = 0;
   uint64_t peak_connections = 0;
   uint64_t overload_rejections = 0;
+  /// Deepest any session's pending-batch queue ever got (max across
+  /// workers of the per-worker high-water gauge).
+  uint64_t peak_pending_batches = 0;
+  /// Connections the acceptor handed each worker, indexed by worker.
+  std::vector<uint64_t> per_worker_accepted;
 };
 
 class VarstreamServer {
@@ -169,6 +178,17 @@ class VarstreamServer {
   std::vector<std::string> SessionNames() const;
   bool SessionSnapshot(const std::string& name, TrackerSnapshot* snapshot);
   ServerStats Stats() const;
+
+  /// One coherent-at-scrape-time view of the registry plus the
+  /// connection gauges. Thread-safe; callable while ingest is running
+  /// (reads slots with relaxed loads, never blocks a worker).
+  MetricsSnapshot CollectMetrics() const;
+  /// The MetricsDump wire answer: {"varstream_metrics":1,"role":"server",
+  /// "node":{...}}.
+  std::string MetricsJson() const;
+  /// Prometheus text exposition with the varstream_ prefix, for the
+  /// --metrics-port endpoint.
+  std::string MetricsPrometheus() const;
 
  private:
   struct Session;
@@ -212,6 +232,9 @@ class VarstreamServer {
     /// Connections parked until `frozen` clears, their current frame
     /// left undecoded for a retry.
     std::vector<Conn*> waiters;
+    /// pending.size(), published for scrapes. Written only by the owner
+    /// worker (single-writer metrics slot).
+    MetricsGauge* pending_gauge = nullptr;
   };
 
   /// One live connection, owned by exactly one worker at a time. A
@@ -239,6 +262,23 @@ class VarstreamServer {
     uint32_t migrate_owner = 0;
   };
 
+  /// Per-worker metric slots, labeled worker=<index>. Each slot has one
+  /// writer: the worker's own thread, except `accepted`, whose sole
+  /// writer is the acceptor (it picks the worker). No atomic RMW — see
+  /// obs/metrics.h.
+  struct WorkerMetrics {
+    MetricsCounter* accepted = nullptr;
+    MetricsCounter* frames_decoded = nullptr;
+    MetricsCounter* frames_malformed = nullptr;
+    MetricsCounter* batches_applied = nullptr;
+    MetricsCounter* updates_applied = nullptr;
+    MetricsCounter* overload_rejections = nullptr;
+    MetricsHistogram* epoll_wait_us = nullptr;
+    MetricsHistogram* apply_latency_us = nullptr;
+    MetricsGauge* mailbox_depth = nullptr;
+    MetricsGauge* peak_pending_batches = nullptr;  // high-water, RaiseTo
+  };
+
   struct Worker {
     uint32_t index = 0;
     VarstreamServer* server = nullptr;
@@ -253,6 +293,7 @@ class VarstreamServer {
     /// Connections destroyed mid-event-batch park here until the batch
     /// ends, so stale epoll_event pointers stay dereferenceable.
     std::vector<std::unique_ptr<Conn>> graveyard;
+    WorkerMetrics metrics;
   };
 
   /// Checkpoint capture fanned out across the workers; the last capture
@@ -369,10 +410,13 @@ class VarstreamServer {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread accept_thread_;
 
-  std::atomic<uint64_t> accepted_{0};
+  /// Owns every metric slot; outlives the worker threads (the destructor
+  /// joins them via Stop() before members die). The connection-lifecycle
+  /// counters below stay plain atomics (open/close is multi-writer and
+  /// cold — the no-RMW rule is about the per-frame hot path).
+  MetricsRegistry metrics_;
   std::atomic<uint64_t> current_connections_{0};
   std::atomic<uint64_t> peak_connections_{0};
-  std::atomic<uint64_t> overload_rejections_{0};
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -107,5 +107,17 @@ TEST(LogHistogram, MergeIntoEmpty) {
   EXPECT_DOUBLE_EQ(a.max(), 42.0);
 }
 
+// Bucket indices are only comparable under one gamma; a cross-gamma
+// merge silently averaging mismatched geometries would corrupt every
+// merged percentile, so Merge must die loudly instead. (Wire-facing
+// metric merges pre-check gamma and fail gracefully — this abort is for
+// direct API misuse.)
+TEST(LogHistogramDeathTest, MergeAbortsOnGammaMismatch) {
+  LogHistogram a(1.1);
+  LogHistogram b(2.0);
+  b.Record(10.0);
+  EXPECT_DEATH(a.Merge(b), "gamma mismatch");
+}
+
 }  // namespace
 }  // namespace varstream

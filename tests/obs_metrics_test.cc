@@ -1,0 +1,457 @@
+// Tests for the metrics subsystem (src/obs/): bucket geometry parity
+// with LogHistogram, registry slot idempotency, JSON round-trips, merge
+// semantics (the rules the root aggregator relies on), Prometheus
+// rendering, scrape-under-concurrent-writes (the TSan gate for the
+// single-writer slot contract), and wire-level parity — the counters a
+// MetricsDump scrape reports must match the workload exactly.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "obs/json.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "stream/update.h"
+
+namespace varstream {
+namespace {
+
+// --- Bucket geometry ---------------------------------------------------
+
+/// The bucket a LogHistogram at kMetricsGamma actually files `value`
+/// under, recovered through the public bucket_counts() view.
+size_t LogHistogramBucketFor(double value) {
+  LogHistogram h(kMetricsGamma);
+  h.Record(value);
+  const std::vector<uint64_t>& counts = h.bucket_counts();
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] != 0) return b;
+  }
+  ADD_FAILURE() << "no bucket recorded for " << value;
+  return 0;
+}
+
+TEST(ObsMetrics, BucketIndexMatchesLogHistogram) {
+  // The slot's static bucket math must agree with LogHistogram at every
+  // value the fixed array can represent — otherwise Snapshot() would
+  // rebuild percentiles in the wrong buckets.
+  std::vector<double> values = {0.0, 0.25, 0.999, 1.0, 1.05,
+                                kMetricsGamma, kMetricsGamma + 1e-9,
+                                2.0, 10.0, 1234.5, 1e6, 2.9e10};
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(std::exp(rng.NextDouble() * 24.0));  // 1 .. ~2.6e10
+  }
+  for (double v : values) {
+    size_t expected = LogHistogramBucketFor(v);
+    if (expected >= kMetricsHistogramBuckets) continue;  // clamp region
+    EXPECT_EQ(MetricsHistogram::BucketIndex(v), expected) << "value " << v;
+  }
+  // Values past the array clamp into the last bucket instead of writing
+  // out of bounds.
+  EXPECT_EQ(MetricsHistogram::BucketIndex(1e300),
+            kMetricsHistogramBuckets - 1);
+  EXPECT_EQ(MetricsHistogram::BucketIndex(-3.0), 0u);
+  EXPECT_EQ(MetricsHistogram::BucketIndex(std::nan("")), 0u);
+}
+
+TEST(ObsMetrics, HistogramSnapshotRebuildsBucketExactCounts) {
+  MetricsHistogram slot;
+  LogHistogram direct(kMetricsGamma);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    double v = std::exp(rng.NextDouble() * 12.0);
+    slot.Record(v);
+    direct.Record(v);
+  }
+  LogHistogram snap = slot.Snapshot();
+  ASSERT_EQ(snap.count(), direct.count());
+  // Re-recording each bucket's midpoint must land back in the same
+  // bucket, so the rebuilt histogram is bucket-for-bucket identical and
+  // every percentile matches exactly (not just approximately).
+  const std::vector<uint64_t>& a = snap.bucket_counts();
+  const std::vector<uint64_t>& b = direct.bucket_counts();
+  size_t common = std::min(a.size(), b.size());
+  for (size_t i = 0; i < common; ++i) {
+    EXPECT_EQ(a[i], b[i]) << "bucket " << i;
+  }
+  for (size_t i = common; i < a.size(); ++i) EXPECT_EQ(a[i], 0u);
+  for (size_t i = common; i < b.size(); ++i) EXPECT_EQ(b[i], 0u);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(snap.Percentile(q), direct.Percentile(q)) << "q=" << q;
+  }
+}
+
+// --- Registry ----------------------------------------------------------
+
+TEST(ObsMetrics, RegistrySlotsAreIdempotentOnNameAndLabels) {
+  MetricsRegistry registry;
+  MetricsCounter* c1 = registry.Counter("accepted", {{"worker", "0"}});
+  MetricsCounter* c2 = registry.Counter("accepted", {{"worker", "0"}});
+  MetricsCounter* c3 = registry.Counter("accepted", {{"worker", "1"}});
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  MetricsGauge* g1 = registry.Gauge("depth");
+  EXPECT_EQ(g1, registry.Gauge("depth"));
+  MetricsHistogram* h1 = registry.Histogram("lat");
+  EXPECT_EQ(h1, registry.Histogram("lat"));
+
+  c1->Add(5);
+  c3->Add(2);
+  g1->Set(-7);
+  h1->Record(100.0);
+  MetricsSnapshot snap = registry.Collect();
+  EXPECT_EQ(snap.points.size(), 4u);
+  EXPECT_EQ(snap.CounterTotal("accepted"), 7u);
+  const MetricPoint* depth = snap.Find("depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->kind, MetricKind::kGauge);
+  EXPECT_EQ(depth->gauge, -7);
+  const MetricPoint* lat = snap.Find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->kind, MetricKind::kHistogram);
+  EXPECT_EQ(lat->hist.count(), 1u);
+}
+
+TEST(ObsMetrics, GaugeRaiseToIsAHighWaterMark) {
+  MetricsGauge g;
+  g.RaiseTo(5);
+  g.RaiseTo(3);
+  EXPECT_EQ(g.Value(), 5);
+  g.RaiseTo(9);
+  EXPECT_EQ(g.Value(), 9);
+}
+
+// --- JSON round-trip ---------------------------------------------------
+
+TEST(ObsMetrics, SnapshotJsonRoundTripIsLossless) {
+  MetricsRegistry registry;
+  registry.Counter("accepted", {{"worker", "0"}})->Add(41);
+  registry.Counter("accepted", {{"worker", "1"}})->Add(1);
+  registry.Gauge("mailbox_depth", {{"worker", "0"}})->Set(-3);
+  registry.Gauge("peak_pending", {}, GaugeAgg::kMax)->RaiseTo(17);
+  MetricsHistogram* h = registry.Histogram("apply_latency_us");
+  for (double v : {0.5, 1.0, 15.0, 200.0, 1e6}) h->Record(v);
+
+  MetricsSnapshot snap = registry.Collect();
+  std::string json = snap.ToJson();
+  MetricsSnapshot back;
+  std::string error;
+  ASSERT_TRUE(MetricsSnapshotFromJson(json, &back, &error)) << error;
+  // Byte-identical re-serialization is the strongest equality we can
+  // assert — it covers names, labels, kinds, agg modes, counter/gauge
+  // values, and every histogram bucket.
+  EXPECT_EQ(back.ToJson(), json);
+  EXPECT_EQ(back.CounterTotal("accepted"), 42u);
+  const MetricPoint* peak = back.Find("peak_pending");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_EQ(peak->agg, GaugeAgg::kMax);
+  EXPECT_EQ(peak->gauge, 17);
+  const MetricPoint* lat = back.Find("apply_latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(lat->hist.gamma(), kMetricsGamma);
+}
+
+TEST(ObsMetrics, FromJsonRejectsStructuralGarbage) {
+  MetricsSnapshot out;
+  std::string error;
+  EXPECT_FALSE(MetricsSnapshotFromJson("{", &out, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(MetricsSnapshotFromJson("[1,2,3]", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- Merge semantics ---------------------------------------------------
+
+MetricPoint CounterPoint(const std::string& name, uint64_t value,
+                         MetricLabels labels = {}) {
+  MetricPoint p;
+  p.name = name;
+  p.labels = std::move(labels);
+  p.kind = MetricKind::kCounter;
+  p.counter = value;
+  return p;
+}
+
+MetricPoint GaugePoint(const std::string& name, int64_t value, GaugeAgg agg) {
+  MetricPoint p;
+  p.name = name;
+  p.kind = MetricKind::kGauge;
+  p.agg = agg;
+  p.gauge = value;
+  return p;
+}
+
+TEST(ObsMetrics, MergeSumsCountersAndRespectsGaugeAgg) {
+  MetricsSnapshot a, b;
+  a.points = {CounterPoint("accepted", 10), GaugePoint("depth", 4, GaugeAgg::kSum),
+              GaugePoint("peak", 9, GaugeAgg::kMax)};
+  b.points = {CounterPoint("accepted", 32), GaugePoint("depth", 3, GaugeAgg::kSum),
+              GaugePoint("peak", 7, GaugeAgg::kMax),
+              CounterPoint("only_in_b", 1)};
+  std::string error;
+  ASSERT_TRUE(a.Merge(b, &error)) << error;
+  EXPECT_EQ(a.CounterTotal("accepted"), 42u);
+  EXPECT_EQ(a.Find("depth")->gauge, 7);
+  EXPECT_EQ(a.Find("peak")->gauge, 9);  // max, not 16
+  EXPECT_EQ(a.CounterTotal("only_in_b"), 1u);
+}
+
+TEST(ObsMetrics, MergeCombinesHistogramsBucketExact) {
+  MetricPoint pa, pb;
+  pa.name = pb.name = "lat";
+  pa.kind = pb.kind = MetricKind::kHistogram;
+  pa.hist.Record(10.0, 3);
+  pb.hist.Record(10.0, 2);
+  pb.hist.Record(5000.0);
+  MetricsSnapshot a{{pa}}, b{{pb}};
+  std::string error;
+  ASSERT_TRUE(a.Merge(b, &error)) << error;
+  EXPECT_EQ(a.Find("lat")->hist.count(), 6u);
+  EXPECT_EQ(a.Find("lat")->hist.CountAtMost(11.0), 5u);
+}
+
+TEST(ObsMetrics, MergeFailsGracefullyOnKindConflict) {
+  // By the time the root merges a leaf snapshot the bytes are untrusted
+  // input: a conflict must fail with a diagnostic, never abort.
+  MetricsSnapshot a{{CounterPoint("x", 1)}};
+  MetricsSnapshot b{{GaugePoint("x", 1, GaugeAgg::kSum)}};
+  std::string error;
+  EXPECT_FALSE(a.Merge(b, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsMetrics, MergeFailsGracefullyOnGammaConflict) {
+  MetricPoint pa, pb;
+  pa.name = pb.name = "lat";
+  pa.kind = pb.kind = MetricKind::kHistogram;
+  pb.hist = LogHistogram(2.0);
+  pb.hist.Record(8.0);
+  MetricsSnapshot a{{pa}}, b{{pb}};
+  std::string error;
+  EXPECT_FALSE(a.Merge(b, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsMetrics, AggregateByNameCollapsesLabels) {
+  MetricsSnapshot snap;
+  snap.points = {CounterPoint("accepted", 10, {{"worker", "0"}}),
+                 CounterPoint("accepted", 32, {{"worker", "1"}}),
+                 GaugePoint("peak", 5, GaugeAgg::kMax)};
+  snap.points.back().labels = {{"worker", "0"}};
+  MetricsSnapshot whole = snap.AggregateByName();
+  ASSERT_EQ(whole.points.size(), 2u);
+  EXPECT_EQ(whole.CounterTotal("accepted"), 42u);
+  EXPECT_TRUE(whole.Find("accepted")->labels.empty());
+}
+
+TEST(ObsMetrics, AddLabelPrefixesEveryPoint) {
+  MetricsSnapshot snap;
+  snap.points = {CounterPoint("accepted", 1, {{"worker", "0"}})};
+  snap.AddLabel("leaf", "2");
+  ASSERT_EQ(snap.points[0].labels.size(), 2u);
+  // Two leaves' "accepted{worker=0}" must stay distinguishable after the
+  // root merges them — that is the whole point of the extra label.
+  MetricsSnapshot other;
+  other.points = {CounterPoint("accepted", 1, {{"worker", "0"}})};
+  other.AddLabel("leaf", "3");
+  std::string error;
+  ASSERT_TRUE(snap.Merge(other, &error)) << error;
+  EXPECT_EQ(snap.points.size(), 2u);
+  EXPECT_EQ(snap.CounterTotal("accepted"), 2u);
+}
+
+// --- Prometheus rendering ----------------------------------------------
+
+TEST(ObsMetrics, PrometheusExpositionShapes) {
+  MetricsRegistry registry;
+  registry.Counter("accepted", {{"worker", "0"}})->Add(3);
+  registry.Gauge("mailbox_depth")->Set(2);
+  MetricsHistogram* h = registry.Histogram("apply_latency_us");
+  h->Record(15.0);
+  h->Record(15.0);
+  std::string text = registry.Collect().ToPrometheus("varstream_");
+  // Counters gain _total; gauges don't; histograms emit cumulative
+  // buckets with a closing +Inf and a _count equal to the sample count.
+  EXPECT_NE(text.find("varstream_accepted_total{worker=\"0\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("varstream_mailbox_depth 2"), std::string::npos);
+  EXPECT_NE(text.find("varstream_apply_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("varstream_apply_latency_us_count 2"),
+            std::string::npos);
+  EXPECT_EQ(text.find("_total_total"), std::string::npos);
+}
+
+// --- Concurrency: scrapes during single-writer updates (TSan gate) -----
+
+TEST(ObsMetrics, ScrapesStayCoherentUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  // Slots are created up front from the main thread (the registry mutex
+  // makes creation safe anywhere, but the server does it this way too);
+  // each writer thread then owns its slots exclusively.
+  struct Slots {
+    MetricsCounter* counter;
+    MetricsGauge* gauge;
+    MetricsHistogram* hist;
+  };
+  std::vector<Slots> slots;
+  for (int w = 0; w < kWriters; ++w) {
+    MetricLabels labels = {{"worker", std::to_string(w)}};
+    slots.push_back({registry.Counter("ops", labels),
+                     registry.Gauge("depth", labels),
+                     registry.Histogram("lat_us", labels)});
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        slots[w].counter->Add();
+        slots[w].gauge->Set(static_cast<int64_t>(i % 17));
+        slots[w].hist->Record(static_cast<double>(1 + i % 1000));
+      }
+    });
+  }
+  // Scrape continuously while the writers hammer: every snapshot must be
+  // internally sane (counters monotone across scrapes, renders never
+  // crash), and TSan must see no race between Collect and the writers.
+  uint64_t last_total = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    MetricsSnapshot snap = registry.Collect();
+    uint64_t total = snap.CounterTotal("ops");
+    EXPECT_GE(total, last_total);
+    last_total = total;
+    (void)snap.ToJson();
+    (void)snap.ToPrometheus("varstream_");
+    bool done = true;
+    for (const auto& s : slots) done &= s.counter->Value() >= kPerWriter;
+    if (done) stop.store(true, std::memory_order_relaxed);
+  }
+  for (auto& t : writers) t.join();
+  MetricsSnapshot final_snap = registry.Collect();
+  EXPECT_EQ(final_snap.CounterTotal("ops"), kWriters * kPerWriter);
+  for (const auto& p : final_snap.points) {
+    if (p.name == "lat_us") EXPECT_EQ(p.hist.count(), kPerWriter);
+  }
+}
+
+// --- Wire parity: MetricsDump reports the exact workload ---------------
+
+TEST(ObsMetricsService, WireDumpAndPrometheusMatchWorkloadExactly) {
+  VarstreamServer server{ServerOptions{}};
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  HelloFrame hello;
+  hello.session = "parity";
+  hello.tracker = "deterministic";
+  hello.options.num_sites = 8;
+  hello.options.epsilon = 0.1;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(hello, &hello_ack, &error)) << error;
+
+  constexpr uint64_t kBatches = 10;
+  constexpr uint64_t kPerBatch = 100;
+  std::vector<CountUpdate> batch;
+  for (uint64_t i = 0; i < kPerBatch; ++i) {
+    batch.push_back({static_cast<uint32_t>(i % 8), 1});
+  }
+  for (uint64_t b = 0; b < kBatches; ++b) {
+    PushAckFrame ack;
+    ASSERT_TRUE(client.Push(batch, &ack, &error)) << error;
+  }
+
+  // The wire dump: a versioned wrapper whose "node" object parses back
+  // into a snapshot with exactly the counters the workload implies.
+  // Every batch was acked before the scrape, so the counts are exact,
+  // not merely eventually-consistent.
+  MetricsDumpResultFrame dump;
+  ASSERT_TRUE(client.MetricsDump(&dump, &error)) << error;
+  EXPECT_EQ(dump.version, kMetricsDumpVersion);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(dump.json, &doc, &error)) << error;
+  const JsonValue* schema = doc.Find("varstream_metrics");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->number, 1.0);
+  const JsonValue* role = doc.Find("role");
+  ASSERT_NE(role, nullptr);
+  EXPECT_EQ(role->str, "server");
+  const JsonValue* node = doc.Find("node");
+  ASSERT_NE(node, nullptr);
+  MetricsSnapshot snap;
+  ASSERT_TRUE(MetricsSnapshotFromJsonValue(*node, &snap, &error)) << error;
+
+  EXPECT_EQ(snap.CounterTotal("accepted"), 1u);
+  EXPECT_EQ(snap.CounterTotal("batches_applied"), kBatches);
+  EXPECT_EQ(snap.CounterTotal("updates_applied"), kBatches * kPerBatch);
+  EXPECT_EQ(snap.CounterTotal("overload_rejections"), 0u);
+  EXPECT_EQ(snap.CounterTotal("frames_malformed"), 0u);
+  // Hello + 10 pushes so far (the MetricsDump answering this very scrape
+  // may or may not be counted yet — it races with the reply).
+  EXPECT_GE(snap.CounterTotal("frames_decoded"), 1u + kBatches);
+  const MetricPoint* apply = snap.Find("apply_latency_us");
+  ASSERT_NE(apply, nullptr);
+  EXPECT_EQ(apply->hist.count(), kBatches);
+  EXPECT_GT(apply->hist.Percentile(0.99), 0.0);
+
+  // The Prometheus endpoint renders from the same registry, so its
+  // series must agree with the wire dump number for number.
+  std::string prom = server.MetricsPrometheus();
+  EXPECT_NE(prom.find("varstream_updates_applied_total"), std::string::npos);
+  uint64_t prom_updates = 0;
+  size_t pos = 0;
+  while ((pos = prom.find("varstream_updates_applied_total", pos)) !=
+         std::string::npos) {
+    size_t space = prom.find(' ', pos);
+    ASSERT_NE(space, std::string::npos);
+    prom_updates += std::strtoull(prom.c_str() + space + 1, nullptr, 10);
+    pos = space;
+  }
+  EXPECT_EQ(prom_updates, kBatches * kPerBatch);
+}
+
+TEST(ObsMetricsService, DumpVersionMismatchGetsALoudError) {
+  VarstreamServer server{ServerOptions{}};
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  MetricsDumpFrame dump;
+  dump.version = kMetricsDumpVersion + 1;
+  std::vector<uint8_t> wire;
+  AppendFrame(&wire, FrameType::kMetricsDump, EncodeMetricsDump(dump));
+  ASSERT_TRUE(client.RawSend(wire, &error)) << error;
+  Frame reply;
+  ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+  EXPECT_EQ(reply.type, FrameType::kError);
+  ErrorFrame err;
+  ASSERT_TRUE(DecodeError(reply.payload, &err));
+  EXPECT_NE(err.message.find("metrics-dump version mismatch"),
+            std::string::npos)
+      << err.message;
+}
+
+}  // namespace
+}  // namespace varstream

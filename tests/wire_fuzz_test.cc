@@ -105,6 +105,15 @@ std::vector<std::pair<FrameType, std::vector<uint8_t>>> AllFramePayloads() {
   overloaded.pending = 64;
   overloaded.cap = 64;
   frames.emplace_back(FrameType::kOverloaded, EncodeOverloaded(overloaded));
+  MetricsDumpFrame metrics_dump;
+  frames.emplace_back(FrameType::kMetricsDump,
+                      EncodeMetricsDump(metrics_dump));
+  MetricsDumpResultFrame metrics_result;
+  metrics_result.json =
+      "{\"varstream_metrics\":1,\"role\":\"server\",\"node\":{\"metrics\":"
+      "[{\"name\":\"accepted\",\"kind\":\"counter\",\"value\":7}]}}";
+  frames.emplace_back(FrameType::kMetricsDumpResult,
+                      EncodeMetricsDumpResult(metrics_result));
   return frames;
 }
 
@@ -273,6 +282,33 @@ TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
     TopologyInfoFrame out;
     EXPECT_FALSE(DecodeTopologyInfo(m.bytes, &out))
         << "topology-info " << m.description;
+  }
+
+  MetricsDumpFrame metrics_dump;
+  std::vector<uint8_t> metrics_dump_payload = EncodeMetricsDump(metrics_dump);
+  for (const Mutation& m : TruncationSweep(metrics_dump_payload, 10)) {
+    MetricsDumpFrame out;
+    EXPECT_FALSE(DecodeMetricsDump(m.bytes, &out))
+        << "metrics-dump " << m.description;
+  }
+
+  MetricsDumpResultFrame metrics_result;
+  metrics_result.json = "{\"varstream_metrics\":1,\"node\":{\"metrics\":[]}}";
+  std::vector<uint8_t> metrics_result_payload =
+      EncodeMetricsDumpResult(metrics_result);
+  for (const Mutation& m : TruncationSweep(metrics_result_payload, 11)) {
+    MetricsDumpResultFrame out;
+    EXPECT_FALSE(DecodeMetricsDumpResult(m.bytes, &out))
+        << "metrics-dump-result " << m.description;
+  }
+  // A JSON length lying past the payload end must be rejected before any
+  // allocation. The length u32 sits right after the version u32.
+  {
+    std::vector<uint8_t> lied = metrics_result_payload;
+    lied[4] = lied[5] = lied[6] = lied[7] = 0xFF;
+    MetricsDumpResultFrame out;
+    EXPECT_FALSE(DecodeMetricsDumpResult(lied, &out))
+        << "metrics-dump-result json-length lie";
   }
 
   // And none of the bit flips may crash (silent value changes are fine

@@ -48,6 +48,11 @@
 // the fleet:
 //
 //   many: connections=N pipeline=P pushed=X overloads=R parity=ok|...
+//         lat_p50_us=L lat_p99_us=H
+//
+// lat_* are the client-observed push→ack round-trip percentiles across
+// the fleet (log-bucketed, same gamma as the server's metrics, so they
+// line up with a varstream_top scrape of the same run).
 //
 // --shutdown asks the server to exit after the run; --verify=false skips
 // the in-process cross-check (pure load generation).
@@ -340,11 +345,12 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("many: connections=%u pipeline=%u pushed=%llu "
-                "overloads=%llu parity=%s\n",
+                "overloads=%llu parity=%s lat_p50_us=%.0f lat_p99_us=%.0f\n",
                 connections, pipeline,
                 static_cast<unsigned long long>(scripted),
                 static_cast<unsigned long long>(result.overload_rejections),
-                many_parity);
+                many_parity, result.push_ack_us.Percentile(0.50),
+                result.push_ack_us.Percentile(0.99));
     std::printf("summary: pushed=%llu elapsed=%.3f estimate=%.17g "
                 "time=%llu messages=%llu bits=%llu wire_frames=%llu "
                 "wire_bytes=%llu parity=%s checkpoint=-\n",

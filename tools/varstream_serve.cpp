@@ -13,6 +13,7 @@
 //                     --history-every=8192
 //   $ varstream_serve --port=7787 --max-sessions=4
 //   $ varstream_serve --port=7787 --workers=2 --pending-batch-cap=16
+//   $ varstream_serve --port=7787 --metrics-port=9187    # GET /metrics
 //
 // The server is an epoll worker pool (src/service/server.h): --workers
 // fixes the worker-thread count (0 = auto), and the thread count never
@@ -22,8 +23,15 @@
 // clients resend from the first rejected seq after backing off).
 // --stats prints "workers: N" at startup and a final
 // "stats: workers=... accepted=... peak_connections=...
-// overload_rejections=..." line at shutdown — the hooks
+// overload_rejections=... peak_pending_batches=...
+// worker_accepted=..." line at shutdown — the hooks
 // ci/connections_smoke.sh asserts against.
+//
+// --metrics-port serves the same registry over plain HTTP on loopback:
+// GET /metrics answers Prometheus text exposition, GET /metrics.json the
+// MetricsDump JSON document (0 = ephemeral; the bound port is printed as
+// "metrics on 127.0.0.1:PORT"). Scrapes merge per-worker slots at read
+// time and never stall the ingest workers.
 //
 // Every session retains a bounded history of (time, estimate, messages,
 // bits, wire_bytes) rows — queryable live through varstream_query — with
@@ -44,6 +52,7 @@
 #include <string>
 
 #include "core/api.h"
+#include "obs/prom_http.h"
 #include "service/server.h"
 
 int main(int argc, char** argv) {
@@ -77,6 +86,9 @@ int main(int argc, char** argv) {
   options.pending_batch_cap = static_cast<uint32_t>(
       flags.GetUint("pending-batch-cap", options.pending_batch_cap));
   const bool stats = flags.GetBool("stats", false);
+  const bool serve_metrics = flags.Has("metrics-port");
+  const uint16_t metrics_port =
+      static_cast<uint16_t>(flags.GetUint("metrics-port", 0));
   if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "--checkpoint-every needs --checkpoint-path to write to\n");
@@ -94,7 +106,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "varstream_serve: %s\n", error.c_str());
     return 1;
   }
+  varstream::PromHttpServer metrics_http;
+  if (serve_metrics) {
+    varstream::PromHttpServer::Handlers handlers;
+    handlers.metrics_text = [&server] { return server.MetricsPrometheus(); };
+    handlers.metrics_json = [&server] { return server.MetricsJson(); };
+    if (!metrics_http.Start(metrics_port, handlers, &error)) {
+      std::fprintf(stderr, "varstream_serve: %s\n", error.c_str());
+      server.Stop();
+      return 1;
+    }
+  }
   std::printf("listening on 127.0.0.1:%u\n", server.port());
+  if (serve_metrics) {
+    std::printf("metrics on 127.0.0.1:%u\n", metrics_http.port());
+  }
   if (stats) {
     std::printf("workers: %u\n", server.Stats().workers);
   }
@@ -122,16 +148,28 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snap.messages),
                 static_cast<unsigned long long>(snap.bits));
   }
+  metrics_http.Stop();
   server.Stop();
   if (stats) {
+    // The registry outlives the workers, so Stats() stays valid after
+    // Stop() — the final line reflects everything the run accepted.
     varstream::ServerStats final_stats = server.Stats();
+    std::string per_worker;
+    for (size_t w = 0; w < final_stats.per_worker_accepted.size(); ++w) {
+      if (w > 0) per_worker.push_back(',');
+      per_worker += std::to_string(final_stats.per_worker_accepted[w]);
+    }
     std::printf("stats: workers=%u accepted=%llu peak_connections=%llu "
-                "overload_rejections=%llu\n",
+                "overload_rejections=%llu peak_pending_batches=%llu "
+                "worker_accepted=%s\n",
                 final_stats.workers,
                 static_cast<unsigned long long>(final_stats.accepted),
                 static_cast<unsigned long long>(final_stats.peak_connections),
                 static_cast<unsigned long long>(
-                    final_stats.overload_rejections));
+                    final_stats.overload_rejections),
+                static_cast<unsigned long long>(
+                    final_stats.peak_pending_batches),
+                per_worker.c_str());
   }
   return 0;
 }

@@ -1,0 +1,233 @@
+// varstream_top — live metrics viewer for a running varstream node.
+// Polls the MetricsDump wire op (protocol v5, read-only, no session
+// Hello) and renders a refreshing terminal table: worker and session
+// counts, queue depths, apply-latency percentiles, overload rejections.
+// Pointed at a varstream_root it shows the merged tree plus a per-leaf
+// breakdown row for every leaf.
+//
+//   $ varstream_top --port=7787                  # refresh every second
+//   $ varstream_top --port=7787 --interval-ms=250
+//   $ varstream_top --port=7787 --count=10       # ten ticks, then exit
+//   $ varstream_top --port=7787 --once --json    # raw snapshot to stdout
+//
+// --json prints the node's MetricsDump document verbatim (one line per
+// tick), which is what scripts and the CI drills consume; the table view
+// re-derives everything it shows from that same document, so the two
+// never disagree. A scrape failure prints the error and, without
+// --once, keeps polling — monitoring must ride out server restarts.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+
+namespace {
+
+using varstream::GaugeAgg;
+using varstream::JsonValue;
+using varstream::MetricKind;
+using varstream::MetricPoint;
+using varstream::MetricsSnapshot;
+
+/// Combined value of every gauge point named `name` (sum or max per the
+/// points' own agg). Missing metric reads as 0.
+int64_t GaugeValue(const MetricsSnapshot& snap, const std::string& name) {
+  int64_t sum = 0;
+  int64_t max = 0;
+  bool is_max = false;
+  for (const MetricPoint& p : snap.points) {
+    if (p.name != name || p.kind != MetricKind::kGauge) continue;
+    if (p.agg == GaugeAgg::kMax) {
+      is_max = true;
+      max = std::max(max, p.gauge);
+    } else {
+      sum += p.gauge;
+    }
+  }
+  return is_max ? max : sum;
+}
+
+/// Prints "  <label>: p50=... p99=... (n=...)" for the name-aggregated
+/// histogram, or nothing when the node never recorded it.
+void PrintHistLine(const MetricsSnapshot& agg, const std::string& name,
+                   const char* label) {
+  const MetricPoint* p = agg.Find(name);
+  if (p == nullptr || p->kind != MetricKind::kHistogram ||
+      p->hist.count() == 0) {
+    return;
+  }
+  std::printf("  %-18s p50=%-10.0f p99=%-10.0f n=%llu\n", label,
+              p->hist.Percentile(0.50), p->hist.Percentile(0.99),
+              static_cast<unsigned long long>(p->hist.count()));
+}
+
+/// One node's (or the merged tree's) summary block.
+void PrintNode(const MetricsSnapshot& snap) {
+  MetricsSnapshot agg = snap.AggregateByName();
+  std::printf(
+      "  workers=%lld sessions=%lld connections=%lld (peak %lld)\n",
+      static_cast<long long>(GaugeValue(snap, "workers")),
+      static_cast<long long>(GaugeValue(snap, "sessions")),
+      static_cast<long long>(GaugeValue(snap, "connections_current")),
+      static_cast<long long>(GaugeValue(snap, "connections_peak")));
+  std::printf(
+      "  accepted=%llu frames=%llu malformed=%llu batches=%llu "
+      "updates=%llu overload_rejections=%llu\n",
+      static_cast<unsigned long long>(agg.CounterTotal("accepted")),
+      static_cast<unsigned long long>(agg.CounterTotal("frames_decoded")),
+      static_cast<unsigned long long>(agg.CounterTotal("frames_malformed")),
+      static_cast<unsigned long long>(agg.CounterTotal("batches_applied")),
+      static_cast<unsigned long long>(agg.CounterTotal("updates_applied")),
+      static_cast<unsigned long long>(
+          agg.CounterTotal("overload_rejections")));
+  std::printf(
+      "  queues: mailbox=%lld pending_batches=%lld (peak %lld) "
+      "shard=%lld\n",
+      static_cast<long long>(GaugeValue(snap, "mailbox_depth")),
+      static_cast<long long>(GaugeValue(snap, "pending_batches")),
+      static_cast<long long>(GaugeValue(snap, "peak_pending_batches")),
+      static_cast<long long>(GaugeValue(snap, "shard_queue_depth")));
+  PrintHistLine(agg, "apply_latency_us", "apply_us:");
+  PrintHistLine(agg, "epoll_wait_us", "epoll_wait_us:");
+  PrintHistLine(agg, "demux_stall_us", "demux_stall_us:");
+  PrintHistLine(agg, "leaf_ack_us", "leaf_ack_us:");
+  PrintHistLine(agg, "splice_us", "splice_us:");
+}
+
+/// Renders one parsed MetricsDump document. Returns false (with a
+/// diagnostic) when the document does not have the expected shape.
+bool PrintDocument(const std::string& json, const std::string& endpoint,
+                   uint64_t tick) {
+  JsonValue doc;
+  std::string error;
+  if (!varstream::ParseJson(json, &doc, &error) || !doc.is_object()) {
+    std::fprintf(stderr, "varstream_top: bad metrics document: %s\n",
+                 error.c_str());
+    return false;
+  }
+  const JsonValue* role = doc.Find("role");
+  const JsonValue* node = doc.Find("node");
+  if (role == nullptr || !role->is_string() || node == nullptr) {
+    std::fprintf(stderr,
+                 "varstream_top: metrics document lacks role/node\n");
+    return false;
+  }
+  MetricsSnapshot node_snap;
+  if (!varstream::MetricsSnapshotFromJsonValue(*node, &node_snap, &error)) {
+    std::fprintf(stderr, "varstream_top: bad node metrics: %s\n",
+                 error.c_str());
+    return false;
+  }
+  std::printf("varstream_top — %s (role %s, tick %llu)\n", endpoint.c_str(),
+              role->str.c_str(), static_cast<unsigned long long>(tick));
+  const JsonValue* merged = doc.Find("merged");
+  if (merged != nullptr) {
+    MetricsSnapshot merged_snap;
+    if (!varstream::MetricsSnapshotFromJsonValue(*merged, &merged_snap,
+                                                 &error)) {
+      std::fprintf(stderr, "varstream_top: bad merged metrics: %s\n",
+                   error.c_str());
+      return false;
+    }
+    std::printf("whole tree (root + leaves):\n");
+    PrintNode(merged_snap);
+    std::printf("root node:\n");
+  }
+  PrintNode(node_snap);
+  const JsonValue* leaves = doc.Find("leaves");
+  if (leaves != nullptr && leaves->is_array() && !leaves->items.empty()) {
+    std::printf("  %-5s %-6s %-6s %12s %12s %10s %10s %10s\n", "leaf",
+                "port", "alive", "accepted", "overloads", "apply_p50",
+                "apply_p99", "recover");
+    for (const JsonValue& leaf : leaves->items) {
+      if (!leaf.is_object()) continue;
+      const JsonValue* index = leaf.Find("index");
+      const JsonValue* port = leaf.Find("port");
+      const JsonValue* alive = leaf.Find("alive");
+      const JsonValue* metrics = leaf.Find("metrics");
+      const JsonValue* leaf_error = leaf.Find("error");
+      std::printf("  %-5.0f %-6.0f %-6s",
+                  index != nullptr ? index->number : -1,
+                  port != nullptr ? port->number : 0,
+                  (alive != nullptr && alive->boolean) ? "up" : "DOWN");
+      MetricsSnapshot leaf_snap;
+      if (metrics != nullptr &&
+          varstream::MetricsSnapshotFromJsonValue(*metrics, &leaf_snap,
+                                                  &error)) {
+        MetricsSnapshot agg = leaf_snap.AggregateByName();
+        const MetricPoint* apply = agg.Find("apply_latency_us");
+        const bool has_apply = apply != nullptr &&
+                               apply->kind == MetricKind::kHistogram &&
+                               apply->hist.count() > 0;
+        std::printf(" %12llu %12llu %10.0f %10.0f %10llu\n",
+                    static_cast<unsigned long long>(
+                        agg.CounterTotal("accepted")),
+                    static_cast<unsigned long long>(
+                        agg.CounterTotal("overload_rejections")),
+                    has_apply ? apply->hist.Percentile(0.50) : 0.0,
+                    has_apply ? apply->hist.Percentile(0.99) : 0.0,
+                    static_cast<unsigned long long>(
+                        agg.CounterTotal("leaf_recoveries")));
+      } else {
+        std::printf("  scrape failed: %s\n",
+                    (leaf_error != nullptr && leaf_error->is_string())
+                        ? leaf_error->str.c_str()
+                        : "no metrics in leaf entry");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  varstream::FlagParser flags(argc, argv);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(flags.GetUint("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "varstream_top: --port is required\n");
+    return 2;
+  }
+  const bool once = flags.GetBool("once", false);
+  const bool json = flags.GetBool("json", false);
+  const uint64_t interval_ms = flags.GetUint("interval-ms", 1000);
+  // --once is --count=1; --count=0 polls until killed.
+  const uint64_t count = once ? 1 : flags.GetUint("count", 0);
+  const std::string endpoint = host + ":" + std::to_string(port);
+
+  uint64_t tick = 0;
+  for (;;) {
+    ++tick;
+    // A fresh connection per tick: at monitoring cadence the handshake
+    // is noise, and it makes the tool survive server restarts for free.
+    varstream::VarstreamClient client;
+    varstream::MetricsDumpResultFrame result;
+    std::string error;
+    bool ok = client.Connect(host, port, &error) &&
+              client.MetricsDump(&result, &error);
+    if (!ok) {
+      std::fprintf(stderr, "varstream_top: %s\n", error.c_str());
+      if (count != 0 && tick >= count) return 1;
+    } else if (json) {
+      std::printf("%s\n", result.json.c_str());
+      if (count != 0 && tick >= count) return 0;
+    } else {
+      if (count != 1) std::printf("\x1b[H\x1b[2J");  // clear on refresh
+      if (!PrintDocument(result.json, endpoint, tick) && count != 0 &&
+          tick >= count) {
+        return 1;
+      }
+      if (count != 0 && tick >= count) return 0;
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
