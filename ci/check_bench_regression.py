@@ -108,6 +108,49 @@ def throughputs(rows, mode, reference, path):
     }
 
 
+def parallel_speedup_failures(rows, cores):
+    """On a genuinely multi-core host, shards=4 must beat serial ingest
+    for every sharded (mergeable) tracker — parallel speedup is the whole
+    point of the sharded engine, so shards=4 <= serial is a hard failure
+    there, never a warning. On one core the comparison measures
+    serialization overhead and is skipped (the loud warning above covers
+    it)."""
+    if cores <= 1:
+        return []
+    by_tracker = {}
+    for row in rows.values():
+        tracker = row.get("tracker")
+        if tracker is None:
+            continue
+        by_tracker.setdefault(tracker, {})[row.get("shards", 0)] = row[
+            "updates_per_sec"
+        ]
+    failures = []
+    for tracker, shard_rows in sorted(by_tracker.items()):
+        serial = shard_rows.get(0)
+        parallel = shard_rows.get(4)
+        if serial is None or parallel is None:
+            continue
+        if parallel <= serial:
+            failures.append((tracker, serial, parallel))
+    return failures
+
+
+# Floor on how much of the in-process serial ingest rate survives the
+# trip through the service (event loop + framing + CRC + syscalls). The
+# zero-copy decode path holds this comfortably; dipping under it means
+# the wire path grew a per-update cost again.
+SERVICE_SERIAL_FLOOR = 0.40
+
+
+def service_serial_ratio(rows):
+    in_process = rows.get("ingest/in-process/serial")
+    service = rows.get("ingest/service/serial")
+    if in_process is None or service is None:
+        return None
+    return service["updates_per_sec"] / in_process["updates_per_sec"]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -176,6 +219,32 @@ def main():
     if missing:
         print(f"warning: benchmarks missing from current run: {missing}")
 
+    hard_failures = []
+    if cur_family == "shards":
+        for tracker, serial, parallel in parallel_speedup_failures(
+            current, cur_cores
+        ):
+            print(
+                f"FAIL: {tracker}: shards=4 ingest "
+                f"({parallel:,.0f} updates/s) did not beat serial "
+                f"({serial:,.0f} updates/s) on a {cur_cores}-core host"
+            )
+            hard_failures.append(f"{tracker}: no parallel speedup")
+    if cur_family == "service":
+        ratio = service_serial_ratio(current)
+        if ratio is not None:
+            print(
+                f"service-serial / in-process-serial ratio: {ratio:.2%} "
+                f"(floor {SERVICE_SERIAL_FLOOR:.0%})"
+            )
+            if ratio < SERVICE_SERIAL_FLOOR:
+                print(
+                    "FAIL: the service wire path keeps less than "
+                    f"{SERVICE_SERIAL_FLOOR:.0%} of in-process serial "
+                    "ingest throughput"
+                )
+                hard_failures.append("service-serial ratio under floor")
+
     regressions = []
     width = max(len(n) for n in shared)
     print(f"mode={args.mode} threshold={args.threshold:.0%}")
@@ -193,16 +262,27 @@ def main():
               f"{args.threshold:.0%}:")
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2%} of baseline")
-        if advisory:
+        if advisory and not hard_failures:
             print("\nadvisory mode (cross-regime baseline): not failing "
                   "the build; refresh ci/bench_baseline.json to re-arm.")
             return 0
-        print("\nIf this slowdown is intended, regenerate the baseline "
-              "(./build/bench_shards --json=ci/bench_baseline.json or "
-              "./build/bench_hierarchy --json=ci/bench_hierarchy_baseline"
-              ".json) and commit it, or apply the 'bench-exempt' PR label.")
+        if not advisory:
+            print("\nIf this slowdown is intended, regenerate the baseline "
+                  "(./build/bench_shards --json=ci/bench_baseline.json or "
+                  "./build/bench_hierarchy --json=ci/bench_hierarchy_"
+                  "baseline.json) and commit it, or apply the "
+                  "'bench-exempt' PR label.")
+            return 1
+    if hard_failures:
+        # Same-run invariants (parallel speedup, service-serial floor)
+        # never ride the cross-regime advisory escape: they compare rows
+        # of the CURRENT run on the CURRENT host only.
+        print(f"\n{len(hard_failures)} hard gate(s) failed:")
+        for failure in hard_failures:
+            print(f"  {failure}")
         return 1
-    print("no benchmark regressed beyond the threshold")
+    if not regressions:
+        print("no benchmark regressed beyond the threshold")
     return 0
 
 

@@ -20,9 +20,9 @@
 #    the Prometheus endpoint and varstream_top --once --json are scraped
 #    WHILE all 1000 connections are live (the scrape must not stall the
 #    workers), and the overload drill cross-checks the Prometheus
-#    overload_rejections series against both the client's count and the
-#    server's stats line. Scrapes land in the out dir (second arg) so CI
-#    uploads them as artifacts.
+#    overload_rejections and seq_gap_rejections series against both the
+#    client's counts and the server's stats line. Scrapes land in the
+#    out dir (second arg) so CI uploads them as artifacts.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -128,12 +128,12 @@ wait "$LOADGEN_PID" \
   || { echo "FAIL: gauntlet loadgen failed"; cat "$WORK/gauntlet.log"; exit 1; }
 wait "$SERVER_PID"; SERVER_PID=""
 require_line "$WORK/gauntlet.log" \
-  '^many: connections=1000 pipeline=4 pushed=500000 overloads=0 parity=ok lat_p50_us=[0-9][0-9]* lat_p99_us=[0-9][0-9]*$' \
+  '^many: connections=1000 pipeline=4 pushed=500000 overloads=0 gaps=0 parity=ok lat_p50_us=[0-9][0-9]* lat_p99_us=[0-9][0-9]*$' \
   "gauntlet parity line missing or wrong"
 # accepted = 1000 gauntlet conns + varstream_top's scrape conn + the
 # loadgen's shutdown conn; peak = the 1000 held + the top scrape.
 require_line "$WORK/serve.log" \
-  '^stats: workers=2 accepted=1002 peak_connections=1001 overload_rejections=0 peak_pending_batches=[0-9][0-9]* worker_accepted=[0-9][0-9]*,[0-9][0-9]*$' \
+  '^stats: workers=2 accepted=1002 peak_connections=1001 overload_rejections=0 seq_gap_rejections=0 peak_pending_batches=[0-9][0-9]* worker_accepted=[0-9][0-9]*,[0-9][0-9]*$' \
   "server stats line missing or wrong"
 echo "gauntlet ok: 1000 parity-clean sessions, thread count pinned at $THREADS_BEFORE"
 
@@ -154,23 +154,41 @@ wait "$SERVER_PID"; SERVER_PID=""
 require_line "$WORK/overload.log" '^many: .* parity=ok .*$' \
   "overload drill lost parity"
 # The drill must actually have provoked backpressure, and the client, the
-# server's stats line, and the Prometheus scrape must agree on how much.
+# server's stats line, and the Prometheus scrape must agree on how much —
+# for BOTH rejection kinds: true overloads (in-order batch hit the
+# cap/budget) and seq gaps (go-back-N collateral behind a bounce).
 CLIENT_OVERLOADS=$(sed -n 's/^many: .* overloads=\([0-9]*\) .*$/\1/p' \
+  "$WORK/overload.log")
+CLIENT_GAPS=$(sed -n 's/^many: .* gaps=\([0-9]*\) .*$/\1/p' \
   "$WORK/overload.log")
 SERVER_OVERLOADS=$(sed -n \
   's/^stats: .* overload_rejections=\([0-9]*\) .*$/\1/p' "$WORK/serve.log")
+SERVER_GAPS=$(sed -n \
+  's/^stats: .* seq_gap_rejections=\([0-9]*\) .*$/\1/p' "$WORK/serve.log")
 PROM_OVERLOADS=$(awk \
   '/^varstream_overload_rejections_total/{s+=$2} END{print s+0}' \
   "$OUT_DIR/overload-metrics.prom")
+PROM_GAPS=$(awk \
+  '/^varstream_seq_gap_rejections_total/{s+=$2} END{print s+0}' \
+  "$OUT_DIR/overload-metrics.prom")
 [ -n "$CLIENT_OVERLOADS" ] && [ "$CLIENT_OVERLOADS" -gt 0 ] \
   || { echo "FAIL: overload drill saw no Overloaded replies"; exit 1; }
+[ -n "$CLIENT_GAPS" ] && [ "$CLIENT_GAPS" -gt 0 ] \
+  || { echo "FAIL: a 16-deep pipeline against cap=1 must produce gap" \
+            "bounces behind the first rejection"; exit 1; }
 [ "$CLIENT_OVERLOADS" = "$SERVER_OVERLOADS" ] \
-  || { echo "FAIL: client counted $CLIENT_OVERLOADS rejections, server" \
-            "counted $SERVER_OVERLOADS"; exit 1; }
+  || { echo "FAIL: client counted $CLIENT_OVERLOADS overload rejections," \
+            "server counted $SERVER_OVERLOADS"; exit 1; }
+[ "$CLIENT_GAPS" = "$SERVER_GAPS" ] \
+  || { echo "FAIL: client counted $CLIENT_GAPS gap rejections, server" \
+            "counted $SERVER_GAPS"; exit 1; }
 [ "$CLIENT_OVERLOADS" = "$PROM_OVERLOADS" ] \
-  || { echo "FAIL: client counted $CLIENT_OVERLOADS rejections, Prometheus" \
-            "scrape counted $PROM_OVERLOADS"; exit 1; }
-echo "overload drill ok: $CLIENT_OVERLOADS rejections, all converged," \
-     "Prometheus agrees"
+  || { echo "FAIL: client counted $CLIENT_OVERLOADS overload rejections," \
+            "Prometheus scrape counted $PROM_OVERLOADS"; exit 1; }
+[ "$CLIENT_GAPS" = "$PROM_GAPS" ] \
+  || { echo "FAIL: client counted $CLIENT_GAPS gap rejections, Prometheus" \
+            "scrape counted $PROM_GAPS"; exit 1; }
+echo "overload drill ok: $CLIENT_OVERLOADS overloads + $CLIENT_GAPS gap" \
+     "bounces, all converged, Prometheus agrees"
 
 echo "ALL CONNECTION SMOKE TESTS PASSED"

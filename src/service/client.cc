@@ -240,15 +240,15 @@ bool VarstreamClient::Push(std::span<const CountUpdate> updates,
                            PushAckFrame* ack, std::string* error) {
   constexpr int kMaxOverloadRetries = 64;
   const uint64_t seq = next_seq_;
-  const std::vector<uint8_t> payload = EncodePushBatch(seq, updates);
+  // Frame the batch once, straight into wire form (no intermediate payload
+  // vector); retries resend the same bytes.
+  std::vector<uint8_t> wire;
+  AppendPushBatchFrame(&wire, seq, updates);
   for (int attempt = 0;; ++attempt) {
     if (fd_ < 0) {
       if (error != nullptr) *error = "not connected";
       return false;
     }
-    std::vector<uint8_t> wire;
-    wire.reserve(kFrameOverhead + payload.size());
-    AppendFrame(&wire, FrameType::kPushBatch, payload);
     if (!SendAll(fd_, wire.data(), wire.size(), deadlines_.io_timeout_ms,
                  error)) {
       return false;

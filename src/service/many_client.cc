@@ -65,6 +65,7 @@ bool RunManyClients(const ManyClientOptions& options,
                     ManyClientResult* result) {
   result->snapshots.assign(conns.size(), SnapshotFrame{});
   result->overload_rejections = 0;
+  result->seq_gap_rejections = 0;
   result->error.clear();
   if (conns.empty()) return true;
   const uint32_t pipeline = std::max(1u, options.pipeline);
@@ -149,8 +150,15 @@ bool RunManyClients(const ManyClientOptions& options,
     }
     while (c.inflight.size() < pipeline &&
            c.next_seq < batches.size()) {
-      queue_frame(c, FrameType::kPushBatch,
-                  EncodePushBatch(c.next_seq, batches[c.next_seq]));
+      // Frame straight into the write buffer — one pass over the
+      // updates, no intermediate payload vector per batch.
+      if (c.wbuf_sent > 0) {
+        c.wbuf.erase(c.wbuf.begin(),
+                     c.wbuf.begin() + static_cast<long>(c.wbuf_sent));
+        c.wbuf_sent = 0;
+      }
+      AppendPushBatchFrame(&c.wbuf, c.next_seq, batches[c.next_seq]);
+      flush(c);
       c.inflight.push_back(c.next_seq);
       c.inflight_sent.push_back(Clock::now());
       ++c.next_seq;
@@ -211,7 +219,18 @@ bool RunManyClients(const ManyClientOptions& options,
         }
         c.inflight.pop_front();
         c.inflight_sent.pop_front();  // a rejection is not a latency sample
-        ++result->overload_rejections;
+        // Classify before folding this seq into the rewind window: the
+        // first bounce of a round hit the cap/budget with the session
+        // cursor still in step (an overload); every later bounce in the
+        // same round is go-back-N collateral — its seq trails the first
+        // rejection, so the server saw a gap. Mirrors the server's
+        // gap-before-cap check order, keeping the two ends' counters
+        // comparable.
+        if (c.rewind_to != UINT64_MAX) {
+          ++result->seq_gap_rejections;
+        } else {
+          ++result->overload_rejections;
+        }
         c.rewind_to = std::min(c.rewind_to, overloaded.seq);
         if (c.inflight.empty()) {
           if (++c.overload_rounds > kMaxOverloadRounds) {

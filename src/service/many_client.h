@@ -55,8 +55,14 @@ struct ManyClientResult {
   /// Final server snapshot per connection, indexed like the input.
   std::vector<SnapshotFrame> snapshots;
   /// Overloaded replies observed across all connections (0 on an
-  /// unsaturated server; the overload drill asserts > 0).
+  /// unsaturated server; the overload drill asserts > 0). Split the same
+  /// way the server splits them: `overload_rejections` counts bounces of
+  /// in-order batches that hit the pending cap / bytes budget;
+  /// `seq_gap_rejections` counts the go-back-N collateral — pipelined
+  /// frames behind a bounce whose seq no longer matches the session
+  /// cursor. The sums cross-check against the server's stats line.
   uint64_t overload_rejections = 0;
+  uint64_t seq_gap_rejections = 0;
   /// Client-observed push→ack round trip in microseconds, one sample per
   /// acked batch across the whole fleet (rejected batches are not
   /// samples; a resent batch restarts its clock at the resend). Same

@@ -27,7 +27,9 @@
 #ifndef VARSTREAM_SERVICE_PROTOCOL_H_
 #define VARSTREAM_SERVICE_PROTOCOL_H_
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -95,6 +97,15 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
+/// A decoded frame whose payload ALIASES the input buffer instead of
+/// copying it — the server's hot path decodes every frame this way and
+/// copies only where a handler outlives the buffer. Valid until the
+/// buffer the view was decoded from mutates (append, erase, realloc).
+struct FrameView {
+  FrameType type = FrameType::kError;
+  std::span<const uint8_t> payload;
+};
+
 /// CRC-32 (IEEE, reflected, poly 0xEDB88320) over `data`.
 uint32_t Crc32(std::span<const uint8_t> data);
 
@@ -120,6 +131,12 @@ enum class DecodeStatus {
 /// CRC mismatch, unknown type).
 DecodeStatus DecodeFrame(std::span<const uint8_t> in, Frame* frame,
                          size_t* consumed, std::string* error);
+
+/// Zero-copy variant: identical validation (length bound, type range,
+/// CRC), but *view's payload aliases `in` — see FrameView's lifetime
+/// note. DecodeFrame is this plus one payload copy.
+DecodeStatus DecodeFrameView(std::span<const uint8_t> in, FrameView* view,
+                             size_t* consumed, std::string* error);
 
 // --- Payload primitives. ---
 
@@ -197,6 +214,64 @@ struct PushBatchFrame {
   uint64_t seq = 0;
   std::vector<CountUpdate> updates;
 };
+
+/// PushBatch wire layout: u64 seq + u32 count header, then `count`
+/// packed {u32 site, i64 delta} pairs.
+inline constexpr size_t kPushBatchHeaderBytes = 12;
+inline constexpr size_t kPushUpdateWireBytes = 12;
+
+/// A PushBatch payload validated in O(1) — the header is read and the
+/// count is checked against the exact payload size — whose update pairs
+/// still live in the caller's buffer. The server's hot path walks the
+/// pairs in place with site()/delta() (single pass, fused with
+/// validation) and materializes CountUpdates only when a batch must
+/// outlive the buffer. Same lifetime rule as FrameView.
+struct PushBatchView {
+  uint64_t seq = 0;
+  uint32_t count = 0;
+  const uint8_t* pairs = nullptr;  // count packed 12-byte pairs
+
+  uint32_t site(uint32_t i) const {
+    return LoadU32(pairs + static_cast<size_t>(i) * kPushUpdateWireBytes);
+  }
+  int64_t delta(uint32_t i) const {
+    uint64_t v =
+        LoadU64(pairs + static_cast<size_t>(i) * kPushUpdateWireBytes + 4);
+    return static_cast<int64_t>(v);
+  }
+
+  static uint32_t LoadU32(const uint8_t* p) {
+    if constexpr (std::endian::native == std::endian::little) {
+      uint32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+  }
+  static uint64_t LoadU64(const uint8_t* p) {
+    if constexpr (std::endian::native == std::endian::little) {
+      uint64_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+  }
+};
+
+/// O(1) header validation (size must be exactly header + count pairs);
+/// never allocates. False on any size mismatch — the same payloads
+/// DecodePushBatch rejects (wire_fuzz asserts the two decoders agree).
+bool DecodePushBatchView(std::span<const uint8_t> payload,
+                         PushBatchView* view);
+
+/// Cold path: copies a view's pairs into owned CountUpdates (appended to
+/// *out) so a batch can outlive the buffer it was decoded from.
+void MaterializeUpdates(const PushBatchView& view,
+                        std::vector<CountUpdate>* out);
 
 struct PushAckFrame {
   uint64_t seq = 0;           // echoes the applied batch's sequence number
@@ -333,6 +408,12 @@ bool DecodeHelloAck(std::span<const uint8_t> payload, HelloAckFrame* ack);
 std::vector<uint8_t> EncodePushBatch(uint64_t seq,
                                      std::span<const CountUpdate> updates);
 bool DecodePushBatch(std::span<const uint8_t> payload, PushBatchFrame* batch);
+
+/// Appends a complete PushBatch frame (header + payload + CRC) to `out`
+/// in one pass, with no intermediate payload vector — the client-side
+/// half of the zero-copy hot path.
+void AppendPushBatchFrame(std::vector<uint8_t>* out, uint64_t seq,
+                          std::span<const CountUpdate> updates);
 
 std::vector<uint8_t> EncodePushAck(const PushAckFrame& ack);
 bool DecodePushAck(std::span<const uint8_t> payload, PushAckFrame* ack);

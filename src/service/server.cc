@@ -88,6 +88,12 @@ bool VarstreamServer::Start(std::string* error) {
     worker_count_ = std::max(1u, std::min(4u, hw == 0 ? 1u : hw));
   }
   if (options_.pending_batch_cap == 0) options_.pending_batch_cap = 1;
+  // A budget smaller than one max-size frame would reject every batch
+  // forever; clamp so a lone client can always make progress.
+  if (options_.pending_bytes_budget > 0 &&
+      options_.pending_bytes_budget < kMaxFramePayload) {
+    options_.pending_bytes_budget = kMaxFramePayload;
+  }
 
   if (!options_.restore_path.empty()) {
     std::vector<SessionCheckpoint> entries;
@@ -120,6 +126,8 @@ bool VarstreamServer::Start(std::string* error) {
       session->tracker_name = entry.tracker;
       session->shards = entry.shards;
       session->owner = SessionOwner(entry.name);
+      session->monotone_only =
+          TrackerRegistry::Instance().IsMonotoneOnly(entry.tracker);
       session->options = entry.options;
       session->tracker = std::move(tracker);
       // A checkpointed history section carries its own retention config:
@@ -227,6 +235,8 @@ bool VarstreamServer::Start(std::string* error) {
     w->metrics.updates_applied = metrics_.Counter("updates_applied", labels);
     w->metrics.overload_rejections =
         metrics_.Counter("overload_rejections", labels);
+    w->metrics.seq_gap_rejections =
+        metrics_.Counter("seq_gap_rejections", labels);
     w->metrics.epoll_wait_us = metrics_.Histogram("epoll_wait_us", labels);
     w->metrics.apply_latency_us =
         metrics_.Histogram("apply_latency_us", labels);
@@ -497,10 +507,14 @@ bool VarstreamServer::ProcessInput(Worker* w, Conn* conn) {
       conn->throttled = true;  // stop reading until replies drain
       break;
     }
-    Frame frame;
+    // Zero-copy decode: the frame's payload aliases rbuf, which is
+    // stable for the whole invocation — nothing appends to it until the
+    // next HandleReadable, and the consumed-prefix erase below runs only
+    // after every queued batch view has been applied or materialized.
+    FrameView frame;
     size_t consumed = 0;
     std::string decode_error;
-    DecodeStatus status = DecodeFrame(
+    DecodeStatus status = DecodeFrameView(
         std::span<const uint8_t>(conn->rbuf.data() + offset,
                                  conn->rbuf.size() - offset),
         &frame, &consumed, &decode_error);
@@ -537,6 +551,14 @@ bool VarstreamServer::ProcessInput(Worker* w, Conn* conn) {
     }
     offset += consumed;
     keep_decoding = (result == FrameResult::kContinue);
+  }
+  // Batches enqueued above are views into rbuf: drain them straight from
+  // the buffer (the zero-copy common case), then copy out whatever a
+  // frozen session left queued, and only then compact the consumed
+  // prefix. After this point no view into this invocation's rbuf exists.
+  if (conn->session != nullptr && !conn->session->pending.empty()) {
+    DrainSession(w, conn->session);
+    MaterializeConnBatches(conn);
   }
   if (offset > 0 && !conn->dead) {
     conn->rbuf.erase(conn->rbuf.begin(),
@@ -639,8 +661,10 @@ void VarstreamServer::DestroyConn(Worker* w, Conn* conn) {
   }
   // Null out every queued-batch and waiter reference: the batch still
   // applies (ingest already promised the order), the ack just has
-  // nowhere to go.
+  // nowhere to go. A batch still viewing this connection's rbuf is
+  // copied out first — the buffer dies with the connection.
   if (conn->session != nullptr) {
+    MaterializeConnBatches(conn);
     for (PendingBatch& b : conn->session->pending) {
       if (b.conn == conn) b.conn = nullptr;
     }
@@ -750,6 +774,8 @@ VarstreamServer::Session* VarstreamServer::ResolveSession(
   session->tracker_name = hello.tracker;
   session->shards = hello.shards;
   session->owner = owner;
+  session->monotone_only =
+      TrackerRegistry::Instance().IsMonotoneOnly(hello.tracker);
   session->options = hello.options;
   session->tracker = std::move(tracker);
   session->history = std::make_unique<HistorySampler>(options_.history);
@@ -787,8 +813,21 @@ VarstreamServer::FrameResult VarstreamServer::FinishHello(
   return FrameResult::kContinue;
 }
 
+void VarstreamServer::MaterializeConnBatches(Conn* conn) {
+  if (conn->session == nullptr) return;
+  for (PendingBatch& b : conn->session->pending) {
+    if (b.conn != conn || b.wire == nullptr) continue;
+    PushBatchView view;
+    view.count = b.count;
+    view.pairs = b.wire;
+    b.updates.clear();
+    MaterializeUpdates(view, &b.updates);
+    b.wire = nullptr;
+  }
+}
+
 VarstreamServer::FrameResult VarstreamServer::HandleFrame(
-    Worker* w, Conn* conn, const Frame& frame, size_t frame_bytes) {
+    Worker* w, Conn* conn, const FrameView& frame, size_t frame_bytes) {
   (void)frame_bytes;
   // Parks the connection until the session thaws, leaving the current
   // frame in rbuf for a re-decode (kParkRetry). A connection already
@@ -832,35 +871,23 @@ VarstreamServer::FrameResult VarstreamServer::HandleFrame(
       if (conn->session == nullptr) {
         return SendErrorAndClose(w, conn, "push-batch before hello");
       }
-      PushBatchFrame batch;
-      if (!DecodePushBatch(frame.payload, &batch)) {
+      // O(1) header check; the pairs stay in rbuf, unread. Per-update
+      // site/monotone validation is fused into the apply walk in
+      // DrainSession — the one pass that reads the content — so a batch
+      // the server refuses to apply is never scanned at all.
+      PushBatchView batch;
+      if (!DecodePushBatchView(frame.payload, &batch)) {
         return SendErrorAndClose(w, conn, "malformed push-batch payload");
       }
       Session* s = conn->session;
-      const bool monotone_only =
-          TrackerRegistry::Instance().IsMonotoneOnly(s->tracker_name);
-      for (const CountUpdate& u : batch.updates) {
-        // Validate before touching the tracker: the in-process API treats
-        // these as programming errors (debug asserts), but on the wire
-        // they are untrusted input.
-        if (u.site >= s->options.num_sites) {
-          return SendErrorAndClose(
-              w, conn,
-              "push-batch update targets site " + std::to_string(u.site) +
-                  ", session has k=" +
-                  std::to_string(s->options.num_sites));
-        }
-        if (monotone_only && u.delta < 0) {
-          return SendErrorAndClose(w, conn,
-                                   "tracker '" + s->tracker_name +
-                                       "' is insertion-only; negative "
-                                       "delta rejected");
-        }
-      }
       // Go-back-N sequencing (protocol v4): a regression is a protocol
       // violation (loud close); a gap means the client kept pipelining
       // past a rejection and every later batch bounces until it resends
       // from the first rejected seq — application order is preserved.
+      // The gap check comes FIRST: a trailing batch is a gap bounce even
+      // when the queue also happens to be full, so the two rejection
+      // counters stay disjoint and the overload signal never counts
+      // go-back-N overshoot.
       if (batch.seq < conn->expected_seq) {
         return SendErrorAndClose(
             w, conn,
@@ -868,16 +895,28 @@ VarstreamServer::FrameResult VarstreamServer::HandleFrame(
                 " regressed (connection expects " +
                 std::to_string(conn->expected_seq) + ")");
       }
+      const size_t batch_bytes =
+          static_cast<size_t>(batch.count) * kPushUpdateWireBytes;
       PendingBatch pb;
       pb.conn = conn;
       pb.seq = batch.seq;
-      if (batch.seq > conn->expected_seq ||
-          s->pending_applies >= options_.pending_batch_cap) {
-        pb.rejected = true;
+      if (batch.seq > conn->expected_seq) {
+        pb.kind = PendingBatch::Kind::kRejectGap;
+        pb.pending_at_enqueue = s->pending_applies;
+        w->metrics.seq_gap_rejections->Add();
+      } else if (s->pending_applies >= options_.pending_batch_cap ||
+                 (options_.pending_bytes_budget > 0 &&
+                  pending_bytes_.load(std::memory_order_relaxed) +
+                          batch_bytes >
+                      options_.pending_bytes_budget)) {
+        pb.kind = PendingBatch::Kind::kRejectOverload;
         pb.pending_at_enqueue = s->pending_applies;
         w->metrics.overload_rejections->Add();
       } else {
-        pb.updates = std::move(batch.updates);
+        pb.kind = PendingBatch::Kind::kApply;
+        pb.count = batch.count;
+        pb.wire = batch.pairs;  // view into rbuf; see PendingBatch
+        pending_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
         ++s->pending_applies;
         ++conn->expected_seq;
       }
@@ -1167,7 +1206,7 @@ void VarstreamServer::DrainSession(Worker* w, Session* s) {
     PendingBatch b = std::move(s->pending.front());
     s->pending.pop_front();
     s->pending_gauge->Set(static_cast<int64_t>(s->pending.size()));
-    if (b.rejected) {
+    if (b.kind != PendingBatch::Kind::kApply) {
       if (b.conn != nullptr && !b.conn->dead) {
         OverloadedFrame overloaded;
         overloaded.seq = b.seq;
@@ -1179,23 +1218,96 @@ void VarstreamServer::DrainSession(Worker* w, Session* s) {
       continue;
     }
     --s->pending_applies;
+    pending_bytes_.fetch_sub(
+        static_cast<size_t>(b.count) * kPushUpdateWireBytes,
+        std::memory_order_relaxed);
+    // The single content pass: validate each update (untrusted wire
+    // input — the in-process API treats violations as programming
+    // errors) while materializing it into the worker's reusable scratch,
+    // straight from the wire pairs in the common zero-copy case.
+    const uint32_t num_sites = s->options.num_sites;
+    const bool monotone_only = s->monotone_only;
+    uint32_t bad_site = 0;
+    bool bad_delta = false;
+    bool valid = true;
+    std::span<const CountUpdate> updates;
+    if (b.wire != nullptr) {
+      if (w->scratch.size() < b.count) w->scratch.resize(b.count);
+      CountUpdate* out = w->scratch.data();
+      const uint8_t* p = b.wire;
+      for (uint32_t i = 0; i < b.count; ++i, p += kPushUpdateWireBytes) {
+        const uint32_t site = PushBatchView::LoadU32(p);
+        const int64_t delta =
+            static_cast<int64_t>(PushBatchView::LoadU64(p + 4));
+        if (site >= num_sites || (monotone_only && delta < 0)) {
+          valid = false;
+          bad_site = site;
+          bad_delta = !(site >= num_sites);
+          break;
+        }
+        out[i].site = site;
+        out[i].delta = delta;
+      }
+      updates = std::span<const CountUpdate>(w->scratch.data(), b.count);
+    } else {
+      for (const CountUpdate& u : b.updates) {
+        if (u.site >= num_sites || (monotone_only && u.delta < 0)) {
+          valid = false;
+          bad_site = u.site;
+          bad_delta = !(u.site >= num_sites);
+          break;
+        }
+      }
+      updates = b.updates;
+    }
+    if (!valid) {
+      // Same loud Error + close that enqueue-time validation used to
+      // give, now paid only by batches the server actually applies. The
+      // rest of the closing connection's queue is dropped too — nothing
+      // after an invalid batch may reach the tracker.
+      if (b.conn != nullptr && !b.conn->dead) {
+        SendErrorAndClose(
+            w, b.conn,
+            bad_delta ? "tracker '" + s->tracker_name +
+                            "' is insertion-only; negative delta rejected"
+                      : "push-batch update targets site " +
+                            std::to_string(bad_site) + ", session has k=" +
+                            std::to_string(num_sites));
+        Conn* bad_conn = b.conn;
+        for (auto it = s->pending.begin(); it != s->pending.end();) {
+          if (it->conn != bad_conn) {
+            ++it;
+            continue;
+          }
+          if (it->kind == PendingBatch::Kind::kApply) {
+            --s->pending_applies;
+            pending_bytes_.fetch_sub(
+                static_cast<size_t>(it->count) * kPushUpdateWireBytes,
+                std::memory_order_relaxed);
+          }
+          it = s->pending.erase(it);
+        }
+        s->pending_gauge->Set(static_cast<int64_t>(s->pending.size()));
+      }
+      continue;
+    }
     // One clock pair + one histogram store per BATCH, nothing per
     // update — the bench-regression gate holds ingest to within noise.
     const MetricClock::time_point apply_start = MetricClock::now();
-    s->tracker->PushBatch(b.updates);
+    s->tracker->PushBatch(updates);
     w->metrics.apply_latency_us->Record(ElapsedUs(apply_start));
     w->metrics.batches_applied->Add();
-    w->metrics.updates_applied->Add(b.updates.size());
+    w->metrics.updates_applied->Add(updates.size());
     // History sampling rides the batch boundary — the only point with a
     // consistent snapshot and the only frequency that keeps Snapshot()'s
     // sharded-pipeline drain off the per-update path.
-    if (s->history->Due(b.updates.size())) {
+    if (s->history->Due(updates.size())) {
       TrackerSnapshot snap = s->tracker->Snapshot();
       s->history->Record({snap.time, snap.estimate, snap.messages,
                           snap.bits,
                           s->wire_cost.bits(MessageKind::kWire) / 8});
     }
-    s->updates_since_checkpoint += b.updates.size();
+    s->updates_since_checkpoint += updates.size();
     PushAckFrame ack;
     ack.seq = b.seq;
     ack.session_time = s->tracker->time();
@@ -1534,6 +1646,9 @@ ServerStats VarstreamServer::Stats() const {
     } else if (p.kind == MetricKind::kCounter &&
                p.name == "overload_rejections") {
       stats.overload_rejections += p.counter;
+    } else if (p.kind == MetricKind::kCounter &&
+               p.name == "seq_gap_rejections") {
+      stats.seq_gap_rejections += p.counter;
     } else if (p.kind == MetricKind::kGauge &&
                p.name == "peak_pending_batches") {
       stats.peak_pending_batches =

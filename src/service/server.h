@@ -117,6 +117,16 @@ struct ServerOptions {
   /// client can pin per session; clamped to at least 1.
   uint32_t pending_batch_cap = 64;
 
+  /// Global budget, in wire bytes of update payload, across EVERY
+  /// session's pending batches — accounted when a batch is accepted into
+  /// its session queue, released when it applies. A batch that would
+  /// push the total past the budget is rejected with Overloaded exactly
+  /// like the per-session cap, so many sessions cannot collectively pin
+  /// unbounded batch memory even when each stays under its own cap.
+  /// 0 disables; clamped to at least one max-size frame so a single
+  /// batch can always make progress.
+  size_t pending_bytes_budget = 64u << 20;
+
   /// Per-connection write-queue bound in bytes. When a connection's
   /// unsent replies exceed this, the server stops reading from it until
   /// the queue drains below half — a client that stops draining its
@@ -132,7 +142,13 @@ struct ServerStats {
   uint32_t workers = 0;
   uint64_t accepted = 0;
   uint64_t peak_connections = 0;
+  /// Batches bounced because the session queue was at its cap (or the
+  /// global pending-bytes budget was exhausted) when they arrived.
   uint64_t overload_rejections = 0;
+  /// Batches bounced only because they trailed an already-rejected seq
+  /// (go-back-N overshoot) — counted separately so the overload signal
+  /// does not overcount during recovery.
+  uint64_t seq_gap_rejections = 0;
   /// Deepest any session's pending-batch queue ever got (max across
   /// workers of the per-worker high-water gauge).
   uint64_t peak_pending_batches = 0;
@@ -195,15 +211,34 @@ class VarstreamServer {
   struct Conn;
   struct Worker;
 
-  /// One decoded PushBatch waiting to be applied (or rejected) at the
-  /// next drain point on the session's owner worker. `conn` is nulled if
-  /// the connection dies first — the batch still applies, the ack just
-  /// has nowhere to go.
+  /// One PushBatch waiting to be applied (or bounced) at the next drain
+  /// point on the session's owner worker. `conn` is nulled if the
+  /// connection dies first — the batch still applies, the ack just has
+  /// nowhere to go.
+  ///
+  /// Zero-copy: an accepted batch normally carries only `wire`, a
+  /// pointer to its packed {u32 site, i64 delta} pairs INSIDE the
+  /// connection's rbuf. Such a view is valid only while that buffer is
+  /// untouched, so it must be applied or materialized before the
+  /// ProcessInput invocation that enqueued it compacts the buffer
+  /// (ProcessInput drains, then materializes leftovers, then erases) and
+  /// before the buffer dies with its connection (DestroyConn
+  /// materializes). Rejected batches never carry content at all.
   struct PendingBatch {
+    enum class Kind : uint8_t {
+      kApply,           // validate + apply in one walk, answer PushAck
+      kRejectGap,       // trailed a rejected seq; answer Overloaded
+      kRejectOverload,  // cap or byte budget hit; answer Overloaded
+    };
     Conn* conn = nullptr;
     uint64_t seq = 0;
-    bool rejected = false;  // answer with Overloaded instead of applying
+    Kind kind = Kind::kApply;
     uint64_t pending_at_enqueue = 0;
+    /// kApply only: number of updates, and either a view of the wire
+    /// pairs (`wire` non-null, nothing owned) or the materialized
+    /// updates (`wire` null, `updates.size() == count`).
+    uint32_t count = 0;
+    const uint8_t* wire = nullptr;
     std::vector<CountUpdate> updates;
   };
 
@@ -217,6 +252,9 @@ class VarstreamServer {
     std::string tracker_name;
     uint32_t shards = 0;
     uint32_t owner = 0;  // worker index, hash(name) % workers
+    /// Registry IsMonotoneOnly(tracker_name), cached at session creation
+    /// so the per-batch validation walk never does a registry lookup.
+    bool monotone_only = false;
     TrackerOptions options;
     std::unique_ptr<DistributedTracker> tracker;
     uint64_t updates_since_checkpoint = 0;
@@ -273,6 +311,7 @@ class VarstreamServer {
     MetricsCounter* batches_applied = nullptr;
     MetricsCounter* updates_applied = nullptr;
     MetricsCounter* overload_rejections = nullptr;
+    MetricsCounter* seq_gap_rejections = nullptr;
     MetricsHistogram* epoll_wait_us = nullptr;
     MetricsHistogram* apply_latency_us = nullptr;
     MetricsGauge* mailbox_depth = nullptr;
@@ -293,6 +332,10 @@ class VarstreamServer {
     /// Connections destroyed mid-event-batch park here until the batch
     /// ends, so stale epoll_event pointers stay dereferenceable.
     std::vector<std::unique_ptr<Conn>> graveyard;
+    /// Reusable apply buffer: the fused validate+materialize walk in
+    /// DrainSession fills it from a batch's wire pairs, so the hot path
+    /// allocates nothing per frame. Grows to the largest batch seen.
+    std::vector<CountUpdate> scratch;
     WorkerMetrics metrics;
   };
 
@@ -330,17 +373,25 @@ class VarstreamServer {
   void WorkerLoop(Worker* w);
   void RunMailbox(Worker* w);
   void DrainDirtySessions(Worker* w);
-  /// Applies (or rejects) every queued batch of `s` in FIFO order,
+  /// Applies (or bounces) every queued batch of `s` in FIFO order,
   /// stopping early if an automatic checkpoint freezes the session.
+  /// Applying is the single content pass: site/monotone validation and
+  /// materialization into the worker scratch are fused into one walk
+  /// over the wire pairs, then the tracker gets one PushBatch call.
   void DrainSession(Worker* w, Session* s);
   void MarkDirty(Worker* w, Session* s);
+  /// Copies every still-queued batch VIEW belonging to `conn` out of the
+  /// connection's rbuf into owned updates — called before the buffer
+  /// compacts (end of ProcessInput) or dies (DestroyConn), so a parked
+  /// batch can never dangle into freed or shifted buffer memory.
+  void MaterializeConnBatches(Conn* conn);
 
   void AddConnToWorker(Worker* w, int fd);
   void HandleReadable(Worker* w, Conn* conn);
   /// Decodes and dispatches buffered frames. Returns false when the
   /// connection is no longer owned by this worker (destroyed/migrated).
   bool ProcessInput(Worker* w, Conn* conn);
-  FrameResult HandleFrame(Worker* w, Conn* conn, const Frame& frame,
+  FrameResult HandleFrame(Worker* w, Conn* conn, const FrameView& frame,
                           size_t frame_bytes);
   /// Hands `conn` to its session's owner worker (migrate_hello/_owner set
   /// by HandleFrame). `consumed` bytes — everything up to and including
@@ -417,6 +468,11 @@ class VarstreamServer {
   MetricsRegistry metrics_;
   std::atomic<uint64_t> current_connections_{0};
   std::atomic<uint64_t> peak_connections_{0};
+  /// Wire bytes of update pairs across every session's accepted pending
+  /// batches (the pending_bytes_budget accounting). Touched once per
+  /// accepted batch from the owning worker — multi-writer, so atomic,
+  /// but never on the per-update path.
+  std::atomic<size_t> pending_bytes_{0};
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -18,6 +18,7 @@
 
 #include <bit>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
@@ -149,7 +150,11 @@ TEST(ServiceEpoll, OverloadGapIsRejectedDeterministically) {
   ASSERT_TRUE(DecodeOverloaded(reply.payload, &overloaded));
   EXPECT_EQ(overloaded.seq, 2u);
   EXPECT_EQ(overloaded.cap, 1u);
-  EXPECT_GE(server.Stats().overload_rejections, 1u);
+  // A gap bounce is counted as a seq-gap rejection, not an overload: the
+  // pending queue never filled (seq 0 applied before seq 2 arrived or
+  // sat alone under the cap), the seq was simply not the expected one.
+  EXPECT_GE(server.Stats().seq_gap_rejections, 1u);
+  EXPECT_EQ(server.Stats().overload_rejections, 0u);
 
   // Resend from the gap, one batch at a time: every seq is now expected
   // and under the cap, so each gets a plain ack.
@@ -165,6 +170,200 @@ TEST(ServiceEpoll, OverloadGapIsRejectedDeterministically) {
   ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
   ExpectBitIdentical(snapshot, Reference("deterministic", batches),
                      "after the gap rejection");
+  server.Stop();
+}
+
+// A gap batch is bounced from its header alone — the server never scans
+// its content. A gap batch carrying an out-of-range site must get the
+// same kOverloaded as any other gap, never the Error+close that an
+// *applied* batch with that site would earn, and the connection stays
+// usable for the go-back-N resend.
+TEST(ServiceEpoll, GapBatchWithInvalidContentBouncesWithoutClosing) {
+  StreamTrace trace = Record("random-walk", 4 * 64, 35);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, 64);
+  ASSERT_EQ(batches.size(), 4u);
+
+  ServerOptions options;
+  options.workers = 1;
+  options.pending_batch_cap = 1;
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("gap-bad", "deterministic"),
+                           &hello_ack, &error))
+      << error;
+
+  // seq 0 valid, then seq 2 (a gap) whose every update targets a site
+  // far past k=8. If the server content-scanned before bouncing, this
+  // would be an Error+close.
+  std::vector<uint8_t> wire = BatchFrame(0, batches[0]);
+  std::vector<uint8_t> gap = BatchFrame(
+      2, std::vector<CountUpdate>(64, CountUpdate{kSites + 100, 1}));
+  wire.insert(wire.end(), gap.begin(), gap.end());
+  ASSERT_TRUE(client.RawSend(wire, &error)) << error;
+
+  Frame reply;
+  ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+  ASSERT_EQ(reply.type, FrameType::kPushAck);
+  PushAckFrame ack;
+  ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+  EXPECT_EQ(ack.seq, 0u);
+  ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+  ASSERT_EQ(reply.type, FrameType::kOverloaded)
+      << "a gap bounce must not depend on the batch's content";
+  OverloadedFrame overloaded;
+  ASSERT_TRUE(DecodeOverloaded(reply.payload, &overloaded));
+  EXPECT_EQ(overloaded.seq, 2u);
+  EXPECT_GE(server.Stats().seq_gap_rejections, 1u);
+
+  // The connection survived; resend 1..3 with the real content.
+  for (uint64_t seq = 1; seq < batches.size(); ++seq) {
+    ASSERT_TRUE(client.RawSend(BatchFrame(seq, batches[seq]), &error))
+        << error;
+    ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+    ASSERT_EQ(reply.type, FrameType::kPushAck) << "seq " << seq;
+  }
+  SnapshotFrame snapshot;
+  ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, Reference("deterministic", batches),
+                     "after the invalid-content gap bounce");
+  server.Stop();
+}
+
+// Zero-copy parking hazard: an auto-checkpoint freezes the session
+// mid-drain, leaving later batches of the same read burst parked while
+// the connection's read buffer is compacted and refilled. Parked
+// batches must have been copied out of the buffer before the erase —
+// the ASan job runs this test to prove no span dangles into freed or
+// reused rbuf storage.
+TEST(ServiceEpoll, ParkedBatchesSurviveBufferCompactionUnderCheckpoint) {
+  const size_t kBatch = 32;
+  StreamTrace trace = Record("random-walk", 16 * kBatch, 36);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, kBatch);
+  ASSERT_EQ(batches.size(), 16u);
+
+  ServerOptions options;
+  options.workers = 1;
+  options.pending_batch_cap = 16;
+  options.checkpoint_path =
+      testing::TempDir() + "epoll_parked_batches.ckpt";
+  // Every applied batch crosses the threshold, so each drain freezes
+  // the session again with the rest of the burst still queued.
+  options.checkpoint_every = kBatch;
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("parked", "deterministic"),
+                           &hello_ack, &error))
+      << error;
+
+  // First burst: 8 frames in one write land in one read burst; batch 0
+  // applies, the checkpoint freeze parks 1..7.
+  std::vector<uint8_t> wire;
+  for (uint64_t seq = 0; seq < 8; ++seq) {
+    std::vector<uint8_t> frame = BatchFrame(seq, batches[seq]);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(client.RawSend(wire, &error)) << error;
+  for (uint64_t seq = 0; seq < 8; ++seq) {
+    Frame reply;
+    ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+    ASSERT_EQ(reply.type, FrameType::kPushAck) << "seq " << seq;
+    PushAckFrame ack;
+    ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+    EXPECT_EQ(ack.seq, seq);
+    EXPECT_TRUE(ack.checkpointed) << "seq " << seq;
+  }
+  // Second burst refills (and likely reallocates) the same rbuf the
+  // parked batches aliased.
+  wire.clear();
+  for (uint64_t seq = 8; seq < 16; ++seq) {
+    std::vector<uint8_t> frame = BatchFrame(seq, batches[seq]);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(client.RawSend(wire, &error)) << error;
+  for (uint64_t seq = 8; seq < 16; ++seq) {
+    Frame reply;
+    ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+    ASSERT_EQ(reply.type, FrameType::kPushAck) << "seq " << seq;
+  }
+  SnapshotFrame snapshot;
+  ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, Reference("deterministic", batches),
+                     "after checkpoint-parked bursts");
+  server.Stop();
+  std::remove(options.checkpoint_path.c_str());
+}
+
+// The global pending-bytes budget: accepted-but-unapplied payload is
+// accounted at enqueue and released at apply, shared across sessions.
+// Sequential pushes never trip it (each release precedes the next
+// enqueue); a deep burst of near-max frames may, depending on how the
+// reads interleave with the drains — either way every bounce is
+// answered with Overloaded, counted exactly once, and the session
+// converges to parity via go-back-N.
+TEST(ServiceEpoll, PendingBytesBudgetConvergesWithParity) {
+  // Three frames of ~1.4 MB payload against the minimum budget (one max
+  // frame, from clamping): any read burst holding all three exceeds it.
+  const size_t kBatch = 116509;
+  StreamTrace trace = Record("random-walk", 3 * kBatch, 37);
+  std::vector<std::vector<CountUpdate>> batches = Chunk(trace, kBatch);
+  ASSERT_EQ(batches.size(), 3u);
+
+  ServerOptions options;
+  options.workers = 1;
+  options.pending_batch_cap = 64;
+  options.pending_bytes_budget = 1;  // clamps up to one max frame
+  VarstreamServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  VarstreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  HelloAckFrame hello_ack;
+  ASSERT_TRUE(client.Hello(MakeHello("budget", "deterministic"),
+                           &hello_ack, &error))
+      << error;
+
+  uint64_t acked = 0;
+  uint64_t client_overloads = 0;
+  int rounds = 0;
+  while (acked < batches.size()) {
+    ASSERT_LT(++rounds, 100) << "budget burst never converged";
+    std::vector<uint8_t> wire;
+    for (uint64_t seq = acked; seq < batches.size(); ++seq) {
+      std::vector<uint8_t> frame = BatchFrame(seq, batches[seq]);
+      wire.insert(wire.end(), frame.begin(), frame.end());
+    }
+    ASSERT_TRUE(client.RawSend(wire, &error)) << error;
+    uint64_t sent = batches.size() - acked;
+    for (uint64_t i = 0; i < sent; ++i) {
+      Frame reply;
+      ASSERT_TRUE(client.RawReadFrame(&reply, &error)) << error;
+      if (reply.type == FrameType::kPushAck) {
+        PushAckFrame ack;
+        ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+        EXPECT_EQ(ack.seq, acked);
+        ++acked;
+        continue;
+      }
+      ASSERT_EQ(reply.type, FrameType::kOverloaded);
+      ++client_overloads;
+    }
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.overload_rejections + stats.seq_gap_rejections,
+            client_overloads);
+
+  SnapshotFrame snapshot;
+  ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, Reference("deterministic", batches),
+                     "after the budget burst");
   server.Stop();
 }
 
@@ -259,7 +458,14 @@ TEST(ServiceEpoll, OverloadBurstConvergesWithParity) {
     }
   }
   EXPECT_GE(overloads, 1u) << "cap=1 must reject some of an 8-deep burst";
-  EXPECT_EQ(server.Stats().overload_rejections, overloads);
+  // Every bounce the client saw is accounted exactly once, split by
+  // cause: the first rejection of a burst hits the cap in order (an
+  // overload), the pipelined frames behind it arrive with stale seqs
+  // (gaps). Both kinds answer with the same Overloaded frame.
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.overload_rejections + stats.seq_gap_rejections,
+            overloads);
+  EXPECT_GE(stats.overload_rejections, 1u);
 
   SnapshotFrame snapshot;
   ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
@@ -320,6 +526,44 @@ TEST(ServiceEpoll, FrameReassemblyAcrossEpollWakeupBoundaries) {
   ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
   ExpectBitIdentical(snapshot, Reference("deterministic", batches),
                      "after the split sweep");
+
+  // Second sweep: a complete frame and a torn prefix of the next frame
+  // in the SAME segment. The complete frame decodes (and applies) as a
+  // buffer view while the torn tail stays resident across the
+  // consumed-prefix compaction — the zero-copy path's worst case.
+  StreamTrace tail_trace =
+      Record("random-walk", (frame_len - 1) * kBatch * 2, 38);
+  std::vector<std::vector<CountUpdate>> pairs = Chunk(tail_trace, kBatch);
+  uint64_t seq = frame_len - 1;  // continue after the first sweep
+  for (size_t split = 1; split < frame_len; ++split) {
+    std::vector<uint8_t> full = BatchFrame(seq, pairs[2 * (split - 1)]);
+    std::vector<uint8_t> torn = BatchFrame(seq + 1, pairs[2 * split - 1]);
+    ASSERT_EQ(full.size(), frame_len);
+    std::vector<uint8_t> segment = full;
+    segment.insert(segment.end(), torn.begin(), torn.begin() + split);
+    ASSERT_TRUE(client.RawSend(segment, &error)) << error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(client.RawSend(
+        std::span<const uint8_t>(torn.data() + split, frame_len - split),
+        &error))
+        << error;
+    for (uint64_t expect = seq; expect < seq + 2; ++expect) {
+      Frame reply;
+      ASSERT_TRUE(client.RawReadFrame(&reply, &error))
+          << "torn split at byte " << split << ": " << error;
+      ASSERT_EQ(reply.type, FrameType::kPushAck)
+          << "torn split at byte " << split;
+      PushAckFrame ack;
+      ASSERT_TRUE(DecodePushAck(reply.payload, &ack));
+      EXPECT_EQ(ack.seq, expect);
+    }
+    seq += 2;
+  }
+  std::vector<std::vector<CountUpdate>> all = batches;
+  all.insert(all.end(), pairs.begin(), pairs.end());
+  ASSERT_TRUE(client.Query(&snapshot, &error)) << error;
+  ExpectBitIdentical(snapshot, Reference("deterministic", all),
+                     "after the torn-tail sweep");
   server.Stop();
 }
 

@@ -6,6 +6,7 @@
 // produce a loud kMalformed / false-with-diagnostic — never a crash, an
 // allocation blowup, or a silent accept.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -139,6 +140,16 @@ void ExpectRejected(const Mutation& m, FrameType type) {
         << FrameTypeName(type) << ": kMalformed without a diagnostic for "
         << m.description;
   }
+  // The zero-copy decode (the server's hot path) must reject exactly
+  // what the owning decode rejects — a mutant that splits them would
+  // make the service and every other consumer disagree about the wire.
+  FrameView view;
+  size_t view_consumed = 0;
+  std::string view_error;
+  EXPECT_EQ(DecodeFrameView(m.bytes, &view, &view_consumed, &view_error),
+            status)
+      << FrameTypeName(type) << ": view decode diverged on "
+      << m.description;
 }
 
 TEST(WireFuzz, EveryFrameTypeSurvivesTheFullCorruptionMatrix) {
@@ -155,6 +166,22 @@ TEST(WireFuzz, EveryFrameTypeSurvivesTheFullCorruptionMatrix) {
     ASSERT_EQ(consumed, frame_bytes.size());
     ASSERT_EQ(frame.type, type);
     ASSERT_EQ(frame.payload, payload);
+    // Zero-copy decode parity on the clean frame: same type, same
+    // consumed length, payload aliasing the input at the right offset.
+    FrameView view;
+    size_t view_consumed = 0;
+    std::string view_error;
+    ASSERT_EQ(DecodeFrameView(frame_bytes, &view, &view_consumed,
+                              &view_error),
+              DecodeStatus::kOk)
+        << FrameTypeName(type) << ": " << view_error;
+    ASSERT_EQ(view_consumed, consumed);
+    ASSERT_EQ(view.type, type);
+    ASSERT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                           payload.begin(), payload.end()))
+        << FrameTypeName(type);
+    ASSERT_EQ(view.payload.data(), frame_bytes.data() + 5)
+        << FrameTypeName(type) << ": view payload must alias the input";
 
     for (const Mutation& m : CorruptionSweep(frame_bytes, 0xF422)) {
       ExpectRejected(m, type);
@@ -203,6 +230,9 @@ TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
     PushBatchFrame out;
     EXPECT_FALSE(DecodePushBatch(m.bytes, &out))
         << "push-batch " << m.description;
+    PushBatchView view;
+    EXPECT_FALSE(DecodePushBatchView(m.bytes, &view))
+        << "push-batch view " << m.description;
   }
   // The update count sits behind the u64 seq (protocol v4): aim the
   // length-lie sweep at the count-onward suffix, then restore the seq.
@@ -215,6 +245,9 @@ TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
     PushBatchFrame out;
     EXPECT_FALSE(DecodePushBatch(lied, &out))
         << "push-batch " << m.description;
+    PushBatchView view;
+    EXPECT_FALSE(DecodePushBatchView(lied, &view))
+        << "push-batch view " << m.description;
   }
 
   SnapshotFrame snapshot;
@@ -319,7 +352,70 @@ TEST(WireFuzz, PayloadDecodersRejectTruncationAndCountLies) {
   }
   for (const Mutation& m : BitFlipSweep(batch_payload, 5)) {
     PushBatchFrame out;
-    (void)DecodePushBatch(m.bytes, &out);
+    PushBatchView view;
+    // Agreement under arbitrary flips: both decoders accept or both
+    // reject; on accept the in-place walk reads back the exact updates
+    // the owning decode materialized.
+    const bool owned_ok = DecodePushBatch(m.bytes, &out);
+    const bool view_ok = DecodePushBatchView(m.bytes, &view);
+    ASSERT_EQ(view_ok, owned_ok) << "push-batch " << m.description;
+    if (!view_ok) continue;
+    ASSERT_EQ(view.seq, out.seq) << m.description;
+    ASSERT_EQ(view.count, out.updates.size()) << m.description;
+    for (uint32_t i = 0; i < view.count; ++i) {
+      ASSERT_EQ(view.site(i), out.updates[i].site) << m.description;
+      ASSERT_EQ(view.delta(i), out.updates[i].delta) << m.description;
+    }
+  }
+}
+
+TEST(WireFuzz, PushBatchZeroCopyRoundTripsAgainstOwningCodecs) {
+  // The single-pass frame encoder and the in-place view decode are the
+  // hot path; both must be byte- and value-identical to the owning
+  // EncodePushBatch/DecodePushBatch pair across sizes (empty batch,
+  // one update, odd counts, extreme sites and deltas).
+  std::vector<std::vector<CountUpdate>> cases = {
+      {},
+      {{0, 0}},
+      {{7, -1}},
+      {{0, INT64_MAX}, {UINT32_MAX, INT64_MIN}, {3, 42}},
+  };
+  std::vector<CountUpdate> big;
+  for (uint32_t i = 0; i < 257; ++i) {
+    big.push_back({i * 2654435761u, (i % 2 == 0 ? 1 : -1) *
+                                        static_cast<int64_t>(i) * 977});
+  }
+  cases.push_back(big);
+  uint64_t seq = 0;
+  for (const auto& updates : cases) {
+    ++seq;
+    std::vector<uint8_t> owned;
+    AppendFrame(&owned, FrameType::kPushBatch,
+                EncodePushBatch(seq, updates));
+    std::vector<uint8_t> fused;
+    AppendPushBatchFrame(&fused, seq, updates);
+    ASSERT_EQ(fused, owned) << "count=" << updates.size();
+
+    FrameView frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(DecodeFrameView(fused, &frame, &consumed, &error),
+              DecodeStatus::kOk)
+        << error;
+    ASSERT_EQ(consumed, fused.size());
+    PushBatchView view;
+    ASSERT_TRUE(DecodePushBatchView(frame.payload, &view));
+    ASSERT_EQ(view.seq, seq);
+    ASSERT_EQ(view.count, updates.size());
+    std::vector<CountUpdate> materialized;
+    MaterializeUpdates(view, &materialized);
+    ASSERT_EQ(materialized.size(), updates.size());
+    for (size_t i = 0; i < updates.size(); ++i) {
+      ASSERT_EQ(view.site(static_cast<uint32_t>(i)), updates[i].site);
+      ASSERT_EQ(view.delta(static_cast<uint32_t>(i)), updates[i].delta);
+      ASSERT_EQ(materialized[i].site, updates[i].site);
+      ASSERT_EQ(materialized[i].delta, updates[i].delta);
+    }
   }
 }
 

@@ -345,10 +345,12 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("many: connections=%u pipeline=%u pushed=%llu "
-                "overloads=%llu parity=%s lat_p50_us=%.0f lat_p99_us=%.0f\n",
+                "overloads=%llu gaps=%llu parity=%s lat_p50_us=%.0f "
+                "lat_p99_us=%.0f\n",
                 connections, pipeline,
                 static_cast<unsigned long long>(scripted),
                 static_cast<unsigned long long>(result.overload_rejections),
+                static_cast<unsigned long long>(result.seq_gap_rejections),
                 many_parity, result.push_ack_us.Percentile(0.50),
                 result.push_ack_us.Percentile(0.99));
     std::printf("summary: pushed=%llu elapsed=%.3f estimate=%.17g "

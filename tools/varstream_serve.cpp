@@ -20,12 +20,14 @@
 // grows with the connection count. --pending-batch-cap bounds the
 // per-session queue of accepted-but-unapplied batches; past it the
 // server answers PushBatch with a loud Overloaded frame (go-back-N:
-// clients resend from the first rejected seq after backing off).
+// clients resend from the first rejected seq after backing off), and
+// --pending-bytes-budget bounds the total bytes of accepted-but-unapplied
+// payload across all sessions the same way (0 disables it).
 // --stats prints "workers: N" at startup and a final
 // "stats: workers=... accepted=... peak_connections=...
-// overload_rejections=... peak_pending_batches=...
-// worker_accepted=..." line at shutdown — the hooks
-// ci/connections_smoke.sh asserts against.
+// overload_rejections=... seq_gap_rejections=...
+// peak_pending_batches=... worker_accepted=..." line at shutdown — the
+// hooks ci/connections_smoke.sh asserts against.
 //
 // --metrics-port serves the same registry over plain HTTP on loopback:
 // GET /metrics answers Prometheus text exposition, GET /metrics.json the
@@ -85,6 +87,11 @@ int main(int argc, char** argv) {
   options.workers = static_cast<uint32_t>(flags.GetUint("workers", 0));
   options.pending_batch_cap = static_cast<uint32_t>(
       flags.GetUint("pending-batch-cap", options.pending_batch_cap));
+  // Global budget (bytes of accepted-but-unapplied PushBatch payload,
+  // summed across every session); past it PushBatch is bounced with
+  // Overloaded just like the per-session cap. 0 disables the budget.
+  options.pending_bytes_budget = static_cast<size_t>(
+      flags.GetUint("pending-bytes-budget", options.pending_bytes_budget));
   const bool stats = flags.GetBool("stats", false);
   const bool serve_metrics = flags.Has("metrics-port");
   const uint16_t metrics_port =
@@ -160,13 +167,15 @@ int main(int argc, char** argv) {
       per_worker += std::to_string(final_stats.per_worker_accepted[w]);
     }
     std::printf("stats: workers=%u accepted=%llu peak_connections=%llu "
-                "overload_rejections=%llu peak_pending_batches=%llu "
-                "worker_accepted=%s\n",
+                "overload_rejections=%llu seq_gap_rejections=%llu "
+                "peak_pending_batches=%llu worker_accepted=%s\n",
                 final_stats.workers,
                 static_cast<unsigned long long>(final_stats.accepted),
                 static_cast<unsigned long long>(final_stats.peak_connections),
                 static_cast<unsigned long long>(
                     final_stats.overload_rejections),
+                static_cast<unsigned long long>(
+                    final_stats.seq_gap_rejections),
                 static_cast<unsigned long long>(
                     final_stats.peak_pending_batches),
                 per_worker.c_str());
